@@ -1,0 +1,105 @@
+// E9 — paper §Actions: percent-code substitution for the exec action. The
+// scenario is the paper's key-echo example (typing "w!" prints 198 w w /
+// 174 Shift_L / 197 ! exclam): per-event costs of substitution alone, of the
+// substitution + eval, and of the full translation-dispatch pipeline.
+#include "bench/bench_util.h"
+#include "src/core/percent.h"
+
+namespace {
+
+void BM_PercentSubstitutionOnly(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("label xev topLevel");
+  xtk::Widget* xev = app->app().FindWidget("xev");
+  xsim::Event event;
+  event.type = xsim::EventType::kKeyPress;
+  event.keysym = xsim::AsciiToKeysym('w');
+  event.keycode = xsim::KeysymToKeycode(event.keysym);
+  for (auto _ : state) {
+    std::string s = wafe::SubstituteEventCodes("echo %k %a %s", *xev, event);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_PercentSubstitutionOnly);
+
+void BM_ExecActionKeyEcho(benchmark::State& state) {
+  // The full pipeline: injected key press -> translation match -> exec ->
+  // percent substitution -> Tcl eval -> echo.
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("label xev topLevel");
+  app->Eval("action xev override {<KeyPress>: exec(set keyinfo {%k %a %s})}");
+  app->Eval("realize");
+  xtk::Widget* xev = app->app().FindWidget("xev");
+  app->app().display().SetInputFocus(xev->window());
+  for (auto _ : state) {
+    app->app().display().InjectKeyPress(xsim::AsciiToKeysym('w'));
+    app->app().ProcessPending();
+  }
+  std::string keyinfo;
+  app->interp().GetVar("keyinfo", &keyinfo);
+  // Assert the paper's expansion once (outside the timed loop).
+  if (keyinfo != "198 w w") {
+    state.SkipWithError("percent expansion mismatch");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecActionKeyEcho);
+
+void BM_PaperKeyEchoScenario(benchmark::State& state) {
+  // The complete "w!" sequence: three key presses, three echo lines.
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("label xev topLevel");
+  app->Eval("action xev override {<KeyPress>: exec(echo %k %a %s)}");
+  app->Eval("realize");
+  xtk::Widget* xev = app->app().FindWidget("xev");
+  app->app().display().SetInputFocus(xev->window());
+  std::string captured;
+  app->interp().set_output([&captured](const std::string& t) { captured += t; });
+  for (auto _ : state) {
+    captured.clear();
+    app->app().display().InjectKeyPress(xsim::AsciiToKeysym('w'));
+    app->app().display().InjectKeyPress(xsim::kKeyShiftL);
+    app->app().display().InjectKeyPress(xsim::AsciiToKeysym('!'), xsim::kShiftMask);
+    app->app().ProcessPending();
+  }
+  if (captured != "198 w w\n174 Shift_L\n197 ! exclam\n") {
+    state.SkipWithError("paper output mismatch");
+  }
+}
+BENCHMARK(BM_PaperKeyEchoScenario);
+
+void BM_TranslationMatchOnly(benchmark::State& state) {
+  std::string error;
+  xtk::TranslationsPtr table = xtk::ParseTranslations(
+      "<EnterWindow>: highlight()\n"
+      "<LeaveWindow>: reset()\n"
+      "<Btn1Down>: set()\n"
+      "<Btn1Up>: notify() unset()\n"
+      "<KeyPress>: exec(echo %k)",
+      &error);
+  xsim::Event event;
+  event.type = xsim::EventType::kKeyPress;
+  event.keysym = xsim::AsciiToKeysym('q');
+  for (auto _ : state) {
+    const xtk::Production* p = table->Match(event);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_TranslationMatchOnly);
+
+void BM_ParseTranslationTable(benchmark::State& state) {
+  std::string error;
+  for (auto _ : state) {
+    auto table = xtk::ParseTranslations(
+        "Shift<Key>Return: exec(echo shifted)\n"
+        "<Key>Return: exec(echo [gV input string])\n"
+        "<Btn3Down>: PopupMenu()",
+        &error);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_ParseTranslationTable);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// E13 — paper §The Callback Converter: callback resources hold executable
+// Tcl strings; Wafe can also read them back (gV) and feed them to other
+// widgets, as the c1/c2 script demonstrates. Conversion, invocation, and
+// round-trip costs.
+#include "bench/bench_util.h"
+
+namespace {
+
+void BM_CallbackConversion(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("command c topLevel");
+  long i = 0;
+  for (auto _ : state) {
+    app->Eval(i++ % 2 ? "sV c callback {echo variant one}"
+                      : "sV c callback {echo variant two}");
+  }
+}
+BENCHMARK(BM_CallbackConversion);
+
+void BM_CallbackInvocation(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("command c topLevel callback {incr hits}");
+  app->Eval("set hits 0");
+  app->Eval("realize");
+  xtk::Widget* c = app->app().FindWidget("c");
+  for (auto _ : state) {
+    app->app().CallCallbacks(c, "callback", xtk::CallData{});
+  }
+  std::string hits;
+  app->interp().GetVar("hits", &hits);
+  state.counters["invocations"] = std::stod(hits);
+}
+BENCHMARK(BM_CallbackInvocation);
+
+void BM_CallbackWithPercentCodes(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("list lst topLevel list {a,b,c}");
+  app->Eval("label lab topLevel label {}");
+  app->Eval("sV lst callback {sV lab label {%s}}");
+  app->Eval("realize");
+  xtk::Widget* lst = app->app().FindWidget("lst");
+  xtk::CallData data;
+  data.fields["i"] = "1";
+  data.fields["s"] = "selected item";
+  for (auto _ : state) {
+    app->app().CallCallbacks(lst, "callback", data);
+  }
+}
+BENCHMARK(BM_CallbackWithPercentCodes);
+
+void BM_GvCallbackRoundTrip(benchmark::State& state) {
+  // The paper's c1/c2 example: read a callback with gV and install it on
+  // another widget.
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("form f topLevel");
+  app->Eval("command c1 f callback {echo i am %w.}");
+  app->Eval("command c2 f fromVert c1");
+  for (auto _ : state) {
+    app->Eval("sV c2 callback [gV c1 callback]");
+  }
+}
+BENCHMARK(BM_GvCallbackRoundTrip);
+
+void BM_PredefinedCallbackPopup(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("transientShell popup topLevel");
+  app->Eval("label inside popup");
+  app->Eval("command b topLevel");
+  app->Eval("callback b callback none popup");
+  app->Eval("realize");
+  xtk::Widget* b = app->app().FindWidget("b");
+  xtk::Widget* popup = app->app().FindWidget("popup");
+  for (auto _ : state) {
+    app->app().CallCallbacks(b, "callback", xtk::CallData{});
+    app->app().Popdown(popup);
+  }
+}
+BENCHMARK(BM_PredefinedCallbackPopup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

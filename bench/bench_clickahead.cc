@@ -1,0 +1,74 @@
+// E3 — paper §Experiences: "click ahead is possible due to buffering in the
+// I/O channels". A user clicks while the backend is busy; the clicks'
+// messages queue in the channel, none are lost, order is preserved, and the
+// backend drains them when it returns.
+#include <cstring>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void BM_ClickAheadBurst(benchmark::State& state) {
+  const int clicks = static_cast<int>(state.range(0));
+  auto app = std::make_unique<wafe::Wafe>();
+  bench_util::ProtocolHarness harness(app.get());
+  harness.Send("%command b topLevel callback {echo clicked}");
+  harness.Send("%realize");
+  harness.Pump();
+  xtk::Widget* b = app->app().FindWidget("b");
+  xsim::Point p = app->app().display().RootPosition(b->window());
+  std::size_t delivered = 0;
+  for (auto _ : state) {
+    // The backend is "busy": it reads nothing while the user clicks away.
+    for (int i = 0; i < clicks; ++i) {
+      app->app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+      app->app().display().InjectButtonRelease(p.x + 2, p.y + 2, 1);
+    }
+    app->app().ProcessPending();
+    // The backend returns and drains its stdin: every click must be there.
+    std::string all;
+    while (all.size() < static_cast<std::size_t>(clicks) * 8) {
+      std::string chunk = harness.Read();
+      if (chunk.empty()) {
+        break;
+      }
+      all += chunk;
+    }
+    std::size_t got = 0;
+    std::size_t pos = 0;
+    while ((pos = all.find("clicked\n", pos)) != std::string::npos) {
+      ++got;
+      pos += 8;
+    }
+    delivered += got;
+    if (got != static_cast<std::size_t>(clicks)) {
+      state.SkipWithError("click lost!");
+      return;
+    }
+  }
+  state.counters["clicks_per_burst"] = clicks;
+  state.counters["delivered"] =
+      benchmark::Counter(static_cast<double>(delivered), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClickAheadBurst)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_EventQueueDepthWhileBusy(benchmark::State& state) {
+  // Raw display-queue buffering: how fast events queue while nothing reads.
+  auto app = bench_util::MakeRealizedWafe();
+  for (auto _ : state) {
+    state.PauseTiming();
+    while (app->app().display().Pending()) {
+      app->app().display().NextEvent();
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < 100; ++i) {
+      app->app().display().InjectButtonPress(5, 5, 1);
+    }
+    benchmark::DoNotOptimize(app->app().display().Pending());
+  }
+}
+BENCHMARK(BM_EventQueueDepthWhileBusy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// E2 — paper §Experiences: "from its performance a user cannot distinguish
+// whether a widget application was developed using C or Wafe". Compares the
+// cost of the same operation (updating a label resource) through three
+// layers: the direct C++ (Xt) interface, the Tcl command layer, and the
+// full frontend protocol (pipe + parse + eval). Human perception sits around
+// 50-100 ms; all three layers must be orders of magnitude below that.
+#include "bench/bench_util.h"
+
+namespace {
+
+void BM_DirectXtSetValues(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("label l topLevel width 120");
+  xtk::Widget* l = app->app().FindWidget("l");
+  std::string error;
+  long i = 0;
+  for (auto _ : state) {
+    app->app().SetValues(l, {{"label", i++ % 2 ? "tick" : "tock"}}, &error);
+  }
+}
+BENCHMARK(BM_DirectXtSetValues);
+
+void BM_TclCommandSetValues(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("label l topLevel width 120");
+  long i = 0;
+  for (auto _ : state) {
+    wtcl::Result r = app->Eval(i++ % 2 ? "sV l label tick" : "sV l label tock");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TclCommandSetValues);
+
+void BM_ProtocolSetValues(benchmark::State& state) {
+  auto app = std::make_unique<wafe::Wafe>();
+  bench_util::ProtocolHarness harness(app.get());
+  harness.Send("%label l topLevel width 120");
+  harness.Send("%realize");
+  harness.Pump();
+  long i = 0;
+  for (auto _ : state) {
+    harness.Send(i++ % 2 ? "%sV l label tick" : "%sV l label tock");
+    harness.Pump();
+  }
+  state.counters["lines"] = static_cast<double>(app->lines_evaluated());
+}
+BENCHMARK(BM_ProtocolSetValues);
+
+void BM_DirectWidgetCreateDestroy(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  std::string error;
+  for (auto _ : state) {
+    xtk::Widget* w =
+        app->app().CreateWidget("tmp", "Label", app->top_level(), {}, true, &error);
+    app->app().DestroyWidget(w);
+  }
+}
+BENCHMARK(BM_DirectWidgetCreateDestroy);
+
+void BM_TclWidgetCreateDestroy(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  for (auto _ : state) {
+    app->Eval("label tmp topLevel");
+    app->Eval("destroyWidget tmp");
+  }
+}
+BENCHMARK(BM_TclWidgetCreateDestroy);
+
+void BM_ClickToCallbackLatency(benchmark::State& state) {
+  // End-to-end: injected button press/release -> translation match ->
+  // notify action -> Tcl callback script.
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("command b topLevel callback {set hits 1}");
+  app->Eval("realize");
+  xtk::Widget* b = app->app().FindWidget("b");
+  xsim::Point p = app->app().display().RootPosition(b->window());
+  for (auto _ : state) {
+    app->app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+    app->app().display().InjectButtonRelease(p.x + 2, p.y + 2, 1);
+    app->app().ProcessPending();
+  }
+}
+BENCHMARK(BM_ClickToCallbackLatency);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// E14 — paper Figure 2 / §Comparison: extension widget sets (the Plotter bar
+// and line graphs, the XmGraph-like layout widget) plug into Wafe through
+// the same spec mechanism. Update rates and layout scaling.
+#include "bench/bench_util.h"
+#include "src/ext/plotter.h"
+
+namespace {
+
+void BM_BarGraphUpdate(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("barGraph bars topLevel width 200 height 60");
+  app->Eval("realize");
+  xtk::Widget* bars = app->app().FindWidget("bars");
+  double v = 0;
+  for (auto _ : state) {
+    wext::PlotterAddSample(*bars, v);
+    v = v < 100 ? v + 1 : 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BarGraphUpdate);
+
+void BM_LineGraphRedraw(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("lineGraph line topLevel width 200 height 60");
+  app->Eval("realize");
+  xtk::Widget* line = app->app().FindWidget("line");
+  std::vector<double> series;
+  for (int i = 0; i < 200; ++i) {
+    series.push_back(50 + 40 * ((i * 37) % 100) / 100.0);
+  }
+  wext::PlotterSetData(*line, series);
+  for (auto _ : state) {
+    app->app().Redraw(line);
+  }
+}
+BENCHMARK(BM_LineGraphRedraw);
+
+void BM_GraphLayoutVsNodes(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("graph g topLevel width 600 height 400");
+  app->Eval("realize");
+  xtk::Widget* g = app->app().FindWidget("g");
+  const int nodes = static_cast<int>(state.range(0));
+  wext::GraphClear(*g);
+  for (int i = 1; i < nodes; ++i) {
+    // A DAG: each node hangs under node i/2 (a binary-ish tree) with a few
+    // cross edges.
+    wext::GraphAddEdge(*g, "n" + std::to_string(i / 2), "n" + std::to_string(i));
+    if (i % 5 == 0 && i > 5) {
+      wext::GraphAddEdge(*g, "n" + std::to_string(i - 5), "n" + std::to_string(i));
+    }
+  }
+  for (auto _ : state) {
+    auto layout = wext::GraphLayout(*g);
+    benchmark::DoNotOptimize(layout);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_GraphLayoutVsNodes)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_GraphRedraw(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("graph g topLevel width 600 height 400");
+  app->Eval("realize");
+  xtk::Widget* g = app->app().FindWidget("g");
+  for (int i = 1; i < 32; ++i) {
+    wext::GraphAddEdge(*g, "n" + std::to_string(i / 2), "n" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    app->app().Redraw(g);
+  }
+}
+BENCHMARK(BM_GraphRedraw);
+
+void BM_StripChartThroughProtocol(benchmark::State& state) {
+  // The xnetstats pattern: periodic samples arriving as protocol lines.
+  auto app = std::make_unique<wafe::Wafe>();
+  bench_util::ProtocolHarness harness(app.get());
+  harness.Send("%stripChart chart topLevel width 200 height 50");
+  harness.Send("%realize");
+  harness.Pump();
+  long v = 0;
+  for (auto _ : state) {
+    harness.Send("%stripChartAddValue chart " + std::to_string(v++ % 100));
+    harness.Pump();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StripChartThroughProtocol);
+
+}  // namespace
+
+BENCHMARK_MAIN();

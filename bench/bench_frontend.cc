@@ -1,0 +1,123 @@
+// E7 — paper Figure 5: the three phases of a frontend-mode application —
+// (1) Wafe starts the backend, (2) the backend builds the widget tree over
+// the protocol, (3) the read loop exchanges event messages. Measured against
+// the real forked helper backend.
+#include <chrono>
+
+#include "bench/bench_util.h"
+
+#ifndef WAFE_TEST_BACKEND
+#error "WAFE_TEST_BACKEND must point at the helper binary"
+#endif
+
+namespace {
+
+void PumpUntil(wafe::Wafe& app, const std::function<bool()>& done) {
+  while (!done()) {
+    app.app().RunOneIteration(true);
+  }
+}
+
+void BM_Phase1And2SpawnAndBuildTree(benchmark::State& state) {
+  for (auto _ : state) {
+    wafe::Wafe app;
+    app.set_backend_output(true);
+    std::string error;
+    if (!app.frontend().SpawnBackend(WAFE_TEST_BACKEND, {"primes"}, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    PumpUntil(app, [&] {
+      xtk::Widget* input = app.app().FindWidget("input");
+      return input != nullptr && input->realized();
+    });
+    app.frontend().CloseBackend();
+  }
+}
+BENCHMARK(BM_Phase1And2SpawnAndBuildTree)->Unit(benchmark::kMillisecond);
+
+void BM_Phase3ReadLoopRoundTrip(benchmark::State& state) {
+  // One full user interaction: typed Return -> frontend sends the text ->
+  // backend factors it -> three %sV updates come back.
+  wafe::Wafe app;
+  app.set_backend_output(true);
+  std::string error;
+  if (!app.frontend().SpawnBackend(WAFE_TEST_BACKEND, {"primes"}, &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  PumpUntil(app, [&] {
+    xtk::Widget* input = app.app().FindWidget("input");
+    return input != nullptr && input->realized();
+  });
+  xtk::Widget* input = app.app().FindWidget("input");
+  app.app().display().SetInputFocus(input->window());
+  long round = 0;
+  for (auto _ : state) {
+    std::string number = std::to_string(100 + (round++ % 100));
+    app.Eval("sV input string {}");
+    app.Eval("sV info label waiting");
+    app.app().display().InjectText(number);
+    app.app().display().InjectKeyPress(xsim::kKeyReturn);
+    app.app().ProcessPending();
+    PumpUntil(app, [&] {
+      return app.app().FindWidget("info")->GetString("label") == "0 seconds";
+    });
+  }
+  state.SetItemsProcessed(state.iterations());
+  app.frontend().CloseBackend();
+}
+BENCHMARK(BM_Phase3ReadLoopRoundTrip);
+
+// Transport ablation (paper §Availability: "the preferred program-to-program
+// communication is done via socketpair. Support for PIPES ... is included").
+void BM_ForkedRoundTripByTransport(benchmark::State& state) {
+  const bool force_pipes = state.range(0) != 0;
+  wafe::Wafe app;
+  app.set_backend_output(true);
+  app.frontend().set_force_pipes(force_pipes);
+  std::string error;
+  if (!app.frontend().SpawnBackend(WAFE_TEST_BACKEND, {"primes"}, &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  PumpUntil(app, [&] {
+    xtk::Widget* input = app.app().FindWidget("input");
+    return input != nullptr && input->realized();
+  });
+  xtk::Widget* input = app.app().FindWidget("input");
+  app.app().display().SetInputFocus(input->window());
+  for (auto _ : state) {
+    app.Eval("sV input string 97");
+    app.Eval("sV info label waiting");
+    app.app().display().InjectKeyPress(xsim::kKeyReturn);
+    app.app().ProcessPending();
+    PumpUntil(app, [&] {
+      return app.app().FindWidget("info")->GetString("label") == "0 seconds";
+    });
+  }
+  state.SetLabel(app.frontend().using_socketpair() ? "socketpair" : "pipes");
+  app.frontend().CloseBackend();
+}
+BENCHMARK(BM_ForkedRoundTripByTransport)->Arg(0)->Arg(1);
+
+void BM_BackendEchoRoundTrip(benchmark::State& state) {
+  // Minimal protocol round trip without widget work: %echo -> backend stdin.
+  auto app = std::make_unique<wafe::Wafe>();
+  bench_util::ProtocolHarness harness(app.get());
+  for (auto _ : state) {
+    harness.Send("%echo ping");
+    harness.Pump();
+    std::string back = harness.Read();
+    if (back != "ping\n") {
+      state.SkipWithError("round trip broken");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackendEchoRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// E5 — paper §Mass Transfer: bulk data (the paper's example arms a 100000
+// byte transfer) moves over the dedicated mass channel without per-line
+// parsing, vs. pushing the same bytes through the parsed %-command channel.
+#include <unistd.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void BM_MassChannelTransfer(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  auto app = std::make_unique<wafe::Wafe>();
+  bench_util::ProtocolHarness harness(app.get());
+  std::string error;
+  if (!app->frontend().SetupMassChannel(&error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  int mass_fd = app->frontend().mass_channel_backend_fd();
+  std::string payload(size, 'x');
+  for (auto _ : state) {
+    app->frontend().SetCommunicationVariable("C", size, "");
+    std::size_t off = 0;
+    while (off < payload.size()) {
+      std::size_t chunk = std::min<std::size_t>(32768, payload.size() - off);
+      ssize_t n = ::write(mass_fd, payload.data() + off, chunk);
+      if (n <= 0) {
+        state.SkipWithError("mass write failed");
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+      harness.Pump();  // keep the pipe drained so the writer never blocks
+    }
+    while (app->frontend().mass_transfer_active()) {
+      harness.Pump();
+    }
+  }
+  state.SetBytesProcessed(static_cast<long>(size) * state.iterations());
+}
+BENCHMARK(BM_MassChannelTransfer)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_CommandChannelTransfer(benchmark::State& state) {
+  // The same payload pushed as `append` commands over the parsed channel,
+  // 1000 payload bytes per protocol line.
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  auto app = std::make_unique<wafe::Wafe>();
+  bench_util::ProtocolHarness harness(app.get());
+  const std::size_t per_line = 1000;
+  std::string line = "%append C " + std::string(per_line, 'x');
+  for (auto _ : state) {
+    app->Eval("set C {}");
+    std::size_t sent = 0;
+    while (sent < size) {
+      harness.Send(line);
+      harness.Pump();
+      sent += per_line;
+    }
+  }
+  state.SetBytesProcessed(static_cast<long>(size) * state.iterations());
+}
+BENCHMARK(BM_CommandChannelTransfer)->Arg(1000)->Arg(100000);
+
+void BM_ProtocolLineThroughput(benchmark::State& state) {
+  // Baseline: plain protocol lines per second (no payload).
+  auto app = std::make_unique<wafe::Wafe>();
+  bench_util::ProtocolHarness harness(app.get());
+  for (auto _ : state) {
+    harness.Send("%set tick 1");
+    harness.Pump();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProtocolLineThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// E12 — paper §Internals / Memory Management: "every time a string resource,
+// a callback - or other objects larger than one word - are updated, the old
+// value is freed. If a widget is destroyed the associated resources in
+// Wafe's memory are disposed too." The bench churns creations, destructions
+// and string-resource updates and reports heap growth across the run (it
+// must stay flat) plus the per-operation cost.
+#include <malloc.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+// Heap bytes currently allocated (glibc).
+double HeapInUse() {
+#if defined(__GLIBC__)
+  struct mallinfo2 info = ::mallinfo2();
+  return static_cast<double>(info.uordblks);
+#else
+  return 0.0;
+#endif
+}
+
+void BM_CreateDestroyChurn(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->app().display().set_draw_op_limit(512);  // steady-state op log
+  app->Eval("form churn topLevel");
+  // Warm up allocator pools before sampling.
+  for (int i = 0; i < 100; ++i) {
+    app->Eval("label w churn");
+    app->Eval("destroyWidget w");
+    app->app().ProcessPending();
+  }
+  double before = HeapInUse();
+  std::size_t widgets_before = app->app().WidgetCount();
+  for (auto _ : state) {
+    app->Eval("label w churn label {some label text that allocates}");
+    app->Eval("destroyWidget w");
+    app->app().ProcessPending();  // drain the notify events, as a real loop would
+  }
+  state.counters["heap_delta_bytes"] = HeapInUse() - before;
+  state.counters["widget_leak"] =
+      static_cast<double>(app->app().WidgetCount() - widgets_before);
+}
+BENCHMARK(BM_CreateDestroyChurn);
+
+void BM_StringResourceUpdateChurn(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->app().display().set_draw_op_limit(512);
+  app->Eval("label l topLevel width 200");
+  for (int i = 0; i < 100; ++i) {
+    app->Eval("sV l label {warmup value}");
+  }
+  double before = HeapInUse();
+  long i = 0;
+  for (auto _ : state) {
+    // Alternating values of different lengths: stale values must be freed.
+    app->Eval(i++ % 2 ? "sV l label {a fairly long replacement label value xxxxxxxxxxxx}"
+                      : "sV l label {short}");
+  }
+  state.counters["heap_delta_bytes"] = HeapInUse() - before;
+}
+BENCHMARK(BM_StringResourceUpdateChurn);
+
+void BM_CallbackResourceUpdateChurn(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->app().display().set_draw_op_limit(512);
+  app->Eval("command c topLevel");
+  for (int i = 0; i < 100; ++i) {
+    app->Eval("sV c callback {echo warmup}");
+  }
+  double before = HeapInUse();
+  long i = 0;
+  for (auto _ : state) {
+    app->Eval(i++ % 2 ? "sV c callback {echo first variant of the callback}"
+                      : "sV c callback {echo second}");
+  }
+  state.counters["heap_delta_bytes"] = HeapInUse() - before;
+}
+BENCHMARK(BM_CallbackResourceUpdateChurn);
+
+void BM_SubtreeDestroyCost(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  const int children = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    app->Eval("form tree topLevel");
+    for (int i = 0; i < children; ++i) {
+      app->Eval("label n" + std::to_string(i) + " tree");
+    }
+    state.ResumeTiming();
+    app->Eval("destroyWidget tree");
+  }
+  state.counters["subtree"] = static_cast<double>(children);
+}
+BENCHMARK(BM_SubtreeDestroyCost)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E10 — paper §Introduction: the three modes of operation. Startup cost of
+// an interactive-ready instance, a file-mode hello world, and a frontend
+// session with a forked backend.
+#include <fstream>
+
+#include "bench/bench_util.h"
+
+#ifndef WAFE_TEST_BACKEND
+#error "WAFE_TEST_BACKEND must point at the helper binary"
+#endif
+
+namespace {
+
+void BM_StartupInteractiveReady(benchmark::State& state) {
+  // Everything up to the prompt: interp + classes + commands + topLevel.
+  for (auto _ : state) {
+    wafe::Wafe app;
+    benchmark::DoNotOptimize(app.top_level());
+  }
+}
+BENCHMARK(BM_StartupInteractiveReady)->Unit(benchmark::kMillisecond);
+
+void BM_StartupFileModeHelloWorld(benchmark::State& state) {
+  const char* path = "/tmp/wafe_bench_hello.wafe";
+  {
+    std::ofstream script(path);
+    script << "#!/usr/bin/X11/wafe --f\n"
+              "command hello topLevel label \"Wafe new World\" callback quit\n"
+              "realize\n"
+              "quit\n";
+  }
+  for (auto _ : state) {
+    wafe::Wafe app;
+    int rc = app.RunFile(path);
+    benchmark::DoNotOptimize(rc);
+  }
+}
+BENCHMARK(BM_StartupFileModeHelloWorld)->Unit(benchmark::kMillisecond);
+
+void BM_StartupFrontendMode(benchmark::State& state) {
+  // Spawn the helper in `build` mode, run to quit (it builds a tree, does a
+  // round trip, and quits).
+  for (auto _ : state) {
+    wafe::Wafe app;
+    app.set_backend_output(true);
+    app.set_passthrough([](const std::string&) {});  // keep bench output clean
+    std::string error;
+    if (!app.frontend().SpawnBackend(WAFE_TEST_BACKEND, {"build"}, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    while (!app.quit_requested()) {
+      app.app().RunOneIteration(true);
+    }
+    app.frontend().CloseBackend();
+    app.frontend().WaitBackend();
+  }
+}
+BENCHMARK(BM_StartupFrontendMode)->Unit(benchmark::kMillisecond);
+
+void BM_MotifStartup(benchmark::State& state) {
+  for (auto _ : state) {
+    wafe::Options options;
+    options.widget_set = wafe::WidgetSet::kMotif;
+    wafe::Wafe app(options);
+    benchmark::DoNotOptimize(app.top_level());
+  }
+}
+BENCHMARK(BM_MotifStartup)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

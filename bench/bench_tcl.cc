@@ -1,0 +1,93 @@
+// E15 — paper §Tcl (limitations): "the string representation of all data
+// types is a disadvantage, when repetitious calculations have to be made in
+// Tcl" and "it is not suitable for more complex programs". Quantifies the
+// string-interpreter penalty against native C++ for the same computation,
+// plus the interpreter's parse/dispatch costs.
+#include <benchmark/benchmark.h>
+
+#include "src/tcl/interp.h"
+
+namespace {
+
+void BM_NativeSumLoop(benchmark::State& state) {
+  const long n = state.range(0);
+  for (auto _ : state) {
+    long sum = 0;
+    for (long i = 0; i < n; ++i) {
+      sum += i;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_NativeSumLoop)->Arg(1000);
+
+void BM_TclSumLoop(benchmark::State& state) {
+  const long n = state.range(0);
+  wtcl::Interp interp;
+  std::string script =
+      "set sum 0\n"
+      "for {set i 0} {$i < " + std::to_string(n) + "} {incr i} {incr sum $i}\n"
+      "set sum";
+  for (auto _ : state) {
+    wtcl::Result r = interp.Eval(script);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_TclSumLoop)->Arg(1000);
+
+void BM_TclExprEvaluation(benchmark::State& state) {
+  wtcl::Interp interp;
+  interp.Eval("set a 12; set b 34");
+  for (auto _ : state) {
+    wtcl::Result r = interp.EvalExpr("($a + $b) * 3 - $a / 2");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TclExprEvaluation);
+
+void BM_TclCommandDispatch(benchmark::State& state) {
+  wtcl::Interp interp;
+  for (auto _ : state) {
+    wtcl::Result r = interp.Eval("set x value");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TclCommandDispatch);
+
+void BM_TclProcCall(benchmark::State& state) {
+  wtcl::Interp interp;
+  interp.Eval("proc f {a b} {return $a}");
+  for (auto _ : state) {
+    wtcl::Result r = interp.Eval("f 1 2");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TclProcCall);
+
+void BM_TclListManipulation(benchmark::State& state) {
+  wtcl::Interp interp;
+  interp.Eval("set l {}");
+  interp.Eval("for {set i 0} {$i < 100} {incr i} {lappend l item$i}");
+  for (auto _ : state) {
+    wtcl::Result r = interp.Eval("lindex $l 50");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TclListManipulation);
+
+void BM_TclStringSubstitution(benchmark::State& state) {
+  wtcl::Interp interp;
+  interp.Eval("set name world; set greeting hello");
+  for (auto _ : state) {
+    wtcl::Result r = interp.Eval("set msg \"$greeting, $name! [string length $name]\"");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TclStringSubstitution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Shared helpers for the experiment benches. Each bench binary regenerates
+// one entry of the paper's evaluation index (see DESIGN.md / EXPERIMENTS.md).
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+
+#include "src/core/comm.h"
+#include "src/core/wafe.h"
+
+namespace bench_util {
+
+// A Wafe instance with a realized hello-world tree.
+inline std::unique_ptr<wafe::Wafe> MakeRealizedWafe() {
+  auto app = std::make_unique<wafe::Wafe>();
+  app->Eval("label bench topLevel label benchmark");
+  app->Eval("realize");
+  return app;
+}
+
+// An in-process protocol harness: writes protocol bytes into Wafe the way a
+// backend would and reads what Wafe sends back.
+class ProtocolHarness {
+ public:
+  explicit ProtocolHarness(wafe::Wafe* app) : app_(app) {
+    int to_wafe[2];
+    int from_wafe[2];
+    if (::pipe(to_wafe) != 0 || ::pipe(from_wafe) != 0) {
+      return;
+    }
+    write_fd_ = to_wafe[1];
+    read_fd_ = from_wafe[0];
+    app_->set_backend_output(true);
+    app_->frontend().AdoptBackend(to_wafe[0], from_wafe[1]);
+  }
+
+  ~ProtocolHarness() {
+    ::close(write_fd_);
+    ::close(read_fd_);
+  }
+
+  void Send(const std::string& line) {
+    std::string out = line + "\n";
+    ssize_t ignored = ::write(write_fd_, out.data(), out.size());
+    (void)ignored;
+  }
+
+  void Pump() {
+    while (app_->app().RunOneIteration(false)) {
+    }
+  }
+
+  std::string Read() {
+    char buffer[65536];
+    ssize_t n = ::read(read_fd_, buffer, sizeof(buffer));
+    return n > 0 ? std::string(buffer, static_cast<std::size_t>(n)) : std::string();
+  }
+
+  int write_fd() const { return write_fd_; }
+
+ private:
+  wafe::Wafe* app_;
+  int write_fd_ = -1;
+  int read_fd_ = -1;
+};
+
+}  // namespace bench_util
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,78 @@
+// E8 — paper Figure 3 and §XmString Converter: compound strings with font
+// tags and writing-direction changes. Measures fontList parsing, markup
+// parsing, and the full render of the paper's example label.
+#include <benchmark/benchmark.h>
+
+#include "src/core/wafe.h"
+#include "src/xm/xmstring.h"
+
+namespace {
+
+constexpr char kPaperFontList[] = "*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft";
+constexpr char kPaperMarkup[] = "I'm\\bft bold\\ft and\\rl strange";
+
+void BM_ParseFontList(benchmark::State& state) {
+  for (auto _ : state) {
+    auto fonts = xmw::ParseFontList(kPaperFontList);
+    benchmark::DoNotOptimize(fonts);
+  }
+}
+BENCHMARK(BM_ParseFontList);
+
+void BM_ParseXmString(benchmark::State& state) {
+  auto fonts = xmw::ParseFontList(kPaperFontList);
+  std::string error;
+  for (auto _ : state) {
+    auto parsed = xmw::ParseXmString(kPaperMarkup, &*fonts, &error);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseXmString);
+
+void BM_ParseXmStringLong(benchmark::State& state) {
+  auto fonts = xmw::ParseFontList(kPaperFontList);
+  std::string markup;
+  for (int i = 0; i < 50; ++i) {
+    markup += "plain \\bft bold segment \\ft ";
+  }
+  std::string error;
+  for (auto _ : state) {
+    auto parsed = xmw::ParseXmString(markup, &*fonts, &error);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<long>(markup.size()) * state.iterations());
+}
+BENCHMARK(BM_ParseXmStringLong);
+
+void BM_RenderCompoundStringLabel(benchmark::State& state) {
+  wafe::Options options;
+  options.widget_set = wafe::WidgetSet::kMotif;
+  wafe::Wafe app(options);
+  app.Eval(std::string("mLabel l topLevel fontList {") + kPaperFontList +
+           "} labelString {" + kPaperMarkup + "}");
+  app.Eval("realize");
+  xtk::Widget* l = app.app().FindWidget("l");
+  for (auto _ : state) {
+    app.app().Redraw(l);
+  }
+  state.counters["segments"] = 4;  // I'm | bold | and | strange (reversed)
+}
+BENCHMARK(BM_RenderCompoundStringLabel);
+
+void BM_SetLabelStringThroughProtocolCommand(benchmark::State& state) {
+  wafe::Options options;
+  options.widget_set = wafe::WidgetSet::kMotif;
+  wafe::Wafe app(options);
+  app.Eval(std::string("mLabel l topLevel fontList {") + kPaperFontList + "}");
+  app.Eval("realize");
+  long i = 0;
+  for (auto _ : state) {
+    app.Eval(i++ % 2 ? "sV l labelString {plain \\bft bold}"
+                     : "sV l labelString {other \\ft text}");
+  }
+}
+BENCHMARK(BM_SetLabelStringThroughProtocolCommand);
+
+}  // namespace
+
+BENCHMARK_MAIN();

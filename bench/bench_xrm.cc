@@ -1,0 +1,85 @@
+// E11 — paper §Setting and Retrieving Resource Values: resource database
+// lookups back every widget creation (the per-display database "is searched
+// for entries relevant for the new widget instance"). Query and merge
+// scaling with database size and widget-tree depth.
+#include <benchmark/benchmark.h>
+
+#include "src/xt/xrm.h"
+
+namespace {
+
+using Path = std::vector<std::pair<std::string, std::string>>;
+
+xtk::ResourceDatabase MakeDatabase(int entries) {
+  xtk::ResourceDatabase db;
+  for (int i = 0; i < entries; ++i) {
+    switch (i % 4) {
+      case 0:
+        db.MergeLine("*widget" + std::to_string(i) + ".background: red");
+        break;
+      case 1:
+        db.MergeLine("app.form.widget" + std::to_string(i) + ".foreground: blue");
+        break;
+      case 2:
+        db.MergeLine("*Class" + std::to_string(i) + "*font: fixed");
+        break;
+      default:
+        db.MergeLine("app*label" + std::to_string(i) + ": value" + std::to_string(i));
+        break;
+    }
+  }
+  db.MergeLine("*foreground: black");
+  return db;
+}
+
+void BM_QueryVsDatabaseSize(benchmark::State& state) {
+  xtk::ResourceDatabase db = MakeDatabase(static_cast<int>(state.range(0)));
+  Path path{{"app", "App"}, {"form", "Form"}, {"button", "Command"}};
+  for (auto _ : state) {
+    auto v = db.Query(path, {"foreground", "Foreground"});
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["entries"] = static_cast<double>(db.size());
+}
+BENCHMARK(BM_QueryVsDatabaseSize)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_QueryVsTreeDepth(benchmark::State& state) {
+  xtk::ResourceDatabase db = MakeDatabase(100);
+  Path path{{"app", "App"}};
+  for (int d = 0; d < state.range(0); ++d) {
+    path.emplace_back("level" + std::to_string(d), "Form");
+  }
+  for (auto _ : state) {
+    auto v = db.Query(path, {"foreground", "Foreground"});
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_QueryVsTreeDepth)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_MergeLine(benchmark::State& state) {
+  xtk::ResourceDatabase db;
+  long i = 0;
+  for (auto _ : state) {
+    db.MergeLine("*widget" + std::to_string(i++) + ".background: red");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MergeLine);
+
+void BM_MergeResourceFileBlock(benchmark::State& state) {
+  std::string block;
+  for (int i = 0; i < 50; ++i) {
+    block += "*entry" + std::to_string(i) + ".label: value\n";
+  }
+  for (auto _ : state) {
+    xtk::ResourceDatabase db;
+    std::size_t merged = db.MergeString(block);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_MergeResourceFileBlock);
+
+}  // namespace
+
+BENCHMARK_MAIN();

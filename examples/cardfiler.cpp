@@ -1,0 +1,95 @@
+// xwafecf analogue (the Wafe distribution's "simple read-only card filer"):
+// a list of cards on the left, the selected card's content on the right,
+// previous/next buttons, and the PRIMARY selection holding the current card
+// text — exercising List callbacks, Form layout, AsciiText, selections, and
+// Toggle radio groups for a category filter.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/wafe.h"
+#include "src/xaw/athena.h"
+
+namespace {
+
+struct Card {
+  const char* name;
+  const char* category;
+  const char* text;
+};
+
+constexpr Card kCards[] = {
+    {"Neumann, Gustaf", "author", "Vienna University of Economics\nneumann@wu-wien.ac.at"},
+    {"Nusser, Stefan", "author", "Vienna University of Economics\nnusser@wu-wien.ac.at"},
+    {"Ousterhout, John", "related", "UC Berkeley\nTcl and Tk"},
+    {"Keithley, Kaleb", "related", "Xaw3d - three dimensional Athena widgets"},
+    {"ftp.wu-wien.ac.at", "site", "pub/src/X11/wafe/* (137.208.3.4)"},
+};
+
+}  // namespace
+
+int main() {
+  wafe::Wafe app;
+
+  app.Eval(
+      "form f topLevel\n"
+      "label title f label {Card Filer} borderWidth 0\n"
+      "list cards f fromVert title width 180 height 120\n"
+      "asciiText content f fromVert title fromHoriz cards editType read "
+      "width 260 height 90\n"
+      "toggle catAll f fromVert cards label All radioData all state true\n"
+      "toggle catAuthors f fromVert cards fromHoriz catAll label Authors "
+      "radioGroup catAll radioData author\n"
+      "realize");
+
+  // Populate the list and wire the selection callback: selecting a card
+  // shows its text and owns PRIMARY with it (so other clients could paste
+  // the card).
+  auto populate = [&](const std::string& category) {
+    std::vector<std::string> names;
+    for (const Card& card : kCards) {
+      if (category == "all" || category == card.category) {
+        names.push_back(card.name);
+      }
+    }
+    xtk::Widget* list = app.app().FindWidget("cards");
+    xaw::ListChange(*list, names, false);
+    app.app().ProcessPending();
+    return names;
+  };
+  app.Eval("sV cards callback {set picked {%s}}");
+
+  std::vector<std::string> names = populate("all");
+  std::printf("filed %zu cards\n", names.size());
+
+  // A user browses three cards.
+  xtk::Widget* list = app.app().FindWidget("cards");
+  xsim::FontPtr font = xsim::FontRegistry::Default().Open("fixed");
+  long row = static_cast<long>(font->Height()) + 2;
+  for (int index : {0, 2, 4}) {
+    xsim::Point p = app.app().display().RootPosition(list->window());
+    xsim::Position y = p.y + static_cast<xsim::Position>(2 + row * index + row / 2);
+    app.app().display().InjectButtonPress(p.x + 3, y, 1);
+    app.app().display().InjectButtonRelease(p.x + 3, y, 1);
+    app.app().ProcessPending();
+    std::string picked;
+    app.interp().GetVar("picked", &picked);
+    for (const Card& card : kCards) {
+      if (picked == card.name) {
+        app.Eval("sV content string {" + std::string(card.text) + "}");
+        app.Eval("ownSelection content PRIMARY {" + std::string(card.text) + "}");
+      }
+    }
+    std::printf("card: %-22s -> %s\n", picked.c_str(),
+                app.Eval("getSelectionValue PRIMARY").value.substr(0, 40).c_str());
+  }
+
+  // Filter to authors via the radio group.
+  app.Eval("toggleSetCurrent catAll author");
+  names = populate(app.Eval("toggleGetCurrent catAll").value);
+  std::printf("filtered to authors: %zu cards\n", names.size());
+  for (const std::string& name : names) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// xdirtree analogue: browse a real directory tree in an Athena List widget.
+// Selecting a directory entry (a synthetic click in this headless demo)
+// descends into it; the ".." entry goes back up. The selection callback uses
+// the List widget's %s percent code, exactly as a Wafe script would.
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/wafe.h"
+#include "src/xaw/athena.h"
+
+namespace {
+
+std::vector<std::string> ListDirectory(const std::string& path) {
+  std::vector<std::string> entries;
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    return entries;
+  }
+  while (dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") {
+      continue;
+    }
+    struct stat st {};
+    if (::stat((path + "/" + name).c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      name += "/";
+    }
+    entries.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(entries.begin(), entries.end());
+  entries.insert(entries.begin(), "..");
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = argc > 1 ? argv[1] : ".";
+  wafe::Wafe app;
+
+  app.Eval(
+      "form f topLevel\n"
+      "label path f label {} width 300 justify left borderWidth 0\n"
+      "list files f fromVert path width 380 height 500\n"
+      "realize");
+
+  // The selection callback reports the chosen item back; a real application
+  // program would receive this line on stdin.
+  app.Eval("sV files callback {set selection %s}");
+
+  std::string current = root;
+  auto refresh = [&] {
+    app.Eval("sV path label {" + current + "}");
+    std::vector<std::string> entries = ListDirectory(current);
+    xtk::Widget* files = app.app().FindWidget("files");
+    xaw::ListChange(*files, entries, false);
+    app.app().ProcessPending();
+    return entries;
+  };
+
+  std::vector<std::string> entries = refresh();
+  std::printf("browsing %s (%zu entries)\n", current.c_str(), entries.size());
+
+  // Simulate a user descending into the first two subdirectories found.
+  for (int step = 0; step < 2; ++step) {
+    auto it = std::find_if(entries.begin() + 1, entries.end(),
+                           [](const std::string& e) { return e.back() == '/'; });
+    if (it == entries.end()) {
+      std::printf("no further subdirectories.\n");
+      break;
+    }
+    int index = static_cast<int>(it - entries.begin());
+    // Click the row: row geometry mirrors the List widget's layout.
+    xtk::Widget* files = app.app().FindWidget("files");
+    xsim::FontPtr font = xsim::FontRegistry::Default().Open("fixed");
+    long row_height = static_cast<long>(font->Height()) + 2;
+    xsim::Point origin = app.app().display().RootPosition(files->window());
+    xsim::Position y =
+        origin.y + static_cast<xsim::Position>(2 + row_height * index + row_height / 2);
+    app.app().display().InjectButtonPress(origin.x + 3, y, 1);
+    app.app().display().InjectButtonRelease(origin.x + 3, y, 1);
+    app.app().ProcessPending();
+
+    std::string selection;
+    app.interp().GetVar("selection", &selection);
+    std::printf("selected: %s\n", selection.c_str());
+    if (selection.empty() || selection.back() != '/') {
+      break;
+    }
+    current += "/" + selection.substr(0, selection.size() - 1);
+    entries = refresh();
+    std::printf("now in %s (%zu entries)\n", current.c_str(), entries.size());
+  }
+
+  std::printf("path label shows: %s\n",
+              app.app().FindWidget("path")->GetString("label").c_str());
+  return 0;
+}

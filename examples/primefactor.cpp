@@ -1,0 +1,151 @@
+// The paper's frontend-mode demo: a backend application (the Perl program in
+// the paper, ported) computes prime factors for integers typed into an
+// Athena asciiText widget. This binary plays both roles: run without
+// arguments it is the *frontend* (it forks itself with --backend as the
+// child) and simulates a user typing numbers; with --backend it is the
+// application program, speaking the %-line protocol over stdio.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/comm.h"
+#include "src/core/wafe.h"
+
+namespace {
+
+// --- The backend: the paper's Perl program, in C++ ------------------------------
+
+void Send(const std::string& line) {
+  std::string out = line + "\n";
+  if (::write(1, out.data(), out.size()) < 0) {
+    std::exit(1);
+  }
+}
+
+bool ReadLine(std::string* line) {
+  line->clear();
+  char c = 0;
+  for (;;) {
+    ssize_t n = ::read(0, &c, 1);
+    if (n <= 0) {
+      return false;
+    }
+    if (c == '\n') {
+      return true;
+    }
+    line->push_back(c);
+  }
+}
+
+int RunBackend() {
+  // Phase 2: build the widget tree (verbatim from the paper, modulo
+  // brace-quoting of multi-word values).
+  Send("%form top topLevel");
+  Send("%asciiText input top editType edit width 200");
+  Send("%action input override {<Key>Return: exec(echo [gV input string])}");
+  Send("%label result top label {} width 200 fromVert input");
+  Send("%command quit top fromVert result callback quit");
+  Send("%label info top fromVert result fromHoriz quit label {} borderWidth 0 width 150");
+  Send("%realize");
+  // Phase 3: the read loop.
+  std::string line;
+  while (ReadLine(&line)) {
+    bool numeric = !line.empty();
+    for (char c : line) {
+      numeric = numeric && c >= '0' && c <= '9';
+    }
+    if (!numeric) {
+      Send("%sV info label {(invalid input)}");
+      continue;
+    }
+    Send("%sV info label thinking...");
+    long n = std::strtol(line.c_str(), nullptr, 10);
+    std::string factors;
+    for (long d = 2; d <= n; ++d) {
+      while (n % d == 0) {
+        if (!factors.empty()) {
+          factors += "*";
+        }
+        factors += std::to_string(d);
+        n /= d;
+      }
+    }
+    if (factors.empty()) {
+      factors = line;
+    }
+    Send("%sV result label {" + factors + "}");
+    Send("%sV info label {0 seconds}");
+  }
+  return 0;
+}
+
+// --- The frontend: Wafe + a simulated user ----------------------------------------
+
+int RunFrontendDemo(const char* self) {
+  wafe::Wafe app;
+  app.set_backend_output(true);
+  std::string error;
+  if (!app.frontend().SpawnBackend(self, {"--backend"}, &error)) {
+    std::fprintf(stderr, "spawn failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("== phase 1: backend spawned (pid %d) ==\n", app.frontend().backend_pid());
+
+  // Phase 2: wait until the backend has built and realized the tree.
+  while (app.app().FindWidget("input") == nullptr ||
+         !app.app().FindWidget("input")->realized()) {
+    app.app().RunOneIteration(true);
+  }
+  std::printf("== phase 2: widget tree built by the backend ==\n");
+  for (const char* name : {"top", "input", "result", "quit", "info"}) {
+    xtk::Widget* w = app.app().FindWidget(name);
+    std::printf("   %-6s %-10s at (%d,%d) %ux%u\n", name, w->widget_class()->name.c_str(),
+                w->x(), w->y(), w->width(), w->height());
+  }
+
+  // Phase 3: the user types numbers; each Return round-trips to the backend.
+  xsim::Display& display = app.app().display();
+  xtk::Widget* input = app.app().FindWidget("input");
+  display.SetInputFocus(input->window());
+
+  for (const char* number : {"120", "1997", "65536"}) {
+    // Clear the widget, type the number, press Return.
+    app.Eval("sV input string {}");
+    display.InjectText(number);
+    display.InjectKeyPress(xsim::kKeyReturn);
+    app.app().ProcessPending();
+    // Pump until the backend's answer lands in the result label.
+    std::string result;
+    for (int i = 0; i < 1000; ++i) {
+      app.app().RunOneIteration(true);
+      result = app.app().FindWidget("result")->GetString("label");
+      if (!result.empty() && app.app().FindWidget("info")->GetString("label") ==
+                                  "0 seconds") {
+        break;
+      }
+    }
+    std::printf("== phase 3: %s = %s ==\n", number, result.c_str());
+  }
+
+  // The user clicks the quit button.
+  xtk::Widget* quit = app.app().FindWidget("quit");
+  xsim::Point p = display.RootPosition(quit->window());
+  display.InjectButtonPress(p.x + 2, p.y + 2, 1);
+  display.InjectButtonRelease(p.x + 2, p.y + 2, 1);
+  app.app().ProcessPending();
+  std::printf("== quit button pressed; session over ==\n");
+  app.frontend().CloseBackend();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--backend") == 0) {
+    return RunBackend();
+  }
+  return RunFrontendDemo(argv[0]);
+}

@@ -1,0 +1,320 @@
+#include "src/core/comm.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/core/wafe.h"
+
+namespace wafe {
+
+Frontend::Frontend(Wafe* wafe) : wafe_(wafe) {}
+
+Frontend::~Frontend() { CloseBackend(); }
+
+bool Frontend::SpawnBackend(const std::string& program, const std::vector<std::string>& args,
+                            std::string* error) {
+  // A dead backend must not kill the frontend with SIGPIPE; writes report
+  // EPIPE instead and the main loop notices the hangup.
+  ::signal(SIGPIPE, SIG_IGN);
+  // The mass channel must exist before the fork so the child inherits the
+  // write end under the fd number getChannel reports.
+  if (mass_read_fd_ < 0 && !SetupMassChannel(error)) {
+    return false;
+  }
+  // The preferred program-to-program communication is a socketpair (paper
+  // §Availability); pipes are the fallback for systems without it.
+  int sockets[2] = {-1, -1};
+  bool using_sockets =
+      !force_pipes_ && ::socketpair(AF_UNIX, SOCK_STREAM, 0, sockets) == 0;
+  using_socketpair_ = using_sockets;
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  if (!using_sockets) {
+    if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+      if (error != nullptr) {
+        *error = std::string("cannot create pipes: ") + std::strerror(errno);
+      }
+      return false;
+    }
+  }
+  int pid = ::fork();
+  if (pid < 0) {
+    if (error != nullptr) {
+      *error = std::string("fork failed: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  if (pid == 0) {
+    // Child: wire stdio to the frontend and exec the backend.
+    if (using_sockets) {
+      ::dup2(sockets[1], 0);
+      ::dup2(sockets[1], 1);
+      ::close(sockets[0]);
+      ::close(sockets[1]);
+    } else {
+      ::dup2(to_child[0], 0);
+      ::dup2(from_child[1], 1);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+    }
+    if (mass_read_fd_ >= 0) {
+      ::close(mass_read_fd_);  // the child keeps only the write end
+    }
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(program.c_str()));
+    for (const std::string& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execvp(program.c_str(), argv.data());
+    // exec failed; report over the (former) protocol channel and die.
+    const char* msg = "wafe: cannot execute backend\n";
+    ssize_t ignored = ::write(1, msg, std::strlen(msg));
+    (void)ignored;
+    ::_exit(127);
+  }
+  // Parent.
+  pid_ = pid;
+  if (using_sockets) {
+    ::close(sockets[1]);
+    read_fd_ = sockets[0];
+    write_fd_ = sockets[0];
+  } else {
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    read_fd_ = from_child[0];
+    write_fd_ = to_child[1];
+  }
+  // The backend write end of the mass channel stays open on the frontend
+  // side too: in-process backends (AdoptBackend) write through it, and a
+  // forked child inherited its own copy by fd number.
+  RegisterInputHandlers();
+  return true;
+}
+
+void Frontend::AdoptBackend(int read_fd, int write_fd) {
+  ::signal(SIGPIPE, SIG_IGN);
+  read_fd_ = read_fd;
+  write_fd_ = write_fd;
+  RegisterInputHandlers();
+}
+
+void Frontend::RegisterInputHandlers() {
+  if (read_fd_ >= 0 && input_id_ < 0) {
+    input_id_ = wafe_->app().AddInput(read_fd_, [this](int) { OnBackendReadable(); });
+  }
+  if (mass_read_fd_ >= 0 && mass_input_id_ < 0) {
+    mass_input_id_ = wafe_->app().AddInput(mass_read_fd_, [this](int) { OnMassReadable(); });
+  }
+}
+
+int Frontend::OnBackendReadable() {
+  char chunk[8192];
+  ssize_t n = ::read(read_fd_, chunk, sizeof(chunk));
+  if (n <= 0) {
+    // EOF or error: the backend is gone.
+    if (input_id_ >= 0) {
+      wafe_->app().RemoveInput(input_id_);
+      input_id_ = -1;
+    }
+    if (!buffer_.empty()) {
+      HandleLine(buffer_);
+      buffer_.clear();
+    }
+    ::close(read_fd_);
+    if (write_fd_ == read_fd_) {
+      write_fd_ = -1;
+    }
+    read_fd_ = -1;
+    wafe_->Quit(0);
+    return -1;
+  }
+  bytes_received_ += static_cast<std::size_t>(n);
+  buffer_.append(chunk, static_cast<std::size_t>(n));
+  return DrainBuffer();
+}
+
+int Frontend::DrainBuffer() {
+  int handled = 0;
+  std::size_t start = 0;
+  for (;;) {
+    std::size_t nl = buffer_.find('\n', start);
+    if (nl == std::string::npos) {
+      break;
+    }
+    std::string line = buffer_.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();  // tolerate CRLF backends
+    }
+    start = nl + 1;
+    if (overlong_in_progress_) {
+      // This newline terminates a line that already blew the limit.
+      overlong_in_progress_ = false;
+      continue;
+    }
+    HandleLine(line);
+    ++handled;
+  }
+  buffer_.erase(0, start);
+  if (buffer_.size() > wafe_->options().max_line_length) {
+    // A single protocol line must fit within the configured maximum (64 KB
+    // by default); longer lines are dropped with a diagnostic.
+    ++overlong_lines_;
+    overlong_in_progress_ = true;
+    buffer_.clear();
+    std::fprintf(stderr, "wafe: protocol line exceeds maximum length, dropped\n");
+  }
+  return handled;
+}
+
+void Frontend::HandleLine(const std::string& line) {
+  ++lines_received_;
+  if (!line.empty() && line[0] == wafe_->options().prefix) {
+    wafe_->count_line();
+    wtcl::Result r = wafe_->Eval(std::string_view(line).substr(1));
+    if (r.code == wtcl::Status::kError) {
+      // Errors from the backend's commands go to the frontend's stderr so
+      // the backend protocol stream stays clean.
+      std::fprintf(stderr, "wafe: %s\n", r.value.c_str());
+    }
+    return;
+  }
+  // Unprefixed lines pass through to Wafe's stdout (or the registered
+  // passthrough hook).
+  wafe_->WritePassthrough(line);
+}
+
+void Frontend::SendToBackend(const std::string& line) {
+  if (write_fd_ < 0) {
+    return;
+  }
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    ssize_t n = ::write(write_fd_, out.data() + off, out.size() - off);
+    if (n <= 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ++lines_sent_;
+}
+
+int Frontend::WaitBackend() {
+  if (pid_ < 0) {
+    return 0;
+  }
+  int status = 0;
+  ::waitpid(pid_, &status, 0);
+  pid_ = -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+void Frontend::CloseBackend() {
+  if (input_id_ >= 0) {
+    wafe_->app().RemoveInput(input_id_);
+    input_id_ = -1;
+  }
+  if (mass_input_id_ >= 0) {
+    wafe_->app().RemoveInput(mass_input_id_);
+    mass_input_id_ = -1;
+  }
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+  }
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) {
+    ::close(write_fd_);
+  }
+  read_fd_ = -1;
+  write_fd_ = -1;
+  if (mass_read_fd_ >= 0) {
+    ::close(mass_read_fd_);
+    mass_read_fd_ = -1;
+  }
+  if (mass_backend_fd_ >= 0) {
+    ::close(mass_backend_fd_);
+    mass_backend_fd_ = -1;
+  }
+  if (pid_ > 0) {
+    ::waitpid(pid_, nullptr, WNOHANG);
+  }
+}
+
+// --- Mass channel ------------------------------------------------------------------
+
+bool Frontend::SetupMassChannel(std::string* error) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    if (error != nullptr) {
+      *error = std::string("cannot create mass channel: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  mass_read_fd_ = fds[0];
+  mass_backend_fd_ = fds[1];
+  if (mass_input_id_ < 0) {
+    mass_input_id_ = wafe_->app().AddInput(mass_read_fd_, [this](int) { OnMassReadable(); });
+  }
+  return true;
+}
+
+void Frontend::SetCommunicationVariable(const std::string& var, std::size_t nbytes,
+                                        const std::string& completion) {
+  mass_var_ = var;
+  mass_expected_ = nbytes;
+  mass_completion_ = completion;
+  mass_buffer_.reserve(nbytes);
+  // Data may already have arrived (the backend is free to write before the
+  // arming command is processed); complete immediately in that case.
+  if (mass_buffer_.size() >= mass_expected_) {
+    FinishMassTransfer();
+  }
+}
+
+void Frontend::FinishMassTransfer() {
+  std::string value = mass_buffer_.substr(0, mass_expected_);
+  mass_buffer_.erase(0, mass_expected_);
+  mass_expected_ = 0;
+  wafe_->interp().SetVar(mass_var_, std::move(value));
+  if (!mass_completion_.empty()) {
+    wtcl::Result r = wafe_->Eval(mass_completion_);
+    if (r.code == wtcl::Status::kError) {
+      std::fprintf(stderr, "wafe: mass-transfer completion: %s\n", r.value.c_str());
+    }
+  }
+}
+
+void Frontend::OnMassReadable() {
+  char chunk[16384];
+  ssize_t n = ::read(mass_read_fd_, chunk, sizeof(chunk));
+  if (n <= 0) {
+    if (mass_input_id_ >= 0) {
+      wafe_->app().RemoveInput(mass_input_id_);
+      mass_input_id_ = -1;
+    }
+    return;
+  }
+  if (mass_expected_ == 0) {
+    // Unsolicited data: buffer it for the next setCommunicationVariable.
+    mass_buffer_.append(chunk, static_cast<std::size_t>(n));
+    return;
+  }
+  mass_buffer_.append(chunk, static_cast<std::size_t>(n));
+  if (mass_buffer_.size() >= mass_expected_) {
+    FinishMassTransfer();
+  }
+}
+
+}  // namespace wafe

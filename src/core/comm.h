@@ -1,0 +1,115 @@
+// Frontend-mode communication (paper §Using Wafe as a Frontend, Figure 4):
+// the backend application runs as a child process whose stdout Wafe reads —
+// lines starting with the prefix character are evaluated as Tcl commands,
+// all other lines pass through to Wafe's stdout — and whose stdin receives
+// the ASCII messages callbacks/actions emit. An optional mass-transfer
+// channel moves bulk data into a Tcl variable without per-line parsing.
+#ifndef SRC_CORE_COMM_H_
+#define SRC_CORE_COMM_H_
+
+#include <string>
+#include <vector>
+
+namespace wafe {
+
+class Wafe;
+
+class Frontend {
+ public:
+  explicit Frontend(Wafe* wafe);
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  // Spawns `program` (searched in PATH) with `args`, wiring its stdio to a
+  // socketpair (the paper's preferred transport, with a pipe fallback).
+  // Returns false and fills *error on failure.
+  bool SpawnBackend(const std::string& program, const std::vector<std::string>& args,
+                    std::string* error);
+
+  // Adopts existing descriptors instead of forking: `read_fd` carries
+  // backend output, `write_fd` reaches backend stdin. Used by tests and by
+  // in-process examples.
+  void AdoptBackend(int read_fd, int write_fd);
+
+  // Transport ablation: the paper prefers socketpair with a pipe fallback;
+  // forcing pipes lets benches compare the two.
+  void set_force_pipes(bool force) { force_pipes_ = force; }
+  bool using_socketpair() const { return using_socketpair_; }
+
+  bool backend_alive() const { return read_fd_ >= 0; }
+  int backend_pid() const { return pid_; }
+  int read_fd() const { return read_fd_; }
+  int write_fd() const { return write_fd_; }
+
+  // Registers the read fd with the app context's input sources.
+  void RegisterInputHandlers();
+
+  // Reads whatever is available and dispatches complete lines. Returns the
+  // number of protocol lines evaluated; -1 once the backend hung up.
+  int OnBackendReadable();
+
+  // Sends one line (newline appended) to the backend's stdin.
+  void SendToBackend(const std::string& line);
+
+  // Waits for the child to exit (frontend shutdown).
+  int WaitBackend();
+  void CloseBackend();
+
+  // --- Mass-transfer channel -----------------------------------------------------
+
+  // Creates the mass channel (before spawn). getChannel reports the fd the
+  // *backend* writes to; the frontend reads the other end.
+  bool SetupMassChannel(std::string* error);
+  int mass_channel_backend_fd() const { return mass_backend_fd_; }
+  int mass_channel_read_fd() const { return mass_read_fd_; }
+
+  // Arms the transfer: the next `nbytes` bytes arriving on the mass channel
+  // are stored into Tcl variable `var`, then `completion` is evaluated.
+  void SetCommunicationVariable(const std::string& var, std::size_t nbytes,
+                                const std::string& completion);
+  void OnMassReadable();
+  bool mass_transfer_active() const { return mass_expected_ > 0; }
+
+  // --- Statistics ------------------------------------------------------------------
+
+  std::size_t lines_received() const { return lines_received_; }
+  std::size_t bytes_received() const { return bytes_received_; }
+  std::size_t lines_sent() const { return lines_sent_; }
+  std::size_t overlong_lines() const { return overlong_lines_; }
+
+ private:
+  // Splits buffered input into lines, honoring the maximum line length.
+  int DrainBuffer();
+  // Stores the armed byte count into the Tcl variable and runs completion.
+  void FinishMassTransfer();
+  void HandleLine(const std::string& line);
+
+  Wafe* wafe_;
+  int pid_ = -1;
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+  int input_id_ = -1;
+  bool force_pipes_ = false;
+  bool using_socketpair_ = false;
+  std::string buffer_;
+  bool overlong_in_progress_ = false;
+
+  int mass_read_fd_ = -1;
+  int mass_backend_fd_ = -1;
+  int mass_input_id_ = -1;
+  std::string mass_var_;
+  std::size_t mass_expected_ = 0;
+  std::string mass_buffer_;
+  std::string mass_completion_;
+
+  std::size_t lines_received_ = 0;
+  std::size_t bytes_received_ = 0;
+  std::size_t lines_sent_ = 0;
+  std::size_t overlong_lines_ = 0;
+};
+
+}  // namespace wafe
+
+#endif  // SRC_CORE_COMM_H_

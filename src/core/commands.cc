@@ -1,0 +1,802 @@
+// The Xt-level Wafe commands: widget lifecycle, resource access, actions,
+// callbacks (including the predefined popup callbacks), resources merging,
+// timers, and introspection. Most entries are spec-generated wrappers of a
+// single Xt function, per the paper's one-call-one-command rule.
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/comm.h"
+#include "src/core/naming.h"
+#include "src/core/percent.h"
+#include "src/core/wafe.h"
+#include "src/xt/classes.h"
+
+namespace wafe {
+
+namespace {
+
+using wtcl::Result;
+
+// Parses attribute-value pairs from a rest-arg list.
+Result ParsePairs(const std::vector<std::string>& rest, std::size_t start,
+                  std::vector<std::pair<std::string, std::string>>* out) {
+  if ((rest.size() - start) % 2 != 0) {
+    return Result::Error("attribute \"" + rest.back() + "\" has no value");
+  }
+  for (std::size_t i = start; i + 1 < rest.size(); i += 2) {
+    out->emplace_back(rest[i], rest[i + 1]);
+  }
+  return Result::Ok();
+}
+
+xtk::GrabKind GrabKindFromName(const std::string& name) {
+  if (name == "exclusive") {
+    return xtk::GrabKind::kExclusive;
+  }
+  if (name == "nonexclusive") {
+    return xtk::GrabKind::kNonexclusive;
+  }
+  return xtk::GrabKind::kNone;
+}
+
+// Finds the shell ancestor of a widget (for popup positioning).
+xtk::Widget* ShellOf(xtk::Widget* widget) {
+  xtk::Widget* w = widget;
+  while (w != nullptr && !w->widget_class()->shell) {
+    w = w->parent();
+  }
+  return w;
+}
+
+}  // namespace
+
+// Shared creation handler (the "~widgetClass" spec form).
+wtcl::Result CreateWidgetCommand(Wafe& wafe, const xtk::WidgetClass* cls,
+                                 const std::vector<std::string>& argv) {
+  // argv: name father ?unmanaged? ?attr value ...?
+  const std::string& name = argv[0];
+  const std::string& father_name = argv[1];
+  std::size_t rest_start = 2;
+  bool managed = !cls->shell;  // popup shells start unmanaged
+  if (argv.size() > 2 && argv[2] == "unmanaged") {
+    managed = false;
+    rest_start = 3;
+  }
+  std::vector<std::pair<std::string, std::string>> args;
+  if ((argv.size() - rest_start) % 2 != 0) {
+    return Result::Error("attribute \"" + argv.back() + "\" has no value");
+  }
+  for (std::size_t i = rest_start; i + 1 < argv.size(); i += 2) {
+    args.emplace_back(argv[i], argv[i + 1]);
+  }
+  std::string error;
+  xtk::Widget* father = wafe.app().FindWidget(father_name);
+  xtk::Widget* widget = nullptr;
+  if (father == nullptr) {
+    if (!cls->shell) {
+      return Result::Error("no such widget \"" + father_name + "\"");
+    }
+    // Shells accept a display name in the father position (the paper's
+    // multi-display example: applicationShell top2 dec4:0).
+    widget = wafe.app().CreateShell(name, cls->name, &wafe.app().OpenDisplay(father_name),
+                                    args, &error);
+  } else {
+    widget = wafe.app().CreateWidget(name, cls->name, father, args, managed, &error);
+  }
+  if (widget == nullptr) {
+    return Result::Error(error);
+  }
+  return Result::Ok(name);
+}
+
+void RegisterXtCommands(Wafe& wafe) {
+  SpecRegistry& reg = wafe.specs();
+
+  reg.Register(CommandSpec{
+      "XtDestroyWidget",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"}},
+      "destroy a widget and its descendants",
+      [](Invocation& inv) {
+        inv.wafe->app().DestroyWidget(inv.widget(0));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtRealizeWidget",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"}},
+      "realize a widget subtree (create and map its windows)",
+      [](Invocation& inv) {
+        inv.wafe->app().RealizeWidget(inv.widget(0));
+        return Result::Ok();
+      },
+      true});
+
+  // Bare `realize` — the form every example in the paper uses.
+  reg.Register(CommandSpec{
+      "realize",
+      "realize",
+      "void",
+      {},
+      "realize the application's top level shell",
+      [](Invocation& inv) {
+        inv.wafe->app().RealizeWidget(inv.wafe->top_level());
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "XtUnrealizeWidget",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"}},
+      "destroy the windows of a widget subtree",
+      [](Invocation& inv) {
+        inv.wafe->app().UnrealizeWidget(inv.widget(0));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtManageChild",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"}},
+      "manage (and map) a child widget",
+      [](Invocation& inv) {
+        inv.wafe->app().ManageChild(inv.widget(0));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtUnmanageChild",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"}},
+      "unmanage (and unmap) a child widget",
+      [](Invocation& inv) {
+        inv.wafe->app().UnmanageChild(inv.widget(0));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtSetValues",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"}, {ArgType::kRest, "attr value ..."}},
+      "set resource values of a widget",
+      [](Invocation& inv) {
+        std::vector<std::pair<std::string, std::string>> args;
+        Result pr = ParsePairs(inv.rest, 0, &args);
+        if (pr.code != wtcl::Status::kOk) {
+          return pr;
+        }
+        std::string error;
+        if (!inv.wafe->app().SetValues(inv.widget(0), args, &error)) {
+          return Result::Error(error);
+        }
+        return Result::Ok();
+      },
+      true});
+  reg.RegisterAlias("sV", "setValues");
+
+  reg.Register(CommandSpec{
+      "XtGetValues",
+      "getValue",
+      "String",
+      {{ArgType::kWidget, "widget"}, {ArgType::kString, "resource"}},
+      "retrieve a resource value in string form",
+      [](Invocation& inv) {
+        std::string out;
+        std::string error;
+        if (!inv.wafe->app().GetValue(inv.widget(0), inv.str(1), &out, &error)) {
+          return Result::Error(error);
+        }
+        return Result::Ok(out);
+      },
+      true});
+  reg.RegisterAlias("gV", "getValue");
+
+  reg.Register(CommandSpec{
+      "XtGetResourceList",
+      "",
+      "int",
+      {{ArgType::kWidget, "widget"}, {ArgType::kVarName, "varName"}},
+      "resource names of a widget's class; returns the count",
+      [](Invocation& inv) {
+        std::vector<const xtk::ResourceSpec*> specs =
+            inv.widget(0)->widget_class()->AllResources();
+        std::vector<std::string> names;
+        names.reserve(specs.size());
+        for (const xtk::ResourceSpec* spec : specs) {
+          names.push_back(spec->name);
+        }
+        inv.wafe->interp().SetVar(inv.str(1), wtcl::MergeList(names));
+        return Result::Ok(std::to_string(names.size()));
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtSetSensitive",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"}, {ArgType::kBoolean, "sensitive"}},
+      "set a widget's sensitivity",
+      [](Invocation& inv) {
+        std::string error;
+        inv.wafe->app().SetValues(inv.widget(0),
+                                  {{"sensitive", inv.boolean(1) ? "true" : "false"}}, &error);
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtPopup",
+      "",
+      "void",
+      {{ArgType::kWidget, "shell"}, {ArgType::kString, "grabKind", true}},
+      "pop up a shell (grabKind: none, nonexclusive, exclusive)",
+      [](Invocation& inv) {
+        inv.wafe->app().Popup(inv.widget(0),
+                              GrabKindFromName(inv.present(1) ? inv.str(1) : "none"));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtPopdown",
+      "",
+      "void",
+      {{ArgType::kWidget, "shell"}},
+      "pop down a shell",
+      [](Invocation& inv) {
+        inv.wafe->app().Popdown(inv.widget(0));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtMoveWidget",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"}, {ArgType::kInt, "x"}, {ArgType::kInt, "y"}},
+      "move a widget",
+      [](Invocation& inv) {
+        xtk::Widget* w = inv.widget(0);
+        w->SetGeometry(static_cast<xsim::Position>(inv.integer(1)),
+                       static_cast<xsim::Position>(inv.integer(2)), w->width(), w->height());
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtResizeWidget",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"},
+       {ArgType::kInt, "width"},
+       {ArgType::kInt, "height"},
+       {ArgType::kInt, "borderWidth", true}},
+      "resize a widget",
+      [](Invocation& inv) {
+        xtk::Widget* w = inv.widget(0);
+        w->SetGeometry(w->x(), w->y(), static_cast<xsim::Dimension>(inv.integer(1)),
+                       static_cast<xsim::Dimension>(inv.integer(2)));
+        inv.wafe->app().Redraw(w);
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtParent",
+      "",
+      "Widget",
+      {{ArgType::kWidget, "widget"}},
+      "name of a widget's parent",
+      [](Invocation& inv) {
+        xtk::Widget* parent = inv.widget(0)->parent();
+        return Result::Ok(parent == nullptr ? "" : parent->name());
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtClass",
+      "",
+      "String",
+      {{ArgType::kWidget, "widget"}},
+      "class name of a widget",
+      [](Invocation& inv) { return Result::Ok(inv.widget(0)->widget_class()->name); },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtIsRealized",
+      "",
+      "Boolean",
+      {{ArgType::kWidget, "widget"}},
+      "whether the widget is realized",
+      [](Invocation& inv) { return Result::Ok(inv.widget(0)->realized() ? "1" : "0"); },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtIsManaged",
+      "",
+      "Boolean",
+      {{ArgType::kWidget, "widget"}},
+      "whether the widget is managed",
+      [](Invocation& inv) { return Result::Ok(inv.widget(0)->managed() ? "1" : "0"); },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtIsSensitive",
+      "",
+      "Boolean",
+      {{ArgType::kWidget, "widget"}},
+      "whether the widget (and its ancestors) are sensitive",
+      [](Invocation& inv) { return Result::Ok(inv.widget(0)->IsSensitive() ? "1" : "0"); },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtWindow",
+      "",
+      "int",
+      {{ArgType::kWidget, "widget"}},
+      "window id of a realized widget",
+      [](Invocation& inv) { return Result::Ok(std::to_string(inv.widget(0)->window())); },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtNameToWidget",
+      "",
+      "Widget",
+      {{ArgType::kString, "name"}},
+      "look up a widget by name (empty result if unknown)",
+      [](Invocation& inv) {
+        xtk::Widget* w = inv.wafe->app().FindWidget(inv.str(0));
+        return Result::Ok(w == nullptr ? "" : w->name());
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtTranslateCoords",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"}, {ArgType::kVarName, "varName"}},
+      "root coordinates of a widget into an associative array (x, y)",
+      [](Invocation& inv) {
+        xsim::Point p = inv.widget(0)->display().RootPosition(inv.widget(0)->window());
+        inv.wafe->interp().SetVar(inv.str(1) + "(x)", std::to_string(p.x));
+        inv.wafe->interp().SetVar(inv.str(1) + "(y)", std::to_string(p.y));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtAppAddTimeOut",
+      "addTimeOut",
+      "int",
+      {{ArgType::kInt, "interval"}, {ArgType::kString, "command"}},
+      "run a Wafe command after `interval` milliseconds",
+      [](Invocation& inv) {
+        Wafe* w = inv.wafe;
+        std::string script = inv.str(1);
+        int id = w->app().AddTimeout(inv.integer(0), [w, script] { w->Eval(script); });
+        return Result::Ok(std::to_string(id));
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtRemoveTimeOut",
+      "removeTimeOut",
+      "void",
+      {{ArgType::kInt, "id"}},
+      "cancel a pending timeout",
+      [](Invocation& inv) {
+        inv.wafe->app().RemoveTimeout(static_cast<int>(inv.integer(0)));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtSetKeyboardFocus",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"}},
+      "direct keyboard input to a widget",
+      [](Invocation& inv) {
+        inv.widget(0)->display().SetInputFocus(inv.widget(0)->window());
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XLoadQueryFont",
+      "",
+      "String",
+      {{ArgType::kString, "pattern"}},
+      "resolve a font pattern to the matching XLFD",
+      [](Invocation& inv) {
+        xsim::FontPtr font = xsim::FontRegistry::Default().Open(inv.str(0));
+        if (font == nullptr) {
+          return Result::Error("no font matches \"" + inv.str(0) + "\"");
+        }
+        return Result::Ok(font->name);
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XListFonts",
+      "",
+      "int",
+      {{ArgType::kString, "pattern"}, {ArgType::kVarName, "varName"}},
+      "list fonts matching a pattern; returns the count",
+      [](Invocation& inv) {
+        std::vector<std::string> names = xsim::FontRegistry::Default().List(inv.str(0));
+        inv.wafe->interp().SetVar(inv.str(1), wtcl::MergeList(names));
+        return Result::Ok(std::to_string(names.size()));
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtOwnSelection",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"},
+       {ArgType::kString, "selection"},
+       {ArgType::kString, "value"}},
+      "claim a selection (e.g. PRIMARY) for a widget with the given value",
+      [](Invocation& inv) {
+        std::string value = inv.str(2);
+        inv.wafe->app().OwnSelection(inv.widget(0), inv.str(1),
+                                     [value] { return value; });
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtDisownSelection",
+      "",
+      "void",
+      {{ArgType::kString, "selection"}},
+      "release ownership of a selection",
+      [](Invocation& inv) {
+        inv.wafe->app().DisownSelection(inv.str(0));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XtGetSelectionValue",
+      "",
+      "String",
+      {{ArgType::kString, "selection"}},
+      "current value of a selection (empty if unowned)",
+      [](Invocation& inv) {
+        auto value = inv.wafe->app().GetSelectionValue(inv.str(0));
+        return Result::Ok(value.value_or(""));
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "selectionOwner",
+      "selectionOwner",
+      "Widget",
+      {{ArgType::kString, "selection"}},
+      "name of the widget owning a selection (empty if none)",
+      [](Invocation& inv) {
+        xtk::Widget* owner = inv.wafe->app().SelectionOwnerWidget(inv.str(0));
+        return Result::Ok(owner == nullptr ? "" : owner->name());
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "XtInstallAccelerators",
+      "",
+      "void",
+      {{ArgType::kWidget, "destination"}, {ArgType::kWidget, "source"}},
+      "make the source widget's accelerators active in the destination",
+      [](Invocation& inv) {
+        if (!inv.wafe->app().InstallAccelerators(inv.widget(0), inv.widget(1))) {
+          return Result::Error("widget \"" + inv.str(1) + "\" has no accelerators");
+        }
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XBell",
+      "",
+      "void",
+      {{ArgType::kInt, "percent", true}},
+      "ring the keyboard bell (a no-op on the simulated server)",
+      [](Invocation&) { return Result::Ok(); },
+      true});
+
+  // --- Handwritten commands ----------------------------------------------------------
+
+  reg.Register(CommandSpec{
+      "action",
+      "action",
+      "void",
+      {{ArgType::kWidget, "widget"},
+       {ArgType::kString, "mode"},
+       {ArgType::kRest, "translation ..."}},
+      "override, augment, or replace a widget's translation table",
+      [](Invocation& inv) {
+        xtk::MergeMode mode;
+        if (inv.str(1) == "override") {
+          mode = xtk::MergeMode::kOverride;
+        } else if (inv.str(1) == "augment") {
+          mode = xtk::MergeMode::kAugment;
+        } else if (inv.str(1) == "replace") {
+          mode = xtk::MergeMode::kReplace;
+        } else {
+          return Result::Error("bad mode \"" + inv.str(1) +
+                               "\": should be override, augment, or replace");
+        }
+        std::string text;
+        for (const std::string& part : inv.rest) {
+          if (!text.empty()) {
+            text += "\n";
+          }
+          text += part;
+        }
+        std::string error;
+        xtk::TranslationsPtr incoming = xtk::ParseTranslations(text, &error);
+        if (incoming == nullptr) {
+          return Result::Error(error);
+        }
+        xtk::Widget* w = inv.widget(0);
+        w->SetRawValue("translations",
+                       xtk::MergeTranslations(w->GetTranslations(), incoming, mode));
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "mergeResources",
+      "mergeResources",
+      "int",
+      {{ArgType::kRest, "binding value ... | spec-text"}},
+      "merge specifications into the resource database",
+      [](Invocation& inv) {
+        xtk::ResourceDatabase& db = inv.wafe->app().resource_db();
+        std::size_t merged = 0;
+        if (inv.rest.size() == 1 && inv.rest[0].find('\n') != std::string::npos) {
+          // A resource-file style block; accept both "binding: value" and
+          // the paper's "binding value" form.
+          std::string text = inv.rest[0];
+          std::size_t pos = 0;
+          while (pos <= text.size()) {
+            std::size_t end = text.find('\n', pos);
+            std::string line = end == std::string::npos ? text.substr(pos)
+                                                        : text.substr(pos, end - pos);
+            std::size_t first = line.find_first_not_of(" \t");
+            if (first != std::string::npos && line[first] != '!' && line[first] != '#') {
+              if (line.find(':') == std::string::npos) {
+                std::size_t space = line.find_first_of(" \t", first);
+                if (space != std::string::npos) {
+                  line.insert(space, ":");
+                }
+              }
+              if (db.MergeLine(line)) {
+                ++merged;
+              }
+            }
+            if (end == std::string::npos) {
+              break;
+            }
+            pos = end + 1;
+          }
+        } else {
+          if (inv.rest.size() % 2 != 0) {
+            return Result::Error("mergeResources expects binding/value pairs");
+          }
+          for (std::size_t i = 0; i + 1 < inv.rest.size(); i += 2) {
+            if (db.MergeLine(inv.rest[i] + ": " + inv.rest[i + 1])) {
+              ++merged;
+            }
+          }
+        }
+        return Result::Ok(std::to_string(merged));
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "callback",
+      "callback",
+      "void",
+      {{ArgType::kWidget, "widget"},
+       {ArgType::kString, "resource"},
+       {ArgType::kString, "type"},
+       {ArgType::kString, "shell", true}},
+      "bind a predefined callback (none, exclusive, nonexclusive, popdown, "
+      "position, positionCursor) to a callback resource",
+      [](Invocation& inv) {
+        xtk::Widget* widget = inv.widget(0);
+        const std::string& resource = inv.str(1);
+        const std::string& type = inv.str(2);
+        if (widget->FindSpec(resource) == nullptr) {
+          return Result::Error("unknown resource \"" + resource + "\" for widget " +
+                               widget->name());
+        }
+        xtk::Widget* shell = nullptr;
+        if (inv.present(3)) {
+          shell = inv.wafe->app().FindWidget(inv.str(3));
+          if (shell == nullptr) {
+            return Result::Error("no such widget \"" + inv.str(3) + "\"");
+          }
+        }
+        Wafe* w = inv.wafe;
+        xtk::Callback callback;
+        callback.source = type + (shell != nullptr ? " " + shell->name() : "");
+        if (type == "none" || type == "exclusive" || type == "nonexclusive") {
+          if (shell == nullptr) {
+            return Result::Error("predefined callback \"" + type + "\" needs a shell");
+          }
+          xtk::GrabKind grab = GrabKindFromName(type);
+          callback.fn = [w, shell, grab](xtk::Widget&, const xtk::CallData&) {
+            w->app().Popup(shell, grab);
+          };
+        } else if (type == "popdown") {
+          callback.fn = [w, shell](xtk::Widget& invoking, const xtk::CallData&) {
+            xtk::Widget* target = shell != nullptr ? shell : ShellOf(&invoking);
+            w->app().Popdown(target);
+          };
+        } else if (type == "position" || type == "positionCursor") {
+          if (shell == nullptr) {
+            return Result::Error("predefined callback \"" + type + "\" needs a shell");
+          }
+          callback.fn = [shell](xtk::Widget& invoking, const xtk::CallData&) {
+            xsim::Point p = invoking.display().PointerPosition();
+            shell->SetGeometry(p.x, p.y, shell->width(), shell->height());
+          };
+        } else {
+          return Result::Error("unknown predefined callback \"" + type + "\"");
+        }
+        xtk::CallbackList list;
+        list.push_back(std::move(callback));
+        widget->SetRawValue(resource, std::move(list));
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "quit",
+      "quit",
+      "void",
+      {{ArgType::kInt, "code", true}},
+      "terminate the Wafe application",
+      [](Invocation& inv) {
+        inv.wafe->Quit(inv.present(0) ? static_cast<int>(inv.integer(0)) : 0);
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "children",
+      "children",
+      "StringList",
+      {{ArgType::kWidget, "widget"}},
+      "names of a widget's children",
+      [](Invocation& inv) {
+        std::vector<std::string> names;
+        for (xtk::Widget* child : inv.widget(0)->children()) {
+          names.push_back(child->name());
+        }
+        return Result::Ok(wtcl::MergeList(names));
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "widgets",
+      "widgets",
+      "StringList",
+      {},
+      "names of all existing widgets",
+      [](Invocation& inv) { return Result::Ok(wtcl::MergeList(inv.wafe->app().WidgetNames())); },
+      false});
+
+  reg.Register(CommandSpec{
+      "sync",
+      "sync",
+      "int",
+      {},
+      "dispatch all pending events; returns the number processed",
+      [](Invocation& inv) {
+        return Result::Ok(std::to_string(inv.wafe->app().ProcessPending()));
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "sendToApplication",
+      "sendToApplication",
+      "void",
+      {{ArgType::kString, "line"}},
+      "send one line to the backend application's stdin",
+      [](Invocation& inv) {
+        inv.wafe->frontend().SendToBackend(inv.str(0));
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "loadResources",
+      "loadResources",
+      "int",
+      {{ArgType::kString, "fileName"}},
+      "merge a resource file into the database; returns the number of "
+      "specifications merged",
+      [](Invocation& inv) {
+        std::ifstream file(inv.str(0));
+        if (!file) {
+          return Result::Error("couldn't read resource file \"" + inv.str(0) + "\"");
+        }
+        std::ostringstream buffer;
+        buffer << file.rdbuf();
+        std::size_t merged = inv.wafe->app().resource_db().MergeString(buffer.str());
+        return Result::Ok(std::to_string(merged));
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "wafeReference",
+      "wafeReference",
+      "String",
+      {},
+      "the generated short-reference document",
+      [](Invocation& inv) { return Result::Ok(inv.wafe->specs().ReferenceText()); },
+      false});
+}
+
+void RegisterCommCommands(Wafe& wafe) {
+  SpecRegistry& reg = wafe.specs();
+
+  reg.Register(CommandSpec{
+      "getChannel",
+      "getChannel",
+      "int",
+      {},
+      "file descriptor of the mass-transfer channel (backend side)",
+      [](Invocation& inv) {
+        std::string error;
+        Frontend& frontend = inv.wafe->frontend();
+        if (frontend.mass_channel_read_fd() < 0 && !frontend.SetupMassChannel(&error)) {
+          return Result::Error(error);
+        }
+        return Result::Ok(std::to_string(frontend.mass_channel_backend_fd()));
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "setCommunicationVariable",
+      "setCommunicationVariable",
+      "void",
+      {{ArgType::kVarName, "varName"},
+       {ArgType::kInt, "byteCount"},
+       {ArgType::kString, "completion"}},
+      "store the next byteCount bytes from the mass channel into varName, "
+      "then run the completion command",
+      [](Invocation& inv) {
+        Frontend& frontend = inv.wafe->frontend();
+        if (frontend.mass_channel_read_fd() < 0) {
+          std::string error;
+          if (!frontend.SetupMassChannel(&error)) {
+            return Result::Error(error);
+          }
+        }
+        frontend.SetCommunicationVariable(inv.str(0),
+                                          static_cast<std::size_t>(inv.integer(1)),
+                                          inv.str(2));
+        return Result::Ok();
+      },
+      false});
+}
+
+}  // namespace wafe

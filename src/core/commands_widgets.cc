@@ -1,0 +1,512 @@
+// Widget-set command registration: creation commands generated per widget
+// class (the "~widgetClass" spec form), plus the programmatic interfaces of
+// the Athena, Motif, and extension widget sets.
+#include <memory>
+
+#include "src/core/percent.h"
+#include "src/core/wafe.h"
+#include "src/ext/plotter.h"
+#include "src/ext/rdd.h"
+#include "src/xaw/athena.h"
+#include "src/xm/motif.h"
+
+namespace wafe {
+
+namespace {
+
+using wtcl::Result;
+
+// Splits a Tcl list argument into items (for listChange etc.).
+Result SplitItems(const std::string& list, std::vector<std::string>* items) {
+  if (!wtcl::SplitList(list, items)) {
+    return Result::Error("unmatched open brace in list");
+  }
+  return Result::Ok();
+}
+
+}  // namespace
+
+void RegisterWidgetCommands(Wafe& wafe) {
+  SpecRegistry& reg = wafe.specs();
+  // Intrinsic shells get creation commands in both widget sets.
+  reg.RegisterWidgetClass(xtk::ApplicationShellClass());
+  reg.RegisterWidgetClass(xtk::TopLevelShellClass());
+  reg.RegisterWidgetClass(xtk::TransientShellClass());
+  reg.RegisterWidgetClass(xtk::OverrideShellClass());
+
+  if (wafe.options().widget_set == WidgetSet::kAthena) {
+    const xaw::AthenaClasses& classes = xaw::GetAthenaClasses(wafe.options().three_d);
+    for (const xtk::WidgetClass* cls : classes.All()) {
+      // ThreeD/Simple are base classes, not usually instantiated, but Wafe
+      // exposes every configured class uniformly.
+      reg.RegisterWidgetClass(cls);
+    }
+  } else {
+    const xmw::MotifClasses& classes = xmw::GetMotifClasses();
+    for (const xtk::WidgetClass* cls : classes.All()) {
+      reg.RegisterWidgetClass(cls);
+    }
+  }
+  if (wafe.options().extensions) {
+    const wext::ExtClasses& ext = wext::GetExtClasses();
+    reg.RegisterWidgetClass(ext.bar_graph);
+    reg.RegisterWidgetClass(ext.line_graph);
+    reg.RegisterWidgetClass(ext.graph);
+  }
+}
+
+void RegisterAthenaCommands(Wafe& wafe) {
+  SpecRegistry& reg = wafe.specs();
+
+  reg.Register(CommandSpec{
+      "XawFormDoLayout",
+      "",
+      "void",
+      {{ArgType::kWidget, "form"}, {ArgType::kBoolean, "doLayout"}},
+      "enable/disable (and run) Form layout",
+      [](Invocation& inv) {
+        xaw::FormDoLayout(*inv.widget(0), inv.boolean(1));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XawFormAllowResize",
+      "",
+      "void",
+      {{ArgType::kWidget, "child"}, {ArgType::kBoolean, "allow"}},
+      "allow or forbid resize requests of a Form child",
+      [](Invocation& inv) {
+        xaw::FormAllowResize(*inv.widget(0), inv.boolean(1));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XawListChange",
+      "",
+      "void",
+      {{ArgType::kWidget, "list"},
+       {ArgType::kString, "items"},
+       {ArgType::kBoolean, "resize", true}},
+      "replace the item list of a List widget",
+      [](Invocation& inv) {
+        std::vector<std::string> items;
+        Result r = SplitItems(inv.str(1), &items);
+        if (r.code != wtcl::Status::kOk) {
+          return r;
+        }
+        xaw::ListChange(*inv.widget(0), items, inv.present(2) ? inv.boolean(2) : true);
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XawListHighlight",
+      "",
+      "void",
+      {{ArgType::kWidget, "list"}, {ArgType::kInt, "index"}},
+      "highlight an item of a List widget",
+      [](Invocation& inv) {
+        xaw::ListHighlight(*inv.widget(0), static_cast<int>(inv.integer(1)));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XawListUnhighlight",
+      "",
+      "void",
+      {{ArgType::kWidget, "list"}},
+      "remove the highlight of a List widget",
+      [](Invocation& inv) {
+        xaw::ListUnhighlight(*inv.widget(0));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XawListShowCurrent",
+      "",
+      "int",
+      {{ArgType::kWidget, "list"}, {ArgType::kVarName, "varName", true}},
+      "index of the highlighted item (-1 if none); the item text goes into "
+      "varName",
+      [](Invocation& inv) {
+        std::string item;
+        int index = xaw::ListCurrent(*inv.widget(0), &item);
+        if (inv.present(1)) {
+          inv.wafe->interp().SetVar(inv.str(1), item);
+        }
+        return Result::Ok(std::to_string(index));
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XawTextSetInsertionPoint",
+      "",
+      "void",
+      {{ArgType::kWidget, "text"}, {ArgType::kInt, "position"}},
+      "move the insertion point of a text widget",
+      [](Invocation& inv) {
+        xaw::TextSetInsertionPoint(*inv.widget(0), inv.integer(1));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XawTextGetInsertionPoint",
+      "",
+      "int",
+      {{ArgType::kWidget, "text"}},
+      "insertion point of a text widget",
+      [](Invocation& inv) {
+        return Result::Ok(std::to_string(xaw::TextGetInsertionPoint(*inv.widget(0))));
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XawTextInsert",
+      "",
+      "void",
+      {{ArgType::kWidget, "text"}, {ArgType::kString, "string"}},
+      "insert text at the insertion point",
+      [](Invocation& inv) {
+        xaw::TextInsert(*inv.widget(0), inv.str(1));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XawToggleSetCurrent",
+      "",
+      "void",
+      {{ArgType::kWidget, "groupMember"}, {ArgType::kString, "radioData"}},
+      "select the radio-group member carrying radioData",
+      [](Invocation& inv) {
+        xaw::ToggleSetCurrent(*inv.widget(0), inv.str(1));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XawToggleGetCurrent",
+      "",
+      "String",
+      {{ArgType::kWidget, "groupMember"}},
+      "radioData of the selected radio-group member",
+      [](Invocation& inv) { return Result::Ok(xaw::ToggleGetCurrent(*inv.widget(0))); },
+      true});
+
+  reg.Register(CommandSpec{
+      "XawToggleChangeRadioGroup",
+      "",
+      "void",
+      {{ArgType::kWidget, "toggle"}, {ArgType::kWidget, "groupMember"}},
+      "move a toggle into another radio group",
+      [](Invocation& inv) {
+        xaw::ToggleChangeRadioGroup(*inv.widget(0), inv.widget(1));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XawScrollbarSetThumb",
+      "",
+      "void",
+      {{ArgType::kWidget, "scrollbar"},
+       {ArgType::kDouble, "top"},
+       {ArgType::kDouble, "shown"}},
+      "set a scrollbar's thumb position and size (fractions)",
+      [](Invocation& inv) {
+        xaw::ScrollbarSetThumb(*inv.widget(0), inv.real(1), inv.real(2));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "stripChartAddValue",
+      "stripChartAddValue",
+      "void",
+      {{ArgType::kWidget, "chart"}, {ArgType::kDouble, "value"}},
+      "append a sample to a StripChart",
+      [](Invocation& inv) {
+        xaw::StripChartAddValue(*inv.widget(0), inv.real(1));
+        return Result::Ok();
+      },
+      false});
+}
+
+void RegisterMotifCommands(Wafe& wafe) {
+  SpecRegistry& reg = wafe.specs();
+
+  reg.Register(CommandSpec{
+      "XmCascadeButtonHighlight",
+      "",
+      "void",
+      {{ArgType::kWidget, "cascade"}, {ArgType::kBoolean, "highlight"}},
+      "toggle the highlight state of a cascade button",
+      [](Invocation& inv) {
+        xmw::CascadeButtonHighlight(*inv.widget(0), inv.boolean(1));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XmCommandAppendValue",
+      "",
+      "void",
+      {{ArgType::kWidget, "command"}, {ArgType::kString, "value"}},
+      "append text to the command line of an XmCommand widget",
+      [](Invocation& inv) {
+        xmw::CommandAppendValue(*inv.widget(0), inv.str(1));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XmCommandSetValue",
+      "",
+      "void",
+      {{ArgType::kWidget, "command"}, {ArgType::kString, "value"}},
+      "replace the command line of an XmCommand widget",
+      [](Invocation& inv) {
+        xmw::CommandSetValue(*inv.widget(0), inv.str(1));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XmCommandError",
+      "",
+      "void",
+      {{ArgType::kWidget, "command"}, {ArgType::kString, "message"}},
+      "show an error message in an XmCommand widget's history",
+      [](Invocation& inv) {
+        xmw::CommandError(*inv.widget(0), inv.str(1));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XmToggleButtonSetState",
+      "",
+      "void",
+      {{ArgType::kWidget, "toggle"},
+       {ArgType::kBoolean, "state"},
+       {ArgType::kBoolean, "notify", true}},
+      "set a toggle button's state",
+      [](Invocation& inv) {
+        xmw::ToggleButtonSetState(*inv.widget(0), inv.boolean(1),
+                                  inv.present(2) && inv.boolean(2));
+        return Result::Ok();
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XmToggleButtonGetState",
+      "",
+      "Boolean",
+      {{ArgType::kWidget, "toggle"}},
+      "state of a toggle button",
+      [](Invocation& inv) {
+        return Result::Ok(xmw::ToggleButtonGetState(*inv.widget(0)) ? "1" : "0");
+      },
+      true});
+
+  reg.Register(CommandSpec{
+      "XmUpdateDisplay",
+      "",
+      "void",
+      {{ArgType::kWidget, "widget"}},
+      "process pending exposure events",
+      [](Invocation& inv) {
+        inv.wafe->app().ProcessPending();
+        return Result::Ok();
+      },
+      true});
+}
+
+void RegisterExtCommands(Wafe& wafe) {
+  SpecRegistry& reg = wafe.specs();
+
+  reg.Register(CommandSpec{
+      "plotterSetData",
+      "plotterSetData",
+      "void",
+      {{ArgType::kWidget, "plot"}, {ArgType::kString, "values"}},
+      "replace the data series of a BarGraph/LineGraph",
+      [](Invocation& inv) {
+        std::vector<std::string> items;
+        Result r = SplitItems(inv.str(1), &items);
+        if (r.code != wtcl::Status::kOk) {
+          return r;
+        }
+        std::vector<double> values;
+        for (const std::string& item : items) {
+          values.push_back(std::strtod(item.c_str(), nullptr));
+        }
+        wext::PlotterSetData(*inv.widget(0), values);
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "plotterAddSample",
+      "plotterAddSample",
+      "void",
+      {{ArgType::kWidget, "plot"}, {ArgType::kDouble, "value"}},
+      "append one sample to a BarGraph/LineGraph",
+      [](Invocation& inv) {
+        wext::PlotterAddSample(*inv.widget(0), inv.real(1));
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "plotterGetData",
+      "plotterGetData",
+      "StringList",
+      {{ArgType::kWidget, "plot"}},
+      "current data series of a plot",
+      [](Invocation& inv) {
+        std::vector<std::string> items;
+        char buffer[32];
+        for (double v : wext::PlotterData(*inv.widget(0))) {
+          std::snprintf(buffer, sizeof(buffer), "%g", v);
+          items.push_back(buffer);
+        }
+        return Result::Ok(wtcl::MergeList(items));
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "graphAddNode",
+      "graphAddNode",
+      "void",
+      {{ArgType::kWidget, "graph"}, {ArgType::kString, "node"}},
+      "add a node to a Graph widget",
+      [](Invocation& inv) {
+        wext::GraphAddNode(*inv.widget(0), inv.str(1));
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "graphAddEdge",
+      "graphAddEdge",
+      "void",
+      {{ArgType::kWidget, "graph"}, {ArgType::kString, "from"}, {ArgType::kString, "to"}},
+      "add an edge to a Graph widget",
+      [](Invocation& inv) {
+        wext::GraphAddEdge(*inv.widget(0), inv.str(1), inv.str(2));
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "graphClear",
+      "graphClear",
+      "void",
+      {{ArgType::kWidget, "graph"}},
+      "remove all nodes and edges",
+      [](Invocation& inv) {
+        wext::GraphClear(*inv.widget(0));
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "graphNodes",
+      "graphNodes",
+      "StringList",
+      {{ArgType::kWidget, "graph"}},
+      "node names of a Graph widget",
+      [](Invocation& inv) {
+        return Result::Ok(wtcl::MergeList(wext::GraphNodes(*inv.widget(0))));
+      },
+      false});
+
+  // --- Rdd drag and drop ---------------------------------------------------------
+  // One drag-and-drop context per Wafe instance, created on first use and
+  // shared by the three commands.
+  auto dnd = std::make_shared<std::unique_ptr<wext::DragAndDrop>>();
+  auto get_dnd = [dnd](Wafe* w) -> wext::DragAndDrop& {
+    if (!*dnd) {
+      *dnd = std::make_unique<wext::DragAndDrop>(&w->app());
+    }
+    return **dnd;
+  };
+
+  reg.Register(CommandSpec{
+      "rddSource",
+      "rddSource",
+      "void",
+      {{ArgType::kWidget, "widget"}, {ArgType::kString, "valueCommand"}},
+      "register a drag source (Btn2Down starts a drag; valueCommand is "
+      "evaluated to produce the dragged value)",
+      [get_dnd](Invocation& inv) {
+        Wafe* w = inv.wafe;
+        std::string script = inv.str(1);
+        get_dnd(w).RegisterSource(inv.widget(0), [w, script] {
+          wtcl::Result r = w->Eval(script);
+          return r.ok() ? r.value : std::string();
+        });
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "rddTarget",
+      "rddTarget",
+      "void",
+      {{ArgType::kWidget, "widget"}, {ArgType::kString, "command"}},
+      "register a drop target (Btn2Up drops; %v expands to the dragged "
+      "value, %f to the source widget, %w to the target)",
+      [get_dnd](Invocation& inv) {
+        Wafe* w = inv.wafe;
+        std::string script = inv.str(1);
+        xtk::Widget* target = inv.widget(0);
+        get_dnd(w).RegisterTarget(
+            target, [w, script, target](xtk::Widget& source, const std::string& value) {
+              xtk::CallData data;
+              data.fields["v"] = value;
+              data.fields["f"] = source.name();
+              wtcl::Result r = w->Eval(SubstituteCallbackCodes(script, *target, data));
+              if (r.code == wtcl::Status::kError) {
+                w->WriteOut("wafe: error in drop handler: " + r.value + "\n");
+              }
+            });
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "rddCancel",
+      "rddCancel",
+      "void",
+      {},
+      "cancel a drag in progress",
+      [get_dnd](Invocation& inv) {
+        get_dnd(inv.wafe).CancelDrag();
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "graphLayout",
+      "graphLayout",
+      "StringList",
+      {{ArgType::kWidget, "graph"}},
+      "run the layered layout; returns {layer slot} per node",
+      [](Invocation& inv) {
+        std::vector<std::string> cells;
+        for (const auto& [layer, slot] : wext::GraphLayout(*inv.widget(0))) {
+          cells.push_back(std::to_string(layer) + " " + std::to_string(slot));
+        }
+        return Result::Ok(wtcl::MergeList(cells));
+      },
+      false});
+}
+
+}  // namespace wafe

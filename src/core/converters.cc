@@ -1,0 +1,105 @@
+// Wafe's additional converter procedures (paper §Converter Procedures):
+// the Callback converter (a resource value that is an executable Tcl string,
+// with percent-code access to clientData), the extended Pixmap converter
+// (reads files, tries XBM first and falls back to XPM), and — for the Motif
+// build — the XmString converter validating compound-string markup.
+#include <fstream>
+#include <sstream>
+
+#include "src/core/comm.h"
+#include "src/core/percent.h"
+#include "src/core/wafe.h"
+#include "src/xm/xmstring.h"
+
+namespace wafe {
+
+void RegisterWafeConverters(Wafe& wafe) {
+  Wafe* w = &wafe;
+
+  // --- Callback converter ------------------------------------------------------
+  wafe.app().converters().Register(
+      xtk::ResourceType::kCallback,
+      [w](const std::string& input, xtk::Widget*, xtk::ResourceValue* out, std::string*) {
+        xtk::CallbackList list;
+        if (!input.empty()) {
+          xtk::Callback callback;
+          callback.source = input;
+          callback.fn = [w, script = input](xtk::Widget& widget, const xtk::CallData& data) {
+            std::string substituted = SubstituteCallbackCodes(script, widget, data);
+            wtcl::Result r = w->Eval(substituted);
+            if (r.code == wtcl::Status::kError) {
+              w->WriteOut("wafe: error in callback of " + widget.name() + ": " + r.value +
+                          "\n");
+            }
+          };
+          list.push_back(std::move(callback));
+        }
+        *out = std::move(list);
+        return true;
+      });
+
+  // --- Extended Pixmap converter --------------------------------------------------
+  wafe.app().converters().Register(
+      xtk::ResourceType::kPixmap,
+      [](const std::string& input, xtk::Widget*, xtk::ResourceValue* out, std::string* error) {
+        if (input.empty() || input == "None" || input == "none") {
+          *out = xsim::PixmapPtr{};
+          return true;
+        }
+        std::string source = input;
+        std::string name = input;
+        // A file path: read it; otherwise treat the string as inline source.
+        if (input.find('\n') == std::string::npos) {
+          std::ifstream file(input);
+          if (file) {
+            std::ostringstream buffer;
+            buffer << file.rdbuf();
+            source = buffer.str();
+          }
+        }
+        // Try the standard X bitmap format first, then Xpm (the converter
+        // behavior the paper describes).
+        xsim::PixmapPtr pixmap = xsim::ParseBitmapOrPixmap(source);
+        if (pixmap == nullptr) {
+          *error = "cannot convert \"" + name + "\" to Pixmap (not XBM or XPM)";
+          return false;
+        }
+        auto named = std::make_shared<xsim::Pixmap>(*pixmap);
+        named->name = name;
+        *out = xsim::PixmapPtr(named);
+        return true;
+      });
+
+  // --- XmString validation (Motif build) ---------------------------------------------
+  if (wafe.options().widget_set == WidgetSet::kMotif) {
+    // labelString stays a string resource, but setting it through setValues
+    // or creation args validates the markup eagerly so errors surface at the
+    // command, not at expose time. The validation accepts any tag when the
+    // widget has no fontList yet (creation-order independence).
+    wafe.app().converters().Register(
+        xtk::ResourceType::kString,
+        [](const std::string& input, xtk::Widget* widget, xtk::ResourceValue* out,
+           std::string* error) {
+          if (widget != nullptr && input.find('\\') != std::string::npos &&
+              widget->FindSpec("labelString") != nullptr) {
+            std::string fl = widget->GetString("fontList");
+            std::string parse_error;
+            if (!fl.empty()) {
+              if (auto fonts = xmw::ParseFontList(fl)) {
+                if (!xmw::ParseXmString(input, &*fonts, &parse_error)) {
+                  *error = "bad compound string: " + parse_error;
+                  return false;
+                }
+              }
+            } else if (!xmw::ParseXmString(input, nullptr, &parse_error)) {
+              *error = "bad compound string: " + parse_error;
+              return false;
+            }
+          }
+          *out = input;
+          return true;
+        });
+  }
+}
+
+}  // namespace wafe

@@ -1,0 +1,44 @@
+#include "src/core/naming.h"
+
+namespace wafe {
+
+namespace {
+
+std::string LowerFirst(std::string s) {
+  if (!s.empty() && s[0] >= 'A' && s[0] <= 'Z') {
+    s[0] = static_cast<char>(s[0] - 'A' + 'a');
+  }
+  return s;
+}
+
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.size() > prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+std::string CommandNameFromC(const std::string& c_name) {
+  // Order matters: Xaw before X, Xm before X, Xt before X.
+  if (HasPrefix(c_name, "Xaw")) {
+    return LowerFirst(c_name.substr(3));
+  }
+  if (HasPrefix(c_name, "Xm")) {
+    return "m" + c_name.substr(2);
+  }
+  if (HasPrefix(c_name, "Xt")) {
+    return LowerFirst(c_name.substr(2));
+  }
+  if (HasPrefix(c_name, "X")) {
+    return LowerFirst(c_name.substr(1));
+  }
+  return c_name;
+}
+
+std::string CreationCommandFromClass(const std::string& class_name) {
+  if (HasPrefix(class_name, "Xm")) {
+    return "m" + class_name.substr(2);
+  }
+  return LowerFirst(class_name);
+}
+
+}  // namespace wafe

@@ -1,0 +1,23 @@
+// Wafe's naming conventions (paper §Naming Conventions): commands derive
+// from the C function names by stripping the "Xt" / "Xaw" / "X" prefix and
+// lowering the first letter (XtDestroyWidget -> destroyWidget,
+// XawFormAllowResize -> formAllowResize); OSF/Motif names strip "Xm" and
+// gain a leading "m" (XmCommandAppendValue -> mCommandAppendValue). Widget
+// creation commands derive the same way from the class name
+// (Toggle -> toggle, XmCascadeButton -> mCascadeButton).
+#ifndef SRC_CORE_NAMING_H_
+#define SRC_CORE_NAMING_H_
+
+#include <string>
+
+namespace wafe {
+
+// Derives the Wafe command name from a C function name.
+std::string CommandNameFromC(const std::string& c_name);
+
+// Derives the creation command name from a widget class name.
+std::string CreationCommandFromClass(const std::string& class_name);
+
+}  // namespace wafe
+
+#endif  // SRC_CORE_NAMING_H_

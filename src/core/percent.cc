@@ -1,0 +1,129 @@
+#include "src/core/percent.h"
+
+#include "src/xt/widget.h"
+
+namespace wafe {
+
+namespace {
+
+bool IsSupportedType(xsim::EventType type) {
+  switch (type) {
+    case xsim::EventType::kButtonPress:
+    case xsim::EventType::kButtonRelease:
+    case xsim::EventType::kKeyPress:
+    case xsim::EventType::kKeyRelease:
+    case xsim::EventType::kEnterNotify:
+    case xsim::EventType::kLeaveNotify:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsKeyEvent(xsim::EventType type) {
+  return type == xsim::EventType::kKeyPress || type == xsim::EventType::kKeyRelease;
+}
+
+bool IsButtonEvent(xsim::EventType type) {
+  return type == xsim::EventType::kButtonPress || type == xsim::EventType::kButtonRelease;
+}
+
+}  // namespace
+
+std::string SubstituteEventCodes(const std::string& script, const xtk::Widget& widget,
+                                 const xsim::Event& event) {
+  std::string out;
+  out.reserve(script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    if (script[i] != '%' || i + 1 >= script.size()) {
+      out.push_back(script[i]);
+      continue;
+    }
+    char code = script[++i];
+    switch (code) {
+      case '%':
+        out.push_back('%');
+        break;
+      case 't':
+        out += IsSupportedType(event.type) ? event.TypeName() : "unknown";
+        break;
+      case 'w':
+        out += widget.name();
+        break;
+      case 'b':
+        if (IsButtonEvent(event.type)) {
+          out += std::to_string(event.button);
+        }
+        break;
+      case 'x':
+        out += std::to_string(event.x);
+        break;
+      case 'y':
+        out += std::to_string(event.y);
+        break;
+      case 'X':
+        out += std::to_string(event.x_root);
+        break;
+      case 'Y':
+        out += std::to_string(event.y_root);
+        break;
+      case 'a':
+        if (IsKeyEvent(event.type)) {
+          if (auto ascii = xsim::KeysymToAscii(event.keysym)) {
+            if (*ascii >= 0x20 && *ascii < 0x7f) {
+              out.push_back(*ascii);
+            }
+          }
+        }
+        break;
+      case 'k':
+        if (IsKeyEvent(event.type)) {
+          out += std::to_string(event.keycode);
+        }
+        break;
+      case 's':
+        if (IsKeyEvent(event.type)) {
+          out += xsim::KeysymToString(event.keysym);
+        }
+        break;
+      default:
+        out.push_back('%');
+        out.push_back(code);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string SubstituteCallbackCodes(const std::string& script, const xtk::Widget& widget,
+                                    const xtk::CallData& data) {
+  std::string out;
+  out.reserve(script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    if (script[i] != '%' || i + 1 >= script.size()) {
+      out.push_back(script[i]);
+      continue;
+    }
+    char code = script[i + 1];
+    if (code == '%') {
+      out.push_back('%');
+      ++i;
+      continue;
+    }
+    if (code == 'w') {
+      out += widget.name();
+      ++i;
+      continue;
+    }
+    auto it = data.fields.find(std::string(1, code));
+    if (it != data.fields.end()) {
+      out += it->second;
+      ++i;
+      continue;
+    }
+    out.push_back('%');  // unknown codes pass through untouched
+  }
+  return out;
+}
+
+}  // namespace wafe

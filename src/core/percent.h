@@ -1,0 +1,35 @@
+// The printf-like percent-code engine (paper §Actions and §Callback
+// converter). Action scripts bound via `exec(...)` may reference event
+// fields (%t %w %b %x %y %X %Y %a %k %s); callback scripts may reference
+// %w (always) plus the clientData codes the invoking widget class provides
+// (e.g. the Athena List widget's %i index and %s active element).
+#ifndef SRC_CORE_PERCENT_H_
+#define SRC_CORE_PERCENT_H_
+
+#include <string>
+
+#include "src/xsim/event.h"
+#include "src/xt/value.h"
+
+namespace xtk {
+class Widget;
+}
+
+namespace wafe {
+
+// Substitutes event percent codes into an action script. %t expands to the
+// event-type name for the six supported types and to "unknown" otherwise;
+// key codes (%a %k %s) expand to empty strings on non-key events, button
+// (%b) to empty on non-button events. "%%" yields a literal percent.
+std::string SubstituteEventCodes(const std::string& script, const xtk::Widget& widget,
+                                 const xsim::Event& event);
+
+// Substitutes callback percent codes: %w is the widget name; a code whose
+// letter appears in `data.fields` expands to that field; anything else is
+// left untouched (so format strings survive in callback scripts).
+std::string SubstituteCallbackCodes(const std::string& script, const xtk::Widget& widget,
+                                    const xtk::CallData& data);
+
+}  // namespace wafe
+
+#endif  // SRC_CORE_PERCENT_H_

@@ -1,0 +1,208 @@
+#include "src/core/spec.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/core/naming.h"
+#include "src/core/wafe.h"
+
+namespace wafe {
+
+namespace {
+
+const char* ArgTypeDoc(ArgType type) {
+  switch (type) {
+    case ArgType::kWidget:
+      return "Widget";
+    case ArgType::kString:
+      return "String";
+    case ArgType::kInt:
+      return "Int";
+    case ArgType::kDouble:
+      return "Double";
+    case ArgType::kBoolean:
+      return "Boolean";
+    case ArgType::kVarName:
+      return "VarName";
+    case ArgType::kRest:
+      return "...";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string SpecRegistry::Register(CommandSpec spec) {
+  if (spec.wafe_name.empty()) {
+    spec.wafe_name = CommandNameFromC(spec.c_name);
+  }
+  const std::string name = spec.wafe_name;
+  if (spec.generated) {
+    ++generated_;
+  } else {
+    ++handwritten_;
+  }
+  Wafe* wafe = wafe_;
+  // The "generated" wrapper: uniform arity checking, conversion, and error
+  // reporting, driven entirely by the spec table.
+  CommandSpec stored = spec;
+  wafe->interp().RegisterCommand(
+      name, [wafe, spec = std::move(spec)](wtcl::Interp&,
+                                           const std::vector<std::string>& argv) {
+        Invocation inv;
+        inv.wafe = wafe;
+        std::size_t required = 0;
+        bool has_rest = false;
+        for (const ArgSpec& arg : spec.args) {
+          if (arg.type == ArgType::kRest) {
+            has_rest = true;
+          } else if (!arg.optional) {
+            ++required;
+          }
+        }
+        std::size_t fixed = spec.args.size() - (has_rest ? 1 : 0);
+        std::size_t given = argv.size() - 1;
+        if (given < required || (!has_rest && given > fixed)) {
+          std::string usage = spec.wafe_name;
+          for (const ArgSpec& arg : spec.args) {
+            usage += arg.optional ? " ?" + arg.name + "?" : " " + arg.name;
+          }
+          return wtcl::Result::Error("wrong # args: should be \"" + usage + "\"");
+        }
+        inv.args.resize(fixed);
+        std::size_t v = 1;
+        for (std::size_t i = 0; i < fixed; ++i) {
+          const ArgSpec& arg = spec.args[i];
+          ParsedArg& parsed = inv.args[i];
+          if (v >= argv.size()) {
+            break;  // remaining optionals stay absent
+          }
+          const std::string& value = argv[v++];
+          parsed.present = true;
+          parsed.str = value;
+          switch (arg.type) {
+            case ArgType::kWidget: {
+              parsed.widget = wafe->app().FindWidget(value);
+              if (parsed.widget == nullptr) {
+                return wtcl::Result::Error("no such widget \"" + value + "\"");
+              }
+              break;
+            }
+            case ArgType::kInt: {
+              char* end = nullptr;
+              parsed.integer = std::strtol(value.c_str(), &end, 10);
+              if (end == value.c_str() || *end != '\0') {
+                return wtcl::Result::Error("expected integer but got \"" + value + "\"");
+              }
+              break;
+            }
+            case ArgType::kDouble: {
+              char* end = nullptr;
+              parsed.real = std::strtod(value.c_str(), &end);
+              if (end == value.c_str() || *end != '\0') {
+                return wtcl::Result::Error("expected number but got \"" + value + "\"");
+              }
+              break;
+            }
+            case ArgType::kBoolean: {
+              if (value == "true" || value == "True" || value == "1" || value == "yes" ||
+                  value == "on") {
+                parsed.boolean = true;
+              } else if (value == "false" || value == "False" || value == "0" ||
+                         value == "no" || value == "off") {
+                parsed.boolean = false;
+              } else {
+                return wtcl::Result::Error("expected boolean but got \"" + value + "\"");
+              }
+              break;
+            }
+            case ArgType::kString:
+            case ArgType::kVarName:
+            case ArgType::kRest:
+              break;
+          }
+        }
+        if (has_rest) {
+          inv.rest.assign(argv.begin() + static_cast<std::ptrdiff_t>(v), argv.end());
+        }
+        return spec.handler(inv);
+      });
+  specs_[name] = std::move(stored);
+  return name;
+}
+
+void SpecRegistry::RegisterAlias(const std::string& alias, const std::string& target) {
+  auto it = specs_.find(target);
+  if (it == specs_.end()) {
+    return;
+  }
+  CommandSpec copy = it->second;
+  copy.wafe_name = alias;
+  copy.doc = "alias for " + target;
+  // Reuse the already-wrapped interpreter command.
+  // (Tcl allows registering the same command under various names.)
+  aliases_[alias] = target;
+  Register(std::move(copy));
+  // Aliases should not inflate the generated/handwritten statistics twice;
+  // compensate the counter bump from Register.
+  if (it->second.generated) {
+    --generated_;
+  } else {
+    --handwritten_;
+  }
+}
+
+void SpecRegistry::RegisterWidgetClass(const xtk::WidgetClass* cls) {
+  CommandSpec spec;
+  spec.c_name = cls->name;
+  spec.wafe_name = CreationCommandFromClass(cls->name);
+  spec.result_doc = "Widget";
+  spec.args = {
+      ArgSpec{ArgType::kString, "name"},
+      ArgSpec{ArgType::kString, "father"},
+      ArgSpec{ArgType::kRest, "?unmanaged? ?attr value ...?"},
+  };
+  spec.doc = "create an instance of the " + cls->name + " widget class";
+  spec.handler = [cls](Invocation& inv) {
+    std::vector<std::string> argv;
+    argv.push_back(inv.str(0));
+    argv.push_back(inv.str(1));
+    argv.insert(argv.end(), inv.rest.begin(), inv.rest.end());
+    return CreateWidgetCommand(*inv.wafe, cls, argv);
+  };
+  Register(std::move(spec));
+  ++creation_;
+}
+
+std::string SpecRegistry::ReferenceText() const {
+  std::ostringstream out;
+  out << "Wafe Short Reference (generated from " << specs_.size() << " command specs)\n";
+  out << std::string(72, '=') << "\n";
+  for (const auto& [name, spec] : specs_) {
+    out << spec.result_doc << " " << name;
+    for (const ArgSpec& arg : spec.args) {
+      out << " ";
+      if (arg.optional) {
+        out << "?";
+      }
+      if (arg.type == ArgType::kRest) {
+        out << arg.name;
+      } else {
+        out << arg.name << ":" << ArgTypeDoc(arg.type);
+      }
+      if (arg.optional) {
+        out << "?";
+      }
+    }
+    out << "\n";
+    if (!spec.doc.empty()) {
+      out << "    " << spec.doc << "\n";
+    }
+    if (!spec.c_name.empty() && spec.c_name != name) {
+      out << "    [" << spec.c_name << "]\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace wafe

@@ -1,0 +1,306 @@
+#include "src/core/wafe.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/comm.h"
+#include "src/core/percent.h"
+#include "src/xaw/athena.h"
+#include "src/xm/motif.h"
+#include "src/ext/plotter.h"
+
+namespace wafe {
+
+Wafe::Wafe(Options options)
+    : options_(std::move(options)),
+      app_(options_.app_name, options_.app_class),
+      specs_(this),
+      frontend_(std::make_unique<Frontend>(this)) {
+  if (options_.widget_set == WidgetSet::kAthena) {
+    xaw::RegisterAthenaClasses(app_, options_.three_d);
+  } else {
+    xmw::RegisterMotifClasses(app_);
+  }
+  if (options_.extensions) {
+    wext::RegisterExtClasses(app_);
+  }
+  RegisterEverything();
+  // Script output (echo / puts) follows the mode's routing.
+  interp_.set_output([this](const std::string& text) { WriteOut(text); });
+  // The top level shell every Wafe program has.
+  std::string error;
+  top_level_ = app_.CreateShell("topLevel", "ApplicationShell", &app_.display(), {}, &error);
+  // The global `exec` action: binds arbitrary Wafe commands to events, with
+  // percent-code access to the triggering event.
+  app_.RegisterAction("exec", [this](xtk::Widget& widget, const xsim::Event& event,
+                                     const std::vector<std::string>& params) {
+    std::string script;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i != 0) {
+        script += ", ";  // commas were translation-parameter separators
+      }
+      script += params[i];
+    }
+    wtcl::Result r = Eval(SubstituteEventCodes(script, widget, event));
+    if (r.code == wtcl::Status::kError) {
+      std::fprintf(stderr, "wafe: error in exec action: %s\n", r.value.c_str());
+    }
+  });
+}
+
+Wafe::~Wafe() = default;
+
+void Wafe::RegisterEverything() {
+  RegisterWafeConverters(*this);
+  RegisterXtCommands(*this);
+  RegisterWidgetCommands(*this);
+  if (options_.widget_set == WidgetSet::kAthena) {
+    RegisterAthenaCommands(*this);
+  } else {
+    RegisterMotifCommands(*this);
+  }
+  if (options_.extensions) {
+    RegisterExtCommands(*this);
+  }
+  RegisterCommCommands(*this);
+}
+
+wtcl::Result Wafe::Eval(std::string_view script) { return interp_.Eval(script); }
+
+void Wafe::WriteOut(const std::string& text) {
+  if (output_to_backend_ && frontend_->backend_alive()) {
+    // Callbacks and actions talk back to the application program. The
+    // protocol is line oriented; the text already ends in a newline for
+    // echo, and SendToBackend appends one, so strip a single trailing
+    // newline first.
+    std::string line = text;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+    }
+    frontend_->SendToBackend(line);
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+void Wafe::WritePassthrough(const std::string& line) {
+  if (passthrough_) {
+    passthrough_(line);
+    return;
+  }
+  std::string out = line;
+  out.push_back('\n');
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  std::fflush(stdout);
+}
+
+void Wafe::Quit(int code) {
+  quit_ = true;
+  exit_code_ = code;
+  app_.BreakMainLoop();
+}
+
+// --- Modes --------------------------------------------------------------------------
+
+int Wafe::RunFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "wafe: cannot read file \"%s\"\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string script = buffer.str();
+  // Skip the #! magic line.
+  if (script.size() >= 2 && script[0] == '#' && script[1] == '!') {
+    std::size_t nl = script.find('\n');
+    script = nl == std::string::npos ? "" : script.substr(nl + 1);
+  }
+  wtcl::Result r = Eval(script);
+  if (r.code == wtcl::Status::kError) {
+    std::fprintf(stderr, "wafe: %s\n", r.value.c_str());
+    return 1;
+  }
+  if (!quit_) {
+    app_.MainLoop();
+  }
+  return exit_code_;
+}
+
+int Wafe::RunInteractive(std::istream& in, std::ostream& out) {
+  std::string line;
+  std::string pending;
+  while (!quit_ && std::getline(in, line)) {
+    pending += line;
+    // Continue reading while braces/brackets are open (multi-line commands).
+    int depth = 0;
+    bool in_quote = false;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      char c = pending[i];
+      if (c == '\\') {
+        ++i;
+        continue;
+      }
+      if (in_quote) {
+        in_quote = c != '"';
+        continue;
+      }
+      if (c == '"') {
+        in_quote = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        --depth;
+      }
+    }
+    if (depth > 0 || (!pending.empty() && pending.back() == '\\')) {
+      pending += "\n";
+      continue;
+    }
+    wtcl::Result r = Eval(pending);
+    pending.clear();
+    if (r.code == wtcl::Status::kError) {
+      out << "error: " << r.value << "\n";
+    } else if (!r.value.empty()) {
+      out << r.value << "\n";
+    }
+    app_.ProcessPending();
+  }
+  return exit_code_;
+}
+
+int Wafe::RunFrontend(const std::string& program, const std::vector<std::string>& args) {
+  std::string error;
+  set_backend_output(true);
+  if (!frontend_->SpawnBackend(program, args, &error)) {
+    std::fprintf(stderr, "wafe: %s\n", error.c_str());
+    return 1;
+  }
+  // Some interpretative languages want an initial command after the fork
+  // (the InitCom resource; the paper's Prolog startup-goal example).
+  std::vector<std::pair<std::string, std::string>> path{{options_.app_name,
+                                                          options_.app_class}};
+  if (auto init = app_.resource_db().Query(path, {"initCom", "InitCom"})) {
+    frontend_->SendToBackend(*init);
+  }
+  app_.MainLoop();
+  frontend_->CloseBackend();
+  frontend_->WaitBackend();
+  return exit_code_;
+}
+
+SplitArgs SplitCommandLine(int argc, const char* const* argv) {
+  SplitArgs out;
+  bool after_separator = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (after_separator) {
+      out.application.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      after_separator = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      // Frontend arguments (e.g. --f, --reference); an option value follows.
+      out.frontend.push_back(arg);
+      if ((arg == "--f" || arg == "--file") && i + 1 < argc) {
+        out.frontend.push_back(argv[++i]);
+      }
+      continue;
+    }
+    if (arg == "-display" || arg == "-xrm" || arg == "-geometry" || arg == "-name" ||
+        arg == "-title" || arg == "-fn" || arg == "-font" || arg == "-bg" || arg == "-fg") {
+      // X Toolkit arguments consume a value.
+      out.toolkit.push_back(arg);
+      if (i + 1 < argc) {
+        out.toolkit.push_back(argv[++i]);
+      }
+      continue;
+    }
+    if (arg == "-iconic" || arg == "-rv" || arg == "-reverse") {
+      out.toolkit.push_back(arg);
+      continue;
+    }
+    out.application.push_back(arg);
+  }
+  return out;
+}
+
+int Wafe::Main(int argc, const char* const* argv) {
+  SplitArgs split = SplitCommandLine(argc, argv);
+
+  // The resource-file mechanism: $XENVIRONMENT names a per-user resource
+  // file merged at startup (the app-defaults path of a real X installation).
+  if (const char* env_file = std::getenv("XENVIRONMENT")) {
+    std::ifstream file(env_file);
+    if (file) {
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      app_.resource_db().MergeString(buffer.str());
+    }
+  }
+
+  // Apply toolkit arguments.
+  for (std::size_t i = 0; i < split.toolkit.size(); ++i) {
+    if (split.toolkit[i] == "-xrm" && i + 1 < split.toolkit.size()) {
+      app_.resource_db().MergeLine(split.toolkit[++i]);
+    } else if (split.toolkit[i] == "-display" && i + 1 < split.toolkit.size()) {
+      // Re-home the top level shell onto the named display.
+      top_level_->set_display(&app_.OpenDisplay(split.toolkit[++i]));
+    } else if (split.toolkit[i] == "-name" && i + 1 < split.toolkit.size()) {
+      ++i;  // accepted; the app name is fixed at construction
+    }
+  }
+
+  // Frontend arguments.
+  std::string script_file;
+  for (std::size_t i = 0; i < split.frontend.size(); ++i) {
+    const std::string& arg = split.frontend[i];
+    if ((arg == "--f" || arg == "--file") && i + 1 < split.frontend.size()) {
+      script_file = split.frontend[++i];
+    } else if (arg == "--reference") {
+      std::fputs(specs_.ReferenceText().c_str(), stdout);
+      return 0;
+    } else if (arg == "--help") {
+      std::fputs(
+          "usage: wafe [--f script] [--reference] [X options] [application args]\n"
+          "  invoked as x<name>, spawns <name> as a backend (frontend mode)\n",
+          stdout);
+      return 0;
+    }
+  }
+
+  if (!script_file.empty()) {
+    return RunFile(script_file);
+  }
+
+  // The x<name> invocation convention: "ln -s wafe xwafeApp && xwafeApp"
+  // spawns wafeApp as the backend.
+  std::string invoked = argv[0];
+  std::size_t slash = invoked.rfind('/');
+  if (slash != std::string::npos) {
+    invoked = invoked.substr(slash + 1);
+  }
+  if (invoked.size() > 1 && invoked[0] == 'x' && invoked != "xwafe" && invoked != "xmofe") {
+    std::string backend = invoked.substr(1);
+    return RunFrontend(backend, split.application);
+  }
+  if (!split.application.empty()) {
+    // An explicit backend program on the command line.
+    std::string backend = split.application.front();
+    std::vector<std::string> args(split.application.begin() + 1, split.application.end());
+    return RunFrontend(backend, args);
+  }
+  return RunInteractive(std::cin, std::cout);
+}
+
+}  // namespace wafe

@@ -1,0 +1,133 @@
+// The Wafe application object: Tcl interpreter + Intrinsics app context +
+// a widget set + the command registry + the frontend communication layer,
+// assembled per the paper's formula
+//
+//   Wafe = Tcl + (Intrinsics + Widgets + Converters + Ext)
+//              + (Memory Management + Communication)
+//
+// and offering the three modes of operation: interactive, file, frontend.
+#ifndef SRC_CORE_WAFE_H_
+#define SRC_CORE_WAFE_H_
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/spec.h"
+#include "src/tcl/interp.h"
+#include "src/xt/app.h"
+
+namespace wafe {
+
+class Frontend;
+
+// Which widget set the binary is configured with ("wafe" is the Athena
+// binary, "mofe" the OSF/Motif one; the sets cannot be mixed, as the paper
+// notes).
+enum class WidgetSet { kAthena, kMotif };
+
+struct Options {
+  WidgetSet widget_set = WidgetSet::kAthena;
+  bool three_d = true;  // Xaw3d relink
+  bool extensions = true;  // Plotter / Graph extension widgets
+  char prefix = '%';
+  std::size_t max_line_length = 64 * 1024;  // paper: default 64KB
+  std::string app_name = "wafe";
+  std::string app_class = "Wafe";
+};
+
+class Wafe {
+ public:
+  explicit Wafe(Options options = {});
+  ~Wafe();
+
+  Wafe(const Wafe&) = delete;
+  Wafe& operator=(const Wafe&) = delete;
+
+  const Options& options() const { return options_; }
+  wtcl::Interp& interp() { return interp_; }
+  xtk::AppContext& app() { return app_; }
+  SpecRegistry& specs() { return specs_; }
+  Frontend& frontend() { return *frontend_; }
+
+  // The automatically created top level shell every Wafe program has.
+  xtk::Widget* top_level() { return top_level_; }
+
+  // Evaluates a script / a protocol line (prefix already stripped).
+  wtcl::Result Eval(std::string_view script);
+
+  // Output routing: interactive/file-mode script output goes to stdout;
+  // frontend-mode output (echo in callbacks) goes to the backend's stdin.
+  void WriteOut(const std::string& text);
+  void set_backend_output(bool to_backend) { output_to_backend_ = to_backend; }
+  bool backend_output() const { return output_to_backend_; }
+
+  // Unprefixed backend lines pass through here (default: stdout).
+  using PassthroughFn = std::function<void(const std::string& line)>;
+  void set_passthrough(PassthroughFn fn) { passthrough_ = std::move(fn); }
+  void WritePassthrough(const std::string& line);
+
+  // Termination (the `quit` command).
+  void Quit(int code = 0);
+  bool quit_requested() const { return quit_; }
+  int exit_code() const { return exit_code_; }
+
+  // --- Modes -------------------------------------------------------------------
+
+  // File mode: executes the script (supports the #! magic line), then runs
+  // the main loop until quit or until no event sources remain.
+  int RunFile(const std::string& path);
+  // Interactive mode: a REPL over the given streams.
+  int RunInteractive(std::istream& in, std::ostream& out);
+  // Frontend mode: spawns `program` as the backend and pumps the protocol.
+  int RunFrontend(const std::string& program, const std::vector<std::string>& args);
+  // Full command-line entry: splits args per the paper's rules ("--" args to
+  // the frontend, X args to the toolkit, the rest to the application) and
+  // dispatches to a mode. argv[0] of the form "x<name>" selects frontend
+  // mode with backend <name>.
+  int Main(int argc, const char* const* argv);
+
+  // Number of protocol lines evaluated (test/bench introspection).
+  std::size_t lines_evaluated() const { return lines_evaluated_; }
+  void count_line() { ++lines_evaluated_; }
+
+ private:
+  void RegisterEverything();
+
+  Options options_;
+  wtcl::Interp interp_;
+  xtk::AppContext app_;
+  SpecRegistry specs_;
+  std::unique_ptr<Frontend> frontend_;
+  xtk::Widget* top_level_ = nullptr;
+  PassthroughFn passthrough_;
+  bool output_to_backend_ = false;
+  bool quit_ = false;
+  int exit_code_ = 0;
+  std::size_t lines_evaluated_ = 0;
+};
+
+// Registration units (called by the constructor; exposed for tests).
+void RegisterXtCommands(Wafe& wafe);
+void RegisterWidgetCommands(Wafe& wafe);      // creation commands per class
+void RegisterAthenaCommands(Wafe& wafe);      // Xaw programmatic interface
+void RegisterMotifCommands(Wafe& wafe);       // Xm programmatic interface
+void RegisterExtCommands(Wafe& wafe);         // Plotter / Graph
+void RegisterCommCommands(Wafe& wafe);        // getChannel etc.
+void RegisterWafeConverters(Wafe& wafe);      // callback / pixmap converters
+
+// Command-line splitting per the paper: arguments starting with "--" go to
+// the frontend, X Toolkit arguments (-display, -xrm, -geometry, ...) to the
+// toolkit, everything else to the application program.
+struct SplitArgs {
+  std::vector<std::string> frontend;
+  std::vector<std::string> toolkit;
+  std::vector<std::string> application;
+};
+SplitArgs SplitCommandLine(int argc, const char* const* argv);
+
+}  // namespace wafe
+
+#endif  // SRC_CORE_WAFE_H_

@@ -1,0 +1,22 @@
+// Entry point for the `wafe` (Athena) and `mofe` (OSF/Motif) binaries. The
+// widget set is selected by the invoked name, exactly like the single-source
+// dual-binary setup the paper describes.
+#include <string>
+
+#include "src/core/wafe.h"
+
+int main(int argc, char** argv) {
+  std::string invoked = argv[0];
+  std::size_t slash = invoked.rfind('/');
+  if (slash != std::string::npos) {
+    invoked = invoked.substr(slash + 1);
+  }
+  wafe::Options options;
+  if (invoked.find("mofe") != std::string::npos) {
+    options.widget_set = wafe::WidgetSet::kMotif;
+    options.app_name = "mofe";
+    options.app_class = "Mofe";
+  }
+  wafe::Wafe app(options);
+  return app.Main(argc, argv);
+}

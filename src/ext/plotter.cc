@@ -1,0 +1,317 @@
+#include "src/ext/plotter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "src/xt/classes.h"
+
+namespace wext {
+
+namespace {
+
+using RT = xtk::ResourceType;
+using xtk::Widget;
+
+constexpr char kDataKey[] = "_plotData";
+constexpr char kNodesKey[] = "_graphNodes";
+constexpr char kEdgesKey[] = "_graphEdges";
+
+std::vector<double> Samples(const Widget& plot) {
+  std::vector<double> values;
+  for (const std::string& s : plot.GetStringList(kDataKey)) {
+    values.push_back(std::strtod(s.c_str(), nullptr));
+  }
+  return values;
+}
+
+void StoreSamples(Widget& plot, const std::vector<double>& values) {
+  std::vector<std::string> strings;
+  strings.reserve(values.size());
+  char buffer[32];
+  for (double v : values) {
+    std::snprintf(buffer, sizeof(buffer), "%g", v);
+    strings.push_back(buffer);
+  }
+  plot.SetRawValue(kDataKey, strings);
+}
+
+double MaxSample(const std::vector<double>& values, double fallback) {
+  double max = fallback;
+  for (double v : values) {
+    max = std::max(max, v);
+  }
+  return max;
+}
+
+void BarGraphExpose(Widget& w) {
+  if (!w.realized()) {
+    return;
+  }
+  std::vector<double> values = Samples(w);
+  if (values.empty()) {
+    return;
+  }
+  double scale = MaxSample(values, static_cast<double>(w.GetLong("minScale", 1)));
+  xsim::Pixel fg = w.GetPixel("foreground", xsim::kBlackPixel);
+  long height = static_cast<long>(w.height());
+  long bar_width =
+      std::max(1L, static_cast<long>(w.width()) / static_cast<long>(values.size()));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    long bar = static_cast<long>(values[i] / scale * static_cast<double>(height));
+    bar = std::clamp(bar, 0L, height);
+    w.display().FillRect(
+        w.window(),
+        xsim::Rect{static_cast<xsim::Position>(static_cast<long>(i) * bar_width),
+                   static_cast<xsim::Position>(height - bar),
+                   static_cast<xsim::Dimension>(std::max(1L, bar_width - 1)),
+                   static_cast<xsim::Dimension>(bar)},
+        fg);
+  }
+}
+
+void LineGraphExpose(Widget& w) {
+  if (!w.realized()) {
+    return;
+  }
+  std::vector<double> values = Samples(w);
+  if (values.size() < 2) {
+    return;
+  }
+  double scale = MaxSample(values, static_cast<double>(w.GetLong("minScale", 1)));
+  xsim::Pixel fg = w.GetPixel("foreground", xsim::kBlackPixel);
+  long height = static_cast<long>(w.height());
+  double step = static_cast<double>(w.width()) / static_cast<double>(values.size() - 1);
+  for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+    auto y_of = [&](double v) {
+      long y = height - static_cast<long>(v / scale * static_cast<double>(height));
+      return static_cast<xsim::Position>(std::clamp(y, 0L, height - 1));
+    };
+    w.display().DrawLine(
+        w.window(),
+        xsim::Point{static_cast<xsim::Position>(static_cast<double>(i) * step), y_of(values[i])},
+        xsim::Point{static_cast<xsim::Position>(static_cast<double>(i + 1) * step),
+                    y_of(values[i + 1])},
+        fg);
+  }
+}
+
+// --- Graph layout -------------------------------------------------------------------
+
+struct Edge {
+  std::string from;
+  std::string to;
+};
+
+std::vector<Edge> Edges(const Widget& graph) {
+  std::vector<Edge> edges;
+  for (const std::string& s : graph.GetStringList(kEdgesKey)) {
+    std::size_t arrow = s.find("->");
+    if (arrow != std::string::npos) {
+      edges.push_back(Edge{s.substr(0, arrow), s.substr(arrow + 2)});
+    }
+  }
+  return edges;
+}
+
+// Longest-path layering with per-layer slot assignment.
+std::map<std::string, std::pair<int, int>> ComputeLayout(const Widget& graph) {
+  std::vector<std::string> nodes = graph.GetStringList(kNodesKey);
+  std::vector<Edge> edges = Edges(graph);
+  std::map<std::string, int> layer;
+  for (const std::string& node : nodes) {
+    layer[node] = 0;
+  }
+  // Relax longest path; |V| passes suffice (cycles are cut by the cap).
+  for (std::size_t pass = 0; pass < nodes.size(); ++pass) {
+    bool changed = false;
+    for (const Edge& edge : edges) {
+      auto from = layer.find(edge.from);
+      auto to = layer.find(edge.to);
+      if (from == layer.end() || to == layer.end()) {
+        continue;
+      }
+      if (to->second < from->second + 1 &&
+          from->second + 1 <= static_cast<int>(nodes.size())) {
+        to->second = from->second + 1;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  std::map<int, int> slots;
+  std::map<std::string, std::pair<int, int>> out;
+  for (const std::string& node : nodes) {
+    int l = layer[node];
+    out[node] = {l, slots[l]++};
+  }
+  return out;
+}
+
+void GraphExpose(Widget& w) {
+  if (!w.realized()) {
+    return;
+  }
+  std::map<std::string, std::pair<int, int>> layout = ComputeLayout(w);
+  xsim::FontPtr font = xsim::FontRegistry::Default().Open("fixed");
+  xsim::Pixel fg = w.GetPixel("foreground", xsim::kBlackPixel);
+  long node_w = w.GetLong("nodeWidth", 60);
+  long node_h = w.GetLong("nodeHeight", 20);
+  long gap_x = w.GetLong("horizontalSpace", 20);
+  long gap_y = w.GetLong("verticalSpace", 16);
+  auto center = [&](const std::pair<int, int>& cell) {
+    return xsim::Point{
+        static_cast<xsim::Position>(cell.second * (node_w + gap_x) + gap_x + node_w / 2),
+        static_cast<xsim::Position>(cell.first * (node_h + gap_y) + gap_y + node_h / 2)};
+  };
+  for (const Edge& edge : Edges(w)) {
+    auto from = layout.find(edge.from);
+    auto to = layout.find(edge.to);
+    if (from == layout.end() || to == layout.end()) {
+      continue;
+    }
+    w.display().DrawLine(w.window(), center(from->second), center(to->second), fg);
+  }
+  for (const auto& [node, cell] : layout) {
+    xsim::Point c = center(cell);
+    xsim::Rect box{static_cast<xsim::Position>(c.x - node_w / 2),
+                   static_cast<xsim::Position>(c.y - node_h / 2),
+                   static_cast<xsim::Dimension>(node_w), static_cast<xsim::Dimension>(node_h)};
+    w.display().FillRect(w.window(), box, w.GetPixel("background", xsim::kWhitePixel));
+    w.display().DrawRectOutline(w.window(), box, fg);
+    w.display().DrawText(w.window(), box.x + 2,
+                         c.y + static_cast<xsim::Position>(font->ascent / 2), node, font, fg);
+  }
+}
+
+}  // namespace
+
+const ExtClasses& GetExtClasses() {
+  static const ExtClasses* classes = [] {
+    auto* set = new ExtClasses();
+
+    auto* bar = new xtk::WidgetClass();
+    bar->name = "BarGraph";
+    bar->superclass = xtk::CoreClass();
+    bar->resources = {
+        {"foreground", "Foreground", RT::kPixel, "XtDefaultForeground"},
+        {"minScale", "Scale", RT::kInt, "1"},
+        {"barWidth", "BarWidth", RT::kDimension, "0"},
+        {"callback", "Callback", RT::kCallback, ""},
+    };
+    bar->initialize = [](Widget& w) {
+      if (!w.WasExplicit("width")) {
+        w.SetGeometry(w.x(), w.y(), 160, 80);
+      }
+    };
+    bar->expose = BarGraphExpose;
+    set->bar_graph = bar;
+
+    auto* line = new xtk::WidgetClass();
+    line->name = "LineGraph";
+    line->superclass = xtk::CoreClass();
+    line->resources = {
+        {"foreground", "Foreground", RT::kPixel, "XtDefaultForeground"},
+        {"minScale", "Scale", RT::kInt, "1"},
+        {"callback", "Callback", RT::kCallback, ""},
+    };
+    line->initialize = [](Widget& w) {
+      if (!w.WasExplicit("width")) {
+        w.SetGeometry(w.x(), w.y(), 160, 80);
+      }
+    };
+    line->expose = LineGraphExpose;
+    set->line_graph = line;
+
+    auto* graph = new xtk::WidgetClass();
+    graph->name = "Graph";
+    graph->superclass = xtk::CompositeClass();
+    graph->composite = true;
+    graph->resources = {
+        {"foreground", "Foreground", RT::kPixel, "XtDefaultForeground"},
+        {"nodeWidth", "NodeWidth", RT::kDimension, "60"},
+        {"nodeHeight", "NodeHeight", RT::kDimension, "20"},
+        {"horizontalSpace", "Space", RT::kDimension, "20"},
+        {"verticalSpace", "Space", RT::kDimension, "16"},
+        {"arcCallback", "Callback", RT::kCallback, ""},
+        {"nodeCallback", "Callback", RT::kCallback, ""},
+    };
+    graph->initialize = [](Widget& w) {
+      if (!w.WasExplicit("width")) {
+        w.SetGeometry(w.x(), w.y(), 320, 200);
+      }
+    };
+    graph->expose = GraphExpose;
+    set->graph = graph;
+
+    return set;
+  }();
+  return *classes;
+}
+
+void RegisterExtClasses(xtk::AppContext& app) {
+  const ExtClasses& classes = GetExtClasses();
+  app.RegisterClass(classes.bar_graph);
+  app.RegisterClass(classes.line_graph);
+  app.RegisterClass(classes.graph);
+}
+
+void PlotterSetData(xtk::Widget& plot, const std::vector<double>& values) {
+  StoreSamples(plot, values);
+  plot.app().Redraw(&plot);
+}
+
+void PlotterAddSample(xtk::Widget& plot, double value) {
+  std::vector<double> values = Samples(plot);
+  values.push_back(value);
+  std::size_t limit = std::max<std::size_t>(plot.width(), 64);
+  if (values.size() > limit) {
+    values.erase(values.begin(), values.begin() + static_cast<long>(values.size() - limit));
+  }
+  StoreSamples(plot, values);
+  plot.app().Redraw(&plot);
+}
+
+std::vector<double> PlotterData(const xtk::Widget& plot) { return Samples(plot); }
+
+void GraphAddNode(xtk::Widget& graph, const std::string& node) {
+  std::vector<std::string> nodes = graph.GetStringList(kNodesKey);
+  if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+    nodes.push_back(node);
+    graph.SetRawValue(kNodesKey, nodes);
+    graph.app().Redraw(&graph);
+  }
+}
+
+void GraphAddEdge(xtk::Widget& graph, const std::string& from, const std::string& to) {
+  GraphAddNode(graph, from);
+  GraphAddNode(graph, to);
+  std::vector<std::string> edges = graph.GetStringList(kEdgesKey);
+  edges.push_back(from + "->" + to);
+  graph.SetRawValue(kEdgesKey, edges);
+  graph.app().Redraw(&graph);
+}
+
+void GraphClear(xtk::Widget& graph) {
+  graph.SetRawValue(kNodesKey, std::vector<std::string>{});
+  graph.SetRawValue(kEdgesKey, std::vector<std::string>{});
+  graph.app().Redraw(&graph);
+}
+
+std::vector<std::pair<int, int>> GraphLayout(xtk::Widget& graph) {
+  std::map<std::string, std::pair<int, int>> layout = ComputeLayout(graph);
+  std::vector<std::pair<int, int>> out;
+  for (const std::string& node : graph.GetStringList(kNodesKey)) {
+    out.push_back(layout[node]);
+  }
+  return out;
+}
+
+std::vector<std::string> GraphNodes(const xtk::Widget& graph) {
+  return graph.GetStringList(kNodesKey);
+}
+
+}  // namespace wext

@@ -1,0 +1,47 @@
+// Extension widgets demonstrating the paper's extensibility claim: the
+// Plotter widget set (BarGraph / LineGraph, as in the Wafe distribution's
+// Plotter support) and an XmGraph-like node/edge layout widget (Figure 2).
+#ifndef SRC_EXT_PLOTTER_H_
+#define SRC_EXT_PLOTTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/xt/app.h"
+
+namespace wext {
+
+struct ExtClasses {
+  const xtk::WidgetClass* bar_graph = nullptr;
+  const xtk::WidgetClass* line_graph = nullptr;
+  const xtk::WidgetClass* graph = nullptr;
+};
+
+const ExtClasses& GetExtClasses();
+
+// Registers the extension classes (requires intrinsics already registered).
+void RegisterExtClasses(xtk::AppContext& app);
+
+// --- Plotter programmatic interface ---------------------------------------------
+
+// Replaces the data series of a BarGraph / LineGraph.
+void PlotterSetData(xtk::Widget& plot, const std::vector<double>& values);
+// Appends one sample (scrolling window).
+void PlotterAddSample(xtk::Widget& plot, double value);
+std::vector<double> PlotterData(const xtk::Widget& plot);
+
+// --- Graph (XmGraph-like) programmatic interface ----------------------------------
+
+// Adds a node / an edge; the widget lays nodes out in layers by longest
+// path from a root and draws edges as lines.
+void GraphAddNode(xtk::Widget& graph, const std::string& node);
+void GraphAddEdge(xtk::Widget& graph, const std::string& from, const std::string& to);
+void GraphClear(xtk::Widget& graph);
+// Runs the layered layout; returns the assigned (layer, slot) per node in
+// insertion order. Exposed for tests and benches.
+std::vector<std::pair<int, int>> GraphLayout(xtk::Widget& graph);
+std::vector<std::string> GraphNodes(const xtk::Widget& graph);
+
+}  // namespace wext
+
+#endif  // SRC_EXT_PLOTTER_H_

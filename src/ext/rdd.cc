@@ -1,0 +1,94 @@
+#include "src/ext/rdd.h"
+
+#include "src/xt/translations.h"
+
+namespace wext {
+
+namespace {
+
+// Installs a production `<event>: <action>()` on top of a widget's current
+// translations.
+void InstallTranslation(xtk::Widget* widget, const std::string& production) {
+  std::string error;
+  xtk::TranslationsPtr incoming = xtk::ParseTranslations(production, &error);
+  if (incoming == nullptr) {
+    return;
+  }
+  widget->SetRawValue("translations",
+                      xtk::MergeTranslations(widget->GetTranslations(), incoming,
+                                             xtk::MergeMode::kOverride));
+}
+
+}  // namespace
+
+DragAndDrop::DragAndDrop(xtk::AppContext* app) : app_(app) {
+  // Global actions shared by all sources/targets of this instance.
+  app_->RegisterAction("RddDragStart", [this](xtk::Widget& w, const xsim::Event&,
+                                              const std::vector<std::string>&) {
+    BeginDrag(w);
+  });
+  app_->RegisterAction("RddDrop", [this](xtk::Widget& w, const xsim::Event&,
+                                         const std::vector<std::string>&) { Drop(w); });
+}
+
+void DragAndDrop::RegisterSource(xtk::Widget* widget,
+                                 std::function<std::string()> provide) {
+  if (widget == nullptr) {
+    return;
+  }
+  sources_[widget->name()] = std::move(provide);
+  InstallTranslation(widget, "<Btn2Down>: RddDragStart()");
+}
+
+void DragAndDrop::RegisterTarget(
+    xtk::Widget* widget,
+    std::function<void(xtk::Widget&, const std::string&)> receive) {
+  if (widget == nullptr) {
+    return;
+  }
+  targets_[widget->name()] = std::move(receive);
+  InstallTranslation(widget, "<Btn2Up>: RddDrop()");
+}
+
+void DragAndDrop::Unregister(xtk::Widget* widget) {
+  if (widget == nullptr) {
+    return;
+  }
+  sources_.erase(widget->name());
+  targets_.erase(widget->name());
+}
+
+void DragAndDrop::BeginDrag(xtk::Widget& source) {
+  auto it = sources_.find(source.name());
+  if (it == sources_.end()) {
+    return;
+  }
+  dragging_ = true;
+  drag_value_ = it->second ? it->second() : std::string();
+  drag_source_ = source.name();
+}
+
+void DragAndDrop::Drop(xtk::Widget& target) {
+  if (!dragging_) {
+    return;
+  }
+  auto it = targets_.find(target.name());
+  xtk::Widget* source = app_->FindWidget(drag_source_);
+  dragging_ = false;
+  if (it == targets_.end() || source == nullptr) {
+    drag_value_.clear();
+    return;
+  }
+  if (it->second) {
+    it->second(*source, drag_value_);
+  }
+  drag_value_.clear();
+}
+
+void DragAndDrop::CancelDrag() {
+  dragging_ = false;
+  drag_value_.clear();
+  drag_source_.clear();
+}
+
+}  // namespace wext

@@ -1,0 +1,57 @@
+// Rdd — a drag-and-drop library in the spirit of the one the paper links
+// against ("it was easy to extend Wafe with other Xt based widgets, widget
+// sets or libraries such as Xpm or for example a drag and drop library
+// (Rdd)"). A widget registered as a drag source exports a value; dragging
+// with Button2 from a source and releasing over a registered drop target
+// invokes the target's handler with that value.
+#ifndef SRC_EXT_RDD_H_
+#define SRC_EXT_RDD_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/xt/app.h"
+
+namespace wext {
+
+class DragAndDrop {
+ public:
+  explicit DragAndDrop(xtk::AppContext* app);
+
+  DragAndDrop(const DragAndDrop&) = delete;
+  DragAndDrop& operator=(const DragAndDrop&) = delete;
+
+  // Registers `widget` as a drag source; `provide` supplies the dragged
+  // value at drag-start time.
+  void RegisterSource(xtk::Widget* widget, std::function<std::string()> provide);
+
+  // Registers `widget` as a drop target; `receive` gets the dragged value
+  // and the source widget.
+  void RegisterTarget(xtk::Widget* widget,
+                      std::function<void(xtk::Widget& source, const std::string& value)>
+                          receive);
+
+  void Unregister(xtk::Widget* widget);
+
+  // Event feed: wire these to Btn2Down / Btn2Up translations (the
+  // RegisterSource/Target calls install them automatically).
+  void BeginDrag(xtk::Widget& source);
+  void Drop(xtk::Widget& target);
+  void CancelDrag();
+
+  bool dragging() const { return dragging_; }
+  const std::string& drag_value() const { return drag_value_; }
+
+ private:
+  xtk::AppContext* app_;
+  std::map<std::string, std::function<std::string()>> sources_;  // by widget name
+  std::map<std::string, std::function<void(xtk::Widget&, const std::string&)>> targets_;
+  bool dragging_ = false;
+  std::string drag_value_;
+  std::string drag_source_;
+};
+
+}  // namespace wext
+
+#endif  // SRC_EXT_RDD_H_

@@ -1,0 +1,87 @@
+// Associative array introspection: array exists/get/names/set/size.
+#include "src/tcl/interp.h"
+
+namespace wtcl {
+
+namespace {
+
+Result ArityError(const std::string& name, const std::string& usage) {
+  return Result::Error("wrong # args: should be \"" + name + " " + usage + "\"");
+}
+
+Result CmdArray(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() < 3) {
+    return ArityError("array", "option arrayName ?arg ...?");
+  }
+  const std::string& option = argv[1];
+  const std::string& name = argv[2];
+  if (option == "exists") {
+    return Result::Ok(interp.IsArray(name) ? "1" : "0");
+  }
+  if (option == "names") {
+    std::vector<std::string> names;
+    if (!interp.ArrayNames(name, &names)) {
+      return Result::Ok("");
+    }
+    if (argv.size() == 4) {
+      std::vector<std::string> filtered;
+      for (const std::string& n : names) {
+        if (GlobMatch(argv[3], n)) {
+          filtered.push_back(n);
+        }
+      }
+      names = std::move(filtered);
+    }
+    return Result::Ok(MergeList(names));
+  }
+  if (option == "size") {
+    std::vector<std::string> names;
+    if (!interp.ArrayNames(name, &names)) {
+      return Result::Ok("0");
+    }
+    return Result::Ok(std::to_string(names.size()));
+  }
+  if (option == "get") {
+    std::vector<std::string> names;
+    if (!interp.ArrayNames(name, &names)) {
+      return Result::Ok("");
+    }
+    std::vector<std::string> pairs;
+    for (const std::string& n : names) {
+      if (argv.size() == 4 && !GlobMatch(argv[3], n)) {
+        continue;
+      }
+      std::string value;
+      interp.GetVar(name + "(" + n + ")", &value);
+      pairs.push_back(n);
+      pairs.push_back(value);
+    }
+    return Result::Ok(MergeList(pairs));
+  }
+  if (option == "set") {
+    if (argv.size() != 4) {
+      return ArityError("array set", "arrayName list");
+    }
+    std::vector<std::string> pairs;
+    if (!SplitList(argv[3], &pairs) || pairs.size() % 2 != 0) {
+      return Result::Error("list must have an even number of elements");
+    }
+    for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+      Result r = interp.SetVar(name + "(" + pairs[i] + ")", pairs[i + 1]);
+      if (r.code == Status::kError) {
+        return r;
+      }
+    }
+    return Result::Ok();
+  }
+  return Result::Error("bad option \"" + option +
+                       "\": should be exists, get, names, set, or size");
+}
+
+}  // namespace
+
+void RegisterArrayBuiltins(Interp& interp) {
+  interp.RegisterCommand("array", CmdArray);
+}
+
+}  // namespace wtcl

@@ -1,0 +1,597 @@
+// Core built-in commands: variables, control flow, procedures, scoping,
+// error handling, and introspection.
+#include <time.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/tcl/interp.h"
+#include "src/tcl/interp_internal.h"
+
+namespace wtcl {
+
+namespace {
+
+Result ArityError(const std::string& name, const std::string& usage) {
+  return Result::Error("wrong # args: should be \"" + name + " " + usage + "\"");
+}
+
+Result CmdSet(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() == 2) {
+    std::string value;
+    if (!interp.GetVar(argv[1], &value)) {
+      return Result::Error("can't read \"" + argv[1] + "\": no such variable");
+    }
+    return Result::Ok(value);
+  }
+  if (argv.size() == 3) {
+    return interp.SetVar(argv[1], argv[2]);
+  }
+  return ArityError("set", "varName ?newValue?");
+}
+
+Result CmdUnset(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() < 2) {
+    return ArityError("unset", "varName ?varName ...?");
+  }
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    if (!interp.UnsetVar(argv[i])) {
+      return Result::Error("can't unset \"" + argv[i] + "\": no such variable");
+    }
+  }
+  return Result::Ok();
+}
+
+Result CmdIncr(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() != 2 && argv.size() != 3) {
+    return ArityError("incr", "varName ?increment?");
+  }
+  std::string current;
+  if (!interp.GetVar(argv[1], &current)) {
+    return Result::Error("can't read \"" + argv[1] + "\": no such variable");
+  }
+  char* end = nullptr;
+  long value = std::strtol(current.c_str(), &end, 10);
+  if (end == current.c_str() || *end != '\0') {
+    return Result::Error("expected integer but got \"" + current + "\"");
+  }
+  long increment = 1;
+  if (argv.size() == 3) {
+    increment = std::strtol(argv[2].c_str(), &end, 10);
+    if (end == argv[2].c_str() || *end != '\0') {
+      return Result::Error("expected integer but got \"" + argv[2] + "\"");
+    }
+  }
+  return interp.SetVar(argv[1], std::to_string(value + increment));
+}
+
+Result CmdIf(Interp& interp, const std::vector<std::string>& argv) {
+  // if expr ?then? body ?elseif expr ?then? body ...? ?else? ?body?
+  std::size_t i = 1;
+  while (i < argv.size()) {
+    if (i + 1 >= argv.size()) {
+      return Result::Error("wrong # args: no expression after \"" + argv[i - 1] + "\" argument");
+    }
+    bool truth = false;
+    Result r = interp.ExprBoolean(argv[i], &truth);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    ++i;
+    if (i < argv.size() && argv[i] == "then") {
+      ++i;
+    }
+    if (i >= argv.size()) {
+      return Result::Error("wrong # args: no script following expression");
+    }
+    if (truth) {
+      return interp.Eval(argv[i]);
+    }
+    ++i;
+    if (i >= argv.size()) {
+      return Result::Ok();
+    }
+    if (argv[i] == "elseif") {
+      ++i;
+      continue;
+    }
+    if (argv[i] == "else") {
+      ++i;
+    }
+    if (i >= argv.size()) {
+      return Result::Error("wrong # args: no script following \"else\"");
+    }
+    return interp.Eval(argv[i]);
+  }
+  return Result::Ok();
+}
+
+Result CmdWhile(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() != 3) {
+    return ArityError("while", "test command");
+  }
+  Result last = Result::Ok();
+  for (;;) {
+    bool truth = false;
+    Result r = interp.ExprBoolean(argv[1], &truth);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    if (!truth) {
+      break;
+    }
+    Result body = interp.Eval(argv[2]);
+    if (body.code == Status::kBreak) {
+      break;
+    }
+    if (body.code == Status::kContinue || body.code == Status::kOk) {
+      continue;
+    }
+    return body;  // error or return propagate
+  }
+  last.value.clear();
+  return last;
+}
+
+Result CmdFor(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() != 5) {
+    return ArityError("for", "start test next command");
+  }
+  Result r = interp.Eval(argv[1]);
+  if (r.code != Status::kOk) {
+    return r;
+  }
+  for (;;) {
+    bool truth = false;
+    r = interp.ExprBoolean(argv[2], &truth);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    if (!truth) {
+      break;
+    }
+    Result body = interp.Eval(argv[4]);
+    if (body.code == Status::kBreak) {
+      break;
+    }
+    if (body.code != Status::kContinue && body.code != Status::kOk) {
+      return body;
+    }
+    r = interp.Eval(argv[3]);
+    if (r.code != Status::kOk) {
+      return r;
+    }
+  }
+  return Result::Ok();
+}
+
+Result CmdForeach(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() != 4) {
+    return ArityError("foreach", "varName list command");
+  }
+  std::vector<std::string> items;
+  if (!SplitList(argv[2], &items)) {
+    return Result::Error("unmatched open brace in list");
+  }
+  for (const std::string& item : items) {
+    Result r = interp.SetVar(argv[1], item);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    Result body = interp.Eval(argv[3]);
+    if (body.code == Status::kBreak) {
+      break;
+    }
+    if (body.code != Status::kContinue && body.code != Status::kOk) {
+      return body;
+    }
+  }
+  return Result::Ok();
+}
+
+Result CmdSwitch(Interp& interp, const std::vector<std::string>& argv) {
+  // switch ?-exact|-glob? string {pattern body ?pattern body ...?}
+  // or the flat form: switch string pattern body ?pattern body ...?
+  std::size_t i = 1;
+  bool glob = false;
+  while (i < argv.size() && !argv[i].empty() && argv[i][0] == '-') {
+    if (argv[i] == "-exact") {
+      glob = false;
+    } else if (argv[i] == "-glob") {
+      glob = true;
+    } else if (argv[i] == "--") {
+      ++i;
+      break;
+    } else {
+      return Result::Error("bad option \"" + argv[i] + "\": should be -exact, -glob, or --");
+    }
+    ++i;
+  }
+  if (i >= argv.size()) {
+    return ArityError("switch", "?switches? string pattern body ... ?default body?");
+  }
+  const std::string& subject = argv[i++];
+  std::vector<std::string> clauses;
+  if (argv.size() - i == 1) {
+    if (!SplitList(argv[i], &clauses)) {
+      return Result::Error("unmatched open brace in switch body");
+    }
+  } else {
+    clauses.assign(argv.begin() + static_cast<std::ptrdiff_t>(i), argv.end());
+  }
+  if (clauses.empty() || clauses.size() % 2 != 0) {
+    return Result::Error("extra switch pattern with no body");
+  }
+  for (std::size_t c = 0; c < clauses.size(); c += 2) {
+    const std::string& pattern = clauses[c];
+    bool matched = false;
+    if (pattern == "default" && c + 2 == clauses.size()) {
+      matched = true;
+    } else if (glob) {
+      matched = GlobMatch(pattern, subject);
+    } else {
+      matched = pattern == subject;
+    }
+    if (matched) {
+      // "-" bodies fall through to the next clause.
+      std::size_t body = c + 1;
+      while (body < clauses.size() && clauses[body] == "-") {
+        body += 2;
+      }
+      if (body >= clauses.size()) {
+        return Result::Error("no body specified for pattern \"" + pattern + "\"");
+      }
+      return interp.Eval(clauses[body]);
+    }
+  }
+  return Result::Ok();
+}
+
+Result CmdCase(Interp& interp, const std::vector<std::string>& argv) {
+  // The classic Tcl 6 form: case string ?in? patList body ?patList body ...?
+  // Each patList is a list of glob patterns; "default" matches anything.
+  std::size_t i = 1;
+  if (i >= argv.size()) {
+    return ArityError("case", "string ?in? patList body ?patList body ...?");
+  }
+  const std::string& subject = argv[i++];
+  if (i < argv.size() && argv[i] == "in") {
+    ++i;
+  }
+  std::vector<std::string> clauses;
+  if (argv.size() - i == 1) {
+    if (!SplitList(argv[i], &clauses)) {
+      return Result::Error("unmatched open brace in case body");
+    }
+  } else {
+    clauses.assign(argv.begin() + static_cast<std::ptrdiff_t>(i), argv.end());
+  }
+  if (clauses.empty() || clauses.size() % 2 != 0) {
+    return Result::Error("extra case pattern with no body");
+  }
+  for (std::size_t c = 0; c < clauses.size(); c += 2) {
+    std::vector<std::string> patterns;
+    if (!SplitList(clauses[c], &patterns)) {
+      return Result::Error("unmatched open brace in case patterns");
+    }
+    for (const std::string& pattern : patterns) {
+      if (pattern == "default" || GlobMatch(pattern, subject)) {
+        return interp.Eval(clauses[c + 1]);
+      }
+    }
+  }
+  return Result::Ok();
+}
+
+Result CmdProcDef(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() != 4) {
+    return ArityError("proc", "name args body");
+  }
+  return InterpInternal::DefineProc(interp, argv[1], argv[2], argv[3]);
+}
+
+Result CmdReturn(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  if (argv.size() > 2) {
+    return ArityError("return", "?value?");
+  }
+  Result r;
+  r.code = Status::kReturn;
+  if (argv.size() == 2) {
+    r.value = argv[1];
+  }
+  return r;
+}
+
+Result CmdBreak(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  (void)argv;
+  Result r;
+  r.code = Status::kBreak;
+  return r;
+}
+
+Result CmdContinue(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  (void)argv;
+  Result r;
+  r.code = Status::kContinue;
+  return r;
+}
+
+Result CmdError(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() < 2 || argv.size() > 4) {
+    return ArityError("error", "message ?errorInfo? ?errorCode?");
+  }
+  if (argv.size() >= 3 && !argv[2].empty()) {
+    interp.SetGlobalVar("errorInfo", argv[2]);
+  }
+  if (argv.size() == 4) {
+    interp.SetGlobalVar("errorCode", argv[3]);
+  }
+  return Result::Error(argv[1]);
+}
+
+Result CmdCatch(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() != 2 && argv.size() != 3) {
+    return ArityError("catch", "command ?varName?");
+  }
+  Result r = interp.Eval(argv[1]);
+  if (argv.size() == 3) {
+    interp.SetVar(argv[2], r.value);
+  }
+  return Result::Ok(std::to_string(static_cast<int>(r.code)));
+}
+
+Result CmdEval(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() < 2) {
+    return ArityError("eval", "arg ?arg ...?");
+  }
+  std::string script;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    if (i != 1) {
+      script.push_back(' ');
+    }
+    script.append(argv[i]);
+  }
+  return interp.Eval(script);
+}
+
+Result CmdExpr(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() < 2) {
+    return ArityError("expr", "arg ?arg ...?");
+  }
+  std::string expression;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    if (i != 1) {
+      expression.push_back(' ');
+    }
+    expression.append(argv[i]);
+  }
+  return interp.EvalExpr(expression);
+}
+
+Result CmdGlobal(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() < 2) {
+    return ArityError("global", "varName ?varName ...?");
+  }
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    Result r = InterpInternal::Global(interp, argv[i]);
+    if (r.code == Status::kError) {
+      return r;
+    }
+  }
+  return Result::Ok();
+}
+
+Result CmdUpvar(Interp& interp, const std::vector<std::string>& argv) {
+  // upvar ?level? otherVar localVar ?otherVar localVar ...?
+  if (argv.size() < 3) {
+    return ArityError("upvar", "?level? otherVar localVar ?otherVar localVar ...?");
+  }
+  std::size_t i = 1;
+  std::string level = "1";
+  // A level spec is "#n" or a number; heuristic matches Tcl's.
+  if ((argv[1][0] == '#' || std::isdigit(static_cast<unsigned char>(argv[1][0]))) &&
+      argv.size() % 2 == 0) {
+    level = argv[1];
+    i = 2;
+  }
+  if ((argv.size() - i) % 2 != 0) {
+    return ArityError("upvar", "?level? otherVar localVar ?otherVar localVar ...?");
+  }
+  for (; i + 1 < argv.size(); i += 2) {
+    Result r = InterpInternal::Upvar(interp, level, argv[i], argv[i + 1]);
+    if (r.code == Status::kError) {
+      return r;
+    }
+  }
+  return Result::Ok();
+}
+
+Result CmdUplevel(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() < 2) {
+    return ArityError("uplevel", "?level? command ?arg ...?");
+  }
+  std::size_t i = 1;
+  std::string level;
+  if (argv[1][0] == '#' || std::isdigit(static_cast<unsigned char>(argv[1][0]))) {
+    if (argv.size() < 3) {
+      return ArityError("uplevel", "?level? command ?arg ...?");
+    }
+    level = argv[1];
+    i = 2;
+  }
+  std::string script;
+  for (std::size_t j = i; j < argv.size(); ++j) {
+    if (j != i) {
+      script.push_back(' ');
+    }
+    script.append(argv[j]);
+  }
+  return InterpInternal::Uplevel(interp, level, script);
+}
+
+Result CmdRename(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() != 3) {
+    return ArityError("rename", "oldName newName");
+  }
+  if (!argv[2].empty() && interp.HasCommand(argv[2])) {
+    return Result::Error("can't rename to \"" + argv[2] + "\": command already exists");
+  }
+  if (!interp.RenameCommand(argv[1], argv[2])) {
+    return Result::Error("can't rename \"" + argv[1] + "\": command doesn't exist");
+  }
+  return Result::Ok();
+}
+
+Result CmdSource(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() != 2) {
+    return ArityError("source", "fileName");
+  }
+  std::ifstream file(argv[1]);
+  if (!file) {
+    return Result::Error("couldn't read file \"" + argv[1] + "\"");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return interp.Eval(buffer.str());
+}
+
+Result CmdTime(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() != 2 && argv.size() != 3) {
+    return ArityError("time", "command ?count?");
+  }
+  long count = 1;
+  if (argv.size() == 3) {
+    char* end = nullptr;
+    count = std::strtol(argv[2].c_str(), &end, 10);
+    if (end == argv[2].c_str() || *end != '\0' || count <= 0) {
+      return Result::Error("expected positive integer but got \"" + argv[2] + "\"");
+    }
+  }
+  timespec start{};
+  clock_gettime(CLOCK_MONOTONIC, &start);
+  for (long i = 0; i < count; ++i) {
+    Result r = interp.Eval(argv[1]);
+    if (r.code == Status::kError) {
+      return r;
+    }
+  }
+  timespec end{};
+  clock_gettime(CLOCK_MONOTONIC, &end);
+  long long micros = (end.tv_sec - start.tv_sec) * 1000000LL +
+                     (end.tv_nsec - start.tv_nsec) / 1000;
+  return Result::Ok(std::to_string(micros / count) + " microseconds per iteration");
+}
+
+Result CmdInfo(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() < 2) {
+    return ArityError("info", "option ?arg ...?");
+  }
+  const std::string& option = argv[1];
+  if (option == "exists") {
+    if (argv.size() != 3) {
+      return ArityError("info exists", "varName");
+    }
+    return Result::Ok(interp.VarExists(argv[2]) ? "1" : "0");
+  }
+  if (option == "commands") {
+    std::vector<std::string> names = interp.CommandNames();
+    if (argv.size() == 3) {
+      std::vector<std::string> filtered;
+      for (const std::string& name : names) {
+        if (GlobMatch(argv[2], name)) {
+          filtered.push_back(name);
+        }
+      }
+      names = std::move(filtered);
+    }
+    return Result::Ok(MergeList(names));
+  }
+  if (option == "procs") {
+    std::vector<std::string> names = interp.ProcNames();
+    if (argv.size() == 3) {
+      std::vector<std::string> filtered;
+      for (const std::string& name : names) {
+        if (GlobMatch(argv[2], name)) {
+          filtered.push_back(name);
+        }
+      }
+      names = std::move(filtered);
+    }
+    return Result::Ok(MergeList(names));
+  }
+  if (option == "body") {
+    if (argv.size() != 3) {
+      return ArityError("info body", "procName");
+    }
+    std::string body;
+    if (!interp.ProcBody(argv[2], &body)) {
+      return Result::Error("\"" + argv[2] + "\" isn't a procedure");
+    }
+    return Result::Ok(body);
+  }
+  if (option == "args") {
+    if (argv.size() != 3) {
+      return ArityError("info args", "procName");
+    }
+    std::string args;
+    if (!interp.ProcArgs(argv[2], &args)) {
+      return Result::Error("\"" + argv[2] + "\" isn't a procedure");
+    }
+    return Result::Ok(args);
+  }
+  if (option == "level") {
+    return Result::Ok(std::to_string(interp.CurrentLevel()));
+  }
+  if (option == "vars") {
+    return Result::Ok(MergeList(interp.LocalVarNames()));
+  }
+  if (option == "globals") {
+    return Result::Ok(MergeList(interp.GlobalVarNames()));
+  }
+  if (option == "cmdcount") {
+    return Result::Ok(std::to_string(interp.CommandCount()));
+  }
+  if (option == "tclversion") {
+    return Result::Ok("6.7");  // the vintage Wafe embedded
+  }
+  return Result::Error("bad option \"" + option +
+                       "\": should be args, body, cmdcount, commands, exists, globals, level, "
+                       "procs, tclversion, or vars");
+}
+
+}  // namespace
+
+void RegisterCoreBuiltins(Interp& interp) {
+  interp.RegisterCommand("set", CmdSet);
+  interp.RegisterCommand("unset", CmdUnset);
+  interp.RegisterCommand("incr", CmdIncr);
+  interp.RegisterCommand("if", CmdIf);
+  interp.RegisterCommand("while", CmdWhile);
+  interp.RegisterCommand("for", CmdFor);
+  interp.RegisterCommand("foreach", CmdForeach);
+  interp.RegisterCommand("switch", CmdSwitch);
+  interp.RegisterCommand("case", CmdCase);
+  interp.RegisterCommand("proc", CmdProcDef);
+  interp.RegisterCommand("return", CmdReturn);
+  interp.RegisterCommand("break", CmdBreak);
+  interp.RegisterCommand("continue", CmdContinue);
+  interp.RegisterCommand("error", CmdError);
+  interp.RegisterCommand("catch", CmdCatch);
+  interp.RegisterCommand("eval", CmdEval);
+  interp.RegisterCommand("expr", CmdExpr);
+  interp.RegisterCommand("global", CmdGlobal);
+  interp.RegisterCommand("upvar", CmdUpvar);
+  interp.RegisterCommand("uplevel", CmdUplevel);
+  interp.RegisterCommand("rename", CmdRename);
+  interp.RegisterCommand("source", CmdSource);
+  interp.RegisterCommand("time", CmdTime);
+  interp.RegisterCommand("info", CmdInfo);
+}
+
+}  // namespace wtcl

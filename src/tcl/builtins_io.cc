@@ -1,0 +1,53 @@
+// Output built-ins. `echo` is the Wafe-flavored command the paper uses
+// throughout (joins its arguments with spaces and appends a newline);
+// `puts` is standard Tcl puts with -nonewline.
+#include "src/tcl/interp.h"
+
+namespace wtcl {
+
+namespace {
+
+Result CmdEcho(Interp& interp, const std::vector<std::string>& argv) {
+  std::string line;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    if (i != 1) {
+      line.push_back(' ');
+    }
+    line += argv[i];
+  }
+  line.push_back('\n');
+  interp.Output(line);
+  return Result::Ok();
+}
+
+Result CmdPuts(Interp& interp, const std::vector<std::string>& argv) {
+  bool newline = true;
+  std::size_t i = 1;
+  if (i < argv.size() && argv[i] == "-nonewline") {
+    newline = false;
+    ++i;
+  }
+  // Accept and ignore the channel words "stdout" / "stderr" for script
+  // compatibility; both go to the interp sink.
+  if (argv.size() - i == 2 && (argv[i] == "stdout" || argv[i] == "stderr")) {
+    ++i;
+  }
+  if (argv.size() - i != 1) {
+    return Result::Error("wrong # args: should be \"puts ?-nonewline? ?channel? string\"");
+  }
+  std::string text = argv[i];
+  if (newline) {
+    text.push_back('\n');
+  }
+  interp.Output(text);
+  return Result::Ok();
+}
+
+}  // namespace
+
+void RegisterIoBuiltins(Interp& interp) {
+  interp.RegisterCommand("echo", CmdEcho);
+  interp.RegisterCommand("puts", CmdPuts);
+}
+
+}  // namespace wtcl

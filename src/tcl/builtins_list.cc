@@ -1,0 +1,349 @@
+// List built-ins: list, lindex, llength, lrange, lappend, linsert,
+// lreplace, lsearch, lsort, concat, join, split.
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/tcl/interp.h"
+
+namespace wtcl {
+
+namespace {
+
+Result ArityError(const std::string& name, const std::string& usage) {
+  return Result::Error("wrong # args: should be \"" + name + " " + usage + "\"");
+}
+
+Result SplitOrError(const std::string& text, std::vector<std::string>* out) {
+  if (!SplitList(text, out)) {
+    return Result::Error("unmatched open brace in list");
+  }
+  return Result::Ok();
+}
+
+// Parses a list index, supporting "end" and "end-N".
+bool ParseIndex(const std::string& text, std::size_t length, long* out) {
+  if (text == "end") {
+    *out = static_cast<long>(length) - 1;
+    return true;
+  }
+  if (text.rfind("end-", 0) == 0) {
+    char* end = nullptr;
+    long offset = std::strtol(text.c_str() + 4, &end, 10);
+    if (end == text.c_str() + 4 || *end != '\0') {
+      return false;
+    }
+    *out = static_cast<long>(length) - 1 - offset;
+    return true;
+  }
+  char* end = nullptr;
+  long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+Result CmdList(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  std::vector<std::string> elements(argv.begin() + 1, argv.end());
+  return Result::Ok(MergeList(elements));
+}
+
+Result CmdLindex(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  if (argv.size() != 3) {
+    return ArityError("lindex", "list index");
+  }
+  std::vector<std::string> elements;
+  Result r = SplitOrError(argv[1], &elements);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  long index = 0;
+  if (!ParseIndex(argv[2], elements.size(), &index)) {
+    return Result::Error("expected integer but got \"" + argv[2] + "\"");
+  }
+  if (index < 0 || static_cast<std::size_t>(index) >= elements.size()) {
+    return Result::Ok("");
+  }
+  return Result::Ok(elements[static_cast<std::size_t>(index)]);
+}
+
+Result CmdLlength(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  if (argv.size() != 2) {
+    return ArityError("llength", "list");
+  }
+  std::vector<std::string> elements;
+  Result r = SplitOrError(argv[1], &elements);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  return Result::Ok(std::to_string(elements.size()));
+}
+
+Result CmdLrange(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  if (argv.size() != 4) {
+    return ArityError("lrange", "list first last");
+  }
+  std::vector<std::string> elements;
+  Result r = SplitOrError(argv[1], &elements);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  long first = 0;
+  long last = 0;
+  if (!ParseIndex(argv[2], elements.size(), &first) ||
+      !ParseIndex(argv[3], elements.size(), &last)) {
+    return Result::Error("bad index in lrange");
+  }
+  if (first < 0) {
+    first = 0;
+  }
+  if (last >= static_cast<long>(elements.size())) {
+    last = static_cast<long>(elements.size()) - 1;
+  }
+  std::vector<std::string> out;
+  for (long i = first; i <= last; ++i) {
+    out.push_back(elements[static_cast<std::size_t>(i)]);
+  }
+  return Result::Ok(MergeList(out));
+}
+
+Result CmdLappend(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() < 2) {
+    return ArityError("lappend", "varName ?value ...?");
+  }
+  std::string value;
+  interp.GetVar(argv[1], &value);
+  for (std::size_t i = 2; i < argv.size(); ++i) {
+    if (!value.empty()) {
+      value.push_back(' ');
+    }
+    value += QuoteListElement(argv[i]);
+  }
+  return interp.SetVar(argv[1], std::move(value));
+}
+
+Result CmdLinsert(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  if (argv.size() < 4) {
+    return ArityError("linsert", "list index element ?element ...?");
+  }
+  std::vector<std::string> elements;
+  Result r = SplitOrError(argv[1], &elements);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  long index = 0;
+  if (!ParseIndex(argv[2], elements.size(), &index)) {
+    return Result::Error("expected integer but got \"" + argv[2] + "\"");
+  }
+  if (index < 0) {
+    index = 0;
+  }
+  if (index > static_cast<long>(elements.size())) {
+    index = static_cast<long>(elements.size());
+  }
+  elements.insert(elements.begin() + index, argv.begin() + 3, argv.end());
+  return Result::Ok(MergeList(elements));
+}
+
+Result CmdLreplace(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  if (argv.size() < 4) {
+    return ArityError("lreplace", "list first last ?element ...?");
+  }
+  std::vector<std::string> elements;
+  Result r = SplitOrError(argv[1], &elements);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  long first = 0;
+  long last = 0;
+  if (!ParseIndex(argv[2], elements.size(), &first) ||
+      !ParseIndex(argv[3], elements.size(), &last)) {
+    return Result::Error("bad index in lreplace");
+  }
+  if (first < 0) {
+    first = 0;
+  }
+  if (last >= static_cast<long>(elements.size())) {
+    last = static_cast<long>(elements.size()) - 1;
+  }
+  std::vector<std::string> out;
+  for (long i = 0; i < first && i < static_cast<long>(elements.size()); ++i) {
+    out.push_back(elements[static_cast<std::size_t>(i)]);
+  }
+  for (std::size_t i = 4; i < argv.size(); ++i) {
+    out.push_back(argv[i]);
+  }
+  for (long i = std::max(last + 1, first); i < static_cast<long>(elements.size()); ++i) {
+    out.push_back(elements[static_cast<std::size_t>(i)]);
+  }
+  return Result::Ok(MergeList(out));
+}
+
+Result CmdLsearch(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  // lsearch ?-exact|-glob? list pattern
+  std::size_t i = 1;
+  bool exact = false;
+  if (argv.size() == 4) {
+    if (argv[1] == "-exact") {
+      exact = true;
+    } else if (argv[1] != "-glob") {
+      return Result::Error("bad search mode \"" + argv[1] + "\": must be -exact or -glob");
+    }
+    i = 2;
+  } else if (argv.size() != 3) {
+    return ArityError("lsearch", "?mode? list pattern");
+  }
+  std::vector<std::string> elements;
+  Result r = SplitOrError(argv[i], &elements);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  const std::string& pattern = argv[i + 1];
+  for (std::size_t e = 0; e < elements.size(); ++e) {
+    bool match = exact ? elements[e] == pattern : GlobMatch(pattern, elements[e]);
+    if (match) {
+      return Result::Ok(std::to_string(e));
+    }
+  }
+  return Result::Ok("-1");
+}
+
+Result CmdLsort(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  // lsort ?-ascii|-integer|-real? ?-increasing|-decreasing? list
+  bool decreasing = false;
+  enum class Mode { kAscii, kInteger, kReal } mode = Mode::kAscii;
+  std::size_t i = 1;
+  while (i + 1 < argv.size()) {
+    if (argv[i] == "-ascii") {
+      mode = Mode::kAscii;
+    } else if (argv[i] == "-integer") {
+      mode = Mode::kInteger;
+    } else if (argv[i] == "-real") {
+      mode = Mode::kReal;
+    } else if (argv[i] == "-increasing") {
+      decreasing = false;
+    } else if (argv[i] == "-decreasing") {
+      decreasing = true;
+    } else {
+      return Result::Error("bad lsort option \"" + argv[i] + "\"");
+    }
+    ++i;
+  }
+  if (i >= argv.size()) {
+    return ArityError("lsort", "?options? list");
+  }
+  std::vector<std::string> elements;
+  Result r = SplitOrError(argv[i], &elements);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  auto numeric_less = [mode](const std::string& a, const std::string& b) {
+    if (mode == Mode::kInteger) {
+      return std::strtol(a.c_str(), nullptr, 10) < std::strtol(b.c_str(), nullptr, 10);
+    }
+    return std::strtod(a.c_str(), nullptr) < std::strtod(b.c_str(), nullptr);
+  };
+  if (mode == Mode::kAscii) {
+    std::sort(elements.begin(), elements.end());
+  } else {
+    std::sort(elements.begin(), elements.end(), numeric_less);
+  }
+  if (decreasing) {
+    std::reverse(elements.begin(), elements.end());
+  }
+  return Result::Ok(MergeList(elements));
+}
+
+Result CmdConcat(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  std::string out;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    // concat trims each argument and joins with single spaces.
+    std::size_t begin = argv[i].find_first_not_of(" \t\n");
+    if (begin == std::string::npos) {
+      continue;
+    }
+    std::size_t end = argv[i].find_last_not_of(" \t\n");
+    if (!out.empty()) {
+      out.push_back(' ');
+    }
+    out += argv[i].substr(begin, end - begin + 1);
+  }
+  return Result::Ok(std::move(out));
+}
+
+Result CmdJoin(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  if (argv.size() != 2 && argv.size() != 3) {
+    return ArityError("join", "list ?joinString?");
+  }
+  std::string sep = argv.size() == 3 ? argv[2] : " ";
+  std::vector<std::string> elements;
+  Result r = SplitOrError(argv[1], &elements);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  std::string out;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += elements[i];
+  }
+  return Result::Ok(std::move(out));
+}
+
+Result CmdSplit(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  if (argv.size() != 2 && argv.size() != 3) {
+    return ArityError("split", "string ?splitChars?");
+  }
+  const std::string& subject = argv[1];
+  std::string chars = argv.size() == 3 ? argv[2] : " \t\n\r";
+  std::vector<std::string> out;
+  if (chars.empty()) {
+    for (char c : subject) {
+      out.push_back(std::string(1, c));
+    }
+  } else {
+    std::string current;
+    for (char c : subject) {
+      if (chars.find(c) != std::string::npos) {
+        out.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    out.push_back(current);
+  }
+  return Result::Ok(MergeList(out));
+}
+
+}  // namespace
+
+void RegisterListBuiltins(Interp& interp) {
+  interp.RegisterCommand("list", CmdList);
+  interp.RegisterCommand("lindex", CmdLindex);
+  interp.RegisterCommand("llength", CmdLlength);
+  interp.RegisterCommand("lrange", CmdLrange);
+  interp.RegisterCommand("lappend", CmdLappend);
+  interp.RegisterCommand("linsert", CmdLinsert);
+  interp.RegisterCommand("lreplace", CmdLreplace);
+  interp.RegisterCommand("lsearch", CmdLsearch);
+  interp.RegisterCommand("lsort", CmdLsort);
+  interp.RegisterCommand("concat", CmdConcat);
+  interp.RegisterCommand("join", CmdJoin);
+  interp.RegisterCommand("split", CmdSplit);
+}
+
+}  // namespace wtcl

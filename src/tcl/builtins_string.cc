@@ -1,0 +1,453 @@
+// String-oriented built-ins: string, format, append, scan (subset).
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/tcl/interp.h"
+
+namespace wtcl {
+
+namespace {
+
+Result ArityError(const std::string& name, const std::string& usage) {
+  return Result::Error("wrong # args: should be \"" + name + " " + usage + "\"");
+}
+
+bool ParseLong(const std::string& text, long* out) {
+  char* end = nullptr;
+  long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+std::string ToLower(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s, const std::string& chars, bool left, bool right) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  if (left) {
+    while (begin < end && chars.find(s[begin]) != std::string::npos) {
+      ++begin;
+    }
+  }
+  if (right) {
+    while (end > begin && chars.find(s[end - 1]) != std::string::npos) {
+      --end;
+    }
+  }
+  return s.substr(begin, end - begin);
+}
+
+Result CmdString(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  if (argv.size() < 3) {
+    return ArityError("string", "option arg ?arg ...?");
+  }
+  const std::string& option = argv[1];
+  const std::string& subject = argv[2];
+  if (option == "length") {
+    return Result::Ok(std::to_string(subject.size()));
+  }
+  if (option == "tolower") {
+    return Result::Ok(ToLower(subject));
+  }
+  if (option == "toupper") {
+    return Result::Ok(ToUpper(subject));
+  }
+  if (option == "trim" || option == "trimleft" || option == "trimright") {
+    std::string chars = " \t\n\r\f\v";
+    if (argv.size() == 4) {
+      chars = argv[3];
+    }
+    return Result::Ok(
+        Trim(subject, chars, option != "trimright", option != "trimleft"));
+  }
+  if (option == "index") {
+    if (argv.size() != 4) {
+      return ArityError("string index", "string charIndex");
+    }
+    long index = 0;
+    if (!ParseLong(argv[3], &index)) {
+      return Result::Error("expected integer but got \"" + argv[3] + "\"");
+    }
+    if (index < 0 || static_cast<std::size_t>(index) >= subject.size()) {
+      return Result::Ok("");
+    }
+    return Result::Ok(std::string(1, subject[static_cast<std::size_t>(index)]));
+  }
+  if (option == "range") {
+    if (argv.size() != 5) {
+      return ArityError("string range", "string first last");
+    }
+    long first = 0;
+    if (!ParseLong(argv[3], &first)) {
+      return Result::Error("expected integer but got \"" + argv[3] + "\"");
+    }
+    long last = 0;
+    if (argv[4] == "end") {
+      last = static_cast<long>(subject.size()) - 1;
+    } else if (!ParseLong(argv[4], &last)) {
+      return Result::Error("expected integer but got \"" + argv[4] + "\"");
+    }
+    if (first < 0) {
+      first = 0;
+    }
+    if (last >= static_cast<long>(subject.size())) {
+      last = static_cast<long>(subject.size()) - 1;
+    }
+    if (first > last) {
+      return Result::Ok("");
+    }
+    return Result::Ok(subject.substr(static_cast<std::size_t>(first),
+                                     static_cast<std::size_t>(last - first + 1)));
+  }
+  if (option == "compare") {
+    if (argv.size() != 4) {
+      return ArityError("string compare", "string1 string2");
+    }
+    int c = subject.compare(argv[3]);
+    return Result::Ok(c < 0 ? "-1" : (c > 0 ? "1" : "0"));
+  }
+  if (option == "match") {
+    if (argv.size() != 4) {
+      return ArityError("string match", "pattern string");
+    }
+    return Result::Ok(GlobMatch(subject, argv[3]) ? "1" : "0");
+  }
+  if (option == "first") {
+    if (argv.size() != 4) {
+      return ArityError("string first", "string1 string2");
+    }
+    std::size_t at = argv[3].find(subject);
+    return Result::Ok(at == std::string::npos ? "-1" : std::to_string(at));
+  }
+  if (option == "last") {
+    if (argv.size() != 4) {
+      return ArityError("string last", "string1 string2");
+    }
+    std::size_t at = argv[3].rfind(subject);
+    return Result::Ok(at == std::string::npos ? "-1" : std::to_string(at));
+  }
+  return Result::Error("bad option \"" + option +
+                       "\": should be compare, first, index, last, length, match, range, "
+                       "tolower, toupper, trim, trimleft, or trimright");
+}
+
+Result CmdAppend(Interp& interp, const std::vector<std::string>& argv) {
+  if (argv.size() < 2) {
+    return ArityError("append", "varName ?value ...?");
+  }
+  std::string value;
+  interp.GetVar(argv[1], &value);
+  for (std::size_t i = 2; i < argv.size(); ++i) {
+    value += argv[i];
+  }
+  return interp.SetVar(argv[1], std::move(value));
+}
+
+Result CmdFormatWrap(Interp& interp, const std::vector<std::string>& argv) {
+  (void)interp;
+  return FormatCommandString(argv);
+}
+
+Result CmdScan(Interp& interp, const std::vector<std::string>& argv) {
+  // scan string format varName ?varName ...? — supports %d %x %o %f %e %g
+  // %s %c and literal/whitespace matching, enough for Wafe-era scripts.
+  if (argv.size() < 4) {
+    return ArityError("scan", "string format varName ?varName ...?");
+  }
+  const std::string& input = argv[1];
+  const std::string& format = argv[2];
+  std::size_t in = 0;
+  std::size_t var = 3;
+  int assigned = 0;
+  std::size_t f = 0;
+  while (f < format.size()) {
+    char fc = format[f];
+    if (std::isspace(static_cast<unsigned char>(fc))) {
+      while (in < input.size() && std::isspace(static_cast<unsigned char>(input[in]))) {
+        ++in;
+      }
+      ++f;
+      continue;
+    }
+    if (fc != '%') {
+      if (in >= input.size() || input[in] != fc) {
+        break;
+      }
+      ++in;
+      ++f;
+      continue;
+    }
+    ++f;
+    if (f >= format.size()) {
+      return Result::Error("bad scan conversion character");
+    }
+    char conv = format[f++];
+    if (conv == '%') {
+      if (in >= input.size() || input[in] != '%') {
+        break;
+      }
+      ++in;
+      continue;
+    }
+    while (in < input.size() && std::isspace(static_cast<unsigned char>(input[in])) &&
+           conv != 'c') {
+      ++in;
+    }
+    if (var >= argv.size()) {
+      return Result::Error("different numbers of variable names and field specifiers");
+    }
+    std::string value;
+    if (conv == 'd' || conv == 'x' || conv == 'o') {
+      char* end = nullptr;
+      int base = conv == 'd' ? 10 : (conv == 'x' ? 16 : 8);
+      long v = std::strtol(input.c_str() + in, &end, base);
+      if (end == input.c_str() + in) {
+        break;
+      }
+      value = std::to_string(v);
+      in = static_cast<std::size_t>(end - input.c_str());
+    } else if (conv == 'f' || conv == 'e' || conv == 'g') {
+      char* end = nullptr;
+      double v = std::strtod(input.c_str() + in, &end);
+      if (end == input.c_str() + in) {
+        break;
+      }
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%g", v);
+      value = buffer;
+      in = static_cast<std::size_t>(end - input.c_str());
+    } else if (conv == 's') {
+      std::size_t start = in;
+      while (in < input.size() && !std::isspace(static_cast<unsigned char>(input[in]))) {
+        ++in;
+      }
+      if (in == start) {
+        break;
+      }
+      value = input.substr(start, in - start);
+    } else if (conv == 'c') {
+      if (in >= input.size()) {
+        break;
+      }
+      value = std::to_string(static_cast<int>(static_cast<unsigned char>(input[in])));
+      ++in;
+    } else {
+      return Result::Error(std::string("bad scan conversion character \"") + conv + "\"");
+    }
+    interp.SetVar(argv[var++], value);
+    ++assigned;
+  }
+  return Result::Ok(std::to_string(assigned));
+}
+
+}  // namespace
+
+Result FormatCommandString(const std::vector<std::string>& argv) {
+  if (argv.size() < 2) {
+    return Result::Error("wrong # args: should be \"format formatString ?arg ...?\"");
+  }
+  const std::string& format = argv[1];
+  std::string out;
+  std::size_t arg = 2;
+  std::size_t i = 0;
+  while (i < format.size()) {
+    char c = format[i];
+    if (c != '%') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    // Collect the specifier: %[flags][width][.precision]conv
+    std::size_t start = i;
+    ++i;
+    while (i < format.size() && std::strchr("-+ #0", format[i]) != nullptr) {
+      ++i;
+    }
+    bool width_star = false;
+    if (i < format.size() && format[i] == '*') {
+      width_star = true;
+      ++i;
+    } else {
+      while (i < format.size() && std::isdigit(static_cast<unsigned char>(format[i]))) {
+        ++i;
+      }
+    }
+    bool prec_star = false;
+    if (i < format.size() && format[i] == '.') {
+      ++i;
+      if (i < format.size() && format[i] == '*') {
+        prec_star = true;
+        ++i;
+      } else {
+        while (i < format.size() && std::isdigit(static_cast<unsigned char>(format[i]))) {
+          ++i;
+        }
+      }
+    }
+    // Skip length modifiers (accepted and ignored).
+    while (i < format.size() && std::strchr("hlL", format[i]) != nullptr) {
+      ++i;
+    }
+    if (i >= format.size()) {
+      return Result::Error("format string ended in middle of field specifier");
+    }
+    char conv = format[i];
+    ++i;
+    std::string spec = format.substr(start, i - start);
+    // Remove length modifiers from the spec we hand to snprintf and insert
+    // the ones we need per conversion.
+    std::string clean;
+    for (char sc : spec) {
+      if (sc != 'h' && sc != 'l' && sc != 'L') {
+        clean.push_back(sc);
+      }
+    }
+    long star_width = 0;
+    long star_prec = 0;
+    auto next_long = [&](long* v) {
+      if (arg >= argv.size()) {
+        return false;
+      }
+      char* end = nullptr;
+      *v = std::strtol(argv[arg].c_str(), &end, 10);
+      if (end == argv[arg].c_str() || *end != '\0') {
+        return false;
+      }
+      ++arg;
+      return true;
+    };
+    if (width_star && !next_long(&star_width)) {
+      return Result::Error("expected integer for \"*\" width");
+    }
+    if (prec_star && !next_long(&star_prec)) {
+      return Result::Error("expected integer for \"*\" precision");
+    }
+    char buffer[512];
+    switch (conv) {
+      case '%':
+        out.push_back('%');
+        break;
+      case 'd':
+      case 'i':
+      case 'u':
+      case 'o':
+      case 'x':
+      case 'X':
+      case 'c': {
+        if (arg >= argv.size()) {
+          return Result::Error("not enough arguments for all format specifiers");
+        }
+        char* end = nullptr;
+        long v = std::strtol(argv[arg].c_str(), &end, 10);
+        if (end == argv[arg].c_str() || *end != '\0') {
+          return Result::Error("expected integer but got \"" + argv[arg] + "\"");
+        }
+        ++arg;
+        // Insert the `l` modifier before the conversion char.
+        std::string with_l = clean;
+        if (conv != 'c') {
+          with_l.insert(with_l.size() - 1, "l");
+        }
+        if (width_star || prec_star) {
+          if (width_star && prec_star) {
+            std::snprintf(buffer, sizeof(buffer), with_l.c_str(), static_cast<int>(star_width),
+                          static_cast<int>(star_prec), conv == 'c' ? static_cast<long>(v) : v);
+          } else if (width_star) {
+            std::snprintf(buffer, sizeof(buffer), with_l.c_str(), static_cast<int>(star_width),
+                          v);
+          } else {
+            std::snprintf(buffer, sizeof(buffer), with_l.c_str(), static_cast<int>(star_prec),
+                          v);
+          }
+        } else if (conv == 'c') {
+          std::snprintf(buffer, sizeof(buffer), clean.c_str(), static_cast<int>(v));
+        } else {
+          std::snprintf(buffer, sizeof(buffer), with_l.c_str(), v);
+        }
+        out += buffer;
+        break;
+      }
+      case 'f':
+      case 'e':
+      case 'E':
+      case 'g':
+      case 'G': {
+        if (arg >= argv.size()) {
+          return Result::Error("not enough arguments for all format specifiers");
+        }
+        char* end = nullptr;
+        double v = std::strtod(argv[arg].c_str(), &end);
+        if (end == argv[arg].c_str() || *end != '\0') {
+          return Result::Error("expected floating-point number but got \"" + argv[arg] + "\"");
+        }
+        ++arg;
+        if (width_star && prec_star) {
+          std::snprintf(buffer, sizeof(buffer), clean.c_str(), static_cast<int>(star_width),
+                        static_cast<int>(star_prec), v);
+        } else if (width_star || prec_star) {
+          std::snprintf(buffer, sizeof(buffer), clean.c_str(),
+                        static_cast<int>(width_star ? star_width : star_prec), v);
+        } else {
+          std::snprintf(buffer, sizeof(buffer), clean.c_str(), v);
+        }
+        out += buffer;
+        break;
+      }
+      case 's': {
+        if (arg >= argv.size()) {
+          return Result::Error("not enough arguments for all format specifiers");
+        }
+        const std::string& v = argv[arg++];
+        if (width_star && prec_star) {
+          std::snprintf(buffer, sizeof(buffer), clean.c_str(), static_cast<int>(star_width),
+                        static_cast<int>(star_prec), v.c_str());
+          out += buffer;
+        } else if (width_star || prec_star) {
+          std::snprintf(buffer, sizeof(buffer), clean.c_str(),
+                        static_cast<int>(width_star ? star_width : star_prec), v.c_str());
+          out += buffer;
+        } else if (clean == "%s") {
+          out += v;  // fast path, avoids the snprintf buffer limit
+        } else {
+          std::snprintf(buffer, sizeof(buffer), clean.c_str(), v.c_str());
+          out += buffer;
+        }
+        break;
+      }
+      default:
+        return Result::Error(std::string("bad field specifier \"") + conv + "\"");
+    }
+  }
+  return Result::Ok(std::move(out));
+}
+
+void RegisterStringBuiltins(Interp& interp) {
+  interp.RegisterCommand("string", CmdString);
+  interp.RegisterCommand("append", CmdAppend);
+  interp.RegisterCommand("format", CmdFormatWrap);
+  interp.RegisterCommand("scan", CmdScan);
+}
+
+}  // namespace wtcl

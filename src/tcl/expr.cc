@@ -1,0 +1,946 @@
+// The `expr` evaluator: a recursive-descent parser over Tcl expression
+// syntax with long/double/string operands, the full C operator set Tcl
+// supports (including ?: and short-circuit && / ||), and math functions.
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <variant>
+
+#include "src/tcl/interp.h"
+#include "src/tcl/interp_internal.h"
+
+namespace wtcl {
+
+namespace {
+
+struct Value {
+  enum class Kind { kInt, kDouble, kString };
+  Kind kind = Kind::kInt;
+  long i = 0;
+  double d = 0.0;
+  std::string s;
+
+  static Value Int(long v) {
+    Value value;
+    value.kind = Kind::kInt;
+    value.i = v;
+    return value;
+  }
+  static Value Double(double v) {
+    Value value;
+    value.kind = Kind::kDouble;
+    value.d = v;
+    return value;
+  }
+  static Value Str(std::string v) {
+    Value value;
+    value.kind = Kind::kString;
+    value.s = std::move(v);
+    return value;
+  }
+
+  bool numeric() const { return kind != Kind::kString; }
+  double AsDouble() const { return kind == Kind::kInt ? static_cast<double>(i) : d; }
+
+  std::string ToString() const {
+    switch (kind) {
+      case Kind::kInt:
+        return std::to_string(i);
+      case Kind::kDouble: {
+        // Tcl prints doubles with %g but keeps them recognizable as doubles.
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%g", d);
+        std::string out(buffer);
+        if (out.find_first_of(".eEnN") == std::string::npos) {
+          out += ".0";
+        }
+        return out;
+      }
+      case Kind::kString:
+        return s;
+    }
+    return "";
+  }
+};
+
+// Attempts to parse an entire string as an integer or double.
+bool ParseNumber(const std::string& text, Value* out) {
+  if (text.empty()) {
+    return false;
+  }
+  const char* start = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  long i = std::strtol(start, &end, 0);
+  if (end != start && *end == '\0' && errno != ERANGE) {
+    *out = Value::Int(i);
+    return true;
+  }
+  errno = 0;
+  double d = std::strtod(start, &end);
+  if (end != start && *end == '\0' && errno != ERANGE) {
+    *out = Value::Double(d);
+    return true;
+  }
+  return false;
+}
+
+class ExprParser {
+ public:
+  ExprParser(Interp& interp, std::string_view text) : interp_(interp), text_(text) {}
+
+  Result Run(Value* out) {
+    Result r = ParseTernary(out);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    SkipSpace();
+    if (pos_ < text_.size()) {
+      return Syntax();
+    }
+    return Result::Ok();
+  }
+
+ private:
+  Result Syntax() {
+    return Result::Error("syntax error in expression \"" + std::string(text_) + "\"");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(std::string_view token) {
+    SkipSpace();
+    return text_.substr(pos_, token.size()) == token;
+  }
+
+  bool Consume(std::string_view token) {
+    if (Peek(token)) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  // Precedence climbing, lowest first: ?: || && | ^ & ==/!= relational
+  // shifts additive multiplicative unary primary.
+
+  Result ParseTernary(Value* out) {
+    Result r = ParseOr(out);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    SkipSpace();
+    if (Consume("?")) {
+      bool cond = false;
+      Result t = Truth(*out, &cond);
+      if (t.code == Status::kError) {
+        return t;
+      }
+      Value a;
+      Value b;
+      r = ParseTernary(&a);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      SkipSpace();
+      if (!Consume(":")) {
+        return Syntax();
+      }
+      r = ParseTernary(&b);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      *out = cond ? a : b;
+    }
+    return Result::Ok();
+  }
+
+  Result Truth(const Value& v, bool* out) {
+    switch (v.kind) {
+      case Value::Kind::kInt:
+        *out = v.i != 0;
+        return Result::Ok();
+      case Value::Kind::kDouble:
+        *out = v.d != 0.0;
+        return Result::Ok();
+      case Value::Kind::kString: {
+        std::string lower;
+        for (char c : v.s) {
+          lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+        }
+        if (lower == "true" || lower == "yes" || lower == "on" || lower == "1") {
+          *out = true;
+          return Result::Ok();
+        }
+        if (lower == "false" || lower == "no" || lower == "off" || lower == "0") {
+          *out = false;
+          return Result::Ok();
+        }
+        Value number;
+        if (ParseNumber(v.s, &number)) {
+          return Truth(number, out);
+        }
+        return Result::Error("expected boolean value but got \"" + v.s + "\"");
+      }
+    }
+    return Result::Ok();
+  }
+
+  Result ParseOr(Value* out) {
+    Result r = ParseAnd(out);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    for (;;) {
+      SkipSpace();
+      if (text_.substr(pos_, 2) == "||") {
+        pos_ += 2;
+        bool left = false;
+        Result t = Truth(*out, &left);
+        if (t.code == Status::kError) {
+          return t;
+        }
+        Value rhs;
+        r = ParseAnd(&rhs);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        bool right = false;
+        t = Truth(rhs, &right);
+        if (t.code == Status::kError) {
+          return t;
+        }
+        *out = Value::Int(left || right ? 1 : 0);
+      } else {
+        return Result::Ok();
+      }
+    }
+  }
+
+  Result ParseAnd(Value* out) {
+    Result r = ParseBitOr(out);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    for (;;) {
+      SkipSpace();
+      if (text_.substr(pos_, 2) == "&&") {
+        pos_ += 2;
+        bool left = false;
+        Result t = Truth(*out, &left);
+        if (t.code == Status::kError) {
+          return t;
+        }
+        Value rhs;
+        r = ParseBitOr(&rhs);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        bool right = false;
+        t = Truth(rhs, &right);
+        if (t.code == Status::kError) {
+          return t;
+        }
+        *out = Value::Int(left && right ? 1 : 0);
+      } else {
+        return Result::Ok();
+      }
+    }
+  }
+
+  Result RequireInts(const Value& a, const Value& b, long* x, long* y) {
+    if (a.kind != Value::Kind::kInt || b.kind != Value::Kind::kInt) {
+      return Result::Error("can't use non-integer value as operand of bitwise operator");
+    }
+    *x = a.i;
+    *y = b.i;
+    return Result::Ok();
+  }
+
+  Result ParseBitOr(Value* out) {
+    Result r = ParseBitXor(out);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '|' &&
+          (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '|')) {
+        ++pos_;
+        Value rhs;
+        r = ParseBitXor(&rhs);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        long x = 0;
+        long y = 0;
+        Result ir = RequireInts(*out, rhs, &x, &y);
+        if (ir.code == Status::kError) {
+          return ir;
+        }
+        *out = Value::Int(x | y);
+      } else {
+        return Result::Ok();
+      }
+    }
+  }
+
+  Result ParseBitXor(Value* out) {
+    Result r = ParseBitAnd(out);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '^') {
+        ++pos_;
+        Value rhs;
+        r = ParseBitAnd(&rhs);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        long x = 0;
+        long y = 0;
+        Result ir = RequireInts(*out, rhs, &x, &y);
+        if (ir.code == Status::kError) {
+          return ir;
+        }
+        *out = Value::Int(x ^ y);
+      } else {
+        return Result::Ok();
+      }
+    }
+  }
+
+  Result ParseBitAnd(Value* out) {
+    Result r = ParseEquality(out);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '&' &&
+          (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '&')) {
+        ++pos_;
+        Value rhs;
+        r = ParseEquality(&rhs);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        long x = 0;
+        long y = 0;
+        Result ir = RequireInts(*out, rhs, &x, &y);
+        if (ir.code == Status::kError) {
+          return ir;
+        }
+        *out = Value::Int(x & y);
+      } else {
+        return Result::Ok();
+      }
+    }
+  }
+
+  // Compares a and b: -1, 0, 1. Numeric when both numeric, else string.
+  static int Compare(const Value& a, const Value& b) {
+    if (a.numeric() && b.numeric()) {
+      if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt) {
+        if (a.i < b.i) {
+          return -1;
+        }
+        return a.i > b.i ? 1 : 0;
+      }
+      double x = a.AsDouble();
+      double y = b.AsDouble();
+      if (x < y) {
+        return -1;
+      }
+      return x > y ? 1 : 0;
+    }
+    std::string x = a.ToString();
+    std::string y = b.ToString();
+    int c = x.compare(y);
+    if (c < 0) {
+      return -1;
+    }
+    return c > 0 ? 1 : 0;
+  }
+
+  Result ParseEquality(Value* out) {
+    Result r = ParseRelational(out);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string_view two = text_.substr(pos_, 2);
+      if (two == "==" || two == "!=") {
+        pos_ += 2;
+        Value rhs;
+        r = ParseRelational(&rhs);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        int c = Compare(*out, rhs);
+        *out = Value::Int(two == "==" ? (c == 0) : (c != 0));
+      } else {
+        return Result::Ok();
+      }
+    }
+  }
+
+  Result ParseRelational(Value* out) {
+    Result r = ParseShift(out);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string_view two = text_.substr(pos_, 2);
+      if (two == "<=" || two == ">=") {
+        pos_ += 2;
+        Value rhs;
+        r = ParseShift(&rhs);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        int c = Compare(*out, rhs);
+        *out = Value::Int(two == "<=" ? (c <= 0) : (c >= 0));
+      } else if (pos_ < text_.size() && (text_[pos_] == '<' || text_[pos_] == '>') &&
+                 (pos_ + 1 >= text_.size() || text_[pos_ + 1] != text_[pos_])) {
+        char op = text_[pos_];
+        ++pos_;
+        Value rhs;
+        r = ParseShift(&rhs);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        int c = Compare(*out, rhs);
+        *out = Value::Int(op == '<' ? (c < 0) : (c > 0));
+      } else {
+        return Result::Ok();
+      }
+    }
+  }
+
+  Result ParseShift(Value* out) {
+    Result r = ParseAdditive(out);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string_view two = text_.substr(pos_, 2);
+      if (two == "<<" || two == ">>") {
+        pos_ += 2;
+        Value rhs;
+        r = ParseAdditive(&rhs);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        long x = 0;
+        long y = 0;
+        Result ir = RequireInts(*out, rhs, &x, &y);
+        if (ir.code == Status::kError) {
+          return ir;
+        }
+        *out = Value::Int(two == "<<" ? (x << y) : (x >> y));
+      } else {
+        return Result::Ok();
+      }
+    }
+  }
+
+  Result ParseAdditive(Value* out) {
+    Result r = ParseMultiplicative(out);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        char op = text_[pos_];
+        ++pos_;
+        Value rhs;
+        r = ParseMultiplicative(&rhs);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        Result ar = Arith(op, *out, rhs, out);
+        if (ar.code == Status::kError) {
+          return ar;
+        }
+      } else {
+        return Result::Ok();
+      }
+    }
+  }
+
+  Result ParseMultiplicative(Value* out) {
+    Result r = ParseUnary(out);
+    if (r.code == Status::kError) {
+      return r;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '*' || text_[pos_] == '/' || text_[pos_] == '%')) {
+        char op = text_[pos_];
+        ++pos_;
+        Value rhs;
+        r = ParseUnary(&rhs);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        Result ar = Arith(op, *out, rhs, out);
+        if (ar.code == Status::kError) {
+          return ar;
+        }
+      } else {
+        return Result::Ok();
+      }
+    }
+  }
+
+  Result Arith(char op, const Value& a, const Value& b, Value* out) {
+    if (!a.numeric() || !b.numeric()) {
+      return Result::Error(std::string("can't use non-numeric string as operand of \"") + op +
+                           "\"");
+    }
+    if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt) {
+      switch (op) {
+        case '+':
+          *out = Value::Int(a.i + b.i);
+          return Result::Ok();
+        case '-':
+          *out = Value::Int(a.i - b.i);
+          return Result::Ok();
+        case '*':
+          *out = Value::Int(a.i * b.i);
+          return Result::Ok();
+        case '/':
+          if (b.i == 0) {
+            return Result::Error("divide by zero");
+          }
+          {
+            // Tcl floors integer division toward negative infinity.
+            long q = a.i / b.i;
+            if ((a.i % b.i != 0) && ((a.i < 0) != (b.i < 0))) {
+              --q;
+            }
+            *out = Value::Int(q);
+          }
+          return Result::Ok();
+        case '%':
+          if (b.i == 0) {
+            return Result::Error("divide by zero");
+          }
+          {
+            long m = a.i % b.i;
+            if (m != 0 && ((a.i < 0) != (b.i < 0))) {
+              m += b.i;
+            }
+            *out = Value::Int(m);
+          }
+          return Result::Ok();
+      }
+    }
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    switch (op) {
+      case '+':
+        *out = Value::Double(x + y);
+        return Result::Ok();
+      case '-':
+        *out = Value::Double(x - y);
+        return Result::Ok();
+      case '*':
+        *out = Value::Double(x * y);
+        return Result::Ok();
+      case '/':
+        if (y == 0.0) {
+          return Result::Error("divide by zero");
+        }
+        *out = Value::Double(x / y);
+        return Result::Ok();
+      case '%':
+        return Result::Error("can't use floating-point value as operand of \"%\"");
+    }
+    return Syntax();
+  }
+
+  Result ParseUnary(Value* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Syntax();
+    }
+    char c = text_[pos_];
+    if (c == '-' || c == '+' || c == '!' || c == '~') {
+      ++pos_;
+      Value v;
+      Result r = ParseUnary(&v);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      switch (c) {
+        case '-':
+          if (v.kind == Value::Kind::kInt) {
+            *out = Value::Int(-v.i);
+          } else if (v.kind == Value::Kind::kDouble) {
+            *out = Value::Double(-v.d);
+          } else {
+            return Result::Error("can't use non-numeric string as operand of \"-\"");
+          }
+          return Result::Ok();
+        case '+':
+          if (!v.numeric()) {
+            return Result::Error("can't use non-numeric string as operand of \"+\"");
+          }
+          *out = v;
+          return Result::Ok();
+        case '!': {
+          bool truth = false;
+          Result t = Truth(v, &truth);
+          if (t.code == Status::kError) {
+            return t;
+          }
+          *out = Value::Int(truth ? 0 : 1);
+          return Result::Ok();
+        }
+        case '~':
+          if (v.kind != Value::Kind::kInt) {
+            return Result::Error("can't use non-integer value as operand of \"~\"");
+          }
+          *out = Value::Int(~v.i);
+          return Result::Ok();
+      }
+    }
+    return ParsePrimary(out);
+  }
+
+  Result ParsePrimary(Value* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Syntax();
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      Result r = ParseTernary(out);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      SkipSpace();
+      if (!Consume(")")) {
+        return Result::Error("unbalanced parentheses in expression");
+      }
+      return Result::Ok();
+    }
+    if (c == '$') {
+      std::string text;
+      Result r = InterpInternal::ParseVariable(interp_, text_, &pos_, &text);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      if (!ParseNumber(text, out)) {
+        *out = Value::Str(std::move(text));
+      }
+      return Result::Ok();
+    }
+    if (c == '[') {
+      std::string text;
+      Result r = InterpInternal::ParseBracket(interp_, text_, &pos_, &text);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      if (!ParseNumber(text, out)) {
+        *out = Value::Str(std::move(text));
+      }
+      return Result::Ok();
+    }
+    if (c == '"') {
+      // Quoted string with substitutions.
+      ++pos_;
+      std::string text;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        char qc = text_[pos_];
+        if (qc == '\\' && pos_ + 1 < text_.size()) {
+          // Reuse the interp's backslash handling via SubstituteWord on the
+          // two-character sequence would be heavyweight; handle inline.
+          std::string piece = std::string(text_.substr(pos_, 2));
+          Result sub = interp_.SubstituteWord(piece);
+          if (sub.code == Status::kError) {
+            return sub;
+          }
+          text += sub.value;
+          pos_ += 2;
+        } else if (qc == '$') {
+          Result r = InterpInternal::ParseVariable(interp_, text_, &pos_, &text);
+          if (r.code == Status::kError) {
+            return r;
+          }
+        } else if (qc == '[') {
+          Result r = InterpInternal::ParseBracket(interp_, text_, &pos_, &text);
+          if (r.code == Status::kError) {
+            return r;
+          }
+        } else {
+          text.push_back(qc);
+          ++pos_;
+        }
+      }
+      if (pos_ >= text_.size()) {
+        return Result::Error("missing \" in expression");
+      }
+      ++pos_;
+      *out = Value::Str(std::move(text));
+      return Result::Ok();
+    }
+    if (c == '{') {
+      int depth = 1;
+      std::size_t start = pos_ + 1;
+      std::size_t j = start;
+      while (j < text_.size() && depth > 0) {
+        if (text_[j] == '{') {
+          ++depth;
+        } else if (text_[j] == '}') {
+          --depth;
+          if (depth == 0) {
+            break;
+          }
+        }
+        ++j;
+      }
+      if (depth != 0) {
+        return Result::Error("missing close-brace in expression");
+      }
+      std::string text(text_.substr(start, j - start));
+      pos_ = j + 1;
+      if (!ParseNumber(text, out)) {
+        *out = Value::Str(std::move(text));
+      }
+      return Result::Ok();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return ParseNumberToken(out);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return ParseFunction(out);
+    }
+    return Syntax();
+  }
+
+  Result ParseNumberToken(Value* out) {
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    errno = 0;
+    long i = std::strtol(start, &end, 0);
+    const char* int_end = end;
+    errno = 0;
+    char* dend = nullptr;
+    double d = std::strtod(start, &dend);
+    if (dend > int_end) {
+      *out = Value::Double(d);
+      pos_ += static_cast<std::size_t>(dend - start);
+      return Result::Ok();
+    }
+    if (int_end == start) {
+      return Syntax();
+    }
+    *out = Value::Int(i);
+    pos_ += static_cast<std::size_t>(int_end - start);
+    return Result::Ok();
+  }
+
+  Result ParseFunction(Value* out) {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string name(text_.substr(start, pos_ - start));
+    SkipSpace();
+    if (!Consume("(")) {
+      // Bare identifiers: boolean literals are accepted, anything else is an
+      // error (Tcl requires quoting for strings in expressions).
+      if (name == "true" || name == "yes" || name == "on") {
+        *out = Value::Int(1);
+        return Result::Ok();
+      }
+      if (name == "false" || name == "no" || name == "off") {
+        *out = Value::Int(0);
+        return Result::Ok();
+      }
+      return Result::Error("syntax error in expression: unexpected \"" + name + "\"");
+    }
+    std::vector<Value> args;
+    SkipSpace();
+    if (!Peek(")")) {
+      for (;;) {
+        Value v;
+        Result r = ParseTernary(&v);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        args.push_back(std::move(v));
+        SkipSpace();
+        if (Consume(",")) {
+          continue;
+        }
+        break;
+      }
+    }
+    if (!Consume(")")) {
+      return Result::Error("missing ) in expression function call");
+    }
+    return ApplyFunction(name, args, out);
+  }
+
+  Result ApplyFunction(const std::string& name, const std::vector<Value>& args, Value* out) {
+    auto need = [&](std::size_t n) { return args.size() == n; };
+    auto arg_num = [&](std::size_t idx, double* v) {
+      if (!args[idx].numeric()) {
+        return false;
+      }
+      *v = args[idx].AsDouble();
+      return true;
+    };
+    if (name == "abs" && need(1)) {
+      if (args[0].kind == Value::Kind::kInt) {
+        *out = Value::Int(std::labs(args[0].i));
+        return Result::Ok();
+      }
+      double v = 0;
+      if (!arg_num(0, &v)) {
+        return Result::Error("argument to math function didn't have numeric value");
+      }
+      *out = Value::Double(std::fabs(v));
+      return Result::Ok();
+    }
+    if (name == "int" && need(1)) {
+      double v = 0;
+      if (!arg_num(0, &v)) {
+        return Result::Error("argument to math function didn't have numeric value");
+      }
+      *out = Value::Int(static_cast<long>(v));
+      return Result::Ok();
+    }
+    if (name == "round" && need(1)) {
+      double v = 0;
+      if (!arg_num(0, &v)) {
+        return Result::Error("argument to math function didn't have numeric value");
+      }
+      *out = Value::Int(static_cast<long>(v < 0 ? v - 0.5 : v + 0.5));
+      return Result::Ok();
+    }
+    if (name == "double" && need(1)) {
+      double v = 0;
+      if (!arg_num(0, &v)) {
+        return Result::Error("argument to math function didn't have numeric value");
+      }
+      *out = Value::Double(v);
+      return Result::Ok();
+    }
+    struct Unary {
+      const char* name;
+      double (*fn)(double);
+    };
+    static const Unary kUnary[] = {
+        {"sqrt", std::sqrt}, {"sin", std::sin},     {"cos", std::cos},   {"tan", std::tan},
+        {"asin", std::asin}, {"acos", std::acos},   {"atan", std::atan}, {"exp", std::exp},
+        {"log", std::log},   {"log10", std::log10}, {"sinh", std::sinh}, {"cosh", std::cosh},
+        {"tanh", std::tanh}, {"floor", std::floor}, {"ceil", std::ceil},
+    };
+    for (const Unary& u : kUnary) {
+      if (name == u.name) {
+        if (!need(1)) {
+          return Result::Error("too many arguments for math function");
+        }
+        double v = 0;
+        if (!arg_num(0, &v)) {
+          return Result::Error("argument to math function didn't have numeric value");
+        }
+        *out = Value::Double(u.fn(v));
+        return Result::Ok();
+      }
+    }
+    if ((name == "pow" || name == "atan2" || name == "fmod" || name == "hypot") && need(2)) {
+      double a = 0;
+      double b = 0;
+      if (!arg_num(0, &a) || !arg_num(1, &b)) {
+        return Result::Error("argument to math function didn't have numeric value");
+      }
+      double v = 0;
+      if (name == "pow") {
+        v = std::pow(a, b);
+      } else if (name == "atan2") {
+        v = std::atan2(a, b);
+      } else if (name == "fmod") {
+        v = std::fmod(a, b);
+      } else {
+        v = std::hypot(a, b);
+      }
+      *out = Value::Double(v);
+      return Result::Ok();
+    }
+    return Result::Error("unknown math function \"" + name + "\"");
+  }
+
+  Interp& interp_;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result Interp::EvalExpr(std::string_view expression) {
+  ExprParser parser(*this, expression);
+  Value value;
+  Result r = parser.Run(&value);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  return Result::Ok(value.ToString());
+}
+
+Result Interp::ExprBoolean(std::string_view expression, bool* value) {
+  Result r = EvalExpr(expression);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  const std::string& text = r.value;
+  if (text == "1") {
+    *value = true;
+    return Result::Ok();
+  }
+  if (text == "0" || text.empty()) {
+    *value = false;
+    return Result::Ok();
+  }
+  std::string lower;
+  for (char c : text) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "true" || lower == "yes" || lower == "on") {
+    *value = true;
+    return Result::Ok();
+  }
+  if (lower == "false" || lower == "no" || lower == "off") {
+    *value = false;
+    return Result::Ok();
+  }
+  char* end = nullptr;
+  double d = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() && *end == '\0') {
+    *value = d != 0.0;
+    return Result::Ok();
+  }
+  return Result::Error("expected boolean value but got \"" + text + "\"");
+}
+
+}  // namespace wtcl

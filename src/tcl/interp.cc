@@ -1,0 +1,1253 @@
+#include "src/tcl/interp.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/tcl/interp_internal.h"
+
+namespace wtcl {
+
+namespace {
+
+bool IsWordSeparator(char c) { return c == ' ' || c == '\t'; }
+bool IsCommandTerminator(char c) { return c == '\n' || c == ';'; }
+
+// Translates one backslash sequence starting at script[pos] (which is the
+// backslash itself). Advances *pos past the sequence and appends the
+// replacement to *out.
+void SubstBackslash(std::string_view script, std::size_t* pos, std::string* out) {
+  std::size_t i = *pos + 1;  // char after the backslash
+  if (i >= script.size()) {
+    out->push_back('\\');
+    *pos = i;
+    return;
+  }
+  char c = script[i];
+  switch (c) {
+    case 'n':
+      out->push_back('\n');
+      *pos = i + 1;
+      return;
+    case 't':
+      out->push_back('\t');
+      *pos = i + 1;
+      return;
+    case 'r':
+      out->push_back('\r');
+      *pos = i + 1;
+      return;
+    case 'b':
+      out->push_back('\b');
+      *pos = i + 1;
+      return;
+    case 'f':
+      out->push_back('\f');
+      *pos = i + 1;
+      return;
+    case 'v':
+      out->push_back('\v');
+      *pos = i + 1;
+      return;
+    case 'a':
+      out->push_back('\a');
+      *pos = i + 1;
+      return;
+    case '\n': {
+      // Backslash-newline (plus following whitespace) collapses to a space.
+      std::size_t j = i + 1;
+      while (j < script.size() && (script[j] == ' ' || script[j] == '\t')) {
+        ++j;
+      }
+      out->push_back(' ');
+      *pos = j;
+      return;
+    }
+    case 'x': {
+      std::size_t j = i + 1;
+      unsigned value = 0;
+      bool any = false;
+      while (j < script.size() && std::isxdigit(static_cast<unsigned char>(script[j]))) {
+        value = value * 16 + static_cast<unsigned>(
+                                 std::isdigit(static_cast<unsigned char>(script[j]))
+                                     ? script[j] - '0'
+                                     : std::tolower(static_cast<unsigned char>(script[j])) - 'a' +
+                                           10);
+        any = true;
+        ++j;
+      }
+      if (any) {
+        out->push_back(static_cast<char>(value & 0xff));
+        *pos = j;
+      } else {
+        out->push_back('x');
+        *pos = i + 1;
+      }
+      return;
+    }
+    default:
+      if (c >= '0' && c <= '7') {
+        unsigned value = 0;
+        std::size_t j = i;
+        int digits = 0;
+        while (j < script.size() && digits < 3 && script[j] >= '0' && script[j] <= '7') {
+          value = value * 8 + static_cast<unsigned>(script[j] - '0');
+          ++j;
+          ++digits;
+        }
+        out->push_back(static_cast<char>(value & 0xff));
+        *pos = j;
+        return;
+      }
+      out->push_back(c);
+      *pos = i + 1;
+      return;
+  }
+}
+
+bool IsVarNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+// --- List utilities ----------------------------------------------------------
+
+bool SplitList(std::string_view list, std::vector<std::string>* out) {
+  out->clear();
+  std::size_t i = 0;
+  const std::size_t n = list.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(list[i]))) {
+      ++i;
+    }
+    if (i >= n) {
+      break;
+    }
+    std::string element;
+    if (list[i] == '{') {
+      int depth = 1;
+      std::size_t j = i + 1;
+      while (j < n && depth > 0) {
+        if (list[j] == '\\' && j + 1 < n) {
+          j += 2;
+          continue;
+        }
+        if (list[j] == '{') {
+          ++depth;
+        } else if (list[j] == '}') {
+          --depth;
+        }
+        ++j;
+      }
+      if (depth != 0) {
+        return false;
+      }
+      element.assign(list.substr(i + 1, j - i - 2));
+      i = j;
+      if (i < n && !std::isspace(static_cast<unsigned char>(list[i]))) {
+        return false;
+      }
+    } else if (list[i] == '"') {
+      std::size_t j = i + 1;
+      while (j < n && list[j] != '"') {
+        if (list[j] == '\\' && j + 1 < n) {
+          SubstBackslash(list, &j, &element);
+        } else {
+          element.push_back(list[j]);
+          ++j;
+        }
+      }
+      if (j >= n) {
+        return false;
+      }
+      i = j + 1;
+      if (i < n && !std::isspace(static_cast<unsigned char>(list[i]))) {
+        return false;
+      }
+    } else {
+      while (i < n && !std::isspace(static_cast<unsigned char>(list[i]))) {
+        if (list[i] == '\\' && i + 1 < n) {
+          SubstBackslash(list, &i, &element);
+        } else {
+          element.push_back(list[i]);
+          ++i;
+        }
+      }
+    }
+    out->push_back(std::move(element));
+  }
+  return true;
+}
+
+std::string QuoteListElement(std::string_view element) {
+  if (element.empty()) {
+    return "{}";
+  }
+  bool needs_quoting = false;
+  int brace_depth = 0;
+  bool braces_balanced = true;
+  bool has_backslash = false;
+  for (std::size_t i = 0; i < element.size(); ++i) {
+    char c = element[i];
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '[' || c == ']' || c == '$' ||
+        c == ';' || c == '"') {
+      needs_quoting = true;
+    }
+    if (c == '\\') {
+      has_backslash = true;
+      needs_quoting = true;
+    }
+    if (c == '{') {
+      ++brace_depth;
+      needs_quoting = true;
+    } else if (c == '}') {
+      --brace_depth;
+      needs_quoting = true;
+      if (brace_depth < 0) {
+        braces_balanced = false;
+      }
+    }
+  }
+  if (brace_depth != 0) {
+    braces_balanced = false;
+  }
+  if (!needs_quoting) {
+    return std::string(element);
+  }
+  if (braces_balanced && !has_backslash) {
+    std::string quoted;
+    quoted.reserve(element.size() + 2);
+    quoted.push_back('{');
+    quoted.append(element);
+    quoted.push_back('}');
+    return quoted;
+  }
+  // Fall back to backslash quoting. Whitespace controls use their symbolic
+  // escapes: a raw backslash-newline would read back as a space.
+  std::string quoted;
+  quoted.reserve(element.size() * 2);
+  for (char c : element) {
+    switch (c) {
+      case '\n':
+        quoted += "\\n";
+        break;
+      case '\t':
+        quoted += "\\t";
+        break;
+      case '\r':
+        quoted += "\\r";
+        break;
+      case ' ':
+      case ';':
+      case '$':
+      case '[':
+      case ']':
+      case '{':
+      case '}':
+      case '"':
+      case '\\':
+        quoted.push_back('\\');
+        quoted.push_back(c);
+        break;
+      default:
+        quoted.push_back(c);
+    }
+  }
+  return quoted;
+}
+
+std::string MergeList(const std::vector<std::string>& elements) {
+  std::string out;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i != 0) {
+      out.push_back(' ');
+    }
+    out.append(QuoteListElement(elements[i]));
+  }
+  return out;
+}
+
+bool GlobMatch(std::string_view pattern, std::string_view str) {
+  std::size_t p = 0;
+  std::size_t s = 0;
+  std::size_t star_p = std::string_view::npos;
+  std::size_t star_s = 0;
+  while (s < str.size()) {
+    if (p < pattern.size()) {
+      char pc = pattern[p];
+      if (pc == '*') {
+        star_p = ++p;
+        star_s = s;
+        continue;
+      }
+      if (pc == '?') {
+        ++p;
+        ++s;
+        continue;
+      }
+      if (pc == '[') {
+        std::size_t close = pattern.find(']', p + 1);
+        if (close != std::string_view::npos) {
+          bool matched = false;
+          std::size_t q = p + 1;
+          while (q < close) {
+            if (q + 2 < close && pattern[q + 1] == '-') {
+              if (str[s] >= pattern[q] && str[s] <= pattern[q + 2]) {
+                matched = true;
+              }
+              q += 3;
+            } else {
+              if (str[s] == pattern[q]) {
+                matched = true;
+              }
+              ++q;
+            }
+          }
+          if (matched) {
+            p = close + 1;
+            ++s;
+            continue;
+          }
+          if (star_p != std::string_view::npos) {
+            p = star_p;
+            s = ++star_s;
+            continue;
+          }
+          return false;
+        }
+      }
+      if (pc == '\\' && p + 1 < pattern.size()) {
+        pc = pattern[p + 1];
+        if (pc == str[s]) {
+          p += 2;
+          ++s;
+          continue;
+        }
+      } else if (pc == str[s]) {
+        ++p;
+        ++s;
+        continue;
+      }
+    }
+    if (star_p != std::string_view::npos) {
+      p = star_p;
+      s = ++star_s;
+      continue;
+    }
+    return false;
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+// --- Internal structures ------------------------------------------------------
+
+struct Interp::Variable {
+  enum class Kind { kScalar, kArray, kLink };
+  Kind kind = Kind::kScalar;
+  std::string scalar;
+  std::map<std::string, std::string> array;
+  // For kLink: index of the target frame and the variable name there.
+  std::size_t link_frame = 0;
+  std::string link_name;
+};
+
+struct Interp::Frame {
+  std::map<std::string, Variable> vars;
+};
+
+struct Interp::ResolvedVar {
+  Frame* frame = nullptr;
+  std::string base;
+  std::string index;
+  bool is_element = false;
+};
+
+struct Interp::Proc {
+  // Formal arguments: name plus optional default. The last formal may be
+  // "args", collecting the remaining actuals as a list.
+  struct Formal {
+    std::string name;
+    std::string default_value;
+    bool has_default = false;
+  };
+  std::vector<Formal> formals;
+  std::string formals_source;
+  std::string body;
+};
+
+// Splits "name(index)" into base and index. Returns false for scalars.
+static bool SplitElementName(const std::string& name, std::string* base, std::string* index) {
+  std::size_t open = name.find('(');
+  if (open == std::string::npos || name.back() != ')') {
+    return false;
+  }
+  *base = name.substr(0, open);
+  *index = name.substr(open + 1, name.size() - open - 2);
+  return true;
+}
+
+// --- Interp ------------------------------------------------------------------
+
+Interp::Interp() {
+  frames_.push_back(std::make_unique<Frame>());
+  RegisterCoreBuiltins(*this);
+  RegisterStringBuiltins(*this);
+  RegisterListBuiltins(*this);
+  RegisterArrayBuiltins(*this);
+  RegisterIoBuiltins(*this);
+}
+
+Interp::~Interp() = default;
+
+void Interp::RegisterCommand(const std::string& name, CommandFn fn) {
+  commands_[name] = std::move(fn);
+}
+
+bool Interp::UnregisterCommand(const std::string& name) {
+  procs_.erase(name);
+  return commands_.erase(name) > 0;
+}
+
+bool Interp::RenameCommand(const std::string& from, const std::string& to) {
+  auto it = commands_.find(from);
+  if (it == commands_.end()) {
+    return false;
+  }
+  if (to.empty()) {
+    commands_.erase(it);
+    procs_.erase(from);
+    return true;
+  }
+  commands_[to] = it->second;
+  commands_.erase(from);
+  auto pit = procs_.find(from);
+  if (pit != procs_.end()) {
+    procs_[to] = pit->second;
+    procs_.erase(pit);
+  }
+  return true;
+}
+
+bool Interp::HasCommand(const std::string& name) const {
+  return commands_.count(name) > 0;
+}
+
+std::vector<std::string> Interp::CommandNames() const {
+  std::vector<std::string> names;
+  names.reserve(commands_.size());
+  for (const auto& [name, fn] : commands_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+int Interp::CurrentLevel() const { return static_cast<int>(active_frame_); }
+
+void Interp::Output(const std::string& text) const {
+  if (output_) {
+    output_(text);
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+// --- Variables ---------------------------------------------------------------
+
+bool Interp::ResolveName(const std::string& name, ResolvedVar* out) const {
+  std::string base;
+  std::string index;
+  bool is_element = SplitElementName(name, &base, &index);
+  if (!is_element) {
+    base = name;
+  }
+  Frame* frame = frames_[active_frame_].get();
+  // Chase upvar links (links always point at shallower frames; depth is
+  // bounded by the frame stack, so no cycle guard is needed). A link may
+  // target an array element ("upvar a(key) v"); indexing an element link
+  // again is an error.
+  for (;;) {
+    auto it = frame->vars.find(base);
+    if (it == frame->vars.end() || it->second.kind != Variable::Kind::kLink) {
+      break;
+    }
+    Frame* next = frames_[it->second.link_frame].get();
+    std::string link_base;
+    std::string link_index;
+    if (SplitElementName(it->second.link_name, &link_base, &link_index)) {
+      if (is_element) {
+        return false;  // element of an element
+      }
+      base = link_base;
+      index = link_index;
+      is_element = true;
+    } else {
+      base = it->second.link_name;
+    }
+    frame = next;
+  }
+  out->frame = frame;
+  out->base = std::move(base);
+  out->index = std::move(index);
+  out->is_element = is_element;
+  return true;
+}
+
+Interp::Variable* Interp::FindVarInFrame(Frame& frame, const std::string& base) const {
+  auto it = frame.vars.find(base);
+  if (it == frame.vars.end()) {
+    return nullptr;
+  }
+  Variable* var = &it->second;
+  while (var->kind == Variable::Kind::kLink) {
+    Frame& target = *frames_[var->link_frame];
+    std::string link_base;
+    std::string link_index;
+    if (SplitElementName(var->link_name, &link_base, &link_index)) {
+      auto lit = target.vars.find(link_base);
+      return lit == target.vars.end() ? nullptr : &lit->second;
+    }
+    auto lit = target.vars.find(var->link_name);
+    if (lit == target.vars.end()) {
+      return nullptr;
+    }
+    var = &lit->second;
+  }
+  return var;
+}
+
+Interp::Variable* Interp::FindVar(const std::string& name) const {
+  std::string base = name;
+  std::string index;
+  SplitElementName(name, &base, &index);
+  return FindVarInFrame(*frames_[active_frame_], base);
+}
+
+bool Interp::GetVar(const std::string& name, std::string* value) const {
+  ResolvedVar resolved;
+  if (!ResolveName(name, &resolved)) {
+    return false;
+  }
+  auto it = resolved.frame->vars.find(resolved.base);
+  if (it == resolved.frame->vars.end()) {
+    return false;
+  }
+  const Variable& var = it->second;
+  if (resolved.is_element) {
+    if (var.kind != Variable::Kind::kArray) {
+      return false;
+    }
+    auto eit = var.array.find(resolved.index);
+    if (eit == var.array.end()) {
+      return false;
+    }
+    *value = eit->second;
+    return true;
+  }
+  if (var.kind != Variable::Kind::kScalar) {
+    return false;
+  }
+  *value = var.scalar;
+  return true;
+}
+
+Result Interp::SetVar(const std::string& name, std::string value) {
+  ResolvedVar resolved;
+  if (!ResolveName(name, &resolved)) {
+    return Result::Error("can't set \"" + name + "\": bad variable reference");
+  }
+  auto it = resolved.frame->vars.find(resolved.base);
+  Variable* var;
+  if (it == resolved.frame->vars.end()) {
+    var = &resolved.frame->vars[resolved.base];
+    var->kind = resolved.is_element ? Variable::Kind::kArray : Variable::Kind::kScalar;
+  } else {
+    var = &it->second;
+  }
+  if (resolved.is_element) {
+    if (var->kind == Variable::Kind::kScalar && var->scalar.empty() && var->array.empty()) {
+      var->kind = Variable::Kind::kArray;
+    }
+    if (var->kind != Variable::Kind::kArray) {
+      return Result::Error("can't set \"" + name + "\": variable isn't array");
+    }
+    var->array[resolved.index] = std::move(value);
+    return Result::Ok(var->array[resolved.index]);
+  }
+  if (var->kind == Variable::Kind::kArray && !var->array.empty()) {
+    return Result::Error("can't set \"" + name + "\": variable is array");
+  }
+  var->kind = Variable::Kind::kScalar;
+  var->scalar = std::move(value);
+  return Result::Ok(var->scalar);
+}
+
+bool Interp::UnsetVar(const std::string& name) {
+  ResolvedVar resolved;
+  if (!ResolveName(name, &resolved)) {
+    return false;
+  }
+  auto it = resolved.frame->vars.find(resolved.base);
+  if (it == resolved.frame->vars.end()) {
+    return false;
+  }
+  if (resolved.is_element) {
+    if (it->second.kind != Variable::Kind::kArray) {
+      return false;
+    }
+    return it->second.array.erase(resolved.index) > 0;
+  }
+  // Unset through a link removes the target variable only; the link itself
+  // survives, so a later set recreates the target (Tcl semantics).
+  resolved.frame->vars.erase(it);
+  return true;
+}
+
+bool Interp::VarExists(const std::string& name) const {
+  std::string value;
+  if (GetVar(name, &value)) {
+    return true;
+  }
+  // An array name without index also "exists".
+  std::string base = name;
+  std::string index;
+  if (!SplitElementName(name, &base, &index)) {
+    Variable* var = FindVarInFrame(*frames_[active_frame_], base);
+    return var != nullptr && var->kind == Variable::Kind::kArray;
+  }
+  return false;
+}
+
+bool Interp::GetGlobalVar(const std::string& name, std::string* value) const {
+  std::string base = name;
+  std::string index;
+  bool is_element = SplitElementName(name, &base, &index);
+  Variable* var = FindVarInFrame(*frames_[0], base);
+  if (var == nullptr) {
+    return false;
+  }
+  if (is_element) {
+    auto it = var->array.find(index);
+    if (it == var->array.end()) {
+      return false;
+    }
+    *value = it->second;
+    return true;
+  }
+  if (var->kind != Variable::Kind::kScalar) {
+    return false;
+  }
+  *value = var->scalar;
+  return true;
+}
+
+Result Interp::SetGlobalVar(const std::string& name, std::string value) {
+  std::size_t saved = active_frame_;
+  active_frame_ = 0;
+  Result r = SetVar(name, std::move(value));
+  active_frame_ = saved;
+  return r;
+}
+
+bool Interp::ArrayNames(const std::string& name, std::vector<std::string>* out) const {
+  Variable* var = FindVarInFrame(*frames_[active_frame_], name);
+  if (var == nullptr || var->kind != Variable::Kind::kArray) {
+    return false;
+  }
+  out->clear();
+  for (const auto& [key, value] : var->array) {
+    out->push_back(key);
+  }
+  return true;
+}
+
+bool Interp::IsArray(const std::string& name) const {
+  Variable* var = FindVarInFrame(*frames_[active_frame_], name);
+  return var != nullptr && var->kind == Variable::Kind::kArray;
+}
+
+std::vector<std::string> Interp::LocalVarNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, var] : frames_[active_frame_]->vars) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> Interp::GlobalVarNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, var] : frames_[0]->vars) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> Interp::ProcNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, proc] : procs_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool Interp::ProcBody(const std::string& name, std::string* body) const {
+  auto it = procs_.find(name);
+  if (it == procs_.end()) {
+    return false;
+  }
+  *body = it->second->body;
+  return true;
+}
+
+bool Interp::ProcArgs(const std::string& name, std::string* args) const {
+  auto it = procs_.find(name);
+  if (it == procs_.end()) {
+    return false;
+  }
+  *args = it->second->formals_source;
+  return true;
+}
+
+// --- Parsing and evaluation ----------------------------------------------------
+
+Result Interp::ParseBracket(std::string_view script, std::size_t* pos, std::string* out) {
+  // *pos points at '['. Find the matching ']' while skipping nested
+  // brackets, braces, quotes, and backslash escapes, then evaluate the
+  // inner script.
+  std::size_t i = *pos + 1;
+  const std::size_t n = script.size();
+  int depth = 1;
+  std::size_t start = i;
+  while (i < n && depth > 0) {
+    char c = script[i];
+    if (c == '\\' && i + 1 < n) {
+      i += 2;
+      continue;
+    }
+    if (c == '[') {
+      ++depth;
+    } else if (c == ']') {
+      --depth;
+      if (depth == 0) {
+        break;
+      }
+    } else if (c == '{') {
+      int bd = 1;
+      ++i;
+      while (i < n && bd > 0) {
+        if (script[i] == '\\' && i + 1 < n) {
+          i += 2;
+          continue;
+        }
+        if (script[i] == '{') {
+          ++bd;
+        } else if (script[i] == '}') {
+          --bd;
+        }
+        ++i;
+      }
+      continue;
+    } else if (c == '"') {
+      ++i;
+      while (i < n && script[i] != '"') {
+        if (script[i] == '\\' && i + 1 < n) {
+          i += 2;
+        } else {
+          ++i;
+        }
+      }
+    }
+    ++i;
+  }
+  if (depth != 0) {
+    return Result::Error("missing close-bracket");
+  }
+  Result r = Eval(script.substr(start, i - start));
+  if (r.code == Status::kError) {
+    return r;
+  }
+  out->append(r.value);
+  *pos = i + 1;
+  return Result::Ok();
+}
+
+Result Interp::ParseVariable(std::string_view script, std::size_t* pos, std::string* out) {
+  // *pos points at '$'.
+  std::size_t i = *pos + 1;
+  const std::size_t n = script.size();
+  if (i >= n) {
+    out->push_back('$');
+    *pos = i;
+    return Result::Ok();
+  }
+  if (script[i] == '{') {
+    std::size_t close = script.find('}', i + 1);
+    if (close == std::string_view::npos) {
+      return Result::Error("missing close-brace for variable name");
+    }
+    std::string name(script.substr(i + 1, close - i - 1));
+    std::string value;
+    if (!GetVar(name, &value)) {
+      return Result::Error("can't read \"" + name + "\": no such variable");
+    }
+    out->append(value);
+    *pos = close + 1;
+    return Result::Ok();
+  }
+  std::size_t start = i;
+  while (i < n && IsVarNameChar(script[i])) {
+    ++i;
+  }
+  if (i == start) {
+    // Bare dollar sign.
+    out->push_back('$');
+    *pos = start;
+    return Result::Ok();
+  }
+  std::string name(script.substr(start, i - start));
+  if (i < n && script[i] == '(') {
+    // Array element: the index itself undergoes substitution.
+    std::size_t j = i + 1;
+    std::string index;
+    while (j < n && script[j] != ')') {
+      char c = script[j];
+      if (c == '\\') {
+        SubstBackslash(script, &j, &index);
+      } else if (c == '$') {
+        std::size_t p = j;
+        Result r = ParseVariable(script, &p, &index);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        j = p;
+      } else if (c == '[') {
+        std::size_t p = j;
+        Result r = ParseBracket(script, &p, &index);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        j = p;
+      } else {
+        index.push_back(c);
+        ++j;
+      }
+    }
+    if (j >= n) {
+      return Result::Error("missing )");
+    }
+    name += "(" + index + ")";
+    i = j + 1;
+  }
+  std::string value;
+  if (!GetVar(name, &value)) {
+    return Result::Error("can't read \"" + name + "\": no such variable");
+  }
+  out->append(value);
+  *pos = i;
+  return Result::Ok();
+}
+
+Result Interp::SubstituteWord(std::string_view word) {
+  std::string out;
+  std::size_t i = 0;
+  const std::size_t n = word.size();
+  while (i < n) {
+    char c = word[i];
+    if (c == '\\') {
+      SubstBackslash(word, &i, &out);
+    } else if (c == '$') {
+      Result r = ParseVariable(word, &i, &out);
+      if (r.code == Status::kError) {
+        return r;
+      }
+    } else if (c == '[') {
+      Result r = ParseBracket(word, &i, &out);
+      if (r.code == Status::kError) {
+        return r;
+      }
+    } else {
+      out.push_back(c);
+      ++i;
+    }
+  }
+  return Result::Ok(std::move(out));
+}
+
+Result Interp::ParseWord(std::string_view script, std::size_t* pos, std::string* out) {
+  std::size_t i = *pos;
+  const std::size_t n = script.size();
+  out->clear();
+  if (script[i] == '{') {
+    int depth = 1;
+    std::size_t start = i + 1;
+    ++i;
+    while (i < n && depth > 0) {
+      char c = script[i];
+      if (c == '\\' && i + 1 < n) {
+        if (script[i + 1] == '\n') {
+          // Backslash-newline is still processed inside braces.
+          ++i;
+        }
+        i += 2;
+        continue;
+      }
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (depth == 0) {
+          break;
+        }
+      }
+      ++i;
+    }
+    if (depth != 0) {
+      return Result::Error("missing close-brace");
+    }
+    std::string_view inner = script.substr(start, i - start);
+    // Inside braces: literal, except backslash-newline collapses to space.
+    std::size_t j = 0;
+    while (j < inner.size()) {
+      if (inner[j] == '\\' && j + 1 < inner.size() && inner[j + 1] == '\n') {
+        SubstBackslash(inner, &j, out);
+      } else {
+        out->push_back(inner[j]);
+        ++j;
+      }
+    }
+    ++i;  // past closing brace
+    if (i < n && !IsWordSeparator(script[i]) && !IsCommandTerminator(script[i])) {
+      return Result::Error("extra characters after close-brace");
+    }
+    *pos = i;
+    return Result::Ok();
+  }
+  if (script[i] == '"') {
+    ++i;
+    while (i < n && script[i] != '"') {
+      char c = script[i];
+      if (c == '\\') {
+        SubstBackslash(script, &i, out);
+      } else if (c == '$') {
+        Result r = ParseVariable(script, &i, out);
+        if (r.code == Status::kError) {
+          return r;
+        }
+      } else if (c == '[') {
+        Result r = ParseBracket(script, &i, out);
+        if (r.code == Status::kError) {
+          return r;
+        }
+      } else {
+        out->push_back(c);
+        ++i;
+      }
+    }
+    if (i >= n) {
+      return Result::Error("missing \"");
+    }
+    ++i;  // past closing quote
+    if (i < n && !IsWordSeparator(script[i]) && !IsCommandTerminator(script[i])) {
+      return Result::Error("extra characters after close-quote");
+    }
+    *pos = i;
+    return Result::Ok();
+  }
+  // Bare word.
+  while (i < n && !IsWordSeparator(script[i]) && !IsCommandTerminator(script[i])) {
+    char c = script[i];
+    if (c == '\\') {
+      if (i + 1 < n && script[i + 1] == '\n') {
+        break;  // acts as a word separator
+      }
+      SubstBackslash(script, &i, out);
+    } else if (c == '$') {
+      Result r = ParseVariable(script, &i, out);
+      if (r.code == Status::kError) {
+        return r;
+      }
+    } else if (c == '[') {
+      Result r = ParseBracket(script, &i, out);
+      if (r.code == Status::kError) {
+        return r;
+      }
+    } else {
+      out->push_back(c);
+      ++i;
+    }
+  }
+  *pos = i;
+  return Result::Ok();
+}
+
+Result Interp::ParseAndRun(std::string_view script) {
+  std::size_t i = 0;
+  const std::size_t n = script.size();
+  Result last = Result::Ok();
+  while (i < n) {
+    // Skip separators between commands.
+    while (i < n && (IsWordSeparator(script[i]) || IsCommandTerminator(script[i]))) {
+      ++i;
+    }
+    if (i >= n) {
+      break;
+    }
+    if (script[i] == '#') {
+      // Comment runs to an unescaped newline.
+      while (i < n && script[i] != '\n') {
+        if (script[i] == '\\' && i + 1 < n) {
+          ++i;
+        }
+        ++i;
+      }
+      continue;
+    }
+    std::vector<std::string> argv;
+    while (i < n && !IsCommandTerminator(script[i])) {
+      while (i < n && IsWordSeparator(script[i])) {
+        ++i;
+      }
+      if (i >= n || IsCommandTerminator(script[i])) {
+        break;
+      }
+      if (script[i] == '\\' && i + 1 < n && script[i + 1] == '\n') {
+        // Backslash-newline between words: acts as a separator.
+        std::string dummy;
+        SubstBackslash(script, &i, &dummy);
+        continue;
+      }
+      std::string word;
+      Result r = ParseWord(script, &i, &word);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      argv.push_back(std::move(word));
+    }
+    if (argv.empty()) {
+      continue;
+    }
+    last = InvokeCommand(std::move(argv));
+    if (last.code != Status::kOk) {
+      return last;
+    }
+  }
+  return last;
+}
+
+Result Interp::Eval(std::string_view script) {
+  if (++nesting_ > max_nesting_) {
+    --nesting_;
+    return Result::Error("too many nested calls to Eval (infinite loop?)");
+  }
+  Result r = ParseAndRun(script);
+  --nesting_;
+  return r;
+}
+
+Result Interp::GlobalEval(std::string_view script) {
+  std::size_t saved = active_frame_;
+  active_frame_ = 0;
+  Result r = Eval(script);
+  active_frame_ = saved;
+  return r;
+}
+
+Result Interp::InvokeCommand(std::vector<std::string> argv) {
+  ++command_count_;
+  auto it = commands_.find(argv[0]);
+  if (it == commands_.end()) {
+    return Result::Error("invalid command name \"" + argv[0] + "\"");
+  }
+  // Copy the function so that commands that redefine themselves are safe.
+  CommandFn fn = it->second;
+  Result r = fn(*this, argv);
+  if (r.code == Status::kError) {
+    // Maintain errorInfo like Tcl: a rolling trace of the failing commands.
+    std::string info;
+    if (!GetGlobalVar("errorInfo", &info) || info.empty()) {
+      info = r.value;
+    }
+    info += "\n    while executing\n\"" + argv[0] + "\"";
+    SetGlobalVar("errorInfo", info);
+  }
+  return r;
+}
+
+Result Interp::EvalInFrame(std::string_view script, std::size_t frame_index) {
+  std::size_t saved = active_frame_;
+  active_frame_ = frame_index;
+  Result r = Eval(script);
+  active_frame_ = saved;
+  return r;
+}
+
+// --- InterpInternal -------------------------------------------------------------
+
+Result InterpInternal::DefineProc(Interp& interp, const std::string& name,
+                                  const std::string& formals_source, const std::string& body) {
+  auto proc = std::make_shared<Interp::Proc>();
+  proc->formals_source = formals_source;
+  proc->body = body;
+  // Parse the formal list: each element is a name or a {name default} pair.
+  std::vector<std::string> items;
+  if (!SplitList(formals_source, &items)) {
+    return Result::Error("unbalanced braces in formal argument list");
+  }
+  for (const std::string& item : items) {
+    std::vector<std::string> parts;
+    if (!SplitList(item, &parts) || parts.empty() || parts.size() > 2) {
+      return Result::Error("bad formal argument specifier \"" + item + "\"");
+    }
+    Interp::Proc::Formal formal;
+    formal.name = parts[0];
+    if (parts.size() == 2) {
+      formal.default_value = parts[1];
+      formal.has_default = true;
+    }
+    proc->formals.push_back(std::move(formal));
+  }
+  interp.procs_[name] = proc;
+  interp.RegisterCommand(name, [proc, name](Interp& in, const std::vector<std::string>& argv) {
+    // Bind actuals to formals in a fresh frame.
+    auto frame = std::make_unique<Interp::Frame>();
+    std::size_t actual = 1;
+    for (std::size_t f = 0; f < proc->formals.size(); ++f) {
+      const auto& formal = proc->formals[f];
+      Interp::Variable var;
+      var.kind = Interp::Variable::Kind::kScalar;
+      if (formal.name == "args" && f + 1 == proc->formals.size()) {
+        std::vector<std::string> rest;
+        for (std::size_t a = actual; a < argv.size(); ++a) {
+          rest.push_back(argv[a]);
+        }
+        var.scalar = MergeList(rest);
+        actual = argv.size();
+      } else if (actual < argv.size()) {
+        var.scalar = argv[actual++];
+      } else if (formal.has_default) {
+        var.scalar = formal.default_value;
+      } else {
+        return Result::Error("no value given for parameter \"" + formal.name + "\" to \"" +
+                             name + "\"");
+      }
+      frame->vars[formal.name] = std::move(var);
+    }
+    if (actual < argv.size()) {
+      return Result::Error("called \"" + name + "\" with too many arguments");
+    }
+    in.frames_.push_back(std::move(frame));
+    std::size_t saved = in.active_frame_;
+    in.active_frame_ = in.frames_.size() - 1;
+    Result r = in.Eval(proc->body);
+    in.active_frame_ = saved;
+    in.frames_.pop_back();
+    if (r.code == Status::kReturn) {
+      r.code = Status::kOk;
+    } else if (r.code == Status::kBreak) {
+      return Result::Error("invoked \"break\" outside of a loop");
+    } else if (r.code == Status::kContinue) {
+      return Result::Error("invoked \"continue\" outside of a loop");
+    }
+    return r;
+  });
+  return Result::Ok();
+}
+
+bool InterpInternal::ResolveLevel(Interp& interp, const std::string& spec, bool* was_explicit,
+                                  std::size_t* frame_index, std::string* error) {
+  *was_explicit = true;
+  long current = static_cast<long>(interp.active_frame_);
+  long target = 0;
+  if (!spec.empty() && spec[0] == '#') {
+    char* end = nullptr;
+    target = std::strtol(spec.c_str() + 1, &end, 10);
+    if (end == spec.c_str() + 1 || *end != '\0') {
+      *error = "bad level \"" + spec + "\"";
+      return false;
+    }
+  } else if (!spec.empty() &&
+             std::isdigit(static_cast<unsigned char>(spec[0]))) {
+    char* end = nullptr;
+    long up = std::strtol(spec.c_str(), &end, 10);
+    if (*end != '\0') {
+      *error = "bad level \"" + spec + "\"";
+      return false;
+    }
+    target = current - up;
+  } else {
+    *was_explicit = false;
+    target = current - 1;
+  }
+  if (target < 0 || target > current) {
+    *error = "bad level \"" + spec + "\"";
+    return false;
+  }
+  *frame_index = static_cast<std::size_t>(target);
+  return true;
+}
+
+Result InterpInternal::Upvar(Interp& interp, const std::string& level_spec,
+                             const std::string& other_name, const std::string& local_name) {
+  bool explicit_level = false;
+  std::size_t frame_index = 0;
+  std::string error;
+  if (!ResolveLevel(interp, level_spec, &explicit_level, &frame_index, &error)) {
+    return Result::Error(error);
+  }
+  Interp::Frame& target = *interp.frames_[frame_index];
+  // Ensure the target variable exists at least as a placeholder scalar so the
+  // link has somewhere to land when written through.
+  if (target.vars.find(other_name) == target.vars.end()) {
+    target.vars[other_name] = Interp::Variable{};
+  }
+  Interp::Variable link;
+  link.kind = Interp::Variable::Kind::kLink;
+  link.link_frame = frame_index;
+  link.link_name = other_name;
+  interp.frames_[interp.active_frame_]->vars[local_name] = std::move(link);
+  return Result::Ok();
+}
+
+Result InterpInternal::Uplevel(Interp& interp, const std::string& level_spec,
+                               std::string_view script) {
+  bool explicit_level = false;
+  std::size_t frame_index = 0;
+  std::string error;
+  if (!ResolveLevel(interp, level_spec, &explicit_level, &frame_index, &error)) {
+    return Result::Error(error);
+  }
+  return interp.EvalInFrame(script, frame_index);
+}
+
+Result InterpInternal::Global(Interp& interp, const std::string& name) {
+  if (interp.active_frame_ == 0) {
+    return Result::Ok();  // already global: no-op
+  }
+  Interp::Frame& global = *interp.frames_[0];
+  if (global.vars.find(name) == global.vars.end()) {
+    global.vars[name] = Interp::Variable{};
+  }
+  Interp::Variable link;
+  link.kind = Interp::Variable::Kind::kLink;
+  link.link_frame = 0;
+  link.link_name = name;
+  interp.frames_[interp.active_frame_]->vars[name] = std::move(link);
+  return Result::Ok();
+}
+
+Result InterpInternal::ParseBracket(Interp& interp, std::string_view s, std::size_t* pos,
+                                    std::string* out) {
+  return interp.ParseBracket(s, pos, out);
+}
+
+Result InterpInternal::ParseVariable(Interp& interp, std::string_view s, std::size_t* pos,
+                                     std::string* out) {
+  return interp.ParseVariable(s, pos, out);
+}
+
+}  // namespace wtcl

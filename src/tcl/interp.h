@@ -1,0 +1,212 @@
+// wtcl: a from-scratch implementation of the Tcl command language as described
+// in Ousterhout's "Tcl: An Embeddable Command Language" (USENIX 1990), at the
+// feature level Wafe (USENIX 1993) embeds: string-only values, procs, upvar /
+// uplevel / global scoping, associative arrays, an expr evaluator and a C++
+// embedding API for registering application commands.
+#ifndef SRC_TCL_INTERP_H_
+#define SRC_TCL_INTERP_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wtcl {
+
+// Completion code of a script or command, mirroring TCL_OK .. TCL_CONTINUE.
+enum class Status {
+  kOk,
+  kError,
+  kReturn,
+  kBreak,
+  kContinue,
+};
+
+// Result of evaluating a command or script: a completion code plus the
+// interpreter result string (the value on kOk, the error message on kError).
+struct Result {
+  Status code = Status::kOk;
+  std::string value;
+
+  bool ok() const { return code == Status::kOk; }
+
+  static Result Ok(std::string v = "") { return Result{Status::kOk, std::move(v)}; }
+  static Result Error(std::string msg) { return Result{Status::kError, std::move(msg)}; }
+};
+
+class Interp;
+
+// An application command. `argv[0]` is the command name, exactly as in Tcl's
+// C interface; all arguments are fully substituted strings.
+using CommandFn = std::function<Result(Interp&, const std::vector<std::string>&)>;
+
+// --- Tcl list utilities -----------------------------------------------------
+//
+// Lists are strings; these helpers implement Tcl_SplitList / Tcl_Merge
+// semantics (brace quoting, backslash escapes).
+
+// Splits a Tcl list into its elements. Returns false on unbalanced quoting.
+bool SplitList(std::string_view list, std::vector<std::string>* out);
+
+// Quotes one element so that SplitList recovers it verbatim.
+std::string QuoteListElement(std::string_view element);
+
+// Joins elements into a canonical Tcl list string.
+std::string MergeList(const std::vector<std::string>& elements);
+
+// True if `str` matches the glob `pattern` (Tcl's string match rules:
+// * ? [..] and backslash escapes).
+bool GlobMatch(std::string_view pattern, std::string_view str);
+
+// --- Interpreter ------------------------------------------------------------
+
+class Interp {
+ public:
+  Interp();
+  ~Interp();
+
+  Interp(const Interp&) = delete;
+  Interp& operator=(const Interp&) = delete;
+
+  // Evaluates a script (a sequence of commands separated by newlines or
+  // semicolons) in the current call frame.
+  Result Eval(std::string_view script);
+
+  // Evaluates a script in the global frame (Tcl_GlobalEval).
+  Result GlobalEval(std::string_view script);
+
+  // Evaluates an expression as the `expr` command would.
+  Result EvalExpr(std::string_view expression);
+
+  // Convenience: evaluates an expression and reports its boolean value.
+  Result ExprBoolean(std::string_view expression, bool* value);
+
+  // --- Commands -------------------------------------------------------------
+
+  // Registers (or replaces) a command. Multiple names may map to the same
+  // function; Wafe uses this for abbreviations such as sV / setValues.
+  void RegisterCommand(const std::string& name, CommandFn fn);
+
+  // Removes a command. Returns false if it did not exist.
+  bool UnregisterCommand(const std::string& name);
+
+  // Renames a command (Tcl's `rename`); empty `to` deletes it.
+  bool RenameCommand(const std::string& from, const std::string& to);
+
+  bool HasCommand(const std::string& name) const;
+
+  // Names of all registered commands (procs included), sorted.
+  std::vector<std::string> CommandNames() const;
+
+  // --- Variables --------------------------------------------------------—--
+
+  // Reads a variable in the current frame. `name` may be scalar ("x") or an
+  // array element ("a(i)"). Returns false if unset.
+  bool GetVar(const std::string& name, std::string* value) const;
+
+  // Writes a variable in the current frame.
+  Result SetVar(const std::string& name, std::string value);
+
+  // Removes a variable (whole array if `name` is an array name).
+  bool UnsetVar(const std::string& name);
+
+  bool VarExists(const std::string& name) const;
+
+  // Global-frame accessors, usable regardless of the current frame.
+  bool GetGlobalVar(const std::string& name, std::string* value) const;
+  Result SetGlobalVar(const std::string& name, std::string value);
+
+  // Array introspection in the current frame: element names, unsorted.
+  bool ArrayNames(const std::string& name, std::vector<std::string>* out) const;
+  bool IsArray(const std::string& name) const;
+
+  // --- Procs and frames ------------------------------------------------------
+
+  // Current nesting level; 0 is the global frame.
+  int CurrentLevel() const;
+
+  // Total commands evaluated so far (info cmdcount).
+  std::size_t CommandCount() const { return command_count_; }
+
+  // Maximum allowed eval recursion (guards runaway scripts).
+  void set_max_nesting(int depth) { max_nesting_ = depth; }
+
+  // Substitutes backslash sequences, variables, and bracketed commands in a
+  // string, as double-quote context does. Public because Wafe's percent-code
+  // engine composes with it.
+  Result SubstituteWord(std::string_view word);
+
+  // Output sink used by `puts` / `echo`. Defaults to stdout; Wafe redirects
+  // it so script output reaches the frontend's stdout or the backend channel.
+  using OutputFn = std::function<void(const std::string&)>;
+  void set_output(OutputFn fn) { output_ = std::move(fn); }
+  void Output(const std::string& text) const;
+
+  // Names of user procs only, sorted.
+  std::vector<std::string> ProcNames() const;
+
+  // Body / formal-argument list for a proc (info body / info args).
+  bool ProcBody(const std::string& name, std::string* body) const;
+  bool ProcArgs(const std::string& name, std::string* args) const;
+
+  // Variable names visible in the current frame / the global frame.
+  std::vector<std::string> LocalVarNames() const;
+  std::vector<std::string> GlobalVarNames() const;
+
+ private:
+  // Accessor for the built-in commands that must manipulate call frames
+  // (proc, upvar, uplevel, global) and the expr evaluator.
+  friend struct InterpInternal;
+
+  struct Variable;
+  struct Frame;
+  struct Proc;
+
+  Result EvalInFrame(std::string_view script, std::size_t frame_index);
+  Result InvokeCommand(std::vector<std::string> argv);
+  Result ParseAndRun(std::string_view script);
+
+  // Parses one word starting at `pos`; appends the produced word (or words,
+  // for a future expansion syntax) to `out`. Used by the script parser.
+  Result ParseWord(std::string_view script, std::size_t* pos, std::string* out);
+  Result ParseBracket(std::string_view script, std::size_t* pos, std::string* out);
+  Result ParseVariable(std::string_view script, std::size_t* pos, std::string* out);
+
+  Variable* FindVar(const std::string& name) const;
+  Variable* FindVarInFrame(Frame& frame, const std::string& base) const;
+
+  // A variable reference resolved through upvar links to its owning frame,
+  // base name, and (for array elements) index.
+  struct ResolvedVar;
+  bool ResolveName(const std::string& name, ResolvedVar* out) const;
+
+  struct ExprImpl;
+
+  std::map<std::string, CommandFn> commands_;
+  std::map<std::string, std::shared_ptr<Proc>> procs_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::size_t active_frame_ = 0;  // index into frames_
+  OutputFn output_;
+  int nesting_ = 0;
+  int max_nesting_ = 1000;
+  std::size_t command_count_ = 0;
+};
+
+// Registers every built-in command (set, if, while, proc, string, list ...).
+// Called by the Interp constructor; exposed for tests that build bare interps.
+void RegisterCoreBuiltins(Interp& interp);
+void RegisterStringBuiltins(Interp& interp);
+void RegisterListBuiltins(Interp& interp);
+void RegisterArrayBuiltins(Interp& interp);
+void RegisterIoBuiltins(Interp& interp);
+
+// printf-style formatting for the `format` command; returns an error result
+// on a malformed specifier.
+Result FormatCommandString(const std::vector<std::string>& argv);
+
+}  // namespace wtcl
+
+#endif  // SRC_TCL_INTERP_H_

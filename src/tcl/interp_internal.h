@@ -1,0 +1,44 @@
+// Internal access surface shared by the built-in command implementations and
+// the expr evaluator. Not part of the public wtcl API.
+#ifndef SRC_TCL_INTERP_INTERNAL_H_
+#define SRC_TCL_INTERP_INTERNAL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/tcl/interp.h"
+
+namespace wtcl {
+
+struct InterpInternal {
+  // Defines (or redefines) a Tcl proc and registers its invocation command.
+  static Result DefineProc(Interp& interp, const std::string& name,
+                           const std::string& formals_source, const std::string& body);
+
+  // Links `local_name` in the current frame to `other_name` in the frame
+  // `level` spec (absolute "#n" or relative count) designates.
+  static Result Upvar(Interp& interp, const std::string& level_spec,
+                      const std::string& other_name, const std::string& local_name);
+
+  // Evaluates a script in the frame the `level` spec designates.
+  static Result Uplevel(Interp& interp, const std::string& level_spec, std::string_view script);
+
+  // Links `name` in the current frame to the global variable of that name.
+  static Result Global(Interp& interp, const std::string& name);
+
+  // Resolves a level spec relative to the current frame. Returns false and
+  // sets *error on a malformed spec.
+  static bool ResolveLevel(Interp& interp, const std::string& spec, bool* was_explicit,
+                           std::size_t* frame_index, std::string* error);
+
+  // Bracket / variable parsing hooks for the expr evaluator.
+  static Result ParseBracket(Interp& interp, std::string_view s, std::size_t* pos,
+                             std::string* out);
+  static Result ParseVariable(Interp& interp, std::string_view s, std::size_t* pos,
+                              std::string* out);
+};
+
+}  // namespace wtcl
+
+#endif  // SRC_TCL_INTERP_INTERNAL_H_

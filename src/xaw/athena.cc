@@ -1,0 +1,161 @@
+#include "src/xaw/athena.h"
+
+#include "src/xaw/athena_internal.h"
+
+namespace xaw {
+
+using xtk::ResourceType;
+
+std::vector<const xtk::WidgetClass*> AthenaClasses::All() const {
+  std::vector<const xtk::WidgetClass*> all = {
+      simple,   label, command,    toggle,     menu_button, box, form,
+      dialog,   paned, viewport,   list,       ascii_text,  scrollbar,
+      strip_chart, grip, simple_menu, sme,     sme_bsb,     sme_line,
+  };
+  if (three_d_class != nullptr) {
+    all.push_back(three_d_class);
+  }
+  return all;
+}
+
+const AthenaClasses& GetAthenaClasses(bool three_d) {
+  static const AthenaClasses* plain = nullptr;
+  static const AthenaClasses* shaded = nullptr;
+  const AthenaClasses*& slot = three_d ? shaded : plain;
+  if (slot == nullptr) {
+    auto* set = new AthenaClasses();
+    set->three_d = three_d;
+    BuildSimpleClasses(*set);
+    BuildContainerClasses(*set);
+    BuildListClass(*set);
+    BuildTextClass(*set);
+    BuildMenuClasses(*set);
+    BuildMiscClasses(*set);
+    slot = set;
+  }
+  return *slot;
+}
+
+void RegisterAthenaClasses(xtk::AppContext& app, bool three_d) {
+  xtk::RegisterIntrinsicClasses(app);
+  const AthenaClasses& classes = GetAthenaClasses(three_d);
+  for (const xtk::WidgetClass* cls : classes.All()) {
+    app.RegisterClass(cls);
+  }
+}
+
+// --- Shared helpers ---------------------------------------------------------------
+
+xtk::WidgetClass* NewClass(const std::string& name, const xtk::WidgetClass* superclass) {
+  auto* cls = new xtk::WidgetClass();
+  cls->name = name;
+  cls->superclass = superclass;
+  return cls;
+}
+
+xsim::Dimension ShadowWidth(const xtk::Widget& widget) {
+  if (widget.FindSpec("shadowWidth") == nullptr) {
+    return 0;
+  }
+  return static_cast<xsim::Dimension>(widget.GetLong("shadowWidth"));
+}
+
+void DrawShadow(xtk::Widget& widget, bool sunken) {
+  xsim::Dimension shadow = ShadowWidth(widget);
+  if (shadow == 0 || !widget.realized()) {
+    return;
+  }
+  xsim::Pixel top = widget.GetPixel("topShadowPixel", xsim::MakePixel(240, 240, 240));
+  xsim::Pixel bottom = widget.GetPixel("bottomShadowPixel", xsim::MakePixel(100, 100, 100));
+  if (sunken) {
+    std::swap(top, bottom);
+  }
+  xsim::Display& d = widget.display();
+  xsim::Dimension w = widget.width();
+  xsim::Dimension h = widget.height();
+  d.FillRect(widget.window(), xsim::Rect{0, 0, w, shadow}, top);
+  d.FillRect(widget.window(), xsim::Rect{0, 0, shadow, h}, top);
+  d.FillRect(widget.window(),
+             xsim::Rect{0, static_cast<xsim::Position>(h - shadow), w, shadow}, bottom);
+  d.FillRect(widget.window(),
+             xsim::Rect{static_cast<xsim::Position>(w - shadow), 0, shadow, h}, bottom);
+}
+
+void PreferredLabelSize(const xtk::Widget& widget, const std::string& text,
+                        xsim::Dimension* width, xsim::Dimension* height) {
+  xsim::FontPtr font = widget.GetFont("font");
+  if (font == nullptr) {
+    font = xsim::FontRegistry::Default().Open("fixed");
+  }
+  long internal_w = widget.GetLong("internalWidth", 4);
+  long internal_h = widget.GetLong("internalHeight", 2);
+  xsim::Dimension shadow = ShadowWidth(widget);
+  xsim::Dimension text_w = font->TextWidth(text);
+  xsim::Dimension text_h = font->Height();
+  if (xsim::PixmapPtr bitmap = widget.GetPixmap("bitmap")) {
+    text_w = bitmap->width;
+    text_h = bitmap->height > text_h ? bitmap->height : text_h;
+  }
+  if (xsim::PixmapPtr left = widget.GetPixmap("leftBitmap")) {
+    text_w += left->width + 2;
+  }
+  *width = text_w + 2 * static_cast<xsim::Dimension>(internal_w) + 2 * shadow;
+  *height = text_h + 2 * static_cast<xsim::Dimension>(internal_h) + 2 * shadow;
+}
+
+void ApplyPreferredSize(xtk::Widget& widget, xsim::Dimension width, xsim::Dimension height) {
+  xsim::Dimension w = widget.WasExplicit("width") ? widget.width() : width;
+  xsim::Dimension h = widget.WasExplicit("height") ? widget.height() : height;
+  widget.SetGeometry(widget.x(), widget.y(), w, h);
+}
+
+void ResizeWidget(xtk::Widget& widget, xsim::Dimension width, xsim::Dimension height) {
+  widget.SetGeometry(widget.x(), widget.y(), width, height);
+}
+
+void DrawLabelText(xtk::Widget& widget, const std::string& text, bool inverted) {
+  if (!widget.realized()) {
+    return;
+  }
+  xsim::Display& d = widget.display();
+  xsim::FontPtr font = widget.GetFont("font");
+  if (font == nullptr) {
+    font = xsim::FontRegistry::Default().Open("fixed");
+  }
+  xsim::Pixel fg = widget.GetPixel("foreground", xsim::kBlackPixel);
+  xsim::Pixel bg = widget.GetPixel("background", xsim::kWhitePixel);
+  if (inverted) {
+    d.FillRect(widget.window(), xsim::Rect{0, 0, widget.width(), widget.height()}, fg);
+    std::swap(fg, bg);
+  }
+  long internal_w = widget.GetLong("internalWidth", 4);
+  xsim::Dimension shadow = ShadowWidth(widget);
+  std::string justify = widget.GetString("justify");
+  xsim::Dimension text_width = font->TextWidth(text);
+  xsim::Position x = static_cast<xsim::Position>(internal_w + shadow);
+  if (xsim::PixmapPtr left = widget.GetPixmap("leftBitmap")) {
+    d.CopyPixmap(widget.window(), *left, x,
+                 static_cast<xsim::Position>((widget.height() - left->height) / 2));
+    x += static_cast<xsim::Position>(left->width + 2);
+  }
+  if (justify == "center" || justify.empty()) {
+    if (widget.width() > text_width) {
+      x = static_cast<xsim::Position>((widget.width() - text_width) / 2);
+    }
+  } else if (justify == "right") {
+    if (widget.width() > text_width + internal_w + shadow) {
+      x = static_cast<xsim::Position>(widget.width() - text_width - internal_w - shadow);
+    }
+  }
+  xsim::Position baseline = static_cast<xsim::Position>(
+      (widget.height() + font->ascent - font->descent) / 2);
+  if (xsim::PixmapPtr bitmap = widget.GetPixmap("bitmap")) {
+    d.CopyPixmap(widget.window(), *bitmap,
+                 static_cast<xsim::Position>((widget.width() - bitmap->width) / 2),
+                 static_cast<xsim::Position>((widget.height() - bitmap->height) / 2));
+  } else {
+    d.DrawText(widget.window(), x, baseline, text, font, fg);
+  }
+}
+
+}  // namespace xaw

@@ -1,0 +1,91 @@
+// The Athena widget set (Xaw), with optional Xaw3d styling. The class
+// hierarchy mirrors X11R5/Xaw3d:
+//
+//   Core -> Simple [-> ThreeD] -> Label -> Command -> Toggle / MenuButton
+//   Composite -> Box, Form (-> Dialog), Paned, Viewport
+//   Simple -> List, Text (AsciiText), Scrollbar, StripChart, Grip
+//   OverrideShell -> SimpleMenu; Sme -> SmeBSB, SmeLine
+//
+// With three_d enabled (the Xaw3d relink of the paper), the ThreeD class
+// sits between Simple and Label and contributes the shadow resources that
+// bring Label's resource count to the 42 the paper reports.
+#ifndef SRC_XAW_ATHENA_H_
+#define SRC_XAW_ATHENA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/xt/app.h"
+#include "src/xt/classes.h"
+
+namespace xaw {
+
+// All Athena classes for one styling variant. Instances are created once per
+// variant and live for the process lifetime.
+struct AthenaClasses {
+  bool three_d = false;
+  const xtk::WidgetClass* simple = nullptr;
+  const xtk::WidgetClass* three_d_class = nullptr;  // null when !three_d
+  const xtk::WidgetClass* label = nullptr;
+  const xtk::WidgetClass* command = nullptr;
+  const xtk::WidgetClass* toggle = nullptr;
+  const xtk::WidgetClass* menu_button = nullptr;
+  const xtk::WidgetClass* box = nullptr;
+  const xtk::WidgetClass* form = nullptr;
+  const xtk::WidgetClass* dialog = nullptr;
+  const xtk::WidgetClass* paned = nullptr;
+  const xtk::WidgetClass* viewport = nullptr;
+  const xtk::WidgetClass* list = nullptr;
+  const xtk::WidgetClass* ascii_text = nullptr;
+  const xtk::WidgetClass* scrollbar = nullptr;
+  const xtk::WidgetClass* strip_chart = nullptr;
+  const xtk::WidgetClass* grip = nullptr;
+  const xtk::WidgetClass* simple_menu = nullptr;
+  const xtk::WidgetClass* sme = nullptr;
+  const xtk::WidgetClass* sme_bsb = nullptr;
+  const xtk::WidgetClass* sme_line = nullptr;
+
+  std::vector<const xtk::WidgetClass*> All() const;
+};
+
+// Returns the class set for a styling variant (built on first use).
+const AthenaClasses& GetAthenaClasses(bool three_d);
+
+// Registers intrinsic + Athena classes with the app context.
+void RegisterAthenaClasses(xtk::AppContext& app, bool three_d = true);
+
+// --- Programmatic interface (XawXxx functions) --------------------------------
+
+// XawListChange: replaces the item list, optionally resizing.
+void ListChange(xtk::Widget& list, const std::vector<std::string>& items, bool resize);
+// XawListHighlight / XawListUnhighlightCurrent.
+void ListHighlight(xtk::Widget& list, int index);
+void ListUnhighlight(xtk::Widget& list);
+// XawListShowCurrent: returns the highlighted index (-1) and item.
+int ListCurrent(const xtk::Widget& list, std::string* item);
+
+// XawToggleSetCurrent / XawToggleGetCurrent over a radio group.
+void ToggleSetCurrent(xtk::Widget& any_group_member, const std::string& radio_data);
+std::string ToggleGetCurrent(const xtk::Widget& any_group_member);
+// XawToggleChangeRadioGroup.
+void ToggleChangeRadioGroup(xtk::Widget& toggle, xtk::Widget* group_member);
+
+// XawFormDoLayout.
+void FormDoLayout(xtk::Widget& form, bool do_layout);
+// XawFormAllowResize (per-child constraint toggle).
+void FormAllowResize(xtk::Widget& child, bool allow);
+
+// XawTextReplace-style editing helpers for AsciiText.
+void TextInsert(xtk::Widget& text, const std::string& str);
+void TextSetInsertionPoint(xtk::Widget& text, long position);
+long TextGetInsertionPoint(const xtk::Widget& text);
+
+// XawScrollbarSetThumb.
+void ScrollbarSetThumb(xtk::Widget& scrollbar, double top, double shown);
+
+// StripChart: appends a sample (the repaint scrolls the chart).
+void StripChartAddValue(xtk::Widget& chart, double value);
+
+}  // namespace xaw
+
+#endif  // SRC_XAW_ATHENA_H_

@@ -1,0 +1,322 @@
+// Composite Athena widgets: Box, Form, Dialog, Paned, Viewport.
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/xaw/athena_internal.h"
+#include "src/xt/app.h"
+
+namespace xaw {
+
+namespace {
+
+using RT = xtk::ResourceType;
+using xtk::Widget;
+
+// Resizes a container to `w`,`h` unless the user fixed its size explicitly.
+void FitContainer(Widget& container, xsim::Dimension w, xsim::Dimension h) {
+  xsim::Dimension width = container.WasExplicit("width") ? container.width() : w;
+  xsim::Dimension height = container.WasExplicit("height") ? container.height() : h;
+  container.SetGeometry(container.x(), container.y(), width, height);
+}
+
+void LayoutBox(Widget& box) {
+  long h_space = box.GetLong("hSpace", 4);
+  long v_space = box.GetLong("vSpace", 4);
+  std::string orientation = box.GetString("orientation");
+  xsim::Dimension limit = box.WasExplicit("width") ? box.width() : 0;
+  xsim::Position x = static_cast<xsim::Position>(h_space);
+  xsim::Position y = static_cast<xsim::Position>(v_space);
+  xsim::Dimension row_height = 0;
+  xsim::Dimension max_x = 0;
+  for (Widget* child : box.children()) {
+    if (!child->managed()) {
+      continue;
+    }
+    xsim::Dimension cw = child->width() + 2 * child->border_width();
+    xsim::Dimension ch = child->height() + 2 * child->border_width();
+    if (orientation == "vertical") {
+      child->SetGeometry(static_cast<xsim::Position>(h_space), y, child->width(),
+                         child->height());
+      y += static_cast<xsim::Position>(ch + v_space);
+      max_x = std::max(max_x, cw + 2 * static_cast<xsim::Dimension>(h_space));
+      continue;
+    }
+    if (limit != 0 && x != h_space && x + static_cast<xsim::Position>(cw) >
+                                          static_cast<xsim::Position>(limit)) {
+      x = static_cast<xsim::Position>(h_space);
+      y += static_cast<xsim::Position>(row_height + v_space);
+      row_height = 0;
+    }
+    child->SetGeometry(x, y, child->width(), child->height());
+    x += static_cast<xsim::Position>(cw + h_space);
+    row_height = std::max(row_height, ch);
+    max_x = std::max(max_x, static_cast<xsim::Dimension>(x));
+  }
+  xsim::Dimension total_h =
+      static_cast<xsim::Dimension>(y) +
+      (orientation == "vertical" ? 0 : row_height + static_cast<xsim::Dimension>(v_space));
+  FitContainer(box, orientation == "vertical" ? max_x : max_x, total_h);
+}
+
+void LayoutPaned(Widget& paned) {
+  long internal = paned.GetLong("internalBorderWidth", 1);
+  std::string orientation = paned.GetString("orientation");
+  bool vertical = orientation != "horizontal";
+  xsim::Position offset = 0;
+  xsim::Dimension breadth = 0;
+  for (Widget* child : paned.children()) {
+    if (!child->managed()) {
+      continue;
+    }
+    breadth = std::max(breadth, vertical ? child->width() : child->height());
+  }
+  for (Widget* child : paned.children()) {
+    if (!child->managed()) {
+      continue;
+    }
+    if (vertical) {
+      child->SetGeometry(0, offset, breadth, child->height());
+      offset += static_cast<xsim::Position>(child->height() + 2 * child->border_width() +
+                                            internal);
+    } else {
+      child->SetGeometry(offset, 0, child->width(), breadth);
+      offset += static_cast<xsim::Position>(child->width() + 2 * child->border_width() +
+                                            internal);
+    }
+  }
+  if (vertical) {
+    FitContainer(paned, breadth, static_cast<xsim::Dimension>(offset));
+  } else {
+    FitContainer(paned, static_cast<xsim::Dimension>(offset), breadth);
+  }
+}
+
+// The viewport's scrollable content: the first managed non-scrollbar child.
+Widget* ViewportChild(Widget& viewport) {
+  for (Widget* child : viewport.children()) {
+    if (child->managed() && child->widget_class()->name != "Scrollbar") {
+      return child;
+    }
+  }
+  return nullptr;
+}
+
+void LayoutViewport(Widget& viewport) {
+  // Positions the content child at the scroll offset.
+  long offset_x = viewport.GetLong("_scrollX");
+  long offset_y = viewport.GetLong("_scrollY");
+  Widget* child = ViewportChild(viewport);
+  if (child == nullptr) {
+    return;
+  }
+  child->SetGeometry(static_cast<xsim::Position>(-offset_x),
+                     static_cast<xsim::Position>(-offset_y), child->width(),
+                     child->height());
+  if (!viewport.WasExplicit("width") && !viewport.WasExplicit("height")) {
+    FitContainer(viewport, child->width(), child->height());
+  }
+  // Vertical scrollbar: created on demand when the content overflows (or
+  // forceBars is set) and allowVert is enabled.
+  if (viewport.GetBool("allowVert") &&
+      (viewport.GetBool("forceBars") || child->height() > viewport.height())) {
+    std::string bar_name = viewport.name() + ".vertical";
+    Widget* bar = viewport.app().FindWidget(bar_name);
+    if (bar == nullptr) {
+      std::string error;
+      bar = viewport.app().CreateWidget(
+          bar_name, "Scrollbar", &viewport,
+          {{"orientation", "vertical"},
+           {"length", std::to_string(viewport.height())}},
+          true, &error);
+      if (bar == nullptr) {
+        return;
+      }
+      // Wire the thumb to the scroll offset.
+      Widget* vp = &viewport;
+      xtk::CallbackList jump;
+      jump.push_back(xtk::Callback{
+          "viewport-scroll", [vp](Widget&, const xtk::CallData& data) {
+            Widget* content = ViewportChild(*vp);
+            if (content == nullptr) {
+              return;
+            }
+            double fraction = std::strtod(data.Get("t").c_str(), nullptr);
+            long max_offset =
+                std::max(0L, static_cast<long>(content->height()) -
+                                 static_cast<long>(vp->height()));
+            vp->SetRawValue("_scrollY",
+                            static_cast<long>(fraction * static_cast<double>(max_offset)));
+            LayoutViewport(*vp);
+            vp->app().Redraw(vp);
+          }});
+      bar->SetRawValue("jumpProc", jump);
+    }
+    // Pin the bar to the right edge, full height, above the content.
+    xsim::Dimension thickness = static_cast<xsim::Dimension>(bar->GetLong("thickness", 14));
+    bar->SetGeometry(static_cast<xsim::Position>(viewport.width() - thickness), 0, thickness,
+                     viewport.height());
+    if (bar->realized()) {
+      bar->display().RaiseWindow(bar->window());
+    }
+    double shown = child->height() > 0
+                       ? std::min(1.0, static_cast<double>(viewport.height()) /
+                                           static_cast<double>(child->height()))
+                       : 1.0;
+    bar->SetRawValue("shown", shown);
+  }
+}
+
+void DialogInitialize(Widget& dialog) {
+  // The Athena Dialog creates a label child (and a value text child when the
+  // `value` resource is set). Children are registered under qualified names
+  // to keep Wafe's flat namespace collision-free.
+  std::string error;
+  std::vector<std::pair<std::string, std::string>> args;
+  args.emplace_back("label", dialog.GetString("label"));
+  args.emplace_back("borderWidth", "0");
+  dialog.app().CreateWidget(dialog.name() + ".label", "Label", &dialog, args, true, &error);
+  if (dialog.WasExplicit("value")) {
+    std::vector<std::pair<std::string, std::string>> value_args;
+    value_args.emplace_back("string", dialog.GetString("value"));
+    value_args.emplace_back("editType", "edit");
+    dialog.app().CreateWidget(dialog.name() + ".value", "AsciiText", &dialog, value_args, true,
+                              &error);
+  }
+}
+
+}  // namespace
+
+void LayoutForm(xtk::Widget& form) {
+  if (form.GetLong("_noLayout") != 0) {
+    return;
+  }
+  long distance = form.GetLong("defaultDistance", 4);
+  xsim::Dimension max_w = 0;
+  xsim::Dimension max_h = 0;
+  for (Widget* child : form.children()) {
+    if (!child->managed()) {
+      continue;
+    }
+    long h_dist = child->WasExplicit("horizDistance") ? child->GetLong("horizDistance")
+                                                      : distance;
+    long v_dist = child->WasExplicit("vertDistance") ? child->GetLong("vertDistance")
+                                                     : distance;
+    Widget* from_horiz = child->GetWidget("fromHoriz");
+    Widget* from_vert = child->GetWidget("fromVert");
+    xsim::Position x = static_cast<xsim::Position>(h_dist);
+    xsim::Position y = static_cast<xsim::Position>(v_dist);
+    if (from_horiz != nullptr) {
+      x = from_horiz->x() + static_cast<xsim::Position>(from_horiz->width() +
+                                                        2 * from_horiz->border_width()) +
+          static_cast<xsim::Position>(h_dist);
+    }
+    if (from_vert != nullptr) {
+      y = from_vert->y() + static_cast<xsim::Position>(from_vert->height() +
+                                                       2 * from_vert->border_width()) +
+          static_cast<xsim::Position>(v_dist);
+    }
+    child->SetGeometry(x, y, child->width(), child->height());
+    max_w = std::max(max_w, static_cast<xsim::Dimension>(x) + child->width() +
+                                2 * child->border_width() +
+                                static_cast<xsim::Dimension>(distance));
+    max_h = std::max(max_h, static_cast<xsim::Dimension>(y) + child->height() +
+                                2 * child->border_width() +
+                                static_cast<xsim::Dimension>(distance));
+  }
+  if (max_w > 0 && max_h > 0) {
+    FitContainer(form, max_w, max_h);
+  }
+}
+
+void FormDoLayout(xtk::Widget& form, bool do_layout) {
+  form.SetRawValue("_noLayout", static_cast<long>(do_layout ? 0 : 1));
+  if (do_layout) {
+    LayoutForm(form);
+    form.app().Redraw(&form);
+  }
+}
+
+void FormAllowResize(xtk::Widget& child, bool allow) {
+  child.SetRawValue("resizable", allow);
+}
+
+void BuildContainerClasses(AthenaClasses& set) {
+  // --- Box --------------------------------------------------------------------
+  xtk::WidgetClass* box = NewClass("Box", xtk::CompositeClass());
+  box->composite = true;
+  box->resources = {
+      {"hSpace", "HSpace", RT::kDimension, "4"},
+      {"vSpace", "VSpace", RT::kDimension, "4"},
+      {"orientation", "Orientation", RT::kString, "vertical"},
+  };
+  box->change_managed = LayoutBox;
+  box->resize = LayoutBox;
+  set.box = box;
+
+  // --- Form --------------------------------------------------------------------
+  xtk::WidgetClass* form = NewClass("Form", xtk::ConstraintClass());
+  form->composite = true;
+  form->resources = {
+      {"defaultDistance", "Thickness", RT::kDimension, "4"},
+  };
+  form->constraints = {
+      {"fromHoriz", "Widget", RT::kWidget, ""},
+      {"fromVert", "Widget", RT::kWidget, ""},
+      {"horizDistance", "Thickness", RT::kInt, "4"},
+      {"vertDistance", "Thickness", RT::kInt, "4"},
+      {"top", "Edge", RT::kString, "rubber"},
+      {"bottom", "Edge", RT::kString, "rubber"},
+      {"left", "Edge", RT::kString, "rubber"},
+      {"right", "Edge", RT::kString, "rubber"},
+      {"resizable", "Boolean", RT::kBoolean, "false"},
+  };
+  form->change_managed = [](Widget& w) { LayoutForm(w); };
+  form->resize = [](Widget& w) { LayoutForm(w); };
+  set.form = form;
+
+  // --- Dialog ------------------------------------------------------------------
+  xtk::WidgetClass* dialog = NewClass("Dialog", form);
+  dialog->composite = true;
+  dialog->resources = {
+      {"label", "Label", RT::kString, ""},
+      {"value", "Value", RT::kString, ""},
+      {"icon", "Icon", RT::kPixmap, ""},
+  };
+  dialog->initialize = DialogInitialize;
+  set.dialog = dialog;
+
+  // --- Paned -------------------------------------------------------------------
+  xtk::WidgetClass* paned = NewClass("Paned", xtk::ConstraintClass());
+  paned->composite = true;
+  paned->resources = {
+      {"internalBorderWidth", "BorderWidth", RT::kDimension, "1"},
+      {"orientation", "Orientation", RT::kString, "vertical"},
+      {"gripIndent", "GripIndent", RT::kPosition, "10"},
+  };
+  paned->constraints = {
+      {"min", "Min", RT::kDimension, "1"},
+      {"max", "Max", RT::kDimension, "10000"},
+      {"allowResize", "Boolean", RT::kBoolean, "false"},
+      {"showGrip", "ShowGrip", RT::kBoolean, "true"},
+      {"skipAdjust", "Boolean", RT::kBoolean, "false"},
+  };
+  paned->change_managed = LayoutPaned;
+  paned->resize = LayoutPaned;
+  set.paned = paned;
+
+  // --- Viewport ------------------------------------------------------------------
+  xtk::WidgetClass* viewport = NewClass("Viewport", form);
+  viewport->composite = true;
+  viewport->resources = {
+      {"allowHoriz", "Boolean", RT::kBoolean, "false"},
+      {"allowVert", "Boolean", RT::kBoolean, "false"},
+      {"forceBars", "Boolean", RT::kBoolean, "false"},
+      {"useBottom", "Boolean", RT::kBoolean, "false"},
+      {"useRight", "Boolean", RT::kBoolean, "false"},
+  };
+  viewport->change_managed = LayoutViewport;
+  viewport->resize = LayoutViewport;
+  set.viewport = viewport;
+}
+
+}  // namespace xaw

@@ -1,0 +1,287 @@
+// Simple, ThreeD, Label, Command, Toggle, and MenuButton.
+#include "src/xaw/athena_internal.h"
+#include "src/xt/app.h"
+
+namespace xaw {
+
+namespace {
+
+using RT = xtk::ResourceType;
+using xtk::CallData;
+using xtk::Widget;
+
+// Internal (non-resource) state keys.
+constexpr char kSetState[] = "_set";
+constexpr char kHighlighted[] = "_highlighted";
+
+bool InternalFlag(const Widget& widget, const char* key) {
+  const xtk::ResourceValue& value = widget.Value(key);
+  const bool* v = std::get_if<bool>(&value);
+  return v != nullptr && *v;
+}
+
+void LabelInitialize(Widget& widget) {
+  // Athena defaults the label text to the widget name.
+  if (!widget.WasExplicit("label") && widget.GetString("label").empty()) {
+    widget.SetRawValue("label", widget.name());
+  }
+  xsim::Dimension width = 0;
+  xsim::Dimension height = 0;
+  PreferredLabelSize(widget, widget.GetString("label"), &width, &height);
+  ApplyPreferredSize(widget, width, height);
+}
+
+void LabelExpose(Widget& widget) {
+  DrawLabelText(widget, widget.GetString("label"), /*inverted=*/false);
+  DrawShadow(widget, /*sunken=*/false);
+}
+
+void LabelSetValues(Widget& widget, const std::string& resource) {
+  if (resource == "label" || resource == "font") {
+    if (widget.GetBool("resize", true) && !widget.WasExplicit("width")) {
+      xsim::Dimension width = 0;
+      xsim::Dimension height = 0;
+      PreferredLabelSize(widget, widget.GetString("label"), &width, &height);
+      ResizeWidget(widget, width, height);
+    }
+  }
+}
+
+void CommandExpose(Widget& widget) {
+  bool set = InternalFlag(widget, kSetState);
+  DrawLabelText(widget, widget.GetString("label"), set);
+  DrawShadow(widget, set);
+  if (InternalFlag(widget, kHighlighted)) {
+    long thickness = widget.GetLong("highlightThickness", 2);
+    widget.display().DrawRectOutline(
+        widget.window(), xsim::Rect{0, 0, widget.width(), widget.height()},
+        widget.GetPixel("foreground", xsim::kBlackPixel));
+    (void)thickness;
+  }
+}
+
+void ToggleExpose(Widget& widget) {
+  bool set = widget.GetBool("state");
+  DrawLabelText(widget, widget.GetString("label"), set);
+  DrawShadow(widget, set);
+}
+
+}  // namespace
+
+void BuildSimpleClasses(AthenaClasses& set) {
+  // --- Simple -------------------------------------------------------------------
+  xtk::WidgetClass* simple = NewClass("Simple", xtk::CoreClass());
+  simple->resources = {
+      {"cursor", "Cursor", RT::kString, ""},
+      {"cursorName", "Cursor", RT::kString, ""},
+      {"insensitiveBorder", "Insensitive", RT::kPixmap, ""},
+      {"pointerColor", "Foreground", RT::kPixel, "XtDefaultForeground"},
+      {"pointerColorBackground", "Background", RT::kPixel, "XtDefaultBackground"},
+      {"international", "International", RT::kBoolean, "false"},
+  };
+  set.simple = simple;
+
+  // --- ThreeD (Xaw3d only) ---------------------------------------------------------
+  const xtk::WidgetClass* label_super = simple;
+  if (set.three_d) {
+    xtk::WidgetClass* three_d = NewClass("ThreeD", simple);
+    three_d->resources = {
+        {"shadowWidth", "ShadowWidth", RT::kDimension, "2"},
+        {"topShadowPixel", "TopShadowPixel", RT::kPixel, "#f0f0f0"},
+        {"bottomShadowPixel", "BottomShadowPixel", RT::kPixel, "#646464"},
+        {"topShadowContrast", "TopShadowContrast", RT::kInt, "20"},
+        {"bottomShadowContrast", "BottomShadowContrast", RT::kInt, "40"},
+        {"beNiceToColormap", "BeNiceToColormap", RT::kBoolean, "false"},
+        {"userData", "UserData", RT::kString, ""},
+    };
+    set.three_d_class = three_d;
+    label_super = three_d;
+  }
+
+  // --- Label ------------------------------------------------------------------------
+  xtk::WidgetClass* label = NewClass("Label", label_super);
+  label->resources = {
+      {"bitmap", "Pixmap", RT::kPixmap, ""},
+      {"encoding", "Encoding", RT::kInt, "0"},
+      {"font", "Font", RT::kFont, "XtDefaultFont"},
+      {"fontSet", "FontSet", RT::kString, ""},
+      {"foreground", "Foreground", RT::kPixel, "XtDefaultForeground"},
+      {"internalHeight", "Height", RT::kDimension, "2"},
+      {"internalWidth", "Width", RT::kDimension, "4"},
+      {"justify", "Justify", RT::kString, "center"},
+      {"label", "Label", RT::kString, ""},
+      {"leftBitmap", "LeftBitmap", RT::kPixmap, ""},
+      {"resize", "Resize", RT::kBoolean, "true"},
+  };
+  label->initialize = LabelInitialize;
+  label->expose = LabelExpose;
+  label->set_values = LabelSetValues;
+  set.label = label;
+
+  // --- Command ---------------------------------------------------------------------
+  xtk::WidgetClass* command = NewClass("Command", label);
+  command->resources = {
+      {"callback", "Callback", RT::kCallback, ""},
+      {"highlightThickness", "Thickness", RT::kDimension, "2"},
+      {"cornerRoundPercent", "CornerRoundPercent", RT::kDimension, "25"},
+      {"shapeStyle", "ShapeStyle", RT::kString, "rectangle"},
+  };
+  command->expose = CommandExpose;
+  command->default_translations =
+      "<EnterWindow>: highlight()\n"
+      "<LeaveWindow>: reset()\n"
+      "<Btn1Down>: set()\n"
+      "<Btn1Up>: notify() unset()";
+  command->actions["highlight"] = [](Widget& w, const xsim::Event&,
+                                     const std::vector<std::string>&) {
+    w.SetRawValue(kHighlighted, true);
+    w.app().Redraw(&w);
+  };
+  command->actions["reset"] = [](Widget& w, const xsim::Event&,
+                                 const std::vector<std::string>&) {
+    w.SetRawValue(kHighlighted, false);
+    w.SetRawValue(kSetState, false);
+    w.app().Redraw(&w);
+  };
+  command->actions["unhighlight"] = [](Widget& w, const xsim::Event&,
+                                       const std::vector<std::string>&) {
+    w.SetRawValue(kHighlighted, false);
+    w.app().Redraw(&w);
+  };
+  command->actions["set"] = [](Widget& w, const xsim::Event&,
+                               const std::vector<std::string>&) {
+    w.SetRawValue(kSetState, true);
+    w.app().Redraw(&w);
+  };
+  command->actions["unset"] = [](Widget& w, const xsim::Event&,
+                                 const std::vector<std::string>&) {
+    w.SetRawValue(kSetState, false);
+    w.app().Redraw(&w);
+  };
+  command->actions["notify"] = [](Widget& w, const xsim::Event&,
+                                  const std::vector<std::string>&) {
+    w.app().CallCallbacks(&w, "callback", CallData{});
+  };
+  set.command = command;
+
+  // --- Toggle ------------------------------------------------------------------------
+  xtk::WidgetClass* toggle = NewClass("Toggle", command);
+  toggle->resources = {
+      {"state", "State", RT::kBoolean, "false"},
+      {"radioGroup", "Widget", RT::kWidget, ""},
+      {"radioData", "RadioData", RT::kString, ""},
+  };
+  toggle->expose = ToggleExpose;
+  toggle->default_translations =
+      "<EnterWindow>: highlight()\n"
+      "<LeaveWindow>: unhighlight()\n"
+      "<Btn1Up>: toggle() notify()";
+  toggle->actions["toggle"] = [](Widget& w, const xsim::Event&,
+                                 const std::vector<std::string>&) {
+    bool new_state = !w.GetBool("state");
+    w.SetRawValue("state", new_state);
+    if (new_state) {
+      // Radio semantics: clear the other members of the group.
+      Widget* group = w.GetWidget("radioGroup");
+      if (group != nullptr) {
+        // Collect the set reachable through radioGroup links among siblings.
+        Widget* parent = w.parent();
+        if (parent != nullptr) {
+          for (Widget* sibling : parent->children()) {
+            if (sibling != &w && sibling->FindSpec("state") != nullptr &&
+                (sibling->GetWidget("radioGroup") == group || sibling == group)) {
+              sibling->SetRawValue("state", false);
+              w.app().Redraw(sibling);
+            }
+          }
+        }
+      }
+    }
+    w.app().Redraw(&w);
+  };
+  toggle->actions["set"] = [](Widget& w, const xsim::Event&,
+                              const std::vector<std::string>&) {
+    w.SetRawValue("state", true);
+    w.app().Redraw(&w);
+  };
+  toggle->actions["unset"] = [](Widget& w, const xsim::Event&,
+                                const std::vector<std::string>&) {
+    w.SetRawValue("state", false);
+    w.app().Redraw(&w);
+  };
+  set.toggle = toggle;
+
+  // --- MenuButton ----------------------------------------------------------------------
+  xtk::WidgetClass* menu_button = NewClass("MenuButton", command);
+  menu_button->resources = {
+      {"menuName", "MenuName", RT::kString, "menu"},
+  };
+  menu_button->default_translations =
+      "<EnterWindow>: highlight()\n"
+      "<LeaveWindow>: reset()\n"
+      "<BtnDown>: reset() PopupMenu()";
+  menu_button->actions["PopupMenu"] = [](Widget& w, const xsim::Event&,
+                                         const std::vector<std::string>&) {
+    Widget* menu = w.app().FindWidget(w.GetString("menuName"));
+    if (menu == nullptr) {
+      return;
+    }
+    // Position the menu under the button, as the MenuButton widget does.
+    xsim::Point origin = w.display().RootPosition(w.window());
+    menu->SetGeometry(origin.x, origin.y + static_cast<xsim::Position>(w.height()),
+                      menu->width(), menu->height());
+    w.app().Popup(menu, xtk::GrabKind::kExclusive);
+  };
+  set.menu_button = menu_button;
+}
+
+// --- Toggle programmatic interface (XawToggle...) ----------------------------------
+
+namespace {
+
+// Collects the members of a toggle's radio group: siblings sharing the same
+// radioGroup link (or linked to each other).
+std::vector<Widget*> RadioGroupMembers(const Widget& member) {
+  std::vector<Widget*> group;
+  Widget* parent = member.parent();
+  if (parent == nullptr) {
+    return group;
+  }
+  Widget* anchor = member.GetWidget("radioGroup");
+  for (Widget* sibling : parent->children()) {
+    if (sibling->FindSpec("state") == nullptr) {
+      continue;
+    }
+    if (sibling == &member || sibling == anchor ||
+        sibling->GetWidget("radioGroup") == anchor ||
+        sibling->GetWidget("radioGroup") == &member) {
+      group.push_back(sibling);
+    }
+  }
+  return group;
+}
+
+}  // namespace
+
+void ToggleSetCurrent(xtk::Widget& any_group_member, const std::string& radio_data) {
+  for (Widget* member : RadioGroupMembers(any_group_member)) {
+    bool selected = member->GetString("radioData") == radio_data;
+    member->SetRawValue("state", selected);
+    member->app().Redraw(member);
+  }
+}
+
+std::string ToggleGetCurrent(const xtk::Widget& any_group_member) {
+  for (Widget* member : RadioGroupMembers(const_cast<xtk::Widget&>(any_group_member))) {
+    if (member->GetBool("state")) {
+      return member->GetString("radioData");
+    }
+  }
+  return "";
+}
+
+void ToggleChangeRadioGroup(xtk::Widget& toggle, xtk::Widget* group_member) {
+  toggle.SetRawValue("radioGroup", group_member);
+}
+
+}  // namespace xaw

@@ -1,0 +1,49 @@
+// Shared helpers for the Athena widget implementations. Internal to src/xaw.
+#ifndef SRC_XAW_ATHENA_INTERNAL_H_
+#define SRC_XAW_ATHENA_INTERNAL_H_
+
+#include <string>
+
+#include "src/xaw/athena.h"
+#include "src/xt/widget.h"
+
+namespace xaw {
+
+// Builders, one per source file; each fills its classes into the set.
+void BuildSimpleClasses(AthenaClasses& set);  // Simple, ThreeD, Label, Command, Toggle,
+                                              // MenuButton
+void BuildContainerClasses(AthenaClasses& set);  // Box, Form, Dialog, Paned, Viewport
+void BuildListClass(AthenaClasses& set);
+void BuildTextClass(AthenaClasses& set);
+void BuildMenuClasses(AthenaClasses& set);  // SimpleMenu, Sme, SmeBSB, SmeLine
+void BuildMiscClasses(AthenaClasses& set);  // Scrollbar, StripChart, Grip
+
+// Allocates a class that lives for the process lifetime.
+xtk::WidgetClass* NewClass(const std::string& name, const xtk::WidgetClass* superclass);
+
+// Shadow width of a widget (0 unless built with the ThreeD class).
+xsim::Dimension ShadowWidth(const xtk::Widget& widget);
+
+// Draws the Xaw3d shadow frame (raised or sunken) if the widget has one.
+void DrawShadow(xtk::Widget& widget, bool sunken);
+
+// Draws a text label honoring font, foreground, justify and the internal
+// margins, optionally inverted (set Command buttons).
+void DrawLabelText(xtk::Widget& widget, const std::string& text, bool inverted);
+
+// Preferred size of a label-like widget for its current text/bitmap.
+void PreferredLabelSize(const xtk::Widget& widget, const std::string& text,
+                        xsim::Dimension* width, xsim::Dimension* height);
+
+// Applies the preferred size unless the user specified one explicitly.
+void ApplyPreferredSize(xtk::Widget& widget, xsim::Dimension width, xsim::Dimension height);
+
+// Resizes a widget and propagates to the window when realized.
+void ResizeWidget(xtk::Widget& widget, xsim::Dimension width, xsim::Dimension height);
+
+// Lays out a Form widget's children by their constraints.
+void LayoutForm(xtk::Widget& form);
+
+}  // namespace xaw
+
+#endif  // SRC_XAW_ATHENA_INTERNAL_H_

@@ -1,0 +1,179 @@
+// The Athena List widget: displays a string list in columns, lets the user
+// select an item with Button1, and fires its callback with the index and
+// the active element — the source of Wafe's %i / %s percent codes.
+#include <algorithm>
+
+#include "src/xaw/athena_internal.h"
+#include "src/xt/app.h"
+
+namespace xaw {
+
+namespace {
+
+using RT = xtk::ResourceType;
+using xtk::CallData;
+using xtk::Widget;
+
+constexpr char kHighlightKey[] = "_listHighlight";
+
+long RowSpacing(const Widget& list) { return list.GetLong("rowSpacing", 2); }
+
+xsim::FontPtr ListFont(const Widget& list) {
+  xsim::FontPtr font = list.GetFont("font");
+  return font != nullptr ? font : xsim::FontRegistry::Default().Open("fixed");
+}
+
+long RowHeight(const Widget& list) {
+  return static_cast<long>(ListFont(list)->Height()) + RowSpacing(list);
+}
+
+int ItemAtPosition(const Widget& list, xsim::Position y) {
+  long internal_h = list.GetLong("internalHeight", 2);
+  long row = (y - internal_h) / RowHeight(list);
+  std::vector<std::string> items = list.GetStringList("list");
+  if (row < 0 || row >= static_cast<long>(items.size())) {
+    return -1;
+  }
+  return static_cast<int>(row);
+}
+
+void ListComputeSize(Widget& list) {
+  std::vector<std::string> items = list.GetStringList("list");
+  xsim::FontPtr font = ListFont(list);
+  long internal_w = list.GetLong("internalWidth", 2);
+  long internal_h = list.GetLong("internalHeight", 2);
+  xsim::Dimension max_w = 0;
+  for (const std::string& item : items) {
+    max_w = std::max(max_w, font->TextWidth(item));
+  }
+  xsim::Dimension width = max_w + 2 * static_cast<xsim::Dimension>(internal_w) +
+                          static_cast<xsim::Dimension>(list.GetLong("columnSpacing", 6));
+  xsim::Dimension height = static_cast<xsim::Dimension>(
+      2 * internal_h + RowHeight(list) * static_cast<long>(items.size()));
+  if (height == static_cast<xsim::Dimension>(2 * internal_h)) {
+    height += static_cast<xsim::Dimension>(RowHeight(list));
+  }
+  ApplyPreferredSize(list, width, height);
+}
+
+void ListExpose(Widget& list) {
+  if (!list.realized()) {
+    return;
+  }
+  std::vector<std::string> items = list.GetStringList("list");
+  xsim::FontPtr font = ListFont(list);
+  xsim::Pixel fg = list.GetPixel("foreground", xsim::kBlackPixel);
+  xsim::Pixel bg = list.GetPixel("background", xsim::kWhitePixel);
+  long internal_w = list.GetLong("internalWidth", 2);
+  long internal_h = list.GetLong("internalHeight", 2);
+  long highlight = list.GetLong(kHighlightKey, -1);
+  long row_height = RowHeight(list);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    xsim::Position top =
+        static_cast<xsim::Position>(internal_h + row_height * static_cast<long>(i));
+    bool selected = highlight == static_cast<long>(i);
+    if (selected) {
+      list.display().FillRect(
+          list.window(),
+          xsim::Rect{0, top, list.width(), static_cast<xsim::Dimension>(row_height)}, fg);
+    }
+    xsim::Position baseline = top + static_cast<xsim::Position>(font->ascent) + 1;
+    list.display().DrawText(list.window(), static_cast<xsim::Position>(internal_w), baseline,
+                            items[i], font, selected ? bg : fg);
+  }
+}
+
+void ListNotify(Widget& list) {
+  long highlight = list.GetLong(kHighlightKey, -1);
+  std::vector<std::string> items = list.GetStringList("list");
+  if (highlight < 0 || highlight >= static_cast<long>(items.size())) {
+    return;
+  }
+  CallData data;
+  data.fields["i"] = std::to_string(highlight);
+  data.fields["s"] = items[static_cast<std::size_t>(highlight)];
+  list.app().CallCallbacks(&list, "callback", data);
+}
+
+}  // namespace
+
+void ListChange(xtk::Widget& list, const std::vector<std::string>& items, bool resize) {
+  list.SetRawValue("list", items);
+  list.SetRawValue("numberStrings", static_cast<long>(items.size()));
+  list.SetRawValue(kHighlightKey, static_cast<long>(-1));
+  if (resize) {
+    ListComputeSize(list);
+  }
+  list.app().Redraw(&list);
+}
+
+void ListHighlight(xtk::Widget& list, int index) {
+  list.SetRawValue(kHighlightKey, static_cast<long>(index));
+  list.app().Redraw(&list);
+}
+
+void ListUnhighlight(xtk::Widget& list) { ListHighlight(list, -1); }
+
+int ListCurrent(const xtk::Widget& list, std::string* item) {
+  long highlight = list.GetLong(kHighlightKey, -1);
+  std::vector<std::string> items = list.GetStringList("list");
+  if (highlight < 0 || highlight >= static_cast<long>(items.size())) {
+    return -1;
+  }
+  if (item != nullptr) {
+    *item = items[static_cast<std::size_t>(highlight)];
+  }
+  return static_cast<int>(highlight);
+}
+
+void BuildListClass(AthenaClasses& set) {
+  xtk::WidgetClass* list = NewClass("List", set.simple);
+  list->resources = {
+      {"callback", "Callback", RT::kCallback, ""},
+      {"columnSpacing", "Spacing", RT::kDimension, "6"},
+      {"defaultColumns", "Columns", RT::kInt, "2"},
+      {"font", "Font", RT::kFont, "XtDefaultFont"},
+      {"forceColumns", "Columns", RT::kBoolean, "false"},
+      {"foreground", "Foreground", RT::kPixel, "XtDefaultForeground"},
+      {"internalHeight", "Height", RT::kDimension, "2"},
+      {"internalWidth", "Width", RT::kDimension, "2"},
+      {"list", "List", RT::kStringList, ""},
+      {"longest", "Longest", RT::kInt, "0"},
+      {"numberStrings", "NumberStrings", RT::kInt, "0"},
+      {"pasteBuffer", "Boolean", RT::kBoolean, "false"},
+      {"rowSpacing", "Spacing", RT::kDimension, "2"},
+      {"verticalList", "Boolean", RT::kBoolean, "false"},
+  };
+  list->initialize = [](Widget& w) {
+    std::vector<std::string> items = w.GetStringList("list");
+    w.SetRawValue("numberStrings", static_cast<long>(items.size()));
+    w.SetRawValue(kHighlightKey, static_cast<long>(-1));
+    ListComputeSize(w);
+  };
+  list->expose = ListExpose;
+  list->set_values = [](Widget& w, const std::string& resource) {
+    if (resource == "list") {
+      std::vector<std::string> items = w.GetStringList("list");
+      w.SetRawValue("numberStrings", static_cast<long>(items.size()));
+      w.SetRawValue(kHighlightKey, static_cast<long>(-1));
+      ListComputeSize(w);
+    }
+  };
+  list->default_translations =
+      "<Btn1Down>: Set()\n"
+      "<Btn1Up>: Notify()";
+  list->actions["Set"] = [](Widget& w, const xsim::Event& event,
+                            const std::vector<std::string>&) {
+    int index = ItemAtPosition(w, event.y);
+    if (index >= 0) {
+      ListHighlight(w, index);
+    }
+  };
+  list->actions["Unset"] = [](Widget& w, const xsim::Event&,
+                              const std::vector<std::string>&) { ListUnhighlight(w); };
+  list->actions["Notify"] = [](Widget& w, const xsim::Event&,
+                               const std::vector<std::string>&) { ListNotify(w); };
+  set.list = list;
+}
+
+}  // namespace xaw

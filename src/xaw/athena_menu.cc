@@ -1,0 +1,158 @@
+// SimpleMenu and its entry classes (Sme, SmeBSB, SmeLine). SimpleMenu is an
+// OverrideShell popped up by MenuButton's PopupMenu action; entries fire
+// their callbacks when the menu is released over them.
+#include "src/xaw/athena_internal.h"
+#include "src/xt/app.h"
+
+namespace xaw {
+
+namespace {
+
+using RT = xtk::ResourceType;
+using xtk::CallData;
+using xtk::Widget;
+
+void LayoutMenu(Widget& menu) {
+  xsim::Dimension width = 60;
+  for (Widget* entry : menu.children()) {
+    if (!entry->managed()) {
+      continue;
+    }
+    width = std::max(width, entry->width());
+  }
+  xsim::Position y = 0;
+  for (Widget* entry : menu.children()) {
+    if (!entry->managed()) {
+      continue;
+    }
+    entry->SetGeometry(0, y, width, entry->height());
+    y += static_cast<xsim::Position>(entry->height());
+  }
+  menu.SetGeometry(menu.x(), menu.y(), width, static_cast<xsim::Dimension>(std::max(y, 1)));
+}
+
+void EntryNotify(Widget& entry) {
+  entry.app().CallCallbacks(&entry, "callback", CallData{});
+}
+
+}  // namespace
+
+void BuildMenuClasses(AthenaClasses& set) {
+  // --- SimpleMenu -----------------------------------------------------------------
+  xtk::WidgetClass* menu = NewClass("SimpleMenu", xtk::OverrideShellClass());
+  menu->composite = true;
+  menu->shell = true;
+  menu->resources = {
+      {"label", "Label", RT::kString, ""},
+      {"cursor", "Cursor", RT::kString, ""},
+      {"popupOnEntry", "Widget", RT::kWidget, ""},
+      {"rowHeight", "RowHeight", RT::kDimension, "0"},
+      {"menuOnScreen", "Boolean", RT::kBoolean, "true"},
+  };
+  menu->change_managed = LayoutMenu;
+  menu->default_translations =
+      "<EnterWindow>: highlight()\n"
+      "<LeaveWindow>: unhighlight()\n"
+      "<BtnUp>: MenuPopdown() notify() unhighlight()";
+  menu->actions["MenuPopdown"] = [](Widget& w, const xsim::Event&,
+                                    const std::vector<std::string>&) {
+    Widget* shell = &w;
+    while (shell->parent() != nullptr) {
+      shell = shell->parent();
+    }
+    w.app().Popdown(shell);
+  };
+  menu->actions["highlight"] = [](Widget&, const xsim::Event&,
+                                  const std::vector<std::string>&) {};
+  menu->actions["unhighlight"] = [](Widget&, const xsim::Event&,
+                                    const std::vector<std::string>&) {};
+  menu->actions["notify"] = [](Widget&, const xsim::Event&,
+                               const std::vector<std::string>&) {};
+  set.simple_menu = menu;
+
+  // --- Sme (base entry) --------------------------------------------------------------
+  xtk::WidgetClass* sme = NewClass("Sme", xtk::CoreClass());
+  sme->resources = {
+      {"callback", "Callback", RT::kCallback, ""},
+  };
+  sme->default_translations =
+      "<BtnUp>: notify() MenuPopdown()\n"
+      "<EnterWindow>: highlight()\n"
+      "<LeaveWindow>: unhighlight()";
+  sme->actions["notify"] = [](Widget& w, const xsim::Event&,
+                              const std::vector<std::string>&) { EntryNotify(w); };
+  sme->actions["highlight"] = [](Widget& w, const xsim::Event&,
+                                 const std::vector<std::string>&) {
+    w.SetRawValue("_highlighted", true);
+    w.app().Redraw(&w);
+  };
+  sme->actions["unhighlight"] = [](Widget& w, const xsim::Event&,
+                                   const std::vector<std::string>&) {
+    w.SetRawValue("_highlighted", false);
+    w.app().Redraw(&w);
+  };
+  sme->actions["MenuPopdown"] = [](Widget& w, const xsim::Event&,
+                                   const std::vector<std::string>&) {
+    Widget* shell = &w;
+    while (shell->parent() != nullptr && !shell->widget_class()->shell) {
+      shell = shell->parent();
+    }
+    w.app().Popdown(shell);
+  };
+  set.sme = sme;
+
+  // --- SmeBSB -----------------------------------------------------------------------
+  xtk::WidgetClass* bsb = NewClass("SmeBSB", sme);
+  bsb->resources = {
+      {"label", "Label", RT::kString, ""},
+      {"font", "Font", RT::kFont, "XtDefaultFont"},
+      {"foreground", "Foreground", RT::kPixel, "XtDefaultForeground"},
+      {"justify", "Justify", RT::kString, "left"},
+      {"leftBitmap", "LeftBitmap", RT::kPixmap, ""},
+      {"rightBitmap", "RightBitmap", RT::kPixmap, ""},
+      {"leftMargin", "HorizontalMargins", RT::kDimension, "4"},
+      {"rightMargin", "HorizontalMargins", RT::kDimension, "4"},
+      {"vertSpace", "VertSpace", RT::kInt, "25"},
+  };
+  bsb->initialize = [](Widget& w) {
+    if (!w.WasExplicit("label") && w.GetString("label").empty()) {
+      w.SetRawValue("label", w.name());
+    }
+    xsim::FontPtr font = w.GetFont("font");
+    if (font == nullptr) {
+      font = xsim::FontRegistry::Default().Open("fixed");
+    }
+    xsim::Dimension width = font->TextWidth(w.GetString("label")) +
+                            static_cast<xsim::Dimension>(w.GetLong("leftMargin", 4)) +
+                            static_cast<xsim::Dimension>(w.GetLong("rightMargin", 4));
+    ApplyPreferredSize(w, width, font->Height() + 4);
+  };
+  bsb->expose = [](Widget& w) {
+    bool highlighted = false;
+    const xtk::ResourceValue& value = w.Value("_highlighted");
+    if (const bool* v = std::get_if<bool>(&value)) {
+      highlighted = *v;
+    }
+    DrawLabelText(w, w.GetString("label"), highlighted);
+  };
+  set.sme_bsb = bsb;
+
+  // --- SmeLine ------------------------------------------------------------------------
+  xtk::WidgetClass* line = NewClass("SmeLine", sme);
+  line->resources = {
+      {"lineWidth", "LineWidth", RT::kDimension, "1"},
+      {"stipple", "Stipple", RT::kPixmap, ""},
+  };
+  line->initialize = [](Widget& w) { ApplyPreferredSize(w, 60, 3); };
+  line->expose = [](Widget& w) {
+    if (!w.realized()) {
+      return;
+    }
+    w.display().DrawLine(w.window(), xsim::Point{0, 1},
+                         xsim::Point{static_cast<xsim::Position>(w.width()), 1},
+                         xsim::kBlackPixel);
+  };
+  set.sme_line = line;
+}
+
+}  // namespace xaw

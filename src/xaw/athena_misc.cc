@@ -1,0 +1,236 @@
+// Scrollbar, StripChart, and Grip.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/xaw/athena_internal.h"
+#include "src/xt/app.h"
+
+namespace xaw {
+
+namespace {
+
+using RT = xtk::ResourceType;
+using xtk::CallData;
+using xtk::Widget;
+
+constexpr char kSamplesKey[] = "_samples";
+
+double ThumbFraction(const Widget& scrollbar, const xsim::Event& event) {
+  bool vertical = scrollbar.GetString("orientation") != "horizontal";
+  long length = vertical ? static_cast<long>(scrollbar.height())
+                         : static_cast<long>(scrollbar.width());
+  if (length <= 0) {
+    return 0.0;
+  }
+  long at = vertical ? event.y : event.x;
+  double fraction = static_cast<double>(at) / static_cast<double>(length);
+  return std::clamp(fraction, 0.0, 1.0);
+}
+
+void ScrollbarExpose(Widget& w) {
+  if (!w.realized()) {
+    return;
+  }
+  double top = w.GetFloat("topOfThumb");
+  double shown = w.GetFloat("shown", 1.0);
+  bool vertical = w.GetString("orientation") != "horizontal";
+  xsim::Pixel fg = w.GetPixel("foreground", xsim::kBlackPixel);
+  if (vertical) {
+    xsim::Position y = static_cast<xsim::Position>(top * w.height());
+    xsim::Dimension h = static_cast<xsim::Dimension>(std::max(1.0, shown * w.height()));
+    w.display().FillRect(w.window(), xsim::Rect{0, y, w.width(), h}, fg);
+  } else {
+    xsim::Position x = static_cast<xsim::Position>(top * w.width());
+    xsim::Dimension thumb_w = static_cast<xsim::Dimension>(std::max(1.0, shown * w.width()));
+    w.display().FillRect(w.window(), xsim::Rect{x, 0, thumb_w, w.height()}, fg);
+  }
+  DrawShadow(w, /*sunken=*/true);
+}
+
+std::vector<double> ChartSamples(const Widget& chart) {
+  std::vector<double> samples;
+  for (const std::string& s : chart.GetStringList(kSamplesKey)) {
+    samples.push_back(std::strtod(s.c_str(), nullptr));
+  }
+  return samples;
+}
+
+// StripChart polls its getValue callback every `update` seconds (the Xaw
+// contract behind the paper's xnetstats/xvmstats-style monitors). The timer
+// resolves the widget by name at fire time so a destroyed chart cannot
+// dangle.
+void ScheduleStripChartUpdate(Widget& w) {
+  long update = w.GetLong("update", 10);
+  const xtk::CallbackList* callbacks = w.GetCallbacks("getValue");
+  if (update <= 0 || callbacks == nullptr || callbacks->empty()) {
+    return;
+  }
+  xtk::AppContext* app = &w.app();
+  std::string name = w.name();
+  int id = app->AddTimeout(update * 1000, [app, name] {
+    Widget* chart = app->FindWidget(name);
+    if (chart == nullptr || !chart->realized()) {
+      return;
+    }
+    app->CallCallbacks(chart, "getValue", CallData{});
+    ScheduleStripChartUpdate(*chart);
+  });
+  w.SetRawValue("_updateTimer", static_cast<long>(id));
+}
+
+void StripChartExpose(Widget& w) {
+  if (!w.realized()) {
+    return;
+  }
+  std::vector<double> samples = ChartSamples(w);
+  double scale = std::max(1.0, static_cast<double>(w.GetLong("minScale", 1)));
+  for (double sample : samples) {
+    scale = std::max(scale, sample);
+  }
+  xsim::Pixel fg = w.GetPixel("foreground", xsim::kBlackPixel);
+  long width = static_cast<long>(w.width());
+  long height = static_cast<long>(w.height());
+  long start = std::max(0L, static_cast<long>(samples.size()) - width);
+  for (long i = start; i < static_cast<long>(samples.size()); ++i) {
+    long x = i - start;
+    long bar = static_cast<long>(samples[static_cast<std::size_t>(i)] / scale *
+                                 static_cast<double>(height));
+    bar = std::clamp(bar, 0L, height);
+    w.display().DrawLine(w.window(),
+                         xsim::Point{static_cast<xsim::Position>(x),
+                                     static_cast<xsim::Position>(height)},
+                         xsim::Point{static_cast<xsim::Position>(x),
+                                     static_cast<xsim::Position>(height - bar)},
+                         fg);
+  }
+}
+
+}  // namespace
+
+void ScrollbarSetThumb(xtk::Widget& scrollbar, double top, double shown) {
+  scrollbar.SetRawValue("topOfThumb", top);
+  scrollbar.SetRawValue("shown", shown);
+  scrollbar.app().Redraw(&scrollbar);
+}
+
+void StripChartAddValue(xtk::Widget& chart, double value) {
+  std::vector<std::string> samples = chart.GetStringList(kSamplesKey);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  samples.push_back(buffer);
+  // Bound the history to a screenful to honor the memory-management promise.
+  std::size_t limit = std::max<std::size_t>(chart.width(), 64) * 2;
+  if (samples.size() > limit) {
+    samples.erase(samples.begin(),
+                  samples.begin() + static_cast<long>(samples.size() - limit));
+  }
+  chart.SetRawValue(kSamplesKey, samples);
+  chart.app().CallCallbacks(&chart, "getValue", CallData{});
+  chart.app().Redraw(&chart);
+}
+
+void BuildMiscClasses(AthenaClasses& set) {
+  const xtk::WidgetClass* super = set.three_d ? set.three_d_class : set.simple;
+
+  // --- Scrollbar -------------------------------------------------------------------
+  xtk::WidgetClass* scrollbar = NewClass("Scrollbar", super);
+  scrollbar->resources = {
+      {"foreground", "Foreground", RT::kPixel, "XtDefaultForeground"},
+      {"orientation", "Orientation", RT::kString, "vertical"},
+      {"length", "Length", RT::kDimension, "100"},
+      {"thickness", "Thickness", RT::kDimension, "14"},
+      {"shown", "Shown", RT::kFloat, "1.0"},
+      {"topOfThumb", "TopOfThumb", RT::kFloat, "0.0"},
+      {"minimumThumb", "MinimumThumb", RT::kDimension, "7"},
+      {"scrollProc", "Callback", RT::kCallback, ""},
+      {"jumpProc", "Callback", RT::kCallback, ""},
+      {"thumbProc", "Callback", RT::kCallback, ""},
+  };
+  scrollbar->initialize = [](Widget& w) {
+    bool vertical = w.GetString("orientation") != "horizontal";
+    xsim::Dimension length = static_cast<xsim::Dimension>(w.GetLong("length", 100));
+    xsim::Dimension thickness = static_cast<xsim::Dimension>(w.GetLong("thickness", 14));
+    if (vertical) {
+      ApplyPreferredSize(w, thickness, length);
+    } else {
+      ApplyPreferredSize(w, length, thickness);
+    }
+  };
+  scrollbar->expose = ScrollbarExpose;
+  scrollbar->default_translations =
+      "<Btn1Down>: StartScroll(Continuous) MoveThumb() NotifyThumb()\n"
+      "<Btn1Motion>: MoveThumb() NotifyThumb()\n"
+      "<Btn1Up>: NotifyScroll(Proportional) EndScroll()";
+  scrollbar->actions["StartScroll"] = [](Widget&, const xsim::Event&,
+                                         const std::vector<std::string>&) {};
+  scrollbar->actions["MoveThumb"] = [](Widget& w, const xsim::Event& event,
+                                       const std::vector<std::string>&) {
+    w.SetRawValue("topOfThumb", ThumbFraction(w, event));
+    w.app().Redraw(&w);
+  };
+  scrollbar->actions["NotifyThumb"] = [](Widget& w, const xsim::Event& event,
+                                         const std::vector<std::string>&) {
+    CallData data;
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%g", ThumbFraction(w, event));
+    data.fields["t"] = buffer;
+    w.app().CallCallbacks(&w, "jumpProc", data);
+  };
+  scrollbar->actions["NotifyScroll"] = [](Widget& w, const xsim::Event& event,
+                                          const std::vector<std::string>&) {
+    CallData data;
+    data.fields["p"] = std::to_string(event.y);
+    w.app().CallCallbacks(&w, "scrollProc", data);
+  };
+  scrollbar->actions["EndScroll"] = [](Widget&, const xsim::Event&,
+                                       const std::vector<std::string>&) {};
+  set.scrollbar = scrollbar;
+
+  // --- StripChart --------------------------------------------------------------------
+  xtk::WidgetClass* chart = NewClass("StripChart", super);
+  chart->resources = {
+      {"foreground", "Foreground", RT::kPixel, "XtDefaultForeground"},
+      {"highlight", "Foreground", RT::kPixel, "XtDefaultForeground"},
+      {"getValue", "Callback", RT::kCallback, ""},
+      {"jumpScroll", "JumpScroll", RT::kInt, "50"},
+      {"minScale", "Scale", RT::kInt, "1"},
+      {"update", "Interval", RT::kInt, "10"},
+  };
+  chart->initialize = [](Widget& w) { ApplyPreferredSize(w, 120, 40); };
+  chart->expose = StripChartExpose;
+  chart->realize = ScheduleStripChartUpdate;
+  chart->destroy = [](Widget& w) {
+    long id = w.GetLong("_updateTimer", 0);
+    if (id != 0) {
+      w.app().RemoveTimeout(static_cast<int>(id));
+    }
+  };
+  set.strip_chart = chart;
+
+  // --- Grip ---------------------------------------------------------------------------
+  xtk::WidgetClass* grip = NewClass("Grip", super);
+  grip->resources = {
+      {"callback", "Callback", RT::kCallback, ""},
+      {"foreground", "Foreground", RT::kPixel, "XtDefaultForeground"},
+  };
+  grip->initialize = [](Widget& w) { ApplyPreferredSize(w, 8, 8); };
+  grip->expose = [](Widget& w) {
+    if (w.realized()) {
+      w.display().FillRect(w.window(), xsim::Rect{0, 0, w.width(), w.height()},
+                           w.GetPixel("foreground", xsim::kBlackPixel));
+    }
+  };
+  grip->default_translations = "<Btn1Down>: GripAction()";
+  grip->actions["GripAction"] = [](Widget& w, const xsim::Event&,
+                                   const std::vector<std::string>& params) {
+    CallData data;
+    if (!params.empty()) {
+      data.fields["a"] = params[0];
+    }
+    w.app().CallCallbacks(&w, "callback", data);
+  };
+  set.grip = grip;
+}
+
+}  // namespace xaw

@@ -1,0 +1,309 @@
+// The AsciiText widget: a single editable text buffer with an insertion
+// point and the classic emacs-flavored Athena text actions. Covers the
+// paper's prime-factor example: characters typed into the widget accumulate
+// in the `string` resource which the backend reads with `gV input string`.
+#include <algorithm>
+
+#include "src/xaw/athena_internal.h"
+#include "src/xt/app.h"
+
+// The widget also implements the classic Xt selection wiring: sweeping with
+// Button1 selects text and owns PRIMARY; insert-selection (Button2) pastes
+// the PRIMARY value at the insertion point.
+
+namespace xaw {
+
+namespace {
+
+using RT = xtk::ResourceType;
+using xtk::CallData;
+using xtk::Widget;
+
+bool Editable(const Widget& text) {
+  std::string edit_type = text.GetString("editType");
+  return edit_type == "edit" || edit_type == "append";
+}
+
+long ClampPosition(const Widget& text, long position) {
+  long length = static_cast<long>(text.GetString("string").size());
+  return std::max(0L, std::min(position, length));
+}
+
+void Insert(Widget& text, const std::string& str) {
+  if (!Editable(text) || str.empty()) {
+    return;
+  }
+  std::string buffer = text.GetString("string");
+  long point = ClampPosition(text, text.GetLong("insertPosition"));
+  buffer.insert(static_cast<std::size_t>(point), str);
+  text.SetRawValue("string", buffer);
+  text.SetRawValue("insertPosition", point + static_cast<long>(str.size()));
+  text.app().CallCallbacks(&text, "callback", CallData{});
+  text.app().Redraw(&text);
+}
+
+void DeleteRange(Widget& text, long from, long to) {
+  if (!Editable(text)) {
+    return;
+  }
+  std::string buffer = text.GetString("string");
+  from = ClampPosition(text, from);
+  to = ClampPosition(text, to);
+  if (from >= to) {
+    return;
+  }
+  buffer.erase(static_cast<std::size_t>(from), static_cast<std::size_t>(to - from));
+  text.SetRawValue("string", buffer);
+  text.SetRawValue("insertPosition", from);
+  text.app().CallCallbacks(&text, "callback", CallData{});
+  text.app().Redraw(&text);
+}
+
+void TextExpose(Widget& text) {
+  if (!text.realized()) {
+    return;
+  }
+  xsim::FontPtr font = text.GetFont("font");
+  if (font == nullptr) {
+    font = xsim::FontRegistry::Default().Open("fixed");
+  }
+  xsim::Pixel fg = text.GetPixel("foreground", xsim::kBlackPixel);
+  std::string buffer = text.GetString("string");
+  // Draw each line; the caret is a vertical bar at the insertion point.
+  long point = ClampPosition(text, text.GetLong("insertPosition"));
+  xsim::Position y = static_cast<xsim::Position>(font->ascent) + 2;
+  std::size_t line_start = 0;
+  long seen = 0;
+  while (line_start <= buffer.size()) {
+    std::size_t line_end = buffer.find('\n', line_start);
+    std::string line = buffer.substr(
+        line_start, line_end == std::string::npos ? std::string::npos : line_end - line_start);
+    text.display().DrawText(text.window(), 2, y, line, font, fg);
+    if (text.GetBool("displayCaret", true) && point >= seen &&
+        point <= seen + static_cast<long>(line.size())) {
+      xsim::Position caret_x =
+          2 + static_cast<xsim::Position>(font->char_width * static_cast<unsigned>(point - seen));
+      text.display().DrawLine(
+          text.window(), xsim::Point{caret_x, y - static_cast<xsim::Position>(font->ascent)},
+          xsim::Point{caret_x, y + static_cast<xsim::Position>(font->descent)}, fg);
+    }
+    seen += static_cast<long>(line.size()) + 1;
+    if (line_end == std::string::npos) {
+      break;
+    }
+    line_start = line_end + 1;
+    y += static_cast<xsim::Position>(font->Height());
+  }
+  DrawShadow(text, /*sunken=*/true);
+}
+
+// Maps a window-relative click position to a buffer position (fixed-pitch
+// fonts; multi-line buffers honor the line the y coordinate falls in).
+long PositionFromClick(const Widget& text, xsim::Position x, xsim::Position y) {
+  xsim::FontPtr font = text.GetFont("font");
+  if (font == nullptr) {
+    font = xsim::FontRegistry::Default().Open("fixed");
+  }
+  const std::string buffer = text.GetString("string");
+  long row = std::max(0L, static_cast<long>((y - 2) / static_cast<long>(font->Height())));
+  long col = std::max(0L, static_cast<long>((x - 2 + static_cast<long>(font->char_width) / 2) /
+                                            static_cast<long>(font->char_width)));
+  std::size_t line_start = 0;
+  while (row > 0) {
+    std::size_t nl = buffer.find('\n', line_start);
+    if (nl == std::string::npos) {
+      break;
+    }
+    line_start = nl + 1;
+    --row;
+  }
+  std::size_t line_end = buffer.find('\n', line_start);
+  long line_length = static_cast<long>(
+      (line_end == std::string::npos ? buffer.size() : line_end) - line_start);
+  return static_cast<long>(line_start) + std::min(col, line_length);
+}
+
+long SelAnchor(const Widget& text) { return text.GetLong("_selAnchor", -1); }
+long SelEnd(const Widget& text) { return text.GetLong("_selEnd", -1); }
+
+std::string SelectedText(const Widget& text) {
+  long a = SelAnchor(text);
+  long b = SelEnd(text);
+  if (a < 0 || b < 0) {
+    return "";
+  }
+  long from = std::min(a, b);
+  long to = std::max(a, b);
+  const std::string buffer = text.GetString("string");
+  from = std::clamp(from, 0L, static_cast<long>(buffer.size()));
+  to = std::clamp(to, 0L, static_cast<long>(buffer.size()));
+  return buffer.substr(static_cast<std::size_t>(from), static_cast<std::size_t>(to - from));
+}
+
+long LineStart(const std::string& buffer, long point) {
+  if (point <= 0) {
+    return 0;
+  }
+  std::size_t nl = buffer.rfind('\n', static_cast<std::size_t>(point - 1));
+  return nl == std::string::npos ? 0 : static_cast<long>(nl) + 1;
+}
+
+long LineEnd(const std::string& buffer, long point) {
+  std::size_t nl = buffer.find('\n', static_cast<std::size_t>(point));
+  return nl == std::string::npos ? static_cast<long>(buffer.size()) : static_cast<long>(nl);
+}
+
+}  // namespace
+
+void TextInsert(xtk::Widget& text, const std::string& str) { Insert(text, str); }
+
+void TextSetInsertionPoint(xtk::Widget& text, long position) {
+  text.SetRawValue("insertPosition", ClampPosition(text, position));
+  text.app().Redraw(&text);
+}
+
+long TextGetInsertionPoint(const xtk::Widget& text) {
+  return ClampPosition(text, text.GetLong("insertPosition"));
+}
+
+void BuildTextClass(AthenaClasses& set) {
+  const xtk::WidgetClass* super = set.three_d ? set.three_d_class : set.simple;
+  xtk::WidgetClass* text = NewClass("AsciiText", super);
+  text->resources = {
+      {"autoFill", "AutoFill", RT::kBoolean, "false"},
+      {"callback", "Callback", RT::kCallback, ""},
+      {"displayCaret", "Output", RT::kBoolean, "true"},
+      {"displayPosition", "TextPosition", RT::kInt, "0"},
+      {"echo", "Output", RT::kBoolean, "true"},
+      {"editType", "EditType", RT::kString, "read"},
+      {"font", "Font", RT::kFont, "XtDefaultFont"},
+      {"foreground", "Foreground", RT::kPixel, "XtDefaultForeground"},
+      {"insertPosition", "TextPosition", RT::kInt, "0"},
+      {"leftMargin", "Margin", RT::kPosition, "2"},
+      {"length", "Length", RT::kInt, "0"},
+      {"resize", "Resize", RT::kString, "never"},
+      {"scrollHorizontal", "Scroll", RT::kString, "never"},
+      {"scrollVertical", "Scroll", RT::kString, "never"},
+      {"string", "String", RT::kString, ""},
+      {"wrap", "Wrap", RT::kString, "never"},
+  };
+  text->initialize = [](Widget& w) {
+    xsim::FontPtr font = w.GetFont("font");
+    if (font == nullptr) {
+      font = xsim::FontRegistry::Default().Open("fixed");
+    }
+    ApplyPreferredSize(w, 100, font->Height() + 6);
+    w.SetRawValue("insertPosition",
+                  ClampPosition(w, static_cast<long>(w.GetString("string").size())));
+  };
+  text->expose = TextExpose;
+  text->set_values = [](Widget& w, const std::string& resource) {
+    if (resource == "string") {
+      w.SetRawValue("insertPosition",
+                    ClampPosition(w, static_cast<long>(w.GetString("string").size())));
+    }
+  };
+  text->default_translations =
+      "<Key>Return: newline()\n"
+      "<Key>BackSpace: delete-previous-character()\n"
+      "<Key>Delete: delete-previous-character()\n"
+      "Ctrl<Key>a: beginning-of-line()\n"
+      "Ctrl<Key>e: end-of-line()\n"
+      "Ctrl<Key>k: kill-to-end-of-line()\n"
+      "<Key>Left: backward-character()\n"
+      "<Key>Right: forward-character()\n"
+      "<KeyPress>: insert-char()\n"
+      "<Btn1Down>: select-start()\n"
+      "<Btn1Motion>: extend-adjust()\n"
+      "<Btn1Up>: extend-end()\n"
+      "<Btn2Down>: insert-selection(PRIMARY)";
+  text->actions["insert-char"] = [](Widget& w, const xsim::Event& event,
+                                    const std::vector<std::string>&) {
+    if (auto ascii = xsim::KeysymToAscii(event.keysym)) {
+      if (*ascii >= 0x20 && *ascii < 0x7f) {
+        Insert(w, std::string(1, *ascii));
+      }
+    }
+  };
+  text->actions["insert-string"] = [](Widget& w, const xsim::Event&,
+                                      const std::vector<std::string>& params) {
+    for (const std::string& param : params) {
+      Insert(w, param);
+    }
+  };
+  text->actions["newline"] = [](Widget& w, const xsim::Event&,
+                                const std::vector<std::string>&) { Insert(w, "\n"); };
+  text->actions["delete-previous-character"] = [](Widget& w, const xsim::Event&,
+                                                  const std::vector<std::string>&) {
+    long point = ClampPosition(w, w.GetLong("insertPosition"));
+    DeleteRange(w, point - 1, point);
+  };
+  text->actions["delete-next-character"] = [](Widget& w, const xsim::Event&,
+                                              const std::vector<std::string>&) {
+    long point = ClampPosition(w, w.GetLong("insertPosition"));
+    DeleteRange(w, point, point + 1);
+  };
+  text->actions["beginning-of-line"] = [](Widget& w, const xsim::Event&,
+                                          const std::vector<std::string>&) {
+    std::string buffer = w.GetString("string");
+    TextSetInsertionPoint(w, LineStart(buffer, ClampPosition(w, w.GetLong("insertPosition"))));
+  };
+  text->actions["end-of-line"] = [](Widget& w, const xsim::Event&,
+                                    const std::vector<std::string>&) {
+    std::string buffer = w.GetString("string");
+    TextSetInsertionPoint(w, LineEnd(buffer, ClampPosition(w, w.GetLong("insertPosition"))));
+  };
+  text->actions["kill-to-end-of-line"] = [](Widget& w, const xsim::Event&,
+                                            const std::vector<std::string>&) {
+    std::string buffer = w.GetString("string");
+    long point = ClampPosition(w, w.GetLong("insertPosition"));
+    DeleteRange(w, point, LineEnd(buffer, point));
+  };
+  text->actions["backward-character"] = [](Widget& w, const xsim::Event&,
+                                           const std::vector<std::string>&) {
+    TextSetInsertionPoint(w, ClampPosition(w, w.GetLong("insertPosition")) - 1);
+  };
+  text->actions["forward-character"] = [](Widget& w, const xsim::Event&,
+                                          const std::vector<std::string>&) {
+    TextSetInsertionPoint(w, ClampPosition(w, w.GetLong("insertPosition")) + 1);
+  };
+  text->actions["select-start"] = [](Widget& w, const xsim::Event& event,
+                                     const std::vector<std::string>&) {
+    w.display().SetInputFocus(w.window());
+    long position = PositionFromClick(w, event.x, event.y);
+    w.SetRawValue("_selAnchor", position);
+    w.SetRawValue("_selEnd", position);
+    w.SetRawValue("insertPosition", ClampPosition(w, position));
+    w.app().Redraw(&w);
+  };
+  text->actions["extend-adjust"] = [](Widget& w, const xsim::Event& event,
+                                      const std::vector<std::string>&) {
+    if (SelAnchor(w) < 0) {
+      return;
+    }
+    w.SetRawValue("_selEnd", PositionFromClick(w, event.x, event.y));
+    w.app().Redraw(&w);
+  };
+  text->actions["extend-end"] = [](Widget& w, const xsim::Event& event,
+                                   const std::vector<std::string>&) {
+    if (SelAnchor(w) < 0) {
+      return;
+    }
+    w.SetRawValue("_selEnd", PositionFromClick(w, event.x, event.y));
+    std::string selected = SelectedText(w);
+    if (!selected.empty()) {
+      // Sweeping a range owns PRIMARY with it (XawTextSetSelection).
+      w.app().OwnSelection(&w, "PRIMARY", [&w] { return SelectedText(w); });
+    }
+  };
+  text->actions["insert-selection"] = [](Widget& w, const xsim::Event&,
+                                         const std::vector<std::string>& params) {
+    std::string selection = params.empty() ? "PRIMARY" : params[0];
+    if (auto value = w.app().GetSelectionValue(selection)) {
+      Insert(w, *value);
+    }
+  };
+  set.ascii_text = text;
+}
+
+}  // namespace xaw

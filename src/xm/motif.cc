@@ -1,0 +1,489 @@
+#include "src/xm/motif.h"
+
+#include <algorithm>
+
+#include "src/xm/xmstring.h"
+
+namespace xmw {
+
+namespace {
+
+using RT = xtk::ResourceType;
+using xtk::CallData;
+using xtk::Widget;
+
+FontList WidgetFontList(const Widget& widget) {
+  std::string spec = widget.GetString("fontList");
+  if (!spec.empty()) {
+    if (auto fonts = ParseFontList(spec)) {
+      return *fonts;
+    }
+  }
+  FontList fallback;
+  FontListEntry entry;
+  entry.pattern = "fixed";
+  entry.tag = kDefaultFontTag;
+  entry.font = xsim::FontRegistry::Default().Open("fixed");
+  fallback.push_back(std::move(entry));
+  return fallback;
+}
+
+XmString WidgetLabelString(const Widget& widget, const FontList& fonts) {
+  std::string markup = widget.GetString("labelString");
+  if (markup.empty()) {
+    markup = widget.name();
+  }
+  std::string error;
+  if (auto parsed = ParseXmString(markup, &fonts, &error)) {
+    return *parsed;
+  }
+  XmString plain;
+  plain.source = markup;
+  plain.segments.push_back(XmStringSegment{markup, "", false});
+  return plain;
+}
+
+void DrawXmString(Widget& widget, const XmString& text, const FontList& fonts,
+                  bool inverted) {
+  if (!widget.realized()) {
+    return;
+  }
+  xsim::Display& d = widget.display();
+  xsim::Pixel fg = widget.GetPixel("foreground", xsim::kBlackPixel);
+  xsim::Pixel bg = widget.GetPixel("background", xsim::kWhitePixel);
+  if (inverted) {
+    d.FillRect(widget.window(), xsim::Rect{0, 0, widget.width(), widget.height()}, fg);
+    std::swap(fg, bg);
+  }
+  unsigned total = text.Width(fonts);
+  std::string alignment = widget.GetString("alignment");
+  xsim::Position x = static_cast<xsim::Position>(widget.GetLong("marginWidth", 2)) +
+                     static_cast<xsim::Position>(widget.GetLong("shadowThickness", 2));
+  if (alignment == "center" || alignment.empty()) {
+    if (widget.width() > total) {
+      x = static_cast<xsim::Position>((widget.width() - total) / 2);
+    }
+  } else if (alignment == "end") {
+    if (widget.width() > total + static_cast<unsigned>(x)) {
+      x = static_cast<xsim::Position>(widget.width() - total) - x;
+    }
+  }
+  for (const XmStringSegment& segment : text.segments) {
+    xsim::FontPtr font = FontForTag(fonts, segment.tag);
+    xsim::Position baseline =
+        static_cast<xsim::Position>((widget.height() + font->ascent - font->descent) / 2);
+    std::string rendered = segment.text;
+    if (segment.right_to_left) {
+      std::reverse(rendered.begin(), rendered.end());
+    }
+    d.DrawText(widget.window(), x, baseline, rendered, font, fg);
+    x += static_cast<xsim::Position>(font->TextWidth(segment.text));
+  }
+}
+
+void DrawMotifShadow(Widget& widget, bool sunken) {
+  long thickness = widget.GetLong("shadowThickness", 2);
+  if (thickness <= 0 || !widget.realized()) {
+    return;
+  }
+  xsim::Pixel top = widget.GetPixel("topShadowColor", xsim::MakePixel(230, 230, 230));
+  xsim::Pixel bottom = widget.GetPixel("bottomShadowColor", xsim::MakePixel(90, 90, 90));
+  if (sunken) {
+    std::swap(top, bottom);
+  }
+  xsim::Display& d = widget.display();
+  xsim::Dimension w = widget.width();
+  xsim::Dimension h = widget.height();
+  xsim::Dimension t = static_cast<xsim::Dimension>(thickness);
+  d.FillRect(widget.window(), xsim::Rect{0, 0, w, t}, top);
+  d.FillRect(widget.window(), xsim::Rect{0, 0, t, h}, top);
+  d.FillRect(widget.window(), xsim::Rect{0, static_cast<xsim::Position>(h - t), w, t}, bottom);
+  d.FillRect(widget.window(), xsim::Rect{static_cast<xsim::Position>(w - t), 0, t, h}, bottom);
+}
+
+bool ArmedFlag(const Widget& widget) {
+  const xtk::ResourceValue& value = widget.Value("_armed");
+  const bool* v = std::get_if<bool>(&value);
+  return v != nullptr && *v;
+}
+
+void LabelInitialize(Widget& widget) {
+  FontList fonts = WidgetFontList(widget);
+  XmString text = WidgetLabelString(widget, fonts);
+  unsigned height = 0;
+  for (const XmStringSegment& segment : text.segments) {
+    xsim::FontPtr font = FontForTag(fonts, segment.tag);
+    height = std::max(height, font->Height());
+  }
+  if (height == 0) {
+    height = xsim::FontRegistry::Default().Open("fixed")->Height();
+  }
+  long margin_w = widget.GetLong("marginWidth", 2);
+  long margin_h = widget.GetLong("marginHeight", 2);
+  long shadow = widget.GetLong("shadowThickness", 2);
+  xsim::Dimension want_w = text.Width(fonts) +
+                           2 * static_cast<xsim::Dimension>(margin_w + shadow);
+  xsim::Dimension want_h = height + 2 * static_cast<xsim::Dimension>(margin_h + shadow);
+  xsim::Dimension w = widget.WasExplicit("width") ? widget.width() : want_w;
+  xsim::Dimension h = widget.WasExplicit("height") ? widget.height() : want_h;
+  widget.SetGeometry(widget.x(), widget.y(), w, h);
+}
+
+void LabelExpose(Widget& widget) {
+  FontList fonts = WidgetFontList(widget);
+  DrawXmString(widget, WidgetLabelString(widget, fonts), fonts, false);
+}
+
+void RowColumnLayout(Widget& rc) {
+  bool vertical = rc.GetString("orientation") != "horizontal";
+  long spacing = rc.GetLong("spacing", 3);
+  long margin_w = rc.GetLong("marginWidth", 3);
+  long margin_h = rc.GetLong("marginHeight", 3);
+  xsim::Position x = static_cast<xsim::Position>(margin_w);
+  xsim::Position y = static_cast<xsim::Position>(margin_h);
+  xsim::Dimension breadth = 0;
+  for (Widget* child : rc.children()) {
+    if (!child->managed()) {
+      continue;
+    }
+    child->SetGeometry(x, y, child->width(), child->height());
+    if (vertical) {
+      y += static_cast<xsim::Position>(child->height() + spacing);
+      breadth = std::max(breadth, child->width());
+    } else {
+      x += static_cast<xsim::Position>(child->width() + spacing);
+      breadth = std::max(breadth, child->height());
+    }
+  }
+  xsim::Dimension total_w =
+      vertical ? breadth + 2 * static_cast<xsim::Dimension>(margin_w)
+               : static_cast<xsim::Dimension>(x + margin_w);
+  xsim::Dimension total_h =
+      vertical ? static_cast<xsim::Dimension>(y + margin_h)
+               : breadth + 2 * static_cast<xsim::Dimension>(margin_h);
+  xsim::Dimension w = rc.WasExplicit("width") ? rc.width() : total_w;
+  xsim::Dimension h = rc.WasExplicit("height") ? rc.height() : total_h;
+  rc.SetGeometry(rc.x(), rc.y(), w, h);
+}
+
+}  // namespace
+
+std::vector<const xtk::WidgetClass*> MotifClasses::All() const {
+  return {primitive, label,   push_button, cascade_button, toggle_button,
+          separator, manager, row_column,  command};
+}
+
+const MotifClasses& GetMotifClasses() {
+  static const MotifClasses* classes = [] {
+    auto* set = new MotifClasses();
+
+    // --- XmPrimitive ---------------------------------------------------------
+    auto* primitive = new xtk::WidgetClass();
+    primitive->name = "XmPrimitive";
+    primitive->superclass = xtk::CoreClass();
+    primitive->resources = {
+        {"foreground", "Foreground", RT::kPixel, "XtDefaultForeground"},
+        {"shadowThickness", "ShadowThickness", RT::kDimension, "2"},
+        {"highlightThickness", "HighlightThickness", RT::kDimension, "2"},
+        {"highlightColor", "HighlightColor", RT::kPixel, "XtDefaultForeground"},
+        {"topShadowColor", "TopShadowColor", RT::kPixel, "#e6e6e6"},
+        {"bottomShadowColor", "BottomShadowColor", RT::kPixel, "#5a5a5a"},
+        {"traversalOn", "TraversalOn", RT::kBoolean, "true"},
+        {"userData", "UserData", RT::kString, ""},
+        {"helpCallback", "Callback", RT::kCallback, ""},
+    };
+    set->primitive = primitive;
+
+    // --- XmLabel -----------------------------------------------------------------
+    auto* label = new xtk::WidgetClass();
+    label->name = "XmLabel";
+    label->superclass = primitive;
+    label->resources = {
+        {"labelString", "XmString", RT::kString, ""},
+        {"fontList", "FontList", RT::kString, ""},
+        {"alignment", "Alignment", RT::kString, "center"},
+        {"marginWidth", "MarginWidth", RT::kDimension, "2"},
+        {"marginHeight", "MarginHeight", RT::kDimension, "2"},
+        {"labelType", "LabelType", RT::kString, "string"},
+        {"labelPixmap", "Pixmap", RT::kPixmap, ""},
+        {"recomputeSize", "RecomputeSize", RT::kBoolean, "true"},
+        {"stringDirection", "StringDirection", RT::kString, "left_to_right"},
+    };
+    label->initialize = LabelInitialize;
+    label->expose = LabelExpose;
+    label->set_values = [](Widget& w, const std::string& resource) {
+      if ((resource == "labelString" || resource == "fontList") &&
+          w.GetBool("recomputeSize", true)) {
+        LabelInitialize(w);
+      }
+    };
+    set->label = label;
+
+    // --- XmPushButton ----------------------------------------------------------------
+    auto* push = new xtk::WidgetClass();
+    push->name = "XmPushButton";
+    push->superclass = label;
+    push->resources = {
+        {"armCallback", "Callback", RT::kCallback, ""},
+        {"activateCallback", "Callback", RT::kCallback, ""},
+        {"disarmCallback", "Callback", RT::kCallback, ""},
+        {"armColor", "ArmColor", RT::kPixel, "#b0b0b0"},
+        {"fillOnArm", "FillOnArm", RT::kBoolean, "true"},
+        {"showAsDefault", "ShowAsDefault", RT::kDimension, "0"},
+    };
+    push->expose = [](Widget& w) {
+      bool armed = ArmedFlag(w);
+      FontList fonts = WidgetFontList(w);
+      DrawXmString(w, WidgetLabelString(w, fonts), fonts, armed);
+      DrawMotifShadow(w, armed);
+    };
+    push->default_translations =
+        "<Btn1Down>: Arm()\n"
+        "<Btn1Up>: Activate() Disarm()";
+    push->actions["Arm"] = [](Widget& w, const xsim::Event&,
+                              const std::vector<std::string>&) {
+      w.SetRawValue("_armed", true);
+      w.app().CallCallbacks(&w, "armCallback", CallData{});
+      w.app().Redraw(&w);
+    };
+    push->actions["Activate"] = [](Widget& w, const xsim::Event&,
+                                   const std::vector<std::string>&) {
+      w.app().CallCallbacks(&w, "activateCallback", CallData{});
+    };
+    push->actions["Disarm"] = [](Widget& w, const xsim::Event&,
+                                 const std::vector<std::string>&) {
+      w.SetRawValue("_armed", false);
+      w.app().CallCallbacks(&w, "disarmCallback", CallData{});
+      w.app().Redraw(&w);
+    };
+    set->push_button = push;
+
+    // --- XmCascadeButton ---------------------------------------------------------------
+    auto* cascade = new xtk::WidgetClass();
+    cascade->name = "XmCascadeButton";
+    cascade->superclass = label;
+    cascade->resources = {
+        {"activateCallback", "Callback", RT::kCallback, ""},
+        {"cascadingCallback", "Callback", RT::kCallback, ""},
+        {"subMenuId", "MenuWidget", RT::kWidget, ""},
+        {"mappingDelay", "MappingDelay", RT::kInt, "180"},
+    };
+    cascade->expose = [](Widget& w) {
+      bool highlighted = ArmedFlag(w);
+      FontList fonts = WidgetFontList(w);
+      DrawXmString(w, WidgetLabelString(w, fonts), fonts, false);
+      if (highlighted) {
+        w.display().DrawRectOutline(w.window(), xsim::Rect{0, 0, w.width(), w.height()},
+                                    w.GetPixel("highlightColor", xsim::kBlackPixel));
+      }
+    };
+    cascade->default_translations =
+        "<Btn1Down>: CascadePopup()\n"
+        "<Btn1Up>: Activate()";
+    cascade->actions["CascadePopup"] = [](Widget& w, const xsim::Event&,
+                                          const std::vector<std::string>&) {
+      w.app().CallCallbacks(&w, "cascadingCallback", CallData{});
+      Widget* menu = w.GetWidget("subMenuId");
+      if (menu != nullptr) {
+        xsim::Point origin = w.display().RootPosition(w.window());
+        menu->SetGeometry(origin.x, origin.y + static_cast<xsim::Position>(w.height()),
+                          menu->width(), menu->height());
+        w.app().Popup(menu, xtk::GrabKind::kExclusive);
+      }
+    };
+    cascade->actions["Activate"] = [](Widget& w, const xsim::Event&,
+                                      const std::vector<std::string>&) {
+      w.app().CallCallbacks(&w, "activateCallback", CallData{});
+    };
+    set->cascade_button = cascade;
+
+    // --- XmToggleButton ------------------------------------------------------------------
+    auto* toggle = new xtk::WidgetClass();
+    toggle->name = "XmToggleButton";
+    toggle->superclass = label;
+    toggle->resources = {
+        {"set", "Set", RT::kBoolean, "false"},
+        {"valueChangedCallback", "Callback", RT::kCallback, ""},
+        {"armCallback", "Callback", RT::kCallback, ""},
+        {"disarmCallback", "Callback", RT::kCallback, ""},
+        {"indicatorType", "IndicatorType", RT::kString, "n_of_many"},
+        {"indicatorOn", "IndicatorOn", RT::kBoolean, "true"},
+    };
+    toggle->expose = [](Widget& w) {
+      FontList fonts = WidgetFontList(w);
+      bool on = w.GetBool("set");
+      // Indicator box to the left of the label.
+      if (w.realized() && w.GetBool("indicatorOn", true)) {
+        xsim::Rect box{2, static_cast<xsim::Position>(w.height() / 2) - 5, 10, 10};
+        if (on) {
+          w.display().FillRect(w.window(), box, w.GetPixel("foreground", xsim::kBlackPixel));
+        } else {
+          w.display().DrawRectOutline(w.window(), box,
+                                      w.GetPixel("foreground", xsim::kBlackPixel));
+        }
+      }
+      DrawXmString(w, WidgetLabelString(w, fonts), fonts, false);
+    };
+    toggle->default_translations = "<Btn1Up>: Toggle()";
+    toggle->actions["Toggle"] = [](Widget& w, const xsim::Event&,
+                                   const std::vector<std::string>&) {
+      bool now = !w.GetBool("set");
+      w.SetRawValue("set", now);
+      CallData data;
+      data.fields["s"] = now ? "1" : "0";
+      w.app().CallCallbacks(&w, "valueChangedCallback", data);
+      w.app().Redraw(&w);
+    };
+    set->toggle_button = toggle;
+
+    // --- XmSeparator ------------------------------------------------------------------------
+    auto* separator = new xtk::WidgetClass();
+    separator->name = "XmSeparator";
+    separator->superclass = primitive;
+    separator->resources = {
+        {"orientation", "Orientation", RT::kString, "horizontal"},
+        {"separatorType", "SeparatorType", RT::kString, "shadow_etched_in"},
+        {"margin", "Margin", RT::kDimension, "0"},
+    };
+    separator->initialize = [](Widget& w) {
+      if (!w.WasExplicit("width")) {
+        w.SetGeometry(w.x(), w.y(), 60, 2);
+      }
+    };
+    separator->expose = [](Widget& w) {
+      if (w.realized()) {
+        w.display().DrawLine(
+            w.window(), xsim::Point{0, 1},
+            xsim::Point{static_cast<xsim::Position>(w.width()), 1},
+            w.GetPixel("bottomShadowColor", xsim::kBlackPixel));
+      }
+    };
+    set->separator = separator;
+
+    // --- XmManager / XmRowColumn ----------------------------------------------------------------
+    auto* manager = new xtk::WidgetClass();
+    manager->name = "XmManager";
+    manager->superclass = xtk::ConstraintClass();
+    manager->composite = true;
+    manager->resources = {
+        {"foreground", "Foreground", RT::kPixel, "XtDefaultForeground"},
+        {"shadowThickness", "ShadowThickness", RT::kDimension, "0"},
+        {"topShadowColor", "TopShadowColor", RT::kPixel, "#e6e6e6"},
+        {"bottomShadowColor", "BottomShadowColor", RT::kPixel, "#5a5a5a"},
+        {"userData", "UserData", RT::kString, ""},
+    };
+    set->manager = manager;
+
+    auto* row_column = new xtk::WidgetClass();
+    row_column->name = "XmRowColumn";
+    row_column->superclass = manager;
+    row_column->composite = true;
+    row_column->resources = {
+        {"orientation", "Orientation", RT::kString, "vertical"},
+        {"packing", "Packing", RT::kString, "pack_tight"},
+        {"numColumns", "NumColumns", RT::kInt, "1"},
+        {"spacing", "Spacing", RT::kDimension, "3"},
+        {"marginWidth", "MarginWidth", RT::kDimension, "3"},
+        {"marginHeight", "MarginHeight", RT::kDimension, "3"},
+        {"rowColumnType", "RowColumnType", RT::kString, "work_area"},
+        {"isHomogeneous", "IsHomogeneous", RT::kBoolean, "false"},
+    };
+    row_column->change_managed = RowColumnLayout;
+    row_column->resize = RowColumnLayout;
+    set->row_column = row_column;
+
+    // --- XmCommand -------------------------------------------------------------------------------
+    auto* command = new xtk::WidgetClass();
+    command->name = "XmCommand";
+    command->superclass = manager;
+    command->composite = true;
+    command->resources = {
+        {"command", "TextString", RT::kString, ""},
+        {"commandEnteredCallback", "Callback", RT::kCallback, ""},
+        {"commandChangedCallback", "Callback", RT::kCallback, ""},
+        {"historyItems", "Items", RT::kStringList, ""},
+        {"historyItemCount", "ItemCount", RT::kInt, "0"},
+        {"historyMaxItems", "MaxItems", RT::kInt, "100"},
+        {"promptString", "XmString", RT::kString, ">"},
+    };
+    command->initialize = [](Widget& w) {
+      if (!w.WasExplicit("width")) {
+        w.SetGeometry(w.x(), w.y(), 200, 100);
+      }
+    };
+    command->expose = [](Widget& w) {
+      if (!w.realized()) {
+        return;
+      }
+      xsim::FontPtr font = xsim::FontRegistry::Default().Open("fixed");
+      xsim::Pixel fg = w.GetPixel("foreground", xsim::kBlackPixel);
+      std::vector<std::string> history = w.GetStringList("historyItems");
+      xsim::Position y = static_cast<xsim::Position>(font->ascent) + 2;
+      long first = std::max(0L, static_cast<long>(history.size()) -
+                                    static_cast<long>(w.height() / font->Height()) + 1);
+      for (std::size_t i = static_cast<std::size_t>(first); i < history.size(); ++i) {
+        w.display().DrawText(w.window(), 2, y, history[i], font, fg);
+        y += static_cast<xsim::Position>(font->Height());
+      }
+      w.display().DrawText(w.window(), 2, y,
+                           w.GetString("promptString") + " " + w.GetString("command"), font,
+                           fg);
+    };
+    set->command = command;
+
+    return set;
+  }();
+  return *classes;
+}
+
+void RegisterMotifClasses(xtk::AppContext& app) {
+  xtk::RegisterIntrinsicClasses(app);
+  for (const xtk::WidgetClass* cls : GetMotifClasses().All()) {
+    app.RegisterClass(cls);
+  }
+}
+
+// --- Programmatic interface ------------------------------------------------------
+
+void CascadeButtonHighlight(xtk::Widget& cascade, bool highlight) {
+  cascade.SetRawValue("_armed", highlight);
+  cascade.app().Redraw(&cascade);
+}
+
+void CommandAppendValue(xtk::Widget& command, const std::string& value) {
+  command.SetRawValue("command", command.GetString("command") + value);
+  command.app().CallCallbacks(&command, "commandChangedCallback", CallData{});
+  command.app().Redraw(&command);
+}
+
+void CommandSetValue(xtk::Widget& command, const std::string& value) {
+  command.SetRawValue("command", value);
+  command.app().CallCallbacks(&command, "commandChangedCallback", CallData{});
+  command.app().Redraw(&command);
+}
+
+void CommandError(xtk::Widget& command, const std::string& message) {
+  std::vector<std::string> history = command.GetStringList("historyItems");
+  history.push_back(message);
+  long max_items = command.GetLong("historyMaxItems", 100);
+  while (static_cast<long>(history.size()) > max_items) {
+    history.erase(history.begin());
+  }
+  command.SetRawValue("historyItems", history);
+  command.SetRawValue("historyItemCount", static_cast<long>(history.size()));
+  command.app().Redraw(&command);
+}
+
+void ToggleButtonSetState(xtk::Widget& toggle, bool state, bool notify) {
+  toggle.SetRawValue("set", state);
+  if (notify) {
+    CallData data;
+    data.fields["s"] = state ? "1" : "0";
+    toggle.app().CallCallbacks(&toggle, "valueChangedCallback", data);
+  }
+  toggle.app().Redraw(&toggle);
+}
+
+bool ToggleButtonGetState(const xtk::Widget& toggle) { return toggle.GetBool("set"); }
+
+}  // namespace xmw

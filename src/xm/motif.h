@@ -1,0 +1,52 @@
+// The OSF/Motif widget subset Wafe's `mofe` binary supports: enough of the
+// XmPrimitive / XmManager hierarchy to run every Motif example in the paper
+// (XmLabel with compound strings, XmPushButton with arm/activate/disarm
+// callbacks, XmCascadeButton, XmCommand, XmToggleButton, XmRowColumn,
+// XmSeparator).
+#ifndef SRC_XM_MOTIF_H_
+#define SRC_XM_MOTIF_H_
+
+#include <string>
+
+#include "src/xt/app.h"
+#include "src/xt/classes.h"
+
+namespace xmw {
+
+struct MotifClasses {
+  const xtk::WidgetClass* primitive = nullptr;
+  const xtk::WidgetClass* label = nullptr;
+  const xtk::WidgetClass* push_button = nullptr;
+  const xtk::WidgetClass* cascade_button = nullptr;
+  const xtk::WidgetClass* toggle_button = nullptr;
+  const xtk::WidgetClass* separator = nullptr;
+  const xtk::WidgetClass* manager = nullptr;
+  const xtk::WidgetClass* row_column = nullptr;
+  const xtk::WidgetClass* command = nullptr;
+
+  std::vector<const xtk::WidgetClass*> All() const;
+};
+
+const MotifClasses& GetMotifClasses();
+
+// Registers intrinsic + Motif classes with the app context.
+void RegisterMotifClasses(xtk::AppContext& app);
+
+// --- Programmatic interface (Xm functions Wafe wraps) -------------------------
+
+// XmCascadeButtonHighlight — the paper's code-generation example.
+void CascadeButtonHighlight(xtk::Widget& cascade, bool highlight);
+
+// XmCommand functions — the paper's naming-convention example
+// (XmCommandAppendValue -> mCommandAppendValue).
+void CommandAppendValue(xtk::Widget& command, const std::string& value);
+void CommandSetValue(xtk::Widget& command, const std::string& value);
+void CommandError(xtk::Widget& command, const std::string& message);
+
+// XmToggleButtonSetState / GetState.
+void ToggleButtonSetState(xtk::Widget& toggle, bool state, bool notify);
+bool ToggleButtonGetState(const xtk::Widget& toggle);
+
+}  // namespace xmw
+
+#endif  // SRC_XM_MOTIF_H_

@@ -1,0 +1,164 @@
+#include "src/xm/xmstring.h"
+
+#include <algorithm>
+
+namespace xmw {
+
+std::optional<FontList> ParseFontList(std::string_view spec) {
+  FontList fonts;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    std::string_view item =
+        comma == std::string_view::npos ? spec.substr(pos) : spec.substr(pos, comma - pos);
+    // Trim.
+    std::size_t begin = item.find_first_not_of(" \t\n");
+    if (begin != std::string_view::npos) {
+      std::size_t end = item.find_last_not_of(" \t\n");
+      item = item.substr(begin, end - begin + 1);
+      FontListEntry entry;
+      std::size_t eq = item.rfind('=');
+      if (eq == std::string_view::npos) {
+        entry.pattern = std::string(item);
+        entry.tag = kDefaultFontTag;
+      } else {
+        entry.pattern = std::string(item.substr(0, eq));
+        entry.tag = std::string(item.substr(eq + 1));
+      }
+      entry.font = xsim::FontRegistry::Default().Open(entry.pattern);
+      if (entry.font == nullptr) {
+        entry.font = xsim::FontRegistry::Default().Open("*" + entry.pattern + "*");
+      }
+      if (entry.font == nullptr) {
+        return std::nullopt;
+      }
+      fonts.push_back(std::move(entry));
+    }
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  if (fonts.empty()) {
+    return std::nullopt;
+  }
+  return fonts;
+}
+
+xsim::FontPtr FontForTag(const FontList& fonts, const std::string& tag) {
+  for (const FontListEntry& entry : fonts) {
+    if (entry.tag == tag) {
+      return entry.font;
+    }
+  }
+  if ((tag.empty() || tag == kDefaultFontTag) && !fonts.empty()) {
+    return fonts.front().font;
+  }
+  return xsim::FontRegistry::Default().Open("fixed");
+}
+
+std::string XmString::PlainText() const {
+  std::string out;
+  for (const XmStringSegment& segment : segments) {
+    if (segment.right_to_left) {
+      out.append(segment.text.rbegin(), segment.text.rend());
+    } else {
+      out += segment.text;
+    }
+  }
+  return out;
+}
+
+unsigned XmString::Width(const FontList& fonts) const {
+  unsigned width = 0;
+  for (const XmStringSegment& segment : segments) {
+    xsim::FontPtr font = FontForTag(fonts, segment.tag);
+    if (font != nullptr) {
+      width += font->TextWidth(segment.text);
+    }
+  }
+  return width;
+}
+
+std::optional<XmString> ParseXmString(std::string_view markup, const FontList* fonts,
+                                      std::string* error) {
+  XmString result;
+  result.source = std::string(markup);
+  XmStringSegment current;
+  auto flush = [&] {
+    if (!current.text.empty()) {
+      XmStringSegment seg = current;
+      result.segments.push_back(seg);
+      current.text.clear();
+    }
+  };
+  std::size_t i = 0;
+  while (i < markup.size()) {
+    char c = markup[i];
+    if (c != '\\') {
+      current.text.push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 < markup.size() && markup[i + 1] == '\\') {
+      current.text.push_back('\\');
+      i += 2;
+      continue;
+    }
+    // Collect the command word (letters/digits).
+    std::size_t start = i + 1;
+    std::size_t j = start;
+    while (j < markup.size() &&
+           ((markup[j] >= 'a' && markup[j] <= 'z') || (markup[j] >= 'A' && markup[j] <= 'Z') ||
+            (markup[j] >= '0' && markup[j] <= '9') || markup[j] == '_')) {
+      ++j;
+    }
+    std::string word(markup.substr(start, j - start));
+    if (word.empty()) {
+      if (error != nullptr) {
+        *error = "dangling '\\' in compound string";
+      }
+      return std::nullopt;
+    }
+    // Longest-first tag match against the font list; the remainder of the
+    // word (if any) is literal text following the switch.
+    std::string matched_tag;
+    if (fonts != nullptr) {
+      for (const FontListEntry& entry : *fonts) {
+        if (word.rfind(entry.tag, 0) == 0 && entry.tag.size() > matched_tag.size()) {
+          matched_tag = entry.tag;
+        }
+      }
+    }
+    if (!matched_tag.empty()) {
+      flush();
+      current.tag = matched_tag;
+      current.text += word.substr(matched_tag.size());
+      i = j;
+      continue;
+    }
+    if (word.rfind("rl", 0) == 0 || word.rfind("lr", 0) == 0) {
+      // Direction switch; the rest of the word is literal text.
+      flush();
+      current.right_to_left = word[0] == 'r';
+      current.text += word.substr(2);
+      i = j;
+      continue;
+    }
+    if (fonts == nullptr) {
+      // Without a font list any tag word is accepted verbatim.
+      flush();
+      current.tag = word;
+      i = j;
+      continue;
+    }
+    if (error != nullptr) {
+      *error = "unknown compound string command \"\\" + word + "\"";
+    }
+    return std::nullopt;
+  }
+  flush();
+  return result;
+}
+
+}  // namespace xmw

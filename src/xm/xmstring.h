@@ -1,0 +1,66 @@
+// OSF/Motif compound strings (XmString) and font lists, at the level Wafe's
+// XmString converter exposes: a markup syntax similar to TeX layout commands
+// where a special character ('\') switches fonts (by fontList tag) or
+// writing direction. The paper's Figure 3 example:
+//
+//   fontList "*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft"
+//   labelString "I'm\bft bold\ft and\rl strange"
+#ifndef SRC_XM_XMSTRING_H_
+#define SRC_XM_XMSTRING_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/xsim/font.h"
+
+namespace xmw {
+
+// One entry of a font list: an XLFD pattern bound to a tag.
+struct FontListEntry {
+  std::string pattern;
+  std::string tag;
+  xsim::FontPtr font;  // resolved at parse time
+};
+
+using FontList = std::vector<FontListEntry>;
+
+// Parses "pattern=tag,pattern=tag,..." (the Motif resource-file syntax).
+// Unresolvable patterns fail the parse. A bare pattern gets the default tag.
+std::optional<FontList> ParseFontList(std::string_view spec);
+
+inline constexpr char kDefaultFontTag[] = "XmFONTLIST_DEFAULT_TAG";
+
+// A compound string: a sequence of segments, each with a font tag and a
+// writing direction.
+struct XmStringSegment {
+  std::string text;
+  std::string tag;  // empty = default tag
+  bool right_to_left = false;
+};
+
+struct XmString {
+  std::vector<XmStringSegment> segments;
+  std::string source;  // the original markup (Wafe can read it back)
+
+  // Concatenated text, ignoring markup (direction applied per segment).
+  std::string PlainText() const;
+  // Rendered line width under a font list.
+  unsigned Width(const FontList& fonts) const;
+};
+
+// Parses Wafe's markup: '\' + a fontList tag switches the font, "\rl"/"\lr"
+// switch direction (checked only when no tag matches), "\\" is a literal
+// backslash. Tags match longest-first. Unknown commands fail the parse when
+// `tags` is non-null; with a null tag list any tag word is accepted.
+std::optional<XmString> ParseXmString(std::string_view markup, const FontList* fonts,
+                                      std::string* error);
+
+// Looks up the font bound to a tag (default tag / empty falls back to the
+// first entry, then to "fixed").
+xsim::FontPtr FontForTag(const FontList& fonts, const std::string& tag);
+
+}  // namespace xmw
+
+#endif  // SRC_XM_XMSTRING_H_

@@ -1,0 +1,39 @@
+// Color handling for the simulated display: a named-color database modeled
+// on X11's rgb.txt plus #rgb / #rrggbb parsing. Pixels are 32-bit ARGB.
+#ifndef SRC_XSIM_COLOR_H_
+#define SRC_XSIM_COLOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsim {
+
+using Pixel = std::uint32_t;
+
+constexpr Pixel MakePixel(unsigned r, unsigned g, unsigned b) {
+  return 0xff000000u | ((r & 0xffu) << 16) | ((g & 0xffu) << 8) | (b & 0xffu);
+}
+
+constexpr unsigned PixelRed(Pixel p) { return (p >> 16) & 0xffu; }
+constexpr unsigned PixelGreen(Pixel p) { return (p >> 8) & 0xffu; }
+constexpr unsigned PixelBlue(Pixel p) { return p & 0xffu; }
+
+inline constexpr Pixel kBlackPixel = MakePixel(0, 0, 0);
+inline constexpr Pixel kWhitePixel = MakePixel(255, 255, 255);
+
+// Looks up a color by name (case-insensitive, spaces ignored, as X does) or
+// by #rgb / #rrggbb / #rrrrggggbbbb hex spec. Returns nullopt if unknown.
+std::optional<Pixel> LookupColor(std::string_view spec);
+
+// Formats a pixel back as a #rrggbb spec (used by reverse converters).
+std::string FormatColor(Pixel pixel);
+
+// All known color names (sorted), for introspection and tests.
+std::vector<std::string> KnownColorNames();
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_COLOR_H_

@@ -1,0 +1,643 @@
+#include "src/xsim/display.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+namespace xsim {
+
+Display::Display(std::string name, Dimension width, Dimension height)
+    : name_(std::move(name)), width_(width), height_(height) {
+  framebuffer_.assign(static_cast<std::size_t>(width_) * height_, kBlackPixel);
+  Window root;
+  root.id = kRootWindow;
+  root.geometry = Rect{0, 0, width_, height_};
+  root.mapped = true;
+  root.background = kBlackPixel;
+  windows_[kRootWindow] = root;
+}
+
+Display::Window* Display::Find(WindowId id) {
+  auto it = windows_.find(id);
+  return it == windows_.end() ? nullptr : &it->second;
+}
+
+const Display::Window* Display::Find(WindowId id) const {
+  auto it = windows_.find(id);
+  return it == windows_.end() ? nullptr : &it->second;
+}
+
+WindowId Display::CreateWindow(WindowId parent, const Rect& geometry, Dimension border_width,
+                               Pixel background) {
+  Window* parent_window = Find(parent);
+  if (parent_window == nullptr) {
+    return kNoWindow;
+  }
+  Window window;
+  window.id = next_id_++;
+  window.parent = parent;
+  window.geometry = geometry;
+  window.border_width = border_width;
+  window.background = background;
+  WindowId id = window.id;
+  windows_[id] = std::move(window);
+  // Reacquire: the map insert may have invalidated the pointer.
+  Find(parent)->children.push_back(id);
+  return id;
+}
+
+void Display::DestroyWindow(WindowId window) {
+  Window* w = Find(window);
+  if (w == nullptr || window == kRootWindow) {
+    return;
+  }
+  // Destroy children first (copy: destruction mutates the list).
+  std::vector<WindowId> children = w->children;
+  for (WindowId child : children) {
+    DestroyWindow(child);
+  }
+  Event event;
+  event.type = EventType::kDestroyNotify;
+  event.window = window;
+  event.time = now_;
+  queue_.push_back(event);
+  if (Window* parent = Find(Find(window)->parent)) {
+    auto& siblings = parent->children;
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), window), siblings.end());
+  }
+  if (grab_ == window) {
+    grab_ = kNoWindow;
+  }
+  if (focus_ == window) {
+    focus_ = kNoWindow;
+  }
+  if (pointer_window_ == window) {
+    pointer_window_ = kRootWindow;
+  }
+  for (auto it = selections_.begin(); it != selections_.end();) {
+    if (it->second == window) {
+      it = selections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  windows_.erase(window);
+}
+
+bool Display::Exists(WindowId window) const { return Find(window) != nullptr; }
+
+void Display::MapWindow(WindowId window) {
+  Window* w = Find(window);
+  if (w == nullptr || w->mapped) {
+    return;
+  }
+  w->mapped = true;
+  Event map_event;
+  map_event.type = EventType::kMapNotify;
+  map_event.window = window;
+  map_event.time = now_;
+  queue_.push_back(map_event);
+  if (IsViewable(window)) {
+    Event expose;
+    expose.type = EventType::kExpose;
+    expose.window = window;
+    expose.area = Rect{0, 0, w->geometry.width, w->geometry.height};
+    expose.time = now_;
+    queue_.push_back(expose);
+  }
+}
+
+void Display::UnmapWindow(WindowId window) {
+  Window* w = Find(window);
+  if (w == nullptr || !w->mapped) {
+    return;
+  }
+  w->mapped = false;
+  Event event;
+  event.type = EventType::kUnmapNotify;
+  event.window = window;
+  event.time = now_;
+  queue_.push_back(event);
+}
+
+bool Display::IsMapped(WindowId window) const {
+  const Window* w = Find(window);
+  return w != nullptr && w->mapped;
+}
+
+bool Display::IsViewable(WindowId window) const {
+  const Window* w = Find(window);
+  while (w != nullptr) {
+    if (!w->mapped) {
+      return false;
+    }
+    if (w->id == kRootWindow) {
+      return true;
+    }
+    w = Find(w->parent);
+  }
+  return false;
+}
+
+void Display::MoveResizeWindow(WindowId window, const Rect& geometry) {
+  Window* w = Find(window);
+  if (w == nullptr || w->geometry == geometry) {
+    return;  // no-change requests generate no events (prevents layout loops)
+  }
+  bool resized = w->geometry.width != geometry.width || w->geometry.height != geometry.height;
+  w->geometry = geometry;
+  Event event;
+  event.type = EventType::kConfigureNotify;
+  event.window = window;
+  event.configure = geometry;
+  event.time = now_;
+  queue_.push_back(event);
+  if (resized && IsViewable(window)) {
+    Event expose;
+    expose.type = EventType::kExpose;
+    expose.window = window;
+    expose.area = Rect{0, 0, geometry.width, geometry.height};
+    expose.time = now_;
+    queue_.push_back(expose);
+  }
+}
+
+void Display::SetWindowBackground(WindowId window, Pixel background) {
+  if (Window* w = Find(window)) {
+    w->background = background;
+  }
+}
+
+void Display::SetWindowBorder(WindowId window, Dimension width, Pixel color) {
+  if (Window* w = Find(window)) {
+    w->border_width = width;
+    w->border_color = color;
+  }
+}
+
+void Display::RaiseWindow(WindowId window) {
+  Window* w = Find(window);
+  if (w == nullptr) {
+    return;
+  }
+  Window* parent = Find(w->parent);
+  if (parent == nullptr) {
+    return;
+  }
+  auto& siblings = parent->children;
+  auto it = std::find(siblings.begin(), siblings.end(), window);
+  if (it != siblings.end()) {
+    siblings.erase(it);
+    siblings.push_back(window);
+  }
+}
+
+Rect Display::WindowGeometry(WindowId window) const {
+  const Window* w = Find(window);
+  return w == nullptr ? Rect{} : w->geometry;
+}
+
+Pixel Display::WindowBackground(WindowId window) const {
+  const Window* w = Find(window);
+  return w == nullptr ? kWhitePixel : w->background;
+}
+
+WindowId Display::Parent(WindowId window) const {
+  const Window* w = Find(window);
+  return w == nullptr ? kNoWindow : w->parent;
+}
+
+std::vector<WindowId> Display::Children(WindowId window) const {
+  const Window* w = Find(window);
+  return w == nullptr ? std::vector<WindowId>{} : w->children;
+}
+
+Point Display::RootPosition(WindowId window) const {
+  Point origin{0, 0};
+  const Window* w = Find(window);
+  while (w != nullptr && w->id != kRootWindow) {
+    origin.x += w->geometry.x;
+    origin.y += w->geometry.y;
+    w = Find(w->parent);
+  }
+  return origin;
+}
+
+WindowId Display::HitTest(const Window& window, Position x, Position y) const {
+  // x,y are relative to `window`. Children are stacked bottom-to-top; search
+  // topmost first.
+  for (auto it = window.children.rbegin(); it != window.children.rend(); ++it) {
+    const Window* child = Find(*it);
+    if (child == nullptr || !child->mapped) {
+      continue;
+    }
+    if (child->geometry.Contains(x, y)) {
+      return HitTest(*child, x - child->geometry.x, y - child->geometry.y);
+    }
+  }
+  return window.id;
+}
+
+WindowId Display::WindowAtPoint(Position x, Position y) const {
+  const Window* root = Find(kRootWindow);
+  return HitTest(*root, x, y);
+}
+
+void Display::RecordOp(DrawOp op) {
+  draw_ops_.push_back(std::move(op));
+  if (draw_ops_.size() > draw_op_limit_) {
+    draw_ops_.erase(draw_ops_.begin(),
+                    draw_ops_.begin() + static_cast<long>(draw_ops_.size() / 2));
+  }
+}
+
+Event Display::NextEvent() {
+  if (queue_.empty()) {
+    return Event{};
+  }
+  Event event = queue_.front();
+  queue_.pop_front();
+  return event;
+}
+
+void Display::PutBackEvent(const Event& event) { queue_.push_front(event); }
+
+void Display::EmitCrossing(WindowId old_window, WindowId new_window, Position x, Position y,
+                           unsigned state) {
+  if (old_window == new_window) {
+    return;
+  }
+  if (old_window != kNoWindow && Exists(old_window)) {
+    Event leave;
+    leave.type = EventType::kLeaveNotify;
+    leave.window = old_window;
+    Point origin = RootPosition(old_window);
+    leave.x = x - origin.x;
+    leave.y = y - origin.y;
+    leave.x_root = x;
+    leave.y_root = y;
+    leave.state = state;
+    leave.time = now_;
+    queue_.push_back(leave);
+  }
+  if (new_window != kNoWindow && Exists(new_window)) {
+    Event enter;
+    enter.type = EventType::kEnterNotify;
+    enter.window = new_window;
+    Point origin = RootPosition(new_window);
+    enter.x = x - origin.x;
+    enter.y = y - origin.y;
+    enter.x_root = x;
+    enter.y_root = y;
+    enter.state = state;
+    enter.time = now_;
+    queue_.push_back(enter);
+  }
+}
+
+void Display::InjectMotion(Position x, Position y, unsigned state) {
+  now_ += 1;
+  pointer_ = Point{x, y};
+  WindowId target = grab_ != kNoWindow && !grab_owner_events_ ? grab_ : WindowAtPoint(x, y);
+  EmitCrossing(pointer_window_, target, x, y, state);
+  pointer_window_ = target;
+  Event motion;
+  motion.type = EventType::kMotionNotify;
+  motion.window = target;
+  Point origin = RootPosition(target);
+  motion.x = x - origin.x;
+  motion.y = y - origin.y;
+  motion.x_root = x;
+  motion.y_root = y;
+  motion.state = state;
+  motion.time = now_;
+  queue_.push_back(motion);
+}
+
+void Display::InjectButtonPress(Position x, Position y, unsigned button, unsigned state) {
+  now_ += 1;
+  pointer_ = Point{x, y};
+  WindowId target = grab_ != kNoWindow && !grab_owner_events_ ? grab_ : WindowAtPoint(x, y);
+  if (pointer_window_ != target) {
+    EmitCrossing(pointer_window_, target, x, y, state);
+    pointer_window_ = target;
+  }
+  Event event;
+  event.type = EventType::kButtonPress;
+  event.window = target;
+  Point origin = RootPosition(target);
+  event.x = x - origin.x;
+  event.y = y - origin.y;
+  event.x_root = x;
+  event.y_root = y;
+  event.button = button;
+  event.state = state;
+  event.time = now_;
+  queue_.push_back(event);
+}
+
+void Display::InjectButtonRelease(Position x, Position y, unsigned button, unsigned state) {
+  now_ += 1;
+  pointer_ = Point{x, y};
+  WindowId target = grab_ != kNoWindow && !grab_owner_events_ ? grab_ : WindowAtPoint(x, y);
+  Event event;
+  event.type = EventType::kButtonRelease;
+  event.window = target;
+  Point origin = RootPosition(target);
+  event.x = x - origin.x;
+  event.y = y - origin.y;
+  event.x_root = x;
+  event.y_root = y;
+  event.button = button;
+  event.state = state | (kButton1Mask << (button - 1));
+  event.time = now_;
+  queue_.push_back(event);
+}
+
+void Display::InjectKey(KeySym keysym, bool press, unsigned state) {
+  now_ += 1;
+  WindowId target = focus_ != kNoWindow ? focus_ : pointer_window_;
+  if (target == kNoWindow) {
+    target = kRootWindow;
+  }
+  Event event;
+  event.type = press ? EventType::kKeyPress : EventType::kKeyRelease;
+  event.window = target;
+  event.keysym = keysym;
+  event.keycode = KeysymToKeycode(keysym);
+  event.state = state;
+  Point origin = RootPosition(target);
+  event.x = pointer_.x - origin.x;
+  event.y = pointer_.y - origin.y;
+  event.x_root = pointer_.x;
+  event.y_root = pointer_.y;
+  event.time = now_;
+  queue_.push_back(event);
+}
+
+void Display::InjectKeyPress(KeySym keysym, unsigned state) { InjectKey(keysym, true, state); }
+
+void Display::InjectKeyRelease(KeySym keysym, unsigned state) {
+  InjectKey(keysym, false, state);
+}
+
+void Display::InjectText(const std::string& text) {
+  for (char c : text) {
+    bool shifted = std::isupper(static_cast<unsigned char>(c)) != 0;
+    if (!shifted && std::strchr("!@#$%^&*()_+{}|:\"<>?~", c) != nullptr) {
+      shifted = true;
+    }
+    KeySym keysym = c == '\n' ? kKeyReturn : AsciiToKeysym(c);
+    unsigned state = shifted ? kShiftMask : 0;
+    if (shifted) {
+      InjectKeyPress(kKeyShiftL, 0);
+    }
+    InjectKeyPress(keysym, state);
+    InjectKeyRelease(keysym, state);
+    if (shifted) {
+      InjectKeyRelease(kKeyShiftL, kShiftMask);
+    }
+  }
+}
+
+void Display::SetSelectionOwner(const std::string& selection, WindowId owner) {
+  auto it = selections_.find(selection);
+  if (it != selections_.end() && it->second != owner && Exists(it->second)) {
+    Event clear;
+    clear.type = EventType::kSelectionClear;
+    clear.window = it->second;
+    clear.message = selection;
+    clear.time = now_;
+    queue_.push_back(clear);
+  }
+  if (owner == kNoWindow) {
+    selections_.erase(selection);
+  } else {
+    selections_[selection] = owner;
+  }
+}
+
+WindowId Display::SelectionOwner(const std::string& selection) const {
+  auto it = selections_.find(selection);
+  return it == selections_.end() ? kNoWindow : it->second;
+}
+
+void Display::GrabPointer(WindowId window, bool owner_events) {
+  grab_ = window;
+  grab_owner_events_ = owner_events;
+}
+
+void Display::UngrabPointer() {
+  grab_ = kNoWindow;
+  grab_owner_events_ = false;
+}
+
+// --- Drawing ---------------------------------------------------------------------
+
+Rect Display::ClipToWindow(const Window& window, const Rect& rect) const {
+  Point origin = RootPosition(window.id);
+  Rect root_rect{origin.x + rect.x, origin.y + rect.y, rect.width, rect.height};
+  Rect window_rect{origin.x, origin.y, window.geometry.width, window.geometry.height};
+  Rect screen{0, 0, width_, height_};
+  return root_rect.Intersect(window_rect).Intersect(screen);
+}
+
+void Display::PaintRect(const Rect& root_rect, Pixel pixel) {
+  for (Position y = root_rect.y; y < root_rect.y + static_cast<Position>(root_rect.height);
+       ++y) {
+    for (Position x = root_rect.x; x < root_rect.x + static_cast<Position>(root_rect.width);
+         ++x) {
+      framebuffer_[static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)] = pixel;
+    }
+  }
+}
+
+void Display::ClearWindow(WindowId window) {
+  Window* w = Find(window);
+  if (w == nullptr) {
+    return;
+  }
+  DrawOp op;
+  op.kind = DrawOp::Kind::kClear;
+  op.window = window;
+  op.rect = Rect{0, 0, w->geometry.width, w->geometry.height};
+  op.pixel = w->background;
+  RecordOp(op);
+  PaintRect(ClipToWindow(*w, op.rect), w->background);
+}
+
+void Display::FillRect(WindowId window, const Rect& rect, Pixel pixel) {
+  Window* w = Find(window);
+  if (w == nullptr) {
+    return;
+  }
+  DrawOp op;
+  op.kind = DrawOp::Kind::kFillRect;
+  op.window = window;
+  op.rect = rect;
+  op.pixel = pixel;
+  RecordOp(op);
+  PaintRect(ClipToWindow(*w, rect), pixel);
+}
+
+void Display::DrawRectOutline(WindowId window, const Rect& rect, Pixel pixel) {
+  Window* w = Find(window);
+  if (w == nullptr) {
+    return;
+  }
+  DrawOp op;
+  op.kind = DrawOp::Kind::kRectOutline;
+  op.window = window;
+  op.rect = rect;
+  op.pixel = pixel;
+  RecordOp(op);
+  if (rect.width == 0 || rect.height == 0) {
+    return;
+  }
+  PaintRect(ClipToWindow(*w, Rect{rect.x, rect.y, rect.width, 1}), pixel);
+  PaintRect(ClipToWindow(
+                *w, Rect{rect.x, rect.y + static_cast<Position>(rect.height) - 1, rect.width, 1}),
+            pixel);
+  PaintRect(ClipToWindow(*w, Rect{rect.x, rect.y, 1, rect.height}), pixel);
+  PaintRect(ClipToWindow(
+                *w, Rect{rect.x + static_cast<Position>(rect.width) - 1, rect.y, 1, rect.height}),
+            pixel);
+}
+
+void Display::DrawLine(WindowId window, Point from, Point to, Pixel pixel) {
+  Window* w = Find(window);
+  if (w == nullptr) {
+    return;
+  }
+  DrawOp op;
+  op.kind = DrawOp::Kind::kLine;
+  op.window = window;
+  op.rect = Rect{from.x, from.y, 1, 1};
+  op.to = to;
+  op.pixel = pixel;
+  RecordOp(op);
+  // Bresenham, clipped per pixel.
+  Point origin = RootPosition(window);
+  int x0 = from.x;
+  int y0 = from.y;
+  int x1 = to.x;
+  int y1 = to.y;
+  int dx = std::abs(x1 - x0);
+  int dy = -std::abs(y1 - y0);
+  int sx = x0 < x1 ? 1 : -1;
+  int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  for (;;) {
+    Position rx = origin.x + x0;
+    Position ry = origin.y + y0;
+    if (rx >= 0 && ry >= 0 && rx < static_cast<Position>(width_) &&
+        ry < static_cast<Position>(height_) &&
+        Rect{0, 0, w->geometry.width, w->geometry.height}.Contains(x0, y0)) {
+      framebuffer_[static_cast<std::size_t>(ry) * width_ + static_cast<std::size_t>(rx)] =
+          pixel;
+    }
+    if (x0 == x1 && y0 == y1) {
+      break;
+    }
+    int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void Display::DrawText(WindowId window, Position x, Position y, const std::string& text,
+                       const FontPtr& font, Pixel pixel) {
+  Window* w = Find(window);
+  if (w == nullptr || font == nullptr) {
+    return;
+  }
+  DrawOp op;
+  op.kind = DrawOp::Kind::kText;
+  op.window = window;
+  op.rect = Rect{x, y, font->TextWidth(text), font->Height()};
+  op.pixel = pixel;
+  op.text = text;
+  op.font = font->name;
+  RecordOp(op);
+  // Rasterize each glyph as a filled cell scaled to 60% coverage — enough
+  // for pixel-level assertions (text changes the framebuffer deterministically).
+  Position baseline_top = y - static_cast<Position>(font->ascent);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == ' ') {
+      continue;
+    }
+    Rect glyph{x + static_cast<Position>(i * font->char_width) + 1, baseline_top + 1,
+               font->char_width > 2 ? font->char_width - 2 : 1,
+               font->Height() > 2 ? font->Height() - 2 : 1};
+    PaintRect(ClipToWindow(*w, glyph), pixel);
+  }
+}
+
+void Display::CopyPixmap(WindowId window, const Pixmap& pixmap, Position x, Position y) {
+  Window* w = Find(window);
+  if (w == nullptr) {
+    return;
+  }
+  DrawOp op;
+  op.kind = DrawOp::Kind::kPixmap;
+  op.window = window;
+  op.rect = Rect{x, y, pixmap.width, pixmap.height};
+  op.text = pixmap.name;
+  RecordOp(op);
+  Point origin = RootPosition(window);
+  for (unsigned py = 0; py < pixmap.height; ++py) {
+    for (unsigned px = 0; px < pixmap.width; ++px) {
+      if (!pixmap.Opaque(px, py)) {
+        continue;
+      }
+      Position wx = x + static_cast<Position>(px);
+      Position wy = y + static_cast<Position>(py);
+      if (!Rect{0, 0, w->geometry.width, w->geometry.height}.Contains(wx, wy)) {
+        continue;
+      }
+      Position rx = origin.x + wx;
+      Position ry = origin.y + wy;
+      if (rx < 0 || ry < 0 || rx >= static_cast<Position>(width_) ||
+          ry >= static_cast<Position>(height_)) {
+        continue;
+      }
+      framebuffer_[static_cast<std::size_t>(ry) * width_ + static_cast<std::size_t>(rx)] =
+          pixmap.At(px, py);
+    }
+  }
+}
+
+std::vector<std::string> Display::VisibleText() const {
+  std::vector<std::string> texts;
+  for (const DrawOp& op : draw_ops_) {
+    if (op.kind == DrawOp::Kind::kText) {
+      texts.push_back(op.text);
+    }
+  }
+  return texts;
+}
+
+bool Display::WindowShowsText(WindowId window, const std::string& text) const {
+  for (const DrawOp& op : draw_ops_) {
+    if (op.kind == DrawOp::Kind::kText && op.window == window && op.text == text) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Pixel Display::PixelAt(Position x, Position y) const {
+  if (x < 0 || y < 0 || x >= static_cast<Position>(width_) ||
+      y >= static_cast<Position>(height_)) {
+    return kBlackPixel;
+  }
+  return framebuffer_[static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)];
+}
+
+}  // namespace xsim

@@ -1,0 +1,196 @@
+// The simulated display server: a window tree, an event queue with synthetic
+// input injection, pointer/keyboard state with grabs and focus, and a
+// framebuffer with a recorded draw-op log so tests can assert on rendered
+// output deterministically.
+#ifndef SRC_XSIM_DISPLAY_H_
+#define SRC_XSIM_DISPLAY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/xsim/color.h"
+#include "src/xsim/event.h"
+#include "src/xsim/font.h"
+#include "src/xsim/geometry.h"
+#include "src/xsim/pixmap.h"
+
+namespace xsim {
+
+class Display {
+ public:
+  explicit Display(std::string name = ":0", Dimension width = 1024, Dimension height = 768);
+
+  Display(const Display&) = delete;
+  Display& operator=(const Display&) = delete;
+
+  const std::string& name() const { return name_; }
+  Dimension width() const { return width_; }
+  Dimension height() const { return height_; }
+  WindowId root() const { return kRootWindow; }
+
+  // --- Window tree ----------------------------------------------------------
+
+  WindowId CreateWindow(WindowId parent, const Rect& geometry, Dimension border_width = 0,
+                        Pixel background = kWhitePixel);
+  // Destroys a window and its subtree; emits DestroyNotify bottom-up.
+  void DestroyWindow(WindowId window);
+  bool Exists(WindowId window) const;
+
+  void MapWindow(WindowId window);
+  void UnmapWindow(WindowId window);
+  bool IsMapped(WindowId window) const;
+  // Mapped and all ancestors mapped (XIsViewable analogue).
+  bool IsViewable(WindowId window) const;
+
+  void MoveResizeWindow(WindowId window, const Rect& geometry);
+  void SetWindowBackground(WindowId window, Pixel background);
+  void SetWindowBorder(WindowId window, Dimension width, Pixel color);
+  void RaiseWindow(WindowId window);
+
+  Rect WindowGeometry(WindowId window) const;  // relative to parent
+  Pixel WindowBackground(WindowId window) const;
+  WindowId Parent(WindowId window) const;
+  std::vector<WindowId> Children(WindowId window) const;  // bottom-to-top
+  // Translates the window origin to root coordinates.
+  Point RootPosition(WindowId window) const;
+  // Deepest viewable window containing the root-relative point.
+  WindowId WindowAtPoint(Position x, Position y) const;
+
+  std::size_t WindowCount() const { return windows_.size(); }
+
+  // --- Events -----------------------------------------------------------------
+
+  bool Pending() const { return !queue_.empty(); }
+  Event NextEvent();
+  void PutBackEvent(const Event& event);
+  void SendEvent(const Event& event) { queue_.push_back(event); }
+
+  // --- Input injection ----------------------------------------------------------
+
+  // Pointer events are delivered to the grab window when a grab is active,
+  // otherwise to the deepest viewable window under the pointer.
+  void InjectButtonPress(Position x, Position y, unsigned button, unsigned state = 0);
+  void InjectButtonRelease(Position x, Position y, unsigned button, unsigned state = 0);
+  // Moves the pointer, emitting Leave/Enter pairs on window crossings and a
+  // MotionNotify in the target window.
+  void InjectMotion(Position x, Position y, unsigned state = 0);
+  // Key events go to the focus window (or the window under the pointer if no
+  // focus is set). The keycode is derived from the keyboard map.
+  void InjectKeyPress(KeySym keysym, unsigned state = 0);
+  void InjectKeyRelease(KeySym keysym, unsigned state = 0);
+  // Types a character string: per character, presses (with shift handling)
+  // and releases the key.
+  void InjectText(const std::string& text);
+
+  void SetInputFocus(WindowId window) { focus_ = window; }
+  WindowId InputFocus() const { return focus_; }
+  Point PointerPosition() const { return pointer_; }
+
+  // --- Grabs -----------------------------------------------------------------------
+
+  // Pointer grab, as popup shells use it. With owner_events the event is
+  // still reported relative to the window under the pointer when that window
+  // belongs to the client (we model a single client, so it always does).
+  void GrabPointer(WindowId window, bool owner_events);
+  void UngrabPointer();
+  WindowId PointerGrab() const { return grab_; }
+
+  // --- Selections ---------------------------------------------------------------------
+
+  // Transfers selection ownership; the previous owner receives a
+  // SelectionClear event (message = selection name).
+  void SetSelectionOwner(const std::string& selection, WindowId owner);
+  WindowId SelectionOwner(const std::string& selection) const;
+
+  // --- Time -------------------------------------------------------------------------
+
+  // Deterministic server time: advances by 1ms per injected event.
+  std::uint64_t Now() const { return now_; }
+  void AdvanceTime(std::uint64_t ms) { now_ += ms; }
+
+  // --- Drawing ----------------------------------------------------------------------
+
+  void ClearWindow(WindowId window);
+  void FillRect(WindowId window, const Rect& rect, Pixel pixel);
+  void DrawRectOutline(WindowId window, const Rect& rect, Pixel pixel);
+  void DrawLine(WindowId window, Point from, Point to, Pixel pixel);
+  void DrawText(WindowId window, Position x, Position y, const std::string& text,
+                const FontPtr& font, Pixel pixel);
+  void CopyPixmap(WindowId window, const Pixmap& pixmap, Position x, Position y);
+
+  struct DrawOp {
+    enum class Kind { kClear, kFillRect, kRectOutline, kLine, kText, kPixmap };
+    Kind kind = Kind::kClear;
+    WindowId window = kNoWindow;
+    Rect rect;           // window-relative
+    Point to;            // for lines
+    Pixel pixel = kBlackPixel;
+    std::string text;    // for text ops
+    std::string font;    // font name for text ops
+  };
+
+  const std::vector<DrawOp>& draw_ops() const { return draw_ops_; }
+  void ClearDrawOps() { draw_ops_.clear(); }
+  // The op log is bounded (oldest half dropped past the limit) so long
+  // sessions do not grow without bound; tests inspect recent ops only.
+  void set_draw_op_limit(std::size_t limit) { draw_op_limit_ = limit; }
+  // All text drawn since the op log was last cleared, in draw order.
+  std::vector<std::string> VisibleText() const;
+  // True if any draw op on `window` rendered exactly `text`.
+  bool WindowShowsText(WindowId window, const std::string& text) const;
+
+  Pixel PixelAt(Position x, Position y) const;
+  const std::vector<Pixel>& framebuffer() const { return framebuffer_; }
+
+ private:
+  static constexpr WindowId kRootWindow = 1;
+
+  struct Window {
+    WindowId id = kNoWindow;
+    WindowId parent = kNoWindow;
+    std::vector<WindowId> children;  // bottom-to-top stacking
+    Rect geometry;
+    Dimension border_width = 0;
+    Pixel border_color = kBlackPixel;
+    Pixel background = kWhitePixel;
+    bool mapped = false;
+  };
+
+  Window* Find(WindowId id);
+  const Window* Find(WindowId id) const;
+  WindowId HitTest(const Window& window, Position x, Position y) const;
+  void EmitCrossing(WindowId old_window, WindowId new_window, Position x, Position y,
+                    unsigned state);
+  void InjectKey(KeySym keysym, bool press, unsigned state);
+  // Clips a window-relative rect to the window and the framebuffer; returns
+  // the root-relative clipped rect.
+  Rect ClipToWindow(const Window& window, const Rect& rect) const;
+  void PaintRect(const Rect& root_rect, Pixel pixel);
+  // Appends to the bounded op log.
+  void RecordOp(DrawOp op);
+
+  std::string name_;
+  Dimension width_;
+  Dimension height_;
+  std::map<WindowId, Window> windows_;
+  std::map<std::string, WindowId> selections_;
+  WindowId next_id_ = kRootWindow + 1;
+  std::deque<Event> queue_;
+  std::vector<DrawOp> draw_ops_;
+  std::size_t draw_op_limit_ = 100000;
+  std::vector<Pixel> framebuffer_;
+  Point pointer_{0, 0};
+  WindowId pointer_window_ = kRootWindow;
+  WindowId focus_ = kNoWindow;
+  WindowId grab_ = kNoWindow;
+  bool grab_owner_events_ = false;
+  std::uint64_t now_ = 1000;
+};
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_DISPLAY_H_

@@ -1,0 +1,47 @@
+#include "src/xsim/event.h"
+
+namespace xsim {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kNone:
+      return "None";
+    case EventType::kButtonPress:
+      return "ButtonPress";
+    case EventType::kButtonRelease:
+      return "ButtonRelease";
+    case EventType::kKeyPress:
+      return "KeyPress";
+    case EventType::kKeyRelease:
+      return "KeyRelease";
+    case EventType::kMotionNotify:
+      return "MotionNotify";
+    case EventType::kEnterNotify:
+      return "EnterNotify";
+    case EventType::kLeaveNotify:
+      return "LeaveNotify";
+    case EventType::kExpose:
+      return "Expose";
+    case EventType::kConfigureNotify:
+      return "ConfigureNotify";
+    case EventType::kMapNotify:
+      return "MapNotify";
+    case EventType::kUnmapNotify:
+      return "UnmapNotify";
+    case EventType::kDestroyNotify:
+      return "DestroyNotify";
+    case EventType::kFocusIn:
+      return "FocusIn";
+    case EventType::kFocusOut:
+      return "FocusOut";
+    case EventType::kClientMessage:
+      return "ClientMessage";
+    case EventType::kSelectionClear:
+      return "SelectionClear";
+  }
+  return "Unknown";
+}
+
+std::string Event::TypeName() const { return EventTypeName(type); }
+
+}  // namespace xsim

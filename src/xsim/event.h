@@ -1,0 +1,83 @@
+// Event structures for the simulated display, mirroring the XEvent subset
+// the X Toolkit's translation manager consumes.
+#ifndef SRC_XSIM_EVENT_H_
+#define SRC_XSIM_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/xsim/geometry.h"
+#include "src/xsim/keysym.h"
+
+namespace xsim {
+
+using WindowId = std::uint32_t;
+inline constexpr WindowId kNoWindow = 0;
+
+enum class EventType {
+  kNone,
+  kButtonPress,
+  kButtonRelease,
+  kKeyPress,
+  kKeyRelease,
+  kMotionNotify,
+  kEnterNotify,
+  kLeaveNotify,
+  kExpose,
+  kConfigureNotify,
+  kMapNotify,
+  kUnmapNotify,
+  kDestroyNotify,
+  kFocusIn,
+  kFocusOut,
+  kClientMessage,
+  kSelectionClear,
+};
+
+// Modifier state bits (X's state field).
+inline constexpr unsigned kShiftMask = 1u << 0;
+inline constexpr unsigned kLockMask = 1u << 1;
+inline constexpr unsigned kControlMask = 1u << 2;
+inline constexpr unsigned kMod1Mask = 1u << 3;  // usually Meta/Alt
+inline constexpr unsigned kButton1Mask = 1u << 8;
+inline constexpr unsigned kButton2Mask = 1u << 9;
+inline constexpr unsigned kButton3Mask = 1u << 10;
+
+// One event. A single struct (rather than a variant) keeps the dispatch
+// paths simple; fields are meaningful per type as in XEvent.
+struct Event {
+  EventType type = EventType::kNone;
+  WindowId window = kNoWindow;
+  std::uint64_t time = 0;  // server timestamp, milliseconds
+
+  // Pointer events.
+  Position x = 0;
+  Position y = 0;
+  Position x_root = 0;
+  Position y_root = 0;
+  unsigned button = 0;  // 1..5 for button events
+  unsigned state = 0;   // modifier mask
+
+  // Key events.
+  KeyCode keycode = 0;
+  KeySym keysym = kNoSymbol;
+
+  // Expose events.
+  Rect area;
+  int count = 0;  // number of following expose events
+
+  // ConfigureNotify.
+  Rect configure;
+
+  // ClientMessage payload (used by tests and the comm layer).
+  std::string message;
+
+  // Human-readable event-type name ("ButtonPress", ...).
+  std::string TypeName() const;
+};
+
+const char* EventTypeName(EventType type);
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_EVENT_H_

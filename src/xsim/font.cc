@@ -1,0 +1,116 @@
+#include "src/xsim/font.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace xsim {
+
+namespace {
+
+// Case-insensitive glob with * and ? (XLFD matching ignores case).
+bool FontGlobMatch(std::string_view pattern, std::string_view str) {
+  std::size_t p = 0;
+  std::size_t s = 0;
+  std::size_t star_p = std::string_view::npos;
+  std::size_t star_s = 0;
+  auto lower = [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  };
+  while (s < str.size()) {
+    if (p < pattern.size() && pattern[p] == '*') {
+      star_p = ++p;
+      star_s = s;
+      continue;
+    }
+    if (p < pattern.size() && (pattern[p] == '?' || lower(pattern[p]) == lower(str[s]))) {
+      ++p;
+      ++s;
+      continue;
+    }
+    if (star_p != std::string_view::npos) {
+      p = star_p;
+      s = ++star_s;
+      continue;
+    }
+    return false;
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+}  // namespace
+
+void FontRegistry::Register(Font font) {
+  fonts_.push_back(std::make_shared<const Font>(std::move(font)));
+}
+
+FontPtr FontRegistry::Open(std::string_view pattern) const {
+  for (const auto& font : fonts_) {
+    if (FontGlobMatch(pattern, font->name)) {
+      return font;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> FontRegistry::List(std::string_view pattern) const {
+  std::vector<std::string> names;
+  for (const auto& font : fonts_) {
+    if (FontGlobMatch(pattern, font->name)) {
+      names.push_back(font->name);
+    }
+  }
+  return names;
+}
+
+FontRegistry& FontRegistry::Default() {
+  static FontRegistry* registry = [] {
+    auto* r = new FontRegistry();
+    // Classic aliases.
+    r->Register(Font{"fixed", 6, 10, 3, false, false});
+    r->Register(Font{"6x13", 6, 10, 3, false, false});
+    r->Register(Font{"9x15", 9, 12, 3, false, false});
+    r->Register(Font{"cursor", 8, 12, 4, false, false});
+    // XLFD families at the sizes Wafe-era applications use. The pixel-size
+    // field drives the metrics: width ~ size/2, ascent ~ 4*size/5.
+    struct Family {
+      const char* foundry;
+      const char* family;
+    };
+    static constexpr Family kFamilies[] = {
+        {"b&h", "lucida"},
+        {"adobe", "helvetica"},
+        {"adobe", "courier"},
+        {"adobe", "times"},
+        {"misc", "fixed"},
+    };
+    static constexpr const char* kWeights[] = {"medium", "bold"};
+    static constexpr const char* kSlants[] = {"r", "i"};
+    static constexpr unsigned kSizes[] = {8, 10, 12, 14, 18, 24};
+    for (const Family& family : kFamilies) {
+      for (const char* weight : kWeights) {
+        for (const char* slant : kSlants) {
+          for (unsigned size : kSizes) {
+            char name[128];
+            std::snprintf(name, sizeof(name), "-%s-%s-%s-%s-normal--%u-%u-75-75-p-0-iso8859-1",
+                          family.foundry, family.family, weight, slant, size, size * 10);
+            Font font;
+            font.name = name;
+            font.char_width = size / 2;
+            font.ascent = size * 4 / 5;
+            font.descent = size - font.ascent;
+            font.bold = std::string_view(weight) == "bold";
+            font.italic = std::string_view(slant) == "i";
+            r->Register(std::move(font));
+          }
+        }
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace xsim

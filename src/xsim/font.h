@@ -1,0 +1,57 @@
+// Simulated fonts: a registry of fixed-metric faces addressed by XLFD-style
+// patterns (wildcards included), as the paper's examples use
+// ("*b&h-lucida-medium-r*14*"). Metrics are deterministic so rendering and
+// layout are reproducible in tests.
+#ifndef SRC_XSIM_FONT_H_
+#define SRC_XSIM_FONT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsim {
+
+struct Font {
+  // The full XLFD the font was registered under.
+  std::string name;
+  // Fixed-pitch metrics (pixels).
+  unsigned char_width = 6;
+  unsigned ascent = 10;
+  unsigned descent = 3;
+  bool bold = false;
+  bool italic = false;
+
+  unsigned Height() const { return ascent + descent; }
+  unsigned TextWidth(std::string_view text) const {
+    return char_width * static_cast<unsigned>(text.size());
+  }
+};
+
+using FontPtr = std::shared_ptr<const Font>;
+
+class FontRegistry {
+ public:
+  // The default registry, pre-populated with the classic server fonts
+  // ("fixed", "6x13", lucida/helvetica/courier XLFD families, sizes 8..24).
+  static FontRegistry& Default();
+
+  // Registers a font under its XLFD name.
+  void Register(Font font);
+
+  // Opens the first registered font whose XLFD matches `pattern`
+  // (X-style shell glob, case-insensitive). Returns nullptr on no match.
+  FontPtr Open(std::string_view pattern) const;
+
+  // All matching names, in registration order (XListFonts analogue).
+  std::vector<std::string> List(std::string_view pattern) const;
+
+  std::size_t size() const { return fonts_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const Font>> fonts_;
+};
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_FONT_H_

@@ -1,0 +1,58 @@
+// Basic geometry types shared across the simulated display and the toolkit.
+#ifndef SRC_XSIM_GEOMETRY_H_
+#define SRC_XSIM_GEOMETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace xsim {
+
+using Position = int;
+using Dimension = unsigned int;
+
+struct Point {
+  Position x = 0;
+  Position y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+struct Rect {
+  Position x = 0;
+  Position y = 0;
+  Dimension width = 0;
+  Dimension height = 0;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  bool Contains(Position px, Position py) const {
+    return px >= x && py >= y && px < x + static_cast<Position>(width) &&
+           py < y + static_cast<Position>(height);
+  }
+
+  bool Intersects(const Rect& other) const {
+    return x < other.x + static_cast<Position>(other.width) &&
+           other.x < x + static_cast<Position>(width) &&
+           y < other.y + static_cast<Position>(other.height) &&
+           other.y < y + static_cast<Position>(height);
+  }
+
+  Rect Intersect(const Rect& other) const {
+    Position x0 = std::max(x, other.x);
+    Position y0 = std::max(y, other.y);
+    Position x1 = std::min(x + static_cast<Position>(width),
+                           other.x + static_cast<Position>(other.width));
+    Position y1 = std::min(y + static_cast<Position>(height),
+                           other.y + static_cast<Position>(other.height));
+    if (x1 <= x0 || y1 <= y0) {
+      return Rect{};
+    }
+    return Rect{x0, y0, static_cast<Dimension>(x1 - x0), static_cast<Dimension>(y1 - y0)};
+  }
+
+  bool Empty() const { return width == 0 || height == 0; }
+};
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_GEOMETRY_H_

@@ -1,0 +1,162 @@
+#include "src/xsim/keysym.h"
+
+#include <array>
+
+namespace xsim {
+
+namespace {
+
+struct NamedSym {
+  KeySym keysym;
+  const char* name;
+};
+
+constexpr NamedSym kNamedSyms[] = {
+    {kKeyReturn, "Return"},     {kKeyTab, "Tab"},
+    {kKeyBackSpace, "BackSpace"}, {kKeyEscape, "Escape"},
+    {kKeyDelete, "Delete"},     {kKeyShiftL, "Shift_L"},
+    {kKeyShiftR, "Shift_R"},    {kKeyControlL, "Control_L"},
+    {kKeyControlR, "Control_R"}, {kKeyMetaL, "Meta_L"},
+    {kKeyLeft, "Left"},         {kKeyUp, "Up"},
+    {kKeyRight, "Right"},       {kKeyDown, "Down"},
+    {kKeyHome, "Home"},         {kKeyEnd, "End"},
+};
+
+// X names for the printable ASCII range 0x20..0x7e, indexed by c - 0x20.
+// Letters and digits are their own names.
+constexpr const char* kAsciiNames[] = {
+    "space",      "exclam",     "quotedbl",   "numbersign", "dollar",    "percent",
+    "ampersand",  "apostrophe", "parenleft",  "parenright", "asterisk",  "plus",
+    "comma",      "minus",      "period",     "slash",      "0",         "1",
+    "2",          "3",          "4",          "5",          "6",         "7",
+    "8",          "9",          "colon",      "semicolon",  "less",      "equal",
+    "greater",    "question",   "at",         "A",          "B",         "C",
+    "D",          "E",          "F",          "G",          "H",         "I",
+    "J",          "K",          "L",          "M",          "N",         "O",
+    "P",          "Q",          "R",          "S",          "T",         "U",
+    "V",          "W",          "X",          "Y",          "Z",         "bracketleft",
+    "backslash",  "bracketright", "asciicircum", "underscore", "grave",  "a",
+    "b",          "c",          "d",          "e",          "f",         "g",
+    "h",          "i",          "j",          "k",          "l",         "m",
+    "n",          "o",          "p",          "q",          "r",         "s",
+    "t",          "u",          "v",          "w",          "x",         "y",
+    "z",          "braceleft",  "bar",        "braceright", "asciitilde",
+};
+
+// The simulated keyboard map, modeled on the DECstation LK201 layout: each
+// physical key has a keycode plus its unshifted and shifted character. The
+// paper's key-echo example fixes three data points: 'w' = 198,
+// Shift_L = 174, '1'/'!' = 197.
+struct MappedKey {
+  KeyCode keycode;
+  char unshifted;  // 0 for non-character keys
+  char shifted;
+  KeySym special;  // non-zero for modifier / function keys
+};
+
+constexpr MappedKey kKeyboard[] = {
+    // Digit column keys interleave with the letter row beneath, as on the
+    // LK201 (odd codes digits, even codes letters).
+    {197, '1', '!', 0}, {199, '2', '@', 0}, {201, '3', '#', 0}, {203, '4', '$', 0},
+    {205, '5', '%', 0}, {207, '6', '^', 0}, {209, '7', '&', 0}, {211, '8', '*', 0},
+    {213, '9', '(', 0}, {215, '0', ')', 0}, {217, '-', '_', 0}, {219, '=', '+', 0},
+    {196, 'q', 'Q', 0}, {198, 'w', 'W', 0}, {200, 'e', 'E', 0}, {202, 'r', 'R', 0},
+    {204, 't', 'T', 0}, {206, 'y', 'Y', 0}, {208, 'u', 'U', 0}, {210, 'i', 'I', 0},
+    {212, 'o', 'O', 0}, {214, 'p', 'P', 0},
+    {178, 'a', 'A', 0}, {180, 's', 'S', 0}, {182, 'd', 'D', 0}, {184, 'f', 'F', 0},
+    {186, 'g', 'G', 0}, {188, 'h', 'H', 0}, {190, 'j', 'J', 0}, {192, 'k', 'K', 0},
+    {194, 'l', 'L', 0},
+    {155, 'z', 'Z', 0}, {157, 'x', 'X', 0}, {159, 'c', 'C', 0}, {161, 'v', 'V', 0},
+    {163, 'b', 'B', 0}, {165, 'n', 'N', 0}, {167, 'm', 'M', 0},
+    {222, ';', ':', 0}, {223, '\'', '"', 0}, {224, ',', '<', 0}, {225, '.', '>', 0},
+    {226, '/', '?', 0}, {227, '`', '~', 0}, {228, '[', '{', 0}, {229, ']', '}', 0},
+    {230, '\\', '|', 0},
+    {129, ' ', ' ', 0},
+    {139, 0, 0, kKeyReturn},  {137, 0, 0, kKeyTab},      {135, 0, 0, kKeyBackSpace},
+    {113, 0, 0, kKeyEscape},  {141, 0, 0, kKeyDelete},   {174, 0, 0, kKeyShiftL},
+    {171, 0, 0, kKeyShiftR},  {175, 0, 0, kKeyControlL}, {177, 0, 0, kKeyMetaL},
+    {146, 0, 0, kKeyLeft},    {147, 0, 0, kKeyRight},    {148, 0, 0, kKeyUp},
+    {149, 0, 0, kKeyDown},    {150, 0, 0, kKeyHome},     {151, 0, 0, kKeyEnd},
+};
+
+}  // namespace
+
+std::string KeysymToString(KeySym keysym) {
+  for (const NamedSym& named : kNamedSyms) {
+    if (named.keysym == keysym) {
+      return named.name;
+    }
+  }
+  if (keysym >= 0x20 && keysym <= 0x7e) {
+    return kAsciiNames[keysym - 0x20];
+  }
+  return "";
+}
+
+std::optional<KeySym> StringToKeysym(std::string_view name) {
+  for (const NamedSym& named : kNamedSyms) {
+    if (name == named.name) {
+      return named.keysym;
+    }
+  }
+  for (std::size_t i = 0; i < std::size(kAsciiNames); ++i) {
+    if (name == kAsciiNames[i]) {
+      return static_cast<KeySym>(0x20 + i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<char> KeysymToAscii(KeySym keysym) {
+  if (keysym >= 0x20 && keysym <= 0x7e) {
+    return static_cast<char>(keysym);
+  }
+  if (keysym == kKeyReturn) {
+    return '\r';
+  }
+  if (keysym == kKeyTab) {
+    return '\t';
+  }
+  if (keysym == kKeyBackSpace) {
+    return '\b';
+  }
+  if (keysym == kKeyEscape) {
+    return '\x1b';
+  }
+  if (keysym == kKeyDelete) {
+    return '\x7f';
+  }
+  return std::nullopt;
+}
+
+KeySym AsciiToKeysym(char c) { return static_cast<KeySym>(static_cast<unsigned char>(c)); }
+
+KeyCode KeysymToKeycode(KeySym keysym) {
+  for (const MappedKey& key : kKeyboard) {
+    if (key.special != 0) {
+      if (key.special == keysym) {
+        return key.keycode;
+      }
+      continue;
+    }
+    if (AsciiToKeysym(key.unshifted) == keysym || AsciiToKeysym(key.shifted) == keysym) {
+      return key.keycode;
+    }
+  }
+  return 0;
+}
+
+KeySym KeycodeToKeysym(KeyCode keycode, bool shifted) {
+  for (const MappedKey& key : kKeyboard) {
+    if (key.keycode != keycode) {
+      continue;
+    }
+    if (key.special != 0) {
+      return key.special;
+    }
+    return AsciiToKeysym(shifted ? key.shifted : key.unshifted);
+  }
+  return kNoSymbol;
+}
+
+}  // namespace xsim

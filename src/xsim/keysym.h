@@ -1,0 +1,58 @@
+// Keysym table and keyboard mapping for the simulated display. Keysym values
+// follow X11: printable Latin-1 characters are their own keysym value, and
+// function / modifier keys use the 0xffXX range.
+#ifndef SRC_XSIM_KEYSYM_H_
+#define SRC_XSIM_KEYSYM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xsim {
+
+using KeySym = std::uint32_t;
+using KeyCode = std::uint8_t;
+
+inline constexpr KeySym kNoSymbol = 0;
+inline constexpr KeySym kKeyReturn = 0xff0d;
+inline constexpr KeySym kKeyTab = 0xff09;
+inline constexpr KeySym kKeyBackSpace = 0xff08;
+inline constexpr KeySym kKeyEscape = 0xff1b;
+inline constexpr KeySym kKeyDelete = 0xffff;
+inline constexpr KeySym kKeyShiftL = 0xffe1;
+inline constexpr KeySym kKeyShiftR = 0xffe2;
+inline constexpr KeySym kKeyControlL = 0xffe3;
+inline constexpr KeySym kKeyControlR = 0xffe4;
+inline constexpr KeySym kKeyMetaL = 0xffe7;
+inline constexpr KeySym kKeyLeft = 0xff51;
+inline constexpr KeySym kKeyUp = 0xff52;
+inline constexpr KeySym kKeyRight = 0xff53;
+inline constexpr KeySym kKeyDown = 0xff54;
+inline constexpr KeySym kKeyHome = 0xff50;
+inline constexpr KeySym kKeyEnd = 0xff57;
+
+// XKeysymToString analogue: "w", "exclam", "Return", "Shift_L", ...
+std::string KeysymToString(KeySym keysym);
+
+// XStringToKeysym analogue.
+std::optional<KeySym> StringToKeysym(std::string_view name);
+
+// The printable ASCII character a keysym produces, if any (drives the %a
+// percent code of Wafe's exec action).
+std::optional<char> KeysymToAscii(KeySym keysym);
+
+// Keysym for an ASCII character (shifted characters map to themselves:
+// '!' -> XK_exclam == '!').
+KeySym AsciiToKeysym(char c);
+
+// Deterministic keyboard map of the simulated server: keycode <-> keysym.
+// The map is modeled on the DECstation LK201 layout the paper's key-echo
+// example was produced on, so that keycode 198 is "w", 174 "Shift_L" and
+// 197 "exclam".
+KeyCode KeysymToKeycode(KeySym keysym);
+KeySym KeycodeToKeysym(KeyCode keycode, bool shifted);
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_KEYSYM_H_

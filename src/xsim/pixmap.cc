@@ -1,0 +1,243 @@
+#include "src/xsim/pixmap.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace xsim {
+
+namespace {
+
+// Extracts all double-quoted string literals from C-ish source.
+std::vector<std::string> ExtractStrings(std::string_view source) {
+  std::vector<std::string> strings;
+  std::size_t i = 0;
+  while (i < source.size()) {
+    if (source[i] == '"') {
+      std::string current;
+      ++i;
+      while (i < source.size() && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          current.push_back(source[i + 1]);
+          i += 2;
+        } else {
+          current.push_back(source[i]);
+          ++i;
+        }
+      }
+      ++i;  // closing quote
+      strings.push_back(std::move(current));
+    } else if (source[i] == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      std::size_t end = source.find("*/", i + 2);
+      i = end == std::string_view::npos ? source.size() : end + 2;
+    } else {
+      ++i;
+    }
+  }
+  return strings;
+}
+
+// Finds "#define <something>_<suffix> <number>".
+bool FindDefine(std::string_view source, std::string_view suffix, unsigned* out) {
+  std::size_t pos = 0;
+  while ((pos = source.find("#define", pos)) != std::string_view::npos) {
+    std::size_t line_end = source.find('\n', pos);
+    std::string_view line = source.substr(pos, line_end == std::string_view::npos
+                                                   ? source.size() - pos
+                                                   : line_end - pos);
+    std::size_t name_end = line.find_last_not_of("0123456789 \t");
+    if (name_end != std::string_view::npos) {
+      std::string_view head = line.substr(0, name_end + 1);
+      if (head.size() >= suffix.size() &&
+          head.substr(head.size() - suffix.size()) == suffix) {
+        std::string_view tail = line.substr(name_end + 1);
+        char* end = nullptr;
+        std::string tail_str(tail);
+        unsigned long v = std::strtoul(tail_str.c_str(), &end, 10);
+        if (end != tail_str.c_str()) {
+          *out = static_cast<unsigned>(v);
+          return true;
+        }
+      }
+    }
+    pos += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+PixmapPtr ParseXbm(std::string_view source, Pixel foreground, Pixel background) {
+  unsigned width = 0;
+  unsigned height = 0;
+  if (!FindDefine(source, "_width", &width) || !FindDefine(source, "_height", &height) ||
+      width == 0 || height == 0) {
+    return nullptr;
+  }
+  // Collect hex bytes from the bits array.
+  std::size_t bits_pos = source.find("bits[]");
+  if (bits_pos == std::string_view::npos) {
+    bits_pos = source.find('{');
+  }
+  if (bits_pos == std::string_view::npos) {
+    return nullptr;
+  }
+  std::vector<unsigned char> bytes;
+  std::size_t i = source.find('{', bits_pos);
+  if (i == std::string_view::npos) {
+    return nullptr;
+  }
+  while (i < source.size() && source[i] != '}') {
+    if (source[i] == '0' && i + 1 < source.size() &&
+        (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+      unsigned value = 0;
+      std::size_t j = i + 2;
+      while (j < source.size() && std::isxdigit(static_cast<unsigned char>(source[j]))) {
+        char c = source[j];
+        value = value * 16 +
+                static_cast<unsigned>(std::isdigit(static_cast<unsigned char>(c))
+                                          ? c - '0'
+                                          : std::tolower(static_cast<unsigned char>(c)) - 'a' +
+                                                10);
+        ++j;
+      }
+      bytes.push_back(static_cast<unsigned char>(value & 0xff));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  const unsigned bytes_per_row = (width + 7) / 8;
+  if (bytes.size() < static_cast<std::size_t>(bytes_per_row) * height) {
+    return nullptr;
+  }
+  auto pixmap = std::make_shared<Pixmap>();
+  pixmap->width = width;
+  pixmap->height = height;
+  pixmap->pixels.resize(static_cast<std::size_t>(width) * height);
+  for (unsigned y = 0; y < height; ++y) {
+    for (unsigned x = 0; x < width; ++x) {
+      unsigned char byte = bytes[y * bytes_per_row + x / 8];
+      bool set = (byte >> (x % 8)) & 1u;  // XBM is LSB-first
+      pixmap->pixels[y * width + x] = set ? foreground : background;
+    }
+  }
+  return pixmap;
+}
+
+PixmapPtr ParseXpm(std::string_view source) {
+  std::vector<std::string> strings = ExtractStrings(source);
+  if (strings.empty()) {
+    // Allow the raw "! XPM2" line format too: lines are the strings.
+    return nullptr;
+  }
+  // Header: "width height ncolors chars_per_pixel".
+  unsigned width = 0;
+  unsigned height = 0;
+  unsigned ncolors = 0;
+  unsigned cpp = 0;
+  {
+    const std::string& header = strings[0];
+    char* end = nullptr;
+    const char* p = header.c_str();
+    width = static_cast<unsigned>(std::strtoul(p, &end, 10));
+    p = end;
+    height = static_cast<unsigned>(std::strtoul(p, &end, 10));
+    p = end;
+    ncolors = static_cast<unsigned>(std::strtoul(p, &end, 10));
+    p = end;
+    cpp = static_cast<unsigned>(std::strtoul(p, &end, 10));
+    if (width == 0 || height == 0 || ncolors == 0 || cpp == 0) {
+      return nullptr;
+    }
+  }
+  if (strings.size() < 1 + ncolors + height) {
+    return nullptr;
+  }
+  struct ColorEntry {
+    Pixel pixel = kBlackPixel;
+    bool transparent = false;
+  };
+  std::map<std::string, ColorEntry> colors;
+  for (unsigned c = 0; c < ncolors; ++c) {
+    const std::string& line = strings[1 + c];
+    if (line.size() < cpp) {
+      return nullptr;
+    }
+    std::string key = line.substr(0, cpp);
+    // Tokens after the key: pairs of <keychar> <color>; we honor the `c` key.
+    std::string rest = line.substr(cpp);
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char ch : rest) {
+      if (std::isspace(static_cast<unsigned char>(ch))) {
+        if (!current.empty()) {
+          tokens.push_back(current);
+          current.clear();
+        }
+      } else {
+        current.push_back(ch);
+      }
+    }
+    if (!current.empty()) {
+      tokens.push_back(current);
+    }
+    ColorEntry entry;
+    bool found = false;
+    for (std::size_t t = 0; t + 1 < tokens.size(); t += 2) {
+      if (tokens[t] == "c") {
+        const std::string& spec = tokens[t + 1];
+        if (spec == "None" || spec == "none") {
+          entry.transparent = true;
+          found = true;
+        } else if (auto pixel = LookupColor(spec)) {
+          entry.pixel = *pixel;
+          found = true;
+        }
+        break;
+      }
+    }
+    if (!found) {
+      return nullptr;
+    }
+    colors[key] = entry;
+  }
+  auto pixmap = std::make_shared<Pixmap>();
+  pixmap->width = width;
+  pixmap->height = height;
+  pixmap->pixels.resize(static_cast<std::size_t>(width) * height, kWhitePixel);
+  bool any_transparent = false;
+  std::vector<bool> mask(static_cast<std::size_t>(width) * height, true);
+  for (unsigned y = 0; y < height; ++y) {
+    const std::string& row = strings[1 + ncolors + y];
+    if (row.size() < static_cast<std::size_t>(width) * cpp) {
+      return nullptr;
+    }
+    for (unsigned x = 0; x < width; ++x) {
+      std::string key = row.substr(static_cast<std::size_t>(x) * cpp, cpp);
+      auto it = colors.find(key);
+      if (it == colors.end()) {
+        return nullptr;
+      }
+      if (it->second.transparent) {
+        mask[y * width + x] = false;
+        any_transparent = true;
+      } else {
+        pixmap->pixels[y * width + x] = it->second.pixel;
+      }
+    }
+  }
+  if (any_transparent) {
+    pixmap->mask = std::move(mask);
+  }
+  return pixmap;
+}
+
+PixmapPtr ParseBitmapOrPixmap(std::string_view source, Pixel foreground, Pixel background) {
+  if (PixmapPtr xbm = ParseXbm(source, foreground, background)) {
+    return xbm;
+  }
+  return ParseXpm(source);
+}
+
+}  // namespace xsim

@@ -1,0 +1,49 @@
+// Pixmaps and the XBM / XPM image file formats. XPM support includes color
+// tables and the "None" transparency color that produces a shape mask, as
+// the Xpm library the paper links against does.
+#ifndef SRC_XSIM_PIXMAP_H_
+#define SRC_XSIM_PIXMAP_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/xsim/color.h"
+
+namespace xsim {
+
+struct Pixmap {
+  unsigned width = 0;
+  unsigned height = 0;
+  std::vector<Pixel> pixels;      // row-major, width*height
+  std::vector<bool> mask;         // shape mask; empty when fully opaque
+  std::string name;               // source name, if known
+
+  Pixel At(unsigned x, unsigned y) const { return pixels[y * width + x]; }
+  bool Opaque(unsigned x, unsigned y) const {
+    return mask.empty() || mask[y * width + x];
+  }
+};
+
+using PixmapPtr = std::shared_ptr<const Pixmap>;
+
+// Parses X bitmap (.xbm) C source: "#define name_width W", "#define
+// name_height H", and a bits[] array of hex bytes. Set bits render in
+// `foreground`, clear bits in `background`. Returns nullptr on a parse error.
+PixmapPtr ParseXbm(std::string_view source, Pixel foreground = kBlackPixel,
+                   Pixel background = kWhitePixel);
+
+// Parses X pixmap (.xpm) C source (XPM 2/3 string arrays): header
+// "w h ncolors cpp", color definitions with a `c` key, pixel rows.
+// The color "None" becomes transparent in the mask. Returns nullptr on a
+// parse error or an unknown color.
+PixmapPtr ParseXpm(std::string_view source);
+
+// The converter behavior Wafe registers: try XBM first, fall back to XPM.
+PixmapPtr ParseBitmapOrPixmap(std::string_view source, Pixel foreground = kBlackPixel,
+                              Pixel background = kWhitePixel);
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_PIXMAP_H_

@@ -1,0 +1,812 @@
+#include "src/xt/app.h"
+
+#include <poll.h>
+#include <time.h>
+
+#include <algorithm>
+
+namespace xtk {
+
+AppContext::AppContext(std::string app_name, std::string app_class)
+    : app_name_(std::move(app_name)), app_class_(std::move(app_class)) {}
+
+AppContext::~AppContext() {
+  // Destroy root widgets (and thereby all others) before displays go away.
+  std::vector<Widget*> roots = roots_;
+  for (Widget* root : roots) {
+    DestroyWidget(root);
+  }
+}
+
+xsim::Display& AppContext::display() { return OpenDisplay(":0"); }
+
+xsim::Display& AppContext::OpenDisplay(const std::string& name) {
+  auto it = displays_.find(name);
+  if (it == displays_.end()) {
+    it = displays_.emplace(name, std::make_unique<xsim::Display>(name)).first;
+  }
+  return *it->second;
+}
+
+std::vector<xsim::Display*> AppContext::Displays() const {
+  std::vector<xsim::Display*> out;
+  for (const auto& [name, display] : displays_) {
+    out.push_back(display.get());
+  }
+  return out;
+}
+
+void AppContext::RegisterClass(const WidgetClass* cls) { classes_[cls->name] = cls; }
+
+const WidgetClass* AppContext::FindClass(const std::string& name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> AppContext::ClassNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, cls] : classes_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void AppContext::RegisterAction(const std::string& name, ActionProc action) {
+  global_actions_[name] = std::move(action);
+}
+
+const ActionProc* AppContext::FindGlobalAction(const std::string& name) const {
+  auto it = global_actions_.find(name);
+  return it == global_actions_.end() ? nullptr : &it->second;
+}
+
+// --- Widget lifecycle ------------------------------------------------------------
+
+bool AppContext::InitializeResources(
+    Widget* widget, const std::vector<std::pair<std::string, std::string>>& args,
+    std::string* error) {
+  // Build the fully-qualified (name, class) path for Xrm queries.
+  std::vector<std::pair<std::string, std::string>> path;
+  path.emplace_back(app_name_, app_class_);
+  std::vector<const Widget*> lineage;
+  for (const Widget* w = widget; w != nullptr; w = w->parent()) {
+    lineage.push_back(w);
+  }
+  for (auto it = lineage.rbegin(); it != lineage.rend(); ++it) {
+    path.emplace_back((*it)->name(), (*it)->widget_class()->name);
+  }
+  path.pop_back();  // the widget itself becomes part of the resource query
+
+  // Gather all applicable specs: class chain + parent constraints.
+  std::vector<const ResourceSpec*> specs = widget->widget_class()->AllResources();
+  if (widget->parent() != nullptr) {
+    for (const WidgetClass* c = widget->parent()->widget_class(); c != nullptr;
+         c = c->superclass) {
+      for (const ResourceSpec& spec : c->constraints) {
+        specs.push_back(&spec);
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> widget_path = path;
+  widget_path.emplace_back(widget->name(), widget->widget_class()->name);
+  // Reuse: Query() takes path-to-widget plus the resource pair, so the
+  // widget itself is the last path element.
+  for (const ResourceSpec* spec : specs) {
+    std::string input;
+    bool have_input = false;
+    for (const auto& [arg_name, arg_value] : args) {
+      if (arg_name == spec->name) {
+        input = arg_value;
+        have_input = true;
+      }
+    }
+    if (!have_input) {
+      if (auto db_value = resource_db_.Query(widget_path, {spec->name, spec->class_name})) {
+        input = *db_value;
+        have_input = true;
+      }
+    }
+    if (!have_input) {
+      input = spec->default_value;
+    }
+    ResourceValue value;
+    std::string convert_error;
+    if (!converters_.Convert(spec->type, input, widget, &value, &convert_error)) {
+      if (error != nullptr) {
+        *error = "resource " + spec->name + ": " + convert_error;
+      }
+      return false;
+    }
+    widget->SetRawValue(spec->name, std::move(value));
+    if (have_input) {
+      widget->MarkExplicit(spec->name);
+    }
+  }
+  // Reject creation args that name no declared resource: Wafe reports these
+  // instead of silently dropping them.
+  for (const auto& [arg_name, arg_value] : args) {
+    bool known = false;
+    for (const ResourceSpec* spec : specs) {
+      if (spec->name == arg_name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      if (error != nullptr) {
+        *error = "unknown resource \"" + arg_name + "\" for widget class " +
+                 widget->widget_class()->name;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+Widget* AppContext::CreateWidget(const std::string& name, const std::string& class_name,
+                                 Widget* parent,
+                                 const std::vector<std::pair<std::string, std::string>>& args,
+                                 bool managed, std::string* error) {
+  const WidgetClass* cls = FindClass(class_name);
+  if (cls == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown widget class \"" + class_name + "\"";
+    }
+    return nullptr;
+  }
+  if (widgets_.count(name) > 0) {
+    if (error != nullptr) {
+      *error = "widget \"" + name + "\" already exists";
+    }
+    return nullptr;
+  }
+  if (parent == nullptr && !cls->shell) {
+    if (error != nullptr) {
+      *error = "only shells can be created without a parent";
+    }
+    return nullptr;
+  }
+  auto owned = std::make_unique<Widget>(name, cls, parent, this);
+  Widget* widget = owned.get();
+  widgets_[name] = std::move(owned);
+  if (parent != nullptr) {
+    parent->AddChild(widget);
+  } else {
+    roots_.push_back(widget);
+    widget->set_display(&display());
+  }
+  widget->set_managed(managed);
+  if (!InitializeResources(widget, args, error)) {
+    if (parent != nullptr) {
+      parent->RemoveChild(widget);
+    } else {
+      roots_.erase(std::remove(roots_.begin(), roots_.end(), widget), roots_.end());
+    }
+    widgets_.erase(name);
+    return nullptr;
+  }
+  // Default translations come from the class when the resource is unset.
+  if (widget->GetTranslations() == nullptr) {
+    for (const WidgetClass* c = cls; c != nullptr; c = c->superclass) {
+      if (!c->default_translations.empty()) {
+        std::string parse_error;
+        TranslationsPtr table = ParseTranslations(c->default_translations, &parse_error);
+        if (table != nullptr) {
+          widget->SetRawValue("translations", table);
+        }
+        break;
+      }
+    }
+  }
+  widget->RunInitialize();
+  if (parent != nullptr && managed) {
+    parent->RunChangeManaged();
+    // Creating a managed child under a realized parent realizes it too.
+    if (parent->realized()) {
+      RealizeTree(widget);
+    }
+  }
+  return widget;
+}
+
+Widget* AppContext::CreateShell(const std::string& name, const std::string& class_name,
+                                xsim::Display* shell_display,
+                                const std::vector<std::pair<std::string, std::string>>& args,
+                                std::string* error) {
+  Widget* widget = CreateWidget(name, class_name, nullptr, args, /*managed=*/false, error);
+  if (widget != nullptr && shell_display != nullptr) {
+    widget->set_display(shell_display);
+  }
+  return widget;
+}
+
+void AppContext::DestroySubtree(Widget* widget) {
+  // Children first.
+  std::vector<Widget*> children = widget->children();
+  for (Widget* child : children) {
+    DestroySubtree(child);
+  }
+  // Selections owned by a dying widget are disposed with it.
+  for (auto it = selections_.begin(); it != selections_.end();) {
+    if (it->second.owner == widget) {
+      it = selections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  widget->RunDestroy();
+  if (widget->window() != xsim::kNoWindow) {
+    widget->display().DestroyWindow(widget->window());
+    widget->set_window(xsim::kNoWindow);
+  }
+  widgets_.erase(widget->name());  // frees the Widget and all its resources
+}
+
+void AppContext::DestroyWidget(Widget* widget) {
+  if (widget == nullptr) {
+    return;
+  }
+  // Fire destroyCallback before teardown, as Xt does.
+  CallCallbacks(widget, "destroyCallback", CallData{});
+  Widget* parent = widget->parent();
+  popped_up_.erase(std::remove(popped_up_.begin(), popped_up_.end(), widget),
+                   popped_up_.end());
+  if (parent != nullptr) {
+    parent->RemoveChild(widget);
+  } else {
+    roots_.erase(std::remove(roots_.begin(), roots_.end(), widget), roots_.end());
+  }
+  DestroySubtree(widget);
+  if (parent != nullptr) {
+    parent->RunChangeManaged();
+  }
+}
+
+Widget* AppContext::FindWidget(const std::string& name) const {
+  auto it = widgets_.find(name);
+  return it == widgets_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> AppContext::WidgetNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, widget] : widgets_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void AppContext::ManageChild(Widget* widget) {
+  if (widget == nullptr || widget->managed()) {
+    return;
+  }
+  widget->set_managed(true);
+  if (widget->parent() != nullptr) {
+    widget->parent()->RunChangeManaged();
+    if (widget->parent()->realized()) {
+      if (!widget->realized()) {
+        RealizeTree(widget);
+      } else if (widget->window() != xsim::kNoWindow) {
+        widget->display().MapWindow(widget->window());
+      }
+    }
+  }
+}
+
+void AppContext::UnmanageChild(Widget* widget) {
+  if (widget == nullptr || !widget->managed()) {
+    return;
+  }
+  widget->set_managed(false);
+  if (widget->window() != xsim::kNoWindow) {
+    widget->display().UnmapWindow(widget->window());
+  }
+  if (widget->parent() != nullptr) {
+    widget->parent()->RunChangeManaged();
+  }
+}
+
+void AppContext::RealizeTree(Widget* widget) {
+  if (!widget->realized()) {
+    xsim::Display& d = widget->display();
+    // Popup shells get root-level windows even when nested in the widget
+    // tree: they must not be clipped by their parent.
+    xsim::WindowId parent_window =
+        widget->parent() != nullptr && widget->parent()->window() != xsim::kNoWindow &&
+                !widget->widget_class()->shell
+            ? widget->parent()->window()
+            : d.root();
+    xsim::Rect geometry{widget->x(), widget->y(), widget->width(), widget->height()};
+    xsim::WindowId window = d.CreateWindow(parent_window, geometry, widget->border_width(),
+                                           widget->GetPixel("background", xsim::kWhitePixel));
+    widget->set_window(window);
+    widget->set_realized(true);
+    if (widget->widget_class()->realize) {
+      widget->widget_class()->realize(*widget);
+    }
+  }
+  for (Widget* child : widget->children()) {
+    if (child->widget_class()->shell) {
+      // Popup shells realize lazily, at popup time (XtPopup semantics).
+      continue;
+    }
+    // Ensure each child inherits the display of its parent (multi-display
+    // shells set their own).
+    child->set_display(&widget->display());
+    RealizeTree(child);
+  }
+  bool mapped_when_managed = widget->GetBool("mappedWhenManaged", true);
+  if ((widget->managed() || widget->parent() == nullptr) && mapped_when_managed) {
+    // Shells (roots) map on realize via XtRealizeWidget semantics only when
+    // popped up or when they are application shells; Wafe's `realize`
+    // command maps the top level, so we map roots here too.
+    widget->display().MapWindow(widget->window());
+  }
+}
+
+void AppContext::RealizeWidget(Widget* widget) {
+  if (widget == nullptr) {
+    return;
+  }
+  if (widget->parent() == nullptr && widget->widget_class()->shell &&
+      !widget->WasExplicit("width") && !widget->children().empty()) {
+    // Shells size themselves to the bounding box of their children
+    // (simplified shell geometry management; popup-shell children are
+    // positioned at popup time and do not contribute).
+    xsim::Dimension want_w = 1;
+    xsim::Dimension want_h = 1;
+    for (Widget* child : widget->children()) {
+      if (child->widget_class()->shell) {
+        continue;
+      }
+      xsim::Dimension right = static_cast<xsim::Dimension>(
+          std::max<long>(0, child->x()) + child->width() + 2 * child->border_width());
+      xsim::Dimension bottom = static_cast<xsim::Dimension>(
+          std::max<long>(0, child->y()) + child->height() + 2 * child->border_width());
+      want_w = std::max(want_w, right);
+      want_h = std::max(want_h, bottom);
+    }
+    if (want_w > 1 && want_h > 1) {
+      widget->SetGeometry(widget->x(), widget->y(), want_w, want_h);
+    }
+  }
+  RealizeTree(widget);
+  ProcessPending();
+}
+
+void AppContext::UnrealizeWidget(Widget* widget) {
+  if (widget == nullptr || !widget->realized()) {
+    return;
+  }
+  for (Widget* child : widget->children()) {
+    UnrealizeWidget(child);
+  }
+  if (widget->window() != xsim::kNoWindow) {
+    widget->display().DestroyWindow(widget->window());
+    widget->set_window(xsim::kNoWindow);
+  }
+  widget->set_realized(false);
+}
+
+// --- Resources ----------------------------------------------------------------------
+
+bool AppContext::SetValues(Widget* widget,
+                           const std::vector<std::pair<std::string, std::string>>& args,
+                           std::string* error) {
+  for (const auto& [name, input] : args) {
+    const ResourceSpec* spec = widget->FindSpec(name);
+    if (spec == nullptr) {
+      if (error != nullptr) {
+        *error = "unknown resource \"" + name + "\" for widget " + widget->name();
+      }
+      return false;
+    }
+    ResourceValue value;
+    std::string convert_error;
+    if (!converters_.Convert(spec->type, input, widget, &value, &convert_error)) {
+      if (error != nullptr) {
+        *error = "resource " + name + ": " + convert_error;
+      }
+      return false;
+    }
+    // Wafe's memory-management guarantee — "every time a string resource is
+    // updated, the old value is freed" — falls out of value semantics here:
+    // the assignment releases the previous value.
+    widget->SetRawValue(name, std::move(value));
+    widget->MarkExplicit(name);
+    widget->RunSetValues(name);
+    if (name == "x" || name == "y" || name == "width" || name == "height") {
+      if (widget->realized()) {
+        widget->display().MoveResizeWindow(
+            widget->window(),
+            xsim::Rect{widget->x(), widget->y(), widget->width(), widget->height()});
+        if (widget->parent() != nullptr) {
+          widget->parent()->RunChangeManaged();
+        }
+      }
+    }
+    if (name == "background" && widget->realized()) {
+      widget->display().SetWindowBackground(widget->window(),
+                                            widget->GetPixel("background", xsim::kWhitePixel));
+    }
+  }
+  if (widget->realized()) {
+    Redraw(widget);
+    ProcessPending();
+  }
+  return true;
+}
+
+bool AppContext::GetValue(Widget* widget, const std::string& resource, std::string* out,
+                          std::string* error) {
+  const ResourceSpec* spec = widget->FindSpec(resource);
+  if (spec == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown resource \"" + resource + "\" for widget " + widget->name();
+    }
+    return false;
+  }
+  *out = converters_.Format(spec->type, widget->Value(resource));
+  return true;
+}
+
+// --- Callbacks and actions ---------------------------------------------------------
+
+void AppContext::CallCallbacks(Widget* widget, const std::string& resource,
+                               const CallData& data) {
+  if (widget == nullptr || !widget->IsSensitive()) {
+    return;
+  }
+  const CallbackList* list = widget->GetCallbacks(resource);
+  if (list == nullptr) {
+    return;
+  }
+  // Copy: a callback may modify the list (or destroy the widget).
+  CallbackList copy = *list;
+  for (const Callback& callback : copy) {
+    if (callback.fn) {
+      callback.fn(*widget, data);
+    }
+  }
+}
+
+bool AppContext::InvokeAction(Widget* widget, const std::string& name,
+                              const xsim::Event& event,
+                              const std::vector<std::string>& params) {
+  if (widget != nullptr) {
+    if (const ActionProc* action = widget->widget_class()->FindAction(name)) {
+      (*action)(*widget, event, params);
+      return true;
+    }
+  }
+  auto it = global_actions_.find(name);
+  if (it != global_actions_.end() && widget != nullptr) {
+    it->second(*widget, event, params);
+    return true;
+  }
+  return false;
+}
+
+// --- Event handling -------------------------------------------------------------------
+
+Widget* AppContext::WindowToWidget(const xsim::Display& d, xsim::WindowId window) const {
+  for (const auto& [name, widget] : widgets_) {
+    if (widget->window() == window && &widget->display() == &d) {
+      return widget.get();
+    }
+  }
+  return nullptr;
+}
+
+void AppContext::Redraw(Widget* widget) {
+  if (widget == nullptr || !widget->realized() || widget->window() == xsim::kNoWindow) {
+    return;
+  }
+  if (!widget->display().IsViewable(widget->window())) {
+    return;
+  }
+  widget->display().ClearWindow(widget->window());
+  widget->RunExpose();
+  ++redraw_count_;
+  // The simulated display has a flat painter-model framebuffer, so repainting
+  // a parent repaints over its children; repair them in stacking order.
+  for (Widget* child : widget->children()) {
+    Redraw(child);
+  }
+}
+
+void AppContext::DispatchEvent(const xsim::Event& event) {
+  // Locate the owning display (events carry no display pointer).
+  xsim::Display* event_display = nullptr;
+  Widget* widget = nullptr;
+  for (const auto& [name, d] : displays_) {
+    if ((widget = WindowToWidget(*d, event.window)) != nullptr) {
+      event_display = d.get();
+      break;
+    }
+  }
+  (void)event_display;
+  if (widget == nullptr) {
+    return;
+  }
+  switch (event.type) {
+    case xsim::EventType::kExpose:
+      Redraw(widget);
+      return;
+    case xsim::EventType::kConfigureNotify: {
+      // Keep the geometry resources in sync with the window.
+      widget->SetRawValue("x", static_cast<long>(event.configure.x));
+      widget->SetRawValue("y", static_cast<long>(event.configure.y));
+      widget->SetRawValue("width", static_cast<long>(event.configure.width));
+      widget->SetRawValue("height", static_cast<long>(event.configure.height));
+      widget->RunResize();
+      return;
+    }
+    case xsim::EventType::kMapNotify:
+    case xsim::EventType::kUnmapNotify:
+    case xsim::EventType::kDestroyNotify:
+      return;
+    case xsim::EventType::kSelectionClear: {
+      // Another widget (or client) took the selection away.
+      auto it = selections_.find(event.message);
+      if (it != selections_.end() && it->second.owner == widget) {
+        selections_.erase(it);
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  if (!widget->IsSensitive()) {
+    return;
+  }
+  TranslationsPtr translations = widget->GetTranslations();
+  if (translations == nullptr) {
+    return;
+  }
+  const Production* production = translations->Match(event);
+  if (production == nullptr) {
+    return;
+  }
+  // Accelerator productions redirect their actions to the source widget.
+  Widget* action_widget = widget;
+  if (!production->target.empty()) {
+    action_widget = FindWidget(production->target);
+    if (action_widget == nullptr || !action_widget->IsSensitive()) {
+      return;
+    }
+  }
+  for (const ActionCall& call : production->actions) {
+    InvokeAction(action_widget, call.name, event, call.params);
+  }
+}
+
+std::size_t AppContext::ProcessPending() {
+  std::size_t dispatched = 0;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (const auto& [name, d] : displays_) {
+      while (d->Pending()) {
+        xsim::Event event = d->NextEvent();
+        DispatchEvent(event);
+        ++dispatched;
+        any = true;
+      }
+    }
+  }
+  return dispatched;
+}
+
+// --- Selections ------------------------------------------------------------------------
+
+void AppContext::OwnSelection(Widget* widget, const std::string& selection,
+                              std::function<std::string()> convert) {
+  if (widget == nullptr) {
+    return;
+  }
+  selections_[selection] = Selection{widget, std::move(convert)};
+  if (widget->window() != xsim::kNoWindow) {
+    widget->display().SetSelectionOwner(selection, widget->window());
+  }
+}
+
+void AppContext::DisownSelection(const std::string& selection) {
+  auto it = selections_.find(selection);
+  if (it == selections_.end()) {
+    return;
+  }
+  Widget* owner = it->second.owner;
+  if (owner != nullptr && owner->window() != xsim::kNoWindow) {
+    owner->display().SetSelectionOwner(selection, xsim::kNoWindow);
+  }
+  selections_.erase(it);
+}
+
+std::optional<std::string> AppContext::GetSelectionValue(const std::string& selection) const {
+  auto it = selections_.find(selection);
+  if (it == selections_.end() || !it->second.convert) {
+    return std::nullopt;
+  }
+  return it->second.convert();
+}
+
+Widget* AppContext::SelectionOwnerWidget(const std::string& selection) const {
+  auto it = selections_.find(selection);
+  return it == selections_.end() ? nullptr : it->second.owner;
+}
+
+// --- Accelerators ------------------------------------------------------------------------
+
+bool AppContext::InstallAccelerators(Widget* dest, Widget* src) {
+  if (dest == nullptr || src == nullptr) {
+    return false;
+  }
+  const ResourceValue& value = src->Value("accelerators");
+  const TranslationsPtr* accelerators = std::get_if<TranslationsPtr>(&value);
+  if (accelerators == nullptr || *accelerators == nullptr ||
+      (*accelerators)->productions.empty()) {
+    return false;
+  }
+  auto merged = std::make_shared<TranslationTable>();
+  for (Production production : (*accelerators)->productions) {
+    production.target = src->name();
+    merged->productions.push_back(std::move(production));
+  }
+  merged->source = (*accelerators)->source;
+  dest->SetRawValue("translations",
+                    MergeTranslations(dest->GetTranslations(), merged, MergeMode::kOverride));
+  return true;
+}
+
+// --- Popups ---------------------------------------------------------------------------
+
+void AppContext::Popup(Widget* shell, GrabKind grab) {
+  if (shell == nullptr) {
+    return;
+  }
+  if (!shell->realized()) {
+    RealizeTree(shell);
+  }
+  shell->display().MapWindow(shell->window());
+  shell->display().RaiseWindow(shell->window());
+  if (grab != GrabKind::kNone) {
+    shell->display().GrabPointer(shell->window(), grab == GrabKind::kNonexclusive);
+  }
+  popped_up_.push_back(shell);
+  ProcessPending();
+}
+
+void AppContext::Popdown(Widget* shell) {
+  if (shell == nullptr || shell->window() == xsim::kNoWindow) {
+    return;
+  }
+  shell->display().UnmapWindow(shell->window());
+  if (shell->display().PointerGrab() == shell->window()) {
+    shell->display().UngrabPointer();
+  }
+  popped_up_.erase(std::remove(popped_up_.begin(), popped_up_.end(), shell),
+                   popped_up_.end());
+  ProcessPending();
+}
+
+bool AppContext::IsPoppedUp(const Widget* shell) const {
+  return std::find(popped_up_.begin(), popped_up_.end(), shell) != popped_up_.end();
+}
+
+// --- Main loop ------------------------------------------------------------------------
+
+std::int64_t AppContext::NowMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+int AppContext::AddTimeout(long ms, TimerFn fn) {
+  Timer timer;
+  timer.id = next_timer_id_++;
+  timer.deadline_ms = NowMs() + ms;
+  timer.fn = std::move(fn);
+  timers_.push_back(std::move(timer));
+  return timers_.back().id;
+}
+
+void AppContext::RemoveTimeout(int id) {
+  timers_.erase(std::remove_if(timers_.begin(), timers_.end(),
+                               [id](const Timer& t) { return t.id == id; }),
+                timers_.end());
+}
+
+int AppContext::AddInput(int fd, InputFn fn) {
+  Input input;
+  input.id = next_input_id_++;
+  input.fd = fd;
+  input.fn = std::move(fn);
+  inputs_.push_back(std::move(input));
+  return inputs_.back().id;
+}
+
+void AppContext::RemoveInput(int id) {
+  inputs_.erase(std::remove_if(inputs_.begin(), inputs_.end(),
+                               [id](const Input& i) { return i.id == id; }),
+                inputs_.end());
+}
+
+bool AppContext::RunOneIteration(bool block) {
+  if (ProcessPending() > 0) {
+    return true;
+  }
+  // Compute the poll timeout from the nearest timer.
+  int timeout = block ? -1 : 0;
+  std::int64_t now = NowMs();
+  for (const Timer& timer : timers_) {
+    long remaining = static_cast<long>(timer.deadline_ms - now);
+    if (remaining < 0) {
+      remaining = 0;
+    }
+    if (timeout < 0 || remaining < timeout) {
+      timeout = static_cast<int>(remaining);
+    }
+  }
+  if (inputs_.empty() && timers_.empty()) {
+    return false;
+  }
+  std::vector<pollfd> fds;
+  fds.reserve(inputs_.size());
+  for (const Input& input : inputs_) {
+    fds.push_back(pollfd{input.fd, POLLIN | POLLHUP, 0});
+  }
+  int ready = ::poll(fds.data(), fds.size(), timeout);
+  bool worked = false;
+  if (ready > 0) {
+    // Snapshot ids: handlers may add/remove inputs.
+    std::vector<std::pair<int, int>> fired;  // (id, fd)
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        fired.emplace_back(inputs_[i].id, inputs_[i].fd);
+      }
+    }
+    for (const auto& [id, fd] : fired) {
+      for (const Input& input : inputs_) {
+        if (input.id == id) {
+          InputFn fn = input.fn;
+          fn(fd);
+          worked = true;
+          break;
+        }
+      }
+    }
+  }
+  // Fire due timers.
+  now = NowMs();
+  std::vector<Timer> due;
+  timers_.erase(std::remove_if(timers_.begin(), timers_.end(),
+                               [&](const Timer& t) {
+                                 if (t.deadline_ms <= now) {
+                                   due.push_back(t);
+                                   return true;
+                                 }
+                                 return false;
+                               }),
+                timers_.end());
+  for (const Timer& timer : due) {
+    timer.fn();
+    worked = true;
+  }
+  worked |= ProcessPending() > 0;
+  return worked;
+}
+
+void AppContext::MainLoop() {
+  loop_break_ = false;
+  while (!loop_break_) {
+    if (inputs_.empty() && timers_.empty()) {
+      // Nothing can ever wake us again; drain events and stop.
+      ProcessPending();
+      break;
+    }
+    RunOneIteration(/*block=*/true);
+  }
+}
+
+}  // namespace xtk

@@ -1,0 +1,209 @@
+// The application context: owns displays, the widget tree, the resource
+// database and converter/action registries, dispatches events through
+// translation management, and runs the main loop with timers and
+// file-descriptor input sources (XtAppAddInput — the hook Wafe's frontend
+// communication is built on).
+#ifndef SRC_XT_APP_H_
+#define SRC_XT_APP_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/xsim/display.h"
+#include "src/xt/converter.h"
+#include "src/xt/widget.h"
+#include "src/xt/xrm.h"
+
+namespace xtk {
+
+// Grab semantics for popup shells (XtGrabKind).
+enum class GrabKind { kNone, kNonexclusive, kExclusive };
+
+class AppContext {
+ public:
+  AppContext(std::string app_name, std::string app_class);
+  ~AppContext();
+
+  AppContext(const AppContext&) = delete;
+  AppContext& operator=(const AppContext&) = delete;
+
+  const std::string& app_name() const { return app_name_; }
+  const std::string& app_class() const { return app_class_; }
+
+  // --- Displays ---------------------------------------------------------------
+
+  // The default display (created lazily on first use).
+  xsim::Display& display();
+  // Opens (or returns) a display by name; models multi-display Wafe
+  // applications ("applicationShell top2 dec4:0").
+  xsim::Display& OpenDisplay(const std::string& name);
+  std::vector<xsim::Display*> Displays() const;
+
+  // --- Registries --------------------------------------------------------------
+
+  ResourceDatabase& resource_db() { return resource_db_; }
+  ConverterRegistry& converters() { return converters_; }
+
+  void RegisterClass(const WidgetClass* cls);
+  const WidgetClass* FindClass(const std::string& name) const;
+  std::vector<std::string> ClassNames() const;
+
+  // Global (application) actions, e.g. Wafe's `exec`.
+  void RegisterAction(const std::string& name, ActionProc action);
+  const ActionProc* FindGlobalAction(const std::string& name) const;
+
+  // --- Widget lifecycle ----------------------------------------------------------
+
+  // Creates a widget. `args` are name/value string pairs converted through
+  // the registry. Widgets are registered under their instance name, which
+  // must be unique (Wafe addresses widgets by name). Returns null and fills
+  // *error on failure.
+  Widget* CreateWidget(const std::string& name, const std::string& class_name, Widget* parent,
+                       const std::vector<std::pair<std::string, std::string>>& args,
+                       bool managed, std::string* error);
+  // Creates a root shell on `display`.
+  Widget* CreateShell(const std::string& name, const std::string& class_name,
+                      xsim::Display* display,
+                      const std::vector<std::pair<std::string, std::string>>& args,
+                      std::string* error);
+
+  void DestroyWidget(Widget* widget);
+  Widget* FindWidget(const std::string& name) const;
+  std::size_t WidgetCount() const { return widgets_.size(); }
+  std::vector<std::string> WidgetNames() const;
+
+  void ManageChild(Widget* widget);
+  void UnmanageChild(Widget* widget);
+
+  // Realizes a widget subtree: creates windows parent-first and maps managed
+  // widgets (XtRealizeWidget).
+  void RealizeWidget(Widget* widget);
+  void UnrealizeWidget(Widget* widget);
+
+  // --- Resources ------------------------------------------------------------------
+
+  // Applies name/value pairs to an existing widget (XtSetValues).
+  bool SetValues(Widget* widget, const std::vector<std::pair<std::string, std::string>>& args,
+                 std::string* error);
+  // Reads one resource back in string form (Wafe's getValue).
+  bool GetValue(Widget* widget, const std::string& resource, std::string* out,
+                std::string* error);
+
+  // --- Callbacks and actions ---------------------------------------------------------
+
+  // Invokes every callback on the named callback resource (XtCallCallbacks).
+  // Honors sensitivity: insensitive widgets do not fire.
+  void CallCallbacks(Widget* widget, const std::string& resource, const CallData& data);
+
+  // Invokes an action by name: widget-class actions first, then global.
+  bool InvokeAction(Widget* widget, const std::string& name, const xsim::Event& event,
+                    const std::vector<std::string>& params);
+
+  // --- Event handling -----------------------------------------------------------------
+
+  // Dispatches one event through translation management.
+  void DispatchEvent(const xsim::Event& event);
+  // Drains every display queue; returns the number of events dispatched.
+  std::size_t ProcessPending();
+
+  Widget* WindowToWidget(const xsim::Display& display, xsim::WindowId window) const;
+
+  // Forces a full redraw of a realized widget (clear + expose).
+  void Redraw(Widget* widget);
+
+  // --- Selections -----------------------------------------------------------------------
+
+  // Claims selection ownership for a widget (XtOwnSelection); `convert`
+  // produces the value on request. The previous owner is cleared.
+  void OwnSelection(Widget* widget, const std::string& selection,
+                    std::function<std::string()> convert);
+  void DisownSelection(const std::string& selection);
+  // Value of a selection, if owned (XtGetSelectionValue).
+  std::optional<std::string> GetSelectionValue(const std::string& selection) const;
+  Widget* SelectionOwnerWidget(const std::string& selection) const;
+
+  // --- Accelerators ----------------------------------------------------------------------
+
+  // XtInstallAccelerators: merges `src`'s accelerators resource into
+  // `dest`'s translations; matched actions run on `src`.
+  bool InstallAccelerators(Widget* dest, Widget* src);
+
+  // --- Popups ------------------------------------------------------------------------
+
+  void Popup(Widget* shell, GrabKind grab);
+  void Popdown(Widget* shell);
+  bool IsPoppedUp(const Widget* shell) const;
+
+  // --- Main loop: timers and input sources ----------------------------------------------
+
+  using TimerFn = std::function<void()>;
+  using InputFn = std::function<void(int fd)>;
+
+  // One-shot timeout after `ms` milliseconds of real time.
+  int AddTimeout(long ms, TimerFn fn);
+  void RemoveTimeout(int id);
+  // Watches `fd` for readability.
+  int AddInput(int fd, InputFn fn);
+  void RemoveInput(int id);
+
+  // Runs one iteration: dispatches pending display events, then polls the
+  // input fds / timers. With `block` it waits for the next source to fire.
+  // Returns false when there was nothing to do in a non-blocking call.
+  bool RunOneIteration(bool block);
+  // Loops until BreakMainLoop (XtAppMainLoop).
+  void MainLoop();
+  void BreakMainLoop() { loop_break_ = true; }
+
+  // Test hook: number of expose redraws performed.
+  std::size_t redraw_count() const { return redraw_count_; }
+
+ private:
+  struct Timer {
+    int id;
+    std::int64_t deadline_ms;  // CLOCK_MONOTONIC
+    TimerFn fn;
+  };
+  struct Input {
+    int id;
+    int fd;
+    InputFn fn;
+  };
+
+  // Resolves and converts all resources for a fresh widget.
+  bool InitializeResources(Widget* widget,
+                           const std::vector<std::pair<std::string, std::string>>& args,
+                           std::string* error);
+  void RealizeTree(Widget* widget);
+  void DestroySubtree(Widget* widget);
+  static std::int64_t NowMs();
+
+  std::string app_name_;
+  std::string app_class_;
+  std::map<std::string, std::unique_ptr<xsim::Display>> displays_;
+  ResourceDatabase resource_db_;
+  ConverterRegistry converters_;
+  std::map<std::string, const WidgetClass*> classes_;
+  std::map<std::string, ActionProc> global_actions_;
+  std::map<std::string, std::unique_ptr<Widget>> widgets_;
+  struct Selection {
+    Widget* owner = nullptr;
+    std::function<std::string()> convert;
+  };
+  std::map<std::string, Selection> selections_;
+  std::vector<Widget*> roots_;
+  std::vector<Widget*> popped_up_;
+  std::vector<Timer> timers_;
+  std::vector<Input> inputs_;
+  int next_timer_id_ = 1;
+  int next_input_id_ = 1;
+  bool loop_break_ = false;
+  std::size_t redraw_count_ = 0;
+};
+
+}  // namespace xtk
+
+#endif  // SRC_XT_APP_H_

@@ -1,0 +1,150 @@
+#include "src/xt/classes.h"
+
+namespace xtk {
+
+namespace {
+
+using RT = ResourceType;
+
+// Core resources, declared in the order X11R5 reports them (the paper's
+// getResourceList example prints: destroyCallback ancestorSensitive x y
+// width height borderWidth sensitive screen depth colormap background ...).
+std::vector<ResourceSpec> CoreResources() {
+  return {
+      {"destroyCallback", "Callback", RT::kCallback, ""},
+      {"ancestorSensitive", "Sensitive", RT::kBoolean, "true"},
+      {"x", "Position", RT::kPosition, "0"},
+      {"y", "Position", RT::kPosition, "0"},
+      {"width", "Width", RT::kDimension, "1"},
+      {"height", "Height", RT::kDimension, "1"},
+      {"borderWidth", "BorderWidth", RT::kDimension, "1"},
+      {"sensitive", "Sensitive", RT::kBoolean, "true"},
+      {"screen", "Screen", RT::kString, ""},
+      {"depth", "Depth", RT::kInt, "24"},
+      {"colormap", "Colormap", RT::kString, ""},
+      {"background", "Background", RT::kPixel, "XtDefaultBackground"},
+      {"backgroundPixmap", "Pixmap", RT::kPixmap, ""},
+      {"borderColor", "BorderColor", RT::kPixel, "XtDefaultForeground"},
+      {"borderPixmap", "Pixmap", RT::kPixmap, ""},
+      {"mappedWhenManaged", "MappedWhenManaged", RT::kBoolean, "true"},
+      {"translations", "Translations", RT::kTranslations, ""},
+      {"accelerators", "Accelerators", RT::kTranslations, ""},
+  };
+}
+
+}  // namespace
+
+const WidgetClass* CoreClass() {
+  static const WidgetClass* cls = [] {
+    auto* c = new WidgetClass();
+    c->name = "Core";
+    c->resources = CoreResources();
+    return c;
+  }();
+  return cls;
+}
+
+const WidgetClass* CompositeClass() {
+  static const WidgetClass* cls = [] {
+    auto* c = new WidgetClass();
+    c->name = "Composite";
+    c->superclass = CoreClass();
+    c->composite = true;
+    return c;
+  }();
+  return cls;
+}
+
+const WidgetClass* ConstraintClass() {
+  static const WidgetClass* cls = [] {
+    auto* c = new WidgetClass();
+    c->name = "Constraint";
+    c->superclass = CompositeClass();
+    return c;
+  }();
+  return cls;
+}
+
+const WidgetClass* ShellClass() {
+  static const WidgetClass* cls = [] {
+    auto* c = new WidgetClass();
+    c->name = "Shell";
+    c->superclass = CompositeClass();
+    c->shell = true;
+    c->resources = {
+        {"allowShellResize", "AllowShellResize", RT::kBoolean, "false"},
+        {"geometry", "Geometry", RT::kString, ""},
+        {"overrideRedirect", "OverrideRedirect", RT::kBoolean, "false"},
+        {"saveUnder", "SaveUnder", RT::kBoolean, "false"},
+        {"popupCallback", "Callback", RT::kCallback, ""},
+        {"popdownCallback", "Callback", RT::kCallback, ""},
+    };
+    return c;
+  }();
+  return cls;
+}
+
+const WidgetClass* OverrideShellClass() {
+  static const WidgetClass* cls = [] {
+    auto* c = new WidgetClass();
+    c->name = "OverrideShell";
+    c->superclass = ShellClass();
+    c->shell = true;
+    return c;
+  }();
+  return cls;
+}
+
+const WidgetClass* TransientShellClass() {
+  static const WidgetClass* cls = [] {
+    auto* c = new WidgetClass();
+    c->name = "TransientShell";
+    c->superclass = ShellClass();
+    c->shell = true;
+    c->resources = {
+        {"transientFor", "TransientFor", RT::kWidget, ""},
+    };
+    return c;
+  }();
+  return cls;
+}
+
+const WidgetClass* TopLevelShellClass() {
+  static const WidgetClass* cls = [] {
+    auto* c = new WidgetClass();
+    c->name = "TopLevelShell";
+    c->superclass = ShellClass();
+    c->shell = true;
+    c->resources = {
+        {"iconName", "IconName", RT::kString, ""},
+        {"iconic", "Iconic", RT::kBoolean, "false"},
+        {"title", "Title", RT::kString, ""},
+    };
+    return c;
+  }();
+  return cls;
+}
+
+const WidgetClass* ApplicationShellClass() {
+  static const WidgetClass* cls = [] {
+    auto* c = new WidgetClass();
+    c->name = "ApplicationShell";
+    c->superclass = TopLevelShellClass();
+    c->shell = true;
+    return c;
+  }();
+  return cls;
+}
+
+void RegisterIntrinsicClasses(AppContext& app) {
+  app.RegisterClass(CoreClass());
+  app.RegisterClass(CompositeClass());
+  app.RegisterClass(ConstraintClass());
+  app.RegisterClass(ShellClass());
+  app.RegisterClass(OverrideShellClass());
+  app.RegisterClass(TransientShellClass());
+  app.RegisterClass(TopLevelShellClass());
+  app.RegisterClass(ApplicationShellClass());
+}
+
+}  // namespace xtk

@@ -1,0 +1,26 @@
+// The intrinsic widget classes: Core, Composite, Constraint, and the shell
+// hierarchy (Shell / OverrideShell / TransientShell / TopLevelShell /
+// ApplicationShell). Widget sets (Athena, Motif) derive from these.
+#ifndef SRC_XT_CLASSES_H_
+#define SRC_XT_CLASSES_H_
+
+#include "src/xt/app.h"
+#include "src/xt/widget.h"
+
+namespace xtk {
+
+const WidgetClass* CoreClass();
+const WidgetClass* CompositeClass();
+const WidgetClass* ConstraintClass();
+const WidgetClass* ShellClass();
+const WidgetClass* OverrideShellClass();
+const WidgetClass* TransientShellClass();
+const WidgetClass* TopLevelShellClass();
+const WidgetClass* ApplicationShellClass();
+
+// Registers all intrinsic classes with an app context.
+void RegisterIntrinsicClasses(AppContext& app);
+
+}  // namespace xtk
+
+#endif  // SRC_XT_CLASSES_H_

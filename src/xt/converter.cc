@@ -1,0 +1,333 @@
+#include "src/xt/converter.h"
+
+#include <cstdlib>
+
+#include "src/xsim/font.h"
+#include "src/xt/app.h"
+#include "src/xt/widget.h"
+
+namespace xtk {
+
+namespace {
+
+bool ConvertLong(const std::string& input, long* out) {
+  if (input.empty()) {
+    *out = 0;
+    return true;
+  }
+  char* end = nullptr;
+  long v = std::strtol(input.c_str(), &end, 10);
+  if (end == input.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+std::string Lower(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  }
+  return out;
+}
+
+}  // namespace
+
+ConverterRegistry::ConverterRegistry() {
+  Register(ResourceType::kInt,
+           [](const std::string& input, Widget*, ResourceValue* out, std::string* error) {
+             long v = 0;
+             if (!ConvertLong(input, &v)) {
+               *error = "cannot convert \"" + input + "\" to Int";
+               return false;
+             }
+             *out = v;
+             return true;
+           });
+  Register(ResourceType::kDimension,
+           [](const std::string& input, Widget*, ResourceValue* out, std::string* error) {
+             long v = 0;
+             if (!ConvertLong(input, &v) || v < 0) {
+               *error = "cannot convert \"" + input + "\" to Dimension";
+               return false;
+             }
+             *out = v;
+             return true;
+           });
+  Register(ResourceType::kPosition,
+           [](const std::string& input, Widget*, ResourceValue* out, std::string* error) {
+             long v = 0;
+             if (!ConvertLong(input, &v)) {
+               *error = "cannot convert \"" + input + "\" to Position";
+               return false;
+             }
+             *out = v;
+             return true;
+           });
+  Register(ResourceType::kBoolean,
+           [](const std::string& input, Widget*, ResourceValue* out, std::string* error) {
+             std::string lower = Lower(input);
+             if (lower == "true" || lower == "yes" || lower == "on" || lower == "1") {
+               *out = true;
+               return true;
+             }
+             if (lower == "false" || lower == "no" || lower == "off" || lower == "0" ||
+                 lower.empty()) {
+               *out = false;
+               return true;
+             }
+             *error = "cannot convert \"" + input + "\" to Boolean";
+             return false;
+           });
+  Register(ResourceType::kFloat,
+           [](const std::string& input, Widget*, ResourceValue* out, std::string* error) {
+             if (input.empty()) {
+               *out = 0.0;
+               return true;
+             }
+             char* end = nullptr;
+             double v = std::strtod(input.c_str(), &end);
+             if (end == input.c_str() || *end != '\0') {
+               *error = "cannot convert \"" + input + "\" to Float";
+               return false;
+             }
+             *out = v;
+             return true;
+           });
+  Register(ResourceType::kString,
+           [](const std::string& input, Widget*, ResourceValue* out, std::string*) {
+             *out = input;
+             return true;
+           });
+  Register(ResourceType::kPixel,
+           [](const std::string& input, Widget*, ResourceValue* out, std::string* error) {
+             if (input.empty() || Lower(input) == "xtdefaultforeground") {
+               *out = xsim::kBlackPixel;
+               return true;
+             }
+             if (Lower(input) == "xtdefaultbackground") {
+               *out = xsim::kWhitePixel;
+               return true;
+             }
+             if (auto pixel = xsim::LookupColor(input)) {
+               *out = *pixel;
+               return true;
+             }
+             *error = "cannot convert \"" + input + "\" to Pixel: no such color";
+             return false;
+           });
+  Register(ResourceType::kFont,
+           [](const std::string& input, Widget*, ResourceValue* out, std::string* error) {
+             std::string pattern = input;
+             if (pattern.empty() || Lower(pattern) == "xtdefaultfont") {
+               pattern = "fixed";
+             }
+             xsim::FontPtr font = xsim::FontRegistry::Default().Open(pattern);
+             if (font == nullptr) {
+               // XLFD patterns in resource files frequently lack the leading
+               // dash-wildcard; retry with surrounding stars.
+               font = xsim::FontRegistry::Default().Open("*" + pattern + "*");
+             }
+             if (font == nullptr) {
+               *error = "cannot convert \"" + input + "\" to FontStruct: no matching font";
+               return false;
+             }
+             *out = font;
+             return true;
+           });
+  Register(ResourceType::kPixmap,
+           [](const std::string& input, Widget*, ResourceValue* out, std::string* error) {
+             if (input.empty() || Lower(input) == "none") {
+               *out = xsim::PixmapPtr{};
+               return true;
+             }
+             // The base converter only accepts inline XBM/XPM source; Wafe
+             // replaces it with one that also reads files.
+             xsim::PixmapPtr pixmap = xsim::ParseBitmapOrPixmap(input);
+             if (pixmap == nullptr) {
+               *error = "cannot convert \"" + input + "\" to Pixmap";
+               return false;
+             }
+             *out = pixmap;
+             return true;
+           });
+  Register(ResourceType::kTranslations,
+           [](const std::string& input, Widget*, ResourceValue* out, std::string* error) {
+             if (input.empty()) {
+               // Unset: lets the class default translations apply.
+               *out = TranslationsPtr{};
+               return true;
+             }
+             std::string parse_error;
+             TranslationsPtr table = ParseTranslations(input, &parse_error);
+             if (table == nullptr) {
+               *error = "cannot convert to TranslationTable: " + parse_error;
+               return false;
+             }
+             *out = table;
+             return true;
+           });
+  Register(ResourceType::kStringList,
+           [](const std::string& input, Widget*, ResourceValue* out, std::string*) {
+             // Comma-separated, as the Athena List widget's resource file
+             // syntax specifies.
+             std::vector<std::string> items;
+             std::string current;
+             for (char c : input) {
+               if (c == ',') {
+                 items.push_back(current);
+                 current.clear();
+               } else {
+                 current.push_back(c);
+               }
+             }
+             if (!current.empty() || !items.empty()) {
+               items.push_back(current);
+             }
+             *out = items;
+             return true;
+           });
+  Register(ResourceType::kWidget,
+           [](const std::string& input, Widget* widget, ResourceValue* out,
+              std::string* error) {
+             if (input.empty() || Lower(input) == "none" || Lower(input) == "null") {
+               *out = static_cast<Widget*>(nullptr);
+               return true;
+             }
+             if (widget == nullptr) {
+               *error = "cannot resolve widget \"" + input + "\" without a context";
+               return false;
+             }
+             Widget* target = widget->app().FindWidget(input);
+             if (target == nullptr) {
+               *error = "cannot convert \"" + input + "\" to Widget: no such widget";
+               return false;
+             }
+             *out = target;
+             return true;
+           });
+  Register(ResourceType::kCallback,
+           [](const std::string& input, Widget*, ResourceValue* out, std::string*) {
+             // Base behavior: store an inert callback carrying the source
+             // string. Wafe replaces this converter with one that evaluates
+             // the string as a Tcl script.
+             CallbackList list;
+             if (!input.empty()) {
+               Callback callback;
+               callback.source = input;
+               list.push_back(std::move(callback));
+             }
+             *out = list;
+             return true;
+           });
+
+  // --- Reverse converters -----------------------------------------------------
+
+  RegisterFormat(ResourceType::kInt, [](const ResourceValue& value) {
+    const long* v = std::get_if<long>(&value);
+    return v == nullptr ? std::string() : std::to_string(*v);
+  });
+  RegisterFormat(ResourceType::kDimension, [](const ResourceValue& value) {
+    const long* v = std::get_if<long>(&value);
+    return v == nullptr ? std::string() : std::to_string(*v);
+  });
+  RegisterFormat(ResourceType::kPosition, [](const ResourceValue& value) {
+    const long* v = std::get_if<long>(&value);
+    return v == nullptr ? std::string() : std::to_string(*v);
+  });
+  RegisterFormat(ResourceType::kBoolean, [](const ResourceValue& value) {
+    const bool* v = std::get_if<bool>(&value);
+    return std::string(v != nullptr && *v ? "True" : "False");
+  });
+  RegisterFormat(ResourceType::kFloat, [](const ResourceValue& value) {
+    const double* v = std::get_if<double>(&value);
+    if (v == nullptr) {
+      return std::string();
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%g", *v);
+    return std::string(buffer);
+  });
+  RegisterFormat(ResourceType::kString, [](const ResourceValue& value) {
+    const std::string* v = std::get_if<std::string>(&value);
+    return v == nullptr ? std::string() : *v;
+  });
+  RegisterFormat(ResourceType::kPixel, [](const ResourceValue& value) {
+    const xsim::Pixel* v = std::get_if<xsim::Pixel>(&value);
+    return v == nullptr ? std::string() : xsim::FormatColor(*v);
+  });
+  RegisterFormat(ResourceType::kFont, [](const ResourceValue& value) {
+    const xsim::FontPtr* v = std::get_if<xsim::FontPtr>(&value);
+    return v == nullptr || *v == nullptr ? std::string() : (*v)->name;
+  });
+  RegisterFormat(ResourceType::kPixmap, [](const ResourceValue& value) {
+    const xsim::PixmapPtr* v = std::get_if<xsim::PixmapPtr>(&value);
+    return v == nullptr || *v == nullptr ? std::string("None") : (*v)->name;
+  });
+  RegisterFormat(ResourceType::kCallback, [](const ResourceValue& value) {
+    const CallbackList* list = std::get_if<CallbackList>(&value);
+    if (list == nullptr || list->empty()) {
+      return std::string();
+    }
+    std::string out;
+    for (const Callback& callback : *list) {
+      if (!out.empty()) {
+        out += "; ";
+      }
+      out += callback.source;
+    }
+    return out;
+  });
+  RegisterFormat(ResourceType::kTranslations, [](const ResourceValue& value) {
+    const TranslationsPtr* v = std::get_if<TranslationsPtr>(&value);
+    return v == nullptr || *v == nullptr ? std::string() : (*v)->source;
+  });
+  RegisterFormat(ResourceType::kStringList, [](const ResourceValue& value) {
+    const auto* v = std::get_if<std::vector<std::string>>(&value);
+    if (v == nullptr) {
+      return std::string();
+    }
+    std::string out;
+    for (std::size_t i = 0; i < v->size(); ++i) {
+      if (i != 0) {
+        out.push_back(',');
+      }
+      out += (*v)[i];
+    }
+    return out;
+  });
+  RegisterFormat(ResourceType::kWidget, [](const ResourceValue& value) {
+    Widget* const* v = std::get_if<Widget*>(&value);
+    return v == nullptr || *v == nullptr ? std::string() : (*v)->name();
+  });
+}
+
+void ConverterRegistry::Register(ResourceType type, ConvertFn convert) {
+  converters_[type] = std::move(convert);
+}
+
+void ConverterRegistry::RegisterFormat(ResourceType type, FormatFn format) {
+  formatters_[type] = std::move(format);
+}
+
+bool ConverterRegistry::Convert(ResourceType type, const std::string& input, Widget* widget,
+                                ResourceValue* out, std::string* error) const {
+  auto it = converters_.find(type);
+  if (it == converters_.end()) {
+    *error = std::string("no converter for type ") + ResourceTypeName(type);
+    return false;
+  }
+  return it->second(input, widget, out, error);
+}
+
+std::string ConverterRegistry::Format(ResourceType type, const ResourceValue& value) const {
+  auto it = formatters_.find(type);
+  if (it == formatters_.end()) {
+    return "";
+  }
+  return it->second(value);
+}
+
+}  // namespace xtk

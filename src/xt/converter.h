@@ -1,0 +1,44 @@
+// Resource converters: string -> typed value (and back, a Wafe extension so
+// getValue works for every resource type). The registry ships with the
+// standard Xt converters; Wafe registers replacements for Callback, Pixmap
+// and (in the Motif build) XmString.
+#ifndef SRC_XT_CONVERTER_H_
+#define SRC_XT_CONVERTER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/xt/value.h"
+
+namespace xtk {
+
+class Widget;
+
+class ConverterRegistry {
+ public:
+  // Converts `input` for `widget` (may be null during class setup). Returns
+  // false and fills *error on failure.
+  using ConvertFn = std::function<bool(const std::string& input, Widget* widget,
+                                       ResourceValue* out, std::string* error)>;
+  // Formats a typed value back to its string form.
+  using FormatFn = std::function<std::string(const ResourceValue& value)>;
+
+  // A registry pre-loaded with the standard converters.
+  ConverterRegistry();
+
+  void Register(ResourceType type, ConvertFn convert);
+  void RegisterFormat(ResourceType type, FormatFn format);
+
+  bool Convert(ResourceType type, const std::string& input, Widget* widget, ResourceValue* out,
+               std::string* error) const;
+  std::string Format(ResourceType type, const ResourceValue& value) const;
+
+ private:
+  std::map<ResourceType, ConvertFn> converters_;
+  std::map<ResourceType, FormatFn> formatters_;
+};
+
+}  // namespace xtk
+
+#endif  // SRC_XT_CONVERTER_H_

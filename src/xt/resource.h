@@ -1,0 +1,39 @@
+// Resource declarations: the per-class resource lists that drive default
+// initialization, Xrm lookup, and the string converters.
+#ifndef SRC_XT_RESOURCE_H_
+#define SRC_XT_RESOURCE_H_
+
+#include <string>
+
+#include "src/xt/value.h"
+
+namespace xtk {
+
+// One declared resource of a widget class (XtResource analogue).
+struct ResourceSpec {
+  std::string name;        // e.g. "background"
+  std::string class_name;  // e.g. "Background"
+  ResourceType type = ResourceType::kString;
+  std::string default_value;  // string form; converted during initialization
+
+  ResourceSpec() = default;
+  ResourceSpec(std::string n, std::string c, ResourceType t, std::string d)
+      : name(std::move(n)), class_name(std::move(c)), type(t), default_value(std::move(d)) {}
+};
+
+// Common resource class names are derived by capitalizing the first letter
+// unless given explicitly.
+inline std::string DefaultResourceClass(const std::string& name) {
+  if (name.empty()) {
+    return name;
+  }
+  std::string cls = name;
+  if (cls[0] >= 'a' && cls[0] <= 'z') {
+    cls[0] = static_cast<char>(cls[0] - 'a' + 'A');
+  }
+  return cls;
+}
+
+}  // namespace xtk
+
+#endif  // SRC_XT_RESOURCE_H_

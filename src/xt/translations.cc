@@ -1,0 +1,386 @@
+#include "src/xt/translations.h"
+
+#include <cctype>
+
+namespace xtk {
+
+namespace {
+
+struct EventName {
+  const char* name;
+  xsim::EventType type;
+  unsigned button;  // for BtnNDown shorthand
+};
+
+constexpr EventName kEventNames[] = {
+    {"KeyPress", xsim::EventType::kKeyPress, 0},
+    {"Key", xsim::EventType::kKeyPress, 0},
+    {"KeyDown", xsim::EventType::kKeyPress, 0},
+    {"KeyRelease", xsim::EventType::kKeyRelease, 0},
+    {"KeyUp", xsim::EventType::kKeyRelease, 0},
+    {"ButtonPress", xsim::EventType::kButtonPress, 0},
+    {"BtnDown", xsim::EventType::kButtonPress, 0},
+    {"Btn1Down", xsim::EventType::kButtonPress, 1},
+    {"Btn2Down", xsim::EventType::kButtonPress, 2},
+    {"Btn3Down", xsim::EventType::kButtonPress, 3},
+    {"Btn4Down", xsim::EventType::kButtonPress, 4},
+    {"Btn5Down", xsim::EventType::kButtonPress, 5},
+    {"ButtonRelease", xsim::EventType::kButtonRelease, 0},
+    {"BtnUp", xsim::EventType::kButtonRelease, 0},
+    {"Btn1Up", xsim::EventType::kButtonRelease, 1},
+    {"Btn2Up", xsim::EventType::kButtonRelease, 2},
+    {"Btn3Up", xsim::EventType::kButtonRelease, 3},
+    {"Btn4Up", xsim::EventType::kButtonRelease, 4},
+    {"Btn5Up", xsim::EventType::kButtonRelease, 5},
+    {"MotionNotify", xsim::EventType::kMotionNotify, 0},
+    {"Motion", xsim::EventType::kMotionNotify, 0},
+    {"Btn1Motion", xsim::EventType::kMotionNotify, 0},
+    {"Btn2Motion", xsim::EventType::kMotionNotify, 0},
+    {"Btn3Motion", xsim::EventType::kMotionNotify, 0},
+    {"PtrMoved", xsim::EventType::kMotionNotify, 0},
+    {"MouseMoved", xsim::EventType::kMotionNotify, 0},
+    {"BtnMotion", xsim::EventType::kMotionNotify, 0},
+    {"EnterNotify", xsim::EventType::kEnterNotify, 0},
+    {"EnterWindow", xsim::EventType::kEnterNotify, 0},
+    {"Enter", xsim::EventType::kEnterNotify, 0},
+    {"LeaveNotify", xsim::EventType::kLeaveNotify, 0},
+    {"LeaveWindow", xsim::EventType::kLeaveNotify, 0},
+    {"Leave", xsim::EventType::kLeaveNotify, 0},
+    {"Expose", xsim::EventType::kExpose, 0},
+    {"FocusIn", xsim::EventType::kFocusIn, 0},
+    {"FocusOut", xsim::EventType::kFocusOut, 0},
+    {"ConfigureNotify", xsim::EventType::kConfigureNotify, 0},
+    {"ClientMessage", xsim::EventType::kClientMessage, 0},
+    {"Message", xsim::EventType::kClientMessage, 0},
+};
+
+struct ModifierName {
+  const char* name;
+  unsigned mask;
+};
+
+constexpr ModifierName kModifierNames[] = {
+    {"Shift", xsim::kShiftMask}, {"Lock", xsim::kLockMask},
+    {"Ctrl", xsim::kControlMask}, {"Control", xsim::kControlMask},
+    {"Meta", xsim::kMod1Mask},   {"Mod1", xsim::kMod1Mask},
+    {"Alt", xsim::kMod1Mask},    {"Button1", xsim::kButton1Mask},
+    {"Button2", xsim::kButton2Mask}, {"Button3", xsim::kButton3Mask},
+};
+
+void SkipBlanks(std::string_view text, std::size_t* pos) {
+  while (*pos < text.size() && (text[*pos] == ' ' || text[*pos] == '\t')) {
+    ++*pos;
+  }
+}
+
+std::string Trim(std::string_view text) {
+  std::size_t begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string_view::npos) {
+    return "";
+  }
+  std::size_t end = text.find_last_not_of(" \t\r\n");
+  return std::string(text.substr(begin, end - begin + 1));
+}
+
+// Parses the left-hand side of a production up to and including ':'.
+bool ParseMatcher(std::string_view lhs, EventMatcher* matcher, std::string* error) {
+  std::size_t pos = 0;
+  SkipBlanks(lhs, &pos);
+  // Modifier prefixes, possibly negated (~) or exact (!).
+  for (;;) {
+    SkipBlanks(lhs, &pos);
+    if (pos < lhs.size() && lhs[pos] == '!') {
+      matcher->exact_modifiers = true;
+      ++pos;
+      continue;
+    }
+    bool negate = false;
+    std::size_t mark = pos;
+    if (pos < lhs.size() && lhs[pos] == '~') {
+      negate = true;
+      ++pos;
+    }
+    std::size_t start = pos;
+    while (pos < lhs.size() && (std::isalnum(static_cast<unsigned char>(lhs[pos])) != 0)) {
+      ++pos;
+    }
+    std::string_view word = lhs.substr(start, pos - start);
+    bool matched = false;
+    for (const ModifierName& modifier : kModifierNames) {
+      if (word == modifier.name) {
+        if (negate) {
+          matcher->forbidden_modifiers |= modifier.mask;
+        } else {
+          matcher->required_modifiers |= modifier.mask;
+        }
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      pos = mark;  // not a modifier; must be the '<'
+      break;
+    }
+  }
+  SkipBlanks(lhs, &pos);
+  if (pos >= lhs.size() || lhs[pos] != '<') {
+    *error = "expected '<' in event specification";
+    return false;
+  }
+  ++pos;
+  std::size_t close = lhs.find('>', pos);
+  if (close == std::string_view::npos) {
+    *error = "missing '>' in event specification";
+    return false;
+  }
+  std::string event_name = Trim(lhs.substr(pos, close - pos));
+  pos = close + 1;
+  bool found = false;
+  for (const EventName& name : kEventNames) {
+    if (event_name == name.name) {
+      matcher->type = name.type;
+      matcher->button = name.button;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    *error = "unknown event type \"" + event_name + "\"";
+    return false;
+  }
+  // Detail field (keysym for key events, button number for button events).
+  std::string detail = Trim(lhs.substr(pos));
+  if (!detail.empty()) {
+    if (matcher->type == xsim::EventType::kKeyPress ||
+        matcher->type == xsim::EventType::kKeyRelease) {
+      std::optional<xsim::KeySym> keysym = xsim::StringToKeysym(detail);
+      if (!keysym && detail.size() == 1) {
+        keysym = xsim::AsciiToKeysym(detail[0]);
+      }
+      if (!keysym) {
+        *error = "unknown keysym \"" + detail + "\"";
+        return false;
+      }
+      matcher->keysym = *keysym;
+    } else if (matcher->type == xsim::EventType::kButtonPress ||
+               matcher->type == xsim::EventType::kButtonRelease) {
+      if (detail.size() == 1 && detail[0] >= '1' && detail[0] <= '5') {
+        matcher->button = static_cast<unsigned>(detail[0] - '0');
+      } else {
+        *error = "bad button detail \"" + detail + "\"";
+        return false;
+      }
+    } else {
+      *error = "detail not supported for this event type";
+      return false;
+    }
+  }
+  return true;
+}
+
+// Parses the action sequence on the right-hand side: name(args) name2() ...
+bool ParseActions(std::string_view rhs, std::vector<ActionCall>* actions, std::string* error) {
+  std::size_t pos = 0;
+  for (;;) {
+    SkipBlanks(rhs, &pos);
+    if (pos >= rhs.size()) {
+      break;
+    }
+    std::size_t start = pos;
+    while (pos < rhs.size() && rhs[pos] != '(' &&
+           !std::isspace(static_cast<unsigned char>(rhs[pos]))) {
+      ++pos;
+    }
+    ActionCall call;
+    call.name = std::string(rhs.substr(start, pos - start));
+    if (call.name.empty()) {
+      *error = "empty action name";
+      return false;
+    }
+    SkipBlanks(rhs, &pos);
+    if (pos < rhs.size() && rhs[pos] == '(') {
+      ++pos;
+      // Parameters are comma-separated at the top level; nested parens and
+      // double quotes are respected so exec(echo [gV input string]) and
+      // quoted strings survive intact.
+      std::string current;
+      int depth = 0;
+      bool in_quotes = false;
+      bool closed = false;
+      while (pos < rhs.size()) {
+        char c = rhs[pos];
+        if (in_quotes) {
+          if (c == '"') {
+            in_quotes = false;
+          } else {
+            current.push_back(c);
+          }
+          ++pos;
+          continue;
+        }
+        if (c == '"') {
+          in_quotes = true;
+          ++pos;
+          continue;
+        }
+        if (c == '(') {
+          ++depth;
+          current.push_back(c);
+          ++pos;
+          continue;
+        }
+        if (c == ')') {
+          if (depth == 0) {
+            ++pos;
+            closed = true;
+            break;
+          }
+          --depth;
+          current.push_back(c);
+          ++pos;
+          continue;
+        }
+        if (c == ',' && depth == 0) {
+          call.params.push_back(Trim(current));
+          current.clear();
+          ++pos;
+          continue;
+        }
+        current.push_back(c);
+        ++pos;
+      }
+      if (!closed) {
+        *error = "missing ')' in action \"" + call.name + "\"";
+        return false;
+      }
+      std::string trimmed = Trim(current);
+      if (!trimmed.empty() || !call.params.empty()) {
+        call.params.push_back(trimmed);
+      }
+    }
+    actions->push_back(std::move(call));
+  }
+  if (actions->empty()) {
+    *error = "no actions in production";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool EventMatcher::Matches(const xsim::Event& event) const {
+  if (event.type != type) {
+    return false;
+  }
+  if (exact_modifiers) {
+    if ((event.state & 0xff) != required_modifiers) {
+      return false;
+    }
+  } else {
+    if ((event.state & required_modifiers) != required_modifiers) {
+      return false;
+    }
+    if ((event.state & forbidden_modifiers) != 0) {
+      return false;
+    }
+  }
+  if (button != 0 && event.button != button) {
+    return false;
+  }
+  if (keysym != xsim::kNoSymbol) {
+    // Keysym details match case-insensitively for letters, as Xt does when
+    // the Shift modifier is not part of the specification.
+    xsim::KeySym event_sym = event.keysym;
+    xsim::KeySym want = keysym;
+    if (event_sym >= 'A' && event_sym <= 'Z') {
+      event_sym = event_sym - 'A' + 'a';
+    }
+    if (want >= 'A' && want <= 'Z') {
+      want = want - 'A' + 'a';
+    }
+    if (event_sym != want) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const Production* TranslationTable::Match(const xsim::Event& event) const {
+  for (const Production& production : productions) {
+    if (production.matcher.Matches(event)) {
+      return &production;
+    }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const TranslationTable> ParseTranslations(std::string_view text,
+                                                          std::string* error) {
+  auto table = std::make_shared<TranslationTable>();
+  table->source = std::string(text);
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    std::string_view raw =
+        end == std::string_view::npos ? text.substr(pos) : text.substr(pos, end - pos);
+    std::string trimmed = Trim(raw);
+    // "#override" / "#augment" directives are skipped as comments; the
+    // caller decides the merge mode.
+    if (!trimmed.empty() && trimmed[0] != '#' && trimmed[0] != '!') {
+      std::size_t colon = std::string::npos;
+      // The ':' separating matcher from actions is the first one after '>'.
+      std::size_t gt = trimmed.find('>');
+      if (gt != std::string::npos) {
+        colon = trimmed.find(':', gt);
+      }
+      if (colon == std::string::npos) {
+        if (error != nullptr) {
+          *error = "missing ':' in translation \"" + trimmed + "\"";
+        }
+        return nullptr;
+      }
+      Production production;
+      production.source = trimmed;
+      std::string parse_error;
+      if (!ParseMatcher(std::string_view(trimmed).substr(0, colon), &production.matcher,
+                        &parse_error) ||
+          !ParseActions(std::string_view(trimmed).substr(colon + 1), &production.actions,
+                        &parse_error)) {
+        if (error != nullptr) {
+          *error = parse_error;
+        }
+        return nullptr;
+      }
+      table->productions.push_back(std::move(production));
+    }
+    if (end == std::string_view::npos) {
+      break;
+    }
+    pos = end + 1;
+  }
+  return table;
+}
+
+std::shared_ptr<const TranslationTable> MergeTranslations(
+    const std::shared_ptr<const TranslationTable>& base,
+    const std::shared_ptr<const TranslationTable>& incoming, MergeMode mode) {
+  if (mode == MergeMode::kReplace || base == nullptr) {
+    return incoming;
+  }
+  auto merged = std::make_shared<TranslationTable>();
+  if (mode == MergeMode::kOverride) {
+    merged->productions = incoming->productions;
+    merged->productions.insert(merged->productions.end(), base->productions.begin(),
+                               base->productions.end());
+    merged->source = incoming->source + "\n" + base->source;
+  } else {  // augment: base wins
+    merged->productions = base->productions;
+    merged->productions.insert(merged->productions.end(), incoming->productions.begin(),
+                               incoming->productions.end());
+    merged->source = base->source + "\n" + incoming->source;
+  }
+  return merged;
+}
+
+}  // namespace xtk

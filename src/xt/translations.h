@@ -1,0 +1,71 @@
+// Translation tables: the Xt mechanism binding event descriptions to action
+// sequences. Parses the classic syntax the paper's examples use —
+//   <EnterWindow>: PopupMenu()
+//   <Key>Return:   exec(echo [gV input string])
+//   Shift<Btn1Down>: set() notify()
+// and matches incoming events against the productions.
+#ifndef SRC_XT_TRANSLATIONS_H_
+#define SRC_XT_TRANSLATIONS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/xsim/event.h"
+
+namespace xtk {
+
+// One bound action invocation: name plus its parenthesized parameters.
+struct ActionCall {
+  std::string name;
+  std::vector<std::string> params;
+};
+
+// The event half of a production.
+struct EventMatcher {
+  xsim::EventType type = xsim::EventType::kNone;
+  unsigned required_modifiers = 0;   // must be set in event.state
+  unsigned forbidden_modifiers = 0;  // must be clear (from ~Mod prefixes)
+  bool exact_modifiers = false;      // '!' prefix: state must equal required
+  unsigned button = 0;               // nonzero for BtnNDown/BtnNUp forms
+  xsim::KeySym keysym = xsim::kNoSymbol;  // nonzero for <Key>X detail
+
+  bool Matches(const xsim::Event& event) const;
+};
+
+struct Production {
+  EventMatcher matcher;
+  std::vector<ActionCall> actions;
+  std::string source;  // the original line, for reverse conversion
+  // Accelerators: when non-empty, the actions run on this widget (by name)
+  // rather than on the widget the event arrived in.
+  std::string target;
+};
+
+struct TranslationTable {
+  std::vector<Production> productions;
+  std::string source;  // full original text
+
+  // First production whose matcher accepts the event (Xt uses first-match).
+  const Production* Match(const xsim::Event& event) const;
+};
+
+// Parses a translation specification (one production per line or per
+// newline-separated segment). Returns nullptr and fills *error on failure.
+std::shared_ptr<const TranslationTable> ParseTranslations(std::string_view text,
+                                                          std::string* error);
+
+// How `action`-style modifications combine tables.
+enum class MergeMode { kReplace, kOverride, kAugment };
+
+// Merges `incoming` into `base` per mode: override puts incoming productions
+// first (they win), augment puts them last, replace discards base.
+std::shared_ptr<const TranslationTable> MergeTranslations(
+    const std::shared_ptr<const TranslationTable>& base,
+    const std::shared_ptr<const TranslationTable>& incoming, MergeMode mode);
+
+}  // namespace xtk
+
+#endif  // SRC_XT_TRANSLATIONS_H_

@@ -1,0 +1,82 @@
+// Resource value representation for the Intrinsics clone. Xt stores typed
+// values produced by string converters; we model that with a variant over
+// the types the supported widget sets use.
+#ifndef SRC_XT_VALUE_H_
+#define SRC_XT_VALUE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/xsim/color.h"
+#include "src/xsim/font.h"
+#include "src/xsim/pixmap.h"
+
+namespace xtk {
+
+class Widget;
+struct TranslationTable;
+
+// Data a widget passes to its callback functions (Xt's client_data /
+// call_data). Keyed by the percent-code letter Wafe exposes (e.g. the Athena
+// List widget provides "i" = index and "s" = active element).
+struct CallData {
+  std::map<std::string, std::string> fields;
+
+  std::string Get(const std::string& key) const {
+    auto it = fields.find(key);
+    return it == fields.end() ? std::string() : it->second;
+  }
+};
+
+// One entry of a callback list: an invocable plus the string form it was
+// converted from. Wafe (unlike Xt) can read a callback resource back as a
+// string, so the source is kept alongside the function.
+struct Callback {
+  std::string source;
+  std::function<void(Widget&, const CallData&)> fn;
+};
+
+using CallbackList = std::vector<Callback>;
+using TranslationsPtr = std::shared_ptr<const TranslationTable>;
+
+// The typed value of a resource.
+using ResourceValue =
+    std::variant<std::monostate,            // unset
+                 long,                      // Int / Dimension / Position
+                 bool,                      // Boolean
+                 double,                    // Float
+                 std::string,               // String and string-backed enums
+                 xsim::Pixel,               // Pixel (colors)
+                 xsim::FontPtr,             // Font
+                 xsim::PixmapPtr,           // Bitmap / Pixmap
+                 CallbackList,              // Callback
+                 TranslationsPtr,           // TranslationTable
+                 std::vector<std::string>,  // StringList (List widget items)
+                 Widget*>;                  // Widget references (constraints)
+
+// The declared type of a resource, selecting the converter.
+enum class ResourceType {
+  kInt,
+  kDimension,
+  kPosition,
+  kBoolean,
+  kString,
+  kPixel,
+  kFont,
+  kPixmap,
+  kCallback,
+  kTranslations,
+  kStringList,
+  kWidget,
+  kFloat,
+};
+
+const char* ResourceTypeName(ResourceType type);
+
+}  // namespace xtk
+
+#endif  // SRC_XT_VALUE_H_

@@ -1,0 +1,282 @@
+#include "src/xt/widget.h"
+
+namespace xtk {
+
+const char* ResourceTypeName(ResourceType type) {
+  switch (type) {
+    case ResourceType::kInt:
+      return "Int";
+    case ResourceType::kDimension:
+      return "Dimension";
+    case ResourceType::kPosition:
+      return "Position";
+    case ResourceType::kBoolean:
+      return "Boolean";
+    case ResourceType::kString:
+      return "String";
+    case ResourceType::kPixel:
+      return "Pixel";
+    case ResourceType::kFont:
+      return "FontStruct";
+    case ResourceType::kPixmap:
+      return "Pixmap";
+    case ResourceType::kCallback:
+      return "Callback";
+    case ResourceType::kTranslations:
+      return "TranslationTable";
+    case ResourceType::kStringList:
+      return "StringList";
+    case ResourceType::kWidget:
+      return "Widget";
+    case ResourceType::kFloat:
+      return "Float";
+  }
+  return "Unknown";
+}
+
+bool WidgetClass::IsSubclassOf(const WidgetClass* ancestor) const {
+  for (const WidgetClass* c = this; c != nullptr; c = c->superclass) {
+    if (c == ancestor) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<const ResourceSpec*> WidgetClass::AllResources() const {
+  // Superclass resources first (Core leads the list, as XtGetResourceList
+  // reports it).
+  std::vector<const WidgetClass*> chain;
+  for (const WidgetClass* c = this; c != nullptr; c = c->superclass) {
+    chain.push_back(c);
+  }
+  std::vector<const ResourceSpec*> specs;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const ResourceSpec& spec : (*it)->resources) {
+      specs.push_back(&spec);
+    }
+  }
+  return specs;
+}
+
+const ActionProc* WidgetClass::FindAction(const std::string& name) const {
+  for (const WidgetClass* c = this; c != nullptr; c = c->superclass) {
+    auto it = c->actions.find(name);
+    if (it != c->actions.end()) {
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+Widget::Widget(std::string name, const WidgetClass* cls, Widget* parent, AppContext* app)
+    : name_(std::move(name)), class_(cls), parent_(parent), app_(app) {
+  if (parent != nullptr) {
+    display_ = &parent->display();
+  }
+}
+
+const ResourceSpec* Widget::FindSpec(const std::string& name) const {
+  for (const WidgetClass* c = class_; c != nullptr; c = c->superclass) {
+    for (const ResourceSpec& spec : c->resources) {
+      if (spec.name == name) {
+        return &spec;
+      }
+    }
+  }
+  if (parent_ != nullptr) {
+    for (const WidgetClass* c = parent_->widget_class(); c != nullptr; c = c->superclass) {
+      for (const ResourceSpec& spec : c->constraints) {
+        if (spec.name == name) {
+          return &spec;
+        }
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool Widget::HasValue(const std::string& name) const { return values_.count(name) > 0; }
+
+const ResourceValue& Widget::Value(const std::string& name) const {
+  static const ResourceValue kUnset = std::monostate{};
+  auto it = values_.find(name);
+  return it == values_.end() ? kUnset : it->second;
+}
+
+void Widget::SetRawValue(const std::string& name, ResourceValue value) {
+  values_[name] = std::move(value);
+}
+
+long Widget::GetLong(const std::string& name, long fallback) const {
+  const ResourceValue& value = Value(name);
+  if (const long* v = std::get_if<long>(&value)) {
+    return *v;
+  }
+  return fallback;
+}
+
+bool Widget::GetBool(const std::string& name, bool fallback) const {
+  const ResourceValue& value = Value(name);
+  if (const bool* v = std::get_if<bool>(&value)) {
+    return *v;
+  }
+  return fallback;
+}
+
+double Widget::GetFloat(const std::string& name, double fallback) const {
+  const ResourceValue& value = Value(name);
+  if (const double* v = std::get_if<double>(&value)) {
+    return *v;
+  }
+  return fallback;
+}
+
+std::string Widget::GetString(const std::string& name) const {
+  const ResourceValue& value = Value(name);
+  if (const std::string* v = std::get_if<std::string>(&value)) {
+    return *v;
+  }
+  return "";
+}
+
+xsim::Pixel Widget::GetPixel(const std::string& name, xsim::Pixel fallback) const {
+  const ResourceValue& value = Value(name);
+  if (const xsim::Pixel* v = std::get_if<xsim::Pixel>(&value)) {
+    return *v;
+  }
+  return fallback;
+}
+
+xsim::FontPtr Widget::GetFont(const std::string& name) const {
+  const ResourceValue& value = Value(name);
+  if (const xsim::FontPtr* v = std::get_if<xsim::FontPtr>(&value)) {
+    return *v;
+  }
+  return nullptr;
+}
+
+xsim::PixmapPtr Widget::GetPixmap(const std::string& name) const {
+  const ResourceValue& value = Value(name);
+  if (const xsim::PixmapPtr* v = std::get_if<xsim::PixmapPtr>(&value)) {
+    return *v;
+  }
+  return nullptr;
+}
+
+const CallbackList* Widget::GetCallbacks(const std::string& name) const {
+  const ResourceValue& value = Value(name);
+  return std::get_if<CallbackList>(&value);
+}
+
+TranslationsPtr Widget::GetTranslations() const {
+  const ResourceValue& value = Value("translations");
+  if (const TranslationsPtr* v = std::get_if<TranslationsPtr>(&value)) {
+    return *v;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Widget::GetStringList(const std::string& name) const {
+  const ResourceValue& value = Value(name);
+  if (const auto* v = std::get_if<std::vector<std::string>>(&value)) {
+    return *v;
+  }
+  return {};
+}
+
+Widget* Widget::GetWidget(const std::string& name) const {
+  const ResourceValue& value = Value(name);
+  if (Widget* const* v = std::get_if<Widget*>(&value)) {
+    return *v;
+  }
+  return nullptr;
+}
+
+void Widget::SetGeometry(xsim::Position x, xsim::Position y, xsim::Dimension width,
+                         xsim::Dimension height) {
+  if (this->x() == x && this->y() == y && this->width() == width && this->height() == height) {
+    return;
+  }
+  values_["x"] = static_cast<long>(x);
+  values_["y"] = static_cast<long>(y);
+  values_["width"] = static_cast<long>(width);
+  values_["height"] = static_cast<long>(height);
+  if (realized_ && window_ != xsim::kNoWindow) {
+    display().MoveResizeWindow(window_, xsim::Rect{x, y, width, height});
+  }
+}
+
+bool Widget::IsSensitive() const {
+  for (const Widget* w = this; w != nullptr; w = w->parent()) {
+    if (!w->GetBool("sensitive", true)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Widget::Path() const {
+  if (parent_ == nullptr) {
+    return name_;
+  }
+  return parent_->Path() + "." + name_;
+}
+
+void Widget::RemoveChild(Widget* child) {
+  for (auto it = children_.begin(); it != children_.end(); ++it) {
+    if (*it == child) {
+      children_.erase(it);
+      return;
+    }
+  }
+}
+
+namespace {
+
+// Runs the most-derived non-null hook in the class chain.
+template <typename Member, typename... Args>
+void RunHook(const WidgetClass* cls, Member member, Args&&... args) {
+  for (const WidgetClass* c = cls; c != nullptr; c = c->superclass) {
+    if (c->*member) {
+      (c->*member)(std::forward<Args>(args)...);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void Widget::RunInitialize() {
+  // Initialize runs the whole chain, base classes first (Xt semantics).
+  std::vector<const WidgetClass*> chain;
+  for (const WidgetClass* c = class_; c != nullptr; c = c->superclass) {
+    chain.push_back(c);
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if ((*it)->initialize) {
+      (*it)->initialize(*this);
+    }
+  }
+}
+
+void Widget::RunExpose() { RunHook(class_, &WidgetClass::expose, *this); }
+
+void Widget::RunResize() { RunHook(class_, &WidgetClass::resize, *this); }
+
+void Widget::RunDestroy() {
+  // Destroy hooks run for every class in the chain, derived first.
+  for (const WidgetClass* c = class_; c != nullptr; c = c->superclass) {
+    if (c->destroy) {
+      c->destroy(*this);
+    }
+  }
+}
+
+void Widget::RunSetValues(const std::string& resource) {
+  RunHook(class_, &WidgetClass::set_values, *this, resource);
+}
+
+void Widget::RunChangeManaged() { RunHook(class_, &WidgetClass::change_managed, *this); }
+
+}  // namespace xtk

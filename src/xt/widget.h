@@ -1,0 +1,157 @@
+// Widget classes and instances: the Xt object model. A WidgetClass bundles
+// resource declarations, default translations, actions and lifecycle methods
+// (initialize / expose / resize / set_values / change_managed); a Widget is
+// an instance in the tree with resolved resource values and, once realized,
+// a window on the simulated display.
+#ifndef SRC_XT_WIDGET_H_
+#define SRC_XT_WIDGET_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/xsim/display.h"
+#include "src/xt/resource.h"
+#include "src/xt/translations.h"
+#include "src/xt/value.h"
+
+namespace xtk {
+
+class AppContext;
+class Widget;
+
+// An action procedure (XtActionProc): invoked with the widget, the
+// triggering event, and the string parameters from the translation table.
+using ActionProc =
+    std::function<void(Widget&, const xsim::Event&, const std::vector<std::string>&)>;
+
+struct WidgetClass {
+  std::string name;  // e.g. "Label"
+  const WidgetClass* superclass = nullptr;
+  bool composite = false;  // manages children geometry
+  bool shell = false;      // top-level or popup shell
+
+  std::vector<ResourceSpec> resources;    // declared by this class only
+  std::vector<ResourceSpec> constraints;  // constraint resources for children
+  std::string default_translations;       // parsed at first use
+
+  // Lifecycle methods; a null hook defers to the superclass.
+  std::function<void(Widget&)> initialize;
+  std::function<void(Widget&)> realize;  // post-window-creation hook
+  std::function<void(Widget&)> expose;   // redraw content
+  std::function<void(Widget&)> resize;
+  std::function<void(Widget&)> destroy;
+  // Called after a resource changes; `resource` is its name.
+  std::function<void(Widget&, const std::string& resource)> set_values;
+  // Composite hook: lay out children after the managed set changes.
+  std::function<void(Widget&)> change_managed;
+
+  std::map<std::string, ActionProc> actions;
+
+  // True if this class is `ancestor` or derives from it.
+  bool IsSubclassOf(const WidgetClass* ancestor) const;
+  // Full resource list, superclass first, constraints excluded.
+  std::vector<const ResourceSpec*> AllResources() const;
+  // Finds a method walking up the chain.
+  const ActionProc* FindAction(const std::string& name) const;
+};
+
+class Widget {
+ public:
+  Widget(std::string name, const WidgetClass* cls, Widget* parent, AppContext* app);
+
+  Widget(const Widget&) = delete;
+  Widget& operator=(const Widget&) = delete;
+
+  const std::string& name() const { return name_; }
+  const WidgetClass* widget_class() const { return class_; }
+  Widget* parent() const { return parent_; }
+  const std::vector<Widget*>& children() const { return children_; }
+  AppContext& app() const { return *app_; }
+  xsim::Display& display() const { return *display_; }
+  void set_display(xsim::Display* display) { display_ = display; }
+
+  bool realized() const { return realized_; }
+  bool managed() const { return managed_; }
+  xsim::WindowId window() const { return window_; }
+
+  // --- Resources -------------------------------------------------------------
+
+  // Finds the spec (own classes, then parent constraints). Null if unknown.
+  const ResourceSpec* FindSpec(const std::string& name) const;
+  bool HasValue(const std::string& name) const;
+  const ResourceValue& Value(const std::string& name) const;
+  void SetRawValue(const std::string& name, ResourceValue value);
+
+  // Tracks resources set explicitly (creation args, setValues, resource
+  // file) as opposed to class defaults; Athena widgets use this, e.g. Label
+  // defaults its label to the widget name unless explicitly set.
+  void MarkExplicit(const std::string& name) { explicit_.insert(name); }
+  bool WasExplicit(const std::string& name) const { return explicit_.count(name) > 0; }
+
+  // Typed accessors with sensible fallbacks for unset values.
+  long GetLong(const std::string& name, long fallback = 0) const;
+  bool GetBool(const std::string& name, bool fallback = false) const;
+  double GetFloat(const std::string& name, double fallback = 0.0) const;
+  std::string GetString(const std::string& name) const;
+  xsim::Pixel GetPixel(const std::string& name, xsim::Pixel fallback = xsim::kBlackPixel) const;
+  xsim::FontPtr GetFont(const std::string& name) const;
+  xsim::PixmapPtr GetPixmap(const std::string& name) const;
+  const CallbackList* GetCallbacks(const std::string& name) const;
+  TranslationsPtr GetTranslations() const;
+  std::vector<std::string> GetStringList(const std::string& name) const;
+  Widget* GetWidget(const std::string& name) const;
+
+  // Geometry shorthands over the core resources.
+  xsim::Position x() const { return static_cast<xsim::Position>(GetLong("x")); }
+  xsim::Position y() const { return static_cast<xsim::Position>(GetLong("y")); }
+  xsim::Dimension width() const { return static_cast<xsim::Dimension>(GetLong("width", 1)); }
+  xsim::Dimension height() const { return static_cast<xsim::Dimension>(GetLong("height", 1)); }
+  xsim::Dimension border_width() const {
+    return static_cast<xsim::Dimension>(GetLong("borderWidth"));
+  }
+  void SetGeometry(xsim::Position x, xsim::Position y, xsim::Dimension width,
+                   xsim::Dimension height);
+
+  // True when this widget and all ancestors are sensitive.
+  bool IsSensitive() const;
+
+  // Fully-qualified instance path ("app.form.button").
+  std::string Path() const;
+
+  // --- Lifecycle helpers used by AppContext ------------------------------------
+
+  void AddChild(Widget* child) { children_.push_back(child); }
+  void RemoveChild(Widget* child);
+  void set_managed(bool managed) { managed_ = managed; }
+  void set_realized(bool realized) { realized_ = realized; }
+  void set_window(xsim::WindowId window) { window_ = window; }
+
+  // Runs the most-derived non-null hook of the class chain.
+  void RunInitialize();
+  void RunExpose();
+  void RunResize();
+  void RunDestroy();
+  void RunSetValues(const std::string& resource);
+  void RunChangeManaged();
+
+ private:
+  std::string name_;
+  const WidgetClass* class_;
+  Widget* parent_;
+  AppContext* app_;
+  xsim::Display* display_ = nullptr;
+  std::vector<Widget*> children_;
+  std::map<std::string, ResourceValue> values_;
+  std::set<std::string> explicit_;
+  xsim::WindowId window_ = xsim::kNoWindow;
+  bool managed_ = true;
+  bool realized_ = false;
+};
+
+}  // namespace xtk
+
+#endif  // SRC_XT_WIDGET_H_

@@ -1,0 +1,199 @@
+#include "src/xt/xrm.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace xtk {
+
+namespace {
+
+// Match scores per path level, higher wins; compared lexicographically from
+// the root, which yields X's precedence (name over class over skip, tight
+// over loose at the earliest differing level).
+constexpr int kNameTight = 5;
+constexpr int kNameLoose = 4;
+constexpr int kClassTight = 3;
+constexpr int kClassLoose = 2;
+constexpr int kSkipped = 1;
+
+}  // namespace
+
+bool ResourceDatabase::MergeLine(std::string_view line) {
+  // Strip leading whitespace.
+  std::size_t begin = line.find_first_not_of(" \t");
+  if (begin == std::string_view::npos) {
+    return false;
+  }
+  line = line.substr(begin);
+  std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return false;
+  }
+  std::string_view binding = line.substr(0, colon);
+  std::string_view value = line.substr(colon + 1);
+  // Trim the binding and skip leading blanks of the value (X keeps trailing
+  // blanks of the value; we trim trailing \r only).
+  std::size_t bend = binding.find_last_not_of(" \t");
+  if (bend == std::string_view::npos) {
+    return false;
+  }
+  binding = binding.substr(0, bend + 1);
+  std::size_t vbegin = value.find_first_not_of(" \t");
+  value = vbegin == std::string_view::npos ? std::string_view() : value.substr(vbegin);
+  if (!value.empty() && value.back() == '\r') {
+    value.remove_suffix(1);
+  }
+
+  Entry entry;
+  bool loose = false;
+  std::string token;
+  for (char c : binding) {
+    if (c == '.' || c == '*') {
+      if (!token.empty()) {
+        entry.components.push_back(Component{token, loose});
+        token.clear();
+        loose = false;
+      }
+      if (c == '*') {
+        loose = true;
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\t') {
+      continue;
+    }
+    token.push_back(c);
+  }
+  if (!token.empty()) {
+    entry.components.push_back(Component{token, loose});
+  }
+  if (entry.components.empty()) {
+    return false;
+  }
+  entry.value = std::string(value);
+  entry.serial = next_serial_++;
+  // Replace an identical binding in place.
+  for (Entry& existing : entries_) {
+    if (existing.components.size() == entry.components.size()) {
+      bool same = true;
+      for (std::size_t i = 0; i < entry.components.size(); ++i) {
+        if (existing.components[i].token != entry.components[i].token ||
+            existing.components[i].loose != entry.components[i].loose) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        existing.value = entry.value;
+        existing.serial = entry.serial;
+        return true;
+      }
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+std::size_t ResourceDatabase::MergeString(std::string_view text) {
+  std::size_t merged = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    std::string_view line =
+        end == std::string_view::npos ? text.substr(pos) : text.substr(pos, end - pos);
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string_view::npos && line[first] != '!' && line[first] != '#') {
+      if (MergeLine(line)) {
+        ++merged;
+      }
+    }
+    if (end == std::string_view::npos) {
+      break;
+    }
+    pos = end + 1;
+  }
+  return merged;
+}
+
+std::optional<std::vector<int>> ResourceDatabase::Match(
+    const Entry& entry, const std::vector<std::pair<std::string, std::string>>& full_path) {
+  // Recursive matcher over (component index, path index) with memo-free
+  // backtracking; path sizes are small (widget tree depth).
+  const auto& components = entry.components;
+  std::vector<int> best;
+  std::vector<int> current(full_path.size(), kSkipped);
+  bool found = false;
+
+  // The final component must match the final path level (the resource).
+  std::function<void(std::size_t, std::size_t)> recurse = [&](std::size_t ci, std::size_t pi) {
+    if (ci == components.size()) {
+      if (pi == full_path.size()) {
+        if (!found || current > best) {
+          best = current;
+          found = true;
+        }
+      }
+      return;
+    }
+    if (pi == full_path.size()) {
+      return;
+    }
+    const Component& component = components[ci];
+    const auto& [name, cls] = full_path[pi];
+    bool is_last_component = ci + 1 == components.size();
+    bool is_last_level = pi + 1 == full_path.size();
+    if (is_last_component != is_last_level && !component.loose) {
+      // A tight component must line up exactly; a loose one may skip levels
+      // (handled below).
+    }
+    // Try matching this component at this level.
+    if (component.token == name || component.token == "?") {
+      current[pi] = component.loose ? kNameLoose : kNameTight;
+      recurse(ci + 1, pi + 1);
+      current[pi] = kSkipped;
+    } else if (component.token == cls) {
+      current[pi] = component.loose ? kClassLoose : kClassTight;
+      recurse(ci + 1, pi + 1);
+      current[pi] = kSkipped;
+    }
+    // A loose binding may skip this level entirely.
+    if (component.loose) {
+      recurse(ci, pi + 1);
+    }
+  };
+
+  // A leading loose binding ("*foo") may skip leading levels; a leading
+  // tight binding must anchor at the root. The first component's `loose`
+  // flag records whether it was preceded by '*'.
+  recurse(0, 0);
+  if (!found) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+std::optional<std::string> ResourceDatabase::Query(
+    const std::vector<std::pair<std::string, std::string>>& path,
+    const std::pair<std::string, std::string>& resource) const {
+  std::vector<std::pair<std::string, std::string>> full_path = path;
+  full_path.push_back(resource);
+  const Entry* best_entry = nullptr;
+  std::vector<int> best_score;
+  for (const Entry& entry : entries_) {
+    std::optional<std::vector<int>> score = Match(entry, full_path);
+    if (!score) {
+      continue;
+    }
+    if (best_entry == nullptr || *score > best_score ||
+        (*score == best_score && entry.serial > best_entry->serial)) {
+      best_entry = &entry;
+      best_score = std::move(*score);
+    }
+  }
+  if (best_entry == nullptr) {
+    return std::nullopt;
+  }
+  return best_entry->value;
+}
+
+}  // namespace xtk

@@ -1,0 +1,60 @@
+// The Xrm resource database: parses resource-file syntax ("*foreground:
+// blue", "app.form.button.background: red"), supports tight (.) and loose
+// (*) bindings with name/class components, and answers queries with X's
+// precedence rules. Backs resource files and Wafe's mergeResources command.
+#ifndef SRC_XT_XRM_H_
+#define SRC_XT_XRM_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xtk {
+
+class ResourceDatabase {
+ public:
+  // Parses and merges one specification line ("binding: value"). Later
+  // entries override identical earlier bindings. Returns false on a
+  // malformed line (no colon, empty binding).
+  bool MergeLine(std::string_view line);
+
+  // Merges a whole file / string: one specification per line; lines whose
+  // first non-blank character is '!' or '#' are comments. Returns the number
+  // of specifications merged.
+  std::size_t MergeString(std::string_view text);
+
+  // Queries the database. `path` is the fully-qualified (name, class) pair
+  // per level from the application down to the widget, and `resource` is the
+  // final (name, class) pair. Returns the best-matching value.
+  std::optional<std::string> Query(
+      const std::vector<std::pair<std::string, std::string>>& path,
+      const std::pair<std::string, std::string>& resource) const;
+
+  std::size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  struct Component {
+    std::string token;
+    bool loose = false;  // preceded by '*'
+  };
+  struct Entry {
+    std::vector<Component> components;  // last component is the resource
+    std::string value;
+    std::size_t serial = 0;  // later merges win ties
+  };
+
+  // Returns the match quality vector (one score per path level, higher is
+  // better) or nullopt if the entry does not match.
+  static std::optional<std::vector<int>> Match(
+      const Entry& entry, const std::vector<std::pair<std::string, std::string>>& full_path);
+
+  std::vector<Entry> entries_;
+  std::size_t next_serial_ = 0;
+};
+
+}  // namespace xtk
+
+#endif  // SRC_XT_XRM_H_

@@ -1,0 +1,213 @@
+// A test backend speaking Wafe's frontend protocol over stdio, as an
+// application program in any language would (paper §Using Wafe as a
+// Frontend). The behavior is selected by argv[1]:
+//
+//   build   - builds a widget tree, confirms with a round trip, quits
+//   echo    - asks the frontend to evaluate an expression and passes the
+//             answer through unprefixed (to the frontend's stdout)
+//   primes  - the paper's prime-factor demo: reads numbers from stdin,
+//             factors them, updates the result label
+//   mass    - transfers a payload over the mass channel
+//   flood   - sends an over-long protocol line followed by a valid one
+//   crash   - exits mid-protocol (frontend robustness)
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+void Send(const std::string& line) {
+  std::string out = line + "\n";
+  std::size_t off = 0;
+  while (off < out.size()) {
+    ssize_t n = ::write(1, out.data() + off, out.size() - off);
+    if (n <= 0) {
+      std::exit(1);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+bool ReadLine(std::string* line) {
+  line->clear();
+  char c = 0;
+  for (;;) {
+    ssize_t n = ::read(0, &c, 1);
+    if (n <= 0) {
+      return !line->empty();
+    }
+    if (c == '\n') {
+      return true;
+    }
+    line->push_back(c);
+  }
+}
+
+int RunBuild() {
+  Send("%label greeting topLevel label {backend was here}");
+  Send("%realize");
+  Send("%echo tree-ready");
+  std::string line;
+  if (!ReadLine(&line) || line != "tree-ready") {
+    return 2;
+  }
+  Send("confirmed " + line);  // unprefixed: passes through to wafe stdout
+  Send("%quit");
+  return 0;
+}
+
+int RunEcho() {
+  Send("%echo [expr 6 * 7]");
+  std::string line;
+  if (!ReadLine(&line)) {
+    return 2;
+  }
+  Send("answer " + line);
+  Send("%quit");
+  return 0;
+}
+
+int RunPrimes() {
+  // Step 2 of the paper's frontend protocol: build the widget tree.
+  Send("%form top topLevel");
+  Send("%asciiText input top editType edit width 200");
+  Send("%action input override {<Key>Return: exec(echo [gV input string])}");
+  Send("%label result top label {} width 200 fromVert input");
+  Send("%command quit top fromVert result callback quit");
+  Send("%label info top fromVert result fromHoriz quit label {} borderWidth 0 width 150");
+  Send("%realize");
+  // Step 3: the read loop.
+  std::string line;
+  while (ReadLine(&line)) {
+    if (line.empty()) {
+      continue;
+    }
+    bool numeric = true;
+    for (char c : line) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+    }
+    if (!numeric) {
+      Send("%sV info label {(invalid input)}");
+      continue;
+    }
+    Send("%sV info label thinking...");
+    long n = std::strtol(line.c_str(), nullptr, 10);
+    std::string factors;
+    for (long d = 2; d <= n; ++d) {
+      while (n % d == 0) {
+        if (!factors.empty()) {
+          factors += "*";
+        }
+        factors += std::to_string(d);
+        n /= d;
+      }
+    }
+    if (factors.empty()) {
+      factors = line;
+    }
+    Send("%sV result label {" + factors + "}");
+    Send("%sV info label {0 seconds}");
+  }
+  return 0;
+}
+
+int RunMass(const char* payload_size) {
+  Send("%echo listening on [getChannel]");
+  std::string line;
+  if (!ReadLine(&line)) {
+    return 2;
+  }
+  // "listening on N"
+  const char* digits = std::strrchr(line.c_str(), ' ');
+  if (digits == nullptr) {
+    return 2;
+  }
+  int fd = std::atoi(digits + 1);
+  std::size_t size = payload_size != nullptr
+                         ? static_cast<std::size_t>(std::strtoul(payload_size, nullptr, 10))
+                         : 100000;
+  Send("%setCommunicationVariable C " + std::to_string(size) +
+       " {echo got $C-bytes-done; quit}");
+  std::string payload(size, 'x');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + (i % 26));
+  }
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    ssize_t n = ::write(fd, payload.data() + off, payload.size() - off);
+    if (n <= 0) {
+      return 3;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // Wait for the completion echo, then stop.
+  ReadLine(&line);
+  return 0;
+}
+
+int RunFlood() {
+  std::string long_line = "%echo ";
+  long_line.append(100 * 1024, 'z');  // exceeds the 64 KB default
+  Send(long_line);
+  Send("%label ok topLevel");
+  Send("%echo survived");
+  std::string line;
+  if (!ReadLine(&line) || line != "survived") {
+    return 2;
+  }
+  Send("%quit");
+  return 0;
+}
+
+int RunCrash() {
+  Send("%label orphan topLevel");
+  return 42;  // die without quitting
+}
+
+int RunInitCom() {
+  // The paper's Prolog pattern: the backend waits for the frontend's
+  // initial command (the InitCom resource) before doing anything.
+  std::string line;
+  if (!ReadLine(&line)) {
+    return 2;
+  }
+  Send("%label started topLevel label {" + line + "}");
+  Send("%realize");
+  Send("%quit");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = argc > 1 ? argv[1] : "build";
+  if (mode == "build") {
+    return RunBuild();
+  }
+  if (mode == "echo") {
+    return RunEcho();
+  }
+  if (mode == "primes") {
+    return RunPrimes();
+  }
+  if (mode == "mass") {
+    return RunMass(argc > 2 ? argv[2] : nullptr);
+  }
+  if (mode == "flood") {
+    return RunFlood();
+  }
+  if (mode == "crash") {
+    return RunCrash();
+  }
+  if (mode == "initcom") {
+    return RunInitCom();
+  }
+  std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
+  return 64;
+}

@@ -1,0 +1,193 @@
+// AppContext edge cases: timers, input-source mutation from handlers, popup
+// stacking and grabs, unrealize/re-realize cycles, and multi-display event
+// processing.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "src/xaw/athena.h"
+#include "src/xt/app.h"
+
+namespace {
+
+using xtk::AppContext;
+using xtk::Widget;
+
+class AppLoopTest : public ::testing::Test {
+ protected:
+  AppLoopTest() : app_("wafe", "Wafe") {
+    xaw::RegisterAthenaClasses(app_);
+    std::string error;
+    top_ = app_.CreateShell("topLevel", "ApplicationShell", &app_.display(), {}, &error);
+  }
+  AppContext app_;
+  Widget* top_ = nullptr;
+};
+
+TEST_F(AppLoopTest, TimersFireInDeadlineOrder) {
+  std::vector<int> fired;
+  app_.AddTimeout(30, [&] { fired.push_back(2); });
+  app_.AddTimeout(5, [&] { fired.push_back(1); });
+  while (fired.size() < 2) {
+    app_.RunOneIteration(true);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST_F(AppLoopTest, TimerCanReArmItself) {
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 3) {
+      app_.AddTimeout(1, tick);
+    }
+  };
+  app_.AddTimeout(1, tick);
+  while (count < 3) {
+    app_.RunOneIteration(true);
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(AppLoopTest, RemoveTimeoutInsideHandler) {
+  int other_fired = 0;
+  int id2 = app_.AddTimeout(50, [&] { ++other_fired; });
+  app_.AddTimeout(1, [&] { app_.RemoveTimeout(id2); });
+  // Pump past both deadlines.
+  for (int i = 0; i < 10; ++i) {
+    app_.RunOneIteration(true);
+    if (i > 5) {
+      ::usleep(10000);
+      app_.RunOneIteration(false);
+    }
+  }
+  EXPECT_EQ(other_fired, 0);
+}
+
+TEST_F(AppLoopTest, InputHandlerCanRemoveItself) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  int fired = 0;
+  int id = -1;
+  id = app_.AddInput(fds[0], [&](int fd) {
+    char buffer[16];
+    ssize_t ignored = ::read(fd, buffer, sizeof(buffer));
+    (void)ignored;
+    ++fired;
+    app_.RemoveInput(id);
+  });
+  ssize_t ignored = ::write(fds[1], "x", 1);
+  (void)ignored;
+  app_.RunOneIteration(true);
+  ignored = ::write(fds[1], "y", 1);
+  (void)ignored;
+  app_.RunOneIteration(false);
+  EXPECT_EQ(fired, 1);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(AppLoopTest, MainLoopBreaksFromTimer) {
+  app_.AddTimeout(1, [&] { app_.BreakMainLoop(); });
+  app_.MainLoop();  // returns because of the break
+  SUCCEED();
+}
+
+TEST_F(AppLoopTest, MainLoopEndsWhenNoSources) {
+  app_.MainLoop();  // no inputs, no timers: drains events and returns
+  SUCCEED();
+}
+
+// --- Popups -----------------------------------------------------------------------
+
+TEST_F(AppLoopTest, StackedPopupsGrabTransfers) {
+  std::string error;
+  Widget* menu1 = app_.CreateWidget("menu1", "TransientShell", top_, {}, false, &error);
+  app_.CreateWidget("c1", "Label", menu1, {}, true, &error);
+  Widget* menu2 = app_.CreateWidget("menu2", "TransientShell", top_, {}, false, &error);
+  app_.CreateWidget("c2", "Label", menu2, {}, true, &error);
+  app_.RealizeWidget(top_);
+  app_.Popup(menu1, xtk::GrabKind::kExclusive);
+  app_.Popup(menu2, xtk::GrabKind::kExclusive);
+  EXPECT_TRUE(app_.IsPoppedUp(menu1));
+  EXPECT_TRUE(app_.IsPoppedUp(menu2));
+  EXPECT_EQ(app_.display().PointerGrab(), menu2->window());
+  app_.Popdown(menu2);
+  EXPECT_FALSE(app_.IsPoppedUp(menu2));
+  // menu1's grab is gone (simplified single-slot grabs) but it stays up.
+  EXPECT_TRUE(app_.IsPoppedUp(menu1));
+  app_.Popdown(menu1);
+}
+
+TEST_F(AppLoopTest, PopupRealizesLazily) {
+  std::string error;
+  Widget* late = app_.CreateWidget("late", "TransientShell", top_, {}, false, &error);
+  app_.CreateWidget("inside", "Label", late, {}, true, &error);
+  app_.RealizeWidget(top_);
+  EXPECT_FALSE(late->realized()) << "popup shells realize at popup time";
+  app_.Popup(late, xtk::GrabKind::kNone);
+  EXPECT_TRUE(late->realized());
+  EXPECT_TRUE(app_.display().IsViewable(late->window()));
+}
+
+TEST_F(AppLoopTest, DestroyPoppedUpShellCleans) {
+  std::string error;
+  Widget* popup = app_.CreateWidget("p", "TransientShell", top_, {}, false, &error);
+  app_.CreateWidget("inside", "Label", popup, {}, true, &error);
+  app_.RealizeWidget(top_);
+  app_.Popup(popup, xtk::GrabKind::kExclusive);
+  app_.DestroyWidget(popup);
+  EXPECT_FALSE(app_.IsPoppedUp(popup));
+  EXPECT_EQ(app_.display().PointerGrab(), xsim::kNoWindow);
+}
+
+// --- Realize cycles -----------------------------------------------------------------
+
+TEST_F(AppLoopTest, UnrealizeAndRealizeAgain) {
+  std::string error;
+  Widget* label = app_.CreateWidget("l", "Label", top_, {{"label", "persistent"}}, true,
+                                    &error);
+  app_.RealizeWidget(top_);
+  xsim::WindowId first_window = label->window();
+  app_.UnrealizeWidget(top_);
+  EXPECT_FALSE(label->realized());
+  EXPECT_EQ(label->window(), xsim::kNoWindow);
+  EXPECT_EQ(label->GetString("label"), "persistent");  // resources survive
+  app_.RealizeWidget(top_);
+  EXPECT_TRUE(label->realized());
+  EXPECT_NE(label->window(), first_window);  // fresh windows
+  EXPECT_TRUE(app_.display().IsViewable(label->window()));
+}
+
+// --- Multi-display pumping ------------------------------------------------------------
+
+TEST_F(AppLoopTest, ProcessPendingDrainsAllDisplays) {
+  std::string error;
+  Widget* top2 =
+      app_.CreateShell("top2", "ApplicationShell", &app_.OpenDisplay("second:0"), {}, &error);
+  app_.CreateWidget("l1", "Label", top_, {}, true, &error);
+  app_.CreateWidget("l2", "Label", top2, {}, true, &error);
+  app_.RealizeWidget(top_);
+  app_.RealizeWidget(top2);
+  // Both displays now have map/expose events pending or processed; inject
+  // more on both and drain.
+  app_.display().InjectMotion(5, 5);
+  app_.OpenDisplay("second:0").InjectMotion(6, 6);
+  std::size_t n = app_.ProcessPending();
+  EXPECT_GT(n, 0u);
+  EXPECT_FALSE(app_.display().Pending());
+  EXPECT_FALSE(app_.OpenDisplay("second:0").Pending());
+}
+
+TEST_F(AppLoopTest, RedrawCountAdvancesOnExpose) {
+  std::string error;
+  Widget* label = app_.CreateWidget("l", "Label", top_, {}, true, &error);
+  app_.RealizeWidget(top_);
+  std::size_t before = app_.redraw_count();
+  xsim::Event expose;
+  expose.type = xsim::EventType::kExpose;
+  expose.window = label->window();
+  app_.display().SendEvent(expose);
+  app_.ProcessPending();
+  EXPECT_GT(app_.redraw_count(), before);
+}
+
+}  // namespace

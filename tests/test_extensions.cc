@@ -1,0 +1,153 @@
+// Rdd drag-and-drop, the `time` command, resource-file loading, and the
+// XENVIRONMENT startup merge.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "src/core/wafe.h"
+#include "src/ext/rdd.h"
+
+namespace {
+
+class RddTest : public ::testing::Test {
+ protected:
+  std::string Eval(const std::string& script) {
+    wtcl::Result r = wafe_.Eval(script);
+    EXPECT_TRUE(r.ok()) << script << ": " << r.value;
+    return r.value;
+  }
+  void Button2(const std::string& name, bool press) {
+    xtk::Widget* w = wafe_.app().FindWidget(name);
+    ASSERT_NE(w, nullptr);
+    xsim::Point p = wafe_.app().display().RootPosition(w->window());
+    if (press) {
+      wafe_.app().display().InjectButtonPress(p.x + 2, p.y + 2, 2);
+    } else {
+      wafe_.app().display().InjectButtonRelease(p.x + 2, p.y + 2, 2);
+    }
+    wafe_.app().ProcessPending();
+  }
+  wafe::Wafe wafe_;
+};
+
+TEST_F(RddTest, DragFromSourceToTarget) {
+  Eval("form f topLevel");
+  Eval("label src f label {drag me}");
+  Eval("label dst f fromHoriz src label {drop here}");
+  Eval("rddSource src {gV src label}");
+  Eval("rddTarget dst {set dropped {%v from %f onto %w}}");
+  Eval("realize");
+  Button2("src", true);   // begin drag
+  Button2("dst", false);  // drop
+  EXPECT_EQ(Eval("set dropped"), "drag me from src onto dst");
+}
+
+TEST_F(RddTest, DropWithoutDragDoesNothing) {
+  Eval("label dst topLevel");
+  Eval("rddTarget dst {set dropped 1}");
+  Eval("realize");
+  Button2("dst", false);
+  EXPECT_FALSE(wafe_.interp().VarExists("dropped"));
+}
+
+TEST_F(RddTest, CancelDropsTheDrag) {
+  Eval("form f topLevel");
+  Eval("label src f");
+  Eval("label dst f fromHoriz src");
+  Eval("rddSource src {gV src label}");
+  Eval("rddTarget dst {set dropped 1}");
+  Eval("realize");
+  Button2("src", true);
+  Eval("rddCancel");
+  Button2("dst", false);
+  EXPECT_FALSE(wafe_.interp().VarExists("dropped"));
+}
+
+TEST_F(RddTest, SourceValueEvaluatedAtDragTime) {
+  Eval("form f topLevel");
+  Eval("label src f label first");
+  Eval("label dst f fromHoriz src");
+  Eval("rddSource src {gV src label}");
+  Eval("rddTarget dst {set dropped %v}");
+  Eval("realize");
+  Eval("sV src label second");
+  Button2("src", true);
+  Button2("dst", false);
+  EXPECT_EQ(Eval("set dropped"), "second");
+}
+
+TEST_F(RddTest, UnitApiWithoutTcl) {
+  std::string error;
+  xtk::Widget* a = wafe_.app().CreateWidget("a", "Label", wafe_.top_level(), {}, true, &error);
+  xtk::Widget* b = wafe_.app().CreateWidget("b", "Label", wafe_.top_level(), {}, true, &error);
+  wext::DragAndDrop dnd(&wafe_.app());
+  std::string got;
+  dnd.RegisterSource(a, [] { return std::string("payload"); });
+  dnd.RegisterTarget(b, [&got](xtk::Widget& source, const std::string& value) {
+    got = value + " from " + source.name();
+  });
+  dnd.BeginDrag(*a);
+  EXPECT_TRUE(dnd.dragging());
+  dnd.Drop(*b);
+  EXPECT_EQ(got, "payload from a");
+  EXPECT_FALSE(dnd.dragging());
+}
+
+// --- time command ------------------------------------------------------------------------
+
+TEST(TclTime, ReportsMicroseconds) {
+  wtcl::Interp interp;
+  wtcl::Result r = interp.Eval("time {set x 1} 100");
+  ASSERT_TRUE(r.ok()) << r.value;
+  EXPECT_NE(r.value.find("microseconds per iteration"), std::string::npos);
+}
+
+TEST(TclTime, PropagatesErrors) {
+  wtcl::Interp interp;
+  EXPECT_EQ(interp.Eval("time {error boom} 3").code, wtcl::Status::kError);
+  EXPECT_EQ(interp.Eval("time {set x 1} notanumber").code, wtcl::Status::kError);
+}
+
+// --- Resource files -----------------------------------------------------------------------
+
+TEST(ResourceFiles, LoadResourcesCommand) {
+  std::string path = "/tmp/wafe_test_resources.ad";
+  {
+    std::ofstream f(path);
+    f << "! comment line\n"
+         "*fileLabel.label: FromFile\n"
+         "*fileLabel.foreground: blue\n";
+  }
+  wafe::Wafe app;
+  EXPECT_EQ(app.Eval("loadResources " + path).value, "2");
+  app.Eval("label fileLabel topLevel");
+  EXPECT_EQ(app.app().FindWidget("fileLabel")->GetString("label"), "FromFile");
+  ::unlink(path.c_str());
+  EXPECT_EQ(app.Eval("loadResources /no/such/file.ad").code, wtcl::Status::kError);
+}
+
+TEST(ResourceFiles, XEnvironmentMergedAtStartup) {
+  std::string path = "/tmp/wafe_test_xenv.ad";
+  {
+    std::ofstream f(path);
+    f << "*envLabel.label: FromEnv\n";
+  }
+  ::setenv("XENVIRONMENT", path.c_str(), 1);
+  std::string script = "/tmp/wafe_test_xenv.wafe";
+  {
+    std::ofstream f(script);
+    f << "quit\n";
+  }
+  wafe::Wafe app;
+  const char* argv[] = {"wafe", "--f", script.c_str()};
+  // Main applies XENVIRONMENT before dispatching to the (trivial) script.
+  app.Main(3, argv);
+  ::unlink(script.c_str());
+  app.Eval("label envLabel topLevel");
+  EXPECT_EQ(app.app().FindWidget("envLabel")->GetString("label"), "FromEnv");
+  ::unsetenv("XENVIRONMENT");
+  ::unlink(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,315 @@
+// Frontend-mode communication: the %-prefix protocol, pass-through lines,
+// the mass-transfer channel, over-long line handling, backend crashes, and
+// the complete prime-factor demo of the paper — against a real forked
+// backend process.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "src/core/comm.h"
+#include "src/core/wafe.h"
+
+#ifndef WAFE_TEST_BACKEND
+#error "WAFE_TEST_BACKEND must point at the helper binary"
+#endif
+
+namespace wafe {
+namespace {
+
+class FrontendTest : public ::testing::Test {
+ protected:
+  // Pumps the main loop until `done` or a deadline passes.
+  bool PumpUntil(Wafe& wafe, const std::function<bool()>& done, int timeout_ms = 5000) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!done()) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        return false;
+      }
+      wafe.app().RunOneIteration(false);
+      ::usleep(1000);
+    }
+    return true;
+  }
+
+  bool Spawn(Wafe& wafe, const std::string& mode,
+             const std::vector<std::string>& extra = {}) {
+    std::string error;
+    wafe.set_backend_output(true);
+    std::vector<std::string> args{mode};
+    args.insert(args.end(), extra.begin(), extra.end());
+    bool ok = wafe.frontend().SpawnBackend(WAFE_TEST_BACKEND, args, &error);
+    EXPECT_TRUE(ok) << error;
+    return ok;
+  }
+};
+
+TEST_F(FrontendTest, BackendBuildsTreeAndRoundTrips) {
+  Wafe wafe;
+  ASSERT_TRUE(Spawn(wafe, "build"));
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.quit_requested(); }));
+  xtk::Widget* greeting = wafe.app().FindWidget("greeting");
+  ASSERT_NE(greeting, nullptr);
+  EXPECT_EQ(greeting->GetString("label"), "backend was here");
+  EXPECT_TRUE(greeting->realized());
+  EXPECT_EQ(wafe.frontend().WaitBackend(), 0);
+}
+
+TEST_F(FrontendTest, EchoRoundTripEvaluatesInFrontend) {
+  Wafe wafe;
+  ASSERT_TRUE(Spawn(wafe, "echo"));
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.quit_requested(); }));
+  // The backend computed nothing itself: the frontend evaluated 6*7 and the
+  // answer came back over the protocol.
+  EXPECT_EQ(wafe.frontend().WaitBackend(), 0);
+  EXPECT_GE(wafe.frontend().lines_received(), 2u);
+}
+
+TEST_F(FrontendTest, PaperPrimeFactorDemo) {
+  Wafe wafe;
+  ASSERT_TRUE(Spawn(wafe, "primes"));
+  // Phase 2: wait for the backend to build and realize the tree.
+  ASSERT_TRUE(PumpUntil(wafe, [&] {
+    xtk::Widget* input = wafe.app().FindWidget("input");
+    return input != nullptr && input->realized();
+  }));
+  xtk::Widget* input = wafe.app().FindWidget("input");
+  // Phase 3: the user types 120 and Return; the exec action sends the text
+  // widget's content to the backend, which factors it and updates `result`.
+  wafe.app().display().SetInputFocus(input->window());
+  wafe.app().display().InjectText("120");
+  wafe.app().display().InjectKeyPress(xsim::kKeyReturn);
+  wafe.app().ProcessPending();
+  ASSERT_TRUE(PumpUntil(wafe, [&] {
+    xtk::Widget* result = wafe.app().FindWidget("result");
+    return result != nullptr && result->GetString("label") == "2*2*2*3*5";
+  }));
+  xtk::Widget* info = wafe.app().FindWidget("info");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->GetString("label"), "0 seconds");
+
+  // Invalid input gets the friendly message.
+  std::string error;
+  wafe.app().SetValues(input, {{"string", "xyz"}}, &error);
+  wafe.app().display().InjectKeyPress(xsim::kKeyReturn);
+  wafe.app().ProcessPending();
+  ASSERT_TRUE(PumpUntil(wafe, [&] {
+    return wafe.app().FindWidget("info")->GetString("label") == "(invalid input)";
+  }));
+
+  // The quit button ends the application.
+  xtk::Widget* quit = wafe.app().FindWidget("quit");
+  xsim::Point p = wafe.app().display().RootPosition(quit->window());
+  wafe.app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+  wafe.app().display().InjectButtonRelease(p.x + 2, p.y + 2, 1);
+  wafe.app().ProcessPending();
+  EXPECT_TRUE(wafe.quit_requested());
+  wafe.frontend().CloseBackend();
+}
+
+TEST_F(FrontendTest, MassTransferStoresVariable) {
+  Wafe wafe;
+  ASSERT_TRUE(Spawn(wafe, "mass", {"100000"}));
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.quit_requested(); }));
+  std::string value;
+  ASSERT_TRUE(wafe.interp().GetVar("C", &value));
+  ASSERT_EQ(value.size(), 100000u);
+  EXPECT_EQ(value[0], 'a');
+  EXPECT_EQ(value[25], 'z');
+  EXPECT_EQ(value[26], 'a');
+  EXPECT_EQ(wafe.frontend().WaitBackend(), 0);
+}
+
+TEST_F(FrontendTest, SmallMassTransfer) {
+  Wafe wafe;
+  ASSERT_TRUE(Spawn(wafe, "mass", {"10"}));
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.quit_requested(); }));
+  std::string value;
+  ASSERT_TRUE(wafe.interp().GetVar("C", &value));
+  EXPECT_EQ(value, "abcdefghij");
+}
+
+TEST_F(FrontendTest, OverlongLineDroppedButStreamSurvives) {
+  Wafe wafe;
+  ASSERT_TRUE(Spawn(wafe, "flood"));
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.quit_requested(); }));
+  EXPECT_GE(wafe.frontend().overlong_lines(), 1u);
+  // The valid command after the flood still executed.
+  EXPECT_NE(wafe.app().FindWidget("ok"), nullptr);
+  EXPECT_EQ(wafe.frontend().WaitBackend(), 0);
+}
+
+TEST_F(FrontendTest, PipeTransportFallbackWorks) {
+  // The paper: socketpair preferred, pipes supported for systems without it.
+  Wafe wafe;
+  wafe.set_backend_output(true);
+  wafe.frontend().set_force_pipes(true);
+  std::string error;
+  ASSERT_TRUE(wafe.frontend().SpawnBackend(WAFE_TEST_BACKEND, {"build"}, &error)) << error;
+  EXPECT_FALSE(wafe.frontend().using_socketpair());
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.quit_requested(); }));
+  EXPECT_NE(wafe.app().FindWidget("greeting"), nullptr);
+  EXPECT_EQ(wafe.frontend().WaitBackend(), 0);
+}
+
+TEST_F(FrontendTest, BackendCrashEndsSession) {
+  Wafe wafe;
+  ASSERT_TRUE(Spawn(wafe, "crash"));
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.quit_requested(); }));
+  // The widget created before the crash exists; the frontend noticed EOF.
+  EXPECT_NE(wafe.app().FindWidget("orphan"), nullptr);
+  EXPECT_FALSE(wafe.frontend().backend_alive());
+}
+
+// --- In-process protocol tests (no fork) ---------------------------------------------
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolTest() {
+    int to_wafe[2];
+    int from_wafe[2];
+    EXPECT_EQ(::pipe(to_wafe), 0);
+    EXPECT_EQ(::pipe(from_wafe), 0);
+    backend_write_ = to_wafe[1];
+    backend_read_ = from_wafe[0];
+    wafe_.set_backend_output(true);
+    wafe_.frontend().AdoptBackend(to_wafe[0], from_wafe[1]);
+  }
+
+  ~ProtocolTest() override {
+    ::close(backend_write_);
+    ::close(backend_read_);
+  }
+
+  void SendLines(const std::string& data) {
+    ssize_t ignored = ::write(backend_write_, data.data(), data.size());
+    (void)ignored;
+    // Let the input handler fire.
+    while (wafe_.app().RunOneIteration(false)) {
+    }
+  }
+
+  std::string ReadFromWafe() {
+    char buffer[4096];
+    ssize_t n = ::read(backend_read_, buffer, sizeof(buffer));
+    return n > 0 ? std::string(buffer, static_cast<std::size_t>(n)) : std::string();
+  }
+
+  Wafe wafe_;
+  int backend_write_ = -1;
+  int backend_read_ = -1;
+};
+
+TEST_F(ProtocolTest, PrefixedLinesEvaluate) {
+  SendLines("%set x 41\n%incr x\n");
+  std::string value;
+  ASSERT_TRUE(wafe_.interp().GetVar("x", &value));
+  EXPECT_EQ(value, "42");
+  EXPECT_EQ(wafe_.frontend().lines_received(), 2u);
+}
+
+TEST_F(ProtocolTest, EchoTalksBackToBackend) {
+  SendLines("%echo ping\n");
+  EXPECT_EQ(ReadFromWafe(), "ping\n");
+}
+
+TEST_F(ProtocolTest, PartialLinesAreBuffered) {
+  SendLines("%set partial ");
+  std::string value;
+  EXPECT_FALSE(wafe_.interp().GetVar("partial", &value));
+  SendLines("done\n");
+  ASSERT_TRUE(wafe_.interp().GetVar("partial", &value));
+  EXPECT_EQ(value, "done");
+}
+
+TEST_F(ProtocolTest, MultipleCommandsInOneChunk) {
+  SendLines("%set a 1\n%set b 2\n%set c 3\n");
+  std::string value;
+  EXPECT_TRUE(wafe_.interp().GetVar("c", &value));
+  EXPECT_EQ(value, "3");
+}
+
+TEST_F(ProtocolTest, DownloadedProcRunsInFrontend) {
+  // The paper: the application can download Tcl procedures into the
+  // frontend, executed there without backend interaction.
+  SendLines("%proc double {x} {return [expr $x+$x]}\n%set y [double 21]\n");
+  std::string value;
+  ASSERT_TRUE(wafe_.interp().GetVar("y", &value));
+  EXPECT_EQ(value, "42");
+}
+
+TEST_F(ProtocolTest, CallbackSendsToBackend) {
+  SendLines("%command hello topLevel callback {echo pressed %w}\n%realize\n");
+  xtk::Widget* hello = wafe_.app().FindWidget("hello");
+  ASSERT_NE(hello, nullptr);
+  xsim::Point p = wafe_.app().display().RootPosition(hello->window());
+  wafe_.app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+  wafe_.app().display().InjectButtonRelease(p.x + 2, p.y + 2, 1);
+  wafe_.app().ProcessPending();
+  EXPECT_EQ(ReadFromWafe(), "pressed hello\n");
+}
+
+TEST_F(ProtocolTest, ClickAheadBuffering) {
+  // The paper: "click ahead is possible due to buffering in the I/O
+  // channels" — events fired while the backend is busy queue up in the
+  // channel and none are lost.
+  SendLines("%command b topLevel callback {echo clicked}\n%realize\n");
+  xtk::Widget* b = wafe_.app().FindWidget("b");
+  xsim::Point p = wafe_.app().display().RootPosition(b->window());
+  for (int i = 0; i < 5; ++i) {
+    wafe_.app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+    wafe_.app().display().InjectButtonRelease(p.x + 2, p.y + 2, 1);
+  }
+  wafe_.app().ProcessPending();  // the "user" clicked 5 times; backend busy
+  std::string all;
+  while (all.size() < 5 * 8) {
+    std::string chunk = ReadFromWafe();
+    if (chunk.empty()) {
+      break;
+    }
+    all += chunk;
+  }
+  EXPECT_EQ(all, "clicked\nclicked\nclicked\nclicked\nclicked\n");
+}
+
+TEST_F(ProtocolTest, ErrorsDoNotKillTheSession) {
+  SendLines("%this is not a command\n%set after_error 1\n");
+  std::string value;
+  ASSERT_TRUE(wafe_.interp().GetVar("after_error", &value));
+  EXPECT_EQ(value, "1");
+}
+
+TEST_F(ProtocolTest, CustomPrefixCharacter) {
+  Options options;
+  options.prefix = '@';
+  Wafe custom(options);
+  int to_wafe[2];
+  ASSERT_EQ(::pipe(to_wafe), 0);
+  custom.frontend().AdoptBackend(to_wafe[0], -1);
+  std::string data = "@set x custom\n%set y notacmd\n";
+  ssize_t ignored = ::write(to_wafe[1], data.data(), data.size());
+  (void)ignored;
+  while (custom.app().RunOneIteration(false)) {
+  }
+  std::string value;
+  EXPECT_TRUE(custom.interp().GetVar("x", &value));
+  EXPECT_EQ(value, "custom");
+  EXPECT_FALSE(custom.interp().GetVar("y", &value));
+  ::close(to_wafe[1]);
+}
+
+TEST_F(ProtocolTest, CrlfLinesTolerated) {
+  SendLines("%set crlf yes\r\n");
+  std::string value;
+  ASSERT_TRUE(wafe_.interp().GetVar("crlf", &value));
+  EXPECT_EQ(value, "yes");
+}
+
+TEST_F(ProtocolTest, SendToApplicationCommand) {
+  wafe_.Eval("sendToApplication {direct message}");
+  EXPECT_EQ(ReadFromWafe(), "direct message\n");
+}
+
+}  // namespace
+}  // namespace wafe

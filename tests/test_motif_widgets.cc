@@ -1,0 +1,149 @@
+// Motif widget behavior beyond the compound-string tests: RowColumn layout,
+// ToggleButton, Separator, CascadeButton menus, and Command history.
+#include <gtest/gtest.h>
+
+#include "src/core/wafe.h"
+#include "src/xm/motif.h"
+
+namespace {
+
+class MotifWidgetTest : public ::testing::Test {
+ protected:
+  MotifWidgetTest() {
+    wafe::Options options;
+    options.widget_set = wafe::WidgetSet::kMotif;
+    options.app_name = "mofe";
+    options.app_class = "Mofe";
+    wafe_ = std::make_unique<wafe::Wafe>(options);
+  }
+  std::string Eval(const std::string& script) {
+    wtcl::Result r = wafe_->Eval(script);
+    EXPECT_TRUE(r.ok()) << script << ": " << r.value;
+    return r.value;
+  }
+  void Click(const std::string& name) {
+    xtk::Widget* w = wafe_->app().FindWidget(name);
+    ASSERT_NE(w, nullptr);
+    xsim::Point p = wafe_->app().display().RootPosition(w->window());
+    wafe_->app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+    wafe_->app().display().InjectButtonRelease(p.x + 2, p.y + 2, 1);
+    wafe_->app().ProcessPending();
+  }
+  std::unique_ptr<wafe::Wafe> wafe_;
+};
+
+TEST_F(MotifWidgetTest, RowColumnVerticalLayout) {
+  Eval("mRowColumn rc topLevel");
+  Eval("mPushButton b1 rc");
+  Eval("mPushButton b2 rc");
+  Eval("realize");
+  xtk::Widget* b1 = wafe_->app().FindWidget("b1");
+  xtk::Widget* b2 = wafe_->app().FindWidget("b2");
+  EXPECT_EQ(b1->x(), b2->x());
+  EXPECT_GT(b2->y(), b1->y());
+}
+
+TEST_F(MotifWidgetTest, RowColumnHorizontalLayout) {
+  Eval("mRowColumn rc topLevel orientation horizontal");
+  Eval("mPushButton b1 rc");
+  Eval("mPushButton b2 rc");
+  Eval("realize");
+  xtk::Widget* b1 = wafe_->app().FindWidget("b1");
+  xtk::Widget* b2 = wafe_->app().FindWidget("b2");
+  EXPECT_EQ(b1->y(), b2->y());
+  EXPECT_GT(b2->x(), b1->x());
+}
+
+TEST_F(MotifWidgetTest, PushButtonFullCallbackSequence) {
+  Eval("mPushButton b topLevel");
+  Eval("sV b armCallback {lappend seq arm}");
+  Eval("sV b activateCallback {lappend seq activate}");
+  Eval("sV b disarmCallback {lappend seq disarm}");
+  Eval("realize");
+  Click("b");
+  EXPECT_EQ(Eval("set seq"), "arm activate disarm");
+}
+
+TEST_F(MotifWidgetTest, ToggleButtonValueChanged) {
+  Eval("mToggleButton t topLevel");
+  Eval("sV t valueChangedCallback {set state %s}");
+  Eval("realize");
+  Click("t");
+  EXPECT_EQ(Eval("set state"), "1");
+  EXPECT_EQ(Eval("mToggleButtonGetState t"), "1");
+  Click("t");
+  EXPECT_EQ(Eval("set state"), "0");
+  Eval("mToggleButtonSetState t true true");
+  EXPECT_EQ(Eval("set state"), "1");
+}
+
+TEST_F(MotifWidgetTest, CascadeButtonPopsSubMenu) {
+  Eval("overrideShell menu topLevel");
+  Eval("mRowColumn menuRC menu");
+  Eval("mPushButton item menuRC");
+  Eval("mCascadeButton cb topLevel subMenuId menu");
+  Eval("sV cb cascadingCallback {set cascaded 1}");
+  Eval("realize");
+  xtk::Widget* cb = wafe_->app().FindWidget("cb");
+  xsim::Point p = wafe_->app().display().RootPosition(cb->window());
+  wafe_->app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+  wafe_->app().ProcessPending();
+  EXPECT_EQ(Eval("set cascaded"), "1");
+  EXPECT_TRUE(wafe_->app().IsPoppedUp(wafe_->app().FindWidget("menu")));
+}
+
+TEST_F(MotifWidgetTest, SeparatorRendersLine) {
+  Eval("mRowColumn rc topLevel");
+  Eval("mPushButton above rc");
+  Eval("mSeparator sep rc");
+  Eval("mPushButton below rc");
+  Eval("realize");
+  xtk::Widget* sep = wafe_->app().FindWidget("sep");
+  bool line_drawn = false;
+  for (const auto& op : wafe_->app().display().draw_ops()) {
+    if (op.kind == xsim::Display::DrawOp::Kind::kLine && op.window == sep->window()) {
+      line_drawn = true;
+    }
+  }
+  EXPECT_TRUE(line_drawn);
+}
+
+TEST_F(MotifWidgetTest, CommandHistory) {
+  Eval("mCommand cmd topLevel");
+  Eval("realize");
+  Eval("mCommandError cmd {error: no such file}");
+  Eval("mCommandError cmd {second message}");
+  xtk::Widget* cmd = wafe_->app().FindWidget("cmd");
+  EXPECT_EQ(cmd->GetLong("historyItemCount"), 2);
+  std::vector<std::string> history = cmd->GetStringList("historyItems");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0], "error: no such file");
+}
+
+TEST_F(MotifWidgetTest, LabelRecomputeSizeOnSetValues) {
+  Eval("mLabel l topLevel labelString {short}");
+  Eval("realize");
+  xsim::Dimension before = wafe_->app().FindWidget("l")->width();
+  Eval("sV l labelString {a considerably longer label string}");
+  EXPECT_GT(wafe_->app().FindWidget("l")->width(), before);
+}
+
+TEST_F(MotifWidgetTest, PrimitiveResourcesPresent) {
+  Eval("mPushButton b topLevel");
+  // XmPrimitive contributes shadow/highlight resources to all Motif widgets.
+  EXPECT_EQ(Eval("gV b shadowThickness"), "2");
+  Eval("sV b shadowThickness 4");
+  EXPECT_EQ(Eval("gV b shadowThickness"), "4");
+  std::string count = Eval("getResourceList b names");
+  EXPECT_GT(std::stoi(count), 35);
+}
+
+TEST_F(MotifWidgetTest, UpdateDisplayProcessesEvents) {
+  Eval("mLabel l topLevel");
+  Eval("realize");
+  wafe_->app().display().InjectMotion(5, 5);
+  Eval("mUpdateDisplay l");
+  EXPECT_FALSE(wafe_->app().display().Pending());
+}
+
+}  // namespace

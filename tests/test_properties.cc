@@ -1,0 +1,217 @@
+// Property-style sweeps over cross-module invariants: converter round
+// trips, Tcl quoting under adversarial strings, translation-table
+// re-parsing, resource precedence, and percent-code laws.
+#include <gtest/gtest.h>
+
+#include "src/core/percent.h"
+#include "src/core/wafe.h"
+#include "src/xt/converter.h"
+
+namespace {
+
+// Deterministic pseudo-random byte strings (no std::random in tests keeps
+// failures reproducible from the seed printed in the test name).
+std::string PseudoRandomString(unsigned seed, std::size_t length) {
+  std::string out;
+  unsigned state = seed * 2654435761u + 1;
+  const char alphabet[] =
+      "abc {}[]$\"\\;#\n\t ABC123*?%()<>-_=+.,/xyz";
+  for (std::size_t i = 0; i < length; ++i) {
+    state = state * 1664525u + 1013904223u;
+    out.push_back(alphabet[(state >> 16) % (sizeof(alphabet) - 1)]);
+  }
+  return out;
+}
+
+// --- Tcl list quoting under adversarial content -----------------------------------
+
+class TclQuoteFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TclQuoteFuzz, MergeSplitRoundTrip) {
+  unsigned seed = GetParam();
+  std::vector<std::string> elements;
+  for (unsigned i = 0; i < 1 + seed % 5; ++i) {
+    elements.push_back(PseudoRandomString(seed * 7 + i, (seed + i * 13) % 40));
+  }
+  std::string merged = wtcl::MergeList(elements);
+  std::vector<std::string> recovered;
+  ASSERT_TRUE(wtcl::SplitList(merged, &recovered)) << merged;
+  EXPECT_EQ(recovered, elements) << merged;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TclQuoteFuzz, ::testing::Range(1u, 40u));
+
+// Variable round trip: set x <random>; $x recovers it.
+class TclVarFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TclVarFuzz, SetGetIdentity) {
+  wtcl::Interp interp;
+  std::string value = PseudoRandomString(GetParam(), 30);
+  interp.SetVar("x", value);
+  std::string out;
+  ASSERT_TRUE(interp.GetVar("x", &out));
+  EXPECT_EQ(out, value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TclVarFuzz, ::testing::Range(100u, 120u));
+
+// --- Converter round trips ------------------------------------------------------------
+
+struct ConverterCase {
+  xtk::ResourceType type;
+  const char* input;
+  const char* formatted;  // expected Format(Convert(input))
+};
+
+class ConverterRoundTrip : public ::testing::TestWithParam<ConverterCase> {};
+
+TEST_P(ConverterRoundTrip, FormatOfConvert) {
+  xtk::ConverterRegistry registry;
+  xtk::ResourceValue value;
+  std::string error;
+  ASSERT_TRUE(registry.Convert(GetParam().type, GetParam().input, nullptr, &value, &error))
+      << error;
+  EXPECT_EQ(registry.Format(GetParam().type, value), GetParam().formatted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConverterRoundTrip,
+    ::testing::Values(
+        ConverterCase{xtk::ResourceType::kInt, "42", "42"},
+        ConverterCase{xtk::ResourceType::kInt, "-7", "-7"},
+        ConverterCase{xtk::ResourceType::kDimension, "120", "120"},
+        ConverterCase{xtk::ResourceType::kPosition, "-3", "-3"},
+        ConverterCase{xtk::ResourceType::kBoolean, "true", "True"},
+        ConverterCase{xtk::ResourceType::kBoolean, "ON", "True"},
+        ConverterCase{xtk::ResourceType::kBoolean, "0", "False"},
+        ConverterCase{xtk::ResourceType::kString, "any text", "any text"},
+        ConverterCase{xtk::ResourceType::kPixel, "red", "#ff0000"},
+        ConverterCase{xtk::ResourceType::kPixel, "#123456", "#123456"},
+        ConverterCase{xtk::ResourceType::kPixel, "tomato", "#ff6347"},
+        ConverterCase{xtk::ResourceType::kFloat, "0.5", "0.5"},
+        ConverterCase{xtk::ResourceType::kStringList, "a,b,c", "a,b,c"},
+        ConverterCase{xtk::ResourceType::kPixmap, "None", "None"}));
+
+TEST(ConverterErrors, RejectionsAreClean) {
+  xtk::ConverterRegistry registry;
+  xtk::ResourceValue value;
+  std::string error;
+  EXPECT_FALSE(registry.Convert(xtk::ResourceType::kInt, "abc", nullptr, &value, &error));
+  EXPECT_FALSE(
+      registry.Convert(xtk::ResourceType::kDimension, "-1", nullptr, &value, &error));
+  EXPECT_FALSE(
+      registry.Convert(xtk::ResourceType::kBoolean, "maybe", nullptr, &value, &error));
+  EXPECT_FALSE(
+      registry.Convert(xtk::ResourceType::kPixel, "nocolor", nullptr, &value, &error));
+  EXPECT_FALSE(registry.Convert(xtk::ResourceType::kFont, "*nothing-matches-this*", nullptr,
+                                &value, &error));
+}
+
+// --- Translation tables: parse -> source -> reparse is stable ----------------------------
+
+class TranslationReparse : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TranslationReparse, SourceReparsesToSameShape) {
+  std::string error;
+  xtk::TranslationsPtr first = xtk::ParseTranslations(GetParam(), &error);
+  ASSERT_NE(first, nullptr) << error;
+  xtk::TranslationsPtr second = xtk::ParseTranslations(first->source, &error);
+  ASSERT_NE(second, nullptr) << error;
+  ASSERT_EQ(first->productions.size(), second->productions.size());
+  for (std::size_t i = 0; i < first->productions.size(); ++i) {
+    EXPECT_EQ(first->productions[i].matcher.type, second->productions[i].matcher.type);
+    EXPECT_EQ(first->productions[i].matcher.keysym, second->productions[i].matcher.keysym);
+    ASSERT_EQ(first->productions[i].actions.size(), second->productions[i].actions.size());
+    for (std::size_t a = 0; a < first->productions[i].actions.size(); ++a) {
+      EXPECT_EQ(first->productions[i].actions[a].name,
+                second->productions[i].actions[a].name);
+      EXPECT_EQ(first->productions[i].actions[a].params,
+                second->productions[i].actions[a].params);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tables, TranslationReparse,
+    ::testing::Values("<Key>Return: newline()",
+                      "<KeyPress>: exec(echo %k %a %s)",
+                      "Shift<Btn1Down>: set() notify()",
+                      "<EnterWindow>: highlight()\n<LeaveWindow>: reset()",
+                      "~Ctrl<Key>a: plain()",
+                      "<Btn3Up>: doit(one, two, three)"));
+
+// --- Percent codes ------------------------------------------------------------------------
+
+TEST(PercentLaws, DoublePercentAlwaysCollapses) {
+  wafe::Wafe app;
+  std::string error;
+  xtk::Widget* w = app.app().CreateWidget("w", "Label", app.top_level(), {}, true, &error);
+  ASSERT_NE(w, nullptr);
+  xsim::Event event;
+  event.type = xsim::EventType::kKeyPress;
+  EXPECT_EQ(wafe::SubstituteEventCodes("100%% done", *w, event), "100% done");
+  xtk::CallData data;
+  EXPECT_EQ(wafe::SubstituteCallbackCodes("100%% done", *w, data), "100% done");
+}
+
+TEST(PercentLaws, SubstitutionIsIdempotentWithoutCodes) {
+  wafe::Wafe app;
+  std::string error;
+  xtk::Widget* w = app.app().CreateWidget("w", "Label", app.top_level(), {}, true, &error);
+  ASSERT_NE(w, nullptr);
+  xsim::Event event;
+  event.type = xsim::EventType::kButtonPress;
+  for (unsigned seed = 1; seed < 10; ++seed) {
+    std::string text = PseudoRandomString(seed, 50);
+    // Strip percent characters so no codes are present.
+    std::string clean;
+    for (char c : text) {
+      if (c != '%') {
+        clean.push_back(c);
+      }
+    }
+    EXPECT_EQ(wafe::SubstituteEventCodes(clean, *w, event), clean);
+  }
+}
+
+// --- Resource precedence (paper §Setting and Retrieving Resource Values) ------------------
+
+TEST(ResourcePrecedence, PaperOrderHolds) {
+  // resource db < mergeResources (same db, later entry) < creation args <
+  // setValues.
+  wafe::Wafe app;
+  app.app().resource_db().MergeLine("*prec.label: from-db");
+  app.Eval("label prec topLevel");
+  EXPECT_EQ(app.app().FindWidget("prec")->GetString("label"), "from-db");
+  app.Eval("destroyWidget prec");
+
+  app.Eval("mergeResources *prec.label from-merge");
+  app.Eval("label prec topLevel");
+  EXPECT_EQ(app.app().FindWidget("prec")->GetString("label"), "from-merge");
+  app.Eval("destroyWidget prec");
+
+  app.Eval("label prec topLevel label from-args");
+  EXPECT_EQ(app.app().FindWidget("prec")->GetString("label"), "from-args");
+
+  app.Eval("sV prec label from-setvalues");
+  EXPECT_EQ(app.app().FindWidget("prec")->GetString("label"), "from-setvalues");
+}
+
+// --- Expr/string cross-checks ---------------------------------------------------------------
+
+class ExprStringEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprStringEquivalence, FormatAndExprAgree) {
+  wtcl::Interp interp;
+  int n = GetParam();
+  wtcl::Result via_format = interp.Eval("format %d " + std::to_string(n));
+  wtcl::Result via_expr = interp.Eval("expr " + std::to_string(n) + " + 0");
+  ASSERT_TRUE(via_format.ok());
+  ASSERT_TRUE(via_expr.ok());
+  EXPECT_EQ(via_format.value, via_expr.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExprStringEquivalence,
+                         ::testing::Values(-1000000, -42, -1, 0, 1, 99, 65535, 2147483647));
+
+}  // namespace

@@ -1,0 +1,126 @@
+// The Xt selection mechanism and accelerators — both part of the Intrinsics
+// functionality the paper says Wafe's commands expose.
+#include <gtest/gtest.h>
+
+#include "src/core/wafe.h"
+
+namespace {
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  std::string Eval(const std::string& script) {
+    wtcl::Result r = wafe_.Eval(script);
+    EXPECT_TRUE(r.ok()) << script << ": " << r.value;
+    return r.value;
+  }
+  wafe::Wafe wafe_;
+};
+
+TEST_F(SelectionTest, OwnAndGetValue) {
+  Eval("label l topLevel");
+  Eval("realize");
+  Eval("ownSelection l PRIMARY {selected text}");
+  EXPECT_EQ(Eval("getSelectionValue PRIMARY"), "selected text");
+  EXPECT_EQ(Eval("selectionOwner PRIMARY"), "l");
+}
+
+TEST_F(SelectionTest, UnownedSelectionIsEmpty) {
+  EXPECT_EQ(Eval("getSelectionValue CLIPBOARD"), "");
+  EXPECT_EQ(Eval("selectionOwner CLIPBOARD"), "");
+}
+
+TEST_F(SelectionTest, NewOwnerDisplacesOld) {
+  Eval("label a topLevel");
+  Eval("label b topLevel");
+  Eval("realize");
+  Eval("ownSelection a PRIMARY {from a}");
+  Eval("ownSelection b PRIMARY {from b}");
+  wafe_.app().ProcessPending();  // delivers SelectionClear to a
+  EXPECT_EQ(Eval("getSelectionValue PRIMARY"), "from b");
+  EXPECT_EQ(Eval("selectionOwner PRIMARY"), "b");
+}
+
+TEST_F(SelectionTest, DisownClears) {
+  Eval("label l topLevel");
+  Eval("realize");
+  Eval("ownSelection l PRIMARY {value}");
+  Eval("disownSelection PRIMARY");
+  EXPECT_EQ(Eval("getSelectionValue PRIMARY"), "");
+}
+
+TEST_F(SelectionTest, DestroyOwnerClearsSelection) {
+  Eval("label l topLevel");
+  Eval("realize");
+  Eval("ownSelection l PRIMARY {value}");
+  Eval("destroyWidget l");
+  EXPECT_EQ(Eval("getSelectionValue PRIMARY"), "");
+  EXPECT_EQ(Eval("selectionOwner PRIMARY"), "");
+}
+
+TEST_F(SelectionTest, IndependentSelections) {
+  Eval("label l topLevel");
+  Eval("realize");
+  Eval("ownSelection l PRIMARY {primary value}");
+  Eval("ownSelection l SECONDARY {secondary value}");
+  EXPECT_EQ(Eval("getSelectionValue PRIMARY"), "primary value");
+  EXPECT_EQ(Eval("getSelectionValue SECONDARY"), "secondary value");
+}
+
+// --- Accelerators ------------------------------------------------------------------------
+
+TEST_F(SelectionTest, AcceleratorsRunOnSourceWidget) {
+  // The classic pattern: a button's accelerator (a key binding) installed on
+  // the text widget, so pressing the key in the text widget "presses" the
+  // button.
+  Eval("form f topLevel");
+  Eval("asciiText input f editType edit width 120");
+  Eval("command go f fromVert input callback {set pressed %w}");
+  Eval("sV go accelerators {Ctrl<Key>g: notify()}");
+  Eval("installAccelerators input go");
+  Eval("realize");
+  xtk::Widget* input = wafe_.app().FindWidget("input");
+  wafe_.app().display().SetInputFocus(input->window());
+  wafe_.app().display().InjectKeyPress(xsim::AsciiToKeysym('g'), xsim::kControlMask);
+  wafe_.app().ProcessPending();
+  // The notify action ran on `go`, not on the text widget.
+  EXPECT_EQ(Eval("set pressed"), "go");
+}
+
+TEST_F(SelectionTest, AcceleratorKeepsDestinationTranslations) {
+  Eval("form f topLevel");
+  Eval("asciiText input f editType edit width 120");
+  Eval("command go f fromVert input callback {set pressed 1}");
+  Eval("sV go accelerators {Ctrl<Key>g: notify()}");
+  Eval("installAccelerators input go");
+  Eval("realize");
+  xtk::Widget* input = wafe_.app().FindWidget("input");
+  wafe_.app().display().SetInputFocus(input->window());
+  wafe_.app().display().InjectText("hi");
+  wafe_.app().ProcessPending();
+  // Ordinary typing still reaches the text widget.
+  EXPECT_EQ(input->GetString("string"), "hi");
+}
+
+TEST_F(SelectionTest, InstallWithoutAcceleratorsFails) {
+  Eval("label plain topLevel");
+  Eval("label dest topLevel");
+  wtcl::Result r = wafe_.Eval("installAccelerators dest plain");
+  EXPECT_EQ(r.code, wtcl::Status::kError);
+}
+
+TEST_F(SelectionTest, InsensitiveAcceleratorSourceDoesNotFire) {
+  Eval("form f topLevel");
+  Eval("asciiText input f editType edit");
+  Eval("command go f callback {set pressed 1}");
+  Eval("sV go accelerators {Ctrl<Key>g: notify()}");
+  Eval("installAccelerators input go");
+  Eval("setSensitive go false");
+  Eval("realize");
+  xtk::Widget* input = wafe_.app().FindWidget("input");
+  wafe_.app().display().SetInputFocus(input->window());
+  wafe_.app().display().InjectKeyPress(xsim::AsciiToKeysym('g'), xsim::kControlMask);
+  wafe_.app().ProcessPending();
+  EXPECT_FALSE(wafe_.interp().VarExists("pressed"));
+}
+
+}  // namespace

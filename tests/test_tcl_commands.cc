@@ -1,0 +1,479 @@
+// Built-in command semantics: control flow, procs, scoping, strings, lists,
+// arrays, error handling.
+#include <gtest/gtest.h>
+
+#include "src/tcl/interp.h"
+
+namespace wtcl {
+namespace {
+
+std::string Eval(Interp& interp, const std::string& script) {
+  Result r = interp.Eval(script);
+  EXPECT_TRUE(r.ok()) << "script: " << script << "\nerror: " << r.value;
+  return r.value;
+}
+
+// --- Control flow --------------------------------------------------------------
+
+TEST(TclControl, IfTrueBranch) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "if {1 < 2} {set x yes} else {set x no}"), "yes");
+}
+
+TEST(TclControl, IfElseBranch) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "if {1 > 2} {set x yes} else {set x no}"), "no");
+}
+
+TEST(TclControl, IfElseif) {
+  Interp interp;
+  Eval(interp, "set v 2");
+  EXPECT_EQ(Eval(interp,
+                 "if {$v == 1} {set r one} elseif {$v == 2} {set r two} else {set r many}"),
+            "two");
+}
+
+TEST(TclControl, IfWithThenKeyword) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "if 1 then {set x ok}"), "ok");
+}
+
+TEST(TclControl, WhileLoop) {
+  Interp interp;
+  Eval(interp, "set i 0; set sum 0");
+  Eval(interp, "while {$i < 5} {incr sum $i; incr i}");
+  EXPECT_EQ(Eval(interp, "set sum"), "10");
+}
+
+TEST(TclControl, WhileBreak) {
+  Interp interp;
+  Eval(interp, "set i 0");
+  Eval(interp, "while 1 {incr i; if {$i >= 3} break}");
+  EXPECT_EQ(Eval(interp, "set i"), "3");
+}
+
+TEST(TclControl, WhileContinue) {
+  Interp interp;
+  Eval(interp, "set i 0; set even 0");
+  Eval(interp, "while {$i < 10} {incr i; if {$i % 2} continue; incr even}");
+  EXPECT_EQ(Eval(interp, "set even"), "5");
+}
+
+TEST(TclControl, ForLoop) {
+  Interp interp;
+  Eval(interp, "set sum 0");
+  Eval(interp, "for {set i 1} {$i <= 4} {incr i} {incr sum $i}");
+  EXPECT_EQ(Eval(interp, "set sum"), "10");
+}
+
+TEST(TclControl, ForeachLoop) {
+  Interp interp;
+  Eval(interp, "set out {}");
+  Eval(interp, "foreach w {a b c} {append out $w$w}");
+  EXPECT_EQ(Eval(interp, "set out"), "aabbcc");
+}
+
+TEST(TclControl, ForeachBreak) {
+  Interp interp;
+  Eval(interp, "set out {}");
+  Eval(interp, "foreach w {a b c d} {if {$w == \"c\"} break; append out $w}");
+  EXPECT_EQ(Eval(interp, "set out"), "ab");
+}
+
+TEST(TclControl, SwitchExact) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "switch b {a {set r 1} b {set r 2} default {set r 3}}"), "2");
+}
+
+TEST(TclControl, SwitchDefault) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "switch zz {a {set r 1} default {set r dflt}}"), "dflt");
+}
+
+TEST(TclControl, SwitchGlob) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "switch -glob ab* {a {set r 1} ab\\* {set r glob}}"), "glob");
+}
+
+TEST(TclControl, SwitchFallthrough) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "switch a {a - b {set r shared} c {set r other}}"), "shared");
+}
+
+// --- Procs and scoping ----------------------------------------------------------
+
+TEST(TclProc, SimpleProc) {
+  Interp interp;
+  Eval(interp, "proc double {x} {return [expr $x * 2]}");
+  EXPECT_EQ(Eval(interp, "double 21"), "42");
+}
+
+TEST(TclProc, DefaultArguments) {
+  Interp interp;
+  Eval(interp, "proc greet {{name world}} {return hello-$name}");
+  EXPECT_EQ(Eval(interp, "greet"), "hello-world");
+  EXPECT_EQ(Eval(interp, "greet there"), "hello-there");
+}
+
+TEST(TclProc, VarArgs) {
+  Interp interp;
+  Eval(interp, "proc count {args} {return [llength $args]}");
+  EXPECT_EQ(Eval(interp, "count a b c d"), "4");
+  EXPECT_EQ(Eval(interp, "count"), "0");
+}
+
+TEST(TclProc, TooFewArgsError) {
+  Interp interp;
+  Eval(interp, "proc f {a b} {return $a$b}");
+  Result r = interp.Eval("f onearg");
+  EXPECT_EQ(r.code, Status::kError);
+}
+
+TEST(TclProc, TooManyArgsError) {
+  Interp interp;
+  Eval(interp, "proc f {a} {return $a}");
+  Result r = interp.Eval("f 1 2");
+  EXPECT_EQ(r.code, Status::kError);
+}
+
+TEST(TclProc, LocalScope) {
+  Interp interp;
+  Eval(interp, "set x global");
+  Eval(interp, "proc touch {} {set x local; return $x}");
+  EXPECT_EQ(Eval(interp, "touch"), "local");
+  EXPECT_EQ(Eval(interp, "set x"), "global");
+}
+
+TEST(TclProc, GlobalCommand) {
+  Interp interp;
+  Eval(interp, "set counter 0");
+  Eval(interp, "proc bump {} {global counter; incr counter}");
+  Eval(interp, "bump; bump; bump");
+  EXPECT_EQ(Eval(interp, "set counter"), "3");
+}
+
+TEST(TclProc, UpvarReadsAndWritesCaller) {
+  Interp interp;
+  Eval(interp, "proc addone {varname} {upvar $varname v; incr v}");
+  Eval(interp, "set n 9");
+  Eval(interp, "addone n");
+  EXPECT_EQ(Eval(interp, "set n"), "10");
+}
+
+TEST(TclProc, UplevelEvaluatesInCaller) {
+  Interp interp;
+  Eval(interp, "proc setter {} {uplevel {set made_here 1}}");
+  Eval(interp, "proc outer {} {setter; return [set made_here]}");
+  EXPECT_EQ(Eval(interp, "outer"), "1");
+}
+
+TEST(TclProc, RecursiveProc) {
+  Interp interp;
+  Eval(interp, "proc fact {n} {if {$n <= 1} {return 1}; expr {$n * [fact [expr $n-1]]}}");
+  EXPECT_EQ(Eval(interp, "fact 6"), "720");
+}
+
+TEST(TclProc, InfoBodyAndArgs) {
+  Interp interp;
+  Eval(interp, "proc p {a b} {return $a}");
+  EXPECT_EQ(Eval(interp, "info args p"), "a b");
+  EXPECT_EQ(Eval(interp, "info body p"), "return $a");
+}
+
+TEST(TclProc, RenameProc) {
+  Interp interp;
+  Eval(interp, "proc orig {} {return hi}");
+  Eval(interp, "rename orig fresh");
+  EXPECT_EQ(Eval(interp, "fresh"), "hi");
+  Result r = interp.Eval("orig");
+  EXPECT_EQ(r.code, Status::kError);
+}
+
+TEST(TclProc, InfiniteRecursionCaught) {
+  Interp interp;
+  interp.set_max_nesting(50);
+  Eval(interp, "proc loop {} {loop}");
+  Result r = interp.Eval("loop");
+  EXPECT_EQ(r.code, Status::kError);
+}
+
+// --- Error handling --------------------------------------------------------------
+
+TEST(TclError, CatchReturnsCode) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "catch {error boom} msg"), "1");
+  EXPECT_EQ(Eval(interp, "set msg"), "boom");
+}
+
+TEST(TclError, CatchOkIsZero) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "catch {set x fine} msg"), "0");
+  EXPECT_EQ(Eval(interp, "set msg"), "fine");
+}
+
+TEST(TclError, ErrorInfoMaintained) {
+  Interp interp;
+  interp.Eval("proc failing {} {error deep}");
+  Result r = interp.Eval("failing");
+  EXPECT_EQ(r.code, Status::kError);
+  std::string info;
+  ASSERT_TRUE(interp.GetGlobalVar("errorInfo", &info));
+  EXPECT_NE(info.find("deep"), std::string::npos);
+}
+
+TEST(TclError, BreakOutsideLoop) {
+  Interp interp;
+  Eval(interp, "proc f {} {break}");
+  Result r = interp.Eval("f");
+  EXPECT_EQ(r.code, Status::kError);
+}
+
+// --- Strings -----------------------------------------------------------------------
+
+TEST(TclString, Length) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "string length hello"), "5");
+  EXPECT_EQ(Eval(interp, "string length {}"), "0");
+}
+
+TEST(TclString, Case) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "string tolower HeLLo"), "hello");
+  EXPECT_EQ(Eval(interp, "string toupper HeLLo"), "HELLO");
+}
+
+TEST(TclString, IndexAndRange) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "string index abcdef 2"), "c");
+  EXPECT_EQ(Eval(interp, "string index abcdef 99"), "");
+  EXPECT_EQ(Eval(interp, "string range abcdef 1 3"), "bcd");
+  EXPECT_EQ(Eval(interp, "string range abcdef 3 end"), "def");
+}
+
+TEST(TclString, Compare) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "string compare apple banana"), "-1");
+  EXPECT_EQ(Eval(interp, "string compare same same"), "0");
+  EXPECT_EQ(Eval(interp, "string compare zoo apple"), "1");
+}
+
+TEST(TclString, Match) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "string match *.tcl script.tcl"), "1");
+  EXPECT_EQ(Eval(interp, "string match *.tcl script.cc"), "0");
+}
+
+TEST(TclString, FirstLast) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "string first b abcabc"), "1");
+  EXPECT_EQ(Eval(interp, "string last b abcabc"), "4");
+  EXPECT_EQ(Eval(interp, "string first z abc"), "-1");
+}
+
+TEST(TclString, Trim) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "string trim {  padded  }"), "padded");
+  EXPECT_EQ(Eval(interp, "string trimleft {  padded  }"), "padded  ");
+  EXPECT_EQ(Eval(interp, "string trimright xxhixx x"), "xxhi");
+}
+
+TEST(TclString, Append) {
+  Interp interp;
+  Eval(interp, "set s start");
+  Eval(interp, "append s -mid -end");
+  EXPECT_EQ(Eval(interp, "set s"), "start-mid-end");
+}
+
+TEST(TclString, Format) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "format %d 42"), "42");
+  EXPECT_EQ(Eval(interp, "format %5d 42"), "   42");
+  EXPECT_EQ(Eval(interp, "format %-5d| 42"), "42   |");
+  EXPECT_EQ(Eval(interp, "format %x 255"), "ff");
+  EXPECT_EQ(Eval(interp, "format %05.1f 3.14159"), "003.1");
+  EXPECT_EQ(Eval(interp, "format {%s and %s} salt pepper"), "salt and pepper");
+  EXPECT_EQ(Eval(interp, "format %c 65"), "A");
+  EXPECT_EQ(Eval(interp, "format %%"), "%");
+}
+
+TEST(TclString, FormatErrors) {
+  Interp interp;
+  EXPECT_EQ(interp.Eval("format %d notanumber").code, Status::kError);
+  EXPECT_EQ(interp.Eval("format %d").code, Status::kError);
+  EXPECT_EQ(interp.Eval("format %q 1").code, Status::kError);
+}
+
+TEST(TclString, Scan) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "scan {12 monkeys} {%d %s} n what"), "2");
+  EXPECT_EQ(Eval(interp, "set n"), "12");
+  EXPECT_EQ(Eval(interp, "set what"), "monkeys");
+}
+
+// --- Lists --------------------------------------------------------------------------
+
+TEST(TclListCmd, ListQuotes) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "list a {b c} d"), "a {b c} d");
+  EXPECT_EQ(Eval(interp, "list"), "");
+}
+
+TEST(TclListCmd, Lindex) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "lindex {a b c} 1"), "b");
+  EXPECT_EQ(Eval(interp, "lindex {a b c} end"), "c");
+  EXPECT_EQ(Eval(interp, "lindex {a b c} 9"), "");
+}
+
+TEST(TclListCmd, Llength) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "llength {a b {c d}}"), "3");
+  EXPECT_EQ(Eval(interp, "llength {}"), "0");
+}
+
+TEST(TclListCmd, Lrange) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "lrange {a b c d e} 1 3"), "b c d");
+  EXPECT_EQ(Eval(interp, "lrange {a b c} 1 end"), "b c");
+}
+
+TEST(TclListCmd, Lappend) {
+  Interp interp;
+  Eval(interp, "set l {a}");
+  Eval(interp, "lappend l b {c d}");
+  EXPECT_EQ(Eval(interp, "set l"), "a b {c d}");
+  EXPECT_EQ(Eval(interp, "llength $l"), "3");
+}
+
+TEST(TclListCmd, LappendCreates) {
+  Interp interp;
+  Eval(interp, "lappend fresh x");
+  EXPECT_EQ(Eval(interp, "set fresh"), "x");
+}
+
+TEST(TclListCmd, Linsert) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "linsert {a c} 1 b"), "a b c");
+  EXPECT_EQ(Eval(interp, "linsert {a b} 0 start"), "start a b");
+  EXPECT_EQ(Eval(interp, "linsert {a b} end z"), "a z b");
+}
+
+TEST(TclListCmd, Lreplace) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "lreplace {a b c d} 1 2 X"), "a X d");
+  EXPECT_EQ(Eval(interp, "lreplace {a b c} 0 0"), "b c");
+}
+
+TEST(TclListCmd, Lsearch) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "lsearch {a b c} b"), "1");
+  EXPECT_EQ(Eval(interp, "lsearch {a b c} z"), "-1");
+  EXPECT_EQ(Eval(interp, "lsearch -glob {foo bar baz} b*"), "1");
+  EXPECT_EQ(Eval(interp, "lsearch -exact {foo b* baz} b*"), "1");
+}
+
+TEST(TclListCmd, Lsort) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "lsort {pear apple orange}"), "apple orange pear");
+  EXPECT_EQ(Eval(interp, "lsort -integer {10 9 100}"), "9 10 100");
+  EXPECT_EQ(Eval(interp, "lsort -decreasing {a c b}"), "c b a");
+}
+
+TEST(TclListCmd, ConcatJoinSplit) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "concat {a b} {c d}"), "a b c d");
+  EXPECT_EQ(Eval(interp, "join {a b c} -"), "a-b-c");
+  EXPECT_EQ(Eval(interp, "split a:b:c :"), "a b c");
+  EXPECT_EQ(Eval(interp, "split abc {}"), "a b c");
+}
+
+// --- Arrays --------------------------------------------------------------------------
+
+TEST(TclArray, SetAndGetElements) {
+  Interp interp;
+  Eval(interp, "set a(x) 1; set a(y) 2");
+  EXPECT_EQ(Eval(interp, "set a(x)"), "1");
+  EXPECT_EQ(Eval(interp, "array size a"), "2");
+  EXPECT_EQ(Eval(interp, "lsort [array names a]"), "x y");
+}
+
+TEST(TclArray, ArrayExists) {
+  Interp interp;
+  Eval(interp, "set a(k) v");
+  EXPECT_EQ(Eval(interp, "array exists a"), "1");
+  EXPECT_EQ(Eval(interp, "array exists nope"), "0");
+  Eval(interp, "set scalar 5");
+  EXPECT_EQ(Eval(interp, "array exists scalar"), "0");
+}
+
+TEST(TclArray, ArraySetGet) {
+  Interp interp;
+  Eval(interp, "array set cfg {width 100 height 50}");
+  EXPECT_EQ(Eval(interp, "set cfg(width)"), "100");
+  EXPECT_EQ(Eval(interp, "set cfg(height)"), "50");
+}
+
+TEST(TclArray, UnsetElement) {
+  Interp interp;
+  Eval(interp, "set a(x) 1; set a(y) 2");
+  Eval(interp, "unset a(x)");
+  EXPECT_EQ(Eval(interp, "array size a"), "1");
+  EXPECT_EQ(Eval(interp, "info exists a(x)"), "0");
+}
+
+TEST(TclArray, ScalarArrayCollision) {
+  Interp interp;
+  Eval(interp, "set s scalarvalue");
+  Result r = interp.Eval("set s(elem) 1");
+  EXPECT_EQ(r.code, Status::kError);
+}
+
+// --- Misc ----------------------------------------------------------------------------
+
+TEST(TclMisc, InfoExists) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "info exists nothere"), "0");
+  Eval(interp, "set here 1");
+  EXPECT_EQ(Eval(interp, "info exists here"), "1");
+}
+
+TEST(TclMisc, InfoCommandsGlob) {
+  Interp interp;
+  std::string cmds = Eval(interp, "info commands l*");
+  EXPECT_NE(cmds.find("lindex"), std::string::npos);
+  EXPECT_EQ(cmds.find("set"), std::string::npos);
+}
+
+TEST(TclMisc, InfoLevel) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "info level"), "0");
+  Eval(interp, "proc lvl {} {return [info level]}");
+  EXPECT_EQ(Eval(interp, "lvl"), "1");
+}
+
+TEST(TclMisc, EvalConcatenates) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "eval set joined ok"), "ok");
+  EXPECT_EQ(Eval(interp, "eval {set x 5; set x}"), "5");
+}
+
+TEST(TclMisc, OutputSink) {
+  Interp interp;
+  std::string captured;
+  interp.set_output([&captured](const std::string& text) { captured += text; });
+  Eval(interp, "echo hello world");
+  EXPECT_EQ(captured, "hello world\n");
+  captured.clear();
+  Eval(interp, "puts -nonewline raw");
+  EXPECT_EQ(captured, "raw");
+}
+
+TEST(TclMisc, CommandCountAdvances) {
+  Interp interp;
+  std::size_t before = interp.CommandCount();
+  Eval(interp, "set a 1; set b 2");
+  EXPECT_GE(interp.CommandCount(), before + 2);
+}
+
+}  // namespace
+}  // namespace wtcl

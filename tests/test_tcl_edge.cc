@@ -1,0 +1,216 @@
+// Deeper Tcl semantics: scoping corners, arrays through upvar, errorCode,
+// uplevel #0, command redefinition, nested data, and script round trips.
+#include <gtest/gtest.h>
+
+#include "src/tcl/interp.h"
+
+namespace wtcl {
+namespace {
+
+std::string Eval(Interp& interp, const std::string& script) {
+  Result r = interp.Eval(script);
+  EXPECT_TRUE(r.ok()) << "script: " << script << "\nerror: " << r.value;
+  return r.value;
+}
+
+TEST(TclScoping, UpvarToArrayElement) {
+  Interp interp;
+  Eval(interp, "set a(key) original");
+  Eval(interp, "proc touch {} {upvar a(key) v; set v changed}");
+  Eval(interp, "touch");
+  EXPECT_EQ(Eval(interp, "set a(key)"), "changed");
+}
+
+TEST(TclScoping, UpvarTwoLevels) {
+  Interp interp;
+  // upvar 2 from inside `inner` (called by `top`, called from global) lands
+  // in the global frame: top's local x is untouched, the global x changes.
+  Eval(interp, "proc inner {} {upvar 2 x v; set v from-inner}");
+  Eval(interp, "set x top");
+  Eval(interp, "proc top {} {set x local; inner; return $x}");
+  EXPECT_EQ(Eval(interp, "top"), "local");
+  EXPECT_EQ(Eval(interp, "set x"), "from-inner");
+}
+
+TEST(TclScoping, UplevelHashZeroIsGlobal) {
+  Interp interp;
+  Eval(interp, "proc deep {} {uplevel #0 {set made_global 1}}");
+  Eval(interp, "proc mid {} {deep}");
+  Eval(interp, "mid");
+  std::string value;
+  EXPECT_TRUE(interp.GetGlobalVar("made_global", &value));
+}
+
+TEST(TclScoping, GlobalLinkSurvivesUnset) {
+  Interp interp;
+  Eval(interp, "set g 1");
+  Eval(interp, "proc f {} {global g; unset g; set g recreated}");
+  Eval(interp, "f");
+  EXPECT_EQ(Eval(interp, "info exists g"), "1");
+}
+
+TEST(TclScoping, ProcLocalsVanish) {
+  Interp interp;
+  Eval(interp, "proc f {} {set temporary 5}");
+  Eval(interp, "f");
+  EXPECT_EQ(Eval(interp, "info exists temporary"), "0");
+}
+
+TEST(TclError, ErrorCodeVariable) {
+  Interp interp;
+  interp.Eval("error msg info {POSIX ENOENT}");
+  std::string code;
+  ASSERT_TRUE(interp.GetGlobalVar("errorCode", &code));
+  EXPECT_EQ(code, "POSIX ENOENT");
+  std::string info;
+  ASSERT_TRUE(interp.GetGlobalVar("errorInfo", &info));
+  EXPECT_EQ(info.rfind("info", 0), 0u);
+}
+
+TEST(TclError, CatchReturnBreakContinueCodes) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "catch {return x}"), "2");
+  EXPECT_EQ(Eval(interp, "catch {break}"), "3");
+  EXPECT_EQ(Eval(interp, "catch {continue}"), "4");
+}
+
+TEST(TclCommands, RedefiningProcReplacesIt) {
+  Interp interp;
+  Eval(interp, "proc f {} {return one}");
+  Eval(interp, "proc f {} {return two}");
+  EXPECT_EQ(Eval(interp, "f"), "two");
+  EXPECT_EQ(Eval(interp, "llength [info procs f]"), "1");
+}
+
+TEST(TclCommands, RenameBuiltinAndWrap) {
+  Interp interp;
+  // The classic wrapper pattern: the delegate runs in the caller's frame.
+  Eval(interp, "rename set original_set");
+  Eval(interp, "proc set {args} {uplevel original_set $args}");
+  EXPECT_EQ(Eval(interp, "set x wrapped"), "wrapped");
+  EXPECT_EQ(Eval(interp, "set x"), "wrapped");
+}
+
+TEST(TclCommands, RenameToEmptyDeletes) {
+  Interp interp;
+  Eval(interp, "proc gone {} {}");
+  Eval(interp, "rename gone {}");
+  EXPECT_EQ(interp.Eval("gone").code, Status::kError);
+}
+
+TEST(TclData, NestedListsRoundTrip) {
+  Interp interp;
+  Eval(interp, "set l [list [list a b] [list c [list d e]]]");
+  EXPECT_EQ(Eval(interp, "lindex [lindex $l 1] 1"), "d e");
+  EXPECT_EQ(Eval(interp, "lindex [lindex [lindex $l 1] 1] 0"), "d");
+}
+
+TEST(TclData, ForeachOverNestedList) {
+  Interp interp;
+  Eval(interp, "set pairs {{a 1} {b 2} {c 3}}");
+  Eval(interp,
+       "set out {}\n"
+       "foreach pair $pairs {append out [lindex $pair 0][lindex $pair 1]}");
+  EXPECT_EQ(Eval(interp, "set out"), "a1b2c3");
+}
+
+TEST(TclData, ArrayGetSetRoundTrip) {
+  Interp interp;
+  Eval(interp, "set a(x) 1; set {a(y thing)} {space value}");
+  Eval(interp, "array set b [array get a]");
+  EXPECT_EQ(Eval(interp, "set b(x)"), "1");
+  EXPECT_EQ(Eval(interp, "set {b(y thing)}"), "space value");
+}
+
+TEST(TclParserEdge, SemicolonInsideBracesLiteral) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "set x {a;b}"), "a;b");
+}
+
+TEST(TclParserEdge, BracketInsideQuotesRuns) {
+  Interp interp;
+  Eval(interp, "proc f {} {return ran}");
+  EXPECT_EQ(Eval(interp, "set x \"result: [f]\""), "result: ran");
+}
+
+TEST(TclParserEdge, CommandSubstMultipleCommands) {
+  Interp interp;
+  // The bracket evaluates a full script; its result is the last command's.
+  EXPECT_EQ(Eval(interp, "set x [set a 1; set b 2]"), "2");
+}
+
+TEST(TclParserEdge, DeeplyNestedBrackets) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "expr [expr [expr [expr 1+1]+1]+1]"), "4");
+}
+
+TEST(TclParserEdge, WhitespaceOnlyWordsVanish) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "   set    x     spaced   "), "spaced");
+}
+
+TEST(TclParserEdge, EvalRoundTripThroughList) {
+  Interp interp;
+  // Building a command as a list and eval'ing it preserves odd arguments.
+  Eval(interp, "set cmd [list set target {a value with spaces}]");
+  Eval(interp, "eval $cmd");
+  EXPECT_EQ(Eval(interp, "set target"), "a value with spaces");
+}
+
+TEST(TclControl, ReturnFromForeach) {
+  Interp interp;
+  Eval(interp, "proc find {needle list} {foreach x $list {if {$x == $needle} {return found}}; return missing}");
+  EXPECT_EQ(Eval(interp, "find b {a b c}"), "found");
+  EXPECT_EQ(Eval(interp, "find z {a b c}"), "missing");
+}
+
+TEST(TclControl, NestedLoopsBreakInner) {
+  Interp interp;
+  Eval(interp,
+       "set hits 0\n"
+       "for {set i 0} {$i < 3} {incr i} {\n"
+       "  foreach j {a b c} {\n"
+       "    incr hits\n"
+       "    break\n"
+       "  }\n"
+       "}");
+  EXPECT_EQ(Eval(interp, "set hits"), "3");
+}
+
+TEST(TclInfo, CmdCountMonotone) {
+  Interp interp;
+  std::size_t c1 = interp.CommandCount();
+  Eval(interp, "set a 1");
+  std::size_t c2 = interp.CommandCount();
+  Eval(interp, "for {set i 0} {$i < 5} {incr i} {}");
+  std::size_t c3 = interp.CommandCount();
+  EXPECT_LT(c1, c2);
+  EXPECT_LT(c2 + 5, c3);  // the loop body counts per iteration
+}
+
+TEST(TclMisc, SourceCommand) {
+  Interp interp;
+  std::string path = "/tmp/wtcl_source_test.tcl";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("set from_file 42\n", f);
+    fclose(f);
+  }
+  Eval(interp, "source " + path);
+  EXPECT_EQ(Eval(interp, "set from_file"), "42");
+  ::remove(path.c_str());
+  EXPECT_EQ(interp.Eval("source /no/such/file.tcl").code, Status::kError);
+}
+
+TEST(TclMisc, GlobalEvalFromNestedFrame) {
+  Interp interp;
+  Eval(interp, "proc f {} {set local only-here}");
+  Result r = interp.GlobalEval("set g global-eval");
+  ASSERT_TRUE(r.ok());
+  std::string value;
+  EXPECT_TRUE(interp.GetGlobalVar("g", &value));
+}
+
+}  // namespace
+}  // namespace wtcl

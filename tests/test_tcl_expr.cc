@@ -1,0 +1,176 @@
+// expr evaluator: arithmetic, precedence, relational/logical operators,
+// string comparison, math functions, substitution inside expressions.
+#include <gtest/gtest.h>
+
+#include "src/tcl/interp.h"
+
+namespace wtcl {
+namespace {
+
+std::string Expr(Interp& interp, const std::string& expression) {
+  Result r = interp.EvalExpr(expression);
+  EXPECT_TRUE(r.ok()) << "expr: " << expression << "\nerror: " << r.value;
+  return r.value;
+}
+
+struct ExprCase {
+  const char* expression;
+  const char* expected;
+};
+
+class ExprEval : public ::testing::TestWithParam<ExprCase> {};
+
+TEST_P(ExprEval, Evaluates) {
+  Interp interp;
+  EXPECT_EQ(Expr(interp, GetParam().expression), GetParam().expected)
+      << GetParam().expression;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, ExprEval,
+    ::testing::Values(ExprCase{"1+2", "3"}, ExprCase{"2*3+4", "10"},
+                      ExprCase{"2+3*4", "14"}, ExprCase{"(2+3)*4", "20"},
+                      ExprCase{"7/2", "3"}, ExprCase{"-7/2", "-4"},
+                      ExprCase{"7%3", "1"}, ExprCase{"-7%3", "2"},
+                      ExprCase{"2*-3", "-6"}, ExprCase{"--5", "5"},
+                      ExprCase{"10-4-3", "3"}, ExprCase{"1.5+2.5", "4.0"},
+                      ExprCase{"1e2", "100.0"}, ExprCase{"0x10", "16"},
+                      ExprCase{"1/2.0", "0.5"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Relational, ExprEval,
+    ::testing::Values(ExprCase{"1 < 2", "1"}, ExprCase{"2 < 1", "0"},
+                      ExprCase{"2 <= 2", "1"}, ExprCase{"3 >= 4", "0"},
+                      ExprCase{"3 == 3", "1"}, ExprCase{"3 != 3", "0"},
+                      ExprCase{"3 == 3.0", "1"}, ExprCase{"\"abc\" == \"abc\"", "1"},
+                      ExprCase{"\"abc\" < \"abd\"", "1"},
+                      ExprCase{"\"b\" > \"a\"", "1"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Logical, ExprEval,
+    ::testing::Values(ExprCase{"1 && 1", "1"}, ExprCase{"1 && 0", "0"},
+                      ExprCase{"0 || 1", "1"}, ExprCase{"0 || 0", "0"},
+                      ExprCase{"!1", "0"}, ExprCase{"!0", "1"},
+                      ExprCase{"1 < 2 && 2 < 3", "1"},
+                      ExprCase{"true && yes", "1"}, ExprCase{"off || false", "0"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Bitwise, ExprEval,
+    ::testing::Values(ExprCase{"5 & 3", "1"}, ExprCase{"5 | 3", "7"},
+                      ExprCase{"5 ^ 3", "6"}, ExprCase{"~0", "-1"},
+                      ExprCase{"1 << 4", "16"}, ExprCase{"256 >> 4", "16"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Ternary, ExprEval,
+    ::testing::Values(ExprCase{"1 ? 10 : 20", "10"}, ExprCase{"0 ? 10 : 20", "20"},
+                      ExprCase{"2 > 1 ? \"yes\" : \"no\"", "yes"},
+                      ExprCase{"1 ? 0 ? 1 : 2 : 3", "2"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, ExprEval,
+    ::testing::Values(ExprCase{"abs(-5)", "5"}, ExprCase{"abs(-5.5)", "5.5"},
+                      ExprCase{"int(3.9)", "3"}, ExprCase{"round(3.5)", "4"},
+                      ExprCase{"round(-3.5)", "-4"}, ExprCase{"double(3)", "3.0"},
+                      ExprCase{"sqrt(16)", "4.0"}, ExprCase{"pow(2,10)", "1024.0"},
+                      ExprCase{"floor(3.7)", "3.0"}, ExprCase{"ceil(3.2)", "4.0"},
+                      ExprCase{"fmod(7,3)", "1.0"}, ExprCase{"hypot(3,4)", "5.0"}));
+
+TEST(TclExpr, VariableOperands) {
+  Interp interp;
+  interp.Eval("set a 6");
+  interp.Eval("set b 7");
+  EXPECT_EQ(Expr(interp, "$a * $b"), "42");
+}
+
+TEST(TclExpr, CommandOperands) {
+  Interp interp;
+  interp.Eval("proc five {} {return 5}");
+  EXPECT_EQ(Expr(interp, "[five] + 1"), "6");
+}
+
+TEST(TclExpr, BracedStringOperand) {
+  Interp interp;
+  EXPECT_EQ(Expr(interp, "{abc} == {abc}"), "1");
+}
+
+TEST(TclExpr, StringVariableComparison) {
+  Interp interp;
+  interp.Eval("set w label1");
+  EXPECT_EQ(Expr(interp, "$w == \"label1\""), "1");
+}
+
+TEST(TclExpr, DivideByZero) {
+  Interp interp;
+  EXPECT_EQ(interp.EvalExpr("1/0").code, Status::kError);
+  EXPECT_EQ(interp.EvalExpr("1%0").code, Status::kError);
+}
+
+TEST(TclExpr, NonNumericArithmeticError) {
+  Interp interp;
+  EXPECT_EQ(interp.EvalExpr("\"abc\" + 1").code, Status::kError);
+}
+
+TEST(TclExpr, SyntaxErrors) {
+  Interp interp;
+  EXPECT_EQ(interp.EvalExpr("1 +").code, Status::kError);
+  EXPECT_EQ(interp.EvalExpr("(1").code, Status::kError);
+  EXPECT_EQ(interp.EvalExpr("1 2").code, Status::kError);
+  EXPECT_EQ(interp.EvalExpr("").code, Status::kError);
+}
+
+TEST(TclExpr, UnknownFunction) {
+  Interp interp;
+  EXPECT_EQ(interp.EvalExpr("mystery(1)").code, Status::kError);
+}
+
+TEST(TclExpr, ExprCommandConcatenatesArgs) {
+  Interp interp;
+  Result r = interp.Eval("expr 1 + 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, "3");
+}
+
+TEST(TclExpr, FloatFormatting) {
+  Interp interp;
+  // Doubles stay recognizable as doubles.
+  EXPECT_EQ(Expr(interp, "1.0 + 1.0"), "2.0");
+}
+
+TEST(TclExpr, ExprBooleanApi) {
+  Interp interp;
+  bool value = false;
+  ASSERT_TRUE(interp.ExprBoolean("3 > 2", &value).ok());
+  EXPECT_TRUE(value);
+  ASSERT_TRUE(interp.ExprBoolean("3 < 2", &value).ok());
+  EXPECT_FALSE(value);
+  EXPECT_EQ(interp.ExprBoolean("\"notabool\"", &value).code, Status::kError);
+}
+
+// Property sweep: integer identities hold across a range of values.
+class ExprIntProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprIntProperty, AdditionCommutes) {
+  Interp interp;
+  int n = GetParam();
+  std::string a = Expr(interp, std::to_string(n) + " + 17");
+  std::string b = Expr(interp, "17 + " + std::to_string(n));
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(ExprIntProperty, DivModIdentity) {
+  Interp interp;
+  int n = GetParam();
+  // n == (n/d)*d + n%d  with Tcl's floored division, for several divisors.
+  for (int d : {3, 7, -3}) {
+    std::string q = Expr(interp, std::to_string(n) + " / " + std::to_string(d));
+    std::string m = Expr(interp, std::to_string(n) + " % " + std::to_string(d));
+    std::string back = Expr(interp, q + " * " + std::to_string(d) + " + " + m);
+    EXPECT_EQ(back, std::to_string(n)) << n << " divisor " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExprIntProperty,
+                         ::testing::Values(-100, -17, -1, 0, 1, 2, 16, 99, 1024, 65535));
+
+}  // namespace
+}  // namespace wtcl

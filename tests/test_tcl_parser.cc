@@ -1,0 +1,253 @@
+// Parser-level semantics: word splitting, quoting, substitution rules.
+#include <gtest/gtest.h>
+
+#include "src/tcl/interp.h"
+
+namespace wtcl {
+namespace {
+
+std::string Eval(Interp& interp, const std::string& script) {
+  Result r = interp.Eval(script);
+  EXPECT_TRUE(r.ok()) << "script: " << script << "\nerror: " << r.value;
+  return r.value;
+}
+
+TEST(TclParser, SimpleCommand) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "set x hello"), "hello");
+  EXPECT_EQ(Eval(interp, "set x"), "hello");
+}
+
+TEST(TclParser, SemicolonSeparatesCommands) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "set x 1; set y 2; set x"), "1");
+}
+
+TEST(TclParser, NewlineSeparatesCommands) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "set x 1\nset y 2\nset y"), "2");
+}
+
+TEST(TclParser, BracesPreventSubstitution) {
+  Interp interp;
+  Eval(interp, "set x world");
+  EXPECT_EQ(Eval(interp, "set y {$x}"), "$x");
+}
+
+TEST(TclParser, QuotesAllowSubstitution) {
+  Interp interp;
+  Eval(interp, "set x world");
+  EXPECT_EQ(Eval(interp, "set y \"hello $x\""), "hello world");
+}
+
+TEST(TclParser, NestedBraces) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "set x {a {b c} d}"), "a {b c} d");
+}
+
+TEST(TclParser, CommandSubstitution) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "set x [set y 42]"), "42");
+}
+
+TEST(TclParser, NestedCommandSubstitution) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "set x [set y [set z inner]]"), "inner");
+}
+
+TEST(TclParser, CommandSubstitutionInsideQuotes) {
+  Interp interp;
+  Eval(interp, "set n 3");
+  EXPECT_EQ(Eval(interp, "set x \"n is [set n]\""), "n is 3");
+}
+
+TEST(TclParser, VariableSubstitutionForms) {
+  Interp interp;
+  Eval(interp, "set abc 1");
+  EXPECT_EQ(Eval(interp, "set r $abc"), "1");
+  EXPECT_EQ(Eval(interp, "set r ${abc}x"), "1x");
+}
+
+TEST(TclParser, ArrayElementSubstitution) {
+  Interp interp;
+  Eval(interp, "set a(one) 1");
+  Eval(interp, "set i one");
+  EXPECT_EQ(Eval(interp, "set r $a(one)"), "1");
+  EXPECT_EQ(Eval(interp, "set r $a($i)"), "1");
+}
+
+TEST(TclParser, BackslashEscapes) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "set x a\\ b"), "a b");
+  EXPECT_EQ(Eval(interp, "set x \"tab\\there\""), "tab\there");
+  EXPECT_EQ(Eval(interp, "set x \"nl\\n\""), "nl\n");
+  EXPECT_EQ(Eval(interp, "set x \\$notvar"), "$notvar");
+}
+
+TEST(TclParser, BackslashNewlineContinuation) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "set x \\\n 5"), "5");
+}
+
+TEST(TclParser, CommentsAtCommandStart) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "# a comment\nset x 7"), "7");
+}
+
+TEST(TclParser, HashInsideWordIsNotComment) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "set x a#b"), "a#b");
+}
+
+TEST(TclParser, UnknownCommandError) {
+  Interp interp;
+  Result r = interp.Eval("definitely_not_a_command");
+  EXPECT_EQ(r.code, Status::kError);
+  EXPECT_NE(r.value.find("invalid command name"), std::string::npos);
+}
+
+TEST(TclParser, UnsetVariableError) {
+  Interp interp;
+  Result r = interp.Eval("set x $nope");
+  EXPECT_EQ(r.code, Status::kError);
+  EXPECT_NE(r.value.find("no such variable"), std::string::npos);
+}
+
+TEST(TclParser, MissingCloseBrace) {
+  Interp interp;
+  Result r = interp.Eval("set x {unclosed");
+  EXPECT_EQ(r.code, Status::kError);
+}
+
+TEST(TclParser, MissingCloseQuote) {
+  Interp interp;
+  Result r = interp.Eval("set x \"unclosed");
+  EXPECT_EQ(r.code, Status::kError);
+}
+
+TEST(TclParser, MissingCloseBracket) {
+  Interp interp;
+  Result r = interp.Eval("set x [set y 1");
+  EXPECT_EQ(r.code, Status::kError);
+}
+
+TEST(TclParser, ExtraCharsAfterBrace) {
+  Interp interp;
+  Result r = interp.Eval("set x {a}b");
+  EXPECT_EQ(r.code, Status::kError);
+}
+
+TEST(TclParser, DollarWithoutNameIsLiteral) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "set x a$"), "a$");
+}
+
+TEST(TclParser, BracketInsideBracesIsLiteral) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "set x {[not a command]}"), "[not a command]");
+}
+
+TEST(TclParser, EmptyScriptIsOk) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, ""), "");
+  EXPECT_EQ(Eval(interp, "   \n \t ;;; \n"), "");
+}
+
+TEST(TclParser, SubstituteWordPublicApi) {
+  Interp interp;
+  interp.SetVar("who", "world");
+  Result r = interp.SubstituteWord("hello $who [set who]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, "hello world world");
+}
+
+// --- List utilities -----------------------------------------------------------
+
+TEST(TclList, SplitSimple) {
+  std::vector<std::string> out;
+  ASSERT_TRUE(SplitList("a b c", &out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "a");
+  EXPECT_EQ(out[2], "c");
+}
+
+TEST(TclList, SplitBraced) {
+  std::vector<std::string> out;
+  ASSERT_TRUE(SplitList("a {b c} d", &out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1], "b c");
+}
+
+TEST(TclList, SplitQuoted) {
+  std::vector<std::string> out;
+  ASSERT_TRUE(SplitList("\"a b\" c", &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "a b");
+}
+
+TEST(TclList, SplitUnbalancedFails) {
+  std::vector<std::string> out;
+  EXPECT_FALSE(SplitList("{a b", &out));
+}
+
+TEST(TclList, QuoteEmpty) { EXPECT_EQ(QuoteListElement(""), "{}"); }
+
+TEST(TclList, QuoteSpace) { EXPECT_EQ(QuoteListElement("a b"), "{a b}"); }
+
+TEST(TclList, QuotePlain) { EXPECT_EQ(QuoteListElement("abc"), "abc"); }
+
+// Round-trip property: Merge then Split recovers the elements exactly.
+class ListRoundTrip : public ::testing::TestWithParam<std::vector<std::string>> {};
+
+TEST_P(ListRoundTrip, MergeSplitIdentity) {
+  const auto& elements = GetParam();
+  std::string merged = MergeList(elements);
+  std::vector<std::string> recovered;
+  ASSERT_TRUE(SplitList(merged, &recovered)) << merged;
+  EXPECT_EQ(recovered, elements) << merged;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Various, ListRoundTrip,
+    ::testing::Values(
+        std::vector<std::string>{},
+        std::vector<std::string>{"a"},
+        std::vector<std::string>{"a", "b", "c"},
+        std::vector<std::string>{"with space", "plain"},
+        std::vector<std::string>{""},
+        std::vector<std::string>{"", "", ""},
+        std::vector<std::string>{"{braced}", "half{open"},
+        std::vector<std::string>{"back\\slash"},
+        std::vector<std::string>{"$dollar", "[bracket]", "semi;colon"},
+        std::vector<std::string>{"new\nline", "tab\ttab"},
+        std::vector<std::string>{"quote\"quote"},
+        std::vector<std::string>{"}lead", "trail{"}));
+
+// Glob matching.
+struct GlobCase {
+  const char* pattern;
+  const char* subject;
+  bool expected;
+};
+
+class GlobTest : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobTest, Match) {
+  const GlobCase& c = GetParam();
+  EXPECT_EQ(GlobMatch(c.pattern, c.subject), c.expected)
+      << c.pattern << " vs " << c.subject;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Various, GlobTest,
+    ::testing::Values(GlobCase{"*", "anything", true}, GlobCase{"*", "", true},
+                      GlobCase{"a*", "abc", true}, GlobCase{"a*", "bac", false},
+                      GlobCase{"*c", "abc", true}, GlobCase{"a?c", "abc", true},
+                      GlobCase{"a?c", "ac", false}, GlobCase{"[a-c]x", "bx", true},
+                      GlobCase{"[a-c]x", "dx", false}, GlobCase{"a*b*c", "aXbYc", true},
+                      GlobCase{"a*b*c", "aXbY", false}, GlobCase{"exact", "exact", true},
+                      GlobCase{"exact", "exacts", false}, GlobCase{"*.cc", "file.cc", true},
+                      GlobCase{"\\*", "*", true}, GlobCase{"\\*", "x", false}));
+
+}  // namespace
+}  // namespace wtcl

@@ -1,0 +1,132 @@
+// AsciiText selection sweep (Button1) -> PRIMARY, insert-selection
+// (Button2), StripChart getValue polling, and the Tcl `case` command.
+#include <gtest/gtest.h>
+
+#include "src/core/wafe.h"
+
+namespace {
+
+class TextSelectionTest : public ::testing::Test {
+ protected:
+  std::string Eval(const std::string& script) {
+    wtcl::Result r = wafe_.Eval(script);
+    EXPECT_TRUE(r.ok()) << script << ": " << r.value;
+    return r.value;
+  }
+  // Character-cell x coordinate inside the text widget.
+  xsim::Position CellX(xtk::Widget* w, int column) {
+    xsim::FontPtr font = xsim::FontRegistry::Default().Open("fixed");
+    return wafe_.app().display().RootPosition(w->window()).x + 2 +
+           static_cast<xsim::Position>(column * static_cast<int>(font->char_width));
+  }
+  wafe::Wafe wafe_;
+};
+
+TEST_F(TextSelectionTest, SweepOwnsPrimary) {
+  Eval("asciiText t topLevel editType edit string {hello world} width 200");
+  Eval("realize");
+  xtk::Widget* t = wafe_.app().FindWidget("t");
+  xsim::Position y = wafe_.app().display().RootPosition(t->window()).y + 5;
+  // Sweep from column 0 to column 5 ("hello").
+  wafe_.app().display().InjectButtonPress(CellX(t, 0), y, 1);
+  wafe_.app().display().InjectMotion(CellX(t, 5), y, xsim::kButton1Mask);
+  wafe_.app().display().InjectButtonRelease(CellX(t, 5), y, 1);
+  wafe_.app().ProcessPending();
+  EXPECT_EQ(Eval("getSelectionValue PRIMARY"), "hello");
+  EXPECT_EQ(Eval("selectionOwner PRIMARY"), "t");
+}
+
+TEST_F(TextSelectionTest, ClickMovesInsertionPoint) {
+  Eval("asciiText t topLevel editType edit string {abcdef} width 200");
+  Eval("realize");
+  xtk::Widget* t = wafe_.app().FindWidget("t");
+  xsim::Position y = wafe_.app().display().RootPosition(t->window()).y + 5;
+  wafe_.app().display().InjectButtonPress(CellX(t, 3), y, 1);
+  wafe_.app().display().InjectButtonRelease(CellX(t, 3), y, 1);
+  wafe_.app().ProcessPending();
+  EXPECT_EQ(Eval("textGetInsertionPoint t"), "3");
+}
+
+TEST_F(TextSelectionTest, Button2PastesPrimary) {
+  Eval("asciiText src topLevel editType edit string {copy me} width 200");
+  Eval("asciiText dst topLevel editType edit string {} width 200");
+  Eval("realize");
+  Eval("ownSelection src PRIMARY {pasted}");
+  xtk::Widget* dst = wafe_.app().FindWidget("dst");
+  xsim::Point p = wafe_.app().display().RootPosition(dst->window());
+  wafe_.app().display().InjectButtonPress(p.x + 3, p.y + 5, 2);
+  wafe_.app().ProcessPending();
+  EXPECT_EQ(dst->GetString("string"), "pasted");
+}
+
+TEST_F(TextSelectionTest, PasteWithoutSelectionIsNoop) {
+  Eval("asciiText dst topLevel editType edit string {} width 200");
+  Eval("realize");
+  xtk::Widget* dst = wafe_.app().FindWidget("dst");
+  xsim::Point p = wafe_.app().display().RootPosition(dst->window());
+  wafe_.app().display().InjectButtonPress(p.x + 3, p.y + 5, 2);
+  wafe_.app().ProcessPending();
+  EXPECT_EQ(dst->GetString("string"), "");
+}
+
+TEST_F(TextSelectionTest, MultiLineClickTargetsRow) {
+  // Double quotes make Tcl's backslash substitution produce real newlines.
+  Eval("asciiText t topLevel editType edit string \"one\\ntwo\\nthree\" width 200 height 60");
+  Eval("realize");
+  xtk::Widget* t = wafe_.app().FindWidget("t");
+  ASSERT_EQ(t->GetString("string"), "one\ntwo\nthree");
+  xsim::FontPtr font = xsim::FontRegistry::Default().Open("fixed");
+  xsim::Point p = wafe_.app().display().RootPosition(t->window());
+  // Click column 1 of the second line.
+  wafe_.app().display().InjectButtonPress(
+      CellX(t, 1), p.y + 2 + static_cast<xsim::Position>(font->Height()) + 2, 1);
+  wafe_.app().display().InjectButtonRelease(
+      CellX(t, 1), p.y + 2 + static_cast<xsim::Position>(font->Height()) + 2, 1);
+  wafe_.app().ProcessPending();
+  EXPECT_EQ(Eval("textGetInsertionPoint t"), "5");  // "one\nt|wo"
+}
+
+// --- StripChart polling -------------------------------------------------------------------
+
+TEST_F(TextSelectionTest, StripChartPollsGetValue) {
+  Eval("stripChart chart topLevel update 1 getValue "
+       "{stripChartAddValue chart 7; set polled 1}");
+  Eval("realize");
+  // Pump the main loop until the 1-second poll fires.
+  for (int i = 0; i < 50 && !wafe_.interp().VarExists("polled"); ++i) {
+    wafe_.app().RunOneIteration(true);
+  }
+  EXPECT_EQ(Eval("set polled"), "1");
+  EXPECT_GE(wafe_.app().FindWidget("chart")->GetStringList("_samples").size(), 1u);
+}
+
+TEST_F(TextSelectionTest, StripChartWithoutCallbackDoesNotPoll) {
+  Eval("stripChart chart topLevel update 1");
+  Eval("realize");
+  EXPECT_EQ(wafe_.app().FindWidget("chart")->GetLong("_updateTimer", 0), 0);
+}
+
+// --- case command --------------------------------------------------------------------------
+
+TEST(TclCase, ClassicForm) {
+  wtcl::Interp interp;
+  wtcl::Result r = interp.Eval("case abc in {a*} {set r glob} {default} {set r dflt}");
+  ASSERT_TRUE(r.ok()) << r.value;
+  EXPECT_EQ(r.value, "glob");
+}
+
+TEST(TclCase, PatternListMatchesAny) {
+  wtcl::Interp interp;
+  wtcl::Result r = interp.Eval("case hello {x y hel*} {set r multi} default {set r no}");
+  ASSERT_TRUE(r.ok()) << r.value;
+  EXPECT_EQ(r.value, "multi");
+}
+
+TEST(TclCase, DefaultAndNoMatch) {
+  wtcl::Interp interp;
+  EXPECT_EQ(interp.Eval("case zzz in {a*} {set r 1} default {set r fallback}").value,
+            "fallback");
+  EXPECT_EQ(interp.Eval("case zzz in {a*} {set r 1}").value, "");
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Translation table parsing and event matching.
+#include <gtest/gtest.h>
+
+#include "src/xt/translations.h"
+#include "src/xt/value.h"
+
+namespace xtk {
+namespace {
+
+using xsim::Event;
+using xsim::EventType;
+
+TranslationsPtr Parse(const std::string& text) {
+  std::string error;
+  TranslationsPtr table = ParseTranslations(text, &error);
+  EXPECT_NE(table, nullptr) << error;
+  return table;
+}
+
+TEST(Translations, ParsesSimpleProduction) {
+  TranslationsPtr t = Parse("<EnterWindow>: PopupMenu()");
+  ASSERT_EQ(t->productions.size(), 1u);
+  EXPECT_EQ(t->productions[0].matcher.type, EventType::kEnterNotify);
+  ASSERT_EQ(t->productions[0].actions.size(), 1u);
+  EXPECT_EQ(t->productions[0].actions[0].name, "PopupMenu");
+  EXPECT_TRUE(t->productions[0].actions[0].params.empty());
+}
+
+TEST(Translations, ParsesKeyDetail) {
+  TranslationsPtr t = Parse("<Key>Return: newline()");
+  EXPECT_EQ(t->productions[0].matcher.keysym, xsim::kKeyReturn);
+}
+
+TEST(Translations, ParsesPaperExecExample) {
+  // The paper: <KeyPress>: exec(echo %k %a %s)
+  TranslationsPtr t = Parse("<KeyPress>: exec(echo %k %a %s)");
+  ASSERT_EQ(t->productions.size(), 1u);
+  const ActionCall& call = t->productions[0].actions[0];
+  EXPECT_EQ(call.name, "exec");
+  ASSERT_EQ(call.params.size(), 1u);
+  EXPECT_EQ(call.params[0], "echo %k %a %s");
+}
+
+TEST(Translations, ParamsWithNestedBracketsSurvive) {
+  TranslationsPtr t = Parse("<Key>Return: exec(echo [gV input string])");
+  EXPECT_EQ(t->productions[0].actions[0].params[0], "echo [gV input string]");
+}
+
+TEST(Translations, MultipleActionsPerProduction) {
+  TranslationsPtr t = Parse("<Btn1Up>: notify() unset()");
+  ASSERT_EQ(t->productions[0].actions.size(), 2u);
+  EXPECT_EQ(t->productions[0].actions[0].name, "notify");
+  EXPECT_EQ(t->productions[0].actions[1].name, "unset");
+}
+
+TEST(Translations, CommaSeparatedParams) {
+  TranslationsPtr t = Parse("<Btn1Down>: doit(a, b, c)");
+  ASSERT_EQ(t->productions[0].actions[0].params.size(), 3u);
+  EXPECT_EQ(t->productions[0].actions[0].params[1], "b");
+}
+
+TEST(Translations, QuotedParamKeepsCommas) {
+  TranslationsPtr t = Parse("<Btn1Down>: doit(\"a, b\", c)");
+  ASSERT_EQ(t->productions[0].actions[0].params.size(), 2u);
+  EXPECT_EQ(t->productions[0].actions[0].params[0], "a, b");
+}
+
+TEST(Translations, MultipleProductions) {
+  TranslationsPtr t = Parse(
+      "<EnterWindow>: highlight()\n"
+      "<LeaveWindow>: reset()\n"
+      "<Btn1Down>: set()");
+  EXPECT_EQ(t->productions.size(), 3u);
+}
+
+TEST(Translations, ModifierPrefixes) {
+  TranslationsPtr t = Parse("Shift Ctrl<Key>a: doit()");
+  const EventMatcher& m = t->productions[0].matcher;
+  EXPECT_EQ(m.required_modifiers, xsim::kShiftMask | xsim::kControlMask);
+}
+
+TEST(Translations, NegatedModifier) {
+  TranslationsPtr t = Parse("~Shift<Key>a: doit()");
+  const EventMatcher& m = t->productions[0].matcher;
+  EXPECT_EQ(m.forbidden_modifiers, xsim::kShiftMask);
+}
+
+TEST(Translations, ButtonShorthand) {
+  TranslationsPtr t = Parse("<Btn3Down>: menu()");
+  EXPECT_EQ(t->productions[0].matcher.type, EventType::kButtonPress);
+  EXPECT_EQ(t->productions[0].matcher.button, 3u);
+}
+
+TEST(Translations, ParseErrors) {
+  std::string error;
+  EXPECT_EQ(ParseTranslations("<NoSuchEvent>: x()", &error), nullptr);
+  EXPECT_NE(error.find("unknown event type"), std::string::npos);
+  EXPECT_EQ(ParseTranslations("<Key>NoSuchKey: x()", &error), nullptr);
+  EXPECT_EQ(ParseTranslations("<Key>Return x()", &error), nullptr);  // missing colon
+  EXPECT_EQ(ParseTranslations("<Btn1Down>: broken(", &error), nullptr);
+}
+
+// --- Matching ------------------------------------------------------------------
+
+Event MakeKey(xsim::KeySym keysym, unsigned state = 0) {
+  Event e;
+  e.type = EventType::kKeyPress;
+  e.keysym = keysym;
+  e.state = state;
+  return e;
+}
+
+Event MakeButton(unsigned button, unsigned state = 0) {
+  Event e;
+  e.type = EventType::kButtonPress;
+  e.button = button;
+  e.state = state;
+  return e;
+}
+
+TEST(TranslationMatch, FirstMatchWins) {
+  TranslationsPtr t = Parse(
+      "<Key>Return: first()\n"
+      "<KeyPress>: second()");
+  const Production* p = t->Match(MakeKey(xsim::kKeyReturn));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->actions[0].name, "first");
+  p = t->Match(MakeKey(xsim::AsciiToKeysym('x')));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->actions[0].name, "second");
+}
+
+TEST(TranslationMatch, ModifiersRequired) {
+  TranslationsPtr t = Parse("Shift<Key>a: shifted()");
+  EXPECT_EQ(t->Match(MakeKey(xsim::AsciiToKeysym('a'))), nullptr);
+  EXPECT_NE(t->Match(MakeKey(xsim::AsciiToKeysym('a'), xsim::kShiftMask)), nullptr);
+}
+
+TEST(TranslationMatch, ForbiddenModifiers) {
+  TranslationsPtr t = Parse("~Ctrl<Key>a: plain()");
+  EXPECT_NE(t->Match(MakeKey(xsim::AsciiToKeysym('a'))), nullptr);
+  EXPECT_EQ(t->Match(MakeKey(xsim::AsciiToKeysym('a'), xsim::kControlMask)), nullptr);
+}
+
+TEST(TranslationMatch, ButtonDetail) {
+  TranslationsPtr t = Parse("<Btn2Down>: middle()");
+  EXPECT_EQ(t->Match(MakeButton(1)), nullptr);
+  EXPECT_NE(t->Match(MakeButton(2)), nullptr);
+}
+
+TEST(TranslationMatch, WrongTypeNoMatch) {
+  TranslationsPtr t = Parse("<Btn1Down>: x()");
+  EXPECT_EQ(t->Match(MakeKey(xsim::kKeyReturn)), nullptr);
+}
+
+// --- Merge modes -----------------------------------------------------------------
+
+TEST(TranslationMerge, OverridePutsIncomingFirst) {
+  TranslationsPtr base = Parse("<Btn1Down>: old()");
+  TranslationsPtr incoming = Parse("<Btn1Down>: new()");
+  TranslationsPtr merged = MergeTranslations(base, incoming, MergeMode::kOverride);
+  const Production* p = merged->Match(MakeButton(1));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->actions[0].name, "new");
+  EXPECT_EQ(merged->productions.size(), 2u);
+}
+
+TEST(TranslationMerge, AugmentKeepsBaseFirst) {
+  TranslationsPtr base = Parse("<Btn1Down>: old()");
+  TranslationsPtr incoming = Parse("<Btn1Down>: new()");
+  TranslationsPtr merged = MergeTranslations(base, incoming, MergeMode::kAugment);
+  EXPECT_EQ(merged->Match(MakeButton(1))->actions[0].name, "old");
+}
+
+TEST(TranslationMerge, ReplaceDropsBase) {
+  TranslationsPtr base = Parse(
+      "<Btn1Down>: old()\n"
+      "<Key>Return: keep()");
+  TranslationsPtr incoming = Parse("<Btn1Down>: new()");
+  TranslationsPtr merged = MergeTranslations(base, incoming, MergeMode::kReplace);
+  EXPECT_EQ(merged->productions.size(), 1u);
+  EXPECT_EQ(merged->Match(MakeKey(xsim::kKeyReturn)), nullptr);
+}
+
+}  // namespace
+}  // namespace xtk

@@ -1,0 +1,113 @@
+// Viewport scrolling with auto-created scrollbars, and a "grand tour"
+// integration test assembling every widget class in one application.
+#include <gtest/gtest.h>
+
+#include "src/core/wafe.h"
+
+namespace {
+
+class ViewportTest : public ::testing::Test {
+ protected:
+  std::string Eval(const std::string& script) {
+    wtcl::Result r = wafe_.Eval(script);
+    EXPECT_TRUE(r.ok()) << script << ": " << r.value;
+    return r.value;
+  }
+  wafe::Wafe wafe_;
+};
+
+TEST_F(ViewportTest, OverflowCreatesVerticalScrollbar) {
+  Eval("viewport vp topLevel allowVert true width 100 height 80");
+  Eval("label tall vp width 80 height 400");
+  Eval("realize");
+  xtk::Widget* bar = wafe_.app().FindWidget("vp.vertical");
+  ASSERT_NE(bar, nullptr);
+  EXPECT_EQ(bar->widget_class()->name, "Scrollbar");
+  // The thumb size reflects the visible fraction (80/400 = 0.2).
+  EXPECT_NEAR(bar->GetFloat("shown", 1.0), 0.2, 0.01);
+}
+
+TEST_F(ViewportTest, NoScrollbarWhenContentFits) {
+  Eval("viewport vp topLevel allowVert true width 100 height 80");
+  Eval("label small vp width 80 height 40");
+  Eval("realize");
+  EXPECT_EQ(wafe_.app().FindWidget("vp.vertical"), nullptr);
+}
+
+TEST_F(ViewportTest, ScrollbarClickScrollsContent) {
+  Eval("viewport vp topLevel allowVert true width 100 height 80");
+  Eval("label tall vp width 80 height 400");
+  Eval("realize");
+  xtk::Widget* bar = wafe_.app().FindWidget("vp.vertical");
+  ASSERT_NE(bar, nullptr);
+  xtk::Widget* tall = wafe_.app().FindWidget("tall");
+  EXPECT_EQ(tall->y(), 0);
+  // Click halfway down the scrollbar: content scrolls to ~half of the
+  // overflow (400-80 = 320, so y ~ -160).
+  xsim::Point p = wafe_.app().display().RootPosition(bar->window());
+  wafe_.app().display().InjectButtonPress(p.x + 3, p.y + 40, 1);
+  wafe_.app().ProcessPending();
+  EXPECT_LT(tall->y(), -100);
+  EXPECT_GT(tall->y(), -220);
+}
+
+TEST_F(ViewportTest, ForceBarsCreatesBarEvenWhenFitting) {
+  Eval("viewport vp topLevel allowVert true forceBars true width 100 height 80");
+  Eval("label small vp width 80 height 40");
+  Eval("realize");
+  EXPECT_NE(wafe_.app().FindWidget("vp.vertical"), nullptr);
+}
+
+// --- Grand tour -----------------------------------------------------------------------
+
+TEST(GrandTour, EveryWidgetClassInOneApplication) {
+  wafe::Wafe app;
+  wtcl::Result r = app.Eval(
+      "paned main topLevel\n"
+      "form header main\n"
+      "label title header label {Grand Tour} borderWidth 0\n"
+      "menuButton fileBtn header fromHoriz title label File menuName fileMenu\n"
+      "simpleMenu fileMenu topLevel\n"
+      "smeBSB openItem fileMenu label Open\n"
+      "smeLine sep fileMenu\n"
+      "smeBSB quitItem fileMenu label Quit callback quit\n"
+      "box toolbar main orientation horizontal\n"
+      "command run toolbar label Run\n"
+      "toggle opt toolbar label Verbose\n"
+      "grip handle toolbar\n"
+      "form body main\n"
+      "list items body list {alpha,beta,gamma}\n"
+      "viewport vp body fromHoriz items allowVert true width 120 height 60\n"
+      "asciiText editor vp editType edit width 110 height 200 string {text}\n"
+      "scrollbar sb body fromHoriz vp length 60\n"
+      "stripChart chart body fromVert items width 120 height 30\n"
+      "barGraph bars body fromVert vp width 120 height 30\n"
+      "lineGraph lines body fromVert bars width 120 height 30\n"
+      "graph net body fromHoriz chart width 150 height 80\n"
+      "dialog ask topLevel unmanaged label {Sure?} value {yes}\n"
+      "realize");
+  ASSERT_TRUE(r.ok()) << r.value;
+  // Everything exists and realized widgets have windows.
+  std::vector<std::string> names = app.app().WidgetNames();
+  EXPECT_GE(names.size(), 20u);
+  for (const char* name :
+       {"main", "header", "title", "fileBtn", "toolbar", "run", "opt", "handle", "body",
+        "items", "vp", "editor", "sb", "chart", "bars", "lines", "net"}) {
+    xtk::Widget* w = app.app().FindWidget(name);
+    ASSERT_NE(w, nullptr) << name;
+    EXPECT_TRUE(w->realized()) << name;
+  }
+  // Exercise a few interactions across the tree.
+  app.Eval("graphAddEdge net a b");
+  app.Eval("plotterSetData bars {1 2 3}");
+  app.Eval("stripChartAddValue chart 5");
+  app.Eval("listHighlight items 1");
+  EXPECT_EQ(app.Eval("listShowCurrent items cur").value, "1");
+  app.Eval("sV title label {Changed}");
+  EXPECT_EQ(app.Eval("gV title label").value, "Changed");
+  // Destroy the whole tree cleanly.
+  app.Eval("destroyWidget main");
+  EXPECT_EQ(app.app().FindWidget("editor"), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,627 @@
+// Wafe core: naming rules, the spec registry, percent codes, the command
+// surface, converters, predefined callbacks, and the exec action.
+#include <gtest/gtest.h>
+
+#include "src/core/naming.h"
+#include "src/core/percent.h"
+#include "src/core/wafe.h"
+
+namespace wafe {
+namespace {
+
+// --- Naming rules ----------------------------------------------------------------
+
+struct NamingCase {
+  const char* c_name;
+  const char* wafe_name;
+};
+
+class NamingTest : public ::testing::TestWithParam<NamingCase> {};
+
+TEST_P(NamingTest, CommandNameFromC) {
+  EXPECT_EQ(CommandNameFromC(GetParam().c_name), GetParam().wafe_name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperExamples, NamingTest,
+    ::testing::Values(NamingCase{"XtDestroyWidget", "destroyWidget"},
+                      NamingCase{"XawFormAllowResize", "formAllowResize"},
+                      NamingCase{"XmCommandAppendValue", "mCommandAppendValue"},
+                      NamingCase{"XmCascadeButtonHighlight", "mCascadeButtonHighlight"},
+                      NamingCase{"XtGetResourceList", "getResourceList"},
+                      NamingCase{"XtSetValues", "setValues"},
+                      NamingCase{"XLoadQueryFont", "loadQueryFont"},
+                      NamingCase{"XawListChange", "listChange"}));
+
+TEST(Naming, CreationCommands) {
+  EXPECT_EQ(CreationCommandFromClass("Toggle"), "toggle");
+  EXPECT_EQ(CreationCommandFromClass("Label"), "label");
+  EXPECT_EQ(CreationCommandFromClass("AsciiText"), "asciiText");
+  EXPECT_EQ(CreationCommandFromClass("XmCascadeButton"), "mCascadeButton");
+  EXPECT_EQ(CreationCommandFromClass("XmPushButton"), "mPushButton");
+  EXPECT_EQ(CreationCommandFromClass("ApplicationShell"), "applicationShell");
+}
+
+// --- Fixtures -----------------------------------------------------------------------
+
+class WafeTest : public ::testing::Test {
+ protected:
+  std::string Eval(const std::string& script) {
+    wtcl::Result r = wafe_.Eval(script);
+    EXPECT_TRUE(r.ok()) << "script: " << script << "\nerror: " << r.value;
+    return r.value;
+  }
+
+  wtcl::Result EvalErr(const std::string& script) {
+    wtcl::Result r = wafe_.Eval(script);
+    EXPECT_EQ(r.code, wtcl::Status::kError) << "script: " << script;
+    return r;
+  }
+
+  std::string Output(const std::string& script) {
+    captured_.clear();
+    wafe_.interp().set_output([this](const std::string& t) { captured_ += t; });
+    Eval(script);
+    return captured_;
+  }
+
+  xsim::Display& display() { return wafe_.app().display(); }
+
+  void Click(xtk::Widget* w) {
+    xsim::Point p = display().RootPosition(w->window());
+    display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+    display().InjectButtonRelease(p.x + 2, p.y + 2, 1);
+    wafe_.app().ProcessPending();
+  }
+
+  Wafe wafe_;
+  std::string captured_;
+};
+
+// --- Widget commands -----------------------------------------------------------------
+
+TEST_F(WafeTest, TopLevelExists) {
+  EXPECT_NE(wafe_.top_level(), nullptr);
+  EXPECT_EQ(wafe_.app().FindWidget("topLevel"), wafe_.top_level());
+}
+
+TEST_F(WafeTest, CreationCommandReturnsName) {
+  EXPECT_EQ(Eval("label l topLevel"), "l");
+  EXPECT_NE(wafe_.app().FindWidget("l"), nullptr);
+}
+
+TEST_F(WafeTest, CreationWithResources) {
+  Eval("label label1 topLevel background red foreground blue");
+  xtk::Widget* w = wafe_.app().FindWidget("label1");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->GetPixel("background", 0), xsim::MakePixel(255, 0, 0));
+}
+
+TEST_F(WafeTest, CreationErrors) {
+  EvalErr("label l noSuchFather");
+  EvalErr("label");  // wrong # args
+  wtcl::Result r = EvalErr("label l topLevel badResource 1");
+  EXPECT_NE(r.value.find("unknown resource"), std::string::npos);
+  Eval("label dup topLevel");
+  EvalErr("label dup topLevel");
+}
+
+TEST_F(WafeTest, UnmanagedCreation) {
+  Eval("label hidden topLevel unmanaged width 50");
+  xtk::Widget* w = wafe_.app().FindWidget("hidden");
+  ASSERT_NE(w, nullptr);
+  EXPECT_FALSE(w->managed());
+  EXPECT_EQ(w->width(), 50u);
+}
+
+TEST_F(WafeTest, GetResourceListPaperExample) {
+  Eval("label l topLevel");
+  EXPECT_EQ(Eval("getResourceList l retVal"), "42");
+  std::string list;
+  ASSERT_TRUE(wafe_.interp().GetVar("retVal", &list));
+  EXPECT_EQ(list.rfind("destroyCallback ancestorSensitive x y width height borderWidth "
+                       "sensitive screen depth colormap background",
+                       0),
+            0u)
+      << list;
+}
+
+TEST_F(WafeTest, SetValuesAndAliases) {
+  Eval("label label1 topLevel");
+  Eval("setValues label1 background tomato label {Hi Man}");
+  EXPECT_EQ(Eval("gV label1 label"), "Hi Man");
+  Eval("sV label1 label other");
+  EXPECT_EQ(Eval("getValue label1 label"), "other");
+}
+
+TEST_F(WafeTest, SetValuesErrors) {
+  Eval("label l topLevel");
+  EvalErr("sV l noSuch resource");
+  EvalErr("sV l background");  // missing value
+  EvalErr("sV noWidget background red");
+}
+
+TEST_F(WafeTest, DestroyWidget) {
+  Eval("form f topLevel");
+  Eval("label l f");
+  Eval("destroyWidget f");
+  EXPECT_EQ(wafe_.app().FindWidget("f"), nullptr);
+  EXPECT_EQ(wafe_.app().FindWidget("l"), nullptr);
+}
+
+TEST_F(WafeTest, RealizeMapsTree) {
+  Eval("label l topLevel");
+  Eval("realize");
+  xtk::Widget* l = wafe_.app().FindWidget("l");
+  EXPECT_TRUE(l->realized());
+  EXPECT_TRUE(display().IsViewable(l->window()));
+}
+
+TEST_F(WafeTest, ManageUnmanage) {
+  Eval("label l topLevel");
+  Eval("realize");
+  Eval("unmanageChild l");
+  xtk::Widget* l = wafe_.app().FindWidget("l");
+  EXPECT_FALSE(display().IsMapped(l->window()));
+  Eval("manageChild l");
+  EXPECT_TRUE(display().IsMapped(l->window()));
+}
+
+TEST_F(WafeTest, IntrospectionCommands) {
+  Eval("form f topLevel");
+  Eval("label a f; label b f");
+  EXPECT_EQ(Eval("children f"), "a b");
+  EXPECT_EQ(Eval("parent a"), "f");
+  EXPECT_EQ(Eval("class a"), "Label");
+  EXPECT_EQ(Eval("isManaged a"), "1");
+  EXPECT_EQ(Eval("isRealized a"), "0");
+  EXPECT_EQ(Eval("nameToWidget b"), "b");
+  EXPECT_EQ(Eval("nameToWidget nosuch"), "");
+  std::string widgets = Eval("widgets");
+  EXPECT_NE(widgets.find("topLevel"), std::string::npos);
+}
+
+TEST_F(WafeTest, SensitivityCommand) {
+  Eval("command c topLevel");
+  Eval("setSensitive c false");
+  EXPECT_EQ(Eval("isSensitive c"), "0");
+  EXPECT_EQ(Eval("gV c sensitive"), "False");
+  Eval("setSensitive c true");
+  EXPECT_EQ(Eval("isSensitive c"), "1");
+}
+
+TEST_F(WafeTest, MoveResizeCommands) {
+  Eval("label l topLevel");
+  Eval("moveWidget l 30 40");
+  Eval("resizeWidget l 111 22");
+  xtk::Widget* l = wafe_.app().FindWidget("l");
+  EXPECT_EQ(l->x(), 30);
+  EXPECT_EQ(l->y(), 40);
+  EXPECT_EQ(l->width(), 111u);
+  EXPECT_EQ(l->height(), 22u);
+}
+
+TEST_F(WafeTest, FontCommands) {
+  std::string name = Eval("loadQueryFont *lucida-bold-r*14*");
+  EXPECT_NE(name.find("lucida"), std::string::npos);
+  EXPECT_NE(name.find("bold"), std::string::npos);
+  std::string count = Eval("listFonts *lucida* fontVar");
+  EXPECT_GT(std::stoi(count), 10);
+  EvalErr("loadQueryFont *nothing-matches*");
+}
+
+// --- mergeResources --------------------------------------------------------------------
+
+TEST_F(WafeTest, MergeResourcesPaperExample) {
+  Eval(
+      "mergeResources {\n"
+      "  *Font fixed\n"
+      "  *foreground blue\n"
+      "  *background red\n"
+      "}");
+  Eval("label hello topLevel");
+  xtk::Widget* hello = wafe_.app().FindWidget("hello");
+  EXPECT_EQ(hello->GetPixel("foreground", 0), xsim::MakePixel(0, 0, 255));
+  EXPECT_EQ(hello->GetPixel("background", 0), xsim::MakePixel(255, 0, 0));
+}
+
+TEST_F(WafeTest, MergeResourcesPairForm) {
+  Eval("mergeResources *foreground green");
+  Eval("label l topLevel");
+  EXPECT_EQ(wafe_.app().FindWidget("l")->GetPixel("foreground", 0),
+            xsim::MakePixel(0, 255, 0));
+}
+
+TEST_F(WafeTest, CreationArgsOverrideMergedResources) {
+  Eval("mergeResources *background red");
+  Eval("label l topLevel background blue");
+  EXPECT_EQ(wafe_.app().FindWidget("l")->GetPixel("background", 0),
+            xsim::MakePixel(0, 0, 255));
+}
+
+// --- Callback converter -------------------------------------------------------------------
+
+TEST_F(WafeTest, CallbackScriptFires) {
+  Eval("command hello topLevel callback {set fired 1}");
+  Eval("realize");
+  Click(wafe_.app().FindWidget("hello"));
+  EXPECT_EQ(Eval("set fired"), "1");
+}
+
+TEST_F(WafeTest, CallbackEchoHelloWorld) {
+  Eval("command hello topLevel callback {echo hello world}");
+  Eval("realize");
+  captured_.clear();
+  wafe_.interp().set_output([this](const std::string& t) { captured_ += t; });
+  Click(wafe_.app().FindWidget("hello"));
+  EXPECT_EQ(captured_, "hello world\n");
+}
+
+TEST_F(WafeTest, CallbackReadableViaGv) {
+  // The paper: Wafe (unlike Xt) can read a callback resource back, and the
+  // value can seed another widget's callback.
+  Eval("form f topLevel");
+  Eval("command c1 f callback {echo i am %w.}");
+  Eval("command c2 f callback [gV c1 callback] fromVert c1");
+  Eval("realize");
+  captured_.clear();
+  wafe_.interp().set_output([this](const std::string& t) { captured_ += t; });
+  Click(wafe_.app().FindWidget("c1"));
+  EXPECT_EQ(captured_, "i am c1.\n");
+  captured_.clear();
+  Click(wafe_.app().FindWidget("c2"));
+  EXPECT_EQ(captured_, "i am c2.\n");
+}
+
+TEST_F(WafeTest, ListCallbackPercentCodes) {
+  Eval("label confirmLab topLevel label {}");
+  Eval("list chooseLst topLevel list {aaa,bbb,ccc}");
+  Eval("sV chooseLst callback {sV confirmLab label %s}");
+  Eval("realize");
+  xtk::Widget* list = wafe_.app().FindWidget("chooseLst");
+  xsim::Point p = display().RootPosition(list->window());
+  display().InjectButtonPress(p.x + 3, p.y + 4, 1);  // first row
+  display().InjectButtonRelease(p.x + 3, p.y + 4, 1);
+  wafe_.app().ProcessPending();
+  EXPECT_EQ(Eval("gV confirmLab label"), "aaa");
+}
+
+TEST_F(WafeTest, SetValuesFreesOldCallback) {
+  Eval("command c topLevel callback {set x old}");
+  Eval("sV c callback {set x new}");
+  Eval("realize");
+  Click(wafe_.app().FindWidget("c"));
+  EXPECT_EQ(Eval("set x"), "new");
+  EXPECT_EQ(Eval("gV c callback"), "set x new");
+}
+
+// --- Predefined callbacks --------------------------------------------------------------------
+
+TEST_F(WafeTest, PredefinedPopupCallbacks) {
+  Eval("transientShell popup topLevel");
+  Eval("label inside popup");
+  Eval("command b topLevel");
+  Eval("callback b callback none popup");
+  Eval("realize");
+  Click(wafe_.app().FindWidget("b"));
+  xtk::Widget* popup = wafe_.app().FindWidget("popup");
+  EXPECT_TRUE(wafe_.app().IsPoppedUp(popup));
+  EXPECT_EQ(display().PointerGrab(), xsim::kNoWindow);  // grab none
+
+  Eval("command down topLevel");
+  Eval("callback down callback popdown popup");
+  Click(wafe_.app().FindWidget("down"));
+  EXPECT_FALSE(wafe_.app().IsPoppedUp(popup));
+}
+
+TEST_F(WafeTest, PredefinedExclusiveGrabs) {
+  Eval("transientShell popup topLevel");
+  Eval("label inside popup");
+  Eval("command b topLevel");
+  Eval("callback b callback exclusive popup");
+  Eval("realize");
+  Click(wafe_.app().FindWidget("b"));
+  xtk::Widget* popup = wafe_.app().FindWidget("popup");
+  EXPECT_TRUE(wafe_.app().IsPoppedUp(popup));
+  EXPECT_EQ(display().PointerGrab(), popup->window());
+  Eval("popdown popup");
+  EXPECT_EQ(display().PointerGrab(), xsim::kNoWindow);
+}
+
+TEST_F(WafeTest, PredefinedCallbackErrors) {
+  Eval("command b topLevel");
+  EvalErr("callback b callback none");            // missing shell
+  EvalErr("callback b callback bogus topLevel");  // unknown type
+  EvalErr("callback b noSuchResource none topLevel");
+}
+
+// --- Actions and exec -------------------------------------------------------------------------
+
+TEST_F(WafeTest, ActionOverridePaperKeyEcho) {
+  // The paper's xev example: typing "w!" prints
+  //   198 w w / 174 Shift_L / 197 ! exclam
+  Eval("label xev topLevel");
+  Eval("action xev override {<KeyPress>: exec(echo %k %a %s)}");
+  Eval("realize");
+  captured_.clear();
+  wafe_.interp().set_output([this](const std::string& t) { captured_ += t; });
+  xtk::Widget* xev = wafe_.app().FindWidget("xev");
+  display().SetInputFocus(xev->window());
+  display().InjectKeyPress(xsim::AsciiToKeysym('w'));
+  display().InjectKeyPress(xsim::kKeyShiftL);
+  display().InjectKeyPress(xsim::AsciiToKeysym('!'), xsim::kShiftMask);
+  wafe_.app().ProcessPending();
+  EXPECT_EQ(captured_, "198 w w\n174 Shift_L\n197 ! exclam\n");
+}
+
+TEST_F(WafeTest, ExecActionCoordinates) {
+  Eval("label pad topLevel width 100 height 100");
+  // Note: commas would be parsed as action-parameter separators, so the
+  // script uses dashes.
+  Eval("action pad override {<Btn1Down>: exec(set where %x-%y-%X-%Y-%b-%t)}");
+  Eval("realize");
+  xtk::Widget* pad = wafe_.app().FindWidget("pad");
+  xsim::Point p = display().RootPosition(pad->window());
+  display().InjectButtonPress(p.x + 7, p.y + 9, 1);
+  wafe_.app().ProcessPending();
+  std::string where = Eval("set where");
+  EXPECT_EQ(where, "7-9-" + std::to_string(p.x + 7) + "-" + std::to_string(p.y + 9) +
+                       "-1-ButtonPress");
+}
+
+TEST_F(WafeTest, ActionEnterWindowPopupMenu) {
+  Eval("simpleMenu menu topLevel");
+  Eval("smeBSB item1 menu");
+  Eval("menuButton mb topLevel");
+  Eval("action mb override {<EnterWindow>: PopupMenu()}");
+  Eval("realize");
+  xtk::Widget* mb = wafe_.app().FindWidget("mb");
+  xsim::Point p = display().RootPosition(mb->window());
+  display().InjectMotion(p.x + 2, p.y + 2);
+  wafe_.app().ProcessPending();
+  EXPECT_TRUE(wafe_.app().IsPoppedUp(wafe_.app().FindWidget("menu")));
+}
+
+TEST_F(WafeTest, ActionModes) {
+  Eval("label l topLevel");
+  Eval("action l replace {<Btn1Down>: exec(set hit replace)}");
+  Eval("action l augment {<Btn2Down>: exec(set hit augment)}");
+  Eval("realize");
+  xtk::Widget* l = wafe_.app().FindWidget("l");
+  xsim::Point p = display().RootPosition(l->window());
+  display().InjectButtonPress(p.x + 1, p.y + 1, 2);
+  wafe_.app().ProcessPending();
+  EXPECT_EQ(Eval("set hit"), "augment");
+  display().InjectButtonPress(p.x + 1, p.y + 1, 1);
+  wafe_.app().ProcessPending();
+  EXPECT_EQ(Eval("set hit"), "replace");
+  EvalErr("action l badmode {<Btn1Down>: exec(set x 1)}");
+  EvalErr("action l override {<Nope>: exec(set x 1)}");
+}
+
+// --- Timers ------------------------------------------------------------------------------------
+
+TEST_F(WafeTest, AddTimeOutFires) {
+  std::string id = Eval("addTimeOut 5 {set timer_fired 1}");
+  EXPECT_FALSE(id.empty());
+  // Pump the loop until the timer fires.
+  for (int i = 0; i < 100 && !wafe_.interp().VarExists("timer_fired"); ++i) {
+    wafe_.app().RunOneIteration(true);
+  }
+  EXPECT_EQ(Eval("set timer_fired"), "1");
+}
+
+TEST_F(WafeTest, RemoveTimeOut) {
+  std::string id = Eval("addTimeOut 1000 {set never 1}");
+  Eval("removeTimeOut " + id);
+  wafe_.app().RunOneIteration(false);
+  EXPECT_FALSE(wafe_.interp().VarExists("never"));
+}
+
+// --- Spec registry ------------------------------------------------------------------------------
+
+TEST_F(WafeTest, ReferenceDocumentCoversCommands) {
+  std::string reference = wafe_.specs().ReferenceText();
+  EXPECT_NE(reference.find("destroyWidget"), std::string::npos);
+  EXPECT_NE(reference.find("[XtDestroyWidget]"), std::string::npos);
+  EXPECT_NE(reference.find("label name:String father:String"), std::string::npos);
+  EXPECT_NE(reference.find("getResourceList"), std::string::npos);
+}
+
+TEST_F(WafeTest, GeneratedFractionMatchesPaperBallpark) {
+  // The paper: "about 60% of the code is generated automatically".
+  double generated = static_cast<double>(wafe_.specs().generated_count());
+  double total = static_cast<double>(wafe_.specs().total_count());
+  EXPECT_GT(generated / total, 0.5);
+  EXPECT_GT(wafe_.specs().creation_command_count(), 15u);
+}
+
+TEST_F(WafeTest, SpecArityErrors) {
+  wtcl::Result r = EvalErr("destroyWidget");
+  EXPECT_NE(r.value.find("wrong # args"), std::string::npos);
+  r = EvalErr("destroyWidget nosuch");
+  EXPECT_NE(r.value.find("no such widget"), std::string::npos);
+  Eval("label l topLevel");
+  r = EvalErr("moveWidget l abc 3");
+  EXPECT_NE(r.value.find("expected integer"), std::string::npos);
+}
+
+// --- Multi-display shells ------------------------------------------------------------------------
+
+TEST_F(WafeTest, ApplicationShellOnOtherDisplay) {
+  Eval("applicationShell top2 dec4:0");
+  Eval("label l2 top2");
+  Eval("realizeWidget top2");
+  xtk::Widget* l2 = wafe_.app().FindWidget("l2");
+  EXPECT_EQ(&l2->display(), &wafe_.app().OpenDisplay("dec4:0"));
+  EXPECT_TRUE(wafe_.app().OpenDisplay("dec4:0").IsViewable(l2->window()));
+}
+
+// --- Pixmap converter -----------------------------------------------------------------------------
+
+TEST_F(WafeTest, PixmapConverterInlineXbm) {
+  Eval(
+      "label l topLevel bitmap {#define i_width 8\n"
+      "#define i_height 2\n"
+      "static char i_bits[] = {0x01, 0x80};\n}");
+  EXPECT_NE(wafe_.app().FindWidget("l")->GetPixmap("bitmap"), nullptr);
+}
+
+TEST_F(WafeTest, PixmapConverterFallsBackToXpm) {
+  Eval(
+      "label l topLevel bitmap {static char *p[] = {\n"
+      "\"2 1 1 1\", \". c red\", \"..\"};\n}");
+  xsim::PixmapPtr pixmap = wafe_.app().FindWidget("l")->GetPixmap("bitmap");
+  ASSERT_NE(pixmap, nullptr);
+  EXPECT_EQ(pixmap->At(0, 0), xsim::MakePixel(255, 0, 0));
+}
+
+TEST_F(WafeTest, PixmapConverterRejectsGarbage) {
+  EvalErr("label l topLevel bitmap {not an image}");
+}
+
+// --- Percent-code engine (unit level) -----------------------------------------------------------
+
+TEST(PercentCodes, EventSubstitution) {
+  Wafe wafe;
+  std::string error;
+  xtk::Widget* w =
+      wafe.app().CreateWidget("w1", "Label", wafe.top_level(), {}, true, &error);
+  ASSERT_NE(w, nullptr) << error;
+  xsim::Event event;
+  event.type = xsim::EventType::kButtonPress;
+  event.x = 3;
+  event.y = 4;
+  event.x_root = 13;
+  event.y_root = 14;
+  event.button = 2;
+  EXPECT_EQ(SubstituteEventCodes("%w %t %b %x %y %X %Y %%", *w, event),
+            "w1 ButtonPress 2 3 4 13 14 %");
+  // Key codes on a button event expand empty.
+  EXPECT_EQ(SubstituteEventCodes("[%a][%k][%s]", *w, event), "[][][]");
+  // Unsupported event type reports "unknown".
+  event.type = xsim::EventType::kMotionNotify;
+  EXPECT_EQ(SubstituteEventCodes("%t", *w, event), "unknown");
+}
+
+TEST(PercentCodes, CallbackSubstitution) {
+  Wafe wafe;
+  std::string error;
+  xtk::Widget* w =
+      wafe.app().CreateWidget("lst", "List", wafe.top_level(), {}, true, &error);
+  ASSERT_NE(w, nullptr) << error;
+  xtk::CallData data;
+  data.fields["i"] = "3";
+  data.fields["s"] = "item three";
+  EXPECT_EQ(SubstituteCallbackCodes("sV lab label %s (index %i) from %w", *w, data),
+            "sV lab label item three (index 3) from lst");
+  // Unknown codes pass through (format strings survive).
+  EXPECT_EQ(SubstituteCallbackCodes("format %d", *w, data), "format %d");
+}
+
+// --- Command-line splitting ------------------------------------------------------------------------
+
+TEST(CommandLine, SplitPerPaperRules) {
+  const char* argv[] = {"wafe",     "--f",     "script.tcl", "-display", "host:0",
+                        "-xrm",     "*bg:red", "appArg1",    "appArg2"};
+  SplitArgs split = SplitCommandLine(9, argv);
+  ASSERT_EQ(split.frontend.size(), 2u);
+  EXPECT_EQ(split.frontend[0], "--f");
+  EXPECT_EQ(split.frontend[1], "script.tcl");
+  ASSERT_EQ(split.toolkit.size(), 4u);
+  EXPECT_EQ(split.toolkit[1], "host:0");
+  ASSERT_EQ(split.application.size(), 2u);
+  EXPECT_EQ(split.application[0], "appArg1");
+}
+
+// --- Motif build ----------------------------------------------------------------------------------
+
+class MofeTest : public ::testing::Test {
+ protected:
+  MofeTest() {
+    Options options;
+    options.widget_set = WidgetSet::kMotif;
+    options.app_name = "mofe";
+    options.app_class = "Mofe";
+    wafe_ = std::make_unique<Wafe>(options);
+  }
+
+  std::string Eval(const std::string& script) {
+    wtcl::Result r = wafe_->Eval(script);
+    EXPECT_TRUE(r.ok()) << "script: " << script << "\nerror: " << r.value;
+    return r.value;
+  }
+
+  std::unique_ptr<Wafe> wafe_;
+};
+
+TEST_F(MofeTest, MotifCreationCommands) {
+  Eval("mPushButton pressMe topLevel");
+  EXPECT_EQ(wafe_->app().FindWidget("pressMe")->widget_class()->name, "XmPushButton");
+  // Athena commands are absent in the Motif binary.
+  EXPECT_FALSE(wafe_->interp().HasCommand("asciiText"));
+  EXPECT_TRUE(wafe_->interp().HasCommand("mCascadeButton"));
+}
+
+TEST_F(MofeTest, PaperCompoundStringExample) {
+  Eval(
+      "mLabel l topLevel "
+      "fontList {*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft} "
+      "labelString {I'm\\bft bold\\ft and\\rl strange}");
+  Eval("realize");
+  // The bold segment renders in the bold font.
+  bool bold_seen = false;
+  for (const auto& op : wafe_->app().display().draw_ops()) {
+    if (op.kind == xsim::Display::DrawOp::Kind::kText && op.text == " bold" &&
+        op.font.find("bold") != std::string::npos) {
+      bold_seen = true;
+    }
+  }
+  EXPECT_TRUE(bold_seen);
+  // The \rl segment renders reversed.
+  bool reversed_seen = false;
+  for (const auto& op : wafe_->app().display().draw_ops()) {
+    if (op.kind == xsim::Display::DrawOp::Kind::kText &&
+        op.text.find("egnarts") != std::string::npos) {
+      reversed_seen = true;
+    }
+  }
+  EXPECT_TRUE(reversed_seen);
+}
+
+TEST_F(MofeTest, ArmCallbackFiresOnPress) {
+  Eval("mPushButton b topLevel");
+  Eval("sV b armCallback {set armed 1}");
+  Eval("realize");
+  xtk::Widget* b = wafe_->app().FindWidget("b");
+  xsim::Point p = wafe_->app().display().RootPosition(b->window());
+  wafe_->app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+  wafe_->app().ProcessPending();
+  EXPECT_EQ(Eval("set armed"), "1");
+}
+
+TEST_F(MofeTest, CascadeButtonHighlightCommand) {
+  Eval("mCascadeButton cb topLevel");
+  Eval("realize");
+  Eval("mCascadeButtonHighlight cb true");
+  Eval("mCascadeButtonHighlight cb false");
+}
+
+TEST_F(MofeTest, CommandAppendValue) {
+  Eval("mCommand cmd topLevel");
+  Eval("mCommandSetValue cmd {ls }");
+  Eval("mCommandAppendValue cmd {-l}");
+  EXPECT_EQ(Eval("gV cmd command"), "ls -l");
+}
+
+TEST_F(MofeTest, BadCompoundStringRejected) {
+  // Validation fires once the fontList is known (at creation time the
+  // resource order is unconstrained, so unknown tags are tolerated then).
+  Eval("mLabel l topLevel fontList {fixed=ft}");
+  wtcl::Result r = wafe_->Eval("sV l labelString {bad \\nosuchtag here}");
+  EXPECT_EQ(r.code, wtcl::Status::kError);
+  EXPECT_NE(r.value.find("compound string"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wafe

@@ -1,0 +1,418 @@
+// Widget model + Athena widget behavior: creation, resources, realize,
+// dispatch, layout, destroy.
+#include <gtest/gtest.h>
+
+#include "src/xaw/athena.h"
+#include "src/xt/app.h"
+
+namespace {
+
+using xaw::RegisterAthenaClasses;
+using xtk::AppContext;
+using xtk::CallData;
+using xtk::Widget;
+
+class WidgetTest : public ::testing::Test {
+ protected:
+  WidgetTest() : app_("wafe", "Wafe") {
+    RegisterAthenaClasses(app_, /*three_d=*/true);
+    std::string error;
+    top_ = app_.CreateShell("topLevel", "ApplicationShell", &app_.display(), {}, &error);
+    EXPECT_NE(top_, nullptr) << error;
+  }
+
+  Widget* Create(const std::string& name, const std::string& cls, Widget* parent,
+                 std::vector<std::pair<std::string, std::string>> args = {}) {
+    std::string error;
+    Widget* w = app_.CreateWidget(name, cls, parent, args, true, &error);
+    EXPECT_NE(w, nullptr) << error;
+    return w;
+  }
+
+  AppContext app_;
+  Widget* top_ = nullptr;
+};
+
+TEST_F(WidgetTest, CreateLabelResolvesDefaults) {
+  Widget* label = Create("l", "Label", top_);
+  EXPECT_EQ(label->GetString("label"), "l");  // defaults to widget name
+  EXPECT_TRUE(label->GetBool("sensitive"));
+  EXPECT_EQ(label->GetPixel("background", 0), xsim::kWhitePixel);
+  EXPECT_GT(label->width(), 1u);  // preferred size from the text
+}
+
+TEST_F(WidgetTest, ExplicitEmptyLabelStaysEmpty) {
+  Widget* label = Create("result", "Label", top_, {{"label", ""}});
+  EXPECT_EQ(label->GetString("label"), "");
+}
+
+TEST_F(WidgetTest, CreationArgsConvert) {
+  Widget* label = Create("l", "Label", top_,
+                         {{"background", "red"}, {"foreground", "blue"}, {"width", "200"}});
+  EXPECT_EQ(label->GetPixel("background", 0), xsim::MakePixel(255, 0, 0));
+  EXPECT_EQ(label->GetPixel("foreground", 0), xsim::MakePixel(0, 0, 255));
+  EXPECT_EQ(label->width(), 200u);
+}
+
+TEST_F(WidgetTest, UnknownClassRejected) {
+  std::string error;
+  EXPECT_EQ(app_.CreateWidget("x", "NoSuchClass", top_, {}, true, &error), nullptr);
+  EXPECT_NE(error.find("unknown widget class"), std::string::npos);
+}
+
+TEST_F(WidgetTest, DuplicateNameRejected) {
+  Create("dup", "Label", top_);
+  std::string error;
+  EXPECT_EQ(app_.CreateWidget("dup", "Label", top_, {}, true, &error), nullptr);
+  EXPECT_NE(error.find("already exists"), std::string::npos);
+}
+
+TEST_F(WidgetTest, UnknownResourceRejected) {
+  std::string error;
+  EXPECT_EQ(app_.CreateWidget("l", "Label", top_, {{"frobnicate", "1"}}, true, &error),
+            nullptr);
+  EXPECT_NE(error.find("unknown resource"), std::string::npos);
+}
+
+TEST_F(WidgetTest, BadColorRejected) {
+  std::string error;
+  EXPECT_EQ(app_.CreateWidget("l", "Label", top_, {{"background", "nocolor"}}, true, &error),
+            nullptr);
+  EXPECT_NE(error.find("no such color"), std::string::npos);
+}
+
+TEST_F(WidgetTest, LabelHas42ResourcesUnderXaw3d) {
+  // The paper: "the number of resources available for the Label widget
+  // class ... is 42 using the X11R5 Xaw3d libraries".
+  Widget* label = Create("l", "Label", top_);
+  std::vector<const xtk::ResourceSpec*> specs = label->widget_class()->AllResources();
+  EXPECT_EQ(specs.size(), 42u);
+  // And the list starts with the Core resources in the paper's order.
+  ASSERT_GE(specs.size(), 12u);
+  EXPECT_EQ(specs[0]->name, "destroyCallback");
+  EXPECT_EQ(specs[1]->name, "ancestorSensitive");
+  EXPECT_EQ(specs[2]->name, "x");
+  EXPECT_EQ(specs[3]->name, "y");
+  EXPECT_EQ(specs[4]->name, "width");
+  EXPECT_EQ(specs[5]->name, "height");
+  EXPECT_EQ(specs[6]->name, "borderWidth");
+  EXPECT_EQ(specs[7]->name, "sensitive");
+  EXPECT_EQ(specs[8]->name, "screen");
+  EXPECT_EQ(specs[9]->name, "depth");
+  EXPECT_EQ(specs[10]->name, "colormap");
+  EXPECT_EQ(specs[11]->name, "background");
+}
+
+TEST_F(WidgetTest, PlainXawLabelHasFewerResources) {
+  xtk::AppContext plain("wafe", "Wafe");
+  RegisterAthenaClasses(plain, /*three_d=*/false);
+  const xtk::WidgetClass* label = plain.FindClass("Label");
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(label->AllResources().size(), 35u);  // 42 - 7 ThreeD resources
+}
+
+TEST_F(WidgetTest, RealizeCreatesWindows) {
+  Widget* form = Create("f", "Form", top_);
+  Widget* label = Create("l", "Label", form);
+  app_.RealizeWidget(top_);
+  EXPECT_TRUE(top_->realized());
+  EXPECT_TRUE(form->realized());
+  EXPECT_TRUE(label->realized());
+  EXPECT_NE(label->window(), xsim::kNoWindow);
+  EXPECT_TRUE(app_.display().IsViewable(label->window()));
+}
+
+TEST_F(WidgetTest, RealizedLabelDrawsItsText) {
+  Widget* label = Create("l", "Label", top_, {{"label", "Wafe new World"}});
+  (void)label;
+  app_.RealizeWidget(top_);
+  EXPECT_TRUE(app_.display().WindowShowsText(label->window(), "Wafe new World"));
+}
+
+TEST_F(WidgetTest, SetValuesUpdatesAndRedraws) {
+  Widget* label = Create("l", "Label", top_, {{"label", "before"}});
+  app_.RealizeWidget(top_);
+  app_.display().ClearDrawOps();
+  std::string error;
+  ASSERT_TRUE(app_.SetValues(label, {{"label", "Hi Man"}, {"background", "tomato"}}, &error))
+      << error;
+  EXPECT_TRUE(app_.display().WindowShowsText(label->window(), "Hi Man"));
+  EXPECT_EQ(label->GetPixel("background", 0), xsim::MakePixel(255, 99, 71));
+}
+
+TEST_F(WidgetTest, GetValueFormatsBack) {
+  Widget* label = Create("l", "Label", top_,
+                         {{"label", "text"}, {"background", "red"}, {"width", "123"}});
+  std::string out;
+  std::string error;
+  ASSERT_TRUE(app_.GetValue(label, "label", &out, &error));
+  EXPECT_EQ(out, "text");
+  ASSERT_TRUE(app_.GetValue(label, "width", &out, &error));
+  EXPECT_EQ(out, "123");
+  ASSERT_TRUE(app_.GetValue(label, "background", &out, &error));
+  EXPECT_EQ(out, "#ff0000");
+  ASSERT_TRUE(app_.GetValue(label, "sensitive", &out, &error));
+  EXPECT_EQ(out, "True");
+  EXPECT_FALSE(app_.GetValue(label, "nonsense", &out, &error));
+}
+
+TEST_F(WidgetTest, DestroyRemovesSubtreeAndFiresCallback) {
+  Widget* form = Create("f", "Form", top_);
+  Widget* label = Create("l", "Label", form);
+  (void)label;
+  int destroyed = 0;
+  xtk::CallbackList list;
+  list.push_back(xtk::Callback{"count", [&destroyed](Widget&, const CallData&) {
+                                 ++destroyed;
+                               }});
+  form->SetRawValue("destroyCallback", list);
+  app_.RealizeWidget(top_);
+  std::size_t windows_before = app_.display().WindowCount();
+  app_.DestroyWidget(form);
+  EXPECT_EQ(destroyed, 1);
+  EXPECT_EQ(app_.FindWidget("f"), nullptr);
+  EXPECT_EQ(app_.FindWidget("l"), nullptr);
+  EXPECT_EQ(app_.display().WindowCount(), windows_before - 2);
+}
+
+TEST_F(WidgetTest, CommandCallbackFiresOnClick) {
+  Widget* button = Create("b", "Command", top_, {{"label", "press"}});
+  int fired = 0;
+  xtk::CallbackList list;
+  list.push_back(xtk::Callback{"fire", [&fired](Widget&, const CallData&) { ++fired; }});
+  button->SetRawValue("callback", list);
+  app_.RealizeWidget(top_);
+  xsim::Point origin = app_.display().RootPosition(button->window());
+  app_.display().InjectButtonPress(origin.x + 2, origin.y + 2, 1);
+  app_.display().InjectButtonRelease(origin.x + 2, origin.y + 2, 1);
+  app_.ProcessPending();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(WidgetTest, InsensitiveWidgetDoesNotFire) {
+  Widget* button = Create("b", "Command", top_, {{"sensitive", "false"}});
+  int fired = 0;
+  xtk::CallbackList list;
+  list.push_back(xtk::Callback{"fire", [&fired](Widget&, const CallData&) { ++fired; }});
+  button->SetRawValue("callback", list);
+  app_.RealizeWidget(top_);
+  xsim::Point origin = app_.display().RootPosition(button->window());
+  app_.display().InjectButtonPress(origin.x + 2, origin.y + 2, 1);
+  app_.display().InjectButtonRelease(origin.x + 2, origin.y + 2, 1);
+  app_.ProcessPending();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(WidgetTest, ToggleFlipsState) {
+  Widget* toggle = Create("t", "Toggle", top_);
+  app_.RealizeWidget(top_);
+  EXPECT_FALSE(toggle->GetBool("state"));
+  xsim::Point origin = app_.display().RootPosition(toggle->window());
+  app_.display().InjectButtonPress(origin.x + 2, origin.y + 2, 1);
+  app_.display().InjectButtonRelease(origin.x + 2, origin.y + 2, 1);
+  app_.ProcessPending();
+  EXPECT_TRUE(toggle->GetBool("state"));
+}
+
+TEST_F(WidgetTest, FormLayoutHonorsFromVertAndFromHoriz) {
+  Widget* form = Create("f", "Form", top_);
+  Widget* a = Create("a", "Label", form, {{"width", "50"}, {"height", "20"}});
+  Widget* b = Create("b", "Label", form,
+                     {{"fromVert", "a"}, {"width", "50"}, {"height", "20"}});
+  Widget* c = Create("c", "Label", form,
+                     {{"fromHoriz", "a"}, {"width", "50"}, {"height", "20"}});
+  app_.RealizeWidget(top_);
+  EXPECT_GT(b->y(), a->y() + 19);
+  EXPECT_EQ(b->x(), a->x());
+  EXPECT_GT(c->x(), a->x() + 49);
+  EXPECT_EQ(c->y(), a->y());
+  EXPECT_GE(form->width(), 100u);
+}
+
+TEST_F(WidgetTest, BoxFlowsChildren) {
+  Widget* box = Create("box", "Box", top_, {{"orientation", "horizontal"}});
+  Widget* a = Create("a", "Label", box, {{"width", "40"}, {"height", "20"}});
+  Widget* b = Create("b", "Label", box, {{"width", "40"}, {"height", "20"}});
+  app_.RealizeWidget(top_);
+  EXPECT_GT(b->x(), a->x());
+  EXPECT_EQ(a->y(), b->y());
+}
+
+TEST_F(WidgetTest, PanedStacksVertically) {
+  Widget* paned = Create("p", "Paned", top_);
+  Widget* a = Create("a", "Label", paned, {{"height", "20"}});
+  Widget* b = Create("b", "Label", paned, {{"height", "30"}});
+  app_.RealizeWidget(top_);
+  EXPECT_EQ(a->y(), 0);
+  EXPECT_GE(b->y(), 20);
+  EXPECT_EQ(a->width(), b->width());
+}
+
+TEST_F(WidgetTest, ListSelectionCallbackCarriesIndexAndItem) {
+  Widget* list =
+      Create("chooseLst", "List", top_, {{"list", "alpha,beta,gamma"}});
+  std::string got_index;
+  std::string got_item;
+  xtk::CallbackList callbacks;
+  callbacks.push_back(
+      xtk::Callback{"grab", [&](Widget&, const CallData& data) {
+                      got_index = data.Get("i");
+                      got_item = data.Get("s");
+                    }});
+  list->SetRawValue("callback", callbacks);
+  app_.RealizeWidget(top_);
+  // Click on the second row.
+  xsim::FontPtr font = xsim::FontRegistry::Default().Open("fixed");
+  long row_height = static_cast<long>(font->Height()) + 2;
+  xsim::Point origin = app_.display().RootPosition(list->window());
+  xsim::Position y = origin.y + static_cast<xsim::Position>(2 + row_height + row_height / 2);
+  app_.display().InjectButtonPress(origin.x + 3, y, 1);
+  app_.display().InjectButtonRelease(origin.x + 3, y, 1);
+  app_.ProcessPending();
+  EXPECT_EQ(got_index, "1");
+  EXPECT_EQ(got_item, "beta");
+}
+
+TEST_F(WidgetTest, ListProgrammaticInterface) {
+  Widget* list = Create("l", "List", top_, {{"list", "a,b"}});
+  app_.RealizeWidget(top_);
+  xaw::ListChange(*list, {"x", "y", "z"}, true);
+  EXPECT_EQ(list->GetLong("numberStrings"), 3);
+  xaw::ListHighlight(*list, 2);
+  std::string item;
+  EXPECT_EQ(xaw::ListCurrent(*list, &item), 2);
+  EXPECT_EQ(item, "z");
+  xaw::ListUnhighlight(*list);
+  EXPECT_EQ(xaw::ListCurrent(*list, &item), -1);
+}
+
+TEST_F(WidgetTest, AsciiTextTypingAccumulates) {
+  Widget* input = Create("input", "AsciiText", top_,
+                         {{"editType", "edit"}, {"width", "200"}});
+  app_.RealizeWidget(top_);
+  app_.display().SetInputFocus(input->window());
+  app_.display().InjectText("120");
+  app_.ProcessPending();
+  EXPECT_EQ(input->GetString("string"), "120");
+  EXPECT_EQ(xaw::TextGetInsertionPoint(*input), 3);
+}
+
+TEST_F(WidgetTest, AsciiTextReadOnlyIgnoresTyping) {
+  Widget* input = Create("input", "AsciiText", top_, {{"editType", "read"}});
+  app_.RealizeWidget(top_);
+  app_.display().SetInputFocus(input->window());
+  app_.display().InjectText("nope");
+  app_.ProcessPending();
+  EXPECT_EQ(input->GetString("string"), "");
+}
+
+TEST_F(WidgetTest, AsciiTextEditingActions) {
+  Widget* input = Create("input", "AsciiText", top_, {{"editType", "edit"}});
+  app_.RealizeWidget(top_);
+  app_.display().SetInputFocus(input->window());
+  app_.display().InjectText("abc");
+  app_.display().InjectKeyPress(xsim::kKeyBackSpace);
+  app_.ProcessPending();
+  EXPECT_EQ(input->GetString("string"), "ab");
+  // Ctrl-a to the beginning, then type at the front.
+  app_.display().InjectKeyPress(xsim::AsciiToKeysym('a'), xsim::kControlMask);
+  app_.ProcessPending();
+  EXPECT_EQ(xaw::TextGetInsertionPoint(*input), 0);
+  app_.display().InjectText("x");
+  app_.ProcessPending();
+  EXPECT_EQ(input->GetString("string"), "xab");
+}
+
+TEST_F(WidgetTest, OverrideTranslationsViaAction) {
+  Widget* label = Create("xev", "Label", top_);
+  std::vector<std::string> log;
+  app_.RegisterAction("logit", [&log](Widget&, const xsim::Event& event,
+                                      const std::vector<std::string>&) {
+    log.push_back(event.TypeName());
+  });
+  std::string error;
+  xtk::TranslationsPtr incoming = xtk::ParseTranslations("<KeyPress>: logit()", &error);
+  ASSERT_NE(incoming, nullptr);
+  label->SetRawValue("translations", xtk::MergeTranslations(label->GetTranslations(), incoming,
+                                                            xtk::MergeMode::kOverride));
+  app_.RealizeWidget(top_);
+  app_.display().SetInputFocus(label->window());
+  app_.display().InjectKeyPress(xsim::AsciiToKeysym('w'));
+  app_.ProcessPending();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], "KeyPress");
+}
+
+TEST_F(WidgetTest, MenuButtonPopsUpMenuWithGrab) {
+  std::string error;
+  Widget* menu = app_.CreateWidget("menu", "SimpleMenu", top_, {}, false, &error);
+  ASSERT_NE(menu, nullptr) << error;
+  Create("entry1", "SmeBSB", menu, {{"label", "First"}});
+  Widget* mb = Create("mb", "MenuButton", top_, {{"menuName", "menu"}});
+  app_.RealizeWidget(top_);
+  xsim::Point origin = app_.display().RootPosition(mb->window());
+  app_.display().InjectButtonPress(origin.x + 2, origin.y + 2, 1);
+  app_.ProcessPending();
+  EXPECT_TRUE(app_.IsPoppedUp(menu));
+  EXPECT_EQ(app_.display().PointerGrab(), menu->window());
+}
+
+TEST_F(WidgetTest, ViewportAdoptsChildSize) {
+  Widget* viewport = Create("v", "Viewport", top_);
+  Widget* child = Create("big", "Label", viewport, {{"width", "300"}, {"height", "150"}});
+  (void)child;
+  app_.RealizeWidget(top_);
+  EXPECT_EQ(viewport->width(), 300u);
+  EXPECT_EQ(viewport->height(), 150u);
+}
+
+TEST_F(WidgetTest, MultipleDisplays) {
+  std::string error;
+  Widget* top2 = app_.CreateShell("top2", "ApplicationShell", &app_.OpenDisplay("dec4:0"), {},
+                                  &error);
+  ASSERT_NE(top2, nullptr) << error;
+  Widget* label = app_.CreateWidget("l2", "Label", top2, {}, true, &error);
+  ASSERT_NE(label, nullptr) << error;
+  app_.RealizeWidget(top2);
+  EXPECT_EQ(&label->display(), &app_.OpenDisplay("dec4:0"));
+  EXPECT_TRUE(app_.OpenDisplay("dec4:0").IsViewable(label->window()));
+  EXPECT_EQ(app_.Displays().size(), 2u);
+}
+
+TEST_F(WidgetTest, ScrollbarThumbAndCallbacks) {
+  Widget* bar = Create("sb", "Scrollbar", top_, {{"length", "100"}});
+  std::string jumped;
+  xtk::CallbackList callbacks;
+  callbacks.push_back(xtk::Callback{"jump", [&](Widget&, const CallData& data) {
+                                      jumped = data.Get("t");
+                                    }});
+  bar->SetRawValue("jumpProc", callbacks);
+  app_.RealizeWidget(top_);
+  xsim::Point origin = app_.display().RootPosition(bar->window());
+  app_.display().InjectButtonPress(origin.x + 5, origin.y + 50, 1);
+  app_.ProcessPending();
+  EXPECT_FALSE(jumped.empty());
+  EXPECT_NEAR(std::stod(jumped), 0.5, 0.05);
+}
+
+TEST_F(WidgetTest, ToggleRadioGroup) {
+  Widget* form = Create("f", "Form", top_);
+  Widget* t1 = Create("t1", "Toggle", form, {{"radioData", "one"}, {"state", "true"}});
+  Widget* t2 = Create("t2", "Toggle", form, {{"radioGroup", "t1"}, {"radioData", "two"}});
+  app_.RealizeWidget(top_);
+  EXPECT_EQ(xaw::ToggleGetCurrent(*t1), "one");
+  xaw::ToggleSetCurrent(*t1, "two");
+  EXPECT_FALSE(t1->GetBool("state"));
+  EXPECT_TRUE(t2->GetBool("state"));
+}
+
+TEST_F(WidgetTest, StripChartAccumulates) {
+  Widget* chart = Create("chart", "StripChart", top_);
+  app_.RealizeWidget(top_);
+  for (int i = 0; i < 5; ++i) {
+    xaw::StripChartAddValue(*chart, i * 1.5);
+  }
+  EXPECT_EQ(chart->GetStringList("_samples").size(), 5u);
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+// Second widget batch: XmString internals, extension widgets (Plotter,
+// Graph), menus end to end, Dialog, Grip, containers in their other
+// orientations, popup positioning callbacks.
+#include <gtest/gtest.h>
+
+#include "src/core/wafe.h"
+#include "src/ext/plotter.h"
+#include "src/xm/xmstring.h"
+
+namespace {
+
+// --- XmString / FontList units ----------------------------------------------------
+
+TEST(XmStringUnit, FontListParses) {
+  auto fonts = xmw::ParseFontList("*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft");
+  ASSERT_TRUE(fonts.has_value());
+  ASSERT_EQ(fonts->size(), 2u);
+  EXPECT_EQ((*fonts)[0].tag, "ft");
+  EXPECT_EQ((*fonts)[1].tag, "bft");
+  EXPECT_TRUE((*fonts)[1].font->bold);
+}
+
+TEST(XmStringUnit, FontListDefaultTag) {
+  auto fonts = xmw::ParseFontList("fixed");
+  ASSERT_TRUE(fonts.has_value());
+  EXPECT_EQ((*fonts)[0].tag, xmw::kDefaultFontTag);
+}
+
+TEST(XmStringUnit, FontListRejectsUnknownFont) {
+  EXPECT_FALSE(xmw::ParseFontList("*no-such-font-at-all*=x").has_value());
+  EXPECT_FALSE(xmw::ParseFontList("").has_value());
+}
+
+TEST(XmStringUnit, PaperMarkupSegments) {
+  auto fonts = xmw::ParseFontList("*lucida-medium-r*14*=ft,*lucida-bold-r*14*=bft");
+  ASSERT_TRUE(fonts.has_value());
+  std::string error;
+  auto parsed = xmw::ParseXmString("I'm\\bft bold\\ft and\\rl strange", &*fonts, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->segments.size(), 4u);
+  EXPECT_EQ(parsed->segments[0].text, "I'm");
+  EXPECT_EQ(parsed->segments[1].text, " bold");
+  EXPECT_EQ(parsed->segments[1].tag, "bft");
+  EXPECT_EQ(parsed->segments[2].text, " and");
+  EXPECT_EQ(parsed->segments[2].tag, "ft");
+  EXPECT_TRUE(parsed->segments[3].right_to_left);
+  EXPECT_EQ(parsed->segments[3].text, " strange");
+}
+
+TEST(XmStringUnit, PlainTextReversesRtlSegments) {
+  std::string error;
+  auto parsed = xmw::ParseXmString("ab\\rlcd", nullptr, &error);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->PlainText(), "abdc");
+}
+
+TEST(XmStringUnit, EscapedBackslash) {
+  std::string error;
+  auto parsed = xmw::ParseXmString("a\\\\b", nullptr, &error);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->PlainText(), "a\\b");
+}
+
+TEST(XmStringUnit, DanglingBackslashRejected) {
+  std::string error;
+  EXPECT_FALSE(xmw::ParseXmString("oops\\", nullptr, &error).has_value());
+  EXPECT_NE(error.find("dangling"), std::string::npos);
+}
+
+TEST(XmStringUnit, UnknownTagRejectedWithFontList) {
+  auto fonts = xmw::ParseFontList("fixed=ft");
+  std::string error;
+  EXPECT_FALSE(xmw::ParseXmString("x\\nosuch y", &*fonts, &error).has_value());
+}
+
+TEST(XmStringUnit, TagPrefixConsumesRestAsText) {
+  // "\bft!" switches to tag bft; "!" is literal text.
+  auto fonts = xmw::ParseFontList("fixed=b,6x13=bft");
+  std::string error;
+  auto parsed = xmw::ParseXmString("\\bftX", &*fonts, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->segments.size(), 1u);
+  EXPECT_EQ(parsed->segments[0].tag, "bft");  // longest tag wins over "b"
+  EXPECT_EQ(parsed->segments[0].text, "X");
+}
+
+TEST(XmStringUnit, WidthUsesPerSegmentFonts) {
+  auto fonts = xmw::ParseFontList("*helvetica-medium-r*-8-*=small,*helvetica-medium-r*-24-*=big");
+  ASSERT_TRUE(fonts.has_value());
+  std::string error;
+  auto small = xmw::ParseXmString("\\small abcd", &*fonts, &error);
+  auto big = xmw::ParseXmString("\\big abcd", &*fonts, &error);
+  ASSERT_TRUE(small && big);
+  EXPECT_LT(small->Width(*fonts), big->Width(*fonts));
+}
+
+// --- Extension widgets ------------------------------------------------------------------
+
+class ExtTest : public ::testing::Test {
+ protected:
+  ExtTest() {
+    app_.Eval("realize");
+  }
+  wafe::Wafe app_;
+};
+
+TEST_F(ExtTest, PlotterDataRoundTrip) {
+  app_.Eval("barGraph bars topLevel width 100 height 50");
+  app_.Eval("plotterSetData bars {1 2 3 4.5}");
+  EXPECT_EQ(app_.Eval("plotterGetData bars").value, "1 2 3 4.5");
+  app_.Eval("plotterAddSample bars 9");
+  EXPECT_EQ(app_.Eval("plotterGetData bars").value, "1 2 3 4.5 9");
+}
+
+TEST_F(ExtTest, BarGraphDrawsBars) {
+  app_.Eval("barGraph bars topLevel width 100 height 50");
+  app_.Eval("realize");
+  app_.app().display().ClearDrawOps();
+  app_.Eval("plotterSetData bars {10 20 30}");
+  bool filled = false;
+  for (const auto& op : app_.app().display().draw_ops()) {
+    if (op.kind == xsim::Display::DrawOp::Kind::kFillRect) {
+      filled = true;
+    }
+  }
+  EXPECT_TRUE(filled);
+}
+
+TEST_F(ExtTest, GraphLayoutLayersFollowEdges) {
+  app_.Eval("graph g topLevel");
+  app_.Eval("graphAddEdge g root mid");
+  app_.Eval("graphAddEdge g mid leaf");
+  app_.Eval("graphAddEdge g root leaf2");
+  EXPECT_EQ(app_.Eval("graphNodes g").value, "root mid leaf leaf2");
+  std::string layout = app_.Eval("graphLayout g").value;
+  // Cells per node, insertion order: root layer 0; mid layer 1; leaf layer
+  // 2; leaf2 layer 1.
+  EXPECT_EQ(layout, "{0 0} {1 0} {2 0} {1 1}");
+}
+
+TEST_F(ExtTest, GraphToleratesCycles) {
+  app_.Eval("graph g topLevel");
+  app_.Eval("graphAddEdge g a b");
+  app_.Eval("graphAddEdge g b a");  // cycle
+  std::string layout = app_.Eval("graphLayout g").value;
+  EXPECT_FALSE(layout.empty());  // layout terminates
+  app_.Eval("graphClear g");
+  EXPECT_EQ(app_.Eval("graphNodes g").value, "");
+}
+
+// --- Menus end to end --------------------------------------------------------------------
+
+class MenuTest : public ::testing::Test {
+ protected:
+  void Click(const std::string& name) {
+    xtk::Widget* w = app_.app().FindWidget(name);
+    ASSERT_NE(w, nullptr);
+    xsim::Point p = app_.app().display().RootPosition(w->window());
+    app_.app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+    app_.app().display().InjectButtonRelease(p.x + 2, p.y + 2, 1);
+    app_.app().ProcessPending();
+  }
+  wafe::Wafe app_;
+};
+
+TEST_F(MenuTest, FullMenuInteraction) {
+  app_.Eval("simpleMenu menu topLevel");
+  app_.Eval("smeBSB open menu label Open callback {set chosen open}");
+  app_.Eval("smeLine sep menu");
+  app_.Eval("smeBSB close menu label Close callback {set chosen close}");
+  app_.Eval("menuButton mb topLevel menuName menu label File");
+  app_.Eval("realize");
+  // Press the menu button: the menu pops up under it with a grab.
+  xtk::Widget* mb = app_.app().FindWidget("mb");
+  xsim::Point p = app_.app().display().RootPosition(mb->window());
+  app_.app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+  app_.app().ProcessPending();
+  xtk::Widget* menu = app_.app().FindWidget("menu");
+  ASSERT_TRUE(app_.app().IsPoppedUp(menu));
+  // Release over the "close" entry: callback fires and the menu pops down.
+  xtk::Widget* close = app_.app().FindWidget("close");
+  xsim::Point cp = app_.app().display().RootPosition(close->window());
+  app_.app().display().UngrabPointer();  // release the button-grab redirection
+  app_.app().display().InjectButtonRelease(cp.x + 2, cp.y + 2, 1);
+  app_.app().ProcessPending();
+  EXPECT_EQ(app_.Eval("set chosen").value, "close");
+  EXPECT_FALSE(app_.app().IsPoppedUp(menu));
+}
+
+TEST_F(MenuTest, DialogCreatesChildren) {
+  app_.Eval("dialog dlg topLevel label {Are you sure?} value {initial}");
+  app_.Eval("realize");
+  xtk::Widget* label = app_.app().FindWidget("dlg.label");
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(label->GetString("label"), "Are you sure?");
+  xtk::Widget* value = app_.app().FindWidget("dlg.value");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->GetString("string"), "initial");
+}
+
+TEST_F(MenuTest, GripCallbackFires) {
+  app_.Eval("grip g topLevel callback {set gripped 1}");
+  app_.Eval("realize");
+  xtk::Widget* g = app_.app().FindWidget("g");
+  xsim::Point p = app_.app().display().RootPosition(g->window());
+  app_.app().display().InjectButtonPress(p.x + 1, p.y + 1, 1);
+  app_.app().ProcessPending();
+  EXPECT_EQ(app_.Eval("set gripped").value, "1");
+}
+
+TEST_F(MenuTest, BoxVerticalOrientation) {
+  app_.Eval("box b topLevel orientation vertical");
+  app_.Eval("label one b width 40 height 20");
+  app_.Eval("label two b width 40 height 20");
+  app_.Eval("realize");
+  xtk::Widget* one = app_.app().FindWidget("one");
+  xtk::Widget* two = app_.app().FindWidget("two");
+  EXPECT_EQ(one->x(), two->x());
+  EXPECT_GT(two->y(), one->y());
+}
+
+TEST_F(MenuTest, PanedHorizontalOrientation) {
+  app_.Eval("paned p topLevel orientation horizontal");
+  app_.Eval("label one p width 40 height 20");
+  app_.Eval("label two p width 50 height 20");
+  app_.Eval("realize");
+  xtk::Widget* two = app_.app().FindWidget("two");
+  EXPECT_GE(two->x(), 40);
+  EXPECT_EQ(two->y(), 0);
+}
+
+TEST_F(MenuTest, PositionCursorCallbackMovesShell) {
+  app_.Eval("transientShell popup topLevel");
+  app_.Eval("label inside popup");
+  app_.Eval("command b topLevel width 60 height 20");
+  app_.Eval("callback b callback positionCursor popup");
+  app_.Eval("realize");
+  app_.app().display().InjectMotion(77, 66);
+  app_.app().ProcessPending();
+  Click("b");
+  xtk::Widget* popup = app_.app().FindWidget("popup");
+  EXPECT_EQ(popup->x(), app_.app().display().PointerPosition().x);
+  EXPECT_EQ(popup->y(), app_.app().display().PointerPosition().y);
+}
+
+TEST_F(MenuTest, ShellTitleResource) {
+  app_.Eval("sV topLevel title {My Application}");
+  EXPECT_EQ(app_.Eval("gV topLevel title").value, "My Application");
+}
+
+TEST_F(MenuTest, AcceleratorsResourceHoldsTranslations) {
+  app_.Eval("label l topLevel");
+  app_.Eval("sV l accelerators {<Key>Return: exec(set accel 1)}");
+  std::string out = app_.Eval("gV l accelerators").value;
+  EXPECT_NE(out.find("Return"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Xrm resource database: parsing, precedence, merging.
+#include <gtest/gtest.h>
+
+#include "src/xt/xrm.h"
+
+namespace xtk {
+namespace {
+
+using Path = std::vector<std::pair<std::string, std::string>>;
+
+TEST(Xrm, ParsesAndQueriesLooseBinding) {
+  ResourceDatabase db;
+  ASSERT_TRUE(db.MergeLine("*foreground: blue"));
+  Path path{{"wafe", "Wafe"}, {"hello", "Label"}};
+  auto value = db.Query(path, {"foreground", "Foreground"});
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "blue");
+}
+
+TEST(Xrm, TightBindingMustAnchor) {
+  ResourceDatabase db;
+  ASSERT_TRUE(db.MergeLine("wafe.hello.foreground: green"));
+  Path path{{"wafe", "Wafe"}, {"hello", "Label"}};
+  EXPECT_EQ(db.Query(path, {"foreground", "Foreground"}).value_or(""), "green");
+  // A different app name does not match a tight root.
+  Path other{{"other", "Other"}, {"hello", "Label"}};
+  EXPECT_FALSE(db.Query(other, {"foreground", "Foreground"}).has_value());
+}
+
+TEST(Xrm, ClassComponentsMatch) {
+  ResourceDatabase db;
+  ASSERT_TRUE(db.MergeLine("*Label.foreground: red"));
+  Path label_path{{"wafe", "Wafe"}, {"l1", "Label"}};
+  Path command_path{{"wafe", "Wafe"}, {"c1", "Command"}};
+  EXPECT_EQ(db.Query(label_path, {"foreground", "Foreground"}).value_or(""), "red");
+  EXPECT_FALSE(db.Query(command_path, {"foreground", "Foreground"}).has_value());
+}
+
+TEST(Xrm, NameBeatsClass) {
+  ResourceDatabase db;
+  db.MergeLine("*Label.foreground: red");
+  db.MergeLine("*special.foreground: gold");
+  Path path{{"wafe", "Wafe"}, {"special", "Label"}};
+  EXPECT_EQ(db.Query(path, {"foreground", "Foreground"}).value_or(""), "gold");
+}
+
+TEST(Xrm, TightBeatsLoose) {
+  ResourceDatabase db;
+  db.MergeLine("*foreground: loose");
+  db.MergeLine("wafe.form.button.foreground: tight");
+  Path path{{"wafe", "Wafe"}, {"form", "Form"}, {"button", "Command"}};
+  EXPECT_EQ(db.Query(path, {"foreground", "Foreground"}).value_or(""), "tight");
+}
+
+TEST(Xrm, MoreSpecificEarlierLevelWins) {
+  ResourceDatabase db;
+  db.MergeLine("wafe*foreground: app-level");
+  db.MergeLine("*button.foreground: widget-level");
+  Path path{{"wafe", "Wafe"}, {"button", "Command"}};
+  // The first entry matches "wafe" by name at level 0; the second skips
+  // level 0. Name-match at the earliest level wins.
+  EXPECT_EQ(db.Query(path, {"foreground", "Foreground"}).value_or(""), "app-level");
+}
+
+TEST(Xrm, LaterMergeOverridesSameBinding) {
+  ResourceDatabase db;
+  db.MergeLine("*foreground: first");
+  db.MergeLine("*foreground: second");
+  Path path{{"wafe", "Wafe"}, {"l", "Label"}};
+  EXPECT_EQ(db.Query(path, {"foreground", "Foreground"}).value_or(""), "second");
+  EXPECT_EQ(db.size(), 1u);  // replaced, not duplicated
+}
+
+TEST(Xrm, MergeStringSkipsCommentsAndBlanks) {
+  ResourceDatabase db;
+  std::size_t merged = db.MergeString(
+      "! a comment\n"
+      "\n"
+      "*Font: fixed\n"
+      "# hash comment\n"
+      "*background: red\n");
+  EXPECT_EQ(merged, 2u);
+}
+
+TEST(Xrm, MalformedLinesRejected) {
+  ResourceDatabase db;
+  EXPECT_FALSE(db.MergeLine("no colon here"));
+  EXPECT_FALSE(db.MergeLine(": empty binding"));
+  EXPECT_FALSE(db.MergeLine(""));
+}
+
+TEST(Xrm, ValueWhitespaceHandling) {
+  ResourceDatabase db;
+  db.MergeLine("*label:   Hello World  ");
+  Path path{{"wafe", "Wafe"}, {"l", "Label"}};
+  // Leading blanks are stripped, interior and trailing preserved.
+  EXPECT_EQ(db.Query(path, {"label", "Label"}).value_or(""), "Hello World  ");
+}
+
+TEST(Xrm, QuestionMarkMatchesAnyName) {
+  ResourceDatabase db;
+  db.MergeLine("wafe.?.foreground: qmark");
+  Path path{{"wafe", "Wafe"}, {"anything", "Label"}};
+  EXPECT_EQ(db.Query(path, {"foreground", "Foreground"}).value_or(""), "qmark");
+}
+
+TEST(Xrm, DeepPathLooseMatch) {
+  ResourceDatabase db;
+  db.MergeLine("*button.background: pink");
+  Path path{{"wafe", "Wafe"}, {"paned", "Paned"}, {"form", "Form"}, {"button", "Command"}};
+  EXPECT_EQ(db.Query(path, {"background", "Background"}).value_or(""), "pink");
+}
+
+TEST(Xrm, ResourceClassMatches) {
+  ResourceDatabase db;
+  db.MergeLine("*Background: gray");
+  Path path{{"wafe", "Wafe"}, {"l", "Label"}};
+  EXPECT_EQ(db.Query(path, {"background", "Background"}).value_or(""), "gray");
+}
+
+// Precedence sweep: each case lists a winning entry against a fixed path.
+struct PrecedenceCase {
+  const char* winner;
+  const char* loser;
+};
+
+class XrmPrecedence : public ::testing::TestWithParam<PrecedenceCase> {};
+
+TEST_P(XrmPrecedence, WinnerBeatsLoser) {
+  Path path{{"app", "App"}, {"form", "Form"}, {"ok", "Command"}};
+  // Insert in both orders to make sure ordering does not decide.
+  for (bool winner_first : {true, false}) {
+    ResourceDatabase db;
+    if (winner_first) {
+      db.MergeLine(std::string(GetParam().winner) + ": W");
+      db.MergeLine(std::string(GetParam().loser) + ": L");
+    } else {
+      db.MergeLine(std::string(GetParam().loser) + ": L");
+      db.MergeLine(std::string(GetParam().winner) + ": W");
+    }
+    EXPECT_EQ(db.Query(path, {"background", "Background"}).value_or(""), "W")
+        << GetParam().winner << " should beat " << GetParam().loser;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, XrmPrecedence,
+    ::testing::Values(PrecedenceCase{"app.form.ok.background", "*background"},
+                      PrecedenceCase{"app.form.ok.background", "app*background"},
+                      PrecedenceCase{"*ok.background", "*Command.background"},
+                      PrecedenceCase{"*Command.background", "*background"},
+                      PrecedenceCase{"app*ok.background", "*ok.background"},
+                      PrecedenceCase{"*form.ok.background", "*form*background"}));
+
+}  // namespace
+}  // namespace xtk

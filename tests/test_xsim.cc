@@ -1,0 +1,380 @@
+// Simulated display server: windows, events, input injection, drawing,
+// colors, fonts, keysyms, pixmap decoding.
+#include <gtest/gtest.h>
+
+#include "src/xsim/display.h"
+
+namespace xsim {
+namespace {
+
+TEST(Color, NamedLookup) {
+  EXPECT_EQ(LookupColor("red"), MakePixel(255, 0, 0));
+  EXPECT_EQ(LookupColor("blue"), MakePixel(0, 0, 255));
+  EXPECT_EQ(LookupColor("tomato"), MakePixel(255, 99, 71));
+  EXPECT_EQ(LookupColor("Navy Blue"), MakePixel(0, 0, 128));  // case/space insensitive
+  EXPECT_FALSE(LookupColor("notacolor").has_value());
+  EXPECT_FALSE(LookupColor("").has_value());
+}
+
+TEST(Color, HexSpecs) {
+  EXPECT_EQ(LookupColor("#ff0000"), MakePixel(255, 0, 0));
+  EXPECT_EQ(LookupColor("#f00"), MakePixel(255, 0, 0));
+  EXPECT_EQ(LookupColor("#ffff00000000"), MakePixel(255, 0, 0));
+  EXPECT_FALSE(LookupColor("#12345").has_value());
+  EXPECT_FALSE(LookupColor("#zzz").has_value());
+}
+
+TEST(Color, FormatRoundTrip) {
+  Pixel p = MakePixel(18, 52, 86);
+  EXPECT_EQ(FormatColor(p), "#123456");
+  EXPECT_EQ(LookupColor(FormatColor(p)), p);
+}
+
+TEST(Font, DefaultRegistryHasClassicFonts) {
+  FontRegistry& reg = FontRegistry::Default();
+  EXPECT_NE(reg.Open("fixed"), nullptr);
+  EXPECT_NE(reg.Open("6x13"), nullptr);
+  EXPECT_GT(reg.size(), 100u);  // families x weights x slants x sizes
+}
+
+TEST(Font, XlfdWildcardMatch) {
+  FontRegistry& reg = FontRegistry::Default();
+  FontPtr lucida = reg.Open("*b&h-lucida-medium-r*14*");
+  ASSERT_NE(lucida, nullptr);
+  EXPECT_FALSE(lucida->bold);
+  FontPtr bold = reg.Open("*b&h-lucida-bold-r*14*");
+  ASSERT_NE(bold, nullptr);
+  EXPECT_TRUE(bold->bold);
+  EXPECT_EQ(reg.Open("*no-such-family*"), nullptr);
+}
+
+TEST(Font, MetricsScaleWithSize) {
+  FontRegistry& reg = FontRegistry::Default();
+  FontPtr small = reg.Open("*helvetica-medium-r*-8-*");
+  FontPtr large = reg.Open("*helvetica-medium-r*-24-*");
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(large, nullptr);
+  EXPECT_LT(small->Height(), large->Height());
+  EXPECT_LT(small->TextWidth("hello"), large->TextWidth("hello"));
+}
+
+TEST(Keysym, PaperKeyEchoTriple) {
+  // The paper's xev example: typing "w!" prints
+  //   198 w w / 174 Shift_L / 197 ! exclam
+  EXPECT_EQ(KeysymToKeycode(AsciiToKeysym('w')), 198);
+  EXPECT_EQ(KeysymToString(AsciiToKeysym('w')), "w");
+  EXPECT_EQ(KeysymToKeycode(kKeyShiftL), 174);
+  EXPECT_EQ(KeysymToString(kKeyShiftL), "Shift_L");
+  EXPECT_EQ(KeysymToKeycode(AsciiToKeysym('!')), 197);
+  EXPECT_EQ(KeysymToString(AsciiToKeysym('!')), "exclam");
+}
+
+TEST(Keysym, RoundTrips) {
+  for (char c : std::string("abcxyz0189 ;,./")) {
+    KeySym sym = AsciiToKeysym(c);
+    KeyCode code = KeysymToKeycode(sym);
+    EXPECT_NE(code, 0) << "char " << c;
+    bool shifted = false;
+    EXPECT_EQ(KeycodeToKeysym(code, shifted), sym) << "char " << c;
+  }
+}
+
+TEST(Keysym, StringToKeysym) {
+  EXPECT_EQ(StringToKeysym("Return"), kKeyReturn);
+  EXPECT_EQ(StringToKeysym("exclam"), AsciiToKeysym('!'));
+  EXPECT_EQ(StringToKeysym("a"), AsciiToKeysym('a'));
+  EXPECT_FALSE(StringToKeysym("NotAKey").has_value());
+}
+
+TEST(Keysym, AsciiConversions) {
+  EXPECT_EQ(KeysymToAscii(AsciiToKeysym('x')), 'x');
+  EXPECT_EQ(KeysymToAscii(kKeyReturn), '\r');
+  EXPECT_FALSE(KeysymToAscii(kKeyShiftL).has_value());
+}
+
+// --- Window tree -------------------------------------------------------------
+
+class DisplayTest : public ::testing::Test {
+ protected:
+  Display display_;
+};
+
+TEST_F(DisplayTest, CreateAndDestroyWindows) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{10, 10, 100, 100});
+  WindowId b = display_.CreateWindow(a, Rect{5, 5, 20, 20});
+  EXPECT_TRUE(display_.Exists(a));
+  EXPECT_TRUE(display_.Exists(b));
+  EXPECT_EQ(display_.Parent(b), a);
+  ASSERT_EQ(display_.Children(a).size(), 1u);
+  display_.DestroyWindow(a);
+  EXPECT_FALSE(display_.Exists(a));
+  EXPECT_FALSE(display_.Exists(b));  // destroyed recursively
+}
+
+TEST_F(DisplayTest, DestroyEmitsDestroyNotifyBottomUp) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{0, 0, 10, 10});
+  WindowId b = display_.CreateWindow(a, Rect{0, 0, 5, 5});
+  display_.DestroyWindow(a);
+  Event first = display_.NextEvent();
+  Event second = display_.NextEvent();
+  EXPECT_EQ(first.type, EventType::kDestroyNotify);
+  EXPECT_EQ(first.window, b);
+  EXPECT_EQ(second.window, a);
+}
+
+TEST_F(DisplayTest, MapGeneratesExposeWhenViewable) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{0, 0, 50, 50});
+  display_.MapWindow(a);
+  Event map_event = display_.NextEvent();
+  Event expose = display_.NextEvent();
+  EXPECT_EQ(map_event.type, EventType::kMapNotify);
+  EXPECT_EQ(expose.type, EventType::kExpose);
+  EXPECT_EQ(expose.area.width, 50u);
+}
+
+TEST_F(DisplayTest, ViewabilityRequiresAncestors) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{0, 0, 50, 50});
+  WindowId b = display_.CreateWindow(a, Rect{0, 0, 10, 10});
+  display_.MapWindow(b);
+  EXPECT_TRUE(display_.IsMapped(b));
+  EXPECT_FALSE(display_.IsViewable(b));
+  display_.MapWindow(a);
+  EXPECT_TRUE(display_.IsViewable(b));
+}
+
+TEST_F(DisplayTest, RootPositionAccumulates) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{10, 20, 100, 100});
+  WindowId b = display_.CreateWindow(a, Rect{5, 6, 10, 10});
+  Point p = display_.RootPosition(b);
+  EXPECT_EQ(p.x, 15);
+  EXPECT_EQ(p.y, 26);
+}
+
+TEST_F(DisplayTest, HitTestFindsDeepestViewable) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{10, 10, 100, 100});
+  WindowId b = display_.CreateWindow(a, Rect{20, 20, 30, 30});
+  display_.MapWindow(a);
+  display_.MapWindow(b);
+  EXPECT_EQ(display_.WindowAtPoint(35, 35), b);
+  EXPECT_EQ(display_.WindowAtPoint(15, 15), a);
+  EXPECT_EQ(display_.WindowAtPoint(500, 500), display_.root());
+}
+
+TEST_F(DisplayTest, StackingOrderWins) {
+  WindowId below = display_.CreateWindow(display_.root(), Rect{0, 0, 50, 50});
+  WindowId above = display_.CreateWindow(display_.root(), Rect{0, 0, 50, 50});
+  display_.MapWindow(below);
+  display_.MapWindow(above);
+  EXPECT_EQ(display_.WindowAtPoint(10, 10), above);
+  display_.RaiseWindow(below);
+  EXPECT_EQ(display_.WindowAtPoint(10, 10), below);
+}
+
+// --- Input injection ------------------------------------------------------------
+
+TEST_F(DisplayTest, ButtonPressTargetsWindowUnderPointer) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{10, 10, 100, 100});
+  display_.MapWindow(a);
+  while (display_.Pending()) {
+    display_.NextEvent();
+  }
+  display_.InjectButtonPress(50, 60, 1);
+  // Crossing events may precede the press.
+  Event event;
+  do {
+    event = display_.NextEvent();
+  } while (event.type != EventType::kButtonPress);
+  EXPECT_EQ(event.window, a);
+  EXPECT_EQ(event.x, 40);  // window-relative
+  EXPECT_EQ(event.y, 50);
+  EXPECT_EQ(event.x_root, 50);
+  EXPECT_EQ(event.button, 1u);
+}
+
+TEST_F(DisplayTest, MotionEmitsEnterLeavePairs) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{0, 0, 50, 50});
+  WindowId b = display_.CreateWindow(display_.root(), Rect{100, 0, 50, 50});
+  display_.MapWindow(a);
+  display_.MapWindow(b);
+  while (display_.Pending()) {
+    display_.NextEvent();
+  }
+  display_.InjectMotion(10, 10);  // root -> a
+  display_.InjectMotion(110, 10);  // a -> b
+  std::vector<Event> events;
+  while (display_.Pending()) {
+    events.push_back(display_.NextEvent());
+  }
+  // leave root, enter a, motion(a), leave a, enter b, motion(b)
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].type, EventType::kLeaveNotify);
+  EXPECT_EQ(events[0].window, display_.root());
+  EXPECT_EQ(events[1].type, EventType::kEnterNotify);
+  EXPECT_EQ(events[1].window, a);
+  EXPECT_EQ(events[2].type, EventType::kMotionNotify);
+  EXPECT_EQ(events[3].type, EventType::kLeaveNotify);
+  EXPECT_EQ(events[3].window, a);
+  EXPECT_EQ(events[4].type, EventType::kEnterNotify);
+  EXPECT_EQ(events[4].window, b);
+  EXPECT_EQ(events[5].type, EventType::kMotionNotify);
+}
+
+TEST_F(DisplayTest, KeyEventsGoToFocusWindow) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{0, 0, 50, 50});
+  display_.MapWindow(a);
+  display_.SetInputFocus(a);
+  while (display_.Pending()) {
+    display_.NextEvent();
+  }
+  display_.InjectKeyPress(AsciiToKeysym('q'));
+  Event event = display_.NextEvent();
+  EXPECT_EQ(event.type, EventType::kKeyPress);
+  EXPECT_EQ(event.window, a);
+  EXPECT_EQ(event.keysym, AsciiToKeysym('q'));
+  EXPECT_EQ(event.keycode, KeysymToKeycode(AsciiToKeysym('q')));
+}
+
+TEST_F(DisplayTest, InjectTextAddsShiftForUppercase) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{0, 0, 50, 50});
+  display_.MapWindow(a);
+  display_.SetInputFocus(a);
+  while (display_.Pending()) {
+    display_.NextEvent();
+  }
+  display_.InjectText("a!");
+  std::vector<Event> events;
+  while (display_.Pending()) {
+    events.push_back(display_.NextEvent());
+  }
+  // a: press+release; !: shift-press, press, release, shift-release.
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].keysym, AsciiToKeysym('a'));
+  EXPECT_EQ(events[2].keysym, kKeyShiftL);
+  EXPECT_EQ(events[3].keysym, AsciiToKeysym('!'));
+  EXPECT_EQ(events[3].state & kShiftMask, kShiftMask);
+}
+
+TEST_F(DisplayTest, PointerGrabRedirectsEvents) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{0, 0, 50, 50});
+  WindowId popup = display_.CreateWindow(display_.root(), Rect{200, 200, 50, 50});
+  display_.MapWindow(a);
+  display_.MapWindow(popup);
+  display_.GrabPointer(popup, /*owner_events=*/false);
+  while (display_.Pending()) {
+    display_.NextEvent();
+  }
+  display_.InjectButtonPress(10, 10, 1);  // over `a`, but grabbed
+  Event event;
+  do {
+    event = display_.NextEvent();
+  } while (event.type != EventType::kButtonPress);
+  EXPECT_EQ(event.window, popup);
+  display_.UngrabPointer();
+  display_.InjectButtonPress(10, 10, 1);
+  do {
+    event = display_.NextEvent();
+  } while (event.type != EventType::kButtonPress);
+  EXPECT_EQ(event.window, a);
+}
+
+TEST_F(DisplayTest, TimeAdvancesPerInjection) {
+  std::uint64_t before = display_.Now();
+  display_.InjectMotion(1, 1);
+  display_.InjectMotion(2, 2);
+  EXPECT_EQ(display_.Now(), before + 2);
+}
+
+// --- Drawing ----------------------------------------------------------------------
+
+TEST_F(DisplayTest, FillRectPaintsFramebufferClipped) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{10, 10, 20, 20});
+  display_.MapWindow(a);
+  display_.FillRect(a, Rect{0, 0, 100, 100}, MakePixel(255, 0, 0));  // clipped to 20x20
+  EXPECT_EQ(display_.PixelAt(15, 15), MakePixel(255, 0, 0));
+  EXPECT_EQ(display_.PixelAt(35, 35), kBlackPixel);  // outside the window
+}
+
+TEST_F(DisplayTest, DrawTextRecordsOps) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{0, 0, 200, 40});
+  display_.MapWindow(a);
+  FontPtr font = FontRegistry::Default().Open("fixed");
+  display_.DrawText(a, 5, 20, "hello world", font, kBlackPixel);
+  EXPECT_TRUE(display_.WindowShowsText(a, "hello world"));
+  EXPECT_FALSE(display_.WindowShowsText(a, "goodbye"));
+  std::vector<std::string> texts = display_.VisibleText();
+  ASSERT_EQ(texts.size(), 1u);
+  EXPECT_EQ(texts[0], "hello world");
+}
+
+TEST_F(DisplayTest, ClearWindowUsesBackground) {
+  WindowId a =
+      display_.CreateWindow(display_.root(), Rect{0, 0, 10, 10}, 0, MakePixel(0, 0, 255));
+  display_.MapWindow(a);
+  display_.ClearWindow(a);
+  EXPECT_EQ(display_.PixelAt(5, 5), MakePixel(0, 0, 255));
+}
+
+TEST_F(DisplayTest, LineDrawsEndpoints) {
+  WindowId a = display_.CreateWindow(display_.root(), Rect{0, 0, 50, 50});
+  display_.MapWindow(a);
+  display_.DrawLine(a, Point{0, 0}, Point{9, 9}, MakePixel(0, 255, 0));
+  EXPECT_EQ(display_.PixelAt(0, 0), MakePixel(0, 255, 0));
+  EXPECT_EQ(display_.PixelAt(9, 9), MakePixel(0, 255, 0));
+  EXPECT_EQ(display_.PixelAt(5, 5), MakePixel(0, 255, 0));
+}
+
+// --- Pixmaps --------------------------------------------------------------------------
+
+constexpr char kXbm[] = R"(#define test_width 8
+#define test_height 2
+static char test_bits[] = {
+   0x01, 0x80};
+)";
+
+TEST(Pixmap, ParsesXbm) {
+  PixmapPtr p = ParseXbm(kXbm);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->width, 8u);
+  EXPECT_EQ(p->height, 2u);
+  EXPECT_EQ(p->At(0, 0), kBlackPixel);   // LSB of 0x01
+  EXPECT_EQ(p->At(1, 0), kWhitePixel);
+  EXPECT_EQ(p->At(7, 1), kBlackPixel);   // MSB of 0x80
+  EXPECT_TRUE(p->mask.empty());
+}
+
+constexpr char kXpm[] = R"(static char *test[] = {
+"3 2 3 1",
+"  c None",
+". c red",
+"# c #0000ff",
+".#.",
+" # ",
+};
+)";
+
+TEST(Pixmap, ParsesXpmWithTransparency) {
+  PixmapPtr p = ParseXpm(kXpm);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->width, 3u);
+  EXPECT_EQ(p->height, 2u);
+  EXPECT_EQ(p->At(0, 0), MakePixel(255, 0, 0));
+  EXPECT_EQ(p->At(1, 0), MakePixel(0, 0, 255));
+  EXPECT_FALSE(p->Opaque(0, 1));  // None -> transparent
+  EXPECT_TRUE(p->Opaque(1, 1));
+}
+
+TEST(Pixmap, FallbackTriesXbmThenXpm) {
+  EXPECT_NE(ParseBitmapOrPixmap(kXbm), nullptr);
+  EXPECT_NE(ParseBitmapOrPixmap(kXpm), nullptr);
+  EXPECT_EQ(ParseBitmapOrPixmap("garbage"), nullptr);
+}
+
+TEST(Pixmap, RejectsMalformed) {
+  EXPECT_EQ(ParseXbm("#define w 8"), nullptr);
+  EXPECT_EQ(ParseXpm("static char *x[] = {\"1 1 1 1\"};"), nullptr);  // missing colors/rows
+  EXPECT_EQ(ParseXpm("static char *x[] = {\"1 1 1 1\", \"? c nosuchcolor\", \"?\"};"),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace xsim
