@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_actions"
+  "../bench/bench_actions.pdb"
+  "CMakeFiles/bench_actions.dir/bench_actions.cc.o"
+  "CMakeFiles/bench_actions.dir/bench_actions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

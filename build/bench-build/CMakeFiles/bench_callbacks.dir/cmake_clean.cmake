@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_callbacks"
+  "../bench/bench_callbacks.pdb"
+  "CMakeFiles/bench_callbacks.dir/bench_callbacks.cc.o"
+  "CMakeFiles/bench_callbacks.dir/bench_callbacks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_callbacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

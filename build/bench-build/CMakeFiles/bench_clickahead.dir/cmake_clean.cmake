@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_clickahead"
+  "../bench/bench_clickahead.pdb"
+  "CMakeFiles/bench_clickahead.dir/bench_clickahead.cc.o"
+  "CMakeFiles/bench_clickahead.dir/bench_clickahead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clickahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

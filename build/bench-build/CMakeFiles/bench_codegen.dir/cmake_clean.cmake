@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_codegen"
+  "../bench/bench_codegen.pdb"
+  "CMakeFiles/bench_codegen.dir/bench_codegen.cc.o"
+  "CMakeFiles/bench_codegen.dir/bench_codegen.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

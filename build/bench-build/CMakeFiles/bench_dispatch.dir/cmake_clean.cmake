@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dispatch"
+  "../bench/bench_dispatch.pdb"
+  "CMakeFiles/bench_dispatch.dir/bench_dispatch.cc.o"
+  "CMakeFiles/bench_dispatch.dir/bench_dispatch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

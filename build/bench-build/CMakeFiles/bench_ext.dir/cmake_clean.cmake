@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext"
+  "../bench/bench_ext.pdb"
+  "CMakeFiles/bench_ext.dir/bench_ext.cc.o"
+  "CMakeFiles/bench_ext.dir/bench_ext.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

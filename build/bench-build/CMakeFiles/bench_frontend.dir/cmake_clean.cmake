@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_frontend"
+  "../bench/bench_frontend.pdb"
+  "CMakeFiles/bench_frontend.dir/bench_frontend.cc.o"
+  "CMakeFiles/bench_frontend.dir/bench_frontend.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

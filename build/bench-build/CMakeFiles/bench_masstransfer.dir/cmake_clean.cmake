@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_masstransfer"
+  "../bench/bench_masstransfer.pdb"
+  "CMakeFiles/bench_masstransfer.dir/bench_masstransfer.cc.o"
+  "CMakeFiles/bench_masstransfer.dir/bench_masstransfer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_masstransfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_startup"
+  "../bench/bench_startup.pdb"
+  "CMakeFiles/bench_startup.dir/bench_startup.cc.o"
+  "CMakeFiles/bench_startup.dir/bench_startup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

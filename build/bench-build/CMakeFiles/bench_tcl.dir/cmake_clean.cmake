@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tcl"
+  "../bench/bench_tcl.pdb"
+  "CMakeFiles/bench_tcl.dir/bench_tcl.cc.o"
+  "CMakeFiles/bench_tcl.dir/bench_tcl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

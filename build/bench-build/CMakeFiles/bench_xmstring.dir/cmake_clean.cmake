@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_xmstring"
+  "../bench/bench_xmstring.pdb"
+  "CMakeFiles/bench_xmstring.dir/bench_xmstring.cc.o"
+  "CMakeFiles/bench_xmstring.dir/bench_xmstring.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xmstring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

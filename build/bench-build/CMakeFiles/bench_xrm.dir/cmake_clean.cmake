@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_xrm"
+  "../bench/bench_xrm.pdb"
+  "CMakeFiles/bench_xrm.dir/bench_xrm.cc.o"
+  "CMakeFiles/bench_xrm.dir/bench_xrm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cardfiler.cpp" "examples/CMakeFiles/cardfiler.dir/cardfiler.cpp.o" "gcc" "examples/CMakeFiles/cardfiler.dir/cardfiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wafecore.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcl/CMakeFiles/wtcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xaw/CMakeFiles/xaw.dir/DependInfo.cmake"
+  "/root/repo/build/src/xm/CMakeFiles/xmw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/wext.dir/DependInfo.cmake"
+  "/root/repo/build/src/xt/CMakeFiles/xtk.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/xsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

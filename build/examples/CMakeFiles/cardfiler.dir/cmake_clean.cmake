@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardfiler.dir/cardfiler.cpp.o"
+  "CMakeFiles/cardfiler.dir/cardfiler.cpp.o.d"
+  "cardfiler"
+  "cardfiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardfiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

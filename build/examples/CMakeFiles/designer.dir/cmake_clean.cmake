@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/designer.dir/designer.cpp.o"
+  "CMakeFiles/designer.dir/designer.cpp.o.d"
+  "designer"
+  "designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirtree.dir/dirtree.cpp.o"
+  "CMakeFiles/dirtree.dir/dirtree.cpp.o.d"
+  "dirtree"
+  "dirtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primefactor.dir/primefactor.cpp.o"
+  "CMakeFiles/primefactor.dir/primefactor.cpp.o.d"
+  "primefactor"
+  "primefactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primefactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

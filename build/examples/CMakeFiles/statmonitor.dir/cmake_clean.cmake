@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statmonitor.dir/statmonitor.cpp.o"
+  "CMakeFiles/statmonitor.dir/statmonitor.cpp.o.d"
+  "statmonitor"
+  "statmonitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statmonitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafe.dir/wafe_main.cc.o"
+  "CMakeFiles/wafe.dir/wafe_main.cc.o.d"
+  "wafe"
+  "wafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm.cc" "src/core/CMakeFiles/wafecore.dir/comm.cc.o" "gcc" "src/core/CMakeFiles/wafecore.dir/comm.cc.o.d"
+  "/root/repo/src/core/commands.cc" "src/core/CMakeFiles/wafecore.dir/commands.cc.o" "gcc" "src/core/CMakeFiles/wafecore.dir/commands.cc.o.d"
+  "/root/repo/src/core/commands_widgets.cc" "src/core/CMakeFiles/wafecore.dir/commands_widgets.cc.o" "gcc" "src/core/CMakeFiles/wafecore.dir/commands_widgets.cc.o.d"
+  "/root/repo/src/core/converters.cc" "src/core/CMakeFiles/wafecore.dir/converters.cc.o" "gcc" "src/core/CMakeFiles/wafecore.dir/converters.cc.o.d"
+  "/root/repo/src/core/naming.cc" "src/core/CMakeFiles/wafecore.dir/naming.cc.o" "gcc" "src/core/CMakeFiles/wafecore.dir/naming.cc.o.d"
+  "/root/repo/src/core/percent.cc" "src/core/CMakeFiles/wafecore.dir/percent.cc.o" "gcc" "src/core/CMakeFiles/wafecore.dir/percent.cc.o.d"
+  "/root/repo/src/core/spec.cc" "src/core/CMakeFiles/wafecore.dir/spec.cc.o" "gcc" "src/core/CMakeFiles/wafecore.dir/spec.cc.o.d"
+  "/root/repo/src/core/wafe.cc" "src/core/CMakeFiles/wafecore.dir/wafe.cc.o" "gcc" "src/core/CMakeFiles/wafecore.dir/wafe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcl/CMakeFiles/wtcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xt/CMakeFiles/xtk.dir/DependInfo.cmake"
+  "/root/repo/build/src/xaw/CMakeFiles/xaw.dir/DependInfo.cmake"
+  "/root/repo/build/src/xm/CMakeFiles/xmw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/wext.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/xsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

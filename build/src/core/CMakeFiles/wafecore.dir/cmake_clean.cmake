@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafecore.dir/comm.cc.o"
+  "CMakeFiles/wafecore.dir/comm.cc.o.d"
+  "CMakeFiles/wafecore.dir/commands.cc.o"
+  "CMakeFiles/wafecore.dir/commands.cc.o.d"
+  "CMakeFiles/wafecore.dir/commands_widgets.cc.o"
+  "CMakeFiles/wafecore.dir/commands_widgets.cc.o.d"
+  "CMakeFiles/wafecore.dir/converters.cc.o"
+  "CMakeFiles/wafecore.dir/converters.cc.o.d"
+  "CMakeFiles/wafecore.dir/naming.cc.o"
+  "CMakeFiles/wafecore.dir/naming.cc.o.d"
+  "CMakeFiles/wafecore.dir/percent.cc.o"
+  "CMakeFiles/wafecore.dir/percent.cc.o.d"
+  "CMakeFiles/wafecore.dir/spec.cc.o"
+  "CMakeFiles/wafecore.dir/spec.cc.o.d"
+  "CMakeFiles/wafecore.dir/wafe.cc.o"
+  "CMakeFiles/wafecore.dir/wafe.cc.o.d"
+  "libwafecore.a"
+  "libwafecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

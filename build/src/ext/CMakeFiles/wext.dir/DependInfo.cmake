@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ext/plotter.cc" "src/ext/CMakeFiles/wext.dir/plotter.cc.o" "gcc" "src/ext/CMakeFiles/wext.dir/plotter.cc.o.d"
+  "/root/repo/src/ext/rdd.cc" "src/ext/CMakeFiles/wext.dir/rdd.cc.o" "gcc" "src/ext/CMakeFiles/wext.dir/rdd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xt/CMakeFiles/xtk.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/xsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wext.dir/plotter.cc.o"
+  "CMakeFiles/wext.dir/plotter.cc.o.d"
+  "CMakeFiles/wext.dir/rdd.cc.o"
+  "CMakeFiles/wext.dir/rdd.cc.o.d"
+  "libwext.a"
+  "libwext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcl/builtins_array.cc" "src/tcl/CMakeFiles/wtcl.dir/builtins_array.cc.o" "gcc" "src/tcl/CMakeFiles/wtcl.dir/builtins_array.cc.o.d"
+  "/root/repo/src/tcl/builtins_core.cc" "src/tcl/CMakeFiles/wtcl.dir/builtins_core.cc.o" "gcc" "src/tcl/CMakeFiles/wtcl.dir/builtins_core.cc.o.d"
+  "/root/repo/src/tcl/builtins_io.cc" "src/tcl/CMakeFiles/wtcl.dir/builtins_io.cc.o" "gcc" "src/tcl/CMakeFiles/wtcl.dir/builtins_io.cc.o.d"
+  "/root/repo/src/tcl/builtins_list.cc" "src/tcl/CMakeFiles/wtcl.dir/builtins_list.cc.o" "gcc" "src/tcl/CMakeFiles/wtcl.dir/builtins_list.cc.o.d"
+  "/root/repo/src/tcl/builtins_string.cc" "src/tcl/CMakeFiles/wtcl.dir/builtins_string.cc.o" "gcc" "src/tcl/CMakeFiles/wtcl.dir/builtins_string.cc.o.d"
+  "/root/repo/src/tcl/expr.cc" "src/tcl/CMakeFiles/wtcl.dir/expr.cc.o" "gcc" "src/tcl/CMakeFiles/wtcl.dir/expr.cc.o.d"
+  "/root/repo/src/tcl/interp.cc" "src/tcl/CMakeFiles/wtcl.dir/interp.cc.o" "gcc" "src/tcl/CMakeFiles/wtcl.dir/interp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

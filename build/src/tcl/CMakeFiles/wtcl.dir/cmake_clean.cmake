@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtcl.dir/builtins_array.cc.o"
+  "CMakeFiles/wtcl.dir/builtins_array.cc.o.d"
+  "CMakeFiles/wtcl.dir/builtins_core.cc.o"
+  "CMakeFiles/wtcl.dir/builtins_core.cc.o.d"
+  "CMakeFiles/wtcl.dir/builtins_io.cc.o"
+  "CMakeFiles/wtcl.dir/builtins_io.cc.o.d"
+  "CMakeFiles/wtcl.dir/builtins_list.cc.o"
+  "CMakeFiles/wtcl.dir/builtins_list.cc.o.d"
+  "CMakeFiles/wtcl.dir/builtins_string.cc.o"
+  "CMakeFiles/wtcl.dir/builtins_string.cc.o.d"
+  "CMakeFiles/wtcl.dir/expr.cc.o"
+  "CMakeFiles/wtcl.dir/expr.cc.o.d"
+  "CMakeFiles/wtcl.dir/interp.cc.o"
+  "CMakeFiles/wtcl.dir/interp.cc.o.d"
+  "libwtcl.a"
+  "libwtcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

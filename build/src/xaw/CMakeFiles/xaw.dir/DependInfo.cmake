@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xaw/athena.cc" "src/xaw/CMakeFiles/xaw.dir/athena.cc.o" "gcc" "src/xaw/CMakeFiles/xaw.dir/athena.cc.o.d"
+  "/root/repo/src/xaw/athena_containers.cc" "src/xaw/CMakeFiles/xaw.dir/athena_containers.cc.o" "gcc" "src/xaw/CMakeFiles/xaw.dir/athena_containers.cc.o.d"
+  "/root/repo/src/xaw/athena_core.cc" "src/xaw/CMakeFiles/xaw.dir/athena_core.cc.o" "gcc" "src/xaw/CMakeFiles/xaw.dir/athena_core.cc.o.d"
+  "/root/repo/src/xaw/athena_list.cc" "src/xaw/CMakeFiles/xaw.dir/athena_list.cc.o" "gcc" "src/xaw/CMakeFiles/xaw.dir/athena_list.cc.o.d"
+  "/root/repo/src/xaw/athena_menu.cc" "src/xaw/CMakeFiles/xaw.dir/athena_menu.cc.o" "gcc" "src/xaw/CMakeFiles/xaw.dir/athena_menu.cc.o.d"
+  "/root/repo/src/xaw/athena_misc.cc" "src/xaw/CMakeFiles/xaw.dir/athena_misc.cc.o" "gcc" "src/xaw/CMakeFiles/xaw.dir/athena_misc.cc.o.d"
+  "/root/repo/src/xaw/athena_text.cc" "src/xaw/CMakeFiles/xaw.dir/athena_text.cc.o" "gcc" "src/xaw/CMakeFiles/xaw.dir/athena_text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xt/CMakeFiles/xtk.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/xsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xaw.dir/athena.cc.o"
+  "CMakeFiles/xaw.dir/athena.cc.o.d"
+  "CMakeFiles/xaw.dir/athena_containers.cc.o"
+  "CMakeFiles/xaw.dir/athena_containers.cc.o.d"
+  "CMakeFiles/xaw.dir/athena_core.cc.o"
+  "CMakeFiles/xaw.dir/athena_core.cc.o.d"
+  "CMakeFiles/xaw.dir/athena_list.cc.o"
+  "CMakeFiles/xaw.dir/athena_list.cc.o.d"
+  "CMakeFiles/xaw.dir/athena_menu.cc.o"
+  "CMakeFiles/xaw.dir/athena_menu.cc.o.d"
+  "CMakeFiles/xaw.dir/athena_misc.cc.o"
+  "CMakeFiles/xaw.dir/athena_misc.cc.o.d"
+  "CMakeFiles/xaw.dir/athena_text.cc.o"
+  "CMakeFiles/xaw.dir/athena_text.cc.o.d"
+  "libxaw.a"
+  "libxaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

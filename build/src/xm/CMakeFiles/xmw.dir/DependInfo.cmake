@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xm/motif.cc" "src/xm/CMakeFiles/xmw.dir/motif.cc.o" "gcc" "src/xm/CMakeFiles/xmw.dir/motif.cc.o.d"
+  "/root/repo/src/xm/xmstring.cc" "src/xm/CMakeFiles/xmw.dir/xmstring.cc.o" "gcc" "src/xm/CMakeFiles/xmw.dir/xmstring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xt/CMakeFiles/xtk.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/xsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

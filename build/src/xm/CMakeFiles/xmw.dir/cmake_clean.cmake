@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmw.dir/motif.cc.o"
+  "CMakeFiles/xmw.dir/motif.cc.o.d"
+  "CMakeFiles/xmw.dir/xmstring.cc.o"
+  "CMakeFiles/xmw.dir/xmstring.cc.o.d"
+  "libxmw.a"
+  "libxmw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

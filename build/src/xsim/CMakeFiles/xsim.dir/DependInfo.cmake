@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xsim/color.cc" "src/xsim/CMakeFiles/xsim.dir/color.cc.o" "gcc" "src/xsim/CMakeFiles/xsim.dir/color.cc.o.d"
+  "/root/repo/src/xsim/display.cc" "src/xsim/CMakeFiles/xsim.dir/display.cc.o" "gcc" "src/xsim/CMakeFiles/xsim.dir/display.cc.o.d"
+  "/root/repo/src/xsim/event.cc" "src/xsim/CMakeFiles/xsim.dir/event.cc.o" "gcc" "src/xsim/CMakeFiles/xsim.dir/event.cc.o.d"
+  "/root/repo/src/xsim/font.cc" "src/xsim/CMakeFiles/xsim.dir/font.cc.o" "gcc" "src/xsim/CMakeFiles/xsim.dir/font.cc.o.d"
+  "/root/repo/src/xsim/keysym.cc" "src/xsim/CMakeFiles/xsim.dir/keysym.cc.o" "gcc" "src/xsim/CMakeFiles/xsim.dir/keysym.cc.o.d"
+  "/root/repo/src/xsim/pixmap.cc" "src/xsim/CMakeFiles/xsim.dir/pixmap.cc.o" "gcc" "src/xsim/CMakeFiles/xsim.dir/pixmap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsim.dir/color.cc.o"
+  "CMakeFiles/xsim.dir/color.cc.o.d"
+  "CMakeFiles/xsim.dir/display.cc.o"
+  "CMakeFiles/xsim.dir/display.cc.o.d"
+  "CMakeFiles/xsim.dir/event.cc.o"
+  "CMakeFiles/xsim.dir/event.cc.o.d"
+  "CMakeFiles/xsim.dir/font.cc.o"
+  "CMakeFiles/xsim.dir/font.cc.o.d"
+  "CMakeFiles/xsim.dir/keysym.cc.o"
+  "CMakeFiles/xsim.dir/keysym.cc.o.d"
+  "CMakeFiles/xsim.dir/pixmap.cc.o"
+  "CMakeFiles/xsim.dir/pixmap.cc.o.d"
+  "libxsim.a"
+  "libxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

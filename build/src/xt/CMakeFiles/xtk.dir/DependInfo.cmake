@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xt/app.cc" "src/xt/CMakeFiles/xtk.dir/app.cc.o" "gcc" "src/xt/CMakeFiles/xtk.dir/app.cc.o.d"
+  "/root/repo/src/xt/classes.cc" "src/xt/CMakeFiles/xtk.dir/classes.cc.o" "gcc" "src/xt/CMakeFiles/xtk.dir/classes.cc.o.d"
+  "/root/repo/src/xt/converter.cc" "src/xt/CMakeFiles/xtk.dir/converter.cc.o" "gcc" "src/xt/CMakeFiles/xtk.dir/converter.cc.o.d"
+  "/root/repo/src/xt/translations.cc" "src/xt/CMakeFiles/xtk.dir/translations.cc.o" "gcc" "src/xt/CMakeFiles/xtk.dir/translations.cc.o.d"
+  "/root/repo/src/xt/widget.cc" "src/xt/CMakeFiles/xtk.dir/widget.cc.o" "gcc" "src/xt/CMakeFiles/xtk.dir/widget.cc.o.d"
+  "/root/repo/src/xt/xrm.cc" "src/xt/CMakeFiles/xtk.dir/xrm.cc.o" "gcc" "src/xt/CMakeFiles/xtk.dir/xrm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xsim/CMakeFiles/xsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

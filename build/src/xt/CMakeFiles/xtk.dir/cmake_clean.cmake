@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtk.dir/app.cc.o"
+  "CMakeFiles/xtk.dir/app.cc.o.d"
+  "CMakeFiles/xtk.dir/classes.cc.o"
+  "CMakeFiles/xtk.dir/classes.cc.o.d"
+  "CMakeFiles/xtk.dir/converter.cc.o"
+  "CMakeFiles/xtk.dir/converter.cc.o.d"
+  "CMakeFiles/xtk.dir/translations.cc.o"
+  "CMakeFiles/xtk.dir/translations.cc.o.d"
+  "CMakeFiles/xtk.dir/widget.cc.o"
+  "CMakeFiles/xtk.dir/widget.cc.o.d"
+  "CMakeFiles/xtk.dir/xrm.cc.o"
+  "CMakeFiles/xtk.dir/xrm.cc.o.d"
+  "libxtk.a"
+  "libxtk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafe_backend.dir/helpers/wafe_backend.cc.o"
+  "CMakeFiles/wafe_backend.dir/helpers/wafe_backend.cc.o.d"
+  "wafe_backend"
+  "wafe_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafe_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_app_loop.cc" "tests/CMakeFiles/wafe_tests.dir/test_app_loop.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_app_loop.cc.o.d"
+  "/root/repo/tests/test_binary.cc" "tests/CMakeFiles/wafe_tests.dir/test_binary.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_binary.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/wafe_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_frontend.cc" "tests/CMakeFiles/wafe_tests.dir/test_frontend.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_frontend.cc.o.d"
+  "/root/repo/tests/test_misc_gaps.cc" "tests/CMakeFiles/wafe_tests.dir/test_misc_gaps.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_misc_gaps.cc.o.d"
+  "/root/repo/tests/test_motif_widgets.cc" "tests/CMakeFiles/wafe_tests.dir/test_motif_widgets.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_motif_widgets.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/wafe_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_selections.cc" "tests/CMakeFiles/wafe_tests.dir/test_selections.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_selections.cc.o.d"
+  "/root/repo/tests/test_tcl_commands.cc" "tests/CMakeFiles/wafe_tests.dir/test_tcl_commands.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_tcl_commands.cc.o.d"
+  "/root/repo/tests/test_tcl_edge.cc" "tests/CMakeFiles/wafe_tests.dir/test_tcl_edge.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_tcl_edge.cc.o.d"
+  "/root/repo/tests/test_tcl_expr.cc" "tests/CMakeFiles/wafe_tests.dir/test_tcl_expr.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_tcl_expr.cc.o.d"
+  "/root/repo/tests/test_tcl_parser.cc" "tests/CMakeFiles/wafe_tests.dir/test_tcl_parser.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_tcl_parser.cc.o.d"
+  "/root/repo/tests/test_text_selection.cc" "tests/CMakeFiles/wafe_tests.dir/test_text_selection.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_text_selection.cc.o.d"
+  "/root/repo/tests/test_translations.cc" "tests/CMakeFiles/wafe_tests.dir/test_translations.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_translations.cc.o.d"
+  "/root/repo/tests/test_viewport_tour.cc" "tests/CMakeFiles/wafe_tests.dir/test_viewport_tour.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_viewport_tour.cc.o.d"
+  "/root/repo/tests/test_wafe_core.cc" "tests/CMakeFiles/wafe_tests.dir/test_wafe_core.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_wafe_core.cc.o.d"
+  "/root/repo/tests/test_widgets.cc" "tests/CMakeFiles/wafe_tests.dir/test_widgets.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_widgets.cc.o.d"
+  "/root/repo/tests/test_widgets2.cc" "tests/CMakeFiles/wafe_tests.dir/test_widgets2.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_widgets2.cc.o.d"
+  "/root/repo/tests/test_xrm.cc" "tests/CMakeFiles/wafe_tests.dir/test_xrm.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_xrm.cc.o.d"
+  "/root/repo/tests/test_xsim.cc" "tests/CMakeFiles/wafe_tests.dir/test_xsim.cc.o" "gcc" "tests/CMakeFiles/wafe_tests.dir/test_xsim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wafecore.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcl/CMakeFiles/wtcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/xsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xt/CMakeFiles/xtk.dir/DependInfo.cmake"
+  "/root/repo/build/src/xaw/CMakeFiles/xaw.dir/DependInfo.cmake"
+  "/root/repo/build/src/xm/CMakeFiles/xmw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/wext.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for wafe_tests.
+# This may be replaced when dependencies are built.
