@@ -1,0 +1,102 @@
+// Overhead of the observability layer (src/obs) on the two hottest
+// instrumented paths — Tcl command evaluation and Xt event dispatch — in
+// the three operating states: disabled (the permanent production cost of
+// the inline gates), metrics only (counters + histograms), and full
+// tracing (ring-buffer spans). The disabled state is the one that matters:
+// it must stay within noise of an uninstrumented build (~5%).
+#include <benchmark/benchmark.h>
+
+#include "src/core/wafe.h"
+#include "src/obs/obs.h"
+#include "src/tcl/interp.h"
+#include "src/xt/app.h"
+
+namespace {
+
+void SetObsState(int state) {
+  // 0 = disabled, 1 = metrics, 2 = metrics + trace.
+  wobs::SetTraceEnabled(state >= 2);
+  wobs::SetMetricsEnabled(state >= 1);
+  wobs::Registry::Instance().ResetMetrics();
+  wobs::Registry::Instance().ring().Clear();
+}
+
+const char* StateName(int state) {
+  switch (state) {
+    case 0:
+      return "disabled";
+    case 1:
+      return "metrics";
+    default:
+      return "trace";
+  }
+}
+
+// The raw gate: what one instrumented-but-disabled site costs.
+void BM_ObsGateOnly(benchmark::State& state) {
+  SetObsState(0);
+  static wobs::Counter counter("bench.obs.gate");
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  SetObsState(0);
+}
+BENCHMARK(BM_ObsGateOnly);
+
+void BM_ObsCounterEnabled(benchmark::State& state) {
+  SetObsState(1);
+  static wobs::Counter counter("bench.obs.counter");
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  SetObsState(0);
+}
+BENCHMARK(BM_ObsCounterEnabled);
+
+void BM_ObsScopedEventFullTrace(benchmark::State& state) {
+  SetObsState(2);
+  static wobs::Histogram hist("bench.obs.span");
+  for (auto _ : state) {
+    wobs::ScopedEvent span("bench", "span", &hist);
+    benchmark::DoNotOptimize(span);
+  }
+  SetObsState(0);
+}
+BENCHMARK(BM_ObsScopedEventFullTrace);
+
+// Tcl command evaluation (the tcl.* instruments sit in Eval/InvokeCommand).
+void BM_TclEvalUnderObs(benchmark::State& state) {
+  SetObsState(static_cast<int>(state.range(0)));
+  wtcl::Interp interp;
+  for (auto _ : state) {
+    wtcl::Result r = interp.Eval("set x value");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(StateName(static_cast<int>(state.range(0))));
+  state.SetItemsProcessed(state.iterations());
+  SetObsState(0);
+}
+BENCHMARK(BM_TclEvalUnderObs)->Arg(0)->Arg(1)->Arg(2);
+
+// Xt event dispatch through a realized tree (the xt.* / xsim.* instruments).
+void BM_DispatchUnderObs(benchmark::State& state) {
+  SetObsState(static_cast<int>(state.range(0)));
+  wafe::Wafe wafe;
+  wafe.Eval("command hello topLevel callback {set fired 1}");
+  wafe.Eval("realize");
+  xtk::Widget* hello = wafe.app().FindWidget("hello");
+  xsim::Point p = wafe.app().display().RootPosition(hello->window());
+  for (auto _ : state) {
+    wafe.app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+    wafe.app().display().InjectButtonRelease(p.x + 2, p.y + 2, 1);
+    wafe.app().ProcessPending();
+  }
+  state.SetLabel(StateName(static_cast<int>(state.range(0))));
+  state.SetItemsProcessed(state.iterations());
+  SetObsState(0);
+}
+BENCHMARK(BM_DispatchUnderObs)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

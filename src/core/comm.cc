@@ -10,8 +10,24 @@
 #include <cstring>
 
 #include "src/core/wafe.h"
+#include "src/obs/obs.h"
 
 namespace wafe {
+
+namespace {
+
+// Observability instruments for the protocol channel (src/obs).
+wobs::Counter g_lines_in("comm.lines.in");
+wobs::Counter g_lines_out("comm.lines.out");
+wobs::Counter g_bytes_in("comm.bytes.in");
+wobs::Counter g_percent_commands("comm.percent.commands");
+wobs::Counter g_passthrough_lines("comm.passthrough.lines");
+wobs::Counter g_mass_bytes("comm.mass.bytes");
+wobs::Counter g_mass_transfers("comm.mass.transfers");
+wobs::Histogram g_line_duration("comm.line.duration");
+wobs::Histogram g_mass_transfer_duration("comm.mass.duration");
+
+}  // namespace
 
 Frontend::Frontend(Wafe* wafe) : wafe_(wafe) {}
 
@@ -83,6 +99,7 @@ bool Frontend::SpawnBackend(const std::string& program, const std::vector<std::s
   }
   // Parent.
   pid_ = pid;
+  backend_program_ = program;
   if (using_sockets) {
     ::close(sockets[1]);
     read_fd_ = sockets[0];
@@ -93,6 +110,8 @@ bool Frontend::SpawnBackend(const std::string& program, const std::vector<std::s
     read_fd_ = from_child[0];
     write_fd_ = to_child[1];
   }
+  wobs::Log("proc", "forked backend pid=" + std::to_string(pid_) + " exec=" + program +
+                        " transport=" + (using_sockets ? "socketpair" : "pipe"));
   // The backend write end of the mass channel stays open on the frontend
   // side too: in-process backends (AdoptBackend) write through it, and a
   // forked child inherited its own copy by fd number.
@@ -121,6 +140,8 @@ int Frontend::OnBackendReadable() {
   ssize_t n = ::read(read_fd_, chunk, sizeof(chunk));
   if (n <= 0) {
     // EOF or error: the backend is gone.
+    wobs::Log("proc", "backend pid=" + std::to_string(pid_) +
+                          " hung up (read returned " + std::to_string(n) + ")");
     if (input_id_ >= 0) {
       wafe_->app().RemoveInput(input_id_);
       input_id_ = -1;
@@ -138,6 +159,7 @@ int Frontend::OnBackendReadable() {
     return -1;
   }
   bytes_received_ += static_cast<std::size_t>(n);
+  g_bytes_in.Increment(static_cast<std::uint64_t>(n));
   buffer_.append(chunk, static_cast<std::size_t>(n));
   return DrainBuffer();
 }
@@ -177,7 +199,10 @@ int Frontend::DrainBuffer() {
 
 void Frontend::HandleLine(const std::string& line) {
   ++lines_received_;
+  g_lines_in.Increment();
   if (!line.empty() && line[0] == wafe_->options().prefix) {
+    g_percent_commands.Increment();
+    wobs::ScopedEvent obs_span("comm", "protocol-line", &g_line_duration);
     wafe_->count_line();
     wtcl::Result r = wafe_->Eval(std::string_view(line).substr(1));
     if (r.code == wtcl::Status::kError) {
@@ -189,6 +214,7 @@ void Frontend::HandleLine(const std::string& line) {
   }
   // Unprefixed lines pass through to Wafe's stdout (or the registered
   // passthrough hook).
+  g_passthrough_lines.Increment();
   wafe_->WritePassthrough(line);
 }
 
@@ -210,6 +236,7 @@ void Frontend::SendToBackend(const std::string& line) {
     off += static_cast<std::size_t>(n);
   }
   ++lines_sent_;
+  g_lines_out.Increment();
 }
 
 int Frontend::WaitBackend() {
@@ -217,9 +244,23 @@ int Frontend::WaitBackend() {
     return 0;
   }
   int status = 0;
+  int pid = pid_;
   ::waitpid(pid_, &status, 0);
   pid_ = -1;
-  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  if (WIFSIGNALED(status)) {
+    // Abnormal deaths are always logged, even with observability off.
+    wobs::Log("proc",
+              "backend pid=" + std::to_string(pid) + " exec=" + backend_program_ +
+                  " killed by signal " + std::to_string(WTERMSIG(status)),
+              /*always=*/true);
+    return -1;
+  }
+  int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  wobs::Log("proc",
+            "backend pid=" + std::to_string(pid) + " exec=" + backend_program_ +
+                " exited status=" + std::to_string(code),
+            /*always=*/code != 0);
+  return code;
 }
 
 void Frontend::CloseBackend() {
@@ -284,6 +325,9 @@ void Frontend::SetCommunicationVariable(const std::string& var, std::size_t nbyt
 }
 
 void Frontend::FinishMassTransfer() {
+  wobs::ScopedEvent obs_span("comm", "mass-transfer", &g_mass_transfer_duration);
+  g_mass_transfers.Increment();
+  g_mass_bytes.Increment(mass_expected_);
   std::string value = mass_buffer_.substr(0, mass_expected_);
   mass_buffer_.erase(0, mass_expected_);
   mass_expected_ = 0;

@@ -93,6 +93,7 @@ class Frontend {
   int input_id_ = -1;
   bool force_pipes_ = false;
   bool using_socketpair_ = false;
+  std::string backend_program_;  // for lifecycle log lines
   std::string buffer_;
   bool overlong_in_progress_ = false;
 

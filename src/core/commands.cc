@@ -10,6 +10,7 @@
 #include "src/core/naming.h"
 #include "src/core/percent.h"
 #include "src/core/wafe.h"
+#include "src/obs/obs.h"
 #include "src/xt/classes.h"
 
 namespace wafe {
@@ -794,6 +795,108 @@ void RegisterCommCommands(Wafe& wafe) {
         frontend.SetCommunicationVariable(inv.str(0),
                                           static_cast<std::size_t>(inv.integer(1)),
                                           inv.str(2));
+        return Result::Ok();
+      },
+      false});
+}
+
+void RegisterObsCommands(Wafe& wafe) {
+  SpecRegistry& reg = wafe.specs();
+
+  reg.Register(CommandSpec{
+      "metrics",
+      "metrics",
+      "String",
+      {{ArgType::kString, "subcommand", true}, {ArgType::kString, "name", true}},
+      "observability metrics: dump (default), get <name>, reset, enable, disable",
+      [](Invocation& inv) {
+        std::string sub = inv.present(0) ? inv.str(0) : "dump";
+        if (sub == "dump") {
+          return Result::Ok(wobs::MetricsText());
+        }
+        if (sub == "get") {
+          if (!inv.present(1)) {
+            return Result::Error("metrics get requires a metric name");
+          }
+          std::uint64_t value = 0;
+          if (!wobs::Registry::Instance().GetMetric(inv.str(1), &value)) {
+            return Result::Error("unknown metric \"" + inv.str(1) + "\"");
+          }
+          return Result::Ok(std::to_string(value));
+        }
+        if (sub == "reset") {
+          wobs::Registry::Instance().ResetMetrics();
+          return Result::Ok();
+        }
+        if (sub == "enable") {
+          wobs::SetMetricsEnabled(true);
+          return Result::Ok();
+        }
+        if (sub == "disable") {
+          wobs::SetMetricsEnabled(false);
+          return Result::Ok();
+        }
+        return Result::Error("bad metrics subcommand \"" + sub +
+                             "\": must be dump, get, reset, enable, or disable");
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "traceDump",
+      "traceDump",
+      "int",
+      {{ArgType::kString, "fileName"}, {ArgType::kString, "format", true}},
+      "write the trace ring to fileName (\"-\" returns it as the result) as "
+      "Chrome trace_event JSON or, with format \"text\", one line per event; "
+      "returns the number of events written",
+      [](Invocation& inv) {
+        std::string format = inv.present(1) ? inv.str(1) : "json";
+        if (format != "json" && format != "text") {
+          return Result::Error("bad trace format \"" + format +
+                               "\": must be json or text");
+        }
+        std::ostringstream out;
+        std::size_t events = 0;
+        if (format == "json") {
+          events = wobs::ExportChromeTrace(out);
+        } else {
+          std::string text = wobs::TraceText();
+          events = wobs::Registry::Instance().ring().size();
+          out << text;
+        }
+        if (inv.str(0) == "-") {
+          return Result::Ok(out.str());
+        }
+        std::ofstream file(inv.str(0));
+        if (!file) {
+          return Result::Error("couldn't write trace file \"" + inv.str(0) + "\"");
+        }
+        file << out.str();
+        return Result::Ok(std::to_string(events));
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "traceEnable",
+      "traceEnable",
+      "void",
+      {},
+      "start recording trace events (implies metrics)",
+      [](Invocation&) {
+        wobs::SetTraceEnabled(true);
+        wobs::SetMetricsEnabled(true);
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "traceDisable",
+      "traceDisable",
+      "void",
+      {},
+      "stop recording trace events",
+      [](Invocation&) {
+        wobs::SetTraceEnabled(false);
         return Result::Ok();
       },
       false});

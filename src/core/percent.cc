@@ -1,10 +1,14 @@
 #include "src/core/percent.h"
 
+#include "src/obs/obs.h"
 #include "src/xt/widget.h"
 
 namespace wafe {
 
 namespace {
+
+wobs::Counter g_event_substitutions("comm.percent.event_subst");
+wobs::Counter g_callback_substitutions("comm.percent.callback_subst");
 
 bool IsSupportedType(xsim::EventType type) {
   switch (type) {
@@ -32,6 +36,7 @@ bool IsButtonEvent(xsim::EventType type) {
 
 std::string SubstituteEventCodes(const std::string& script, const xtk::Widget& widget,
                                  const xsim::Event& event) {
+  g_event_substitutions.Increment();
   std::string out;
   out.reserve(script.size());
   for (std::size_t i = 0; i < script.size(); ++i) {
@@ -97,6 +102,7 @@ std::string SubstituteEventCodes(const std::string& script, const xtk::Widget& w
 
 std::string SubstituteCallbackCodes(const std::string& script, const xtk::Widget& widget,
                                     const xtk::CallData& data) {
+  g_callback_substitutions.Increment();
   std::string out;
   out.reserve(script.size());
   for (std::size_t i = 0; i < script.size(); ++i) {

@@ -69,6 +69,7 @@ void Wafe::RegisterEverything() {
     RegisterExtCommands(*this);
   }
   RegisterCommCommands(*this);
+  RegisterObsCommands(*this);
 }
 
 wtcl::Result Wafe::Eval(std::string_view script) { return interp_.Eval(script); }

@@ -116,6 +116,7 @@ void RegisterAthenaCommands(Wafe& wafe);      // Xaw programmatic interface
 void RegisterMotifCommands(Wafe& wafe);       // Xm programmatic interface
 void RegisterExtCommands(Wafe& wafe);         // Plotter / Graph
 void RegisterCommCommands(Wafe& wafe);        // getChannel etc.
+void RegisterObsCommands(Wafe& wafe);         // metrics / traceDump etc.
 void RegisterWafeConverters(Wafe& wafe);      // callback / pixmap converters
 
 // Command-line splitting per the paper: arguments starting with "--" go to

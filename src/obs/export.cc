@@ -1,0 +1,137 @@
+// Exporters: the human-readable metrics/trace dumps and the Chrome
+// trace_event JSON format (the "JSON Array Format" with a traceEvents
+// wrapper; loadable in chrome://tracing and Perfetto).
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "src/obs/obs.h"
+
+namespace wobs {
+
+namespace {
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+// Microseconds with fractional nanoseconds, the unit trace viewers expect.
+std::string MicrosString(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsText() {
+  Registry& registry = Registry::Instance();
+  std::ostringstream out;
+  out << "== counters ==\n";
+  for (const Counter* counter : registry.counters()) {
+    out << counter->name() << " " << counter->Get() << "\n";
+  }
+  out << "== gauges (max) ==\n";
+  for (const MaxGauge* gauge : registry.gauges()) {
+    out << gauge->name() << " " << gauge->Get() << "\n";
+  }
+  out << "== histograms (ns) ==\n";
+  for (const Histogram* histogram : registry.histograms()) {
+    std::uint64_t count = histogram->Count();
+    out << histogram->name() << " count=" << count;
+    if (count > 0) {
+      out << " mean=" << histogram->SumNs() / count
+          << " p50<=" << histogram->ApproxQuantileNs(0.50)
+          << " p99<=" << histogram->ApproxQuantileNs(0.99)
+          << " max=" << histogram->MaxNs();
+    }
+    out << "\n";
+  }
+  const TraceRing& ring = registry.ring();
+  out << "== trace ring ==\n"
+      << "events " << ring.size() << " / " << ring.capacity() << " (dropped "
+      << ring.dropped() << ")\n";
+  return out.str();
+}
+
+std::size_t ExportChromeTrace(std::ostream& out) {
+  std::vector<TraceEvent> events = Registry::Instance().ring().Snapshot();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    std::string entry = first ? "\n{" : ",\n{";
+    first = false;
+    entry += "\"name\":\"";
+    AppendJsonEscaped(event.name, &entry);
+    entry += "\",\"cat\":\"";
+    AppendJsonEscaped(event.category, &entry);
+    entry += "\",\"pid\":1,\"tid\":1,\"ts\":" + MicrosString(event.ts_ns);
+    switch (event.phase) {
+      case TraceEvent::Phase::kComplete:
+        entry += ",\"ph\":\"X\",\"dur\":" + MicrosString(event.dur_ns);
+        break;
+      case TraceEvent::Phase::kInstant:
+        entry += ",\"ph\":\"i\",\"s\":\"g\"";
+        break;
+      case TraceEvent::Phase::kCounter:
+        entry += ",\"ph\":\"C\",\"args\":{\"value\":" +
+                 std::to_string(event.value) + "}";
+        break;
+    }
+    entry += "}";
+    out << entry;
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return events.size();
+}
+
+std::string TraceText() {
+  std::vector<TraceEvent> events = Registry::Instance().ring().Snapshot();
+  std::ostringstream out;
+  for (const TraceEvent& event : events) {
+    out << MicrosString(event.ts_ns) << "us [" << event.category << "] "
+        << event.name;
+    switch (event.phase) {
+      case TraceEvent::Phase::kComplete:
+        out << " dur=" << MicrosString(event.dur_ns) << "us";
+        break;
+      case TraceEvent::Phase::kInstant:
+        break;
+      case TraceEvent::Phase::kCounter:
+        out << " value=" << event.value;
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace wobs

@@ -1,0 +1,207 @@
+#include "src/obs/obs.h"
+
+#include <time.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wobs {
+
+namespace {
+
+unsigned MaskFromEnv() {
+  unsigned mask = 0;
+  const char* metrics = std::getenv("WAFE_METRICS");
+  if (metrics != nullptr && metrics[0] != '\0' && metrics[0] != '0') {
+    mask |= kMetricsBit;
+  }
+  const char* trace = std::getenv("WAFE_TRACE");
+  if (trace != nullptr && trace[0] != '\0' && trace[0] != '0') {
+    // Tracing implies metrics: a trace without the counters alongside is
+    // rarely what anyone wants, and the paper-era env-var surface stays two
+    // variables instead of three.
+    mask |= kTraceBit | kMetricsBit;
+  }
+  return mask;
+}
+
+}  // namespace
+
+namespace internal {
+std::atomic<unsigned> g_enabled{MaskFromEnv()};
+}  // namespace internal
+
+void SetMetricsEnabled(bool on) {
+  if (on) {
+    internal::g_enabled.fetch_or(kMetricsBit, std::memory_order_relaxed);
+  } else {
+    internal::g_enabled.fetch_and(~kMetricsBit, std::memory_order_relaxed);
+  }
+}
+
+void SetTraceEnabled(bool on) {
+  if (on) {
+    internal::g_enabled.fetch_or(kTraceBit, std::memory_order_relaxed);
+  } else {
+    internal::g_enabled.fetch_and(~kTraceBit, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t NowNs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void Log(const char* category, const std::string& message, bool always) {
+  if (!always && !AnyEnabled()) {
+    return;
+  }
+  std::fprintf(stderr, "wafe[%s] t=%.3fms %s\n", category,
+               static_cast<double>(NowNs()) / 1e6, message.c_str());
+}
+
+// --- Instruments -------------------------------------------------------------
+
+Counter::Counter(const char* name) : name_(name) {
+  Registry::Instance().Register(this);
+}
+
+MaxGauge::MaxGauge(const char* name) : name_(name) {
+  Registry::Instance().Register(this);
+}
+
+Histogram::Histogram(const char* name) : name_(name) {
+  Registry::Instance().Register(this);
+}
+
+void Histogram::Record(std::uint64_t ns) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  std::size_t bucket = static_cast<std::size_t>(std::bit_width(ns));
+  if (bucket >= kBuckets) {
+    bucket = kBuckets - 1;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::ApproxQuantileNs(double q) const {
+  std::uint64_t total = Count();
+  if (total == 0) {
+    return 0;
+  }
+  // Smallest bucket whose cumulative share reaches q (round up: with 101
+  // samples, p99.9 must land past the 100th sample).
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.9999);
+  if (target == 0) {
+    target = 1;
+  }
+  if (target > total) {
+    target = total;
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += BucketCount(i);
+    if (cumulative >= target) {
+      // Upper bound of bucket i: bit width i means value < 2^i.
+      return i >= 64 ? ~0ull : (1ull << i) - 1;
+    }
+  }
+  return MaxNs();
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Registry ----------------------------------------------------------------
+
+Registry& Registry::Instance() {
+  static Registry* instance = new Registry();  // intentionally leaked
+  return *instance;
+}
+
+void Registry::Register(Counter* counter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.push_back(counter);
+}
+
+void Registry::Register(MaxGauge* gauge) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_.push_back(gauge);
+}
+
+void Registry::Register(Histogram* histogram) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  histograms_.push_back(histogram);
+}
+
+std::vector<Counter*> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::vector<MaxGauge*> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_;
+}
+
+std::vector<Histogram*> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_;
+}
+
+void Registry::ResetMetrics() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Counter* counter : counters_) {
+    counter->Reset();
+  }
+  for (MaxGauge* gauge : gauges_) {
+    gauge->Reset();
+  }
+  for (Histogram* histogram : histograms_) {
+    histogram->Reset();
+  }
+}
+
+bool Registry::GetMetric(const std::string& name, std::uint64_t* value) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Counter* counter : counters_) {
+    if (name == counter->name()) {
+      *value = counter->Get();
+      return true;
+    }
+  }
+  for (const MaxGauge* gauge : gauges_) {
+    if (name == gauge->name()) {
+      *value = gauge->Get();
+      return true;
+    }
+  }
+  for (const Histogram* histogram : histograms_) {
+    if (name == histogram->name()) {
+      *value = histogram->Count();
+      return true;
+    }
+  }
+  return false;
+}
+
+void TraceInstant(const char* category, std::string_view name) {
+  if (TraceEnabled()) {
+    Registry::Instance().ring().PushInstant(category, name, NowNs());
+  }
+}
+
+}  // namespace wobs

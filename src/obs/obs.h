@@ -1,0 +1,278 @@
+// wobs: the observability layer every hot path reports into — counters,
+// high-water gauges, log2-bucketed duration histograms, and a fixed-capacity
+// ring buffer of trace spans exportable as Chrome trace_event JSON. The
+// whole layer sits behind one enable mask (WAFE_METRICS / WAFE_TRACE or the
+// traceEnable / metrics commands): a disabled site costs a single relaxed
+// atomic load and branch, so instrumentation can stay in the hot paths
+// permanently. Instruments register themselves by construction and must
+// have static storage duration; the registry is never destroyed.
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wobs {
+
+// Bits of the global enable mask.
+inline constexpr unsigned kMetricsBit = 1u;
+inline constexpr unsigned kTraceBit = 2u;
+
+namespace internal {
+// Initialized from WAFE_METRICS / WAFE_TRACE before main; flipped at runtime
+// by SetMetricsEnabled / SetTraceEnabled (and the Wafe commands they back).
+extern std::atomic<unsigned> g_enabled;
+}  // namespace internal
+
+// The single-branch fast path every instrumented site starts with.
+inline unsigned EnabledMask() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+inline bool MetricsEnabled() { return (EnabledMask() & kMetricsBit) != 0; }
+inline bool TraceEnabled() { return (EnabledMask() & kTraceBit) != 0; }
+inline bool AnyEnabled() { return EnabledMask() != 0; }
+
+void SetMetricsEnabled(bool on);
+void SetTraceEnabled(bool on);
+
+// Monotonic clock, nanoseconds (CLOCK_MONOTONIC).
+std::uint64_t NowNs();
+
+// Lifecycle / diagnostic log line to stderr, stamped with the monotonic
+// clock ("wafe[cat] t=12.345ms message"). Suppressed while the layer is
+// disabled unless `always` (abnormal events: signals, exec failures).
+void Log(const char* category, const std::string& message, bool always = false);
+
+// --- Instruments -------------------------------------------------------------
+//
+// All three register themselves with the global registry on construction;
+// define them with static storage duration at the instrumented site.
+
+class Counter {
+ public:
+  explicit Counter(const char* name);
+
+  const char* name() const { return name_; }
+  void Increment(std::uint64_t n = 1) {
+    if (MetricsEnabled()) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const char* name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Records the maximum value ever observed (queue-depth high-water marks).
+class MaxGauge {
+ public:
+  explicit MaxGauge(const char* name);
+
+  const char* name() const { return name_; }
+  void Observe(std::uint64_t v) {
+    if (!MetricsEnabled()) {
+      return;
+    }
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const char* name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Duration histogram: nanosecond samples in log2 buckets (bucket i holds
+// samples whose bit width is i, i.e. upper bound 2^i - 1 ns), plus exact
+// count / sum / max for means. ~40 buckets cover up to ~18 minutes.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  explicit Histogram(const char* name);
+
+  const char* name() const { return name_; }
+  void Record(std::uint64_t ns);
+
+  std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t SumNs() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t MaxNs() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t BucketCount(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Upper bound (ns) of the bucket where the cumulative count reaches the
+  // given quantile (0 < q <= 1); 0 when empty.
+  std::uint64_t ApproxQuantileNs(double q) const;
+  void Reset();
+
+ private:
+  const char* name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+// --- Trace ring --------------------------------------------------------------
+
+struct TraceEvent {
+  enum class Phase : std::uint8_t {
+    kComplete,  // a span with a duration ("ph":"X")
+    kInstant,   // a point event ("ph":"i")
+    kCounter,   // a sampled value ("ph":"C")
+  };
+  Phase phase = Phase::kComplete;
+  const char* category = "";
+  std::string name;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  // kComplete only
+  std::uint64_t value = 0;   // kCounter only
+};
+
+// Fixed-capacity ring of trace events: once full the oldest event is
+// overwritten (and counted as dropped), so a long session keeps the most
+// recent window instead of growing without bound.
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 16384;
+
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  void PushComplete(const char* category, std::string_view name,
+                    std::uint64_t ts_ns, std::uint64_t dur_ns);
+  void PushInstant(const char* category, std::string_view name,
+                   std::uint64_t ts_ns);
+  void PushCounter(const char* category, std::string_view name,
+                   std::uint64_t ts_ns, std::uint64_t value);
+
+  // Oldest-first copy of the buffered events.
+  std::vector<TraceEvent> Snapshot() const;
+  std::size_t size() const;
+  std::size_t capacity() const;
+  std::uint64_t dropped() const;
+  // Drops all buffered events (capacity unchanged).
+  void Clear();
+  // Resizes the ring, dropping buffered events.
+  void SetCapacity(std::size_t capacity);
+
+ private:
+  void Push(TraceEvent event);
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;  // storage, capacity slots
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// --- Registry ----------------------------------------------------------------
+
+class Registry {
+ public:
+  // Never destroyed: instruments with static storage duration may outlive
+  // any static destructor ordering.
+  static Registry& Instance();
+
+  void Register(Counter* counter);
+  void Register(MaxGauge* gauge);
+  void Register(Histogram* histogram);
+
+  TraceRing& ring() { return ring_; }
+
+  // Snapshot accessors (export.cc).
+  std::vector<Counter*> counters() const;
+  std::vector<MaxGauge*> gauges() const;
+  std::vector<Histogram*> histograms() const;
+
+  // Zeroes every counter, gauge, and histogram.
+  void ResetMetrics();
+  // Value of a named instrument (histograms report their sample count).
+  // Returns false when no instrument has that name.
+  bool GetMetric(const std::string& name, std::uint64_t* value) const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<Counter*> counters_;
+  std::vector<MaxGauge*> gauges_;
+  std::vector<Histogram*> histograms_;
+  TraceRing ring_;
+};
+
+// --- Scoped instrumentation ---------------------------------------------------
+
+// The one-liner for a hot path: times the enclosing scope into `histogram`
+// (metrics) and emits a complete span (trace). Disabled cost: one relaxed
+// load and branch at construction, one at destruction. `name` must outlive
+// the scope (the ring copies it only at destruction).
+class ScopedEvent {
+ public:
+  ScopedEvent(const char* category, std::string_view name,
+              Histogram* histogram = nullptr)
+      : mask_(EnabledMask()) {
+    if (mask_ == 0) {
+      return;
+    }
+    category_ = category;
+    name_ = name;
+    histogram_ = histogram;
+    start_ns_ = NowNs();
+  }
+
+  ~ScopedEvent() {
+    if (mask_ == 0) {
+      return;
+    }
+    std::uint64_t dur = NowNs() - start_ns_;
+    if ((mask_ & kMetricsBit) != 0 && histogram_ != nullptr) {
+      histogram_->Record(dur);
+    }
+    if ((mask_ & kTraceBit) != 0) {
+      Registry::Instance().ring().PushComplete(category_, name_, start_ns_, dur);
+    }
+  }
+
+  ScopedEvent(const ScopedEvent&) = delete;
+  ScopedEvent& operator=(const ScopedEvent&) = delete;
+
+ private:
+  unsigned mask_;
+  const char* category_ = "";
+  std::string_view name_;
+  Histogram* histogram_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+// Emits an instant trace event (no-op unless tracing).
+void TraceInstant(const char* category, std::string_view name);
+
+// --- Export (export.cc) -------------------------------------------------------
+
+// Human-readable dump of every counter, gauge, and histogram.
+std::string MetricsText();
+
+// Writes the buffered trace as Chrome trace_event JSON ("chrome://tracing" /
+// Perfetto loadable). Returns the number of events written.
+std::size_t ExportChromeTrace(std::ostream& out);
+
+// Human-readable one-line-per-span dump of the buffered trace.
+std::string TraceText();
+
+}  // namespace wobs
+
+#endif  // SRC_OBS_OBS_H_

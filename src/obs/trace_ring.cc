@@ -1,0 +1,97 @@
+#include "src/obs/obs.h"
+
+namespace wobs {
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  events_.resize(capacity_);
+}
+
+void TraceRing::Push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (size_ == capacity_) {
+    ++dropped_;  // the slot at head_ still holds the oldest event
+  } else {
+    ++size_;
+  }
+  events_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+}
+
+void TraceRing::PushComplete(const char* category, std::string_view name,
+                             std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kComplete;
+  event.category = category;
+  event.name.assign(name);
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  Push(std::move(event));
+}
+
+void TraceRing::PushInstant(const char* category, std::string_view name,
+                            std::uint64_t ts_ns) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.category = category;
+  event.name.assign(name);
+  event.ts_ns = ts_ns;
+  Push(std::move(event));
+}
+
+void TraceRing::PushCounter(const char* category, std::string_view name,
+                            std::uint64_t ts_ns, std::uint64_t value) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kCounter;
+  event.category = category;
+  event.name.assign(name);
+  event.ts_ns = ts_ns;
+  event.value = value;
+  Push(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest event: at head_ when full (head_ is about to overwrite it),
+  // otherwise at slot 0 since a non-full ring has never wrapped.
+  std::size_t start = size_ == capacity_ ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(events_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_;
+}
+
+std::size_t TraceRing::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+void TraceRing::SetCapacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  events_.assign(capacity_, TraceEvent{});
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace wobs

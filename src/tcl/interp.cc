@@ -5,11 +5,19 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/obs/obs.h"
 #include "src/tcl/interp_internal.h"
 
 namespace wtcl {
 
 namespace {
+
+// Observability instruments for the interpreter hot path (src/obs).
+wobs::Counter g_eval_count("tcl.evals");
+wobs::Counter g_command_count("tcl.commands");
+wobs::Counter g_error_count("tcl.errors");
+wobs::MaxGauge g_eval_depth("tcl.eval.depth.max");
+wobs::Histogram g_command_duration("tcl.command.duration");
 
 bool IsWordSeparator(char c) { return c == ' ' || c == '\t'; }
 bool IsCommandTerminator(char c) { return c == '\n' || c == ';'; }
@@ -1044,6 +1052,8 @@ Result Interp::Eval(std::string_view script) {
     --nesting_;
     return Result::Error("too many nested calls to Eval (infinite loop?)");
   }
+  g_eval_count.Increment();
+  g_eval_depth.Observe(static_cast<std::uint64_t>(nesting_));
   Result r = ParseAndRun(script);
   --nesting_;
   return r;
@@ -1059,14 +1069,20 @@ Result Interp::GlobalEval(std::string_view script) {
 
 Result Interp::InvokeCommand(std::vector<std::string> argv) {
   ++command_count_;
+  g_command_count.Increment();
+  // Per-command span: the name view stays valid for the whole invocation
+  // (argv is alive until after the ScopedEvent destructor fires).
+  wobs::ScopedEvent obs_span("tcl", argv[0], &g_command_duration);
   auto it = commands_.find(argv[0]);
   if (it == commands_.end()) {
+    g_error_count.Increment();
     return Result::Error("invalid command name \"" + argv[0] + "\"");
   }
   // Copy the function so that commands that redefine themselves are safe.
   CommandFn fn = it->second;
   Result r = fn(*this, argv);
   if (r.code == Status::kError) {
+    g_error_count.Increment();
     // Maintain errorInfo like Tcl: a rolling trace of the failing commands.
     std::string info;
     if (!GetGlobalVar("errorInfo", &info) || info.empty()) {

@@ -60,7 +60,7 @@ void Display::DestroyWindow(WindowId window) {
   event.type = EventType::kDestroyNotify;
   event.window = window;
   event.time = now_;
-  queue_.push_back(event);
+  Enqueue(event);
   if (Window* parent = Find(Find(window)->parent)) {
     auto& siblings = parent->children;
     siblings.erase(std::remove(siblings.begin(), siblings.end(), window), siblings.end());
@@ -96,14 +96,14 @@ void Display::MapWindow(WindowId window) {
   map_event.type = EventType::kMapNotify;
   map_event.window = window;
   map_event.time = now_;
-  queue_.push_back(map_event);
+  Enqueue(map_event);
   if (IsViewable(window)) {
     Event expose;
     expose.type = EventType::kExpose;
     expose.window = window;
     expose.area = Rect{0, 0, w->geometry.width, w->geometry.height};
     expose.time = now_;
-    queue_.push_back(expose);
+    Enqueue(expose);
   }
 }
 
@@ -117,7 +117,7 @@ void Display::UnmapWindow(WindowId window) {
   event.type = EventType::kUnmapNotify;
   event.window = window;
   event.time = now_;
-  queue_.push_back(event);
+  Enqueue(event);
 }
 
 bool Display::IsMapped(WindowId window) const {
@@ -151,14 +151,14 @@ void Display::MoveResizeWindow(WindowId window, const Rect& geometry) {
   event.window = window;
   event.configure = geometry;
   event.time = now_;
-  queue_.push_back(event);
+  Enqueue(event);
   if (resized && IsViewable(window)) {
     Event expose;
     expose.type = EventType::kExpose;
     expose.window = window;
     expose.area = Rect{0, 0, geometry.width, geometry.height};
     expose.time = now_;
-    queue_.push_back(expose);
+    Enqueue(expose);
   }
 }
 
@@ -260,6 +260,11 @@ Event Display::NextEvent() {
   return event;
 }
 
+void Display::Enqueue(const Event& event) {
+  queue_.push_back(event);
+  NoteEventQueueDepth(queue_.size());
+}
+
 void Display::PutBackEvent(const Event& event) { queue_.push_front(event); }
 
 void Display::EmitCrossing(WindowId old_window, WindowId new_window, Position x, Position y,
@@ -278,7 +283,7 @@ void Display::EmitCrossing(WindowId old_window, WindowId new_window, Position x,
     leave.y_root = y;
     leave.state = state;
     leave.time = now_;
-    queue_.push_back(leave);
+    Enqueue(leave);
   }
   if (new_window != kNoWindow && Exists(new_window)) {
     Event enter;
@@ -291,7 +296,7 @@ void Display::EmitCrossing(WindowId old_window, WindowId new_window, Position x,
     enter.y_root = y;
     enter.state = state;
     enter.time = now_;
-    queue_.push_back(enter);
+    Enqueue(enter);
   }
 }
 
@@ -311,7 +316,7 @@ void Display::InjectMotion(Position x, Position y, unsigned state) {
   motion.y_root = y;
   motion.state = state;
   motion.time = now_;
-  queue_.push_back(motion);
+  Enqueue(motion);
 }
 
 void Display::InjectButtonPress(Position x, Position y, unsigned button, unsigned state) {
@@ -333,7 +338,7 @@ void Display::InjectButtonPress(Position x, Position y, unsigned button, unsigne
   event.button = button;
   event.state = state;
   event.time = now_;
-  queue_.push_back(event);
+  Enqueue(event);
 }
 
 void Display::InjectButtonRelease(Position x, Position y, unsigned button, unsigned state) {
@@ -351,7 +356,7 @@ void Display::InjectButtonRelease(Position x, Position y, unsigned button, unsig
   event.button = button;
   event.state = state | (kButton1Mask << (button - 1));
   event.time = now_;
-  queue_.push_back(event);
+  Enqueue(event);
 }
 
 void Display::InjectKey(KeySym keysym, bool press, unsigned state) {
@@ -372,7 +377,7 @@ void Display::InjectKey(KeySym keysym, bool press, unsigned state) {
   event.x_root = pointer_.x;
   event.y_root = pointer_.y;
   event.time = now_;
-  queue_.push_back(event);
+  Enqueue(event);
 }
 
 void Display::InjectKeyPress(KeySym keysym, unsigned state) { InjectKey(keysym, true, state); }
@@ -408,7 +413,7 @@ void Display::SetSelectionOwner(const std::string& selection, WindowId owner) {
     clear.window = it->second;
     clear.message = selection;
     clear.time = now_;
-    queue_.push_back(clear);
+    Enqueue(clear);
   }
   if (owner == kNoWindow) {
     selections_.erase(selection);

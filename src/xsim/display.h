@@ -67,7 +67,7 @@ class Display {
   bool Pending() const { return !queue_.empty(); }
   Event NextEvent();
   void PutBackEvent(const Event& event);
-  void SendEvent(const Event& event) { queue_.push_back(event); }
+  void SendEvent(const Event& event) { Enqueue(event); }
 
   // --- Input injection ----------------------------------------------------------
 
@@ -159,6 +159,9 @@ class Display {
     Pixel background = kWhitePixel;
     bool mapped = false;
   };
+
+  // Appends to the event queue and reports the new depth to the obs layer.
+  void Enqueue(const Event& event);
 
   Window* Find(WindowId id);
   const Window* Find(WindowId id) const;

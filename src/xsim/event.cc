@@ -1,6 +1,20 @@
 #include "src/xsim/event.h"
 
+#include "src/obs/obs.h"
+
 namespace xsim {
+
+namespace {
+
+wobs::Counter g_events_enqueued("xsim.events.enqueued");
+wobs::MaxGauge g_queue_depth("xsim.event_queue.depth.max");
+
+}  // namespace
+
+void NoteEventQueueDepth(std::size_t depth) {
+  g_events_enqueued.Increment();
+  g_queue_depth.Observe(depth);
+}
 
 const char* EventTypeName(EventType type) {
   switch (type) {

@@ -3,6 +3,7 @@
 #ifndef SRC_XSIM_EVENT_H_
 #define SRC_XSIM_EVENT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -77,6 +78,11 @@ struct Event {
 };
 
 const char* EventTypeName(EventType type);
+
+// Observability hook: the display reports the queue length after every
+// enqueue so the obs layer can keep an event count and a depth high-water
+// mark (metrics `xsim.events.enqueued` / `xsim.event_queue.depth.max`).
+void NoteEventQueueDepth(std::size_t depth);
 
 }  // namespace xsim
 

@@ -5,7 +5,21 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
+
 namespace xtk {
+
+namespace {
+
+// Observability instruments for the dispatch hot paths (src/obs).
+wobs::Counter g_events_dispatched("xt.events.dispatched");
+wobs::Counter g_callbacks_fired("xt.callbacks.fired");
+wobs::Counter g_actions_invoked("xt.actions.invoked");
+wobs::Histogram g_dispatch_duration("xt.dispatch.duration");
+wobs::Histogram g_callback_duration("xt.callback.duration");
+wobs::Histogram g_loop_iteration_duration("xt.loop.iteration.duration");
+
+}  // namespace
 
 AppContext::AppContext(std::string app_name, std::string app_class)
     : app_name_(std::move(app_name)), app_class_(std::move(app_class)) {}
@@ -461,10 +475,12 @@ void AppContext::CallCallbacks(Widget* widget, const std::string& resource,
   if (list == nullptr) {
     return;
   }
+  wobs::ScopedEvent obs_span("xt", resource, &g_callback_duration);
   // Copy: a callback may modify the list (or destroy the widget).
   CallbackList copy = *list;
   for (const Callback& callback : copy) {
     if (callback.fn) {
+      g_callbacks_fired.Increment();
       callback.fn(*widget, data);
     }
   }
@@ -473,14 +489,17 @@ void AppContext::CallCallbacks(Widget* widget, const std::string& resource,
 bool AppContext::InvokeAction(Widget* widget, const std::string& name,
                               const xsim::Event& event,
                               const std::vector<std::string>& params) {
+  wobs::ScopedEvent obs_span("xt", name);
   if (widget != nullptr) {
     if (const ActionProc* action = widget->widget_class()->FindAction(name)) {
+      g_actions_invoked.Increment();
       (*action)(*widget, event, params);
       return true;
     }
   }
   auto it = global_actions_.find(name);
   if (it != global_actions_.end() && widget != nullptr) {
+    g_actions_invoked.Increment();
     it->second(*widget, event, params);
     return true;
   }
@@ -516,6 +535,9 @@ void AppContext::Redraw(Widget* widget) {
 }
 
 void AppContext::DispatchEvent(const xsim::Event& event) {
+  g_events_dispatched.Increment();
+  wobs::ScopedEvent obs_span("xt", xsim::EventTypeName(event.type),
+                             &g_dispatch_duration);
   // Locate the owning display (events carry no display pointer).
   xsim::Display* event_display = nullptr;
   Widget* widget = nullptr;
@@ -733,6 +755,7 @@ void AppContext::RemoveInput(int id) {
 }
 
 bool AppContext::RunOneIteration(bool block) {
+  wobs::ScopedEvent obs_span("xt", "loop-iteration", &g_loop_iteration_duration);
   if (ProcessPending() > 0) {
     return true;
   }

@@ -2,9 +2,16 @@
 
 #include <cctype>
 
+#include "src/obs/obs.h"
+
 namespace xtk {
 
 namespace {
+
+// Observability instruments for translation management (src/obs).
+wobs::Counter g_match_attempts("xt.translations.lookups");
+wobs::Counter g_match_hits("xt.translations.matched");
+wobs::Counter g_tables_parsed("xt.translations.parsed");
 
 struct EventName {
   const char* name;
@@ -307,8 +314,10 @@ bool EventMatcher::Matches(const xsim::Event& event) const {
 }
 
 const Production* TranslationTable::Match(const xsim::Event& event) const {
+  g_match_attempts.Increment();
   for (const Production& production : productions) {
     if (production.matcher.Matches(event)) {
+      g_match_hits.Increment();
       return &production;
     }
   }
@@ -317,6 +326,7 @@ const Production* TranslationTable::Match(const xsim::Event& event) const {
 
 std::shared_ptr<const TranslationTable> ParseTranslations(std::string_view text,
                                                           std::string* error) {
+  g_tables_parsed.Increment();
   auto table = std::make_shared<TranslationTable>();
   table->source = std::string(text);
   std::size_t pos = 0;

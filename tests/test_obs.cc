@@ -1,0 +1,271 @@
+// Observability layer (src/obs): counters/gauges/histograms behind the
+// WAFE_METRICS gate, the trace ring and its Chrome trace_event export, the
+// metrics/traceDump commands, and end-to-end instrumentation across the
+// tcl, xt, and comm layers.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/core/comm.h"
+#include "src/core/wafe.h"
+#include "src/obs/obs.h"
+
+namespace wafe {
+namespace {
+
+// Every test starts from a clean slate and leaves observability off so the
+// rest of the suite keeps running on the disabled fast path.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wobs::SetMetricsEnabled(true);
+    wobs::Registry::Instance().ResetMetrics();
+    wobs::Registry::Instance().ring().Clear();
+  }
+
+  void TearDown() override {
+    wobs::SetTraceEnabled(false);
+    wobs::SetMetricsEnabled(false);
+    wobs::Registry::Instance().ring().SetCapacity(wobs::TraceRing::kDefaultCapacity);
+  }
+
+  std::string Eval(Wafe& wafe, const std::string& script) {
+    wtcl::Result r = wafe.Eval(script);
+    EXPECT_TRUE(r.ok()) << "script: " << script << "\nerror: " << r.value;
+    return r.value;
+  }
+
+  std::uint64_t Metric(const std::string& name) {
+    std::uint64_t value = 0;
+    EXPECT_TRUE(wobs::Registry::Instance().GetMetric(name, &value)) << name;
+    return value;
+  }
+
+  void Click(Wafe& wafe, xtk::Widget* w) {
+    xsim::Point p = wafe.app().display().RootPosition(w->window());
+    wafe.app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+    wafe.app().display().InjectButtonRelease(p.x + 2, p.y + 2, 1);
+    wafe.app().ProcessPending();
+  }
+};
+
+// --- Instruments ------------------------------------------------------------------
+
+TEST_F(ObsTest, CountersGatedOnEnableFlag) {
+  // Instruments register raw pointers with the never-destroyed registry, so
+  // even test instruments need static storage duration.
+  static wobs::Counter counter("test.obs.gated");
+  counter.Increment();
+  EXPECT_EQ(counter.Get(), 1u);
+  wobs::SetMetricsEnabled(false);
+  counter.Increment(10);
+  EXPECT_EQ(counter.Get(), 1u);  // disabled increments are dropped
+  wobs::SetMetricsEnabled(true);
+  counter.Increment(5);
+  EXPECT_EQ(counter.Get(), 6u);
+}
+
+TEST_F(ObsTest, MaxGaugeKeepsHighWaterMark) {
+  static wobs::MaxGauge gauge("test.obs.gauge");
+  gauge.Observe(3);
+  gauge.Observe(17);
+  gauge.Observe(5);
+  EXPECT_EQ(gauge.Get(), 17u);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Get(), 0u);
+}
+
+TEST_F(ObsTest, HistogramRecordsAndQuantiles) {
+  static wobs::Histogram hist("test.obs.hist");
+  for (int i = 0; i < 100; ++i) {
+    hist.Record(1000);  // 1µs
+  }
+  hist.Record(1u << 20);  // ~1ms outlier
+  EXPECT_EQ(hist.Count(), 101u);
+  EXPECT_GE(hist.MaxNs(), 1u << 20);
+  // p50 sits in the 1µs bucket; the bucket upper bound is < the outlier.
+  EXPECT_LT(hist.ApproxQuantileNs(0.5), 1u << 20);
+  EXPECT_GE(hist.ApproxQuantileNs(0.999), 1u << 20);
+}
+
+TEST_F(ObsTest, TraceRingWrapsAndCountsDrops) {
+  wobs::TraceRing& ring = wobs::Registry::Instance().ring();
+  ring.SetCapacity(8);
+  wobs::SetTraceEnabled(true);
+  for (int i = 0; i < 20; ++i) {
+    wobs::TraceInstant("test", "tick");
+  }
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  // Snapshot returns oldest-first; all survived events are the newest 8.
+  auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+}
+
+// --- Tcl command surface ------------------------------------------------------------
+
+TEST_F(ObsTest, MetricsGetAndResetViaCommand) {
+  Wafe wafe;
+  Eval(wafe, "set x 1");
+  Eval(wafe, "set y 2");
+  // The get itself is a command, so the count includes it.
+  std::uint64_t commands = std::stoull(Eval(wafe, "metrics get tcl.commands"));
+  EXPECT_GE(commands, 3u);
+  Eval(wafe, "metrics reset");
+  std::uint64_t after = std::stoull(Eval(wafe, "metrics get tcl.commands"));
+  EXPECT_LT(after, commands);
+  EXPECT_GE(after, 1u);  // the get after the reset counted itself
+}
+
+TEST_F(ObsTest, MetricsDumpListsSections) {
+  Wafe wafe;
+  Eval(wafe, "set x 1");
+  std::string dump = Eval(wafe, "metrics dump");
+  EXPECT_NE(dump.find("== counters =="), std::string::npos);
+  EXPECT_NE(dump.find("tcl.commands"), std::string::npos);
+  EXPECT_NE(dump.find("== histograms (ns) =="), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsRejectsUnknownNamesAndSubcommands) {
+  Wafe wafe;
+  EXPECT_EQ(wafe.Eval("metrics get no.such.metric").code, wtcl::Status::kError);
+  EXPECT_EQ(wafe.Eval("metrics bogus").code, wtcl::Status::kError);
+  EXPECT_EQ(wafe.Eval("metrics get").code, wtcl::Status::kError);
+}
+
+TEST_F(ObsTest, MetricsEnableDisableTogglesGate) {
+  Wafe wafe;
+  Eval(wafe, "metrics disable");
+  EXPECT_FALSE(wobs::MetricsEnabled());
+  Eval(wafe, "metrics enable");
+  EXPECT_TRUE(wobs::MetricsEnabled());
+}
+
+TEST_F(ObsTest, TraceDumpEmitsWellFormedChromeJson) {
+  Wafe wafe;
+  Eval(wafe, "traceEnable");
+  Eval(wafe, "set x 7");
+  Eval(wafe, "expr {$x * 6}");
+  std::string json = Eval(wafe, "traceDump - json");
+  Eval(wafe, "traceDisable");
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 60);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"tcl\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Structural sanity: braces and brackets balance.
+  long braces = 0;
+  long brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(ObsTest, TraceDumpWritesFileAndText) {
+  Wafe wafe;
+  Eval(wafe, "traceEnable");
+  Eval(wafe, "set x 1");
+  std::string path = ::testing::TempDir() + "obs_trace.json";
+  std::string count = Eval(wafe, "traceDump " + path);
+  EXPECT_GT(std::stoull(count), 0u);
+  EXPECT_EQ(::access(path.c_str(), R_OK), 0);
+  std::string text = Eval(wafe, "traceDump - text");
+  EXPECT_NE(text.find("tcl"), std::string::npos);
+  EXPECT_EQ(wafe.Eval("traceDump - yaml").code, wtcl::Status::kError);
+}
+
+// --- End-to-end instrumentation -----------------------------------------------------
+
+TEST_F(ObsTest, ScriptedClickIncrementsXtAndXsimCounters) {
+  Wafe wafe;
+  Eval(wafe, "command hello topLevel callback {set fired 1}");
+  Eval(wafe, "realize");
+  std::uint64_t callbacks_before = Metric("xt.callbacks.fired");
+  std::uint64_t enqueued_before = Metric("xsim.events.enqueued");
+  std::uint64_t dispatched_before = Metric("xt.events.dispatched");
+  Click(wafe, wafe.app().FindWidget("hello"));
+  EXPECT_EQ(Eval(wafe, "set fired"), "1");
+  EXPECT_GT(Metric("xt.callbacks.fired"), callbacks_before);
+  EXPECT_GT(Metric("xsim.events.enqueued"), enqueued_before);
+  EXPECT_GT(Metric("xt.events.dispatched"), dispatched_before);
+  EXPECT_GT(Metric("xsim.event_queue.depth.max"), 0u);
+}
+
+TEST_F(ObsTest, ProtocolLinesCountedOnCommChannel) {
+  Wafe wafe;
+  int to_frontend[2];
+  ASSERT_EQ(::pipe(to_frontend), 0);
+  wafe.frontend().AdoptBackend(to_frontend[0], -1);
+  std::string lines = "%set x 41\npassthrough line\n%set y 1\n";
+  ASSERT_EQ(::write(to_frontend[1], lines.data(), lines.size()),
+            static_cast<ssize_t>(lines.size()));
+  EXPECT_EQ(wafe.frontend().OnBackendReadable(), 3);
+  EXPECT_EQ(Metric("comm.lines.in"), 3u);
+  EXPECT_EQ(Metric("comm.percent.commands"), 2u);
+  EXPECT_EQ(Metric("comm.passthrough.lines"), 1u);
+  EXPECT_EQ(Metric("comm.bytes.in"), lines.size());
+  EXPECT_EQ(Eval(wafe, "set x"), "41");
+  ::close(to_frontend[1]);
+}
+
+// Acceptance: one scripted session produces trace spans in all three major
+// categories — tcl (command evals), xt (dispatch/callbacks), and comm
+// (protocol lines).
+TEST_F(ObsTest, TraceCoversTclXtAndCommCategories) {
+  Wafe wafe;
+  wobs::SetTraceEnabled(true);
+  Eval(wafe, "command hello topLevel callback {set fired 1}");
+  Eval(wafe, "realize");
+  Click(wafe, wafe.app().FindWidget("hello"));
+
+  int to_frontend[2];
+  ASSERT_EQ(::pipe(to_frontend), 0);
+  wafe.frontend().AdoptBackend(to_frontend[0], -1);
+  std::string line = "%set z 9\n";
+  ASSERT_EQ(::write(to_frontend[1], line.data(), line.size()),
+            static_cast<ssize_t>(line.size()));
+  EXPECT_EQ(wafe.frontend().OnBackendReadable(), 1);
+  ::close(to_frontend[1]);
+
+  std::string json = Eval(wafe, "traceDump - json");
+  wobs::SetTraceEnabled(false);
+  EXPECT_NE(json.find("\"cat\":\"tcl\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"xt\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"comm\""), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledGateKeepsCountersFrozen) {
+  Wafe wafe;
+  wobs::SetMetricsEnabled(false);
+  wobs::Registry::Instance().ResetMetrics();
+  wafe.Eval("set x 1");
+  wafe.Eval("set y 2");
+  std::uint64_t value = 1;
+  ASSERT_TRUE(wobs::Registry::Instance().GetMetric("tcl.commands", &value));
+  EXPECT_EQ(value, 0u);  // everything since the fixture's reset was dropped
+}
+
+}  // namespace
+}  // namespace wafe
