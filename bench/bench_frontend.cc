@@ -2,6 +2,7 @@
 // (1) Wafe starts the backend, (2) the backend builds the widget tree over
 // the protocol, (3) the read loop exchanges event messages. Measured against
 // the real forked helper backend.
+#include <algorithm>
 #include <chrono>
 
 #include "bench/bench_util.h"
@@ -117,6 +118,40 @@ void BM_BackendEchoRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BackendEchoRoundTrip);
+
+// The non-blocking write path against a slow consumer: the backend sleeps
+// per line, so the kernel buffer fills and lines ride the in-process queue.
+// Measures enqueue+flush cost per line and reports the queue's high-water
+// mark; wall time stays decoupled from the backend's pace.
+void BM_QueuedSendToSlowReader(benchmark::State& state) {
+  const long delay_us = state.range(0);
+  wafe::Wafe app;
+  app.set_backend_output(true);
+  std::string error;
+  if (!app.frontend().SpawnBackend(WAFE_TEST_BACKEND,
+                                   {"drain", std::to_string(delay_us)}, &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  PumpUntil(app, [&] { return app.frontend().lines_received() >= 1; });
+  app.frontend().set_send_queue_limit(64 * 1024 * 1024);
+  const std::string line(256, 'q');
+  std::size_t max_queue = 0;
+  for (auto _ : state) {
+    if (!app.frontend().SendToBackend(line)) {
+      state.SkipWithError("send rejected");
+      return;
+    }
+    app.app().RunOneIteration(false);
+    max_queue = std::max(max_queue, app.frontend().send_queue_bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["queue_highwater_bytes"] =
+      benchmark::Counter(static_cast<double>(max_queue));
+  app.frontend().CloseBackend();
+}
+BENCHMARK(BM_QueuedSendToSlowReader)->Arg(0)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

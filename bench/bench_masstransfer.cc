@@ -72,6 +72,37 @@ void BM_ProtocolLineThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_ProtocolLineThroughput);
 
+#ifdef WAFE_TEST_BACKEND
+void BM_MassDribbleTransfer(benchmark::State& state) {
+  // Slow producer: a forked backend dribbles the payload in small delayed
+  // chunks. End-to-end latency is producer-bound; the point is that the
+  // frontend's loop keeps turning between chunks instead of blocking in read.
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const long delay_us = state.range(1);
+  for (auto _ : state) {
+    wafe::Wafe app;
+    app.set_backend_output(true);
+    std::string error;
+    if (!app.frontend().SpawnBackend(
+            WAFE_TEST_BACKEND,
+            {"massdribble", std::to_string(size), "4096",
+             std::to_string(delay_us)}, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    while (!app.quit_requested()) {
+      app.app().RunOneIteration(true);
+    }
+    app.frontend().CloseBackend();
+  }
+  state.SetBytesProcessed(static_cast<long>(size) * state.iterations());
+}
+BENCHMARK(BM_MassDribbleTransfer)
+    ->Args({100000, 0})
+    ->Args({100000, 100})
+    ->Unit(benchmark::kMillisecond);
+#endif
+
 }  // namespace
 
 BENCHMARK_MAIN();

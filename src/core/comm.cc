@@ -2,11 +2,14 @@
 
 #include <csignal>
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/core/wafe.h"
@@ -24,20 +27,106 @@ wobs::Counter g_percent_commands("comm.percent.commands");
 wobs::Counter g_passthrough_lines("comm.passthrough.lines");
 wobs::Counter g_mass_bytes("comm.mass.bytes");
 wobs::Counter g_mass_transfers("comm.mass.transfers");
+wobs::Counter g_mass_truncated("comm.mass.truncated");
 wobs::Histogram g_line_duration("comm.line.duration");
 wobs::Histogram g_mass_transfer_duration("comm.mass.duration");
 
+// Outbound queue / backpressure / supervision instruments.
+wobs::Counter g_queue_enqueued("comm.queue.enqueued");
+wobs::Counter g_queue_dropped("comm.queue.dropped");
+wobs::Gauge g_queue_depth("comm.queue.depth");
+wobs::MaxGauge g_queue_highwater("comm.queue.highwater");
+wobs::Counter g_backpressure_highwater("comm.backpressure.highwater");
+wobs::Counter g_backpressure_blocked("comm.backpressure.blocked");
+wobs::Histogram g_backpressure_block_duration("comm.backpressure.block.duration");
+wobs::Counter g_write_errors("comm.write.errors");
+wobs::Counter g_restarts("comm.restarts");
+
+// A dead backend must not kill the frontend with SIGPIPE; writes report
+// EPIPE instead and the channel layer notices the hangup. Installed at most
+// once per process via sigaction, only when the embedding application left
+// the default disposition in place (a handler it installed is preserved),
+// and restored when the last backend channel closes.
+struct sigaction g_saved_sigpipe;
+bool g_sigpipe_installed = false;
+int g_sigpipe_refs = 0;
+
+void AcquireSigpipeGuard() {
+  if (g_sigpipe_refs++ > 0) {
+    return;
+  }
+  struct sigaction current {};
+  if (::sigaction(SIGPIPE, nullptr, &current) != 0) {
+    return;
+  }
+  bool is_default =
+      (current.sa_flags & SA_SIGINFO) == 0 && current.sa_handler == SIG_DFL;
+  if (!is_default) {
+    return;
+  }
+  struct sigaction ignore {};
+  ignore.sa_handler = SIG_IGN;
+  sigemptyset(&ignore.sa_mask);
+  if (::sigaction(SIGPIPE, &ignore, &g_saved_sigpipe) == 0) {
+    g_sigpipe_installed = true;
+  }
+}
+
+void ReleaseSigpipeGuard() {
+  if (g_sigpipe_refs <= 0 || --g_sigpipe_refs > 0) {
+    return;
+  }
+  if (g_sigpipe_installed) {
+    ::sigaction(SIGPIPE, &g_saved_sigpipe, nullptr);
+    g_sigpipe_installed = false;
+  }
+}
+
+void SetNonBlocking(int fd) {
+  if (fd < 0) {
+    return;
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+std::int64_t NowMsMono() {
+  return static_cast<std::int64_t>(wobs::NowNs() / 1000000ull);
+}
+
+const char* PolicyName(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kBlock:
+      return "block";
+    case OverflowPolicy::kDropOldest:
+      return "dropOldest";
+    case OverflowPolicy::kFail:
+      return "fail";
+  }
+  return "?";
+}
+
 }  // namespace
 
-Frontend::Frontend(Wafe* wafe) : wafe_(wafe) {}
+Frontend::Frontend(Wafe* wafe) : wafe_(wafe) {
+  if (const char* spec = std::getenv("WAFE_COMM_FAULT")) {
+    std::string error;
+    if (!ApplyFaultSpec(spec, &error)) {
+      wobs::Log("comm", "bad WAFE_COMM_FAULT: " + error, /*always=*/true);
+    }
+  }
+}
 
 Frontend::~Frontend() { CloseBackend(); }
 
 bool Frontend::SpawnBackend(const std::string& program, const std::vector<std::string>& args,
                             std::string* error) {
-  // A dead backend must not kill the frontend with SIGPIPE; writes report
-  // EPIPE instead and the main loop notices the hangup.
-  ::signal(SIGPIPE, SIG_IGN);
+  if (!sigpipe_guard_held_) {
+    AcquireSigpipeGuard();
+    sigpipe_guard_held_ = true;
+  }
   // The mass channel must exist before the fork so the child inherits the
   // write end under the fd number getChannel reports.
   if (mass_read_fd_ < 0 && !SetupMassChannel(error)) {
@@ -100,6 +189,11 @@ bool Frontend::SpawnBackend(const std::string& program, const std::vector<std::s
   // Parent.
   pid_ = pid;
   backend_program_ = program;
+  backend_args_ = args;
+  exit_recorded_ = false;
+  last_exit_status_ = 0;
+  buffer_.clear();
+  overlong_in_progress_ = false;
   if (using_sockets) {
     ::close(sockets[1]);
     read_fd_ = sockets[0];
@@ -110,6 +204,10 @@ bool Frontend::SpawnBackend(const std::string& program, const std::vector<std::s
     read_fd_ = from_child[0];
     write_fd_ = to_child[1];
   }
+  // The event loop owns both directions: reads are poll-driven and writes
+  // drain through the write-ready source, so neither may ever block.
+  SetNonBlocking(read_fd_);
+  SetNonBlocking(write_fd_);
   wobs::Log("proc", "forked backend pid=" + std::to_string(pid_) + " exec=" + program +
                         " transport=" + (using_sockets ? "socketpair" : "pipe"));
   // The backend write end of the mass channel stays open on the frontend
@@ -120,9 +218,14 @@ bool Frontend::SpawnBackend(const std::string& program, const std::vector<std::s
 }
 
 void Frontend::AdoptBackend(int read_fd, int write_fd) {
-  ::signal(SIGPIPE, SIG_IGN);
+  if (!sigpipe_guard_held_) {
+    AcquireSigpipeGuard();
+    sigpipe_guard_held_ = true;
+  }
   read_fd_ = read_fd;
   write_fd_ = write_fd;
+  SetNonBlocking(read_fd_);
+  SetNonBlocking(write_fd_);
   RegisterInputHandlers();
 }
 
@@ -138,24 +241,14 @@ void Frontend::RegisterInputHandlers() {
 int Frontend::OnBackendReadable() {
   char chunk[8192];
   ssize_t n = ::read(read_fd_, chunk, sizeof(chunk));
+  if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+    return 0;  // spurious wakeup on the non-blocking fd; not a hangup
+  }
   if (n <= 0) {
     // EOF or error: the backend is gone.
     wobs::Log("proc", "backend pid=" + std::to_string(pid_) +
                           " hung up (read returned " + std::to_string(n) + ")");
-    if (input_id_ >= 0) {
-      wafe_->app().RemoveInput(input_id_);
-      input_id_ = -1;
-    }
-    if (!buffer_.empty()) {
-      HandleLine(buffer_);
-      buffer_.clear();
-    }
-    ::close(read_fd_);
-    if (write_fd_ == read_fd_) {
-      write_fd_ = -1;
-    }
-    read_fd_ = -1;
-    wafe_->Quit(0);
+    HandleBackendGone("hangup");
     return -1;
   }
   bytes_received_ += static_cast<std::size_t>(n);
@@ -218,59 +311,386 @@ void Frontend::HandleLine(const std::string& line) {
   wafe_->WritePassthrough(line);
 }
 
-void Frontend::SendToBackend(const std::string& line) {
-  if (write_fd_ < 0) {
-    return;
+// --- Outbound queue -----------------------------------------------------------------
+
+bool Frontend::SendToBackend(const std::string& line) {
+  if (write_fd_ < 0 && !restart_pending()) {
+    return false;
   }
-  std::string out = line;
+  std::string out;
+  out.reserve(line.size() + 1);
+  out = line;
   out.push_back('\n');
-  std::size_t off = 0;
-  while (off < out.size()) {
-    ssize_t n = ::write(write_fd_, out.data() + off, out.size() - off);
-    if (n <= 0) {
+  // A single line is always admitted into an empty queue, whatever the
+  // limit: the paper's protocol has no way to split one.
+  if (!send_queue_.empty() && send_queue_bytes_ + out.size() > send_queue_limit_) {
+    bool space = false;
+    switch (overflow_policy_) {
+      case OverflowPolicy::kBlock:
+        space = BlockUntilSpace(out.size());
+        break;
+      case OverflowPolicy::kDropOldest: {
+        // Drop whole queued lines, oldest first — but never the front line
+        // once part of it reached the kernel (a half-sent line would corrupt
+        // the stream).
+        while (send_queue_bytes_ + out.size() > send_queue_limit_) {
+          std::size_t first_droppable = send_front_offset_ == 0 ? 0 : 1;
+          if (send_queue_.size() <= first_droppable) {
+            break;
+          }
+          auto it = send_queue_.begin() + static_cast<long>(first_droppable);
+          send_queue_bytes_ -= it->size() - (first_droppable == 0 ? send_front_offset_ : 0);
+          if (first_droppable == 0) {
+            send_front_offset_ = 0;
+          }
+          send_queue_.erase(it);
+          ++lines_dropped_;
+          g_queue_dropped.Increment();
+        }
+        space = send_queue_bytes_ + out.size() <= send_queue_limit_;
+        break;
+      }
+      case OverflowPolicy::kFail:
+        space = false;
+        break;
+    }
+    if (!space) {
+      ++lines_dropped_;
+      g_queue_dropped.Increment();
+      return false;
+    }
+  }
+  send_queue_bytes_ += out.size();
+  send_queue_.push_back(std::move(out));
+  g_queue_enqueued.Increment();
+  g_queue_depth.Set(send_queue_bytes_);
+  g_queue_highwater.Observe(send_queue_bytes_);
+  CheckHighWater();
+  FlushSendQueue();
+  return true;
+}
+
+void Frontend::OnBackendWritable() { FlushSendQueue(); }
+
+ssize_t Frontend::WriteBackend(const char* data, std::size_t len) {
+  if (faults_.eintr_storm > 0) {
+    --faults_.eintr_storm;
+    errno = EINTR;
+    return -1;
+  }
+  if (faults_.eagain_storm > 0) {
+    --faults_.eagain_storm;
+    errno = EAGAIN;
+    return -1;
+  }
+  if (faults_.hangup_after_bytes == 0) {
+    faults_.hangup_after_bytes = -1;
+    errno = EPIPE;
+    return -1;
+  }
+  if (faults_.short_write_max > 0 && len > faults_.short_write_max) {
+    len = faults_.short_write_max;
+  }
+  if (faults_.hangup_after_bytes > 0 &&
+      static_cast<long>(len) > faults_.hangup_after_bytes) {
+    len = static_cast<std::size_t>(faults_.hangup_after_bytes);
+  }
+  ssize_t n = ::write(write_fd_, data, len);
+  if (n > 0 && faults_.hangup_after_bytes > 0) {
+    faults_.hangup_after_bytes -= n;
+  }
+  return n;
+}
+
+void Frontend::FlushSendQueue() {
+  while (write_fd_ >= 0 && !send_queue_.empty()) {
+    const std::string& front = send_queue_.front();
+    ssize_t n = WriteBackend(front.data() + send_front_offset_,
+                             front.size() - send_front_offset_);
+    if (n < 0) {
       if (errno == EINTR) {
         continue;
       }
-      return;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;  // kernel buffer full; the write-ready source resumes us
+      }
+      g_write_errors.Increment();
+      wobs::Log("comm", std::string("backend write failed: ") + std::strerror(errno));
+      HandleBackendGone(errno == EPIPE ? "write-epipe" : "write-error");
+      return;  // HandleBackendGone already updated the watches
     }
-    off += static_cast<std::size_t>(n);
+    if (n == 0) {
+      break;
+    }
+    send_front_offset_ += static_cast<std::size_t>(n);
+    send_queue_bytes_ -= static_cast<std::size_t>(n);
+    if (send_front_offset_ == front.size()) {
+      send_queue_.pop_front();
+      send_front_offset_ = 0;
+      ++lines_sent_;
+      g_lines_out.Increment();
+    }
   }
-  ++lines_sent_;
-  g_lines_out.Increment();
+  g_queue_depth.Set(send_queue_bytes_);
+  UpdateWriteWatch();
+  CheckHighWater();
 }
 
-int Frontend::WaitBackend() {
-  if (pid_ < 0) {
-    return 0;
+void Frontend::UpdateWriteWatch() {
+  bool want = write_fd_ >= 0 && !send_queue_.empty();
+  if (want && output_id_ < 0) {
+    output_id_ = wafe_->app().AddOutput(write_fd_, [this](int) { OnBackendWritable(); });
+  } else if (!want && output_id_ >= 0) {
+    wafe_->app().RemoveOutput(output_id_);
+    output_id_ = -1;
   }
-  int status = 0;
+}
+
+bool Frontend::BlockUntilSpace(std::size_t needed) {
+  g_backpressure_blocked.Increment();
+  std::uint64_t start_ns = wobs::NowNs();
+  std::int64_t deadline = NowMsMono() + send_deadline_ms_;
+  while (write_fd_ >= 0 && send_queue_bytes_ + needed > send_queue_limit_) {
+    std::int64_t remaining = deadline - NowMsMono();
+    if (remaining <= 0) {
+      break;
+    }
+    pollfd pfd{write_fd_, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0 && errno == EINTR) {
+      continue;
+    }
+    if (ready <= 0) {
+      break;  // deadline passed
+    }
+    FlushSendQueue();  // may invalidate write_fd_ on a hard error
+  }
+  g_backpressure_block_duration.Record(wobs::NowNs() - start_ns);
+  return write_fd_ >= 0 && send_queue_bytes_ + needed <= send_queue_limit_;
+}
+
+void Frontend::SetHighWater(std::size_t bytes, std::string script) {
+  high_water_bytes_ = bytes;
+  high_water_script_ = std::move(script);
+  high_water_armed_ = true;
+}
+
+void Frontend::CheckHighWater() {
+  if (high_water_bytes_ == 0 || high_water_script_.empty()) {
+    return;
+  }
+  if (high_water_armed_ && send_queue_bytes_ > high_water_bytes_) {
+    high_water_armed_ = false;  // edge-triggered; re-arms once drained
+    g_backpressure_highwater.Increment();
+    wafe_->interp().SetVar("backendQueueBytes", std::to_string(send_queue_bytes_));
+    wtcl::Result r = wafe_->Eval(high_water_script_);
+    if (r.code == wtcl::Status::kError) {
+      std::fprintf(stderr, "wafe: high-water callback: %s\n", r.value.c_str());
+    }
+  } else if (!high_water_armed_ && send_queue_bytes_ <= high_water_bytes_ / 2) {
+    high_water_armed_ = true;
+  }
+}
+
+// --- Supervision --------------------------------------------------------------------
+
+void Frontend::set_backoff(int initial_ms, int max_ms) {
+  backoff_initial_ms_ = initial_ms;
+  backoff_max_ms_ = max_ms;
+  backoff_ms_ = initial_ms;
+}
+
+void Frontend::ResetSupervision() {
+  restarts_done_ = 0;
+  backoff_ms_ = backoff_initial_ms_;
+}
+
+void Frontend::RecordExit(int wait_status) {
+  exit_recorded_ = true;
   int pid = pid_;
-  ::waitpid(pid_, &status, 0);
-  pid_ = -1;
-  if (WIFSIGNALED(status)) {
+  if (WIFSIGNALED(wait_status)) {
+    last_exit_status_ = -1;
     // Abnormal deaths are always logged, even with observability off.
     wobs::Log("proc",
               "backend pid=" + std::to_string(pid) + " exec=" + backend_program_ +
-                  " killed by signal " + std::to_string(WTERMSIG(status)),
+                  " killed by signal " + std::to_string(WTERMSIG(wait_status)),
               /*always=*/true);
-    return -1;
+    return;
   }
-  int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  last_exit_status_ = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : -1;
   wobs::Log("proc",
             "backend pid=" + std::to_string(pid) + " exec=" + backend_program_ +
-                " exited status=" + std::to_string(code),
-            /*always=*/code != 0);
-  return code;
+                " exited status=" + std::to_string(last_exit_status_),
+            /*always=*/last_exit_status_ != 0);
 }
 
-void Frontend::CloseBackend() {
+bool Frontend::TryReap() {
+  if (pid_ <= 0) {
+    return true;
+  }
+  for (;;) {
+    int status = 0;
+    pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == pid_) {
+      RecordExit(status);
+      pid_ = -1;
+      return true;
+    }
+    if (r == 0) {
+      return false;  // still running
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    pid_ = -1;  // ECHILD: already reaped elsewhere
+    return true;
+  }
+}
+
+void Frontend::HandleBackendGone(const char* reason) {
+  if (gone_handling_) {
+    return;
+  }
+  gone_handling_ = true;
   if (input_id_ >= 0) {
     wafe_->app().RemoveInput(input_id_);
     input_id_ = -1;
   }
-  if (mass_input_id_ >= 0) {
-    wafe_->app().RemoveInput(mass_input_id_);
-    mass_input_id_ = -1;
+  if (output_id_ >= 0) {
+    wafe_->app().RemoveOutput(output_id_);
+    output_id_ = -1;
+  }
+  if (!buffer_.empty()) {
+    HandleLine(buffer_);
+    buffer_.clear();
+  }
+  overlong_in_progress_ = false;
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+  }
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) {
+    ::close(write_fd_);
+  }
+  write_fd_ = -1;
+  read_fd_ = -1;
+  // A partially-written front line cannot be resumed against a new backend.
+  if (send_front_offset_ > 0 && !send_queue_.empty()) {
+    send_queue_bytes_ -= send_queue_.front().size() - send_front_offset_;
+    send_queue_.pop_front();
+    send_front_offset_ = 0;
+    ++lines_dropped_;
+    g_queue_dropped.Increment();
+    g_queue_depth.Set(send_queue_bytes_);
+  }
+  bool will_respawn =
+      supervise_ && !backend_program_.empty() && restarts_done_ < max_restarts_;
+  // Reap: the child normally exited already (we saw EOF). Losing our fds is
+  // its cue to go; give it a short grace, and — when a replacement is about
+  // to be spawned — escalate so the old one cannot linger as a zombie.
+  if (!TryReap()) {
+    std::int64_t deadline = NowMsMono() + 200;
+    while (NowMsMono() < deadline && !TryReap()) {
+      ::usleep(1000);
+    }
+    if (pid_ > 0 && will_respawn) {
+      ::kill(pid_, SIGTERM);
+      deadline = NowMsMono() + 200;
+      while (NowMsMono() < deadline && !TryReap()) {
+        ::usleep(1000);
+      }
+      if (pid_ > 0) {
+        ::kill(pid_, SIGKILL);
+        int status = 0;
+        while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+        }
+        RecordExit(status);
+        pid_ = -1;
+      }
+    }
+  }
+  // The Tcl hook sees reason, status, and restart count as variables.
+  wafe_->interp().SetVar("backendExitReason", reason);
+  wafe_->interp().SetVar("backendExitStatus",
+                         exit_recorded_ ? std::to_string(last_exit_status_) : "unknown");
+  wafe_->interp().SetVar("backendRestarts", std::to_string(restarts_done_));
+  if (!exit_command_.empty()) {
+    wtcl::Result r = wafe_->Eval(exit_command_);
+    if (r.code == wtcl::Status::kError) {
+      std::fprintf(stderr, "wafe: backendExitCommand: %s\n", r.value.c_str());
+    }
+  }
+  if (will_respawn) {
+    int delay = backoff_ms_;
+    backoff_ms_ = std::min(backoff_ms_ * 2, backoff_max_ms_);
+    wobs::Log("proc", "supervisor: respawn attempt " +
+                          std::to_string(restarts_done_ + 1) + "/" +
+                          std::to_string(max_restarts_) + " in " +
+                          std::to_string(delay) + "ms (" + reason + ")");
+    restart_timer_id_ = wafe_->app().AddTimeout(delay, [this] { RespawnNow(); });
+  } else {
+    wafe_->Quit(0);
+  }
+  gone_handling_ = false;
+}
+
+void Frontend::RespawnNow() {
+  restart_timer_id_ = -1;
+  ++restarts_done_;
+  g_restarts.Increment();
+  // Local copies: SpawnBackend re-assigns backend_program_/backend_args_.
+  std::string program = backend_program_;
+  std::vector<std::string> args = backend_args_;
+  std::string error;
+  if (!SpawnBackend(program, args, &error)) {
+    wobs::Log("proc", "supervisor: respawn failed: " + error, /*always=*/true);
+    if (supervise_ && restarts_done_ < max_restarts_) {
+      int delay = backoff_ms_;
+      backoff_ms_ = std::min(backoff_ms_ * 2, backoff_max_ms_);
+      restart_timer_id_ = wafe_->app().AddTimeout(delay, [this] { RespawnNow(); });
+    } else {
+      wafe_->Quit(1);
+    }
+    return;
+  }
+  wobs::Log("proc", "supervisor: respawned backend pid=" + std::to_string(pid_) +
+                        " (attempt " + std::to_string(restarts_done_) + "/" +
+                        std::to_string(max_restarts_) + ")");
+  // Lines queued while the backend was down flow to the replacement.
+  FlushSendQueue();
+}
+
+int Frontend::WaitBackend() {
+  if (pid_ > 0) {
+    for (;;) {
+      int status = 0;
+      pid_t r = ::waitpid(pid_, &status, 0);
+      if (r == pid_) {
+        RecordExit(status);
+        pid_ = -1;
+        break;
+      }
+      if (r < 0 && errno == EINTR) {
+        continue;
+      }
+      pid_ = -1;  // ECHILD
+      break;
+    }
+  }
+  return exit_recorded_ ? last_exit_status_ : 0;
+}
+
+void Frontend::CloseBackend() {
+  if (restart_timer_id_ >= 0) {
+    wafe_->app().RemoveTimeout(restart_timer_id_);
+    restart_timer_id_ = -1;
+  }
+  if (input_id_ >= 0) {
+    wafe_->app().RemoveInput(input_id_);
+    input_id_ = -1;
+  }
+  if (output_id_ >= 0) {
+    wafe_->app().RemoveOutput(output_id_);
+    output_id_ = -1;
   }
   if (read_fd_ >= 0) {
     ::close(read_fd_);
@@ -280,7 +700,15 @@ void Frontend::CloseBackend() {
   }
   read_fd_ = -1;
   write_fd_ = -1;
+  send_queue_.clear();
+  send_front_offset_ = 0;
+  send_queue_bytes_ = 0;
+  g_queue_depth.Set(0);
   if (mass_read_fd_ >= 0) {
+    if (mass_input_id_ >= 0) {
+      wafe_->app().RemoveInput(mass_input_id_);
+      mass_input_id_ = -1;
+    }
     ::close(mass_read_fd_);
     mass_read_fd_ = -1;
   }
@@ -288,9 +716,108 @@ void Frontend::CloseBackend() {
     ::close(mass_backend_fd_);
     mass_backend_fd_ = -1;
   }
-  if (pid_ > 0) {
-    ::waitpid(pid_, nullptr, WNOHANG);
+  if (pid_ > 0 && !TryReap()) {
+    // Shutdown reap: closing stdin above is the child's cue to exit. A
+    // single WNOHANG probe would leak a child that exits moments later as a
+    // zombie, so poll briefly, then escalate.
+    std::int64_t deadline = NowMsMono() + 500;
+    while (NowMsMono() < deadline && !TryReap()) {
+      ::usleep(1000);
+    }
+    if (pid_ > 0) {
+      ::kill(pid_, SIGTERM);
+      deadline = NowMsMono() + 200;
+      while (NowMsMono() < deadline && !TryReap()) {
+        ::usleep(1000);
+      }
+    }
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+      }
+      RecordExit(status);
+      pid_ = -1;
+    }
   }
+  if (sigpipe_guard_held_) {
+    ReleaseSigpipeGuard();
+    sigpipe_guard_held_ = false;
+  }
+}
+
+std::string Frontend::StatusText() const {
+  std::string out;
+  out += "alive " + std::to_string(backend_alive() ? 1 : 0);
+  out += " pid " + std::to_string(pid_);
+  out += " transport ";
+  out += using_socketpair_ ? "socketpair" : "pipe";
+  out += " queueBytes " + std::to_string(send_queue_bytes_);
+  out += " queueLines " + std::to_string(send_queue_.size());
+  out += " queueLimit " + std::to_string(send_queue_limit_);
+  out += " policy ";
+  out += PolicyName(overflow_policy_);
+  out += " deadline " + std::to_string(send_deadline_ms_);
+  out += " highWater " + std::to_string(high_water_bytes_);
+  out += " dropped " + std::to_string(lines_dropped_);
+  out += " supervise " + std::to_string(supervise_ ? 1 : 0);
+  out += " restarts " + std::to_string(restarts_done_);
+  out += " maxRestarts " + std::to_string(max_restarts_);
+  out += " backoff " + std::to_string(backoff_initial_ms_);
+  out += " restartPending " + std::to_string(restart_pending() ? 1 : 0);
+  out += " lastExit ";
+  out += exit_recorded_ ? std::to_string(last_exit_status_) : "none";
+  return out;
+}
+
+// --- Fault injection ----------------------------------------------------------------
+
+bool Frontend::ApplyFaultSpec(const std::string& spec, std::string* error) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    std::string token = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (token.empty()) {
+      continue;
+    }
+    std::size_t eq = token.find('=');
+    std::string kind = token.substr(0, eq);
+    long value = 0;
+    if (eq != std::string::npos) {
+      value = std::strtol(token.c_str() + eq + 1, nullptr, 10);
+    }
+    if (kind == "clear" || kind == "none") {
+      ClearFaults();
+    } else if (kind == "shortWrites") {
+      faults_.short_write_max = value < 0 ? 0 : static_cast<std::size_t>(value);
+    } else if (kind == "eagain") {
+      faults_.eagain_storm = static_cast<int>(value);
+    } else if (kind == "eintr") {
+      faults_.eintr_storm = static_cast<int>(value);
+    } else if (kind == "hangupAfter") {
+      faults_.hangup_after_bytes = value;
+    } else if (kind == "massEofAfter") {
+      faults_.mass_eof_after_bytes = value;
+    } else {
+      if (error != nullptr) {
+        *error = "unknown fault \"" + kind +
+                 "\": must be shortWrites, eagain, eintr, hangupAfter, "
+                 "massEofAfter, or clear";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Frontend::FaultStatusText() const {
+  return "shortWrites " + std::to_string(faults_.short_write_max) + " eagain " +
+         std::to_string(faults_.eagain_storm) + " eintr " +
+         std::to_string(faults_.eintr_storm) + " hangupAfter " +
+         std::to_string(faults_.hangup_after_bytes) + " massEofAfter " +
+         std::to_string(faults_.mass_eof_after_bytes);
 }
 
 // --- Mass channel ------------------------------------------------------------------
@@ -316,9 +843,11 @@ void Frontend::SetCommunicationVariable(const std::string& var, std::size_t nbyt
   mass_var_ = var;
   mass_expected_ = nbytes;
   mass_completion_ = completion;
+  mass_armed_ = true;
   mass_buffer_.reserve(nbytes);
   // Data may already have arrived (the backend is free to write before the
-  // arming command is processed); complete immediately in that case.
+  // arming command is processed), and a zero-byte transfer is complete by
+  // definition: the variable is set empty and the completion runs now.
   if (mass_buffer_.size() >= mass_expected_) {
     FinishMassTransfer();
   }
@@ -331,6 +860,7 @@ void Frontend::FinishMassTransfer() {
   std::string value = mass_buffer_.substr(0, mass_expected_);
   mass_buffer_.erase(0, mass_expected_);
   mass_expected_ = 0;
+  mass_armed_ = false;
   wafe_->interp().SetVar(mass_var_, std::move(value));
   if (!mass_completion_.empty()) {
     wtcl::Result r = wafe_->Eval(mass_completion_);
@@ -342,21 +872,50 @@ void Frontend::FinishMassTransfer() {
 
 void Frontend::OnMassReadable() {
   char chunk[16384];
-  ssize_t n = ::read(mass_read_fd_, chunk, sizeof(chunk));
-  if (n <= 0) {
-    if (mass_input_id_ >= 0) {
-      wafe_->app().RemoveInput(mass_input_id_);
-      mass_input_id_ = -1;
+  std::size_t want = sizeof(chunk);
+  bool simulated_eof = faults_.mass_eof_after_bytes == 0;
+  if (faults_.mass_eof_after_bytes > 0 &&
+      static_cast<long>(want) > faults_.mass_eof_after_bytes) {
+    want = static_cast<std::size_t>(faults_.mass_eof_after_bytes);
+  }
+  ssize_t n = simulated_eof ? 0 : ::read(mass_read_fd_, chunk, want);
+  if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+    return;
+  }
+  if (n > 0) {
+    if (faults_.mass_eof_after_bytes > 0) {
+      faults_.mass_eof_after_bytes -= n;
+      // Budget exhausted: these bytes arrive, then the channel "ends" —
+      // handled now, because no further read event will fire for it.
+      simulated_eof = faults_.mass_eof_after_bytes == 0;
     }
-    return;
-  }
-  if (mass_expected_ == 0) {
-    // Unsolicited data: buffer it for the next setCommunicationVariable.
     mass_buffer_.append(chunk, static_cast<std::size_t>(n));
-    return;
+    // Without an armed transfer the data is unsolicited: buffered for the
+    // next setCommunicationVariable.
+    if (mass_armed_ && mass_buffer_.size() >= mass_expected_) {
+      FinishMassTransfer();
+    }
+    if (!simulated_eof) {
+      return;
+    }
   }
-  mass_buffer_.append(chunk, static_cast<std::size_t>(n));
-  if (mass_buffer_.size() >= mass_expected_) {
+  // EOF, real or injected.
+  if (simulated_eof) {
+    faults_.mass_eof_after_bytes = -1;
+  }
+  if (mass_input_id_ >= 0) {
+    wafe_->app().RemoveInput(mass_input_id_);
+    mass_input_id_ = -1;
+  }
+  if (mass_armed_) {
+    // The channel truncated mid-transfer: complete with what arrived so the
+    // armed completion (and whatever cleanup it does) still runs.
+    g_mass_truncated.Increment();
+    wobs::Log("comm",
+              "mass channel truncated: expected " + std::to_string(mass_expected_) +
+                  " bytes, got " + std::to_string(mass_buffer_.size()),
+              /*always=*/true);
+    mass_expected_ = mass_buffer_.size();
     FinishMassTransfer();
   }
 }

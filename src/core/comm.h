@@ -4,15 +4,43 @@
 // all other lines pass through to Wafe's stdout — and whose stdin receives
 // the ASCII messages callbacks/actions emit. An optional mass-transfer
 // channel moves bulk data into a Tcl variable without per-line parsing.
+//
+// The channel is the reliability boundary of a frontend-mode system, so it
+// is hardened against slow, flooding, and dying backends: writes are
+// non-blocking behind a bounded in-process queue drained by a write-ready
+// input source (a stalled backend never blocks Xt event dispatch), an
+// opt-in supervisor respawns a dead backend with exponential backoff, and a
+// deterministic fault-injection seam (the `commFault` command and the
+// WAFE_COMM_FAULT environment variable) lets tests force the failure modes.
 #ifndef SRC_CORE_COMM_H_
 #define SRC_CORE_COMM_H_
 
+#include <cstddef>
+#include <deque>
 #include <string>
 #include <vector>
 
 namespace wafe {
 
 class Wafe;
+
+// What SendToBackend does when the outbound queue byte limit is reached.
+enum class OverflowPolicy {
+  kBlock,      // flush synchronously until space opens or the deadline passes
+  kDropOldest, // drop queued lines (oldest first) to make room
+  kFail,       // reject the new line
+};
+
+// Deterministic fault injection for the channel (the `commFault` command /
+// WAFE_COMM_FAULT). All fields are consumed by the write and mass-read
+// paths; zero / negative values mean "off".
+struct CommFaults {
+  std::size_t short_write_max = 0;  // cap every write() to this many bytes
+  int eagain_storm = 0;             // next N writes fail with EAGAIN
+  int eintr_storm = 0;              // next N writes fail with EINTR
+  long hangup_after_bytes = -1;     // backend vanishes mid-line after N bytes
+  long mass_eof_after_bytes = -1;   // mass channel truncates after N bytes
+};
 
 class Frontend {
  public:
@@ -50,12 +78,75 @@ class Frontend {
   // number of protocol lines evaluated; -1 once the backend hung up.
   int OnBackendReadable();
 
-  // Sends one line (newline appended) to the backend's stdin.
-  void SendToBackend(const std::string& line);
+  // Enqueues one line (newline appended) for the backend's stdin and
+  // flushes as much as the kernel accepts without blocking; the remainder
+  // drains through a write-ready input source. Returns false when the line
+  // was rejected by the overflow policy (or there is no backend).
+  bool SendToBackend(const std::string& line);
+  // Drains the outbound queue; called by the write-ready source.
+  void OnBackendWritable();
 
-  // Waits for the child to exit (frontend shutdown).
+  // Waits for the child to exit (frontend shutdown). Returns the recorded
+  // exit status if the supervisor already reaped the child.
   int WaitBackend();
   void CloseBackend();
+
+  // --- Outbound queue / backpressure ------------------------------------------------
+
+  void set_send_queue_limit(std::size_t bytes) { send_queue_limit_ = bytes; }
+  std::size_t send_queue_limit() const { return send_queue_limit_; }
+  void set_overflow_policy(OverflowPolicy policy) { overflow_policy_ = policy; }
+  OverflowPolicy overflow_policy() const { return overflow_policy_; }
+  // Deadline for OverflowPolicy::kBlock; past it the new line is dropped.
+  void set_send_deadline_ms(int ms) { send_deadline_ms_ = ms; }
+  int send_deadline_ms() const { return send_deadline_ms_; }
+  // `script` is evaluated once when the queue grows past `bytes` and re-armed
+  // when it drains below half of it. Empty script clears the callback.
+  void SetHighWater(std::size_t bytes, std::string script);
+  std::size_t high_water_bytes() const { return high_water_bytes_; }
+
+  std::size_t send_queue_bytes() const { return send_queue_bytes_; }
+  std::size_t send_queue_lines() const { return send_queue_.size(); }
+  std::size_t lines_dropped() const { return lines_dropped_; }
+
+  // --- Supervision ------------------------------------------------------------------
+
+  // With supervision on, a backend that hangs up or dies abnormally is
+  // respawned (up to max_restarts times, exponential backoff capped at
+  // backoff_max). Without it, backend exit quits the session as before.
+  void set_supervise(bool on) { supervise_ = on; }
+  bool supervise() const { return supervise_; }
+  void set_max_restarts(int n) { max_restarts_ = n; }
+  int max_restarts() const { return max_restarts_; }
+  void set_backoff(int initial_ms, int max_ms);
+  int backoff_initial_ms() const { return backoff_initial_ms_; }
+  int backoff_max_ms() const { return backoff_max_ms_; }
+  // Tcl hook evaluated on every backend exit, after the Tcl variables
+  // backendExitReason / backendExitStatus / backendRestarts are set.
+  void set_exit_command(std::string script) { exit_command_ = std::move(script); }
+  const std::string& exit_command() const { return exit_command_; }
+
+  int restart_count() const { return restarts_done_; }
+  bool restart_pending() const { return restart_timer_id_ >= 0; }
+  bool exit_recorded() const { return exit_recorded_; }
+  // Recorded exit status: the code for a normal exit, -1 for a signal death.
+  int last_exit_status() const { return last_exit_status_; }
+
+  // Zeroes restart bookkeeping (a fresh supervision episode).
+  void ResetSupervision();
+
+  // One line of channel state for the `backend status` command.
+  std::string StatusText() const;
+
+  // --- Fault injection --------------------------------------------------------------
+
+  CommFaults& faults() { return faults_; }
+  const CommFaults& faults() const { return faults_; }
+  void ClearFaults() { faults_ = CommFaults{}; }
+  // Parses "kind=value,kind=value" (the WAFE_COMM_FAULT format; kinds:
+  // shortWrites, eagain, eintr, hangupAfter, massEofAfter).
+  bool ApplyFaultSpec(const std::string& spec, std::string* error);
+  std::string FaultStatusText() const;
 
   // --- Mass-transfer channel -----------------------------------------------------
 
@@ -66,11 +157,13 @@ class Frontend {
   int mass_channel_read_fd() const { return mass_read_fd_; }
 
   // Arms the transfer: the next `nbytes` bytes arriving on the mass channel
-  // are stored into Tcl variable `var`, then `completion` is evaluated.
+  // are stored into Tcl variable `var`, then `completion` is evaluated. A
+  // zero-byte transfer completes immediately (the variable is set empty and
+  // the completion runs before this returns).
   void SetCommunicationVariable(const std::string& var, std::size_t nbytes,
                                 const std::string& completion);
   void OnMassReadable();
-  bool mass_transfer_active() const { return mass_expected_ > 0; }
+  bool mass_transfer_active() const { return mass_armed_; }
 
   // --- Statistics ------------------------------------------------------------------
 
@@ -86,21 +179,72 @@ class Frontend {
   void FinishMassTransfer();
   void HandleLine(const std::string& line);
 
+  // Fault-aware write to the backend fd.
+  ssize_t WriteBackend(const char* data, std::size_t len);
+  // Writes queued bytes until the kernel would block; arms/disarms the
+  // write-ready source accordingly.
+  void FlushSendQueue();
+  void UpdateWriteWatch();
+  // kBlock overflow: flushes synchronously (poll + write) until `needed`
+  // bytes fit or the deadline passes. Returns whether space opened.
+  bool BlockUntilSpace(std::size_t needed);
+  void CheckHighWater();
+
+  // Backend death (read EOF, write EPIPE, injected hangup): tears down the
+  // channel, reaps, fires the exit hook, then either schedules a supervised
+  // respawn or quits the session.
+  void HandleBackendGone(const char* reason);
+  void RespawnNow();
+  // Reaps the child without blocking (retrying EINTR); returns true once the
+  // exit status has been recorded (or there is nothing to reap).
+  bool TryReap();
+  void RecordExit(int wait_status);
+
   Wafe* wafe_;
   int pid_ = -1;
   int read_fd_ = -1;
   int write_fd_ = -1;
   int input_id_ = -1;
+  int output_id_ = -1;
   bool force_pipes_ = false;
   bool using_socketpair_ = false;
-  std::string backend_program_;  // for lifecycle log lines
+  bool sigpipe_guard_held_ = false;
+  std::string backend_program_;  // for lifecycle log lines and respawns
+  std::vector<std::string> backend_args_;
   std::string buffer_;
   bool overlong_in_progress_ = false;
+
+  // Outbound queue: whole lines; the front one may be partially written.
+  std::deque<std::string> send_queue_;
+  std::size_t send_front_offset_ = 0;
+  std::size_t send_queue_bytes_ = 0;
+  std::size_t send_queue_limit_ = 4 * 1024 * 1024;
+  OverflowPolicy overflow_policy_ = OverflowPolicy::kBlock;
+  int send_deadline_ms_ = 1000;
+  std::size_t high_water_bytes_ = 0;
+  std::string high_water_script_;
+  bool high_water_armed_ = true;
+  std::size_t lines_dropped_ = 0;
+
+  bool supervise_ = false;
+  int max_restarts_ = 3;
+  int backoff_initial_ms_ = 100;
+  int backoff_max_ms_ = 5000;
+  int backoff_ms_ = 100;
+  int restarts_done_ = 0;
+  int restart_timer_id_ = -1;
+  bool gone_handling_ = false;
+  std::string exit_command_;
+  bool exit_recorded_ = false;
+  int last_exit_status_ = 0;
+
+  CommFaults faults_;
 
   int mass_read_fd_ = -1;
   int mass_backend_fd_ = -1;
   int mass_input_id_ = -1;
   std::string mass_var_;
+  bool mass_armed_ = false;
   std::size_t mass_expected_ = 0;
   std::string mass_buffer_;
   std::string mass_completion_;

@@ -3,6 +3,7 @@
 // timers, and introspection. Most entries are spec-generated wrappers of a
 // single Xt function, per the paper's one-call-one-command rule.
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -722,7 +723,11 @@ void RegisterXtCommands(Wafe& wafe) {
       {{ArgType::kString, "line"}},
       "send one line to the backend application's stdin",
       [](Invocation& inv) {
-        inv.wafe->frontend().SendToBackend(inv.str(0));
+        Frontend& frontend = inv.wafe->frontend();
+        bool had_channel = frontend.write_fd() >= 0 || frontend.restart_pending();
+        if (!frontend.SendToBackend(inv.str(0)) && had_channel) {
+          return Result::Error("sendToApplication: line rejected (send queue full)");
+        }
         return Result::Ok();
       },
       false});
@@ -795,6 +800,154 @@ void RegisterCommCommands(Wafe& wafe) {
         frontend.SetCommunicationVariable(inv.str(0),
                                           static_cast<std::size_t>(inv.integer(1)),
                                           inv.str(2));
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "backend",
+      "backend",
+      "String",
+      {{ArgType::kString, "subcommand"},
+       {ArgType::kString, "arg1", true},
+       {ArgType::kString, "arg2", true}},
+      "channel policy and supervision: status; supervise on|off; maxRestarts n; "
+      "backoff initialMs ?maxMs?; queueLimit bytes; overflowPolicy "
+      "block|dropOldest|fail; sendDeadline ms; highWater bytes ?script?; reset",
+      [](Invocation& inv) {
+        Frontend& frontend = inv.wafe->frontend();
+        const std::string sub = inv.str(0);
+        auto parse_num = [&inv](std::size_t i, long* out) {
+          const std::string& text = inv.str(i);
+          char* end = nullptr;
+          long v = std::strtol(text.c_str(), &end, 10);
+          if (text.empty() || end == nullptr || *end != '\0') {
+            return false;
+          }
+          *out = v;
+          return true;
+        };
+        if (sub == "status") {
+          return Result::Ok(frontend.StatusText());
+        }
+        if (sub == "supervise") {
+          if (!inv.present(1)) {
+            return Result::Ok(frontend.supervise() ? "on" : "off");
+          }
+          if (inv.str(1) == "on") {
+            frontend.set_supervise(true);
+          } else if (inv.str(1) == "off") {
+            frontend.set_supervise(false);
+          } else {
+            return Result::Error("backend supervise: expected on or off");
+          }
+          return Result::Ok();
+        }
+        if (sub == "reset") {
+          frontend.ResetSupervision();
+          return Result::Ok();
+        }
+        long value = 0;
+        if (sub == "maxRestarts") {
+          if (!inv.present(1) || !parse_num(1, &value) || value < 0) {
+            return Result::Error("backend maxRestarts: expected a count >= 0");
+          }
+          frontend.set_max_restarts(static_cast<int>(value));
+          return Result::Ok();
+        }
+        if (sub == "backoff") {
+          long max_ms = 0;
+          if (!inv.present(1) || !parse_num(1, &value) || value <= 0) {
+            return Result::Error("backend backoff: expected initialMs > 0");
+          }
+          if (inv.present(2)) {
+            if (!parse_num(2, &max_ms) || max_ms < value) {
+              return Result::Error("backend backoff: maxMs must be >= initialMs");
+            }
+          } else {
+            max_ms = frontend.backoff_max_ms();
+          }
+          frontend.set_backoff(static_cast<int>(value), static_cast<int>(max_ms));
+          return Result::Ok();
+        }
+        if (sub == "queueLimit") {
+          if (!inv.present(1) || !parse_num(1, &value) || value <= 0) {
+            return Result::Error("backend queueLimit: expected a byte count > 0");
+          }
+          frontend.set_send_queue_limit(static_cast<std::size_t>(value));
+          return Result::Ok();
+        }
+        if (sub == "overflowPolicy") {
+          if (!inv.present(1)) {
+            return Result::Error("backend overflowPolicy: expected block, dropOldest, or fail");
+          }
+          if (inv.str(1) == "block") {
+            frontend.set_overflow_policy(OverflowPolicy::kBlock);
+          } else if (inv.str(1) == "dropOldest") {
+            frontend.set_overflow_policy(OverflowPolicy::kDropOldest);
+          } else if (inv.str(1) == "fail") {
+            frontend.set_overflow_policy(OverflowPolicy::kFail);
+          } else {
+            return Result::Error("backend overflowPolicy: expected block, dropOldest, or fail");
+          }
+          return Result::Ok();
+        }
+        if (sub == "sendDeadline") {
+          if (!inv.present(1) || !parse_num(1, &value) || value < 0) {
+            return Result::Error("backend sendDeadline: expected milliseconds >= 0");
+          }
+          frontend.set_send_deadline_ms(static_cast<int>(value));
+          return Result::Ok();
+        }
+        if (sub == "highWater") {
+          if (!inv.present(1) || !parse_num(1, &value) || value < 0) {
+            return Result::Error("backend highWater: expected a byte count >= 0");
+          }
+          frontend.SetHighWater(static_cast<std::size_t>(value),
+                                inv.present(2) ? inv.str(2) : std::string());
+          return Result::Ok();
+        }
+        return Result::Error(
+            "bad backend subcommand \"" + sub +
+            "\": must be status, supervise, maxRestarts, backoff, queueLimit, "
+            "overflowPolicy, sendDeadline, highWater, or reset");
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "backendExitCommand",
+      "backendExitCommand",
+      "String",
+      {{ArgType::kString, "script", true}},
+      "Tcl hook evaluated whenever the backend exits; backendExitReason, "
+      "backendExitStatus, and backendRestarts are set first. Without an "
+      "argument returns the current hook; an empty script clears it",
+      [](Invocation& inv) {
+        if (!inv.present(0)) {
+          return Result::Ok(inv.wafe->frontend().exit_command());
+        }
+        inv.wafe->frontend().set_exit_command(inv.str(0));
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "commFault",
+      "commFault",
+      "String",
+      {{ArgType::kString, "spec", true}},
+      "deterministic channel fault injection (tests): \"kind=value,...\" with "
+      "kinds shortWrites, eagain, eintr, hangupAfter, massEofAfter; \"clear\" "
+      "resets; \"status\" or no argument reports the active faults",
+      [](Invocation& inv) {
+        Frontend& frontend = inv.wafe->frontend();
+        if (!inv.present(0) || inv.str(0) == "status") {
+          return Result::Ok(frontend.FaultStatusText());
+        }
+        std::string error;
+        if (!frontend.ApplyFaultSpec(inv.str(0), &error)) {
+          return Result::Error(error);
+        }
         return Result::Ok();
       },
       false});

@@ -75,7 +75,10 @@ void Wafe::RegisterEverything() {
 wtcl::Result Wafe::Eval(std::string_view script) { return interp_.Eval(script); }
 
 void Wafe::WriteOut(const std::string& text) {
-  if (output_to_backend_ && frontend_->backend_alive()) {
+  if (output_to_backend_ &&
+      (frontend_->backend_alive() || frontend_->restart_pending())) {
+    // While a supervised restart is pending the line is queued and delivered
+    // to the replacement backend.
     // Callbacks and actions talk back to the application program. The
     // protocol is line oriented; the text already ends in a newline for
     // echo, and SendToBackend appends one, so strip a single trailing

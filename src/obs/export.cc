@@ -59,6 +59,10 @@ std::string MetricsText() {
   for (const Counter* counter : registry.counters()) {
     out << counter->name() << " " << counter->Get() << "\n";
   }
+  out << "== gauges (current) ==\n";
+  for (const Gauge* gauge : registry.current_gauges()) {
+    out << gauge->name() << " " << gauge->Get() << "\n";
+  }
   out << "== gauges (max) ==\n";
   for (const MaxGauge* gauge : registry.gauges()) {
     out << gauge->name() << " " << gauge->Get() << "\n";

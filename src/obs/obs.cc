@@ -69,6 +69,10 @@ Counter::Counter(const char* name) : name_(name) {
   Registry::Instance().Register(this);
 }
 
+Gauge::Gauge(const char* name) : name_(name) {
+  Registry::Instance().Register(this);
+}
+
 MaxGauge::MaxGauge(const char* name) : name_(name) {
   Registry::Instance().Register(this);
 }
@@ -137,6 +141,11 @@ void Registry::Register(Counter* counter) {
   counters_.push_back(counter);
 }
 
+void Registry::Register(Gauge* gauge) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_gauges_.push_back(gauge);
+}
+
 void Registry::Register(MaxGauge* gauge) {
   std::lock_guard<std::mutex> lock(mutex_);
   gauges_.push_back(gauge);
@@ -150,6 +159,11 @@ void Registry::Register(Histogram* histogram) {
 std::vector<Counter*> Registry::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;
+}
+
+std::vector<Gauge*> Registry::current_gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_gauges_;
 }
 
 std::vector<MaxGauge*> Registry::gauges() const {
@@ -167,6 +181,9 @@ void Registry::ResetMetrics() {
   for (Counter* counter : counters_) {
     counter->Reset();
   }
+  for (Gauge* gauge : current_gauges_) {
+    gauge->Reset();
+  }
   for (MaxGauge* gauge : gauges_) {
     gauge->Reset();
   }
@@ -180,6 +197,12 @@ bool Registry::GetMetric(const std::string& name, std::uint64_t* value) const {
   for (const Counter* counter : counters_) {
     if (name == counter->name()) {
       *value = counter->Get();
+      return true;
+    }
+  }
+  for (const Gauge* gauge : current_gauges_) {
+    if (name == gauge->name()) {
+      *value = gauge->Get();
       return true;
     }
   }

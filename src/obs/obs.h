@@ -72,6 +72,25 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+// Records the last value set (current queue depth, outstanding restarts).
+class Gauge {
+ public:
+  explicit Gauge(const char* name);
+
+  const char* name() const { return name_; }
+  void Set(std::uint64_t v) {
+    if (MetricsEnabled()) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const char* name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
 // Records the maximum value ever observed (queue-depth high-water marks).
 class MaxGauge {
  public:
@@ -188,6 +207,7 @@ class Registry {
   static Registry& Instance();
 
   void Register(Counter* counter);
+  void Register(Gauge* gauge);
   void Register(MaxGauge* gauge);
   void Register(Histogram* histogram);
 
@@ -195,6 +215,7 @@ class Registry {
 
   // Snapshot accessors (export.cc).
   std::vector<Counter*> counters() const;
+  std::vector<Gauge*> current_gauges() const;
   std::vector<MaxGauge*> gauges() const;
   std::vector<Histogram*> histograms() const;
 
@@ -209,6 +230,7 @@ class Registry {
 
   mutable std::mutex mutex_;
   std::vector<Counter*> counters_;
+  std::vector<Gauge*> current_gauges_;
   std::vector<MaxGauge*> gauges_;
   std::vector<Histogram*> histograms_;
   TraceRing ring_;

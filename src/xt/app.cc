@@ -754,6 +754,21 @@ void AppContext::RemoveInput(int id) {
                 inputs_.end());
 }
 
+int AppContext::AddOutput(int fd, InputFn fn) {
+  Input output;
+  output.id = next_input_id_++;
+  output.fd = fd;
+  output.fn = std::move(fn);
+  outputs_.push_back(std::move(output));
+  return outputs_.back().id;
+}
+
+void AppContext::RemoveOutput(int id) {
+  outputs_.erase(std::remove_if(outputs_.begin(), outputs_.end(),
+                                [id](const Input& i) { return i.id == id; }),
+                 outputs_.end());
+}
+
 bool AppContext::RunOneIteration(bool block) {
   wobs::ScopedEvent obs_span("xt", "loop-iteration", &g_loop_iteration_duration);
   if (ProcessPending() > 0) {
@@ -771,29 +786,43 @@ bool AppContext::RunOneIteration(bool block) {
       timeout = static_cast<int>(remaining);
     }
   }
-  if (inputs_.empty() && timers_.empty()) {
+  if (inputs_.empty() && outputs_.empty() && timers_.empty()) {
     return false;
   }
   std::vector<pollfd> fds;
-  fds.reserve(inputs_.size());
+  fds.reserve(inputs_.size() + outputs_.size());
   for (const Input& input : inputs_) {
     fds.push_back(pollfd{input.fd, POLLIN | POLLHUP, 0});
+  }
+  for (const Input& output : outputs_) {
+    fds.push_back(pollfd{output.fd, POLLOUT, 0});
   }
   int ready = ::poll(fds.data(), fds.size(), timeout);
   bool worked = false;
   if (ready > 0) {
-    // Snapshot ids: handlers may add/remove inputs.
-    std::vector<std::pair<int, int>> fired;  // (id, fd)
-    for (std::size_t i = 0; i < fds.size(); ++i) {
+    // Snapshot ids: handlers may add/remove sources.
+    struct Fired {
+      bool output;
+      int id;
+      int fd;
+    };
+    std::vector<Fired> fired;
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        fired.emplace_back(inputs_[i].id, inputs_[i].fd);
+        fired.push_back(Fired{false, inputs_[i].id, inputs_[i].fd});
       }
     }
-    for (const auto& [id, fd] : fired) {
-      for (const Input& input : inputs_) {
-        if (input.id == id) {
-          InputFn fn = input.fn;
-          fn(fd);
+    for (std::size_t i = 0; i < outputs_.size(); ++i) {
+      if ((fds[inputs_.size() + i].revents & (POLLOUT | POLLHUP | POLLERR)) != 0) {
+        fired.push_back(Fired{true, outputs_[i].id, outputs_[i].fd});
+      }
+    }
+    for (const Fired& f : fired) {
+      const std::vector<Input>& sources = f.output ? outputs_ : inputs_;
+      for (const Input& source : sources) {
+        if (source.id == f.id) {
+          InputFn fn = source.fn;
+          fn(f.fd);
           worked = true;
           break;
         }
@@ -823,7 +852,7 @@ bool AppContext::RunOneIteration(bool block) {
 void AppContext::MainLoop() {
   loop_break_ = false;
   while (!loop_break_) {
-    if (inputs_.empty() && timers_.empty()) {
+    if (inputs_.empty() && outputs_.empty() && timers_.empty()) {
       // Nothing can ever wake us again; drain events and stop.
       ProcessPending();
       break;

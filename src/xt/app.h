@@ -149,6 +149,10 @@ class AppContext {
   // Watches `fd` for readability.
   int AddInput(int fd, InputFn fn);
   void RemoveInput(int id);
+  // Watches `fd` for writability (XtAppAddInput with XtInputWriteMask);
+  // the hook Wafe's backpressured backend writes are built on.
+  int AddOutput(int fd, InputFn fn);
+  void RemoveOutput(int id);
 
   // Runs one iteration: dispatches pending display events, then polls the
   // input fds / timers. With `block` it waits for the next source to fire.
@@ -198,6 +202,7 @@ class AppContext {
   std::vector<Widget*> popped_up_;
   std::vector<Timer> timers_;
   std::vector<Input> inputs_;
+  std::vector<Input> outputs_;
   int next_timer_id_ = 1;
   int next_input_id_ = 1;
   bool loop_break_ = false;

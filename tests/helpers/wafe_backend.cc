@@ -8,10 +8,19 @@
 //   primes  - the paper's prime-factor demo: reads numbers from stdin,
 //             factors them, updates the result label
 //   mass    - transfers a payload over the mass channel
-//   flood   - sends an over-long protocol line followed by a valid one
-//   crash   - exits mid-protocol (frontend robustness)
+//   flood       - sends an over-long protocol line followed by a valid one
+//   crash       - exits mid-protocol (frontend robustness)
+//   slowreader  - announces readiness, then stops reading stdin for argv[2]
+//                 milliseconds before draining it (backpressure tests)
+//   drain       - reads stdin forever, sleeping argv[2] microseconds per
+//                 line (a steady slow consumer)
+//   linger      - announces readiness and sleeps argv[2] milliseconds after
+//                 stdin EOF before exiting (reap-path tests)
+//   massdribble - writes argv[2] mass-channel bytes in argv[3]-byte chunks
+//                 with argv[4] microseconds between chunks
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -170,6 +179,83 @@ int RunCrash() {
   return 42;  // die without quitting
 }
 
+int RunSlowReader(const char* stall_ms_arg) {
+  long stall_ms = stall_ms_arg != nullptr ? std::strtol(stall_ms_arg, nullptr, 10) : 1000;
+  Send("%echo slowreader-ready");
+  // Simulate a wedged backend: stop consuming stdin. The frontend's writes
+  // must queue instead of blocking Xt event dispatch.
+  ::usleep(static_cast<useconds_t>(stall_ms) * 1000);
+  // Wake up and drain everything until EOF, confirming nothing was lost.
+  std::size_t lines = 0;
+  std::string line;
+  while (ReadLine(&line)) {
+    if (line == "done") {
+      break;
+    }
+    ++lines;
+  }
+  Send("%echo drained " + std::to_string(lines));
+  std::string ack;
+  ReadLine(&ack);
+  return 0;
+}
+
+int RunDrain(const char* delay_us_arg) {
+  long delay_us = delay_us_arg != nullptr ? std::strtol(delay_us_arg, nullptr, 10) : 1000;
+  Send("%echo drain-ready");
+  std::string line;
+  while (ReadLine(&line)) {
+    if (delay_us > 0) {
+      ::usleep(static_cast<useconds_t>(delay_us));
+    }
+  }
+  return 0;
+}
+
+int RunLinger(const char* linger_ms_arg) {
+  long linger_ms = linger_ms_arg != nullptr ? std::strtol(linger_ms_arg, nullptr, 10) : 100;
+  Send("%echo linger-ready");
+  std::string line;
+  while (ReadLine(&line)) {
+  }
+  // Keep running past stdin EOF: CloseBackend must still reap us cleanly.
+  ::usleep(static_cast<useconds_t>(linger_ms) * 1000);
+  return 7;  // a distinctive exit code the frontend should record
+}
+
+int RunMassDribble(const char* size_arg, const char* chunk_arg, const char* delay_arg) {
+  std::size_t size = size_arg != nullptr ? std::strtoul(size_arg, nullptr, 10) : 65536;
+  std::size_t chunk = chunk_arg != nullptr ? std::strtoul(chunk_arg, nullptr, 10) : 4096;
+  long delay_us = delay_arg != nullptr ? std::strtol(delay_arg, nullptr, 10) : 100;
+  Send("%echo listening on [getChannel]");
+  std::string line;
+  if (!ReadLine(&line)) {
+    return 2;
+  }
+  const char* digits = std::strrchr(line.c_str(), ' ');
+  if (digits == nullptr) {
+    return 2;
+  }
+  int fd = std::atoi(digits + 1);
+  Send("%setCommunicationVariable C " + std::to_string(size) +
+       " {echo got [string length $C] bytes; quit}");
+  std::string payload(size, 'm');
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    std::size_t want = std::min(chunk, payload.size() - off);
+    ssize_t n = ::write(fd, payload.data() + off, want);
+    if (n <= 0) {
+      return 3;
+    }
+    off += static_cast<std::size_t>(n);
+    if (delay_us > 0) {
+      ::usleep(static_cast<useconds_t>(delay_us));
+    }
+  }
+  ReadLine(&line);
+  return 0;
+}
+
 int RunInitCom() {
   // The paper's Prolog pattern: the backend waits for the frontend's
   // initial command (the InitCom resource) before doing anything.
@@ -207,6 +293,19 @@ int main(int argc, char** argv) {
   }
   if (mode == "initcom") {
     return RunInitCom();
+  }
+  if (mode == "slowreader") {
+    return RunSlowReader(argc > 2 ? argv[2] : nullptr);
+  }
+  if (mode == "drain") {
+    return RunDrain(argc > 2 ? argv[2] : nullptr);
+  }
+  if (mode == "linger") {
+    return RunLinger(argc > 2 ? argv[2] : nullptr);
+  }
+  if (mode == "massdribble") {
+    return RunMassDribble(argc > 2 ? argv[2] : nullptr, argc > 3 ? argv[3] : nullptr,
+                          argc > 4 ? argv[4] : nullptr);
   }
   std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
   return 64;

@@ -1,0 +1,500 @@
+// Robustness of the frontend<->backend channel: the bounded non-blocking
+// send queue and its overflow policies, high-water callbacks, backend
+// supervision (respawn with backoff), reliable child reaping, zero-byte and
+// truncated mass transfers, over-long line edge cases, and the deterministic
+// fault-injection seam (commFault / WAFE_COMM_FAULT).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+
+#include "src/core/comm.h"
+#include "src/core/wafe.h"
+#include "src/obs/obs.h"
+
+#ifndef WAFE_TEST_BACKEND
+#error "WAFE_TEST_BACKEND must point at the helper binary"
+#endif
+
+namespace wafe {
+namespace {
+
+// --- In-process channel tests (AdoptBackend over pipes) -----------------------------
+
+class CommChannelTest : public ::testing::Test {
+ protected:
+  CommChannelTest() {
+    int to_wafe[2];
+    int from_wafe[2];
+    EXPECT_EQ(::pipe(to_wafe), 0);
+    EXPECT_EQ(::pipe(from_wafe), 0);
+    backend_write_ = to_wafe[1];
+    backend_read_ = from_wafe[0];
+    wafe_.set_backend_output(true);
+    wafe_.frontend().AdoptBackend(to_wafe[0], from_wafe[1]);
+  }
+
+  ~CommChannelTest() override {
+    ::close(backend_write_);
+    ::close(backend_read_);
+    wobs::SetMetricsEnabled(false);
+  }
+
+  void Pump(int iterations = 50) {
+    for (int i = 0; i < iterations; ++i) {
+      wafe_.app().RunOneIteration(false);
+    }
+  }
+
+  void SendLines(const std::string& data) {
+    ssize_t ignored = ::write(backend_write_, data.data(), data.size());
+    (void)ignored;
+    while (wafe_.app().RunOneIteration(false)) {
+    }
+  }
+
+  std::string ReadFromWafe() {
+    char buffer[8192];
+    ssize_t n = ::read(backend_read_, buffer, sizeof(buffer));
+    return n > 0 ? std::string(buffer, static_cast<std::size_t>(n)) : std::string();
+  }
+
+  std::string Var(const std::string& name) {
+    std::string value;
+    return wafe_.interp().GetVar(name, &value) ? value : std::string("<unset>");
+  }
+
+  Wafe wafe_;
+  int backend_write_ = -1;
+  int backend_read_ = -1;
+};
+
+// Satellite: a zero-byte mass transfer must set the variable empty and run
+// the completion immediately, with nothing left armed.
+TEST_F(CommChannelTest, ZeroByteMassTransferCompletesImmediately) {
+  wtcl::Result r = wafe_.Eval("setCommunicationVariable C 0 {set massDone 1}");
+  ASSERT_EQ(r.code, wtcl::Status::kOk) << r.value;
+  EXPECT_EQ(Var("C"), "");
+  EXPECT_EQ(Var("massDone"), "1");
+  EXPECT_FALSE(wafe_.frontend().mass_transfer_active());
+}
+
+// A mass channel that ends mid-transfer completes with the partial payload
+// instead of leaving the completion script armed forever.
+TEST_F(CommChannelTest, TruncatedMassTransferCompletesWithPartialData) {
+  ASSERT_EQ(wafe_.Eval("commFault massEofAfter=500").code, wtcl::Status::kOk);
+  wtcl::Result fd_result = wafe_.Eval("getChannel");
+  ASSERT_EQ(fd_result.code, wtcl::Status::kOk);
+  int mass_fd = std::atoi(fd_result.value.c_str());
+  ASSERT_GE(mass_fd, 0);
+  ASSERT_EQ(wafe_.Eval("setCommunicationVariable C 1000 {set truncDone 1}").code,
+            wtcl::Status::kOk);
+  std::string payload(500, 'p');
+  ASSERT_EQ(::write(mass_fd, payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  Pump();
+  EXPECT_EQ(Var("truncDone"), "1");
+  EXPECT_EQ(Var("C").size(), 500u);
+  EXPECT_FALSE(wafe_.frontend().mass_transfer_active());
+}
+
+// Satellite: a line split across many small reads is still detected as
+// over-long, dropped, and the following line survives.
+TEST_F(CommChannelTest, OverlongLineSplitAcrossManyReadsIsDropped) {
+  std::string flood = "%set evil ";
+  flood.append(70 * 1024, 'z');
+  for (std::size_t off = 0; off < flood.size(); off += 1024) {
+    SendLines(flood.substr(off, 1024));
+  }
+  SendLines("\n%set survivor 1\n");
+  EXPECT_EQ(wafe_.frontend().overlong_lines(), 1u);
+  EXPECT_EQ(Var("evil"), "<unset>");
+  EXPECT_EQ(Var("survivor"), "1");
+}
+
+// A line of exactly the maximum length is legal and evaluates.
+TEST_F(CommChannelTest, LineExactlyAtLimitEvaluates) {
+  const std::size_t limit = wafe_.options().max_line_length;
+  std::string prefix = "%set exact ";
+  std::string line = prefix + std::string(limit - prefix.size(), 'x');
+  ASSERT_EQ(line.size(), limit);
+  for (std::size_t off = 0; off < line.size(); off += 4096) {
+    SendLines(line.substr(off, 4096));
+  }
+  SendLines("\n");
+  EXPECT_EQ(wafe_.frontend().overlong_lines(), 0u);
+  EXPECT_EQ(Var("exact").size(), limit - prefix.size());
+}
+
+// Command lines and passthrough lines interleaved with an over-long line:
+// only the over-long one is lost, order is preserved.
+TEST_F(CommChannelTest, OverlongInterleavedWithCommandsAndPassthrough) {
+  std::vector<std::string> passed;
+  wafe_.set_passthrough([&passed](const std::string& line) { passed.push_back(line); });
+  std::string overlong(70 * 1024, 'o');
+  SendLines("%set first 1\nplain one\n");
+  // Chunked: a single 70 KB write would fill the pipe before the frontend
+  // ever gets to read.
+  for (std::size_t off = 0; off < overlong.size(); off += 4096) {
+    SendLines(overlong.substr(off, 4096));
+  }
+  SendLines("\nplain two\n%set second 2\n");
+  EXPECT_EQ(wafe_.frontend().overlong_lines(), 1u);
+  EXPECT_EQ(Var("first"), "1");
+  EXPECT_EQ(Var("second"), "2");
+  ASSERT_EQ(passed.size(), 2u);
+  EXPECT_EQ(passed[0], "plain one");
+  EXPECT_EQ(passed[1], "plain two");
+}
+
+// Short-write fault: the line reaches the backend complete even when every
+// write() is capped to a few bytes.
+TEST_F(CommChannelTest, ShortWritesStillDeliverWholeLines) {
+  ASSERT_EQ(wafe_.Eval("commFault shortWrites=3").code, wtcl::Status::kOk);
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("short-write-survivor"));
+  Pump();
+  EXPECT_EQ(ReadFromWafe(), "short-write-survivor\n");
+  EXPECT_EQ(wafe_.frontend().send_queue_bytes(), 0u);
+}
+
+// EINTR storm: interrupted writes are retried transparently.
+TEST_F(CommChannelTest, EintrStormIsRetried) {
+  ASSERT_EQ(wafe_.Eval("commFault eintr=5").code, wtcl::Status::kOk);
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("eintr-survivor"));
+  Pump();
+  EXPECT_EQ(ReadFromWafe(), "eintr-survivor\n");
+}
+
+// EAGAIN keeps lines queued; once the storm passes the write-ready source
+// drains them in order.
+TEST_F(CommChannelTest, EagainQueuesAndDrainsInOrder) {
+  ASSERT_EQ(wafe_.Eval("commFault eagain=100000").code, wtcl::Status::kOk);
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("one"));
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("two"));
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("three"));
+  EXPECT_EQ(wafe_.frontend().send_queue_lines(), 3u);
+  ASSERT_EQ(wafe_.Eval("commFault clear").code, wtcl::Status::kOk);
+  Pump();
+  EXPECT_EQ(wafe_.frontend().send_queue_lines(), 0u);
+  EXPECT_EQ(ReadFromWafe(), "one\ntwo\nthree\n");
+}
+
+// dropOldest: over the limit the oldest whole lines go first; the newest
+// line is admitted; nothing is ever half-sent.
+TEST_F(CommChannelTest, DropOldestPolicyDropsFromTheFront) {
+  ASSERT_EQ(wafe_.Eval("backend overflowPolicy dropOldest").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("backend queueLimit 40").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("commFault eagain=100000").code, wtcl::Status::kOk);
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("line-one"));
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("line-two"));
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("line-three"));
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("line-four"));
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("line-fifth!!"));
+  EXPECT_GE(wafe_.frontend().lines_dropped(), 2u);
+  EXPECT_LE(wafe_.frontend().send_queue_bytes(), 40u);
+  ASSERT_EQ(wafe_.Eval("commFault clear").code, wtcl::Status::kOk);
+  Pump();
+  std::string delivered = ReadFromWafe();
+  EXPECT_EQ(delivered.find("line-one"), std::string::npos);
+  EXPECT_NE(delivered.find("line-fifth!!"), std::string::npos);
+}
+
+// fail: the sender is told synchronously, and sendToApplication surfaces it
+// as a Tcl error.
+TEST_F(CommChannelTest, FailPolicyRejectsAndSendToApplicationErrors) {
+  ASSERT_EQ(wafe_.Eval("backend overflowPolicy fail").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("backend queueLimit 16").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("commFault eagain=100000").code, wtcl::Status::kOk);
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("fits-in-the-queue"));
+  EXPECT_FALSE(wafe_.frontend().SendToBackend("rejected"));
+  EXPECT_GE(wafe_.frontend().lines_dropped(), 1u);
+  wtcl::Result r = wafe_.Eval("sendToApplication {also rejected}");
+  EXPECT_EQ(r.code, wtcl::Status::kError);
+}
+
+// block: past the deadline the line is dropped instead of wedging the loop.
+TEST_F(CommChannelTest, BlockPolicyGivesUpAtDeadline) {
+  ASSERT_EQ(wafe_.Eval("backend overflowPolicy block").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("backend queueLimit 16").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("backend sendDeadline 50").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("commFault eagain=100000000").code, wtcl::Status::kOk);
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("occupies-the-queue"));
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(wafe_.frontend().SendToBackend("deadline-dropped"));
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 40);
+  EXPECT_LT(elapsed.count(), 2000);
+}
+
+// The high-water callback fires once at the crossing, with the depth
+// exposed in backendQueueBytes.
+TEST_F(CommChannelTest, HighWaterCallbackFiresOnce) {
+  ASSERT_EQ(wafe_.Eval("set hwCount 0").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("backend highWater 20 {set hw $backendQueueBytes; "
+                       "set hwCount [expr $hwCount + 1]}")
+                .code,
+            wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("commFault eagain=100000").code, wtcl::Status::kOk);
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("aaaaaaaaaa"));
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("bbbbbbbbbb"));
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("cccccccccc"));
+  EXPECT_EQ(Var("hwCount"), "1");
+  EXPECT_NE(Var("hw"), "<unset>");
+  ASSERT_EQ(wafe_.Eval("commFault clear").code, wtcl::Status::kOk);
+  Pump();
+}
+
+// Injected mid-line hangup: the channel notices EPIPE, records the reason,
+// and (unsupervised) ends the session exactly like a real backend death.
+TEST_F(CommChannelTest, InjectedHangupEndsUnsupervisedSession) {
+  ASSERT_EQ(wafe_.Eval("commFault hangupAfter=5").code, wtcl::Status::kOk);
+  wafe_.frontend().SendToBackend("0123456789-this-line-dies-midway");
+  Pump();
+  EXPECT_FALSE(wafe_.frontend().backend_alive());
+  EXPECT_TRUE(wafe_.quit_requested());
+  EXPECT_EQ(Var("backendExitReason"), "write-epipe");
+}
+
+// The channel instruments feed the metrics registry.
+TEST_F(CommChannelTest, QueueMetricsAreRecorded) {
+  ASSERT_EQ(wafe_.Eval("metrics enable").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("metrics reset").code, wtcl::Status::kOk);
+  EXPECT_TRUE(wafe_.frontend().SendToBackend("metered"));
+  Pump();
+  wtcl::Result r = wafe_.Eval("metrics get comm.queue.enqueued");
+  ASSERT_EQ(r.code, wtcl::Status::kOk);
+  EXPECT_EQ(r.value, "1");
+  EXPECT_EQ(wafe_.Eval("metrics get comm.queue.depth").code, wtcl::Status::kOk);
+  EXPECT_EQ(wafe_.Eval("metrics get comm.restarts").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("metrics disable").code, wtcl::Status::kOk);
+}
+
+// The Tcl surface: status report, validation errors.
+TEST_F(CommChannelTest, BackendAndCommFaultCommandSurface) {
+  ASSERT_EQ(wafe_.Eval("backend overflowPolicy dropOldest").code, wtcl::Status::kOk);
+  wtcl::Result status = wafe_.Eval("backend status");
+  ASSERT_EQ(status.code, wtcl::Status::kOk);
+  EXPECT_NE(status.value.find("policy dropOldest"), std::string::npos);
+  EXPECT_NE(status.value.find("supervise 0"), std::string::npos);
+
+  EXPECT_EQ(wafe_.Eval("backend bogus").code, wtcl::Status::kError);
+  EXPECT_EQ(wafe_.Eval("backend supervise sideways").code, wtcl::Status::kError);
+  EXPECT_EQ(wafe_.Eval("backend queueLimit notanumber").code, wtcl::Status::kError);
+  EXPECT_EQ(wafe_.Eval("commFault flipBits=1").code, wtcl::Status::kError);
+
+  ASSERT_EQ(wafe_.Eval("commFault shortWrites=9,eintr=2").code, wtcl::Status::kOk);
+  wtcl::Result faults = wafe_.Eval("commFault status");
+  ASSERT_EQ(faults.code, wtcl::Status::kOk);
+  EXPECT_NE(faults.value.find("shortWrites 9"), std::string::npos);
+  EXPECT_NE(faults.value.find("eintr 2"), std::string::npos);
+  ASSERT_EQ(wafe_.Eval("commFault clear").code, wtcl::Status::kOk);
+  EXPECT_EQ(wafe_.frontend().faults().short_write_max, 0u);
+}
+
+// The WAFE_COMM_FAULT environment seam applies at construction.
+TEST(CommFaultEnvTest, EnvironmentSpecIsApplied) {
+  ::setenv("WAFE_COMM_FAULT", "eintr=4,hangupAfter=123", 1);
+  Wafe wafe;
+  ::unsetenv("WAFE_COMM_FAULT");
+  EXPECT_EQ(wafe.frontend().faults().eintr_storm, 4);
+  EXPECT_EQ(wafe.frontend().faults().hangup_after_bytes, 123);
+}
+
+// --- Forked-backend tests ------------------------------------------------------------
+
+class CommBackendTest : public ::testing::Test {
+ protected:
+  ~CommBackendTest() override { wobs::SetMetricsEnabled(false); }
+
+  bool PumpUntil(Wafe& wafe, const std::function<bool()>& done, int timeout_ms = 5000) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!done()) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        return false;
+      }
+      wafe.app().RunOneIteration(false);
+      ::usleep(1000);
+    }
+    return true;
+  }
+
+  bool Spawn(Wafe& wafe, const std::string& mode,
+             const std::vector<std::string>& extra = {}) {
+    std::string error;
+    wafe.set_backend_output(true);
+    std::vector<std::string> args{mode};
+    args.insert(args.end(), extra.begin(), extra.end());
+    bool ok = wafe.frontend().SpawnBackend(WAFE_TEST_BACKEND, args, &error);
+    EXPECT_TRUE(ok) << error;
+    return ok;
+  }
+};
+
+// Acceptance: a backend that stops reading stdin for five seconds must not
+// block Xt event dispatch — writes queue, injected events keep processing,
+// and every queued line is delivered once the backend wakes up.
+TEST_F(CommBackendTest, SlowReaderDoesNotBlockEventDispatch) {
+  Wafe wafe;
+  ASSERT_TRUE(Spawn(wafe, "slowreader", {"5000"}));
+  // Wait for the ready line, proving the stall has started.
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.frontend().lines_received() >= 1; }));
+
+  // Flood until the kernel buffer is full and the in-process queue backs up.
+  const std::string filler(1024, 'f');
+  std::size_t flooded = 0;
+  while (wafe.frontend().send_queue_bytes() < 100 * 1024 && flooded < 5000) {
+    ASSERT_TRUE(wafe.frontend().SendToBackend(filler));
+    ++flooded;
+  }
+  ASSERT_GT(wafe.frontend().send_queue_bytes(), 0u) << "backend never stalled";
+
+  // With the channel clogged, the UI must stay alive: build a button and
+  // click it through the xsim event pipeline.
+  ASSERT_EQ(wafe.Eval("set clicks 0").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("command poker topLevel callback "
+                      "{set clicks [expr $clicks + 1]}")
+                .code,
+            wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("realize").code, wtcl::Status::kOk);
+  xtk::Widget* poker = wafe.app().FindWidget("poker");
+  ASSERT_NE(poker, nullptr);
+  xsim::Point p = wafe.app().display().RootPosition(poker->window());
+  auto ui_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) {
+    wafe.app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+    wafe.app().display().InjectButtonRelease(p.x + 2, p.y + 2, 1);
+    wafe.app().ProcessPending();
+    wafe.app().RunOneIteration(false);
+  }
+  auto ui_elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - ui_start);
+  std::string clicks;
+  ASSERT_TRUE(wafe.interp().GetVar("clicks", &clicks));
+  EXPECT_EQ(clicks, "5");
+  // Dispatch happened during the stall (the queue is still backed up) and
+  // was not serialized behind the blocked channel.
+  EXPECT_GT(wafe.frontend().send_queue_bytes(), 0u);
+  EXPECT_LT(ui_elapsed.count(), 2000);
+
+  // Tell the backend where the flood ends; once it wakes, everything drains
+  // and the session winds down normally.
+  ASSERT_TRUE(wafe.frontend().SendToBackend("done"));
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.quit_requested(); }, 15000));
+  EXPECT_EQ(wafe.frontend().send_queue_bytes(), 0u);
+  EXPECT_EQ(wafe.frontend().lines_dropped(), 0u);
+  EXPECT_EQ(wafe.frontend().WaitBackend(), 0);
+}
+
+// Acceptance: under `backend supervise on` a killed backend is respawned
+// with backoff, comm.restarts reflects each attempt, and the exit hook runs
+// per death; past maxRestarts the session ends.
+TEST_F(CommBackendTest, SupervisedBackendRespawnsWithBackoff) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("metrics enable").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("metrics reset").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("backend supervise on").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("backend maxRestarts 2").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("backend backoff 30 200").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("set deaths 0").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("backendExitCommand {set deaths [expr $deaths + 1]}").code,
+            wtcl::Status::kOk);
+  ASSERT_TRUE(Spawn(wafe, "drain", {"0"}));
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.frontend().lines_received() >= 1; }));
+
+  // First death: supervisor respawns.
+  int first_pid = wafe.frontend().backend_pid();
+  ASSERT_GT(first_pid, 0);
+  ASSERT_EQ(::kill(first_pid, SIGKILL), 0);
+  ASSERT_TRUE(PumpUntil(wafe, [&] {
+    return wafe.frontend().restart_count() == 1 && wafe.frontend().backend_alive();
+  }));
+  EXPECT_NE(wafe.frontend().backend_pid(), first_pid);
+  std::string value;
+  ASSERT_TRUE(wafe.interp().GetVar("deaths", &value));
+  EXPECT_EQ(value, "1");
+  ASSERT_TRUE(wafe.interp().GetVar("backendExitStatus", &value));
+  EXPECT_EQ(value, "-1");  // killed by signal
+  wtcl::Result restarts = wafe.Eval("metrics get comm.restarts");
+  ASSERT_EQ(restarts.code, wtcl::Status::kOk);
+  EXPECT_EQ(restarts.value, "1");
+
+  // Second death: one more respawn allowed.
+  int second_pid = wafe.frontend().backend_pid();
+  ASSERT_EQ(::kill(second_pid, SIGKILL), 0);
+  ASSERT_TRUE(PumpUntil(wafe, [&] {
+    return wafe.frontend().restart_count() == 2 && wafe.frontend().backend_alive();
+  }));
+  restarts = wafe.Eval("metrics get comm.restarts");
+  EXPECT_EQ(restarts.value, "2");
+  EXPECT_FALSE(wafe.quit_requested());
+
+  // Third death: the restart budget is spent; the session ends.
+  ASSERT_EQ(::kill(wafe.frontend().backend_pid(), SIGKILL), 0);
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.quit_requested(); }));
+  EXPECT_FALSE(wafe.frontend().backend_alive());
+  EXPECT_EQ(wafe.frontend().restart_count(), 2);
+  ASSERT_TRUE(wafe.interp().GetVar("deaths", &value));
+  EXPECT_EQ(value, "3");
+}
+
+// Lines sent while the restart timer is pending are queued and delivered to
+// the replacement backend.
+TEST_F(CommBackendTest, QueuedLinesReachTheRespawnedBackend) {
+  Wafe wafe;
+  wafe.frontend().set_supervise(true);
+  wafe.frontend().set_max_restarts(3);
+  wafe.frontend().set_backoff(30, 200);
+  ASSERT_TRUE(Spawn(wafe, "drain", {"0"}));
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.frontend().lines_received() >= 1; }));
+  ASSERT_EQ(::kill(wafe.frontend().backend_pid(), SIGKILL), 0);
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.frontend().restart_pending(); }));
+  EXPECT_FALSE(wafe.frontend().backend_alive());
+  // The channel is down but supervised: the send is accepted and queued.
+  EXPECT_TRUE(wafe.frontend().SendToBackend("carried-across-the-restart"));
+  EXPECT_GE(wafe.frontend().send_queue_lines(), 1u);
+  ASSERT_TRUE(PumpUntil(wafe, [&] {
+    return wafe.frontend().backend_alive() && wafe.frontend().send_queue_bytes() == 0;
+  }));
+  EXPECT_EQ(wafe.frontend().lines_dropped(), 0u);
+  wafe.frontend().CloseBackend();
+}
+
+// Satellite: CloseBackend must reap reliably — even a child that lingers
+// after stdin EOF is waited for, and its exit status recorded.
+TEST_F(CommBackendTest, CloseBackendReapsLingeringChild) {
+  Wafe wafe;
+  ASSERT_TRUE(Spawn(wafe, "linger", {"200"}));
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.frontend().lines_received() >= 1; }));
+  int pid = wafe.frontend().backend_pid();
+  ASSERT_GT(pid, 0);
+  wafe.frontend().CloseBackend();
+  // The child was reaped: status recorded, no zombie left behind.
+  EXPECT_TRUE(wafe.frontend().exit_recorded());
+  EXPECT_EQ(wafe.frontend().last_exit_status(), 7);
+  EXPECT_EQ(wafe.frontend().backend_pid(), -1);
+  errno = 0;
+  EXPECT_EQ(::waitpid(pid, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+  EXPECT_EQ(wafe.frontend().WaitBackend(), 7);
+}
+
+// A dribbling mass-channel writer still completes the transfer (the reader
+// is event-driven, not one-shot).
+TEST_F(CommBackendTest, DribbledMassTransferCompletes) {
+  Wafe wafe;
+  ASSERT_TRUE(Spawn(wafe, "massdribble", {"60000", "4096", "100"}));
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.quit_requested(); }, 10000));
+  std::string value;
+  ASSERT_TRUE(wafe.interp().GetVar("C", &value));
+  EXPECT_EQ(value.size(), 60000u);
+  EXPECT_EQ(wafe.frontend().WaitBackend(), 0);
+}
+
+}  // namespace
+}  // namespace wafe
