@@ -102,4 +102,4 @@ BENCHMARK(BM_ParseTranslationTable);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

@@ -79,4 +79,4 @@ BENCHMARK(BM_PredefinedCallbackPopup);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

@@ -71,4 +71,4 @@ BENCHMARK(BM_EventQueueDepthWhileBusy);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

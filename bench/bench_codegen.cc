@@ -3,7 +3,7 @@
 // specifications." Our spec registry plays the generator's role; the bench
 // reports the generated-vs-handwritten command split, the reference-document
 // size, and measures the cost of "generating" (registering) everything.
-#include <benchmark/benchmark.h>
+#include "bench/bench_util.h"
 
 #include <cstdio>
 
@@ -55,7 +55,6 @@ int main(int argc, char** argv) {
     std::printf("E6 note: the paper counts generated C lines; we count spec-driven "
                 "commands, the same artifact one level up.\n\n");
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  bench_util::RunBenchmarks(argc, argv);
   return 0;
 }

@@ -84,4 +84,4 @@ BENCHMARK(BM_ClickToCallbackLatency);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

@@ -91,4 +91,4 @@ BENCHMARK(BM_StripChartThroughProtocol);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

@@ -155,4 +155,4 @@ BENCHMARK(BM_QueuedSendToSlowReader)->Arg(0)->Arg(100)->Arg(1000)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

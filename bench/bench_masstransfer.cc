@@ -105,4 +105,4 @@ BENCHMARK(BM_MassDribbleTransfer)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

@@ -96,4 +96,4 @@ BENCHMARK(BM_SubtreeDestroyCost)->Arg(10)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

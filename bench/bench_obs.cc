@@ -4,7 +4,7 @@
 // the inline gates), metrics only (counters + histograms), and full
 // tracing (ring-buffer spans). The disabled state is the one that matters:
 // it must stay within noise of an uninstrumented build (~5%).
-#include <benchmark/benchmark.h>
+#include "bench/bench_util.h"
 
 #include "src/core/wafe.h"
 #include "src/obs/obs.h"
@@ -99,4 +99,4 @@ BENCHMARK(BM_DispatchUnderObs)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

@@ -5,8 +5,11 @@
 // `work` iterations and measures the latency from an Expose event to the
 // completed redraw under both architectures.
 #include <chrono>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/obs.h"
 
 namespace {
 
@@ -73,6 +76,72 @@ void BM_FrontendRefreshLatency(benchmark::State& state) {
 }
 BENCHMARK(BM_FrontendRefreshLatency)->UseManualTime()->Arg(100000)->Arg(10000000);
 
+// Damage batching: a busy backend streams many value updates per dispatch
+// cycle, but each window subtree refreshes at most once per cycle. The
+// `updates` counter is how many damage rects the cycle accumulated; the
+// `refreshes` counter is how many Expose events FlushDamage actually sent —
+// coalescing means refreshes < updates.
+void BM_CoalescedRefresh(benchmark::State& state) {
+  const int updates = static_cast<int>(state.range(0));
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("form f topLevel");
+  std::vector<xtk::Widget*> labels;
+  for (int i = 0; i < 8; ++i) {
+    std::string n = std::to_string(i);
+    app->Eval("label v" + n + " f width 80 height 20 label {v" + n + "}");
+    labels.push_back(app->app().FindWidget("v" + n));
+  }
+  app->app().ProcessPending();
+  xsim::Display& display = app->app().display();
+  std::size_t updates_total = 0;
+  std::size_t refreshes_total = 0;
+  for (auto _ : state) {
+    for (int u = 0; u < updates; ++u) {
+      xtk::Widget* w = labels[static_cast<std::size_t>(u) % labels.size()];
+      display.AddDamage(w->window(),
+                        xsim::Rect{0, 0, w->width(), w->height()});
+    }
+    updates_total += static_cast<std::size_t>(updates);
+    refreshes_total += display.FlushDamage();
+    app->app().ProcessPending();  // drain the coalesced exposes into redraws
+  }
+  state.counters["updates"] =
+      static_cast<double>(updates_total) / static_cast<double>(state.iterations());
+  state.counters["refreshes"] =
+      static_cast<double>(refreshes_total) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_CoalescedRefresh)->Arg(16)->Arg(256);
+
+// The same property observed end-to-end through the `sV` command and the
+// xsim.refresh.* metrics: every setValues both resizes and repaints its
+// widget (two damage records), yet each dispatch cycle flushes one Expose.
+void BM_ValueUpdateRefresh(benchmark::State& state) {
+  auto app = bench_util::MakeRealizedWafe();
+  app->Eval("label status topLevel label idle");
+  app->app().ProcessPending();
+  const bool metrics_were_enabled = wobs::MetricsEnabled();
+  wobs::SetMetricsEnabled(true);
+  std::uint64_t requested0 = 0;
+  std::uint64_t flushed0 = 0;
+  wobs::Registry::Instance().GetMetric("xsim.refresh.requested", &requested0);
+  wobs::Registry::Instance().GetMetric("xsim.refresh.flushed", &flushed0);
+  int tick = 0;
+  for (auto _ : state) {
+    app->Eval("sV status label {tick " + std::to_string(tick++) + "} width " +
+              std::to_string(100 + tick % 7));
+  }
+  std::uint64_t requested1 = 0;
+  std::uint64_t flushed1 = 0;
+  wobs::Registry::Instance().GetMetric("xsim.refresh.requested", &requested1);
+  wobs::Registry::Instance().GetMetric("xsim.refresh.flushed", &flushed1);
+  wobs::SetMetricsEnabled(metrics_were_enabled);
+  state.counters["updates"] = static_cast<double>(requested1 - requested0) /
+                              static_cast<double>(state.iterations());
+  state.counters["refreshes"] = static_cast<double>(flushed1 - flushed0) /
+                                static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ValueUpdateRefresh);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

@@ -68,6 +68,45 @@ void BM_MotifStartup(benchmark::State& state) {
 }
 BENCHMARK(BM_MotifStartup)->Unit(benchmark::kMillisecond);
 
+// Building a 30-widget UI — the realistic startup workload — with the
+// converter cache warm vs disabled. Cold, every widget re-runs the string
+// converters for its fonts and colors (the wildcarded XLFDs scan the font
+// registry each time); warm, every widget after the first gets memoized
+// values, which is where repeated widget creation earns its speedup.
+void BuildAndTearDownUi(wafe::Wafe& app) {
+  app.Eval("form f topLevel");
+  for (int i = 0; i < 10; ++i) {
+    std::string n = std::to_string(i);
+    app.Eval("label l" + n + " f label {Field " + n +
+             "} font {-*-times-*-*-*-*-14-*-*-*-*-*-*-*} foreground navy");
+    app.Eval("command b" + n + " f label {Apply " + n +
+             "} font {-*-helvetica-bold-r-*-*-12-*-*-*-*-*-*-*} background gray "
+             "callback {echo apply}");
+    app.Eval("toggle t" + n + " f label {Option " + n +
+             "} font {-*-courier-*-*-*-*-12-*-*-*-*-*-*-*} foreground {dark slate blue}");
+  }
+  app.Eval("destroyWidget f");
+}
+
+void BM_UiBuildWarmCache(benchmark::State& state) {
+  wafe::Wafe app;
+  BuildAndTearDownUi(app);  // prime the cache
+  for (auto _ : state) {
+    BuildAndTearDownUi(app);
+  }
+}
+BENCHMARK(BM_UiBuildWarmCache)->Unit(benchmark::kMillisecond);
+
+void BM_UiBuildColdCache(benchmark::State& state) {
+  wafe::Wafe app;
+  app.app().converters().set_cache_enabled(false);
+  app.app().converters().InvalidateCache();
+  for (auto _ : state) {
+    BuildAndTearDownUi(app);
+  }
+}
+BENCHMARK(BM_UiBuildColdCache)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

@@ -3,7 +3,7 @@
 // Tcl" and "it is not suitable for more complex programs". Quantifies the
 // string-interpreter penalty against native C++ for the same computation,
 // plus the interpreter's parse/dispatch costs.
-#include <benchmark/benchmark.h>
+#include "bench/bench_util.h"
 
 #include "src/tcl/interp.h"
 
@@ -90,4 +90,4 @@ BENCHMARK(BM_TclStringSubstitution);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

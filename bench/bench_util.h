@@ -8,11 +8,48 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/comm.h"
 #include "src/core/wafe.h"
 
 namespace bench_util {
+
+// Runs the registered benchmarks, first rewriting a `--json PATH` (or
+// `--json=PATH`) flag into google-benchmark's --benchmark_out /
+// --benchmark_out_format pair, so every runner can emit the machine-readable
+// report behind the committed BENCH_*.json files:
+//   bench_resources --json BENCH_RESOURCES.json
+inline void RunBenchmarks(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.emplace_back(argc > 0 ? argv[0] : "bench");
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& arg : args) {
+    argv2.push_back(arg.data());
+  }
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) {
+    return;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+}
 
 // A Wafe instance with a realized hello-world tree.
 inline std::unique_ptr<wafe::Wafe> MakeRealizedWafe() {
@@ -69,5 +106,12 @@ class ProtocolHarness {
 };
 
 }  // namespace bench_util
+
+// Drop-in replacement for BENCHMARK_MAIN() with the --json flag wired in.
+#define WAFE_BENCH_MAIN()                  \
+  int main(int argc, char** argv) {        \
+    bench_util::RunBenchmarks(argc, argv); \
+    return 0;                              \
+  }
 
 #endif  // BENCH_BENCH_UTIL_H_

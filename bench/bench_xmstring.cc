@@ -1,7 +1,7 @@
 // E8 — paper Figure 3 and §XmString Converter: compound strings with font
 // tags and writing-direction changes. Measures fontList parsing, markup
 // parsing, and the full render of the paper's example label.
-#include <benchmark/benchmark.h>
+#include "bench/bench_util.h"
 
 #include "src/core/wafe.h"
 #include "src/xm/xmstring.h"
@@ -75,4 +75,4 @@ BENCHMARK(BM_SetLabelStringThroughProtocolCommand);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

@@ -2,7 +2,7 @@
 // lookups back every widget creation (the per-display database "is searched
 // for entries relevant for the new widget instance"). Query and merge
 // scaling with database size and widget-tree depth.
-#include <benchmark/benchmark.h>
+#include "bench/bench_util.h"
 
 #include "src/xt/xrm.h"
 
@@ -82,4 +82,4 @@ BENCHMARK(BM_MergeResourceFileBlock);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WAFE_BENCH_MAIN();

@@ -259,17 +259,20 @@ int Frontend::OnBackendReadable() {
 
 int Frontend::DrainBuffer() {
   int handled = 0;
-  std::size_t start = 0;
   for (;;) {
-    std::size_t nl = buffer_.find('\n', start);
+    std::size_t nl = buffer_.find('\n');
     if (nl == std::string::npos) {
       break;
     }
-    std::string line = buffer_.substr(start, nl - start);
+    std::string line = buffer_.substr(0, nl);
     if (!line.empty() && line.back() == '\r') {
       line.pop_back();  // tolerate CRLF backends
     }
-    start = nl + 1;
+    // Consume before evaluating: handling a line can kill the backend
+    // (a %-command that writes into a dead pipe), and HandleBackendGone
+    // flushes whatever is still buffered — lines already handled must not
+    // be there to be replayed.
+    buffer_.erase(0, nl + 1);
     if (overlong_in_progress_) {
       // This newline terminates a line that already blew the limit.
       overlong_in_progress_ = false;
@@ -278,7 +281,6 @@ int Frontend::DrainBuffer() {
     HandleLine(line);
     ++handled;
   }
-  buffer_.erase(0, start);
   if (buffer_.size() > wafe_->options().max_line_length) {
     // A single protocol line must fit within the configured maximum (64 KB
     // by default); longer lines are dropped with a diagnostic.
@@ -560,10 +562,14 @@ void Frontend::HandleBackendGone(const char* reason) {
     wafe_->app().RemoveOutput(output_id_);
     output_id_ = -1;
   }
-  if (!buffer_.empty()) {
+  // Deliver what already arrived: complete lines one by one, then any
+  // unterminated tail as a final line. (gone_handling_ keeps a write error
+  // raised by one of these lines from recursing back here.)
+  DrainBuffer();
+  if (!buffer_.empty() && !overlong_in_progress_) {
     HandleLine(buffer_);
-    buffer_.clear();
   }
+  buffer_.clear();
   overlong_in_progress_ = false;
   if (read_fd_ >= 0) {
     ::close(read_fd_);

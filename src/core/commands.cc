@@ -550,7 +550,7 @@ void RegisterXtCommands(Wafe& wafe) {
           text += part;
         }
         std::string error;
-        xtk::TranslationsPtr incoming = xtk::ParseTranslations(text, &error);
+        xtk::TranslationsPtr incoming = xtk::GetCompiledTranslations(text, &error);
         if (incoming == nullptr) {
           return Result::Error(error);
         }
@@ -991,6 +991,21 @@ void RegisterObsCommands(Wafe& wafe) {
         }
         return Result::Error("bad metrics subcommand \"" + sub +
                              "\": must be dump, get, reset, enable, or disable");
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "converterCacheFlush",
+      "converterCacheFlush",
+      "int",
+      {},
+      "drop every memoized resource conversion (e.g. after the environment a "
+      "converter consulted has changed); returns the number of entries dropped",
+      [](Invocation& inv) {
+        xtk::ConverterRegistry& converters = inv.wafe->app().converters();
+        std::size_t dropped = converters.cache_size();
+        converters.InvalidateCache();
+        return Result::Ok(std::to_string(dropped));
       },
       false});
 

@@ -36,7 +36,10 @@ void RegisterWafeConverters(Wafe& wafe) {
         }
         *out = std::move(list);
         return true;
-      });
+      },
+      // Cacheable: the closure depends only on the script string and this
+      // Wafe instance, and the registry lives inside that instance.
+      /*cacheable=*/true);
 
   // --- Extended Pixmap converter --------------------------------------------------
   wafe.app().converters().Register(
@@ -68,7 +71,10 @@ void RegisterWafeConverters(Wafe& wafe) {
         named->name = name;
         *out = xsim::PixmapPtr(named);
         return true;
-      });
+      },
+      // Not cacheable: reads the file system, whose contents may change
+      // between conversions.
+      /*cacheable=*/false);
 
   // --- XmString validation (Motif build) ---------------------------------------------
   if (wafe.options().widget_set == WidgetSet::kMotif) {
@@ -98,7 +104,9 @@ void RegisterWafeConverters(Wafe& wafe) {
           }
           *out = input;
           return true;
-        });
+        },
+        // Not cacheable: validation consults the widget's fontList.
+        /*cacheable=*/false);
   }
 }
 

@@ -1,5 +1,10 @@
 #include "src/core/naming.h"
 
+#include <mutex>
+#include <unordered_map>
+
+#include "src/xt/quark.h"
+
 namespace wafe {
 
 namespace {
@@ -15,9 +20,7 @@ bool HasPrefix(const std::string& s, const std::string& prefix) {
   return s.size() > prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
 }
 
-}  // namespace
-
-std::string CommandNameFromC(const std::string& c_name) {
+std::string DeriveCommandNameFromC(const std::string& c_name) {
   // Order matters: Xaw before X, Xm before X, Xt before X.
   if (HasPrefix(c_name, "Xaw")) {
     return LowerFirst(c_name.substr(3));
@@ -34,11 +37,46 @@ std::string CommandNameFromC(const std::string& c_name) {
   return c_name;
 }
 
-std::string CreationCommandFromClass(const std::string& class_name) {
+std::string DeriveCreationCommandFromClass(const std::string& class_name) {
   if (HasPrefix(class_name, "Xm")) {
     return "m" + class_name.substr(2);
   }
   return LowerFirst(class_name);
+}
+
+// Derivations memoized by the interned source name: every Wafe instance
+// registers the same few hundred commands, so after the first startup the
+// derivation is one quark intern plus one map hit. The maps are never
+// destroyed (names may be derived during static teardown).
+std::string Memoize(const std::string& input,
+                    std::string (*derive)(const std::string&),
+                    std::unordered_map<xtk::Quark, std::string>& memo,
+                    std::mutex& mutex) {
+  xtk::Quark quark = xtk::Intern(input);
+  {
+    std::lock_guard lock(mutex);
+    auto it = memo.find(quark);
+    if (it != memo.end()) {
+      return it->second;
+    }
+  }
+  std::string derived = derive(input);
+  std::lock_guard lock(mutex);
+  return memo.emplace(quark, std::move(derived)).first->second;
+}
+
+}  // namespace
+
+std::string CommandNameFromC(const std::string& c_name) {
+  static std::mutex* mutex = new std::mutex();
+  static auto* memo = new std::unordered_map<xtk::Quark, std::string>();
+  return Memoize(c_name, DeriveCommandNameFromC, *memo, *mutex);
+}
+
+std::string CreationCommandFromClass(const std::string& class_name) {
+  static std::mutex* mutex = new std::mutex();
+  static auto* memo = new std::unordered_map<xtk::Quark, std::string>();
+  return Memoize(class_name, DeriveCreationCommandFromClass, *memo, *mutex);
 }
 
 }  // namespace wafe

@@ -37,6 +37,7 @@ std::string SpecRegistry::Register(CommandSpec spec) {
     spec.wafe_name = CommandNameFromC(spec.c_name);
   }
   const std::string name = spec.wafe_name;
+  spec.name_quark = xtk::Intern(name);
   if (spec.generated) {
     ++generated_;
   } else {

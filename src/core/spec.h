@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/tcl/interp.h"
+#include "src/xt/quark.h"
 #include "src/xt/widget.h"
 
 namespace wafe {
@@ -79,6 +80,9 @@ struct CommandSpec {
   std::string doc;  // one-line description for the reference
   Handler handler;
   bool generated = true;  // false for handwritten commands (echo, quit, ...)
+  // Interned registered name, filled by SpecRegistry::Register: a stable
+  // integer identity so spec comparisons avoid string compares.
+  xtk::Quark name_quark = xtk::kNullQuark;
 };
 
 class SpecRegistry {

@@ -10,7 +10,7 @@ namespace {
 // translations.
 void InstallTranslation(xtk::Widget* widget, const std::string& production) {
   std::string error;
-  xtk::TranslationsPtr incoming = xtk::ParseTranslations(production, &error);
+  xtk::TranslationsPtr incoming = xtk::GetCompiledTranslations(production, &error);
   if (incoming == nullptr) {
     return;
   }

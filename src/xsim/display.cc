@@ -4,7 +4,20 @@
 #include <cctype>
 #include <cstring>
 
+#include "src/obs/obs.h"
+
 namespace xsim {
+
+namespace {
+
+// Damage-batching instruments: requested counts every damaged update,
+// coalesced counts updates absorbed into already-pending damage, flushed
+// counts the Expose events actually delivered.
+wobs::Counter g_refresh_requested("xsim.refresh.requested");
+wobs::Counter g_refresh_coalesced("xsim.refresh.coalesced");
+wobs::Counter g_refresh_flushed("xsim.refresh.flushed");
+
+}  // namespace
 
 Display::Display(std::string name, Dimension width, Dimension height)
     : name_(std::move(name)), width_(width), height_(height) {
@@ -81,6 +94,7 @@ void Display::DestroyWindow(WindowId window) {
       ++it;
     }
   }
+  damage_.erase(window);
   windows_.erase(window);
 }
 
@@ -97,14 +111,7 @@ void Display::MapWindow(WindowId window) {
   map_event.window = window;
   map_event.time = now_;
   Enqueue(map_event);
-  if (IsViewable(window)) {
-    Event expose;
-    expose.type = EventType::kExpose;
-    expose.window = window;
-    expose.area = Rect{0, 0, w->geometry.width, w->geometry.height};
-    expose.time = now_;
-    Enqueue(expose);
-  }
+  AddDamage(window, Rect{0, 0, w->geometry.width, w->geometry.height});
 }
 
 void Display::UnmapWindow(WindowId window) {
@@ -152,14 +159,74 @@ void Display::MoveResizeWindow(WindowId window, const Rect& geometry) {
   event.configure = geometry;
   event.time = now_;
   Enqueue(event);
-  if (resized && IsViewable(window)) {
+  if (resized) {
+    AddDamage(window, Rect{0, 0, geometry.width, geometry.height});
+  }
+}
+
+void Display::AddDamage(WindowId window, const Rect& rect) {
+  const Window* w = Find(window);
+  if (w == nullptr || rect.Empty() || !IsViewable(window)) {
+    return;
+  }
+  g_refresh_requested.Increment();
+  if (!damage_batching_) {
     Event expose;
     expose.type = EventType::kExpose;
     expose.window = window;
-    expose.area = Rect{0, 0, geometry.width, geometry.height};
+    expose.area = rect;
     expose.time = now_;
     Enqueue(expose);
+    return;
   }
+  auto [it, inserted] = damage_.emplace(window, rect);
+  if (!inserted) {
+    it->second = it->second.Union(rect);
+    g_refresh_coalesced.Increment();
+  }
+}
+
+std::size_t Display::FlushDamage() {
+  if (damage_.empty()) {
+    return 0;
+  }
+  std::map<WindowId, Rect> damaged;
+  damaged.swap(damage_);
+  std::size_t flushed = 0;
+  for (const auto& [window, rect] : damaged) {
+    const Window* w = Find(window);
+    if (w == nullptr || !IsViewable(window)) {
+      continue;
+    }
+    // Damage on an ancestor subsumes this window: the toolkit repaints a
+    // window's whole subtree on Expose, so a child Expose would be a
+    // duplicate paint.
+    bool covered = false;
+    for (WindowId ancestor = w->parent; ancestor != kNoWindow;) {
+      if (damaged.count(ancestor) != 0) {
+        covered = true;
+        break;
+      }
+      const Window* a = Find(ancestor);
+      if (a == nullptr) {
+        break;
+      }
+      ancestor = a->parent;
+    }
+    if (covered) {
+      g_refresh_coalesced.Increment();
+      continue;
+    }
+    Event expose;
+    expose.type = EventType::kExpose;
+    expose.window = window;
+    expose.area = rect;
+    expose.time = now_;
+    Enqueue(expose);
+    ++flushed;
+    g_refresh_flushed.Increment();
+  }
+  return flushed;
 }
 
 void Display::SetWindowBackground(WindowId window, Pixel background) {

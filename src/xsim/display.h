@@ -106,6 +106,23 @@ class Display {
   void SetSelectionOwner(const std::string& selection, WindowId owner);
   WindowId SelectionOwner(const std::string& selection) const;
 
+  // --- Damage batching -----------------------------------------------------------
+
+  // When batching is on (AppContext enables it on the displays it opens),
+  // exposure damage accumulates per window instead of enqueueing an Expose
+  // per update; FlushDamage then coalesces — rects on the same window are
+  // unioned and child damage is dropped when an ancestor is also damaged —
+  // and enqueues one Expose per remaining window. Default off: raw Display
+  // users expect an immediate Expose per update.
+  void SetDamageBatching(bool on) { damage_batching_ = on; }
+  bool damage_batching() const { return damage_batching_; }
+  // Records exposure damage for a viewable window (window-relative rect).
+  // Emits the Expose immediately when batching is off.
+  void AddDamage(WindowId window, const Rect& rect);
+  // Coalesces pending damage into Expose events; returns how many were sent.
+  std::size_t FlushDamage();
+  bool HasPendingDamage() const { return !damage_.empty(); }
+
   // --- Time -------------------------------------------------------------------------
 
   // Deterministic server time: advances by 1ms per injected event.
@@ -183,6 +200,8 @@ class Display {
   std::map<std::string, WindowId> selections_;
   WindowId next_id_ = kRootWindow + 1;
   std::deque<Event> queue_;
+  bool damage_batching_ = false;
+  std::map<WindowId, Rect> damage_;  // pending union rect per window
   std::vector<DrawOp> draw_ops_;
   std::size_t draw_op_limit_ = 100000;
   std::vector<Pixel> framebuffer_;

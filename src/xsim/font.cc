@@ -78,20 +78,25 @@ FontRegistry& FontRegistry::Default() {
     struct Family {
       const char* foundry;
       const char* family;
+      // The slant letter of the family's non-upright faces in the real 75dpi
+      // distribution: helvetica and courier ship oblique ("o"), times and
+      // lucida italic ("i"). Patterns name these letters explicitly
+      // ("-adobe-helvetica-medium-o-normal--12-..."), so using "i" across
+      // the board would break era-correct requests.
+      const char* slanted;
     };
     static constexpr Family kFamilies[] = {
-        {"b&h", "lucida"},
-        {"adobe", "helvetica"},
-        {"adobe", "courier"},
-        {"adobe", "times"},
-        {"misc", "fixed"},
+        {"b&h", "lucida", "i"},
+        {"adobe", "helvetica", "o"},
+        {"adobe", "courier", "o"},
+        {"adobe", "times", "i"},
+        {"misc", "fixed", "o"},
     };
     static constexpr const char* kWeights[] = {"medium", "bold"};
-    static constexpr const char* kSlants[] = {"r", "i"};
     static constexpr unsigned kSizes[] = {8, 10, 12, 14, 18, 24};
     for (const Family& family : kFamilies) {
       for (const char* weight : kWeights) {
-        for (const char* slant : kSlants) {
+        for (const char* slant : {"r", family.slanted}) {
           for (unsigned size : kSizes) {
             char name[128];
             std::snprintf(name, sizeof(name), "-%s-%s-%s-%s-normal--%u-%u-75-75-p-0-iso8859-1",
@@ -102,7 +107,7 @@ FontRegistry& FontRegistry::Default() {
             font.ascent = size * 4 / 5;
             font.descent = size - font.ascent;
             font.bold = std::string_view(weight) == "bold";
-            font.italic = std::string_view(slant) == "i";
+            font.italic = std::string_view(slant) != "r";
             r->Register(std::move(font));
           }
         }

@@ -50,6 +50,23 @@ struct Rect {
     return Rect{x0, y0, static_cast<Dimension>(x1 - x0), static_cast<Dimension>(y1 - y0)};
   }
 
+  // Bounding box of both rects; an empty rect is the identity.
+  Rect Union(const Rect& other) const {
+    if (Empty()) {
+      return other;
+    }
+    if (other.Empty()) {
+      return *this;
+    }
+    Position x0 = std::min(x, other.x);
+    Position y0 = std::min(y, other.y);
+    Position x1 = std::max(x + static_cast<Position>(width),
+                           other.x + static_cast<Position>(other.width));
+    Position y1 = std::max(y + static_cast<Position>(height),
+                           other.y + static_cast<Position>(other.height));
+    return Rect{x0, y0, static_cast<Dimension>(x1 - x0), static_cast<Dimension>(y1 - y0)};
+  }
+
   bool Empty() const { return width == 0 || height == 0; }
 };
 

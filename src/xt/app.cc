@@ -38,6 +38,9 @@ xsim::Display& AppContext::OpenDisplay(const std::string& name) {
   auto it = displays_.find(name);
   if (it == displays_.end()) {
     it = displays_.emplace(name, std::make_unique<xsim::Display>(name)).first;
+    // The toolkit drains events in dispatch cycles, so exposures can batch:
+    // ProcessPending flushes the coalesced damage at cycle boundaries.
+    it->second->SetDamageBatching(true);
   }
   return *it->second;
 }
@@ -102,8 +105,15 @@ bool AppContext::InitializeResources(
     }
   }
 
-  std::vector<std::pair<std::string, std::string>> widget_path = path;
-  widget_path.emplace_back(widget->name(), widget->widget_class()->name);
+  // Intern the widget path once; each per-spec query below is then pure
+  // quark (integer) matching against the database.
+  std::vector<ResourceDatabase::QuarkLevel> widget_path;
+  widget_path.reserve(path.size() + 1);
+  for (const auto& [level_name, level_class] : path) {
+    widget_path.emplace_back(Intern(level_name), Intern(level_class));
+  }
+  widget_path.emplace_back(Intern(widget->name()), Intern(widget->widget_class()->name));
+  const bool have_db = resource_db_.size() != 0;
   // Reuse: Query() takes path-to-widget plus the resource pair, so the
   // widget itself is the last path element.
   for (const ResourceSpec* spec : specs) {
@@ -115,8 +125,9 @@ bool AppContext::InitializeResources(
         have_input = true;
       }
     }
-    if (!have_input) {
-      if (auto db_value = resource_db_.Query(widget_path, {spec->name, spec->class_name})) {
+    if (!have_input && have_db) {
+      if (auto db_value = resource_db_.Query(
+              widget_path, {spec->name_quark(), spec->class_quark()})) {
         input = *db_value;
         have_input = true;
       }
@@ -205,7 +216,9 @@ Widget* AppContext::CreateWidget(const std::string& name, const std::string& cla
     for (const WidgetClass* c = cls; c != nullptr; c = c->superclass) {
       if (!c->default_translations.empty()) {
         std::string parse_error;
-        TranslationsPtr table = ParseTranslations(c->default_translations, &parse_error);
+        // Compiled once per class text: every widget of the class shares the
+        // same immutable table instead of re-parsing on creation.
+        TranslationsPtr table = GetCompiledTranslations(c->default_translations, &parse_error);
         if (table != nullptr) {
           widget->SetRawValue("translations", table);
         }
@@ -445,7 +458,11 @@ bool AppContext::SetValues(Widget* widget,
     }
   }
   if (widget->realized()) {
-    Redraw(widget);
+    // Damage instead of painting directly: a geometry change above already
+    // queued exposure damage, so going through the display coalesces both
+    // into the single Redraw that ProcessPending triggers.
+    widget->display().AddDamage(
+        widget->window(), xsim::Rect{0, 0, widget->width(), widget->height()});
     ProcessPending();
   }
   return true;
@@ -613,6 +630,11 @@ std::size_t AppContext::ProcessPending() {
         xsim::Event event = d->NextEvent();
         DispatchEvent(event);
         ++dispatched;
+        any = true;
+      }
+      // End of this display's dispatch cycle: deliver the damage that the
+      // cycle accumulated, coalesced to one Expose per window subtree.
+      if (d->FlushDamage() > 0) {
         any = true;
       }
     }

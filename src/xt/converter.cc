@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "src/obs/obs.h"
 #include "src/xsim/font.h"
 #include "src/xt/app.h"
 #include "src/xt/widget.h"
@@ -9,6 +10,10 @@
 namespace xtk {
 
 namespace {
+
+wobs::Counter g_cache_hits("xt.converter.cache.hits");
+wobs::Counter g_cache_misses("xt.converter.cache.misses");
+wobs::Counter g_cache_invalidations("xt.converter.cache.invalidations");
 
 bool ConvertLong(const std::string& input, long* out) {
   if (input.empty()) {
@@ -161,7 +166,7 @@ ConverterRegistry::ConverterRegistry() {
                return true;
              }
              std::string parse_error;
-             TranslationsPtr table = ParseTranslations(input, &parse_error);
+             TranslationsPtr table = GetCompiledTranslations(input, &parse_error);
              if (table == nullptr) {
                *error = "cannot convert to TranslationTable: " + parse_error;
                return false;
@@ -302,14 +307,40 @@ ConverterRegistry::ConverterRegistry() {
     Widget* const* v = std::get_if<Widget*>(&value);
     return v == nullptr || *v == nullptr ? std::string() : (*v)->name();
   });
+
+  // Every standard converter above is a pure function of its input except
+  // kWidget, which resolves names through the live widget tree. Replacements
+  // registered later (Wafe's Callback / file-reading Pixmap / XmString)
+  // declare their own cacheability.
+  for (auto& [type, entry] : converters_) {
+    entry.cacheable = type != ResourceType::kWidget;
+  }
 }
 
-void ConverterRegistry::Register(ResourceType type, ConvertFn convert) {
-  converters_[type] = std::move(convert);
+void ConverterRegistry::Register(ResourceType type, ConvertFn convert, bool cacheable) {
+  // A replacement converter may compute different results; drop anything the
+  // previous one cached for this type.
+  InvalidateCache(type);
+  converters_[type] = ConverterEntry{std::move(convert), cacheable};
 }
 
 void ConverterRegistry::RegisterFormat(ResourceType type, FormatFn format) {
   formatters_[type] = std::move(format);
+}
+
+void ConverterRegistry::InvalidateCache() {
+  if (!cache_.empty()) {
+    g_cache_invalidations.Increment();
+  }
+  cache_.clear();
+}
+
+void ConverterRegistry::InvalidateCache(ResourceType type) {
+  std::size_t erased = std::erase_if(
+      cache_, [type](const auto& entry) { return entry.first.first == type; });
+  if (erased != 0) {
+    g_cache_invalidations.Increment();
+  }
 }
 
 bool ConverterRegistry::Convert(ResourceType type, const std::string& input, Widget* widget,
@@ -319,7 +350,24 @@ bool ConverterRegistry::Convert(ResourceType type, const std::string& input, Wid
     *error = std::string("no converter for type ") + ResourceTypeName(type);
     return false;
   }
-  return it->second(input, widget, out, error);
+  const ConverterEntry& entry = it->second;
+  const bool use_cache = cache_enabled_ && entry.cacheable;
+  if (use_cache) {
+    auto hit = cache_.find({type, input});
+    if (hit != cache_.end()) {
+      g_cache_hits.Increment();
+      *out = hit->second;
+      return true;
+    }
+    g_cache_misses.Increment();
+  }
+  if (!entry.fn(input, widget, out, error)) {
+    return false;
+  }
+  if (use_cache) {
+    cache_.emplace(std::make_pair(type, input), *out);
+  }
+  return true;
 }
 
 std::string ConverterRegistry::Format(ResourceType type, const ResourceValue& value) const {

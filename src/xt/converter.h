@@ -2,12 +2,19 @@
 // getValue works for every resource type). The registry ships with the
 // standard Xt converters; Wafe registers replacements for Callback, Pixmap
 // and (in the Motif build) XmString.
+//
+// Conversions registered as cacheable are memoized per registry keyed by
+// (type, input string) — the R5 XtCacheAll model. Context-dependent
+// converters (kWidget, file-reading Pixmap) must stay uncacheable.
+// Re-registering a type drops that type's cached entries; InvalidateCache
+// drops everything (e.g. after the color or font environment changes).
 #ifndef SRC_XT_CONVERTER_H_
 #define SRC_XT_CONVERTER_H_
 
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "src/xt/value.h"
 
@@ -27,16 +34,36 @@ class ConverterRegistry {
   // A registry pre-loaded with the standard converters.
   ConverterRegistry();
 
-  void Register(ResourceType type, ConvertFn convert);
+  // `cacheable` asserts the converter is a pure function of the input
+  // string: its result may then be memoized and shared across widgets.
+  void Register(ResourceType type, ConvertFn convert, bool cacheable = false);
   void RegisterFormat(ResourceType type, FormatFn format);
 
   bool Convert(ResourceType type, const std::string& input, Widget* widget, ResourceValue* out,
                std::string* error) const;
   std::string Format(ResourceType type, const ResourceValue& value) const;
 
+  // Explicit invalidation: everything, or one type's entries.
+  void InvalidateCache();
+  void InvalidateCache(ResourceType type);
+
+  // A/B switch for benchmarks and tests; the cache is on by default.
+  void set_cache_enabled(bool on) { cache_enabled_ = on; }
+  bool cache_enabled() const { return cache_enabled_; }
+  std::size_t cache_size() const { return cache_.size(); }
+
  private:
-  std::map<ResourceType, ConvertFn> converters_;
+  struct ConverterEntry {
+    ConvertFn fn;
+    bool cacheable = false;
+  };
+
+  std::map<ResourceType, ConverterEntry> converters_;
   std::map<ResourceType, FormatFn> formatters_;
+  // Memoized successful conversions for cacheable types. Mutated under
+  // const Convert(); registries are confined to the interpreter thread.
+  mutable std::map<std::pair<ResourceType, std::string>, ResourceValue> cache_;
+  bool cache_enabled_ = true;
 };
 
 }  // namespace xtk

@@ -1,0 +1,102 @@
+#include "src/xt/quark.h"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/obs.h"
+
+namespace xtk {
+
+namespace {
+
+wobs::Counter g_quark_interns("xt.quark.interns");
+wobs::Gauge g_quark_count("xt.quark.count");
+
+// Names live in a deque so interned strings never move; the map keys are
+// views into that storage and the by-quark vector points at it too.
+struct QuarkTable {
+  std::shared_mutex mutex;
+  std::deque<std::string> names;
+  std::unordered_map<std::string_view, Quark> by_name;
+  std::vector<const std::string*> by_quark;  // index = quark - 1
+
+  // Never destroyed: quarks handed out may be resolved from static
+  // destructors (obs instruments, cached specs).
+  static QuarkTable& Instance() {
+    static QuarkTable* table = new QuarkTable();
+    return *table;
+  }
+};
+
+const std::string& EmptyName() {
+  static const std::string* empty = new std::string();
+  return *empty;
+}
+
+}  // namespace
+
+Quark Intern(std::string_view name) {
+  if (name.empty()) {
+    return kNullQuark;
+  }
+  QuarkTable& table = QuarkTable::Instance();
+  {
+    std::shared_lock lock(table.mutex);
+    auto it = table.by_name.find(name);
+    if (it != table.by_name.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock lock(table.mutex);
+  auto it = table.by_name.find(name);
+  if (it != table.by_name.end()) {
+    return it->second;
+  }
+  table.names.emplace_back(name);
+  const std::string& stored = table.names.back();
+  Quark quark = static_cast<Quark>(table.by_quark.size() + 1);
+  table.by_quark.push_back(&stored);
+  table.by_name.emplace(std::string_view(stored), quark);
+  g_quark_interns.Increment();
+  g_quark_count.Set(table.by_quark.size());
+  return quark;
+}
+
+Quark FindQuark(std::string_view name) {
+  if (name.empty()) {
+    return kNullQuark;
+  }
+  QuarkTable& table = QuarkTable::Instance();
+  std::shared_lock lock(table.mutex);
+  auto it = table.by_name.find(name);
+  return it == table.by_name.end() ? kNullQuark : it->second;
+}
+
+const std::string& QuarkName(Quark quark) {
+  if (quark == kNullQuark) {
+    return EmptyName();
+  }
+  QuarkTable& table = QuarkTable::Instance();
+  std::shared_lock lock(table.mutex);
+  std::size_t index = static_cast<std::size_t>(quark) - 1;
+  if (index >= table.by_quark.size()) {
+    return EmptyName();
+  }
+  return *table.by_quark[index];
+}
+
+std::size_t QuarkCount() {
+  QuarkTable& table = QuarkTable::Instance();
+  std::shared_lock lock(table.mutex);
+  return table.by_quark.size();
+}
+
+Quark QuestionQuark() {
+  static const Quark quark = Intern("?");
+  return quark;
+}
+
+}  // namespace xtk

@@ -1,0 +1,41 @@
+// Global quark table: interns resource, class, and representation names so
+// the resource pipeline (Xrm lookup, spec matching, command naming) compares
+// small integers instead of strings. Mirrors XrmStringToQuark /
+// XrmQuarkToString: quarks are stable for the process lifetime and the table
+// only grows. All entry points are thread-safe.
+#ifndef SRC_XT_QUARK_H_
+#define SRC_XT_QUARK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xtk {
+
+using Quark = std::uint32_t;
+
+// The empty string interns to kNullQuark; no other name maps to it.
+inline constexpr Quark kNullQuark = 0;
+
+// Returns the quark for `name`, creating it on first sight. Two calls with
+// equal strings always return the same quark.
+Quark Intern(std::string_view name);
+
+// Returns the quark for `name` if it has been interned, kNullQuark
+// otherwise (never creates an entry).
+Quark FindQuark(std::string_view name);
+
+// The name a quark was interned from. Valid for the process lifetime.
+// Passing a quark never returned by Intern yields the empty string.
+const std::string& QuarkName(Quark quark);
+
+// Number of distinct non-empty names interned so far.
+std::size_t QuarkCount();
+
+// The quark for "?" (the Xrm single-level wildcard), pre-interned.
+Quark QuestionQuark();
+
+}  // namespace xtk
+
+#endif  // SRC_XT_QUARK_H_

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "src/xt/quark.h"
 #include "src/xt/value.h"
 
 namespace xtk {
@@ -19,6 +20,25 @@ struct ResourceSpec {
   ResourceSpec() = default;
   ResourceSpec(std::string n, std::string c, ResourceType t, std::string d)
       : name(std::move(n)), class_name(std::move(c)), type(t), default_value(std::move(d)) {}
+
+  // Interned (name, class) quarks, filled on first use. Specs are mutated
+  // and read on the interpreter thread only.
+  Quark name_quark() const {
+    if (name_quark_ == kNullQuark) {
+      name_quark_ = Intern(name);
+    }
+    return name_quark_;
+  }
+  Quark class_quark() const {
+    if (class_quark_ == kNullQuark) {
+      class_quark_ = Intern(class_name);
+    }
+    return class_quark_;
+  }
+
+ private:
+  mutable Quark name_quark_ = kNullQuark;
+  mutable Quark class_quark_ = kNullQuark;
 };
 
 // Common resource class names are derived by capitalizing the first letter

@@ -1,6 +1,8 @@
 #include "src/xt/translations.h"
 
 #include <cctype>
+#include <map>
+#include <mutex>
 
 #include "src/obs/obs.h"
 
@@ -12,6 +14,8 @@ namespace {
 wobs::Counter g_match_attempts("xt.translations.lookups");
 wobs::Counter g_match_hits("xt.translations.matched");
 wobs::Counter g_tables_parsed("xt.translations.parsed");
+wobs::Counter g_compile_hits("xt.translations.compile.hits");
+wobs::Counter g_compile_misses("xt.translations.compile.misses");
 
 struct EventName {
   const char* name;
@@ -370,6 +374,50 @@ std::shared_ptr<const TranslationTable> ParseTranslations(std::string_view text,
     pos = end + 1;
   }
   return table;
+}
+
+namespace {
+
+// The process-wide compilation memo. Tables are immutable once parsed, so
+// sharing one instance across widgets (and AppContexts) is safe; the table
+// only grows and is never destroyed (widgets may hold the shared_ptrs past
+// static destruction).
+struct CompiledTables {
+  std::mutex mutex;
+  std::map<std::string, std::shared_ptr<const TranslationTable>, std::less<>> by_source;
+
+  static CompiledTables& Instance() {
+    static CompiledTables* tables = new CompiledTables();
+    return *tables;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const TranslationTable> GetCompiledTranslations(std::string_view text,
+                                                                std::string* error) {
+  CompiledTables& tables = CompiledTables::Instance();
+  {
+    std::lock_guard lock(tables.mutex);
+    auto it = tables.by_source.find(text);
+    if (it != tables.by_source.end()) {
+      g_compile_hits.Increment();
+      return it->second;
+    }
+  }
+  g_compile_misses.Increment();
+  std::shared_ptr<const TranslationTable> table = ParseTranslations(text, error);
+  if (table == nullptr) {
+    return nullptr;
+  }
+  std::lock_guard lock(tables.mutex);
+  return tables.by_source.emplace(std::string(text), std::move(table)).first->second;
+}
+
+std::size_t CompiledTranslationCount() {
+  CompiledTables& tables = CompiledTables::Instance();
+  std::lock_guard lock(tables.mutex);
+  return tables.by_source.size();
 }
 
 std::shared_ptr<const TranslationTable> MergeTranslations(

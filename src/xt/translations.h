@@ -57,6 +57,17 @@ struct TranslationTable {
 std::shared_ptr<const TranslationTable> ParseTranslations(std::string_view text,
                                                           std::string* error);
 
+// Memoized front end to ParseTranslations: identical source text yields the
+// same immutable shared table, compiled once per process. Class default
+// translations and the Translations converter go through here so N widgets
+// of a class share one parsed matcher structure. Parse failures are not
+// cached. Thread-safe.
+std::shared_ptr<const TranslationTable> GetCompiledTranslations(std::string_view text,
+                                                                std::string* error);
+
+// Number of distinct translation sources compiled so far (tests/metrics).
+std::size_t CompiledTranslationCount();
+
 // How `action`-style modifications combine tables.
 enum class MergeMode { kReplace, kOverride, kAugment };
 

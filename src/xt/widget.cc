@@ -77,9 +77,11 @@ Widget::Widget(std::string name, const WidgetClass* cls, Widget* parent, AppCont
 }
 
 const ResourceSpec* Widget::FindSpec(const std::string& name) const {
+  // One intern up front turns the class-chain scan into quark compares.
+  const Quark name_quark = Intern(name);
   for (const WidgetClass* c = class_; c != nullptr; c = c->superclass) {
     for (const ResourceSpec& spec : c->resources) {
-      if (spec.name == name) {
+      if (spec.name_quark() == name_quark) {
         return &spec;
       }
     }
@@ -87,7 +89,7 @@ const ResourceSpec* Widget::FindSpec(const std::string& name) const {
   if (parent_ != nullptr) {
     for (const WidgetClass* c = parent_->widget_class(); c != nullptr; c = c->superclass) {
       for (const ResourceSpec& spec : c->constraints) {
-        if (spec.name == name) {
+        if (spec.name_quark() == name_quark) {
           return &spec;
         }
       }

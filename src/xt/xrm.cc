@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "src/obs/obs.h"
+
 namespace xtk {
 
 namespace {
@@ -15,6 +17,8 @@ constexpr int kNameLoose = 4;
 constexpr int kClassTight = 3;
 constexpr int kClassLoose = 2;
 constexpr int kSkipped = 1;
+
+wobs::Counter g_queries("xt.xrm.queries");
 
 }  // namespace
 
@@ -50,7 +54,7 @@ bool ResourceDatabase::MergeLine(std::string_view line) {
   for (char c : binding) {
     if (c == '.' || c == '*') {
       if (!token.empty()) {
-        entry.components.push_back(Component{token, loose});
+        entry.components.push_back(Component{Intern(token), loose});
         token.clear();
         loose = false;
       }
@@ -65,7 +69,7 @@ bool ResourceDatabase::MergeLine(std::string_view line) {
     token.push_back(c);
   }
   if (!token.empty()) {
-    entry.components.push_back(Component{token, loose});
+    entry.components.push_back(Component{Intern(token), loose});
   }
   if (entry.components.empty()) {
     return false;
@@ -77,7 +81,7 @@ bool ResourceDatabase::MergeLine(std::string_view line) {
     if (existing.components.size() == entry.components.size()) {
       bool same = true;
       for (std::size_t i = 0; i < entry.components.size(); ++i) {
-        if (existing.components[i].token != entry.components[i].token ||
+        if (existing.components[i].quark != entry.components[i].quark ||
             existing.components[i].loose != entry.components[i].loose) {
           same = false;
           break;
@@ -116,10 +120,12 @@ std::size_t ResourceDatabase::MergeString(std::string_view text) {
 }
 
 std::optional<std::vector<int>> ResourceDatabase::Match(
-    const Entry& entry, const std::vector<std::pair<std::string, std::string>>& full_path) {
+    const Entry& entry, const std::vector<QuarkLevel>& full_path) {
   // Recursive matcher over (component index, path index) with memo-free
-  // backtracking; path sizes are small (widget tree depth).
+  // backtracking; path sizes are small (widget tree depth). Every compare
+  // here is a quark (integer) compare.
   const auto& components = entry.components;
+  const Quark question = QuestionQuark();
   std::vector<int> best;
   std::vector<int> current(full_path.size(), kSkipped);
   bool found = false;
@@ -140,18 +146,12 @@ std::optional<std::vector<int>> ResourceDatabase::Match(
     }
     const Component& component = components[ci];
     const auto& [name, cls] = full_path[pi];
-    bool is_last_component = ci + 1 == components.size();
-    bool is_last_level = pi + 1 == full_path.size();
-    if (is_last_component != is_last_level && !component.loose) {
-      // A tight component must line up exactly; a loose one may skip levels
-      // (handled below).
-    }
     // Try matching this component at this level.
-    if (component.token == name || component.token == "?") {
+    if (component.quark == name || component.quark == question) {
       current[pi] = component.loose ? kNameLoose : kNameTight;
       recurse(ci + 1, pi + 1);
       current[pi] = kSkipped;
-    } else if (component.token == cls) {
+    } else if (component.quark == cls) {
       current[pi] = component.loose ? kClassLoose : kClassTight;
       recurse(ci + 1, pi + 1);
       current[pi] = kSkipped;
@@ -173,9 +173,9 @@ std::optional<std::vector<int>> ResourceDatabase::Match(
 }
 
 std::optional<std::string> ResourceDatabase::Query(
-    const std::vector<std::pair<std::string, std::string>>& path,
-    const std::pair<std::string, std::string>& resource) const {
-  std::vector<std::pair<std::string, std::string>> full_path = path;
+    const std::vector<QuarkLevel>& path, const QuarkLevel& resource) const {
+  g_queries.Increment();
+  std::vector<QuarkLevel> full_path = path;
   full_path.push_back(resource);
   const Entry* best_entry = nullptr;
   std::vector<int> best_score;
@@ -194,6 +194,17 @@ std::optional<std::string> ResourceDatabase::Query(
     return std::nullopt;
   }
   return best_entry->value;
+}
+
+std::optional<std::string> ResourceDatabase::Query(
+    const std::vector<std::pair<std::string, std::string>>& path,
+    const std::pair<std::string, std::string>& resource) const {
+  std::vector<QuarkLevel> quark_path;
+  quark_path.reserve(path.size());
+  for (const auto& [name, cls] : path) {
+    quark_path.emplace_back(Intern(name), Intern(cls));
+  }
+  return Query(quark_path, QuarkLevel{Intern(resource.first), Intern(resource.second)});
 }
 
 }  // namespace xtk

@@ -2,6 +2,11 @@
 // blue", "app.form.button.background: red"), supports tight (.) and loose
 // (*) bindings with name/class components, and answers queries with X's
 // precedence rules. Backs resource files and Wafe's mergeResources command.
+//
+// Names are interned into the global quark table (src/xt/quark.h) at merge
+// time, so matching compares quarks, not strings. Callers on the hot path
+// (per-widget resource initialization) should intern their (name, class)
+// path once and use the quark Query overload.
 #ifndef SRC_XT_XRM_H_
 #define SRC_XT_XRM_H_
 
@@ -11,10 +16,15 @@
 #include <utility>
 #include <vector>
 
+#include "src/xt/quark.h"
+
 namespace xtk {
 
 class ResourceDatabase {
  public:
+  // A fully-qualified (name, class) level of a widget path, interned.
+  using QuarkLevel = std::pair<Quark, Quark>;
+
   // Parses and merges one specification line ("binding: value"). Later
   // entries override identical earlier bindings. Returns false on a
   // malformed line (no colon, empty binding).
@@ -32,12 +42,17 @@ class ResourceDatabase {
       const std::vector<std::pair<std::string, std::string>>& path,
       const std::pair<std::string, std::string>& resource) const;
 
+  // Quark fast path: same semantics, no string work. The path quarks must
+  // come from Intern() on the same names the string overload would use.
+  std::optional<std::string> Query(const std::vector<QuarkLevel>& path,
+                                   const QuarkLevel& resource) const;
+
   std::size_t size() const { return entries_.size(); }
   void Clear() { entries_.clear(); }
 
  private:
   struct Component {
-    std::string token;
+    Quark quark = kNullQuark;
     bool loose = false;  // preceded by '*'
   };
   struct Entry {
@@ -49,7 +64,7 @@ class ResourceDatabase {
   // Returns the match quality vector (one score per path level, higher is
   // better) or nullopt if the entry does not match.
   static std::optional<std::vector<int>> Match(
-      const Entry& entry, const std::vector<std::pair<std::string, std::string>>& full_path);
+      const Entry& entry, const std::vector<QuarkLevel>& full_path);
 
   std::vector<Entry> entries_;
   std::size_t next_serial_ = 0;

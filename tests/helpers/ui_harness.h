@@ -1,0 +1,205 @@
+// Event-injection / golden-render harness for UI tests: drives a Wafe
+// instance through the simulated display with synthetic pointer and key
+// events addressed to named widgets, captures what callbacks/actions write
+// to the backend's stdin through an adopted pipe pair, and summarizes
+// rendered output (framebuffer checksum, window tree) so tests can assert
+// on visual state without pixel-by-pixel golden files.
+#ifndef TESTS_HELPERS_UI_HARNESS_H_
+#define TESTS_HELPERS_UI_HARNESS_H_
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/comm.h"
+#include "src/core/wafe.h"
+#include "src/xsim/display.h"
+#include "src/xt/widget.h"
+
+namespace ui_harness {
+
+class UiHarness {
+ public:
+  UiHarness() = default;
+
+  ~UiHarness() {
+    if (backend_write_fd_ >= 0) {
+      ::close(backend_write_fd_);
+    }
+    if (backend_read_fd_ >= 0) {
+      ::close(backend_read_fd_);
+    }
+  }
+
+  UiHarness(const UiHarness&) = delete;
+  UiHarness& operator=(const UiHarness&) = delete;
+
+  wafe::Wafe& wafe() { return wafe_; }
+  xtk::AppContext& app() { return wafe_.app(); }
+  xsim::Display& display() { return wafe_.app().display(); }
+
+  std::string Eval(const std::string& script) { return wafe_.Eval(script).value; }
+
+  void Realize() {
+    wafe_.Eval("realize");
+    wafe_.app().ProcessPending();
+  }
+
+  xtk::Widget* Find(const std::string& name) { return wafe_.app().FindWidget(name); }
+
+  // --- Event injection -------------------------------------------------------
+
+  // Full click (press + release) a couple of pixels inside the widget.
+  void Click(const std::string& name, unsigned button = 1) {
+    Press(name, button);
+    Release(name, button);
+  }
+
+  void Press(const std::string& name, unsigned button = 1) {
+    xsim::Point p = Inside(name);
+    display().InjectButtonPress(p.x, p.y, button);
+    wafe_.app().ProcessPending();
+  }
+
+  void Release(const std::string& name, unsigned button = 1) {
+    xsim::Point p = Inside(name);
+    display().InjectButtonRelease(p.x, p.y, button);
+    wafe_.app().ProcessPending();
+  }
+
+  // Releases at the current pointer grab target's expense: used to finish a
+  // menu interaction over a specific entry.
+  void ReleaseOver(const std::string& name, unsigned button = 1) {
+    display().UngrabPointer();
+    Release(name, button);
+  }
+
+  // Focuses the widget and types `text` as individual key events.
+  void Type(const std::string& name, const std::string& text) {
+    xtk::Widget* w = Find(name);
+    if (w == nullptr) {
+      return;
+    }
+    display().SetInputFocus(w->window());
+    display().InjectText(text);
+    wafe_.app().ProcessPending();
+  }
+
+  void PressKey(xsim::KeySym keysym, unsigned state = 0) {
+    display().InjectKeyPress(keysym, state);
+    wafe_.app().ProcessPending();
+  }
+
+  // --- Backend capture -------------------------------------------------------
+
+  // Wires a pipe pair in place of a real backend: everything callbacks and
+  // actions send to the backend's stdin becomes readable here.
+  void AttachBackendPipe() {
+    int to_wafe[2];
+    int from_wafe[2];
+    if (::pipe(to_wafe) != 0 || ::pipe(from_wafe) != 0) {
+      return;
+    }
+    backend_write_fd_ = to_wafe[1];
+    backend_read_fd_ = from_wafe[0];
+    ::fcntl(backend_read_fd_, F_SETFL, O_NONBLOCK);
+    wafe_.set_backend_output(true);
+    wafe_.frontend().AdoptBackend(to_wafe[0], from_wafe[1]);
+  }
+
+  // Feeds one protocol line into Wafe as if the backend printed it.
+  void BackendSays(const std::string& line) {
+    std::string out = line + "\n";
+    ssize_t ignored = ::write(backend_write_fd_, out.data(), out.size());
+    (void)ignored;
+    Pump();
+  }
+
+  void Pump() {
+    while (wafe_.app().RunOneIteration(false)) {
+    }
+  }
+
+  // Complete lines Wafe has sent to the backend so far (drains the pipe).
+  std::vector<std::string> BackendReceived() {
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::read(backend_read_fd_, buffer, sizeof(buffer))) > 0) {
+      backend_buffer_.append(buffer, static_cast<std::size_t>(n));
+    }
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    std::size_t nl;
+    while ((nl = backend_buffer_.find('\n', start)) != std::string::npos) {
+      lines.push_back(backend_buffer_.substr(start, nl - start));
+      start = nl + 1;
+    }
+    backend_buffer_.erase(0, start);
+    return lines;
+  }
+
+  // --- Golden render ---------------------------------------------------------
+
+  // FNV-1a over the framebuffer: two renders of the same UI state hash
+  // equal, any visible pixel difference hashes apart.
+  std::uint64_t FramebufferChecksum() {
+    std::uint64_t hash = 1469598103934665603ull;
+    for (xsim::Pixel pixel : display().framebuffer()) {
+      hash = (hash ^ pixel) * 1099511628211ull;
+    }
+    return hash;
+  }
+
+  bool ShowsText(const std::string& name, const std::string& text) {
+    xtk::Widget* w = Find(name);
+    return w != nullptr && display().WindowShowsText(w->window(), text);
+  }
+
+  // One line per widget under `root_name`, depth-indented, with geometry and
+  // viewability — a compact golden form of the window tree.
+  std::string WindowTreeText(const std::string& root_name = "topLevel") {
+    std::ostringstream out;
+    if (xtk::Widget* root = Find(root_name)) {
+      DumpWidget(root, 0, out);
+    }
+    return out.str();
+  }
+
+ private:
+  xsim::Point Inside(const std::string& name) {
+    xtk::Widget* w = Find(name);
+    if (w == nullptr) {
+      return {0, 0};
+    }
+    xsim::Point p = display().RootPosition(w->window());
+    return {static_cast<xsim::Position>(p.x + 2), static_cast<xsim::Position>(p.y + 2)};
+  }
+
+  void DumpWidget(xtk::Widget* w, int depth, std::ostringstream& out) {
+    for (int i = 0; i < depth; ++i) {
+      out << "  ";
+    }
+    out << w->name() << " " << w->width() << "x" << w->height() << "+" << w->x() << "+"
+        << w->y();
+    if (w->realized() && display().IsViewable(w->window())) {
+      out << " viewable";
+    }
+    out << "\n";
+    for (xtk::Widget* child : w->children()) {
+      DumpWidget(child, depth + 1, out);
+    }
+  }
+
+  wafe::Wafe wafe_;
+  int backend_write_fd_ = -1;
+  int backend_read_fd_ = -1;
+  std::string backend_buffer_;
+};
+
+}  // namespace ui_harness
+
+#endif  // TESTS_HELPERS_UI_HARNESS_H_

@@ -1,0 +1,198 @@
+// Fuzz-ish regression suite for the %-prefix line protocol: a deterministic
+// pseudo-random stream of protocol and pass-through lines is fed to the
+// frontend in chunks split at arbitrary byte boundaries. Whatever the split
+// points — mid-prefix, mid-line, between the '\r' and '\n' of a CRLF pair —
+// the frontend must evaluate every protocol line exactly once and pass
+// every other line through verbatim, in order, without ever desyncing.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/core/comm.h"
+#include "src/core/wafe.h"
+
+namespace {
+
+class ProtocolFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int to_wafe[2];
+    ASSERT_EQ(::pipe(to_wafe), 0);
+    int from_wafe[2];
+    ASSERT_EQ(::pipe(from_wafe), 0);
+    write_fd_ = to_wafe[1];
+    sink_fd_ = from_wafe[0];
+    wafe_.set_passthrough([this](const std::string& line) {
+      passed_through_.push_back(line);
+    });
+    wafe_.frontend().AdoptBackend(to_wafe[0], from_wafe[1]);
+  }
+
+  void TearDown() override {
+    ::close(write_fd_);
+    ::close(sink_fd_);
+  }
+
+  void Pump() {
+    while (wafe_.app().RunOneIteration(false)) {
+    }
+  }
+
+  // Writes `stream` in chunks whose sizes come from `rng`, pumping the app
+  // between chunks so read boundaries land at the split points.
+  void FeedInChunks(const std::string& stream, std::mt19937& rng,
+                    std::size_t max_chunk) {
+    std::uniform_int_distribution<std::size_t> chunk_size(1, max_chunk);
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      std::size_t n = std::min(chunk_size(rng), stream.size() - offset);
+      ASSERT_EQ(::write(write_fd_, stream.data() + offset, n),
+                static_cast<ssize_t>(n));
+      offset += n;
+      Pump();
+    }
+    Pump();
+  }
+
+  wafe::Wafe wafe_;
+  std::vector<std::string> passed_through_;
+  int write_fd_ = -1;
+  int sink_fd_ = -1;
+};
+
+TEST_F(ProtocolFuzzTest, RandomSplitPointsNeverDesyncTheStream) {
+  std::mt19937 rng(20260805);  // fixed seed: reproducible failures
+  std::uniform_int_distribution<int> kind(0, 5);
+  std::string stream;
+  std::vector<std::string> expected_passthrough;
+  int protocol_lines = 0;
+  for (int i = 0; i < 400; ++i) {
+    switch (kind(rng)) {
+      case 0: {  // protocol line: evaluated by the frontend
+        stream += "%set fuzz" + std::to_string(i) + " value" + std::to_string(i) + "\n";
+        ++protocol_lines;
+        break;
+      }
+      case 1: {  // pass-through with an embedded % mid-line
+        std::string line = "progress 50% of item " + std::to_string(i);
+        stream += line + "\n";
+        expected_passthrough.push_back(line);
+        break;
+      }
+      case 2: {  // empty line: passes through as an empty string
+        stream += "\n";
+        expected_passthrough.push_back("");
+        break;
+      }
+      case 3: {  // CRLF backend
+        std::string line = "crlf line " + std::to_string(i);
+        stream += line + "\r\n";
+        expected_passthrough.push_back(line);
+        break;
+      }
+      case 4: {  // a lone % (protocol line with an empty script)
+        stream += "%\n";
+        ++protocol_lines;
+        break;
+      }
+      default: {  // plain pass-through
+        std::string line = "output line " + std::to_string(i);
+        stream += line + "\n";
+        expected_passthrough.push_back(line);
+        break;
+      }
+    }
+  }
+  FeedInChunks(stream, rng, 17);  // tiny chunks: many mid-line boundaries
+  EXPECT_EQ(passed_through_, expected_passthrough);
+  EXPECT_EQ(wafe_.frontend().lines_received(),
+            expected_passthrough.size() + static_cast<std::size_t>(protocol_lines));
+  // Spot-check that protocol lines were really evaluated.
+  std::string value;
+  for (int i = 0; i < 400; ++i) {
+    if (wafe_.interp().GetVar("fuzz" + std::to_string(i), &value)) {
+      EXPECT_EQ(value, "value" + std::to_string(i));
+    }
+  }
+}
+
+TEST_F(ProtocolFuzzTest, SingleByteWritesDeliverEveryLine) {
+  std::string stream;
+  for (int i = 0; i < 30; ++i) {
+    stream += "%set byteVar" + std::to_string(i) + " " + std::to_string(i * i) + "\n";
+  }
+  std::mt19937 rng(1);
+  FeedInChunks(stream, rng, 1);  // every read boundary possible
+  std::string value;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(wafe_.interp().GetVar("byteVar" + std::to_string(i), &value));
+    EXPECT_EQ(value, std::to_string(i * i));
+  }
+  EXPECT_TRUE(passed_through_.empty());
+}
+
+TEST_F(ProtocolFuzzTest, OverlongLineIsDroppedWithoutDesync) {
+  // A line far past the 64KB default limit, split across many reads, then a
+  // normal protocol line and a pass-through line: both must still work. The
+  // overhang must exceed two maximum chunks so the buffer is over the limit
+  // while the line is still incomplete (the guard fires between reads).
+  std::string overlong(wafe_.options().max_line_length + 9000, 'x');
+  std::string stream = overlong + "\n%set after ok\nclean line\n";
+  std::mt19937 rng(2);
+  FeedInChunks(stream, rng, 4096);
+  EXPECT_EQ(wafe_.frontend().overlong_lines(), 1u);
+  std::string value;
+  ASSERT_TRUE(wafe_.interp().GetVar("after", &value));
+  EXPECT_EQ(value, "ok");
+  EXPECT_EQ(passed_through_, std::vector<std::string>{"clean line"});
+}
+
+TEST_F(ProtocolFuzzTest, BackendDeathMidDrainDoesNotReplayHandledLines) {
+  // The backend writes a burst and dies before reading its stdin: the %echo
+  // line makes the frontend write back into the dead pipe (EPIPE), which
+  // tears the backend down *re-entrantly, mid-drain*. Lines already handled
+  // must not be evaluated again, and the lines after the failing write must
+  // still be processed one by one.
+  wafe_.set_backend_output(true);
+  ::close(sink_fd_);  // nobody will ever read what wafe sends back
+  sink_fd_ = -1;
+  std::string stream =
+      "%set first 1\n%echo boom\nplain line\n%set second 2\n";
+  ASSERT_EQ(::write(write_fd_, stream.data(), stream.size()),
+            static_cast<ssize_t>(stream.size()));
+  Pump();
+  std::string value;
+  ASSERT_TRUE(wafe_.interp().GetVar("first", &value));
+  EXPECT_EQ(value, "1");
+  ASSERT_TRUE(wafe_.interp().GetVar("second", &value));
+  EXPECT_EQ(value, "2");
+  EXPECT_EQ(passed_through_, std::vector<std::string>{"plain line"});
+}
+
+TEST_F(ProtocolFuzzTest, PrefixSplitFromRestOfLineStillEvaluates) {
+  // The '%' arrives in its own read() long before the rest of the line.
+  ASSERT_EQ(::write(write_fd_, "%", 1), 1);
+  Pump();
+  std::string rest = "set split done\n";
+  ASSERT_EQ(::write(write_fd_, rest.data(), rest.size()),
+            static_cast<ssize_t>(rest.size()));
+  Pump();
+  std::string value;
+  ASSERT_TRUE(wafe_.interp().GetVar("split", &value));
+  EXPECT_EQ(value, "done");
+}
+
+TEST_F(ProtocolFuzzTest, ErrorInProtocolLineDoesNotPoisonFollowingLines) {
+  std::string stream = "%this-command-does-not-exist\n%set recovered yes\nstill here\n";
+  std::mt19937 rng(3);
+  FeedInChunks(stream, rng, 5);
+  std::string value;
+  ASSERT_TRUE(wafe_.interp().GetVar("recovered", &value));
+  EXPECT_EQ(value, "yes");
+  EXPECT_EQ(passed_through_, std::vector<std::string>{"still here"});
+}
+
+}  // namespace

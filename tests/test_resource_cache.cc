@@ -1,0 +1,313 @@
+// Correctness of the resource-pipeline fast path: the memoizing converter
+// cache (values identical before/after invalidation, hit/miss accounting),
+// the global quark table (stable and thread-safe), the compiled-translations
+// memo (fires identically to a fresh parse), and the Xrm quark query path
+// (answers equal to the string path).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/wafe.h"
+#include "src/obs/obs.h"
+#include "src/xsim/event.h"
+#include "src/xt/converter.h"
+#include "src/xt/quark.h"
+#include "src/xt/translations.h"
+#include "src/xt/xrm.h"
+
+namespace {
+
+std::uint64_t Metric(const std::string& name) {
+  std::uint64_t value = 0;
+  wobs::Registry::Instance().GetMetric(name, &value);
+  return value;
+}
+
+// Metrics must be enabled for the counter assertions; restore on exit.
+class ResourceCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = wobs::MetricsEnabled();
+    wobs::SetMetricsEnabled(true);
+  }
+  void TearDown() override { wobs::SetMetricsEnabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+// --- Converter cache ---------------------------------------------------------------
+
+TEST_F(ResourceCacheTest, CachedConversionEqualsFreshConversion) {
+  xtk::ConverterRegistry reg;
+  std::string error;
+  xtk::ResourceValue first;
+  xtk::ResourceValue second;
+  ASSERT_TRUE(reg.Convert(xtk::ResourceType::kPixel, "red", nullptr, &first, &error));
+  ASSERT_TRUE(reg.Convert(xtk::ResourceType::kPixel, "red", nullptr, &second, &error));
+  EXPECT_EQ(std::get<xsim::Pixel>(first), std::get<xsim::Pixel>(second));
+
+  // Invalidation must not change the answer, only recompute it.
+  reg.InvalidateCache();
+  EXPECT_EQ(reg.cache_size(), 0u);
+  xtk::ResourceValue third;
+  ASSERT_TRUE(reg.Convert(xtk::ResourceType::kPixel, "red", nullptr, &third, &error));
+  EXPECT_EQ(std::get<xsim::Pixel>(first), std::get<xsim::Pixel>(third));
+}
+
+TEST_F(ResourceCacheTest, RepeatConversionHitsCache) {
+  xtk::ConverterRegistry reg;
+  std::string error;
+  xtk::ResourceValue out;
+  const std::uint64_t hits0 = Metric("xt.converter.cache.hits");
+  const std::uint64_t misses0 = Metric("xt.converter.cache.misses");
+  ASSERT_TRUE(reg.Convert(xtk::ResourceType::kInt, "42", nullptr, &out, &error));
+  EXPECT_EQ(Metric("xt.converter.cache.misses"), misses0 + 1);
+  EXPECT_EQ(reg.cache_size(), 1u);
+  ASSERT_TRUE(reg.Convert(xtk::ResourceType::kInt, "42", nullptr, &out, &error));
+  EXPECT_EQ(Metric("xt.converter.cache.hits"), hits0 + 1);
+  EXPECT_EQ(std::get<long>(out), 42);
+  EXPECT_EQ(reg.cache_size(), 1u);
+}
+
+TEST_F(ResourceCacheTest, PerTypeInvalidationDropsOnlyThatType) {
+  xtk::ConverterRegistry reg;
+  std::string error;
+  xtk::ResourceValue out;
+  ASSERT_TRUE(reg.Convert(xtk::ResourceType::kInt, "7", nullptr, &out, &error));
+  ASSERT_TRUE(reg.Convert(xtk::ResourceType::kBoolean, "true", nullptr, &out, &error));
+  ASSERT_EQ(reg.cache_size(), 2u);
+  reg.InvalidateCache(xtk::ResourceType::kInt);
+  EXPECT_EQ(reg.cache_size(), 1u);
+  // The boolean survives and still answers correctly.
+  ASSERT_TRUE(reg.Convert(xtk::ResourceType::kBoolean, "true", nullptr, &out, &error));
+  EXPECT_TRUE(std::get<bool>(out));
+}
+
+TEST_F(ResourceCacheTest, FailedConversionIsNotCached) {
+  xtk::ConverterRegistry reg;
+  std::string error;
+  xtk::ResourceValue out;
+  EXPECT_FALSE(reg.Convert(xtk::ResourceType::kInt, "bogus", nullptr, &out, &error));
+  EXPECT_EQ(reg.cache_size(), 0u);
+}
+
+TEST_F(ResourceCacheTest, DisabledCacheStillConvertsCorrectly) {
+  xtk::ConverterRegistry reg;
+  reg.set_cache_enabled(false);
+  std::string error;
+  xtk::ResourceValue out;
+  ASSERT_TRUE(reg.Convert(xtk::ResourceType::kPixel, "blue", nullptr, &out, &error));
+  ASSERT_TRUE(reg.Convert(xtk::ResourceType::kPixel, "blue", nullptr, &out, &error));
+  EXPECT_EQ(reg.cache_size(), 0u);
+  EXPECT_EQ(std::get<xsim::Pixel>(out), xsim::MakePixel(0, 0, 255));
+}
+
+TEST_F(ResourceCacheTest, ReregisteringAConverterDropsItsEntries) {
+  xtk::ConverterRegistry reg;
+  std::string error;
+  xtk::ResourceValue out;
+  ASSERT_TRUE(reg.Convert(xtk::ResourceType::kInt, "1", nullptr, &out, &error));
+  ASSERT_EQ(reg.cache_size(), 1u);
+  reg.Register(
+      xtk::ResourceType::kInt,
+      [](const std::string&, xtk::Widget*, xtk::ResourceValue* value, std::string*) {
+        *value = 99L;
+        return true;
+      },
+      /*cacheable=*/true);
+  // The stale "1" -> 1 entry must be gone; the replacement answers.
+  ASSERT_TRUE(reg.Convert(xtk::ResourceType::kInt, "1", nullptr, &out, &error));
+  EXPECT_EQ(std::get<long>(out), 99);
+}
+
+TEST_F(ResourceCacheTest, ConverterCacheFlushCommandReportsDrops) {
+  wafe::Wafe wafe;
+  wafe.Eval("label l topLevel background red foreground blue width 30");
+  ASSERT_GT(wafe.app().converters().cache_size(), 0u);
+  std::string dropped = wafe.Eval("converterCacheFlush").value;
+  EXPECT_GT(std::stoul(dropped), 0u);
+  EXPECT_EQ(wafe.app().converters().cache_size(), 0u);
+  // The UI still resolves resources correctly afterwards.
+  wafe.Eval("label m topLevel background red");
+  EXPECT_EQ(wafe.Eval("gV m background").value, "#ff0000");
+}
+
+// --- Quark table -------------------------------------------------------------------
+
+TEST_F(ResourceCacheTest, QuarkInterningIsStableAcrossManyNames) {
+  std::vector<xtk::Quark> first;
+  first.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    first.push_back(xtk::Intern("stableResource" + std::to_string(i)));
+  }
+  // Re-interning the same names returns the same quarks, in any order.
+  for (int i = 9999; i >= 0; --i) {
+    EXPECT_EQ(xtk::Intern("stableResource" + std::to_string(i)),
+              first[static_cast<std::size_t>(i)]);
+  }
+  // And each quark resolves back to the name it was interned from.
+  EXPECT_EQ(xtk::QuarkName(first[1234]), "stableResource1234");
+  EXPECT_NE(first[0], first[9999]);
+}
+
+TEST_F(ResourceCacheTest, QuarkEdgeCases) {
+  EXPECT_EQ(xtk::Intern(""), xtk::kNullQuark);
+  EXPECT_EQ(xtk::QuarkName(xtk::kNullQuark), "");
+  EXPECT_EQ(xtk::FindQuark("neverInternedName-xyzzy"), xtk::kNullQuark);
+  xtk::Quark q = xtk::Intern("background");
+  EXPECT_EQ(xtk::FindQuark("background"), q);
+  // Quarks are case-sensitive: the class name is a different quark.
+  EXPECT_NE(xtk::Intern("Background"), q);
+  EXPECT_EQ(xtk::QuarkName(0xffffffffu), "");
+}
+
+TEST_F(ResourceCacheTest, ConcurrentInterningYieldsOneQuarkPerName) {
+  // Eight threads intern the same 200 names concurrently; every thread must
+  // observe identical quark assignments (thread-safety under TSan/ASan).
+  constexpr int kThreads = 8;
+  constexpr int kNames = 200;
+  std::vector<std::vector<xtk::Quark>> seen(kThreads,
+                                            std::vector<xtk::Quark>(kNames, 0));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &seen] {
+      for (int i = 0; i < kNames; ++i) {
+        seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
+            xtk::Intern("contended" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+  }
+  // Distinct names got distinct quarks.
+  for (int i = 1; i < kNames; ++i) {
+    EXPECT_NE(seen[0][static_cast<std::size_t>(i)], seen[0][0]);
+  }
+}
+
+// --- Compiled translations -----------------------------------------------------------
+
+TEST_F(ResourceCacheTest, CompiledTranslationsMatchFreshParse) {
+  const std::string source =
+      "<EnterWindow>: highlight()\n"
+      "<LeaveWindow>: reset()\n"
+      "Shift<Btn1Down>: set() notify()\n"
+      "<Key>Return: newline()";
+  std::string error;
+  auto fresh = xtk::ParseTranslations(source, &error);
+  ASSERT_NE(fresh, nullptr) << error;
+  auto compiled = xtk::GetCompiledTranslations(source, &error);
+  ASSERT_NE(compiled, nullptr) << error;
+
+  // A/B: both tables pick the same production for a spread of events.
+  std::vector<xsim::Event> events;
+  xsim::Event enter;
+  enter.type = xsim::EventType::kEnterNotify;
+  events.push_back(enter);
+  xsim::Event leave;
+  leave.type = xsim::EventType::kLeaveNotify;
+  events.push_back(leave);
+  xsim::Event shift_press;
+  shift_press.type = xsim::EventType::kButtonPress;
+  shift_press.button = 1;
+  shift_press.state = xsim::kShiftMask;
+  events.push_back(shift_press);
+  xsim::Event plain_press = shift_press;
+  plain_press.state = 0;
+  events.push_back(plain_press);
+  xsim::Event key;
+  key.type = xsim::EventType::kKeyPress;
+  key.keysym = xsim::kKeyReturn;
+  events.push_back(key);
+
+  for (const xsim::Event& event : events) {
+    const xtk::Production* a = fresh->Match(event);
+    const xtk::Production* b = compiled->Match(event);
+    ASSERT_EQ(a == nullptr, b == nullptr);
+    if (a != nullptr) {
+      EXPECT_EQ(a->source, b->source);
+      ASSERT_EQ(a->actions.size(), b->actions.size());
+      for (std::size_t i = 0; i < a->actions.size(); ++i) {
+        EXPECT_EQ(a->actions[i].name, b->actions[i].name);
+      }
+    }
+  }
+}
+
+TEST_F(ResourceCacheTest, CompiledTranslationsAreSharedAndCounted) {
+  const std::string source = "<Btn2Down>: set()\n<Btn2Up>: notify() unset()";
+  std::string error;
+  const std::uint64_t hits0 = Metric("xt.translations.compile.hits");
+  auto first = xtk::GetCompiledTranslations(source, &error);
+  ASSERT_NE(first, nullptr) << error;
+  auto second = xtk::GetCompiledTranslations(source, &error);
+  // Same source text -> the same immutable table, and a recorded hit.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_GE(Metric("xt.translations.compile.hits"), hits0 + 1);
+}
+
+TEST_F(ResourceCacheTest, CompiledTranslationFailuresAreNotCached) {
+  const std::string bad = "<NoSuchEvent: broken(";
+  std::string error;
+  const std::size_t before = xtk::CompiledTranslationCount();
+  EXPECT_EQ(xtk::GetCompiledTranslations(bad, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(xtk::CompiledTranslationCount(), before);
+}
+
+TEST_F(ResourceCacheTest, WidgetsOfOneClassShareTheCompiledDefaultTable) {
+  wafe::Wafe wafe;
+  wafe.Eval("command c1 topLevel");
+  wafe.Eval("command c2 topLevel");
+  xtk::Widget* c1 = wafe.app().FindWidget("c1");
+  xtk::Widget* c2 = wafe.app().FindWidget("c2");
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(c2, nullptr);
+  EXPECT_EQ(c1->GetTranslations().get(), c2->GetTranslations().get());
+}
+
+// --- Xrm quark query path ------------------------------------------------------------
+
+TEST_F(ResourceCacheTest, QuarkQueryAnswersEqualStringQuery) {
+  xtk::ResourceDatabase db;
+  db.MergeLine("*foreground: blue");
+  db.MergeLine("wafe.form.button.foreground: red");
+  db.MergeLine("wafe*Command.background: gray");
+  db.MergeLine("*Text*font: fixed");
+
+  using Path = std::vector<std::pair<std::string, std::string>>;
+  struct Case {
+    Path path;
+    std::pair<std::string, std::string> resource;
+  };
+  const std::vector<Case> cases = {
+      {{{"wafe", "Wafe"}, {"form", "Form"}, {"button", "Command"}},
+       {"foreground", "Foreground"}},
+      {{{"wafe", "Wafe"}, {"form", "Form"}, {"button", "Command"}},
+       {"background", "Background"}},
+      {{{"wafe", "Wafe"}, {"editor", "Text"}}, {"font", "Font"}},
+      {{{"wafe", "Wafe"}, {"other", "Label"}}, {"font", "Font"}},
+  };
+  for (const Case& c : cases) {
+    std::vector<xtk::ResourceDatabase::QuarkLevel> qpath;
+    for (const auto& [name, cls] : c.path) {
+      qpath.emplace_back(xtk::Intern(name), xtk::Intern(cls));
+    }
+    xtk::ResourceDatabase::QuarkLevel qres{xtk::Intern(c.resource.first),
+                                           xtk::Intern(c.resource.second)};
+    std::optional<std::string> via_string = db.Query(c.path, c.resource);
+    std::optional<std::string> via_quark = db.Query(qpath, qres);
+    EXPECT_EQ(via_string, via_quark);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// The UI harness suite (ctest label `ui`): end-to-end interactions driven
+// entirely through synthetic events — button clicks reaching callbacks and
+// the backend channel, keystrokes echoing through the Text widget, menus
+// popping up and down — with golden-render assertions over the framebuffer
+// and the window tree.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "helpers/ui_harness.h"
+#include "src/xsim/event.h"
+
+namespace {
+
+using ui_harness::UiHarness;
+
+// --- Command click -> backend stdin ------------------------------------------------
+
+TEST(UiHarnessTest, CommandClickSendsCallbackStringToBackend) {
+  UiHarness ui;
+  ui.AttachBackendPipe();
+  ui.Eval("command b topLevel label Press callback {echo pressed:b}");
+  ui.Realize();
+  ui.Click("b");
+  ui.Pump();
+  std::vector<std::string> lines = ui.BackendReceived();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "pressed:b");
+}
+
+TEST(UiHarnessTest, EachClickSendsOneLine) {
+  UiHarness ui;
+  ui.AttachBackendPipe();
+  ui.Eval("command b topLevel label Press callback {echo hit}");
+  ui.Realize();
+  ui.Click("b");
+  ui.Click("b");
+  ui.Click("b");
+  ui.Pump();
+  EXPECT_EQ(ui.BackendReceived(), (std::vector<std::string>{"hit", "hit", "hit"}));
+}
+
+TEST(UiHarnessTest, InsensitiveCommandStaysSilent) {
+  UiHarness ui;
+  ui.AttachBackendPipe();
+  ui.Eval("command b topLevel sensitive false callback {echo hit}");
+  ui.Realize();
+  ui.Click("b");
+  ui.Pump();
+  EXPECT_TRUE(ui.BackendReceived().empty());
+}
+
+// --- Text keystroke echo ------------------------------------------------------------
+
+TEST(UiHarnessTest, TextKeystrokesEchoIntoStringAndOnScreen) {
+  UiHarness ui;
+  ui.Eval("asciiText input topLevel editType edit width 200");
+  ui.Realize();
+  ui.Type("input", "hello");
+  EXPECT_EQ(ui.Eval("gV input string"), "hello");
+  EXPECT_TRUE(ui.ShowsText("input", "hello"));
+}
+
+TEST(UiHarnessTest, ReturnKeyRunsOverriddenTranslation) {
+  UiHarness ui;
+  ui.AttachBackendPipe();
+  ui.Eval("asciiText input topLevel editType edit width 200");
+  ui.Eval("action input override {<Key>Return: exec(echo typed [gV input string])}");
+  ui.Realize();
+  ui.Type("input", "120");
+  ui.PressKey(xsim::kKeyReturn);
+  ui.Pump();
+  std::vector<std::string> lines = ui.BackendReceived();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "typed 120");
+}
+
+// --- Menu popup / popdown ------------------------------------------------------------
+
+TEST(UiHarnessTest, MenuPopsUpOnPressAndDownOnEntryRelease) {
+  UiHarness ui;
+  ui.Eval("simpleMenu menu topLevel");
+  ui.Eval("smeBSB open menu label Open callback {set chosen open}");
+  ui.Eval("smeBSB close menu label Close callback {set chosen close}");
+  ui.Eval("menuButton mb topLevel menuName menu label File");
+  ui.Realize();
+
+  xtk::Widget* menu = ui.Find("menu");
+  ASSERT_NE(menu, nullptr);
+  EXPECT_FALSE(ui.app().IsPoppedUp(menu));
+
+  ui.Press("mb");
+  ASSERT_TRUE(ui.app().IsPoppedUp(menu));
+  EXPECT_TRUE(ui.display().IsViewable(menu->window()));
+
+  ui.ReleaseOver("close");
+  EXPECT_EQ(ui.Eval("set chosen"), "close");
+  EXPECT_FALSE(ui.app().IsPoppedUp(menu));
+  EXPECT_FALSE(ui.display().IsViewable(menu->window()));
+}
+
+// --- Golden render -------------------------------------------------------------------
+
+TEST(UiHarnessTest, FramebufferChecksumStableAcrossRoundTrip) {
+  UiHarness ui;
+  ui.Eval("label l topLevel label {steady state} width 120 height 30");
+  ui.Realize();
+  const std::uint64_t before = ui.FramebufferChecksum();
+
+  // Change the label, then change it back: pixels must end identical.
+  ui.Eval("sV l label {other text}");
+  ui.app().ProcessPending();
+  EXPECT_NE(ui.FramebufferChecksum(), before);
+  ui.Eval("sV l label {steady state}");
+  ui.app().ProcessPending();
+  EXPECT_EQ(ui.FramebufferChecksum(), before);
+}
+
+TEST(UiHarnessTest, WindowTreeTextReflectsLayoutAndViewability) {
+  UiHarness ui;
+  ui.Eval("form f topLevel");
+  ui.Eval("label a f width 50 height 20");
+  ui.Eval("label b f fromVert a width 50 height 20");
+  ui.Realize();
+  std::string tree = ui.WindowTreeText();
+  // Every widget appears, depth-indented, and is viewable after realize.
+  EXPECT_NE(tree.find("topLevel"), std::string::npos);
+  EXPECT_NE(tree.find("\n  f "), std::string::npos);
+  EXPECT_NE(tree.find("\n    a 50x20"), std::string::npos);
+  EXPECT_NE(tree.find("\n    b 50x20"), std::string::npos);
+  // Everything realized and managed reports viewable.
+  EXPECT_NE(tree.find(" viewable"), std::string::npos);
+
+  // The same UI built again yields the identical golden tree.
+  UiHarness ui2;
+  ui2.Eval("form f topLevel");
+  ui2.Eval("label a f width 50 height 20");
+  ui2.Eval("label b f fromVert a width 50 height 20");
+  ui2.Realize();
+  EXPECT_EQ(ui2.WindowTreeText(), tree);
+}
+
+TEST(UiHarnessTest, ClickFeedbackRendersAndClears) {
+  UiHarness ui;
+  ui.Eval("command b topLevel label Press width 80 height 24");
+  ui.Realize();
+  const std::uint64_t idle = ui.FramebufferChecksum();
+  // While the button is held it renders pressed-in (different pixels).
+  ui.Press("b");
+  EXPECT_NE(ui.FramebufferChecksum(), idle);
+  ui.Release("b");
+  // Move the pointer well away so the leave-window reset runs.
+  ui.display().InjectMotion(500, 500);
+  ui.app().ProcessPending();
+  EXPECT_EQ(ui.FramebufferChecksum(), idle);
+}
+
+}  // namespace

@@ -48,6 +48,73 @@ TEST(Font, XlfdWildcardMatch) {
   EXPECT_EQ(reg.Open("*no-such-family*"), nullptr);
 }
 
+TEST(Font, XlfdMatchingIsCaseInsensitive) {
+  FontRegistry& reg = FontRegistry::Default();
+  // XLFD matching ignores case in both pattern and name.
+  FontPtr upper = reg.Open("-ADOBE-HELVETICA-MEDIUM-R-NORMAL--12-120-75-75-P-0-ISO8859-1");
+  ASSERT_NE(upper, nullptr);
+  FontPtr lower = reg.Open("-adobe-helvetica-medium-r-normal--12-120-75-75-p-0-iso8859-1");
+  ASSERT_NE(lower, nullptr);
+  EXPECT_EQ(upper.get(), lower.get());
+  FontPtr mixed = reg.Open("*Adobe-Helvetica-Bold*14*");
+  ASSERT_NE(mixed, nullptr);
+  EXPECT_TRUE(mixed->bold);
+  EXPECT_NE(reg.Open("FIXED"), nullptr);
+}
+
+TEST(Font, XlfdWildcardFieldEdgeCases) {
+  FontRegistry& reg = FontRegistry::Default();
+  // '*' spans multiple fields (including the dashes between them).
+  EXPECT_NE(reg.Open("-adobe-times-*-24-*"), nullptr);
+  EXPECT_NE(reg.Open("*times*"), nullptr);
+  // Adjacent and trailing stars collapse.
+  EXPECT_NE(reg.Open("**times**"), nullptr);
+  EXPECT_NE(reg.Open("-adobe-times*"), nullptr);
+  // '?' matches exactly one character: "time?" matches "times" but a
+  // two-char hole does not.
+  EXPECT_NE(reg.Open("*-time?-*"), nullptr);
+  EXPECT_EQ(reg.Open("*-time??-*"), nullptr);
+  // A bare '*' matches everything; the empty pattern only an empty name.
+  EXPECT_NE(reg.Open("*"), nullptr);
+  EXPECT_EQ(reg.Open(""), nullptr);
+  // Patterns are anchored: a prefix without a trailing star is no match.
+  EXPECT_EQ(reg.Open("-adobe-times"), nullptr);
+  EXPECT_EQ(reg.Open("fix"), nullptr);
+}
+
+TEST(Font, XlfdSlantLettersMatchTheRealDistribution) {
+  FontRegistry& reg = FontRegistry::Default();
+  // helvetica and courier ship oblique ("o"), times and lucida italic ("i").
+  FontPtr oblique = reg.Open("-adobe-helvetica-medium-o-*-12-*");
+  ASSERT_NE(oblique, nullptr);
+  EXPECT_TRUE(oblique->italic);
+  FontPtr courier_oblique = reg.Open("*courier-bold-o-*");
+  ASSERT_NE(courier_oblique, nullptr);
+  EXPECT_TRUE(courier_oblique->italic);
+  FontPtr italic = reg.Open("-adobe-times-medium-i-*-12-*");
+  ASSERT_NE(italic, nullptr);
+  EXPECT_TRUE(italic->italic);
+  EXPECT_NE(reg.Open("*b&h-lucida-medium-i-*"), nullptr);
+  // The wrong letter for the family finds nothing.
+  EXPECT_EQ(reg.Open("-adobe-helvetica-medium-i-*"), nullptr);
+  EXPECT_EQ(reg.Open("-adobe-times-medium-o-*"), nullptr);
+  // Upright faces are plain.
+  FontPtr upright = reg.Open("-adobe-helvetica-medium-r-*-12-*");
+  ASSERT_NE(upright, nullptr);
+  EXPECT_FALSE(upright->italic);
+}
+
+TEST(Font, ListReturnsEveryMatchNotJustTheFirst) {
+  FontRegistry& reg = FontRegistry::Default();
+  std::vector<std::string> all_times = reg.List("*-times-*");
+  // 2 weights x 2 slants x 6 sizes.
+  EXPECT_EQ(all_times.size(), 24u);
+  for (const std::string& name : all_times) {
+    EXPECT_NE(name.find("-times-"), std::string::npos);
+  }
+  EXPECT_TRUE(reg.List("*nothing-matches-this*").empty());
+}
+
 TEST(Font, MetricsScaleWithSize) {
   FontRegistry& reg = FontRegistry::Default();
   FontPtr small = reg.Open("*helvetica-medium-r*-8-*");
