@@ -88,6 +88,41 @@ void BM_TclStringSubstitution(benchmark::State& state) {
 }
 BENCHMARK(BM_TclStringSubstitution);
 
+// --- Eval-guard overhead ------------------------------------------------------------
+//
+// The fault-containment acceptance bar: with the step and wall-clock
+// watchdogs armed (high enough never to trip), eval throughput must stay
+// within 3% of the unguarded baselines above.
+
+void BM_TclSumLoopGuarded(benchmark::State& state) {
+  const long n = state.range(0);
+  wtcl::Interp interp;
+  interp.set_max_steps(1u << 30);
+  interp.set_max_eval_ms(60 * 1000);
+  std::string script =
+      "set sum 0\n"
+      "for {set i 0} {$i < " + std::to_string(n) + "} {incr i} {incr sum $i}\n"
+      "set sum";
+  for (auto _ : state) {
+    wtcl::Result r = interp.Eval(script);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_TclSumLoopGuarded)->Arg(1000);
+
+void BM_TclCommandDispatchGuarded(benchmark::State& state) {
+  wtcl::Interp interp;
+  interp.set_max_steps(1u << 30);
+  interp.set_max_eval_ms(60 * 1000);
+  for (auto _ : state) {
+    wtcl::Result r = interp.Eval("set x value");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TclCommandDispatchGuarded);
+
 }  // namespace
 
 WAFE_BENCH_MAIN();

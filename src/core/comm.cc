@@ -41,6 +41,8 @@ wobs::Counter g_backpressure_blocked("comm.backpressure.blocked");
 wobs::Histogram g_backpressure_block_duration("comm.backpressure.block.duration");
 wobs::Counter g_write_errors("comm.write.errors");
 wobs::Counter g_restarts("comm.restarts");
+wobs::Counter g_eval_errors("comm.eval.errors");
+wobs::Counter g_circuit_tripped("comm.eval.circuit.tripped");
 
 // A dead backend must not kill the frontend with SIGPIPE; writes report
 // EPIPE instead and the channel layer notices the hangup. Installed at most
@@ -287,7 +289,10 @@ int Frontend::DrainBuffer() {
     ++overlong_lines_;
     overlong_in_progress_ = true;
     buffer_.clear();
-    std::fprintf(stderr, "wafe: protocol line exceeds maximum length, dropped\n");
+    // Routed through the toolkit warning stack: deduplicated by default, and
+    // an installed warningProc can observe it.
+    wafe_->app().errors().RaiseWarning("protocolLine",
+                                       "protocol line exceeds maximum length, dropped");
   }
   return handled;
 }
@@ -301,9 +306,9 @@ void Frontend::HandleLine(const std::string& line) {
     wafe_->count_line();
     wtcl::Result r = wafe_->Eval(std::string_view(line).substr(1));
     if (r.code == wtcl::Status::kError) {
-      // Errors from the backend's commands go to the frontend's stderr so
-      // the backend protocol stream stays clean.
-      std::fprintf(stderr, "wafe: %s\n", r.value.c_str());
+      HandleEvalError(r.value);
+    } else if (eval_errors_consecutive_ != 0) {
+      eval_errors_consecutive_ = 0;
     }
     return;
   }
@@ -311,6 +316,42 @@ void Frontend::HandleLine(const std::string& line) {
   // passthrough hook).
   g_passthrough_lines.Increment();
   wafe_->WritePassthrough(line);
+}
+
+void Frontend::HandleEvalError(const std::string& message) {
+  ++eval_errors_total_;
+  g_eval_errors.Increment();
+  // Paper convention: errors in application-supplied commands are reported
+  // back over the channel — one "error <trace>" line on the backend's stdin
+  // (embedded newlines collapsed) — never fatal to the frontend. The copy on
+  // stderr keeps the failure visible to whoever launched the session.
+  std::fprintf(stderr, "wafe: %s\n", message.c_str());
+  std::string detail = message;
+  if (wafe_->interp().error_trace_active()) {
+    std::string info;
+    if (wafe_->interp().GetGlobalVar("errorInfo", &info) && !info.empty()) {
+      detail = info;
+    }
+  }
+  std::string trace = "error " + detail;
+  for (char& c : trace) {
+    if (c == '\n') {
+      c = ' ';
+    }
+  }
+  SendToBackend(trace);
+  if (eval_error_limit_ > 0 && ++eval_errors_consecutive_ >= eval_error_limit_ &&
+      !gone_handling_) {
+    // The backend is feeding a steady stream of failing %-lines: trip the
+    // circuit instead of wedging. Supervision (if on) respawns it.
+    g_circuit_tripped.Increment();
+    wobs::Log("comm",
+              "eval error limit (" + std::to_string(eval_error_limit_) +
+                  " consecutive) tripped; dropping backend",
+              true);
+    eval_errors_consecutive_ = 0;
+    HandleBackendGone("error-limit");
+  }
 }
 
 // --- Outbound queue -----------------------------------------------------------------
@@ -487,7 +528,7 @@ void Frontend::CheckHighWater() {
     wafe_->interp().SetVar("backendQueueBytes", std::to_string(send_queue_bytes_));
     wtcl::Result r = wafe_->Eval(high_water_script_);
     if (r.code == wtcl::Status::kError) {
-      std::fprintf(stderr, "wafe: high-water callback: %s\n", r.value.c_str());
+      wafe_->app().errors().RaiseError("highWaterCallback", r.value);
     }
   } else if (!high_water_armed_ && send_queue_bytes_ <= high_water_bytes_ / 2) {
     high_water_armed_ = true;
@@ -622,7 +663,7 @@ void Frontend::HandleBackendGone(const char* reason) {
   if (!exit_command_.empty()) {
     wtcl::Result r = wafe_->Eval(exit_command_);
     if (r.code == wtcl::Status::kError) {
-      std::fprintf(stderr, "wafe: backendExitCommand: %s\n", r.value.c_str());
+      wafe_->app().errors().RaiseError("backendExitCommand", r.value);
     }
   }
   if (will_respawn) {
@@ -771,6 +812,8 @@ std::string Frontend::StatusText() const {
   out += " maxRestarts " + std::to_string(max_restarts_);
   out += " backoff " + std::to_string(backoff_initial_ms_);
   out += " restartPending " + std::to_string(restart_pending() ? 1 : 0);
+  out += " errorLimit " + std::to_string(eval_error_limit_);
+  out += " evalErrors " + std::to_string(eval_errors_total_);
   out += " lastExit ";
   out += exit_recorded_ ? std::to_string(last_exit_status_) : "none";
   return out;
@@ -871,7 +914,7 @@ void Frontend::FinishMassTransfer() {
   if (!mass_completion_.empty()) {
     wtcl::Result r = wafe_->Eval(mass_completion_);
     if (r.code == wtcl::Status::kError) {
-      std::fprintf(stderr, "wafe: mass-transfer completion: %s\n", r.value.c_str());
+      wafe_->app().errors().RaiseError("massTransferCompletion", r.value);
     }
   }
 }

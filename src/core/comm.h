@@ -135,6 +135,20 @@ class Frontend {
   // Zeroes restart bookkeeping (a fresh supervision episode).
   void ResetSupervision();
 
+  // --- %-protocol degradation -------------------------------------------------
+
+  // A failed %-line is reported back on the backend's stdin as
+  // "error <trace>" (paper convention: errors in application-supplied
+  // commands go over the channel, never fatal to the frontend) and counts
+  // toward an optional circuit breaker: after `limit` consecutive eval
+  // failures the backend is treated as faulty — HandleBackendGone, so the
+  // supervision hook respawns it or the session ends — instead of the
+  // channel wedging on an endless error stream. 0 disables the breaker.
+  void set_eval_error_limit(int limit) { eval_error_limit_ = limit; }
+  int eval_error_limit() const { return eval_error_limit_; }
+  std::size_t eval_errors() const { return eval_errors_total_; }
+  int consecutive_eval_errors() const { return eval_errors_consecutive_; }
+
   // One line of channel state for the `backend status` command.
   std::string StatusText() const;
 
@@ -178,6 +192,9 @@ class Frontend {
   // Stores the armed byte count into the Tcl variable and runs completion.
   void FinishMassTransfer();
   void HandleLine(const std::string& line);
+  // Sends the "error <trace>" report for a failed %-line and runs the
+  // circuit breaker.
+  void HandleEvalError(const std::string& message);
 
   // Fault-aware write to the backend fd.
   ssize_t WriteBackend(const char* data, std::size_t len);
@@ -234,6 +251,9 @@ class Frontend {
   int restarts_done_ = 0;
   int restart_timer_id_ = -1;
   bool gone_handling_ = false;
+  int eval_error_limit_ = 0;
+  int eval_errors_consecutive_ = 0;
+  std::size_t eval_errors_total_ = 0;
   std::string exit_command_;
   bool exit_recorded_ = false;
   int last_exit_status_ = 0;

@@ -813,7 +813,8 @@ void RegisterCommCommands(Wafe& wafe) {
        {ArgType::kString, "arg2", true}},
       "channel policy and supervision: status; supervise on|off; maxRestarts n; "
       "backoff initialMs ?maxMs?; queueLimit bytes; overflowPolicy "
-      "block|dropOldest|fail; sendDeadline ms; highWater bytes ?script?; reset",
+      "block|dropOldest|fail; sendDeadline ms; highWater bytes ?script?; "
+      "errorLimit n (trip after n consecutive %-line eval errors, 0 off); reset",
       [](Invocation& inv) {
         Frontend& frontend = inv.wafe->frontend();
         const std::string sub = inv.str(0);
@@ -907,10 +908,20 @@ void RegisterCommCommands(Wafe& wafe) {
                                 inv.present(2) ? inv.str(2) : std::string());
           return Result::Ok();
         }
+        if (sub == "errorLimit") {
+          if (!inv.present(1)) {
+            return Result::Ok(std::to_string(frontend.eval_error_limit()));
+          }
+          if (!parse_num(1, &value) || value < 0) {
+            return Result::Error("backend errorLimit: expected a count >= 0 (0 disables)");
+          }
+          frontend.set_eval_error_limit(static_cast<int>(value));
+          return Result::Ok();
+        }
         return Result::Error(
             "bad backend subcommand \"" + sub +
             "\": must be status, supervise, maxRestarts, backoff, queueLimit, "
-            "overflowPolicy, sendDeadline, highWater, or reset");
+            "overflowPolicy, sendDeadline, highWater, errorLimit, or reset");
       },
       false});
 
@@ -951,6 +962,223 @@ void RegisterCommCommands(Wafe& wafe) {
         return Result::Ok();
       },
       false});
+
+  // --- Fault containment -------------------------------------------------------
+
+  reg.Register(CommandSpec{
+      "evalLimit",
+      "evalLimit",
+      "String",
+      {{ArgType::kString, "kind", true}, {ArgType::kString, "value", true}},
+      "interpreter guards against runaway scripts: no argument reports all "
+      "three limits; `evalLimit depth|steps|ms` reports one; with a value "
+      "sets it (steps/ms 0 disables). Tripping raises a catchable `limit "
+      "exceeded` error, sticky until evaluation unwinds to the top level",
+      [](Invocation& inv) {
+        wtcl::Interp& interp = inv.wafe->interp();
+        if (!inv.present(0)) {
+          return Result::Ok("depth " + std::to_string(interp.max_nesting()) + " steps " +
+                            std::to_string(interp.max_steps()) + " ms " +
+                            std::to_string(interp.max_eval_ms()));
+        }
+        const std::string kind = inv.str(0);
+        if (kind != "depth" && kind != "steps" && kind != "ms") {
+          return Result::Error("evalLimit: expected depth, steps, or ms");
+        }
+        if (!inv.present(1)) {
+          if (kind == "depth") {
+            return Result::Ok(std::to_string(interp.max_nesting()));
+          }
+          if (kind == "steps") {
+            return Result::Ok(std::to_string(interp.max_steps()));
+          }
+          return Result::Ok(std::to_string(interp.max_eval_ms()));
+        }
+        std::string error;
+        if (!ApplyEvalLimitSpec(interp, kind + "=" + inv.str(1), &error)) {
+          return Result::Error("evalLimit: " + error);
+        }
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "errorProc",
+      "errorProc",
+      "String",
+      {{ArgType::kString, "script", true}},
+      "Tcl hook receiving toolkit errors (errorName / errorMessage are set "
+      "first); no argument returns the hook, an empty script restores the "
+      "default log-and-continue handler",
+      [](Invocation& inv) {
+        if (!inv.present(0)) {
+          return Result::Ok(inv.wafe->error_proc());
+        }
+        inv.wafe->set_error_proc(inv.str(0));
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "warningProc",
+      "warningProc",
+      "String",
+      {{ArgType::kString, "script", true}},
+      "Tcl hook receiving toolkit warnings (warningName / warningMessage are "
+      "set first); no argument returns the hook, an empty script restores "
+      "the default deduplicating handler",
+      [](Invocation& inv) {
+        if (!inv.present(0)) {
+          return Result::Ok(inv.wafe->warning_proc());
+        }
+        inv.wafe->set_warning_proc(inv.str(0));
+        return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "xtFault",
+      "xtFault",
+      "String",
+      {{ArgType::kString, "spec", true}},
+      "deterministic toolkit fault injection (tests): \"kind=value,...\" with "
+      "kinds convertFail (next N conversions fail), allocFailAt (the Nth "
+      "allocation from now fails), xerror=BadWindow|BadDrawable (deliver a "
+      "synthetic X protocol error now); \"clear\" resets; \"status\" or no "
+      "argument reports",
+      [](Invocation& inv) {
+        if (!inv.present(0) || inv.str(0) == "status") {
+          return Result::Ok(XtFaultStatusText(*inv.wafe));
+        }
+        std::string error;
+        if (!ApplyXtFaultSpec(*inv.wafe, inv.str(0), &error)) {
+          return Result::Error(error);
+        }
+        return Result::Ok();
+      },
+      false});
+}
+
+// --- Fault-spec parsing (shared with the WAFE_* env vars) ----------------------------
+
+namespace {
+
+// Splits "kind=value,kind=value"; returns false on a part without '='.
+bool SplitFaultSpec(const std::string& spec,
+                    std::vector<std::pair<std::string, std::string>>* out, std::string* error) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    std::string part = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (part.empty()) {
+      continue;
+    }
+    std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      *error = "expected kind=value, got \"" + part + "\"";
+      return false;
+    }
+    out->emplace_back(part.substr(0, eq), part.substr(eq + 1));
+  }
+  return true;
+}
+
+bool ParseFaultNumber(const std::string& kind, const std::string& text, long* out,
+                      std::string* error) {
+  char* end = nullptr;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0' || value < 0) {
+    *error = kind + ": expected a count >= 0, got \"" + text + "\"";
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ApplyEvalLimitSpec(wtcl::Interp& interp, const std::string& spec, std::string* error) {
+  std::vector<std::pair<std::string, std::string>> parts;
+  if (!SplitFaultSpec(spec, &parts, error)) {
+    return false;
+  }
+  for (const auto& [kind, text] : parts) {
+    long value = 0;
+    if (!ParseFaultNumber(kind, text, &value, error)) {
+      return false;
+    }
+    if (kind == "depth") {
+      if (value <= 0) {
+        *error = "depth must be > 0";
+        return false;
+      }
+      interp.set_max_nesting(static_cast<int>(value));
+    } else if (kind == "steps") {
+      interp.set_max_steps(static_cast<std::uint64_t>(value));
+    } else if (kind == "ms") {
+      interp.set_max_eval_ms(value);
+    } else {
+      *error = "unknown eval limit \"" + kind + "\": must be depth, steps, or ms";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ApplyXtFaultSpec(Wafe& wafe, const std::string& spec, std::string* error) {
+  if (spec == "clear") {
+    wafe.app().converters().InjectFailures(0);
+    wafe.app().errors().faults() = xtk::XtFaults{};
+    return true;
+  }
+  std::vector<std::pair<std::string, std::string>> parts;
+  if (!SplitFaultSpec(spec, &parts, error)) {
+    return false;
+  }
+  for (const auto& [kind, text] : parts) {
+    if (kind == "xerror") {
+      int code = 0;
+      if (text == "BadWindow") {
+        code = xsim::Display::kBadWindow;
+      } else if (text == "BadDrawable") {
+        code = xsim::Display::kBadDrawable;
+      } else {
+        *error = "xerror: expected BadWindow or BadDrawable, got \"" + text + "\"";
+        return false;
+      }
+      wafe.app().display().InjectProtocolError(code, "xtFault", xsim::kNoWindow);
+      continue;
+    }
+    long value = 0;
+    if (!ParseFaultNumber(kind, text, &value, error)) {
+      return false;
+    }
+    if (kind == "convertFail") {
+      wafe.app().converters().InjectFailures(static_cast<int>(value));
+    } else if (kind == "allocFailAt") {
+      xtk::XtFaults& faults = wafe.app().errors().faults();
+      faults.alloc_fail_at = value;
+      faults.allocs_seen = 0;
+    } else {
+      *error = "unknown xtFault kind \"" + kind +
+               "\": must be convertFail, allocFailAt, or xerror";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string XtFaultStatusText(Wafe& wafe) {
+  const xtk::XtFaults& faults = wafe.app().errors().faults();
+  std::string out;
+  out += "convertFail " + std::to_string(wafe.app().converters().injected_failures_remaining());
+  out += " allocFailAt " + std::to_string(faults.alloc_fail_at);
+  out += " allocsSeen " + std::to_string(faults.allocs_seen);
+  return out;
 }
 
 void RegisterObsCommands(Wafe& wafe) {

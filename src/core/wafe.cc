@@ -49,7 +49,53 @@ Wafe::Wafe(Options options)
     }
     wtcl::Result r = Eval(SubstituteEventCodes(script, widget, event));
     if (r.code == wtcl::Status::kError) {
-      std::fprintf(stderr, "wafe: error in exec action: %s\n", r.value.c_str());
+      app_.errors().RaiseError("execAction", r.value);
+    }
+  });
+  InstallErrorHandlers();
+  if (const char* spec = std::getenv("WAFE_EVAL_LIMIT")) {
+    std::string limit_error;
+    if (!ApplyEvalLimitSpec(interp_, spec, &limit_error)) {
+      app_.errors().RaiseWarning("evalLimit", "bad WAFE_EVAL_LIMIT: " + limit_error);
+    }
+  }
+  if (const char* spec = std::getenv("WAFE_XT_FAULT")) {
+    std::string fault_error;
+    if (!ApplyXtFaultSpec(*this, spec, &fault_error)) {
+      app_.errors().RaiseWarning("xtFault", "bad WAFE_XT_FAULT: " + fault_error);
+    }
+  }
+}
+
+void Wafe::InstallErrorHandlers() {
+  // The base of the handler stack bridges toolkit errors to the Tcl hooks:
+  // with no errorProc/warningProc set it falls through to the default
+  // warn-and-continue disposition. Handlers tests push sit above this.
+  app_.errors().PushErrorHandler([this](const xtk::ToolkitError& e) {
+    if (error_proc_.empty()) {
+      app_.errors().DefaultHandle(e);
+      return;
+    }
+    interp_.SetGlobalVar("errorName", e.name);
+    interp_.SetGlobalVar("errorMessage", e.message);
+    wtcl::Result r = interp_.GlobalEval(error_proc_);
+    if (r.code == wtcl::Status::kError) {
+      // A failing hook must not recurse or hide the original condition.
+      app_.errors().DefaultHandle(e);
+      app_.errors().DefaultHandle({false, "errorProc", r.value});
+    }
+  });
+  app_.errors().PushWarningHandler([this](const xtk::ToolkitError& e) {
+    if (warning_proc_.empty()) {
+      app_.errors().DefaultHandle(e);
+      return;
+    }
+    interp_.SetGlobalVar("warningName", e.name);
+    interp_.SetGlobalVar("warningMessage", e.message);
+    wtcl::Result r = interp_.GlobalEval(warning_proc_);
+    if (r.code == wtcl::Status::kError) {
+      app_.errors().DefaultHandle(e);
+      app_.errors().DefaultHandle({false, "warningProc", r.value});
     }
   });
 }

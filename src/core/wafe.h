@@ -93,8 +93,19 @@ class Wafe {
   std::size_t lines_evaluated() const { return lines_evaluated_; }
   void count_line() { ++lines_evaluated_; }
 
+  // Tcl hooks on the Xt error-handler stack (the `errorProc` /
+  // `warningProc` commands): the script runs with errorName/errorMessage
+  // (resp. warningName/warningMessage) set; empty restores the default
+  // warn-and-continue handlers.
+  void set_error_proc(std::string script) { error_proc_ = std::move(script); }
+  const std::string& error_proc() const { return error_proc_; }
+  void set_warning_proc(std::string script) { warning_proc_ = std::move(script); }
+  const std::string& warning_proc() const { return warning_proc_; }
+
  private:
   void RegisterEverything();
+  // Base handlers bridging the toolkit error stack to the Tcl hooks.
+  void InstallErrorHandlers();
 
   Options options_;
   wtcl::Interp interp_;
@@ -107,6 +118,8 @@ class Wafe {
   bool quit_ = false;
   int exit_code_ = 0;
   std::size_t lines_evaluated_ = 0;
+  std::string error_proc_;
+  std::string warning_proc_;
 };
 
 // Registration units (called by the constructor; exposed for tests).
@@ -128,6 +141,18 @@ struct SplitArgs {
   std::vector<std::string> application;
 };
 SplitArgs SplitCommandLine(int argc, const char* const* argv);
+
+// Toolkit fault-spec parsing, shared by the `xtFault` command and the
+// WAFE_XT_FAULT env var: "kind=value,..." with kinds convertFail (next N
+// conversions fail), allocFailAt (the Nth allocation from now fails), and
+// xerror=BadWindow|BadDrawable (deliver a synthetic X error now); "clear"
+// resets everything.
+bool ApplyXtFaultSpec(Wafe& wafe, const std::string& spec, std::string* error);
+std::string XtFaultStatusText(Wafe& wafe);
+
+// Eval-limit spec parsing, shared by the `evalLimit` command and the
+// WAFE_EVAL_LIMIT env var: "depth=N,steps=N,ms=N" (each part optional).
+bool ApplyEvalLimitSpec(wtcl::Interp& interp, const std::string& spec, std::string* error);
 
 }  // namespace wafe
 

@@ -328,6 +328,7 @@ Result CmdError(Interp& interp, const std::vector<std::string>& argv) {
   }
   if (argv.size() >= 3 && !argv[2].empty()) {
     interp.SetGlobalVar("errorInfo", argv[2]);
+    InterpInternal::SeedErrorTrace(interp);
   }
   if (argv.size() == 4) {
     interp.SetGlobalVar("errorCode", argv[3]);

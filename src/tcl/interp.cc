@@ -18,6 +18,14 @@ wobs::Counter g_command_count("tcl.commands");
 wobs::Counter g_error_count("tcl.errors");
 wobs::MaxGauge g_eval_depth("tcl.eval.depth.max");
 wobs::Histogram g_command_duration("tcl.command.duration");
+// Eval-guard trips (one count per tripped top-level evaluation).
+wobs::Counter g_limit_depth("tcl.eval.limit.depth");
+wobs::Counter g_limit_steps("tcl.eval.limit.steps");
+wobs::Counter g_limit_ms("tcl.eval.limit.ms");
+
+// Which guard tripped; sticky in Interp::limit_tripped_ until the outermost
+// Eval unwinds.
+enum LimitKind { kLimitNone = 0, kLimitSteps, kLimitMs };
 
 bool IsWordSeparator(char c) { return c == ' ' || c == '\t'; }
 bool IsCommandTerminator(char c) { return c == '\n' || c == ';'; }
@@ -996,6 +1004,7 @@ Result Interp::ParseWord(std::string_view script, std::size_t* pos, std::string*
 Result Interp::ParseAndRun(std::string_view script) {
   std::size_t i = 0;
   const std::size_t n = script.size();
+  std::size_t counted = 0;  // newline-scan position for errorInfo line numbers
   Result last = Result::Ok();
   while (i < n) {
     // Skip separators between commands.
@@ -1014,6 +1023,11 @@ Result Interp::ParseAndRun(std::string_view script) {
         ++i;
       }
       continue;
+    }
+    for (; counted < i; ++counted) {
+      if (script[counted] == '\n') {
+        ++current_line_;
+      }
     }
     std::vector<std::string> argv;
     while (i < n && !IsCommandTerminator(script[i])) {
@@ -1048,13 +1062,38 @@ Result Interp::ParseAndRun(std::string_view script) {
 }
 
 Result Interp::Eval(std::string_view script) {
+  if (nesting_ == 0) {
+    // Fresh top-level evaluation: arm the watchdog budgets and start a new
+    // errorInfo trace.
+    steps_used_ = 0;
+    limit_tripped_ = kLimitNone;
+    // The wall-clock deadline is armed lazily at the first periodic probe,
+    // so short scripts never touch the clock.
+    deadline_ns_ = 0;
+    error_trace_active_ = false;
+  }
   if (++nesting_ > max_nesting_) {
     --nesting_;
-    return Result::Error("too many nested calls to Eval (infinite loop?)");
+    g_limit_depth.Increment();
+    return Result::Error("limit exceeded: too many nested calls to Eval (depth " +
+                         std::to_string(max_nesting_) + ")");
+  }
+  // Charge the budgets per script evaluation too, not just per command:
+  // a loop with an empty body (`while {1} {}`) re-evaluates the body every
+  // iteration without ever invoking a command, and must still trip.
+  if ((max_steps_ != 0 || max_eval_ms_ > 0) && !ChargeEvalStep()) {
+    Result guard = CheckEvalBudget();
+    if (!guard.ok()) {
+      --nesting_;
+      return guard;
+    }
   }
   g_eval_count.Increment();
   g_eval_depth.Observe(static_cast<std::uint64_t>(nesting_));
+  int saved_line = current_line_;
+  current_line_ = 1;
   Result r = ParseAndRun(script);
+  current_line_ = saved_line;
   --nesting_;
   return r;
 }
@@ -1067,8 +1106,74 @@ Result Interp::GlobalEval(std::string_view script) {
   return r;
 }
 
+Result Interp::CheckEvalBudget() {
+  if (limit_tripped_ != kLimitNone) {
+    // Sticky until the outermost Eval unwinds: re-raising on every command
+    // keeps a hostile `catch` loop from swallowing the error and running on.
+    return limit_tripped_ == kLimitSteps
+               ? Result::Error("limit exceeded: step budget of " + std::to_string(max_steps_) +
+                               " commands exhausted")
+               : Result::Error("limit exceeded: wall-clock budget of " +
+                               std::to_string(max_eval_ms_) + " ms exhausted");
+  }
+  // The fast path already charged the step; this slow path only runs when
+  // a budget is exhausted or the periodic wall-clock probe is due.
+  if (max_steps_ != 0 && steps_used_ > max_steps_) {
+    limit_tripped_ = kLimitSteps;
+    g_limit_steps.Increment();
+    return Result::Error("limit exceeded: step budget of " + std::to_string(max_steps_) +
+                         " commands exhausted");
+  }
+  if (max_eval_ms_ > 0 && (steps_used_ & 63u) == 0) {
+    if (deadline_ns_ == 0) {
+      deadline_ns_ =
+          wobs::NowNs() + static_cast<std::uint64_t>(max_eval_ms_) * 1000000u;
+    } else if (wobs::NowNs() > deadline_ns_) {
+      limit_tripped_ = kLimitMs;
+      g_limit_ms.Increment();
+      return Result::Error("limit exceeded: wall-clock budget of " +
+                           std::to_string(max_eval_ms_) + " ms exhausted");
+    }
+  }
+  return Result::Ok();
+}
+
+void Interp::RecordErrorTrace(const std::vector<std::string>& argv, const Result& r) {
+  // Maintain errorInfo like Tcl: a rolling trace of the failing commands.
+  // A fresh error (no trace in flight) starts from the message — or from the
+  // seed `error msg customInfo` planted — instead of appending to the stale
+  // trace of some earlier, already-handled error.
+  std::string info;
+  if (!error_trace_active_) {
+    error_trace_active_ = true;
+    info = r.value;
+  } else if (!GetGlobalVar("errorInfo", &info)) {
+    info = r.value;
+  }
+  std::string cmd = argv[0];
+  for (std::size_t a = 1; a < argv.size() && cmd.size() < 60; ++a) {
+    cmd += ' ';
+    cmd += argv[a];
+  }
+  if (cmd.size() > 60) {
+    cmd.resize(60);
+    cmd += "...";
+  }
+  info += "\n    while executing\n\"" + cmd + "\" (line " + std::to_string(current_line_) +
+          ", level " + std::to_string(nesting_) + ")";
+  SetGlobalVar("errorInfo", info);
+}
+
 Result Interp::InvokeCommand(std::vector<std::string> argv) {
   ++command_count_;
+  if ((max_steps_ != 0 || max_eval_ms_ > 0) && !ChargeEvalStep()) {
+    Result guard = CheckEvalBudget();
+    if (guard.code != Status::kOk) {
+      g_error_count.Increment();
+      RecordErrorTrace(argv, guard);
+      return guard;
+    }
+  }
   g_command_count.Increment();
   // Per-command span: the name view stays valid for the whole invocation
   // (argv is alive until after the ScopedEvent destructor fires).
@@ -1076,20 +1181,18 @@ Result Interp::InvokeCommand(std::vector<std::string> argv) {
   auto it = commands_.find(argv[0]);
   if (it == commands_.end()) {
     g_error_count.Increment();
-    return Result::Error("invalid command name \"" + argv[0] + "\"");
+    Result r = Result::Error("invalid command name \"" + argv[0] + "\"");
+    RecordErrorTrace(argv, r);
+    return r;
   }
   // Copy the function so that commands that redefine themselves are safe.
   CommandFn fn = it->second;
   Result r = fn(*this, argv);
   if (r.code == Status::kError) {
     g_error_count.Increment();
-    // Maintain errorInfo like Tcl: a rolling trace of the failing commands.
-    std::string info;
-    if (!GetGlobalVar("errorInfo", &info) || info.empty()) {
-      info = r.value;
-    }
-    info += "\n    while executing\n\"" + argv[0] + "\"";
-    SetGlobalVar("errorInfo", info);
+    RecordErrorTrace(argv, r);
+  } else {
+    error_trace_active_ = false;
   }
   return r;
 }

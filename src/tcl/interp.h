@@ -7,6 +7,7 @@
 #define SRC_TCL_INTERP_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -131,8 +132,30 @@ class Interp {
   // Total commands evaluated so far (info cmdcount).
   std::size_t CommandCount() const { return command_count_; }
 
+  // --- Eval guards ----------------------------------------------------------
+  //
+  // Three independent limits contain runaway scripts. Each trips with a
+  // catchable `limit exceeded ...` error; the steps/ms limits stay tripped
+  // until evaluation unwinds to the top level, so a hostile `catch` loop
+  // cannot swallow the error and keep running.
+
   // Maximum allowed eval recursion (guards runaway scripts).
   void set_max_nesting(int depth) { max_nesting_ = depth; }
+  int max_nesting() const { return max_nesting_; }
+
+  // Command budget per outermost Eval: a script that invokes more than
+  // `steps` commands is interrupted. 0 disables.
+  void set_max_steps(std::uint64_t steps) { max_steps_ = steps; }
+  std::uint64_t max_steps() const { return max_steps_; }
+
+  // Wall-clock watchdog per outermost Eval, in milliseconds; probed every 64
+  // commands to keep the hot path cheap. 0 disables.
+  void set_max_eval_ms(long ms) { max_eval_ms_ = ms; }
+  long max_eval_ms() const { return max_eval_ms_; }
+
+  // True while the errorInfo global holds the trace of the most recent
+  // error; false e.g. for parse errors that never reached a command.
+  bool error_trace_active() const { return error_trace_active_; }
 
   // Substitutes backslash sequences, variables, and bracketed commands in a
   // string, as double-quote context does. Public because Wafe's percent-code
@@ -169,6 +192,28 @@ class Interp {
   Result InvokeCommand(std::vector<std::string> argv);
   Result ParseAndRun(std::string_view script);
 
+  // Inline fast path of the eval budgets: charges one step and reports
+  // whether the out-of-line slow path must run (a trip is pending, the
+  // step budget is exhausted, or the periodic wall-clock probe is due).
+  bool ChargeEvalStep() {
+    if (limit_tripped_ != 0) {
+      return false;
+    }
+    ++steps_used_;
+    if (max_steps_ != 0 && steps_used_ > max_steps_) {
+      return false;
+    }
+    return max_eval_ms_ <= 0 || (steps_used_ & 63u) != 0;
+  }
+
+  // Slow path: raises (or re-raises) the limit error when a budget is
+  // exhausted, and runs the periodic wall-clock probe (arming the deadline
+  // lazily on its first visit).
+  Result CheckEvalBudget();
+
+  // Appends one "while executing" level to the errorInfo trace.
+  void RecordErrorTrace(const std::vector<std::string>& argv, const Result& r);
+
   // Parses one word starting at `pos`; appends the produced word (or words,
   // for a future expansion syntax) to `out`. Used by the script parser.
   Result ParseWord(std::string_view script, std::size_t* pos, std::string* out);
@@ -193,6 +238,18 @@ class Interp {
   int nesting_ = 0;
   int max_nesting_ = 1000;
   std::size_t command_count_ = 0;
+  // Eval-guard state: budgets are armed when nesting_ goes 0 -> 1 and the
+  // trip is sticky until that outermost Eval returns.
+  std::uint64_t max_steps_ = 0;
+  long max_eval_ms_ = 0;
+  std::uint64_t steps_used_ = 0;
+  std::uint64_t deadline_ns_ = 0;  // lazily armed at the first periodic probe
+  int limit_tripped_ = 0;  // 0 = not tripped, else the kind that tripped
+  // Source-line bookkeeping for errorInfo traces; true while errorInfo holds
+  // the trace of the error currently unwinding (cleared on any success, so a
+  // later unrelated error starts a fresh trace instead of appending).
+  int current_line_ = 1;
+  bool error_trace_active_ = false;
 };
 
 // Registers every built-in command (set, if, while, proc, string, list ...).

@@ -32,6 +32,11 @@ struct InterpInternal {
   static bool ResolveLevel(Interp& interp, const std::string& spec, bool* was_explicit,
                            std::size_t* frame_index, std::string* error);
 
+  // `error msg customInfo` seeds errorInfo explicitly; marking the trace
+  // active keeps InvokeCommand from overwriting the seed with the bare
+  // message when it records the first "while executing" level.
+  static void SeedErrorTrace(Interp& interp) { interp.error_trace_active_ = true; }
+
   // Bracket / variable parsing hooks for the expr evaluator.
   static Result ParseBracket(Interp& interp, std::string_view s, std::size_t* pos,
                              std::string* out);

@@ -16,8 +16,42 @@ namespace {
 wobs::Counter g_refresh_requested("xsim.refresh.requested");
 wobs::Counter g_refresh_coalesced("xsim.refresh.coalesced");
 wobs::Counter g_refresh_flushed("xsim.refresh.flushed");
+wobs::Counter g_protocol_errors("xsim.protocol.errors");
 
 }  // namespace
+
+const char* Display::ErrorCodeName(int code) {
+  switch (code) {
+    case kBadWindow:
+      return "BadWindow";
+    case kBadPixmap:
+      return "BadPixmap";
+    case kBadDrawable:
+      return "BadDrawable";
+    default:
+      return "UnknownError";
+  }
+}
+
+void Display::RaiseProtocolError(int code, const char* request, WindowId resource) {
+  // `None` targets are no-ops rather than errors: toolkit teardown paths
+  // pass kNoWindow for windows that were never created.
+  if (resource == kNoWindow) {
+    return;
+  }
+  InjectProtocolError(code, request, resource);
+}
+
+void Display::InjectProtocolError(int code, const char* request, WindowId resource) {
+  ++protocol_errors_;
+  g_protocol_errors.Increment();
+  wobs::Log("xsim", std::string(ErrorCodeName(code)) + ": " + request + " on resource " +
+                        std::to_string(resource),
+            false);
+  if (error_handler_) {
+    error_handler_(ProtocolError{code, request, resource});
+  }
+}
 
 Display::Display(std::string name, Dimension width, Dimension height)
     : name_(std::move(name)), width_(width), height_(height) {
@@ -61,7 +95,11 @@ WindowId Display::CreateWindow(WindowId parent, const Rect& geometry, Dimension 
 
 void Display::DestroyWindow(WindowId window) {
   Window* w = Find(window);
-  if (w == nullptr || window == kRootWindow) {
+  if (w == nullptr) {
+    RaiseProtocolError(kBadWindow, "DestroyWindow", window);
+    return;
+  }
+  if (window == kRootWindow) {
     return;
   }
   // Destroy children first (copy: destruction mutates the list).
@@ -102,7 +140,11 @@ bool Display::Exists(WindowId window) const { return Find(window) != nullptr; }
 
 void Display::MapWindow(WindowId window) {
   Window* w = Find(window);
-  if (w == nullptr || w->mapped) {
+  if (w == nullptr) {
+    RaiseProtocolError(kBadWindow, "MapWindow", window);
+    return;
+  }
+  if (w->mapped) {
     return;
   }
   w->mapped = true;
@@ -116,7 +158,11 @@ void Display::MapWindow(WindowId window) {
 
 void Display::UnmapWindow(WindowId window) {
   Window* w = Find(window);
-  if (w == nullptr || !w->mapped) {
+  if (w == nullptr) {
+    RaiseProtocolError(kBadWindow, "UnmapWindow", window);
+    return;
+  }
+  if (!w->mapped) {
     return;
   }
   w->mapped = false;
@@ -148,7 +194,11 @@ bool Display::IsViewable(WindowId window) const {
 
 void Display::MoveResizeWindow(WindowId window, const Rect& geometry) {
   Window* w = Find(window);
-  if (w == nullptr || w->geometry == geometry) {
+  if (w == nullptr) {
+    RaiseProtocolError(kBadWindow, "MoveResizeWindow", window);
+    return;
+  }
+  if (w->geometry == geometry) {
     return;  // no-change requests generate no events (prevents layout loops)
   }
   bool resized = w->geometry.width != geometry.width || w->geometry.height != geometry.height;
@@ -232,6 +282,8 @@ std::size_t Display::FlushDamage() {
 void Display::SetWindowBackground(WindowId window, Pixel background) {
   if (Window* w = Find(window)) {
     w->background = background;
+  } else {
+    RaiseProtocolError(kBadWindow, "SetWindowBackground", window);
   }
 }
 
@@ -239,12 +291,15 @@ void Display::SetWindowBorder(WindowId window, Dimension width, Pixel color) {
   if (Window* w = Find(window)) {
     w->border_width = width;
     w->border_color = color;
+  } else {
+    RaiseProtocolError(kBadWindow, "SetWindowBorder", window);
   }
 }
 
 void Display::RaiseWindow(WindowId window) {
   Window* w = Find(window);
   if (w == nullptr) {
+    RaiseProtocolError(kBadWindow, "RaiseWindow", window);
     return;
   }
   Window* parent = Find(w->parent);
@@ -527,6 +582,7 @@ void Display::PaintRect(const Rect& root_rect, Pixel pixel) {
 void Display::ClearWindow(WindowId window) {
   Window* w = Find(window);
   if (w == nullptr) {
+    RaiseProtocolError(kBadWindow, "ClearWindow", window);
     return;
   }
   DrawOp op;
@@ -541,6 +597,7 @@ void Display::ClearWindow(WindowId window) {
 void Display::FillRect(WindowId window, const Rect& rect, Pixel pixel) {
   Window* w = Find(window);
   if (w == nullptr) {
+    RaiseProtocolError(kBadDrawable, "FillRect", window);
     return;
   }
   DrawOp op;
@@ -555,6 +612,7 @@ void Display::FillRect(WindowId window, const Rect& rect, Pixel pixel) {
 void Display::DrawRectOutline(WindowId window, const Rect& rect, Pixel pixel) {
   Window* w = Find(window);
   if (w == nullptr) {
+    RaiseProtocolError(kBadDrawable, "DrawRectOutline", window);
     return;
   }
   DrawOp op;
@@ -579,6 +637,7 @@ void Display::DrawRectOutline(WindowId window, const Rect& rect, Pixel pixel) {
 void Display::DrawLine(WindowId window, Point from, Point to, Pixel pixel) {
   Window* w = Find(window);
   if (w == nullptr) {
+    RaiseProtocolError(kBadDrawable, "DrawLine", window);
     return;
   }
   DrawOp op;
@@ -626,7 +685,11 @@ void Display::DrawLine(WindowId window, Point from, Point to, Pixel pixel) {
 void Display::DrawText(WindowId window, Position x, Position y, const std::string& text,
                        const FontPtr& font, Pixel pixel) {
   Window* w = Find(window);
-  if (w == nullptr || font == nullptr) {
+  if (w == nullptr) {
+    RaiseProtocolError(kBadDrawable, "DrawText", window);
+    return;
+  }
+  if (font == nullptr) {
     return;
   }
   DrawOp op;
@@ -654,6 +717,7 @@ void Display::DrawText(WindowId window, Position x, Position y, const std::strin
 void Display::CopyPixmap(WindowId window, const Pixmap& pixmap, Position x, Position y) {
   Window* w = Find(window);
   if (w == nullptr) {
+    RaiseProtocolError(kBadDrawable, "CopyPixmap", window);
     return;
   }
   DrawOp op;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -61,6 +62,34 @@ class Display {
   WindowId WindowAtPoint(Position x, Position y) const;
 
   std::size_t WindowCount() const { return windows_.size(); }
+
+  // --- Protocol errors ------------------------------------------------------
+
+  // Operations addressing a nonexistent (already destroyed) window are X
+  // protocol errors. A real server delivers BadWindow / BadDrawable to the
+  // client's error handler; the simulation does the same through this hook.
+  // Without a handler the op is silently ignored (raw-Display behavior).
+  static constexpr int kBadWindow = 3;    // X11 protocol error codes
+  static constexpr int kBadPixmap = 4;
+  static constexpr int kBadDrawable = 9;
+
+  struct ProtocolError {
+    int code = 0;                 // kBadWindow / kBadDrawable / kBadPixmap
+    const char* request = "";     // protocol request name, e.g. "MapWindow"
+    WindowId resource = kNoWindow;
+  };
+
+  static const char* ErrorCodeName(int code);
+
+  using ProtocolErrorHandler = std::function<void(const ProtocolError&)>;
+  void SetProtocolErrorHandler(ProtocolErrorHandler handler) {
+    error_handler_ = std::move(handler);
+  }
+
+  // Delivers a synthetic error through the handler (fault injection).
+  void InjectProtocolError(int code, const char* request, WindowId resource);
+
+  std::size_t protocol_error_count() const { return protocol_errors_; }
 
   // --- Events -----------------------------------------------------------------
 
@@ -182,6 +211,8 @@ class Display {
 
   Window* Find(WindowId id);
   const Window* Find(WindowId id) const;
+  // Fires a protocol error at the installed handler (never throws/aborts).
+  void RaiseProtocolError(int code, const char* request, WindowId resource);
   WindowId HitTest(const Window& window, Position x, Position y) const;
   void EmitCrossing(WindowId old_window, WindowId new_window, Position x, Position y,
                     unsigned state);
@@ -211,6 +242,8 @@ class Display {
   WindowId grab_ = kNoWindow;
   bool grab_owner_events_ = false;
   std::uint64_t now_ = 1000;
+  ProtocolErrorHandler error_handler_;
+  std::size_t protocol_errors_ = 0;
 };
 
 }  // namespace xsim

@@ -12,6 +12,9 @@ namespace xtk {
 namespace {
 
 // Observability instruments for the dispatch hot paths (src/obs).
+// Per-code protocol-error counters (the aggregate is xt.error.count).
+wobs::Counter g_badwindow("xt.error.badwindow");
+wobs::Counter g_baddrawable("xt.error.baddrawable");
 wobs::Counter g_events_dispatched("xt.events.dispatched");
 wobs::Counter g_callbacks_fired("xt.callbacks.fired");
 wobs::Counter g_actions_invoked("xt.actions.invoked");
@@ -41,6 +44,19 @@ xsim::Display& AppContext::OpenDisplay(const std::string& name) {
     // The toolkit drains events in dispatch cycles, so exposures can batch:
     // ProcessPending flushes the coalesced damage at cycle boundaries.
     it->second->SetDamageBatching(true);
+    // Protocol errors (operations on destroyed windows) are delivered to the
+    // toolkit's handler stack instead of being silently dropped — and never
+    // kill the process, matching the fault-containment contract.
+    it->second->SetProtocolErrorHandler([this](const xsim::Display::ProtocolError& e) {
+      if (e.code == xsim::Display::kBadWindow) {
+        g_badwindow.Increment();
+      } else if (e.code == xsim::Display::kBadDrawable) {
+        g_baddrawable.Increment();
+      }
+      errors_.RaiseError(xsim::Display::ErrorCodeName(e.code),
+                         std::string(e.request) + " on nonexistent resource " +
+                             std::to_string(e.resource));
+    });
   }
   return *it->second;
 }
@@ -82,6 +98,17 @@ const ActionProc* AppContext::FindGlobalAction(const std::string& name) const {
 bool AppContext::InitializeResources(
     Widget* widget, const std::vector<std::pair<std::string, std::string>>& args,
     std::string* error) {
+  if (!errors_.AllocCheck()) {
+    // An armed allocation fault (xtFault allocFailAt=N) fires here, at the
+    // start of resource setup: CreateWidget's rollback path must unwind the
+    // half-built widget cleanly rather than die.
+    errors_.RaiseError("allocError", "allocation failed initializing widget \"" +
+                                         widget->name() + "\" (injected fault)");
+    if (error != nullptr) {
+      *error = "allocation failed for widget \"" + widget->name() + "\"";
+    }
+    return false;
+  }
   // Build the fully-qualified (name, class) path for Xrm queries.
   std::vector<std::pair<std::string, std::string>> path;
   path.emplace_back(app_name_, app_class_);
@@ -125,11 +152,13 @@ bool AppContext::InitializeResources(
         have_input = true;
       }
     }
+    bool from_db = false;
     if (!have_input && have_db) {
       if (auto db_value = resource_db_.Query(
               widget_path, {spec->name_quark(), spec->class_quark()})) {
         input = *db_value;
         have_input = true;
+        from_db = true;
       }
     }
     if (!have_input) {
@@ -137,7 +166,20 @@ bool AppContext::InitializeResources(
     }
     ResourceValue value;
     std::string convert_error;
-    if (!converters_.Convert(spec->type, input, widget, &value, &convert_error)) {
+    bool converted = converters_.Convert(spec->type, input, widget, &value, &convert_error);
+    if (!converted && from_db) {
+      // A bad database value (e.g. `*background: nosuchcolor`) must not
+      // abort every widget creation it touches: warn once — the default
+      // warning handler dedups per (type, value) — and fall back to the
+      // class default, as Xt's conversion warnings do.
+      errors_.RaiseWarning("conversionError", convert_error + "; using class default");
+      input = spec->default_value;
+      convert_error.clear();
+      converted = converters_.Convert(spec->type, input, widget, &value, &convert_error);
+      have_input = false;
+    }
+    if (!converted) {
+      errors_.RaiseError("conversionError", "resource " + spec->name + ": " + convert_error);
       if (error != nullptr) {
         *error = "resource " + spec->name + ": " + convert_error;
       }

@@ -15,6 +15,7 @@
 
 #include "src/xsim/display.h"
 #include "src/xt/converter.h"
+#include "src/xt/error.h"
 #include "src/xt/widget.h"
 #include "src/xt/xrm.h"
 
@@ -47,6 +48,10 @@ class AppContext {
 
   ResourceDatabase& resource_db() { return resource_db_; }
   ConverterRegistry& converters() { return converters_; }
+
+  // Toolkit error/warning handler stack; protocol errors from displays this
+  // context opened are routed here (XtAppSetErrorHandler equivalent).
+  ErrorContext& errors() { return errors_; }
 
   void RegisterClass(const WidgetClass* cls);
   const WidgetClass* FindClass(const std::string& name) const;
@@ -190,6 +195,7 @@ class AppContext {
   std::map<std::string, std::unique_ptr<xsim::Display>> displays_;
   ResourceDatabase resource_db_;
   ConverterRegistry converters_;
+  ErrorContext errors_;
   std::map<std::string, const WidgetClass*> classes_;
   std::map<std::string, ActionProc> global_actions_;
   std::map<std::string, std::unique_ptr<Widget>> widgets_;

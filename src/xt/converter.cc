@@ -350,6 +350,12 @@ bool ConverterRegistry::Convert(ResourceType type, const std::string& input, Wid
     *error = std::string("no converter for type ") + ResourceTypeName(type);
     return false;
   }
+  if (inject_failures_ > 0) {
+    --inject_failures_;
+    *error = std::string("cannot convert \"") + input + "\" to " + ResourceTypeName(type) +
+             ": injected converter fault";
+    return false;
+  }
   const ConverterEntry& entry = it->second;
   const bool use_cache = cache_enabled_ && entry.cacheable;
   if (use_cache) {

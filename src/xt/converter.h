@@ -52,6 +52,12 @@ class ConverterRegistry {
   bool cache_enabled() const { return cache_enabled_; }
   std::size_t cache_size() const { return cache_.size(); }
 
+  // Fault injection (`xtFault convertFail=N`): the next `n` Convert calls
+  // fail with an injected error, bypassing the cache, so every conversion
+  // failure path is deterministically reachable from tests.
+  void InjectFailures(int n) { inject_failures_ = n; }
+  int injected_failures_remaining() const { return inject_failures_; }
+
  private:
   struct ConverterEntry {
     ConvertFn fn;
@@ -64,6 +70,7 @@ class ConverterRegistry {
   // const Convert(); registries are confined to the interpreter thread.
   mutable std::map<std::pair<ResourceType, std::string>, ResourceValue> cache_;
   bool cache_enabled_ = true;
+  mutable int inject_failures_ = 0;
 };
 
 }  // namespace xtk

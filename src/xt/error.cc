@@ -1,0 +1,98 @@
+#include "src/xt/error.h"
+
+#include <cstdio>
+
+#include "src/obs/obs.h"
+
+namespace xtk {
+
+namespace {
+
+wobs::Counter g_errors("xt.error.count");
+wobs::Counter g_warnings("xt.warning.count");
+wobs::Counter g_warnings_deduped("xt.warning.deduped");
+
+}  // namespace
+
+void ErrorContext::PushErrorHandler(ErrorHandlerProc handler) {
+  error_stack_.push_back(std::move(handler));
+}
+
+bool ErrorContext::PopErrorHandler() {
+  if (error_stack_.empty()) {
+    return false;
+  }
+  error_stack_.pop_back();
+  return true;
+}
+
+void ErrorContext::PushWarningHandler(ErrorHandlerProc handler) {
+  warning_stack_.push_back(std::move(handler));
+}
+
+bool ErrorContext::PopWarningHandler() {
+  if (warning_stack_.empty()) {
+    return false;
+  }
+  warning_stack_.pop_back();
+  return true;
+}
+
+void ErrorContext::DefaultHandle(const ToolkitError& e) {
+  if (e.warning) {
+    if (!seen_warnings_.emplace(e.name, e.message).second) {
+      ++warnings_deduped_;
+      g_warnings_deduped.Increment();
+      return;
+    }
+    std::fprintf(stderr, "Wafe warning: %s: %s\n", e.name.c_str(), e.message.c_str());
+    return;
+  }
+  // Unlike Xt's _XtDefaultError this never exits: the frontend must outlive
+  // its toolkit errors and report them over the channel instead.
+  std::fprintf(stderr, "Wafe error: %s: %s\n", e.name.c_str(), e.message.c_str());
+}
+
+void ErrorContext::RaiseError(const std::string& name, const std::string& message) {
+  ++errors_raised_;
+  g_errors.Increment();
+  wobs::Log("xt", "error " + name + ": " + message, false);
+  ToolkitError e{false, name, message};
+  if (error_stack_.empty() || in_handler_) {
+    DefaultHandle(e);
+    return;
+  }
+  // Copy the handler: it may push/pop the stack while running.
+  ErrorHandlerProc handler = error_stack_.back();
+  in_handler_ = true;
+  handler(e);
+  in_handler_ = false;
+}
+
+void ErrorContext::RaiseWarning(const std::string& name, const std::string& message) {
+  ++warnings_raised_;
+  g_warnings.Increment();
+  ToolkitError e{true, name, message};
+  if (warning_stack_.empty() || in_handler_) {
+    DefaultHandle(e);
+    return;
+  }
+  ErrorHandlerProc handler = warning_stack_.back();
+  in_handler_ = true;
+  handler(e);
+  in_handler_ = false;
+}
+
+bool ErrorContext::AllocCheck() {
+  if (faults_.alloc_fail_at <= 0) {
+    return true;
+  }
+  if (++faults_.allocs_seen == faults_.alloc_fail_at) {
+    faults_.alloc_fail_at = 0;
+    faults_.allocs_seen = 0;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace xtk

@@ -1,0 +1,88 @@
+// Toolkit error containment: an R5-style XtAppSetErrorHandler /
+// XtAppSetWarningHandler equivalent with explicit push/pop semantics, plus
+// the fault-injection state the `xtFault` command arms. The resourceful
+// defaults warn-and-continue — warnings deduplicated per (name, message)
+// pair — instead of spamming stderr or aborting the process, so a frontend
+// serving an untrusted backend outlives its toolkit-level failures.
+#ifndef SRC_XT_ERROR_H_
+#define SRC_XT_ERROR_H_
+
+#include <cstddef>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xtk {
+
+// One toolkit-level error or warning, as delivered to a handler.
+struct ToolkitError {
+  bool warning = false;
+  std::string name;     // e.g. "conversionError", "BadWindow", "allocError"
+  std::string message;
+};
+
+using ErrorHandlerProc = std::function<void(const ToolkitError&)>;
+
+// Fault-injection knobs for the toolkit layer (`xtFault` / WAFE_XT_FAULT).
+// Converter failures are armed on the ConverterRegistry directly.
+struct XtFaults {
+  long alloc_fail_at = 0;  // fail the Nth allocation from arming; 0 disables
+  long allocs_seen = 0;    // allocations counted since arming
+};
+
+class ErrorContext {
+ public:
+  // --- Handler stacks --------------------------------------------------------
+  //
+  // The top of each stack receives raised conditions; popping restores the
+  // previous handler (XtAppSetErrorHandler's "returns the old handler"
+  // idiom, made explicit). With an empty stack the defaults run.
+  void PushErrorHandler(ErrorHandlerProc handler);
+  bool PopErrorHandler();
+  void PushWarningHandler(ErrorHandlerProc handler);
+  bool PopWarningHandler();
+  std::size_t error_handler_depth() const { return error_stack_.size(); }
+  std::size_t warning_handler_depth() const { return warning_stack_.size(); }
+
+  // --- Raising ---------------------------------------------------------------
+
+  // Routes to the top handler, or to the default when the stack is empty or
+  // a handler is already running (a handler that itself errors must not
+  // recurse). Neither ever aborts the process.
+  void RaiseError(const std::string& name, const std::string& message);
+  void RaiseWarning(const std::string& name, const std::string& message);
+
+  // The default disposition: errors log unconditionally; warnings log once
+  // per (name, message) pair and count the rest as deduplicated. Public so
+  // an installed handler can fall through to it.
+  void DefaultHandle(const ToolkitError& e);
+
+  std::size_t errors_raised() const { return errors_raised_; }
+  std::size_t warnings_raised() const { return warnings_raised_; }
+  std::size_t warnings_deduped() const { return warnings_deduped_; }
+  void ResetWarningDedup() { seen_warnings_.clear(); }
+
+  // --- Fault injection -------------------------------------------------------
+
+  XtFaults& faults() { return faults_; }
+
+  // Counts one simulated allocation; returns false when the armed failure
+  // fires. The caller reports through RaiseError and unwinds with cleanup.
+  bool AllocCheck();
+
+ private:
+  std::vector<ErrorHandlerProc> error_stack_;
+  std::vector<ErrorHandlerProc> warning_stack_;
+  std::set<std::pair<std::string, std::string>> seen_warnings_;
+  bool in_handler_ = false;
+  std::size_t errors_raised_ = 0;
+  std::size_t warnings_raised_ = 0;
+  std::size_t warnings_deduped_ = 0;
+  XtFaults faults_;
+};
+
+}  // namespace xtk
+
+#endif  // SRC_XT_ERROR_H_

@@ -18,6 +18,9 @@
 //                 stdin EOF before exiting (reap-path tests)
 //   massdribble - writes argv[2] mass-channel bytes in argv[3]-byte chunks
 //                 with argv[4] microseconds between chunks
+//   badlines    - emits argv[2] malformed protocol lines (each one a Tcl
+//                 eval error), then reads stdin until EOF (circuit-breaker
+//                 tests)
 #include <unistd.h>
 
 #include <algorithm>
@@ -256,6 +259,18 @@ int RunMassDribble(const char* size_arg, const char* chunk_arg, const char* dela
   return 0;
 }
 
+int RunBadLines(const char* count_arg) {
+  long count = count_arg != nullptr ? std::strtol(count_arg, nullptr, 10) : 100;
+  for (long i = 0; i < count; ++i) {
+    Send("%noSuchCommand badline " + std::to_string(i));
+  }
+  // Stay alive reading the error reports until the frontend drops us.
+  std::string line;
+  while (ReadLine(&line)) {
+  }
+  return 0;
+}
+
 int RunInitCom() {
   // The paper's Prolog pattern: the backend waits for the frontend's
   // initial command (the InitCom resource) before doing anything.
@@ -290,6 +305,9 @@ int main(int argc, char** argv) {
   }
   if (mode == "crash") {
     return RunCrash();
+  }
+  if (mode == "badlines") {
+    return RunBadLines(argc > 2 ? argv[2] : nullptr);
   }
   if (mode == "initcom") {
     return RunInitCom();

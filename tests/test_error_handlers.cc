@@ -1,0 +1,443 @@
+// Fault containment at the toolkit layer: the push/pop error-handler stack,
+// deduplicated warning defaults, the errorProc/warningProc Tcl hooks,
+// synthetic X protocol errors on destroyed windows, injected converter and
+// allocation faults, and the %-protocol circuit breaker (backend errorLimit)
+// including its interaction with supervised respawn.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/comm.h"
+#include "src/core/wafe.h"
+#include "src/obs/obs.h"
+#include "src/xsim/display.h"
+#include "src/xt/error.h"
+#include "src/xt/widget.h"
+
+#ifndef WAFE_TEST_BACKEND
+#error "WAFE_TEST_BACKEND must point at the helper binary"
+#endif
+
+namespace wafe {
+namespace {
+
+// --- ErrorContext in isolation ------------------------------------------------------
+
+TEST(ErrorContextTest, PushPopOrderingRoutesToTopHandler) {
+  xtk::ErrorContext ec;
+  std::vector<std::string> seen;
+  ec.PushErrorHandler([&](const xtk::ToolkitError& e) { seen.push_back("A:" + e.name); });
+  ec.PushErrorHandler([&](const xtk::ToolkitError& e) { seen.push_back("B:" + e.name); });
+  EXPECT_EQ(ec.error_handler_depth(), 2u);
+
+  ec.RaiseError("first", "m");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen.back(), "B:first");
+
+  EXPECT_TRUE(ec.PopErrorHandler());
+  ec.RaiseError("second", "m");
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen.back(), "A:second");
+
+  EXPECT_TRUE(ec.PopErrorHandler());
+  EXPECT_EQ(ec.error_handler_depth(), 0u);
+  EXPECT_FALSE(ec.PopErrorHandler());
+  // Empty stack falls back to the default (which never aborts).
+  ec.RaiseError("third", "m");
+  EXPECT_EQ(ec.errors_raised(), 3u);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(ErrorContextTest, WarningStackIsIndependentOfErrorStack) {
+  xtk::ErrorContext ec;
+  int warnings = 0;
+  int errors = 0;
+  ec.PushWarningHandler([&](const xtk::ToolkitError& e) {
+    EXPECT_TRUE(e.warning);
+    ++warnings;
+  });
+  ec.PushErrorHandler([&](const xtk::ToolkitError& e) {
+    EXPECT_FALSE(e.warning);
+    ++errors;
+  });
+  ec.RaiseWarning("w", "m");
+  ec.RaiseError("e", "m");
+  EXPECT_EQ(warnings, 1);
+  EXPECT_EQ(errors, 1);
+  EXPECT_TRUE(ec.PopWarningHandler());
+  EXPECT_EQ(ec.error_handler_depth(), 1u);
+}
+
+// The default disposition logs a warning once per (name, message) pair and
+// counts the rest as deduplicated.
+TEST(ErrorContextTest, DefaultWarningsAreDedupedPerNameMessagePair) {
+  xtk::ErrorContext ec;
+  ec.RaiseWarning("conversionError", "bad color");
+  ec.RaiseWarning("conversionError", "bad color");
+  ec.RaiseWarning("conversionError", "bad color");
+  ec.RaiseWarning("conversionError", "bad font");  // different message: not a dup
+  EXPECT_EQ(ec.warnings_raised(), 4u);
+  EXPECT_EQ(ec.warnings_deduped(), 2u);
+
+  ec.ResetWarningDedup();
+  ec.RaiseWarning("conversionError", "bad color");
+  EXPECT_EQ(ec.warnings_raised(), 5u);
+  EXPECT_EQ(ec.warnings_deduped(), 2u);  // fresh after the reset
+}
+
+// A handler that itself raises must not recurse: the nested raise goes to
+// the default disposition instead of back into the handler.
+TEST(ErrorContextTest, RaisingFromInsideAHandlerDoesNotRecurse) {
+  xtk::ErrorContext ec;
+  int calls = 0;
+  ec.PushErrorHandler([&](const xtk::ToolkitError&) {
+    ++calls;
+    ec.RaiseError("nested", "from inside the handler");
+  });
+  ec.RaiseError("outer", "m");
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(ec.errors_raised(), 2u);
+}
+
+TEST(ErrorContextTest, AllocCheckFiresOnceAtTheArmedAllocation) {
+  xtk::ErrorContext ec;
+  EXPECT_TRUE(ec.AllocCheck());  // disarmed: always passes
+  ec.faults().alloc_fail_at = 3;
+  ec.faults().allocs_seen = 0;
+  EXPECT_TRUE(ec.AllocCheck());
+  EXPECT_TRUE(ec.AllocCheck());
+  EXPECT_FALSE(ec.AllocCheck());  // the third allocation fails...
+  EXPECT_TRUE(ec.AllocCheck());   // ...and the fault self-clears
+}
+
+// --- Wafe-level fixtures ------------------------------------------------------------
+
+class FaultWafeTest : public ::testing::Test {
+ protected:
+  ~FaultWafeTest() override { wobs::SetMetricsEnabled(false); }
+
+  std::string Var(Wafe& wafe, const std::string& name) {
+    std::string value;
+    return wafe.interp().GetVar(name, &value) ? value : std::string("<unset>");
+  }
+
+  std::string Metric(Wafe& wafe, const std::string& name) {
+    wtcl::Result r = wafe.Eval("metrics get " + name);
+    EXPECT_EQ(r.code, wtcl::Status::kOk) << r.value;
+    return r.value;
+  }
+};
+
+// The evalLimit command: report-all, report-one, set, reject bad kinds.
+TEST_F(FaultWafeTest, EvalLimitCommandReportsAndSets) {
+  Wafe wafe;
+  EXPECT_EQ(wafe.Eval("evalLimit").value, "depth 1000 steps 0 ms 0");
+  ASSERT_EQ(wafe.Eval("evalLimit steps 5000").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("evalLimit depth 64").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("evalLimit ms 250").code, wtcl::Status::kOk);
+  EXPECT_EQ(wafe.Eval("evalLimit steps").value, "5000");
+  EXPECT_EQ(wafe.Eval("evalLimit").value, "depth 64 steps 5000 ms 250");
+  EXPECT_EQ(wafe.interp().max_nesting(), 64);
+  EXPECT_EQ(wafe.interp().max_steps(), 5000u);
+  EXPECT_EQ(wafe.interp().max_eval_ms(), 250);
+  EXPECT_EQ(wafe.Eval("evalLimit bogus 1").code, wtcl::Status::kError);
+  EXPECT_EQ(wafe.Eval("evalLimit depth x").code, wtcl::Status::kError);
+}
+
+// WAFE_EVAL_LIMIT configures a fresh interpreter at construction.
+TEST_F(FaultWafeTest, EvalLimitEnvironmentVariableApplies) {
+  ASSERT_EQ(::setenv("WAFE_EVAL_LIMIT", "depth=32,steps=12345,ms=99", 1), 0);
+  {
+    Wafe wafe;
+    EXPECT_EQ(wafe.interp().max_nesting(), 32);
+    EXPECT_EQ(wafe.interp().max_steps(), 12345u);
+    EXPECT_EQ(wafe.interp().max_eval_ms(), 99);
+  }
+  ASSERT_EQ(::unsetenv("WAFE_EVAL_LIMIT"), 0);
+}
+
+// errorProc: a synthetic X error injected through xtFault lands in the Tcl
+// hook with errorName/errorMessage set; an empty script restores defaults.
+TEST_F(FaultWafeTest, ErrorProcReceivesInjectedXError) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("metrics enable").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("metrics reset").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("errorProc {set gotName $errorName; set gotMsg $errorMessage}").code,
+            wtcl::Status::kOk);
+  EXPECT_EQ(wafe.Eval("errorProc").value,
+            "set gotName $errorName; set gotMsg $errorMessage");
+
+  ASSERT_EQ(wafe.Eval("xtFault xerror=BadWindow").code, wtcl::Status::kOk);
+  EXPECT_EQ(Var(wafe, "gotName"), "BadWindow");
+  EXPECT_NE(Var(wafe, "gotMsg").find("xtFault"), std::string::npos);
+  EXPECT_EQ(Metric(wafe, "xt.error.badwindow"), "1");
+  EXPECT_EQ(Metric(wafe, "xsim.protocol.errors"), "1");
+
+  ASSERT_EQ(wafe.Eval("xtFault xerror=BadDrawable").code, wtcl::Status::kOk);
+  EXPECT_EQ(Var(wafe, "gotName"), "BadDrawable");
+  EXPECT_EQ(Metric(wafe, "xt.error.baddrawable"), "1");
+
+  // Restore the default handler; raising must not touch the old variables.
+  ASSERT_EQ(wafe.Eval("errorProc {}").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("set gotName stale").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("xtFault xerror=BadWindow").code, wtcl::Status::kOk);
+  EXPECT_EQ(Var(wafe, "gotName"), "stale");
+}
+
+// A failing errorProc must not hide the original condition or recurse; the
+// error count still reflects the raise.
+TEST_F(FaultWafeTest, FailingErrorProcFallsBackToDefault) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("errorProc {noSuchHookCommand}").code, wtcl::Status::kOk);
+  std::size_t before = wafe.app().errors().errors_raised();
+  ASSERT_EQ(wafe.Eval("xtFault xerror=BadWindow").code, wtcl::Status::kOk);
+  EXPECT_EQ(wafe.app().errors().errors_raised(), before + 1);
+}
+
+// warningProc sees converter-level warnings.
+TEST_F(FaultWafeTest, WarningProcReceivesConversionWarnings) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("warningProc {set gotWarn $warningName}").code, wtcl::Status::kOk);
+  wafe.app().errors().RaiseWarning("conversionError", "synthetic");
+  EXPECT_EQ(Var(wafe, "gotWarn"), "conversionError");
+}
+
+// Acceptance: operating on a destroyed window raises a synthetic BadWindow /
+// BadDrawable through the handler stack — observable, never fatal.
+TEST_F(FaultWafeTest, UseAfterDestroyRaisesBadWindowAndBadDrawable) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("metrics enable").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("metrics reset").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("label victim topLevel label gone-soon").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("realize").code, wtcl::Status::kOk);
+  xtk::Widget* victim = wafe.app().FindWidget("victim");
+  ASSERT_NE(victim, nullptr);
+  xsim::WindowId window = victim->window();
+  ASSERT_NE(window, xsim::kNoWindow);
+
+  ASSERT_EQ(wafe.Eval("destroyWidget victim").code, wtcl::Status::kOk);
+  wafe.app().ProcessPending();
+  ASSERT_FALSE(wafe.app().display().Exists(window));
+  // Normal teardown itself must not have raised protocol errors.
+  EXPECT_EQ(Metric(wafe, "xsim.protocol.errors"), "0");
+
+  std::size_t before = wafe.app().errors().errors_raised();
+  wafe.app().display().MapWindow(window);  // use after destroy
+  EXPECT_EQ(Metric(wafe, "xt.error.badwindow"), "1");
+  wafe.app().display().FillRect(window, {0, 0, 10, 10}, 0);
+  EXPECT_EQ(Metric(wafe, "xt.error.baddrawable"), "1");
+  EXPECT_EQ(wafe.app().errors().errors_raised(), before + 2);
+  // The session is still fully functional.
+  EXPECT_EQ(wafe.Eval("label survivor topLevel").code, wtcl::Status::kOk);
+}
+
+// Satellite: a bad color in the resource database falls back to the class
+// default with a single warning; the second widget hitting the same value
+// dedups instead of warning again.
+TEST_F(FaultWafeTest, BadResourceDbColorWarnsOnceAndFallsBack) {
+  Wafe wafe;
+  wafe.app().resource_db().MergeLine("*background: noSuchColorValue");
+  std::size_t warned = wafe.app().errors().warnings_raised();
+  std::size_t deduped = wafe.app().errors().warnings_deduped();
+
+  ASSERT_EQ(wafe.Eval("label one topLevel").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("label two topLevel").code, wtcl::Status::kOk);
+  EXPECT_NE(wafe.app().FindWidget("one"), nullptr);
+  EXPECT_NE(wafe.app().FindWidget("two"), nullptr);
+
+  EXPECT_GE(wafe.app().errors().warnings_raised(), warned + 2);
+  EXPECT_GT(wafe.app().errors().warnings_deduped(), deduped);
+
+  // An explicit bad argument stays a hard error — no silent fallback.
+  EXPECT_EQ(wafe.Eval("label three topLevel background noSuchColorValue").code,
+            wtcl::Status::kError);
+  EXPECT_EQ(wafe.app().FindWidget("three"), nullptr);
+}
+
+// Injected converter faults fail the next N conversions deterministically.
+TEST_F(FaultWafeTest, ConvertFailInjectionFailsNextConversions) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("xtFault convertFail=1").code, wtcl::Status::kOk);
+  EXPECT_NE(wafe.Eval("xtFault status").value.find("convertFail 1"), std::string::npos);
+  wtcl::Result r = wafe.Eval("label faulted topLevel background red");
+  ASSERT_EQ(r.code, wtcl::Status::kError);
+  EXPECT_NE(r.value.find("injected converter fault"), std::string::npos);
+  EXPECT_EQ(wafe.app().FindWidget("faulted"), nullptr);
+  // The fault was consumed; the same creation now succeeds.
+  EXPECT_EQ(wafe.Eval("label faulted topLevel background red").code, wtcl::Status::kOk);
+}
+
+// An allocation fault during widget creation unwinds with full cleanup: the
+// half-created widget is rolled back and later creations succeed.
+TEST_F(FaultWafeTest, AllocFaultDuringCreationRollsBack) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("xtFault allocFailAt=1").code, wtcl::Status::kOk);
+  wtcl::Result r = wafe.Eval("label doomed topLevel");
+  ASSERT_EQ(r.code, wtcl::Status::kError);
+  EXPECT_NE(r.value.find("allocation failed"), std::string::npos);
+  EXPECT_EQ(wafe.app().FindWidget("doomed"), nullptr);
+  EXPECT_EQ(wafe.Eval("xtFault clear").code, wtcl::Status::kOk);
+  EXPECT_EQ(wafe.Eval("label doomed topLevel").code, wtcl::Status::kOk);
+  EXPECT_NE(wafe.app().FindWidget("doomed"), nullptr);
+}
+
+// --- Circuit breaker over an adopted channel ----------------------------------------
+
+class CircuitTest : public FaultWafeTest {
+ protected:
+  CircuitTest() {
+    int to_wafe[2];
+    int from_wafe[2];
+    EXPECT_EQ(::pipe(to_wafe), 0);
+    EXPECT_EQ(::pipe(from_wafe), 0);
+    backend_write_ = to_wafe[1];
+    backend_read_ = from_wafe[0];
+    wafe_.set_backend_output(true);
+    wafe_.frontend().AdoptBackend(to_wafe[0], from_wafe[1]);
+  }
+
+  ~CircuitTest() override {
+    ::close(backend_write_);
+    ::close(backend_read_);
+  }
+
+  void SendLines(const std::string& data) {
+    ssize_t ignored = ::write(backend_write_, data.data(), data.size());
+    (void)ignored;
+    while (wafe_.app().RunOneIteration(false)) {
+    }
+  }
+
+  std::string ReadFromWafe() {
+    char buffer[8192];
+    ssize_t n = ::read(backend_read_, buffer, sizeof(buffer));
+    return n > 0 ? std::string(buffer, static_cast<std::size_t>(n)) : std::string();
+  }
+
+  Wafe wafe_;
+  int backend_write_ = -1;
+  int backend_read_ = -1;
+};
+
+// A failed %-line is reported back over the channel as a single "error ..."
+// line carrying the errorInfo trace, and the frontend keeps going.
+TEST_F(CircuitTest, FailedProtocolLineReportsErrorTraceToBackend) {
+  SendLines("%noSuchCommand a b\n%set after 1\n");
+  std::string report = ReadFromWafe();
+  EXPECT_EQ(report.rfind("error ", 0), 0u);
+  EXPECT_NE(report.find("noSuchCommand"), std::string::npos);
+  EXPECT_NE(report.find("while executing"), std::string::npos);
+  EXPECT_EQ(report.find('\n'), report.size() - 1);  // one line, trace flattened
+  EXPECT_EQ(Var(wafe_, "after"), "1");
+  EXPECT_EQ(wafe_.frontend().eval_errors(), 1u);
+  EXPECT_FALSE(wafe_.quit_requested());
+}
+
+// backend errorLimit: consecutive failures trip the breaker; a success in
+// between resets the consecutive count.
+TEST_F(CircuitTest, SuccessResetsConsecutiveErrorCount) {
+  ASSERT_EQ(wafe_.Eval("backend errorLimit 3").code, wtcl::Status::kOk);
+  EXPECT_EQ(wafe_.Eval("backend errorLimit").value, "3");
+  SendLines("%bad one\n%bad two\n%set ok 1\n%bad three\n%bad four\n");
+  EXPECT_EQ(wafe_.frontend().eval_errors(), 4u);
+  EXPECT_EQ(wafe_.frontend().consecutive_eval_errors(), 2);
+  EXPECT_TRUE(wafe_.frontend().backend_alive());
+  EXPECT_FALSE(wafe_.quit_requested());
+  EXPECT_NE(wafe_.frontend().StatusText().find("errorLimit 3"), std::string::npos);
+}
+
+TEST_F(CircuitTest, ConsecutiveErrorsTripTheBreaker) {
+  ASSERT_EQ(wafe_.Eval("metrics enable").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("metrics reset").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe_.Eval("backend errorLimit 3").code, wtcl::Status::kOk);
+  SendLines("%bad one\n%bad two\n%bad three\n%set never 1\n");
+  EXPECT_FALSE(wafe_.frontend().backend_alive());
+  EXPECT_TRUE(wafe_.quit_requested());  // no supervision: the session ends
+  EXPECT_EQ(Metric(wafe_, "comm.eval.circuit.tripped"), "1");
+  EXPECT_EQ(Metric(wafe_, "comm.eval.errors"), "3");
+  EXPECT_EQ(Var(wafe_, "backendExitReason"), "error-limit");
+}
+
+TEST_F(CircuitTest, ErrorLimitZeroDisablesTheBreaker) {
+  ASSERT_EQ(wafe_.Eval("backend errorLimit 0").code, wtcl::Status::kOk);
+  std::string lines;
+  for (int i = 0; i < 50; ++i) {
+    lines += "%bad line\n";
+  }
+  SendLines(lines);
+  EXPECT_TRUE(wafe_.frontend().backend_alive());
+  EXPECT_EQ(wafe_.frontend().eval_errors(), 50u);
+  EXPECT_EQ(wafe_.Eval("backend errorLimit -1").code, wtcl::Status::kError);
+}
+
+// --- Circuit breaker + supervision over a real backend ------------------------------
+
+class FaultBackendTest : public FaultWafeTest {
+ protected:
+  bool PumpUntil(Wafe& wafe, const std::function<bool()>& done, int timeout_ms = 5000) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!done()) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        return false;
+      }
+      wafe.app().RunOneIteration(false);
+      ::usleep(1000);
+    }
+    return true;
+  }
+
+  bool Spawn(Wafe& wafe, const std::string& mode,
+             const std::vector<std::string>& extra = {}) {
+    std::string error;
+    wafe.set_backend_output(true);
+    std::vector<std::string> args{mode};
+    args.insert(args.end(), extra.begin(), extra.end());
+    bool ok = wafe.frontend().SpawnBackend(WAFE_TEST_BACKEND, args, &error);
+    EXPECT_TRUE(ok) << error;
+    return ok;
+  }
+};
+
+// Acceptance: the breaker hands a persistently-faulty backend to the
+// supervisor — it is respawned, faults again, and once the restart budget
+// is spent the session ends instead of wedging on an endless error stream.
+TEST_F(FaultBackendTest, TrippedBreakerTriggersSupervisedRestartThenGivesUp) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("metrics enable").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("metrics reset").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("backend supervise on").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("backend maxRestarts 1").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("backend backoff 30 100").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("backend errorLimit 5").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("set deaths 0").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("backendExitCommand {set deaths [expr $deaths + 1]}").code,
+            wtcl::Status::kOk);
+  ASSERT_TRUE(Spawn(wafe, "badlines", {"50"}));
+
+  // First trip: the supervisor replaces the backend.
+  ASSERT_TRUE(PumpUntil(wafe, [&] {
+    return wafe.frontend().restart_count() == 1 && wafe.frontend().backend_alive();
+  }));
+  EXPECT_EQ(Var(wafe, "backendExitReason"), "error-limit");
+  EXPECT_EQ(Var(wafe, "deaths"), "1");
+
+  // The replacement faults identically; the budget is spent, session ends.
+  ASSERT_TRUE(PumpUntil(wafe, [&] { return wafe.quit_requested(); }));
+  EXPECT_FALSE(wafe.frontend().backend_alive());
+  EXPECT_EQ(Var(wafe, "deaths"), "2");
+  EXPECT_EQ(Metric(wafe, "comm.eval.circuit.tripped"), "2");
+  // At least the 5 consecutive failures per trip; teardown drains whatever
+  // else the backend had already buffered, so the count may be higher.
+  std::string evals = Metric(wafe, "comm.eval.errors");
+  EXPECT_GE(std::stoi(evals), 10);
+}
+
+}  // namespace
+}  // namespace wafe

@@ -1,0 +1,288 @@
+// Eval-guard and fuzz coverage for the Tcl layer: the depth / step / wall-
+// clock limits must turn every runaway script into a catchable `limit
+// exceeded` error, errorInfo must carry a usable trace, and randomly
+// generated hostile scripts — fed through Eval directly and through the
+// %-protocol — must never crash or hang the frontend. The acceptance
+// scenario at the end proves a backend emitting 1000 malformed lines leaves
+// the UI alive and still dispatching events.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "helpers/ui_harness.h"
+#include "src/core/comm.h"
+#include "src/core/wafe.h"
+#include "src/obs/obs.h"
+#include "src/tcl/interp.h"
+
+namespace wafe {
+namespace {
+
+class EvalGuardTest : public ::testing::Test {
+ protected:
+  ~EvalGuardTest() override { wobs::SetMetricsEnabled(false); }
+
+  std::string Metric(Wafe& wafe, const std::string& name) {
+    wtcl::Result r = wafe.Eval("metrics get " + name);
+    EXPECT_EQ(r.code, wtcl::Status::kOk) << r.value;
+    return r.value;
+  }
+};
+
+// Acceptance: an infinitely recursing script trips the depth limit and the
+// interpreter stays fully usable.
+TEST_F(EvalGuardTest, InfiniteRecursionTripsDepthLimit) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("metrics enable").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("metrics reset").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("evalLimit depth 64").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("proc boom {} {boom}").code, wtcl::Status::kOk);
+  wtcl::Result r = wafe.Eval("boom");
+  ASSERT_EQ(r.code, wtcl::Status::kError);
+  EXPECT_NE(r.value.find("limit exceeded"), std::string::npos);
+  EXPECT_NE(Metric(wafe, "tcl.eval.limit.depth"), "0");
+  EXPECT_EQ(wafe.Eval("expr 1 + 1").value, "2");
+}
+
+// Acceptance: an infinite loop trips the step budget in bounded time.
+TEST_F(EvalGuardTest, InfiniteLoopTripsStepBudget) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("metrics enable").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("metrics reset").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("evalLimit steps 5000").code, wtcl::Status::kOk);
+  wtcl::Result r = wafe.Eval("while {1} {set x 1}");
+  ASSERT_EQ(r.code, wtcl::Status::kError);
+  EXPECT_NE(r.value.find("limit exceeded"), std::string::npos);
+  EXPECT_NE(r.value.find("step budget"), std::string::npos);
+  EXPECT_EQ(Metric(wafe, "tcl.eval.limit.steps"), "1");
+  EXPECT_EQ(wafe.Eval("set ok fine").value, "fine");
+}
+
+// Acceptance: the wall-clock watchdog interrupts a loop the step budget
+// would not catch (no step limit armed).
+TEST_F(EvalGuardTest, WallClockWatchdogInterruptsLongLoop) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("metrics enable").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("metrics reset").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("evalLimit ms 100").code, wtcl::Status::kOk);
+  auto start = std::chrono::steady_clock::now();
+  wtcl::Result r = wafe.Eval("while {1} {set x 1}");
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_EQ(r.code, wtcl::Status::kError);
+  EXPECT_NE(r.value.find("wall-clock budget"), std::string::npos);
+  EXPECT_LT(elapsed.count(), 5000);
+  EXPECT_EQ(Metric(wafe, "tcl.eval.limit.ms"), "1");
+}
+
+// A hostile `catch` loop cannot swallow the trip: the limit error is sticky
+// until evaluation unwinds to the top level, then the interpreter is clean.
+TEST_F(EvalGuardTest, CatchCannotDefeatStickyLimit) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("evalLimit steps 2000").code, wtcl::Status::kOk);
+  auto start = std::chrono::steady_clock::now();
+  wtcl::Result r = wafe.Eval("while {1} {catch {set x 1} m}");
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_EQ(r.code, wtcl::Status::kError);
+  EXPECT_NE(r.value.find("limit exceeded"), std::string::npos);
+  EXPECT_LT(elapsed.count(), 5000);
+
+  // Within one top-level Eval the trip re-raises even after a catch...
+  r = wafe.Eval("catch {while {1} {set x 1}} m\nset afterward 1");
+  EXPECT_EQ(r.code, wtcl::Status::kError);
+  // ...but a fresh top-level Eval starts with a fresh budget.
+  EXPECT_EQ(wafe.Eval("set clean 1").code, wtcl::Status::kOk);
+}
+
+// errorInfo carries the failing command, nesting, and source line.
+TEST_F(EvalGuardTest, ErrorInfoTraceNamesCommandAndLine) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("proc inner {} {\nnoSuchCommand a b\n}").code, wtcl::Status::kOk);
+  wtcl::Result r = wafe.Eval("inner");
+  ASSERT_EQ(r.code, wtcl::Status::kError);
+  ASSERT_TRUE(wafe.interp().error_trace_active());
+  std::string info;
+  ASSERT_TRUE(wafe.interp().GetGlobalVar("errorInfo", &info));
+  EXPECT_NE(info.find("while executing"), std::string::npos);
+  EXPECT_NE(info.find("noSuchCommand a b"), std::string::npos);
+  EXPECT_NE(info.find("line 2"), std::string::npos);
+  EXPECT_NE(info.find("\"inner\""), std::string::npos);
+
+  // A later success clears the trace flag, so a stale trace is never
+  // attached to an unrelated report.
+  ASSERT_EQ(wafe.Eval("set fine 1").code, wtcl::Status::kOk);
+  EXPECT_FALSE(wafe.interp().error_trace_active());
+}
+
+// --- Random-script fuzzing ----------------------------------------------------------
+
+// Deterministic hostile-script generator: Tcl syntax fragments, unbalanced
+// quoting, control structures, and raw bytes, recombined at random.
+std::string RandomScript(std::mt19937& rng) {
+  static const char* kTokens[] = {
+      "set",      "x",     "$x",      "$undefined", "[",        "]",     "{",
+      "}",        "\"",    ";",       "\n",         "proc",     "while", "if",
+      "expr",     "1",     "+",       "{1}",        "catch",    "foreach",
+      "break",    "continue", "return", "uplevel",  "upvar",    "global",
+      "\\",       "incr",  "string",  "list",       "lindex",   "rename",
+      "unset",    "eval",  "boom",    "{boom}",     "$",        "(",     ")",
+  };
+  std::uniform_int_distribution<int> length(1, 40);
+  std::uniform_int_distribution<std::size_t> pick(0, sizeof(kTokens) / sizeof(kTokens[0]) - 1);
+  std::uniform_int_distribution<int> raw(0, 9);
+  std::uniform_int_distribution<int> byte(1, 126);
+  std::string script;
+  int tokens = length(rng);
+  for (int i = 0; i < tokens; ++i) {
+    if (raw(rng) == 0) {
+      script.push_back(static_cast<char>(byte(rng)));
+    } else {
+      script += kTokens[pick(rng)];
+    }
+    script.push_back(' ');
+  }
+  return script;
+}
+
+// Hand-picked pathological inputs a random walk is unlikely to produce.
+std::vector<std::string> HostileScripts() {
+  std::vector<std::string> scripts;
+  scripts.push_back("proc boom {} {boom}\nboom");
+  scripts.push_back("proc a {} {b}\nproc b {} {a}\na");
+  scripts.push_back("while {1} {}");
+  scripts.push_back("while {1} {catch {error x} m}");
+  scripts.push_back("for {set i 0} {1} {incr i} {set x $i}");
+  scripts.push_back(std::string(2000, '{'));
+  scripts.push_back(std::string(2000, '['));
+  scripts.push_back(std::string(500, '[') + "expr 1" + std::string(500, ']'));
+  scripts.push_back("set x \"unterminated");
+  scripts.push_back("set x {unterminated");
+  scripts.push_back("proc p args {eval $args}\np p p p p p p p");
+  scripts.push_back("rename set gone\ncatch {set x 1}");
+  scripts.push_back("proc while {a b} {}\nwhile {1} {}");
+  std::string deep = "expr 1";
+  for (int i = 0; i < 100; ++i) {
+    deep = "eval {" + deep + "}";
+  }
+  scripts.push_back(deep);
+  return scripts;
+}
+
+void ArmLimits(Wafe& wafe) {
+  ASSERT_EQ(wafe.Eval("evalLimit depth 64").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("evalLimit steps 2000").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("evalLimit ms 50").code, wtcl::Status::kOk);
+}
+
+// Every generated script either completes or fails with a normal error —
+// never a crash, never a hang past the watchdog (each interpreter survives
+// all of them in sequence).
+TEST_F(EvalGuardTest, RandomScriptsNeverCrashOrHangEval) {
+  Wafe wafe;
+  ArmLimits(wafe);
+  std::mt19937 generator(20260805);
+  for (int i = 0; i < 200; ++i) {
+    std::string script = RandomScript(generator);
+    wtcl::Result r = wafe.Eval(script);
+    EXPECT_TRUE(r.code == wtcl::Status::kOk || r.code == wtcl::Status::kError ||
+                r.code == wtcl::Status::kBreak || r.code == wtcl::Status::kContinue ||
+                r.code == wtcl::Status::kReturn)
+        << script;
+  }
+  for (const std::string& script : HostileScripts()) {
+    wafe.Eval(script);
+  }
+  // The interpreter survived with its commands intact.
+  EXPECT_EQ(wafe.Eval("expr 2 + 3").value, "5");
+}
+
+// The same hostility through the %-protocol: malformed and runaway lines
+// produce error reports on the channel, and the frontend keeps draining.
+TEST_F(EvalGuardTest, RandomProtocolLinesNeverWedgeTheChannel) {
+  int to_wafe[2];
+  int from_wafe[2];
+  ASSERT_EQ(::pipe(to_wafe), 0);
+  ASSERT_EQ(::pipe(from_wafe), 0);
+  Wafe wafe;
+  wafe.set_backend_output(true);
+  wafe.frontend().AdoptBackend(to_wafe[0], from_wafe[1]);
+  ArmLimits(wafe);
+
+  std::mt19937 generator(19930115);
+  auto send = [&](std::string line) {
+    for (char& c : line) {
+      if (c == '\n') {
+        c = ' ';
+      }
+    }
+    line = "%" + line + "\n";
+    ssize_t ignored = ::write(to_wafe[1], line.data(), line.size());
+    (void)ignored;
+    while (wafe.app().RunOneIteration(false)) {
+    }
+    // Keep the report pipe from filling up.
+    char buffer[8192];
+    while (::read(from_wafe[0], buffer, sizeof(buffer)) > 0) {
+    }
+  };
+  ::fcntl(from_wafe[0], F_SETFL, O_NONBLOCK);
+  for (int i = 0; i < 150; ++i) {
+    send(RandomScript(generator));
+    ASSERT_TRUE(wafe.frontend().backend_alive());
+  }
+  send("while {1} {set x 1}");
+  ASSERT_TRUE(wafe.frontend().backend_alive());
+  send("set survivor 1");
+  std::string value;
+  ASSERT_TRUE(wafe.interp().GetVar("survivor", &value));
+  EXPECT_EQ(value, "1");
+  ::close(to_wafe[1]);
+  ::close(from_wafe[0]);
+}
+
+// Acceptance: a backend spraying 1000 malformed %-lines leaves the frontend
+// alive, every failure reported and counted, and the UI still dispatching
+// button events afterward.
+TEST_F(EvalGuardTest, MalformedLineFloodLeavesUiResponsive) {
+  ui_harness::UiHarness ui;
+  ASSERT_EQ(ui.wafe().Eval("metrics enable").code, wtcl::Status::kOk);
+  ASSERT_EQ(ui.wafe().Eval("metrics reset").code, wtcl::Status::kOk);
+  ASSERT_EQ(ui.wafe().Eval("set clicks 0").code, wtcl::Status::kOk);
+  ASSERT_EQ(ui.wafe()
+                .Eval("command poker topLevel callback "
+                      "{set clicks [expr $clicks + 1]}")
+                .code,
+            wtcl::Status::kOk);
+  ui.Realize();
+  ui.AttachBackendPipe();
+
+  for (int i = 0; i < 1000; ++i) {
+    ui.BackendSays("%this is not } a command " + std::to_string(i));
+    if (i % 100 == 0) {
+      // Drain the error reports so the pipe never backs up.
+      ui.BackendReceived();
+    }
+  }
+  std::vector<std::string> reports = ui.BackendReceived();
+  ASSERT_FALSE(reports.empty());
+  for (const std::string& report : reports) {
+    EXPECT_EQ(report.rfind("error ", 0), 0u) << report;
+  }
+  EXPECT_EQ(ui.wafe().frontend().eval_errors(), 1000u);
+  EXPECT_EQ(ui.wafe().Eval("metrics get comm.eval.errors").value, "1000");
+  EXPECT_TRUE(ui.wafe().frontend().backend_alive());
+  EXPECT_FALSE(ui.wafe().quit_requested());
+
+  // The UI is still live: a click reaches its callback.
+  ui.Click("poker");
+  EXPECT_EQ(ui.Eval("set clicks"), "1");
+  wobs::SetMetricsEnabled(false);
+}
+
+}  // namespace
+}  // namespace wafe
