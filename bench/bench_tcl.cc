@@ -5,9 +5,31 @@
 // plus the interpreter's parse/dispatch costs.
 #include "bench/bench_util.h"
 
+#include "src/obs/obs.h"
 #include "src/tcl/interp.h"
 
 namespace {
+
+// Re-runs the workload a few times with metrics on (outside the timed
+// region) and reports the compile-cache hit rate it achieves, so the
+// committed BENCH_TCL.json records cache effectiveness next to ns/op.
+template <typename Fn>
+void ReportCacheHitRate(benchmark::State& state, const char* prefix, Fn&& run_once) {
+  wobs::SetMetricsEnabled(true);
+  wobs::Registry::Instance().ResetMetrics();
+  for (int i = 0; i < 100; ++i) {
+    run_once();
+  }
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  wobs::Registry::Instance().GetMetric(std::string(prefix) + ".hits", &hits);
+  wobs::Registry::Instance().GetMetric(std::string(prefix) + ".misses", &misses);
+  wobs::SetMetricsEnabled(false);
+  if (hits + misses > 0) {
+    state.counters["cache_hit_rate"] =
+        static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+}
 
 void BM_NativeSumLoop(benchmark::State& state) {
   const long n = state.range(0);
@@ -34,8 +56,28 @@ void BM_TclSumLoop(benchmark::State& state) {
     benchmark::DoNotOptimize(r);
   }
   state.counters["n"] = static_cast<double>(n);
+  ReportCacheHitRate(state, "tcl.script.cache", [&] { interp.Eval(script); });
 }
 BENCHMARK(BM_TclSumLoop)->Arg(1000);
+
+// The acceptance case for the compile-once layer: a tight `while` loop whose
+// body and condition are re-evaluated every iteration. With cached IR the
+// per-iteration work is executor-only (no parsing at all).
+void BM_TclTightLoop(benchmark::State& state) {
+  const long n = state.range(0);
+  wtcl::Interp interp;
+  std::string script =
+      "set i 0\n"
+      "while {$i < " + std::to_string(n) + "} {incr i}\n"
+      "set i";
+  for (auto _ : state) {
+    wtcl::Result r = interp.Eval(script);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  ReportCacheHitRate(state, "tcl.script.cache", [&] { interp.Eval(script); });
+}
+BENCHMARK(BM_TclTightLoop)->Arg(1000);
 
 void BM_TclExprEvaluation(benchmark::State& state) {
   wtcl::Interp interp;
@@ -44,6 +86,8 @@ void BM_TclExprEvaluation(benchmark::State& state) {
     wtcl::Result r = interp.EvalExpr("($a + $b) * 3 - $a / 2");
     benchmark::DoNotOptimize(r);
   }
+  ReportCacheHitRate(state, "tcl.expr.cache",
+                     [&] { interp.EvalExpr("($a + $b) * 3 - $a / 2"); });
 }
 BENCHMARK(BM_TclExprEvaluation);
 
@@ -64,8 +108,24 @@ void BM_TclProcCall(benchmark::State& state) {
     wtcl::Result r = interp.Eval("f 1 2");
     benchmark::DoNotOptimize(r);
   }
+  ReportCacheHitRate(state, "tcl.script.cache", [&] { interp.Eval("f 1 2"); });
 }
 BENCHMARK(BM_TclProcCall);
+
+// A callback storm as the dispatch path sees it: the same small script —
+// a button's callback body — evaluated once per event.
+void BM_TclCallbackDispatch(benchmark::State& state) {
+  wtcl::Interp interp;
+  interp.Eval("set clicks 0");
+  const std::string script = "incr clicks";
+  for (auto _ : state) {
+    wtcl::Result r = interp.Eval(script);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportCacheHitRate(state, "tcl.script.cache", [&] { interp.Eval(script); });
+}
+BENCHMARK(BM_TclCallbackDispatch);
 
 void BM_TclListManipulation(benchmark::State& state) {
   wtcl::Interp interp;

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Guard against performance regressions in the committed BENCH_*.json files.
+
+Runs a benchmark binary with `--json` into a temporary file and compares the
+fresh per-benchmark `real_time` against the committed baseline JSON. The run
+fails (exit 1) if any benchmark present in both reports regressed by more
+than the threshold (default 25%). Benchmarks that exist on only one side are
+reported but never fail the run, so adding or retiring cases does not break
+the gate before the baseline is refreshed.
+
+Timing on shared CI machines is noisy, so the gate is opt-in: unless
+WAFE_PERF is set to a non-empty value other than "0", the script exits with
+code 77 (the ctest SKIP_RETURN_CODE), making `ctest -L perf` a no-op by
+default and a real check when explicitly armed:
+
+    WAFE_PERF=1 ctest -L perf --output-on-failure
+
+Usage: bench_compare.py [--threshold PCT] BENCH_BINARY BASELINE_JSON
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SKIP_EXIT_CODE = 77
+
+
+def load_benchmarks(path):
+    """Maps benchmark name -> real_time (ns), skipping aggregate rows."""
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        real_time = bench.get("real_time")
+        if name is not None and real_time is not None:
+            times[name] = float(real_time)
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="maximum allowed regression in percent (default 25)")
+    parser.add_argument("bench_binary", help="benchmark executable to run")
+    parser.add_argument("baseline_json", help="committed BENCH_*.json to compare against")
+    args = parser.parse_args()
+
+    if os.environ.get("WAFE_PERF", "0") in ("", "0"):
+        print("WAFE_PERF not set; skipping perf comparison (exit 77)")
+        return SKIP_EXIT_CODE
+
+    baseline = load_benchmarks(args.baseline_json)
+    if not baseline:
+        print(f"error: no benchmarks in baseline {args.baseline_json}", file=sys.stderr)
+        return 1
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        fresh_path = tmp.name
+    try:
+        subprocess.run([args.bench_binary, "--json", fresh_path], check=True,
+                       stdout=subprocess.DEVNULL)
+        fresh = load_benchmarks(fresh_path)
+    finally:
+        os.unlink(fresh_path)
+
+    failures = []
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"  [gone]  {name} (in baseline only; refresh the JSON?)")
+            continue
+        old, new = baseline[name], fresh[name]
+        delta_pct = (new - old) / old * 100.0
+        verdict = "FAIL" if delta_pct > args.threshold else "ok"
+        print(f"  [{verdict:>4}] {name}: {old:.0f} ns -> {new:.0f} ns ({delta_pct:+.1f}%)")
+        if delta_pct > args.threshold:
+            failures.append(name)
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"  [new ]  {name}: {fresh[name]:.0f} ns (not in baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}% vs {args.baseline_json}: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nno regression beyond {args.threshold:.0f}% vs {args.baseline_json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

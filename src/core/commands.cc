@@ -1238,6 +1238,19 @@ void RegisterObsCommands(Wafe& wafe) {
       false});
 
   reg.Register(CommandSpec{
+      "scriptCacheFlush",
+      "scriptCacheFlush",
+      "int",
+      {},
+      "drop every memoized compiled script and expr AST (scripts re-compile "
+      "on next evaluation); returns the number of entries dropped",
+      [](Invocation& inv) {
+        std::size_t dropped = inv.wafe->interp().FlushCompileCaches();
+        return Result::Ok(std::to_string(dropped));
+      },
+      false});
+
+  reg.Register(CommandSpec{
       "traceDump",
       "traceDump",
       "int",

@@ -37,6 +37,13 @@ bool IsButtonEvent(xsim::EventType type) {
 std::string SubstituteEventCodes(const std::string& script, const xtk::Widget& widget,
                                  const xsim::Event& event) {
   g_event_substitutions.Increment();
+  // Scripts with no % codes pass through untouched. Returning the original
+  // string (not a copy assembled char by char) keeps the script byte-stable,
+  // so the compiled-script cache sees one key per action instead of one per
+  // dispatch.
+  if (script.find('%') == std::string::npos) {
+    return script;
+  }
   std::string out;
   out.reserve(script.size());
   for (std::size_t i = 0; i < script.size(); ++i) {
@@ -103,6 +110,9 @@ std::string SubstituteEventCodes(const std::string& script, const xtk::Widget& w
 std::string SubstituteCallbackCodes(const std::string& script, const xtk::Widget& widget,
                                     const xtk::CallData& data) {
   g_callback_substitutions.Increment();
+  if (script.find('%') == std::string::npos) {
+    return script;
+  }
   std::string out;
   out.reserve(script.size());
   for (std::size_t i = 0; i < script.size(); ++i) {

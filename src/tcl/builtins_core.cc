@@ -3,6 +3,7 @@
 #include <time.h>
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -49,14 +50,19 @@ Result CmdIncr(Interp& interp, const std::vector<std::string>& argv) {
   if (argv.size() != 2 && argv.size() != 3) {
     return ArityError("incr", "varName ?increment?");
   }
-  std::string current;
-  if (!interp.GetVar(argv[1], &current)) {
-    return Result::Error("can't read \"" + argv[1] + "\": no such variable");
+  std::string* slot = interp.GetVarPtr(argv[1]);
+  const std::string* current = slot;
+  std::string storage;
+  if (current == nullptr) {
+    if (!interp.GetVar(argv[1], &storage)) {
+      return Result::Error("can't read \"" + argv[1] + "\": no such variable");
+    }
+    current = &storage;
   }
   char* end = nullptr;
-  long value = std::strtol(current.c_str(), &end, 10);
-  if (end == current.c_str() || *end != '\0') {
-    return Result::Error("expected integer but got \"" + current + "\"");
+  long value = std::strtol(current->c_str(), &end, 10);
+  if (end == current->c_str() || *end != '\0') {
+    return Result::Error("expected integer but got \"" + *current + "\"");
   }
   long increment = 1;
   if (argv.size() == 3) {
@@ -65,7 +71,15 @@ Result CmdIncr(Interp& interp, const std::vector<std::string>& argv) {
       return Result::Error("expected integer but got \"" + argv[2] + "\"");
     }
   }
-  return interp.SetVar(argv[1], std::to_string(value + increment));
+  value += increment;
+  if (slot != nullptr) {
+    // Update the scalar in place, reusing its buffer.
+    char buf[24];
+    auto conv = std::to_chars(buf, buf + sizeof(buf), value);
+    slot->assign(buf, static_cast<std::size_t>(conv.ptr - buf));
+    return Result::Ok(*slot);
+  }
+  return interp.SetVar(argv[1], std::to_string(value));
 }
 
 Result CmdIf(Interp& interp, const std::vector<std::string>& argv) {
@@ -114,16 +128,19 @@ Result CmdWhile(Interp& interp, const std::vector<std::string>& argv) {
     return ArityError("while", "test command");
   }
   Result last = Result::Ok();
+  // Compile the body once up front: iterations skip even the cache lookup.
+  ScriptHandle compiled_body = interp.Precompile(argv[2]);
+  ExprHandle compiled_test = interp.PrecompileExpr(argv[1]);
   for (;;) {
     bool truth = false;
-    Result r = interp.ExprBoolean(argv[1], &truth);
+    Result r = interp.ExprBooleanCompiled(compiled_test, &truth);
     if (r.code == Status::kError) {
       return r;
     }
     if (!truth) {
       break;
     }
-    Result body = interp.Eval(argv[2]);
+    Result body = interp.EvalCompiled(compiled_body);
     if (body.code == Status::kBreak) {
       break;
     }
@@ -144,23 +161,26 @@ Result CmdFor(Interp& interp, const std::vector<std::string>& argv) {
   if (r.code != Status::kOk) {
     return r;
   }
+  ScriptHandle compiled_body = interp.Precompile(argv[4]);
+  ScriptHandle compiled_next = interp.Precompile(argv[3]);
+  ExprHandle compiled_test = interp.PrecompileExpr(argv[2]);
   for (;;) {
     bool truth = false;
-    r = interp.ExprBoolean(argv[2], &truth);
+    r = interp.ExprBooleanCompiled(compiled_test, &truth);
     if (r.code == Status::kError) {
       return r;
     }
     if (!truth) {
       break;
     }
-    Result body = interp.Eval(argv[4]);
+    Result body = interp.EvalCompiled(compiled_body);
     if (body.code == Status::kBreak) {
       break;
     }
     if (body.code != Status::kContinue && body.code != Status::kOk) {
       return body;
     }
-    r = interp.Eval(argv[3]);
+    r = interp.EvalCompiled(compiled_next);
     if (r.code != Status::kOk) {
       return r;
     }
@@ -176,12 +196,13 @@ Result CmdForeach(Interp& interp, const std::vector<std::string>& argv) {
   if (!SplitList(argv[2], &items)) {
     return Result::Error("unmatched open brace in list");
   }
+  ScriptHandle compiled_body = interp.Precompile(argv[3]);
   for (const std::string& item : items) {
     Result r = interp.SetVar(argv[1], item);
     if (r.code == Status::kError) {
       return r;
     }
-    Result body = interp.Eval(argv[3]);
+    Result body = interp.EvalCompiled(compiled_body);
     if (body.code == Status::kBreak) {
       break;
     }

@@ -1,19 +1,44 @@
-// The `expr` evaluator: a recursive-descent parser over Tcl expression
-// syntax with long/double/string operands, the full C operator set Tcl
-// supports (including ?: and short-circuit && / ||), and math functions.
+// The `expr` evaluator: Tcl expression syntax with long/double/string
+// operands, the full C operator set Tcl supports (including ?: and && / ||),
+// and math functions.
+//
+// Two engines share one set of evaluation helpers:
+//   - A compile-once AST engine: expressions parse once into an ExprNode
+//     tree (operands are kConst or kSubst substitution programs from
+//     src/tcl/script.h), memoized in a content-keyed LRU cache. Loop tests
+//     are the hottest expressions in the tree, so this is the hot path.
+//   - The legacy interleaved parser (ExprParser), kept as the fallback for
+//     structurally invalid expressions: it evaluates while parsing, so for
+//     malformed input the order of substitution side effects vs. the syntax
+//     error is observable — the fallback preserves it exactly. A failed
+//     compile is cached too (as a null AST), so repeated evaluation of a
+//     malformed expression does not re-attempt compilation.
 #include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <variant>
 
+#include "src/obs/obs.h"
 #include "src/tcl/interp.h"
 #include "src/tcl/interp_internal.h"
+#include "src/tcl/script.h"
 
 namespace wtcl {
 
 namespace {
+
+// Expr AST cache traffic (the script cache reports from interp.cc).
+wobs::Counter g_expr_cache_hits("tcl.expr.cache.hits");
+wobs::Counter g_expr_cache_misses("tcl.expr.cache.misses");
+wobs::Counter g_expr_cache_evictions("tcl.expr.cache.evictions");
+
+// Expressions are short (loop tests, callback conditions); anything larger
+// than this is evaluated without being retained.
+constexpr std::size_t kExprCacheCapacity = 512;
+constexpr std::size_t kExprCacheMaxKeyBytes = 16 * 1024;
 
 struct Value {
   enum class Kind { kInt, kDouble, kString };
@@ -86,6 +111,232 @@ bool ParseNumber(const std::string& text, Value* out) {
   }
   return false;
 }
+
+// --- Shared evaluation helpers (both engines) --------------------------------
+
+Result Truth(const Value& v, bool* out) {
+  switch (v.kind) {
+    case Value::Kind::kInt:
+      *out = v.i != 0;
+      return Result::Ok();
+    case Value::Kind::kDouble:
+      *out = v.d != 0.0;
+      return Result::Ok();
+    case Value::Kind::kString: {
+      std::string lower;
+      for (char c : v.s) {
+        lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      }
+      if (lower == "true" || lower == "yes" || lower == "on" || lower == "1") {
+        *out = true;
+        return Result::Ok();
+      }
+      if (lower == "false" || lower == "no" || lower == "off" || lower == "0") {
+        *out = false;
+        return Result::Ok();
+      }
+      Value number;
+      if (ParseNumber(v.s, &number)) {
+        return Truth(number, out);
+      }
+      return Result::Error("expected boolean value but got \"" + v.s + "\"");
+    }
+  }
+  return Result::Ok();
+}
+
+Result RequireInts(const Value& a, const Value& b, long* x, long* y) {
+  if (a.kind != Value::Kind::kInt || b.kind != Value::Kind::kInt) {
+    return Result::Error("can't use non-integer value as operand of bitwise operator");
+  }
+  *x = a.i;
+  *y = b.i;
+  return Result::Ok();
+}
+
+// Compares a and b: -1, 0, 1. Numeric when both numeric, else string.
+int Compare(const Value& a, const Value& b) {
+  if (a.numeric() && b.numeric()) {
+    if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt) {
+      if (a.i < b.i) {
+        return -1;
+      }
+      return a.i > b.i ? 1 : 0;
+    }
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    if (x < y) {
+      return -1;
+    }
+    return x > y ? 1 : 0;
+  }
+  std::string x = a.ToString();
+  std::string y = b.ToString();
+  int c = x.compare(y);
+  if (c < 0) {
+    return -1;
+  }
+  return c > 0 ? 1 : 0;
+}
+
+Result Arith(char op, const Value& a, const Value& b, Value* out) {
+  if (!a.numeric() || !b.numeric()) {
+    return Result::Error(std::string("can't use non-numeric string as operand of \"") + op +
+                         "\"");
+  }
+  if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt) {
+    switch (op) {
+      case '+':
+        *out = Value::Int(a.i + b.i);
+        return Result::Ok();
+      case '-':
+        *out = Value::Int(a.i - b.i);
+        return Result::Ok();
+      case '*':
+        *out = Value::Int(a.i * b.i);
+        return Result::Ok();
+      case '/':
+        if (b.i == 0) {
+          return Result::Error("divide by zero");
+        }
+        {
+          // Tcl floors integer division toward negative infinity.
+          long q = a.i / b.i;
+          if ((a.i % b.i != 0) && ((a.i < 0) != (b.i < 0))) {
+            --q;
+          }
+          *out = Value::Int(q);
+        }
+        return Result::Ok();
+      case '%':
+        if (b.i == 0) {
+          return Result::Error("divide by zero");
+        }
+        {
+          long m = a.i % b.i;
+          if (m != 0 && ((a.i < 0) != (b.i < 0))) {
+            m += b.i;
+          }
+          *out = Value::Int(m);
+        }
+        return Result::Ok();
+    }
+  }
+  double x = a.AsDouble();
+  double y = b.AsDouble();
+  switch (op) {
+    case '+':
+      *out = Value::Double(x + y);
+      return Result::Ok();
+    case '-':
+      *out = Value::Double(x - y);
+      return Result::Ok();
+    case '*':
+      *out = Value::Double(x * y);
+      return Result::Ok();
+    case '/':
+      if (y == 0.0) {
+        return Result::Error("divide by zero");
+      }
+      *out = Value::Double(x / y);
+      return Result::Ok();
+    case '%':
+      return Result::Error("can't use floating-point value as operand of \"%\"");
+  }
+  return Result::Error("syntax error in expression");  // unreachable
+}
+
+Result ApplyFunction(const std::string& name, const std::vector<Value>& args, Value* out) {
+  auto need = [&](std::size_t n) { return args.size() == n; };
+  auto arg_num = [&](std::size_t idx, double* v) {
+    if (!args[idx].numeric()) {
+      return false;
+    }
+    *v = args[idx].AsDouble();
+    return true;
+  };
+  if (name == "abs" && need(1)) {
+    if (args[0].kind == Value::Kind::kInt) {
+      *out = Value::Int(std::labs(args[0].i));
+      return Result::Ok();
+    }
+    double v = 0;
+    if (!arg_num(0, &v)) {
+      return Result::Error("argument to math function didn't have numeric value");
+    }
+    *out = Value::Double(std::fabs(v));
+    return Result::Ok();
+  }
+  if (name == "int" && need(1)) {
+    double v = 0;
+    if (!arg_num(0, &v)) {
+      return Result::Error("argument to math function didn't have numeric value");
+    }
+    *out = Value::Int(static_cast<long>(v));
+    return Result::Ok();
+  }
+  if (name == "round" && need(1)) {
+    double v = 0;
+    if (!arg_num(0, &v)) {
+      return Result::Error("argument to math function didn't have numeric value");
+    }
+    *out = Value::Int(static_cast<long>(v < 0 ? v - 0.5 : v + 0.5));
+    return Result::Ok();
+  }
+  if (name == "double" && need(1)) {
+    double v = 0;
+    if (!arg_num(0, &v)) {
+      return Result::Error("argument to math function didn't have numeric value");
+    }
+    *out = Value::Double(v);
+    return Result::Ok();
+  }
+  struct Unary {
+    const char* name;
+    double (*fn)(double);
+  };
+  static const Unary kUnary[] = {
+      {"sqrt", std::sqrt}, {"sin", std::sin},     {"cos", std::cos},   {"tan", std::tan},
+      {"asin", std::asin}, {"acos", std::acos},   {"atan", std::atan}, {"exp", std::exp},
+      {"log", std::log},   {"log10", std::log10}, {"sinh", std::sinh}, {"cosh", std::cosh},
+      {"tanh", std::tanh}, {"floor", std::floor}, {"ceil", std::ceil},
+  };
+  for (const Unary& u : kUnary) {
+    if (name == u.name) {
+      if (!need(1)) {
+        return Result::Error("too many arguments for math function");
+      }
+      double v = 0;
+      if (!arg_num(0, &v)) {
+        return Result::Error("argument to math function didn't have numeric value");
+      }
+      *out = Value::Double(u.fn(v));
+      return Result::Ok();
+    }
+  }
+  if ((name == "pow" || name == "atan2" || name == "fmod" || name == "hypot") && need(2)) {
+    double a = 0;
+    double b = 0;
+    if (!arg_num(0, &a) || !arg_num(1, &b)) {
+      return Result::Error("argument to math function didn't have numeric value");
+    }
+    double v = 0;
+    if (name == "pow") {
+      v = std::pow(a, b);
+    } else if (name == "atan2") {
+      v = std::atan2(a, b);
+    } else if (name == "fmod") {
+      v = std::fmod(a, b);
+    } else {
+      v = std::hypot(a, b);
+    }
+    *out = Value::Double(v);
+    return Result::Ok();
+  }
+  return Result::Error("unknown math function \"" + name + "\"");
+}
+
+// --- Legacy interleaved parser (fallback engine) -----------------------------
 
 class ExprParser {
  public:
@@ -161,37 +412,6 @@ class ExprParser {
     return Result::Ok();
   }
 
-  Result Truth(const Value& v, bool* out) {
-    switch (v.kind) {
-      case Value::Kind::kInt:
-        *out = v.i != 0;
-        return Result::Ok();
-      case Value::Kind::kDouble:
-        *out = v.d != 0.0;
-        return Result::Ok();
-      case Value::Kind::kString: {
-        std::string lower;
-        for (char c : v.s) {
-          lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-        }
-        if (lower == "true" || lower == "yes" || lower == "on" || lower == "1") {
-          *out = true;
-          return Result::Ok();
-        }
-        if (lower == "false" || lower == "no" || lower == "off" || lower == "0") {
-          *out = false;
-          return Result::Ok();
-        }
-        Value number;
-        if (ParseNumber(v.s, &number)) {
-          return Truth(number, out);
-        }
-        return Result::Error("expected boolean value but got \"" + v.s + "\"");
-      }
-    }
-    return Result::Ok();
-  }
-
   Result ParseOr(Value* out) {
     Result r = ParseAnd(out);
     if (r.code == Status::kError) {
@@ -252,15 +472,6 @@ class ExprParser {
         return Result::Ok();
       }
     }
-  }
-
-  Result RequireInts(const Value& a, const Value& b, long* x, long* y) {
-    if (a.kind != Value::Kind::kInt || b.kind != Value::Kind::kInt) {
-      return Result::Error("can't use non-integer value as operand of bitwise operator");
-    }
-    *x = a.i;
-    *y = b.i;
-    return Result::Ok();
   }
 
   Result ParseBitOr(Value* out) {
@@ -344,31 +555,6 @@ class ExprParser {
         return Result::Ok();
       }
     }
-  }
-
-  // Compares a and b: -1, 0, 1. Numeric when both numeric, else string.
-  static int Compare(const Value& a, const Value& b) {
-    if (a.numeric() && b.numeric()) {
-      if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt) {
-        if (a.i < b.i) {
-          return -1;
-        }
-        return a.i > b.i ? 1 : 0;
-      }
-      double x = a.AsDouble();
-      double y = b.AsDouble();
-      if (x < y) {
-        return -1;
-      }
-      return x > y ? 1 : 0;
-    }
-    std::string x = a.ToString();
-    std::string y = b.ToString();
-    int c = x.compare(y);
-    if (c < 0) {
-      return -1;
-    }
-    return c > 0 ? 1 : 0;
   }
 
   Result ParseEquality(Value* out) {
@@ -505,73 +691,6 @@ class ExprParser {
         return Result::Ok();
       }
     }
-  }
-
-  Result Arith(char op, const Value& a, const Value& b, Value* out) {
-    if (!a.numeric() || !b.numeric()) {
-      return Result::Error(std::string("can't use non-numeric string as operand of \"") + op +
-                           "\"");
-    }
-    if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt) {
-      switch (op) {
-        case '+':
-          *out = Value::Int(a.i + b.i);
-          return Result::Ok();
-        case '-':
-          *out = Value::Int(a.i - b.i);
-          return Result::Ok();
-        case '*':
-          *out = Value::Int(a.i * b.i);
-          return Result::Ok();
-        case '/':
-          if (b.i == 0) {
-            return Result::Error("divide by zero");
-          }
-          {
-            // Tcl floors integer division toward negative infinity.
-            long q = a.i / b.i;
-            if ((a.i % b.i != 0) && ((a.i < 0) != (b.i < 0))) {
-              --q;
-            }
-            *out = Value::Int(q);
-          }
-          return Result::Ok();
-        case '%':
-          if (b.i == 0) {
-            return Result::Error("divide by zero");
-          }
-          {
-            long m = a.i % b.i;
-            if (m != 0 && ((a.i < 0) != (b.i < 0))) {
-              m += b.i;
-            }
-            *out = Value::Int(m);
-          }
-          return Result::Ok();
-      }
-    }
-    double x = a.AsDouble();
-    double y = b.AsDouble();
-    switch (op) {
-      case '+':
-        *out = Value::Double(x + y);
-        return Result::Ok();
-      case '-':
-        *out = Value::Double(x - y);
-        return Result::Ok();
-      case '*':
-        *out = Value::Double(x * y);
-        return Result::Ok();
-      case '/':
-        if (y == 0.0) {
-          return Result::Error("divide by zero");
-        }
-        *out = Value::Double(x / y);
-        return Result::Ok();
-      case '%':
-        return Result::Error("can't use floating-point value as operand of \"%\"");
-    }
-    return Syntax();
   }
 
   Result ParseUnary(Value* out) {
@@ -801,119 +920,855 @@ class ExprParser {
     return ApplyFunction(name, args, out);
   }
 
-  Result ApplyFunction(const std::string& name, const std::vector<Value>& args, Value* out) {
-    auto need = [&](std::size_t n) { return args.size() == n; };
-    auto arg_num = [&](std::size_t idx, double* v) {
-      if (!args[idx].numeric()) {
-        return false;
-      }
-      *v = args[idx].AsDouble();
-      return true;
-    };
-    if (name == "abs" && need(1)) {
-      if (args[0].kind == Value::Kind::kInt) {
-        *out = Value::Int(std::labs(args[0].i));
-        return Result::Ok();
-      }
-      double v = 0;
-      if (!arg_num(0, &v)) {
-        return Result::Error("argument to math function didn't have numeric value");
-      }
-      *out = Value::Double(std::fabs(v));
-      return Result::Ok();
-    }
-    if (name == "int" && need(1)) {
-      double v = 0;
-      if (!arg_num(0, &v)) {
-        return Result::Error("argument to math function didn't have numeric value");
-      }
-      *out = Value::Int(static_cast<long>(v));
-      return Result::Ok();
-    }
-    if (name == "round" && need(1)) {
-      double v = 0;
-      if (!arg_num(0, &v)) {
-        return Result::Error("argument to math function didn't have numeric value");
-      }
-      *out = Value::Int(static_cast<long>(v < 0 ? v - 0.5 : v + 0.5));
-      return Result::Ok();
-    }
-    if (name == "double" && need(1)) {
-      double v = 0;
-      if (!arg_num(0, &v)) {
-        return Result::Error("argument to math function didn't have numeric value");
-      }
-      *out = Value::Double(v);
-      return Result::Ok();
-    }
-    struct Unary {
-      const char* name;
-      double (*fn)(double);
-    };
-    static const Unary kUnary[] = {
-        {"sqrt", std::sqrt}, {"sin", std::sin},     {"cos", std::cos},   {"tan", std::tan},
-        {"asin", std::asin}, {"acos", std::acos},   {"atan", std::atan}, {"exp", std::exp},
-        {"log", std::log},   {"log10", std::log10}, {"sinh", std::sinh}, {"cosh", std::cosh},
-        {"tanh", std::tanh}, {"floor", std::floor}, {"ceil", std::ceil},
-    };
-    for (const Unary& u : kUnary) {
-      if (name == u.name) {
-        if (!need(1)) {
-          return Result::Error("too many arguments for math function");
-        }
-        double v = 0;
-        if (!arg_num(0, &v)) {
-          return Result::Error("argument to math function didn't have numeric value");
-        }
-        *out = Value::Double(u.fn(v));
-        return Result::Ok();
-      }
-    }
-    if ((name == "pow" || name == "atan2" || name == "fmod" || name == "hypot") && need(2)) {
-      double a = 0;
-      double b = 0;
-      if (!arg_num(0, &a) || !arg_num(1, &b)) {
-        return Result::Error("argument to math function didn't have numeric value");
-      }
-      double v = 0;
-      if (name == "pow") {
-        v = std::pow(a, b);
-      } else if (name == "atan2") {
-        v = std::atan2(a, b);
-      } else if (name == "fmod") {
-        v = std::fmod(a, b);
-      } else {
-        v = std::hypot(a, b);
-      }
-      *out = Value::Double(v);
-      return Result::Ok();
-    }
-    return Result::Error("unknown math function \"" + name + "\"");
-  }
-
   Interp& interp_;
   std::string_view text_;
   std::size_t pos_ = 0;
 };
 
-}  // namespace
+// --- Compile-once AST engine -------------------------------------------------
 
-Result Interp::EvalExpr(std::string_view expression) {
-  ExprParser parser(*this, expression);
-  Value value;
-  Result r = parser.Run(&value);
-  if (r.code == Status::kError) {
-    return r;
+// Binary operators that always evaluate both operands (matching the legacy
+// engine, which has no short-circuit evaluation either: && / || evaluate
+// both sides and only combine the truth values).
+enum class BinOp {
+  kBitOr,
+  kBitXor,
+  kBitAnd,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kShl,
+  kShr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+};
+
+struct ExprNode {
+  enum class Kind {
+    kConst,    // `constant`
+    kSubst,    // `segments` (+ force_string for quoted strings)
+    kUnary,    // `op` applied to children[0]
+    kBinary,   // `bin` over children[0], children[1]
+    kAnd,      // truth(children[0]) && truth(children[1]), both evaluated
+    kOr,       // truth(children[0]) || truth(children[1]), both evaluated
+    kTernary,  // children[0] ? children[1] : children[2], both arms evaluated
+    kFunc,     // func_name applied to children
+  };
+  Kind kind = Kind::kConst;
+  Value constant;                     // kConst
+  std::vector<WordSegment> segments;  // kSubst
+  // Quoted strings are string values even when they look numeric; $var and
+  // [cmd] results are re-parsed as numbers at evaluation time.
+  bool force_string = false;
+  char op = 0;                  // kUnary: - + ! ~
+  BinOp bin = BinOp::kBitOr;    // kBinary
+  std::string func_name;        // kFunc
+  std::vector<std::unique_ptr<ExprNode>> children;
+};
+
+using NodePtr = std::unique_ptr<ExprNode>;
+
+// A compiled expression. A null root marks an expression the compiler could
+// not handle structurally: evaluation falls back to the legacy interleaved
+// parser on `source` (preserving its exact error/side-effect ordering), and
+// the null is cached so the compile is not re-attempted.
+struct ExprAst {
+  NodePtr root;
+  std::string source;  // retained only when root is null (fallback input)
+};
+
+// Structural compiler: mirrors ExprParser's grammar exactly but builds
+// nodes instead of evaluating. Any structural error returns null (fallback);
+// it must never accept an expression the legacy parser would reject.
+class ExprCompiler {
+ public:
+  explicit ExprCompiler(std::string_view text) : text_(text) {}
+
+  NodePtr Run() {
+    NodePtr root = CompileTernary();
+    if (root == nullptr) {
+      return nullptr;
+    }
+    SkipSpace();
+    if (pos_ < text_.size()) {
+      return nullptr;  // trailing junk: legacy reports the syntax error
+    }
+    return root;
   }
-  return Result::Ok(value.ToString());
+
+ private:
+  static NodePtr MakeConst(Value v) {
+    auto node = std::make_unique<ExprNode>();
+    node->kind = ExprNode::Kind::kConst;
+    node->constant = std::move(v);
+    return node;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(std::string_view token) {
+    SkipSpace();
+    return text_.substr(pos_, token.size()) == token;
+  }
+
+  bool Consume(std::string_view token) {
+    if (Peek(token)) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  NodePtr CompileTernary() {
+    NodePtr cond = CompileOr();
+    if (cond == nullptr) {
+      return nullptr;
+    }
+    SkipSpace();
+    if (Consume("?")) {
+      NodePtr a = CompileTernary();
+      if (a == nullptr) {
+        return nullptr;
+      }
+      SkipSpace();
+      if (!Consume(":")) {
+        return nullptr;
+      }
+      NodePtr b = CompileTernary();
+      if (b == nullptr) {
+        return nullptr;
+      }
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::kTernary;
+      node->children.push_back(std::move(cond));
+      node->children.push_back(std::move(a));
+      node->children.push_back(std::move(b));
+      return node;
+    }
+    return cond;
+  }
+
+  NodePtr CompileOr() {
+    NodePtr left = CompileAnd();
+    if (left == nullptr) {
+      return nullptr;
+    }
+    for (;;) {
+      SkipSpace();
+      if (text_.substr(pos_, 2) == "||") {
+        pos_ += 2;
+        NodePtr right = CompileAnd();
+        if (right == nullptr) {
+          return nullptr;
+        }
+        auto node = std::make_unique<ExprNode>();
+        node->kind = ExprNode::Kind::kOr;
+        node->children.push_back(std::move(left));
+        node->children.push_back(std::move(right));
+        left = std::move(node);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  NodePtr CompileAnd() {
+    NodePtr left = CompileBitOr();
+    if (left == nullptr) {
+      return nullptr;
+    }
+    for (;;) {
+      SkipSpace();
+      if (text_.substr(pos_, 2) == "&&") {
+        pos_ += 2;
+        NodePtr right = CompileBitOr();
+        if (right == nullptr) {
+          return nullptr;
+        }
+        auto node = std::make_unique<ExprNode>();
+        node->kind = ExprNode::Kind::kAnd;
+        node->children.push_back(std::move(left));
+        node->children.push_back(std::move(right));
+        left = std::move(node);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  NodePtr MakeBinary(BinOp op, NodePtr left, NodePtr right) {
+    auto node = std::make_unique<ExprNode>();
+    node->kind = ExprNode::Kind::kBinary;
+    node->bin = op;
+    node->children.push_back(std::move(left));
+    node->children.push_back(std::move(right));
+    return node;
+  }
+
+  NodePtr CompileBitOr() {
+    NodePtr left = CompileBitXor();
+    if (left == nullptr) {
+      return nullptr;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '|' &&
+          (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '|')) {
+        ++pos_;
+        NodePtr right = CompileBitXor();
+        if (right == nullptr) {
+          return nullptr;
+        }
+        left = MakeBinary(BinOp::kBitOr, std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  NodePtr CompileBitXor() {
+    NodePtr left = CompileBitAnd();
+    if (left == nullptr) {
+      return nullptr;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '^') {
+        ++pos_;
+        NodePtr right = CompileBitAnd();
+        if (right == nullptr) {
+          return nullptr;
+        }
+        left = MakeBinary(BinOp::kBitXor, std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  NodePtr CompileBitAnd() {
+    NodePtr left = CompileEquality();
+    if (left == nullptr) {
+      return nullptr;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '&' &&
+          (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '&')) {
+        ++pos_;
+        NodePtr right = CompileEquality();
+        if (right == nullptr) {
+          return nullptr;
+        }
+        left = MakeBinary(BinOp::kBitAnd, std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  NodePtr CompileEquality() {
+    NodePtr left = CompileRelational();
+    if (left == nullptr) {
+      return nullptr;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string_view two = text_.substr(pos_, 2);
+      if (two == "==" || two == "!=") {
+        pos_ += 2;
+        NodePtr right = CompileRelational();
+        if (right == nullptr) {
+          return nullptr;
+        }
+        left = MakeBinary(two == "==" ? BinOp::kEq : BinOp::kNe, std::move(left),
+                          std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  NodePtr CompileRelational() {
+    NodePtr left = CompileShift();
+    if (left == nullptr) {
+      return nullptr;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string_view two = text_.substr(pos_, 2);
+      if (two == "<=" || two == ">=") {
+        pos_ += 2;
+        NodePtr right = CompileShift();
+        if (right == nullptr) {
+          return nullptr;
+        }
+        left = MakeBinary(two == "<=" ? BinOp::kLe : BinOp::kGe, std::move(left),
+                          std::move(right));
+      } else if (pos_ < text_.size() && (text_[pos_] == '<' || text_[pos_] == '>') &&
+                 (pos_ + 1 >= text_.size() || text_[pos_ + 1] != text_[pos_])) {
+        char op = text_[pos_];
+        ++pos_;
+        NodePtr right = CompileShift();
+        if (right == nullptr) {
+          return nullptr;
+        }
+        left = MakeBinary(op == '<' ? BinOp::kLt : BinOp::kGt, std::move(left),
+                          std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  NodePtr CompileShift() {
+    NodePtr left = CompileAdditive();
+    if (left == nullptr) {
+      return nullptr;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string_view two = text_.substr(pos_, 2);
+      if (two == "<<" || two == ">>") {
+        pos_ += 2;
+        NodePtr right = CompileAdditive();
+        if (right == nullptr) {
+          return nullptr;
+        }
+        left = MakeBinary(two == "<<" ? BinOp::kShl : BinOp::kShr, std::move(left),
+                          std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  NodePtr CompileAdditive() {
+    NodePtr left = CompileMultiplicative();
+    if (left == nullptr) {
+      return nullptr;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        char op = text_[pos_];
+        ++pos_;
+        NodePtr right = CompileMultiplicative();
+        if (right == nullptr) {
+          return nullptr;
+        }
+        left = MakeBinary(op == '+' ? BinOp::kAdd : BinOp::kSub, std::move(left),
+                          std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  NodePtr CompileMultiplicative() {
+    NodePtr left = CompileUnary();
+    if (left == nullptr) {
+      return nullptr;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '*' || text_[pos_] == '/' || text_[pos_] == '%')) {
+        char op = text_[pos_];
+        ++pos_;
+        NodePtr right = CompileUnary();
+        if (right == nullptr) {
+          return nullptr;
+        }
+        left = MakeBinary(op == '*' ? BinOp::kMul : (op == '/' ? BinOp::kDiv : BinOp::kMod),
+                          std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  NodePtr CompileUnary() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return nullptr;
+    }
+    char c = text_[pos_];
+    if (c == '-' || c == '+' || c == '!' || c == '~') {
+      ++pos_;
+      NodePtr operand = CompileUnary();
+      if (operand == nullptr) {
+        return nullptr;
+      }
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::kUnary;
+      node->op = c;
+      node->children.push_back(std::move(operand));
+      return node;
+    }
+    return CompilePrimary();
+  }
+
+  NodePtr CompilePrimary() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return nullptr;
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      NodePtr inner = CompileTernary();
+      if (inner == nullptr) {
+        return nullptr;
+      }
+      SkipSpace();
+      if (!Consume(")")) {
+        return nullptr;
+      }
+      return inner;
+    }
+    if (c == '$') {
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::kSubst;
+      std::string error;
+      if (!CompileVariableSegments(text_, &pos_, &node->segments, &error)) {
+        return nullptr;
+      }
+      return node;
+    }
+    if (c == '[') {
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::kSubst;
+      std::string error;
+      if (!CompileBracketSegments(text_, &pos_, &node->segments, &error)) {
+        return nullptr;
+      }
+      return node;
+    }
+    if (c == '"') {
+      // Quoted string with substitutions: always a string value.
+      ++pos_;
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::kSubst;
+      node->force_string = true;
+      std::string pending;
+      auto flush = [&]() {
+        if (pending.empty()) {
+          return;
+        }
+        WordSegment segment;
+        segment.kind = WordSegment::Kind::kLiteral;
+        segment.text = std::move(pending);
+        pending.clear();
+        node->segments.push_back(std::move(segment));
+      };
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        char qc = text_[pos_];
+        if (qc == '\\' && pos_ + 1 < text_.size()) {
+          // The legacy engine substitutes exactly the two-character window
+          // (so `\x41` is "x41", unlike script context); mirror that.
+          std::string_view piece = text_.substr(pos_, 2);
+          std::size_t piece_pos = 0;
+          detail::SubstBackslash(piece, &piece_pos, &pending);
+          pos_ += 2;
+        } else if (qc == '$') {
+          flush();
+          std::string error;
+          if (!CompileVariableSegments(text_, &pos_, &node->segments, &error)) {
+            return nullptr;
+          }
+        } else if (qc == '[') {
+          flush();
+          std::string error;
+          if (!CompileBracketSegments(text_, &pos_, &node->segments, &error)) {
+            return nullptr;
+          }
+        } else {
+          pending.push_back(qc);
+          ++pos_;
+        }
+      }
+      if (pos_ >= text_.size()) {
+        return nullptr;
+      }
+      ++pos_;
+      flush();
+      return node;
+    }
+    if (c == '{') {
+      int depth = 1;
+      std::size_t start = pos_ + 1;
+      std::size_t j = start;
+      while (j < text_.size() && depth > 0) {
+        if (text_[j] == '{') {
+          ++depth;
+        } else if (text_[j] == '}') {
+          --depth;
+          if (depth == 0) {
+            break;
+          }
+        }
+        ++j;
+      }
+      if (depth != 0) {
+        return nullptr;
+      }
+      std::string text(text_.substr(start, j - start));
+      pos_ = j + 1;
+      Value v;
+      if (!ParseNumber(text, &v)) {
+        v = Value::Str(std::move(text));
+      }
+      return MakeConst(std::move(v));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return CompileNumberToken();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return CompileFunction();
+    }
+    return nullptr;
+  }
+
+  NodePtr CompileNumberToken() {
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    errno = 0;
+    long i = std::strtol(start, &end, 0);
+    const char* int_end = end;
+    errno = 0;
+    char* dend = nullptr;
+    double d = std::strtod(start, &dend);
+    if (dend > int_end) {
+      pos_ += static_cast<std::size_t>(dend - start);
+      return MakeConst(Value::Double(d));
+    }
+    if (int_end == start) {
+      return nullptr;
+    }
+    pos_ += static_cast<std::size_t>(int_end - start);
+    return MakeConst(Value::Int(i));
+  }
+
+  NodePtr CompileFunction() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string name(text_.substr(start, pos_ - start));
+    SkipSpace();
+    if (!Consume("(")) {
+      if (name == "true" || name == "yes" || name == "on") {
+        return MakeConst(Value::Int(1));
+      }
+      if (name == "false" || name == "no" || name == "off") {
+        return MakeConst(Value::Int(0));
+      }
+      return nullptr;  // legacy reports `unexpected "name"`
+    }
+    auto node = std::make_unique<ExprNode>();
+    node->kind = ExprNode::Kind::kFunc;
+    node->func_name = std::move(name);
+    SkipSpace();
+    if (!Peek(")")) {
+      for (;;) {
+        NodePtr arg = CompileTernary();
+        if (arg == nullptr) {
+          return nullptr;
+        }
+        node->children.push_back(std::move(arg));
+        SkipSpace();
+        if (Consume(",")) {
+          continue;
+        }
+        break;
+      }
+    }
+    if (!Consume(")")) {
+      return nullptr;
+    }
+    // Function-name validity stays a runtime concern (ApplyFunction), like
+    // the legacy engine, which resolves the name only after the arguments.
+    return node;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// AST evaluation. Operand evaluation order matches the legacy interleaved
+// engine exactly: left before right, condition before both ternary arms,
+// truth-of-left before the right operand of && / ||, and operand type
+// errors after both operands are evaluated.
+Result EvalNode(Interp& interp, const ExprNode& node, Value* out) {
+  switch (node.kind) {
+    case ExprNode::Kind::kConst:
+      *out = node.constant;
+      return Result::Ok();
+    case ExprNode::Kind::kSubst: {
+      // `$name` operand: parse the scalar in place, no intermediate string.
+      if (!node.force_string && node.segments.size() == 1 &&
+          node.segments[0].kind == WordSegment::Kind::kVariable) {
+        if (const std::string* fast = interp.GetVarPtr(node.segments[0].text)) {
+          if (!ParseNumber(*fast, out)) {
+            *out = Value::Str(*fast);
+          }
+          return Result::Ok();
+        }
+      }
+      std::string text;
+      Result r = EvalWordSegments(interp, node.segments, &text);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      if (node.force_string || !ParseNumber(text, out)) {
+        *out = Value::Str(std::move(text));
+      }
+      return Result::Ok();
+    }
+    case ExprNode::Kind::kUnary: {
+      Value v;
+      Result r = EvalNode(interp, *node.children[0], &v);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      switch (node.op) {
+        case '-':
+          if (v.kind == Value::Kind::kInt) {
+            *out = Value::Int(-v.i);
+          } else if (v.kind == Value::Kind::kDouble) {
+            *out = Value::Double(-v.d);
+          } else {
+            return Result::Error("can't use non-numeric string as operand of \"-\"");
+          }
+          return Result::Ok();
+        case '+':
+          if (!v.numeric()) {
+            return Result::Error("can't use non-numeric string as operand of \"+\"");
+          }
+          *out = std::move(v);
+          return Result::Ok();
+        case '!': {
+          bool truth = false;
+          Result t = Truth(v, &truth);
+          if (t.code == Status::kError) {
+            return t;
+          }
+          *out = Value::Int(truth ? 0 : 1);
+          return Result::Ok();
+        }
+        case '~':
+          if (v.kind != Value::Kind::kInt) {
+            return Result::Error("can't use non-integer value as operand of \"~\"");
+          }
+          *out = Value::Int(~v.i);
+          return Result::Ok();
+      }
+      return Result::Error("syntax error in expression");  // unreachable
+    }
+    case ExprNode::Kind::kBinary: {
+      Value a;
+      Value b;
+      Result r = EvalNode(interp, *node.children[0], &a);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      r = EvalNode(interp, *node.children[1], &b);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      switch (node.bin) {
+        case BinOp::kBitOr:
+        case BinOp::kBitXor:
+        case BinOp::kBitAnd:
+        case BinOp::kShl:
+        case BinOp::kShr: {
+          long x = 0;
+          long y = 0;
+          Result ir = RequireInts(a, b, &x, &y);
+          if (ir.code == Status::kError) {
+            return ir;
+          }
+          switch (node.bin) {
+            case BinOp::kBitOr:
+              *out = Value::Int(x | y);
+              break;
+            case BinOp::kBitXor:
+              *out = Value::Int(x ^ y);
+              break;
+            case BinOp::kBitAnd:
+              *out = Value::Int(x & y);
+              break;
+            case BinOp::kShl:
+              *out = Value::Int(x << y);
+              break;
+            default:
+              *out = Value::Int(x >> y);
+              break;
+          }
+          return Result::Ok();
+        }
+        case BinOp::kEq:
+          *out = Value::Int(Compare(a, b) == 0);
+          return Result::Ok();
+        case BinOp::kNe:
+          *out = Value::Int(Compare(a, b) != 0);
+          return Result::Ok();
+        case BinOp::kLt:
+          *out = Value::Int(Compare(a, b) < 0);
+          return Result::Ok();
+        case BinOp::kGt:
+          *out = Value::Int(Compare(a, b) > 0);
+          return Result::Ok();
+        case BinOp::kLe:
+          *out = Value::Int(Compare(a, b) <= 0);
+          return Result::Ok();
+        case BinOp::kGe:
+          *out = Value::Int(Compare(a, b) >= 0);
+          return Result::Ok();
+        case BinOp::kAdd:
+          return Arith('+', a, b, out);
+        case BinOp::kSub:
+          return Arith('-', a, b, out);
+        case BinOp::kMul:
+          return Arith('*', a, b, out);
+        case BinOp::kDiv:
+          return Arith('/', a, b, out);
+        case BinOp::kMod:
+          return Arith('%', a, b, out);
+      }
+      return Result::Error("syntax error in expression");  // unreachable
+    }
+    case ExprNode::Kind::kAnd:
+    case ExprNode::Kind::kOr: {
+      Value lhs;
+      Result r = EvalNode(interp, *node.children[0], &lhs);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      bool left = false;
+      Result t = Truth(lhs, &left);
+      if (t.code == Status::kError) {
+        return t;
+      }
+      Value rhs;
+      r = EvalNode(interp, *node.children[1], &rhs);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      bool right = false;
+      t = Truth(rhs, &right);
+      if (t.code == Status::kError) {
+        return t;
+      }
+      bool combined =
+          node.kind == ExprNode::Kind::kAnd ? (left && right) : (left || right);
+      *out = Value::Int(combined ? 1 : 0);
+      return Result::Ok();
+    }
+    case ExprNode::Kind::kTernary: {
+      Value cv;
+      Result r = EvalNode(interp, *node.children[0], &cv);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      bool cond = false;
+      Result t = Truth(cv, &cond);
+      if (t.code == Status::kError) {
+        return t;
+      }
+      // Both arms evaluate (matching the legacy engine) before one is picked.
+      Value a;
+      Value b;
+      r = EvalNode(interp, *node.children[1], &a);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      r = EvalNode(interp, *node.children[2], &b);
+      if (r.code == Status::kError) {
+        return r;
+      }
+      *out = cond ? std::move(a) : std::move(b);
+      return Result::Ok();
+    }
+    case ExprNode::Kind::kFunc: {
+      std::vector<Value> args;
+      args.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        Value v;
+        Result r = EvalNode(interp, *child, &v);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        args.push_back(std::move(v));
+      }
+      return ApplyFunction(node.func_name, args, out);
+    }
+  }
+  return Result::Error("syntax error in expression");  // unreachable
 }
 
-Result Interp::ExprBoolean(std::string_view expression, bool* value) {
-  Result r = EvalExpr(expression);
-  if (r.code == Status::kError) {
-    return r;
+// Compile-through-cache, shared by every expr entry point. `cache_slot` is
+// the interp's expr cache, created lazily here so interp.cc does not need
+// the expr counters.
+std::shared_ptr<const ExprAst> CompileExprCached(std::unique_ptr<CompileCache>& cache_slot,
+                                                 std::string_view expression) {
+  if (cache_slot == nullptr) {
+    cache_slot = std::make_unique<CompileCache>(kExprCacheCapacity, kExprCacheMaxKeyBytes,
+                                                &g_expr_cache_hits, &g_expr_cache_misses,
+                                                &g_expr_cache_evictions);
   }
-  const std::string& text = r.value;
+  std::shared_ptr<const void> cached = cache_slot->Get(expression);
+  if (cached != nullptr) {
+    return std::static_pointer_cast<const ExprAst>(cached);
+  }
+  auto compiled = std::make_shared<ExprAst>();
+  compiled->root = ExprCompiler(expression).Run();
+  if (compiled->root == nullptr) {
+    compiled->source.assign(expression);
+  }
+  cache_slot->Put(expression, compiled);
+  return compiled;
+}
+
+Result EvalAst(Interp& interp, const ExprAst& ast, Value* out) {
+  if (ast.root == nullptr) {
+    ExprParser parser(interp, ast.source);
+    return parser.Run(out);
+  }
+  return EvalNode(interp, *ast.root, out);
+}
+
+Result EvalExprValue(Interp& interp, std::unique_ptr<CompileCache>& cache_slot,
+                     std::string_view expression, Value* out) {
+  return EvalAst(interp, *CompileExprCached(cache_slot, expression), out);
+}
+
+// The boolean contract of `expr` conditions, applied to an already-evaluated
+// value. Numeric kinds short-circuit the string parse (the ToString round
+// trip reaches the same answer: "%g" output re-parses to the same double,
+// NaN/Inf spellings parse via strtod, and d != 0 matches strtod != 0).
+Result BooleanFromValue(const Value& v, bool* value) {
+  if (v.kind == Value::Kind::kInt) {
+    *value = v.i != 0;
+    return Result::Ok();
+  }
+  if (v.kind == Value::Kind::kDouble) {
+    *value = v.d != 0.0;
+    return Result::Ok();
+  }
+  const std::string& text = v.s;
   if (text == "1") {
     *value = true;
     return Result::Ok();
@@ -941,6 +1796,39 @@ Result Interp::ExprBoolean(std::string_view expression, bool* value) {
     return Result::Ok();
   }
   return Result::Error("expected boolean value but got \"" + text + "\"");
+}
+
+}  // namespace
+
+Result Interp::EvalExpr(std::string_view expression) {
+  Value value;
+  Result r = EvalExprValue(*this, expr_cache_, expression, &value);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  return Result::Ok(value.ToString());
+}
+
+Result Interp::ExprBoolean(std::string_view expression, bool* value) {
+  Value v;
+  Result r = EvalExprValue(*this, expr_cache_, expression, &v);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  return BooleanFromValue(v, value);
+}
+
+ExprHandle Interp::PrecompileExpr(std::string_view expression) {
+  return CompileExprCached(expr_cache_, expression);
+}
+
+Result Interp::ExprBooleanCompiled(const ExprHandle& expression, bool* value) {
+  Value v;
+  Result r = EvalAst(*this, *static_cast<const ExprAst*>(expression.get()), &v);
+  if (r.code == Status::kError) {
+    return r;
+  }
+  return BooleanFromValue(v, value);
 }
 
 }  // namespace wtcl

@@ -4,9 +4,11 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 #include "src/obs/obs.h"
 #include "src/tcl/interp_internal.h"
+#include "src/tcl/script.h"
 
 namespace wtcl {
 
@@ -22,109 +24,29 @@ wobs::Histogram g_command_duration("tcl.command.duration");
 wobs::Counter g_limit_depth("tcl.eval.limit.depth");
 wobs::Counter g_limit_steps("tcl.eval.limit.steps");
 wobs::Counter g_limit_ms("tcl.eval.limit.ms");
+// Compiled-script cache traffic (the expr cache reports from expr.cc).
+wobs::Counter g_script_cache_hits("tcl.script.cache.hits");
+wobs::Counter g_script_cache_misses("tcl.script.cache.misses");
+wobs::Counter g_script_cache_evictions("tcl.script.cache.evictions");
+
+// Script-cache bounds: plenty for every loop body, proc body, and callback
+// in a session while keeping a hostile stream of unique scripts from
+// accumulating IR without limit. Oversized scripts compile but skip the
+// cache (a 64 KiB script is not a hot loop body).
+constexpr std::size_t kScriptCacheCapacity = 512;
+constexpr std::size_t kScriptCacheMaxKeyBytes = 64 * 1024;
 
 // Which guard tripped; sticky in Interp::limit_tripped_ until the outermost
 // Eval unwinds.
 enum LimitKind { kLimitNone = 0, kLimitSteps, kLimitMs };
 
-bool IsWordSeparator(char c) { return c == ' ' || c == '\t'; }
-bool IsCommandTerminator(char c) { return c == '\n' || c == ';'; }
-
-// Translates one backslash sequence starting at script[pos] (which is the
-// backslash itself). Advances *pos past the sequence and appends the
-// replacement to *out.
-void SubstBackslash(std::string_view script, std::size_t* pos, std::string* out) {
-  std::size_t i = *pos + 1;  // char after the backslash
-  if (i >= script.size()) {
-    out->push_back('\\');
-    *pos = i;
-    return;
-  }
-  char c = script[i];
-  switch (c) {
-    case 'n':
-      out->push_back('\n');
-      *pos = i + 1;
-      return;
-    case 't':
-      out->push_back('\t');
-      *pos = i + 1;
-      return;
-    case 'r':
-      out->push_back('\r');
-      *pos = i + 1;
-      return;
-    case 'b':
-      out->push_back('\b');
-      *pos = i + 1;
-      return;
-    case 'f':
-      out->push_back('\f');
-      *pos = i + 1;
-      return;
-    case 'v':
-      out->push_back('\v');
-      *pos = i + 1;
-      return;
-    case 'a':
-      out->push_back('\a');
-      *pos = i + 1;
-      return;
-    case '\n': {
-      // Backslash-newline (plus following whitespace) collapses to a space.
-      std::size_t j = i + 1;
-      while (j < script.size() && (script[j] == ' ' || script[j] == '\t')) {
-        ++j;
-      }
-      out->push_back(' ');
-      *pos = j;
-      return;
-    }
-    case 'x': {
-      std::size_t j = i + 1;
-      unsigned value = 0;
-      bool any = false;
-      while (j < script.size() && std::isxdigit(static_cast<unsigned char>(script[j]))) {
-        value = value * 16 + static_cast<unsigned>(
-                                 std::isdigit(static_cast<unsigned char>(script[j]))
-                                     ? script[j] - '0'
-                                     : std::tolower(static_cast<unsigned char>(script[j])) - 'a' +
-                                           10);
-        any = true;
-        ++j;
-      }
-      if (any) {
-        out->push_back(static_cast<char>(value & 0xff));
-        *pos = j;
-      } else {
-        out->push_back('x');
-        *pos = i + 1;
-      }
-      return;
-    }
-    default:
-      if (c >= '0' && c <= '7') {
-        unsigned value = 0;
-        std::size_t j = i;
-        int digits = 0;
-        while (j < script.size() && digits < 3 && script[j] >= '0' && script[j] <= '7') {
-          value = value * 8 + static_cast<unsigned>(script[j] - '0');
-          ++j;
-          ++digits;
-        }
-        out->push_back(static_cast<char>(value & 0xff));
-        *pos = j;
-        return;
-      }
-      out->push_back(c);
-      *pos = i + 1;
-      return;
-  }
-}
-
-bool IsVarNameChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
+// Character-level lexing helpers live in script.h's detail namespace so the
+// fresh substitution parser below and the script compiler share one
+// definition (their semantics must never drift apart).
+using detail::IsCommandTerminator;
+using detail::IsVarNameChar;
+using detail::IsWordSeparator;
+using detail::SubstBackslash;
 
 }  // namespace
 
@@ -372,8 +294,21 @@ struct Interp::Variable {
   std::string link_name;
 };
 
+struct Interp::VarNodePool {
+  std::vector<std::unordered_map<std::string, Variable>::node_type> nodes;
+};
+
 struct Interp::Frame {
-  std::map<std::string, Variable> vars;
+  // Hash map: variable lookup is on the per-command hot path. Node-based, so
+  // Variable* stays valid across rehashing (upvar links and FindVar rely on
+  // pointer stability). Name listings sort on the way out.
+  std::unordered_map<std::string, Variable> vars;
+  // Primed-bind cache for proc frames: the formal nodes' addresses from the
+  // previous call of the owning proc, valid while nothing has been erased
+  // from `vars` since `slots_gen` was stamped (inserts never move nodes).
+  std::vector<Variable*> formal_slots;
+  std::uint32_t erase_gen = 0;
+  std::uint32_t slots_gen = 0;
 };
 
 struct Interp::ResolvedVar {
@@ -394,6 +329,13 @@ struct Interp::Proc {
   std::vector<Formal> formals;
   std::string formals_source;
   std::string body;
+  // Body IR, compiled once at definition time: calls skip even the cache
+  // lookup, and a redefinition builds a fresh Proc with fresh IR.
+  ScriptHandle compiled;
+  // Spent call frames kept with their formal bindings intact ("primed"):
+  // the next call rebinds each formal's node in place instead of
+  // re-inserting. Small and lean only — see the recycle path.
+  std::vector<std::unique_ptr<Interp::Frame>> frame_pool;
 };
 
 // Splits "name(index)" into base and index. Returns false for scalars.
@@ -410,6 +352,9 @@ static bool SplitElementName(const std::string& name, std::string* base, std::st
 // --- Interp ------------------------------------------------------------------
 
 Interp::Interp() {
+  script_cache_ = std::make_unique<CompileCache>(
+      kScriptCacheCapacity, kScriptCacheMaxKeyBytes, &g_script_cache_hits,
+      &g_script_cache_misses, &g_script_cache_evictions);
   frames_.push_back(std::make_unique<Frame>());
   RegisterCoreBuiltins(*this);
   RegisterStringBuiltins(*this);
@@ -420,11 +365,19 @@ Interp::Interp() {
 
 Interp::~Interp() = default;
 
+// Process-wide epoch source: every command-table mutation in any interp
+// draws a fresh value, so a dispatch memo can never validate against a
+// different interp that happens to reuse a freed interp's address.
+// (Evaluation is single-threaded; no synchronization needed.)
+static std::uint64_t g_command_epoch_source = 0;
+
 void Interp::RegisterCommand(const std::string& name, CommandFn fn) {
-  commands_[name] = std::move(fn);
+  command_epoch_ = ++g_command_epoch_source;
+  commands_[name] = std::make_shared<const CommandFn>(std::move(fn));
 }
 
 bool Interp::UnregisterCommand(const std::string& name) {
+  command_epoch_ = ++g_command_epoch_source;
   procs_.erase(name);
   return commands_.erase(name) > 0;
 }
@@ -434,6 +387,7 @@ bool Interp::RenameCommand(const std::string& from, const std::string& to) {
   if (it == commands_.end()) {
     return false;
   }
+  command_epoch_ = ++g_command_epoch_source;
   if (to.empty()) {
     commands_.erase(it);
     procs_.erase(from);
@@ -459,7 +413,22 @@ std::vector<std::string> Interp::CommandNames() const {
   for (const auto& [name, fn] : commands_) {
     names.push_back(name);
   }
+  std::sort(names.begin(), names.end());
   return names;
+}
+
+std::size_t Interp::FlushCompileCaches() {
+  std::size_t dropped = script_cache_->Flush();
+  if (expr_cache_ != nullptr) {
+    dropped += expr_cache_->Flush();
+  }
+  return dropped;
+}
+
+std::size_t Interp::ScriptCacheSize() const { return script_cache_->size(); }
+
+std::size_t Interp::ExprCacheSize() const {
+  return expr_cache_ == nullptr ? 0 : expr_cache_->size();
 }
 
 int Interp::CurrentLevel() const { return static_cast<int>(active_frame_); }
@@ -544,7 +513,40 @@ Interp::Variable* Interp::FindVar(const std::string& name) const {
   return FindVarInFrame(*frames_[active_frame_], base);
 }
 
+const std::string* Interp::GetVarPtr(const std::string& name) const {
+  if (name.find('(') != std::string::npos) {
+    return nullptr;  // element syntax: full resolver
+  }
+  const Frame* frame = frames_[active_frame_].get();
+  auto it = frame->vars.find(name);
+  if (it == frame->vars.end()) {
+    return nullptr;
+  }
+  const Variable* var = &it->second;
+  while (var->kind == Variable::Kind::kLink) {
+    if (var->link_name.find('(') != std::string::npos) {
+      return nullptr;  // link targets an array element: full resolver
+    }
+    frame = frames_[var->link_frame].get();
+    it = frame->vars.find(var->link_name);
+    if (it == frame->vars.end()) {
+      return nullptr;
+    }
+    var = &it->second;
+  }
+  return var->kind == Variable::Kind::kScalar ? &var->scalar : nullptr;
+}
+
+std::string* Interp::GetVarPtr(const std::string& name) {
+  return const_cast<std::string*>(
+      static_cast<const Interp*>(this)->GetVarPtr(name));
+}
+
 bool Interp::GetVar(const std::string& name, std::string* value) const {
+  if (const std::string* fast = GetVarPtr(name)) {
+    *value = *fast;
+    return true;
+  }
   ResolvedVar resolved;
   if (!ResolveName(name, &resolved)) {
     return false;
@@ -573,6 +575,16 @@ bool Interp::GetVar(const std::string& name, std::string* value) const {
 }
 
 Result Interp::SetVar(const std::string& name, std::string value) {
+  // Fast path: a plain name that is unset or already a scalar in the active
+  // frame. Links, arrays, and element syntax take the full resolver below.
+  if (name.find('(') == std::string::npos) {
+    auto emplaced = frames_[active_frame_]->vars.try_emplace(name);
+    Variable& var = emplaced.first->second;  // default-constructed = kScalar
+    if (var.kind == Variable::Kind::kScalar) {
+      var.scalar = std::move(value);
+      return Result::Ok(var.scalar);
+    }
+  }
   ResolvedVar resolved;
   if (!ResolveName(name, &resolved)) {
     return Result::Error("can't set \"" + name + "\": bad variable reference");
@@ -620,6 +632,7 @@ bool Interp::UnsetVar(const std::string& name) {
   }
   // Unset through a link removes the target variable only; the link itself
   // survives, so a later set recreates the target (Tcl semantics).
+  ++resolved.frame->erase_gen;  // invalidates any primed-bind slot cache
   resolved.frame->vars.erase(it);
   return true;
 }
@@ -692,6 +705,7 @@ std::vector<std::string> Interp::LocalVarNames() const {
   for (const auto& [name, var] : frames_[active_frame_]->vars) {
     names.push_back(name);
   }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
@@ -700,6 +714,7 @@ std::vector<std::string> Interp::GlobalVarNames() const {
   for (const auto& [name, var] : frames_[0]->vars) {
     names.push_back(name);
   }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
@@ -708,6 +723,7 @@ std::vector<std::string> Interp::ProcNames() const {
   for (const auto& [name, proc] : procs_) {
     names.push_back(name);
   }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
@@ -1001,67 +1017,98 @@ Result Interp::ParseWord(std::string_view script, std::size_t* pos, std::string*
   return Result::Ok();
 }
 
-Result Interp::ParseAndRun(std::string_view script) {
-  std::size_t i = 0;
-  const std::size_t n = script.size();
-  std::size_t counted = 0;  // newline-scan position for errorInfo line numbers
+Result Interp::ExecuteCompiled(const CompiledScript& script) {
+  // argv vectors are pooled (stack-wise: nested evaluations acquire their
+  // own) and word strings assigned in place, so steady-state dispatch of a
+  // cached script reuses both the vector and the string buffers.
+  std::vector<std::string> argv;
+  bool argv_acquired = false;
   Result last = Result::Ok();
-  while (i < n) {
-    // Skip separators between commands.
-    while (i < n && (IsWordSeparator(script[i]) || IsCommandTerminator(script[i]))) {
-      ++i;
-    }
-    if (i >= n) {
-      break;
-    }
-    if (script[i] == '#') {
-      // Comment runs to an unescaped newline.
-      while (i < n && script[i] != '\n') {
-        if (script[i] == '\\' && i + 1 < n) {
-          ++i;
-        }
-        ++i;
-      }
-      continue;
-    }
-    for (; counted < i; ++counted) {
-      if (script[counted] == '\n') {
-        ++current_line_;
-      }
-    }
-    std::vector<std::string> argv;
-    while (i < n && !IsCommandTerminator(script[i])) {
-      while (i < n && IsWordSeparator(script[i])) {
-        ++i;
-      }
-      if (i >= n || IsCommandTerminator(script[i])) {
+  for (const CompiledCommand& command : script.commands) {
+    current_line_ = command.line;
+    if (!command.literal_argv.empty()) {
+      // Every word is a literal: dispatch straight from the IR.
+      last = InvokeLiteral(command);
+      if (last.code != Status::kOk) {
         break;
       }
-      if (script[i] == '\\' && i + 1 < n && script[i + 1] == '\n') {
-        // Backslash-newline between words: acts as a separator.
-        std::string dummy;
-        SubstBackslash(script, &i, &dummy);
-        continue;
-      }
-      std::string word;
-      Result r = ParseWord(script, &i, &word);
-      if (r.code == Status::kError) {
-        return r;
-      }
-      argv.push_back(std::move(word));
-    }
-    if (argv.empty()) {
       continue;
     }
-    last = InvokeCommand(std::move(argv));
-    if (last.code != Status::kOk) {
-      return last;
+    if (!argv_acquired) {
+      if (!argv_pool_.empty()) {
+        argv = std::move(argv_pool_.back());
+        argv_pool_.pop_back();
+      }
+      argv_acquired = true;
     }
+    const std::size_t words = command.words.size();
+    if (argv.size() > words) {
+      argv.resize(words);
+    }
+    bool failed = false;
+    for (std::size_t w = 0; w < words; ++w) {
+      const CompiledWord& word = command.words[w];
+      if (w == argv.size()) {
+        argv.emplace_back();
+      }
+      std::string& slot = argv[w];
+      if (word.literal) {
+        slot.assign(word.text);
+        continue;
+      }
+      if (word.parse_error.empty() && word.segments.size() == 1 &&
+          word.segments[0].kind == WordSegment::Kind::kVariable) {
+        // `$name` word: copy the scalar straight into the slot.
+        if (const std::string* fast = GetVarPtr(word.segments[0].text)) {
+          slot.assign(*fast);
+          continue;
+        }
+      }
+      slot.clear();
+      Result r = EvalWordSegments(*this, word.segments, &slot);
+      if (r.code == Status::kError) {
+        last = std::move(r);
+        failed = true;
+        break;
+      }
+      if (!word.parse_error.empty()) {
+        // Structural parse error embedded at compile time; the segments
+        // before it have run (for their side effects), matching the order
+        // fresh parsing reports it in.
+        last = Result::Error(word.parse_error);
+        failed = true;
+        break;
+      }
+    }
+    if (failed) {
+      break;
+    }
+    last = command.words[0].literal ? InvokeMemoized(command, argv)
+                                    : InvokeCommand(argv);
+    if (last.code != Status::kOk) {
+      break;
+    }
+  }
+  if (argv_acquired) {
+    argv_pool_.push_back(std::move(argv));
   }
   return last;
 }
 
-Result Interp::Eval(std::string_view script) {
+ScriptHandle Interp::Precompile(std::string_view script) {
+  std::shared_ptr<const void> cached = script_cache_->Get(script);
+  if (cached != nullptr) {
+    return std::static_pointer_cast<const CompiledScript>(std::move(cached));
+  }
+  ScriptHandle compiled = CompileScript(script);
+  script_cache_->Put(script, compiled);
+  return compiled;
+}
+
+Result Interp::EvalCompiled(const ScriptHandle& script) {
+  if (script == nullptr) {
+    return Result::Ok();
+  }
   if (nesting_ == 0) {
     // Fresh top-level evaluation: arm the watchdog budgets and start a new
     // errorInfo trace.
@@ -1092,11 +1139,13 @@ Result Interp::Eval(std::string_view script) {
   g_eval_depth.Observe(static_cast<std::uint64_t>(nesting_));
   int saved_line = current_line_;
   current_line_ = 1;
-  Result r = ParseAndRun(script);
+  Result r = ExecuteCompiled(*script);
   current_line_ = saved_line;
   --nesting_;
   return r;
 }
+
+Result Interp::Eval(std::string_view script) { return EvalCompiled(Precompile(script)); }
 
 Result Interp::GlobalEval(std::string_view script) {
   std::size_t saved = active_frame_;
@@ -1164,7 +1213,7 @@ void Interp::RecordErrorTrace(const std::vector<std::string>& argv, const Result
   SetGlobalVar("errorInfo", info);
 }
 
-Result Interp::InvokeCommand(std::vector<std::string> argv) {
+Result Interp::InvokeCommand(const std::vector<std::string>& argv) {
   ++command_count_;
   if ((max_steps_ != 0 || max_eval_ms_ > 0) && !ChargeEvalStep()) {
     Result guard = CheckEvalBudget();
@@ -1185,9 +1234,52 @@ Result Interp::InvokeCommand(std::vector<std::string> argv) {
     RecordErrorTrace(argv, r);
     return r;
   }
-  // Copy the function so that commands that redefine themselves are safe.
-  CommandFn fn = it->second;
-  Result r = fn(*this, argv);
+  // Pin the function so that commands that redefine themselves are safe;
+  // the refcount bump is all the copy costs.
+  std::shared_ptr<const CommandFn> fn = it->second;
+  Result r = (*fn)(*this, argv);
+  if (r.code == Status::kError) {
+    g_error_count.Increment();
+    RecordErrorTrace(argv, r);
+  } else {
+    error_trace_active_ = false;
+  }
+  return r;
+}
+
+Result Interp::InvokeLiteral(const CompiledCommand& command) {
+  return InvokeMemoized(command, command.literal_argv);
+}
+
+Result Interp::InvokeMemoized(const CompiledCommand& command,
+                              const std::vector<std::string>& argv) {
+  ++command_count_;
+  if ((max_steps_ != 0 || max_eval_ms_ > 0) && !ChargeEvalStep()) {
+    Result guard = CheckEvalBudget();
+    if (guard.code != Status::kOk) {
+      g_error_count.Increment();
+      RecordErrorTrace(argv, guard);
+      return guard;
+    }
+  }
+  g_command_count.Increment();
+  wobs::ScopedEvent obs_span("tcl", argv[0], &g_command_duration);
+  if (command.resolved_owner != this || command.resolved_epoch != command_epoch_) {
+    auto it = commands_.find(argv[0]);
+    if (it == commands_.end()) {
+      g_error_count.Increment();
+      Result r = Result::Error("invalid command name \"" + argv[0] + "\"");
+      RecordErrorTrace(argv, r);
+      return r;
+    }
+    command.resolved_fn = it->second;
+    command.resolved_owner = this;
+    command.resolved_epoch = command_epoch_;
+  }
+  // Pin locally: a redefinition (or a nested dispatch of this same command
+  // after one) may overwrite the memo while the function is running.
+  std::shared_ptr<const void> fn = command.resolved_fn;
+  Result r = (*static_cast<const CommandFn*>(fn.get()))(*this, argv);
   if (r.code == Status::kError) {
     g_error_count.Increment();
     RecordErrorTrace(argv, r);
@@ -1212,6 +1304,7 @@ Result InterpInternal::DefineProc(Interp& interp, const std::string& name,
   auto proc = std::make_shared<Interp::Proc>();
   proc->formals_source = formals_source;
   proc->body = body;
+  proc->compiled = CompileScript(body);
   // Parse the formal list: each element is a name or a {name default} pair.
   std::vector<std::string> items;
   if (!SplitList(formals_source, &items)) {
@@ -1232,12 +1325,118 @@ Result InterpInternal::DefineProc(Interp& interp, const std::string& name,
   }
   interp.procs_[name] = proc;
   interp.RegisterCommand(name, [proc, name](Interp& in, const std::vector<std::string>& argv) {
-    // Bind actuals to formals in a fresh frame.
-    auto frame = std::make_unique<Interp::Frame>();
+    // Bind actuals to formals in a fresh frame (recycled from the pool, so
+    // steady-state calls reuse the var table's bucket array).
+    std::unique_ptr<Interp::Frame> frame;
+    bool primed = false;
+    if (!proc->frame_pool.empty()) {
+      // A spent frame of this very proc: the formal nodes are still in the
+      // table and get rebound in place.
+      frame = std::move(proc->frame_pool.back());
+      proc->frame_pool.pop_back();
+      primed = true;
+    } else if (!in.frame_pool_.empty()) {
+      frame = std::move(in.frame_pool_.back());
+      in.frame_pool_.pop_back();
+    } else {
+      frame = std::make_unique<Interp::Frame>();
+    }
+    if (in.var_node_pool_ == nullptr) {
+      in.var_node_pool_ = std::make_unique<Interp::VarNodePool>();
+    }
+    Interp::VarNodePool& pool = *in.var_node_pool_;
+    auto recycle = [&in, &pool, &proc](std::unique_ptr<Interp::Frame> spent) {
+      // Keep the frame primed for this proc while it stayed small and lean;
+      // otherwise harvest the var-table nodes (oversized strings are let go
+      // so the pools stay small) and return it to the shared pool.
+      if (proc->frame_pool.size() < 4 && proc->formals.size() <= 8 &&
+          spent->vars.size() <= proc->formals.size() + 4) {
+        bool lean = true;
+        for (const auto& entry : spent->vars) {
+          if (entry.second.scalar.capacity() > 4096 || !entry.second.array.empty()) {
+            lean = false;
+            break;
+          }
+        }
+        if (lean) {
+          proc->frame_pool.push_back(std::move(spent));
+          return;
+        }
+      }
+      spent->formal_slots.clear();
+      while (!spent->vars.empty()) {
+        auto nh = spent->vars.extract(spent->vars.begin());
+        if (pool.nodes.size() < 64 && nh.mapped().scalar.capacity() <= 4096) {
+          nh.mapped().array.clear();
+          pool.nodes.push_back(std::move(nh));
+        }
+      }
+      in.frame_pool_.push_back(std::move(spent));
+    };
+    Interp::Variable* slots[8];
+    bool slots_cached = false;
+    if (primed) {
+      if (frame->slots_gen == frame->erase_gen &&
+          frame->formal_slots.size() == proc->formals.size()) {
+        // The previous call's slot cache is intact: no lookups at all.
+        for (std::size_t f = 0; f < proc->formals.size(); ++f) {
+          slots[f] = frame->formal_slots[f];
+        }
+        slots_cached = true;
+      } else {
+        // Locate every formal's retained node; a miss (a prior call unset
+        // a formal) falls back to a from-scratch bind.
+        for (std::size_t f = 0; f < proc->formals.size(); ++f) {
+          auto it = frame->vars.find(proc->formals[f].name);
+          if (it == frame->vars.end()) {
+            primed = false;
+            break;
+          }
+          slots[f] = &it->second;
+        }
+      }
+      if (primed && frame->vars.size() != proc->formals.size()) {
+        // Drop locals the previous call left behind (erasure keeps the
+        // formal nodes' addresses valid: the table is node-based).
+        ++frame->erase_gen;
+        for (auto it = frame->vars.begin(); it != frame->vars.end();) {
+          bool is_formal = false;
+          for (const auto& formal : proc->formals) {
+            if (formal.name == it->first) {
+              is_formal = true;
+              break;
+            }
+          }
+          it = is_formal ? std::next(it) : frame->vars.erase(it);
+        }
+      }
+      if (!primed) {
+        ++frame->erase_gen;
+        frame->vars.clear();
+        frame->formal_slots.clear();
+      }
+    }
+    auto bind = [&pool, &frame](const std::string& formal_name) -> Interp::Variable& {
+      if (!pool.nodes.empty()) {
+        auto nh = std::move(pool.nodes.back());
+        pool.nodes.pop_back();
+        nh.key() = formal_name;
+        auto res = frame->vars.insert(std::move(nh));
+        if (!res.inserted) {
+          pool.nodes.push_back(std::move(res.node));  // duplicate formal name
+        }
+        return res.position->second;
+      }
+      return frame->vars.try_emplace(formal_name).first->second;
+    };
     std::size_t actual = 1;
     for (std::size_t f = 0; f < proc->formals.size(); ++f) {
       const auto& formal = proc->formals[f];
-      Interp::Variable var;
+      Interp::Variable* var_ptr = primed ? slots[f] : &bind(formal.name);
+      if (!primed && f < 8) {
+        slots[f] = var_ptr;  // feeds the slot cache below
+      }
+      Interp::Variable& var = *var_ptr;
       var.kind = Interp::Variable::Kind::kScalar;
       if (formal.name == "args" && f + 1 == proc->formals.size()) {
         std::vector<std::string> rest;
@@ -1251,19 +1450,27 @@ Result InterpInternal::DefineProc(Interp& interp, const std::string& name,
       } else if (formal.has_default) {
         var.scalar = formal.default_value;
       } else {
+        recycle(std::move(frame));
         return Result::Error("no value given for parameter \"" + formal.name + "\" to \"" +
                              name + "\"");
       }
-      frame->vars[formal.name] = std::move(var);
     }
     if (actual < argv.size()) {
+      recycle(std::move(frame));
       return Result::Error("called \"" + name + "\" with too many arguments");
+    }
+    if (proc->formals.size() <= 8) {
+      if (!slots_cached) {
+        frame->formal_slots.assign(slots, slots + proc->formals.size());
+      }
+      frame->slots_gen = frame->erase_gen;
     }
     in.frames_.push_back(std::move(frame));
     std::size_t saved = in.active_frame_;
     in.active_frame_ = in.frames_.size() - 1;
-    Result r = in.Eval(proc->body);
+    Result r = in.EvalCompiled(proc->compiled);
     in.active_frame_ = saved;
+    recycle(std::move(in.frames_.back()));
     in.frames_.pop_back();
     if (r.code == Status::kReturn) {
       r.code = Status::kOk;

@@ -9,10 +9,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace wtcl {
@@ -39,6 +39,20 @@ struct Result {
 };
 
 class Interp;
+
+// Compile-once script IR (src/tcl/script.h). Scripts compile to an immutable
+// CompiledScript held by shared_ptr, so cached IR survives cache flushes and
+// evictions that happen while it is still executing.
+struct CompiledScript;
+struct CompiledCommand;
+using ScriptHandle = std::shared_ptr<const CompiledScript>;
+class CompileCache;
+
+// Opaque handle to a compiled `expr` AST (the node types are private to
+// expr.cc); obtained from PrecompileExpr and evaluated with
+// ExprBooleanCompiled, so loop conditions skip the cache lookup on every
+// iteration.
+using ExprHandle = std::shared_ptr<const void>;
 
 // An application command. `argv[0]` is the command name, exactly as in Tcl's
 // C interface; all arguments are fully substituted strings.
@@ -73,8 +87,18 @@ class Interp {
   Interp& operator=(const Interp&) = delete;
 
   // Evaluates a script (a sequence of commands separated by newlines or
-  // semicolons) in the current call frame.
+  // semicolons) in the current call frame. The script is compiled once into
+  // an IR (memoized in a content-keyed cache) and executed from the IR.
   Result Eval(std::string_view script);
+
+  // Compiles a script through the cache without executing it. The returned
+  // handle can be executed any number of times with EvalCompiled; holders
+  // (loop bodies, proc bodies) skip even the cache lookup on reuse.
+  ScriptHandle Precompile(std::string_view script);
+
+  // Executes a previously compiled script under exactly the same guards,
+  // counters and errorInfo machinery as Eval.
+  Result EvalCompiled(const ScriptHandle& script);
 
   // Evaluates a script in the global frame (Tcl_GlobalEval).
   Result GlobalEval(std::string_view script);
@@ -84,6 +108,12 @@ class Interp {
 
   // Convenience: evaluates an expression and reports its boolean value.
   Result ExprBoolean(std::string_view expression, bool* value);
+
+  // Compiles an expression through the expr cache without evaluating it, and
+  // evaluates a handle repeatedly (loop conditions). Never null; expressions
+  // the compiler cannot handle evaluate through the legacy parser.
+  ExprHandle PrecompileExpr(std::string_view expression);
+  Result ExprBooleanCompiled(const ExprHandle& expression, bool* value);
 
   // --- Commands -------------------------------------------------------------
 
@@ -107,6 +137,17 @@ class Interp {
   // Reads a variable in the current frame. `name` may be scalar ("x") or an
   // array element ("a(i)"). Returns false if unset.
   bool GetVar(const std::string& name, std::string* value) const;
+
+  // Borrowed read of a plain scalar (no "a(i)" element syntax) in the
+  // current frame, chasing scalar upvar links. Returns nullptr when the
+  // name is unset, an array, or needs the full resolver — callers fall
+  // back to GetVar. The pointer is invalidated by the next variable write
+  // or frame change, so it must not outlive the current command.
+  const std::string* GetVarPtr(const std::string& name) const;
+
+  // Mutable overload for in-place updates (incr): a write through the
+  // pointer must leave the value a well-formed scalar.
+  std::string* GetVarPtr(const std::string& name);
 
   // Writes a variable in the current frame.
   Result SetVar(const std::string& name, std::string value);
@@ -168,6 +209,15 @@ class Interp {
   void set_output(OutputFn fn) { output_ = std::move(fn); }
   void Output(const std::string& text) const;
 
+  // Drops every memoized compilation artifact (script IR and expr ASTs).
+  // Returns the number of entries dropped. Running scripts are unaffected:
+  // they hold shared_ptrs to their IR.
+  std::size_t FlushCompileCaches();
+
+  // Entry counts of the two compile caches (for tests and diagnostics).
+  std::size_t ScriptCacheSize() const;
+  std::size_t ExprCacheSize() const;
+
   // Names of user procs only, sorted.
   std::vector<std::string> ProcNames() const;
 
@@ -189,8 +239,20 @@ class Interp {
   struct Proc;
 
   Result EvalInFrame(std::string_view script, std::size_t frame_index);
-  Result InvokeCommand(std::vector<std::string> argv);
-  Result ParseAndRun(std::string_view script);
+  Result InvokeCommand(const std::vector<std::string>& argv);
+
+  // Dispatch of a fully-literal compiled command, memoizing the command
+  // lookup in the IR (revalidated against command_epoch_).
+  Result InvokeLiteral(const CompiledCommand& command);
+
+  // Same memoized dispatch for an assembled argv whose name word is a
+  // literal (argv[0] is fixed for the life of the IR).
+  Result InvokeMemoized(const CompiledCommand& command,
+                        const std::vector<std::string>& argv);
+
+  // Runs the compiled IR: materializes each command's argv (running word
+  // substitution programs) and dispatches through InvokeCommand.
+  Result ExecuteCompiled(const CompiledScript& script);
 
   // Inline fast path of the eval budgets: charges one step and reports
   // whether the out-of-line slow path must run (a trip is pending, the
@@ -228,12 +290,32 @@ class Interp {
   struct ResolvedVar;
   bool ResolveName(const std::string& name, ResolvedVar* out) const;
 
-  struct ExprImpl;
-
-  std::map<std::string, CommandFn> commands_;
-  std::map<std::string, std::shared_ptr<Proc>> procs_;
+  // Functions are held by shared_ptr so dispatch can pin the implementation
+  // with one refcount bump (no std::function copy per invocation) while a
+  // command that renames or redefines itself mid-call stays safe.
+  std::unordered_map<std::string, std::shared_ptr<const CommandFn>> commands_;
+  // Bumped on every command-table mutation; invalidates the per-command
+  // dispatch memos embedded in compiled scripts.
+  std::uint64_t command_epoch_ = 1;
+  std::unordered_map<std::string, std::shared_ptr<Proc>> procs_;
+  // Content-keyed LRU memoization of compiled scripts and expr ASTs. The
+  // expr cache lives here (rather than in expr.cc statics) so independent
+  // interpreters cannot observe each other through cache timing, and so a
+  // flush is a per-interpreter operation.
+  std::unique_ptr<CompileCache> script_cache_;
+  std::unique_ptr<CompileCache> expr_cache_;
   std::vector<std::unique_ptr<Frame>> frames_;
   std::size_t active_frame_ = 0;  // index into frames_
+  // Recycled allocations for the hot dispatch path: spent argv vectors (with
+  // their word strings' buffers) and spent proc frames (with their var
+  // tables' bucket arrays). Both are used stack-wise, so a plain vector of
+  // spares is enough.
+  std::vector<std::vector<std::string>> argv_pool_;
+  std::vector<std::unique_ptr<Frame>> frame_pool_;
+  // Spare var-table nodes harvested from spent proc frames; rebinding a
+  // formal reuses a node (and its string's buffer) instead of allocating.
+  struct VarNodePool;
+  std::unique_ptr<VarNodePool> var_node_pool_;
   OutputFn output_;
   int nesting_ = 0;
   int max_nesting_ = 1000;

@@ -1,0 +1,617 @@
+// Compile-once script IR: the one-time parser and the substitution-program
+// evaluator. The compiler mirrors the character-level scanning of the fresh
+// parser in interp.cc exactly — including its quirks — so that a compiled
+// script produces byte-identical results, error messages, side-effect
+// ordering, and errorInfo line numbers. Structural parse errors are embedded
+// in the IR instead of failing compilation: fresh parsing evaluates every
+// substitution to the left of the error before reporting it, so the executor
+// must be able to replay those substitutions first.
+#include "src/tcl/script.h"
+
+#include <cctype>
+
+#include "src/obs/obs.h"
+
+namespace wtcl {
+
+namespace detail {
+
+bool IsWordSeparator(char c) { return c == ' ' || c == '\t'; }
+bool IsCommandTerminator(char c) { return c == '\n' || c == ';'; }
+
+bool IsVarNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void SubstBackslash(std::string_view script, std::size_t* pos, std::string* out) {
+  std::size_t i = *pos + 1;  // char after the backslash
+  if (i >= script.size()) {
+    out->push_back('\\');
+    *pos = i;
+    return;
+  }
+  char c = script[i];
+  switch (c) {
+    case 'n':
+      out->push_back('\n');
+      *pos = i + 1;
+      return;
+    case 't':
+      out->push_back('\t');
+      *pos = i + 1;
+      return;
+    case 'r':
+      out->push_back('\r');
+      *pos = i + 1;
+      return;
+    case 'b':
+      out->push_back('\b');
+      *pos = i + 1;
+      return;
+    case 'f':
+      out->push_back('\f');
+      *pos = i + 1;
+      return;
+    case 'v':
+      out->push_back('\v');
+      *pos = i + 1;
+      return;
+    case 'a':
+      out->push_back('\a');
+      *pos = i + 1;
+      return;
+    case '\n': {
+      // Backslash-newline (plus following whitespace) collapses to a space.
+      std::size_t j = i + 1;
+      while (j < script.size() && (script[j] == ' ' || script[j] == '\t')) {
+        ++j;
+      }
+      out->push_back(' ');
+      *pos = j;
+      return;
+    }
+    case 'x': {
+      std::size_t j = i + 1;
+      unsigned value = 0;
+      bool any = false;
+      while (j < script.size() && std::isxdigit(static_cast<unsigned char>(script[j]))) {
+        value = value * 16 + static_cast<unsigned>(
+                                 std::isdigit(static_cast<unsigned char>(script[j]))
+                                     ? script[j] - '0'
+                                     : std::tolower(static_cast<unsigned char>(script[j])) - 'a' +
+                                           10);
+        any = true;
+        ++j;
+      }
+      if (any) {
+        out->push_back(static_cast<char>(value & 0xff));
+        *pos = j;
+      } else {
+        out->push_back('x');
+        *pos = i + 1;
+      }
+      return;
+    }
+    default:
+      if (c >= '0' && c <= '7') {
+        unsigned value = 0;
+        std::size_t j = i;
+        int digits = 0;
+        while (j < script.size() && digits < 3 && script[j] >= '0' && script[j] <= '7') {
+          value = value * 8 + static_cast<unsigned>(script[j] - '0');
+          ++j;
+          ++digits;
+        }
+        out->push_back(static_cast<char>(value & 0xff));
+        *pos = j;
+        return;
+      }
+      out->push_back(c);
+      *pos = i + 1;
+      return;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::IsCommandTerminator;
+using detail::IsVarNameChar;
+using detail::IsWordSeparator;
+using detail::SubstBackslash;
+
+void AppendLiteralSegment(std::vector<WordSegment>* segments, std::string* pending) {
+  if (pending->empty()) {
+    return;
+  }
+  WordSegment segment;
+  segment.kind = WordSegment::Kind::kLiteral;
+  segment.text = std::move(*pending);
+  pending->clear();
+  segments->push_back(std::move(segment));
+}
+
+}  // namespace
+
+bool CompileVariableSegments(std::string_view script, std::size_t* pos,
+                             std::vector<WordSegment>* segments, std::string* error) {
+  // *pos points at '$'. Mirrors Interp::ParseVariable.
+  std::size_t i = *pos + 1;
+  const std::size_t n = script.size();
+  if (i >= n) {
+    std::string dollar = "$";
+    AppendLiteralSegment(segments, &dollar);
+    *pos = i;
+    return true;
+  }
+  if (script[i] == '{') {
+    std::size_t close = script.find('}', i + 1);
+    if (close == std::string_view::npos) {
+      *error = "missing close-brace for variable name";
+      return false;
+    }
+    WordSegment segment;
+    segment.kind = WordSegment::Kind::kVariable;
+    segment.text.assign(script.substr(i + 1, close - i - 1));
+    segments->push_back(std::move(segment));
+    *pos = close + 1;
+    return true;
+  }
+  std::size_t start = i;
+  while (i < n && IsVarNameChar(script[i])) {
+    ++i;
+  }
+  if (i == start) {
+    // Bare dollar sign.
+    std::string dollar = "$";
+    AppendLiteralSegment(segments, &dollar);
+    *pos = start;
+    return true;
+  }
+  std::string name(script.substr(start, i - start));
+  if (i < n && script[i] == '(') {
+    // Array element: the index itself undergoes substitution.
+    std::size_t j = i + 1;
+    std::vector<WordSegment> index;
+    std::string pending;
+    while (j < n && script[j] != ')') {
+      char c = script[j];
+      if (c == '\\') {
+        SubstBackslash(script, &j, &pending);
+      } else if (c == '$') {
+        AppendLiteralSegment(&index, &pending);
+        if (!CompileVariableSegments(script, &j, &index, error)) {
+          return false;
+        }
+      } else if (c == '[') {
+        AppendLiteralSegment(&index, &pending);
+        if (!CompileBracketSegments(script, &j, &index, error)) {
+          return false;
+        }
+      } else {
+        pending.push_back(c);
+        ++j;
+      }
+    }
+    if (j >= n) {
+      *error = "missing )";
+      return false;
+    }
+    AppendLiteralSegment(&index, &pending);
+    WordSegment segment;
+    segment.kind = WordSegment::Kind::kArrayElement;
+    segment.text = std::move(name);
+    segment.index = std::move(index);
+    segments->push_back(std::move(segment));
+    *pos = j + 1;
+    return true;
+  }
+  WordSegment segment;
+  segment.kind = WordSegment::Kind::kVariable;
+  segment.text = std::move(name);
+  segments->push_back(std::move(segment));
+  *pos = i;
+  return true;
+}
+
+bool CompileBracketSegments(std::string_view script, std::size_t* pos,
+                            std::vector<WordSegment>* segments, std::string* error) {
+  // *pos points at '['. Mirrors the scan in Interp::ParseBracket; the inner
+  // source is stored verbatim and evaluated (through the script cache) at
+  // execution time, so the nesting guard still sees one Eval per bracket.
+  std::size_t i = *pos + 1;
+  const std::size_t n = script.size();
+  int depth = 1;
+  std::size_t start = i;
+  while (i < n && depth > 0) {
+    char c = script[i];
+    if (c == '\\' && i + 1 < n) {
+      i += 2;
+      continue;
+    }
+    if (c == '[') {
+      ++depth;
+    } else if (c == ']') {
+      --depth;
+      if (depth == 0) {
+        break;
+      }
+    } else if (c == '{') {
+      int bd = 1;
+      ++i;
+      while (i < n && bd > 0) {
+        if (script[i] == '\\' && i + 1 < n) {
+          i += 2;
+          continue;
+        }
+        if (script[i] == '{') {
+          ++bd;
+        } else if (script[i] == '}') {
+          --bd;
+        }
+        ++i;
+      }
+      continue;
+    } else if (c == '"') {
+      ++i;
+      while (i < n && script[i] != '"') {
+        if (script[i] == '\\' && i + 1 < n) {
+          i += 2;
+        } else {
+          ++i;
+        }
+      }
+    }
+    ++i;
+  }
+  if (depth != 0) {
+    *error = "missing close-bracket";
+    return false;
+  }
+  WordSegment segment;
+  segment.kind = WordSegment::Kind::kScript;
+  segment.text.assign(script.substr(start, i - start));
+  segments->push_back(std::move(segment));
+  *pos = i + 1;
+  return true;
+}
+
+namespace {
+
+// Compiles one word starting at *pos, mirroring Interp::ParseWord. A
+// structural error is recorded in CompiledWord::parse_error together with
+// the segments compiled before it (the executor replays them first).
+CompiledWord CompileWord(std::string_view script, std::size_t* pos) {
+  CompiledWord word;
+  std::size_t i = *pos;
+  const std::size_t n = script.size();
+  std::vector<WordSegment> segments;
+  std::string pending;
+
+  auto fail = [&](const char* message) {
+    AppendLiteralSegment(&segments, &pending);
+    word.literal = false;
+    word.text.clear();
+    word.segments = std::move(segments);
+    word.parse_error = message;
+    *pos = i;
+    return word;
+  };
+  auto finalize = [&]() {
+    AppendLiteralSegment(&segments, &pending);
+    if (segments.empty()) {
+      word.literal = true;
+      word.text.clear();
+    } else if (segments.size() == 1 && segments[0].kind == WordSegment::Kind::kLiteral) {
+      word.literal = true;
+      word.text = std::move(segments[0].text);
+    } else {
+      word.literal = false;
+      word.segments = std::move(segments);
+    }
+    *pos = i;
+    return word;
+  };
+
+  if (script[i] == '{') {
+    int depth = 1;
+    std::size_t start = i + 1;
+    ++i;
+    while (i < n && depth > 0) {
+      char c = script[i];
+      if (c == '\\' && i + 1 < n) {
+        if (script[i + 1] == '\n') {
+          // Backslash-newline is still processed inside braces.
+          ++i;
+        }
+        i += 2;
+        continue;
+      }
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (depth == 0) {
+          break;
+        }
+      }
+      ++i;
+    }
+    if (depth != 0) {
+      return fail("missing close-brace");
+    }
+    std::string_view inner = script.substr(start, i - start);
+    // Inside braces: literal, except backslash-newline collapses to space.
+    std::size_t j = 0;
+    while (j < inner.size()) {
+      if (inner[j] == '\\' && j + 1 < inner.size() && inner[j + 1] == '\n') {
+        SubstBackslash(inner, &j, &pending);
+      } else {
+        pending.push_back(inner[j]);
+        ++j;
+      }
+    }
+    ++i;  // past closing brace
+    if (i < n && !IsWordSeparator(script[i]) && !IsCommandTerminator(script[i])) {
+      return fail("extra characters after close-brace");
+    }
+    word.literal = true;
+    word.text = std::move(pending);
+    *pos = i;
+    return word;
+  }
+
+  if (script[i] == '"') {
+    ++i;
+    while (i < n && script[i] != '"') {
+      char c = script[i];
+      if (c == '\\') {
+        SubstBackslash(script, &i, &pending);
+      } else if (c == '$') {
+        AppendLiteralSegment(&segments, &pending);
+        std::string error;
+        if (!CompileVariableSegments(script, &i, &segments, &error)) {
+          return fail(error.c_str());
+        }
+      } else if (c == '[') {
+        AppendLiteralSegment(&segments, &pending);
+        std::string error;
+        if (!CompileBracketSegments(script, &i, &segments, &error)) {
+          return fail(error.c_str());
+        }
+      } else {
+        pending.push_back(c);
+        ++i;
+      }
+    }
+    if (i >= n) {
+      return fail("missing \"");
+    }
+    ++i;  // past closing quote
+    if (i < n && !IsWordSeparator(script[i]) && !IsCommandTerminator(script[i])) {
+      return fail("extra characters after close-quote");
+    }
+    // A quoted word is a word even when empty, so an empty segment list
+    // still finalizes to the literal "".
+    return finalize();
+  }
+
+  // Bare word.
+  while (i < n && !IsWordSeparator(script[i]) && !IsCommandTerminator(script[i])) {
+    char c = script[i];
+    if (c == '\\') {
+      if (i + 1 < n && script[i + 1] == '\n') {
+        break;  // acts as a word separator
+      }
+      SubstBackslash(script, &i, &pending);
+    } else if (c == '$') {
+      AppendLiteralSegment(&segments, &pending);
+      std::string error;
+      if (!CompileVariableSegments(script, &i, &segments, &error)) {
+        return fail(error.c_str());
+      }
+    } else if (c == '[') {
+      AppendLiteralSegment(&segments, &pending);
+      std::string error;
+      if (!CompileBracketSegments(script, &i, &segments, &error)) {
+        return fail(error.c_str());
+      }
+    } else {
+      pending.push_back(c);
+      ++i;
+    }
+  }
+  return finalize();
+}
+
+}  // namespace
+
+ScriptHandle CompileScript(std::string_view source) {
+  auto compiled = std::make_shared<CompiledScript>();
+  compiled->source_bytes = source.size();
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  std::size_t counted = 0;  // newline-scan position for errorInfo line numbers
+  int line = 1;
+  while (i < n) {
+    // Skip separators between commands.
+    while (i < n && (IsWordSeparator(source[i]) || IsCommandTerminator(source[i]))) {
+      ++i;
+    }
+    if (i >= n) {
+      break;
+    }
+    if (source[i] == '#') {
+      // Comment runs to an unescaped newline.
+      while (i < n && source[i] != '\n') {
+        if (source[i] == '\\' && i + 1 < n) {
+          ++i;
+        }
+        ++i;
+      }
+      continue;
+    }
+    for (; counted < i; ++counted) {
+      if (source[counted] == '\n') {
+        ++line;
+      }
+    }
+    CompiledCommand command;
+    command.line = line;
+    bool stop = false;
+    while (i < n && !IsCommandTerminator(source[i])) {
+      while (i < n && IsWordSeparator(source[i])) {
+        ++i;
+      }
+      if (i >= n || IsCommandTerminator(source[i])) {
+        break;
+      }
+      if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+        // Backslash-newline between words: acts as a separator.
+        std::string dummy;
+        SubstBackslash(source, &i, &dummy);
+        continue;
+      }
+      CompiledWord word = CompileWord(source, &i);
+      bool failed = !word.parse_error.empty();
+      command.words.push_back(std::move(word));
+      if (failed) {
+        // Fresh parsing aborts the whole script here; nothing after this
+        // word can ever run, so compilation stops with it.
+        stop = true;
+        break;
+      }
+    }
+    if (!command.words.empty()) {
+      bool all_literal = true;
+      for (const CompiledWord& word : command.words) {
+        if (!word.literal) {
+          all_literal = false;
+          break;
+        }
+      }
+      if (all_literal) {
+        command.literal_argv.reserve(command.words.size());
+        for (const CompiledWord& word : command.words) {
+          command.literal_argv.push_back(word.text);
+        }
+      }
+      compiled->commands.push_back(std::move(command));
+    }
+    if (stop) {
+      break;
+    }
+  }
+  return compiled;
+}
+
+Result EvalWordSegments(Interp& interp, const std::vector<WordSegment>& segments,
+                        std::string* out) {
+  for (const WordSegment& segment : segments) {
+    switch (segment.kind) {
+      case WordSegment::Kind::kLiteral:
+        out->append(segment.text);
+        break;
+      case WordSegment::Kind::kVariable: {
+        if (const std::string* fast = interp.GetVarPtr(segment.text)) {
+          out->append(*fast);
+          break;
+        }
+        std::string value;
+        if (!interp.GetVar(segment.text, &value)) {
+          return Result::Error("can't read \"" + segment.text + "\": no such variable");
+        }
+        out->append(value);
+        break;
+      }
+      case WordSegment::Kind::kArrayElement: {
+        std::string index;
+        Result r = EvalWordSegments(interp, segment.index, &index);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        std::string name = segment.text;
+        name += "(";
+        name += index;
+        name += ")";
+        std::string value;
+        if (!interp.GetVar(name, &value)) {
+          return Result::Error("can't read \"" + name + "\": no such variable");
+        }
+        out->append(value);
+        break;
+      }
+      case WordSegment::Kind::kScript: {
+        // Only kError propagates: break/continue/return from a bracketed
+        // script append their value, exactly as fresh parsing does.
+        Result r = interp.Eval(segment.text);
+        if (r.code == Status::kError) {
+          return r;
+        }
+        out->append(r.value);
+        break;
+      }
+    }
+  }
+  return Result::Ok();
+}
+
+// --- Compile cache ------------------------------------------------------------
+
+CompileCache::CompileCache(std::size_t capacity, std::size_t max_key_bytes,
+                           wobs::Counter* hits, wobs::Counter* misses,
+                           wobs::Counter* evictions)
+    : capacity_(capacity),
+      max_key_bytes_(max_key_bytes),
+      hits_(hits),
+      misses_(misses),
+      evictions_(evictions) {}
+
+std::shared_ptr<const void> CompileCache::Get(std::string_view key) {
+  // MRU fast path: re-evaluating the script that ran last (the callback
+  // storm / loop-body pattern) is a byte-compare, not a hash lookup.
+  if (!entries_.empty() && entries_.front().key == key) {
+    hits_->Increment();
+    return entries_.front().value;
+  }
+  if (key.size() > max_key_bytes_) {
+    misses_->Increment();
+    return nullptr;
+  }
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_->Increment();
+    return nullptr;
+  }
+  if (it->second != entries_.begin()) {
+    entries_.splice(entries_.begin(), entries_, it->second);
+  }
+  hits_->Increment();
+  return entries_.front().value;
+}
+
+void CompileCache::Put(std::string_view key, std::shared_ptr<const void> value) {
+  if (key.size() > max_key_bytes_ || capacity_ == 0) {
+    return;  // compiled but intentionally not retained
+  }
+  if (index_.find(key) != index_.end()) {
+    return;  // already cached (single-threaded, but stay defensive)
+  }
+  entries_.push_front(Entry{std::string(key), std::move(value)});
+  index_[std::string_view(entries_.front().key)] = entries_.begin();
+  if (entries_.size() > capacity_) {
+    index_.erase(std::string_view(entries_.back().key));
+    entries_.pop_back();
+    evictions_->Increment();
+  }
+}
+
+std::size_t CompileCache::Flush() {
+  std::size_t dropped = entries_.size();
+  index_.clear();
+  entries_.clear();
+  return dropped;
+}
+
+}  // namespace wtcl

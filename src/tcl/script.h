@@ -1,0 +1,160 @@
+// Compile-once script IR (the Tcl 7 -> Tcl 8 move, scaled to wtcl): a
+// one-time parser turns a script into an immutable sequence of commands x
+// words, where each word is either a fully-resolved literal or a small
+// substitution program. The executor in interp.cc runs the IR under the
+// same eval guards and errorInfo machinery as before; a content-keyed LRU
+// cache (CompileCache) makes loop bodies, proc bodies, callbacks, and
+// translation actions parse once and execute many times. The IR never
+// embeds interpreter state that could go stale: variable lookup happens at
+// execution time, and the per-command dispatch memo below revalidates
+// against the interp's command epoch, so redefinition behaves exactly as
+// with fresh parsing.
+#ifndef SRC_TCL_SCRIPT_H_
+#define SRC_TCL_SCRIPT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tcl/interp.h"
+
+namespace wobs {
+class Counter;
+}
+
+namespace wtcl {
+
+// One substitution step of a compiled word, mirroring what the fresh parser
+// would do at the same position.
+struct WordSegment {
+  enum class Kind {
+    kLiteral,       // `text` is appended verbatim (backslash escapes resolved)
+    kVariable,      // `text` is a variable name ($name / ${name})
+    kArrayElement,  // `text` is the array base; `index` is the index program
+    kScript,        // `text` is a bracketed script, evaluated via Interp::Eval
+  };
+  Kind kind = Kind::kLiteral;
+  std::string text;
+  std::vector<WordSegment> index;  // kArrayElement only
+};
+
+struct CompiledWord {
+  // Fast path: the word is a fully-resolved literal (braced words, and bare
+  // or quoted words without substitutions).
+  bool literal = true;
+  std::string text;                   // the literal value when `literal`
+  std::vector<WordSegment> segments;  // the substitution program otherwise
+  // Structural parse error discovered inside this word ("missing \"",
+  // "missing close-bracket", ...). Fresh parsing performs the preceding
+  // substitutions before hitting the error, so the executor evaluates
+  // `segments` first (for their side effects and their own errors) and then
+  // fails with this message. A word carrying a parse error is always the
+  // last word of the last command of its script.
+  std::string parse_error;
+};
+
+struct CompiledCommand {
+  std::vector<CompiledWord> words;
+  // Prebuilt argv when every word is a fully-resolved literal: the executor
+  // dispatches straight from the IR without assembling argv per evaluation.
+  std::vector<std::string> literal_argv;
+  int line = 1;  // 1-based source line of the command within its script
+  // Memoized command resolution for the literal-argv dispatch path: valid
+  // while `resolved_owner` is the dispatching interp and its command table
+  // has not changed since `resolved_epoch` (the interp is single-threaded,
+  // so the mutable fields need no locking). The strong ref keeps a
+  // redefined command's old function alive until re-resolution.
+  mutable const void* resolved_owner = nullptr;
+  mutable std::uint64_t resolved_epoch = 0;
+  mutable std::shared_ptr<const void> resolved_fn;
+};
+
+// The immutable IR a script compiles to. Compilation never fails: structural
+// parse errors are embedded so the executor reproduces fresh parsing's
+// behavior (commands before the error still run).
+struct CompiledScript {
+  std::vector<CompiledCommand> commands;
+  std::size_t source_bytes = 0;
+};
+
+// Compiles a script into its IR. Pure: depends only on the script text.
+ScriptHandle CompileScript(std::string_view source);
+
+// Compiles one `$...` substitution starting at (*pos) (which is the '$')
+// into segments, mirroring the fresh parser's ParseVariable. Returns false
+// and sets *error on a structural error. Used by the script compiler and
+// the expr AST compiler.
+bool CompileVariableSegments(std::string_view source, std::size_t* pos,
+                             std::vector<WordSegment>* segments, std::string* error);
+
+// Compiles one `[...]` substitution starting at (*pos) (which is the '[').
+bool CompileBracketSegments(std::string_view source, std::size_t* pos,
+                            std::vector<WordSegment>* segments, std::string* error);
+
+// Runs a substitution program, appending to *out. Only kError results from
+// nested scripts propagate (break/continue/return inside brackets append
+// their value, exactly as fresh parsing does).
+Result EvalWordSegments(Interp& interp, const std::vector<WordSegment>& segments,
+                        std::string* out);
+
+// --- Compile cache ------------------------------------------------------------
+//
+// Content-keyed LRU memoization of compiled artifacts (script IR, expr
+// ASTs), following the converter-cache pattern from src/xt/converter.h.
+// Values are type-erased shared_ptrs: the cached artifact stays alive while
+// an evaluation still holds it, so a flush (or an eviction) during
+// execution is safe. Entry count and per-key size are bounded; oversized
+// keys are compiled but never stored.
+class CompileCache {
+ public:
+  CompileCache(std::size_t capacity, std::size_t max_key_bytes, wobs::Counter* hits,
+               wobs::Counter* misses, wobs::Counter* evictions);
+
+  // Returns the cached value (refreshing its LRU position) or nullptr on a
+  // miss; the caller compiles and calls Put.
+  std::shared_ptr<const void> Get(std::string_view key);
+  void Put(std::string_view key, std::shared_ptr<const void> value);
+
+  // Drops every entry; returns how many were dropped.
+  std::size_t Flush();
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const void> value;
+  };
+
+  std::size_t capacity_;
+  std::size_t max_key_bytes_;
+  wobs::Counter* hits_;
+  wobs::Counter* misses_;
+  wobs::Counter* evictions_;
+  std::list<Entry> entries_;  // front = most recently used
+  // Keys view into the stable list-node strings.
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> index_;
+};
+
+// Low-level lexing helpers shared by the fresh parser (interp.cc), the
+// script compiler, and the expr compiler. Semantics are identical across
+// all three by construction.
+namespace detail {
+
+bool IsWordSeparator(char c);
+bool IsCommandTerminator(char c);
+bool IsVarNameChar(char c);
+
+// Translates one backslash sequence starting at script[*pos] (the backslash
+// itself), advancing *pos past it and appending the replacement to *out.
+void SubstBackslash(std::string_view script, std::size_t* pos, std::string* out);
+
+}  // namespace detail
+
+}  // namespace wtcl
+
+#endif  // SRC_TCL_SCRIPT_H_

@@ -1,0 +1,215 @@
+// The compile-once Tcl layer: scripts and expressions parse once into
+// cached IR, and the cache must be invisible except in the metrics — same
+// results, same error traces, same guard trips, with `tcl.script.cache.*` /
+// `tcl.expr.cache.*` telling the performance story and `scriptCacheFlush`
+// providing the manual invalidation hatch.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "helpers/ui_harness.h"
+#include "src/core/wafe.h"
+#include "src/obs/obs.h"
+#include "src/tcl/interp.h"
+
+namespace wafe {
+namespace {
+
+class ScriptCacheTest : public ::testing::Test {
+ protected:
+  ~ScriptCacheTest() override { wobs::SetMetricsEnabled(false); }
+
+  void EnableMetrics(Wafe& wafe) {
+    ASSERT_EQ(wafe.Eval("metrics enable").code, wtcl::Status::kOk);
+    ASSERT_EQ(wafe.Eval("metrics reset").code, wtcl::Status::kOk);
+  }
+
+  // Reads the registry directly: going through `metrics get` would itself
+  // be an Eval and perturb the very counters under test.
+  std::uint64_t Metric(Wafe&, const std::string& name) {
+    std::uint64_t value = 0;
+    EXPECT_TRUE(wobs::Registry::Instance().GetMetric(name, &value)) << name;
+    return value;
+  }
+};
+
+// Re-evaluating the same script is a cache hit, not a reparse.
+TEST_F(ScriptCacheTest, RepeatedEvalHitsScriptCache) {
+  Wafe wafe;
+  EnableMetrics(wafe);
+  ASSERT_EQ(wafe.Eval("set x 1\nset y 2").code, wtcl::Status::kOk);
+  std::uint64_t misses = Metric(wafe, "tcl.script.cache.misses");
+  EXPECT_GT(misses, 0u);
+  ASSERT_EQ(wafe.Eval("set x 1\nset y 2").code, wtcl::Status::kOk);
+  EXPECT_GT(Metric(wafe, "tcl.script.cache.hits"), 0u);
+  // The second evaluation added no misses for the top-level script.
+  EXPECT_EQ(Metric(wafe, "tcl.script.cache.misses"), misses);
+}
+
+// A loop body compiles once; the loop condition's expr AST compiles once
+// into a handle the loop reuses directly, so iterations generate no expr
+// compiles (and no cache traffic) at all.
+TEST_F(ScriptCacheTest, LoopBodyAndConditionCompileOnce) {
+  Wafe wafe;
+  EnableMetrics(wafe);
+  ASSERT_EQ(wafe.Eval("set i 0\nwhile {$i < 100} {incr i}").code, wtcl::Status::kOk);
+  EXPECT_EQ(wafe.Eval("set i").value, "100");
+  // One compile for the condition, and no per-iteration lookups.
+  EXPECT_LE(Metric(wafe, "tcl.expr.cache.misses"), 2u);
+  EXPECT_LE(Metric(wafe, "tcl.expr.cache.hits"), 2u);
+  // Only the top-level script and the loop body miss; iterations reuse the
+  // precompiled body without even consulting the cache.
+  EXPECT_LE(Metric(wafe, "tcl.script.cache.misses"), 3u);
+  // A repeated standalone `expr`, by contrast, does consult the cache.
+  ASSERT_EQ(wafe.Eval("expr 7 * 6").value, "42");
+  ASSERT_EQ(wafe.Eval("expr 7 * 6").value, "42");
+  EXPECT_GT(Metric(wafe, "tcl.expr.cache.hits"), 0u);
+}
+
+// Redefining a proc must pick up the new body even though the old body's IR
+// is still alive in the cache: each Proc holds its own compiled handle.
+TEST_F(ScriptCacheTest, ProcRedefinitionPicksUpNewBody) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("proc greet {} {return one}").code, wtcl::Status::kOk);
+  EXPECT_EQ(wafe.Eval("greet").value, "one");
+  ASSERT_EQ(wafe.Eval("proc greet {} {return two}").code, wtcl::Status::kOk);
+  EXPECT_EQ(wafe.Eval("greet").value, "two");
+  // And back again, now that both bodies have been seen (and cached) once.
+  ASSERT_EQ(wafe.Eval("proc greet {} {return one}").code, wtcl::Status::kOk);
+  EXPECT_EQ(wafe.Eval("greet").value, "one");
+}
+
+// scriptCacheFlush drops every compiled script and expr AST and reports how
+// many entries went away; evaluation afterwards recompiles and still works.
+TEST_F(ScriptCacheTest, ScriptCacheFlushDropsEverything) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("set a 1").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("expr 1 + 2").value, "3");
+  EXPECT_GT(wafe.interp().ScriptCacheSize(), 0u);
+  EXPECT_GT(wafe.interp().ExprCacheSize(), 0u);
+  wtcl::Result r = wafe.Eval("scriptCacheFlush");
+  ASSERT_EQ(r.code, wtcl::Status::kOk);
+  EXPECT_GT(std::stoull(r.value), 0u);
+  // The flush command itself was evaluated (and so re-cached) after the
+  // flush ran, so the script cache holds at most that one entry.
+  EXPECT_LE(wafe.interp().ScriptCacheSize(), 1u);
+  EXPECT_EQ(wafe.interp().ExprCacheSize(), 0u);
+  EXPECT_EQ(wafe.Eval("expr 1 + 2").value, "3");
+}
+
+// errorInfo must carry the same source line numbers whether the failing
+// script was freshly parsed or replayed from cached IR.
+TEST_F(ScriptCacheTest, CachedErrorTraceMatchesUncached) {
+  const std::string script = "set a 1\nset b 2\nnoSuchCommand x y\n";
+  Wafe wafe;
+  auto trace = [&]() {
+    wtcl::Result r = wafe.Eval(script);
+    EXPECT_EQ(r.code, wtcl::Status::kError);
+    std::string info;
+    EXPECT_TRUE(wafe.interp().GetGlobalVar("errorInfo", &info));
+    return info;
+  };
+  std::string fresh = trace();
+  EXPECT_NE(fresh.find("line 3"), std::string::npos) << fresh;
+  std::string cached = trace();
+  EXPECT_EQ(fresh, cached);
+  wafe.interp().FlushCompileCaches();
+  EXPECT_EQ(fresh, trace());
+}
+
+// Proc bodies keep their line numbers through the per-proc compiled handle.
+TEST_F(ScriptCacheTest, ProcBodyLineNumbersSurviveCaching) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("proc inner {} {\nset ok 1\nnoSuchCommand a b\n}").code,
+            wtcl::Status::kOk);
+  auto trace = [&]() {
+    wtcl::Result r = wafe.Eval("inner");
+    EXPECT_EQ(r.code, wtcl::Status::kError);
+    std::string info;
+    EXPECT_TRUE(wafe.interp().GetGlobalVar("errorInfo", &info));
+    return info;
+  };
+  std::string first = trace();
+  EXPECT_NE(first.find("line 3"), std::string::npos) << first;
+  EXPECT_NE(first.find("noSuchCommand a b"), std::string::npos) << first;
+  EXPECT_EQ(first, trace());
+}
+
+// The eval guards see cached and uncached execution identically: the same
+// script trips the same limit with the same message either way.
+TEST_F(ScriptCacheTest, GuardLimitsTripIdenticallyWhenCached) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("evalLimit steps 2000").code, wtcl::Status::kOk);
+  wtcl::Result first = wafe.Eval("while {1} {set x 1}");
+  ASSERT_EQ(first.code, wtcl::Status::kError);
+  EXPECT_NE(first.value.find("step budget"), std::string::npos);
+  // Cached replay trips the same way...
+  wtcl::Result cached = wafe.Eval("while {1} {set x 1}");
+  EXPECT_EQ(cached.code, first.code);
+  EXPECT_EQ(cached.value, first.value);
+  // ...and so does a recompile after a flush.
+  wafe.interp().FlushCompileCaches();
+  wtcl::Result flushed = wafe.Eval("while {1} {set x 1}");
+  EXPECT_EQ(flushed.code, first.code);
+  EXPECT_EQ(flushed.value, first.value);
+
+  ASSERT_EQ(wafe.Eval("evalLimit depth 32").code, wtcl::Status::kOk);
+  ASSERT_EQ(wafe.Eval("proc boom {} {boom}").code, wtcl::Status::kOk);
+  first = wafe.Eval("boom");
+  ASSERT_EQ(first.code, wtcl::Status::kError);
+  EXPECT_NE(first.value.find("limit exceeded"), std::string::npos);
+  cached = wafe.Eval("boom");
+  EXPECT_EQ(cached.value, first.value);
+}
+
+// Malformed expressions report the same error cached (via the cached
+// fallback marker) as on first sight.
+TEST_F(ScriptCacheTest, MalformedExprErrorsAreStableAcrossCache) {
+  Wafe wafe;
+  auto run = [&]() {
+    wtcl::Result r = wafe.Eval("expr 1 +");
+    EXPECT_EQ(r.code, wtcl::Status::kError);
+    return r.value;
+  };
+  std::string first = run();
+  EXPECT_NE(first.find("syntax error"), std::string::npos);
+  EXPECT_EQ(first, run());
+  wafe.interp().FlushCompileCaches();
+  EXPECT_EQ(first, run());
+}
+
+// Oversized scripts evaluate normally but are not retained, so a one-shot
+// giant script cannot evict the hot loop bodies.
+TEST_F(ScriptCacheTest, OversizedScriptsAreNotRetained) {
+  Wafe wafe;
+  ASSERT_EQ(wafe.Eval("set warm 1").code, wtcl::Status::kOk);
+  std::size_t size = wafe.interp().ScriptCacheSize();
+  std::string big = "set huge 1\n";
+  big.reserve(70 * 1024);
+  while (big.size() < 65 * 1024) {
+    big += "set huge [expr $huge + 0]\n";
+  }
+  ASSERT_EQ(wafe.Eval(big).code, wtcl::Status::kOk);
+  // The big script itself was not cached (only its inner pieces may be).
+  EXPECT_EQ(wafe.Eval(big).code, wtcl::Status::kOk);
+  EXPECT_GE(wafe.interp().ScriptCacheSize(), size);
+}
+
+// Acceptance: a callback storm — many clicks on the same button — reuses
+// one compiled script instead of reparsing per dispatch.
+TEST_F(ScriptCacheTest, CallbackStormHitsScriptCache) {
+  ui_harness::UiHarness ui;
+  EnableMetrics(ui.wafe());
+  ASSERT_EQ(ui.wafe().Eval("set clicks 0").code, wtcl::Status::kOk);
+  ASSERT_EQ(ui.wafe().Eval("command storm topLevel callback {incr clicks}").code,
+            wtcl::Status::kOk);
+  ui.Realize();
+  for (int i = 0; i < 50; ++i) {
+    ui.Click("storm");
+  }
+  EXPECT_EQ(ui.Eval("set clicks"), "50");
+  EXPECT_GT(Metric(ui.wafe(), "tcl.script.cache.hits"), 0u);
+}
+
+}  // namespace
+}  // namespace wafe

@@ -201,6 +201,46 @@ TEST_F(EvalGuardTest, RandomScriptsNeverCrashOrHangEval) {
   EXPECT_EQ(wafe.Eval("expr 2 + 3").value, "5");
 }
 
+// Cache correctness: two interpreters replay the whole corpus in lockstep —
+// one keeps its compile caches warm, the other flushes before every Eval —
+// and must agree byte-for-byte on status, result, and errorInfo. Only the
+// deterministic depth/step limits are armed (no wall clock), so a guard trip
+// lands on exactly the same iteration in both.
+TEST_F(EvalGuardTest, CachedAndFlushedEvalsAgreeByteForByte) {
+  Wafe cached;
+  Wafe flushed;
+  for (Wafe* wafe : {&cached, &flushed}) {
+    ASSERT_EQ(wafe->Eval("evalLimit depth 64").code, wtcl::Status::kOk);
+    ASSERT_EQ(wafe->Eval("evalLimit steps 2000").code, wtcl::Status::kOk);
+  }
+  std::mt19937 generator(20260805);
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 200; ++i) {
+    corpus.push_back(RandomScript(generator));
+  }
+  for (const std::string& script : HostileScripts()) {
+    corpus.push_back(script);
+  }
+  for (const std::string& script : corpus) {
+    // Twice per script: the second round is a guaranteed cache hit on the
+    // warm side while the cold side re-parses from scratch.
+    for (int round = 0; round < 2; ++round) {
+      flushed.interp().FlushCompileCaches();
+      wtcl::Result warm = cached.Eval(script);
+      wtcl::Result cold = flushed.Eval(script);
+      ASSERT_EQ(warm.code, cold.code) << script;
+      ASSERT_EQ(warm.value, cold.value) << script;
+      std::string warm_info;
+      std::string cold_info;
+      bool warm_has = cached.interp().GetGlobalVar("errorInfo", &warm_info);
+      bool cold_has = flushed.interp().GetGlobalVar("errorInfo", &cold_info);
+      ASSERT_EQ(warm_has, cold_has) << script;
+      ASSERT_EQ(warm_info, cold_info) << script;
+    }
+  }
+  EXPECT_EQ(cached.Eval("expr 2 + 3").value, flushed.Eval("expr 2 + 3").value);
+}
+
 // The same hostility through the %-protocol: malformed and runaway lines
 // produce error reports on the channel, and the frontend keeps draining.
 TEST_F(EvalGuardTest, RandomProtocolLinesNeverWedgeTheChannel) {
