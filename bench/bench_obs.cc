@@ -64,6 +64,40 @@ void BM_ObsScopedEventFullTrace(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsScopedEventFullTrace);
 
+// The request scope a %-line opens: two atomic exchanges each way.
+void BM_ObsRequestScope(benchmark::State& state) {
+  SetObsState(0);
+  for (auto _ : state) {
+    wobs::RequestScope scope;
+    benchmark::DoNotOptimize(scope.id());
+  }
+}
+BENCHMARK(BM_ObsRequestScope);
+
+// Per-command latency attribution: one mutex + map lookup when enabled.
+void BM_ObsLabeledHistogram(benchmark::State& state) {
+  SetObsState(1);
+  static wobs::LabeledHistogram labeled("bench.obs.labeled");
+  for (auto _ : state) {
+    labeled.Record("setValues", 1000);
+  }
+  SetObsState(0);
+}
+BENCHMARK(BM_ObsLabeledHistogram);
+
+// Rendering the Prometheus exposition (the WAFE_METRICS_DUMP snapshot cost).
+void BM_ObsPrometheusRender(benchmark::State& state) {
+  SetObsState(1);
+  for (auto _ : state) {
+    std::string text = wobs::MetricsPrometheus();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * wobs::MetricsPrometheus().size()));
+  SetObsState(0);
+}
+BENCHMARK(BM_ObsPrometheusRender);
+
 // Tcl command evaluation (the tcl.* instruments sit in Eval/InvokeCommand).
 void BM_TclEvalUnderObs(benchmark::State& state) {
   SetObsState(static_cast<int>(state.range(0)));

@@ -30,6 +30,11 @@ wobs::Counter g_mass_transfers("comm.mass.transfers");
 wobs::Counter g_mass_truncated("comm.mass.truncated");
 wobs::Histogram g_line_duration("comm.line.duration");
 wobs::Histogram g_mass_transfer_duration("comm.mass.duration");
+// End-to-end %-request latency: eval plus any error reporting back over the
+// channel, overall and fanned out by command name (top-K; the rest fold into
+// comm.request.command.other).
+wobs::Histogram g_request_latency("comm.request.latency");
+wobs::LabeledHistogram g_request_by_command("comm.request.command");
 
 // Outbound queue / backpressure / supervision instruments.
 wobs::Counter g_queue_enqueued("comm.queue.enqueued");
@@ -43,6 +48,21 @@ wobs::Counter g_write_errors("comm.write.errors");
 wobs::Counter g_restarts("comm.restarts");
 wobs::Counter g_eval_errors("comm.eval.errors");
 wobs::Counter g_circuit_tripped("comm.eval.circuit.tripped");
+
+// First word of a %-line's script: the label for the per-command request
+// latency fan-out.
+std::string_view CommandWord(std::string_view script) {
+  std::size_t begin = script.find_first_not_of(" \t");
+  if (begin == std::string_view::npos) {
+    return {};
+  }
+  std::size_t end = begin;
+  while (end < script.size() && script[end] != ' ' && script[end] != '\t' &&
+         script[end] != ';' && script[end] != '\n') {
+    ++end;
+  }
+  return script.substr(begin, end - begin);
+}
 
 // A dead backend must not kill the frontend with SIGPIPE; writes report
 // EPIPE instead and the channel layer notices the hangup. Installed at most
@@ -302,13 +322,26 @@ void Frontend::HandleLine(const std::string& line) {
   g_lines_in.Increment();
   if (!line.empty() && line[0] == wafe_->options().prefix) {
     g_percent_commands.Increment();
+    // The request scope opens before the span, so every event pushed while
+    // this line is handled — the span itself, the eval, the callbacks it
+    // fires, the damage flush they cause — carries the same request id and
+    // renders on the request lane.
+    wobs::RequestScope request;
     wobs::ScopedEvent obs_span("comm", "protocol-line", &g_line_duration);
+    const std::uint64_t request_start =
+        wobs::MetricsEnabled() ? wobs::NowNs() : 0;
     wafe_->count_line();
-    wtcl::Result r = wafe_->Eval(std::string_view(line).substr(1));
+    std::string_view script = std::string_view(line).substr(1);
+    wtcl::Result r = wafe_->Eval(script);
     if (r.code == wtcl::Status::kError) {
       HandleEvalError(r.value);
     } else if (eval_errors_consecutive_ != 0) {
       eval_errors_consecutive_ = 0;
+    }
+    if (request_start != 0) {
+      std::uint64_t dur = wobs::NowNs() - request_start;
+      g_request_latency.Record(dur);
+      g_request_by_command.Record(CommandWord(script), dur);
     }
     return;
   }
@@ -345,6 +378,10 @@ void Frontend::HandleEvalError(const std::string& message) {
     // The backend is feeding a steady stream of failing %-lines: trip the
     // circuit instead of wedging. Supervision (if on) respawns it.
     g_circuit_tripped.Increment();
+    // Flight record before the breaker acts: recovery (a respawned backend,
+    // the quit path) would overwrite the ring that still holds the offending
+    // request's spans.
+    wobs::DumpFlightRecord("circuit-breaker");
     wobs::Log("comm",
               "eval error limit (" + std::to_string(eval_error_limit_) +
                   " consecutive) tripped; dropping backend",

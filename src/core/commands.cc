@@ -3,6 +3,7 @@
 // timers, and introspection. Most entries are spec-generated wrappers of a
 // single Xt function, per the paper's one-call-one-command rule.
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -1189,11 +1190,15 @@ void RegisterObsCommands(Wafe& wafe) {
       "metrics",
       "String",
       {{ArgType::kString, "subcommand", true}, {ArgType::kString, "name", true}},
-      "observability metrics: dump (default), get <name>, reset, enable, disable",
+      "observability metrics: dump (default), prometheus (text exposition "
+      "format), get <name>, reset, enable, disable",
       [](Invocation& inv) {
         std::string sub = inv.present(0) ? inv.str(0) : "dump";
         if (sub == "dump") {
           return Result::Ok(wobs::MetricsText());
+        }
+        if (sub == "prometheus") {
+          return Result::Ok(wobs::MetricsPrometheus());
         }
         if (sub == "get") {
           if (!inv.present(1)) {
@@ -1218,7 +1223,8 @@ void RegisterObsCommands(Wafe& wafe) {
           return Result::Ok();
         }
         return Result::Error("bad metrics subcommand \"" + sub +
-                             "\": must be dump, get, reset, enable, or disable");
+                             "\": must be dump, prometheus, get, reset, "
+                             "enable, or disable");
       },
       false});
 
@@ -1282,6 +1288,74 @@ void RegisterObsCommands(Wafe& wafe) {
         }
         file << out.str();
         return Result::Ok(std::to_string(events));
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "obsSlowThreshold",
+      "obsSlowThreshold",
+      "String",
+      {{ArgType::kString, "ms", true}},
+      "slow-span watchdog: with no argument returns the current threshold in "
+      "milliseconds (0 = off); with one, sets it — callbacks, evals, and "
+      "loop-lag stretches slower than the threshold are logged with their "
+      "request id and counted in obs.slow.spans, independent of the "
+      "metrics/trace gates",
+      [](Invocation& inv) {
+        if (inv.present(0)) {
+          const std::string& arg = inv.str(0);
+          char* end = nullptr;
+          double ms = std::strtod(arg.c_str(), &end);
+          if (end == arg.c_str() || *end != '\0' || ms < 0) {
+            return Result::Error("bad slow threshold \"" + arg +
+                                 "\": must be a non-negative number of "
+                                 "milliseconds");
+          }
+          wobs::SetSlowThresholdNs(static_cast<std::uint64_t>(ms * 1e6));
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g",
+                      static_cast<double>(wobs::SlowThresholdNs()) / 1e6);
+        return Result::Ok(buf);
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "flightDir",
+      "flightDir",
+      "String",
+      {{ArgType::kString, "directory", true}},
+      "fault flight recorder destination: with no argument returns the "
+      "current directory (empty = recorder off, initialized from "
+      "WAFE_FLIGHT_DIR); with one, sets it — circuit-breaker trips, eval "
+      "limits, and toolkit errors then dump the trace ring and a metrics "
+      "snapshot there before degradation proceeds",
+      [](Invocation& inv) {
+        if (inv.present(0)) {
+          wobs::SetFlightDir(inv.str(0));
+        }
+        return Result::Ok(wobs::FlightDir());
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "flightDump",
+      "flightDump",
+      "String",
+      {{ArgType::kString, "reason", true}},
+      "write a flight record now (bypassing the rate limiter) and return its "
+      "path; errors when no flight directory is configured",
+      [](Invocation& inv) {
+        std::string reason = inv.present(0) ? inv.str(0) : "manual";
+        if (wobs::FlightDir().empty()) {
+          return Result::Error(
+              "no flight directory configured (flightDir / WAFE_FLIGHT_DIR)");
+        }
+        std::string path = wobs::DumpFlightRecord(reason, /*force=*/true);
+        if (path.empty()) {
+          return Result::Error("couldn't write flight record");
+        }
+        return Result::Ok(path);
       },
       false});
 

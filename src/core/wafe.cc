@@ -11,6 +11,7 @@
 
 #include "src/core/comm.h"
 #include "src/core/percent.h"
+#include "src/obs/obs.h"
 #include "src/xaw/athena.h"
 #include "src/xm/motif.h"
 #include "src/ext/plotter.h"
@@ -64,6 +65,50 @@ Wafe::Wafe(Options options)
     if (!ApplyXtFaultSpec(*this, spec, &fault_error)) {
       app_.errors().RaiseWarning("xtFault", "bad WAFE_XT_FAULT: " + fault_error);
     }
+  }
+  if (const char* spec = std::getenv("WAFE_METRICS_DUMP")) {
+    std::string dump(spec);
+    std::size_t comma = dump.rfind(',');
+    long interval = 1000;
+    if (comma != std::string::npos) {
+      interval = std::atol(dump.c_str() + comma + 1);
+      dump.resize(comma);
+    }
+    if (dump.empty() || interval <= 0) {
+      app_.errors().RaiseWarning(
+          "metricsDump", "bad WAFE_METRICS_DUMP (want <path>[,<interval-ms>])");
+    } else {
+      metrics_dump_path_ = dump;
+      metrics_dump_interval_ms_ = interval;
+      // Asking for periodic snapshots is asking for metrics.
+      wobs::SetMetricsEnabled(true);
+      ScheduleMetricsDump();
+    }
+  }
+}
+
+void Wafe::ScheduleMetricsDump() {
+  app_.AddTimeout(metrics_dump_interval_ms_, [this] {
+    WriteMetricsSnapshot();
+    ScheduleMetricsDump();
+  });
+}
+
+void Wafe::WriteMetricsSnapshot() {
+  // Write-then-rename: a scraper reading mid-write must never see a torn
+  // exposition.
+  std::string tmp = metrics_dump_path_ + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      wobs::Log("obs", "couldn't write metrics snapshot \"" + tmp + "\"", true);
+      return;
+    }
+    out << wobs::MetricsPrometheus();
+  }
+  if (std::rename(tmp.c_str(), metrics_dump_path_.c_str()) != 0) {
+    wobs::Log("obs", "couldn't rename metrics snapshot to \"" +
+                         metrics_dump_path_ + "\"", true);
   }
 }
 

@@ -106,6 +106,11 @@ class Wafe {
   void RegisterEverything();
   // Base handlers bridging the toolkit error stack to the Tcl hooks.
   void InstallErrorHandlers();
+  // WAFE_METRICS_DUMP=<path>[,<interval-ms>]: a repeating timer writes a
+  // Prometheus snapshot to <path> (atomically, via rename) so an external
+  // scraper or the bench harness can watch a live session.
+  void ScheduleMetricsDump();
+  void WriteMetricsSnapshot();
 
   Options options_;
   wtcl::Interp interp_;
@@ -120,6 +125,8 @@ class Wafe {
   std::size_t lines_evaluated_ = 0;
   std::string error_proc_;
   std::string warning_proc_;
+  std::string metrics_dump_path_;
+  long metrics_dump_interval_ms_ = 0;
 };
 
 // Registration units (called by the constructor; exposed for tests).

@@ -1,7 +1,12 @@
-// Exporters: the human-readable metrics/trace dumps and the Chrome
-// trace_event JSON format (the "JSON Array Format" with a traceEvents
-// wrapper; loadable in chrome://tracing and Perfetto).
+// Exporters: the human-readable metrics/trace dumps, the Prometheus text
+// exposition, and the Chrome trace_event JSON format (the "JSON Array
+// Format" with a traceEvents wrapper; loadable in chrome://tracing and
+// Perfetto).
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <ostream>
 #include <sstream>
 
@@ -9,7 +14,7 @@
 
 namespace wobs {
 
-namespace {
+namespace internal {
 
 void AppendJsonEscaped(std::string_view text, std::string* out) {
   for (char c : text) {
@@ -41,6 +46,12 @@ void AppendJsonEscaped(std::string_view text, std::string* out) {
   }
 }
 
+}  // namespace internal
+
+namespace {
+
+using internal::AppendJsonEscaped;
+
 // Microseconds with fractional nanoseconds, the unit trace viewers expect.
 std::string MicrosString(std::uint64_t ns) {
   char buf[32];
@@ -50,25 +61,55 @@ std::string MicrosString(std::uint64_t ns) {
   return buf;
 }
 
+// Registration order is link order — not stable across builds and not
+// meaningful to a reader — so every dump sorts its sections by name.
+template <typename T>
+std::vector<T*> SortedByName(std::vector<T*> items) {
+  std::sort(items.begin(), items.end(), [](const T* a, const T* b) {
+    return std::strcmp(a->name(), b->name()) < 0;
+  });
+  return items;
+}
+
+// Prometheus metric name: [a-zA-Z0-9_] only, so dots (and anything else)
+// become underscores under a wafe_ prefix.
+std::string PromName(const char* name, const char* suffix = "") {
+  std::string out = "wafe_";
+  for (const char* p = name; *p != '\0'; ++p) {
+    char c = *p;
+    bool clean = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_';
+    out.push_back(clean ? c : '_');
+  }
+  out += suffix;
+  return out;
+}
+
+// Upper bound (ns) of log2 bucket i: samples there have bit width i, i.e.
+// value <= 2^i - 1.
+std::uint64_t BucketUpperNs(std::size_t i) {
+  return i >= 64 ? ~0ull : (1ull << i) - 1;
+}
+
 }  // namespace
 
 std::string MetricsText() {
   Registry& registry = Registry::Instance();
   std::ostringstream out;
   out << "== counters ==\n";
-  for (const Counter* counter : registry.counters()) {
+  for (const Counter* counter : SortedByName(registry.counters())) {
     out << counter->name() << " " << counter->Get() << "\n";
   }
   out << "== gauges (current) ==\n";
-  for (const Gauge* gauge : registry.current_gauges()) {
+  for (const Gauge* gauge : SortedByName(registry.current_gauges())) {
     out << gauge->name() << " " << gauge->Get() << "\n";
   }
   out << "== gauges (max) ==\n";
-  for (const MaxGauge* gauge : registry.gauges()) {
+  for (const MaxGauge* gauge : SortedByName(registry.gauges())) {
     out << gauge->name() << " " << gauge->Get() << "\n";
   }
   out << "== histograms (ns) ==\n";
-  for (const Histogram* histogram : registry.histograms()) {
+  for (const Histogram* histogram : SortedByName(registry.histograms())) {
     std::uint64_t count = histogram->Count();
     out << histogram->name() << " count=" << count;
     if (count > 0) {
@@ -86,8 +127,52 @@ std::string MetricsText() {
   return out.str();
 }
 
-std::size_t ExportChromeTrace(std::ostream& out) {
+std::string MetricsPrometheus() {
+  Registry& registry = Registry::Instance();
+  std::ostringstream out;
+  for (const Counter* counter : SortedByName(registry.counters())) {
+    std::string name = PromName(counter->name());
+    out << "# TYPE " << name << " counter\n"
+        << name << " " << counter->Get() << "\n";
+  }
+  for (const Gauge* gauge : SortedByName(registry.current_gauges())) {
+    std::string name = PromName(gauge->name());
+    out << "# TYPE " << name << " gauge\n" << name << " " << gauge->Get() << "\n";
+  }
+  for (const MaxGauge* gauge : SortedByName(registry.gauges())) {
+    std::string name = PromName(gauge->name());
+    out << "# TYPE " << name << " gauge\n" << name << " " << gauge->Get() << "\n";
+  }
+  for (const Histogram* histogram : SortedByName(registry.histograms())) {
+    std::string name = PromName(histogram->name(), "_ns");
+    out << "# TYPE " << name << " histogram\n";
+    // Cumulative le-buckets; empty buckets are elided (the cumulative counts
+    // carry their information), +Inf closes the family as required.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      std::uint64_t in_bucket = histogram->BucketCount(i);
+      if (in_bucket == 0) {
+        continue;
+      }
+      cumulative += in_bucket;
+      out << name << "_bucket{le=\"" << BucketUpperNs(i) << "\"} " << cumulative
+          << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << histogram->Count() << "\n"
+        << name << "_sum " << histogram->SumNs() << "\n"
+        << name << "_count " << histogram->Count() << "\n";
+  }
+  const TraceRing& ring = registry.ring();
+  out << "# TYPE wafe_trace_ring_events gauge\n"
+      << "wafe_trace_ring_events " << ring.size() << "\n"
+      << "# TYPE wafe_trace_ring_dropped counter\n"
+      << "wafe_trace_ring_dropped " << ring.dropped() << "\n";
+  return out.str();
+}
+
+std::size_t ExportChromeTrace(std::ostream& out, std::string_view extra_json) {
   std::vector<TraceEvent> events = Registry::Instance().ring().Snapshot();
+  const std::string pid = std::to_string(::getpid());
   out << "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& event : events) {
@@ -97,7 +182,14 @@ std::size_t ExportChromeTrace(std::ostream& out) {
     AppendJsonEscaped(event.name, &entry);
     entry += "\",\"cat\":\"";
     AppendJsonEscaped(event.category, &entry);
-    entry += "\",\"pid\":1,\"tid\":1,\"ts\":" + MicrosString(event.ts_ns);
+    // Real pid, and the lane as tid: request work renders on its own lane
+    // (and per-session lanes later) instead of one flat track.
+    entry += "\",\"pid\":" + pid + ",\"tid\":" + std::to_string(event.lane) +
+             ",\"ts\":" + MicrosString(event.ts_ns);
+    std::string args;
+    if (event.request_id != 0) {
+      args = "\"req\":" + std::to_string(event.request_id);
+    }
     switch (event.phase) {
       case TraceEvent::Phase::kComplete:
         entry += ",\"ph\":\"X\",\"dur\":" + MicrosString(event.dur_ns);
@@ -106,14 +198,23 @@ std::size_t ExportChromeTrace(std::ostream& out) {
         entry += ",\"ph\":\"i\",\"s\":\"g\"";
         break;
       case TraceEvent::Phase::kCounter:
-        entry += ",\"ph\":\"C\",\"args\":{\"value\":" +
-                 std::to_string(event.value) + "}";
+        entry += ",\"ph\":\"C\"";
+        args = "\"value\":" + std::to_string(event.value) +
+               (args.empty() ? "" : "," + args);
         break;
+    }
+    if (!args.empty()) {
+      entry += ",\"args\":{" + args + "}";
     }
     entry += "}";
     out << entry;
   }
-  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  out << "\n],\"displayTimeUnit\":\"ms\"";
+  if (!extra_json.empty()) {
+    out << ",";
+    out.write(extra_json.data(), static_cast<std::streamsize>(extra_json.size()));
+  }
+  out << "}\n";
   return events.size();
 }
 
@@ -132,6 +233,9 @@ std::string TraceText() {
       case TraceEvent::Phase::kCounter:
         out << " value=" << event.value;
         break;
+    }
+    if (event.request_id != 0) {
+      out << " req=" << event.request_id;
     }
     out << "\n";
   }

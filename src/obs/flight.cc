@@ -1,0 +1,119 @@
+// The fault flight recorder: when a containment mechanism fires — the comm
+// circuit breaker, an eval budget, a raised toolkit error — the trace ring
+// and a metrics snapshot are dumped to a timestamped file before degradation
+// proceeds, so the evidence of why survives the recovery (a respawned
+// backend or an unwound eval overwrites the ring within seconds). The dump
+// is regular Chrome trace JSON plus an otherData block, so it loads directly
+// in Perfetto.
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "src/obs/obs.h"
+
+namespace wobs {
+
+namespace {
+
+// Ungated (IncrementAlways): a flight dump is an abnormal event worth
+// counting even in an otherwise disabled session.
+Counter g_flight_dumps("obs.flight.dumps");
+Counter g_flight_suppressed("obs.flight.suppressed");
+
+std::mutex g_mutex;
+std::string g_dir;      // guarded by g_mutex
+bool g_dir_set = false;  // env consulted at most once
+std::uint64_t g_last_dump_ns = 0;
+std::uint64_t g_sequence = 0;
+
+// A fault storm (a backend streaming failing %-lines, a translation raising
+// per-event) must not turn into a disk-filling storm of identical dumps.
+constexpr std::uint64_t kMinIntervalNs = 1000000000ull;
+
+std::string SanitizeReason(const std::string& reason) {
+  std::string out;
+  for (char c : reason) {
+    bool clean = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(clean ? c : '-');
+    if (out.size() >= 48) {
+      break;
+    }
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+}  // namespace
+
+void SetFlightDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_dir = dir;
+  g_dir_set = true;
+  g_last_dump_ns = 0;  // a fresh destination re-arms the rate limiter
+}
+
+std::string FlightDir() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_dir_set) {
+    const char* env = std::getenv("WAFE_FLIGHT_DIR");
+    g_dir = env != nullptr ? env : "";
+    g_dir_set = true;
+  }
+  return g_dir;
+}
+
+std::string DumpFlightRecord(const std::string& reason, bool force) {
+  std::string dir = FlightDir();
+  if (dir.empty()) {
+    return "";
+  }
+  std::uint64_t now = NowNs();
+  std::uint64_t sequence;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (!force && g_last_dump_ns != 0 && now - g_last_dump_ns < kMinIntervalNs) {
+      g_flight_suppressed.IncrementAlways();
+      return "";
+    }
+    g_last_dump_ns = now;
+    sequence = ++g_sequence;
+  }
+  char stamp[32];
+  time_t wall = ::time(nullptr);
+  struct tm tm_buf {};
+  ::localtime_r(&wall, &tm_buf);
+  std::strftime(stamp, sizeof(stamp), "%Y%m%d-%H%M%S", &tm_buf);
+  std::string path = dir + "/flight-" + stamp + "-" +
+                     std::to_string(::getpid()) + "-" + std::to_string(sequence) +
+                     "-" + SanitizeReason(reason) + ".json";
+  std::string extra = "\"otherData\":{\"reason\":\"";
+  internal::AppendJsonEscaped(reason, &extra);
+  extra += "\",\"pid\":" + std::to_string(::getpid());
+  extra += ",\"monotonic_ns\":" + std::to_string(now);
+  // The request being handled when the trigger fired (0 outside a request):
+  // the trace events with this id are the offending request's spans.
+  extra += ",\"request\":" + std::to_string(CurrentRequestId());
+  extra += ",\"metrics\":\"";
+  internal::AppendJsonEscaped(MetricsPrometheus(), &extra);
+  extra += "\"}";
+  std::ofstream out(path);
+  if (!out) {
+    Log("flight", "couldn't write flight record \"" + path + "\"", true);
+    return "";
+  }
+  ExportChromeTrace(out, extra);
+  out.close();
+  if (!out) {
+    Log("flight", "short write on flight record \"" + path + "\"", true);
+    return "";
+  }
+  g_flight_dumps.IncrementAlways();
+  Log("flight", "flight record (" + reason + ") written to " + path, true);
+  return path;
+}
+
+}  // namespace wobs

@@ -5,10 +5,22 @@
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace wobs {
 
 namespace {
+
+// WAFE_OBS_SLOW: slow-span watchdog threshold in milliseconds (fractional
+// allowed); unset or 0 leaves the watchdog disarmed.
+std::uint64_t SlowNsFromEnv() {
+  const char* ms = std::getenv("WAFE_OBS_SLOW");
+  if (ms == nullptr || ms[0] == '\0') {
+    return 0;
+  }
+  double value = std::strtod(ms, nullptr);
+  return value > 0 ? static_cast<std::uint64_t>(value * 1e6) : 0;
+}
 
 unsigned MaskFromEnv() {
   unsigned mask = 0;
@@ -23,13 +35,45 @@ unsigned MaskFromEnv() {
     // variables instead of three.
     mask |= kTraceBit | kMetricsBit;
   }
+  if (SlowNsFromEnv() != 0) {
+    mask |= kSlowBit;
+  }
   return mask;
 }
+
+// Request-scope state: ambient, process-global (the event loop is single
+// threaded; atomics keep concurrent readers like the trace ring race-free).
+std::atomic<std::uint64_t> g_next_request_id{1};
+std::atomic<std::uint64_t> g_current_request{0};
+std::atomic<std::uint64_t> g_current_lane{kMainLane};
+
+// Spans the watchdog flagged; ungated so the count survives metrics-off runs.
+Counter g_slow_spans("obs.slow.spans");
 
 }  // namespace
 
 namespace internal {
 std::atomic<unsigned> g_enabled{MaskFromEnv()};
+std::atomic<std::uint64_t> g_slow_threshold_ns{SlowNsFromEnv()};
+
+void NoteSlow(const char* category, std::string_view name, std::uint64_t dur_ns) {
+  std::uint64_t threshold = g_slow_threshold_ns.load(std::memory_order_relaxed);
+  if (threshold == 0 || dur_ns < threshold) {
+    return;
+  }
+  g_slow_spans.IncrementAlways();
+  std::string message = "slow span ";
+  message.append(name);
+  char detail[64];
+  std::snprintf(detail, sizeof(detail), " took %.3fms (threshold %.3fms)",
+                static_cast<double>(dur_ns) / 1e6,
+                static_cast<double>(threshold) / 1e6);
+  message += detail;
+  if (std::uint64_t request = CurrentRequestId(); request != 0) {
+    message += " request " + std::to_string(request);
+  }
+  Log(category, message, true);
+}
 }  // namespace internal
 
 void SetMetricsEnabled(bool on) {
@@ -46,6 +90,43 @@ void SetTraceEnabled(bool on) {
   } else {
     internal::g_enabled.fetch_and(~kTraceBit, std::memory_order_relaxed);
   }
+}
+
+void SetSlowThresholdNs(std::uint64_t ns) {
+  internal::g_slow_threshold_ns.store(ns, std::memory_order_relaxed);
+  if (ns != 0) {
+    internal::g_enabled.fetch_or(kSlowBit, std::memory_order_relaxed);
+  } else {
+    internal::g_enabled.fetch_and(~kSlowBit, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t SlowThresholdNs() {
+  return internal::g_slow_threshold_ns.load(std::memory_order_relaxed);
+}
+
+// --- Request scope ------------------------------------------------------------
+
+std::uint64_t CurrentRequestId() {
+  return g_current_request.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CurrentLane() {
+  return g_current_lane.load(std::memory_order_relaxed);
+}
+
+void SetCurrentLane(std::uint64_t lane) {
+  g_current_lane.store(lane, std::memory_order_relaxed);
+}
+
+RequestScope::RequestScope()
+    : id_(g_next_request_id.fetch_add(1, std::memory_order_relaxed)),
+      prev_id_(g_current_request.exchange(id_, std::memory_order_relaxed)),
+      prev_lane_(g_current_lane.exchange(kRequestLane, std::memory_order_relaxed)) {}
+
+RequestScope::~RequestScope() {
+  g_current_request.store(prev_id_, std::memory_order_relaxed);
+  g_current_lane.store(prev_lane_, std::memory_order_relaxed);
 }
 
 std::uint64_t NowNs() {
@@ -127,6 +208,70 @@ void Histogram::Reset() {
   for (auto& bucket : buckets_) {
     bucket.store(0, std::memory_order_relaxed);
   }
+}
+
+LabeledHistogram::LabeledHistogram(const char* prefix, std::size_t max_labels)
+    : prefix_(prefix), max_labels_(max_labels == 0 ? 1 : max_labels) {}
+
+void LabeledHistogram::Record(std::string_view label, std::uint64_t ns) {
+  if (!MetricsEnabled()) {
+    return;
+  }
+  Histogram* child;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    child = GetOrCreate(label);
+  }
+  child->Record(ns);
+}
+
+std::size_t LabeledHistogram::label_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return children_.size();
+}
+
+namespace {
+
+// A child's registry name must live as long as the never-destroyed registry.
+// A plain leaked buffer (rather than a leaked std::string) stays reachable
+// through the Histogram's name pointer, so LeakSanitizer doesn't flag it.
+const char* EternalName(const std::string& full) {
+  char* name = new char[full.size() + 1];
+  std::memcpy(name, full.c_str(), full.size() + 1);
+  return name;
+}
+
+}  // namespace
+
+Histogram* LabeledHistogram::GetOrCreate(std::string_view label) {
+  // Keyed by the sanitized label: two raw labels that sanitize alike must
+  // share one child, or the registry would hold duplicate names.
+  std::string key;
+  key.reserve(label.size());
+  for (char c : label) {
+    bool clean = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    key.push_back(clean ? c : '_');
+    if (key.size() >= 48) {
+      break;
+    }
+  }
+  if (key.empty()) {
+    key = "unknown";
+  }
+  auto it = children_.find(key);
+  if (it != children_.end()) {
+    return it->second;
+  }
+  if (children_.size() >= max_labels_) {
+    if (other_ == nullptr) {
+      other_ = new Histogram(EternalName(std::string(prefix_) + ".other"));
+    }
+    return other_;
+  }
+  auto* child = new Histogram(EternalName(std::string(prefix_) + "." + key));
+  children_.emplace(std::move(key), child);
+  return child;
 }
 
 // --- Registry ----------------------------------------------------------------

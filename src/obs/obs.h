@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -23,11 +24,19 @@ namespace wobs {
 // Bits of the global enable mask.
 inline constexpr unsigned kMetricsBit = 1u;
 inline constexpr unsigned kTraceBit = 2u;
+// Set while the slow-span watchdog is armed (SetSlowThresholdNs != 0): a
+// ScopedEvent then times its scope even with metrics and tracing both off.
+inline constexpr unsigned kSlowBit = 4u;
 
 namespace internal {
-// Initialized from WAFE_METRICS / WAFE_TRACE before main; flipped at runtime
-// by SetMetricsEnabled / SetTraceEnabled (and the Wafe commands they back).
+// Initialized from WAFE_METRICS / WAFE_TRACE / WAFE_OBS_SLOW before main;
+// flipped at runtime by SetMetricsEnabled / SetTraceEnabled /
+// SetSlowThresholdNs (and the Wafe commands they back).
 extern std::atomic<unsigned> g_enabled;
+extern std::atomic<std::uint64_t> g_slow_threshold_ns;
+// Logs and counts a span that outran the watchdog threshold (called from
+// ScopedEvent's destructor and the loop-lag probe while kSlowBit is set).
+void NoteSlow(const char* category, std::string_view name, std::uint64_t dur_ns);
 }  // namespace internal
 
 // The single-branch fast path every instrumented site starts with.
@@ -41,6 +50,15 @@ inline bool AnyEnabled() { return EnabledMask() != 0; }
 void SetMetricsEnabled(bool on);
 void SetTraceEnabled(bool on);
 
+// Slow-span watchdog threshold in nanoseconds; 0 (the default) disarms it.
+// Initialized from WAFE_OBS_SLOW (milliseconds, fractional allowed). While
+// armed, every ScopedEvent that runs longer than the threshold is logged to
+// stderr with the ambient request id and counted in obs.slow.spans —
+// independently of the metrics/trace gates, so the watchdog can stay on in
+// an otherwise uninstrumented production session.
+void SetSlowThresholdNs(std::uint64_t ns);
+std::uint64_t SlowThresholdNs();
+
 // Monotonic clock, nanoseconds (CLOCK_MONOTONIC).
 std::uint64_t NowNs();
 
@@ -48,6 +66,45 @@ std::uint64_t NowNs();
 // clock ("wafe[cat] t=12.345ms message"). Suppressed while the layer is
 // disabled unless `always` (abnormal events: signals, exec failures).
 void Log(const char* category, const std::string& message, bool always = false);
+
+// --- Request scope ------------------------------------------------------------
+//
+// Each inbound %-protocol line is one request: comm opens a RequestScope, and
+// every trace event pushed inside its dynamic extent — the protocol-line span
+// itself, the Tcl eval, the callbacks and actions it triggers, the damage
+// flush they cause — is stamped with the request id ("args":{"req":N} in the
+// Chrome export) and rendered on the request lane. The id is ambient (a
+// process-global read at push time) rather than a parameter threaded through
+// Interp::Eval: a %-line is handled in one dynamic extent on the event-loop
+// thread, so scoping beats plumbing a parameter through four layers.
+
+// Trace lanes ("tid" in the Chrome export): event-loop housekeeping renders
+// on the main lane, %-request work on the request lane, and the planned
+// multi-session server will allocate one lane per session via SetCurrentLane.
+inline constexpr std::uint64_t kMainLane = 1;
+inline constexpr std::uint64_t kRequestLane = 2;
+
+std::uint64_t CurrentRequestId();  // 0 outside any request scope
+std::uint64_t CurrentLane();
+void SetCurrentLane(std::uint64_t lane);
+
+// RAII: allocates the next request id and makes it (and the request lane)
+// ambient for the enclosed scope; nests, restoring the previous id on exit.
+class RequestScope {
+ public:
+  RequestScope();
+  ~RequestScope();
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  std::uint64_t id() const { return id_; }
+
+ private:
+  std::uint64_t id_;
+  std::uint64_t prev_id_;
+  std::uint64_t prev_lane_;
+};
 
 // --- Instruments -------------------------------------------------------------
 //
@@ -63,6 +120,12 @@ class Counter {
     if (MetricsEnabled()) {
       value_.fetch_add(n, std::memory_order_relaxed);
     }
+  }
+  // Ungated: for meta-instruments whose own switch lives elsewhere (the slow
+  // watchdog's threshold, the flight recorder's directory) and that must
+  // count abnormal events even in an otherwise disabled session.
+  void IncrementAlways(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
   }
   std::uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
@@ -145,6 +208,34 @@ class Histogram {
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
 };
 
+// A histogram fanned out over a small dynamic label set (per-command request
+// latency): Record(label, ns) routes to a lazily created child Histogram
+// named "<prefix>.<label>", registered like any static instrument and thus
+// visible to metrics get / dump / prometheus. The label set is bounded: once
+// `max_labels` distinct labels exist, further labels fold into
+// "<prefix>.other". Children (and their name strings) are intentionally
+// leaked — the registry keeps raw instrument pointers forever.
+class LabeledHistogram {
+ public:
+  explicit LabeledHistogram(const char* prefix, std::size_t max_labels = 16);
+
+  LabeledHistogram(const LabeledHistogram&) = delete;
+  LabeledHistogram& operator=(const LabeledHistogram&) = delete;
+
+  void Record(std::string_view label, std::uint64_t ns);
+  std::size_t label_count() const;
+
+ private:
+  // Called with mutex_ held.
+  Histogram* GetOrCreate(std::string_view label);
+
+  const char* prefix_;
+  std::size_t max_labels_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Histogram*, std::less<>> children_;
+  Histogram* other_ = nullptr;
+};
+
 // --- Trace ring --------------------------------------------------------------
 
 struct TraceEvent {
@@ -159,6 +250,9 @@ struct TraceEvent {
   std::uint64_t ts_ns = 0;
   std::uint64_t dur_ns = 0;  // kComplete only
   std::uint64_t value = 0;   // kCounter only
+  // Stamped from the ambient request scope at push time.
+  std::uint64_t request_id = 0;   // 0 = outside any request
+  std::uint64_t lane = kMainLane;  // "tid" in the Chrome export
 };
 
 // Fixed-capacity ring of trace events: once full the oldest event is
@@ -267,6 +361,9 @@ class ScopedEvent {
     if ((mask_ & kTraceBit) != 0) {
       Registry::Instance().ring().PushComplete(category_, name_, start_ns_, dur);
     }
+    if ((mask_ & kSlowBit) != 0) {
+      internal::NoteSlow(category_, name_, dur);
+    }
   }
 
   ScopedEvent(const ScopedEvent&) = delete;
@@ -285,15 +382,45 @@ void TraceInstant(const char* category, std::string_view name);
 
 // --- Export (export.cc) -------------------------------------------------------
 
-// Human-readable dump of every counter, gauge, and histogram.
+// Human-readable dump of every counter, gauge, and histogram. Each section
+// is sorted by instrument name, so dumps diff cleanly across builds.
 std::string MetricsText();
 
+// Prometheus text exposition: one wafe_-prefixed family per instrument
+// (dots become underscores), histograms in nanoseconds with cumulative
+// le-buckets. Scrape this via `metrics prometheus` or WAFE_METRICS_DUMP.
+std::string MetricsPrometheus();
+
 // Writes the buffered trace as Chrome trace_event JSON ("chrome://tracing" /
-// Perfetto loadable). Returns the number of events written.
-std::size_t ExportChromeTrace(std::ostream& out);
+// Perfetto loadable). `extra_json`, when non-empty, is spliced in as
+// additional top-level members (the flight recorder's otherData block).
+// Returns the number of events written.
+std::size_t ExportChromeTrace(std::ostream& out, std::string_view extra_json = {});
 
 // Human-readable one-line-per-span dump of the buffered trace.
 std::string TraceText();
+
+namespace internal {
+// JSON string-body escaper shared by the exporters and the flight recorder.
+void AppendJsonEscaped(std::string_view text, std::string* out);
+}  // namespace internal
+
+// --- Flight recorder (flight.cc) ----------------------------------------------
+
+// Directory flight records are written to; empty (the default) disables the
+// recorder. Read lazily from WAFE_FLIGHT_DIR on first use; SetFlightDir
+// overrides the environment and re-arms the dump rate limiter.
+void SetFlightDir(const std::string& dir);
+std::string FlightDir();
+
+// Dumps the trace ring plus a metrics snapshot to a timestamped JSON file in
+// the flight directory — called automatically when the comm circuit breaker
+// trips, an eval budget fires, or a toolkit error is raised, so the evidence
+// of why survives the recovery that follows. The file is regular Chrome
+// trace JSON (loads in Perfetto) with reason/pid/metrics under otherData.
+// Returns the file path, or "" when disabled, rate-limited (at most one dump
+// per second unless `force`), or the write failed.
+std::string DumpFlightRecord(const std::string& reason, bool force = false);
 
 }  // namespace wobs
 

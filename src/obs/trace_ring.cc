@@ -2,6 +2,19 @@
 
 namespace wobs {
 
+namespace {
+
+// Every event carries the ambient request id and lane of the moment it was
+// pushed; a span pushed by a ScopedEvent destructor is still inside the
+// RequestScope that covered its construction (comm opens the scope before
+// the span), so capture-at-push and capture-at-construction agree.
+void StampScope(TraceEvent* event) {
+  event->request_id = CurrentRequestId();
+  event->lane = CurrentLane();
+}
+
+}  // namespace
+
 TraceRing::TraceRing(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
   events_.resize(capacity_);
@@ -26,6 +39,7 @@ void TraceRing::PushComplete(const char* category, std::string_view name,
   event.name.assign(name);
   event.ts_ns = ts_ns;
   event.dur_ns = dur_ns;
+  StampScope(&event);
   Push(std::move(event));
 }
 
@@ -36,6 +50,7 @@ void TraceRing::PushInstant(const char* category, std::string_view name,
   event.category = category;
   event.name.assign(name);
   event.ts_ns = ts_ns;
+  StampScope(&event);
   Push(std::move(event));
 }
 
@@ -47,6 +62,7 @@ void TraceRing::PushCounter(const char* category, std::string_view name,
   event.name.assign(name);
   event.ts_ns = ts_ns;
   event.value = value;
+  StampScope(&event);
   Push(std::move(event));
 }
 

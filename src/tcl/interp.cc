@@ -1170,6 +1170,9 @@ Result Interp::CheckEvalBudget() {
   if (max_steps_ != 0 && steps_used_ > max_steps_) {
     limit_tripped_ = kLimitSteps;
     g_limit_steps.Increment();
+    // First trip only (the sticky flag re-raises without re-entering this
+    // branch): preserve the runaway script's spans before the unwind.
+    wobs::DumpFlightRecord("eval-limit-steps");
     return Result::Error("limit exceeded: step budget of " + std::to_string(max_steps_) +
                          " commands exhausted");
   }
@@ -1180,6 +1183,7 @@ Result Interp::CheckEvalBudget() {
     } else if (wobs::NowNs() > deadline_ns_) {
       limit_tripped_ = kLimitMs;
       g_limit_ms.Increment();
+      wobs::DumpFlightRecord("eval-limit-ms");
       return Result::Error("limit exceeded: wall-clock budget of " +
                            std::to_string(max_eval_ms_) + " ms exhausted");
     }

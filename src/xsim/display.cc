@@ -17,6 +17,7 @@ wobs::Counter g_refresh_requested("xsim.refresh.requested");
 wobs::Counter g_refresh_coalesced("xsim.refresh.coalesced");
 wobs::Counter g_refresh_flushed("xsim.refresh.flushed");
 wobs::Counter g_protocol_errors("xsim.protocol.errors");
+wobs::Histogram g_flush_duration("xsim.flush.duration");
 
 }  // namespace
 
@@ -240,6 +241,10 @@ std::size_t Display::FlushDamage() {
   if (damage_.empty()) {
     return 0;
   }
+  // After the empty check: only flushes with real damage produce a span, so
+  // the per-cycle no-op flush doesn't drown the trace. Inside a %-request
+  // this span inherits the request id — the refresh leg of the round trip.
+  wobs::ScopedEvent obs_span("xsim", "damage-flush", &g_flush_duration);
   std::map<WindowId, Rect> damaged;
   damaged.swap(damage_);
   std::size_t flushed = 0;

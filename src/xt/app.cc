@@ -21,6 +21,10 @@ wobs::Counter g_actions_invoked("xt.actions.invoked");
 wobs::Histogram g_dispatch_duration("xt.dispatch.duration");
 wobs::Histogram g_callback_duration("xt.callback.duration");
 wobs::Histogram g_loop_iteration_duration("xt.loop.iteration.duration");
+// Idle-anchored loop lag: the busy stretch between one poll returning and
+// the next poll being entered — the window in which a slow callback or eval
+// starves every other event source.
+wobs::Histogram g_loop_lag("xt.loop.lag");
 
 }  // namespace
 
@@ -861,7 +865,21 @@ bool AppContext::RunOneIteration(bool block) {
   for (const Input& output : outputs_) {
     fds.push_back(pollfd{output.fd, POLLOUT, 0});
   }
+  // The loop-lag probe anchors on idle (the poll) rather than on iteration
+  // boundaries: non-polling iterations — the early ProcessPending return
+  // above — extend the measured busy stretch instead of resetting it.
+  unsigned obs_mask = wobs::EnabledMask();
+  if (obs_mask != 0 && loop_busy_anchor_ns_ != 0) {
+    std::uint64_t lag = wobs::NowNs() - loop_busy_anchor_ns_;
+    if ((obs_mask & wobs::kMetricsBit) != 0) {
+      g_loop_lag.Record(lag);
+    }
+    if ((obs_mask & wobs::kSlowBit) != 0) {
+      wobs::internal::NoteSlow("xt", "loop-lag", lag);
+    }
+  }
   int ready = ::poll(fds.data(), fds.size(), timeout);
+  loop_busy_anchor_ns_ = wobs::EnabledMask() != 0 ? wobs::NowNs() : 0;
   bool worked = false;
   if (ready > 0) {
     // Snapshot ids: handlers may add/remove sources.

@@ -6,6 +6,7 @@
 #ifndef SRC_XT_APP_H_
 #define SRC_XT_APP_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -213,6 +214,9 @@ class AppContext {
   int next_input_id_ = 1;
   bool loop_break_ = false;
   std::size_t redraw_count_ = 0;
+  // When the last poll returned, while observability is on (0 otherwise):
+  // the anchor the loop-lag probe measures busy stretches from.
+  std::uint64_t loop_busy_anchor_ns_ = 0;
 };
 
 }  // namespace xtk

@@ -57,6 +57,10 @@ void ErrorContext::RaiseError(const std::string& name, const std::string& messag
   ++errors_raised_;
   g_errors.Increment();
   wobs::Log("xt", "error " + name + ": " + message, false);
+  // A raised (not merely warned) toolkit error is a containment event:
+  // preserve the evidence before any handler reacts. No-op without a flight
+  // directory; rate-limited inside against error storms.
+  wobs::DumpFlightRecord("xt-error-" + name);
   ToolkitError e{false, name, message};
   if (error_stack_.empty() || in_handler_) {
     DefaultHandle(e);

@@ -4,12 +4,16 @@
 // allocation faults, and the %-protocol circuit breaker (backend errorLimit)
 // including its interaction with supervised respawn.
 #include <gtest/gtest.h>
+#include <dirent.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -374,6 +378,45 @@ TEST_F(CircuitTest, ErrorLimitZeroDisablesTheBreaker) {
   EXPECT_TRUE(wafe_.frontend().backend_alive());
   EXPECT_EQ(wafe_.frontend().eval_errors(), 50u);
   EXPECT_EQ(wafe_.Eval("backend errorLimit -1").code, wtcl::Status::kError);
+}
+
+// Acceptance: tripping the breaker leaves a flight record containing the
+// offending request's spans, written before the degradation proceeds.
+TEST_F(CircuitTest, TrippedBreakerLeavesFlightRecord) {
+  std::string tmpl = ::testing::TempDir() + "wafe_flight_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  ASSERT_NE(::mkdtemp(buf.data()), nullptr);
+  std::string dir = buf.data();
+  wobs::SetFlightDir(dir);
+  wobs::SetTraceEnabled(true);
+
+  ASSERT_EQ(wafe_.Eval("backend errorLimit 2").code, wtcl::Status::kOk);
+  SendLines("%bad one\n%bad two\n");
+  wobs::SetTraceEnabled(false);
+  wobs::SetFlightDir("");
+  EXPECT_FALSE(wafe_.frontend().backend_alive());
+
+  std::string record;
+  DIR* d = ::opendir(dir.c_str());
+  ASSERT_NE(d, nullptr);
+  while (dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.rfind("flight-", 0) == 0 &&
+        name.find("circuit-breaker") != std::string::npos) {
+      std::ifstream in(dir + "/" + name);
+      std::ostringstream contents;
+      contents << in.rdbuf();
+      record = contents.str();
+    }
+  }
+  ::closedir(d);
+  ASSERT_FALSE(record.empty()) << "no circuit-breaker flight record in " << dir;
+  // The record holds the spans of the request that tripped the breaker.
+  EXPECT_NE(record.find("\"reason\":\"circuit-breaker\""), std::string::npos);
+  EXPECT_NE(record.find("protocol-line"), std::string::npos);
+  EXPECT_NE(record.find("\"args\":{\"req\":"), std::string::npos);
+  EXPECT_NE(record.find("wafe_comm_eval_circuit_tripped"), std::string::npos);
 }
 
 // --- Circuit breaker + supervision over a real backend ------------------------------

@@ -1,0 +1,511 @@
+// Second-generation observability (src/obs): request-scoped spans across the
+// comm -> tcl -> xt -> xsim round trip, the slow-span watchdog, loop-lag
+// probe, Prometheus exposition, and the fault flight recorder.
+#include <gtest/gtest.h>
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/comm.h"
+#include "src/core/wafe.h"
+#include "src/obs/obs.h"
+
+namespace wafe {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return names;
+  }
+  while (dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  return names;
+}
+
+std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "wafe_obs_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return "";
+  }
+  return buf.data();
+}
+
+// Every test starts from a clean slate and leaves observability (including
+// the watchdog and the flight recorder) off for the rest of the suite.
+class ObsSpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wobs::SetMetricsEnabled(true);
+    wobs::Registry::Instance().ResetMetrics();
+    wobs::Registry::Instance().ring().Clear();
+  }
+
+  void TearDown() override {
+    wobs::SetTraceEnabled(false);
+    wobs::SetMetricsEnabled(false);
+    wobs::SetSlowThresholdNs(0);
+    wobs::SetFlightDir("");
+    wobs::Registry::Instance().ring().SetCapacity(wobs::TraceRing::kDefaultCapacity);
+  }
+
+  std::string Eval(Wafe& wafe, const std::string& script) {
+    wtcl::Result r = wafe.Eval(script);
+    EXPECT_TRUE(r.ok()) << "script: " << script << "\nerror: " << r.value;
+    return r.value;
+  }
+
+  std::uint64_t Metric(const std::string& name) {
+    std::uint64_t value = 0;
+    EXPECT_TRUE(wobs::Registry::Instance().GetMetric(name, &value)) << name;
+    return value;
+  }
+
+  // Writes one %-line into the frontend the way a backend would.
+  void SendProtocolLine(Wafe& wafe, const std::string& line) {
+    int to_frontend[2];
+    ASSERT_EQ(::pipe(to_frontend), 0);
+    wafe.frontend().AdoptBackend(to_frontend[0], -1);
+    std::string data = line + "\n";
+    ASSERT_EQ(::write(to_frontend[1], data.data(), data.size()),
+              static_cast<ssize_t>(data.size()));
+    EXPECT_EQ(wafe.frontend().OnBackendReadable(), 1);
+    ::close(to_frontend[1]);
+  }
+};
+
+// --- Request-scoped spans (the tentpole acceptance check) ---------------------
+
+// One scripted %-line whose eval dispatches a queued click: the comm span,
+// the Tcl eval, the callback, and the damage flush must share one request id
+// and nest inside the protocol-line span.
+TEST_F(ObsSpanTest, PercentLineSpansShareOneRequestIdAndNest) {
+  Wafe wafe;
+  Eval(wafe, "command hello topLevel callback {setValues hello label done}");
+  Eval(wafe, "realize");
+  // Queue a click but don't dispatch it: the %-line's `sync` will, so the
+  // dispatch, callback, and flush all run inside the request's extent.
+  xtk::Widget* hello = wafe.app().FindWidget("hello");
+  ASSERT_NE(hello, nullptr);
+  xsim::Point p = wafe.app().display().RootPosition(hello->window());
+  wafe.app().display().InjectButtonPress(p.x + 2, p.y + 2, 1);
+  wafe.app().display().InjectButtonRelease(p.x + 2, p.y + 2, 1);
+
+  wobs::SetTraceEnabled(true);
+  SendProtocolLine(wafe, "%sync");
+  wobs::SetTraceEnabled(false);
+
+  std::vector<wobs::TraceEvent> events = wobs::Registry::Instance().ring().Snapshot();
+  const wobs::TraceEvent* root = nullptr;
+  for (const wobs::TraceEvent& e : events) {
+    if (e.name == "protocol-line") {
+      root = &e;
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_NE(root->request_id, 0u);
+  EXPECT_EQ(root->lane, wobs::kRequestLane);
+  EXPECT_STREQ(root->category, "comm");
+
+  auto find = [&](const char* category, const std::string& name) {
+    const wobs::TraceEvent* found = nullptr;
+    for (const wobs::TraceEvent& e : events) {
+      if (e.request_id == root->request_id && e.name == name &&
+          std::string_view(e.category) == category) {
+        found = &e;
+      }
+    }
+    return found;
+  };
+  const wobs::TraceEvent* eval_span = find("tcl", "sync");
+  const wobs::TraceEvent* callback_span = find("xt", "callback");
+  const wobs::TraceEvent* flush_span = find("xsim", "damage-flush");
+  ASSERT_NE(eval_span, nullptr) << "no tcl eval span with the request id";
+  ASSERT_NE(callback_span, nullptr) << "no callback span with the request id";
+  ASSERT_NE(flush_span, nullptr) << "no damage-flush span with the request id";
+  for (const wobs::TraceEvent* child : {eval_span, callback_span, flush_span}) {
+    EXPECT_GE(child->ts_ns, root->ts_ns);
+    EXPECT_LE(child->ts_ns + child->dur_ns, root->ts_ns + root->dur_ns);
+    EXPECT_EQ(child->lane, wobs::kRequestLane);
+  }
+
+  // The request also lands in the end-to-end latency accounting, overall and
+  // under its command name.
+  EXPECT_EQ(Metric("comm.request.latency"), 1u);
+  EXPECT_EQ(Metric("comm.request.command.sync"), 1u);
+}
+
+TEST_F(ObsSpanTest, RequestIdsIncreaseAcrossLines) {
+  Wafe wafe;
+  wobs::SetTraceEnabled(true);
+  int to_frontend[2];
+  ASSERT_EQ(::pipe(to_frontend), 0);
+  wafe.frontend().AdoptBackend(to_frontend[0], -1);
+  std::string data = "%set a 1\n%set b 2\n";
+  ASSERT_EQ(::write(to_frontend[1], data.data(), data.size()),
+            static_cast<ssize_t>(data.size()));
+  EXPECT_EQ(wafe.frontend().OnBackendReadable(), 2);
+  ::close(to_frontend[1]);
+  wobs::SetTraceEnabled(false);
+
+  std::vector<std::uint64_t> ids;
+  for (const wobs::TraceEvent& e : wobs::Registry::Instance().ring().Snapshot()) {
+    if (e.name == "protocol-line") {
+      ids.push_back(e.request_id);
+    }
+  }
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_GT(ids[0], 0u);
+  EXPECT_EQ(ids[1], ids[0] + 1);
+  EXPECT_EQ(wobs::CurrentRequestId(), 0u);  // scope closed
+  EXPECT_EQ(wobs::CurrentLane(), wobs::kMainLane);
+}
+
+TEST_F(ObsSpanTest, ChromeExportStampsPidLaneAndRequestArgs) {
+  Wafe wafe;
+  wobs::SetTraceEnabled(true);
+  SendProtocolLine(wafe, "%set x 41");
+  std::string json = Eval(wafe, "traceDump - json");
+  wobs::SetTraceEnabled(false);
+  EXPECT_NE(json.find("\"pid\":" + std::to_string(::getpid()) + ","),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\":" + std::to_string(wobs::kRequestLane)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"req\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"pid\":1,"), std::string::npos);
+  // The text dump carries the id too.
+  std::string text = Eval(wafe, "traceDump - text");
+  EXPECT_NE(text.find(" req="), std::string::npos);
+}
+
+// --- Deterministic dumps ------------------------------------------------------
+
+TEST_F(ObsSpanTest, MetricsDumpSectionsAreSortedByName) {
+  std::string dump = wobs::MetricsText();
+  std::istringstream in(dump);
+  std::string line;
+  std::string previous;
+  bool in_counters = false;
+  std::size_t counters_seen = 0;
+  while (std::getline(in, line)) {
+    if (line == "== counters ==") {
+      in_counters = true;
+      continue;
+    }
+    if (line.rfind("==", 0) == 0) {
+      in_counters = false;
+      continue;
+    }
+    if (in_counters) {
+      std::string name = line.substr(0, line.find(' '));
+      EXPECT_LT(previous, name) << "counters out of order near " << name;
+      previous = name;
+      ++counters_seen;
+    }
+  }
+  EXPECT_GT(counters_seen, 20u);
+}
+
+// --- Prometheus exposition ----------------------------------------------------
+
+// Format check: every line is either "# TYPE <name> <kind>" or
+// "<name>[{<labels>}] <integer>", names legal, histograms cumulative.
+TEST_F(ObsSpanTest, PrometheusExpositionParses) {
+  Wafe wafe;
+  Eval(wafe, "set x 1");
+  std::string text = Eval(wafe, "metrics prometheus");
+  ASSERT_FALSE(text.empty());
+
+  auto valid_name = [](const std::string& name) {
+    if (name.empty() || name.rfind("wafe_", 0) != 0) {
+      return false;
+    }
+    for (char c : name) {
+      bool clean = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                   (c >= '0' && c <= '9') || c == '_';
+      if (!clean) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t types = 0;
+  std::size_t samples = 0;
+  std::uint64_t bucket_cumulative = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      std::istringstream fields(line);
+      std::string hash, keyword, name, kind;
+      fields >> hash >> keyword >> name >> kind;
+      EXPECT_EQ(hash, "#");
+      EXPECT_EQ(keyword, "TYPE");
+      EXPECT_TRUE(valid_name(name)) << line;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      ++types;
+      bucket_cumulative = 0;
+      continue;
+    }
+    std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    for (char c : value) {
+      EXPECT_TRUE(c >= '0' && c <= '9') << line;
+    }
+    std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      // le-buckets must be cumulative (non-decreasing).
+      std::uint64_t count = std::stoull(value);
+      EXPECT_GE(count, bucket_cumulative) << line;
+      bucket_cumulative = count;
+      name.resize(brace);
+    }
+    EXPECT_TRUE(valid_name(name)) << line;
+    ++samples;
+  }
+  EXPECT_GT(types, 20u);
+  EXPECT_GT(samples, types);
+  EXPECT_NE(text.find("wafe_tcl_commands "), std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+  EXPECT_NE(text.find("wafe_tcl_command_duration_ns_sum "), std::string::npos);
+}
+
+// --- Labeled histograms -------------------------------------------------------
+
+TEST_F(ObsSpanTest, LabeledHistogramBoundsItsLabelSet) {
+  static wobs::LabeledHistogram labeled("test.obs.labeled", 2);
+  labeled.Record("alpha", 10);
+  labeled.Record("beta", 20);
+  labeled.Record("gamma", 30);  // over the cap: folds into .other
+  labeled.Record("delta/../x", 40);
+  EXPECT_EQ(labeled.label_count(), 2u);
+  EXPECT_EQ(Metric("test.obs.labeled.alpha"), 1u);
+  EXPECT_EQ(Metric("test.obs.labeled.beta"), 1u);
+  EXPECT_EQ(Metric("test.obs.labeled.other"), 2u);
+  std::uint64_t unused = 0;
+  EXPECT_FALSE(wobs::Registry::Instance().GetMetric("test.obs.labeled.gamma", &unused));
+}
+
+// --- TraceRing wraparound (satellite) -----------------------------------------
+
+TEST(TraceRingTest, NoDropsAtExactlyCapacity) {
+  wobs::TraceRing ring(4);
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    ring.PushInstant("test", "tick", i);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  ring.PushInstant("test", "tick", 5);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 1u);
+  EXPECT_EQ(ring.Snapshot().front().ts_ns, 2u);
+}
+
+TEST(TraceRingTest, SnapshotStaysOrderedAfterMultipleWraps) {
+  wobs::TraceRing ring(4);
+  for (std::uint64_t i = 1; i <= 11; ++i) {  // wraps the 4-slot ring twice
+    ring.PushInstant("test", "tick", i);
+  }
+  EXPECT_EQ(ring.dropped(), 7u);
+  std::vector<wobs::TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_ns, 8 + i);  // newest window, oldest first
+  }
+}
+
+TEST(TraceRingTest, ConcurrentPushesAccountForEveryEvent) {
+  wobs::TraceRing ring(256);
+  auto pusher = [&ring](const char* name) {
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+      ring.PushComplete("test", name, i, 1);
+    }
+  };
+  std::thread a(pusher, "a");
+  std::thread b(pusher, "b");
+  a.join();
+  b.join();
+  EXPECT_EQ(ring.size(), 256u);
+  EXPECT_EQ(ring.size() + ring.dropped(), 10000u);
+  for (const wobs::TraceEvent& e : ring.Snapshot()) {
+    EXPECT_TRUE(e.name == "a" || e.name == "b");
+  }
+}
+
+// --- Slow-span watchdog -------------------------------------------------------
+
+TEST_F(ObsSpanTest, SlowWatchdogCountsSpansOverThreshold) {
+  // The watchdog works with metrics and tracing both off: its own threshold
+  // is the gate.
+  wobs::SetMetricsEnabled(false);
+  std::uint64_t before = 0;
+  ASSERT_TRUE(wobs::Registry::Instance().GetMetric("obs.slow.spans", &before));
+
+  wobs::SetSlowThresholdNs(1000);  // 1µs
+  {
+    wobs::ScopedEvent span("test", "deliberately-slow");
+    std::uint64_t until = wobs::NowNs() + 50000;  // 50µs busy wait
+    while (wobs::NowNs() < until) {
+    }
+  }
+  std::uint64_t after = 0;
+  ASSERT_TRUE(wobs::Registry::Instance().GetMetric("obs.slow.spans", &after));
+  EXPECT_EQ(after, before + 1);
+
+  // A span under the threshold stays unflagged.
+  wobs::SetSlowThresholdNs(1000000000);  // 1s
+  { wobs::ScopedEvent span("test", "fast"); }
+  ASSERT_TRUE(wobs::Registry::Instance().GetMetric("obs.slow.spans", &after));
+  EXPECT_EQ(after, before + 1);
+
+  // Disarming clears the enable bit entirely (back to the free fast path).
+  wobs::SetSlowThresholdNs(0);
+  EXPECT_FALSE(wobs::AnyEnabled());
+}
+
+TEST_F(ObsSpanTest, ObsSlowThresholdCommandRoundTrips) {
+  Wafe wafe;
+  EXPECT_EQ(Eval(wafe, "obsSlowThreshold"), "0");
+  Eval(wafe, "obsSlowThreshold 2.5");
+  EXPECT_EQ(wobs::SlowThresholdNs(), 2500000u);
+  EXPECT_EQ(Eval(wafe, "obsSlowThreshold"), "2.5");
+  EXPECT_EQ(Eval(wafe, "obsSlowThreshold 0"), "0");
+  EXPECT_EQ(wobs::SlowThresholdNs(), 0u);
+  EXPECT_EQ(wafe.Eval("obsSlowThreshold -3").code, wtcl::Status::kError);
+  EXPECT_EQ(wafe.Eval("obsSlowThreshold fast").code, wtcl::Status::kError);
+}
+
+// --- Event-loop health --------------------------------------------------------
+
+TEST_F(ObsSpanTest, LoopLagRecordedBetweenPolls) {
+  Wafe wafe;
+  std::uint64_t before = Metric("xt.loop.lag");
+  // Two polling iterations: the second poll entry measures the busy stretch
+  // since the first poll returned.
+  wafe.app().AddTimeout(1, [] {});
+  wafe.app().RunOneIteration(/*block=*/true);
+  wafe.app().AddTimeout(1, [] {});
+  wafe.app().RunOneIteration(/*block=*/true);
+  EXPECT_GT(Metric("xt.loop.lag"), before);
+}
+
+// --- Flight recorder ----------------------------------------------------------
+
+TEST_F(ObsSpanTest, FlightRecordCarriesTraceAndMetrics) {
+  std::string dir = MakeTempDir();
+  ASSERT_FALSE(dir.empty());
+  wobs::SetFlightDir(dir);
+  EXPECT_EQ(wobs::FlightDir(), dir);
+  wobs::SetTraceEnabled(true);
+  Wafe wafe;
+  Eval(wafe, "set x 1");
+
+  std::string path = wobs::DumpFlightRecord("unit-test");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.rfind(dir + "/flight-", 0), 0u);
+  std::string record = ReadFile(path);
+  EXPECT_NE(record.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(record.find("\"reason\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(record.find("wafe_tcl_commands"), std::string::npos);
+
+  // Rate-limited: an immediate second dump is suppressed, force overrides.
+  EXPECT_EQ(wobs::DumpFlightRecord("again"), "");
+  EXPECT_FALSE(wobs::DumpFlightRecord("again", /*force=*/true).empty());
+  std::uint64_t suppressed = 0;
+  ASSERT_TRUE(wobs::Registry::Instance().GetMetric("obs.flight.suppressed", &suppressed));
+  EXPECT_GE(suppressed, 1u);
+
+  // Empty directory turns the recorder off entirely.
+  wobs::SetFlightDir("");
+  EXPECT_EQ(wobs::DumpFlightRecord("off", /*force=*/true), "");
+}
+
+TEST_F(ObsSpanTest, FlightCommandsControlTheRecorder) {
+  Wafe wafe;
+  EXPECT_EQ(wafe.Eval("flightDump").code, wtcl::Status::kError);  // no dir
+  std::string dir = MakeTempDir();
+  ASSERT_FALSE(dir.empty());
+  Eval(wafe, "flightDir " + dir);
+  EXPECT_EQ(Eval(wafe, "flightDir"), dir);
+  std::string path = Eval(wafe, "flightDump manual");
+  EXPECT_EQ(::access(path.c_str(), R_OK), 0);
+  EXPECT_NE(path.find("-manual.json"), std::string::npos);
+}
+
+TEST_F(ObsSpanTest, EvalLimitTripLeavesFlightRecord) {
+  std::string dir = MakeTempDir();
+  ASSERT_FALSE(dir.empty());
+  wobs::SetFlightDir(dir);
+  wobs::SetTraceEnabled(true);
+  Wafe wafe;
+  wafe.interp().set_max_steps(500);
+  wtcl::Result r = wafe.Eval("while {1} {set x 1}");
+  EXPECT_EQ(r.code, wtcl::Status::kError);
+  wobs::SetTraceEnabled(false);
+  wobs::SetFlightDir("");
+
+  bool found = false;
+  for (const std::string& name : ListDir(dir)) {
+    if (name.rfind("flight-", 0) == 0 &&
+        name.find("eval-limit-steps") != std::string::npos) {
+      found = true;
+      std::string record = ReadFile(dir + "/" + name);
+      EXPECT_NE(record.find("\"reason\":\"eval-limit-steps\""), std::string::npos);
+      EXPECT_NE(record.find("\"cat\":\"tcl\""), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found) << "no eval-limit flight record in " << dir;
+}
+
+// --- Periodic Prometheus snapshots (WAFE_METRICS_DUMP) ------------------------
+
+TEST_F(ObsSpanTest, PeriodicMetricsDumpWritesSnapshots) {
+  std::string dir = MakeTempDir();
+  ASSERT_FALSE(dir.empty());
+  std::string path = dir + "/metrics.prom";
+  ::setenv("WAFE_METRICS_DUMP", (path + ",10").c_str(), 1);
+  Wafe wafe;
+  ::unsetenv("WAFE_METRICS_DUMP");
+  EXPECT_TRUE(wobs::MetricsEnabled());
+  Eval(wafe, "set x 1");
+  // The 10ms repeating timer fires inside the loop; poll until the snapshot
+  // lands (bounded: a few seconds at most).
+  std::uint64_t deadline = wobs::NowNs() + 5000000000ull;
+  while (::access(path.c_str(), R_OK) != 0 && wobs::NowNs() < deadline) {
+    wafe.app().RunOneIteration(/*block=*/true);
+  }
+  ASSERT_EQ(::access(path.c_str(), R_OK), 0);
+  std::string snapshot = ReadFile(path);
+  EXPECT_NE(snapshot.find("# TYPE wafe_tcl_commands counter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wafe
