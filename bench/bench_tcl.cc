@@ -138,6 +138,38 @@ void BM_TclListManipulation(benchmark::State& state) {
 }
 BENCHMARK(BM_TclListManipulation);
 
+// foreach over a 100-element list variable: with the dual-rep cache the list
+// is split once and iterated as Values thereafter; before, every pass
+// re-split the string and re-parsed each element in the expr guard.
+void BM_TclForeachSum(benchmark::State& state) {
+  wtcl::Interp interp;
+  interp.Eval("set nums {}");
+  interp.Eval("for {set i 0} {$i < 100} {incr i} {lappend nums $i}");
+  const std::string script =
+      "set sum 0\n"
+      "foreach x $nums {incr sum $x}\n"
+      "set sum";
+  for (auto _ : state) {
+    wtcl::Result r = interp.Eval(script);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TclForeachSum);
+
+// lsort -integer over a 100-element shuffled list: decorate-sort-undecorate
+// parses each element once instead of once per comparison.
+void BM_TclLsortIntegers(benchmark::State& state) {
+  wtcl::Interp interp;
+  interp.Eval("set nums {}");
+  interp.Eval(
+      "for {set i 0} {$i < 100} {incr i} {lappend nums [expr ($i * 37) % 101]}");
+  for (auto _ : state) {
+    wtcl::Result r = interp.Eval("lsort -integer $nums");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TclLsortIntegers);
+
 void BM_TclStringSubstitution(benchmark::State& state) {
   wtcl::Interp interp;
   interp.Eval("set name world; set greeting hello");

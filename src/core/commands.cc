@@ -820,14 +820,7 @@ void RegisterCommCommands(Wafe& wafe) {
         Frontend& frontend = inv.wafe->frontend();
         const std::string sub = inv.str(0);
         auto parse_num = [&inv](std::size_t i, long* out) {
-          const std::string& text = inv.str(i);
-          char* end = nullptr;
-          long v = std::strtol(text.c_str(), &end, 10);
-          if (text.empty() || end == nullptr || *end != '\0') {
-            return false;
-          }
-          *out = v;
-          return true;
+          return wtcl::ParseInt(inv.str(i), out, nullptr);
         };
         if (sub == "status") {
           return Result::Ok(frontend.StatusText());
@@ -1090,9 +1083,8 @@ bool SplitFaultSpec(const std::string& spec,
 
 bool ParseFaultNumber(const std::string& kind, const std::string& text, long* out,
                       std::string* error) {
-  char* end = nullptr;
-  long value = std::strtol(text.c_str(), &end, 10);
-  if (text.empty() || end == nullptr || *end != '\0' || value < 0) {
+  long value = 0;
+  if (!wtcl::ParseInt(text, &value, nullptr) || value < 0) {
     *error = kind + ": expected a count >= 0, got \"" + text + "\"";
     return false;
   }
@@ -1304,9 +1296,8 @@ void RegisterObsCommands(Wafe& wafe) {
       [](Invocation& inv) {
         if (inv.present(0)) {
           const std::string& arg = inv.str(0);
-          char* end = nullptr;
-          double ms = std::strtod(arg.c_str(), &end);
-          if (end == arg.c_str() || *end != '\0' || ms < 0) {
+          double ms = 0;
+          if (!wtcl::ParseDouble(arg, &ms, nullptr) || ms < 0) {
             return Result::Error("bad slow threshold \"" + arg +
                                  "\": must be a non-negative number of "
                                  "milliseconds");

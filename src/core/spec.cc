@@ -1,6 +1,5 @@
 #include "src/core/spec.h"
 
-#include <cstdlib>
 #include <sstream>
 
 #include "src/core/naming.h"
@@ -48,8 +47,7 @@ std::string SpecRegistry::Register(CommandSpec spec) {
   // reporting, driven entirely by the spec table.
   CommandSpec stored = spec;
   wafe->interp().RegisterCommand(
-      name, [wafe, spec = std::move(spec)](wtcl::Interp&,
-                                           const std::vector<std::string>& argv) {
+      name, [wafe, spec = std::move(spec)](wtcl::Interp&, const wtcl::ValueVec& argv) {
         Invocation inv;
         inv.wafe = wafe;
         std::size_t required = 0;
@@ -78,7 +76,8 @@ std::string SpecRegistry::Register(CommandSpec spec) {
           if (v >= argv.size()) {
             break;  // remaining optionals stay absent
           }
-          const std::string& value = argv[v++];
+          const wtcl::Value& typed = argv[v++];
+          const std::string& value = typed.String();
           parsed.present = true;
           parsed.str = value;
           switch (arg.type) {
@@ -90,17 +89,15 @@ std::string SpecRegistry::Register(CommandSpec spec) {
               break;
             }
             case ArgType::kInt: {
-              char* end = nullptr;
-              parsed.integer = std::strtol(value.c_str(), &end, 10);
-              if (end == value.c_str() || *end != '\0') {
+              // Central parser via the argument's cached classification; the
+              // %-protocol and callback argv convert here, at the edge.
+              if (!typed.GetInt(&parsed.integer)) {
                 return wtcl::Result::Error("expected integer but got \"" + value + "\"");
               }
               break;
             }
             case ArgType::kDouble: {
-              char* end = nullptr;
-              parsed.real = std::strtod(value.c_str(), &end);
-              if (end == value.c_str() || *end != '\0') {
+              if (!wtcl::ParseDouble(value, &parsed.real, nullptr)) {
                 return wtcl::Result::Error("expected number but got \"" + value + "\"");
               }
               break;
@@ -124,7 +121,10 @@ std::string SpecRegistry::Register(CommandSpec spec) {
           }
         }
         if (has_rest) {
-          inv.rest.assign(argv.begin() + static_cast<std::ptrdiff_t>(v), argv.end());
+          inv.rest.reserve(argv.size() - v);
+          for (std::size_t r = v; r < argv.size(); ++r) {
+            inv.rest.push_back(argv[r].String());
+          }
         }
         return spec.handler(inv);
       });

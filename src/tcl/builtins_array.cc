@@ -9,12 +9,12 @@ Result ArityError(const std::string& name, const std::string& usage) {
   return Result::Error("wrong # args: should be \"" + name + " " + usage + "\"");
 }
 
-Result CmdArray(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdArray(Interp& interp, const ValueVec& argv) {
   if (argv.size() < 3) {
     return ArityError("array", "option arrayName ?arg ...?");
   }
-  const std::string& option = argv[1];
-  const std::string& name = argv[2];
+  const std::string& option = argv[1].String();
+  const std::string& name = argv[2].String();
   if (option == "exists") {
     return Result::Ok(interp.IsArray(name) ? "1" : "0");
   }
@@ -26,7 +26,7 @@ Result CmdArray(Interp& interp, const std::vector<std::string>& argv) {
     if (argv.size() == 4) {
       std::vector<std::string> filtered;
       for (const std::string& n : names) {
-        if (GlobMatch(argv[3], n)) {
+        if (GlobMatch(argv[3].String(), n)) {
           filtered.push_back(n);
         }
       }
@@ -48,7 +48,7 @@ Result CmdArray(Interp& interp, const std::vector<std::string>& argv) {
     }
     std::vector<std::string> pairs;
     for (const std::string& n : names) {
-      if (argv.size() == 4 && !GlobMatch(argv[3], n)) {
+      if (argv.size() == 4 && !GlobMatch(argv[3].String(), n)) {
         continue;
       }
       std::string value;
@@ -63,7 +63,7 @@ Result CmdArray(Interp& interp, const std::vector<std::string>& argv) {
       return ArityError("array set", "arrayName list");
     }
     std::vector<std::string> pairs;
-    if (!SplitList(argv[3], &pairs) || pairs.size() % 2 != 0) {
+    if (!SplitList(argv[3].String(), &pairs) || pairs.size() % 2 != 0) {
       return Result::Error("list must have an even number of elements");
     }
     for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {

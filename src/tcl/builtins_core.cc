@@ -3,9 +3,7 @@
 #include <time.h>
 
 #include <cctype>
-#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -20,117 +18,135 @@ Result ArityError(const std::string& name, const std::string& usage) {
   return Result::Error("wrong # args: should be \"" + name + " " + usage + "\"");
 }
 
-Result CmdSet(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdSet(Interp& interp, const ValueVec& argv) {
   if (argv.size() == 2) {
     std::string value;
-    if (!interp.GetVar(argv[1], &value)) {
-      return Result::Error("can't read \"" + argv[1] + "\": no such variable");
+    if (!interp.GetVar(argv[1].String(), &value)) {
+      return Result::Error("can't read \"" + argv[1].String() + "\": no such variable");
     }
     return Result::Ok(value);
   }
   if (argv.size() == 3) {
-    return interp.SetVar(argv[1], argv[2]);
+    // Typed store: the variable shares argv[2]'s rep, so a value that was
+    // already classified or list-parsed keeps those caches.
+    return interp.SetVarValue(argv[1].String(), argv[2]);
   }
   return ArityError("set", "varName ?newValue?");
 }
 
-Result CmdUnset(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdUnset(Interp& interp, const ValueVec& argv) {
   if (argv.size() < 2) {
     return ArityError("unset", "varName ?varName ...?");
   }
   for (std::size_t i = 1; i < argv.size(); ++i) {
-    if (!interp.UnsetVar(argv[i])) {
-      return Result::Error("can't unset \"" + argv[i] + "\": no such variable");
+    if (!interp.UnsetVar(argv[i].String())) {
+      return Result::Error("can't unset \"" + argv[i].String() + "\": no such variable");
     }
   }
   return Result::Ok();
 }
 
-Result CmdIncr(Interp& interp, const std::vector<std::string>& argv) {
+Result CheckedIncr(long value, long increment, long* sum) {
+  if (__builtin_add_overflow(value, increment, sum)) {
+    return Result::Error("integer overflow in incr: " + std::to_string(value) +
+                         (increment < 0 ? " " : " + ") + std::to_string(increment));
+  }
+  return Result::Ok();
+}
+
+Result CmdIncr(Interp& interp, const ValueVec& argv) {
   if (argv.size() != 2 && argv.size() != 3) {
     return ArityError("incr", "varName ?increment?");
   }
-  std::string* slot = interp.GetVarPtr(argv[1]);
-  const std::string* current = slot;
-  std::string storage;
-  if (current == nullptr) {
-    if (!interp.GetVar(argv[1], &storage)) {
-      return Result::Error("can't read \"" + argv[1] + "\": no such variable");
-    }
-    current = &storage;
-  }
-  char* end = nullptr;
-  long value = std::strtol(current->c_str(), &end, 10);
-  if (end == current->c_str() || *end != '\0') {
-    return Result::Error("expected integer but got \"" + *current + "\"");
-  }
   long increment = 1;
-  if (argv.size() == 3) {
-    increment = std::strtol(argv[2].c_str(), &end, 10);
-    if (end == argv[2].c_str() || *end != '\0') {
-      return Result::Error("expected integer but got \"" + argv[2] + "\"");
+  if (argv.size() == 3 && !argv[2].GetInt(&increment)) {
+    return Result::Error(IntegerParseError(argv[2].String(), argv[2].Classify()));
+  }
+  const std::string& name = argv[1].String();
+  if (Value* slot = interp.GetVarValuePtr(name)) {
+    // Scalar fast path: the classification is cached on the slot, so a loop
+    // counter parses once and then increments as a long until something
+    // reads it as a string.
+    long value = 0;
+    if (!slot->GetInt(&value)) {
+      return Result::Error(IntegerParseError(slot->String(), slot->Classify()));
     }
+    long sum = 0;
+    Result overflow = CheckedIncr(value, increment, &sum);
+    if (!overflow.ok()) {
+      return overflow;
+    }
+    slot->SetInt(sum);
+    return Result::Ok(std::to_string(sum));
   }
-  value += increment;
-  if (slot != nullptr) {
-    // Update the scalar in place, reusing its buffer.
-    char buf[24];
-    auto conv = std::to_chars(buf, buf + sizeof(buf), value);
-    slot->assign(buf, static_cast<std::size_t>(conv.ptr - buf));
-    return Result::Ok(*slot);
+  // Array elements and element-targeted links go through the full resolver.
+  std::string current;
+  if (!interp.GetVar(name, &current)) {
+    return Result::Error("can't read \"" + name + "\": no such variable");
   }
-  return interp.SetVar(argv[1], std::to_string(value));
+  long value = 0;
+  std::string error;
+  if (!ParseInt(current, &value, &error)) {
+    return Result::Error(std::move(error));
+  }
+  long sum = 0;
+  Result overflow = CheckedIncr(value, increment, &sum);
+  if (!overflow.ok()) {
+    return overflow;
+  }
+  return interp.SetVarValue(name, Value::FromInt(sum));
 }
 
-Result CmdIf(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdIf(Interp& interp, const ValueVec& argv) {
   // if expr ?then? body ?elseif expr ?then? body ...? ?else? ?body?
   std::size_t i = 1;
   while (i < argv.size()) {
     if (i + 1 >= argv.size()) {
-      return Result::Error("wrong # args: no expression after \"" + argv[i - 1] + "\" argument");
+      return Result::Error("wrong # args: no expression after \"" + argv[i - 1].String() +
+                           "\" argument");
     }
     bool truth = false;
-    Result r = interp.ExprBoolean(argv[i], &truth);
+    Result r = interp.ExprBoolean(argv[i].String(), &truth);
     if (r.code == Status::kError) {
       return r;
     }
     ++i;
-    if (i < argv.size() && argv[i] == "then") {
+    if (i < argv.size() && argv[i].String() == "then") {
       ++i;
     }
     if (i >= argv.size()) {
       return Result::Error("wrong # args: no script following expression");
     }
     if (truth) {
-      return interp.Eval(argv[i]);
+      return interp.Eval(argv[i].String());
     }
     ++i;
     if (i >= argv.size()) {
       return Result::Ok();
     }
-    if (argv[i] == "elseif") {
+    if (argv[i].String() == "elseif") {
       ++i;
       continue;
     }
-    if (argv[i] == "else") {
+    if (argv[i].String() == "else") {
       ++i;
     }
     if (i >= argv.size()) {
       return Result::Error("wrong # args: no script following \"else\"");
     }
-    return interp.Eval(argv[i]);
+    return interp.Eval(argv[i].String());
   }
   return Result::Ok();
 }
 
-Result CmdWhile(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdWhile(Interp& interp, const ValueVec& argv) {
   if (argv.size() != 3) {
     return ArityError("while", "test command");
   }
   Result last = Result::Ok();
   // Compile the body once up front: iterations skip even the cache lookup.
-  ScriptHandle compiled_body = interp.Precompile(argv[2]);
-  ExprHandle compiled_test = interp.PrecompileExpr(argv[1]);
+  ScriptHandle compiled_body = interp.Precompile(argv[2].String());
+  ExprHandle compiled_test = interp.PrecompileExpr(argv[1].String());
   for (;;) {
     bool truth = false;
     Result r = interp.ExprBooleanCompiled(compiled_test, &truth);
@@ -153,17 +169,17 @@ Result CmdWhile(Interp& interp, const std::vector<std::string>& argv) {
   return last;
 }
 
-Result CmdFor(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdFor(Interp& interp, const ValueVec& argv) {
   if (argv.size() != 5) {
     return ArityError("for", "start test next command");
   }
-  Result r = interp.Eval(argv[1]);
+  Result r = interp.Eval(argv[1].String());
   if (r.code != Status::kOk) {
     return r;
   }
-  ScriptHandle compiled_body = interp.Precompile(argv[4]);
-  ScriptHandle compiled_next = interp.Precompile(argv[3]);
-  ExprHandle compiled_test = interp.PrecompileExpr(argv[2]);
+  ScriptHandle compiled_body = interp.Precompile(argv[4].String());
+  ScriptHandle compiled_next = interp.Precompile(argv[3].String());
+  ExprHandle compiled_test = interp.PrecompileExpr(argv[2].String());
   for (;;) {
     bool truth = false;
     r = interp.ExprBooleanCompiled(compiled_test, &truth);
@@ -188,17 +204,23 @@ Result CmdFor(Interp& interp, const std::vector<std::string>& argv) {
   return Result::Ok();
 }
 
-Result CmdForeach(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdForeach(Interp& interp, const ValueVec& argv) {
   if (argv.size() != 4) {
     return ArityError("foreach", "varName list command");
   }
-  std::vector<std::string> items;
-  if (!SplitList(argv[2], &items)) {
+  // Typed iteration: parsing the list caches its elements on argv[2]'s rep
+  // (and, through the `$list` argv fast path, on the variable itself), and
+  // every element is bound by rep-share rather than string copy. The
+  // iteration stays safe if the body rewrites the source variable: that
+  // replaces the variable's Value, while argv keeps the original rep alive.
+  const std::vector<Value>* items = argv[2].GetList();
+  if (items == nullptr) {
     return Result::Error("unmatched open brace in list");
   }
-  ScriptHandle compiled_body = interp.Precompile(argv[3]);
-  for (const std::string& item : items) {
-    Result r = interp.SetVar(argv[1], item);
+  ScriptHandle compiled_body = interp.Precompile(argv[3].String());
+  const std::string& name = argv[1].String();
+  for (const Value& item : *items) {
+    Result r = interp.SetVarValue(name, item);
     if (r.code == Status::kError) {
       return r;
     }
@@ -213,35 +235,39 @@ Result CmdForeach(Interp& interp, const std::vector<std::string>& argv) {
   return Result::Ok();
 }
 
-Result CmdSwitch(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdSwitch(Interp& interp, const ValueVec& argv) {
   // switch ?-exact|-glob? string {pattern body ?pattern body ...?}
   // or the flat form: switch string pattern body ?pattern body ...?
   std::size_t i = 1;
   bool glob = false;
-  while (i < argv.size() && !argv[i].empty() && argv[i][0] == '-') {
-    if (argv[i] == "-exact") {
+  while (i < argv.size() && !argv[i].String().empty() && argv[i].String()[0] == '-') {
+    const std::string& option = argv[i].String();
+    if (option == "-exact") {
       glob = false;
-    } else if (argv[i] == "-glob") {
+    } else if (option == "-glob") {
       glob = true;
-    } else if (argv[i] == "--") {
+    } else if (option == "--") {
       ++i;
       break;
     } else {
-      return Result::Error("bad option \"" + argv[i] + "\": should be -exact, -glob, or --");
+      return Result::Error("bad option \"" + option + "\": should be -exact, -glob, or --");
     }
     ++i;
   }
   if (i >= argv.size()) {
     return ArityError("switch", "?switches? string pattern body ... ?default body?");
   }
-  const std::string& subject = argv[i++];
+  const std::string& subject = argv[i++].String();
   std::vector<std::string> clauses;
   if (argv.size() - i == 1) {
-    if (!SplitList(argv[i], &clauses)) {
+    if (!SplitList(argv[i].String(), &clauses)) {
       return Result::Error("unmatched open brace in switch body");
     }
   } else {
-    clauses.assign(argv.begin() + static_cast<std::ptrdiff_t>(i), argv.end());
+    clauses.reserve(argv.size() - i);
+    for (std::size_t j = i; j < argv.size(); ++j) {
+      clauses.push_back(argv[j].String());
+    }
   }
   if (clauses.empty() || clauses.size() % 2 != 0) {
     return Result::Error("extra switch pattern with no body");
@@ -271,24 +297,27 @@ Result CmdSwitch(Interp& interp, const std::vector<std::string>& argv) {
   return Result::Ok();
 }
 
-Result CmdCase(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdCase(Interp& interp, const ValueVec& argv) {
   // The classic Tcl 6 form: case string ?in? patList body ?patList body ...?
   // Each patList is a list of glob patterns; "default" matches anything.
   std::size_t i = 1;
   if (i >= argv.size()) {
     return ArityError("case", "string ?in? patList body ?patList body ...?");
   }
-  const std::string& subject = argv[i++];
-  if (i < argv.size() && argv[i] == "in") {
+  const std::string& subject = argv[i++].String();
+  if (i < argv.size() && argv[i].String() == "in") {
     ++i;
   }
   std::vector<std::string> clauses;
   if (argv.size() - i == 1) {
-    if (!SplitList(argv[i], &clauses)) {
+    if (!SplitList(argv[i].String(), &clauses)) {
       return Result::Error("unmatched open brace in case body");
     }
   } else {
-    clauses.assign(argv.begin() + static_cast<std::ptrdiff_t>(i), argv.end());
+    clauses.reserve(argv.size() - i);
+    for (std::size_t j = i; j < argv.size(); ++j) {
+      clauses.push_back(argv[j].String());
+    }
   }
   if (clauses.empty() || clauses.size() % 2 != 0) {
     return Result::Error("extra case pattern with no body");
@@ -307,14 +336,15 @@ Result CmdCase(Interp& interp, const std::vector<std::string>& argv) {
   return Result::Ok();
 }
 
-Result CmdProcDef(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdProcDef(Interp& interp, const ValueVec& argv) {
   if (argv.size() != 4) {
     return ArityError("proc", "name args body");
   }
-  return InterpInternal::DefineProc(interp, argv[1], argv[2], argv[3]);
+  return InterpInternal::DefineProc(interp, argv[1].String(), argv[2].String(),
+                                    argv[3].String());
 }
 
-Result CmdReturn(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdReturn(Interp& interp, const ValueVec& argv) {
   (void)interp;
   if (argv.size() > 2) {
     return ArityError("return", "?value?");
@@ -322,12 +352,12 @@ Result CmdReturn(Interp& interp, const std::vector<std::string>& argv) {
   Result r;
   r.code = Status::kReturn;
   if (argv.size() == 2) {
-    r.value = argv[1];
+    r.value = argv[1].String();
   }
   return r;
 }
 
-Result CmdBreak(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdBreak(Interp& interp, const ValueVec& argv) {
   (void)interp;
   (void)argv;
   Result r;
@@ -335,7 +365,7 @@ Result CmdBreak(Interp& interp, const std::vector<std::string>& argv) {
   return r;
 }
 
-Result CmdContinue(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdContinue(Interp& interp, const ValueVec& argv) {
   (void)interp;
   (void)argv;
   Result r;
@@ -343,32 +373,32 @@ Result CmdContinue(Interp& interp, const std::vector<std::string>& argv) {
   return r;
 }
 
-Result CmdError(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdError(Interp& interp, const ValueVec& argv) {
   if (argv.size() < 2 || argv.size() > 4) {
     return ArityError("error", "message ?errorInfo? ?errorCode?");
   }
-  if (argv.size() >= 3 && !argv[2].empty()) {
-    interp.SetGlobalVar("errorInfo", argv[2]);
+  if (argv.size() >= 3 && !argv[2].String().empty()) {
+    interp.SetGlobalVar("errorInfo", argv[2].String());
     InterpInternal::SeedErrorTrace(interp);
   }
   if (argv.size() == 4) {
-    interp.SetGlobalVar("errorCode", argv[3]);
+    interp.SetGlobalVar("errorCode", argv[3].String());
   }
-  return Result::Error(argv[1]);
+  return Result::Error(argv[1].String());
 }
 
-Result CmdCatch(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdCatch(Interp& interp, const ValueVec& argv) {
   if (argv.size() != 2 && argv.size() != 3) {
     return ArityError("catch", "command ?varName?");
   }
-  Result r = interp.Eval(argv[1]);
+  Result r = interp.Eval(argv[1].String());
   if (argv.size() == 3) {
-    interp.SetVar(argv[2], r.value);
+    interp.SetVar(argv[2].String(), r.value);
   }
   return Result::Ok(std::to_string(static_cast<int>(r.code)));
 }
 
-Result CmdEval(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdEval(Interp& interp, const ValueVec& argv) {
   if (argv.size() < 2) {
     return ArityError("eval", "arg ?arg ...?");
   }
@@ -377,12 +407,12 @@ Result CmdEval(Interp& interp, const std::vector<std::string>& argv) {
     if (i != 1) {
       script.push_back(' ');
     }
-    script.append(argv[i]);
+    script.append(argv[i].String());
   }
   return interp.Eval(script);
 }
 
-Result CmdExpr(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdExpr(Interp& interp, const ValueVec& argv) {
   if (argv.size() < 2) {
     return ArityError("expr", "arg ?arg ...?");
   }
@@ -391,17 +421,17 @@ Result CmdExpr(Interp& interp, const std::vector<std::string>& argv) {
     if (i != 1) {
       expression.push_back(' ');
     }
-    expression.append(argv[i]);
+    expression.append(argv[i].String());
   }
   return interp.EvalExpr(expression);
 }
 
-Result CmdGlobal(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdGlobal(Interp& interp, const ValueVec& argv) {
   if (argv.size() < 2) {
     return ArityError("global", "varName ?varName ...?");
   }
   for (std::size_t i = 1; i < argv.size(); ++i) {
-    Result r = InterpInternal::Global(interp, argv[i]);
+    Result r = InterpInternal::Global(interp, argv[i].String());
     if (r.code == Status::kError) {
       return r;
     }
@@ -409,24 +439,25 @@ Result CmdGlobal(Interp& interp, const std::vector<std::string>& argv) {
   return Result::Ok();
 }
 
-Result CmdUpvar(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdUpvar(Interp& interp, const ValueVec& argv) {
   // upvar ?level? otherVar localVar ?otherVar localVar ...?
   if (argv.size() < 3) {
     return ArityError("upvar", "?level? otherVar localVar ?otherVar localVar ...?");
   }
   std::size_t i = 1;
   std::string level = "1";
+  const std::string& first = argv[1].String();
   // A level spec is "#n" or a number; heuristic matches Tcl's.
-  if ((argv[1][0] == '#' || std::isdigit(static_cast<unsigned char>(argv[1][0]))) &&
+  if ((first[0] == '#' || std::isdigit(static_cast<unsigned char>(first[0]))) &&
       argv.size() % 2 == 0) {
-    level = argv[1];
+    level = first;
     i = 2;
   }
   if ((argv.size() - i) % 2 != 0) {
     return ArityError("upvar", "?level? otherVar localVar ?otherVar localVar ...?");
   }
   for (; i + 1 < argv.size(); i += 2) {
-    Result r = InterpInternal::Upvar(interp, level, argv[i], argv[i + 1]);
+    Result r = InterpInternal::Upvar(interp, level, argv[i].String(), argv[i + 1].String());
     if (r.code == Status::kError) {
       return r;
     }
@@ -434,17 +465,18 @@ Result CmdUpvar(Interp& interp, const std::vector<std::string>& argv) {
   return Result::Ok();
 }
 
-Result CmdUplevel(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdUplevel(Interp& interp, const ValueVec& argv) {
   if (argv.size() < 2) {
     return ArityError("uplevel", "?level? command ?arg ...?");
   }
   std::size_t i = 1;
   std::string level;
-  if (argv[1][0] == '#' || std::isdigit(static_cast<unsigned char>(argv[1][0]))) {
+  const std::string& first = argv[1].String();
+  if (first[0] == '#' || std::isdigit(static_cast<unsigned char>(first[0]))) {
     if (argv.size() < 3) {
       return ArityError("uplevel", "?level? command ?arg ...?");
     }
-    level = argv[1];
+    level = first;
     i = 2;
   }
   std::string script;
@@ -452,53 +484,51 @@ Result CmdUplevel(Interp& interp, const std::vector<std::string>& argv) {
     if (j != i) {
       script.push_back(' ');
     }
-    script.append(argv[j]);
+    script.append(argv[j].String());
   }
   return InterpInternal::Uplevel(interp, level, script);
 }
 
-Result CmdRename(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdRename(Interp& interp, const ValueVec& argv) {
   if (argv.size() != 3) {
     return ArityError("rename", "oldName newName");
   }
-  if (!argv[2].empty() && interp.HasCommand(argv[2])) {
-    return Result::Error("can't rename to \"" + argv[2] + "\": command already exists");
+  if (!argv[2].String().empty() && interp.HasCommand(argv[2].String())) {
+    return Result::Error("can't rename to \"" + argv[2].String() + "\": command already exists");
   }
-  if (!interp.RenameCommand(argv[1], argv[2])) {
-    return Result::Error("can't rename \"" + argv[1] + "\": command doesn't exist");
+  if (!interp.RenameCommand(argv[1].String(), argv[2].String())) {
+    return Result::Error("can't rename \"" + argv[1].String() + "\": command doesn't exist");
   }
   return Result::Ok();
 }
 
-Result CmdSource(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdSource(Interp& interp, const ValueVec& argv) {
   if (argv.size() != 2) {
     return ArityError("source", "fileName");
   }
-  std::ifstream file(argv[1]);
+  std::ifstream file(argv[1].String());
   if (!file) {
-    return Result::Error("couldn't read file \"" + argv[1] + "\"");
+    return Result::Error("couldn't read file \"" + argv[1].String() + "\"");
   }
   std::ostringstream buffer;
   buffer << file.rdbuf();
   return interp.Eval(buffer.str());
 }
 
-Result CmdTime(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdTime(Interp& interp, const ValueVec& argv) {
   if (argv.size() != 2 && argv.size() != 3) {
     return ArityError("time", "command ?count?");
   }
   long count = 1;
   if (argv.size() == 3) {
-    char* end = nullptr;
-    count = std::strtol(argv[2].c_str(), &end, 10);
-    if (end == argv[2].c_str() || *end != '\0' || count <= 0) {
-      return Result::Error("expected positive integer but got \"" + argv[2] + "\"");
+    if (!argv[2].GetInt(&count) || count <= 0) {
+      return Result::Error("expected positive integer but got \"" + argv[2].String() + "\"");
     }
   }
   timespec start{};
   clock_gettime(CLOCK_MONOTONIC, &start);
   for (long i = 0; i < count; ++i) {
-    Result r = interp.Eval(argv[1]);
+    Result r = interp.Eval(argv[1].String());
     if (r.code == Status::kError) {
       return r;
     }
@@ -510,23 +540,23 @@ Result CmdTime(Interp& interp, const std::vector<std::string>& argv) {
   return Result::Ok(std::to_string(micros / count) + " microseconds per iteration");
 }
 
-Result CmdInfo(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdInfo(Interp& interp, const ValueVec& argv) {
   if (argv.size() < 2) {
     return ArityError("info", "option ?arg ...?");
   }
-  const std::string& option = argv[1];
+  const std::string& option = argv[1].String();
   if (option == "exists") {
     if (argv.size() != 3) {
       return ArityError("info exists", "varName");
     }
-    return Result::Ok(interp.VarExists(argv[2]) ? "1" : "0");
+    return Result::Ok(interp.VarExists(argv[2].String()) ? "1" : "0");
   }
   if (option == "commands") {
     std::vector<std::string> names = interp.CommandNames();
     if (argv.size() == 3) {
       std::vector<std::string> filtered;
       for (const std::string& name : names) {
-        if (GlobMatch(argv[2], name)) {
+        if (GlobMatch(argv[2].String(), name)) {
           filtered.push_back(name);
         }
       }
@@ -539,7 +569,7 @@ Result CmdInfo(Interp& interp, const std::vector<std::string>& argv) {
     if (argv.size() == 3) {
       std::vector<std::string> filtered;
       for (const std::string& name : names) {
-        if (GlobMatch(argv[2], name)) {
+        if (GlobMatch(argv[2].String(), name)) {
           filtered.push_back(name);
         }
       }
@@ -552,8 +582,8 @@ Result CmdInfo(Interp& interp, const std::vector<std::string>& argv) {
       return ArityError("info body", "procName");
     }
     std::string body;
-    if (!interp.ProcBody(argv[2], &body)) {
-      return Result::Error("\"" + argv[2] + "\" isn't a procedure");
+    if (!interp.ProcBody(argv[2].String(), &body)) {
+      return Result::Error("\"" + argv[2].String() + "\" isn't a procedure");
     }
     return Result::Ok(body);
   }
@@ -562,8 +592,8 @@ Result CmdInfo(Interp& interp, const std::vector<std::string>& argv) {
       return ArityError("info args", "procName");
     }
     std::string args;
-    if (!interp.ProcArgs(argv[2], &args)) {
-      return Result::Error("\"" + argv[2] + "\" isn't a procedure");
+    if (!interp.ProcArgs(argv[2].String(), &args)) {
+      return Result::Error("\"" + argv[2].String() + "\" isn't a procedure");
     }
     return Result::Ok(args);
   }

@@ -7,35 +7,35 @@ namespace wtcl {
 
 namespace {
 
-Result CmdEcho(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdEcho(Interp& interp, const ValueVec& argv) {
   std::string line;
   for (std::size_t i = 1; i < argv.size(); ++i) {
     if (i != 1) {
       line.push_back(' ');
     }
-    line += argv[i];
+    line += argv[i].String();
   }
   line.push_back('\n');
   interp.Output(line);
   return Result::Ok();
 }
 
-Result CmdPuts(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdPuts(Interp& interp, const ValueVec& argv) {
   bool newline = true;
   std::size_t i = 1;
-  if (i < argv.size() && argv[i] == "-nonewline") {
+  if (i < argv.size() && argv[i].String() == "-nonewline") {
     newline = false;
     ++i;
   }
   // Accept and ignore the channel words "stdout" / "stderr" for script
   // compatibility; both go to the interp sink.
-  if (argv.size() - i == 2 && (argv[i] == "stdout" || argv[i] == "stderr")) {
+  if (argv.size() - i == 2 && (argv[i].String() == "stdout" || argv[i].String() == "stderr")) {
     ++i;
   }
   if (argv.size() - i != 1) {
     return Result::Error("wrong # args: should be \"puts ?-nonewline? ?channel? string\"");
   }
-  std::string text = argv[i];
+  std::string text = argv[i].String();
   if (newline) {
     text.push_back('\n');
   }

@@ -1,7 +1,14 @@
 // List built-ins: list, lindex, llength, lrange, lappend, linsert,
 // lreplace, lsearch, lsort, concat, join, split.
+//
+// The read-only commands (lindex, llength, lrange, lsearch, lsort, join)
+// consume the argument's cached list rep: `lindex $l $i` in a loop parses
+// the list once — the parse sticks to the variable through the argv
+// rep-share — instead of re-splitting the string per call. Index syntax
+// ("end", "end-N", hex/octal) is decided centrally by ParseIndex in
+// value.cc.
 #include <algorithm>
-#include <cstdlib>
+#include <utility>
 
 #include "src/tcl/interp.h"
 
@@ -13,202 +20,170 @@ Result ArityError(const std::string& name, const std::string& usage) {
   return Result::Error("wrong # args: should be \"" + name + " " + usage + "\"");
 }
 
-Result SplitOrError(const std::string& text, std::vector<std::string>* out) {
-  if (!SplitList(text, out)) {
-    return Result::Error("unmatched open brace in list");
-  }
-  return Result::Ok();
-}
+Result ListError() { return Result::Error("unmatched open brace in list"); }
 
-// Parses a list index, supporting "end" and "end-N".
-bool ParseIndex(const std::string& text, std::size_t length, long* out) {
-  if (text == "end") {
-    *out = static_cast<long>(length) - 1;
-    return true;
-  }
-  if (text.rfind("end-", 0) == 0) {
-    char* end = nullptr;
-    long offset = std::strtol(text.c_str() + 4, &end, 10);
-    if (end == text.c_str() + 4 || *end != '\0') {
-      return false;
-    }
-    *out = static_cast<long>(length) - 1 - offset;
-    return true;
-  }
-  char* end = nullptr;
-  long v = std::strtol(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0') {
-    return false;
-  }
-  *out = v;
-  return true;
-}
-
-Result CmdList(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdList(Interp& interp, const ValueVec& argv) {
   (void)interp;
-  std::vector<std::string> elements(argv.begin() + 1, argv.end());
-  return Result::Ok(MergeList(elements));
+  std::vector<Value> elements(argv.begin() + 1, argv.end());
+  return Result::Ok(Value::FromList(std::move(elements)).String());
 }
 
-Result CmdLindex(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdLindex(Interp& interp, const ValueVec& argv) {
   (void)interp;
   if (argv.size() != 3) {
     return ArityError("lindex", "list index");
   }
-  std::vector<std::string> elements;
-  Result r = SplitOrError(argv[1], &elements);
-  if (r.code == Status::kError) {
-    return r;
+  const std::vector<Value>* elements = argv[1].GetList();
+  if (elements == nullptr) {
+    return ListError();
   }
   long index = 0;
-  if (!ParseIndex(argv[2], elements.size(), &index)) {
-    return Result::Error("expected integer but got \"" + argv[2] + "\"");
+  if (!ParseIndex(argv[2].String(), elements->size(), &index)) {
+    return Result::Error("expected integer but got \"" + argv[2].String() + "\"");
   }
-  if (index < 0 || static_cast<std::size_t>(index) >= elements.size()) {
+  if (index < 0 || static_cast<std::size_t>(index) >= elements->size()) {
     return Result::Ok("");
   }
-  return Result::Ok(elements[static_cast<std::size_t>(index)]);
+  return Result::Ok((*elements)[static_cast<std::size_t>(index)].String());
 }
 
-Result CmdLlength(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdLlength(Interp& interp, const ValueVec& argv) {
   (void)interp;
   if (argv.size() != 2) {
     return ArityError("llength", "list");
   }
-  std::vector<std::string> elements;
-  Result r = SplitOrError(argv[1], &elements);
-  if (r.code == Status::kError) {
-    return r;
+  const std::vector<Value>* elements = argv[1].GetList();
+  if (elements == nullptr) {
+    return ListError();
   }
-  return Result::Ok(std::to_string(elements.size()));
+  return Result::Ok(std::to_string(elements->size()));
 }
 
-Result CmdLrange(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdLrange(Interp& interp, const ValueVec& argv) {
   (void)interp;
   if (argv.size() != 4) {
     return ArityError("lrange", "list first last");
   }
-  std::vector<std::string> elements;
-  Result r = SplitOrError(argv[1], &elements);
-  if (r.code == Status::kError) {
-    return r;
+  const std::vector<Value>* elements = argv[1].GetList();
+  if (elements == nullptr) {
+    return ListError();
   }
   long first = 0;
   long last = 0;
-  if (!ParseIndex(argv[2], elements.size(), &first) ||
-      !ParseIndex(argv[3], elements.size(), &last)) {
+  if (!ParseIndex(argv[2].String(), elements->size(), &first) ||
+      !ParseIndex(argv[3].String(), elements->size(), &last)) {
     return Result::Error("bad index in lrange");
   }
   if (first < 0) {
     first = 0;
   }
-  if (last >= static_cast<long>(elements.size())) {
-    last = static_cast<long>(elements.size()) - 1;
+  if (last >= static_cast<long>(elements->size())) {
+    last = static_cast<long>(elements->size()) - 1;
   }
-  std::vector<std::string> out;
+  std::vector<Value> out;
   for (long i = first; i <= last; ++i) {
-    out.push_back(elements[static_cast<std::size_t>(i)]);
+    out.push_back((*elements)[static_cast<std::size_t>(i)]);
   }
-  return Result::Ok(MergeList(out));
+  return Result::Ok(Value::FromList(std::move(out)).String());
 }
 
-Result CmdLappend(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdLappend(Interp& interp, const ValueVec& argv) {
   if (argv.size() < 2) {
     return ArityError("lappend", "varName ?value ...?");
   }
   std::string value;
-  interp.GetVar(argv[1], &value);
+  interp.GetVar(argv[1].String(), &value);
   for (std::size_t i = 2; i < argv.size(); ++i) {
     if (!value.empty()) {
       value.push_back(' ');
     }
-    value += QuoteListElement(argv[i]);
+    value += QuoteListElement(argv[i].String());
   }
-  return interp.SetVar(argv[1], std::move(value));
+  return interp.SetVar(argv[1].String(), std::move(value));
 }
 
-Result CmdLinsert(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdLinsert(Interp& interp, const ValueVec& argv) {
   (void)interp;
   if (argv.size() < 4) {
     return ArityError("linsert", "list index element ?element ...?");
   }
-  std::vector<std::string> elements;
-  Result r = SplitOrError(argv[1], &elements);
-  if (r.code == Status::kError) {
-    return r;
+  const std::vector<Value>* parsed = argv[1].GetList();
+  if (parsed == nullptr) {
+    return ListError();
   }
   long index = 0;
-  if (!ParseIndex(argv[2], elements.size(), &index)) {
-    return Result::Error("expected integer but got \"" + argv[2] + "\"");
+  if (!ParseIndex(argv[2].String(), parsed->size(), &index)) {
+    return Result::Error("expected integer but got \"" + argv[2].String() + "\"");
   }
   if (index < 0) {
     index = 0;
   }
-  if (index > static_cast<long>(elements.size())) {
-    index = static_cast<long>(elements.size());
+  if (index > static_cast<long>(parsed->size())) {
+    index = static_cast<long>(parsed->size());
   }
+  std::vector<Value> elements = *parsed;
   elements.insert(elements.begin() + index, argv.begin() + 3, argv.end());
-  return Result::Ok(MergeList(elements));
+  return Result::Ok(Value::FromList(std::move(elements)).String());
 }
 
-Result CmdLreplace(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdLreplace(Interp& interp, const ValueVec& argv) {
   (void)interp;
   if (argv.size() < 4) {
     return ArityError("lreplace", "list first last ?element ...?");
   }
-  std::vector<std::string> elements;
-  Result r = SplitOrError(argv[1], &elements);
-  if (r.code == Status::kError) {
-    return r;
+  const std::vector<Value>* elements = argv[1].GetList();
+  if (elements == nullptr) {
+    return ListError();
   }
   long first = 0;
   long last = 0;
-  if (!ParseIndex(argv[2], elements.size(), &first) ||
-      !ParseIndex(argv[3], elements.size(), &last)) {
+  if (!ParseIndex(argv[2].String(), elements->size(), &first) ||
+      !ParseIndex(argv[3].String(), elements->size(), &last)) {
     return Result::Error("bad index in lreplace");
   }
   if (first < 0) {
     first = 0;
   }
-  if (last >= static_cast<long>(elements.size())) {
-    last = static_cast<long>(elements.size()) - 1;
+  if (last >= static_cast<long>(elements->size())) {
+    last = static_cast<long>(elements->size()) - 1;
   }
-  std::vector<std::string> out;
-  for (long i = 0; i < first && i < static_cast<long>(elements.size()); ++i) {
-    out.push_back(elements[static_cast<std::size_t>(i)]);
+  std::vector<Value> out;
+  for (long i = 0; i < first && i < static_cast<long>(elements->size()); ++i) {
+    out.push_back((*elements)[static_cast<std::size_t>(i)]);
   }
   for (std::size_t i = 4; i < argv.size(); ++i) {
     out.push_back(argv[i]);
   }
-  for (long i = std::max(last + 1, first); i < static_cast<long>(elements.size()); ++i) {
-    out.push_back(elements[static_cast<std::size_t>(i)]);
+  for (long i = std::max(last + 1, first); i < static_cast<long>(elements->size()); ++i) {
+    out.push_back((*elements)[static_cast<std::size_t>(i)]);
   }
-  return Result::Ok(MergeList(out));
+  return Result::Ok(Value::FromList(std::move(out)).String());
 }
 
-Result CmdLsearch(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdLsearch(Interp& interp, const ValueVec& argv) {
   (void)interp;
   // lsearch ?-exact|-glob? list pattern
   std::size_t i = 1;
   bool exact = false;
   if (argv.size() == 4) {
-    if (argv[1] == "-exact") {
+    if (argv[1].String() == "-exact") {
       exact = true;
-    } else if (argv[1] != "-glob") {
-      return Result::Error("bad search mode \"" + argv[1] + "\": must be -exact or -glob");
+    } else if (argv[1].String() != "-glob") {
+      return Result::Error("bad search mode \"" + argv[1].String() +
+                           "\": must be -exact or -glob");
     }
     i = 2;
   } else if (argv.size() != 3) {
     return ArityError("lsearch", "?mode? list pattern");
   }
-  std::vector<std::string> elements;
-  Result r = SplitOrError(argv[i], &elements);
-  if (r.code == Status::kError) {
-    return r;
+  const std::vector<Value>* elements = argv[i].GetList();
+  if (elements == nullptr) {
+    return ListError();
   }
-  const std::string& pattern = argv[i + 1];
-  for (std::size_t e = 0; e < elements.size(); ++e) {
-    bool match = exact ? elements[e] == pattern : GlobMatch(pattern, elements[e]);
+  const std::string& pattern = argv[i + 1].String();
+  for (std::size_t e = 0; e < elements->size(); ++e) {
+    const std::string& element = (*elements)[e].String();
+    bool match = exact ? element == pattern : GlobMatch(pattern, element);
     if (match) {
       return Result::Ok(std::to_string(e));
     }
@@ -216,99 +191,128 @@ Result CmdLsearch(Interp& interp, const std::vector<std::string>& argv) {
   return Result::Ok("-1");
 }
 
-Result CmdLsort(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdLsort(Interp& interp, const ValueVec& argv) {
   (void)interp;
   // lsort ?-ascii|-integer|-real? ?-increasing|-decreasing? list
   bool decreasing = false;
   enum class Mode { kAscii, kInteger, kReal } mode = Mode::kAscii;
   std::size_t i = 1;
   while (i + 1 < argv.size()) {
-    if (argv[i] == "-ascii") {
+    const std::string& option = argv[i].String();
+    if (option == "-ascii") {
       mode = Mode::kAscii;
-    } else if (argv[i] == "-integer") {
+    } else if (option == "-integer") {
       mode = Mode::kInteger;
-    } else if (argv[i] == "-real") {
+    } else if (option == "-real") {
       mode = Mode::kReal;
-    } else if (argv[i] == "-increasing") {
+    } else if (option == "-increasing") {
       decreasing = false;
-    } else if (argv[i] == "-decreasing") {
+    } else if (option == "-decreasing") {
       decreasing = true;
     } else {
-      return Result::Error("bad lsort option \"" + argv[i] + "\"");
+      return Result::Error("bad lsort option \"" + option + "\"");
     }
     ++i;
   }
   if (i >= argv.size()) {
     return ArityError("lsort", "?options? list");
   }
-  std::vector<std::string> elements;
-  Result r = SplitOrError(argv[i], &elements);
-  if (r.code == Status::kError) {
-    return r;
+  const std::vector<Value>* parsed = argv[i].GetList();
+  if (parsed == nullptr) {
+    return ListError();
   }
-  auto numeric_less = [mode](const std::string& a, const std::string& b) {
-    if (mode == Mode::kInteger) {
-      return std::strtol(a.c_str(), nullptr, 10) < std::strtol(b.c_str(), nullptr, 10);
-    }
-    return std::strtod(a.c_str(), nullptr) < std::strtod(b.c_str(), nullptr);
-  };
+  std::vector<Value> elements = *parsed;
   if (mode == Mode::kAscii) {
-    std::sort(elements.begin(), elements.end());
+    std::sort(elements.begin(), elements.end(),
+              [](const Value& a, const Value& b) { return a.String() < b.String(); });
+  } else if (mode == Mode::kInteger) {
+    // Decorate-sort-undecorate: each element parses exactly once, and a
+    // non-integer is a hard error instead of silently comparing as 0.
+    std::vector<std::pair<long, Value>> decorated;
+    decorated.reserve(elements.size());
+    for (Value& element : elements) {
+      long key = 0;
+      if (!element.GetInt(&key)) {
+        return Result::Error(IntegerParseError(element.String(), element.Classify()));
+      }
+      decorated.emplace_back(key, std::move(element));
+    }
+    std::stable_sort(decorated.begin(), decorated.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t e = 0; e < decorated.size(); ++e) {
+      elements[e] = std::move(decorated[e].second);
+    }
   } else {
-    std::sort(elements.begin(), elements.end(), numeric_less);
+    std::vector<std::pair<double, Value>> decorated;
+    decorated.reserve(elements.size());
+    for (Value& element : elements) {
+      double key = 0;
+      // ParseDouble is deliberately lenient (accepts what strtod accepts),
+      // matching the reach of -real in classic Tcl.
+      std::string error;
+      if (!ParseDouble(element.String(), &key, &error)) {
+        return Result::Error(std::move(error));
+      }
+      decorated.emplace_back(key, std::move(element));
+    }
+    std::stable_sort(decorated.begin(), decorated.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t e = 0; e < decorated.size(); ++e) {
+      elements[e] = std::move(decorated[e].second);
+    }
   }
   if (decreasing) {
     std::reverse(elements.begin(), elements.end());
   }
-  return Result::Ok(MergeList(elements));
+  return Result::Ok(Value::FromList(std::move(elements)).String());
 }
 
-Result CmdConcat(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdConcat(Interp& interp, const ValueVec& argv) {
   (void)interp;
   std::string out;
   for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& arg = argv[i].String();
     // concat trims each argument and joins with single spaces.
-    std::size_t begin = argv[i].find_first_not_of(" \t\n");
+    std::size_t begin = arg.find_first_not_of(" \t\n");
     if (begin == std::string::npos) {
       continue;
     }
-    std::size_t end = argv[i].find_last_not_of(" \t\n");
+    std::size_t end = arg.find_last_not_of(" \t\n");
     if (!out.empty()) {
       out.push_back(' ');
     }
-    out += argv[i].substr(begin, end - begin + 1);
+    out += arg.substr(begin, end - begin + 1);
   }
   return Result::Ok(std::move(out));
 }
 
-Result CmdJoin(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdJoin(Interp& interp, const ValueVec& argv) {
   (void)interp;
   if (argv.size() != 2 && argv.size() != 3) {
     return ArityError("join", "list ?joinString?");
   }
-  std::string sep = argv.size() == 3 ? argv[2] : " ";
-  std::vector<std::string> elements;
-  Result r = SplitOrError(argv[1], &elements);
-  if (r.code == Status::kError) {
-    return r;
+  std::string sep = argv.size() == 3 ? argv[2].String() : " ";
+  const std::vector<Value>* elements = argv[1].GetList();
+  if (elements == nullptr) {
+    return ListError();
   }
   std::string out;
-  for (std::size_t i = 0; i < elements.size(); ++i) {
+  for (std::size_t i = 0; i < elements->size(); ++i) {
     if (i != 0) {
       out += sep;
     }
-    out += elements[i];
+    out += (*elements)[i].String();
   }
   return Result::Ok(std::move(out));
 }
 
-Result CmdSplit(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdSplit(Interp& interp, const ValueVec& argv) {
   (void)interp;
   if (argv.size() != 2 && argv.size() != 3) {
     return ArityError("split", "string ?splitChars?");
   }
-  const std::string& subject = argv[1];
-  std::string chars = argv.size() == 3 ? argv[2] : " \t\n\r";
+  const std::string& subject = argv[1].String();
+  std::string chars = argv.size() == 3 ? argv[2].String() : " \t\n\r";
   std::vector<std::string> out;
   if (chars.empty()) {
     for (char c : subject) {

@@ -1,7 +1,11 @@
 // String-oriented built-ins: string, format, append, scan (subset).
+//
+// Numeric arguments (string index/range, format %d/%f, scan conversions)
+// parse through the central value.cc parsers: format/string reuse the
+// cached classification on their argument Values; scan's prefix scans go
+// through ScanIntPrefix/ScanDoublePrefix, the one sscanf-style entry point.
 #include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 
 #include "src/tcl/interp.h"
@@ -12,16 +16,6 @@ namespace {
 
 Result ArityError(const std::string& name, const std::string& usage) {
   return Result::Error("wrong # args: should be \"" + name + " " + usage + "\"");
-}
-
-bool ParseLong(const std::string& text, long* out) {
-  char* end = nullptr;
-  long v = std::strtol(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0') {
-    return false;
-  }
-  *out = v;
-  return true;
 }
 
 std::string ToLower(const std::string& s) {
@@ -58,13 +52,13 @@ std::string Trim(const std::string& s, const std::string& chars, bool left, bool
   return s.substr(begin, end - begin);
 }
 
-Result CmdString(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdString(Interp& interp, const ValueVec& argv) {
   (void)interp;
   if (argv.size() < 3) {
     return ArityError("string", "option arg ?arg ...?");
   }
-  const std::string& option = argv[1];
-  const std::string& subject = argv[2];
+  const std::string& option = argv[1].String();
+  const std::string& subject = argv[2].String();
   if (option == "length") {
     return Result::Ok(std::to_string(subject.size()));
   }
@@ -77,7 +71,7 @@ Result CmdString(Interp& interp, const std::vector<std::string>& argv) {
   if (option == "trim" || option == "trimleft" || option == "trimright") {
     std::string chars = " \t\n\r\f\v";
     if (argv.size() == 4) {
-      chars = argv[3];
+      chars = argv[3].String();
     }
     return Result::Ok(
         Trim(subject, chars, option != "trimright", option != "trimleft"));
@@ -87,8 +81,8 @@ Result CmdString(Interp& interp, const std::vector<std::string>& argv) {
       return ArityError("string index", "string charIndex");
     }
     long index = 0;
-    if (!ParseLong(argv[3], &index)) {
-      return Result::Error("expected integer but got \"" + argv[3] + "\"");
+    if (!argv[3].GetInt(&index)) {
+      return Result::Error(IntegerParseError(argv[3].String(), argv[3].Classify()));
     }
     if (index < 0 || static_cast<std::size_t>(index) >= subject.size()) {
       return Result::Ok("");
@@ -100,14 +94,14 @@ Result CmdString(Interp& interp, const std::vector<std::string>& argv) {
       return ArityError("string range", "string first last");
     }
     long first = 0;
-    if (!ParseLong(argv[3], &first)) {
-      return Result::Error("expected integer but got \"" + argv[3] + "\"");
+    if (!argv[3].GetInt(&first)) {
+      return Result::Error(IntegerParseError(argv[3].String(), argv[3].Classify()));
     }
     long last = 0;
-    if (argv[4] == "end") {
+    if (argv[4].String() == "end") {
       last = static_cast<long>(subject.size()) - 1;
-    } else if (!ParseLong(argv[4], &last)) {
-      return Result::Error("expected integer but got \"" + argv[4] + "\"");
+    } else if (!argv[4].GetInt(&last)) {
+      return Result::Error(IntegerParseError(argv[4].String(), argv[4].Classify()));
     }
     if (first < 0) {
       first = 0;
@@ -125,27 +119,27 @@ Result CmdString(Interp& interp, const std::vector<std::string>& argv) {
     if (argv.size() != 4) {
       return ArityError("string compare", "string1 string2");
     }
-    int c = subject.compare(argv[3]);
+    int c = subject.compare(argv[3].String());
     return Result::Ok(c < 0 ? "-1" : (c > 0 ? "1" : "0"));
   }
   if (option == "match") {
     if (argv.size() != 4) {
       return ArityError("string match", "pattern string");
     }
-    return Result::Ok(GlobMatch(subject, argv[3]) ? "1" : "0");
+    return Result::Ok(GlobMatch(subject, argv[3].String()) ? "1" : "0");
   }
   if (option == "first") {
     if (argv.size() != 4) {
       return ArityError("string first", "string1 string2");
     }
-    std::size_t at = argv[3].find(subject);
+    std::size_t at = argv[3].String().find(subject);
     return Result::Ok(at == std::string::npos ? "-1" : std::to_string(at));
   }
   if (option == "last") {
     if (argv.size() != 4) {
       return ArityError("string last", "string1 string2");
     }
-    std::size_t at = argv[3].rfind(subject);
+    std::size_t at = argv[3].String().rfind(subject);
     return Result::Ok(at == std::string::npos ? "-1" : std::to_string(at));
   }
   return Result::Error("bad option \"" + option +
@@ -153,31 +147,31 @@ Result CmdString(Interp& interp, const std::vector<std::string>& argv) {
                        "tolower, toupper, trim, trimleft, or trimright");
 }
 
-Result CmdAppend(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdAppend(Interp& interp, const ValueVec& argv) {
   if (argv.size() < 2) {
     return ArityError("append", "varName ?value ...?");
   }
   std::string value;
-  interp.GetVar(argv[1], &value);
+  interp.GetVar(argv[1].String(), &value);
   for (std::size_t i = 2; i < argv.size(); ++i) {
-    value += argv[i];
+    value += argv[i].String();
   }
-  return interp.SetVar(argv[1], std::move(value));
+  return interp.SetVar(argv[1].String(), std::move(value));
 }
 
-Result CmdFormatWrap(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdFormatWrap(Interp& interp, const ValueVec& argv) {
   (void)interp;
   return FormatCommandString(argv);
 }
 
-Result CmdScan(Interp& interp, const std::vector<std::string>& argv) {
+Result CmdScan(Interp& interp, const ValueVec& argv) {
   // scan string format varName ?varName ...? — supports %d %x %o %f %e %g
   // %s %c and literal/whitespace matching, enough for Wafe-era scripts.
   if (argv.size() < 4) {
     return ArityError("scan", "string format varName ?varName ...?");
   }
-  const std::string& input = argv[1];
-  const std::string& format = argv[2];
+  const std::string& input = argv[1].String();
+  const std::string& format = argv[2].String();
   std::size_t in = 0;
   std::size_t var = 3;
   int assigned = 0;
@@ -218,26 +212,24 @@ Result CmdScan(Interp& interp, const std::vector<std::string>& argv) {
     if (var >= argv.size()) {
       return Result::Error("different numbers of variable names and field specifiers");
     }
-    std::string value;
+    Value value;
     if (conv == 'd' || conv == 'x' || conv == 'o') {
-      char* end = nullptr;
       int base = conv == 'd' ? 10 : (conv == 'x' ? 16 : 8);
-      long v = std::strtol(input.c_str() + in, &end, base);
-      if (end == input.c_str() + in) {
+      long v = 0;
+      if (!ScanIntPrefix(input, &in, base, &v)) {
         break;
       }
-      value = std::to_string(v);
-      in = static_cast<std::size_t>(end - input.c_str());
+      value = Value::FromInt(v);
     } else if (conv == 'f' || conv == 'e' || conv == 'g') {
-      char* end = nullptr;
-      double v = std::strtod(input.c_str() + in, &end);
-      if (end == input.c_str() + in) {
+      double v = 0;
+      if (!ScanDoublePrefix(input, &in, &v)) {
         break;
       }
+      // scan reports doubles in plain %g form ("3", not "3.0"), matching the
+      // historical sscanf-based implementation.
       char buffer[64];
       std::snprintf(buffer, sizeof(buffer), "%g", v);
-      value = buffer;
-      in = static_cast<std::size_t>(end - input.c_str());
+      value = Value(buffer);
     } else if (conv == 's') {
       std::size_t start = in;
       while (in < input.size() && !std::isspace(static_cast<unsigned char>(input[in]))) {
@@ -246,17 +238,17 @@ Result CmdScan(Interp& interp, const std::vector<std::string>& argv) {
       if (in == start) {
         break;
       }
-      value = input.substr(start, in - start);
+      value = Value(input.substr(start, in - start));
     } else if (conv == 'c') {
       if (in >= input.size()) {
         break;
       }
-      value = std::to_string(static_cast<int>(static_cast<unsigned char>(input[in])));
+      value = Value::FromInt(static_cast<long>(static_cast<unsigned char>(input[in])));
       ++in;
     } else {
       return Result::Error(std::string("bad scan conversion character \"") + conv + "\"");
     }
-    interp.SetVar(argv[var++], value);
+    interp.SetVarValue(argv[var++].String(), std::move(value));
     ++assigned;
   }
   return Result::Ok(std::to_string(assigned));
@@ -264,11 +256,11 @@ Result CmdScan(Interp& interp, const std::vector<std::string>& argv) {
 
 }  // namespace
 
-Result FormatCommandString(const std::vector<std::string>& argv) {
+Result FormatCommandString(const ValueVec& argv) {
   if (argv.size() < 2) {
     return Result::Error("wrong # args: should be \"format formatString ?arg ...?\"");
   }
-  const std::string& format = argv[1];
+  const std::string& format = argv[1].String();
   std::string out;
   std::size_t arg = 2;
   std::size_t i = 0;
@@ -327,12 +319,7 @@ Result FormatCommandString(const std::vector<std::string>& argv) {
     long star_width = 0;
     long star_prec = 0;
     auto next_long = [&](long* v) {
-      if (arg >= argv.size()) {
-        return false;
-      }
-      char* end = nullptr;
-      *v = std::strtol(argv[arg].c_str(), &end, 10);
-      if (end == argv[arg].c_str() || *end != '\0') {
+      if (arg >= argv.size() || !argv[arg].GetInt(v)) {
         return false;
       }
       ++arg;
@@ -359,10 +346,9 @@ Result FormatCommandString(const std::vector<std::string>& argv) {
         if (arg >= argv.size()) {
           return Result::Error("not enough arguments for all format specifiers");
         }
-        char* end = nullptr;
-        long v = std::strtol(argv[arg].c_str(), &end, 10);
-        if (end == argv[arg].c_str() || *end != '\0') {
-          return Result::Error("expected integer but got \"" + argv[arg] + "\"");
+        long v = 0;
+        if (!argv[arg].GetInt(&v)) {
+          return Result::Error(IntegerParseError(argv[arg].String(), argv[arg].Classify()));
         }
         ++arg;
         // Insert the `l` modifier before the conversion char.
@@ -397,10 +383,13 @@ Result FormatCommandString(const std::vector<std::string>& argv) {
         if (arg >= argv.size()) {
           return Result::Error("not enough arguments for all format specifiers");
         }
-        char* end = nullptr;
-        double v = std::strtod(argv[arg].c_str(), &end);
-        if (end == argv[arg].c_str() || *end != '\0') {
-          return Result::Error("expected floating-point number but got \"" + argv[arg] + "\"");
+        double v = 0;
+        // Lenient on purpose: %f of "08" is 8.0, and integers too large for a
+        // long still format as doubles — ParseDouble's strtod reach, not the
+        // strict integer classifier.
+        std::string error;
+        if (!ParseDouble(argv[arg].String(), &v, &error)) {
+          return Result::Error(std::move(error));
         }
         ++arg;
         if (width_star && prec_star) {
@@ -419,7 +408,7 @@ Result FormatCommandString(const std::vector<std::string>& argv) {
         if (arg >= argv.size()) {
           return Result::Error("not enough arguments for all format specifiers");
         }
-        const std::string& v = argv[arg++];
+        const std::string& v = argv[arg++].String();
         if (width_star && prec_star) {
           std::snprintf(buffer, sizeof(buffer), clean.c_str(), static_cast<int>(star_width),
                         static_cast<int>(star_prec), v.c_str());

@@ -14,9 +14,8 @@
 //     compile is cached too (as a null AST), so repeated evaluation of a
 //     malformed expression does not re-attempt compilation.
 #include <cctype>
-#include <cerrno>
+#include <climits>
 #include <cmath>
-#include <cstdlib>
 #include <memory>
 #include <string>
 #include <variant>
@@ -40,27 +39,27 @@ wobs::Counter g_expr_cache_evictions("tcl.expr.cache.evictions");
 constexpr std::size_t kExprCacheCapacity = 512;
 constexpr std::size_t kExprCacheMaxKeyBytes = 16 * 1024;
 
-struct Value {
+struct Operand {
   enum class Kind { kInt, kDouble, kString };
   Kind kind = Kind::kInt;
   long i = 0;
   double d = 0.0;
   std::string s;
 
-  static Value Int(long v) {
-    Value value;
+  static Operand Int(long v) {
+    Operand value;
     value.kind = Kind::kInt;
     value.i = v;
     return value;
   }
-  static Value Double(double v) {
-    Value value;
+  static Operand Double(double v) {
+    Operand value;
     value.kind = Kind::kDouble;
     value.d = v;
     return value;
   }
-  static Value Str(std::string v) {
-    Value value;
+  static Operand Str(std::string v) {
+    Operand value;
     value.kind = Kind::kString;
     value.s = std::move(v);
     return value;
@@ -73,16 +72,8 @@ struct Value {
     switch (kind) {
       case Kind::kInt:
         return std::to_string(i);
-      case Kind::kDouble: {
-        // Tcl prints doubles with %g but keeps them recognizable as doubles.
-        char buffer[64];
-        std::snprintf(buffer, sizeof(buffer), "%g", d);
-        std::string out(buffer);
-        if (out.find_first_of(".eEnN") == std::string::npos) {
-          out += ".0";
-        }
-        return out;
-      }
+      case Kind::kDouble:
+        return FormatDouble(d);
       case Kind::kString:
         return s;
     }
@@ -90,39 +81,90 @@ struct Value {
   }
 };
 
-// Attempts to parse an entire string as an integer or double.
-bool ParseNumber(const std::string& text, Value* out) {
-  if (text.empty()) {
-    return false;
+// Integer wrap helpers: signed overflow is UB, so arithmetic that may wrap
+// goes through unsigned, which is defined to wrap (and matches the
+// two's-complement results the interpreter always produced in practice).
+long WrapAdd(long a, long b) {
+  return static_cast<long>(static_cast<unsigned long>(a) + static_cast<unsigned long>(b));
+}
+long WrapSub(long a, long b) {
+  return static_cast<long>(static_cast<unsigned long>(a) - static_cast<unsigned long>(b));
+}
+long WrapMul(long a, long b) {
+  return static_cast<long>(static_cast<unsigned long>(a) * static_cast<unsigned long>(b));
+}
+long WrapNeg(long v) { return static_cast<long>(0ul - static_cast<unsigned long>(v)); }
+
+constexpr unsigned long kShiftMask = sizeof(long) * 8 - 1;
+long ShiftLeft(long x, long y) {
+  return static_cast<long>(static_cast<unsigned long>(x)
+                           << (static_cast<unsigned long>(y) & kShiftMask));
+}
+long ShiftRight(long x, long y) { return x >> (static_cast<unsigned long>(y) & kShiftMask); }
+
+// Whether `v` can be cast to long without UB; the valid window is
+// [-2^63, 2^63), both ends exactly representable as doubles.
+bool FitsLong(double v) {
+  return v >= static_cast<double>(LONG_MIN) && v < -static_cast<double>(LONG_MIN);
+}
+
+// Makes an operand from evaluated text via the central classifier. Digit
+// runs that fail the integer parse ("08") and out-of-range integers are
+// hard errors — the scattered strtol call sites this replaces silently
+// produced 8.0 or a double here.
+Result OperandFromText(std::string text, Operand* out) {
+  long i = 0;
+  double d = 0;
+  NumberKind kind = ClassifyNumber(text, &i, &d);
+  switch (kind) {
+    case NumberKind::kInt:
+      *out = Operand::Int(i);
+      return Result::Ok();
+    case NumberKind::kDouble:
+      *out = Operand::Double(d);
+      return Result::Ok();
+    case NumberKind::kBadInteger:
+    case NumberKind::kOverflow:
+      return Result::Error(IntegerParseError(text, kind));
+    default:
+      *out = Operand::Str(std::move(text));
+      return Result::Ok();
   }
-  const char* start = text.c_str();
-  char* end = nullptr;
-  errno = 0;
-  long i = std::strtol(start, &end, 0);
-  if (end != start && *end == '\0' && errno != ERANGE) {
-    *out = Value::Int(i);
-    return true;
+}
+
+// Same contract, reading the cached classification on a typed Value (the
+// `$name` operand fast path) instead of reparsing its string.
+Result OperandFromValue(const Value& value, Operand* out) {
+  long i = 0;
+  if (value.GetInt(&i)) {
+    *out = Operand::Int(i);
+    return Result::Ok();
   }
-  errno = 0;
-  double d = std::strtod(start, &end);
-  if (end != start && *end == '\0' && errno != ERANGE) {
-    *out = Value::Double(d);
-    return true;
+  NumberKind kind = value.Classify();
+  if (kind == NumberKind::kDouble) {
+    double d = 0;
+    value.GetDouble(&d);
+    *out = Operand::Double(d);
+    return Result::Ok();
   }
-  return false;
+  if (kind == NumberKind::kBadInteger || kind == NumberKind::kOverflow) {
+    return Result::Error(IntegerParseError(value.String(), kind));
+  }
+  *out = Operand::Str(value.String());
+  return Result::Ok();
 }
 
 // --- Shared evaluation helpers (both engines) --------------------------------
 
-Result Truth(const Value& v, bool* out) {
+Result Truth(const Operand& v, bool* out) {
   switch (v.kind) {
-    case Value::Kind::kInt:
+    case Operand::Kind::kInt:
       *out = v.i != 0;
       return Result::Ok();
-    case Value::Kind::kDouble:
+    case Operand::Kind::kDouble:
       *out = v.d != 0.0;
       return Result::Ok();
-    case Value::Kind::kString: {
+    case Operand::Kind::kString: {
       std::string lower;
       for (char c : v.s) {
         lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
@@ -135,9 +177,16 @@ Result Truth(const Value& v, bool* out) {
         *out = false;
         return Result::Ok();
       }
-      Value number;
-      if (ParseNumber(v.s, &number)) {
-        return Truth(number, out);
+      long i = 0;
+      double d = 0;
+      NumberKind kind = ClassifyNumber(v.s, &i, &d);
+      if (kind == NumberKind::kInt) {
+        *out = i != 0;
+        return Result::Ok();
+      }
+      if (kind == NumberKind::kDouble) {
+        *out = d != 0.0;
+        return Result::Ok();
       }
       return Result::Error("expected boolean value but got \"" + v.s + "\"");
     }
@@ -145,8 +194,8 @@ Result Truth(const Value& v, bool* out) {
   return Result::Ok();
 }
 
-Result RequireInts(const Value& a, const Value& b, long* x, long* y) {
-  if (a.kind != Value::Kind::kInt || b.kind != Value::Kind::kInt) {
+Result RequireInts(const Operand& a, const Operand& b, long* x, long* y) {
+  if (a.kind != Operand::Kind::kInt || b.kind != Operand::Kind::kInt) {
     return Result::Error("can't use non-integer value as operand of bitwise operator");
   }
   *x = a.i;
@@ -155,9 +204,9 @@ Result RequireInts(const Value& a, const Value& b, long* x, long* y) {
 }
 
 // Compares a and b: -1, 0, 1. Numeric when both numeric, else string.
-int Compare(const Value& a, const Value& b) {
+int Compare(const Operand& a, const Operand& b) {
   if (a.numeric() && b.numeric()) {
-    if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt) {
+    if (a.kind == Operand::Kind::kInt && b.kind == Operand::Kind::kInt) {
       if (a.i < b.i) {
         return -1;
       }
@@ -179,25 +228,30 @@ int Compare(const Value& a, const Value& b) {
   return c > 0 ? 1 : 0;
 }
 
-Result Arith(char op, const Value& a, const Value& b, Value* out) {
+Result Arith(char op, const Operand& a, const Operand& b, Operand* out) {
   if (!a.numeric() || !b.numeric()) {
     return Result::Error(std::string("can't use non-numeric string as operand of \"") + op +
                          "\"");
   }
-  if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt) {
+  if (a.kind == Operand::Kind::kInt && b.kind == Operand::Kind::kInt) {
     switch (op) {
       case '+':
-        *out = Value::Int(a.i + b.i);
+        *out = Operand::Int(WrapAdd(a.i, b.i));
         return Result::Ok();
       case '-':
-        *out = Value::Int(a.i - b.i);
+        *out = Operand::Int(WrapSub(a.i, b.i));
         return Result::Ok();
       case '*':
-        *out = Value::Int(a.i * b.i);
+        *out = Operand::Int(WrapMul(a.i, b.i));
         return Result::Ok();
       case '/':
         if (b.i == 0) {
           return Result::Error("divide by zero");
+        }
+        if (b.i == -1) {
+          // Divides exactly; also sidesteps the LONG_MIN / -1 trap.
+          *out = Operand::Int(WrapNeg(a.i));
+          return Result::Ok();
         }
         {
           // Tcl floors integer division toward negative infinity.
@@ -205,19 +259,23 @@ Result Arith(char op, const Value& a, const Value& b, Value* out) {
           if ((a.i % b.i != 0) && ((a.i < 0) != (b.i < 0))) {
             --q;
           }
-          *out = Value::Int(q);
+          *out = Operand::Int(q);
         }
         return Result::Ok();
       case '%':
         if (b.i == 0) {
           return Result::Error("divide by zero");
         }
+        if (b.i == -1) {
+          *out = Operand::Int(0);
+          return Result::Ok();
+        }
         {
           long m = a.i % b.i;
           if (m != 0 && ((a.i < 0) != (b.i < 0))) {
             m += b.i;
           }
-          *out = Value::Int(m);
+          *out = Operand::Int(m);
         }
         return Result::Ok();
     }
@@ -226,19 +284,19 @@ Result Arith(char op, const Value& a, const Value& b, Value* out) {
   double y = b.AsDouble();
   switch (op) {
     case '+':
-      *out = Value::Double(x + y);
+      *out = Operand::Double(x + y);
       return Result::Ok();
     case '-':
-      *out = Value::Double(x - y);
+      *out = Operand::Double(x - y);
       return Result::Ok();
     case '*':
-      *out = Value::Double(x * y);
+      *out = Operand::Double(x * y);
       return Result::Ok();
     case '/':
       if (y == 0.0) {
         return Result::Error("divide by zero");
       }
-      *out = Value::Double(x / y);
+      *out = Operand::Double(x / y);
       return Result::Ok();
     case '%':
       return Result::Error("can't use floating-point value as operand of \"%\"");
@@ -246,7 +304,7 @@ Result Arith(char op, const Value& a, const Value& b, Value* out) {
   return Result::Error("syntax error in expression");  // unreachable
 }
 
-Result ApplyFunction(const std::string& name, const std::vector<Value>& args, Value* out) {
+Result ApplyFunction(const std::string& name, const std::vector<Operand>& args, Operand* out) {
   auto need = [&](std::size_t n) { return args.size() == n; };
   auto arg_num = [&](std::size_t idx, double* v) {
     if (!args[idx].numeric()) {
@@ -256,15 +314,15 @@ Result ApplyFunction(const std::string& name, const std::vector<Value>& args, Va
     return true;
   };
   if (name == "abs" && need(1)) {
-    if (args[0].kind == Value::Kind::kInt) {
-      *out = Value::Int(std::labs(args[0].i));
+    if (args[0].kind == Operand::Kind::kInt) {
+      *out = Operand::Int(args[0].i < 0 ? WrapNeg(args[0].i) : args[0].i);
       return Result::Ok();
     }
     double v = 0;
     if (!arg_num(0, &v)) {
       return Result::Error("argument to math function didn't have numeric value");
     }
-    *out = Value::Double(std::fabs(v));
+    *out = Operand::Double(std::fabs(v));
     return Result::Ok();
   }
   if (name == "int" && need(1)) {
@@ -272,7 +330,10 @@ Result ApplyFunction(const std::string& name, const std::vector<Value>& args, Va
     if (!arg_num(0, &v)) {
       return Result::Error("argument to math function didn't have numeric value");
     }
-    *out = Value::Int(static_cast<long>(v));
+    if (!FitsLong(v)) {
+      return Result::Error("integer value too large to represent");
+    }
+    *out = Operand::Int(static_cast<long>(v));
     return Result::Ok();
   }
   if (name == "round" && need(1)) {
@@ -280,7 +341,11 @@ Result ApplyFunction(const std::string& name, const std::vector<Value>& args, Va
     if (!arg_num(0, &v)) {
       return Result::Error("argument to math function didn't have numeric value");
     }
-    *out = Value::Int(static_cast<long>(v < 0 ? v - 0.5 : v + 0.5));
+    double rounded = v < 0 ? v - 0.5 : v + 0.5;
+    if (!FitsLong(rounded)) {
+      return Result::Error("integer value too large to represent");
+    }
+    *out = Operand::Int(static_cast<long>(rounded));
     return Result::Ok();
   }
   if (name == "double" && need(1)) {
@@ -288,7 +353,7 @@ Result ApplyFunction(const std::string& name, const std::vector<Value>& args, Va
     if (!arg_num(0, &v)) {
       return Result::Error("argument to math function didn't have numeric value");
     }
-    *out = Value::Double(v);
+    *out = Operand::Double(v);
     return Result::Ok();
   }
   struct Unary {
@@ -310,7 +375,7 @@ Result ApplyFunction(const std::string& name, const std::vector<Value>& args, Va
       if (!arg_num(0, &v)) {
         return Result::Error("argument to math function didn't have numeric value");
       }
-      *out = Value::Double(u.fn(v));
+      *out = Operand::Double(u.fn(v));
       return Result::Ok();
     }
   }
@@ -330,7 +395,7 @@ Result ApplyFunction(const std::string& name, const std::vector<Value>& args, Va
     } else {
       v = std::hypot(a, b);
     }
-    *out = Value::Double(v);
+    *out = Operand::Double(v);
     return Result::Ok();
   }
   return Result::Error("unknown math function \"" + name + "\"");
@@ -342,7 +407,7 @@ class ExprParser {
  public:
   ExprParser(Interp& interp, std::string_view text) : interp_(interp), text_(text) {}
 
-  Result Run(Value* out) {
+  Result Run(Operand* out) {
     Result r = ParseTernary(out);
     if (r.code == Status::kError) {
       return r;
@@ -381,7 +446,7 @@ class ExprParser {
   // Precedence climbing, lowest first: ?: || && | ^ & ==/!= relational
   // shifts additive multiplicative unary primary.
 
-  Result ParseTernary(Value* out) {
+  Result ParseTernary(Operand* out) {
     Result r = ParseOr(out);
     if (r.code == Status::kError) {
       return r;
@@ -393,8 +458,8 @@ class ExprParser {
       if (t.code == Status::kError) {
         return t;
       }
-      Value a;
-      Value b;
+      Operand a;
+      Operand b;
       r = ParseTernary(&a);
       if (r.code == Status::kError) {
         return r;
@@ -412,7 +477,7 @@ class ExprParser {
     return Result::Ok();
   }
 
-  Result ParseOr(Value* out) {
+  Result ParseOr(Operand* out) {
     Result r = ParseAnd(out);
     if (r.code == Status::kError) {
       return r;
@@ -426,7 +491,7 @@ class ExprParser {
         if (t.code == Status::kError) {
           return t;
         }
-        Value rhs;
+        Operand rhs;
         r = ParseAnd(&rhs);
         if (r.code == Status::kError) {
           return r;
@@ -436,14 +501,14 @@ class ExprParser {
         if (t.code == Status::kError) {
           return t;
         }
-        *out = Value::Int(left || right ? 1 : 0);
+        *out = Operand::Int(left || right ? 1 : 0);
       } else {
         return Result::Ok();
       }
     }
   }
 
-  Result ParseAnd(Value* out) {
+  Result ParseAnd(Operand* out) {
     Result r = ParseBitOr(out);
     if (r.code == Status::kError) {
       return r;
@@ -457,7 +522,7 @@ class ExprParser {
         if (t.code == Status::kError) {
           return t;
         }
-        Value rhs;
+        Operand rhs;
         r = ParseBitOr(&rhs);
         if (r.code == Status::kError) {
           return r;
@@ -467,14 +532,14 @@ class ExprParser {
         if (t.code == Status::kError) {
           return t;
         }
-        *out = Value::Int(left && right ? 1 : 0);
+        *out = Operand::Int(left && right ? 1 : 0);
       } else {
         return Result::Ok();
       }
     }
   }
 
-  Result ParseBitOr(Value* out) {
+  Result ParseBitOr(Operand* out) {
     Result r = ParseBitXor(out);
     if (r.code == Status::kError) {
       return r;
@@ -484,7 +549,7 @@ class ExprParser {
       if (pos_ < text_.size() && text_[pos_] == '|' &&
           (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '|')) {
         ++pos_;
-        Value rhs;
+        Operand rhs;
         r = ParseBitXor(&rhs);
         if (r.code == Status::kError) {
           return r;
@@ -495,14 +560,14 @@ class ExprParser {
         if (ir.code == Status::kError) {
           return ir;
         }
-        *out = Value::Int(x | y);
+        *out = Operand::Int(x | y);
       } else {
         return Result::Ok();
       }
     }
   }
 
-  Result ParseBitXor(Value* out) {
+  Result ParseBitXor(Operand* out) {
     Result r = ParseBitAnd(out);
     if (r.code == Status::kError) {
       return r;
@@ -511,7 +576,7 @@ class ExprParser {
       SkipSpace();
       if (pos_ < text_.size() && text_[pos_] == '^') {
         ++pos_;
-        Value rhs;
+        Operand rhs;
         r = ParseBitAnd(&rhs);
         if (r.code == Status::kError) {
           return r;
@@ -522,14 +587,14 @@ class ExprParser {
         if (ir.code == Status::kError) {
           return ir;
         }
-        *out = Value::Int(x ^ y);
+        *out = Operand::Int(x ^ y);
       } else {
         return Result::Ok();
       }
     }
   }
 
-  Result ParseBitAnd(Value* out) {
+  Result ParseBitAnd(Operand* out) {
     Result r = ParseEquality(out);
     if (r.code == Status::kError) {
       return r;
@@ -539,7 +604,7 @@ class ExprParser {
       if (pos_ < text_.size() && text_[pos_] == '&' &&
           (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '&')) {
         ++pos_;
-        Value rhs;
+        Operand rhs;
         r = ParseEquality(&rhs);
         if (r.code == Status::kError) {
           return r;
@@ -550,14 +615,14 @@ class ExprParser {
         if (ir.code == Status::kError) {
           return ir;
         }
-        *out = Value::Int(x & y);
+        *out = Operand::Int(x & y);
       } else {
         return Result::Ok();
       }
     }
   }
 
-  Result ParseEquality(Value* out) {
+  Result ParseEquality(Operand* out) {
     Result r = ParseRelational(out);
     if (r.code == Status::kError) {
       return r;
@@ -567,20 +632,20 @@ class ExprParser {
       std::string_view two = text_.substr(pos_, 2);
       if (two == "==" || two == "!=") {
         pos_ += 2;
-        Value rhs;
+        Operand rhs;
         r = ParseRelational(&rhs);
         if (r.code == Status::kError) {
           return r;
         }
         int c = Compare(*out, rhs);
-        *out = Value::Int(two == "==" ? (c == 0) : (c != 0));
+        *out = Operand::Int(two == "==" ? (c == 0) : (c != 0));
       } else {
         return Result::Ok();
       }
     }
   }
 
-  Result ParseRelational(Value* out) {
+  Result ParseRelational(Operand* out) {
     Result r = ParseShift(out);
     if (r.code == Status::kError) {
       return r;
@@ -590,31 +655,31 @@ class ExprParser {
       std::string_view two = text_.substr(pos_, 2);
       if (two == "<=" || two == ">=") {
         pos_ += 2;
-        Value rhs;
+        Operand rhs;
         r = ParseShift(&rhs);
         if (r.code == Status::kError) {
           return r;
         }
         int c = Compare(*out, rhs);
-        *out = Value::Int(two == "<=" ? (c <= 0) : (c >= 0));
+        *out = Operand::Int(two == "<=" ? (c <= 0) : (c >= 0));
       } else if (pos_ < text_.size() && (text_[pos_] == '<' || text_[pos_] == '>') &&
                  (pos_ + 1 >= text_.size() || text_[pos_ + 1] != text_[pos_])) {
         char op = text_[pos_];
         ++pos_;
-        Value rhs;
+        Operand rhs;
         r = ParseShift(&rhs);
         if (r.code == Status::kError) {
           return r;
         }
         int c = Compare(*out, rhs);
-        *out = Value::Int(op == '<' ? (c < 0) : (c > 0));
+        *out = Operand::Int(op == '<' ? (c < 0) : (c > 0));
       } else {
         return Result::Ok();
       }
     }
   }
 
-  Result ParseShift(Value* out) {
+  Result ParseShift(Operand* out) {
     Result r = ParseAdditive(out);
     if (r.code == Status::kError) {
       return r;
@@ -624,7 +689,7 @@ class ExprParser {
       std::string_view two = text_.substr(pos_, 2);
       if (two == "<<" || two == ">>") {
         pos_ += 2;
-        Value rhs;
+        Operand rhs;
         r = ParseAdditive(&rhs);
         if (r.code == Status::kError) {
           return r;
@@ -635,14 +700,14 @@ class ExprParser {
         if (ir.code == Status::kError) {
           return ir;
         }
-        *out = Value::Int(two == "<<" ? (x << y) : (x >> y));
+        *out = Operand::Int(two == "<<" ? ShiftLeft(x, y) : ShiftRight(x, y));
       } else {
         return Result::Ok();
       }
     }
   }
 
-  Result ParseAdditive(Value* out) {
+  Result ParseAdditive(Operand* out) {
     Result r = ParseMultiplicative(out);
     if (r.code == Status::kError) {
       return r;
@@ -652,7 +717,7 @@ class ExprParser {
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
         char op = text_[pos_];
         ++pos_;
-        Value rhs;
+        Operand rhs;
         r = ParseMultiplicative(&rhs);
         if (r.code == Status::kError) {
           return r;
@@ -667,7 +732,7 @@ class ExprParser {
     }
   }
 
-  Result ParseMultiplicative(Value* out) {
+  Result ParseMultiplicative(Operand* out) {
     Result r = ParseUnary(out);
     if (r.code == Status::kError) {
       return r;
@@ -678,7 +743,7 @@ class ExprParser {
           (text_[pos_] == '*' || text_[pos_] == '/' || text_[pos_] == '%')) {
         char op = text_[pos_];
         ++pos_;
-        Value rhs;
+        Operand rhs;
         r = ParseUnary(&rhs);
         if (r.code == Status::kError) {
           return r;
@@ -693,7 +758,7 @@ class ExprParser {
     }
   }
 
-  Result ParseUnary(Value* out) {
+  Result ParseUnary(Operand* out) {
     SkipSpace();
     if (pos_ >= text_.size()) {
       return Syntax();
@@ -701,17 +766,17 @@ class ExprParser {
     char c = text_[pos_];
     if (c == '-' || c == '+' || c == '!' || c == '~') {
       ++pos_;
-      Value v;
+      Operand v;
       Result r = ParseUnary(&v);
       if (r.code == Status::kError) {
         return r;
       }
       switch (c) {
         case '-':
-          if (v.kind == Value::Kind::kInt) {
-            *out = Value::Int(-v.i);
-          } else if (v.kind == Value::Kind::kDouble) {
-            *out = Value::Double(-v.d);
+          if (v.kind == Operand::Kind::kInt) {
+            *out = Operand::Int(WrapNeg(v.i));
+          } else if (v.kind == Operand::Kind::kDouble) {
+            *out = Operand::Double(-v.d);
           } else {
             return Result::Error("can't use non-numeric string as operand of \"-\"");
           }
@@ -728,21 +793,21 @@ class ExprParser {
           if (t.code == Status::kError) {
             return t;
           }
-          *out = Value::Int(truth ? 0 : 1);
+          *out = Operand::Int(truth ? 0 : 1);
           return Result::Ok();
         }
         case '~':
-          if (v.kind != Value::Kind::kInt) {
+          if (v.kind != Operand::Kind::kInt) {
             return Result::Error("can't use non-integer value as operand of \"~\"");
           }
-          *out = Value::Int(~v.i);
+          *out = Operand::Int(~v.i);
           return Result::Ok();
       }
     }
     return ParsePrimary(out);
   }
 
-  Result ParsePrimary(Value* out) {
+  Result ParsePrimary(Operand* out) {
     SkipSpace();
     if (pos_ >= text_.size()) {
       return Syntax();
@@ -766,10 +831,7 @@ class ExprParser {
       if (r.code == Status::kError) {
         return r;
       }
-      if (!ParseNumber(text, out)) {
-        *out = Value::Str(std::move(text));
-      }
-      return Result::Ok();
+      return OperandFromText(std::move(text), out);
     }
     if (c == '[') {
       std::string text;
@@ -777,10 +839,7 @@ class ExprParser {
       if (r.code == Status::kError) {
         return r;
       }
-      if (!ParseNumber(text, out)) {
-        *out = Value::Str(std::move(text));
-      }
-      return Result::Ok();
+      return OperandFromText(std::move(text), out);
     }
     if (c == '"') {
       // Quoted string with substitutions.
@@ -817,7 +876,7 @@ class ExprParser {
         return Result::Error("missing \" in expression");
       }
       ++pos_;
-      *out = Value::Str(std::move(text));
+      *out = Operand::Str(std::move(text));
       return Result::Ok();
     }
     if (c == '{') {
@@ -840,10 +899,7 @@ class ExprParser {
       }
       std::string text(text_.substr(start, j - start));
       pos_ = j + 1;
-      if (!ParseNumber(text, out)) {
-        *out = Value::Str(std::move(text));
-      }
-      return Result::Ok();
+      return OperandFromText(std::move(text), out);
     }
     if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
       return ParseNumberToken(out);
@@ -854,29 +910,27 @@ class ExprParser {
     return Syntax();
   }
 
-  Result ParseNumberToken(Value* out) {
-    const char* start = text_.data() + pos_;
-    char* end = nullptr;
-    errno = 0;
-    long i = std::strtol(start, &end, 0);
-    const char* int_end = end;
-    errno = 0;
-    char* dend = nullptr;
-    double d = std::strtod(start, &dend);
-    if (dend > int_end) {
-      *out = Value::Double(d);
-      pos_ += static_cast<std::size_t>(dend - start);
+  Result ParseNumberToken(Operand* out) {
+    std::size_t start = pos_;
+    long i = 0;
+    double d = 0;
+    NumberKind kind = ScanNumberPrefix(text_.data(), &pos_, &i, &d);
+    if (kind == NumberKind::kInt) {
+      *out = Operand::Int(i);
       return Result::Ok();
     }
-    if (int_end == start) {
+    if (kind == NumberKind::kDouble) {
+      *out = Operand::Double(d);
+      return Result::Ok();
+    }
+    if (kind == NumberKind::kNotNumeric) {
       return Syntax();
     }
-    *out = Value::Int(i);
-    pos_ += static_cast<std::size_t>(int_end - start);
-    return Result::Ok();
+    std::string token(text_.substr(start, pos_ - start));
+    return Result::Error(IntegerParseError(token, kind));
   }
 
-  Result ParseFunction(Value* out) {
+  Result ParseFunction(Operand* out) {
     std::size_t start = pos_;
     while (pos_ < text_.size() &&
            (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
@@ -888,20 +942,20 @@ class ExprParser {
       // Bare identifiers: boolean literals are accepted, anything else is an
       // error (Tcl requires quoting for strings in expressions).
       if (name == "true" || name == "yes" || name == "on") {
-        *out = Value::Int(1);
+        *out = Operand::Int(1);
         return Result::Ok();
       }
       if (name == "false" || name == "no" || name == "off") {
-        *out = Value::Int(0);
+        *out = Operand::Int(0);
         return Result::Ok();
       }
       return Result::Error("syntax error in expression: unexpected \"" + name + "\"");
     }
-    std::vector<Value> args;
+    std::vector<Operand> args;
     SkipSpace();
     if (!Peek(")")) {
       for (;;) {
-        Value v;
+        Operand v;
         Result r = ParseTernary(&v);
         if (r.code == Status::kError) {
           return r;
@@ -961,7 +1015,7 @@ struct ExprNode {
     kFunc,     // func_name applied to children
   };
   Kind kind = Kind::kConst;
-  Value constant;                     // kConst
+  Operand constant;                     // kConst
   std::vector<WordSegment> segments;  // kSubst
   // Quoted strings are string values even when they look numeric; $var and
   // [cmd] results are re-parsed as numbers at evaluation time.
@@ -1003,7 +1057,7 @@ class ExprCompiler {
   }
 
  private:
-  static NodePtr MakeConst(Value v) {
+  static NodePtr MakeConst(Operand v) {
     auto node = std::make_unique<ExprNode>();
     node->kind = ExprNode::Kind::kConst;
     node->constant = std::move(v);
@@ -1425,11 +1479,19 @@ class ExprCompiler {
       }
       std::string text(text_.substr(start, j - start));
       pos_ = j + 1;
-      Value v;
-      if (!ParseNumber(text, &v)) {
-        v = Value::Str(std::move(text));
+      long i = 0;
+      double d = 0;
+      NumberKind kind = ClassifyNumber(text, &i, &d);
+      if (kind == NumberKind::kInt) {
+        return MakeConst(Operand::Int(i));
       }
-      return MakeConst(std::move(v));
+      if (kind == NumberKind::kDouble) {
+        return MakeConst(Operand::Double(d));
+      }
+      if (kind != NumberKind::kNotNumeric) {
+        return nullptr;  // "08"/overflow: the legacy re-parse reports it
+      }
+      return MakeConst(Operand::Str(std::move(text)));
     }
     if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
       return CompileNumberToken();
@@ -1441,23 +1503,16 @@ class ExprCompiler {
   }
 
   NodePtr CompileNumberToken() {
-    const char* start = text_.data() + pos_;
-    char* end = nullptr;
-    errno = 0;
-    long i = std::strtol(start, &end, 0);
-    const char* int_end = end;
-    errno = 0;
-    char* dend = nullptr;
-    double d = std::strtod(start, &dend);
-    if (dend > int_end) {
-      pos_ += static_cast<std::size_t>(dend - start);
-      return MakeConst(Value::Double(d));
+    long i = 0;
+    double d = 0;
+    NumberKind kind = ScanNumberPrefix(text_.data(), &pos_, &i, &d);
+    if (kind == NumberKind::kInt) {
+      return MakeConst(Operand::Int(i));
     }
-    if (int_end == start) {
-      return nullptr;
+    if (kind == NumberKind::kDouble) {
+      return MakeConst(Operand::Double(d));
     }
-    pos_ += static_cast<std::size_t>(int_end - start);
-    return MakeConst(Value::Int(i));
+    return nullptr;  // malformed or out of range: the legacy engine reports it
   }
 
   NodePtr CompileFunction() {
@@ -1470,10 +1525,10 @@ class ExprCompiler {
     SkipSpace();
     if (!Consume("(")) {
       if (name == "true" || name == "yes" || name == "on") {
-        return MakeConst(Value::Int(1));
+        return MakeConst(Operand::Int(1));
       }
       if (name == "false" || name == "no" || name == "off") {
-        return MakeConst(Value::Int(0));
+        return MakeConst(Operand::Int(0));
       }
       return nullptr;  // legacy reports `unexpected "name"`
     }
@@ -1511,20 +1566,18 @@ class ExprCompiler {
 // engine exactly: left before right, condition before both ternary arms,
 // truth-of-left before the right operand of && / ||, and operand type
 // errors after both operands are evaluated.
-Result EvalNode(Interp& interp, const ExprNode& node, Value* out) {
+Result EvalNode(Interp& interp, const ExprNode& node, Operand* out) {
   switch (node.kind) {
     case ExprNode::Kind::kConst:
       *out = node.constant;
       return Result::Ok();
     case ExprNode::Kind::kSubst: {
-      // `$name` operand: parse the scalar in place, no intermediate string.
+      // `$name` operand: read the variable's cached classification directly —
+      // a loop counter stays a long across iterations with no reparse.
       if (!node.force_string && node.segments.size() == 1 &&
           node.segments[0].kind == WordSegment::Kind::kVariable) {
-        if (const std::string* fast = interp.GetVarPtr(node.segments[0].text)) {
-          if (!ParseNumber(*fast, out)) {
-            *out = Value::Str(*fast);
-          }
-          return Result::Ok();
+        if (const Value* fast = interp.GetVarValuePtr(node.segments[0].text)) {
+          return OperandFromValue(*fast, out);
         }
       }
       std::string text;
@@ -1532,23 +1585,24 @@ Result EvalNode(Interp& interp, const ExprNode& node, Value* out) {
       if (r.code == Status::kError) {
         return r;
       }
-      if (node.force_string || !ParseNumber(text, out)) {
-        *out = Value::Str(std::move(text));
+      if (node.force_string) {
+        *out = Operand::Str(std::move(text));
+        return Result::Ok();
       }
-      return Result::Ok();
+      return OperandFromText(std::move(text), out);
     }
     case ExprNode::Kind::kUnary: {
-      Value v;
+      Operand v;
       Result r = EvalNode(interp, *node.children[0], &v);
       if (r.code == Status::kError) {
         return r;
       }
       switch (node.op) {
         case '-':
-          if (v.kind == Value::Kind::kInt) {
-            *out = Value::Int(-v.i);
-          } else if (v.kind == Value::Kind::kDouble) {
-            *out = Value::Double(-v.d);
+          if (v.kind == Operand::Kind::kInt) {
+            *out = Operand::Int(WrapNeg(v.i));
+          } else if (v.kind == Operand::Kind::kDouble) {
+            *out = Operand::Double(-v.d);
           } else {
             return Result::Error("can't use non-numeric string as operand of \"-\"");
           }
@@ -1565,21 +1619,21 @@ Result EvalNode(Interp& interp, const ExprNode& node, Value* out) {
           if (t.code == Status::kError) {
             return t;
           }
-          *out = Value::Int(truth ? 0 : 1);
+          *out = Operand::Int(truth ? 0 : 1);
           return Result::Ok();
         }
         case '~':
-          if (v.kind != Value::Kind::kInt) {
+          if (v.kind != Operand::Kind::kInt) {
             return Result::Error("can't use non-integer value as operand of \"~\"");
           }
-          *out = Value::Int(~v.i);
+          *out = Operand::Int(~v.i);
           return Result::Ok();
       }
       return Result::Error("syntax error in expression");  // unreachable
     }
     case ExprNode::Kind::kBinary: {
-      Value a;
-      Value b;
+      Operand a;
+      Operand b;
       Result r = EvalNode(interp, *node.children[0], &a);
       if (r.code == Status::kError) {
         return r;
@@ -1602,40 +1656,40 @@ Result EvalNode(Interp& interp, const ExprNode& node, Value* out) {
           }
           switch (node.bin) {
             case BinOp::kBitOr:
-              *out = Value::Int(x | y);
+              *out = Operand::Int(x | y);
               break;
             case BinOp::kBitXor:
-              *out = Value::Int(x ^ y);
+              *out = Operand::Int(x ^ y);
               break;
             case BinOp::kBitAnd:
-              *out = Value::Int(x & y);
+              *out = Operand::Int(x & y);
               break;
             case BinOp::kShl:
-              *out = Value::Int(x << y);
+              *out = Operand::Int(ShiftLeft(x, y));
               break;
             default:
-              *out = Value::Int(x >> y);
+              *out = Operand::Int(ShiftRight(x, y));
               break;
           }
           return Result::Ok();
         }
         case BinOp::kEq:
-          *out = Value::Int(Compare(a, b) == 0);
+          *out = Operand::Int(Compare(a, b) == 0);
           return Result::Ok();
         case BinOp::kNe:
-          *out = Value::Int(Compare(a, b) != 0);
+          *out = Operand::Int(Compare(a, b) != 0);
           return Result::Ok();
         case BinOp::kLt:
-          *out = Value::Int(Compare(a, b) < 0);
+          *out = Operand::Int(Compare(a, b) < 0);
           return Result::Ok();
         case BinOp::kGt:
-          *out = Value::Int(Compare(a, b) > 0);
+          *out = Operand::Int(Compare(a, b) > 0);
           return Result::Ok();
         case BinOp::kLe:
-          *out = Value::Int(Compare(a, b) <= 0);
+          *out = Operand::Int(Compare(a, b) <= 0);
           return Result::Ok();
         case BinOp::kGe:
-          *out = Value::Int(Compare(a, b) >= 0);
+          *out = Operand::Int(Compare(a, b) >= 0);
           return Result::Ok();
         case BinOp::kAdd:
           return Arith('+', a, b, out);
@@ -1652,7 +1706,7 @@ Result EvalNode(Interp& interp, const ExprNode& node, Value* out) {
     }
     case ExprNode::Kind::kAnd:
     case ExprNode::Kind::kOr: {
-      Value lhs;
+      Operand lhs;
       Result r = EvalNode(interp, *node.children[0], &lhs);
       if (r.code == Status::kError) {
         return r;
@@ -1662,7 +1716,7 @@ Result EvalNode(Interp& interp, const ExprNode& node, Value* out) {
       if (t.code == Status::kError) {
         return t;
       }
-      Value rhs;
+      Operand rhs;
       r = EvalNode(interp, *node.children[1], &rhs);
       if (r.code == Status::kError) {
         return r;
@@ -1674,11 +1728,11 @@ Result EvalNode(Interp& interp, const ExprNode& node, Value* out) {
       }
       bool combined =
           node.kind == ExprNode::Kind::kAnd ? (left && right) : (left || right);
-      *out = Value::Int(combined ? 1 : 0);
+      *out = Operand::Int(combined ? 1 : 0);
       return Result::Ok();
     }
     case ExprNode::Kind::kTernary: {
-      Value cv;
+      Operand cv;
       Result r = EvalNode(interp, *node.children[0], &cv);
       if (r.code == Status::kError) {
         return r;
@@ -1689,8 +1743,8 @@ Result EvalNode(Interp& interp, const ExprNode& node, Value* out) {
         return t;
       }
       // Both arms evaluate (matching the legacy engine) before one is picked.
-      Value a;
-      Value b;
+      Operand a;
+      Operand b;
       r = EvalNode(interp, *node.children[1], &a);
       if (r.code == Status::kError) {
         return r;
@@ -1703,10 +1757,10 @@ Result EvalNode(Interp& interp, const ExprNode& node, Value* out) {
       return Result::Ok();
     }
     case ExprNode::Kind::kFunc: {
-      std::vector<Value> args;
+      std::vector<Operand> args;
       args.reserve(node.children.size());
       for (const auto& child : node.children) {
-        Value v;
+        Operand v;
         Result r = EvalNode(interp, *child, &v);
         if (r.code == Status::kError) {
           return r;
@@ -1742,7 +1796,7 @@ std::shared_ptr<const ExprAst> CompileExprCached(std::unique_ptr<CompileCache>& 
   return compiled;
 }
 
-Result EvalAst(Interp& interp, const ExprAst& ast, Value* out) {
+Result EvalAst(Interp& interp, const ExprAst& ast, Operand* out) {
   if (ast.root == nullptr) {
     ExprParser parser(interp, ast.source);
     return parser.Run(out);
@@ -1751,7 +1805,7 @@ Result EvalAst(Interp& interp, const ExprAst& ast, Value* out) {
 }
 
 Result EvalExprValue(Interp& interp, std::unique_ptr<CompileCache>& cache_slot,
-                     std::string_view expression, Value* out) {
+                     std::string_view expression, Operand* out) {
   return EvalAst(interp, *CompileExprCached(cache_slot, expression), out);
 }
 
@@ -1759,12 +1813,12 @@ Result EvalExprValue(Interp& interp, std::unique_ptr<CompileCache>& cache_slot,
 // value. Numeric kinds short-circuit the string parse (the ToString round
 // trip reaches the same answer: "%g" output re-parses to the same double,
 // NaN/Inf spellings parse via strtod, and d != 0 matches strtod != 0).
-Result BooleanFromValue(const Value& v, bool* value) {
-  if (v.kind == Value::Kind::kInt) {
+Result BooleanFromValue(const Operand& v, bool* value) {
+  if (v.kind == Operand::Kind::kInt) {
     *value = v.i != 0;
     return Result::Ok();
   }
-  if (v.kind == Value::Kind::kDouble) {
+  if (v.kind == Operand::Kind::kDouble) {
     *value = v.d != 0.0;
     return Result::Ok();
   }
@@ -1789,9 +1843,14 @@ Result BooleanFromValue(const Value& v, bool* value) {
     *value = false;
     return Result::Ok();
   }
-  char* end = nullptr;
-  double d = std::strtod(text.c_str(), &end);
-  if (end != text.c_str() && *end == '\0') {
+  long i = 0;
+  double d = 0;
+  NumberKind kind = ClassifyNumber(text, &i, &d);
+  if (kind == NumberKind::kInt) {
+    *value = i != 0;
+    return Result::Ok();
+  }
+  if (kind == NumberKind::kDouble) {
     *value = d != 0.0;
     return Result::Ok();
   }
@@ -1801,7 +1860,7 @@ Result BooleanFromValue(const Value& v, bool* value) {
 }  // namespace
 
 Result Interp::EvalExpr(std::string_view expression) {
-  Value value;
+  Operand value;
   Result r = EvalExprValue(*this, expr_cache_, expression, &value);
   if (r.code == Status::kError) {
     return r;
@@ -1810,7 +1869,7 @@ Result Interp::EvalExpr(std::string_view expression) {
 }
 
 Result Interp::ExprBoolean(std::string_view expression, bool* value) {
-  Value v;
+  Operand v;
   Result r = EvalExprValue(*this, expr_cache_, expression, &v);
   if (r.code == Status::kError) {
     return r;
@@ -1823,7 +1882,7 @@ ExprHandle Interp::PrecompileExpr(std::string_view expression) {
 }
 
 Result Interp::ExprBooleanCompiled(const ExprHandle& expression, bool* value) {
-  Value v;
+  Operand v;
   Result r = EvalAst(*this, *static_cast<const ExprAst*>(expression.get()), &v);
   if (r.code == Status::kError) {
     return r;

@@ -287,8 +287,11 @@ bool GlobMatch(std::string_view pattern, std::string_view str) {
 struct Interp::Variable {
   enum class Kind { kScalar, kArray, kLink };
   Kind kind = Kind::kScalar;
-  std::string scalar;
-  std::map<std::string, std::string> array;
+  // Scalars and array elements hold Values, so numeric/list reps cached by
+  // one command (an `expr` operand classification, a `lindex` list parse)
+  // are still there for the next.
+  Value scalar;
+  std::map<std::string, Value> array;
   // For kLink: index of the target frame and the variable name there.
   std::size_t link_frame = 0;
   std::string link_name;
@@ -513,7 +516,7 @@ Interp::Variable* Interp::FindVar(const std::string& name) const {
   return FindVarInFrame(*frames_[active_frame_], base);
 }
 
-const std::string* Interp::GetVarPtr(const std::string& name) const {
+const Value* Interp::GetVarValuePtr(const std::string& name) const {
   if (name.find('(') != std::string::npos) {
     return nullptr;  // element syntax: full resolver
   }
@@ -537,9 +540,16 @@ const std::string* Interp::GetVarPtr(const std::string& name) const {
   return var->kind == Variable::Kind::kScalar ? &var->scalar : nullptr;
 }
 
-std::string* Interp::GetVarPtr(const std::string& name) {
-  return const_cast<std::string*>(
-      static_cast<const Interp*>(this)->GetVarPtr(name));
+Value* Interp::GetVarValuePtr(const std::string& name) {
+  // Safe: callers mutate through the Value API, which copies-on-write when
+  // the rep is shared (e.g. with an argv slot or a cached IR literal).
+  return const_cast<Value*>(
+      static_cast<const Interp*>(this)->GetVarValuePtr(name));
+}
+
+const std::string* Interp::GetVarPtr(const std::string& name) const {
+  const Value* value = GetVarValuePtr(name);
+  return value == nullptr ? nullptr : &value->String();
 }
 
 bool Interp::GetVar(const std::string& name, std::string* value) const {
@@ -564,17 +574,21 @@ bool Interp::GetVar(const std::string& name, std::string* value) const {
     if (eit == var.array.end()) {
       return false;
     }
-    *value = eit->second;
+    *value = eit->second.String();
     return true;
   }
   if (var.kind != Variable::Kind::kScalar) {
     return false;
   }
-  *value = var.scalar;
+  *value = var.scalar.String();
   return true;
 }
 
 Result Interp::SetVar(const std::string& name, std::string value) {
+  return SetVarValue(name, Value(std::move(value)));
+}
+
+Result Interp::SetVarValue(const std::string& name, Value value) {
   // Fast path: a plain name that is unset or already a scalar in the active
   // frame. Links, arrays, and element syntax take the full resolver below.
   if (name.find('(') == std::string::npos) {
@@ -582,7 +596,7 @@ Result Interp::SetVar(const std::string& name, std::string value) {
     Variable& var = emplaced.first->second;  // default-constructed = kScalar
     if (var.kind == Variable::Kind::kScalar) {
       var.scalar = std::move(value);
-      return Result::Ok(var.scalar);
+      return Result::Ok(var.scalar.String());
     }
   }
   ResolvedVar resolved;
@@ -598,21 +612,23 @@ Result Interp::SetVar(const std::string& name, std::string value) {
     var = &it->second;
   }
   if (resolved.is_element) {
-    if (var->kind == Variable::Kind::kScalar && var->scalar.empty() && var->array.empty()) {
+    if (var->kind == Variable::Kind::kScalar && var->scalar.String().empty() &&
+        var->array.empty()) {
       var->kind = Variable::Kind::kArray;
     }
     if (var->kind != Variable::Kind::kArray) {
       return Result::Error("can't set \"" + name + "\": variable isn't array");
     }
-    var->array[resolved.index] = std::move(value);
-    return Result::Ok(var->array[resolved.index]);
+    Value& element = var->array[resolved.index];
+    element = std::move(value);
+    return Result::Ok(element.String());
   }
   if (var->kind == Variable::Kind::kArray && !var->array.empty()) {
     return Result::Error("can't set \"" + name + "\": variable is array");
   }
   var->kind = Variable::Kind::kScalar;
   var->scalar = std::move(value);
-  return Result::Ok(var->scalar);
+  return Result::Ok(var->scalar.String());
 }
 
 bool Interp::UnsetVar(const std::string& name) {
@@ -665,13 +681,13 @@ bool Interp::GetGlobalVar(const std::string& name, std::string* value) const {
     if (it == var->array.end()) {
       return false;
     }
-    *value = it->second;
+    *value = it->second.String();
     return true;
   }
   if (var->kind != Variable::Kind::kScalar) {
     return false;
   }
-  *value = var->scalar;
+  *value = var->scalar.String();
   return true;
 }
 
@@ -1019,9 +1035,10 @@ Result Interp::ParseWord(std::string_view script, std::size_t* pos, std::string*
 
 Result Interp::ExecuteCompiled(const CompiledScript& script) {
   // argv vectors are pooled (stack-wise: nested evaluations acquire their
-  // own) and word strings assigned in place, so steady-state dispatch of a
-  // cached script reuses both the vector and the string buffers.
-  std::vector<std::string> argv;
+  // own). Literal and `$name` words land in their slot as a refcount bump;
+  // substitution programs build into the slot's string buffer, which is
+  // reused in the steady state while the slot's rep stays uniquely owned.
+  ValueVec argv;
   bool argv_acquired = false;
   Result last = Result::Ok();
   for (const CompiledCommand& command : script.commands) {
@@ -1051,21 +1068,24 @@ Result Interp::ExecuteCompiled(const CompiledScript& script) {
       if (w == argv.size()) {
         argv.emplace_back();
       }
-      std::string& slot = argv[w];
+      Value& slot = argv[w];
       if (word.literal) {
-        slot.assign(word.text);
+        slot = word.value;
         continue;
       }
       if (word.parse_error.empty() && word.segments.size() == 1 &&
           word.segments[0].kind == WordSegment::Kind::kVariable) {
-        // `$name` word: copy the scalar straight into the slot.
-        if (const std::string* fast = GetVarPtr(word.segments[0].text)) {
-          slot.assign(*fast);
+        // `$name` word: share the variable's rep, so typed reps a command
+        // computes through this slot (a list parse in `lindex $l $i`) are
+        // cached on the variable itself.
+        if (const Value* fast = GetVarValuePtr(word.segments[0].text)) {
+          slot = *fast;
           continue;
         }
       }
-      slot.clear();
-      Result r = EvalWordSegments(*this, word.segments, &slot);
+      std::string* buf = slot.MutableString();
+      buf->clear();
+      Result r = EvalWordSegments(*this, word.segments, buf);
       if (r.code == Status::kError) {
         last = std::move(r);
         failed = true;
@@ -1191,7 +1211,7 @@ Result Interp::CheckEvalBudget() {
   return Result::Ok();
 }
 
-void Interp::RecordErrorTrace(const std::vector<std::string>& argv, const Result& r) {
+void Interp::RecordErrorTrace(const ValueVec& argv, const Result& r) {
   // Maintain errorInfo like Tcl: a rolling trace of the failing commands.
   // A fresh error (no trace in flight) starts from the message — or from the
   // seed `error msg customInfo` planted — instead of appending to the stale
@@ -1203,10 +1223,10 @@ void Interp::RecordErrorTrace(const std::vector<std::string>& argv, const Result
   } else if (!GetGlobalVar("errorInfo", &info)) {
     info = r.value;
   }
-  std::string cmd = argv[0];
+  std::string cmd = argv[0].String();
   for (std::size_t a = 1; a < argv.size() && cmd.size() < 60; ++a) {
     cmd += ' ';
-    cmd += argv[a];
+    cmd += argv[a].String();
   }
   if (cmd.size() > 60) {
     cmd.resize(60);
@@ -1217,7 +1237,7 @@ void Interp::RecordErrorTrace(const std::vector<std::string>& argv, const Result
   SetGlobalVar("errorInfo", info);
 }
 
-Result Interp::InvokeCommand(const std::vector<std::string>& argv) {
+Result Interp::InvokeCommand(const ValueVec& argv) {
   ++command_count_;
   if ((max_steps_ != 0 || max_eval_ms_ > 0) && !ChargeEvalStep()) {
     Result guard = CheckEvalBudget();
@@ -1228,13 +1248,14 @@ Result Interp::InvokeCommand(const std::vector<std::string>& argv) {
     }
   }
   g_command_count.Increment();
+  const std::string& name = argv[0].String();
   // Per-command span: the name view stays valid for the whole invocation
   // (argv is alive until after the ScopedEvent destructor fires).
-  wobs::ScopedEvent obs_span("tcl", argv[0], &g_command_duration);
-  auto it = commands_.find(argv[0]);
+  wobs::ScopedEvent obs_span("tcl", name, &g_command_duration);
+  auto it = commands_.find(name);
   if (it == commands_.end()) {
     g_error_count.Increment();
-    Result r = Result::Error("invalid command name \"" + argv[0] + "\"");
+    Result r = Result::Error("invalid command name \"" + name + "\"");
     RecordErrorTrace(argv, r);
     return r;
   }
@@ -1255,8 +1276,7 @@ Result Interp::InvokeLiteral(const CompiledCommand& command) {
   return InvokeMemoized(command, command.literal_argv);
 }
 
-Result Interp::InvokeMemoized(const CompiledCommand& command,
-                              const std::vector<std::string>& argv) {
+Result Interp::InvokeMemoized(const CompiledCommand& command, const ValueVec& argv) {
   ++command_count_;
   if ((max_steps_ != 0 || max_eval_ms_ > 0) && !ChargeEvalStep()) {
     Result guard = CheckEvalBudget();
@@ -1267,12 +1287,12 @@ Result Interp::InvokeMemoized(const CompiledCommand& command,
     }
   }
   g_command_count.Increment();
-  wobs::ScopedEvent obs_span("tcl", argv[0], &g_command_duration);
+  wobs::ScopedEvent obs_span("tcl", argv[0].String(), &g_command_duration);
   if (command.resolved_owner != this || command.resolved_epoch != command_epoch_) {
-    auto it = commands_.find(argv[0]);
+    auto it = commands_.find(argv[0].String());
     if (it == commands_.end()) {
       g_error_count.Increment();
-      Result r = Result::Error("invalid command name \"" + argv[0] + "\"");
+      Result r = Result::Error("invalid command name \"" + argv[0].String() + "\"");
       RecordErrorTrace(argv, r);
       return r;
     }
@@ -1328,7 +1348,7 @@ Result InterpInternal::DefineProc(Interp& interp, const std::string& name,
     proc->formals.push_back(std::move(formal));
   }
   interp.procs_[name] = proc;
-  interp.RegisterCommand(name, [proc, name](Interp& in, const std::vector<std::string>& argv) {
+  interp.RegisterCommand(name, [proc, name](Interp& in, const ValueVec& argv) {
     // Bind actuals to formals in a fresh frame (recycled from the pool, so
     // steady-state calls reuse the var table's bucket array).
     std::unique_ptr<Interp::Frame> frame;
@@ -1357,7 +1377,8 @@ Result InterpInternal::DefineProc(Interp& interp, const std::string& name,
           spent->vars.size() <= proc->formals.size() + 4) {
         bool lean = true;
         for (const auto& entry : spent->vars) {
-          if (entry.second.scalar.capacity() > 4096 || !entry.second.array.empty()) {
+          if (entry.second.scalar.StringCapacity() > 4096 ||
+              entry.second.scalar.HasListRep() || !entry.second.array.empty()) {
             lean = false;
             break;
           }
@@ -1370,7 +1391,10 @@ Result InterpInternal::DefineProc(Interp& interp, const std::string& name,
       spent->formal_slots.clear();
       while (!spent->vars.empty()) {
         auto nh = spent->vars.extract(spent->vars.begin());
-        if (pool.nodes.size() < 64 && nh.mapped().scalar.capacity() <= 4096) {
+        if (pool.nodes.size() < 64 && nh.mapped().scalar.StringCapacity() <= 4096) {
+          // Pooled nodes must not pin value reps (a kept rep could be shared
+          // with cached IR or another variable).
+          nh.mapped().scalar = Value();
           nh.mapped().array.clear();
           pool.nodes.push_back(std::move(nh));
         }
@@ -1443,16 +1467,15 @@ Result InterpInternal::DefineProc(Interp& interp, const std::string& name,
       Interp::Variable& var = *var_ptr;
       var.kind = Interp::Variable::Kind::kScalar;
       if (formal.name == "args" && f + 1 == proc->formals.size()) {
-        std::vector<std::string> rest;
-        for (std::size_t a = actual; a < argv.size(); ++a) {
-          rest.push_back(argv[a]);
-        }
-        var.scalar = MergeList(rest);
+        // The rest of argv becomes a list value: the reps are shared and the
+        // list string only materializes if the proc treats $args as a string.
+        std::vector<Value> rest(argv.begin() + static_cast<long>(actual), argv.end());
+        var.scalar = Value::FromList(std::move(rest));
         actual = argv.size();
       } else if (actual < argv.size()) {
         var.scalar = argv[actual++];
       } else if (formal.has_default) {
-        var.scalar = formal.default_value;
+        var.scalar.SetString(formal.default_value);
       } else {
         recycle(std::move(frame));
         return Result::Error("no value given for parameter \"" + formal.name + "\" to \"" +
@@ -1494,17 +1517,14 @@ bool InterpInternal::ResolveLevel(Interp& interp, const std::string& spec, bool*
   long current = static_cast<long>(interp.active_frame_);
   long target = 0;
   if (!spec.empty() && spec[0] == '#') {
-    char* end = nullptr;
-    target = std::strtol(spec.c_str() + 1, &end, 10);
-    if (end == spec.c_str() + 1 || *end != '\0') {
+    if (!ParseInt(std::string_view(spec).substr(1), &target, nullptr)) {
       *error = "bad level \"" + spec + "\"";
       return false;
     }
   } else if (!spec.empty() &&
              std::isdigit(static_cast<unsigned char>(spec[0]))) {
-    char* end = nullptr;
-    long up = std::strtol(spec.c_str(), &end, 10);
-    if (*end != '\0') {
+    long up = 0;
+    if (!ParseInt(spec, &up, nullptr)) {
       *error = "bad level \"" + spec + "\"";
       return false;
     }

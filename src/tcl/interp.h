@@ -1,8 +1,10 @@
 // wtcl: a from-scratch implementation of the Tcl command language as described
 // in Ousterhout's "Tcl: An Embeddable Command Language" (USENIX 1990), at the
-// feature level Wafe (USENIX 1993) embeds: string-only values, procs, upvar /
-// uplevel / global scoping, associative arrays, an expr evaluator and a C++
-// embedding API for registering application commands.
+// feature level Wafe (USENIX 1993) embeds: procs, upvar / uplevel / global
+// scoping, associative arrays, an expr evaluator and a C++ embedding API for
+// registering application commands. Values keep Tcl's everything-is-a-string
+// semantics but carry cached numeric and list reps (src/tcl/value.h), so hot
+// loops do not reparse the same string per use.
 #ifndef SRC_TCL_INTERP_H_
 #define SRC_TCL_INTERP_H_
 
@@ -14,6 +16,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "src/tcl/value.h"
 
 namespace wtcl {
 
@@ -55,8 +59,10 @@ class CompileCache;
 using ExprHandle = std::shared_ptr<const void>;
 
 // An application command. `argv[0]` is the command name, exactly as in Tcl's
-// C interface; all arguments are fully substituted strings.
-using CommandFn = std::function<Result(Interp&, const std::vector<std::string>&)>;
+// C interface; all arguments are fully substituted. Arguments arrive as
+// Values: call `argv[i].String()` for the string rep, or the typed accessors
+// to reuse (and fill) the cached numeric/list reps.
+using CommandFn = std::function<Result(Interp&, const ValueVec&)>;
 
 // --- Tcl list utilities -----------------------------------------------------
 //
@@ -142,15 +148,23 @@ class Interp {
   // current frame, chasing scalar upvar links. Returns nullptr when the
   // name is unset, an array, or needs the full resolver — callers fall
   // back to GetVar. The pointer is invalidated by the next variable write
-  // or frame change, so it must not outlive the current command.
+  // or frame change, so it must not outlive the current command. The string
+  // overload materializes the slot's string rep.
   const std::string* GetVarPtr(const std::string& name) const;
 
-  // Mutable overload for in-place updates (incr): a write through the
-  // pointer must leave the value a well-formed scalar.
-  std::string* GetVarPtr(const std::string& name);
+  // Typed borrowed reads of a plain scalar, same resolution and lifetime
+  // rules. The mutable overload is for read-modify-write commands (incr):
+  // writes must go through the Value API (SetInt/SetString), which keeps the
+  // copy-on-write contract with argv slots that share the rep.
+  const Value* GetVarValuePtr(const std::string& name) const;
+  Value* GetVarValuePtr(const std::string& name);
 
   // Writes a variable in the current frame.
   Result SetVar(const std::string& name, std::string value);
+
+  // Typed write: the variable slot adopts `value` (rep shared, caches and
+  // all), so e.g. a list rep cached on a loop variable survives the store.
+  Result SetVarValue(const std::string& name, Value value);
 
   // Removes a variable (whole array if `name` is an array name).
   bool UnsetVar(const std::string& name);
@@ -239,7 +253,7 @@ class Interp {
   struct Proc;
 
   Result EvalInFrame(std::string_view script, std::size_t frame_index);
-  Result InvokeCommand(const std::vector<std::string>& argv);
+  Result InvokeCommand(const ValueVec& argv);
 
   // Dispatch of a fully-literal compiled command, memoizing the command
   // lookup in the IR (revalidated against command_epoch_).
@@ -247,8 +261,7 @@ class Interp {
 
   // Same memoized dispatch for an assembled argv whose name word is a
   // literal (argv[0] is fixed for the life of the IR).
-  Result InvokeMemoized(const CompiledCommand& command,
-                        const std::vector<std::string>& argv);
+  Result InvokeMemoized(const CompiledCommand& command, const ValueVec& argv);
 
   // Runs the compiled IR: materializes each command's argv (running word
   // substitution programs) and dispatches through InvokeCommand.
@@ -274,7 +287,7 @@ class Interp {
   Result CheckEvalBudget();
 
   // Appends one "while executing" level to the errorInfo trace.
-  void RecordErrorTrace(const std::vector<std::string>& argv, const Result& r);
+  void RecordErrorTrace(const ValueVec& argv, const Result& r);
 
   // Parses one word starting at `pos`; appends the produced word (or words,
   // for a future expansion syntax) to `out`. Used by the script parser.
@@ -310,7 +323,7 @@ class Interp {
   // their word strings' buffers) and spent proc frames (with their var
   // tables' bucket arrays). Both are used stack-wise, so a plain vector of
   // spares is enough.
-  std::vector<std::vector<std::string>> argv_pool_;
+  std::vector<ValueVec> argv_pool_;
   std::vector<std::unique_ptr<Frame>> frame_pool_;
   // Spare var-table nodes harvested from spent proc frames; rebinding a
   // formal reuses a node (and its string's buffer) instead of allocating.
@@ -344,7 +357,7 @@ void RegisterIoBuiltins(Interp& interp);
 
 // printf-style formatting for the `format` command; returns an error result
 // on a malformed specifier.
-Result FormatCommandString(const std::vector<std::string>& argv);
+Result FormatCommandString(const ValueVec& argv);
 
 }  // namespace wtcl
 

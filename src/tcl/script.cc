@@ -306,6 +306,7 @@ CompiledWord CompileWord(std::string_view script, std::size_t* pos) {
     } else if (segments.size() == 1 && segments[0].kind == WordSegment::Kind::kLiteral) {
       word.literal = true;
       word.text = std::move(segments[0].text);
+      word.value = Value(word.text);
     } else {
       word.literal = false;
       word.segments = std::move(segments);
@@ -358,6 +359,7 @@ CompiledWord CompileWord(std::string_view script, std::size_t* pos) {
     }
     word.literal = true;
     word.text = std::move(pending);
+    word.value = Value(word.text);
     *pos = i;
     return word;
   }
@@ -494,7 +496,7 @@ ScriptHandle CompileScript(std::string_view source) {
       if (all_literal) {
         command.literal_argv.reserve(command.words.size());
         for (const CompiledWord& word : command.words) {
-          command.literal_argv.push_back(word.text);
+          command.literal_argv.push_back(word.value);
         }
       }
       compiled->commands.push_back(std::move(command));

@@ -48,6 +48,10 @@ struct CompiledWord {
   // or quoted words without substitutions).
   bool literal = true;
   std::string text;                   // the literal value when `literal`
+  // The literal as a prebuilt Value sharing one rep across every execution
+  // of this IR, so numeric/list reps computed by one run are cached for the
+  // next (the IR itself stays immutable — shimmer state lives in the rep).
+  Value value;
   std::vector<WordSegment> segments;  // the substitution program otherwise
   // Structural parse error discovered inside this word ("missing \"",
   // "missing close-bracket", ...). Fresh parsing performs the preceding
@@ -62,7 +66,7 @@ struct CompiledCommand {
   std::vector<CompiledWord> words;
   // Prebuilt argv when every word is a fully-resolved literal: the executor
   // dispatches straight from the IR without assembling argv per evaluation.
-  std::vector<std::string> literal_argv;
+  ValueVec literal_argv;
   int line = 1;  // 1-based source line of the command within its script
   // Memoized command resolution for the literal-argv dispatch path: valid
   // while `resolved_owner` is the dispatching interp and its command table

@@ -1,0 +1,325 @@
+#include "src/tcl/value.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wtcl {
+
+// List syntax lives in interp.cc (shared with the public SplitList API);
+// declared here rather than through interp.h to keep the headers acyclic.
+bool SplitList(std::string_view list, std::vector<std::string>* out);
+std::string QuoteListElement(std::string_view element);
+
+namespace {
+
+bool IsTclSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' ||
+         c == '\f';
+}
+
+std::string_view TrimWhitespace(std::string_view text) {
+  while (!text.empty() && IsTclSpace(text.front())) text.remove_prefix(1);
+  while (!text.empty() && IsTclSpace(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+bool IsAsciiDigit(char c) { return c >= '0' && c <= '9'; }
+
+// Optional sign followed by one or more digits — the shape that must parse as
+// an integer or be a hard error, never fall through to the double parser.
+bool IsDigitRun(std::string_view text) {
+  if (!text.empty() && (text.front() == '+' || text.front() == '-')) {
+    text.remove_prefix(1);
+  }
+  if (text.empty()) return false;
+  for (char c : text) {
+    if (!IsAsciiDigit(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+NumberKind ClassifyNumber(std::string_view text, long* int_out,
+                          double* double_out) {
+  std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) return NumberKind::kNotNumeric;
+  // strtol/strtod want a terminator; numbers are short, so the copy is cheap
+  // and consumers cache the classification anyway.
+  std::string buf(trimmed);
+  const char* start = buf.c_str();
+  char* end = nullptr;
+  errno = 0;
+  long int_value = std::strtol(start, &end, 0);
+  if (end != start && *end == '\0') {
+    if (errno == ERANGE) return NumberKind::kOverflow;
+    if (int_out) *int_out = int_value;
+    return NumberKind::kInt;
+  }
+  // A digit run that the integer parser rejected (or stopped short in) is an
+  // invalid octal like "08" — a hard error, not the double 8.0.
+  if (IsDigitRun(trimmed)) return NumberKind::kBadInteger;
+  errno = 0;
+  char* dend = nullptr;
+  double double_value = std::strtod(start, &dend);
+  if (dend != start && *dend == '\0' && errno != ERANGE) {
+    if (double_out) *double_out = double_value;
+    return NumberKind::kDouble;
+  }
+  return NumberKind::kNotNumeric;
+}
+
+std::string IntegerParseError(std::string_view text, NumberKind kind) {
+  if (kind == NumberKind::kOverflow) {
+    return "integer value too large to represent \"" + std::string(text) +
+           "\"";
+  }
+  return "expected integer but got \"" + std::string(text) + "\"";
+}
+
+std::string DoubleParseError(std::string_view text) {
+  return "expected floating-point number but got \"" + std::string(text) +
+         "\"";
+}
+
+bool ParseInt(std::string_view text, long* out, std::string* error) {
+  long value = 0;
+  NumberKind kind = ClassifyNumber(text, &value, nullptr);
+  if (kind == NumberKind::kInt) {
+    *out = value;
+    return true;
+  }
+  if (error) *error = IntegerParseError(text, kind);
+  return false;
+}
+
+bool ParseDouble(std::string_view text, double* out, std::string* error) {
+  std::string_view trimmed = TrimWhitespace(text);
+  if (!trimmed.empty()) {
+    std::string buf(trimmed);
+    const char* start = buf.c_str();
+    char* end = nullptr;
+    double value = std::strtod(start, &end);
+    if (end != start && *end == '\0') {
+      *out = value;
+      return true;
+    }
+  }
+  if (error) *error = DoubleParseError(text);
+  return false;
+}
+
+NumberKind ScanNumberPrefix(const char* text, std::size_t* pos, long* int_out,
+                            double* double_out) {
+  const char* start = text + *pos;
+  char* iend = nullptr;
+  errno = 0;
+  long int_value = std::strtol(start, &iend, 0);
+  int int_errno = errno;
+  char* dend = nullptr;
+  double double_value = std::strtod(start, &dend);
+  if (dend > iend) {
+    std::string_view token(start, static_cast<std::size_t>(dend - start));
+    *pos = static_cast<std::size_t>(dend - text);
+    // "08" scans further as a double than as an integer; that digit run is a
+    // malformed integer, not 8.0.
+    if (IsDigitRun(token)) return NumberKind::kBadInteger;
+    if (double_out) *double_out = double_value;
+    return NumberKind::kDouble;
+  }
+  if (iend == start) return NumberKind::kNotNumeric;
+  *pos = static_cast<std::size_t>(iend - text);
+  if (int_errno == ERANGE) return NumberKind::kOverflow;
+  if (int_out) *int_out = int_value;
+  return NumberKind::kInt;
+}
+
+bool ScanIntPrefix(const std::string& text, std::size_t* pos, int base,
+                   long* out) {
+  const char* start = text.c_str() + *pos;
+  char* end = nullptr;
+  long value = std::strtol(start, &end, base);
+  if (end == start) return false;
+  *out = value;
+  *pos = static_cast<std::size_t>(end - text.c_str());
+  return true;
+}
+
+bool ScanDoublePrefix(const std::string& text, std::size_t* pos, double* out) {
+  const char* start = text.c_str() + *pos;
+  char* end = nullptr;
+  double value = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = value;
+  *pos = static_cast<std::size_t>(end - text.c_str());
+  return true;
+}
+
+bool ParseIndex(std::string_view text, std::size_t length, long* out) {
+  std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed == "end") {
+    *out = static_cast<long>(length) - 1;
+    return true;
+  }
+  if (trimmed.size() > 4 && trimmed.substr(0, 4) == "end-") {
+    long offset = 0;
+    if (!ParseInt(trimmed.substr(4), &offset, nullptr)) return false;
+    long result = 0;
+    if (__builtin_sub_overflow(static_cast<long>(length) - 1, offset,
+                               &result)) {
+      return false;
+    }
+    *out = result;
+    return true;
+  }
+  return ParseInt(trimmed, out, nullptr);
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  std::string text(buf);
+  // Mirror Tcl: a double must not read back as an integer ("2" -> "2.0"),
+  // but exponents, inf, and nan are left alone.
+  if (text.find_first_of(".eEnN") == std::string::npos) text += ".0";
+  return text;
+}
+
+Value Value::FromInt(long v) {
+  Value value;
+  value.rep_ = std::make_shared<Rep>();
+  value.rep_->has_string = false;
+  value.rep_->num = NumberKind::kInt;
+  value.rep_->int_value = v;
+  return value;
+}
+
+Value Value::FromDouble(double v) {
+  Value value;
+  value.rep_ = std::make_shared<Rep>();
+  value.rep_->has_string = false;
+  value.rep_->num = NumberKind::kDouble;
+  value.rep_->double_value = v;
+  return value;
+}
+
+Value Value::FromList(std::vector<Value> elements) {
+  Value value;
+  value.rep_ = std::make_shared<Rep>();
+  value.rep_->has_string = false;
+  value.rep_->list_parsed = true;
+  value.rep_->list =
+      std::make_shared<const std::vector<Value>>(std::move(elements));
+  return value;
+}
+
+const std::string& Value::EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+void Value::MaterializeString() const {
+  const Rep& rep = *rep_;
+  if (rep.num == NumberKind::kInt) {
+    rep.str = std::to_string(rep.int_value);
+  } else if (rep.num == NumberKind::kDouble) {
+    rep.str = FormatDouble(rep.double_value);
+  } else if (rep.list) {
+    std::string joined;
+    bool first = true;
+    for (const Value& element : *rep.list) {
+      if (!first) joined += ' ';
+      first = false;
+      joined += QuoteListElement(element.String());
+    }
+    rep.str = std::move(joined);
+  } else {
+    rep.str.clear();
+  }
+  rep.has_string = true;
+}
+
+NumberKind Value::ClassifySlow() const {
+  const std::string& text = String();
+  rep_->num =
+      ClassifyNumber(text, &rep_->int_value, &rep_->double_value);
+  return rep_->num;
+}
+
+bool Value::GetDouble(double* out) const {
+  switch (Classify()) {
+    case NumberKind::kInt:
+      *out = static_cast<double>(rep_->int_value);
+      return true;
+    case NumberKind::kDouble:
+      *out = rep_->double_value;
+      return true;
+    default:
+      return false;
+  }
+}
+
+const std::vector<Value>* Value::GetList() const {
+  if (!rep_) {
+    static const std::vector<Value> kEmptyList;
+    return &kEmptyList;
+  }
+  if (!rep_->list_parsed) {
+    rep_->list_parsed = true;
+    std::vector<std::string> elements;
+    if (SplitList(String(), &elements)) {
+      auto parsed = std::make_shared<std::vector<Value>>();
+      parsed->reserve(elements.size());
+      for (std::string& element : elements) {
+        parsed->emplace_back(std::move(element));
+      }
+      rep_->list = std::move(parsed);
+    }
+  }
+  return rep_->list ? rep_->list.get() : nullptr;
+}
+
+void Value::SetString(std::string s) {
+  if (rep_ && rep_.use_count() == 1) {
+    Rep& rep = *rep_;
+    rep.str = std::move(s);
+    rep.has_string = true;
+    rep.list_parsed = false;
+    rep.list.reset();
+    rep.num = NumberKind::kUnparsed;
+    return;
+  }
+  rep_ = std::make_shared<Rep>(std::move(s));
+}
+
+void Value::SetInt(long v) {
+  if (rep_ && rep_.use_count() == 1) {
+    Rep& rep = *rep_;
+    rep.has_string = false;
+    rep.list_parsed = false;
+    rep.list.reset();
+    rep.num = NumberKind::kInt;
+    rep.int_value = v;
+    return;
+  }
+  rep_ = std::make_shared<Rep>();
+  rep_->has_string = false;
+  rep_->num = NumberKind::kInt;
+  rep_->int_value = v;
+}
+
+std::string* Value::MutableString() {
+  if (!rep_ || rep_.use_count() != 1) {
+    rep_ = std::make_shared<Rep>();
+  } else {
+    Rep& rep = *rep_;
+    rep.list_parsed = false;
+    rep.list.reset();
+    rep.num = NumberKind::kUnparsed;
+  }
+  rep_->has_string = true;
+  return &rep_->str;
+}
+
+}  // namespace wtcl

@@ -1,0 +1,171 @@
+#ifndef WAFE_TCL_VALUE_H_
+#define WAFE_TCL_VALUE_H_
+
+// Dual-representation Tcl values (Tcl_Obj-style "shimmering").
+//
+// A Value is a refcounted handle to a canonical string plus lazily computed,
+// cached internal representations: a numeric classification (long / double)
+// and a parsed list.  Reps are filled on first use and retained until the
+// logical value changes, so hot loops (`lindex $l $i`, `incr`, expr operands)
+// stop reparsing the same string per use.  Logical mutation goes through
+// SetString/SetInt/MutableString, which update a uniquely owned rep in place
+// and copy-on-write a shared one; the lazy caches themselves may be filled on
+// a shared rep (the interpreter is single-threaded), which is what makes a
+// list parse triggered through an argv slot stick to the variable that the
+// slot was copied from.
+//
+// This header also centralizes numeric parsing for the whole interpreter:
+// ClassifyNumber / ParseInt / ParseDouble / ParseIndex and the prefix
+// scanners are the single place where overflow (ERANGE), octal/hex prefixes,
+// surrounding whitespace, and `end-N` index semantics are decided.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wtcl {
+
+// Result of classifying a whole string as a number, Tcl-style: base-0
+// integers (0x hex, leading-0 octal) tried first, then doubles.  Surrounding
+// ASCII whitespace is accepted.  The two failure kinds beyond "not a number"
+// are deliberate: an all-digit token that fails integer parsing (an invalid
+// octal like "08") and an integer that overflows long must both become hard
+// errors at the consumer, never a silent double or a clamped LONG_MAX.
+enum class NumberKind : unsigned char {
+  kUnparsed = 0,  // internal sentinel: classification not yet attempted
+  kInt,
+  kDouble,
+  kNotNumeric,
+  kBadInteger,  // digit-run that fails integer parsing, e.g. "08", "0778"
+  kOverflow,    // integer syntax but outside [LONG_MIN, LONG_MAX]
+};
+
+// Classifies `text` as a whole; on kInt/kDouble the corresponding out
+// parameter (when non-null) receives the parsed value.
+NumberKind ClassifyNumber(std::string_view text, long* int_out,
+                          double* double_out);
+
+// Strict integer parse: true only for kInt.  On failure, when `error` is
+// non-null it receives the canonical message ("expected integer but got ..."
+// or "integer value too large to represent ..." for overflow).
+bool ParseInt(std::string_view text, long* out, std::string* error);
+
+// Lenient double parse (Tcl double semantics): accepts anything strtod
+// consumes entirely, including values that overflow long ("9e19" written as
+// twenty digits) and leading-zero digit runs ("08").  On failure fills
+// "expected floating-point number but got ...".
+bool ParseDouble(std::string_view text, double* out, std::string* error);
+
+// The canonical error strings for a failed integer classification, shared by
+// every consumer so messages stay uniform.
+std::string IntegerParseError(std::string_view text, NumberKind kind);
+std::string DoubleParseError(std::string_view text);
+
+// Scans the longest number token at text[*pos] (expr tokenizer); `text` must
+// be NUL-terminated storage (std::string data).  On
+// kInt/kDouble/kOverflow/kBadInteger, *pos is advanced past the token so the
+// caller can slice it for error messages; on kNotNumeric *pos is untouched.
+NumberKind ScanNumberPrefix(const char* text, std::size_t* pos, long* int_out,
+                            double* double_out);
+
+// Fixed-base prefix scans for `scan` %d/%x/%o and %f/%e/%g: sscanf-style
+// lenient (overflow clamps, as C scanning does).  Advance *pos on success.
+bool ScanIntPrefix(const std::string& text, std::size_t* pos, int base,
+                   long* out);
+bool ScanDoublePrefix(const std::string& text, std::size_t* pos, double* out);
+
+// List index: "N" (base-0 integer), "end", or "end-N".  `length` is the list
+// length; "end" maps to length-1.  The end-N subtraction is overflow-checked;
+// false means the index was malformed or the arithmetic overflowed.
+bool ParseIndex(std::string_view text, std::size_t length, long* out);
+
+// %g with a ".0" suffix when the result would otherwise read as an integer —
+// the one true double-to-string used by expr results and double Values.
+std::string FormatDouble(double value);
+
+class Value {
+ public:
+  Value() = default;  // empty string; allocates nothing
+  Value(std::string s) : rep_(std::make_shared<Rep>(std::move(s))) {}
+  Value(std::string_view s) : Value(std::string(s)) {}
+  Value(const char* s) : Value(std::string(s)) {}
+
+  static Value FromInt(long v);
+  static Value FromDouble(double v);
+  // Takes ownership of the elements; the string rep (MergeList formatting) is
+  // materialized only if someone asks for it.
+  static Value FromList(std::vector<Value> elements);
+
+  // The canonical string rep, materialized on demand.  The reference is valid
+  // while this Value (or any sharer of its rep) is alive and unmutated.
+  const std::string& String() const {
+    if (!rep_) return EmptyString();
+    if (!rep_->has_string) MaterializeString();
+    return rep_->str;
+  }
+
+  // Cached whole-string classification (never kUnparsed).
+  NumberKind Classify() const {
+    if (!rep_) return NumberKind::kNotNumeric;
+    if (rep_->num != NumberKind::kUnparsed) return rep_->num;
+    return ClassifySlow();
+  }
+
+  // true iff the value is a well-formed integer; fills *out.
+  bool GetInt(long* out) const {
+    if (Classify() != NumberKind::kInt) return false;
+    *out = rep_->int_value;
+    return true;
+  }
+
+  // true iff the value is numeric (int or double); fills *out.
+  bool GetDouble(double* out) const;
+
+  // The cached list rep, parsing on first use.  Returns nullptr when the
+  // string is not a well-formed list (unmatched brace); an empty string is an
+  // empty list.  The pointer is valid under the same rules as String().
+  const std::vector<Value>* GetList() const;
+
+  // Logical mutation: in place when the rep is uniquely owned, COW otherwise.
+  void SetString(std::string s);
+  void SetInt(long v);
+
+  // Returns this value's string buffer for the caller to overwrite (contents
+  // unspecified — clear before appending).  Reuses a uniquely owned rep's
+  // capacity; all cached reps are invalidated.
+  std::string* MutableString();
+
+  // Pooling probes (frame-recycle leanness checks).
+  bool HasListRep() const { return rep_ && rep_->list != nullptr; }
+  std::size_t StringCapacity() const { return rep_ ? rep_->str.capacity() : 0; }
+
+ private:
+  struct Rep {
+    Rep() = default;
+    explicit Rep(std::string s) : str(std::move(s)) {}
+    // All fields are mutable-by-convention caches except the logical value
+    // itself; they are only rebuilt, never logically changed, through a
+    // shared pointer (single-threaded).
+    mutable std::string str;
+    mutable bool has_string = true;
+    mutable bool list_parsed = false;
+    mutable NumberKind num = NumberKind::kUnparsed;
+    mutable long int_value = 0;
+    mutable double double_value = 0.0;
+    mutable std::shared_ptr<const std::vector<Value>> list;
+  };
+
+  static const std::string& EmptyString();
+  void MaterializeString() const;
+  NumberKind ClassifySlow() const;
+
+  std::shared_ptr<Rep> rep_;
+};
+
+using ValueVec = std::vector<Value>;
+
+}  // namespace wtcl
+
+#endif  // WAFE_TCL_VALUE_H_

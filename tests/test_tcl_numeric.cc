@@ -1,0 +1,346 @@
+// Numeric edge-case corpus for the centralized number parser and the typed
+// (dual-rep) value layer: overflow is a hard error rather than UB or a
+// silent clamp, invalid octals like "08" never leak through as doubles,
+// `end-N` index arithmetic is overflow-checked, and shimmering between
+// string / int / double / list reps is observationally invisible — including
+// under the compile caches, which must never pin stale numeric state.
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tcl/interp.h"
+#include "src/tcl/value.h"
+
+namespace wtcl {
+namespace {
+
+std::string Eval(Interp& interp, const std::string& script) {
+  Result r = interp.Eval(script);
+  EXPECT_EQ(r.code, Status::kOk) << script << " -> " << r.value;
+  return r.value;
+}
+
+std::string EvalError(Interp& interp, const std::string& script) {
+  Result r = interp.Eval(script);
+  EXPECT_EQ(r.code, Status::kError) << script << " -> " << r.value;
+  return r.value;
+}
+
+// --- incr: overflow is detected, not wrapped -------------------------------
+
+TEST(TclNumeric, IncrOverflowAtLongMaxIsError) {
+  Interp interp;
+  Eval(interp, "set x " + std::to_string(LONG_MAX));
+  std::string error = EvalError(interp, "incr x");
+  EXPECT_NE(error.find("integer overflow in incr"), std::string::npos) << error;
+  // The variable is untouched by the failed incr.
+  EXPECT_EQ(Eval(interp, "set x"), std::to_string(LONG_MAX));
+}
+
+TEST(TclNumeric, IncrUnderflowAtLongMinIsError) {
+  Interp interp;
+  Eval(interp, "set x " + std::to_string(LONG_MIN));
+  std::string error = EvalError(interp, "incr x -1");
+  EXPECT_NE(error.find("integer overflow in incr"), std::string::npos) << error;
+}
+
+TEST(TclNumeric, IncrRejectsOverflowingLiteral) {
+  Interp interp;
+  Eval(interp, "set x 1");
+  // ERANGE used to be ignored, silently adding a clamped LONG_MAX.
+  std::string error = EvalError(interp, "incr x 99999999999999999999");
+  EXPECT_NE(error.find("integer value too large to represent"),
+            std::string::npos)
+      << error;
+  std::string error2 = EvalError(interp, "incr x nonsense");
+  EXPECT_NE(error2.find("expected integer but got"), std::string::npos)
+      << error2;
+}
+
+TEST(TclNumeric, IncrAcceptsHexOctalAndWhitespace) {
+  Interp interp;
+  Eval(interp, "set x 0");
+  EXPECT_EQ(Eval(interp, "incr x 0x10"), "16");
+  EXPECT_EQ(Eval(interp, "incr x 010"), "24");
+  EXPECT_EQ(Eval(interp, "incr x \" 6 \""), "30");
+}
+
+// --- expr: "08"/"09" are malformed integers, not the doubles 8.0/9.0 -------
+
+TEST(TclNumeric, ExprBadOctalLiteralIsHardError) {
+  Interp interp;
+  for (const char* script :
+       {"expr 08", "expr 09", "expr {08 + 1}", "expr {1 + 089}"}) {
+    std::string error = EvalError(interp, script);
+    EXPECT_NE(error.find("expected integer but got"), std::string::npos)
+        << script << " -> " << error;
+  }
+}
+
+TEST(TclNumeric, ExprBadOctalThroughVariableIsHardError) {
+  Interp interp;
+  Eval(interp, "set v 09");
+  std::string error = EvalError(interp, "expr {$v + 1}");
+  EXPECT_NE(error.find("expected integer but got \"09\""), std::string::npos)
+      << error;
+}
+
+TEST(TclNumeric, ExprOverflowingIntegerLiteralIsHardError) {
+  Interp interp;
+  std::string error = EvalError(interp, "expr {99999999999999999999 + 1}");
+  EXPECT_NE(error.find("integer value too large to represent"),
+            std::string::npos)
+      << error;
+  // Written as a double it is fine — doubles absorb the magnitude.
+  EXPECT_EQ(Eval(interp, "expr {1e19 > 0}"), "1");
+}
+
+TEST(TclNumeric, ExprValidOctalAndHexStillWork) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "expr {010 + 0}"), "8");
+  EXPECT_EQ(Eval(interp, "expr {0x1f + 1}"), "32");
+  EXPECT_EQ(Eval(interp, "expr {07 + 01}"), "8");
+}
+
+TEST(TclNumeric, ExprDivisionOverflowDoesNotTrap) {
+  Interp interp;
+  // LONG_MIN / -1 and LONG_MIN % -1 are the classic SIGFPE traps. The
+  // literal "-9223372036854775808" is unary minus on an overflowing
+  // positive constant (a hard error, as in classic Tcl), so feed LONG_MIN
+  // through a variable, where the sign is part of the integer parse.
+  Eval(interp, "set m " + std::to_string(LONG_MIN));
+  EXPECT_EQ(Eval(interp, "expr {$m % -1}"), "0");
+  Result r = interp.Eval("expr {$m / -1}");
+  EXPECT_EQ(r.code, Status::kOk) << r.value;
+}
+
+// --- lsort -integer / -real: invalid input errors instead of sorting as 0 --
+
+TEST(TclNumeric, LsortIntegerErrorsOnNonNumericElement) {
+  Interp interp;
+  std::string error = EvalError(interp, "lsort -integer {3 apple 1}");
+  EXPECT_NE(error.find("expected integer but got \"apple\""), std::string::npos)
+      << error;
+}
+
+TEST(TclNumeric, LsortIntegerSortsNumerically) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "lsort -integer {10 9 100}"), "9 10 100");
+  EXPECT_EQ(Eval(interp, "lsort -integer {0x10 9 010}"), "010 9 0x10");
+}
+
+TEST(TclNumeric, LsortRealErrorsOnNonNumericElement) {
+  Interp interp;
+  std::string error = EvalError(interp, "lsort -real {1.5 pear}");
+  EXPECT_NE(error.find("expected floating-point number but got \"pear\""),
+            std::string::npos)
+      << error;
+  EXPECT_EQ(Eval(interp, "lsort -real {2.5 -1 10.25 3}"), "-1 2.5 3 10.25");
+}
+
+// --- list indices: end-N semantics and overflow ---------------------------
+
+TEST(TclNumeric, ListIndexEndForms) {
+  Interp interp;
+  Eval(interp, "set l {a b c d}");
+  EXPECT_EQ(Eval(interp, "lindex $l end"), "d");
+  EXPECT_EQ(Eval(interp, "lindex $l end-2"), "b");
+  EXPECT_EQ(Eval(interp, "lrange $l end-2 end"), "b c d");
+  EXPECT_EQ(Eval(interp, "lindex $l 0x2"), "c");
+}
+
+TEST(TclNumeric, ListIndexEndMinusOverflowIsError) {
+  Interp interp;
+  Eval(interp, "set l {a b c}");
+  // end - LONG_MIN overflows the signed subtraction; must error, not wrap
+  // around into a bogus in-range index.
+  std::string error =
+      EvalError(interp, "lindex $l end-" + std::to_string(LONG_MIN));
+  EXPECT_NE(error.find("expected integer but got"), std::string::npos)
+      << error;
+  // A huge-but-valid offset is simply out of range: empty result.
+  EXPECT_EQ(Eval(interp, "lindex $l end-1000000"), "");
+}
+
+// --- the central classifier, exercised directly ---------------------------
+
+TEST(TclNumeric, ClassifyNumberKinds) {
+  long i = 0;
+  double d = 0;
+  EXPECT_EQ(ClassifyNumber("42", &i, &d), NumberKind::kInt);
+  EXPECT_EQ(i, 42);
+  EXPECT_EQ(ClassifyNumber(" -0x2A\t", &i, &d), NumberKind::kInt);
+  EXPECT_EQ(i, -42);
+  EXPECT_EQ(ClassifyNumber("017", &i, &d), NumberKind::kInt);
+  EXPECT_EQ(i, 15);
+  EXPECT_EQ(ClassifyNumber("3.5", &i, &d), NumberKind::kDouble);
+  EXPECT_EQ(d, 3.5);
+  EXPECT_EQ(ClassifyNumber("1e3", &i, &d), NumberKind::kDouble);
+  EXPECT_EQ(ClassifyNumber("08", &i, &d), NumberKind::kBadInteger);
+  EXPECT_EQ(ClassifyNumber("-09", &i, &d), NumberKind::kBadInteger);
+  EXPECT_EQ(ClassifyNumber("99999999999999999999", &i, &d),
+            NumberKind::kOverflow);
+  EXPECT_EQ(ClassifyNumber("", &i, &d), NumberKind::kNotNumeric);
+  EXPECT_EQ(ClassifyNumber("12ab", &i, &d), NumberKind::kNotNumeric);
+  EXPECT_EQ(ClassifyNumber("1.5.2", &i, &d), NumberKind::kNotNumeric);
+}
+
+TEST(TclNumeric, ParseIndexForms) {
+  long out = 0;
+  EXPECT_TRUE(ParseIndex("2", 5, &out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(ParseIndex("end", 5, &out));
+  EXPECT_EQ(out, 4);
+  EXPECT_TRUE(ParseIndex("end-3", 5, &out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(ParseIndex("end-" + std::to_string(LONG_MIN), 5, &out));
+  EXPECT_FALSE(ParseIndex("end-x", 5, &out));
+  EXPECT_FALSE(ParseIndex("2.5", 5, &out));
+}
+
+// --- shimmering: rep transitions preserve the observable value -------------
+
+TEST(TclNumeric, ShimmerRoundTrips) {
+  Value v = Value::FromInt(42);
+  EXPECT_EQ(v.String(), "42");
+  long i = 0;
+  EXPECT_TRUE(v.GetInt(&i));
+  EXPECT_EQ(i, 42);
+
+  // string -> list -> string: quoting survives.
+  Value list("a {b c} d");
+  const std::vector<Value>* elements = list.GetList();
+  ASSERT_NE(elements, nullptr);
+  ASSERT_EQ(elements->size(), 3u);
+  EXPECT_EQ((*elements)[1].String(), "b c");
+  EXPECT_EQ(list.String(), "a {b c} d");
+
+  // list-built value materializes its string rep lazily and re-quotes.
+  Value built = Value::FromList({Value("x"), Value("y z")});
+  EXPECT_EQ(built.String(), "x {y z}");
+
+  // double rep formats through FormatDouble (integer-valued -> ".0").
+  Value d = Value::FromDouble(2.0);
+  EXPECT_EQ(d.String(), "2.0");
+
+  // Mutation through a shared rep copies instead of clobbering the sharer.
+  Value a("5");
+  Value b = a;
+  b.SetInt(7);
+  EXPECT_EQ(a.String(), "5");
+  EXPECT_EQ(b.String(), "7");
+
+  // Malformed list: classification caches the failure, string is intact.
+  Value bad("{unclosed");
+  EXPECT_EQ(bad.GetList(), nullptr);
+  EXPECT_EQ(bad.GetList(), nullptr);
+  EXPECT_EQ(bad.String(), "{unclosed");
+}
+
+TEST(TclNumeric, ShimmerThroughVariableCaches) {
+  Interp interp;
+  // Build via lappend (string path), read via lindex (list rep), then
+  // mutate and re-read: the cached rep must not survive the write.
+  Eval(interp, "set l {1 2 3}");
+  EXPECT_EQ(Eval(interp, "lindex $l 1"), "2");
+  Eval(interp, "lappend l 4");
+  EXPECT_EQ(Eval(interp, "llength $l"), "4");
+  EXPECT_EQ(Eval(interp, "lindex $l end"), "4");
+  Eval(interp, "set l {9 8}");
+  EXPECT_EQ(Eval(interp, "llength $l"), "2");
+
+  // An integer shimmered through incr still works as a list element source.
+  Eval(interp, "set n 5");
+  EXPECT_EQ(Eval(interp, "incr n"), "6");
+  EXPECT_EQ(Eval(interp, "llength $n"), "1");
+  EXPECT_EQ(Eval(interp, "expr {$n + 1}"), "7");
+}
+
+// --- determinism: fresh interp vs warm compile cache vs flushed cache ------
+
+struct Outcome {
+  Status code;
+  std::string value;
+  bool operator==(const Outcome& other) const {
+    return code == other.code && value == other.value;
+  }
+};
+
+Outcome RunScript(Interp& interp, const std::string& script) {
+  Result r = interp.Eval(script);
+  return {r.code, r.value};
+}
+
+// Deterministic xorshift so the corpus is reproducible across runs.
+std::uint64_t NextRand(std::uint64_t* state) {
+  std::uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+std::string RandomNumericToken(std::uint64_t* state) {
+  static const char* kTokens[] = {
+      "0",   "1",    "-1",  "42",   "010", "0x1f", "08",    "09",
+      "3.5", "-2.5", "1e3", "1e19", "end", " 7 ",  "apple", "9223372036854775807",
+      "99999999999999999999"};
+  return kTokens[NextRand(state) % (sizeof(kTokens) / sizeof(kTokens[0]))];
+}
+
+// Every script is evaluated in three regimes — fresh interpreter, warm
+// compile cache (second eval in the same interp), and after an explicit
+// FlushCompileCaches — and all three must agree byte-for-byte. This pins
+// the PR 5 invariant that shimmer state lives in values, never in cached
+// IR: a cached script may not remember a previous run's numeric reps.
+TEST(TclNumeric, FuzzCachedVsFlushedVsFreshAgree) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const char* kTemplates[] = {
+      "set x %1; incr x %2",
+      "expr {%1 + %2}",
+      "expr {%1 > %2}",
+      "lindex {10 20 30 40} %1",
+      "lsort -integer {%1 %2 5}",
+      "set l {%1 %2}; llength $l",
+      "foreach v {%1 %2} {set last $v}; set last",
+      "set a %1; expr {$a * 2}",
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string t1 = RandomNumericToken(&state);
+    std::string t2 = RandomNumericToken(&state);
+    std::string script = kTemplates[round % (sizeof(kTemplates) /
+                                             sizeof(kTemplates[0]))];
+    for (std::string::size_type pos; (pos = script.find("%1")) !=
+                                     std::string::npos;) {
+      script.replace(pos, 2, t1);
+    }
+    for (std::string::size_type pos; (pos = script.find("%2")) !=
+                                     std::string::npos;) {
+      script.replace(pos, 2, t2);
+    }
+
+    Interp fresh;
+    Outcome first = RunScript(fresh, script);
+
+    Interp warm;
+    RunScript(warm, script);
+    Outcome cached = RunScript(warm, script);
+
+    warm.FlushCompileCaches();
+    Outcome flushed = RunScript(warm, script);
+
+    EXPECT_TRUE(first == cached)
+        << script << "\n fresh: " << first.value
+        << "\n cached: " << cached.value;
+    EXPECT_TRUE(cached == flushed)
+        << script << "\n cached: " << cached.value
+        << "\n flushed: " << flushed.value;
+  }
+}
+
+}  // namespace
+}  // namespace wtcl
