@@ -1,0 +1,58 @@
+#!/bin/sh
+# check_all.sh [default|asan|ubsan]
+#
+# One-shot gate: configure + build the selected preset, run the core (tier-1)
+# test suite, then each labeled concern suite in turn so a failure localizes
+# to its subsystem:
+#
+#   default  -> build/        (RelWithDebInfo)
+#   asan     -> build-asan/   (WAFE_SANITIZE=ON,   preset "sanitize")
+#   ubsan    -> build-ubsan/  (WAFE_SANITIZE=UBSAN, preset "ubsan")
+#
+# Labels run: tcl comm faults obs ui oracle. The oracle differential tests
+# self-skip (exit 77) when no reference tclsh is available; that counts as a
+# pass here, matching ctest's "skipped" accounting. perf benches are slow and
+# only run when WAFE_CHECK_PERF=1.
+
+set -eu
+
+mode=${1:-default}
+case "$mode" in
+  default) preset=default;  build_dir=build ;;
+  asan)    preset=sanitize; build_dir=build-asan ;;
+  ubsan)   preset=ubsan;    build_dir=build-ubsan ;;
+  *) echo "usage: $0 [default|asan|ubsan]" >&2; exit 2 ;;
+esac
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo"
+
+labels="tcl comm faults obs ui oracle"
+[ "${WAFE_CHECK_PERF:-0}" = "1" ] && labels="$labels perf"
+
+echo "== configure ($preset -> $build_dir)"
+cmake --preset "$preset" >/dev/null
+echo "== build"
+cmake --build "$build_dir" -j "$(nproc)"
+
+status=0
+
+echo "== core (unlabeled tier-1)"
+if ! ctest --test-dir "$build_dir" -LE 'tcl|comm|faults|obs|ui|perf|oracle' \
+     --output-on-failure; then
+  status=1
+fi
+
+for label in $labels; do
+  echo "== label: $label"
+  if ! ctest --test-dir "$build_dir" -L "$label" --output-on-failure; then
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_all: OK ($mode)"
+else
+  echo "check_all: FAILURES ($mode)" >&2
+fi
+exit "$status"

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Distill oracle divergences into minimized, committed corpus entries.
+
+Workflow:
+
+    # 1. Hunt: run the seeded generator (or a corpus) and emit every
+    #    diverging case as a .test skeleton into a scratch directory.
+    build/tests/oracle_runner --generate 2000 --seed 7 --mode diff --emit /tmp/div
+
+    # 2. Distill: minimize each skeleton while it still diverges, record
+    #    wtcl's outcome as the embedded expectation, and drop the result
+    #    into the committed corpus.
+    scripts/oracle_triage.py --runner build/tests/oracle_runner \
+        --out tests/oracle/corpus /tmp/div/*.test
+
+Minimization is a greedy delta-debugging pass over lines, then over
+space-separated words of each line: a reduction is kept only while
+`oracle_runner --case F --mode diff` still reports a divergence in the SAME
+fields (result/code/errorinfo) as the original, so shrinking cannot slide
+into an unrelated failure mode. Cases whose divergence disappears during
+recheck (e.g. already fixed) are skipped.
+
+After the interpreter is fixed, refresh the committed expectations with:
+
+    build/tests/oracle_runner --corpus tests/oracle/corpus --record
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+DIVERGENCE_EXIT = 1
+SKIP_EXIT = 77
+
+
+def parse_case(text):
+    """Returns (comments, sections) where sections is a list of (tag, body)."""
+    comments = []
+    sections = []
+    tag = None
+    body = []
+    for line in text.splitlines():
+        if tag is None and line.startswith("#"):
+            comments.append(line)
+            continue
+        m = re.match(r"%% (\w+)( .*)?$", line)
+        if m:
+            if tag is not None:
+                sections.append((tag, "\n".join(body)))
+            tag = m.group(1) + (m.group(2) or "")
+            body = []
+        elif tag is not None:
+            body.append(line)
+    if tag is not None:
+        sections.append((tag, "\n".join(body)))
+    return comments, sections
+
+
+def render_case(script, flags=""):
+    out = []
+    if flags:
+        out.append("%% flags " + flags)
+    out.append("%% script")
+    out.append(script)
+    return "\n".join(out) + "\n"
+
+
+def run_case(runner, script, flags, workdir):
+    """Returns (diverged, signature). The signature is the sorted tuple of
+    diverging fields ("result", "code", "errorinfo", ...) so the minimizer
+    can reject reductions that slip into a *different* failure mode (e.g. a
+    numeric divergence collapsing into a syntax-error divergence)."""
+    path = os.path.join(workdir, "candidate.test")
+    with open(path, "w") as f:
+        f.write(render_case(script, flags))
+    proc = subprocess.run(
+        [runner, "--case", path, "--mode", "diff"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    if proc.returncode != DIVERGENCE_EXIT:
+        return False, ()
+    fields = re.findall(r"^\s*diff (\w+):", proc.stdout, re.MULTILINE)
+    return True, tuple(sorted(set(fields)))
+
+
+def minimize(runner, script, flags, signature, workdir):
+    """Greedy ddmin over lines, then over words of each surviving line. A
+    reduction is kept only if the same fields still diverge."""
+    def still_diverges(candidate):
+        diverged, sig = run_case(runner, candidate, flags, workdir)
+        return diverged and sig == signature
+
+    lines = script.splitlines()
+    changed = True
+    while changed and len(lines) > 1:
+        changed = False
+        for i in range(len(lines)):
+            candidate = lines[:i] + lines[i + 1:]
+            if still_diverges("\n".join(candidate)):
+                lines = candidate
+                changed = True
+                break
+    # Word-level pass: try dropping words from each surviving line.
+    for i, line in enumerate(lines):
+        words = line.split(" ")
+        changed = True
+        while changed and len(words) > 1:
+            changed = False
+            for j in range(len(words)):
+                candidate_words = words[:j] + words[j + 1:]
+                candidate = lines[:i] + [" ".join(candidate_words)] + lines[i + 1:]
+                if still_diverges("\n".join(candidate)):
+                    words = candidate_words
+                    changed = True
+                    break
+        lines[i] = " ".join(words)
+    return "\n".join(lines)
+
+
+def record(runner, path):
+    """Fills the case's expectations from wtcl's current outcome."""
+    subprocess.run([runner, "--case", path, "--record"],
+                   stdout=subprocess.DEVNULL, check=True)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("cases", nargs="+", help=".test skeletons (from --emit)")
+    ap.add_argument("--runner", required=True, help="path to oracle_runner")
+    ap.add_argument("--out", required=True, help="committed corpus directory")
+    ap.add_argument("--keep-name", action="store_true",
+                    help="keep input file names instead of div-NN numbering")
+    args = ap.parse_args()
+
+    probe = subprocess.run([args.runner, "--generate", "1", "--seed", "1",
+                            "--mode", "diff"], stdout=subprocess.DEVNULL)
+    if probe.returncode == SKIP_EXIT:
+        print("oracle_triage: no reference tclsh found "
+              "(set WAFE_TCLSH or add tclsh to PATH)", file=sys.stderr)
+        return 2
+
+    written = 0
+    with tempfile.TemporaryDirectory(prefix="oracle-triage-") as workdir:
+        for case_path in args.cases:
+            with open(case_path) as f:
+                comments, sections = parse_case(f.read())
+            script = next((b for t, b in sections if t == "script"), None)
+            flags = next((t[len("flags "):] for t, b in sections
+                          if t.startswith("flags")), "")
+            if script is None:
+                print(f"{case_path}: no %% script section, skipped")
+                continue
+            diverged, signature = run_case(args.runner, script, flags, workdir)
+            if not diverged:
+                print(f"{case_path}: no longer diverges, skipped")
+                continue
+            small = minimize(args.runner, script, flags, signature, workdir)
+            base = os.path.basename(case_path)
+            name = base if args.keep_name else f"div-{written:02d}-{base}"
+            out_path = os.path.join(args.out, name)
+            with open(out_path, "w") as f:
+                f.write(f"# oracle spec case: {os.path.splitext(name)[0]}\n")
+                f.write(render_case(small, flags))
+            record(args.runner, out_path)
+            print(f"{case_path}: minimized "
+                  f"{len(script.splitlines())} -> {len(small.splitlines())} "
+                  f"line(s), wrote {out_path}")
+            written += 1
+    print(f"oracle_triage: {written} corpus entr{'y' if written == 1 else 'ies'} written")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

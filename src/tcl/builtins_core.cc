@@ -82,7 +82,10 @@ Result CmdIncr(Interp& interp, const ValueVec& argv) {
   // Array elements and element-targeted links go through the full resolver.
   std::string current;
   if (!interp.GetVar(name, &current)) {
-    return Result::Error("can't read \"" + name + "\": no such variable");
+    // Tcl treats an unset target as 0: incr creates it.
+    Result created = interp.SetVarValue(name, Value::FromInt(increment));
+    if (!created.ok()) return created;
+    return Result::Ok(std::to_string(increment));
   }
   long value = 0;
   std::string error;
@@ -118,7 +121,9 @@ Result CmdIf(Interp& interp, const ValueVec& argv) {
       return Result::Error("wrong # args: no script following expression");
     }
     if (truth) {
-      return interp.Eval(argv[i].String());
+      Result body = interp.Eval(argv[i].String());
+      if (body.code == Status::kError) body.skip_trace = true;
+      return body;
     }
     ++i;
     if (i >= argv.size()) {
@@ -134,7 +139,9 @@ Result CmdIf(Interp& interp, const ValueVec& argv) {
     if (i >= argv.size()) {
       return Result::Error("wrong # args: no script following \"else\"");
     }
-    return interp.Eval(argv[i].String());
+    Result body = interp.Eval(argv[i].String());
+    if (body.code == Status::kError) body.skip_trace = true;
+    return body;
   }
   return Result::Ok();
 }
@@ -163,6 +170,7 @@ Result CmdWhile(Interp& interp, const ValueVec& argv) {
     if (body.code == Status::kContinue || body.code == Status::kOk) {
       continue;
     }
+    if (body.code == Status::kError) body.skip_trace = true;
     return body;  // error or return propagate
   }
   last.value.clear();
@@ -175,6 +183,7 @@ Result CmdFor(Interp& interp, const ValueVec& argv) {
   }
   Result r = interp.Eval(argv[1].String());
   if (r.code != Status::kOk) {
+    if (r.code == Status::kError) r.skip_trace = true;
     return r;
   }
   ScriptHandle compiled_body = interp.Precompile(argv[4].String());
@@ -194,10 +203,12 @@ Result CmdFor(Interp& interp, const ValueVec& argv) {
       break;
     }
     if (body.code != Status::kContinue && body.code != Status::kOk) {
+      if (body.code == Status::kError) body.skip_trace = true;
       return body;
     }
     r = interp.EvalCompiled(compiled_next);
     if (r.code != Status::kOk) {
+      if (r.code == Status::kError) r.skip_trace = true;
       return r;
     }
   }

@@ -39,7 +39,7 @@ Result CmdLindex(Interp& interp, const ValueVec& argv) {
   }
   long index = 0;
   if (!ParseIndex(argv[2].String(), elements->size(), &index)) {
-    return Result::Error("expected integer but got \"" + argv[2].String() + "\"");
+    return Result::Error(IndexParseError(argv[2].String()));
   }
   if (index < 0 || static_cast<std::size_t>(index) >= elements->size()) {
     return Result::Ok("");
@@ -69,10 +69,12 @@ Result CmdLrange(Interp& interp, const ValueVec& argv) {
     return ListError();
   }
   long first = 0;
+  if (!ParseIndex(argv[2].String(), elements->size(), &first)) {
+    return Result::Error(IndexParseError(argv[2].String()));
+  }
   long last = 0;
-  if (!ParseIndex(argv[2].String(), elements->size(), &first) ||
-      !ParseIndex(argv[3].String(), elements->size(), &last)) {
-    return Result::Error("bad index in lrange");
+  if (!ParseIndex(argv[3].String(), elements->size(), &last)) {
+    return Result::Error(IndexParseError(argv[3].String()));
   }
   if (first < 0) {
     first = 0;
@@ -111,9 +113,11 @@ Result CmdLinsert(Interp& interp, const ValueVec& argv) {
   if (parsed == nullptr) {
     return ListError();
   }
+  // linsert indexes insertion points, not elements: "end" means the slot
+  // after the last element (append), so the index parses against size+1.
   long index = 0;
-  if (!ParseIndex(argv[2].String(), parsed->size(), &index)) {
-    return Result::Error("expected integer but got \"" + argv[2].String() + "\"");
+  if (!ParseIndex(argv[2].String(), parsed->size() + 1, &index)) {
+    return Result::Error(IndexParseError(argv[2].String()));
   }
   if (index < 0) {
     index = 0;
@@ -136,10 +140,12 @@ Result CmdLreplace(Interp& interp, const ValueVec& argv) {
     return ListError();
   }
   long first = 0;
+  if (!ParseIndex(argv[2].String(), elements->size(), &first)) {
+    return Result::Error(IndexParseError(argv[2].String()));
+  }
   long last = 0;
-  if (!ParseIndex(argv[2].String(), elements->size(), &first) ||
-      !ParseIndex(argv[3].String(), elements->size(), &last)) {
-    return Result::Error("bad index in lreplace");
+  if (!ParseIndex(argv[3].String(), elements->size(), &last)) {
+    return Result::Error(IndexParseError(argv[3].String()));
   }
   if (first < 0) {
     first = 0;
@@ -318,7 +324,8 @@ Result CmdSplit(Interp& interp, const ValueVec& argv) {
     for (char c : subject) {
       out.push_back(std::string(1, c));
     }
-  } else {
+  } else if (!subject.empty()) {
+    // An empty subject splits to the empty list, not one empty element.
     std::string current;
     for (char c : subject) {
       if (chars.find(c) != std::string::npos) {

@@ -81,8 +81,8 @@ Result CmdString(Interp& interp, const ValueVec& argv) {
       return ArityError("string index", "string charIndex");
     }
     long index = 0;
-    if (!argv[3].GetInt(&index)) {
-      return Result::Error(IntegerParseError(argv[3].String(), argv[3].Classify()));
+    if (!ParseIndex(argv[3].String(), subject.size(), &index)) {
+      return Result::Error(IndexParseError(argv[3].String()));
     }
     if (index < 0 || static_cast<std::size_t>(index) >= subject.size()) {
       return Result::Ok("");
@@ -94,14 +94,12 @@ Result CmdString(Interp& interp, const ValueVec& argv) {
       return ArityError("string range", "string first last");
     }
     long first = 0;
-    if (!argv[3].GetInt(&first)) {
-      return Result::Error(IntegerParseError(argv[3].String(), argv[3].Classify()));
+    if (!ParseIndex(argv[3].String(), subject.size(), &first)) {
+      return Result::Error(IndexParseError(argv[3].String()));
     }
     long last = 0;
-    if (argv[4].String() == "end") {
-      last = static_cast<long>(subject.size()) - 1;
-    } else if (!argv[4].GetInt(&last)) {
-      return Result::Error(IntegerParseError(argv[4].String(), argv[4].Classify()));
+    if (!ParseIndex(argv[4].String(), subject.size(), &last)) {
+      return Result::Error(IndexParseError(argv[4].String()));
     }
     if (first < 0) {
       first = 0;

@@ -45,6 +45,10 @@ struct Operand {
   long i = 0;
   double d = 0.0;
   std::string s;
+  // Leading-zero digit run ("08"): comparison operators fall back to string
+  // comparison like any non-numeric operand, but arithmetic must complain
+  // about the invalid octal specifically, so the classification is kept.
+  bool bad_octal = false;
 
   static Operand Int(long v) {
     Operand value;
@@ -109,9 +113,10 @@ bool FitsLong(double v) {
 }
 
 // Makes an operand from evaluated text via the central classifier. Digit
-// runs that fail the integer parse ("08") and out-of-range integers are
-// hard errors — the scattered strtol call sites this replaces silently
-// produced 8.0 or a double here.
+// runs that fail the integer parse ("08") become flagged string operands —
+// comparisons string-compare them, arithmetic rejects them by name (the
+// Tcl "can't use invalid octal number" contract). Out-of-range integers are
+// hard errors (no bignum promotion — a documented deviation).
 Result OperandFromText(std::string text, Operand* out) {
   long i = 0;
   double d = 0;
@@ -119,13 +124,18 @@ Result OperandFromText(std::string text, Operand* out) {
   switch (kind) {
     case NumberKind::kInt:
       *out = Operand::Int(i);
+      out->s = std::move(text);  // spelling, for string-compare fallback
       return Result::Ok();
     case NumberKind::kDouble:
       *out = Operand::Double(d);
+      out->s = std::move(text);
       return Result::Ok();
-    case NumberKind::kBadInteger:
     case NumberKind::kOverflow:
       return Result::Error(IntegerParseError(text, kind));
+    case NumberKind::kBadInteger:
+      *out = Operand::Str(std::move(text));
+      out->bad_octal = true;
+      return Result::Ok();
     default:
       *out = Operand::Str(std::move(text));
       return Result::Ok();
@@ -138,6 +148,7 @@ Result OperandFromValue(const Value& value, Operand* out) {
   long i = 0;
   if (value.GetInt(&i)) {
     *out = Operand::Int(i);
+    out->s = value.String();  // spelling, for string-compare fallback
     return Result::Ok();
   }
   NumberKind kind = value.Classify();
@@ -145,12 +156,14 @@ Result OperandFromValue(const Value& value, Operand* out) {
     double d = 0;
     value.GetDouble(&d);
     *out = Operand::Double(d);
+    out->s = value.String();
     return Result::Ok();
   }
-  if (kind == NumberKind::kBadInteger || kind == NumberKind::kOverflow) {
+  if (kind == NumberKind::kOverflow) {
     return Result::Error(IntegerParseError(value.String(), kind));
   }
   *out = Operand::Str(value.String());
+  if (kind == NumberKind::kBadInteger) out->bad_octal = true;
   return Result::Ok();
 }
 
@@ -188,7 +201,11 @@ Result Truth(const Operand& v, bool* out) {
         *out = d != 0.0;
         return Result::Ok();
       }
-      return Result::Error("expected boolean value but got \"" + v.s + "\"");
+      std::string message = "expected boolean value but got \"" + v.s + "\"";
+      if (kind == NumberKind::kBadInteger) {
+        message += " (looks like invalid octal number)";
+      }
+      return Result::Error(message);
     }
   }
   return Result::Ok();
@@ -219,8 +236,11 @@ int Compare(const Operand& a, const Operand& b) {
     }
     return x > y ? 1 : 0;
   }
-  std::string x = a.ToString();
-  std::string y = b.ToString();
+  // String comparison against a numeric operand uses the operand's original
+  // spelling when one was preserved ("0777", not "511") — Tcl compares the
+  // object's string rep, which keeps the source text.
+  std::string x = a.s.empty() ? a.ToString() : a.s;
+  std::string y = b.s.empty() ? b.ToString() : b.s;
   int c = x.compare(y);
   if (c < 0) {
     return -1;
@@ -230,8 +250,10 @@ int Compare(const Operand& a, const Operand& b) {
 
 Result Arith(char op, const Operand& a, const Operand& b, Operand* out) {
   if (!a.numeric() || !b.numeric()) {
-    return Result::Error(std::string("can't use non-numeric string as operand of \"") + op +
-                         "\"");
+    const char* what = (a.bad_octal || b.bad_octal) ? "invalid octal number"
+                                                    : "non-numeric string";
+    return Result::Error(std::string("can't use ") + what +
+                         " as operand of \"" + op + "\"");
   }
   if (a.kind == Operand::Kind::kInt && b.kind == Operand::Kind::kInt) {
     switch (op) {
@@ -917,10 +939,12 @@ class ExprParser {
     NumberKind kind = ScanNumberPrefix(text_.data(), &pos_, &i, &d);
     if (kind == NumberKind::kInt) {
       *out = Operand::Int(i);
+      out->s = std::string(text_.substr(start, pos_ - start));
       return Result::Ok();
     }
     if (kind == NumberKind::kDouble) {
       *out = Operand::Double(d);
+      out->s = std::string(text_.substr(start, pos_ - start));
       return Result::Ok();
     }
     if (kind == NumberKind::kNotNumeric) {
@@ -1483,10 +1507,14 @@ class ExprCompiler {
       double d = 0;
       NumberKind kind = ClassifyNumber(text, &i, &d);
       if (kind == NumberKind::kInt) {
-        return MakeConst(Operand::Int(i));
+        Operand value = Operand::Int(i);
+        value.s = text;
+        return MakeConst(std::move(value));
       }
       if (kind == NumberKind::kDouble) {
-        return MakeConst(Operand::Double(d));
+        Operand value = Operand::Double(d);
+        value.s = text;
+        return MakeConst(std::move(value));
       }
       if (kind != NumberKind::kNotNumeric) {
         return nullptr;  // "08"/overflow: the legacy re-parse reports it
@@ -1503,14 +1531,19 @@ class ExprCompiler {
   }
 
   NodePtr CompileNumberToken() {
+    std::size_t start = pos_;
     long i = 0;
     double d = 0;
     NumberKind kind = ScanNumberPrefix(text_.data(), &pos_, &i, &d);
     if (kind == NumberKind::kInt) {
-      return MakeConst(Operand::Int(i));
+      Operand value = Operand::Int(i);
+      value.s = std::string(text_.substr(start, pos_ - start));
+      return MakeConst(std::move(value));
     }
     if (kind == NumberKind::kDouble) {
-      return MakeConst(Operand::Double(d));
+      Operand value = Operand::Double(d);
+      value.s = std::string(text_.substr(start, pos_ - start));
+      return MakeConst(std::move(value));
     }
     return nullptr;  // malformed or out of range: the legacy engine reports it
   }

@@ -1104,7 +1104,7 @@ Result Interp::ExecuteCompiled(const CompiledScript& script) {
       break;
     }
     last = command.words[0].literal ? InvokeMemoized(command, argv)
-                                    : InvokeCommand(argv);
+                                    : InvokeCommand(argv, &command);
     if (last.code != Status::kOk) {
       break;
     }
@@ -1212,6 +1212,17 @@ Result Interp::CheckEvalBudget() {
 }
 
 void Interp::RecordErrorTrace(const ValueVec& argv, const Result& r) {
+  // Fallback when no compiled source span is at hand: reconstruct the
+  // command from its substituted argv.
+  std::string cmd = argv[0].String();
+  for (std::size_t a = 1; a < argv.size() && cmd.size() < 60; ++a) {
+    cmd += ' ';
+    cmd += argv[a].String();
+  }
+  RecordErrorTrace(std::string_view(cmd), r);
+}
+
+void Interp::RecordErrorTrace(std::string_view cmd, const Result& r) {
   // Maintain errorInfo like Tcl: a rolling trace of the failing commands.
   // A fresh error (no trace in flight) starts from the message — or from the
   // seed `error msg customInfo` planted — instead of appending to the stale
@@ -1223,27 +1234,30 @@ void Interp::RecordErrorTrace(const ValueVec& argv, const Result& r) {
   } else if (!GetGlobalVar("errorInfo", &info)) {
     info = r.value;
   }
-  std::string cmd = argv[0].String();
-  for (std::size_t a = 1; a < argv.size() && cmd.size() < 60; ++a) {
-    cmd += ' ';
-    cmd += argv[a].String();
+  std::string text(cmd);
+  if (text.size() > 60) {
+    text.resize(60);
+    text += "...";
   }
-  if (cmd.size() > 60) {
-    cmd.resize(60);
-    cmd += "...";
-  }
-  info += "\n    while executing\n\"" + cmd + "\" (line " + std::to_string(current_line_) +
+  info += "\n    while executing\n\"" + text + "\" (line " + std::to_string(current_line_) +
           ", level " + std::to_string(nesting_) + ")";
   SetGlobalVar("errorInfo", info);
 }
 
-Result Interp::InvokeCommand(const ValueVec& argv) {
+Result Interp::InvokeCommand(const ValueVec& argv, const CompiledCommand* command) {
   ++command_count_;
+  auto trace = [&](const Result& failed) {
+    if (command != nullptr && !command->source.empty()) {
+      RecordErrorTrace(std::string_view(command->source), failed);
+    } else {
+      RecordErrorTrace(argv, failed);
+    }
+  };
   if ((max_steps_ != 0 || max_eval_ms_ > 0) && !ChargeEvalStep()) {
     Result guard = CheckEvalBudget();
     if (guard.code != Status::kOk) {
       g_error_count.Increment();
-      RecordErrorTrace(argv, guard);
+      trace(guard);
       return guard;
     }
   }
@@ -1256,7 +1270,7 @@ Result Interp::InvokeCommand(const ValueVec& argv) {
   if (it == commands_.end()) {
     g_error_count.Increment();
     Result r = Result::Error("invalid command name \"" + name + "\"");
-    RecordErrorTrace(argv, r);
+    trace(r);
     return r;
   }
   // Pin the function so that commands that redefine themselves are safe;
@@ -1265,7 +1279,11 @@ Result Interp::InvokeCommand(const ValueVec& argv) {
   Result r = (*fn)(*this, argv);
   if (r.code == Status::kError) {
     g_error_count.Increment();
-    RecordErrorTrace(argv, r);
+    if (r.skip_trace) {
+      r.skip_trace = false;  // consumed: enclosing commands record theirs
+    } else {
+      trace(r);
+    }
   } else {
     error_trace_active_ = false;
   }
@@ -1278,11 +1296,18 @@ Result Interp::InvokeLiteral(const CompiledCommand& command) {
 
 Result Interp::InvokeMemoized(const CompiledCommand& command, const ValueVec& argv) {
   ++command_count_;
+  auto trace = [&](const Result& failed) {
+    if (!command.source.empty()) {
+      RecordErrorTrace(std::string_view(command.source), failed);
+    } else {
+      RecordErrorTrace(argv, failed);
+    }
+  };
   if ((max_steps_ != 0 || max_eval_ms_ > 0) && !ChargeEvalStep()) {
     Result guard = CheckEvalBudget();
     if (guard.code != Status::kOk) {
       g_error_count.Increment();
-      RecordErrorTrace(argv, guard);
+      trace(guard);
       return guard;
     }
   }
@@ -1293,7 +1318,7 @@ Result Interp::InvokeMemoized(const CompiledCommand& command, const ValueVec& ar
     if (it == commands_.end()) {
       g_error_count.Increment();
       Result r = Result::Error("invalid command name \"" + argv[0].String() + "\"");
-      RecordErrorTrace(argv, r);
+      trace(r);
       return r;
     }
     command.resolved_fn = it->second;
@@ -1306,7 +1331,11 @@ Result Interp::InvokeMemoized(const CompiledCommand& command, const ValueVec& ar
   Result r = (*static_cast<const CommandFn*>(fn.get()))(*this, argv);
   if (r.code == Status::kError) {
     g_error_count.Increment();
-    RecordErrorTrace(argv, r);
+    if (r.skip_trace) {
+      r.skip_trace = false;  // consumed: enclosing commands record theirs
+    } else {
+      trace(r);
+    }
   } else {
     error_trace_active_ = false;
   }

@@ -35,6 +35,12 @@ enum class Status {
 struct Result {
   Status code = Status::kOk;
   std::string value;
+  // One-shot errorInfo suppression: set by control commands (if/while/for)
+  // when propagating an error out of an evaluated body, whose levels Tcl's
+  // byte-compiled control structures never add. The immediate dispatcher
+  // consumes the flag (skips its trace level and clears it), so enclosing
+  // commands — a proc call, a foreach — still record theirs.
+  bool skip_trace = false;
 
   bool ok() const { return code == Status::kOk; }
 
@@ -253,7 +259,10 @@ class Interp {
   struct Proc;
 
   Result EvalInFrame(std::string_view script, std::size_t frame_index);
-  Result InvokeCommand(const ValueVec& argv);
+  // `command` (when non-null) supplies the source span quoted in errorInfo;
+  // without it the trace falls back to joining the substituted argv.
+  Result InvokeCommand(const ValueVec& argv,
+                       const CompiledCommand* command = nullptr);
 
   // Dispatch of a fully-literal compiled command, memoizing the command
   // lookup in the IR (revalidated against command_epoch_).
@@ -286,8 +295,11 @@ class Interp {
   // lazily on its first visit).
   Result CheckEvalBudget();
 
-  // Appends one "while executing" level to the errorInfo trace.
+  // Appends one "while executing" level to the errorInfo trace. The argv
+  // form is the fallback when no source span is available; the string form
+  // takes the command text to quote (normally CompiledCommand::source).
   void RecordErrorTrace(const ValueVec& argv, const Result& r);
+  void RecordErrorTrace(std::string_view cmd, const Result& r);
 
   // Parses one word starting at `pos`; appends the produced word (or words,
   // for a future expansion syntax) to `out`. Used by the script parser.

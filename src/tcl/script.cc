@@ -461,6 +461,7 @@ ScriptHandle CompileScript(std::string_view source) {
     }
     CompiledCommand command;
     command.line = line;
+    const std::size_t command_start = i;
     bool stop = false;
     while (i < n && !IsCommandTerminator(source[i])) {
       while (i < n && IsWordSeparator(source[i])) {
@@ -486,6 +487,13 @@ ScriptHandle CompileScript(std::string_view source) {
       }
     }
     if (!command.words.empty()) {
+      std::size_t command_end = i;
+      while (command_end > command_start &&
+             IsWordSeparator(source[command_end - 1])) {
+        --command_end;
+      }
+      command.source =
+          std::string(source.substr(command_start, command_end - command_start));
       bool all_literal = true;
       for (const CompiledWord& word : command.words) {
         if (!word.literal) {

@@ -67,6 +67,9 @@ struct CompiledCommand {
   // Prebuilt argv when every word is a fully-resolved literal: the executor
   // dispatches straight from the IR without assembling argv per evaluation.
   ValueVec literal_argv;
+  // The command's verbatim source span, for errorInfo: Tcl quotes the
+  // source text ("leaf $v", braces intact), not the substituted argv.
+  std::string source;
   int line = 1;  // 1-based source line of the command within its script
   // Memoized command resolution for the literal-argv dispatch path: valid
   // while `resolved_owner` is the dispatching interp and its command table

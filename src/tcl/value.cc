@@ -1,6 +1,7 @@
 #include "src/tcl/value.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -60,10 +61,11 @@ NumberKind ClassifyNumber(std::string_view text, long* int_out,
   // A digit run that the integer parser rejected (or stopped short in) is an
   // invalid octal like "08" — a hard error, not the double 8.0.
   if (IsDigitRun(trimmed)) return NumberKind::kBadInteger;
-  errno = 0;
   char* dend = nullptr;
   double double_value = std::strtod(start, &dend);
-  if (dend != start && *dend == '\0' && errno != ERANGE) {
+  if (dend != start && *dend == '\0') {
+    // Out-of-range magnitudes saturate (±HUGE_VAL / denormals), mirroring
+    // Tcl: "1e400" is the double Inf, not a parse failure.
     if (double_out) *double_out = double_value;
     return NumberKind::kDouble;
   }
@@ -75,7 +77,12 @@ std::string IntegerParseError(std::string_view text, NumberKind kind) {
     return "integer value too large to represent \"" + std::string(text) +
            "\"";
   }
-  return "expected integer but got \"" + std::string(text) + "\"";
+  std::string message =
+      "expected integer but got \"" + std::string(text) + "\"";
+  if (kind == NumberKind::kBadInteger) {
+    message += " (looks like invalid octal number)";
+  }
+  return message;
 }
 
 std::string DoubleParseError(std::string_view text) {
@@ -162,27 +169,39 @@ bool ParseIndex(std::string_view text, std::size_t length, long* out) {
     *out = static_cast<long>(length) - 1;
     return true;
   }
-  if (trimmed.size() > 4 && trimmed.substr(0, 4) == "end-") {
+  if (trimmed.size() > 4 && trimmed.substr(0, 3) == "end" &&
+      (trimmed[3] == '-' || trimmed[3] == '+')) {
     long offset = 0;
     if (!ParseInt(trimmed.substr(4), &offset, nullptr)) return false;
     long result = 0;
-    if (__builtin_sub_overflow(static_cast<long>(length) - 1, offset,
-                               &result)) {
-      return false;
-    }
+    bool overflow =
+        trimmed[3] == '-'
+            ? __builtin_sub_overflow(static_cast<long>(length) - 1, offset,
+                                     &result)
+            : __builtin_add_overflow(static_cast<long>(length) - 1, offset,
+                                     &result);
+    if (overflow) return false;
     *out = result;
     return true;
   }
   return ParseInt(trimmed, out, nullptr);
 }
 
+std::string IndexParseError(std::string_view text) {
+  return "bad index \"" + std::string(text) +
+         "\": must be integer?[+-]integer? or end?[+-]integer?";
+}
+
 std::string FormatDouble(double value) {
+  // Tcl's spellings for the non-finite values.
+  if (std::isinf(value)) return value < 0 ? "-Inf" : "Inf";
+  if (std::isnan(value)) return "NaN";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%g", value);
   std::string text(buf);
   // Mirror Tcl: a double must not read back as an integer ("2" -> "2.0"),
-  // but exponents, inf, and nan are left alone.
-  if (text.find_first_of(".eEnN") == std::string::npos) text += ".0";
+  // but exponents are left alone.
+  if (text.find_first_of(".eE") == std::string::npos) text += ".0";
   return text;
 }
 

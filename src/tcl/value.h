@@ -76,10 +76,14 @@ bool ScanIntPrefix(const std::string& text, std::size_t* pos, int base,
                    long* out);
 bool ScanDoublePrefix(const std::string& text, std::size_t* pos, double* out);
 
-// List index: "N" (base-0 integer), "end", or "end-N".  `length` is the list
-// length; "end" maps to length-1.  The end-N subtraction is overflow-checked;
+// List index: "N" (base-0 integer), "end", or "end±N".  `length` is the list
+// length; "end" maps to length-1.  The end±N arithmetic is overflow-checked;
 // false means the index was malformed or the arithmetic overflowed.
 bool ParseIndex(std::string_view text, std::size_t length, long* out);
+
+// The canonical complaint for a malformed index, shared by every index
+// consumer (string index/range, lindex/lrange/linsert/lreplace).
+std::string IndexParseError(std::string_view text);
 
 // %g with a ".0" suffix when the result would otherwise read as an integer —
 // the one true double-to-string used by expr results and double Values.

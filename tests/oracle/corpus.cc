@@ -1,0 +1,164 @@
+#include "tests/oracle/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+
+namespace oracle {
+
+namespace {
+
+// Splits text into lines without their terminators; a trailing newline does
+// not produce a final empty line.
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string JoinBody(const std::vector<std::string>& lines, std::size_t begin,
+                     std::size_t end) {
+  std::string body;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (i != begin) body += '\n';
+    body += lines[i];
+  }
+  return body;
+}
+
+}  // namespace
+
+bool ParseCase(const std::string& text, Case* out, std::string* error) {
+  std::vector<std::string> lines = SplitLines(text);
+  *out = Case();
+  bool saw_script = false;
+  std::size_t i = 0;
+  // Leading comments / blank lines before the first section.
+  while (i < lines.size() && lines[i].rfind("%%", 0) != 0) {
+    if (!lines[i].empty() && lines[i][0] != '#') {
+      if (error) *error = "text before first %% section: " + lines[i];
+      return false;
+    }
+    ++i;
+  }
+  while (i < lines.size()) {
+    std::string header = lines[i].substr(2);
+    while (!header.empty() && header.front() == ' ') header.erase(0, 1);
+    std::size_t body_begin = ++i;
+    while (i < lines.size() && lines[i].rfind("%%", 0) != 0) ++i;
+    std::size_t space = header.find(' ');
+    std::string key = header.substr(0, space);
+    std::string arg = space == std::string::npos ? "" : header.substr(space + 1);
+    std::string body = JoinBody(lines, body_begin, i);
+    if (key == "script") {
+      out->script = body;
+      saw_script = true;
+    } else if (key == "flags") {
+      out->flags = arg;
+    } else if (key == "code") {
+      out->expect.code = std::atoi(arg.c_str());
+      out->has_expect = true;
+    } else if (key == "result") {
+      out->expect.result = body;
+      out->has_expect = true;
+    } else if (key == "errorinfo") {
+      out->expect.error_info = body;
+      out->has_expect = true;
+    } else if (key == "output") {
+      out->expect.output = body;
+      out->has_expect = true;
+    } else {
+      if (error) *error = "unknown corpus section \"" + key + "\"";
+      return false;
+    }
+  }
+  if (!saw_script) {
+    if (error) *error = "corpus case has no %% script section";
+    return false;
+  }
+  return true;
+}
+
+std::string SerializeCase(const Case& c) {
+  std::string text = "# oracle spec case";
+  if (!c.name.empty()) text += ": " + c.name;
+  text += '\n';
+  if (!c.flags.empty()) text += "%% flags " + c.flags + '\n';
+  text += "%% script\n" + c.script + '\n';
+  text += "%% code " + std::to_string(c.expect.code) + '\n';
+  text += "%% result\n" + c.expect.result + '\n';
+  if (!c.expect.error_info.empty()) {
+    text += "%% errorinfo\n" + c.expect.error_info + '\n';
+  }
+  if (!c.expect.output.empty()) {
+    text += "%% output\n" + c.expect.output + '\n';
+  }
+  return text;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return n == text.size();
+}
+
+bool LoadCorpusDir(const std::string& dir, std::vector<Case>* out,
+                   std::string* error) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    if (error) *error = "cannot open corpus dir " + dir;
+    return false;
+  }
+  std::vector<std::string> names;
+  while (dirent* e = readdir(d)) {
+    std::string name = e->d_name;
+    if (name.size() > 5 && name.compare(name.size() - 5, 5, ".test") == 0) {
+      names.push_back(name);
+    }
+  }
+  closedir(d);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    std::string path = dir + "/" + name;
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      if (error) *error = "cannot read " + path;
+      return false;
+    }
+    Case c;
+    std::string perr;
+    if (!ParseCase(text, &c, &perr)) {
+      if (error) *error = path + ": " + perr;
+      return false;
+    }
+    c.name = name.substr(0, name.size() - 5);
+    c.path = path;
+    out->push_back(std::move(c));
+  }
+  return true;
+}
+
+}  // namespace oracle

@@ -1,0 +1,47 @@
+// Spec-corpus file format: load, parse, and serialize oracle cases.
+//
+// A corpus file is line-oriented with `%%`-prefixed section headers:
+//
+//   # free-form comment lines before the first section
+//   %% flags knowndiff            (optional)
+//   %% script
+//   lindex {a b c} end-1
+//   %% code 0                     (optional; defaults to 0)
+//   %% result
+//   b
+//   %% errorinfo                  (optional; meaningful with code 1)
+//   ...
+//   %% output                     (optional; puts/echo capture)
+//   ...
+//
+// Section bodies run until the next `%%` header; the final newline of a body
+// is not part of the value (use a trailing blank line to encode one).
+#ifndef TESTS_ORACLE_CORPUS_H_
+#define TESTS_ORACLE_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "tests/oracle/oracle_common.h"
+
+namespace oracle {
+
+// Parses one corpus file's text. Returns false and fills *error on a
+// malformed file (unknown section, missing script).
+bool ParseCase(const std::string& text, Case* out, std::string* error);
+
+// Serializes a case back to the file format (inverse of ParseCase).
+std::string SerializeCase(const Case& c);
+
+// Loads every *.test file under `dir` (sorted by name). Returns false and
+// fills *error if the directory is unreadable or any file fails to parse.
+bool LoadCorpusDir(const std::string& dir, std::vector<Case>* out,
+                   std::string* error);
+
+// Reads / writes one file. ReadFile returns false on I/O error.
+bool ReadFile(const std::string& path, std::string* out);
+bool WriteFile(const std::string& path, const std::string& text);
+
+}  // namespace oracle
+
+#endif  // TESTS_ORACLE_CORPUS_H_

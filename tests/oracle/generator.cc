@@ -1,0 +1,263 @@
+#include "tests/oracle/generator.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace oracle {
+
+namespace {
+
+// xorshift64* — deterministic across platforms, no <random> distribution
+// portability concerns.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15u) {}
+
+  std::uint64_t Next() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1du;
+  }
+
+  std::size_t Below(std::size_t n) { return static_cast<std::size_t>(Next() % n); }
+
+  template <typename T>
+  const T& Pick(const std::vector<T>& pool) {
+    return pool[Below(pool.size())];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// --- Operand pools ----------------------------------------------------------
+
+// Integer-valued literals kept small enough that no generated combination
+// can leave [LONG_MIN, LONG_MAX]: wtcl wraps 64-bit arithmetic while Tcl
+// 8.6 promotes to bignums, so overflow territory is a documented deviation
+// (pinned by knowndiff corpus entries), not generator ground.
+const std::vector<std::string>& IntLiterals() {
+  static const std::vector<std::string> pool = {
+      "0",   "1",    "-1",   "7",         "12",   "42",        "-9",
+      "010", "0x1f", "-0x20", "0777",     "0xff", "2147483647", "-2147483648",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& DoubleLiterals() {
+  static const std::vector<std::string> pool = {
+      "1.5", "-0.75", ".5", "2.", "1e3", "1e-3", "0.0", "3.25", "6.02e2",
+  };
+  return pool;
+}
+
+// Leading-zero digit runs: invalid octals that must be hard errors, never
+// silently parsed as doubles. Routed through variables so both the literal
+// tokenizer and the cached-Value classification paths are exercised.
+const std::vector<std::string>& BadIntegers() {
+  static const std::vector<std::string> pool = {"08", "09", "0778", "0128"};
+  return pool;
+}
+
+const std::vector<std::string>& Subjects() {
+  static const std::vector<std::string> pool = {
+      "abcdef", "a b c", "hello world", "", "x", "  padded  ",
+      "one{two", "tab\there",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& Lists() {
+  static const std::vector<std::string> pool = {
+      "{a b c}",
+      "{a {b c} d}",
+      "{}",
+      "{one}",
+      "{ a  b }",
+      "{{x y} {p q} r}",
+      "{1 2 3 4 5}",
+      "{alpha beta gamma delta}",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& Indices() {
+  static const std::vector<std::string> pool = {
+      "-2", "-1", "0",     "1",     "2",     "5",     "100",  "end",
+      "end-1", "end-2", "end-5", "end-0", " 1 ", "0x1", "010",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& BadIndices() {
+  static const std::vector<std::string> pool = {"foo", "08", "end-foo", "1.5"};
+  return pool;
+}
+
+// --- Families ---------------------------------------------------------------
+
+std::string GenExpr(Rng& rng) {
+  const std::vector<std::string> int_ops = {"+", "-",  "*",  "/",  "%",
+                                            "<", "<=", ">",  ">=", "==",
+                                            "!=", "&&", "||"};
+  const std::vector<std::string> dbl_ops = {"+", "-", "*", "<", "<=", ">",
+                                            ">=", "==", "!="};
+  const std::vector<std::string> funcs = {"abs", "int", "round", "double"};
+  switch (rng.Below(6)) {
+    case 0: {  // int op int
+      return "expr {" + rng.Pick(IntLiterals()) + " " + rng.Pick(int_ops) +
+             " " + rng.Pick(IntLiterals()) + "}";
+    }
+    case 1: {  // mixed int/double
+      return "expr {" + rng.Pick(DoubleLiterals()) + " " + rng.Pick(dbl_ops) +
+             " " + rng.Pick(IntLiterals()) + "}";
+    }
+    case 2: {  // parenthesized composition
+      return "expr {(" + rng.Pick(IntLiterals()) + " " + rng.Pick(int_ops) +
+             " " + rng.Pick(IntLiterals()) + ") " + rng.Pick(int_ops) + " " +
+             rng.Pick(IntLiterals()) + "}";
+    }
+    case 3: {  // math function application
+      return "expr {" + rng.Pick(funcs) + "(" +
+             (rng.Below(2) ? rng.Pick(IntLiterals())
+                           : rng.Pick(DoubleLiterals())) +
+             ")}";
+    }
+    case 4: {  // variable operand, sometimes a malformed integer
+      std::string value = rng.Below(3) == 0 ? rng.Pick(BadIntegers())
+                                            : rng.Pick(IntLiterals());
+      return "set x " + value + "\nexpr {$x " + rng.Pick(int_ops) + " " +
+             rng.Pick(IntLiterals()) + "}";
+    }
+    default: {  // ternary over a comparison
+      return "expr {" + rng.Pick(IntLiterals()) + " < " +
+             rng.Pick(IntLiterals()) + " ? " + rng.Pick(IntLiterals()) +
+             " : " + rng.Pick(DoubleLiterals()) + "}";
+    }
+  }
+}
+
+std::string GenIndex(Rng& rng) {
+  std::string index = rng.Below(4) == 0 ? rng.Pick(BadIndices())
+                                        : rng.Pick(Indices());
+  switch (rng.Below(6)) {
+    case 0:
+      return "string index \"" + rng.Pick(Subjects()) + "\" " +
+             "{" + index + "}";
+    case 1:
+      return "string range \"" + rng.Pick(Subjects()) + "\" {" + index +
+             "} {" + rng.Pick(Indices()) + "}";
+    case 2:
+      return "lindex " + rng.Pick(Lists()) + " {" + index + "}";
+    case 3:
+      return "lrange " + rng.Pick(Lists()) + " {" + index + "} {" +
+             rng.Pick(Indices()) + "}";
+    case 4:
+      return "linsert " + rng.Pick(Lists()) + " {" + index + "} X";
+    default:
+      return "string range \"" + rng.Pick(Subjects()) + "\" 0 {" + index + "}";
+  }
+}
+
+std::string GenListString(Rng& rng) {
+  switch (rng.Below(10)) {
+    case 0:
+      return "llength " + rng.Pick(Lists());
+    case 1:
+      return "lsearch " + std::string(rng.Below(2) ? "-exact " : "") +
+             rng.Pick(Lists()) + " " + (rng.Below(2) ? "b" : "{*a*}");
+    case 2:
+      return "lsort " + std::string(rng.Below(2) ? "-decreasing " : "") +
+             rng.Pick(Lists());
+    case 3:
+      return "lsort -integer {3 1 010 0x2 -5}";
+    case 4:
+      return "join " + rng.Pick(Lists()) + " {" +
+             (rng.Below(2) ? "-" : ", ") + "}";
+    case 5:
+      return "split \"" + rng.Pick(Subjects()) + "\" { }";
+    case 6:
+      return "concat " + rng.Pick(Lists()) + " " + rng.Pick(Lists());
+    case 7:
+      return "string " + std::string(rng.Below(2) ? "tolower" : "toupper") +
+             " \"" + rng.Pick(Subjects()) + "\"";
+    case 8:
+      return "string compare \"" + rng.Pick(Subjects()) + "\" \"" +
+             rng.Pick(Subjects()) + "\"";
+    default: {
+      // Shimmer composition: list rep cached on a variable, then reused and
+      // mutated through lappend/linsert while a copy is held elsewhere.
+      std::string script = "set l " + rng.Pick(Lists()) + "\n";
+      script += "set keep $l\n";
+      script += "lappend l " + rng.Pick(IntLiterals()) + "\n";
+      script += "list [llength $l] [llength $keep] [lindex $l end] [lindex $keep 0]";
+      return script;
+    }
+  }
+}
+
+std::string GenErrorTrace(Rng& rng) {
+  const std::vector<std::string> leaves = {
+      "error boom",
+      "expr {1 / 0}",
+      "set q [expr {$v / 0}]",
+      "lindex {a b} nosuch",
+      "nosuchcommand 1 2",
+      "string index abc bad",
+  };
+  std::string leaf = rng.Pick(leaves);
+  switch (rng.Below(4)) {
+    case 0: {  // nested procs, depth 2-3
+      std::string script = "proc leaf {v} {" + leaf + "}\n";
+      script += "proc mid {v} {leaf $v}\n";
+      if (rng.Below(2)) {
+        script += "proc top {} {mid 3}\ntop";
+      } else {
+        script += "mid 3";
+      }
+      return script;
+    }
+    case 1:  // failure inside a foreach body
+      return "foreach v {1 2 3} {" + leaf + "}";
+    case 2:  // failure inside a while body
+      return "set v 0\nwhile {$v < 3} {incr v\n" + leaf + "}";
+    default:  // caught then re-raised: errorInfo must reflect the re-raise
+      return "proc leaf {v} {" + leaf + "}\ncatch {leaf 5} msg\nerror $msg";
+  }
+}
+
+}  // namespace
+
+std::vector<Case> GenerateCases(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  std::vector<Case> cases;
+  cases.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Case c;
+    switch (rng.Below(4)) {
+      case 0:
+        c.name = "gen-expr-" + std::to_string(i);
+        c.script = GenExpr(rng);
+        break;
+      case 1:
+        c.name = "gen-index-" + std::to_string(i);
+        c.script = GenIndex(rng);
+        break;
+      case 2:
+        c.name = "gen-liststring-" + std::to_string(i);
+        c.script = GenListString(rng);
+        break;
+      default:
+        c.name = "gen-errtrace-" + std::to_string(i);
+        c.script = GenErrorTrace(rng);
+        break;
+    }
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+}  // namespace oracle

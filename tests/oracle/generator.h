@@ -1,0 +1,31 @@
+// Seeded spec-corpus generator. Produces deterministic case scripts over the
+// grammars where wtcl and a reference Tcl are most likely to disagree:
+//
+//   - expr over the ClassifyNumber edge grammar: base-0 octal/hex literals,
+//     leading-zero digit runs routed through variables, floored division,
+//     comparisons, ternaries, and the math functions;
+//   - the shared index grammar (string index/range, lindex/lrange,
+//     linsert/lreplace) with end-N, out-of-range, whitespace-padded, and
+//     malformed indices;
+//   - list/string command compositions over quoting-heavy values, driven
+//     through variables so cached list/number reps shimmer between uses;
+//   - proc/error-trace scenarios: failing leaves under nested procs and
+//     foreach/while bodies, exercising errorInfo shapes.
+//
+// The same (seed, count) always yields the same cases, so a divergence found
+// in CI reproduces locally from its printed case name and script.
+#ifndef TESTS_ORACLE_GENERATOR_H_
+#define TESTS_ORACLE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tests/oracle/oracle_common.h"
+
+namespace oracle {
+
+std::vector<Case> GenerateCases(std::uint64_t seed, std::size_t count);
+
+}  // namespace oracle
+
+#endif  // TESTS_ORACLE_GENERATOR_H_

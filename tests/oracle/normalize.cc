@@ -1,0 +1,219 @@
+#include "tests/oracle/normalize.h"
+
+#include <cstddef>
+
+namespace oracle {
+
+namespace {
+
+// Longest command text kept when comparing errorInfo traces: below both
+// wtcl's 60-char and Tcl 8.6's 150-char display truncation limits.
+constexpr std::size_t kTraceCommandLimit = 55;
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string TrimLeft(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return s.substr(i);
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Extracts the quoted token after `prefix`, e.g. the "08" out of
+// `expected integer but got "08"`. Empty when the shape does not match.
+std::string QuotedToken(const std::string& message, const char* prefix) {
+  if (!StartsWith(message, prefix)) return "";
+  std::size_t start = std::string(prefix).size();
+  std::size_t end = message.find('"', start);
+  if (end == std::string::npos) return "";
+  return message.substr(start, end - start);
+}
+
+bool IsConnective(const std::string& trimmed) {
+  return trimmed == "while executing" || trimmed == "invoked from within" ||
+         trimmed == "while compiling" || trimmed.empty() ||
+         trimmed[0] == '(' || trimmed == "...";
+}
+
+// Whether a trace line that opened with `"` has reached its closing quote:
+// either a bare `"` at the end, or wtcl's `" (line N, level M)` suffix.
+// Multi-line commands (loop bodies with embedded newlines) leave the quote
+// open across lines.
+bool ClosesQuote(const std::string& line) {
+  if (line.size() >= 2 && line.back() == '"') return true;
+  return line.back() == ')' && line.rfind("\" (line ") != std::string::npos;
+}
+
+}  // namespace
+
+std::string NormalizeError(const std::string& message) {
+  // First line only: Tcl 8.6 expr errors append `in expression "..."` hint
+  // lines that wtcl does not produce.
+  std::string first = message.substr(0, message.find('\n'));
+
+  // Index-parse family: Tcl 8.6 says `bad index "T": must be
+  // integer?[+-]integer? or end?[+-]integer?`; canonicalize to the token.
+  std::string token = QuotedToken(first, "bad index \"");
+  if (!token.empty()) return "bad index \"" + token + "\"";
+
+  // Malformed-integer family: wtcl's central parser says `expected integer
+  // but got "T"`; Tcl 8.6's expr says `invalid bareword "T" ... (invalid
+  // octal number?)` for the same leading-zero digit runs.
+  token = QuotedToken(first, "expected integer but got \"");
+  if (!token.empty()) return "bad number \"" + token + "\"";
+  token = QuotedToken(first, "invalid bareword \"");
+  if (!token.empty() && message.find("invalid octal number") != std::string::npos) {
+    return "bad number \"" + token + "\"";
+  }
+
+  // Expression syntax family: both implementations reject the expression,
+  // with wording that names different parser internals.
+  if (!token.empty() || StartsWith(first, "missing operand") ||
+      StartsWith(first, "missing close-paren") ||
+      StartsWith(first, "extra tokens at end") ||
+      StartsWith(first, "empty expression") ||
+      StartsWith(first, "invalid character \"") ||
+      StartsWith(first, "syntax error in expression")) {
+    return "expr syntax error";
+  }
+
+  // Malformed-list family: wtcl reports every list-parse failure as an
+  // unmatched brace; Tcl 8.6 distinguishes braces, quotes, and junk after a
+  // closing brace.
+  if (StartsWith(first, "unmatched open brace in list") ||
+      StartsWith(first, "unmatched open quote in list") ||
+      StartsWith(first, "list element in braces followed by") ||
+      StartsWith(first, "list element in quotes followed by")) {
+    return "malformed list";
+  }
+
+  return first;
+}
+
+std::string NormalizeErrorInfo(const std::string& info) {
+  std::vector<std::string> lines = SplitLines(info);
+  // The message spans the leading lines, up to the first connective or
+  // quoted-command line.
+  std::string message;
+  std::size_t i = 0;
+  for (; i < lines.size(); ++i) {
+    std::string trimmed = TrimLeft(lines[i]);
+    if ((i > 0 && IsConnective(trimmed)) ||
+        (!trimmed.empty() && trimmed[0] == '"')) {
+      break;
+    }
+    if (!message.empty()) message += '\n';
+    message += lines[i];
+  }
+  std::string normalized = NormalizeError(message);
+  for (; i < lines.size(); ++i) {
+    std::string line = TrimLeft(lines[i]);
+    if (line.empty() || line[0] != '"') continue;
+    // Join the continuation lines of a multi-line quoted command (a loop
+    // body spanning source lines) so the whole span compares as one entry.
+    while (i + 1 < lines.size() && !ClosesQuote(line)) {
+      ++i;
+      line += '\n' + lines[i];
+    }
+    // Strip wtcl's ` (line N, level M)` suffix.
+    if (!line.empty() && line.back() == ')') {
+      std::size_t at = line.rfind("\" (line ");
+      if (at != std::string::npos) line = line.substr(0, at + 1);
+    }
+    // Strip the surrounding quotes and any display-truncation ellipsis.
+    if (line.size() >= 2 && line.back() == '"') {
+      line = line.substr(1, line.size() - 2);
+    } else {
+      line = line.substr(1);
+    }
+    if (line.size() >= 3 && line.compare(line.size() - 3, 3, "...") == 0) {
+      line.resize(line.size() - 3);
+    }
+    if (line.size() > kTraceCommandLimit) line.resize(kTraceCommandLimit);
+    normalized += "\n  cmd: " + line;
+  }
+  return normalized;
+}
+
+namespace {
+
+void DiffField(std::vector<std::string>* out, const char* field,
+               const std::string& got, const std::string& want) {
+  if (got != want) {
+    out->push_back(std::string(field) + ": wtcl=[" + got + "] vs [" + want +
+                   "]");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> ExactDiff(const Outcome& got, const Outcome& want,
+                                   bool compare_error_info) {
+  std::vector<std::string> diffs;
+  if (got.code != want.code) {
+    diffs.push_back("code: wtcl=" + std::to_string(got.code) + " vs " +
+                    std::to_string(want.code));
+  }
+  DiffField(&diffs, "result", got.result, want.result);
+  if (compare_error_info) {
+    DiffField(&diffs, "errorInfo", got.error_info, want.error_info);
+  }
+  DiffField(&diffs, "output", got.output, want.output);
+  return diffs;
+}
+
+std::vector<std::string> NormalizedDiff(const Outcome& wtcl,
+                                        const Outcome& reference) {
+  std::vector<std::string> diffs;
+  if (wtcl.code != reference.code) {
+    diffs.push_back("code: wtcl=" + std::to_string(wtcl.code) + " vs ref=" +
+                    std::to_string(reference.code));
+    // Codes disagree: the result strings are not comparable (one is an error
+    // message), so report the raw values for triage and stop here.
+    diffs.push_back("result: wtcl=[" + wtcl.result + "] vs ref=[" +
+                    reference.result + "]");
+    return diffs;
+  }
+  if (wtcl.code == 1) {
+    std::string got = NormalizeError(wtcl.result);
+    std::string want = NormalizeError(reference.result);
+    if (got != want) {
+      diffs.push_back("error: wtcl=[" + got + "] vs ref=[" + want + "]");
+    }
+    if (!wtcl.error_info.empty() && !reference.error_info.empty()) {
+      std::string gi = NormalizeErrorInfo(wtcl.error_info);
+      std::string wi = NormalizeErrorInfo(reference.error_info);
+      if (gi != wi) {
+        diffs.push_back("errorInfo: wtcl=[" + gi + "] vs ref=[" + wi + "]");
+      }
+    }
+  } else {
+    if (wtcl.result != reference.result) {
+      diffs.push_back("result: wtcl=[" + wtcl.result + "] vs ref=[" +
+                      reference.result + "]");
+    }
+  }
+  if (wtcl.output != reference.output) {
+    diffs.push_back("output: wtcl=[" + wtcl.output + "] vs ref=[" +
+                    reference.output + "]");
+  }
+  return diffs;
+}
+
+}  // namespace oracle

@@ -1,0 +1,56 @@
+// Normalization and diffing of evaluation outcomes across Tcl
+// implementations.
+//
+// Two comparison strengths:
+//  - ExactDiff: byte-exact on every field. Used for wtcl-vs-committed
+//    expectations (embedded mode) and wtcl-fresh-vs-cached runs, where both
+//    sides are the same implementation.
+//  - NormalizedDiff: used for wtcl vs the reference tclsh, where the two
+//    implementations word some error messages differently and format their
+//    errorInfo traces differently. Normalization maps both sides onto a
+//    canonical form first:
+//      * error messages: known equivalent wording families collapse to one
+//        canonical spelling (e.g. Tcl 8.6's `invalid bareword "08" ...
+//        (invalid octal number?)` and wtcl's `expected integer but got "08"`
+//        both become `bad number "08"`); messages outside the table compare
+//        verbatim, so unexpected wording still diverges.
+//      * errorInfo: reduced to the error message plus the ordered list of
+//        quoted culprit commands; connective lines (`while executing`,
+//        `invoked from within`, `(procedure ...)`) and wtcl's `(line N,
+//        level M)` suffixes are dropped, and command text is truncated to a
+//        common length so the two implementations' different truncation
+//        limits cannot diverge.
+//      * results and captured output: byte-exact (the reference driver pins
+//        tcl_precision to 6, which matches wtcl's %g double formatting).
+#ifndef TESTS_ORACLE_NORMALIZE_H_
+#define TESTS_ORACLE_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "tests/oracle/oracle_common.h"
+
+namespace oracle {
+
+// Canonical form of an error message (identity for unrecognized wording).
+std::string NormalizeError(const std::string& message);
+
+// Canonical form of an errorInfo trace: normalized message, then one line
+// per culprit command ("  cmd: <text>").
+std::string NormalizeErrorInfo(const std::string& info);
+
+// Field-by-field byte-exact comparison; returns human-readable divergence
+// descriptions, empty when the outcomes match. `compare_error_info` lets
+// callers skip trace comparison (generated cases have no committed trace).
+std::vector<std::string> ExactDiff(const Outcome& got, const Outcome& want,
+                                   bool compare_error_info = true);
+
+// Cross-implementation comparison under normalization. errorInfo traces are
+// compared only when both sides produced one (wtcl omits traces for pure
+// parse errors; the message comparison still covers those).
+std::vector<std::string> NormalizedDiff(const Outcome& wtcl,
+                                        const Outcome& reference);
+
+}  // namespace oracle
+
+#endif  // TESTS_ORACLE_NORMALIZE_H_

@@ -1,0 +1,43 @@
+// Shared vocabulary of the differential oracle: the outcome of evaluating
+// one spec-corpus script in some Tcl (wtcl or the reference tclsh), and the
+// corpus case that carries a script plus its committed expectations.
+//
+// Completion codes use the classic catch numbering (0 ok, 1 error, 2 return,
+// 3 break, 4 continue) so a wtcl Status and a reference-side `catch` result
+// compare directly.
+#ifndef TESTS_ORACLE_ORACLE_COMMON_H_
+#define TESTS_ORACLE_ORACLE_COMMON_H_
+
+#include <string>
+#include <vector>
+
+namespace oracle {
+
+// What evaluating a script produced: completion code, result string (the
+// error message when code == 1), the errorInfo trace (errors only), and
+// everything the script wrote through puts/echo.
+struct Outcome {
+  int code = 0;
+  std::string result;
+  std::string error_info;
+  std::string output;
+};
+
+// One spec-corpus case. `flags` is a whitespace-separated token list; the
+// recognized token is "knowndiff": a documented wtcl deviation from the
+// reference (e.g. 64-bit wrap where Tcl 8.6 promotes to bignum) that is
+// pinned by embedded expectations but excluded from live differential runs.
+struct Case {
+  std::string name;        // corpus file stem, or generator-assigned
+  std::string path;        // source file, empty for generated cases
+  std::string script;
+  std::string flags;
+  Outcome expect;          // committed expectations (embedded mode golden)
+  bool has_expect = false; // generated cases carry no expectations
+
+  bool KnownDiff() const { return flags.find("knowndiff") != std::string::npos; }
+};
+
+}  // namespace oracle
+
+#endif  // TESTS_ORACLE_ORACLE_COMMON_H_

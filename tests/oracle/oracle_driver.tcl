@@ -1,0 +1,83 @@
+# Reference-side driver for the wtcl differential oracle.
+#
+# Speaks a length-prefixed frame protocol on stdin/stdout:
+#
+#   runner -> driver:  EVAL <nbytes>\n<script bytes>\n     (or EXIT\n)
+#   driver -> runner:  CODE <catch code>\n
+#                      RESULT <nbytes>\n<bytes>\n
+#                      INFO <nbytes>\n<bytes>\n
+#                      OUT <nbytes>\n<bytes>\n
+#                      DONE\n
+#
+# Each script evaluates inside a fresh child interp so cases cannot observe
+# one another. tcl_precision is pinned to 6, which reproduces the classic %g
+# double formatting wtcl implements (modern tclsh defaults to
+# shortest-roundtrip formatting). puts/echo inside the child are captured
+# into a buffer instead of reaching the protocol channel.
+set ::tcl_precision 6
+
+fconfigure stdin -translation binary -encoding binary
+fconfigure stdout -translation binary -encoding binary
+
+# Commands installed into every child interp before its case runs.
+set childPrelude {
+    set ::oracleOut ""
+    rename puts ::oracleRealPuts
+    proc puts {args} {
+        set nonewline 0
+        if {[lindex $args 0] eq "-nonewline"} {
+            set nonewline 1
+            set args [lrange $args 1 end]
+        }
+        if {[llength $args] == 2 &&
+            ([lindex $args 0] eq "stdout" || [lindex $args 0] eq "stderr")} {
+            set args [lrange $args 1 end]
+        }
+        if {[llength $args] != 1} {
+            error "wrong # args: should be \"puts ?-nonewline? ?channel? string\""
+        }
+        append ::oracleOut [lindex $args 0]
+        if {!$nonewline} {append ::oracleOut "\n"}
+        return
+    }
+    # wtcl carries Wafe's `echo` builtin; mirror it so corpus scripts can
+    # use either output command.
+    proc echo {args} {
+        append ::oracleOut [join $args " "] "\n"
+        return
+    }
+}
+
+proc emit {code result info out} {
+    ::oracleRealPuts -nonewline stdout "CODE $code\n"
+    ::oracleRealPuts -nonewline stdout "RESULT [string length $result]\n$result\n"
+    ::oracleRealPuts -nonewline stdout "INFO [string length $info]\n$info\n"
+    ::oracleRealPuts -nonewline stdout "OUT [string length $out]\n$out\n"
+    ::oracleRealPuts -nonewline stdout "DONE\n"
+    flush stdout
+}
+
+rename puts ::oracleRealPuts
+
+while {[gets stdin line] >= 0} {
+    set verb [lindex $line 0]
+    if {$verb eq "EXIT"} break
+    if {$verb ne "EVAL"} {
+        ::oracleRealPuts stderr "oracle_driver: bad frame: $line"
+        exit 2
+    }
+    set n [lindex $line 1]
+    set script [read stdin $n]
+    read stdin 1  ;# trailing newline of the frame
+    interp create child
+    child eval $::childPrelude
+    child eval {set ::tcl_precision 6}
+    set code [catch {child eval $script} result]
+    set info ""
+    if {$code == 1} {
+        catch {set info [child eval {set ::errorInfo}]}
+    }
+    set out [child eval {set ::oracleOut}]
+    interp delete child
+    emit $code $result $info $out
+}

@@ -1,0 +1,280 @@
+// Differential-oracle runner: executes spec-corpus cases through wtcl and —
+// when a reference tclsh is available — through the reference, then diffs
+// completion codes, results, error messages, errorInfo traces, and captured
+// output.
+//
+// Modes (--mode):
+//   embedded  wtcl vs the committed expectations, byte-exact, plus the
+//             fresh-vs-cached-compile equivalence check. Needs no tclsh, so
+//             CI without one still checks every committed expectation.
+//   diff      wtcl vs a live reference tclsh under normalization
+//             (tests/oracle/normalize.cc). Exits 77 (ctest SKIP) when no
+//             tclsh is found. Cases flagged `knowndiff` are pinned
+//             deviations and are skipped here (and counted in the summary).
+//   both      embedded always; diff additionally when a tclsh is found.
+//
+// Case sources: --corpus DIR (committed *.test files), --case FILE (one
+// file), --generate N --seed S (the seeded generator; no expectations, so
+// embedded mode runs only the cached-equivalence check).
+//
+// Maintenance verbs: --record rewrites the expectations of file-backed cases
+// from wtcl's current outcome (used by scripts/oracle_triage.py after a fix
+// lands); --emit DIR writes every diverging case as a .test skeleton for
+// triage; --print-outcomes dumps both sides of every case.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tests/oracle/corpus.h"
+#include "tests/oracle/generator.h"
+#include "tests/oracle/normalize.h"
+#include "tests/oracle/oracle_common.h"
+#include "tests/oracle/refpipe.h"
+#include "tests/oracle/wtcl_exec.h"
+
+#ifndef ORACLE_DRIVER_TCL
+#define ORACLE_DRIVER_TCL ""
+#endif
+#ifndef ORACLE_CORPUS_DIR
+#define ORACLE_CORPUS_DIR ""
+#endif
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitDivergence = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitSkip = 77;  // ctest SKIP_RETURN_CODE
+
+struct Options {
+  std::string corpus_dir;
+  std::string case_file;
+  std::size_t generate = 0;
+  std::uint64_t seed = 1;
+  std::string mode = "both";
+  std::string tclsh;
+  std::string driver = ORACLE_DRIVER_TCL;
+  std::string emit_dir;
+  bool record = false;
+  bool verbose = false;
+  bool print_outcomes = false;
+};
+
+void PrintOutcome(const char* tag, const oracle::Outcome& o) {
+  std::printf("  %s: code=%d result=[%s]", tag, o.code, o.result.c_str());
+  if (!o.output.empty()) std::printf(" output=[%s]", o.output.c_str());
+  std::printf("\n");
+  if (!o.error_info.empty()) {
+    std::printf("  %s errorInfo:\n%s\n", tag, o.error_info.c_str());
+  }
+}
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "oracle_runner: %s\n", message);
+  return kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--corpus" && next(&value)) {
+      opt.corpus_dir = value;
+    } else if (arg == "--case" && next(&value)) {
+      opt.case_file = value;
+    } else if (arg == "--generate" && next(&value)) {
+      opt.generate = static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (arg == "--seed" && next(&value)) {
+      opt.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--mode" && next(&value)) {
+      opt.mode = value;
+    } else if (arg == "--tclsh" && next(&value)) {
+      opt.tclsh = value;
+    } else if (arg == "--driver" && next(&value)) {
+      opt.driver = value;
+    } else if (arg == "--emit" && next(&value)) {
+      opt.emit_dir = value;
+    } else if (arg == "--record") {
+      opt.record = true;
+    } else if (arg == "--print-outcomes") {
+      opt.print_outcomes = true;
+    } else if (arg == "-v" || arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      return Fail(("unknown or incomplete option: " + arg).c_str());
+    }
+  }
+  if (opt.mode != "embedded" && opt.mode != "diff" && opt.mode != "both") {
+    return Fail("--mode must be embedded, diff, or both");
+  }
+
+  // --- Assemble the case list ----------------------------------------------
+  std::vector<oracle::Case> cases;
+  std::string error;
+  if (opt.corpus_dir.empty() && opt.case_file.empty() && opt.generate == 0) {
+    opt.corpus_dir = ORACLE_CORPUS_DIR;
+    if (opt.corpus_dir.empty()) {
+      return Fail("no cases: pass --corpus, --case, or --generate");
+    }
+  }
+  if (!opt.corpus_dir.empty() &&
+      !oracle::LoadCorpusDir(opt.corpus_dir, &cases, &error)) {
+    return Fail(error.c_str());
+  }
+  if (!opt.case_file.empty()) {
+    std::string text;
+    if (!oracle::ReadFile(opt.case_file, &text)) {
+      return Fail(("cannot read " + opt.case_file).c_str());
+    }
+    oracle::Case c;
+    if (!oracle::ParseCase(text, &c, &error)) {
+      return Fail((opt.case_file + ": " + error).c_str());
+    }
+    c.path = opt.case_file;
+    std::size_t slash = opt.case_file.find_last_of('/');
+    c.name = slash == std::string::npos ? opt.case_file
+                                        : opt.case_file.substr(slash + 1);
+    cases.push_back(std::move(c));
+  }
+  if (opt.generate > 0) {
+    std::vector<oracle::Case> generated =
+        oracle::GenerateCases(opt.seed, opt.generate);
+    cases.insert(cases.end(), generated.begin(), generated.end());
+  }
+  if (cases.empty()) return Fail("case list is empty");
+
+  // --- Record mode: refresh expectations and exit --------------------------
+  if (opt.record) {
+    std::size_t written = 0;
+    for (oracle::Case& c : cases) {
+      oracle::Outcome got = oracle::RunWtcl(c.script);
+      c.expect = got;
+      c.has_expect = true;
+      if (!c.path.empty()) {
+        if (!oracle::WriteFile(c.path, oracle::SerializeCase(c))) {
+          return Fail(("cannot write " + c.path).c_str());
+        }
+        ++written;
+      } else {
+        std::printf("%s\n%s", c.name.c_str(), oracle::SerializeCase(c).c_str());
+      }
+    }
+    std::printf("oracle: recorded expectations for %zu case(s), %zu file(s) rewritten\n",
+                cases.size(), written);
+    return kExitOk;
+  }
+
+  // --- Reference connection (diff modes) -----------------------------------
+  bool want_diff = opt.mode == "diff" || opt.mode == "both";
+  std::unique_ptr<oracle::ReferenceTcl> ref;
+  if (want_diff) {
+    std::string tclsh = !opt.tclsh.empty() ? opt.tclsh : oracle::FindReferenceTclsh();
+    if (tclsh.empty()) {
+      if (opt.mode == "diff") {
+        std::printf("oracle: no reference tclsh found (set WAFE_TCLSH or add "
+                    "tclsh to PATH); skipping differential mode\n");
+        return kExitSkip;
+      }
+      std::printf("oracle: no reference tclsh found; running embedded checks only\n");
+      want_diff = false;
+    } else {
+      if (opt.driver.empty()) return Fail("--driver path to oracle_driver.tcl missing");
+      ref.reset(new oracle::ReferenceTcl(tclsh, opt.driver));
+      if (!ref->ok()) return Fail(ref->error().c_str());
+      if (opt.verbose) std::printf("oracle: reference = %s\n", tclsh.c_str());
+    }
+  }
+  bool run_embedded = opt.mode == "embedded" || opt.mode == "both";
+
+  // --- Evaluate ------------------------------------------------------------
+  std::size_t divergences = 0;
+  std::size_t embedded_checked = 0;
+  std::size_t diff_checked = 0;
+  std::size_t knowndiff_skipped = 0;
+  std::size_t emitted = 0;
+  for (const oracle::Case& c : cases) {
+    std::vector<std::string> complaints;
+    oracle::Outcome got = oracle::RunWtcl(c.script);
+
+    // Cached-compile equivalence: the same script through a compile-cache
+    // hit must behave identically, expectations or not.
+    oracle::Outcome cached = oracle::RunWtclCached(c.script);
+    for (const std::string& d : oracle::ExactDiff(got, cached)) {
+      complaints.push_back("fresh-vs-cached " + d);
+    }
+
+    if (run_embedded && c.has_expect) {
+      ++embedded_checked;
+      for (const std::string& d : oracle::ExactDiff(got, c.expect)) {
+        complaints.push_back("embedded " + d);
+      }
+    }
+
+    oracle::Outcome refout;
+    bool have_ref = false;
+    if (want_diff && ref != nullptr) {
+      if (c.KnownDiff()) {
+        ++knowndiff_skipped;
+      } else if (!ref->Eval(c.script, &refout)) {
+        complaints.push_back("reference failure: " + ref->error());
+        ref.reset();  // driver is dead; stop diffing but finish embedded
+      } else {
+        have_ref = true;
+        ++diff_checked;
+        for (const std::string& d : oracle::NormalizedDiff(got, refout)) {
+          complaints.push_back("diff " + d);
+        }
+      }
+    }
+
+    if (opt.print_outcomes) {
+      std::printf("== %s\n--- script\n%s\n", c.name.c_str(), c.script.c_str());
+      PrintOutcome("wtcl", got);
+      if (have_ref) PrintOutcome("ref", refout);
+    }
+
+    if (!complaints.empty()) {
+      ++divergences;
+      std::printf("DIVERGENCE %s\n--- script\n%s\n", c.name.c_str(),
+                  c.script.c_str());
+      for (const std::string& d : complaints) {
+        std::printf("  %s\n", d.c_str());
+      }
+      if (!opt.print_outcomes) {
+        PrintOutcome("wtcl", got);
+        if (have_ref) PrintOutcome("ref", refout);
+      }
+      if (!opt.emit_dir.empty()) {
+        oracle::Case skeleton = c;
+        skeleton.expect = got;
+        skeleton.has_expect = true;
+        std::string path = opt.emit_dir + "/" + c.name + ".test";
+        if (oracle::WriteFile(path, oracle::SerializeCase(skeleton))) {
+          std::printf("  emitted %s\n", path.c_str());
+          ++emitted;
+        }
+      }
+    } else if (opt.verbose) {
+      std::printf("ok %s\n", c.name.c_str());
+    }
+  }
+
+  std::printf(
+      "oracle: %zu case(s), %zu embedded-checked, %zu diffed against "
+      "reference, %zu knowndiff pinned, %zu divergence(s)%s\n",
+      cases.size(), embedded_checked, diff_checked, knowndiff_skipped,
+      divergences,
+      emitted ? (", " + std::to_string(emitted) + " emitted").c_str() : "");
+  return divergences == 0 ? kExitOk : kExitDivergence;
+}

@@ -1,0 +1,199 @@
+#include "tests/oracle/refpipe.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/select.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace oracle {
+
+namespace {
+
+// A hung reference (or a runaway generated script) must not hang the test
+// run; corpus scripts finish in milliseconds.
+constexpr int kReadTimeoutSeconds = 20;
+
+bool OnPath(const std::string& name, std::string* resolved) {
+  const char* path = std::getenv("PATH");
+  if (path == nullptr) return false;
+  std::string dirs = path;
+  std::size_t start = 0;
+  while (start <= dirs.size()) {
+    std::size_t colon = dirs.find(':', start);
+    std::string dir = dirs.substr(
+        start, colon == std::string::npos ? std::string::npos : colon - start);
+    if (!dir.empty()) {
+      std::string candidate = dir + "/" + name;
+      if (access(candidate.c_str(), X_OK) == 0) {
+        *resolved = candidate;
+        return true;
+      }
+    }
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string FindReferenceTclsh() {
+  const char* env = std::getenv("WAFE_TCLSH");
+  if (env != nullptr && env[0] != '\0') {
+    return access(env, X_OK) == 0 ? env : "";
+  }
+  std::string resolved;
+  if (OnPath("tclsh", &resolved)) return resolved;
+  if (OnPath("tclsh8.6", &resolved)) return resolved;
+  return "";
+}
+
+ReferenceTcl::ReferenceTcl(const std::string& tclsh_path,
+                           const std::string& driver_path) {
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+    error_ = "pipe() failed";
+    return;
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    error_ = "fork() failed";
+    return;
+  }
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    execl(tclsh_path.c_str(), tclsh_path.c_str(), driver_path.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  pid_ = pid;
+  to_child_ = to_child[1];
+  from_child_ = from_child[0];
+  signal(SIGPIPE, SIG_IGN);
+}
+
+ReferenceTcl::~ReferenceTcl() {
+  if (pid_ > 0) {
+    // Best-effort orderly shutdown before reaping.
+    ssize_t ignored = write(to_child_, "EXIT\n", 5);
+    (void)ignored;
+  }
+  Close();
+  if (pid_ > 0) {
+    int status = 0;
+    if (waitpid(pid_, &status, WNOHANG) == 0) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, &status, 0);
+    }
+  }
+}
+
+void ReferenceTcl::Close() {
+  if (to_child_ >= 0) close(to_child_);
+  if (from_child_ >= 0) close(from_child_);
+  to_child_ = -1;
+  from_child_ = -1;
+}
+
+bool ReferenceTcl::ReadExact(std::size_t n, std::string* out) {
+  while (buffer_.size() < n) {
+    fd_set fds;
+    FD_ZERO(&fds);
+    FD_SET(from_child_, &fds);
+    timeval tv = {kReadTimeoutSeconds, 0};
+    int ready = select(from_child_ + 1, &fds, nullptr, nullptr, &tv);
+    if (ready <= 0) {
+      error_ = ready == 0 ? "timeout waiting for reference tclsh"
+                          : "select() failed";
+      return false;
+    }
+    char chunk[4096];
+    ssize_t got = read(from_child_, chunk, sizeof(chunk));
+    if (got <= 0) {
+      error_ = "reference tclsh closed the pipe";
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+  out->assign(buffer_, 0, n);
+  buffer_.erase(0, n);
+  return true;
+}
+
+bool ReferenceTcl::ReadLine(std::string* line) {
+  for (;;) {
+    std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    std::string more;
+    // Pull at least one more byte through the timeout machinery.
+    if (!ReadExact(buffer_.size() + 1, &more)) return false;
+    buffer_ = more + buffer_;
+  }
+}
+
+bool ReferenceTcl::Eval(const std::string& script, Outcome* out) {
+  if (pid_ <= 0) {
+    if (error_.empty()) error_ = "reference tclsh not running";
+    return false;
+  }
+  std::string frame =
+      "EVAL " + std::to_string(script.size()) + "\n" + script + "\n";
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    ssize_t n = write(to_child_, frame.data() + written, frame.size() - written);
+    if (n <= 0) {
+      error_ = "write to reference tclsh failed";
+      pid_ = -1;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  auto read_sized = [&](const char* tag, std::string* value) {
+    std::string line;
+    if (!ReadLine(&line)) return false;
+    std::string prefix = std::string(tag) + " ";
+    if (line.rfind(prefix, 0) != 0) {
+      error_ = "protocol error: expected " + prefix + "got: " + line;
+      return false;
+    }
+    std::size_t n = static_cast<std::size_t>(
+        std::strtoul(line.c_str() + prefix.size(), nullptr, 10));
+    if (!ReadExact(n, value)) return false;
+    std::string newline;
+    return ReadExact(1, &newline);
+  };
+  std::string line;
+  if (!ReadLine(&line)) return false;
+  if (line.rfind("CODE ", 0) != 0) {
+    error_ = "protocol error: expected CODE, got: " + line;
+    return false;
+  }
+  out->code = std::atoi(line.c_str() + 5);
+  if (!read_sized("RESULT", &out->result)) return false;
+  if (!read_sized("INFO", &out->error_info)) return false;
+  if (!read_sized("OUT", &out->output)) return false;
+  if (!ReadLine(&line) || line != "DONE") {
+    error_ = "protocol error: expected DONE";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace oracle

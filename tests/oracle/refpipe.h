@@ -1,0 +1,47 @@
+// Reference-Tcl subprocess: spawns `tclsh oracle_driver.tcl` and evaluates
+// scripts through the driver's length-prefixed pipe protocol.
+#ifndef TESTS_ORACLE_REFPIPE_H_
+#define TESTS_ORACLE_REFPIPE_H_
+
+#include <string>
+
+#include "tests/oracle/oracle_common.h"
+
+namespace oracle {
+
+// Locates a reference tclsh: $WAFE_TCLSH if set, else `tclsh` / `tclsh8.6`
+// on PATH. Returns the resolved command (empty when none is found).
+std::string FindReferenceTclsh();
+
+class ReferenceTcl {
+ public:
+  // Spawns `tclsh_path driver_path`. Check ok() before use.
+  ReferenceTcl(const std::string& tclsh_path, const std::string& driver_path);
+  ~ReferenceTcl();
+
+  ReferenceTcl(const ReferenceTcl&) = delete;
+  ReferenceTcl& operator=(const ReferenceTcl&) = delete;
+
+  bool ok() const { return pid_ > 0; }
+  const std::string& error() const { return error_; }
+
+  // Evaluates one script in a fresh child interp of the reference. Returns
+  // false (and fills error()) on a protocol failure or timeout, after which
+  // the driver is considered dead.
+  bool Eval(const std::string& script, Outcome* out);
+
+ private:
+  bool ReadLine(std::string* line);
+  bool ReadExact(std::size_t n, std::string* out);
+  void Close();
+
+  int pid_ = -1;
+  int to_child_ = -1;
+  int from_child_ = -1;
+  std::string buffer_;  // read-ahead from the child
+  std::string error_;
+};
+
+}  // namespace oracle
+
+#endif  // TESTS_ORACLE_REFPIPE_H_

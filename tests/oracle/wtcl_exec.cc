@@ -1,0 +1,34 @@
+#include "tests/oracle/wtcl_exec.h"
+
+#include "src/tcl/interp.h"
+
+namespace oracle {
+
+namespace {
+
+Outcome Run(const std::string& script, bool precompile) {
+  wtcl::Interp interp;
+  Outcome out;
+  interp.set_output([&out](const std::string& text) { out.output += text; });
+  // Keep runaway generated scripts from wedging the oracle; generous enough
+  // that no legitimate corpus case comes near it.
+  interp.set_max_steps(2000000);
+  if (precompile) {
+    (void)interp.Precompile(script);
+  }
+  wtcl::Result r = interp.Eval(script);
+  out.code = static_cast<int>(r.code);  // Status mirrors catch numbering
+  out.result = r.value;
+  if (r.code == wtcl::Status::kError && interp.error_trace_active()) {
+    interp.GetGlobalVar("errorInfo", &out.error_info);
+  }
+  return out;
+}
+
+}  // namespace
+
+Outcome RunWtcl(const std::string& script) { return Run(script, false); }
+
+Outcome RunWtclCached(const std::string& script) { return Run(script, true); }
+
+}  // namespace oracle

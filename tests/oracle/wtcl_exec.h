@@ -1,0 +1,24 @@
+// Runs oracle case scripts through wtcl, mirroring the reference driver's
+// per-case isolation: every script evaluates in a fresh Interp with output
+// captured.
+#ifndef TESTS_ORACLE_WTCL_EXEC_H_
+#define TESTS_ORACLE_WTCL_EXEC_H_
+
+#include <string>
+
+#include "tests/oracle/oracle_common.h"
+
+namespace oracle {
+
+// Fresh interp, single Eval.
+Outcome RunWtcl(const std::string& script);
+
+// Fresh interp, but the script is precompiled first so the subsequent Eval
+// executes through a compile-cache hit — the cached-dispatch path that PR 5
+// introduced. State is identical to RunWtcl (precompilation executes
+// nothing), so the two outcomes must match byte-exactly.
+Outcome RunWtclCached(const std::string& script);
+
+}  // namespace oracle
+
+#endif  // TESTS_ORACLE_WTCL_EXEC_H_

@@ -355,7 +355,9 @@ TEST(TclListCmd, Linsert) {
   Interp interp;
   EXPECT_EQ(Eval(interp, "linsert {a c} 1 b"), "a b c");
   EXPECT_EQ(Eval(interp, "linsert {a b} 0 start"), "start a b");
-  EXPECT_EQ(Eval(interp, "linsert {a b} end z"), "a z b");
+  // "end" names the slot after the last element: linsert appends.
+  EXPECT_EQ(Eval(interp, "linsert {a b} end z"), "a b z");
+  EXPECT_EQ(Eval(interp, "linsert {a b} end-1 z"), "a z b");
 }
 
 TEST(TclListCmd, Lreplace) {

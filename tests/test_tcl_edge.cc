@@ -212,5 +212,82 @@ TEST(TclMisc, GlobalEvalFromNestedFrame) {
   EXPECT_TRUE(interp.GetGlobalVar("g", &value));
 }
 
+// --- Golden errorInfo traces -------------------------------------------------
+// Exact multi-level shapes, pinned byte-for-byte. The quoted commands are the
+// SOURCE text of each failing invocation ("leaf $v", braces intact), matching
+// what Tcl quotes — not the substituted argv.
+
+std::string ErrorInfoOf(Interp& interp, const std::string& script) {
+  Result r = interp.Eval(script);
+  EXPECT_EQ(r.code, Status::kError) << script;
+  std::string info;
+  EXPECT_TRUE(interp.GetGlobalVar("errorInfo", &info));
+  return info;
+}
+
+TEST(TclErrorInfo, NestedProcsQuoteSourceText) {
+  Interp interp;
+  std::string info = ErrorInfoOf(interp,
+                                 "proc leaf {v} {error boom}\n"
+                                 "proc mid {v} {leaf $v}\n"
+                                 "mid 3");
+  EXPECT_EQ(info,
+            "boom\n"
+            "    while executing\n"
+            "\"error boom\" (line 1, level 3)\n"
+            "    while executing\n"
+            "\"leaf $v\" (line 1, level 2)\n"
+            "    while executing\n"
+            "\"mid 3\" (line 3, level 1)");
+}
+
+TEST(TclErrorInfo, ForeachBodyKeepsItsLevel) {
+  Interp interp;
+  std::string info = ErrorInfoOf(interp, "foreach v {1 2 3} {error boom}");
+  EXPECT_EQ(info,
+            "boom\n"
+            "    while executing\n"
+            "\"error boom\" (line 1, level 2)\n"
+            "    while executing\n"
+            "\"foreach v {1 2 3} {error boom}\" (line 1, level 1)");
+}
+
+TEST(TclErrorInfo, WhileAndIfBodiesAddNoLevel) {
+  // Tcl's byte-compiled while/for/if add no trace level of their own; only
+  // the failing command inside the body appears.
+  Interp interp;
+  std::string info = ErrorInfoOf(interp,
+                                 "set v 0\n"
+                                 "while {$v < 3} {incr v\n"
+                                 "error boom}");
+  EXPECT_EQ(info,
+            "boom\n"
+            "    while executing\n"
+            "\"error boom\" (line 2, level 2)");
+  std::string info2 = ErrorInfoOf(interp, "if {1} {error boom2}");
+  EXPECT_EQ(info2,
+            "boom2\n"
+            "    while executing\n"
+            "\"error boom2\" (line 1, level 2)");
+}
+
+TEST(TclErrorInfo, WhileOwnErrorsKeepTheLevel) {
+  // Errors in while's own processing (arity) still quote the while command.
+  Interp interp;
+  std::string info = ErrorInfoOf(interp, "while {1}");
+  EXPECT_NE(info.find("\"while {1}\""), std::string::npos) << info;
+}
+
+TEST(TclErrorInfo, CachedSecondRunTraceIsIdentical) {
+  // The same failing script through the compile-cache hit path must build
+  // the same trace byte-for-byte.
+  Interp interp;
+  Eval(interp, "proc leaf {v} {error boom}\nproc mid {v} {leaf $v}");
+  std::string first = ErrorInfoOf(interp, "mid 3");
+  std::string second = ErrorInfoOf(interp, "mid 3");
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"leaf $v\""), std::string::npos) << first;
+}
+
 }  // namespace
 }  // namespace wtcl

@@ -84,8 +84,13 @@ TEST(TclNumeric, ExprBadOctalThroughVariableIsHardError) {
   Interp interp;
   Eval(interp, "set v 09");
   std::string error = EvalError(interp, "expr {$v + 1}");
-  EXPECT_NE(error.find("expected integer but got \"09\""), std::string::npos)
+  EXPECT_NE(error.find("can't use invalid octal number as operand of \"+\""),
+            std::string::npos)
       << error;
+  // Comparison operators fall back to string comparison instead (Tcl
+  // semantics: only arithmetic rejects the malformed number).
+  EXPECT_EQ(Eval(interp, "expr {$v < 1}"), "1");
+  EXPECT_EQ(Eval(interp, "expr {$v == 9}"), "0");
 }
 
 TEST(TclNumeric, ExprOverflowingIntegerLiteralIsHardError) {
@@ -159,8 +164,7 @@ TEST(TclNumeric, ListIndexEndMinusOverflowIsError) {
   // around into a bogus in-range index.
   std::string error =
       EvalError(interp, "lindex $l end-" + std::to_string(LONG_MIN));
-  EXPECT_NE(error.find("expected integer but got"), std::string::npos)
-      << error;
+  EXPECT_NE(error.find("bad index"), std::string::npos) << error;
   // A huge-but-valid offset is simply out of range: empty result.
   EXPECT_EQ(Eval(interp, "lindex $l end-1000000"), "");
 }

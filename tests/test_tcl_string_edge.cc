@@ -1,0 +1,124 @@
+// string index/range/compare over the shared index grammar (end, end±N,
+// out-of-range, malformed), including values whose reps are shared between
+// variables and shimmered between list and string interpretations — the
+// cached rep must never leak a stale answer into a string operation.
+#include <gtest/gtest.h>
+
+#include "src/tcl/interp.h"
+
+namespace wtcl {
+namespace {
+
+std::string Eval(Interp& interp, const std::string& script) {
+  Result r = interp.Eval(script);
+  EXPECT_TRUE(r.ok()) << "script: " << script << "\nerror: " << r.value;
+  return r.value;
+}
+
+std::string EvalError(Interp& interp, const std::string& script) {
+  Result r = interp.Eval(script);
+  EXPECT_EQ(r.code, Status::kError) << "script: " << script;
+  return r.value;
+}
+
+TEST(TclStringIndex, EndForms) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "string index abcdef end"), "f");
+  EXPECT_EQ(Eval(interp, "string index abcdef end-0"), "f");
+  EXPECT_EQ(Eval(interp, "string index abcdef end-2"), "d");
+  EXPECT_EQ(Eval(interp, "string index abcdef end-5"), "a");
+  // end+N walks past the last character: out of range, empty.
+  EXPECT_EQ(Eval(interp, "string index abcdef end+1"), "");
+  EXPECT_EQ(Eval(interp, "string index abcdef end-6"), "");
+}
+
+TEST(TclStringIndex, OutOfRangeIsEmpty) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "string index abc 100"), "");
+  EXPECT_EQ(Eval(interp, "string index abc -1"), "");
+  EXPECT_EQ(Eval(interp, "string index {} 0"), "");
+}
+
+TEST(TclStringIndex, AcceptsIntegerForms) {
+  Interp interp;
+  // The shared index parser takes hex/octal and padded spellings.
+  EXPECT_EQ(Eval(interp, "string index abcdef 0x2"), "c");
+  EXPECT_EQ(Eval(interp, "string index abcdef { 1 }"), "b");
+}
+
+TEST(TclStringIndex, BadIndexMessage) {
+  Interp interp;
+  EXPECT_EQ(EvalError(interp, "string index abc bogus"),
+            "bad index \"bogus\": must be integer?[+-]integer? or "
+            "end?[+-]integer?");
+  EXPECT_EQ(EvalError(interp, "string index abc 1.5"),
+            "bad index \"1.5\": must be integer?[+-]integer? or "
+            "end?[+-]integer?");
+  EXPECT_EQ(EvalError(interp, "string range abc 0 end-x"),
+            "bad index \"end-x\": must be integer?[+-]integer? or "
+            "end?[+-]integer?");
+}
+
+TEST(TclStringRange, EndFormsAndClamping) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "string range abcdef 1 end-1"), "bcde");
+  EXPECT_EQ(Eval(interp, "string range abcdef end-3 end"), "cdef");
+  EXPECT_EQ(Eval(interp, "string range abcdef -5 100"), "abcdef");
+  EXPECT_EQ(Eval(interp, "string range abcdef end-1 end-3"), "");
+  EXPECT_EQ(Eval(interp, "string range abcdef end end+5"), "f");
+}
+
+TEST(TclStringEdge, SharedValueShimmerListThenString) {
+  Interp interp;
+  // The variable's rep is first parsed as a list (lindex), then the same
+  // shared rep serves string operations; both views must stay consistent,
+  // for the original and for a rep-sharing copy.
+  Eval(interp, "set s {a b c}");
+  Eval(interp, "set keep $s");
+  EXPECT_EQ(Eval(interp, "lindex $s 1"), "b");
+  EXPECT_EQ(Eval(interp, "string index $s end"), "c");
+  EXPECT_EQ(Eval(interp, "string range $s 2 end-2"), "b");
+  EXPECT_EQ(Eval(interp, "string index $keep 0"), "a");
+  // Mutating one variable must not disturb the copy's string view.
+  Eval(interp, "lappend s d");
+  EXPECT_EQ(Eval(interp, "string index $s end"), "d");
+  EXPECT_EQ(Eval(interp, "set keep"), "a b c");
+  EXPECT_EQ(Eval(interp, "string index $keep end"), "c");
+}
+
+TEST(TclStringEdge, NumericRepThenStringIndex) {
+  Interp interp;
+  // An integer-classified value ("0x2f" cached as 47 by expr) indexed as a
+  // string must use the original spelling, not a formatted rep.
+  Eval(interp, "set n 0x2f");
+  EXPECT_EQ(Eval(interp, "expr {$n + 1}"), "48");
+  EXPECT_EQ(Eval(interp, "string index $n 1"), "x");
+  EXPECT_EQ(Eval(interp, "string range $n end-1 end"), "2f");
+}
+
+TEST(TclStringCompare, OrderingAndSharedReps) {
+  Interp interp;
+  EXPECT_EQ(Eval(interp, "string compare abc abd"), "-1");
+  EXPECT_EQ(Eval(interp, "string compare abd abc"), "1");
+  EXPECT_EQ(Eval(interp, "string compare abc abc"), "0");
+  // Numeric-looking operands compare as strings, even when one of them has
+  // a cached integer rep from arithmetic.
+  Eval(interp, "set a 10");
+  Eval(interp, "expr {$a * 1}");
+  EXPECT_EQ(Eval(interp, "string compare $a 9"), "-1");
+  EXPECT_EQ(Eval(interp, "string compare $a 10"), "0");
+}
+
+TEST(TclStringEdge, IndexIntoProcSharedArgument) {
+  Interp interp;
+  // Arguments are bound by rep share; indexing inside the proc must not
+  // corrupt the caller's value.
+  Eval(interp, "proc pick {s i} {string index $s $i}");
+  Eval(interp, "set v {x y z}");
+  EXPECT_EQ(Eval(interp, "pick $v end"), "z");
+  EXPECT_EQ(Eval(interp, "lindex $v 1"), "y");
+  EXPECT_EQ(Eval(interp, "set v"), "x y z");
+}
+
+}  // namespace
+}  // namespace wtcl
