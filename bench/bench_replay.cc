@@ -1,0 +1,191 @@
+// E9 — the record/replay subsystem as a load generator: journal append and
+// read-back throughput, the recording tax on the protocol hot path, and
+// recorded traffic multiplied through the protocol read path
+// (DrainBuffer -> HandleLine) at N-way fan-out. The headline counter is
+// lines/sec through DrainBuffer; with metrics enabled the p99 of
+// comm.request.latency is reported alongside.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/replay.h"
+#include "src/obs/obs.h"
+
+namespace {
+
+std::string TempJournal(const char* stem) {
+  return "/tmp/" + std::string(stem) + "." + std::to_string(::getpid()) + ".wj";
+}
+
+// Journal appender throughput: length-prefix + CRC + write per record,
+// fsync policy none (the recording-session default).
+void BM_JournalAppend(benchmark::State& state) {
+  std::string path = TempJournal("bench_append");
+  {
+    wafe::JournalWriter writer;
+    std::string error;
+    if (!writer.Open(path, wafe::FsyncPolicy::kNone, 0, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    const std::string payload = "%sV result label {42 = 2 * 3 * 7}";
+    for (auto _ : state) {
+      writer.Append(wafe::JournalRecordType::kLine, payload);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(payload.size()));
+  }
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_JournalAppend);
+
+// Read-back + CRC validation throughput over a 100k-record journal.
+void BM_JournalRead(benchmark::State& state) {
+  std::string path = TempJournal("bench_read");
+  {
+    wafe::JournalWriter writer;
+    std::string error;
+    if (!writer.Open(path, wafe::FsyncPolicy::kNone, 0, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    for (int i = 0; i < 100000; ++i) {
+      writer.Append(wafe::JournalRecordType::kLine, "%sV result label waiting");
+    }
+  }
+  for (auto _ : state) {
+    wafe::JournalReader reader;
+    std::string error;
+    if (!reader.Open(path, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(reader.records().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_JournalRead)->Unit(benchmark::kMillisecond);
+
+// The headline: %-lines through the real read path — written into the
+// channel pipe in batches, split by DrainBuffer, dispatched by HandleLine —
+// with recording off (arg 0) and on (arg 1): the recording tax on the
+// protocol hot path is the delta.
+void BM_DrainBufferLines(benchmark::State& state) {
+  const bool recording = state.range(0) != 0;
+  wafe::Wafe app;
+  bench_util::ProtocolHarness harness(&app);
+  app.set_passthrough([](const std::string&) {});
+  std::string path = TempJournal("bench_drain");
+  if (recording) {
+    std::string error;
+    if (!app.StartRecording(path, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+  }
+  // One pipe-sized batch of short eval lines per pump: the protocol mix a
+  // chatty backend produces (variable updates against the interp).
+  std::string batch;
+  int per_batch = 0;
+  while (batch.size() < 48 * 1024) {
+    batch += "%set i ";
+    batch += std::to_string(per_batch & 15);
+    batch += "\n";
+    ++per_batch;
+  }
+  std::size_t handled = 0;
+  for (auto _ : state) {
+    ssize_t ignored = ::write(harness.write_fd(), batch.data(), batch.size());
+    (void)ignored;
+    while (app.app().RunOneIteration(false)) {
+    }
+    handled += static_cast<std::size_t>(per_batch);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(handled));
+  state.counters["lines_per_sec"] = benchmark::Counter(
+      static_cast<double>(handled), benchmark::Counter::kIsRate);
+  if (recording) {
+    app.StopRecording();
+  }
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_DrainBufferLines)->Arg(0)->Arg(1);
+
+// Journal replay end to end: a recorded 4096-line session re-executed from
+// disk through ReplayJournal (virtual clock, fresh instance per run).
+void BM_ReplayJournal(benchmark::State& state) {
+  std::string path = TempJournal("bench_replay");
+  {
+    wafe::JournalWriter writer;
+    std::string error;
+    if (!writer.Open(path, wafe::FsyncPolicy::kNone, 0, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    for (int i = 0; i < 4096; ++i) {
+      writer.Append(wafe::JournalRecordType::kLine,
+                    "%set v(" + std::to_string(i & 255) + ") " + std::to_string(i));
+    }
+  }
+  for (auto _ : state) {
+    wafe::Wafe app;
+    wafe::ReplayStats stats;
+    std::string error;
+    if (!wafe::ReplayJournal(app, path, &stats, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_ReplayJournal)->Unit(benchmark::kMillisecond);
+
+// M-way fan-out: the same recorded line set multiplied across M frontend
+// instances (the traffic-multiplying load-generator mode). With metrics on,
+// the p99 of comm.request.latency lands in the counters.
+void BM_ReplayFanout(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  wobs::SetMetricsEnabled(true);
+  wobs::Registry::Instance().ResetMetrics();
+  std::vector<std::string> lines;
+  lines.reserve(512);
+  for (int i = 0; i < 512; ++i) {
+    lines.push_back("%set i " + std::to_string(i));
+  }
+  std::vector<std::unique_ptr<wafe::Wafe>> fleet;
+  for (int i = 0; i < fanout; ++i) {
+    fleet.push_back(std::make_unique<wafe::Wafe>());
+    fleet.back()->frontend().set_replay_mode(true);
+  }
+  std::size_t handled = 0;
+  for (auto _ : state) {
+    for (std::unique_ptr<wafe::Wafe>& app : fleet) {
+      for (const std::string& line : lines) {
+        app->frontend().ReplayLine(line);
+      }
+      handled += lines.size();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(handled));
+  state.counters["lines_per_sec"] = benchmark::Counter(
+      static_cast<double>(handled), benchmark::Counter::kIsRate);
+  for (wobs::Histogram* histogram : wobs::Registry::Instance().histograms()) {
+    if (std::strcmp(histogram->name(), "comm.request.latency") == 0) {
+      state.counters["latency_p99_ns"] = benchmark::Counter(
+          static_cast<double>(histogram->ApproxQuantileNs(0.99)));
+      break;
+    }
+  }
+  wobs::SetMetricsEnabled(false);
+}
+BENCHMARK(BM_ReplayFanout)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+
+WAFE_BENCH_MAIN()

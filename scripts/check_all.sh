@@ -9,7 +9,7 @@
 #   asan     -> build-asan/   (WAFE_SANITIZE=ON,   preset "sanitize")
 #   ubsan    -> build-ubsan/  (WAFE_SANITIZE=UBSAN, preset "ubsan")
 #
-# Labels run: tcl comm faults obs ui oracle. The oracle differential tests
+# Labels run: tcl comm faults obs ui oracle replay. The oracle differential tests
 # self-skip (exit 77) when no reference tclsh is available; that counts as a
 # pass here, matching ctest's "skipped" accounting. perf benches are slow and
 # only run when WAFE_CHECK_PERF=1.
@@ -27,7 +27,7 @@ esac
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo"
 
-labels="tcl comm faults obs ui oracle"
+labels="tcl comm faults obs ui oracle replay"
 [ "${WAFE_CHECK_PERF:-0}" = "1" ] && labels="$labels perf"
 
 echo "== configure ($preset -> $build_dir)"
@@ -38,7 +38,7 @@ cmake --build "$build_dir" -j "$(nproc)"
 status=0
 
 echo "== core (unlabeled tier-1)"
-if ! ctest --test-dir "$build_dir" -LE 'tcl|comm|faults|obs|ui|perf|oracle' \
+if ! ctest --test-dir "$build_dir" -LE 'tcl|comm|faults|obs|ui|perf|oracle|replay' \
      --output-on-failure; then
   status=1
 fi

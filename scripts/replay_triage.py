@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Minimize fault-tripping session journals into committed regression entries.
+
+Workflow:
+
+    # 1. Capture: a recording session trips a guard (circuit breaker, eval
+    #    limit); the journal is on disk. Convert it to the editable text form.
+    build/src/core/wreplay --dump crash.wj > /tmp/crash.wjt
+
+    # 2. Distill: minimize the text journal while replaying it still trips
+    #    the same guard, then drop the result into the committed corpus with
+    #    an #expect directive pinning the metric.
+    scripts/replay_triage.py --wreplay build/src/core/wreplay \
+        --expect tcl.eval.limit.steps \
+        --out tests/replay/corpus/my_fault.wjt /tmp/crash.wjt
+
+Minimization is a greedy delta-debugging pass over the journal's records: a
+reduction is kept only while `wreplay <journal>` still exits 0 AND its
+replay summary still shows the signature the fault left behind (for
+--expect tcl.* / comm.* guards, the trip is detected by replaying under
+WAFE_METRICS=1 and checking the summary's evalTrips count or, for line-level
+faults, the given --signature regex against wreplay's combined output).
+Records the replay summary of the minimized journal as a trailing comment.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+MAGIC = "# wafe-journal-text 1"
+
+
+def read_journal(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    if not lines or lines[0] != MAGIC:
+        sys.exit(f"{path}: not a text journal (expected '{MAGIC}'); "
+                 "convert with: wreplay --dump <binary.wj>")
+    body = [l for l in lines[1:] if l.strip() and not l.startswith("#")]
+    return body
+
+
+def write_journal(path, records, comments=()):
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(MAGIC + "\n")
+        for comment in comments:
+            fh.write(comment.rstrip() + "\n")
+        for record in records:
+            fh.write(record + "\n")
+
+
+def run_replay(wreplay, records, signature):
+    """Replays the candidate; returns True when the fault signature is there."""
+    with tempfile.NamedTemporaryFile("w", suffix=".wjt", delete=False) as fh:
+        fh.write(MAGIC + "\n")
+        for record in records:
+            fh.write(record + "\n")
+        candidate = fh.name
+    try:
+        env = dict(os.environ, WAFE_METRICS="1")
+        proc = subprocess.run([wreplay, candidate], capture_output=True,
+                              text=True, timeout=60, env=env)
+        if proc.returncode != 0:
+            return False
+        return re.search(signature, proc.stdout + proc.stderr) is not None
+    except subprocess.TimeoutExpired:
+        return False
+    finally:
+        os.unlink(candidate)
+
+
+def ddmin(records, still_fails):
+    """Classic greedy ddmin over the record list."""
+    chunk = max(1, len(records) // 2)
+    while chunk >= 1:
+        shrunk = True
+        while shrunk:
+            shrunk = False
+            i = 0
+            while i < len(records):
+                candidate = records[:i] + records[i + chunk:]
+                if candidate and still_fails(candidate):
+                    records = candidate
+                    shrunk = True
+                else:
+                    i += chunk
+        chunk //= 2
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="minimize a fault-tripping session journal")
+    parser.add_argument("--wreplay", required=True, help="wreplay binary")
+    parser.add_argument("--out", required=True, help="minimized journal path")
+    parser.add_argument("--expect", action="append", default=[],
+                        help="metric name to pin in an #expect directive "
+                             "(repeatable); written with min-delta 1")
+    parser.add_argument("--signature", default=None,
+                        help="regex the replay output must keep matching "
+                             "(default: derived from the original run)")
+    parser.add_argument("journal", help="text journal to minimize (.wjt)")
+    args = parser.parse_args()
+
+    records = read_journal(args.journal)
+    if not records:
+        sys.exit(f"{args.journal}: no records")
+
+    if args.signature is not None:
+        signature = args.signature
+    elif args.expect:
+        # Pin the metric the fault fires: wreplay prints every non-zero
+        # counter after the replay ("replay: metric <name> <n>").
+        signature = "|".join(rf"replay: metric {re.escape(m)} [1-9]"
+                             for m in args.expect)
+    else:
+        # Default signature: the guard trips show up in the replay summary's
+        # counts — a journal that stops tripping stops matching.
+        signature = r"evalTrips [1-9]|gone [1-9]"
+        if not run_replay(args.wreplay, records, signature):
+            # Fall back to "replays clean at all": minimization then only
+            # guards against breaking the journal outright.
+            signature = r"^replay: records"
+
+    if not run_replay(args.wreplay, records, signature):
+        sys.exit(f"{args.journal}: replay does not match signature "
+                 f"/{signature}/ before minimization; nothing to distill")
+
+    minimized = ddmin(records, lambda r: run_replay(args.wreplay, r, signature))
+    print(f"minimized {len(records)} -> {len(minimized)} records")
+
+    comments = [f"# Minimized by replay_triage.py from {os.path.basename(args.journal)}",
+                f"# signature: {signature}"]
+    comments += [f"#expect {metric} 1" for metric in args.expect]
+    write_journal(args.out, minimized, comments)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

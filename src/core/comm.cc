@@ -145,6 +145,25 @@ Frontend::~Frontend() { CloseBackend(); }
 
 bool Frontend::SpawnBackend(const std::string& program, const std::vector<std::string>& args,
                             std::string* error) {
+  if (replay_mode_) {
+    // Replay: no child process exists — only the supervision bookkeeping
+    // (program name, respawn counting) advances, so the restart/backoff
+    // decisions replayed lines trigger match the recorded session's.
+    backend_program_ = program;
+    backend_args_ = args;
+    exit_recorded_ = false;
+    last_exit_status_ = 0;
+    buffer_.clear();
+    overlong_in_progress_ = false;
+    return true;
+  }
+  if (wafe_->recording()) {
+    std::string description = program;
+    for (const std::string& arg : args) {
+      description += " " + arg;
+    }
+    wafe_->RecordSpawn(description);
+  }
   if (!sigpipe_guard_held_) {
     AcquireSigpipeGuard();
     sigpipe_guard_held_ = true;
@@ -320,6 +339,11 @@ int Frontend::DrainBuffer() {
 void Frontend::HandleLine(const std::string& line) {
   ++lines_received_;
   g_lines_in.Increment();
+  // Journal the line before evaluating it: a crash mid-eval still leaves
+  // the line that caused it in the journal (fsync policy permitting).
+  if (wafe_->recording() && !replay_mode_) {
+    wafe_->RecordInboundLine(line);
+  }
   if (!line.empty() && line[0] == wafe_->options().prefix) {
     g_percent_commands.Increment();
     // The request scope opens before the span, so every event pushed while
@@ -378,6 +402,9 @@ void Frontend::HandleEvalError(const std::string& message) {
     // The backend is feeding a steady stream of failing %-lines: trip the
     // circuit instead of wedging. Supervision (if on) respawns it.
     g_circuit_tripped.Increment();
+    if (wafe_->recording() && !replay_mode_) {
+      wafe_->RecordCircuitTrip(eval_errors_consecutive_);
+    }
     // Flight record before the breaker acts: recovery (a respawned backend,
     // the quit path) would overwrite the ring that still holds the offending
     // request's spans.
@@ -692,6 +719,17 @@ void Frontend::HandleBackendGone(const char* reason) {
       }
     }
   }
+  // Journaled after the reap so the recorded transition carries the exit
+  // status the Tcl hook is about to see. Breaker-driven deaths
+  // ("error-limit") regenerate during replay from the recorded lines, so the
+  // record is informational for them; external deaths (hangup, write
+  // errors) are replayed from it.
+  if (wafe_->recording() && !replay_mode_) {
+    wafe_->RecordBackendGone(
+        std::string(reason) + " " +
+        (exit_recorded_ ? std::to_string(last_exit_status_) : "unknown") + " " +
+        std::to_string(restarts_done_));
+  }
   // The Tcl hook sees reason, status, and restart count as variables.
   wafe_->interp().SetVar("backendExitReason", reason);
   wafe_->interp().SetVar("backendExitStatus",
@@ -741,6 +779,15 @@ void Frontend::RespawnNow() {
                         std::to_string(max_restarts_) + ")");
   // Lines queued while the backend was down flow to the replacement.
   FlushSendQueue();
+}
+
+void Frontend::ReplayBackendGone(const char* reason, bool has_status, int status) {
+  exit_recorded_ = has_status;
+  last_exit_status_ = has_status ? status : 0;
+  // pid_ is -1 in replay mode, so the reap inside is an immediate no-op; the
+  // rest — exit variables, the exit hook, respawn scheduling or Quit — runs
+  // exactly as it did when the transition was recorded.
+  HandleBackendGone(reason);
 }
 
 int Frontend::WaitBackend() {
@@ -793,12 +840,42 @@ void Frontend::CloseBackend() {
       wafe_->app().RemoveInput(mass_input_id_);
       mass_input_id_ = -1;
     }
+    // An armed transfer interrupted by shutdown: salvage what the pipe
+    // already holds (non-blocking; the poll loop is no longer watching it)
+    // before releasing the fd.
+    if (mass_armed_) {
+      SetNonBlocking(mass_read_fd_);
+      char chunk[16384];
+      ssize_t n;
+      while (mass_buffer_.size() < mass_expected_ &&
+             (n = ::read(mass_read_fd_, chunk, sizeof(chunk))) > 0) {
+        mass_buffer_.append(chunk, static_cast<std::size_t>(n));
+      }
+    }
     ::close(mass_read_fd_);
     mass_read_fd_ = -1;
   }
   if (mass_backend_fd_ >= 0) {
     ::close(mass_backend_fd_);
     mass_backend_fd_ = -1;
+  }
+  // Complete-as-truncated, mirroring the EOF path: the armed Tcl variable is
+  // set to whatever arrived and the completion script runs, instead of the
+  // transfer silently evaporating. Ordered after the fd release and before
+  // the reap — a backend blocked writing into a full mass pipe sees EPIPE
+  // once the read end closes and can exit, so the reap below succeeds
+  // without escalating.
+  if (mass_armed_) {
+    g_mass_truncated.Increment();
+    wobs::Log("comm",
+              "mass channel closed mid-transfer: expected " +
+                  std::to_string(mass_expected_) + " bytes, got " +
+                  std::to_string(mass_buffer_.size()),
+              /*always=*/true);
+    if (mass_buffer_.size() < mass_expected_) {
+      mass_expected_ = mass_buffer_.size();
+    }
+    FinishMassTransfer();
   }
   if (pid_ > 0 && !TryReap()) {
     // Shutdown reap: closing stdin above is the child's cue to exit. A

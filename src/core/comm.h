@@ -152,6 +152,24 @@ class Frontend {
   // One line of channel state for the `backend status` command.
   std::string StatusText() const;
 
+  // --- Record/replay ----------------------------------------------------------
+  //
+  // In replay mode there is no child process: SpawnBackend only advances the
+  // supervision bookkeeping, reaping is a no-op (pid_ stays -1), and the
+  // replay engine feeds recorded lines/transitions through the entry points
+  // below — the rest of the machinery (eval, circuit breaker, respawn
+  // scheduling) runs unchanged, which is what makes the replay faithful.
+  void set_replay_mode(bool on) { replay_mode_ = on; }
+  bool replay_mode() const { return replay_mode_; }
+
+  // Dispatches one recorded inbound line exactly as DrainBuffer would.
+  void ReplayLine(const std::string& line) { HandleLine(line); }
+
+  // Applies a recorded backend-death transition (hangup, write failure, ...).
+  // `has_status` carries the recorded exit status when the supervisor had
+  // reaped the child before the record was written.
+  void ReplayBackendGone(const char* reason, bool has_status, int status);
+
   // --- Fault injection --------------------------------------------------------------
 
   CommFaults& faults() { return faults_; }
@@ -251,6 +269,7 @@ class Frontend {
   int restarts_done_ = 0;
   int restart_timer_id_ = -1;
   bool gone_handling_ = false;
+  bool replay_mode_ = false;
   int eval_error_limit_ = 0;
   int eval_errors_consecutive_ = 0;
   std::size_t eval_errors_total_ = 0;

@@ -11,6 +11,7 @@
 #include "src/core/comm.h"
 #include "src/core/naming.h"
 #include "src/core/percent.h"
+#include "src/core/replay.h"
 #include "src/core/wafe.h"
 #include "src/obs/obs.h"
 #include "src/xt/classes.h"
@@ -1049,6 +1050,58 @@ void RegisterCommCommands(Wafe& wafe) {
           return Result::Error(error);
         }
         return Result::Ok();
+      },
+      false});
+
+  reg.Register(CommandSpec{
+      "record",
+      "record",
+      "String",
+      {{ArgType::kString, "subcommand", true},
+       {ArgType::kString, "spec", true}},
+      "session journaling: on <path>[,fsync=always|none|<N>] starts a "
+      "journal, off stops it, rotate continues into <path>.<n>, status (or "
+      "no argument) reports; WAFE_RECORD=<spec> starts one at launch",
+      [](Invocation& inv) {
+        Wafe& wafe = *inv.wafe;
+        const std::string sub = inv.present(0) ? inv.str(0) : "status";
+        if (sub == "status") {
+          if (!wafe.recording()) {
+            return Result::Ok("off");
+          }
+          return Result::Ok(wafe.recorder().StatusText());
+        }
+        if (sub == "on") {
+          if (!inv.present(1)) {
+            return Result::Error("record on: journal path required");
+          }
+          std::string error;
+          if (!wafe.StartRecording(inv.str(1), &error)) {
+            return Result::Error("record on: " + error);
+          }
+          return Result::Ok();
+        }
+        if (sub == "off") {
+          wafe.StopRecording();
+          return Result::Ok();
+        }
+        if (sub == "rotate") {
+          if (!wafe.recording()) {
+            return Result::Error("record rotate: not recording");
+          }
+          std::string error;
+          if (!wafe.RotateRecording(&error)) {
+            return Result::Error("record rotate: " + error);
+          }
+          return Result::Ok(wafe.recorder().path());
+        }
+        if (sub == "note") {
+          if (wafe.recording()) {
+            wafe.recorder().RecordNote(inv.present(1) ? inv.str(1) : "");
+          }
+          return Result::Ok();
+        }
+        return Result::Error("record: expected on, off, rotate, note, or status");
       },
       false});
 }

@@ -1,0 +1,674 @@
+#include "src/core/replay.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/core/comm.h"
+#include "src/core/wafe.h"
+#include "src/obs/obs.h"
+#include "src/tcl/interp.h"
+#include "src/xsim/display.h"
+#include "src/xt/app.h"
+#include "src/xt/widget.h"
+
+namespace wafe {
+
+namespace {
+
+// Ungated: a torn journal tail is evidence of a crash worth counting even in
+// an otherwise uninstrumented session.
+wobs::Counter g_journal_truncated("replay.journal.truncated");
+wobs::Counter g_journal_records("replay.journal.records");
+wobs::Counter g_replay_records("replay.applied.records");
+
+constexpr char kBinaryMagic[8] = {'W', 'A', 'F', 'E', 'J', '1', '\n', '\0'};
+constexpr char kTextMagic[] = "# wafe-journal-text 1";
+
+// Payload-length sanity cap: a corrupt length field must not turn into a
+// multi-gigabyte allocation. Generous above the 64KB protocol line limit.
+constexpr std::uint32_t kMaxPayload = 16u * 1024 * 1024;
+
+void PutU32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t GetU32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+std::uint64_t GetU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+const char* TypeKeyword(JournalRecordType type) {
+  switch (type) {
+    case JournalRecordType::kLine: return "line";
+    case JournalRecordType::kEvent: return "event";
+    case JournalRecordType::kTimer: return "timer";
+    case JournalRecordType::kSpawn: return "spawn";
+    case JournalRecordType::kBackendGone: return "backendgone";
+    case JournalRecordType::kCircuitTrip: return "circuit";
+    case JournalRecordType::kEvalTrip: return "evaltrip";
+    case JournalRecordType::kNote: return "note";
+  }
+  return "note";
+}
+
+bool KeywordType(const std::string& word, JournalRecordType* type) {
+  if (word == "line") *type = JournalRecordType::kLine;
+  else if (word == "event") *type = JournalRecordType::kEvent;
+  else if (word == "timer") *type = JournalRecordType::kTimer;
+  else if (word == "spawn") *type = JournalRecordType::kSpawn;
+  else if (word == "backendgone") *type = JournalRecordType::kBackendGone;
+  else if (word == "circuit") *type = JournalRecordType::kCircuitTrip;
+  else if (word == "evaltrip") *type = JournalRecordType::kEvalTrip;
+  else if (word == "note") *type = JournalRecordType::kNote;
+  else return false;
+  return true;
+}
+
+std::vector<std::string> SplitWords(const std::string& text) {
+  std::vector<std::string> words;
+  std::istringstream in(text);
+  std::string word;
+  while (in >> word) {
+    words.push_back(word);
+  }
+  return words;
+}
+
+}  // namespace
+
+std::uint32_t JournalCrc32(const char* data, std::size_t size) {
+  static std::uint32_t table[256];
+  static bool ready = false;
+  if (!ready) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    ready = true;
+  }
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+// --- JournalWriter ------------------------------------------------------------
+
+JournalWriter::~JournalWriter() { Close(); }
+
+bool JournalWriter::Open(const std::string& path, FsyncPolicy policy, int interval,
+                         std::string* error) {
+  Close();
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "can't open journal \"" + path + "\": " + std::strerror(errno);
+    }
+    return false;
+  }
+  ssize_t n = ::write(fd, kBinaryMagic, sizeof(kBinaryMagic));
+  if (n != static_cast<ssize_t>(sizeof(kBinaryMagic))) {
+    if (error != nullptr) {
+      *error = "can't write journal header to \"" + path + "\"";
+    }
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  path_ = path;
+  policy_ = policy;
+  interval_ = interval > 0 ? interval : 1;
+  unsynced_ = 0;
+  seq_ = 0;
+  return true;
+}
+
+void JournalWriter::Close() {
+  if (fd_ >= 0) {
+    if (policy_ != FsyncPolicy::kNone) {
+      ::fsync(fd_);
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool JournalWriter::Append(JournalRecordType type, std::string_view payload) {
+  if (fd_ < 0) {
+    return false;
+  }
+  std::string body;
+  body.reserve(1 + 16 + payload.size());
+  body.push_back(static_cast<char>(type));
+  PutU64(&body, seq_ + 1);
+  PutU64(&body, wobs::NowNs());
+  body.append(payload);
+  std::string record;
+  record.reserve(4 + body.size() + 4);
+  PutU32(&record, static_cast<std::uint32_t>(payload.size()));
+  record.append(body);
+  PutU32(&record, JournalCrc32(body.data(), body.size()));
+  std::size_t written = 0;
+  while (written < record.size()) {
+    ssize_t n = ::write(fd_, record.data() + written, record.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      wobs::Log("replay", "journal write failed (" + std::string(std::strerror(errno)) +
+                              "), recording stopped", true);
+      Close();
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ++seq_;
+  g_journal_records.Increment();
+  if (policy_ == FsyncPolicy::kAlways ||
+      (policy_ == FsyncPolicy::kInterval && ++unsynced_ >= interval_)) {
+    ::fsync(fd_);
+    unsynced_ = 0;
+  }
+  return true;
+}
+
+// --- JournalReader ------------------------------------------------------------
+
+bool JournalReader::Open(const std::string& path, std::string* error) {
+  records_.clear();
+  truncated_ = false;
+  text_format_ = false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "can't read journal \"" + path + "\"";
+    }
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string data = buf.str();
+  if (data.compare(0, sizeof(kBinaryMagic), kBinaryMagic, sizeof(kBinaryMagic)) == 0) {
+    return ParseBinary(data, error);
+  }
+  if (data.compare(0, sizeof(kTextMagic) - 1, kTextMagic) == 0) {
+    text_format_ = true;
+    return ParseText(data, error);
+  }
+  if (error != nullptr) {
+    *error = "\"" + path + "\" is not a wafe journal (bad magic)";
+  }
+  return false;
+}
+
+bool JournalReader::ParseBinary(const std::string& data, std::string*) {
+  std::size_t pos = sizeof(kBinaryMagic);
+  while (pos < data.size()) {
+    // Header fits? A shortfall anywhere below is the torn tail of a crashed
+    // writer: keep everything complete, flag the truncation, stop.
+    if (data.size() - pos < 4) {
+      truncated_ = true;
+      break;
+    }
+    std::uint32_t payload_len = GetU32(data.data() + pos);
+    if (payload_len > kMaxPayload) {
+      truncated_ = true;
+      break;
+    }
+    std::size_t body_len = 1 + 16 + payload_len;
+    if (data.size() - pos < 4 + body_len + 4) {
+      truncated_ = true;
+      break;
+    }
+    const char* body = data.data() + pos + 4;
+    std::uint32_t crc = GetU32(body + body_len);
+    if (crc != JournalCrc32(body, body_len)) {
+      truncated_ = true;
+      break;
+    }
+    JournalRecord record;
+    record.type = static_cast<JournalRecordType>(static_cast<unsigned char>(body[0]));
+    record.seq = GetU64(body + 1);
+    record.vtime_ns = GetU64(body + 9);
+    record.payload.assign(body + 17, payload_len);
+    records_.push_back(std::move(record));
+    pos += 4 + body_len + 4;
+  }
+  if (truncated_) {
+    g_journal_truncated.IncrementAlways();
+    wobs::Log("replay",
+              "journal tail torn after record " + std::to_string(records_.size()) +
+                  "; recovered to the last complete record", true);
+  }
+  return true;
+}
+
+bool JournalReader::ParseText(const std::string& data, std::string* error) {
+  std::istringstream in(data);
+  std::string line;
+  std::uint64_t vtime = 0;
+  std::uint64_t seq = 0;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::size_t space = line.find(' ');
+    std::string keyword = line.substr(0, space);
+    std::string payload = space == std::string::npos ? "" : line.substr(space + 1);
+    if (keyword == "vtime") {
+      vtime = std::strtoull(payload.c_str(), nullptr, 10);
+      continue;
+    }
+    JournalRecord record;
+    if (!KeywordType(keyword, &record.type)) {
+      if (error != nullptr) {
+        *error = "journal line " + std::to_string(line_no) + ": unknown keyword \"" +
+                 keyword + "\"";
+      }
+      return false;
+    }
+    record.seq = ++seq;
+    record.vtime_ns = vtime;
+    record.payload = std::move(payload);
+    records_.push_back(std::move(record));
+  }
+  return true;
+}
+
+void DumpJournalText(const std::vector<JournalRecord>& records, std::ostream& out) {
+  out << kTextMagic << "\n";
+  std::uint64_t vtime = 0;
+  for (const JournalRecord& record : records) {
+    if (record.vtime_ns != vtime) {
+      vtime = record.vtime_ns;
+      out << "vtime " << vtime << "\n";
+    }
+    out << TypeKeyword(record.type);
+    if (!record.payload.empty()) {
+      out << " " << record.payload;
+    }
+    out << "\n";
+  }
+}
+
+// --- Recorder -----------------------------------------------------------------
+
+namespace {
+
+// Flight-record context: the active journal and the recent protocol traffic,
+// as JSON members for the otherData block.
+std::string RecorderFlightContext(void* user) {
+  auto* recorder = static_cast<Recorder*>(user);
+  if (!recorder->active()) {
+    return "";
+  }
+  std::string out = "\"replay\":{\"journal\":\"";
+  wobs::internal::AppendJsonEscaped(recorder->path(), &out);
+  out += "\",\"records\":" + std::to_string(recorder->records_written());
+  out += ",\"lastLines\":[";
+  bool first = true;
+  for (const std::string& line : recorder->last_lines()) {
+    out += first ? "\"" : ",\"";
+    first = false;
+    wobs::internal::AppendJsonEscaped(line, &out);
+    out += "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+Recorder::~Recorder() { Stop(); }
+
+bool Recorder::Start(const std::string& spec, std::string* error) {
+  std::string path = spec;
+  FsyncPolicy policy = FsyncPolicy::kNone;
+  int interval = 256;
+  if (std::size_t comma = spec.rfind(",fsync="); comma != std::string::npos) {
+    path = spec.substr(0, comma);
+    std::string value = spec.substr(comma + 7);
+    if (value == "always") {
+      policy = FsyncPolicy::kAlways;
+    } else if (value == "none") {
+      policy = FsyncPolicy::kNone;
+    } else {
+      char* end = nullptr;
+      long n = std::strtol(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || n <= 0) {
+        if (error != nullptr) {
+          *error = "bad fsync policy \"" + value + "\" (always, none, or a count)";
+        }
+        return false;
+      }
+      policy = FsyncPolicy::kInterval;
+      interval = static_cast<int>(n);
+    }
+  }
+  if (path.empty()) {
+    if (error != nullptr) {
+      *error = "empty journal path";
+    }
+    return false;
+  }
+  Stop();
+  if (!writer_.Open(path, policy, interval, error)) {
+    return false;
+  }
+  base_path_ = path;
+  policy_ = policy;
+  interval_ = interval;
+  rotations_ = 0;
+  last_lines_.clear();
+  InstallHooks();
+  wobs::Log("replay", "recording to " + path);
+  return true;
+}
+
+void Recorder::Stop() {
+  if (!writer_.is_open()) {
+    return;
+  }
+  RemoveHooks();
+  wobs::Log("replay", "recording stopped after " +
+                          std::to_string(writer_.records_written()) + " records");
+  writer_.Close();
+}
+
+bool Recorder::Rotate(std::string* error) {
+  if (!writer_.is_open()) {
+    if (error != nullptr) {
+      *error = "not recording";
+    }
+    return false;
+  }
+  std::string next = base_path_ + "." + std::to_string(++rotations_);
+  writer_.Close();
+  if (!writer_.Open(next, policy_, interval_, error)) {
+    RemoveHooks();
+    return false;
+  }
+  wobs::Log("replay", "journal rotated to " + next);
+  return true;
+}
+
+std::string Recorder::StatusText() const {
+  if (!writer_.is_open()) {
+    return "recording 0";
+  }
+  const char* policy = policy_ == FsyncPolicy::kAlways
+                           ? "always"
+                           : policy_ == FsyncPolicy::kInterval ? "interval" : "none";
+  return "recording 1 path " + writer_.path() + " records " +
+         std::to_string(writer_.records_written()) + " fsync " + policy;
+}
+
+void Recorder::InstallHooks() {
+  wafe_->app().display().set_inject_observer(
+      [this](const std::string& encoded) { RecordEvent(encoded); });
+  wafe_->app().set_timer_fire_observer([this](int id) { RecordTimer(id); });
+  wafe_->interp().set_limit_observer(
+      [this](const char* kind, std::uint64_t steps) { RecordEvalTrip(kind, steps); });
+  wobs::SetFlightContextProvider(&RecorderFlightContext, this);
+}
+
+void Recorder::RemoveHooks() {
+  wafe_->app().display().set_inject_observer(nullptr);
+  wafe_->app().set_timer_fire_observer(nullptr);
+  wafe_->interp().set_limit_observer(nullptr);
+  wobs::SetFlightContextProvider(nullptr, nullptr);
+}
+
+void Recorder::Append(JournalRecordType type, std::string_view payload) {
+  std::uint64_t seq = writer_.records_written() + 1;
+  wobs::SetJournalPosition(seq);
+  writer_.Append(type, payload);
+}
+
+void Recorder::RecordLine(const std::string& line) {
+  Append(JournalRecordType::kLine, line);
+  last_lines_.push_back(line);
+  if (last_lines_.size() > 64) {
+    last_lines_.pop_front();
+  }
+}
+
+void Recorder::RecordEvent(const std::string& encoded) {
+  Append(JournalRecordType::kEvent, encoded);
+}
+
+void Recorder::RecordTimer(int id) {
+  Append(JournalRecordType::kTimer, std::to_string(id));
+}
+
+void Recorder::RecordSpawn(const std::string& description) {
+  Append(JournalRecordType::kSpawn, description);
+}
+
+void Recorder::RecordBackendGone(const std::string& payload) {
+  Append(JournalRecordType::kBackendGone, payload);
+}
+
+void Recorder::RecordCircuitTrip(int consecutive) {
+  Append(JournalRecordType::kCircuitTrip, std::to_string(consecutive));
+}
+
+void Recorder::RecordEvalTrip(const char* kind, std::uint64_t steps) {
+  Append(JournalRecordType::kEvalTrip, std::string(kind) + " " + std::to_string(steps));
+}
+
+void Recorder::RecordNote(const std::string& text) {
+  Append(JournalRecordType::kNote, text);
+}
+
+// --- Replay -------------------------------------------------------------------
+
+namespace {
+
+// Applies one recorded display-injection primitive.
+void ApplyEvent(xsim::Display& display, const std::string& encoded,
+                ReplayStats* stats) {
+  std::vector<std::string> w = SplitWords(encoded);
+  auto num = [&w](std::size_t i) {
+    return i < w.size() ? std::strtol(w[i].c_str(), nullptr, 10) : 0;
+  };
+  if (w.empty()) {
+    return;
+  }
+  if (w[0] == "buttonpress" && w.size() >= 5) {
+    display.InjectButtonPress(static_cast<xsim::Position>(num(1)),
+                              static_cast<xsim::Position>(num(2)),
+                              static_cast<unsigned>(num(3)),
+                              static_cast<unsigned>(num(4)));
+  } else if (w[0] == "buttonrelease" && w.size() >= 5) {
+    display.InjectButtonRelease(static_cast<xsim::Position>(num(1)),
+                                static_cast<xsim::Position>(num(2)),
+                                static_cast<unsigned>(num(3)),
+                                static_cast<unsigned>(num(4)));
+  } else if (w[0] == "motion" && w.size() >= 4) {
+    display.InjectMotion(static_cast<xsim::Position>(num(1)),
+                         static_cast<xsim::Position>(num(2)),
+                         static_cast<unsigned>(num(3)));
+  } else if (w[0] == "keypress" && w.size() >= 3) {
+    display.InjectKeyPress(static_cast<xsim::KeySym>(num(1)),
+                           static_cast<unsigned>(num(2)));
+  } else if (w[0] == "keyrelease" && w.size() >= 3) {
+    display.InjectKeyRelease(static_cast<xsim::KeySym>(num(1)),
+                             static_cast<unsigned>(num(2)));
+  }
+  (void)stats;
+}
+
+}  // namespace
+
+bool ReplayJournal(Wafe& wafe, const std::string& path, ReplayStats* stats,
+                   std::string* error) {
+  JournalReader reader;
+  if (!reader.Open(path, error)) {
+    return false;
+  }
+  ReplayStats local;
+  ReplayStats* out = stats != nullptr ? stats : &local;
+  out->truncated = reader.truncated();
+  const std::vector<JournalRecord>& records = reader.records();
+
+  Frontend& frontend = wafe.frontend();
+  frontend.set_replay_mode(true);
+  wafe.set_backend_output(true);
+  wtcl::Interp& interp = wafe.interp();
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JournalRecord& record = records[i];
+    // The virtual clock must read non-zero to stay engaged even for text
+    // journals that never advance it.
+    wobs::SetVirtualNowNs(record.vtime_ns != 0 ? record.vtime_ns : 1);
+    wobs::SetJournalPosition(record.seq);
+    ++out->records;
+    g_replay_records.Increment();
+
+    // A kEvalTrip immediately following this record was journaled *during*
+    // its evaluation: re-force the ms watchdog at the recorded step so the
+    // replayed script runs exactly as many commands as the recorded one.
+    bool armed = false;
+    if (i + 1 < records.size() &&
+        records[i + 1].type == JournalRecordType::kEvalTrip) {
+      std::vector<std::string> w = SplitWords(records[i + 1].payload);
+      if (w.size() == 2 && w[0] == "ms") {
+        interp.ArmScriptedMsTrip(std::strtoull(w[1].c_str(), nullptr, 10));
+        armed = true;
+      }
+    }
+
+    switch (record.type) {
+      case JournalRecordType::kLine:
+        ++out->lines;
+        frontend.ReplayLine(record.payload);
+        break;
+      case JournalRecordType::kEvent:
+        ++out->events;
+        ApplyEvent(wafe.app().display(), record.payload, out);
+        break;
+      case JournalRecordType::kTimer: {
+        ++out->timers;
+        int id = static_cast<int>(std::strtol(record.payload.c_str(), nullptr, 10));
+        if (!wafe.app().FireTimerForReplay(id)) {
+          ++out->unmatched_timers;
+        }
+        break;
+      }
+      case JournalRecordType::kSpawn: {
+        std::vector<std::string> w = SplitWords(record.payload);
+        if (!w.empty()) {
+          std::vector<std::string> args(w.begin() + 1, w.end());
+          std::string ignored;
+          frontend.SpawnBackend(w[0], args, &ignored);
+        }
+        break;
+      }
+      case JournalRecordType::kBackendGone: {
+        ++out->backend_gone;
+        std::vector<std::string> w = SplitWords(record.payload);
+        std::string reason = w.empty() ? "unknown" : w[0];
+        if (reason == "error-limit") {
+          // Regenerated deterministically: the circuit breaker re-trips
+          // while the preceding kLine records replay.
+          break;
+        }
+        bool has_status = w.size() >= 2 && w[1] != "unknown";
+        int status = has_status
+                         ? static_cast<int>(std::strtol(w[1].c_str(), nullptr, 10))
+                         : 0;
+        frontend.ReplayBackendGone(reason.c_str(), has_status, status);
+        break;
+      }
+      case JournalRecordType::kEvalTrip:
+        ++out->eval_trips;
+        break;
+      case JournalRecordType::kCircuitTrip:
+      case JournalRecordType::kNote:
+        break;
+    }
+    if (armed) {
+      interp.ArmScriptedMsTrip(0);
+    }
+    wafe.app().ProcessPending();
+  }
+
+  interp.ArmScriptedMsTrip(0);
+  frontend.set_replay_mode(false);
+  wobs::SetJournalPosition(0);
+  wobs::SetVirtualNowNs(0);
+  return true;
+}
+
+// --- Golden verification ------------------------------------------------------
+
+std::uint64_t FramebufferChecksum(const xsim::Display& display) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (xsim::Pixel pixel : display.framebuffer()) {
+    hash = (hash ^ pixel) * 1099511628211ull;
+  }
+  return hash;
+}
+
+namespace {
+
+void DumpWidget(xsim::Display& display, xtk::Widget* w, int depth,
+                std::ostringstream& out) {
+  for (int i = 0; i < depth; ++i) {
+    out << "  ";
+  }
+  out << w->name() << " " << w->width() << "x" << w->height() << "+" << w->x() << "+"
+      << w->y();
+  if (w->realized() && display.IsViewable(w->window())) {
+    out << " viewable";
+  }
+  out << "\n";
+  for (xtk::Widget* child : w->children()) {
+    DumpWidget(display, child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string WindowTreeText(Wafe& wafe, const std::string& root_name) {
+  std::ostringstream out;
+  if (xtk::Widget* root = wafe.app().FindWidget(root_name)) {
+    DumpWidget(wafe.app().display(), root, 0, out);
+  }
+  return out.str();
+}
+
+}  // namespace wafe

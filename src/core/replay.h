@@ -1,0 +1,218 @@
+// Deterministic %-protocol session journaling (record) and re-execution
+// (replay). The journal captures every external input a frontend session
+// consumes — inbound %-lines, injected UI events, timer firings, and
+// supervision transitions — as length-prefixed, sequence-numbered records,
+// so a crashed session can be rebuilt byte-identically (crash recovery), a
+// fault can be minimized into a committed regression journal, and recorded
+// traffic can be replayed at multiplied rates as a load generator.
+//
+// Determinism contract: everything the session consumed from outside its
+// process is in the journal; everything else (widget layout, Tcl evaluation,
+// rendering) is a pure function of that stream. Replay installs a virtual
+// clock (wobs::SetVirtualNowNs) advanced to each record's timestamp, so the
+// two nondeterministic clock readers — eval-limit watchdog arming and
+// supervision backoff — see the recorded time; the one decision a frozen
+// clock cannot reproduce, *which probe* the ms watchdog tripped at, is
+// journaled explicitly (kEvalTrip) and re-forced at the recorded step count.
+#ifndef SRC_CORE_REPLAY_H_
+#define SRC_CORE_REPLAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsim {
+class Display;
+}
+
+namespace wafe {
+
+class Wafe;
+
+// --- Journal format -----------------------------------------------------------
+//
+// Binary journals open with the 8-byte magic "WAFEJ1\n\0"; each record is
+//
+//   u32 payload_len | u8 type | u64 seq | u64 vtime_ns | payload | u32 crc
+//
+// (little-endian, crc = CRC-32 over type..payload). A torn tail — the
+// partial record a crash left behind — fails the length or CRC check and
+// read-back stops at the last complete record, counting
+// replay.journal.truncated. Text journals (committed regression corpus,
+// human-editable) open with "# wafe-journal-text 1" and carry one
+// `<keyword> <payload>` line per record.
+
+enum class JournalRecordType : std::uint8_t {
+  kLine = 1,         // payload: one inbound backend line, verbatim
+  kEvent = 2,        // payload: display-injection encoding ("buttonpress x y b s")
+  kTimer = 3,        // payload: decimal timer id
+  kSpawn = 4,        // payload: backend program + args, space-joined
+  kBackendGone = 5,  // payload: "<reason> <status|unknown> <restarts>"
+  kCircuitTrip = 6,  // payload: decimal consecutive-error count
+  kEvalTrip = 7,     // payload: "ms <steps>" — watchdog trip at that step
+  kNote = 8,         // payload: free text (ignored by replay)
+};
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kNote;
+  std::uint64_t seq = 0;
+  std::uint64_t vtime_ns = 0;
+  std::string payload;
+};
+
+// CRC-32 (IEEE, reflected) over `data`; the torn-tail detector.
+std::uint32_t JournalCrc32(const char* data, std::size_t size);
+
+// How often the appender fsyncs: kNone never (fastest, a crash may lose the
+// OS buffer), kInterval every N records, kAlways after every record (the
+// crash-recovery guarantee: every acknowledged record survives SIGKILL).
+enum class FsyncPolicy { kNone, kInterval, kAlways };
+
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  bool Open(const std::string& path, FsyncPolicy policy, int interval,
+            std::string* error);
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  std::uint64_t records_written() const { return seq_; }
+  FsyncPolicy policy() const { return policy_; }
+
+  // Appends one record stamped with the next sequence number and the current
+  // wobs::NowNs(); applies the fsync policy. Returns false on write failure
+  // (the journal is closed: a half-written tail must not keep growing).
+  bool Append(JournalRecordType type, std::string_view payload);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  FsyncPolicy policy_ = FsyncPolicy::kNone;
+  int interval_ = 256;
+  int unsynced_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+class JournalReader {
+ public:
+  JournalReader() = default;
+
+  // Slurps and validates the journal (binary or text, detected by magic).
+  // A torn binary tail truncates cleanly: every complete record is kept,
+  // truncated() reports it, and replay.journal.truncated counts it.
+  bool Open(const std::string& path, std::string* error);
+
+  const std::vector<JournalRecord>& records() const { return records_; }
+  bool truncated() const { return truncated_; }
+  bool text_format() const { return text_format_; }
+
+ private:
+  bool ParseBinary(const std::string& data, std::string* error);
+  bool ParseText(const std::string& data, std::string* error);
+
+  std::vector<JournalRecord> records_;
+  bool truncated_ = false;
+  bool text_format_ = false;
+};
+
+// One text line per record ("line %set x 1", "event buttonpress 5 5 1 0",
+// "vtime ..." emitted when the timestamp advances) — the committed-corpus
+// and triage format.
+void DumpJournalText(const std::vector<JournalRecord>& records, std::ostream& out);
+
+// --- Recorder -----------------------------------------------------------------
+//
+// Owned by Wafe; while active it journals inbound lines (comm calls
+// Wafe::RecordInboundLine from HandleLine), installs observers on the
+// display (UI-event injection), the app context (timer firings), and the
+// interp (ms-watchdog trips), journals supervision transitions, and
+// contributes the journal path plus the last 64 recorded %-lines to every
+// flight record so a flight dump is immediately replayable.
+class Recorder {
+ public:
+  explicit Recorder(Wafe* wafe) : wafe_(wafe) {}
+  ~Recorder();
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // Spec: "<path>[,fsync=always|none|<N>]" (N = sync every N records).
+  bool Start(const std::string& spec, std::string* error);
+  void Stop();
+  // Closes the active journal and continues into "<path>.<n>" (n = 1, 2, ...).
+  bool Rotate(std::string* error);
+
+  bool active() const { return writer_.is_open(); }
+  const std::string& path() const { return writer_.path(); }
+  std::uint64_t records_written() const { return writer_.records_written(); }
+  std::string StatusText() const;
+
+  void RecordLine(const std::string& line);
+  void RecordEvent(const std::string& encoded);
+  void RecordTimer(int id);
+  void RecordSpawn(const std::string& description);
+  void RecordBackendGone(const std::string& payload);
+  void RecordCircuitTrip(int consecutive);
+  void RecordEvalTrip(const char* kind, std::uint64_t steps);
+  void RecordNote(const std::string& text);
+
+  // The last 64 recorded %-lines, oldest first (flight-record context).
+  const std::deque<std::string>& last_lines() const { return last_lines_; }
+
+ private:
+  void InstallHooks();
+  void RemoveHooks();
+  void Append(JournalRecordType type, std::string_view payload);
+
+  Wafe* wafe_;
+  JournalWriter writer_;
+  std::string base_path_;
+  FsyncPolicy policy_ = FsyncPolicy::kNone;
+  int interval_ = 256;
+  int rotations_ = 0;
+  std::deque<std::string> last_lines_;
+};
+
+// --- Replay -------------------------------------------------------------------
+
+struct ReplayStats {
+  std::uint64_t records = 0;
+  std::uint64_t lines = 0;
+  std::uint64_t events = 0;
+  std::uint64_t timers = 0;
+  std::uint64_t backend_gone = 0;
+  std::uint64_t eval_trips = 0;
+  std::uint64_t unmatched_timers = 0;  // kTimer with no pending timer of that id
+  bool truncated = false;
+};
+
+// Re-executes `path` against `wafe` (a fresh instance: the journal IS the
+// session). Installs the virtual clock for the duration, routes kLine
+// records through Frontend::HandleLine, kEvent records through the display
+// injection primitives, kTimer records through FireTimerForReplay, and
+// arms recorded ms-watchdog trips. Returns false only on journal-level
+// errors (unreadable file, bad magic); Tcl-level errors during replayed
+// lines are part of the session being reproduced.
+bool ReplayJournal(Wafe& wafe, const std::string& path, ReplayStats* stats,
+                   std::string* error);
+
+// --- Golden verification ------------------------------------------------------
+
+// FNV-1a over the simulated framebuffer: byte-identical renders hash equal.
+// (Same algorithm as the UI test harness, so goldens are comparable.)
+std::uint64_t FramebufferChecksum(const xsim::Display& display);
+
+// One line per widget, depth-indented, with geometry and viewability — the
+// compact golden form of the widget tree under `root_name`.
+std::string WindowTreeText(Wafe& wafe, const std::string& root_name = "topLevel");
+
+}  // namespace wafe
+
+#endif  // SRC_CORE_REPLAY_H_

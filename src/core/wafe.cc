@@ -11,6 +11,7 @@
 
 #include "src/core/comm.h"
 #include "src/core/percent.h"
+#include "src/core/replay.h"
 #include "src/obs/obs.h"
 #include "src/xaw/athena.h"
 #include "src/xm/motif.h"
@@ -84,6 +85,71 @@ Wafe::Wafe(Options options)
       wobs::SetMetricsEnabled(true);
       ScheduleMetricsDump();
     }
+  }
+  if (const char* spec = std::getenv("WAFE_RECORD")) {
+    std::string record_error;
+    if (!StartRecording(spec, &record_error)) {
+      app_.errors().RaiseWarning("record", "bad WAFE_RECORD: " + record_error);
+    }
+  }
+}
+
+// --- Session record/replay ----------------------------------------------------
+
+bool Wafe::StartRecording(const std::string& spec, std::string* error) {
+  if (recorder_ == nullptr) {
+    recorder_ = std::make_unique<Recorder>(this);
+  }
+  if (!recorder_->Start(spec, error)) {
+    recording_ = false;
+    return false;
+  }
+  recording_ = true;
+  return true;
+}
+
+void Wafe::StopRecording() {
+  if (recorder_ != nullptr) {
+    recorder_->Stop();
+  }
+  recording_ = false;
+}
+
+bool Wafe::RotateRecording(std::string* error) {
+  if (recorder_ == nullptr || !recording_) {
+    if (error != nullptr) {
+      *error = "not recording";
+    }
+    return false;
+  }
+  if (!recorder_->Rotate(error)) {
+    recording_ = false;
+    return false;
+  }
+  return true;
+}
+
+void Wafe::RecordInboundLine(const std::string& line) {
+  if (recording_) {
+    recorder_->RecordLine(line);
+  }
+}
+
+void Wafe::RecordSpawn(const std::string& description) {
+  if (recording_) {
+    recorder_->RecordSpawn(description);
+  }
+}
+
+void Wafe::RecordBackendGone(const std::string& payload) {
+  if (recording_) {
+    recorder_->RecordBackendGone(payload);
+  }
+}
+
+void Wafe::RecordCircuitTrip(int consecutive) {
+  if (recording_) {
+    recorder_->RecordCircuitTrip(consecutive);
   }
 }
 
@@ -307,7 +373,7 @@ SplitArgs SplitCommandLine(int argc, const char* const* argv) {
     if (arg.rfind("--", 0) == 0) {
       // Frontend arguments (e.g. --f, --reference); an option value follows.
       out.frontend.push_back(arg);
-      if ((arg == "--f" || arg == "--file") && i + 1 < argc) {
+      if ((arg == "--f" || arg == "--file" || arg == "--replay") && i + 1 < argc) {
         out.frontend.push_back(argv[++i]);
       }
       continue;
@@ -358,20 +424,50 @@ int Wafe::Main(int argc, const char* const* argv) {
 
   // Frontend arguments.
   std::string script_file;
+  std::string replay_file;
   for (std::size_t i = 0; i < split.frontend.size(); ++i) {
     const std::string& arg = split.frontend[i];
     if ((arg == "--f" || arg == "--file") && i + 1 < split.frontend.size()) {
       script_file = split.frontend[++i];
+    } else if (arg == "--replay" && i + 1 < split.frontend.size()) {
+      replay_file = split.frontend[++i];
     } else if (arg == "--reference") {
       std::fputs(specs_.ReferenceText().c_str(), stdout);
       return 0;
     } else if (arg == "--help") {
       std::fputs(
-          "usage: wafe [--f script] [--reference] [X options] [application args]\n"
+          "usage: wafe [--f script] [--replay journal] [--reference] [X options] "
+          "[application args]\n"
           "  invoked as x<name>, spawns <name> as a backend (frontend mode)\n",
           stdout);
       return 0;
     }
+  }
+
+  if (!replay_file.empty()) {
+    // Crash recovery: rebuild the session a journal recorded, then report
+    // the golden state (render checksum, widget count, interp summary) so a
+    // caller can diff it against the original's.
+    ReplayStats stats;
+    std::string error;
+    if (!ReplayJournal(*this, replay_file, &stats, &error)) {
+      std::fprintf(stderr, "wafe: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("replay: records %llu lines %llu events %llu timers %llu "
+                "gone %llu evalTrips %llu unmatchedTimers %llu truncated %d\n",
+                static_cast<unsigned long long>(stats.records),
+                static_cast<unsigned long long>(stats.lines),
+                static_cast<unsigned long long>(stats.events),
+                static_cast<unsigned long long>(stats.timers),
+                static_cast<unsigned long long>(stats.backend_gone),
+                static_cast<unsigned long long>(stats.eval_trips),
+                static_cast<unsigned long long>(stats.unmatched_timers),
+                stats.truncated ? 1 : 0);
+    std::printf("replay: framebuffer %016llx\n",
+                static_cast<unsigned long long>(
+                    FramebufferChecksum(app_.display())));
+    return 0;
   }
 
   if (!script_file.empty()) {

@@ -22,6 +22,7 @@
 namespace wafe {
 
 class Frontend;
+class Recorder;
 
 // Which widget set the binary is configured with ("wafe" is the Athena
 // binary, "mofe" the OSF/Motif one; the sets cannot be mixed, as the paper
@@ -102,6 +103,23 @@ class Wafe {
   void set_warning_proc(std::string script) { warning_proc_ = std::move(script); }
   const std::string& warning_proc() const { return warning_proc_; }
 
+  // --- Session record/replay (replay.h) ---------------------------------------
+  //
+  // WAFE_RECORD=<path>[,fsync=always|none|<N>] starts a journal at
+  // construction; the `record` command manages one at runtime. `recording()`
+  // is the one-branch check comm's hot path uses; the Record* forwarders
+  // keep comm.cc free of a replay.h dependency.
+  bool StartRecording(const std::string& spec, std::string* error);
+  void StopRecording();
+  bool RotateRecording(std::string* error);
+  bool recording() const { return recording_; }
+  Recorder& recorder() { return *recorder_; }
+
+  void RecordInboundLine(const std::string& line);
+  void RecordSpawn(const std::string& description);
+  void RecordBackendGone(const std::string& payload);
+  void RecordCircuitTrip(int consecutive);
+
  private:
   void RegisterEverything();
   // Base handlers bridging the toolkit error stack to the Tcl hooks.
@@ -117,6 +135,8 @@ class Wafe {
   xtk::AppContext app_;
   SpecRegistry specs_;
   std::unique_ptr<Frontend> frontend_;
+  std::unique_ptr<Recorder> recorder_;
+  bool recording_ = false;
   xtk::Widget* top_level_ = nullptr;
   PassthroughFn passthrough_;
   bool output_to_backend_ = false;

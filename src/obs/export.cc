@@ -190,6 +190,10 @@ std::size_t ExportChromeTrace(std::ostream& out, std::string_view extra_json) {
     if (event.request_id != 0) {
       args = "\"req\":" + std::to_string(event.request_id);
     }
+    if (event.journal_pos != 0) {
+      args += (args.empty() ? "" : ",");
+      args += "\"jpos\":" + std::to_string(event.journal_pos);
+    }
     switch (event.phase) {
       case TraceEvent::Phase::kComplete:
         entry += ",\"ph\":\"X\",\"dur\":" + MicrosString(event.dur_ns);
@@ -236,6 +240,9 @@ std::string TraceText() {
     }
     if (event.request_id != 0) {
       out << " req=" << event.request_id;
+    }
+    if (event.journal_pos != 0) {
+      out << " jpos=" << event.journal_pos;
     }
     out << "\n";
   }

@@ -29,6 +29,8 @@ std::string g_dir;      // guarded by g_mutex
 bool g_dir_set = false;  // env consulted at most once
 std::uint64_t g_last_dump_ns = 0;
 std::uint64_t g_sequence = 0;
+FlightContextFn g_context_fn = nullptr;  // guarded by g_mutex
+void* g_context_user = nullptr;
 
 // A fault storm (a backend streaming failing %-lines, a translation raising
 // per-event) must not turn into a disk-filling storm of identical dumps.
@@ -66,6 +68,25 @@ std::string FlightDir() {
   return g_dir;
 }
 
+void SetFlightContextProvider(FlightContextFn fn, void* user) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_context_fn = fn;
+  g_context_user = user;
+}
+
+std::string FlightContextJson() {
+  FlightContextFn fn;
+  void* user;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    fn = g_context_fn;
+    user = g_context_user;
+  }
+  // Invoked outside g_mutex: the provider may call back into obs (metrics,
+  // Log) without deadlocking.
+  return fn != nullptr ? fn(user) : std::string();
+}
+
 std::string DumpFlightRecord(const std::string& reason, bool force) {
   std::string dir = FlightDir();
   if (dir.empty()) {
@@ -97,6 +118,9 @@ std::string DumpFlightRecord(const std::string& reason, bool force) {
   // The request being handled when the trigger fired (0 outside a request):
   // the trace events with this id are the offending request's spans.
   extra += ",\"request\":" + std::to_string(CurrentRequestId());
+  if (std::string context = FlightContextJson(); !context.empty()) {
+    extra += "," + context;
+  }
   extra += ",\"metrics\":\"";
   internal::AppendJsonEscaped(MetricsPrometheus(), &extra);
   extra += "\"}";

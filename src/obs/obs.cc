@@ -47,6 +47,13 @@ std::atomic<std::uint64_t> g_next_request_id{1};
 std::atomic<std::uint64_t> g_current_request{0};
 std::atomic<std::uint64_t> g_current_lane{kMainLane};
 
+// Virtual clock (record/replay): non-zero freezes NowNs() at the value the
+// replay engine last installed, so recorded sessions re-execute under the
+// recorded timestamps. Journal position is the ambient record sequence
+// number, stamped onto trace events alongside the request id.
+std::atomic<std::uint64_t> g_virtual_now_ns{0};
+std::atomic<std::uint64_t> g_journal_pos{0};
+
 // Spans the watchdog flagged; ungated so the count survives metrics-off runs.
 Counter g_slow_spans("obs.slow.spans");
 
@@ -130,10 +137,29 @@ RequestScope::~RequestScope() {
 }
 
 std::uint64_t NowNs() {
+  if (std::uint64_t v = g_virtual_now_ns.load(std::memory_order_relaxed); v != 0) {
+    return v;
+  }
   timespec ts{};
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
          static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void SetVirtualNowNs(std::uint64_t ns) {
+  g_virtual_now_ns.store(ns, std::memory_order_relaxed);
+}
+
+bool VirtualClockActive() {
+  return g_virtual_now_ns.load(std::memory_order_relaxed) != 0;
+}
+
+void SetJournalPosition(std::uint64_t seq) {
+  g_journal_pos.store(seq, std::memory_order_relaxed);
+}
+
+std::uint64_t CurrentJournalPosition() {
+  return g_journal_pos.load(std::memory_order_relaxed);
 }
 
 void Log(const char* category, const std::string& message, bool always) {

@@ -59,8 +59,29 @@ void SetTraceEnabled(bool on);
 void SetSlowThresholdNs(std::uint64_t ns);
 std::uint64_t SlowThresholdNs();
 
-// Monotonic clock, nanoseconds (CLOCK_MONOTONIC).
+// Monotonic clock, nanoseconds (CLOCK_MONOTONIC) — unless a replay has
+// installed a virtual time below, in which case that value is returned
+// verbatim so every time-dependent decision (eval-limit watchdog arming,
+// supervision backoff arithmetic, span timestamps) re-executes under the
+// recorded clock instead of the wall clock.
 std::uint64_t NowNs();
+
+// --- Virtual clock (record/replay) --------------------------------------------
+//
+// While non-zero, NowNs() returns this value instead of reading
+// CLOCK_MONOTONIC. The replay engine advances it to each journal record's
+// recorded timestamp before applying the record; 0 restores the real clock.
+void SetVirtualNowNs(std::uint64_t ns);
+bool VirtualClockActive();
+
+// --- Journal position ---------------------------------------------------------
+//
+// Sequence number of the journal record currently being recorded or replayed;
+// stamped onto every trace event pushed in its extent ("jpos" in the Chrome
+// export) so a span maps back to the exact journal record that produced it.
+// 0 = no journal active.
+void SetJournalPosition(std::uint64_t seq);
+std::uint64_t CurrentJournalPosition();
 
 // Lifecycle / diagnostic log line to stderr, stamped with the monotonic
 // clock ("wafe[cat] t=12.345ms message"). Suppressed while the layer is
@@ -253,6 +274,9 @@ struct TraceEvent {
   // Stamped from the ambient request scope at push time.
   std::uint64_t request_id = 0;   // 0 = outside any request
   std::uint64_t lane = kMainLane;  // "tid" in the Chrome export
+  // Ambient journal position at push time ("jpos" in the Chrome export);
+  // 0 = no session journal active.
+  std::uint64_t journal_pos = 0;
 };
 
 // Fixed-capacity ring of trace events: once full the oldest event is
@@ -421,6 +445,16 @@ std::string FlightDir();
 // Returns the file path, or "" when disabled, rate-limited (at most one dump
 // per second unless `force`), or the write failed.
 std::string DumpFlightRecord(const std::string& reason, bool force = false);
+
+// Extra context spliced into every flight record's otherData block. The
+// provider returns either "" or one-or-more complete `"key":value` JSON
+// members (no trailing comma) — e.g. the session recorder contributes the
+// active journal path and the last recorded %-lines so a flight dump is
+// immediately replayable. Pass nullptr to clear. The obs layer cannot
+// depend on core, so this is the inversion point.
+using FlightContextFn = std::string (*)(void* user);
+void SetFlightContextProvider(FlightContextFn fn, void* user);
+std::string FlightContextJson();
 
 }  // namespace wobs
 

@@ -11,6 +11,7 @@ namespace {
 void StampScope(TraceEvent* event) {
   event->request_id = CurrentRequestId();
   event->lane = CurrentLane();
+  event->journal_pos = CurrentJournalPosition();
 }
 
 }  // namespace

@@ -130,12 +130,19 @@ Result CmdString(Interp& interp, const ValueVec& argv) {
     if (argv.size() != 4) {
       return ArityError("string first", "string1 string2");
     }
+    // Tcl defines an empty needle as not-found; string::find would say 0.
+    if (subject.empty()) {
+      return Result::Ok("-1");
+    }
     std::size_t at = argv[3].String().find(subject);
     return Result::Ok(at == std::string::npos ? "-1" : std::to_string(at));
   }
   if (option == "last") {
     if (argv.size() != 4) {
       return ArityError("string last", "string1 string2");
+    }
+    if (subject.empty()) {
+      return Result::Ok("-1");
     }
     std::size_t at = argv[3].String().rfind(subject);
     return Result::Ok(at == std::string::npos ? "-1" : std::to_string(at));

@@ -1148,7 +1148,8 @@ Result Interp::EvalCompiled(const ScriptHandle& script) {
   // Charge the budgets per script evaluation too, not just per command:
   // a loop with an empty body (`while {1} {}`) re-evaluates the body every
   // iteration without ever invoking a command, and must still trip.
-  if ((max_steps_ != 0 || max_eval_ms_ > 0) && !ChargeEvalStep()) {
+  if ((max_steps_ != 0 || max_eval_ms_ > 0 || scripted_ms_trip_step_ != 0) &&
+      !ChargeEvalStep()) {
     Result guard = CheckEvalBudget();
     if (!guard.ok()) {
       --nesting_;
@@ -1196,13 +1197,26 @@ Result Interp::CheckEvalBudget() {
     return Result::Error("limit exceeded: step budget of " + std::to_string(max_steps_) +
                          " commands exhausted");
   }
-  if (max_eval_ms_ > 0 && (steps_used_ & 63u) == 0) {
-    if (deadline_ns_ == 0) {
+  if ((max_eval_ms_ > 0 || scripted_ms_trip_step_ != 0) &&
+      (steps_used_ & 63u) == 0) {
+    // A replay substitutes the recorded trip step for the clock: the virtual
+    // clock is frozen, so the deadline comparison alone would never fire.
+    bool due = false;
+    if (scripted_ms_trip_step_ != 0) {
+      due = steps_used_ >= scripted_ms_trip_step_;
+    } else if (deadline_ns_ == 0) {
       deadline_ns_ =
           wobs::NowNs() + static_cast<std::uint64_t>(max_eval_ms_) * 1000000u;
-    } else if (wobs::NowNs() > deadline_ns_) {
+    } else {
+      due = wobs::NowNs() > deadline_ns_;
+    }
+    if (due) {
+      scripted_ms_trip_step_ = 0;
       limit_tripped_ = kLimitMs;
       g_limit_ms.Increment();
+      if (limit_observer_) {
+        limit_observer_("ms", steps_used_);
+      }
       wobs::DumpFlightRecord("eval-limit-ms");
       return Result::Error("limit exceeded: wall-clock budget of " +
                            std::to_string(max_eval_ms_) + " ms exhausted");
@@ -1253,7 +1267,8 @@ Result Interp::InvokeCommand(const ValueVec& argv, const CompiledCommand* comman
       RecordErrorTrace(argv, failed);
     }
   };
-  if ((max_steps_ != 0 || max_eval_ms_ > 0) && !ChargeEvalStep()) {
+  if ((max_steps_ != 0 || max_eval_ms_ > 0 || scripted_ms_trip_step_ != 0) &&
+      !ChargeEvalStep()) {
     Result guard = CheckEvalBudget();
     if (guard.code != Status::kOk) {
       g_error_count.Increment();
@@ -1303,7 +1318,8 @@ Result Interp::InvokeMemoized(const CompiledCommand& command, const ValueVec& ar
       RecordErrorTrace(argv, failed);
     }
   };
-  if ((max_steps_ != 0 || max_eval_ms_ > 0) && !ChargeEvalStep()) {
+  if ((max_steps_ != 0 || max_eval_ms_ > 0 || scripted_ms_trip_step_ != 0) &&
+      !ChargeEvalStep()) {
     Result guard = CheckEvalBudget();
     if (guard.code != Status::kOk) {
       g_error_count.Increment();
@@ -1313,7 +1329,15 @@ Result Interp::InvokeMemoized(const CompiledCommand& command, const ValueVec& ar
   }
   g_command_count.Increment();
   wobs::ScopedEvent obs_span("tcl", argv[0].String(), &g_command_duration);
-  if (command.resolved_owner != this || command.resolved_epoch != command_epoch_) {
+  // Pin a strong ref for the duration of the call: the memo is weak (see
+  // script.h — a strong memo would cycle on self-recursive procs), and a
+  // redefinition (or a nested dispatch of this same command after one) may
+  // drop the table's ref while the function is running.
+  std::shared_ptr<const void> fn;
+  if (command.resolved_owner == this && command.resolved_epoch == command_epoch_) {
+    fn = command.resolved_fn.lock();
+  }
+  if (!fn) {
     auto it = commands_.find(argv[0].String());
     if (it == commands_.end()) {
       g_error_count.Increment();
@@ -1321,13 +1345,11 @@ Result Interp::InvokeMemoized(const CompiledCommand& command, const ValueVec& ar
       trace(r);
       return r;
     }
-    command.resolved_fn = it->second;
+    fn = it->second;
+    command.resolved_fn = fn;
     command.resolved_owner = this;
     command.resolved_epoch = command_epoch_;
   }
-  // Pin locally: a redefinition (or a nested dispatch of this same command
-  // after one) may overwrite the memo while the function is running.
-  std::shared_ptr<const void> fn = command.resolved_fn;
   Result r = (*static_cast<const CommandFn*>(fn.get()))(*this, argv);
   if (r.code == Status::kError) {
     g_error_count.Increment();

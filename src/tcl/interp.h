@@ -214,6 +214,23 @@ class Interp {
   void set_max_eval_ms(long ms) { max_eval_ms_ = ms; }
   long max_eval_ms() const { return max_eval_ms_; }
 
+  // --- Record/replay hooks --------------------------------------------------
+  //
+  // The ms watchdog reads the wall clock, so which probe it trips at is
+  // nondeterministic. The session recorder installs an observer to journal
+  // the step count a trip fired at; replay arms a scripted trip at that
+  // step, and the probe fires on step count instead of the (frozen virtual)
+  // clock — the replayed script executes exactly as many commands as the
+  // recorded one did.
+  using LimitObserver = std::function<void(const char* kind, std::uint64_t steps)>;
+  void set_limit_observer(LimitObserver fn) { limit_observer_ = std::move(fn); }
+
+  // Arms (or, with 0, disarms) a one-shot forced ms-watchdog trip at the
+  // given step count of the next outermost Eval. Probe granularity is 64
+  // steps, matching recording, so a recorded trip step always lands on a
+  // probe. Cleared when it fires.
+  void ArmScriptedMsTrip(std::uint64_t at_step) { scripted_ms_trip_step_ = at_step; }
+
   // True while the errorInfo global holds the trace of the most recent
   // error; false e.g. for parse errors that never reached a command.
   bool error_trace_active() const { return error_trace_active_; }
@@ -287,7 +304,8 @@ class Interp {
     if (max_steps_ != 0 && steps_used_ > max_steps_) {
       return false;
     }
-    return max_eval_ms_ <= 0 || (steps_used_ & 63u) != 0;
+    return (max_eval_ms_ <= 0 && scripted_ms_trip_step_ == 0) ||
+           (steps_used_ & 63u) != 0;
   }
 
   // Slow path: raises (or re-raises) the limit error when a budget is
@@ -352,6 +370,9 @@ class Interp {
   std::uint64_t steps_used_ = 0;
   std::uint64_t deadline_ns_ = 0;  // lazily armed at the first periodic probe
   int limit_tripped_ = 0;  // 0 = not tripped, else the kind that tripped
+  // Record/replay: journals ms-watchdog trips / forces one at a fixed step.
+  LimitObserver limit_observer_;
+  std::uint64_t scripted_ms_trip_step_ = 0;  // 0 = disarmed
   // Source-line bookkeeping for errorInfo traces; true while errorInfo holds
   // the trace of the error currently unwinding (cleared on any success, so a
   // later unrelated error starts a fresh trace instead of appending).

@@ -74,11 +74,13 @@ struct CompiledCommand {
   // Memoized command resolution for the literal-argv dispatch path: valid
   // while `resolved_owner` is the dispatching interp and its command table
   // has not changed since `resolved_epoch` (the interp is single-threaded,
-  // so the mutable fields need no locking). The strong ref keeps a
-  // redefined command's old function alive until re-resolution.
+  // so the mutable fields need no locking). Weak, not strong: a proc's
+  // compiled body memoizes the proc's own closure when the proc recurses,
+  // and a strong ref there is an ownership cycle that leaks the proc. The
+  // dispatcher pins a strong ref for the duration of each call.
   mutable const void* resolved_owner = nullptr;
   mutable std::uint64_t resolved_epoch = 0;
-  mutable std::shared_ptr<const void> resolved_fn;
+  mutable std::weak_ptr<const void> resolved_fn;
 };
 
 // The immutable IR a script compiles to. Compilation never fails: structural

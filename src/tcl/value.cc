@@ -199,6 +199,35 @@ std::string FormatDouble(double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%g", value);
   std::string text(buf);
+  // C's %g switches to scientific notation once the decimal exponent reaches
+  // the precision (6); Tcl's Tcl_PrintDouble keeps fixed notation out to
+  // exponent 16. Expand the in-between exponents back to fixed form so
+  // double(2147483647) reads "2147480000.0", not "2.14748e+09". The negative
+  // side needs no help: both switch below 1e-4.
+  std::size_t e_at = text.find_first_of("eE");
+  if (e_at != std::string::npos) {
+    int exponent = std::atoi(text.c_str() + e_at + 1);
+    if (exponent >= 6 && exponent <= 16) {
+      std::string mantissa = text.substr(0, e_at);
+      std::string sign;
+      if (!mantissa.empty() && mantissa[0] == '-') {
+        sign = "-";
+        mantissa.erase(0, 1);
+      }
+      std::size_t dot = mantissa.find('.');
+      std::string digits = dot == std::string::npos
+                               ? mantissa
+                               : mantissa.substr(0, dot) + mantissa.substr(dot + 1);
+      std::size_t integer_len = static_cast<std::size_t>(exponent) + 1;
+      if (digits.size() < integer_len) {
+        digits.append(integer_len - digits.size(), '0');
+      }
+      text = sign + digits.substr(0, integer_len);
+      std::string fraction = digits.substr(integer_len);
+      text += fraction.empty() ? ".0" : "." + fraction;
+      return text;
+    }
+  }
   // Mirror Tcl: a double must not read back as an integer ("2" -> "2.0"),
   // but exponents are left alone.
   if (text.find_first_of(".eE") == std::string::npos) text += ".0";

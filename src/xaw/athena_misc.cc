@@ -73,7 +73,11 @@ void ScheduleStripChartUpdate(Widget& w) {
     if (chart == nullptr || !chart->realized()) {
       return;
     }
+    // Polling is itself a getValue notification; mark it so a callback that
+    // answers by pushing a sample (StripChartAddValue) does not re-notify.
+    chart->SetRawValue("_inGetValue", 1L);
     app->CallCallbacks(chart, "getValue", CallData{});
+    chart->SetRawValue("_inGetValue", 0L);
     ScheduleStripChartUpdate(*chart);
   });
   w.SetRawValue("_updateTimer", static_cast<long>(id));
@@ -126,7 +130,15 @@ void StripChartAddValue(xtk::Widget& chart, double value) {
                   samples.begin() + static_cast<long>(samples.size() - limit));
   }
   chart.SetRawValue(kSamplesKey, samples);
-  chart.app().CallCallbacks(&chart, "getValue", CallData{});
+  // Notify getValue listeners of the pushed sample — but never reentrantly:
+  // the poll timer's getValue callback typically pushes through this very
+  // function, and notifying again from inside it is a feedback loop that
+  // recurses until the eval depth guard (or the stack) gives out.
+  if (chart.GetLong("_inGetValue", 0) == 0) {
+    chart.SetRawValue("_inGetValue", 1L);
+    chart.app().CallCallbacks(&chart, "getValue", CallData{});
+    chart.SetRawValue("_inGetValue", 0L);
+  }
   chart.app().Redraw(&chart);
 }
 

@@ -428,6 +428,10 @@ void Display::EmitCrossing(WindowId old_window, WindowId new_window, Position x,
 }
 
 void Display::InjectMotion(Position x, Position y, unsigned state) {
+  if (inject_observer_) {
+    inject_observer_("motion " + std::to_string(x) + " " + std::to_string(y) +
+                     " " + std::to_string(state));
+  }
   now_ += 1;
   pointer_ = Point{x, y};
   WindowId target = grab_ != kNoWindow && !grab_owner_events_ ? grab_ : WindowAtPoint(x, y);
@@ -447,6 +451,10 @@ void Display::InjectMotion(Position x, Position y, unsigned state) {
 }
 
 void Display::InjectButtonPress(Position x, Position y, unsigned button, unsigned state) {
+  if (inject_observer_) {
+    inject_observer_("buttonpress " + std::to_string(x) + " " + std::to_string(y) +
+                     " " + std::to_string(button) + " " + std::to_string(state));
+  }
   now_ += 1;
   pointer_ = Point{x, y};
   WindowId target = grab_ != kNoWindow && !grab_owner_events_ ? grab_ : WindowAtPoint(x, y);
@@ -469,6 +477,10 @@ void Display::InjectButtonPress(Position x, Position y, unsigned button, unsigne
 }
 
 void Display::InjectButtonRelease(Position x, Position y, unsigned button, unsigned state) {
+  if (inject_observer_) {
+    inject_observer_("buttonrelease " + std::to_string(x) + " " + std::to_string(y) +
+                     " " + std::to_string(button) + " " + std::to_string(state));
+  }
   now_ += 1;
   pointer_ = Point{x, y};
   WindowId target = grab_ != kNoWindow && !grab_owner_events_ ? grab_ : WindowAtPoint(x, y);
@@ -487,6 +499,10 @@ void Display::InjectButtonRelease(Position x, Position y, unsigned button, unsig
 }
 
 void Display::InjectKey(KeySym keysym, bool press, unsigned state) {
+  if (inject_observer_) {
+    inject_observer_(std::string(press ? "keypress " : "keyrelease ") +
+                     std::to_string(keysym) + " " + std::to_string(state));
+  }
   now_ += 1;
   WindowId target = focus_ != kNoWindow ? focus_ : pointer_window_;
   if (target == kNoWindow) {

@@ -119,6 +119,14 @@ class Display {
   WindowId InputFocus() const { return focus_; }
   Point PointerPosition() const { return pointer_; }
 
+  // Observer invoked at every injection primitive with a text encoding of
+  // the call ("buttonpress x y button state", "motion x y state",
+  // "keypress keysym state", ...). InjectText decomposes into key
+  // press/release primitives, so the observer sees each physical event
+  // exactly once — the session recorder journals these for replay.
+  using InjectObserver = std::function<void(const std::string& encoded)>;
+  void set_inject_observer(InjectObserver fn) { inject_observer_ = std::move(fn); }
+
   // --- Grabs -----------------------------------------------------------------------
 
   // Pointer grab, as popup shells use it. With owner_events the event is
@@ -244,6 +252,7 @@ class Display {
   std::uint64_t now_ = 1000;
   ProtocolErrorHandler error_handler_;
   std::size_t protocol_errors_ = 0;
+  InjectObserver inject_observer_;
 };
 
 }  // namespace xsim

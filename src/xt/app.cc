@@ -787,9 +787,9 @@ bool AppContext::IsPoppedUp(const Widget* shell) const {
 // --- Main loop ------------------------------------------------------------------------
 
 std::int64_t AppContext::NowMs() {
-  timespec ts{};
-  clock_gettime(CLOCK_MONOTONIC, &ts);
-  return static_cast<std::int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+  // Routed through the obs clock so a replay's virtual time governs timer
+  // deadlines (and the supervision backoff built on AddTimeout) too.
+  return static_cast<std::int64_t>(wobs::NowNs() / 1000000ull);
 }
 
 int AppContext::AddTimeout(long ms, TimerFn fn) {
@@ -924,11 +924,26 @@ bool AppContext::RunOneIteration(bool block) {
                                }),
                 timers_.end());
   for (const Timer& timer : due) {
+    if (timer_observer_) {
+      timer_observer_(timer.id);
+    }
     timer.fn();
     worked = true;
   }
   worked |= ProcessPending() > 0;
   return worked;
+}
+
+bool AppContext::FireTimerForReplay(int id) {
+  auto it = std::find_if(timers_.begin(), timers_.end(),
+                         [id](const Timer& t) { return t.id == id; });
+  if (it == timers_.end()) {
+    return false;
+  }
+  TimerFn fn = std::move(it->fn);
+  timers_.erase(it);
+  fn();
+  return true;
 }
 
 void AppContext::MainLoop() {

@@ -168,6 +168,22 @@ class AppContext {
   void MainLoop();
   void BreakMainLoop() { loop_break_ = true; }
 
+  // --- Record/replay hooks ---------------------------------------------------------------
+  //
+  // Observer invoked just before a due timer's callback runs; the session
+  // recorder journals the id so a replay can re-fire the same timer at the
+  // same point in the record stream. Timer ids are deterministic (a
+  // monotonically increasing counter), so the id recorded in one run names
+  // the same logical timer in the replaying run.
+  using TimerObserver = std::function<void(int id)>;
+  void set_timer_fire_observer(TimerObserver fn) { timer_observer_ = std::move(fn); }
+
+  // Fires the timer with `id` now, regardless of its deadline — the replay
+  // engine's substitute for the poll loop's deadline check (the virtual
+  // clock is frozen, so deadlines never expire on their own). Returns false
+  // when no such timer is pending.
+  bool FireTimerForReplay(int id);
+
   // Test hook: number of expose redraws performed.
   std::size_t redraw_count() const { return redraw_count_; }
 
@@ -212,6 +228,7 @@ class AppContext {
   std::vector<Input> outputs_;
   int next_timer_id_ = 1;
   int next_input_id_ = 1;
+  TimerObserver timer_observer_;
   bool loop_break_ = false;
   std::size_t redraw_count_ = 0;
   // When the last poll returned, while observability is on (0 otherwise):

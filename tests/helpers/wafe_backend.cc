@@ -16,6 +16,8 @@
 //                 line (a steady slow consumer)
 //   linger      - announces readiness and sleeps argv[2] milliseconds after
 //                 stdin EOF before exiting (reap-path tests)
+//   buildlinger - builds a deterministic tree + session vars, confirms, then
+//                 lingers argv[2] ms with stdin open (crash-recovery tests)
 //   massdribble - writes argv[2] mass-channel bytes in argv[3]-byte chunks
 //                 with argv[4] microseconds between chunks
 //   badlines    - emits argv[2] malformed protocol lines (each one a Tcl
@@ -215,6 +217,31 @@ int RunDrain(const char* delay_us_arg) {
   return 0;
 }
 
+// Builds a deterministic widget tree and session state, confirms with a
+// round trip, then lingers with stdin open: the frontend can be SIGKILLed
+// at a known point mid-session (record/replay crash-recovery tests).
+int RunBuildLinger(const char* linger_ms_arg) {
+  long linger_ms = linger_ms_arg != nullptr ? std::strtol(linger_ms_arg, nullptr, 10)
+                                            : 30000;
+  Send("%form top topLevel");
+  Send("%label greeting top label {recorded session}");
+  Send("%command go top label Go fromVert greeting callback {set clicked 1}");
+  Send("%realize");
+  Send("%set recorded(phase) built");
+  Send("%set recorded(lines) 6");
+  Send("%echo built");
+  std::string line;
+  if (!ReadLine(&line) || line != "built") {
+    return 2;
+  }
+  Send("built-confirmed");  // unprefixed: tells the test harness we're done
+  // Drop the inherited stderr so a captured-output harness (ctest) sees EOF
+  // as soon as the frontend dies, instead of waiting out the linger.
+  ::close(2);
+  ::usleep(static_cast<useconds_t>(linger_ms) * 1000);
+  return 0;
+}
+
 int RunLinger(const char* linger_ms_arg) {
   long linger_ms = linger_ms_arg != nullptr ? std::strtol(linger_ms_arg, nullptr, 10) : 100;
   Send("%echo linger-ready");
@@ -320,6 +347,9 @@ int main(int argc, char** argv) {
   }
   if (mode == "linger") {
     return RunLinger(argc > 2 ? argv[2] : nullptr);
+  }
+  if (mode == "buildlinger") {
+    return RunBuildLinger(argc > 2 ? argv[2] : nullptr);
   }
   if (mode == "massdribble") {
     return RunMassDribble(argc > 2 ? argv[2] : nullptr, argc > 3 ? argv[3] : nullptr,

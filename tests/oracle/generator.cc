@@ -97,6 +97,29 @@ const std::vector<std::string>& BadIndices() {
   return pool;
 }
 
+// Needles for `string first`/`string last`: never empty — Tcl 8.6 defines
+// an empty needle as "not found" (-1) while a naive substring search finds
+// it at 0, so the empty case is pinned by a corpus entry instead.
+const std::vector<std::string>& Needles() {
+  static const std::vector<std::string> pool = {"a", "b", "c", "ab", "lo",
+                                                "z",  " ", "de"};
+  return pool;
+}
+
+const std::vector<std::string>& GlobPatterns() {
+  static const std::vector<std::string> pool = {
+      "*",     "a*",    "*c*",   "?b*", "[a-c]*",
+      "*world", "h?llo*", "*b c*", "x",   "[xyz]",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& ArrayKeys() {
+  static const std::vector<std::string> pool = {"a", "b", "k1", "k2",
+                                                "key", "x9"};
+  return pool;
+}
+
 // --- Families ---------------------------------------------------------------
 
 std::string GenExpr(Rng& rng) {
@@ -132,9 +155,13 @@ std::string GenExpr(Rng& rng) {
       return "set x " + value + "\nexpr {$x " + rng.Pick(int_ops) + " " +
              rng.Pick(IntLiterals()) + "}";
     }
-    default: {  // ternary over a comparison
+    default: {  // ternary over a comparison — decimal branches only: Tcl 8.6
+      // leaks an octal/hex branch literal uncanonicalized when the condition
+      // is not constant-folded (pinned by knowndiff-ternary-literal).
+      const std::vector<std::string> decimals = {"0", "1", "-1", "7",
+                                                 "12", "42", "-9"};
       return "expr {" + rng.Pick(IntLiterals()) + " < " +
-             rng.Pick(IntLiterals()) + " ? " + rng.Pick(IntLiterals()) +
+             rng.Pick(IntLiterals()) + " ? " + rng.Pick(decimals) +
              " : " + rng.Pick(DoubleLiterals()) + "}";
     }
   }
@@ -229,6 +256,78 @@ std::string GenErrorTrace(Rng& rng) {
   }
 }
 
+// `string` subcommand surface beyond the index/range family: length, case
+// mapping, trimming with explicit character sets, glob matching, and
+// substring search, plus compositions that pipe one subcommand into another.
+std::string GenStringSub(Rng& rng) {
+  const std::vector<std::string> trims = {"trim", "trimleft", "trimright"};
+  const std::vector<std::string> trim_chars = {" ", "ab", "x ", "de f"};
+  switch (rng.Below(8)) {
+    case 0:
+      return "string length \"" + rng.Pick(Subjects()) + "\"";
+    case 1: {  // default whitespace trim
+      return "string " + rng.Pick(trims) + " \"" + rng.Pick(Subjects()) + "\"";
+    }
+    case 2: {  // trim with an explicit character set
+      return "string " + rng.Pick(trims) + " \"" + rng.Pick(Subjects()) +
+             "\" {" + rng.Pick(trim_chars) + "}";
+    }
+    case 3:
+      return "string match {" + rng.Pick(GlobPatterns()) + "} \"" +
+             rng.Pick(Subjects()) + "\"";
+    case 4:
+      return "string " + std::string(rng.Below(2) ? "first" : "last") + " {" +
+             rng.Pick(Needles()) + "} \"" + rng.Pick(Subjects()) + "\"";
+    case 5: {  // composition: search inside a case-mapped / trimmed subject
+      return "string first {" + rng.Pick(Needles()) + "} [string tolower \"" +
+             rng.Pick(Subjects()) + "\"]";
+    }
+    case 6: {  // length of a trimmed subject
+      return "string length [string trim \"" + rng.Pick(Subjects()) + "\"]";
+    }
+    default: {  // match against a variable holding the pattern
+      return "set p {" + rng.Pick(GlobPatterns()) + "}\nstring match $p \"" +
+             rng.Pick(Subjects()) + "\"";
+    }
+  }
+}
+
+// Associative-array surface. `array names`/`array get` enumerate in hash
+// order in the reference Tcl, so every multi-element observation is wrapped
+// in lsort or narrowed to a single key by pattern.
+std::string GenArray(Rng& rng) {
+  std::string k1 = rng.Pick(ArrayKeys());
+  std::string k2 = rng.Pick(ArrayKeys());
+  std::string v1 = rng.Pick(IntLiterals());
+  std::string v2 = rng.Pick(IntLiterals());
+  switch (rng.Below(6)) {
+    case 0: {  // array set then sorted names
+      return "array set a {" + k1 + " " + v1 + " " + k2 + " " + v2 +
+             "}\nlsort [array names a]";
+    }
+    case 1: {  // element writes, then size/exists introspection
+      return "set a(" + k1 + ") " + v1 + "\nset a(" + k2 + ") " + v2 +
+             "\nlist [array size a] [array exists a] [array exists nosuch]";
+    }
+    case 2: {  // get narrowed to one key: deterministic single pair
+      return "array set a {" + k1 + " " + v1 + " zz 0}\narray get a {" + k1 +
+             "}";
+    }
+    case 3: {  // glob-filtered names, sorted
+      return "array set a {" + k1 + " 1 " + k2 + " 2 other 3}\nlsort [array "
+             "names a {" + rng.Pick(GlobPatterns()) + "}]";
+    }
+    case 4: {  // odd-length init list is a hard error in both implementations
+      return "array set a {" + k1 + " " + v1 + " dangling}";
+    }
+    default: {  // scalar is not an array; missing array reads as empty
+      return "set s " + rng.Pick(IntLiterals()) +
+             "\nlist [array exists s] [array size s] [array names s] "
+             "[array size nosuch] [array get nosuch]";
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Case> GenerateCases(std::uint64_t seed, std::size_t count) {
@@ -237,7 +336,7 @@ std::vector<Case> GenerateCases(std::uint64_t seed, std::size_t count) {
   cases.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     Case c;
-    switch (rng.Below(4)) {
+    switch (rng.Below(6)) {
       case 0:
         c.name = "gen-expr-" + std::to_string(i);
         c.script = GenExpr(rng);
@@ -249,6 +348,14 @@ std::vector<Case> GenerateCases(std::uint64_t seed, std::size_t count) {
       case 2:
         c.name = "gen-liststring-" + std::to_string(i);
         c.script = GenListString(rng);
+        break;
+      case 3:
+        c.name = "gen-string-" + std::to_string(i);
+        c.script = GenStringSub(rng);
+        break;
+      case 4:
+        c.name = "gen-array-" + std::to_string(i);
+        c.script = GenArray(rng);
         break;
       default:
         c.name = "gen-errtrace-" + std::to_string(i);

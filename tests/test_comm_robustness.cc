@@ -102,6 +102,41 @@ TEST_F(CommChannelTest, TruncatedMassTransferCompletesWithPartialData) {
   EXPECT_FALSE(wafe_.frontend().mass_transfer_active());
 }
 
+// Closing the backend mid-mass-transfer must complete the transfer as
+// truncated — partial payload delivered, completion script run, both mass
+// fds released — instead of leaving the variable armed forever (and the
+// transfer fd open) after the channel is gone.
+TEST_F(CommChannelTest, CloseBackendMidMassTransferCompletesTruncated) {
+  wobs::SetMetricsEnabled(true);
+  wtcl::Result fd_result = wafe_.Eval("getChannel");
+  ASSERT_EQ(fd_result.code, wtcl::Status::kOk);
+  int mass_fd = std::atoi(fd_result.value.c_str());
+  ASSERT_GE(mass_fd, 0);
+  ASSERT_EQ(wafe_.Eval("setCommunicationVariable C 1000 {set massDone 1}").code,
+            wtcl::Status::kOk);
+  // 400 bytes consumed through the event loop, 100 more still sitting in the
+  // pipe: CloseBackend must drain those before releasing the fd.
+  std::string consumed(400, 'a');
+  ASSERT_EQ(::write(mass_fd, consumed.data(), consumed.size()),
+            static_cast<ssize_t>(consumed.size()));
+  Pump();
+  EXPECT_TRUE(wafe_.frontend().mass_transfer_active());
+  std::string pending(100, 'b');
+  ASSERT_EQ(::write(mass_fd, pending.data(), pending.size()),
+            static_cast<ssize_t>(pending.size()));
+
+  std::uint64_t truncated_before = 0;
+  wobs::Registry::Instance().GetMetric("comm.mass.truncated", &truncated_before);
+  wafe_.frontend().CloseBackend();
+  EXPECT_FALSE(wafe_.frontend().mass_transfer_active());
+  EXPECT_EQ(Var("massDone"), "1");
+  EXPECT_EQ(Var("C").size(), 500u);
+  EXPECT_LT(wafe_.frontend().mass_channel_read_fd(), 0);
+  std::uint64_t truncated_after = 0;
+  wobs::Registry::Instance().GetMetric("comm.mass.truncated", &truncated_after);
+  EXPECT_EQ(truncated_after, truncated_before + 1);
+}
+
 // Satellite: a line split across many small reads is still detected as
 // over-long, dropped, and the following line survives.
 TEST_F(CommChannelTest, OverlongLineSplitAcrossManyReadsIsDropped) {

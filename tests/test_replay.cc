@@ -1,0 +1,545 @@
+// Deterministic %-protocol record/replay: journal format roundtrips and
+// torn-tail crash recovery, the in-process record -> replay golden contract
+// (byte-identical framebuffer, window tree, and interp state), scripted
+// ms-watchdog determinism under the virtual clock, the SIGKILL-and-restore
+// acceptance path through the real wafe binary, the committed fault-journal
+// corpus (tests/replay/corpus/*.wjt with #expect directives), and the
+// recorder's flight-record / trace-position integration.
+#include <gtest/gtest.h>
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/comm.h"
+#include "src/core/replay.h"
+#include "src/core/wafe.h"
+#include "src/obs/obs.h"
+#include "src/xsim/display.h"
+#include "src/xt/app.h"
+#include "src/xt/widget.h"
+
+#ifndef WAFE_TEST_BACKEND
+#error "WAFE_TEST_BACKEND must point at the helper binary"
+#endif
+#ifndef WAFE_BINARY
+#error "WAFE_BINARY must point at the wafe executable"
+#endif
+#ifndef REPLAY_CORPUS_DIR
+#error "REPLAY_CORPUS_DIR must point at tests/replay/corpus"
+#endif
+
+namespace wafe {
+namespace {
+
+std::string TempPath(const char* stem) {
+  const char* dir = ::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + stem + "." +
+         std::to_string(::getpid());
+}
+
+std::uint64_t Metric(const std::string& name) {
+  std::uint64_t value = 0;
+  wobs::Registry::Instance().GetMetric(name, &value);
+  return value;
+}
+
+// --- Journal format -----------------------------------------------------------
+
+TEST(JournalFormat, WriterReaderRoundtrip) {
+  std::string path = TempPath("journal_roundtrip");
+  {
+    JournalWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.Open(path, FsyncPolicy::kNone, 0, &error)) << error;
+    EXPECT_TRUE(writer.Append(JournalRecordType::kLine, "%set x 1"));
+    EXPECT_TRUE(writer.Append(JournalRecordType::kEvent, "buttonpress 5 6 1 0"));
+    EXPECT_TRUE(writer.Append(JournalRecordType::kTimer, "3"));
+    EXPECT_TRUE(writer.Append(JournalRecordType::kNote, ""));
+    EXPECT_EQ(writer.records_written(), 4u);
+  }
+  JournalReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  EXPECT_FALSE(reader.truncated());
+  EXPECT_FALSE(reader.text_format());
+  ASSERT_EQ(reader.records().size(), 4u);
+  EXPECT_EQ(reader.records()[0].type, JournalRecordType::kLine);
+  EXPECT_EQ(reader.records()[0].payload, "%set x 1");
+  EXPECT_EQ(reader.records()[0].seq, 1u);
+  EXPECT_EQ(reader.records()[1].type, JournalRecordType::kEvent);
+  EXPECT_EQ(reader.records()[1].payload, "buttonpress 5 6 1 0");
+  EXPECT_EQ(reader.records()[2].type, JournalRecordType::kTimer);
+  EXPECT_EQ(reader.records()[3].type, JournalRecordType::kNote);
+  EXPECT_EQ(reader.records()[3].payload, "");
+  EXPECT_EQ(reader.records()[3].seq, 4u);
+  // Timestamps are monotone non-decreasing (stamped from one clock).
+  EXPECT_LE(reader.records()[0].vtime_ns, reader.records()[3].vtime_ns);
+  ::unlink(path.c_str());
+}
+
+// A crash mid-append leaves a torn tail: read-back must keep every complete
+// record, flag the truncation, and count replay.journal.truncated.
+TEST(JournalFormat, TornTailRecoversToLastCompleteRecord) {
+  std::string path = TempPath("journal_torn");
+  {
+    JournalWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.Open(path, FsyncPolicy::kAlways, 0, &error)) << error;
+    ASSERT_TRUE(writer.Append(JournalRecordType::kLine, "%set a 1"));
+    ASSERT_TRUE(writer.Append(JournalRecordType::kLine, "%set b 2"));
+  }
+  // Simulate the torn tail of a third record: a plausible header and a few
+  // payload bytes, cut off before the CRC.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char torn[] = {16, 0, 0, 0, 1, 3, 0, 0, 0, 0, 0, 0, 0, '%', 's', 'e'};
+    out.write(torn, sizeof(torn));
+  }
+  std::uint64_t before = Metric("replay.journal.truncated");
+  JournalReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  EXPECT_TRUE(reader.truncated());
+  ASSERT_EQ(reader.records().size(), 2u);
+  EXPECT_EQ(reader.records()[1].payload, "%set b 2");
+  EXPECT_EQ(Metric("replay.journal.truncated"), before + 1);
+  ::unlink(path.c_str());
+}
+
+// A complete tail record with a flipped payload byte fails the CRC: the
+// corruption must not be replayed as if it were recorded traffic.
+TEST(JournalFormat, CorruptTailFailsCrc) {
+  std::string path = TempPath("journal_crc");
+  {
+    JournalWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.Open(path, FsyncPolicy::kNone, 0, &error)) << error;
+    ASSERT_TRUE(writer.Append(JournalRecordType::kLine, "%set keep 1"));
+    ASSERT_TRUE(writer.Append(JournalRecordType::kLine, "%set flip 2"));
+  }
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-6, std::ios::end);  // inside the last record's payload
+    f.put('X');
+  }
+  JournalReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  EXPECT_TRUE(reader.truncated());
+  ASSERT_EQ(reader.records().size(), 1u);
+  EXPECT_EQ(reader.records()[0].payload, "%set keep 1");
+  ::unlink(path.c_str());
+}
+
+TEST(JournalFormat, BadMagicRejected) {
+  std::string path = TempPath("journal_magic");
+  {
+    std::ofstream out(path);
+    out << "this is not a journal\n";
+  }
+  JournalReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.Open(path, &error));
+  EXPECT_NE(error.find("bad magic"), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+// Text journals (the committed-corpus format) roundtrip through
+// DumpJournalText and parse back to the same record stream.
+TEST(JournalFormat, TextJournalRoundtrip) {
+  std::string path = TempPath("journal_text");
+  {
+    std::ofstream out(path);
+    out << "# wafe-journal-text 1\n"
+        << "# a comment\n"
+        << "vtime 5000000\n"
+        << "line %set x 41\n"
+        << "event buttonpress 10 12 1 0\n"
+        << "vtime 6000000\n"
+        << "timer 2\n"
+        << "note free text here\n";
+  }
+  JournalReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  EXPECT_TRUE(reader.text_format());
+  ASSERT_EQ(reader.records().size(), 4u);
+  EXPECT_EQ(reader.records()[0].type, JournalRecordType::kLine);
+  EXPECT_EQ(reader.records()[0].payload, "%set x 41");
+  EXPECT_EQ(reader.records()[0].vtime_ns, 5000000u);
+  EXPECT_EQ(reader.records()[2].vtime_ns, 6000000u);
+
+  std::ostringstream dumped;
+  DumpJournalText(reader.records(), dumped);
+  std::string path2 = TempPath("journal_text2");
+  {
+    std::ofstream out(path2);
+    out << dumped.str();
+  }
+  JournalReader reader2;
+  ASSERT_TRUE(reader2.Open(path2, &error)) << error;
+  ASSERT_EQ(reader2.records().size(), reader.records().size());
+  for (std::size_t i = 0; i < reader.records().size(); ++i) {
+    EXPECT_EQ(reader2.records()[i].type, reader.records()[i].type) << i;
+    EXPECT_EQ(reader2.records()[i].payload, reader.records()[i].payload) << i;
+    EXPECT_EQ(reader2.records()[i].vtime_ns, reader.records()[i].vtime_ns) << i;
+  }
+  ::unlink(path.c_str());
+  ::unlink(path2.c_str());
+}
+
+TEST(JournalFormat, UnknownTextKeywordIsAnError) {
+  std::string path = TempPath("journal_badkw");
+  {
+    std::ofstream out(path);
+    out << "# wafe-journal-text 1\nbogus payload\n";
+  }
+  JournalReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.Open(path, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+// --- In-process record -> replay golden contract ------------------------------
+
+class RecordReplayTest : public ::testing::Test {
+ protected:
+  RecordReplayTest() {
+    int to_wafe[2];
+    int from_wafe[2];
+    EXPECT_EQ(::pipe(to_wafe), 0);
+    EXPECT_EQ(::pipe(from_wafe), 0);
+    backend_write_ = to_wafe[1];
+    backend_read_ = from_wafe[0];
+    wafe_.set_backend_output(true);
+    wafe_.frontend().AdoptBackend(to_wafe[0], from_wafe[1]);
+  }
+
+  ~RecordReplayTest() override {
+    ::close(backend_write_);
+    ::close(backend_read_);
+    wobs::SetMetricsEnabled(false);
+  }
+
+  void SendLines(const std::string& data) {
+    ssize_t ignored = ::write(backend_write_, data.data(), data.size());
+    (void)ignored;
+    while (wafe_.app().RunOneIteration(false)) {
+    }
+  }
+
+  std::string Var(Wafe& wafe, const std::string& name) {
+    std::string value;
+    return wafe.interp().GetVar(name, &value) ? value : std::string("<unset>");
+  }
+
+  Wafe wafe_;
+  int backend_write_ = -1;
+  int backend_read_ = -1;
+};
+
+// The tentpole contract: a recorded session replays byte-identically — the
+// framebuffer checksum, the window tree, and the interp variables of the
+// replayed instance equal the live session's, including the effect of
+// injected UI events (a button click driving a callback).
+TEST_F(RecordReplayTest, ReplayReproducesSessionByteIdentically) {
+  std::string path = TempPath("golden_session");
+  std::string error;
+  ASSERT_TRUE(wafe_.StartRecording(path, &error)) << error;
+
+  SendLines("%form top topLevel\n");
+  SendLines("%label greeting top label {recorded session}\n");
+  SendLines("%command go top label Go fromVert greeting callback {set clicked 1}\n");
+  SendLines("%realize\n");
+  SendLines("%set recorded(phase) built\n");
+  // A real click through the display injection primitives: recorded as
+  // kEvent records and replayed through the same primitives.
+  xtk::Widget* go = wafe_.app().FindWidget("go");
+  ASSERT_NE(go, nullptr);
+  xsim::Point p = wafe_.app().display().RootPosition(go->window());
+  auto cx = static_cast<xsim::Position>(p.x + 2);
+  auto cy = static_cast<xsim::Position>(p.y + 2);
+  wafe_.app().display().InjectButtonPress(cx, cy, 1, 0);
+  wafe_.app().display().InjectButtonRelease(cx, cy, 1, 0);
+  while (wafe_.app().RunOneIteration(false)) {
+  }
+  ASSERT_EQ(Var(wafe_, "clicked"), "1");
+  SendLines("%set recorded(done) 1\n");
+
+  std::uint64_t fb_live = FramebufferChecksum(wafe_.app().display());
+  std::string tree_live = WindowTreeText(wafe_);
+  ASSERT_NE(tree_live.find("greeting"), std::string::npos);
+  wafe_.StopRecording();
+
+  Wafe replayed;
+  ReplayStats stats;
+  ASSERT_TRUE(ReplayJournal(replayed, path, &stats, &error)) << error;
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(stats.lines, 6u);
+  EXPECT_EQ(stats.events, 2u);
+  EXPECT_EQ(FramebufferChecksum(replayed.app().display()), fb_live);
+  EXPECT_EQ(WindowTreeText(replayed), tree_live);
+  EXPECT_EQ(Var(replayed, "clicked"), "1");
+  EXPECT_EQ(Var(replayed, "recorded(phase)"), "built");
+  EXPECT_EQ(Var(replayed, "recorded(done)"), "1");
+  ::unlink(path.c_str());
+}
+
+// The one decision a frozen clock cannot reproduce — which probe the ms
+// watchdog tripped at — is journaled and re-forced: the replayed loop stops
+// at exactly the recorded iteration.
+TEST_F(RecordReplayTest, ScriptedMsTripReplaysDeterministically) {
+  std::string path = TempPath("mstrip_session");
+  std::string error;
+  ASSERT_TRUE(wafe_.StartRecording(path, &error)) << error;
+  SendLines("%evalLimit ms 5\n");
+  SendLines("%set i 0\n");
+  SendLines("%while {$i < 5000000} {incr i}\n");
+  std::string i_live = Var(wafe_, "i");
+  ASSERT_NE(i_live, "<unset>");
+  ASSERT_NE(i_live, "5000000") << "loop must trip the watchdog, not finish";
+  wafe_.StopRecording();
+
+  // The journal carries the trip: line record, then the kEvalTrip marker.
+  JournalReader reader;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  bool saw_trip = false;
+  for (const JournalRecord& record : reader.records()) {
+    if (record.type == JournalRecordType::kEvalTrip) {
+      saw_trip = true;
+      EXPECT_EQ(record.payload.rfind("ms ", 0), 0u) << record.payload;
+    }
+  }
+  ASSERT_TRUE(saw_trip);
+
+  Wafe replayed;
+  ReplayStats stats;
+  ASSERT_TRUE(ReplayJournal(replayed, path, &stats, &error)) << error;
+  EXPECT_EQ(stats.eval_trips, 1u);
+  EXPECT_EQ(Var(replayed, "i"), i_live);
+  ::unlink(path.c_str());
+}
+
+// Replaying the same journal twice from fresh instances lands on the same
+// state: replay itself is deterministic.
+TEST_F(RecordReplayTest, ReplayIsDeterministicAcrossRuns) {
+  std::string path = TempPath("determinism_session");
+  std::string error;
+  ASSERT_TRUE(wafe_.StartRecording(path, &error)) << error;
+  SendLines("%form top topLevel\n");
+  SendLines("%asciiText input top editType edit width 200\n");
+  SendLines("%label result top label {} width 200 fromVert input\n");
+  SendLines("%realize\n");
+  SendLines("%result set label {42 = 2 * 3 * 7}\n");
+  wafe_.StopRecording();
+
+  Wafe a;
+  Wafe b;
+  ReplayStats stats;
+  ASSERT_TRUE(ReplayJournal(a, path, &stats, &error)) << error;
+  ASSERT_TRUE(ReplayJournal(b, path, nullptr, &error)) << error;
+  EXPECT_EQ(FramebufferChecksum(a.app().display()),
+            FramebufferChecksum(b.app().display()));
+  EXPECT_EQ(WindowTreeText(a), WindowTreeText(b));
+  ::unlink(path.c_str());
+}
+
+// The `record` command: status/on/rotate/off drive the journal from Tcl.
+TEST_F(RecordReplayTest, RecordCommandLifecycle) {
+  std::string path = TempPath("record_cmd");
+  EXPECT_EQ(wafe_.Eval("record status").value, "off");
+  ASSERT_EQ(wafe_.Eval("record on " + path + ",fsync=always").code, wtcl::Status::kOk);
+  wtcl::Result status = wafe_.Eval("record status");
+  EXPECT_NE(status.value.find("recording 1"), std::string::npos);
+  EXPECT_NE(status.value.find("fsync always"), std::string::npos);
+  SendLines("%set rotated 0\n");
+  wtcl::Result rotated = wafe_.Eval("record rotate");
+  ASSERT_EQ(rotated.code, wtcl::Status::kOk);
+  EXPECT_EQ(rotated.value, path + ".1");
+  SendLines("%set rotated 1\n");
+  ASSERT_EQ(wafe_.Eval("record off").code, wtcl::Status::kOk);
+  EXPECT_EQ(wafe_.Eval("record status").value, "off");
+  EXPECT_NE(wafe_.Eval("record bogus").code, wtcl::Status::kOk);
+
+  // Each segment is a complete, independently replayable journal.
+  JournalReader first;
+  JournalReader second;
+  std::string error;
+  ASSERT_TRUE(first.Open(path, &error)) << error;
+  ASSERT_TRUE(second.Open(path + ".1", &error)) << error;
+  ASSERT_EQ(first.records().size(), 1u);
+  EXPECT_EQ(first.records()[0].payload, "%set rotated 0");
+  ASSERT_EQ(second.records().size(), 1u);
+  EXPECT_EQ(second.records()[0].payload, "%set rotated 1");
+  ::unlink(path.c_str());
+  ::unlink((path + ".1").c_str());
+}
+
+// While recording, every flight record names the journal and carries the
+// recent %-traffic, so a crash dump is immediately replayable.
+TEST_F(RecordReplayTest, FlightRecordsCarryJournalContext) {
+  std::string path = TempPath("flight_ctx");
+  std::string error;
+  EXPECT_EQ(wobs::FlightContextJson(), "");
+  ASSERT_TRUE(wafe_.StartRecording(path, &error)) << error;
+  SendLines("%set flight 1\n");
+  std::string context = wobs::FlightContextJson();
+  EXPECT_NE(context.find("\"replay\":{"), std::string::npos);
+  EXPECT_NE(context.find(path), std::string::npos);
+  EXPECT_NE(context.find("%set flight 1"), std::string::npos);
+  wafe_.StopRecording();
+  EXPECT_EQ(wobs::FlightContextJson(), "");
+  ::unlink(path.c_str());
+}
+
+// Trace events emitted while a journal is active carry the journal position
+// ("jpos"), linking any span in the export to the record being processed.
+TEST_F(RecordReplayTest, TraceEventsCarryJournalPosition) {
+  wobs::SetMetricsEnabled(true);
+  wobs::SetTraceEnabled(true);
+  std::string path = TempPath("jpos_trace");
+  std::string error;
+  wobs::Registry::Instance().ring().Clear();
+  ASSERT_TRUE(wafe_.StartRecording(path, &error)) << error;
+  SendLines("%set traced 1\n");
+  wafe_.StopRecording();
+  std::string text = wobs::TraceText();
+  EXPECT_NE(text.find("jpos="), std::string::npos) << text;
+  std::ostringstream chrome;
+  wobs::ExportChromeTrace(chrome);
+  EXPECT_NE(chrome.str().find("\"jpos\":"), std::string::npos);
+  wobs::SetTraceEnabled(false);
+  ::unlink(path.c_str());
+}
+
+// --- SIGKILL crash recovery through the real binary ---------------------------
+
+// The acceptance path: a recording frontend is SIGKILLed mid-session; the
+// journal (fsync=always) replays in a fresh process image to the exact
+// session state, twice over for byte-identical agreement.
+TEST(CrashRecovery, KilledFrontendRestoresFromJournal) {
+  std::string path = TempPath("kill_session");
+  int out_pipe[2];
+  ASSERT_EQ(::pipe(out_pipe), 0);
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(out_pipe[1], 1);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::setenv("WAFE_RECORD", (path + ",fsync=always").c_str(), 1);
+    ::execl(WAFE_BINARY, WAFE_BINARY, WAFE_TEST_BACKEND, "buildlinger", "30000",
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  ::close(out_pipe[1]);
+
+  // The backend passes "built-confirmed" through once the frontend has
+  // processed (and, with fsync=always, durably journaled) every line.
+  std::string seen;
+  char c;
+  while (seen.find("built-confirmed") == std::string::npos &&
+         ::read(out_pipe[0], &c, 1) == 1) {
+    seen.push_back(c);
+  }
+  ASSERT_NE(seen.find("built-confirmed"), std::string::npos) << seen;
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ::close(out_pipe[0]);
+
+  Wafe restored;
+  ReplayStats stats;
+  std::string error;
+  ASSERT_TRUE(ReplayJournal(restored, path, &stats, &error)) << error;
+  EXPECT_GE(stats.lines, 5u);
+
+  // The rebuilt session: tree realized, labels placed, variables restored.
+  std::string tree = WindowTreeText(restored);
+  EXPECT_NE(tree.find("greeting"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("go"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("viewable"), std::string::npos) << tree;
+  std::string value;
+  ASSERT_TRUE(restored.interp().GetVar("recorded(phase)", &value));
+  EXPECT_EQ(value, "built");
+  ASSERT_TRUE(restored.interp().GetVar("recorded(lines)", &value));
+  EXPECT_EQ(value, "6");
+
+  // Byte-identical agreement between two independent restorations.
+  Wafe again;
+  ASSERT_TRUE(ReplayJournal(again, path, nullptr, &error)) << error;
+  EXPECT_EQ(FramebufferChecksum(restored.app().display()),
+            FramebufferChecksum(again.app().display()));
+  EXPECT_EQ(WindowTreeText(again), tree);
+  ::unlink(path.c_str());
+}
+
+// --- Committed fault-regression corpus ----------------------------------------
+
+// Every journal under tests/replay/corpus/ replays clean; `#expect <metric>
+// <min-delta>` lines assert the fault it pins (a tripped breaker, a blown
+// eval budget) actually re-fires.
+TEST(ReplayCorpus, CommittedJournalsReplayAndRefire) {
+  std::vector<std::string> entries;
+  DIR* dir = ::opendir(REPLAY_CORPUS_DIR);
+  ASSERT_NE(dir, nullptr) << REPLAY_CORPUS_DIR;
+  while (dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".wjt") == 0) {
+      entries.push_back(std::string(REPLAY_CORPUS_DIR) + "/" + name);
+    }
+  }
+  ::closedir(dir);
+  ASSERT_GE(entries.size(), 4u);
+  std::sort(entries.begin(), entries.end());
+
+  wobs::SetMetricsEnabled(true);
+  for (const std::string& journal : entries) {
+    SCOPED_TRACE(journal);
+    // Collect the journal's expectations.
+    std::vector<std::pair<std::string, std::uint64_t>> expects;
+    std::ifstream in(journal);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("#expect ", 0) == 0) {
+        std::istringstream fields(line.substr(8));
+        std::string metric;
+        std::uint64_t min_delta = 0;
+        fields >> metric >> min_delta;
+        expects.emplace_back(metric, min_delta);
+      }
+    }
+    EXPECT_FALSE(expects.empty()) << "corpus entry pins no metric";
+
+    std::vector<std::uint64_t> before;
+    for (const auto& expect : expects) {
+      before.push_back(Metric(expect.first));
+    }
+    Wafe wafe;
+    ReplayStats stats;
+    std::string error;
+    ASSERT_TRUE(ReplayJournal(wafe, journal, &stats, &error)) << error;
+    EXPECT_GT(stats.records, 0u);
+    for (std::size_t i = 0; i < expects.size(); ++i) {
+      EXPECT_GE(Metric(expects[i].first) - before[i], expects[i].second)
+          << expects[i].first;
+    }
+  }
+  wobs::SetMetricsEnabled(false);
+}
+
+}  // namespace
+}  // namespace wafe
